@@ -1,0 +1,146 @@
+// Experiment E2 (DESIGN.md): query execution performance.
+//
+// Reproduces the full paper's execution-time comparison: the THREATRAPTOR
+// engine (pruning-score scheduling + inter-pattern constraint propagation)
+// vs the unscheduled baseline (declaration order, patterns executed
+// independently), across the two §III attack queries plus a broad
+// unselective query, on traces from 10^4 to 4x10^5 events. Each run also
+// reports rows_touched, the work counter that explains the wall time.
+//
+// Expected shape: scheduled wins everywhere and the gap widens with trace
+// size — propagation turns the unconstrained patterns' scans into index
+// probes.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/threat_raptor.h"
+#include "tbql/analyzer.h"
+#include "tbql/parser.h"
+
+namespace raptor::bench {
+namespace {
+
+/// The two attack queries, as the synthesizer emits them (hand-inlined so
+/// the bench measures execution only).
+const char* kLeakageQuery =
+    "evt1: proc p1[\"%/bin/tar%\"] read file f1[\"/etc/passwd\"]\n"
+    "evt2: proc p1 write file f2[\"/tmp/data.tar\"]\n"
+    "evt3: proc p2[\"%/bin/gzip%\"] read file f2\n"
+    "evt4: proc p2 write file f3[\"/tmp/data.tar.gz\"]\n"
+    "evt5: proc p3[\"%/usr/bin/curl%\"] read file f3\n"
+    "evt6: proc p3 send net n1[dstip = \"161.35.10.8\"]\n"
+    "with evt1 before evt2, evt2 before evt3, evt3 before evt4, "
+    "evt4 before evt5, evt5 before evt6\n"
+    "return p1, p2, p3, f1, f2, f3, n1";
+
+const char* kCrackingQuery =
+    "evt1: proc p1[\"%/bin/bash%\"] connect net n1[dstip = "
+    "\"108.160.172.1\"]\n"
+    "evt2: proc p1 write file f1[\"/tmp/dropbox_image.jpg\"]\n"
+    "evt3: proc p1 read file f1\n"
+    "evt4: proc p1 connect net n2[dstip = \"161.35.10.8\"]\n"
+    "evt5: proc p1 write file f2[\"/tmp/cracker\"]\n"
+    "evt6: proc p2[\"%/tmp/cracker%\"] read file f3[\"/etc/shadow\"]\n"
+    "evt7: proc p2 write file f4[\"/tmp/crackedpw.txt\"]\n"
+    "evt8: proc p2 send net n3[dstip = \"161.35.10.8\"]\n"
+    "with evt1 before evt2, evt2 before evt3, evt3 before evt4, "
+    "evt4 before evt5, evt5 before evt6, evt6 before evt7, "
+    "evt7 before evt8\n"
+    "return p1, p2, f1, f2, f3, f4";
+
+/// A broad query whose first pattern is wholly unconstrained — the case
+/// where scheduling and propagation matter most.
+const char* kBroadQuery =
+    "e1: proc p read file f1\n"
+    "e2: proc p write file f2[\"/tmp/data.tar\"]\n"
+    "with e1 before e2\nreturn p, f1";
+
+/// One prepared system per trace size, shared across iterations.
+ThreatRaptor& GetTrace(size_t benign_events) {
+  static auto* cache = new std::map<size_t, std::unique_ptr<ThreatRaptor>>();
+  auto it = cache->find(benign_events);
+  if (it == cache->end()) {
+    auto system = std::make_unique<ThreatRaptor>();
+    audit::WorkloadGenerator gen;
+    gen.GenerateBenign(benign_events / 2, system->mutable_log());
+    gen.InjectDataLeakageAttack(system->mutable_log());
+    gen.InjectPasswordCrackingAttack(system->mutable_log());
+    gen.GenerateBenign(benign_events / 2, system->mutable_log());
+    (void)system->FinalizeStorage();
+    it = cache->emplace(benign_events, std::move(system)).first;
+  }
+  return *it->second;
+}
+
+tbql::Query ParseQuery(const char* src) {
+  auto q = tbql::Parse(src);
+  if (!q.ok() || !tbql::Analyze(&*q).ok()) std::abort();
+  return *std::move(q);
+}
+
+void BM_Query(benchmark::State& state, const char* src, bool scheduled) {
+  ThreatRaptor& system = GetTrace(static_cast<size_t>(state.range(0)));
+  tbql::Query query = ParseQuery(src);
+  engine::ExecutionOptions opts;
+  opts.use_pruning_scores = scheduled;
+  opts.propagate_constraints = scheduled;
+  engine::QueryEngine engine(
+      &system.log(),
+      const_cast<rel::RelationalDatabase*>(&system.relational()),
+      const_cast<graph::GraphStore*>(&system.graph()));
+
+  uint64_t rows_touched = 0;
+  size_t result_rows = 0;
+  for (auto _ : state) {
+    auto result = engine.Execute(query, opts);
+    if (result.ok()) {
+      rows_touched = result->stats.relational_rows_touched;
+      result_rows = result->rows.size();
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["rows_touched"] = static_cast<double>(rows_touched);
+  state.counters["result_rows"] = static_cast<double>(result_rows);
+}
+
+void RegisterAll() {
+  struct QueryDef {
+    const char* name;
+    const char* src;
+  };
+  static const QueryDef kQueries[] = {
+      {"leakage", kLeakageQuery},
+      {"cracking", kCrackingQuery},
+      {"broad", kBroadQuery},
+  };
+  for (const QueryDef& q : kQueries) {
+    for (bool scheduled : {true, false}) {
+      std::string name = std::string("E2/") + q.name + "/" +
+                         (scheduled ? "scheduled" : "unscheduled");
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [src = q.src, scheduled](benchmark::State& s) {
+            BM_Query(s, src, scheduled);
+          })
+          ->Arg(10'000)
+          ->Arg(50'000)
+          ->Arg(200'000)
+          ->Arg(400'000)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace raptor::bench
+
+int main(int argc, char** argv) {
+  raptor::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Experiment E1 (DESIGN.md): threat behavior extraction accuracy.
+//
+// Reproduces the full paper's extraction-accuracy table: micro-averaged
+// precision/recall/F1 of IOC extraction and IOC-relation extraction over
+// the labeled CTI corpus, for the full pipeline and its ablations:
+//   full            — the THREATRAPTOR pipeline (Algorithm 1)
+//   no-protection   — IOC protection disabled (the paper's key baseline:
+//                     general NLP applied directly to raw OSCTI text)
+//   no-coref        — coreference resolution disabled
+//   no-merge        — IOC scan & merge disabled
+//   regex-only      — IOC regexes alone (structured-feed strawman: finds
+//                     indicators, extracts no relations)
+//
+// Expected shape: full ≫ no-protection on both IOC and relation F1;
+// regex-only has high IOC precision but zero relation recall.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "corpus.h"
+#include "nlp/pipeline.h"
+#include "nlp/report_gen.h"
+
+namespace raptor::bench {
+namespace {
+
+struct Config {
+  const char* name;
+  nlp::PipelineOptions options;
+  bool regex_only = false;
+};
+
+void Run() {
+  std::vector<Config> configs;
+  configs.push_back({"full", {}, false});
+  {
+    nlp::PipelineOptions o;
+    o.enable_ioc_protection = false;
+    configs.push_back({"no-protection", o, false});
+  }
+  {
+    nlp::PipelineOptions o;
+    o.enable_coreference = false;
+    configs.push_back({"no-coref", o, false});
+  }
+  {
+    nlp::PipelineOptions o;
+    o.enable_ioc_merge = false;
+    configs.push_back({"no-merge", o, false});
+  }
+  configs.push_back({"regex-only", {}, true});
+
+  std::vector<CorpusDoc> corpus = BuildCorpus();
+  std::printf("E1: Threat behavior extraction accuracy "
+              "(%zu labeled corpus documents)\n",
+              corpus.size());
+  PrintRule();
+  std::printf("%-14s | %23s | %23s\n", "", "IOC extraction",
+              "Relation extraction");
+  std::printf("%-14s | %6s %6s %6s  | %6s %6s %6s\n", "pipeline", "P", "R",
+              "F1", "P", "R", "F1");
+  PrintRule();
+
+  nlp::IocRecognizer recognizer;
+  for (const Config& config : configs) {
+    PrCounter ioc_counter, rel_counter;
+    nlp::ExtractionPipeline pipeline(config.options);
+    for (const CorpusDoc& doc : corpus) {
+      std::set<std::string> truth_iocs(doc.iocs.begin(), doc.iocs.end());
+      std::set<std::string> truth_rels;
+      for (const LabeledRelation& r : doc.relations) {
+        truth_rels.insert(r.subject + "|" + r.verb + "|" + r.object);
+      }
+
+      std::set<std::string> got_iocs, got_rels;
+      if (config.regex_only) {
+        for (const nlp::IocSpan& s : recognizer.Recognize(doc.text)) {
+          got_iocs.insert(s.text);
+        }
+      } else {
+        nlp::ExtractionResult result = pipeline.Extract(doc.text);
+        got_iocs = ExtractedIocs(result);
+        got_rels = ExtractedRelations(result);
+      }
+      ioc_counter.Score(got_iocs, truth_iocs);
+      rel_counter.Score(got_rels, truth_rels);
+    }
+    std::printf("%-14s | %6.3f %6.3f %6.3f  | %6.3f %6.3f %6.3f\n",
+                config.name, ioc_counter.Precision(), ioc_counter.Recall(),
+                ioc_counter.F1(), rel_counter.Precision(),
+                rel_counter.Recall(), rel_counter.F1());
+  }
+  PrintRule();
+  std::printf(
+      "Shape check: 'full' should dominate 'no-protection' on both F1s;\n"
+      "'regex-only' finds indicators but extracts no relations.\n");
+}
+
+/// Second table: a larger generated corpus (template-rendered attack
+/// scripts with verb synonyms, passive voice, pronouns, and distractor
+/// sentences) stresses the pipeline beyond the hand-labeled documents.
+void RunGenerated() {
+  constexpr size_t kNumDocs = 100;
+  std::printf("\nE1b: Extraction accuracy on the generated corpus "
+              "(%zu rendered attack reports)\n",
+              kNumDocs);
+  PrintRule();
+  std::printf("%-14s | %23s | %23s\n", "", "IOC extraction",
+              "Relation extraction");
+  std::printf("%-14s | %6s %6s %6s  | %6s %6s %6s\n", "pipeline", "P", "R",
+              "F1", "P", "R", "F1");
+  PrintRule();
+
+  struct Config {
+    const char* name;
+    nlp::PipelineOptions options;
+  };
+  std::vector<Config> configs;
+  configs.push_back({"full", {}});
+  {
+    nlp::PipelineOptions o;
+    o.enable_ioc_protection = false;
+    configs.push_back({"no-protection", o});
+  }
+  {
+    nlp::PipelineOptions o;
+    o.enable_coreference = false;
+    configs.push_back({"no-coref", o});
+  }
+
+  // Pre-render the documents once (generation is deterministic).
+  nlp::ReportGenerator generator;
+  std::vector<nlp::GeneratedReport> docs;
+  for (size_t d = 0; d < kNumDocs; ++d) {
+    docs.push_back(generator.Render(generator.RandomScript(4 + d % 8)));
+  }
+
+  for (const Config& config : configs) {
+    PrCounter ioc_counter, rel_counter;
+    nlp::ExtractionPipeline pipeline(config.options);
+    for (const nlp::GeneratedReport& doc : docs) {
+      std::set<std::string> truth_iocs(doc.iocs.begin(), doc.iocs.end());
+      std::set<std::string> truth_rels;
+      for (const nlp::GeneratedLabel& r : doc.relations) {
+        truth_rels.insert(r.subject + "|" + r.verb + "|" + r.object);
+      }
+      nlp::ExtractionResult result = pipeline.Extract(doc.text);
+      ioc_counter.Score(ExtractedIocs(result), truth_iocs);
+      rel_counter.Score(ExtractedRelations(result), truth_rels);
+    }
+    std::printf("%-14s | %6.3f %6.3f %6.3f  | %6.3f %6.3f %6.3f\n",
+                config.name, ioc_counter.Precision(), ioc_counter.Recall(),
+                ioc_counter.F1(), rel_counter.Precision(),
+                rel_counter.Recall(), rel_counter.F1());
+  }
+  PrintRule();
+}
+
+}  // namespace
+}  // namespace raptor::bench
+
+int main() {
+  raptor::bench::Run();
+  raptor::bench::RunGenerated();
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Experiment E6 (DESIGN.md): the paper's §III demo attack 2 — "Data
+// Leakage After Shellshock Penetration" (the Figure 2 pipeline), hunted
+// end-to-end: OSCTI report -> extraction -> behavior graph -> TBQL
+// synthesis -> scheduled execution, scored against the narrated ground
+// truth amid increasing benign noise.
+//
+// Expected shape: precision and recall stay 1.0 while exec time grows
+// mildly with trace size.
+
+#include "hunt_common.h"
+
+int main() {
+  raptor::bench::RunHuntExperiment(
+      "E6", "Data Leakage After Shellshock Penetration",
+      [](raptor::audit::WorkloadGenerator* gen, raptor::audit::AuditLog* log) {
+        return gen->InjectDataLeakageAttack(log);
+      });
+  return 0;
+}

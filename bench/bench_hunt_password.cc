@@ -1,0 +1,17 @@
+// Experiment E5 (DESIGN.md): the paper's §III demo attack 1 — "Password
+// Cracking After Shellshock Penetration", hunted end-to-end from the OSCTI
+// report, scored against the narrated ground truth amid benign noise.
+//
+// Expected shape: precision and recall stay 1.0 while exec time grows
+// mildly with trace size.
+
+#include "hunt_common.h"
+
+int main() {
+  raptor::bench::RunHuntExperiment(
+      "E5", "Password Cracking After Shellshock Penetration",
+      [](raptor::audit::WorkloadGenerator* gen, raptor::audit::AuditLog* log) {
+        return gen->InjectPasswordCrackingAttack(log);
+      });
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Experiment E9 (DESIGN.md): storage ingestion and the CPR ablation.
+//
+// Part (a): load throughput of each storage stage — text parsing, CPR,
+// relational load (with index maintenance), graph construction — across
+// trace sizes.
+// Part (b): the CPR design-choice ablation the paper motivates in §II-B —
+// how much storage and query work the reduction saves downstream, and that
+// it never changes hunt results.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "core/threat_raptor.h"
+
+namespace raptor::bench {
+namespace {
+
+double Secs(std::chrono::steady_clock::time_point a,
+            std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+void LoadThroughput() {
+  std::printf("E9a: Storage load throughput (Mevents/s per stage)\n");
+  PrintRule(90);
+  std::printf("%10s | %10s | %8s | %10s | %10s | %10s\n", "events",
+              "parse_text", "cpr", "relational", "graph", "end_to_end");
+  PrintRule(90);
+  for (size_t events : {20'000u, 100'000u, 400'000u}) {
+    audit::AuditLog gen_log;
+    audit::WorkloadGenerator gen;
+    gen.GenerateBenign(events, &gen_log);
+    std::string text;
+    for (const auto& ev : gen_log.events()) {
+      text += audit::LogParser::FormatEvent(gen_log, ev) + "\n";
+    }
+
+    auto now = std::chrono::steady_clock::now;
+    auto t0 = now();
+    audit::AuditLog log;
+    (void)audit::LogParser::ParseText(text, &log);
+    auto t1 = now();
+    audit::CprStats cpr = audit::ReduceLog(&log);
+    auto t2 = now();
+    rel::RelationalDatabase rel_db;
+    rel_db.Load(log);
+    auto t3 = now();
+    graph::GraphStore graph_db(log);
+    auto t4 = now();
+    (void)cpr;
+
+    double mevents = static_cast<double>(events) / 1e6;
+    std::printf("%10zu | %10.2f | %8.2f | %10.2f | %10.2f | %10.2f\n",
+                events, mevents / Secs(t0, t1), mevents / Secs(t1, t2),
+                mevents / Secs(t2, t3), mevents / Secs(t3, t4),
+                mevents / Secs(t0, t4));
+  }
+  PrintRule(90);
+}
+
+void CprAblation() {
+  std::printf("\nE9b: CPR design-choice ablation (200k-event trace)\n");
+  PrintRule(90);
+  std::printf("%8s | %12s | %12s | %12s | %10s | %10s\n", "cpr",
+              "event_rows", "entity_rows", "graph_edges", "hunt_ms",
+              "rows_same");
+  PrintRule(90);
+
+  std::vector<std::vector<std::string>> reference_rows;
+  for (bool use_cpr : {true, false}) {
+    ThreatRaptorOptions opts;
+    opts.apply_cpr = use_cpr;
+    ThreatRaptor system(opts);
+    audit::WorkloadGenerator gen;
+    gen.GenerateBenign(100'000, system.mutable_log());
+    auto attack = gen.InjectDataLeakageAttack(system.mutable_log());
+    gen.GenerateBenign(100'000, system.mutable_log());
+    (void)system.FinalizeStorage();
+
+    auto t0 = std::chrono::steady_clock::now();
+    auto hunt = system.Hunt(attack.report_text);
+    double hunt_ms =
+        1000.0 * Secs(t0, std::chrono::steady_clock::now());
+    if (!hunt.ok()) {
+      std::printf("hunt failed: %s\n", hunt.status().ToString().c_str());
+      return;
+    }
+    bool same = true;
+    if (use_cpr) {
+      reference_rows = hunt->result.rows;
+    } else {
+      same = hunt->result.rows == reference_rows;
+    }
+    std::printf("%8s | %12zu | %12zu | %12zu | %10.2f | %10s\n",
+                use_cpr ? "on" : "off", system.relational().events().num_rows(),
+                system.log().entity_count(), system.graph().num_edges(),
+                hunt_ms, use_cpr ? "(ref)" : (same ? "YES" : "NO"));
+  }
+  PrintRule(90);
+  std::printf(
+      "Shape check: CPR shrinks event storage ~1.5-2x on this workload at\n"
+      "identical hunt results; bursty hosts (see E4) save far more.\n");
+}
+
+}  // namespace
+}  // namespace raptor::bench
+
+int main() {
+  raptor::bench::LoadThroughput();
+  raptor::bench::CprAblation();
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Experiment E10 (DESIGN.md): behavior-graph hunting vs the structured-feed
+// baseline — the paper's core motivation (§I).
+//
+// Structured OSCTI feeds carry isolated Indicators of Compromise. Hunting
+// with them means flagging every event that touches any indicator — no
+// relations, no process identity, no temporal order. This bench builds a
+// STIX-like feed from the same intelligence as the attack report, hunts
+// both ways, and scores against ground truth. The benign workload includes
+// *legitimate* sensitive-resource activity (sshd reading /etc/passwd and
+// /etc/shadow, the backup job archiving /etc), which is what isolated-IOC
+// matching false-positives on.
+//
+// Expected shape: both approaches recall the attack, but IOC-only precision
+// collapses as benign traffic grows, while behavior-graph hunting — which
+// demands the full connected, ordered chain — stays at 1.0.
+
+#include <cstdio>
+#include <set>
+
+#include "bench_util.h"
+#include "core/threat_raptor.h"
+#include "cti/feed.h"
+
+namespace raptor::bench {
+namespace {
+
+struct Score {
+  size_t matched = 0;
+  double precision = 0;
+  double recall = 0;
+};
+
+Score Evaluate(const std::vector<audit::EventId>& matched,
+               const std::set<audit::EventId>& attack_events,
+               const std::set<audit::EventId>& core_events) {
+  Score s;
+  s.matched = matched.size();
+  size_t attack_hits = 0, core_hits = 0;
+  for (audit::EventId id : matched) {
+    attack_hits += attack_events.count(id);
+    core_hits += core_events.count(id);
+  }
+  s.precision = matched.empty()
+                    ? 0.0
+                    : static_cast<double>(attack_hits) / matched.size();
+  // Recall against the narrated (core) events.
+  size_t found = 0;
+  for (audit::EventId id : core_events) {
+    if (std::binary_search(matched.begin(), matched.end(), id)) ++found;
+  }
+  s.recall = core_events.empty()
+                 ? 0.0
+                 : static_cast<double>(found) / core_events.size();
+  (void)core_hits;
+  return s;
+}
+
+void Run() {
+  std::printf("E10: behavior-graph hunting vs isolated-IOC matching "
+              "(structured-feed baseline)\n");
+  PrintRule(100);
+  std::printf("%10s | %28s | %28s\n", "", "THREATRAPTOR (behavior graph)",
+              "IOC-only (STIX-style feed)");
+  std::printf("%10s | %8s %9s %8s | %8s %9s %8s\n", "benign", "matched",
+              "precision", "recall", "matched", "precision", "recall");
+  PrintRule(100);
+
+  for (size_t benign : {20'000u, 100'000u, 400'000u}) {
+    ThreatRaptor system;
+    audit::WorkloadGenerator gen;
+    gen.GenerateBenign(benign / 2, system.mutable_log());
+    audit::AttackTrace attack =
+        gen.InjectDataLeakageAttack(system.mutable_log());
+    gen.GenerateBenign(benign / 2, system.mutable_log());
+    (void)system.FinalizeStorage();
+
+    auto attack_ids = system.TranslateEventIds(attack.event_ids);
+    auto core_ids = system.TranslateEventIds(attack.core_event_ids);
+    std::set<audit::EventId> attack_set(attack_ids.begin(), attack_ids.end());
+    std::set<audit::EventId> core_set(core_ids.begin(), core_ids.end());
+
+    // Behavior-graph hunt (the full pipeline).
+    auto hunt = system.Hunt(attack.report_text);
+    if (!hunt.ok()) {
+      std::printf("hunt failed: %s\n", hunt.status().ToString().c_str());
+      return;
+    }
+    Score behavior =
+        Evaluate(hunt->result.MatchedEvents(), attack_set, core_set);
+
+    // IOC-only baseline: a STIX bundle built from the same intelligence,
+    // one disconnected query per indicator, union of all matches.
+    nlp::IocRecognizer recognizer;
+    auto indicators =
+        cti::IndicatorsFromText(attack.report_text, recognizer);
+    std::set<audit::EventId> ioc_matched_set;
+    for (const tbql::Query& query : cti::SynthesizeIocQueries(indicators)) {
+      auto result = system.ExecuteQuery(query);
+      if (!result.ok()) continue;
+      for (audit::EventId id : result->MatchedEvents()) {
+        ioc_matched_set.insert(id);
+      }
+    }
+    std::vector<audit::EventId> ioc_matched(ioc_matched_set.begin(),
+                                            ioc_matched_set.end());
+    Score ioc_only = Evaluate(ioc_matched, attack_set, core_set);
+
+    std::printf("%10zu | %8zu %9.3f %8.2f | %8zu %9.3f %8.2f\n", benign,
+                behavior.matched, behavior.precision, behavior.recall,
+                ioc_only.matched, ioc_only.precision, ioc_only.recall);
+  }
+  PrintRule(100);
+  std::printf(
+      "Shape check: both recall the narrated attack chain; IOC-only\n"
+      "precision degrades with benign volume (legitimate /etc/passwd and\n"
+      "/etc/shadow activity matches the indicators), while the behavior\n"
+      "graph's connected, temporally ordered pattern stays exact — the\n"
+      "paper's §I argument for extracting relations, not just IOCs.\n");
+}
+
+}  // namespace
+}  // namespace raptor::bench
+
+int main() {
+  raptor::bench::Run();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Experiment E7 (DESIGN.md): query synthesis effectiveness.
+//
+// Two parts:
+//   (a) Synthesis coverage over the labeled corpus: behavior-graph size,
+//       nodes dropped by type screening, edges without a mapping rule, and
+//       the number of synthesized patterns.
+//   (b) Equivalence on the two demo attacks: the synthesized query must
+//       return exactly the rows of the hand-written ground-truth query.
+//
+// Expected shape: every auditable edge maps to a pattern; synthesized and
+// hand-written queries agree.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/threat_raptor.h"
+#include "corpus.h"
+#include "tbql/printer.h"
+
+namespace raptor::bench {
+namespace {
+
+void CoverageTable() {
+  std::printf("E7a: Synthesis coverage over the labeled corpus\n");
+  PrintRule(90);
+  std::printf("%-26s | %5s | %5s | %8s | %8s | %8s | %8s\n", "document",
+              "nodes", "edges", "screened", "unmapped", "patterns",
+              "temporal");
+  PrintRule(90);
+  nlp::ExtractionPipeline pipeline;
+  synth::QuerySynthesizer synthesizer;
+  for (const CorpusDoc& doc : BuildCorpus()) {
+    auto extraction = pipeline.Extract(doc.text);
+    auto synthesis = synthesizer.Synthesize(extraction.graph);
+    if (!synthesis.ok()) {
+      std::printf("%-26s | %5zu | %5zu | %8s\n", doc.name.c_str(),
+                  extraction.graph.num_nodes(), extraction.graph.num_edges(),
+                  "n/a (no mappable behavior)");
+      continue;
+    }
+    std::printf("%-26s | %5zu | %5zu | %8zu | %8zu | %8zu | %8zu\n",
+                doc.name.c_str(), extraction.graph.num_nodes(),
+                extraction.graph.num_edges(),
+                synthesis->screened_nodes.size(),
+                synthesis->unmapped_edges.size(),
+                synthesis->query.patterns.size(),
+                synthesis->query.temporal.size());
+  }
+  PrintRule(90);
+}
+
+/// Hand-written ground-truth query for the data leakage attack (what an
+/// expert analyst would write; the paper's Figure 2 query).
+const char* kHandWrittenLeakage =
+    "evt1: proc p1[\"%/bin/tar%\"] read file f1[\"/etc/passwd\"]\n"
+    "evt2: proc p1 write file f2[\"/tmp/data.tar\"]\n"
+    "evt3: proc p2[\"%/bin/gzip%\"] read file f2\n"
+    "evt4: proc p2 write file f3[\"/tmp/data.tar.gz\"]\n"
+    "evt5: proc p3[\"%/usr/bin/curl%\"] read file f3\n"
+    "evt6: proc p3 send net n1[dstip = \"161.35.10.8\"]\n"
+    "with evt1 before evt2, evt2 before evt3, evt3 before evt4, "
+    "evt4 before evt5, evt5 before evt6\n"
+    "return p1, p2, p3, f1, f2, f3, n1.dstip";
+
+void EquivalenceCheck() {
+  std::printf("\nE7b: Synthesized vs hand-written query equivalence\n");
+  PrintRule(90);
+  ThreatRaptor system;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(50'000, system.mutable_log());
+  auto attack = gen.InjectDataLeakageAttack(system.mutable_log());
+  gen.GenerateBenign(50'000, system.mutable_log());
+  (void)system.FinalizeStorage();
+
+  auto hunt = system.Hunt(attack.report_text);
+  auto manual = system.ExecuteTbql(kHandWrittenLeakage);
+  if (!hunt.ok() || !manual.ok()) {
+    std::printf("FAILED: %s / %s\n", hunt.status().ToString().c_str(),
+                manual.status().ToString().c_str());
+    return;
+  }
+  auto synth_events = hunt->result.MatchedEvents();
+  auto manual_events = manual->MatchedEvents();
+  bool same = synth_events == manual_events;
+  std::printf("synthesized query: %zu patterns, %zu result rows, %zu events\n",
+              hunt->synthesis.query.patterns.size(), hunt->result.rows.size(),
+              synth_events.size());
+  std::printf("hand-written query: %zu result rows, %zu events\n",
+              manual->rows.size(), manual_events.size());
+  std::printf("matched event sets identical: %s\n", same ? "YES" : "NO");
+  PrintRule(90);
+}
+
+}  // namespace
+}  // namespace raptor::bench
+
+int main() {
+  raptor::bench::CoverageTable();
+  raptor::bench::EquivalenceCheck();
+  return 0;
+}

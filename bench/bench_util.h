@@ -1,0 +1,73 @@
+// Shared helpers for the experiment harness: precision/recall accounting
+// and paper-style table printing.
+
+#pragma once
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "nlp/pipeline.h"
+
+namespace raptor::bench {
+
+/// Micro-averaged precision/recall accumulator.
+struct PrCounter {
+  size_t tp = 0, fp = 0, fn = 0;
+
+  void Score(const std::set<std::string>& extracted,
+             const std::set<std::string>& truth) {
+    for (const auto& e : extracted) {
+      if (truth.count(e) > 0) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+    }
+    for (const auto& t : truth) {
+      if (extracted.count(t) == 0) ++fn;
+    }
+  }
+
+  double Precision() const {
+    return tp + fp == 0 ? 1.0 : static_cast<double>(tp) / (tp + fp);
+  }
+  double Recall() const {
+    return tp + fn == 0 ? 1.0 : static_cast<double>(tp) / (tp + fn);
+  }
+  double F1() const {
+    double p = Precision(), r = Recall();
+    return p + r == 0 ? 0.0 : 2 * p * r / (p + r);
+  }
+};
+
+/// All IOC surface forms an extraction produced (canonical + aliases).
+inline std::set<std::string> ExtractedIocs(const nlp::ExtractionResult& r) {
+  std::set<std::string> out;
+  for (const nlp::IocEntity& n : r.graph.nodes()) {
+    out.insert(n.text);
+    for (const std::string& a : n.aliases) out.insert(a);
+  }
+  // Occurrences that never made it into the graph still count as extracted.
+  for (const nlp::IocSpan& s : r.raw_iocs) out.insert(s.text);
+  return out;
+}
+
+/// Relation triples as "subject|verb|object" strings.
+inline std::set<std::string> ExtractedRelations(
+    const nlp::ExtractionResult& r) {
+  std::set<std::string> out;
+  for (const nlp::BehaviorEdge& e : r.graph.edges()) {
+    out.insert(r.graph.node(e.src).text + "|" + e.verb + "|" +
+               r.graph.node(e.dst).text);
+  }
+  return out;
+}
+
+inline void PrintRule(size_t width = 78) {
+  std::string line(width, '-');
+  std::printf("%s\n", line.c_str());
+}
+
+}  // namespace raptor::bench

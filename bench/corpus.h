@@ -1,0 +1,177 @@
+// Built-in labeled OSCTI corpus (substitute for wild threat reports; see
+// DESIGN.md "Substitutions").
+//
+// Each document carries hand-labeled ground truth: the IOCs it mentions and
+// the IOC relations it expresses. bench_extraction scores the NLP pipeline
+// and its ablations against these labels (experiment E1); bench_synthesis
+// uses the same documents to measure synthesis coverage (E7).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace raptor::bench {
+
+struct LabeledRelation {
+  std::string subject;
+  std::string verb;  ///< Lemmatized relation verb.
+  std::string object;
+};
+
+struct CorpusDoc {
+  std::string name;
+  std::string text;
+  /// Distinct IOC surface strings the document mentions (post-merge).
+  std::vector<std::string> iocs;
+  std::vector<LabeledRelation> relations;
+};
+
+/// The labeled corpus: the paper's two demo attack narratives, paraphrase
+/// and passive-voice variants, a multi-paragraph APT-style report, and
+/// distractor documents with no extractable behavior.
+inline std::vector<CorpusDoc> BuildCorpus() {
+  std::vector<CorpusDoc> corpus;
+
+  corpus.push_back(CorpusDoc{
+      "data_leakage",
+      "The attacker exploited the Shellshock vulnerability to penetrate "
+      "into the victim host. After the penetration, the attacker scanned "
+      "the file system for valuable assets. The process /bin/tar read the "
+      "file /etc/passwd. /bin/tar then wrote the collected data to "
+      "/tmp/data.tar. The process /bin/gzip read /tmp/data.tar and wrote "
+      "the compressed archive /tmp/data.tar.gz. Finally, the process "
+      "/usr/bin/curl read /tmp/data.tar.gz and sent the archive to the IP "
+      "161.35.10.8.",
+      {"/bin/tar", "/etc/passwd", "/tmp/data.tar", "/bin/gzip",
+       "/tmp/data.tar.gz", "/usr/bin/curl", "161.35.10.8"},
+      {{"/bin/tar", "read", "/etc/passwd"},
+       {"/bin/tar", "write", "/tmp/data.tar"},
+       {"/bin/gzip", "read", "/tmp/data.tar"},
+       {"/bin/gzip", "write", "/tmp/data.tar.gz"},
+       {"/usr/bin/curl", "read", "/tmp/data.tar.gz"},
+       {"/usr/bin/curl", "send", "/tmp/data.tar.gz"},
+       {"/usr/bin/curl", "send", "161.35.10.8"}}});
+
+  corpus.push_back(CorpusDoc{
+      "password_cracking",
+      "The attacker penetrated into the victim host by exploiting the "
+      "Shellshock vulnerability. After the penetration, the process "
+      "/bin/bash connected to the IP 108.160.172.1 and downloaded the "
+      "image /tmp/dropbox_image.jpg. The address of the C2 server was "
+      "encoded in the EXIF metadata, and /bin/bash read "
+      "/tmp/dropbox_image.jpg. /bin/bash then connected to the IP "
+      "161.35.10.8 and downloaded the password cracker /tmp/cracker. The "
+      "process /tmp/cracker read the shadow file /etc/shadow and wrote the "
+      "cracked passwords to /tmp/crackedpw.txt. Finally, /tmp/cracker sent "
+      "the passwords to the IP 161.35.10.8.",
+      {"/bin/bash", "108.160.172.1", "/tmp/dropbox_image.jpg", "161.35.10.8",
+       "/tmp/cracker", "/etc/shadow", "/tmp/crackedpw.txt"},
+      {{"/bin/bash", "connect", "108.160.172.1"},
+       {"/bin/bash", "download", "/tmp/dropbox_image.jpg"},
+       {"/bin/bash", "read", "/tmp/dropbox_image.jpg"},
+       {"/bin/bash", "connect", "161.35.10.8"},
+       {"/bin/bash", "download", "/tmp/cracker"},
+       {"/tmp/cracker", "read", "/etc/shadow"},
+       {"/tmp/cracker", "write", "/tmp/crackedpw.txt"},
+       {"/tmp/cracker", "send", "161.35.10.8"}}});
+
+  corpus.push_back(CorpusDoc{
+      "leakage_passive_paraphrase",
+      "After breaking in, the adversary collected credentials: the file "
+      "/etc/passwd was read by /bin/tar. /bin/tar stored the stolen data "
+      "in /tmp/data.tar. Later /bin/gzip read /tmp/data.tar and created "
+      "/tmp/data.tar.gz. /usr/bin/curl read /tmp/data.tar.gz and "
+      "exfiltrated the archive to 161.35.10.8.",
+      {"/etc/passwd", "/bin/tar", "/tmp/data.tar", "/bin/gzip",
+       "/tmp/data.tar.gz", "/usr/bin/curl", "161.35.10.8"},
+      {{"/bin/tar", "read", "/etc/passwd"},
+       {"/bin/tar", "store", "/tmp/data.tar"},
+       {"/bin/gzip", "read", "/tmp/data.tar"},
+       {"/bin/gzip", "create", "/tmp/data.tar.gz"},
+       {"/usr/bin/curl", "read", "/tmp/data.tar.gz"},
+       {"/usr/bin/curl", "exfiltrate", "/tmp/data.tar.gz"},
+       {"/usr/bin/curl", "exfiltrate", "161.35.10.8"}}});
+
+  corpus.push_back(CorpusDoc{
+      "dropper_coref",
+      "The process /usr/bin/wget downloaded the dropper /tmp/dropper.elf. "
+      "It then executed /tmp/dropper.elf. The dropper connected to the IP "
+      "45.77.10.3 and received commands.",
+      {"/usr/bin/wget", "/tmp/dropper.elf", "45.77.10.3"},
+      {{"/usr/bin/wget", "download", "/tmp/dropper.elf"},
+       {"/usr/bin/wget", "execute", "/tmp/dropper.elf"},
+       {"/tmp/dropper.elf", "connect", "45.77.10.3"}}});
+
+  corpus.push_back(CorpusDoc{
+      "apt_multiblock",
+      "# APT-77 intrusion summary\n"
+      "\n"
+      "The implant /opt/svc/updaterd read the file /etc/hosts and "
+      "connected to the IP 203.0.113.9. It downloaded the module "
+      "/tmp/mod_keylog.so from the C2 server.\n"
+      "\n"
+      "In the second stage, the process /tmp/mod_keylog.so read "
+      "/home/admin/.ssh/id_rsa and sent the key to the IP 203.0.113.9.\n",
+      {"/opt/svc/updaterd", "/etc/hosts", "203.0.113.9", "/tmp/mod_keylog.so",
+       "/home/admin/.ssh/id_rsa"},
+      {{"/opt/svc/updaterd", "read", "/etc/hosts"},
+       {"/opt/svc/updaterd", "connect", "203.0.113.9"},
+       {"/opt/svc/updaterd", "download", "/tmp/mod_keylog.so"},
+       // "downloaded the module from the C2 server" also expresses a
+       // download-from relation against the C2 address.
+       {"/opt/svc/updaterd", "download", "203.0.113.9"},
+       {"/tmp/mod_keylog.so", "read", "/home/admin/.ssh/id_rsa"},
+       {"/tmp/mod_keylog.so", "send", "203.0.113.9"}}});
+
+  corpus.push_back(CorpusDoc{
+      "ransomware_note",
+      "The ransomware binary /tmp/locker deleted the file "
+      "/var/backups/db.bak and wrote the ransom note /home/user/README.txt. "
+      "The process /tmp/locker encrypted /home/user/documents.db.",
+      {"/tmp/locker", "/var/backups/db.bak", "/home/user/README.txt",
+       "/home/user/documents.db"},
+      {{"/tmp/locker", "delete", "/var/backups/db.bak"},
+       {"/tmp/locker", "write", "/home/user/README.txt"},
+       {"/tmp/locker", "encrypt", "/home/user/documents.db"}}});
+
+  corpus.push_back(CorpusDoc{
+      "persistence_passive_chain",
+      "The script /tmp/boot.sh was executed by /bin/sh. It wrote the file "
+      "/etc/cron.d/evil and connected to the IP 198.18.0.9.",
+      {"/tmp/boot.sh", "/bin/sh", "/etc/cron.d/evil", "198.18.0.9"},
+      // "It" corefers to the script, which acts once running.
+      {{"/bin/sh", "execute", "/tmp/boot.sh"},
+       {"/tmp/boot.sh", "write", "/etc/cron.d/evil"},
+       {"/tmp/boot.sh", "connect", "198.18.0.9"}}});
+
+  corpus.push_back(CorpusDoc{
+      "credential_list_sweep",
+      "The implant /opt/svc/agent read /etc/passwd, /etc/shadow, and "
+      "/etc/group. It sent the data to the IP 198.18.0.9.",
+      {"/opt/svc/agent", "/etc/passwd", "/etc/shadow", "/etc/group",
+       "198.18.0.9"},
+      {{"/opt/svc/agent", "read", "/etc/passwd"},
+       {"/opt/svc/agent", "read", "/etc/shadow"},
+       {"/opt/svc/agent", "read", "/etc/group"},
+       {"/opt/svc/agent", "send", "198.18.0.9"}}});
+
+  corpus.push_back(CorpusDoc{
+      "distractor_advisory",
+      "Organizations are advised to apply patches promptly and to enforce "
+      "the principle of least privilege. Network segmentation and regular "
+      "backups substantially reduce the impact of intrusions.",
+      {},
+      {}});
+
+  corpus.push_back(CorpusDoc{
+      "distractor_iocs_only",
+      "The following indicators were observed: 198.51.100.77, "
+      "/tmp/implant.bin, and update-cdn.example.com.",
+      {"198.51.100.77", "/tmp/implant.bin", "update-cdn.example.com"},
+      {}});
+
+  return corpus;
+}
+
+}  // namespace raptor::bench

@@ -1,0 +1,85 @@
+// Shared driver for the end-to-end hunt experiments (E5, E6): build a
+// trace with benign noise around one injected attack, run the full
+// OSCTI-to-results pipeline, and report per-stage latency plus hunting
+// precision/recall against the narrated ground truth.
+
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <set>
+
+#include "bench_util.h"
+#include "core/threat_raptor.h"
+#include "tbql/printer.h"
+
+namespace raptor::bench {
+
+using AttackInjector = std::function<audit::AttackTrace(
+    audit::WorkloadGenerator*, audit::AuditLog*)>;
+
+inline void RunHuntExperiment(const char* experiment_id,
+                              const char* attack_name,
+                              const AttackInjector& inject) {
+  std::printf("%s: end-to-end hunt — %s\n", experiment_id, attack_name);
+  PrintRule(100);
+  std::printf("%10s | %8s | %10s | %10s | %9s | %5s | %9s | %7s\n",
+              "benign", "cpr", "extract_ms", "synth_ms", "exec_ms", "rows",
+              "precision", "recall");
+  PrintRule(100);
+
+  std::string query_text;
+  for (size_t benign : {10'000u, 100'000u, 400'000u}) {
+    ThreatRaptor system;
+    audit::WorkloadGenerator gen;
+    gen.GenerateBenign(benign / 2, system.mutable_log());
+    audit::AttackTrace attack = inject(&gen, system.mutable_log());
+    gen.GenerateBenign(benign / 2, system.mutable_log());
+    (void)system.FinalizeStorage();
+
+    auto now = [] { return std::chrono::steady_clock::now(); };
+    auto ms = [](auto a, auto b) {
+      return std::chrono::duration<double, std::milli>(b - a).count();
+    };
+
+    auto t0 = now();
+    auto extraction = system.ExtractBehavior(attack.report_text);
+    auto t1 = now();
+    auto synthesis = system.SynthesizeQuery(extraction.graph);
+    auto t2 = now();
+    if (!synthesis.ok()) {
+      std::printf("synthesis failed: %s\n",
+                  synthesis.status().ToString().c_str());
+      return;
+    }
+    auto result = system.ExecuteQuery(synthesis->query);
+    auto t3 = now();
+    if (!result.ok()) {
+      std::printf("execution failed: %s\n",
+                  result.status().ToString().c_str());
+      return;
+    }
+    query_text = tbql::Print(synthesis->query);
+
+    auto matched = result->MatchedEvents();
+    auto truth = system.TranslateEventIds(attack.core_event_ids);
+    std::set<audit::EventId> truth_set(truth.begin(), truth.end());
+    size_t tp = 0;
+    for (audit::EventId id : matched) tp += truth_set.count(id);
+    double precision =
+        matched.empty() ? 0.0 : static_cast<double>(tp) / matched.size();
+    double recall =
+        truth.empty() ? 0.0 : static_cast<double>(tp) / truth.size();
+
+    std::printf("%10zu | %7.2fx | %10.2f | %10.2f | %9.2f | %5zu | %9.2f | "
+                "%7.2f\n",
+                benign, system.cpr_stats().ReductionRatio(), ms(t0, t1),
+                ms(t1, t2), ms(t2, t3), result->rows.size(), precision,
+                recall);
+  }
+  PrintRule(100);
+  std::printf("Synthesized TBQL query:\n%s\n", query_text.c_str());
+}
+
+}  // namespace raptor::bench

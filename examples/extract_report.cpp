@@ -1,0 +1,65 @@
+// Threat behavior extraction as a standalone tool: reads an OSCTI report
+// from stdin (or uses a built-in sample) and prints the recognized IOCs,
+// the extracted relations, the behavior graph, and its Graphviz rendering.
+//
+//   ./build/examples/extract_report < report.txt
+//   ./build/examples/extract_report            # built-in sample
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "nlp/pipeline.h"
+
+int main() {
+  using namespace raptor::nlp;
+
+  std::string document;
+  if (!isatty(fileno(stdin))) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    document = buffer.str();
+  }
+  if (document.empty()) {
+    document =
+        "# Sample intrusion report\n"
+        "\n"
+        "The implant /opt/svc/updaterd read the file /etc/hosts and "
+        "connected to the IP 203.0.113.9. It downloaded the module "
+        "/tmp/mod_keylog.so from the C2 server.\n"
+        "\n"
+        "In the second stage, the process /tmp/mod_keylog.so read "
+        "/home/admin/.ssh/id_rsa and sent the key to the IP 203.0.113.9.\n";
+    std::printf("(no stdin — using the built-in sample report)\n\n");
+  }
+
+  ExtractionPipeline pipeline;
+  ExtractionResult result = pipeline.Extract(document);
+
+  std::printf("=== IOC occurrences (%zu) ===\n", result.raw_iocs.size());
+  for (const IocSpan& s : result.raw_iocs) {
+    std::printf("  [%-8s] %s\n",
+                std::string(IocTypeName(s.type)).c_str(), s.text.c_str());
+  }
+
+  std::printf("\n=== Merged IOC entities (%zu) ===\n",
+              result.graph.num_nodes());
+  for (const IocEntity& n : result.graph.nodes()) {
+    std::printf("  #%d [%-8s] %s", n.id,
+                std::string(IocTypeName(n.type)).c_str(), n.text.c_str());
+    if (!n.aliases.empty()) {
+      std::printf("  (aliases:");
+      for (const auto& a : n.aliases) std::printf(" %s", a.c_str());
+      std::printf(")");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n=== Threat behavior graph (%zu edges) ===\n%s",
+              result.graph.num_edges(), result.graph.ToString().c_str());
+  std::printf("\n=== Graphviz ===\n%s", result.graph.ToDot().c_str());
+  return 0;
+}

@@ -1,0 +1,96 @@
+// The paper's Figure 2 walkthrough: "Data Leakage After Shellshock
+// Penetration", shown stage by stage — IOC recognition and protection,
+// the threat behavior graph (text and Graphviz dot), the synthesized TBQL
+// query with its SQL and Cypher compilation targets, the execution
+// schedule, and the final scoring against ground truth.
+//
+//   ./build/examples/hunt_data_leakage
+
+#include <cstdio>
+#include <set>
+
+#include "core/threat_raptor.h"
+#include "engine/translate.h"
+#include "nlp/ioc.h"
+#include "tbql/printer.h"
+
+int main() {
+  using namespace raptor;
+
+  ThreatRaptor system;
+  audit::WorkloadGenerator generator;
+  generator.GenerateBenign(50'000, system.mutable_log());
+  audit::AttackTrace attack =
+      generator.InjectDataLeakageAttack(system.mutable_log());
+  generator.GenerateBenign(50'000, system.mutable_log());
+  (void)system.FinalizeStorage();
+
+  std::printf("=== OSCTI report ===\n%s\n\n", attack.report_text.c_str());
+
+  // Stage 1: IOC recognition + protection (what the NLP modules see).
+  nlp::IocRecognizer recognizer;
+  nlp::ProtectedText protected_text =
+      nlp::ProtectIocs(attack.report_text, recognizer);
+  std::printf("=== After IOC protection (%zu IOCs shielded) ===\n%s\n\n",
+              protected_text.replacements.size(),
+              protected_text.text.c_str());
+
+  // Stage 2: the full extraction pipeline.
+  nlp::ExtractionResult extraction =
+      system.ExtractBehavior(attack.report_text);
+  std::printf("=== Threat behavior graph ===\n%s\n",
+              extraction.graph.ToString().c_str());
+  std::printf("=== Graphviz (paste into dot) ===\n%s\n",
+              extraction.graph.ToDot().c_str());
+
+  // Stage 3: query synthesis and the backend translations.
+  auto synthesis = system.SynthesizeQuery(extraction.graph);
+  if (!synthesis.ok()) {
+    std::fprintf(stderr, "synthesis failed: %s\n",
+                 synthesis.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("=== Synthesized TBQL ===\n%s\n",
+              tbql::Print(synthesis->query).c_str());
+  std::printf("=== Compiled SQL (relational backend) ===\n%s\n\n",
+              engine::RenderSql(synthesis->query).c_str());
+  std::printf("=== Compiled Cypher (graph backend) ===\n%s\n\n",
+              engine::RenderCypher(synthesis->query).c_str());
+
+  // Stage 4: scheduled execution.
+  auto result = system.ExecuteQuery(synthesis->query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "execution failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("=== Execution ===\nschedule:");
+  for (size_t i = 0; i < result->stats.schedule.size(); ++i) {
+    std::printf(" %s(%zu)", result->stats.schedule[i].c_str(),
+                result->stats.matches_per_pattern[i]);
+  }
+  std::printf("\nrows touched: %llu, time: %.2f ms\n\n",
+              static_cast<unsigned long long>(
+                  result->stats.relational_rows_touched),
+              result->stats.total_ms);
+  std::printf("=== Matched records ===\n%s\n", result->ToString().c_str());
+
+  // Stage 5: scoring against the generator's ground truth.
+  auto matched = result->MatchedEvents();
+  auto truth = system.TranslateEventIds(attack.core_event_ids);
+  std::set<audit::EventId> truth_set(truth.begin(), truth.end());
+  size_t tp = 0;
+  for (audit::EventId id : matched) tp += truth_set.count(id);
+  std::printf("ground truth: %zu narrated events; matched %zu; "
+              "precision %.2f recall %.2f\n",
+              truth.size(), matched.size(),
+              matched.empty() ? 0.0 : double(tp) / matched.size(),
+              truth.empty() ? 0.0 : double(tp) / truth.size());
+  for (audit::EventId id : matched) {
+    std::printf("  %s\n",
+                audit::LogParser::FormatEvent(system.log(),
+                                              system.log().event(id))
+                    .c_str());
+  }
+  return 0;
+}

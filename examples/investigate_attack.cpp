@@ -1,0 +1,66 @@
+// Hunt, then investigate: the hunt retrieves the events the OSCTI report
+// narrates; causal dependency tracking expands them into the complete
+// attack — the Shellshock penetration, the forks, the chmod — none of
+// which the report mentioned. Prints the timeline and a Graphviz
+// provenance graph.
+//
+//   ./build/examples/investigate_attack
+
+#include <cstdio>
+#include <set>
+
+#include "core/investigate.h"
+#include "core/threat_raptor.h"
+
+int main() {
+  using namespace raptor;
+
+  ThreatRaptor system;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(30'000, system.mutable_log());
+  audit::AttackTrace attack =
+      gen.InjectPasswordCrackingAttack(system.mutable_log());
+  gen.GenerateBenign(30'000, system.mutable_log());
+  (void)system.FinalizeStorage();
+
+  // Step 1: hunt.
+  auto hunt = system.Hunt(attack.report_text);
+  if (!hunt.ok()) {
+    std::fprintf(stderr, "hunt failed: %s\n",
+                 hunt.status().ToString().c_str());
+    return 1;
+  }
+  auto seeds = hunt->result.MatchedEvents();
+  std::printf("Hunt matched %zu narrated events.\n\n", seeds.size());
+
+  // Step 2: investigate — expand the seeds through causal tracking.
+  graph::TrackingOptions opts;
+  opts.max_depth = 6;
+  auto investigation = Investigate(system, seeds, opts);
+  if (!investigation.ok()) {
+    std::fprintf(stderr, "investigation failed: %s\n",
+                 investigation.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("=== Reconstructed attack timeline "
+              "(* = hunted seed, others recovered by tracking) ===\n%s\n",
+              investigation->timeline.c_str());
+
+  // Step 3: how complete is the reconstruction?
+  auto truth = system.TranslateEventIds(attack.event_ids);
+  std::set<audit::EventId> tracked(investigation->subgraph.events.begin(),
+                                   investigation->subgraph.events.end());
+  size_t recovered = 0;
+  for (audit::EventId id : truth) recovered += tracked.count(id);
+  std::printf(
+      "Attack events: %zu total, %zu narrated by the report.\n"
+      "Hunting matched %zu; tracking recovered %zu/%zu (%.0f%%),\n"
+      "including the un-narrated penetration and fork steps.\n\n",
+      truth.size(), seeds.size(), seeds.size(), recovered, truth.size(),
+      100.0 * recovered / truth.size());
+
+  std::printf("=== Provenance graph (Graphviz) ===\n%s",
+              investigation->dot.c_str());
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Structured-feed workflow (paper §I): ingest a STIX-like indicator
+// bundle, hunt with isolated-IOC queries, and contrast with behavior-graph
+// hunting from the report the feed was distilled from.
+//
+//   ./build/examples/stix_feed_hunt
+
+#include <cstdio>
+#include <set>
+
+#include "core/threat_raptor.h"
+#include "cti/feed.h"
+#include "tbql/printer.h"
+
+int main() {
+  using namespace raptor;
+
+  ThreatRaptor system;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(50'000, system.mutable_log());
+  audit::AttackTrace attack =
+      gen.InjectDataLeakageAttack(system.mutable_log());
+  gen.GenerateBenign(50'000, system.mutable_log());
+  (void)system.FinalizeStorage();
+
+  // Build the structured-feed view of the same intelligence and print the
+  // bundle a feed provider would publish.
+  nlp::IocRecognizer recognizer;
+  auto indicators = cti::IndicatorsFromText(attack.report_text, recognizer);
+  std::printf("=== STIX-like bundle (%zu indicators) ===\n%s\n\n",
+              indicators.size(), cti::ToStixBundle(indicators).c_str());
+
+  // Hunt with disconnected per-indicator queries.
+  auto truth = system.TranslateEventIds(attack.event_ids);
+  std::set<audit::EventId> truth_set(truth.begin(), truth.end());
+  size_t ioc_matched = 0, ioc_hits = 0;
+  std::set<audit::EventId> seen;
+  for (const tbql::Query& query : cti::SynthesizeIocQueries(indicators)) {
+    auto result = system.ExecuteQuery(query);
+    if (!result.ok()) continue;
+    for (audit::EventId id : result->MatchedEvents()) {
+      if (!seen.insert(id).second) continue;
+      ++ioc_matched;
+      ioc_hits += truth_set.count(id);
+    }
+  }
+  std::printf("IOC-only hunting: %zu events flagged, %zu actually part of "
+              "the attack (precision %.3f)\n",
+              ioc_matched, ioc_hits,
+              ioc_matched == 0 ? 0.0 : double(ioc_hits) / ioc_matched);
+
+  // Hunt from the unstructured report (the ThreatRaptor way).
+  auto hunt = system.Hunt(attack.report_text);
+  if (!hunt.ok()) {
+    std::fprintf(stderr, "hunt failed: %s\n",
+                 hunt.status().ToString().c_str());
+    return 1;
+  }
+  auto matched = hunt->result.MatchedEvents();
+  size_t hits = 0;
+  for (audit::EventId id : matched) hits += truth_set.count(id);
+  std::printf("Behavior-graph hunting: %zu events flagged, %zu part of the "
+              "attack (precision %.3f)\n\n",
+              matched.size(), hits,
+              matched.empty() ? 0.0 : double(hits) / matched.size());
+  std::printf("The difference is the paper's thesis: relations between\n"
+              "IOCs — not the IOCs alone — identify the threat scenario.\n");
+  return 0;
+}

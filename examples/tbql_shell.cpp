@@ -1,0 +1,192 @@
+// Interactive TBQL shell over a generated trace — the command-line
+// equivalent of the paper's web UI.
+//
+// Builds a trace containing benign noise plus both §III demo attacks, then
+// reads input from stdin. An input block (terminated by a blank line or
+// EOF) is either a TBQL query or a colon-command:
+//
+//   <TBQL query>          execute and print matched records
+//   :explain <TBQL>       execute and print the plan (EXPLAIN ANALYZE)
+//   :hunt <report text>   full pipeline: extract -> synthesize -> execute
+//   :extract <report>     NLP extraction only (behavior graph)
+//   :investigate <TBQL>   execute, then expand matches by causal tracking
+//   :save <path>          write the trace snapshot
+//   :stats                trace statistics
+//   :help                 this list
+//
+// Also works in batch mode: echo 'proc p read file f' | tbql_shell
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/strings.h"
+#include "core/investigate.h"
+#include "core/threat_raptor.h"
+#include "engine/explain.h"
+#include "tbql/analyzer.h"
+#include "tbql/parser.h"
+#include "tbql/printer.h"
+
+namespace {
+
+using raptor::Status;
+using raptor::ThreatRaptor;
+
+void PrintHelp() {
+  std::printf(
+      "Commands (end every block with a blank line):\n"
+      "  <TBQL query>          execute and print matched records\n"
+      "  :explain <TBQL>       execute and print the plan\n"
+      "  :hunt <report text>   extract -> synthesize -> execute\n"
+      "  :extract <report>     print the extracted behavior graph\n"
+      "  :investigate <TBQL>   execute, then causal-track the matches\n"
+      "  :save <path>          write the trace snapshot\n"
+      "  :stats                trace statistics\n"
+      "  :help                 this list\n\n");
+}
+
+void RunQuery(ThreatRaptor* system, const std::string& text, bool explain) {
+  auto parsed = raptor::tbql::Parse(text);
+  if (!parsed.ok()) {
+    std::printf("error: %s\n\n", parsed.status().ToString().c_str());
+    return;
+  }
+  Status st = raptor::tbql::Analyze(&*parsed);
+  if (!st.ok()) {
+    std::printf("error: %s\n\n", st.ToString().c_str());
+    return;
+  }
+  auto result = system->ExecuteQuery(*parsed);
+  if (!result.ok()) {
+    std::printf("error: %s\n\n", result.status().ToString().c_str());
+    return;
+  }
+  if (explain) {
+    std::printf("%s\n", raptor::engine::ExplainAnalyze(*parsed, *result).c_str());
+    return;
+  }
+  std::printf("%s", result->ToString().c_str());
+  std::printf("(%zu rows, %.2f ms, %llu rows touched, schedule:",
+              result->rows.size(), result->stats.total_ms,
+              static_cast<unsigned long long>(
+                  result->stats.relational_rows_touched));
+  for (const auto& s : result->stats.schedule) std::printf(" %s", s.c_str());
+  std::printf(")\n\n");
+}
+
+void RunHunt(ThreatRaptor* system, const std::string& report) {
+  auto hunt = system->Hunt(report);
+  if (!hunt.ok()) {
+    std::printf("error: %s\n\n", hunt.status().ToString().c_str());
+    return;
+  }
+  std::printf("behavior graph:\n%s\nsynthesized TBQL:\n%s\nresults:\n%s\n",
+              hunt->extraction.graph.ToString().c_str(),
+              hunt->query_text.c_str(), hunt->result.ToString().c_str());
+}
+
+void RunExtract(ThreatRaptor* system, const std::string& report) {
+  auto extraction = system->ExtractBehavior(report);
+  std::printf("%zu IOC occurrences, %zu entities, %zu relations\n%s\n",
+              extraction.raw_iocs.size(), extraction.graph.num_nodes(),
+              extraction.graph.num_edges(),
+              extraction.graph.ToString().c_str());
+}
+
+void RunInvestigate(ThreatRaptor* system, const std::string& text) {
+  auto result = system->ExecuteTbql(text);
+  if (!result.ok()) {
+    std::printf("error: %s\n\n", result.status().ToString().c_str());
+    return;
+  }
+  auto seeds = result->MatchedEvents();
+  auto investigation = raptor::Investigate(*system, seeds);
+  if (!investigation.ok()) {
+    std::printf("error: %s\n\n",
+                investigation.status().ToString().c_str());
+    return;
+  }
+  std::printf("query matched %zu events; tracking expanded to %zu:\n%s\n",
+              seeds.size(), investigation->subgraph.events.size(),
+              investigation->timeline.c_str());
+}
+
+void PrintStats(const ThreatRaptor& system) {
+  std::printf(
+      "trace: %zu events, %zu entities, CPR %.2fx\n"
+      "tables: %zu files, %zu procs, %zu nets; graph: %zu nodes %zu edges\n\n",
+      system.log().event_count(), system.log().entity_count(),
+      system.cpr_stats().ReductionRatio(),
+      system.relational().files().num_rows(),
+      system.relational().procs().num_rows(),
+      system.relational().nets().num_rows(), system.graph().num_nodes(),
+      system.graph().num_edges());
+}
+
+void Dispatch(ThreatRaptor* system, const std::string& block) {
+  std::string_view text = raptor::Trim(block);
+  if (text.empty()) return;
+  if (text[0] != ':') {
+    RunQuery(system, std::string(text), /*explain=*/false);
+    return;
+  }
+  size_t space = text.find_first_of(" \t\n");
+  std::string command(text.substr(0, space));
+  std::string rest(space == std::string_view::npos
+                       ? ""
+                       : raptor::Trim(text.substr(space)));
+  if (command == ":help") {
+    PrintHelp();
+  } else if (command == ":stats") {
+    PrintStats(*system);
+  } else if (command == ":explain") {
+    RunQuery(system, rest, /*explain=*/true);
+  } else if (command == ":hunt") {
+    RunHunt(system, rest);
+  } else if (command == ":extract") {
+    RunExtract(system, rest);
+  } else if (command == ":investigate") {
+    RunInvestigate(system, rest);
+  } else if (command == ":save") {
+    Status st = system->SaveTraceSnapshot(rest);
+    std::printf("%s\n\n", st.ok() ? "saved" : st.ToString().c_str());
+  } else {
+    std::printf("unknown command %s; try :help\n\n", command.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Building trace: 100k benign events + both demo attacks...\n");
+  ThreatRaptor system;
+  raptor::audit::WorkloadGenerator generator;
+  generator.GenerateBenign(40'000, system.mutable_log());
+  generator.InjectDataLeakageAttack(system.mutable_log());
+  generator.GenerateBenign(20'000, system.mutable_log());
+  generator.InjectPasswordCrackingAttack(system.mutable_log());
+  generator.GenerateBenign(40'000, system.mutable_log());
+  (void)system.FinalizeStorage();
+  std::printf("Ready: %zu events, %zu entities (CPR %.2fx).\n",
+              system.log().event_count(), system.log().entity_count(),
+              system.cpr_stats().ReductionRatio());
+  PrintHelp();
+
+  std::string block;
+  std::string line;
+  std::printf("tbql> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) {
+      Dispatch(&system, block);
+      block.clear();
+      std::printf("tbql> ");
+      std::fflush(stdout);
+      continue;
+    }
+    block += line + "\n";
+  }
+  Dispatch(&system, block);  // trailing block in batch mode
+  return 0;
+}

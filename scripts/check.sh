@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full verification pass: Release build + tests + benches, then an
+# ASan+UBSan build + tests. What CI would run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== Release build ==="
+cmake -B build -G Ninja >/dev/null
+cmake --build build
+
+echo "=== Tests (Release) ==="
+ctest --test-dir build --output-on-failure
+
+echo "=== Benches ==="
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] && "$b"
+done
+
+echo "=== ASan+UBSan build ==="
+cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+  >/dev/null
+cmake --build build-asan
+
+echo "=== Tests (sanitized) ==="
+ctest --test-dir build-asan --output-on-failure
+
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,106 @@
+#include "audit/cpr.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace raptor::audit {
+
+namespace {
+
+/// Merge key: events fold only within the same (subject, object, operation)
+/// group.
+struct GroupKey {
+  EntityId subject;
+  EntityId object;
+  Operation op;
+
+  bool operator==(const GroupKey&) const = default;
+};
+
+struct GroupKeyHash {
+  size_t operator()(const GroupKey& k) const {
+    size_t h = std::hash<uint64_t>()(k.subject);
+    h = h * 1315423911u ^ std::hash<uint64_t>()(k.object);
+    h = h * 1315423911u ^ static_cast<size_t>(k.op);
+    return h;
+  }
+};
+
+}  // namespace
+
+CprStats ReduceLog(AuditLog* log, const CprOptions& options,
+                   std::vector<EventId>* old_to_new) {
+  CprStats stats;
+  stats.events_before = log->event_count();
+  if (old_to_new != nullptr) {
+    old_to_new->assign(stats.events_before, 0);
+  }
+
+  std::vector<SystemEvent> sorted = log->events();
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const SystemEvent& a, const SystemEvent& b) {
+                     return a.start_time < b.start_time;
+                   });
+
+  // Pending merged events, one per open group, plus a per-entity index of
+  // the groups each entity participates in. An incoming event acts as a
+  // causality barrier: it flushes every open group that shares an entity
+  // with it but has a different key, because merging across that event would
+  // change what dependency tracking observes at the shared entity.
+  std::vector<SystemEvent> out;
+  out.reserve(sorted.size());
+  std::unordered_map<GroupKey, size_t, GroupKeyHash> open;  // key -> out index
+  std::unordered_map<EntityId, std::vector<GroupKey>> by_entity;
+
+  auto flush_groups_touching = [&](EntityId entity, const GroupKey& except) {
+    auto it = by_entity.find(entity);
+    if (it == by_entity.end()) return;
+    for (const GroupKey& key : it->second) {
+      if (key == except) continue;
+      open.erase(key);
+    }
+    it->second.clear();
+    if (except.subject == entity || except.object == entity) {
+      it->second.push_back(except);
+    }
+  };
+
+  for (const SystemEvent& ev : sorted) {
+    GroupKey key{ev.subject, ev.object, ev.op};
+    flush_groups_touching(ev.subject, key);
+    flush_groups_touching(ev.object, key);
+
+    auto it = open.find(key);
+    if (it != open.end()) {
+      SystemEvent& pending = out[it->second];
+      if (ev.start_time - pending.end_time <= options.max_merge_gap_ns) {
+        pending.end_time = std::max(pending.end_time, ev.end_time);
+        pending.bytes += ev.bytes;
+        pending.merged_count += ev.merged_count;
+        if (old_to_new != nullptr) (*old_to_new)[ev.id] = it->second;
+        continue;
+      }
+      // Gap too large: close the old group and start a new one.
+      open.erase(it);
+    }
+
+    if (old_to_new != nullptr) (*old_to_new)[ev.id] = out.size();
+    open[key] = out.size();
+    auto& groups_s = by_entity[ev.subject];
+    if (std::find(groups_s.begin(), groups_s.end(), key) == groups_s.end()) {
+      groups_s.push_back(key);
+    }
+    auto& groups_o = by_entity[ev.object];
+    if (std::find(groups_o.begin(), groups_o.end(), key) == groups_o.end()) {
+      groups_o.push_back(key);
+    }
+    out.push_back(ev);
+  }
+
+  log->ReplaceEvents(std::move(out));
+  stats.events_after = log->event_count();
+  return stats;
+}
+
+}  // namespace raptor::audit

@@ -1,0 +1,53 @@
+// Causality-Preserved Reduction (paper §II-B, technique from Xu et al.,
+// "High fidelity data reduction for big data security dependency analyses",
+// CCS 2016, the paper's reference [10]).
+//
+// The OS typically finishes one logical read/write task by distributing the
+// data over many system calls, producing runs of near-identical events
+// between the same (subject, object) pair. CPR merges such runs while
+// preserving causality: two events are only folded together when no
+// interleaving event touches either endpoint entity, so forward and backward
+// dependency tracking reach exactly the same entities, in the same order,
+// before and after reduction.
+
+#pragma once
+
+#include <cstdint>
+
+#include "audit/log.h"
+
+namespace raptor::audit {
+
+/// \brief Tuning knobs for CPR.
+struct CprOptions {
+  /// Maximum start-time gap (ns) between two events that may be merged.
+  /// Events further apart are kept separate even when causality would allow
+  /// merging; this bounds the temporal imprecision a merged record carries.
+  Timestamp max_merge_gap_ns = 1'000'000'000;  // 1 s
+};
+
+/// \brief Result statistics of one reduction pass.
+struct CprStats {
+  size_t events_before = 0;
+  size_t events_after = 0;
+
+  /// events_before / events_after; 1.0 when nothing merged.
+  double ReductionRatio() const {
+    return events_after == 0
+               ? 1.0
+               : static_cast<double>(events_before) /
+                     static_cast<double>(events_after);
+  }
+};
+
+/// Runs CPR over `log` in place: events are sorted by start time, mergeable
+/// runs are folded (summing bytes, extending the time window, accumulating
+/// merged_count), and the log's event vector is replaced by the reduced one.
+///
+/// When `old_to_new` is non-null it receives, indexed by pre-reduction event
+/// id, the id of the post-reduction event each original record ended up in —
+/// ground-truth labels survive the reduction through this mapping.
+CprStats ReduceLog(AuditLog* log, const CprOptions& options = {},
+                   std::vector<EventId>* old_to_new = nullptr);
+
+}  // namespace raptor::audit

@@ -1,0 +1,325 @@
+#include "audit/generator.h"
+
+#include "common/strings.h"
+
+namespace raptor::audit {
+
+namespace {
+
+constexpr Timestamp kTraceEpoch = 1'700'000'000'000'000'000LL;
+
+const char* const kBaseExes[] = {
+    "/usr/sbin/apache2",  "/usr/bin/python3", "/usr/sbin/sshd",
+    "/usr/bin/node",      "/usr/sbin/cron",   "/usr/bin/vim",
+    "/usr/bin/git",       "/usr/lib/systemd/systemd",
+    "/usr/bin/dockerd",   "/usr/bin/java",    "/usr/bin/postgres",
+    "/usr/bin/redis-server",
+};
+
+const char* const kBaseFiles[] = {
+    "/var/log/syslog",
+    "/var/log/apache2/access.log",
+    "/var/log/apache2/error.log",
+    "/etc/hosts",
+    "/etc/resolv.conf",
+    "/var/lib/mysql/ibdata1",
+    "/home/user/notes.txt",
+    "/usr/share/zoneinfo/UTC",
+};
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(GeneratorOptions options)
+    : options_(options), rng_(options.seed), now_(kTraceEpoch) {
+  benign_exes_.assign(std::begin(kBaseExes), std::end(kBaseExes));
+  for (size_t i = benign_exes_.size(); i < options_.num_processes; ++i) {
+    benign_exes_.push_back(StrFormat("/usr/bin/svc_%zu", i));
+  }
+  benign_exes_.resize(options_.num_processes > 0 ? options_.num_processes
+                                                 : benign_exes_.size());
+  for (size_t i = 0; i < benign_exes_.size(); ++i) {
+    benign_pids_.push_back(1000 + static_cast<uint32_t>(i));
+  }
+
+  benign_files_.assign(std::begin(kBaseFiles), std::end(kBaseFiles));
+  for (size_t i = benign_files_.size(); i < options_.num_files; ++i) {
+    benign_files_.push_back(StrFormat("/home/user/data/doc_%zu.txt", i));
+  }
+
+  for (size_t i = 0; i < options_.num_remote_ips; ++i) {
+    benign_ips_.push_back(StrFormat("151.101.%zu.%zu", i / 16 + 1, i % 16 + 1));
+  }
+}
+
+Timestamp WorkloadGenerator::Tick() {
+  now_ += options_.mean_gap_ns / 2 +
+          static_cast<Timestamp>(rng_.Uniform(
+              static_cast<uint64_t>(options_.mean_gap_ns) + 1));
+  return now_;
+}
+
+EventId WorkloadGenerator::EmitFileEvent(AuditLog* log, EntityId proc,
+                                         Operation op, const std::string& path,
+                                         uint64_t bytes) {
+  SystemEvent ev;
+  ev.subject = proc;
+  ev.object = log->InternFile(path);
+  ev.op = op;
+  ev.start_time = ev.end_time = Tick();
+  ev.bytes = bytes;
+  return log->AddEvent(ev);
+}
+
+EventId WorkloadGenerator::EmitForkEvent(AuditLog* log, EntityId parent,
+                                         uint32_t child_pid,
+                                         const std::string& child_exe,
+                                         EntityId* child_out) {
+  EntityId child = log->InternProcess(child_pid, child_exe);
+  if (child_out != nullptr) *child_out = child;
+  SystemEvent ev;
+  ev.subject = parent;
+  ev.object = child;
+  ev.op = Operation::kFork;
+  ev.start_time = ev.end_time = Tick();
+  return log->AddEvent(ev);
+}
+
+EventId WorkloadGenerator::EmitNetEvent(AuditLog* log, EntityId proc,
+                                        Operation op, const std::string& src_ip,
+                                        uint16_t src_port,
+                                        const std::string& dst_ip,
+                                        uint16_t dst_port, uint64_t bytes) {
+  SystemEvent ev;
+  ev.subject = proc;
+  ev.object = log->InternNetwork(src_ip, src_port, dst_ip, dst_port, "tcp");
+  ev.op = op;
+  ev.start_time = ev.end_time = Tick();
+  ev.bytes = bytes;
+  return log->AddEvent(ev);
+}
+
+void WorkloadGenerator::GenerateBenign(size_t count, AuditLog* log) {
+  size_t emitted = 0;
+  while (emitted < count) {
+    // Legitimate sensitive-resource activity (see GeneratorOptions).
+    if (rng_.Chance(options_.sensitive_touch_probability)) {
+      if (rng_.Chance(0.6)) {
+        // sshd authenticating a login.
+        EntityId sshd = log->InternProcess(22, "/usr/sbin/sshd");
+        EmitFileEvent(log, sshd, Operation::kRead, "/etc/passwd", 2048);
+        ++emitted;
+        if (emitted < count) {
+          EmitFileEvent(log, sshd, Operation::kRead, "/etc/shadow", 1024);
+          ++emitted;
+        }
+      } else {
+        // The nightly backup job archiving /etc.
+        EntityId backup = log->InternProcess(977, "/usr/bin/backupd");
+        EmitFileEvent(log, backup, Operation::kRead, "/etc/passwd", 2048);
+        ++emitted;
+        if (emitted < count) {
+          EmitFileEvent(log, backup, Operation::kWrite,
+                        "/var/backups/etc.tar", 65536);
+          ++emitted;
+        }
+      }
+      continue;
+    }
+
+    size_t pi = rng_.Skewed(benign_exes_.size());
+    EntityId proc = log->InternProcess(benign_pids_[pi], benign_exes_[pi]);
+    double r = rng_.NextDouble();
+    if (r < 0.38) {  // read, possibly a syscall burst
+      const std::string& path = benign_files_[rng_.Skewed(benign_files_.size())];
+      size_t burst = 1;
+      if (rng_.Chance(options_.burst_probability)) {
+        burst = 2 + rng_.Uniform(options_.burst_max_len - 1);
+      }
+      for (size_t b = 0; b < burst && emitted < count; ++b, ++emitted) {
+        EmitFileEvent(log, proc, Operation::kRead, path,
+                      512 + rng_.Uniform(8192));
+      }
+    } else if (r < 0.63) {  // write, possibly a syscall burst
+      const std::string& path = benign_files_[rng_.Skewed(benign_files_.size())];
+      size_t burst = 1;
+      if (rng_.Chance(options_.burst_probability)) {
+        burst = 2 + rng_.Uniform(options_.burst_max_len - 1);
+      }
+      for (size_t b = 0; b < burst && emitted < count; ++b, ++emitted) {
+        EmitFileEvent(log, proc, Operation::kWrite, path,
+                      256 + rng_.Uniform(4096));
+      }
+    } else if (r < 0.73) {  // send
+      const std::string& ip = rng_.Pick(benign_ips_);
+      EmitNetEvent(log, proc, Operation::kSend, kVictimIp,
+                   static_cast<uint16_t>(40000 + rng_.Uniform(20000)), ip, 443,
+                   128 + rng_.Uniform(65536));
+      ++emitted;
+    } else if (r < 0.83) {  // recv
+      const std::string& ip = rng_.Pick(benign_ips_);
+      EmitNetEvent(log, proc, Operation::kRecv, kVictimIp,
+                   static_cast<uint16_t>(40000 + rng_.Uniform(20000)), ip, 443,
+                   128 + rng_.Uniform(65536));
+      ++emitted;
+    } else if (r < 0.88) {  // connect
+      const std::string& ip = rng_.Pick(benign_ips_);
+      EmitNetEvent(log, proc, Operation::kConnect, kVictimIp,
+                   static_cast<uint16_t>(40000 + rng_.Uniform(20000)), ip, 443,
+                   0);
+      ++emitted;
+    } else if (r < 0.93) {  // fork a helper
+      size_t ci = rng_.Skewed(benign_exes_.size());
+      EmitForkEvent(log, proc, next_pid_++, benign_exes_[ci], nullptr);
+      ++emitted;
+    } else if (r < 0.97) {  // execute a binary
+      size_t ci = rng_.Skewed(benign_exes_.size());
+      EmitFileEvent(log, proc, Operation::kExecute, benign_exes_[ci], 0);
+      ++emitted;
+    } else {  // housekeeping: delete or chmod a temp file
+      std::string path = StrFormat("/tmp/work_%llu.tmp",
+                                   static_cast<unsigned long long>(
+                                       rng_.Uniform(64)));
+      EmitFileEvent(log, proc,
+                    rng_.Chance(0.5) ? Operation::kDelete : Operation::kChmod,
+                    path, 0);
+      ++emitted;
+    }
+  }
+}
+
+AttackTrace WorkloadGenerator::InjectPasswordCrackingAttack(AuditLog* log) {
+  AttackTrace trace;
+  trace.name = "password_cracking_after_shellshock";
+  auto add = [&trace](EventId id) { trace.event_ids.push_back(id); };
+  auto add_core = [&trace](EventId id) {
+    trace.event_ids.push_back(id);
+    trace.core_event_ids.push_back(id);
+  };
+
+  // Shellshock penetration: apache handles the malicious request and a bash
+  // shell is spawned under attacker control.
+  EntityId apache = log->InternProcess(800, "/usr/sbin/apache2");
+  add(EmitNetEvent(log, apache, Operation::kRecv, kVictimIp, 80, kAttackerIp,
+                   45612, 2048));
+  EntityId bash = kInvalidEntityId;
+  add(EmitForkEvent(log, apache, next_pid_++, "/bin/bash", &bash));
+
+  // Connect to the cloud service and download the image whose EXIF metadata
+  // encodes the C2 address.
+  add_core(EmitNetEvent(log, bash, Operation::kConnect, kVictimIp, 51620,
+                        kDropboxIp, 443, 0));
+  add(EmitNetEvent(log, bash, Operation::kRecv, kVictimIp, 51620, kDropboxIp,
+                   443, 183500));
+  add_core(EmitFileEvent(log, bash, Operation::kWrite,
+                         "/tmp/dropbox_image.jpg", 183500));
+  add_core(EmitFileEvent(log, bash, Operation::kRead,
+                         "/tmp/dropbox_image.jpg", 183500));
+
+  // Download the password cracker from the C2 server and run it.
+  add_core(EmitNetEvent(log, bash, Operation::kConnect, kVictimIp, 51621,
+                        kC2Ip, 8080, 0));
+  add(EmitNetEvent(log, bash, Operation::kRecv, kVictimIp, 51621, kC2Ip, 8080,
+                   96000));
+  add_core(EmitFileEvent(log, bash, Operation::kWrite, "/tmp/cracker", 96000));
+  add(EmitFileEvent(log, bash, Operation::kChmod, "/tmp/cracker", 0));
+  EntityId cracker = kInvalidEntityId;
+  add(EmitForkEvent(log, bash, next_pid_++, "/tmp/cracker", &cracker));
+  add(EmitFileEvent(log, cracker, Operation::kExecute, "/tmp/cracker", 0));
+
+  // Crack the shadow file and exfiltrate the clear text.
+  add_core(EmitFileEvent(log, cracker, Operation::kRead, "/etc/shadow", 4096));
+  add(EmitFileEvent(log, cracker, Operation::kRead, "/etc/passwd", 2048));
+  add_core(EmitFileEvent(log, cracker, Operation::kWrite,
+                         "/tmp/crackedpw.txt", 1024));
+  add(EmitNetEvent(log, cracker, Operation::kConnect, kVictimIp, 51622, kC2Ip,
+                   8080, 0));
+  add_core(EmitNetEvent(log, cracker, Operation::kSend, kVictimIp, 51622,
+                        kC2Ip, 8080, 1024));
+
+  trace.report_text =
+      "The attacker penetrated into the victim host by exploiting the "
+      "Shellshock vulnerability. After the penetration, the process "
+      "/bin/bash connected to the IP 108.160.172.1 and downloaded the image "
+      "/tmp/dropbox_image.jpg. The address of the C2 server was encoded in "
+      "the EXIF metadata, and /bin/bash read /tmp/dropbox_image.jpg. "
+      "/bin/bash then connected to the IP 161.35.10.8 and downloaded the "
+      "password cracker /tmp/cracker. The process /tmp/cracker read the "
+      "shadow file /etc/shadow and wrote the cracked passwords to "
+      "/tmp/crackedpw.txt. Finally, /tmp/cracker sent the passwords to the "
+      "IP 161.35.10.8.";
+  return trace;
+}
+
+AttackTrace WorkloadGenerator::InjectDataLeakageAttack(AuditLog* log) {
+  AttackTrace trace;
+  trace.name = "data_leakage_after_shellshock";
+  auto add = [&trace](EventId id) { trace.event_ids.push_back(id); };
+  auto add_core = [&trace](EventId id) {
+    trace.event_ids.push_back(id);
+    trace.core_event_ids.push_back(id);
+  };
+
+  // Shellshock penetration.
+  EntityId apache = log->InternProcess(800, "/usr/sbin/apache2");
+  add(EmitNetEvent(log, apache, Operation::kRecv, kVictimIp, 80, kAttackerIp,
+                   45733, 2048));
+  EntityId bash = kInvalidEntityId;
+  add(EmitForkEvent(log, apache, next_pid_++, "/bin/bash", &bash));
+
+  // Scan the file system and scrape the valuable assets into one archive.
+  EntityId tar = kInvalidEntityId;
+  add(EmitForkEvent(log, bash, next_pid_++, "/bin/tar", &tar));
+  add_core(EmitFileEvent(log, tar, Operation::kRead, "/etc/passwd", 2048));
+  add(EmitFileEvent(log, tar, Operation::kRead, "/home/user/secret/plans.doc",
+                    524288));
+  add_core(EmitFileEvent(log, tar, Operation::kWrite, "/tmp/data.tar",
+                         540672));
+
+  // Compress the archive.
+  EntityId gzip = kInvalidEntityId;
+  add(EmitForkEvent(log, bash, next_pid_++, "/bin/gzip", &gzip));
+  add_core(EmitFileEvent(log, gzip, Operation::kRead, "/tmp/data.tar",
+                         540672));
+  add_core(EmitFileEvent(log, gzip, Operation::kWrite, "/tmp/data.tar.gz",
+                         131072));
+
+  // Transfer the compressed file back to the C2 server.
+  EntityId curl = kInvalidEntityId;
+  add(EmitForkEvent(log, bash, next_pid_++, "/usr/bin/curl", &curl));
+  add_core(EmitFileEvent(log, curl, Operation::kRead, "/tmp/data.tar.gz",
+                         131072));
+  add(EmitNetEvent(log, curl, Operation::kConnect, kVictimIp, 51710, kC2Ip,
+                   8080, 0));
+  add_core(EmitNetEvent(log, curl, Operation::kSend, kVictimIp, 51710, kC2Ip,
+                        8080, 131072));
+
+  trace.report_text =
+      "The attacker exploited the Shellshock vulnerability to penetrate "
+      "into the victim host. After the penetration, the attacker scanned "
+      "the file system for valuable assets. The process /bin/tar read the "
+      "file /etc/passwd. /bin/tar then wrote the collected data to "
+      "/tmp/data.tar. The process /bin/gzip read /tmp/data.tar and wrote "
+      "the compressed archive /tmp/data.tar.gz. Finally, the process "
+      "/usr/bin/curl read /tmp/data.tar.gz and sent the archive to the IP "
+      "161.35.10.8.";
+  return trace;
+}
+
+std::vector<EventId> WorkloadGenerator::InjectForkChain(
+    const std::string& root_exe, size_t chain_len, Operation final_op,
+    const std::string& target_path, AuditLog* log) {
+  std::vector<EventId> ids;
+  EntityId current = log->InternProcess(next_pid_++, root_exe);
+  for (size_t i = 0; i < chain_len; ++i) {
+    EntityId child = kInvalidEntityId;
+    ids.push_back(EmitForkEvent(
+        log, current, next_pid_++,
+        StrFormat("%s.worker%zu", root_exe.c_str(), i), &child));
+    current = child;
+  }
+  ids.push_back(
+      EmitFileEvent(log, current, final_op, target_path, 4096));
+  return ids;
+}
+
+}  // namespace raptor::audit

@@ -1,0 +1,122 @@
+// Synthetic audit workload generator (substitute for the paper's live
+// Sysdig deployment; see DESIGN.md "Substitutions").
+//
+// The paper's demo (§III) runs two multi-step attacks on a server that
+// "continues to resume its routine tasks", so benign and malicious activity
+// co-exist. This generator reproduces that setting with ground truth:
+// GenerateBenign() emits realistic background system activity (skewed
+// process/file popularity, bursty read/write runs that CPR can fold), and
+// the Inject*Attack() methods append the exact event chains of the paper's
+// two attack scenarios, returning the injected event ids so benches can
+// score hunting precision/recall.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "audit/log.h"
+#include "common/rng.h"
+
+namespace raptor::audit {
+
+/// \brief Knobs for the benign background workload.
+struct GeneratorOptions {
+  uint64_t seed = 42;
+  size_t num_processes = 40;   ///< Distinct benign process images.
+  size_t num_files = 400;      ///< Distinct benign file paths.
+  size_t num_remote_ips = 25;  ///< Distinct benign remote endpoints.
+  /// Mean inter-event gap; timestamps advance by a jittered multiple.
+  Timestamp mean_gap_ns = 1'000'000;  // 1 ms
+  /// Probability that a read/write event expands into a burst of identical
+  /// syscall-level events (the behavior CPR targets).
+  double burst_probability = 0.15;
+  size_t burst_max_len = 12;
+  /// Probability of a *legitimate* sensitive-resource touch: sshd reading
+  /// /etc/passwd and /etc/shadow during logins, the nightly backup job
+  /// reading /etc/passwd into an archive. These are exactly the events an
+  /// isolated-IOC matcher false-positives on (bench_ioc_baseline, E10)
+  /// while behavior-graph hunting — which requires the whole chain under
+  /// one process with the right temporal order — ignores them.
+  double sensitive_touch_probability = 0.01;
+};
+
+/// \brief Ground truth for one injected attack.
+struct AttackTrace {
+  std::string name;
+  std::vector<EventId> event_ids;  ///< Every event the attack generated.
+  /// The subset of event_ids that the report text narrates — what a
+  /// perfectly synthesized query can be expected to retrieve. Hunting
+  /// recall is scored against this set; the un-narrated remainder (fork
+  /// chains, protocol handshakes) is only reachable via path patterns or
+  /// manual follow-up queries.
+  std::vector<EventId> core_event_ids;
+  /// The OSCTI-style natural language description of the attack, written the
+  /// way a threat report would describe it. Feeding this to the NLP pipeline
+  /// reproduces the paper's end-to-end usage scenario.
+  std::string report_text;
+};
+
+/// \brief Deterministic generator for benign noise and scripted attacks.
+///
+/// All methods advance one shared monotonic clock, so interleaving calls
+/// (benign, attack, more benign) yields a single coherent timeline.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(GeneratorOptions options = {});
+
+  /// Appends `count` benign events to `log`.
+  void GenerateBenign(size_t count, AuditLog* log);
+
+  /// §III attack 1: "Password Cracking After Shellshock Penetration".
+  /// Shellshock penetration -> Dropbox image with C2 address in EXIF ->
+  /// download password cracker from C2 -> crack /etc/shadow -> exfiltrate.
+  AttackTrace InjectPasswordCrackingAttack(AuditLog* log);
+
+  /// §III attack 2: "Data Leakage After Shellshock Penetration" (the
+  /// Figure 2 pipeline): scan file system -> tar sensitive files -> gzip ->
+  /// transfer the archive to the C2 server.
+  AttackTrace InjectDataLeakageAttack(AuditLog* log);
+
+  /// Appends a chain of processes fork-chained from `root_exe`, ending with
+  /// the final process performing `final_op` on a file `target_path`.
+  /// Used by the variable-length path pattern benches (§II-D advanced
+  /// syntax). Returns the generated event ids.
+  std::vector<EventId> InjectForkChain(const std::string& root_exe,
+                                       size_t chain_len, Operation final_op,
+                                       const std::string& target_path,
+                                       AuditLog* log);
+
+  Timestamp now() const { return now_; }
+
+  // Fixed addresses used by the attack scripts (also referenced by the
+  // built-in CTI corpus so that extraction and hunting line up).
+  static constexpr const char* kAttackerIp = "162.211.33.7";
+  static constexpr const char* kVictimIp = "10.10.2.15";
+  static constexpr const char* kDropboxIp = "108.160.172.1";
+  static constexpr const char* kC2Ip = "161.35.10.8";
+
+ private:
+  Timestamp Tick();
+  EventId EmitFileEvent(AuditLog* log, EntityId proc, Operation op,
+                        const std::string& path, uint64_t bytes);
+  EventId EmitForkEvent(AuditLog* log, EntityId parent, uint32_t child_pid,
+                        const std::string& child_exe, EntityId* child_out);
+  EventId EmitNetEvent(AuditLog* log, EntityId proc, Operation op,
+                       const std::string& src_ip, uint16_t src_port,
+                       const std::string& dst_ip, uint16_t dst_port,
+                       uint64_t bytes);
+
+  GeneratorOptions options_;
+  Rng rng_;
+  Timestamp now_ = 0;
+  uint32_t next_pid_ = 10000;
+
+  // Benign entity pools, materialized lazily on first use.
+  std::vector<std::string> benign_exes_;
+  std::vector<std::string> benign_files_;
+  std::vector<std::string> benign_ips_;
+  std::vector<uint32_t> benign_pids_;
+};
+
+}  // namespace raptor::audit

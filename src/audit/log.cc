@@ -1,0 +1,69 @@
+#include "audit/log.h"
+
+#include <cassert>
+#include <utility>
+
+namespace raptor::audit {
+
+EntityId AuditLog::AddEntity(SystemEntity entity) {
+  std::string key = entity.Key();
+  auto it = key_to_id_.find(key);
+  if (it != key_to_id_.end()) return it->second;
+  EntityId id = entities_.size();
+  entity.id = id;
+  entities_.push_back(std::move(entity));
+  key_to_id_.emplace(std::move(key), id);
+  return id;
+}
+
+EventId AuditLog::AddEvent(SystemEvent event) {
+  assert(event.subject < entities_.size());
+  assert(event.object < entities_.size());
+  assert(entities_[event.subject].type == EntityType::kProcess);
+  EventId id = events_.size();
+  event.id = id;
+  events_.push_back(event);
+  return id;
+}
+
+EntityId AuditLog::InternFile(std::string path) {
+  SystemEntity e;
+  e.type = EntityType::kFile;
+  e.path = std::move(path);
+  return AddEntity(std::move(e));
+}
+
+EntityId AuditLog::InternProcess(uint32_t pid, std::string exename) {
+  SystemEntity e;
+  e.type = EntityType::kProcess;
+  e.pid = pid;
+  e.exename = std::move(exename);
+  return AddEntity(std::move(e));
+}
+
+EntityId AuditLog::InternNetwork(std::string src_ip, uint16_t src_port,
+                                 std::string dst_ip, uint16_t dst_port,
+                                 std::string protocol) {
+  SystemEntity e;
+  e.type = EntityType::kNetwork;
+  e.src_ip = std::move(src_ip);
+  e.src_port = src_port;
+  e.dst_ip = std::move(dst_ip);
+  e.dst_port = dst_port;
+  e.protocol = std::move(protocol);
+  return AddEntity(std::move(e));
+}
+
+EntityId AuditLog::FindByKey(const std::string& key) const {
+  auto it = key_to_id_.find(key);
+  return it == key_to_id_.end() ? kInvalidEntityId : it->second;
+}
+
+void AuditLog::ReplaceEvents(std::vector<SystemEvent> events) {
+  events_ = std::move(events);
+  for (size_t i = 0; i < events_.size(); ++i) {
+    events_[i].id = i;
+  }
+}
+
+}  // namespace raptor::audit

@@ -1,0 +1,67 @@
+// AuditLog: in-memory container for parsed system audit logging data.
+//
+// Owns all entities and events of a trace. Entities are interned: inserting
+// an entity with a key already present returns the existing id, so the same
+// file path or process appearing in many log lines maps to one entity, the
+// invariant both storage backends rely on.
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "audit/types.h"
+
+namespace raptor::audit {
+
+/// \brief Owning container for the entities and events of one trace.
+class AuditLog {
+ public:
+  AuditLog() = default;
+
+  // Movable, not copyable (traces can be large).
+  AuditLog(const AuditLog&) = delete;
+  AuditLog& operator=(const AuditLog&) = delete;
+  AuditLog(AuditLog&&) = default;
+  AuditLog& operator=(AuditLog&&) = default;
+
+  /// Interns `entity` and returns its id. If an entity with the same Key()
+  /// exists, returns the existing id and leaves the stored entity unchanged.
+  EntityId AddEntity(SystemEntity entity);
+
+  /// Appends an event; subject/object ids must have been interned. Assigns
+  /// and returns the event id.
+  EventId AddEvent(SystemEvent event);
+
+  /// Convenience: interns a file entity for `path`.
+  EntityId InternFile(std::string path);
+  /// Convenience: interns a process entity.
+  EntityId InternProcess(uint32_t pid, std::string exename);
+  /// Convenience: interns a network connection entity.
+  EntityId InternNetwork(std::string src_ip, uint16_t src_port,
+                         std::string dst_ip, uint16_t dst_port,
+                         std::string protocol = "tcp");
+
+  const SystemEntity& entity(EntityId id) const { return entities_[id]; }
+  const SystemEvent& event(EventId id) const { return events_[id]; }
+
+  const std::vector<SystemEntity>& entities() const { return entities_; }
+  const std::vector<SystemEvent>& events() const { return events_; }
+
+  size_t entity_count() const { return entities_.size(); }
+  size_t event_count() const { return events_.size(); }
+
+  /// Looks up an interned entity by key; kInvalidEntityId when absent.
+  EntityId FindByKey(const std::string& key) const;
+
+  /// Replaces the event vector (used by CPR, which rewrites events).
+  void ReplaceEvents(std::vector<SystemEvent> events);
+
+ private:
+  std::vector<SystemEntity> entities_;
+  std::vector<SystemEvent> events_;
+  std::unordered_map<std::string, EntityId> key_to_id_;
+};
+
+}  // namespace raptor::audit

@@ -1,0 +1,174 @@
+#include "audit/parser.h"
+
+#include <charconv>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace raptor::audit {
+
+namespace {
+
+template <typename Int>
+Result<Int> ParseInt(std::string_view s, std::string_view key) {
+  Int value{};
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status::ParseError(StrFormat("bad integer for key '%.*s': '%.*s'",
+                                        static_cast<int>(key.size()), key.data(),
+                                        static_cast<int>(s.size()), s.data()));
+  }
+  return value;
+}
+
+Result<std::string_view> Require(
+    const std::unordered_map<std::string_view, std::string_view>& kv,
+    std::string_view key) {
+  auto it = kv.find(key);
+  if (it == kv.end()) {
+    return Status::ParseError("missing required key '" + std::string(key) +
+                              "'");
+  }
+  return it->second;
+}
+
+}  // namespace
+
+Result<EventId> LogParser::ParseLine(std::string_view line, AuditLog* log) {
+  std::unordered_map<std::string_view, std::string_view> kv;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i >= line.size()) break;
+    size_t eq = line.find('=', i);
+    if (eq == std::string_view::npos) {
+      return Status::ParseError("expected key=value, got '" +
+                                std::string(line.substr(i)) + "'");
+    }
+    std::string_view key = line.substr(i, eq - i);
+    size_t vend = line.find(' ', eq + 1);
+    if (vend == std::string_view::npos) vend = line.size();
+    kv[key] = line.substr(eq + 1, vend - eq - 1);
+    i = vend;
+  }
+
+  RAPTOR_ASSIGN_OR_RETURN(std::string_view ts_s, Require(kv, "ts"));
+  RAPTOR_ASSIGN_OR_RETURN(Timestamp ts, ParseInt<Timestamp>(ts_s, "ts"));
+  RAPTOR_ASSIGN_OR_RETURN(std::string_view pid_s, Require(kv, "pid"));
+  RAPTOR_ASSIGN_OR_RETURN(uint32_t pid, ParseInt<uint32_t>(pid_s, "pid"));
+  RAPTOR_ASSIGN_OR_RETURN(std::string_view exe, Require(kv, "exe"));
+  RAPTOR_ASSIGN_OR_RETURN(std::string_view op_s, Require(kv, "op"));
+  RAPTOR_ASSIGN_OR_RETURN(Operation op, ParseOperation(op_s));
+  RAPTOR_ASSIGN_OR_RETURN(std::string_view obj_s, Require(kv, "obj"));
+  RAPTOR_ASSIGN_OR_RETURN(EntityType obj_type, ParseEntityType(obj_s));
+
+  if (obj_type != ObjectTypeOf(op)) {
+    return Status::ParseError(StrFormat(
+        "operation '%s' requires object type '%s', got '%s'",
+        std::string(OperationName(op)).c_str(),
+        std::string(EntityTypeName(ObjectTypeOf(op))).c_str(),
+        std::string(EntityTypeName(obj_type)).c_str()));
+  }
+
+  SystemEvent event;
+  event.subject = log->InternProcess(pid, std::string(exe));
+  event.op = op;
+  event.start_time = ts;
+  event.end_time = ts;
+  if (auto it = kv.find("end"); it != kv.end()) {
+    RAPTOR_ASSIGN_OR_RETURN(event.end_time,
+                            ParseInt<Timestamp>(it->second, "end"));
+  }
+  if (auto it = kv.find("bytes"); it != kv.end()) {
+    RAPTOR_ASSIGN_OR_RETURN(event.bytes,
+                            ParseInt<uint64_t>(it->second, "bytes"));
+  }
+
+  switch (obj_type) {
+    case EntityType::kFile: {
+      RAPTOR_ASSIGN_OR_RETURN(std::string_view path, Require(kv, "path"));
+      event.object = log->InternFile(std::string(path));
+      break;
+    }
+    case EntityType::kProcess: {
+      RAPTOR_ASSIGN_OR_RETURN(std::string_view cpid_s, Require(kv, "cpid"));
+      RAPTOR_ASSIGN_OR_RETURN(uint32_t cpid, ParseInt<uint32_t>(cpid_s, "cpid"));
+      RAPTOR_ASSIGN_OR_RETURN(std::string_view cexe, Require(kv, "cexe"));
+      event.object = log->InternProcess(cpid, std::string(cexe));
+      break;
+    }
+    case EntityType::kNetwork: {
+      RAPTOR_ASSIGN_OR_RETURN(std::string_view sip, Require(kv, "srcip"));
+      RAPTOR_ASSIGN_OR_RETURN(std::string_view sp_s, Require(kv, "srcport"));
+      RAPTOR_ASSIGN_OR_RETURN(uint16_t sp, ParseInt<uint16_t>(sp_s, "srcport"));
+      RAPTOR_ASSIGN_OR_RETURN(std::string_view dip, Require(kv, "dstip"));
+      RAPTOR_ASSIGN_OR_RETURN(std::string_view dp_s, Require(kv, "dstport"));
+      RAPTOR_ASSIGN_OR_RETURN(uint16_t dp, ParseInt<uint16_t>(dp_s, "dstport"));
+      std::string proto = "tcp";
+      if (auto it = kv.find("proto"); it != kv.end()) {
+        proto = std::string(it->second);
+      }
+      event.object = log->InternNetwork(std::string(sip), sp, std::string(dip),
+                                        dp, std::move(proto));
+      break;
+    }
+  }
+  return log->AddEvent(event);
+}
+
+Status LogParser::ParseText(std::string_view text, AuditLog* log) {
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    std::string_view line = (nl == std::string_view::npos)
+                                ? text.substr(start)
+                                : text.substr(start, nl - start);
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (!trimmed.empty() && trimmed[0] != '#') {
+      auto result = ParseLine(trimmed, log);
+      if (!result.ok()) {
+        return Status::ParseError(StrFormat(
+            "line %zu: %s", line_no, result.status().message().c_str()));
+      }
+    }
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+  return Status::OK();
+}
+
+std::string LogParser::FormatEvent(const AuditLog& log,
+                                   const SystemEvent& event) {
+  const SystemEntity& subj = log.entity(event.subject);
+  const SystemEntity& obj = log.entity(event.object);
+  std::string out = StrFormat(
+      "ts=%lld pid=%u exe=%s op=%s obj=%s",
+      static_cast<long long>(event.start_time), subj.pid, subj.exename.c_str(),
+      std::string(OperationName(event.op)).c_str(),
+      std::string(EntityTypeName(obj.type)).c_str());
+  switch (obj.type) {
+    case EntityType::kFile:
+      out += " path=" + obj.path;
+      break;
+    case EntityType::kProcess:
+      out += StrFormat(" cpid=%u cexe=%s", obj.pid, obj.exename.c_str());
+      break;
+    case EntityType::kNetwork:
+      out += StrFormat(" srcip=%s srcport=%u dstip=%s dstport=%u proto=%s",
+                       obj.src_ip.c_str(), obj.src_port, obj.dst_ip.c_str(),
+                       obj.dst_port, obj.protocol.c_str());
+      break;
+  }
+  if (event.end_time != event.start_time) {
+    out += StrFormat(" end=%lld", static_cast<long long>(event.end_time));
+  }
+  if (event.bytes != 0) {
+    out += StrFormat(" bytes=%llu", static_cast<unsigned long long>(event.bytes));
+  }
+  return out;
+}
+
+}  // namespace raptor::audit

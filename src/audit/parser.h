@@ -1,0 +1,42 @@
+// Parser for the textual audit log format (paper §II-A, "Data Collection").
+//
+// The paper collects logs with Sysdig and parses them into system entities
+// and events. We define an equivalent line-oriented key=value record format,
+// one event per line:
+//
+//   ts=<ns> pid=<pid> exe=<path> op=read  obj=file path=/etc/passwd bytes=4096
+//   ts=<ns> pid=<pid> exe=<path> op=fork  obj=proc cpid=412 cexe=/bin/bash
+//   ts=<ns> pid=<pid> exe=<path> op=connect obj=net srcip=10.0.0.5
+//       srcport=51532 dstip=103.5.8.9 dstport=443 proto=tcp  (one line)
+//
+// Optional keys: end=<ns> (defaults to ts), bytes=<n> (defaults to 0).
+// Blank lines and lines starting with '#' are skipped. Fields may appear in
+// any order. Parsing interns entities into the target AuditLog.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "audit/log.h"
+#include "common/result.h"
+
+namespace raptor::audit {
+
+/// \brief Parses the textual audit record format into an AuditLog.
+class LogParser {
+ public:
+  /// Parses one record line and appends it to `log`. Returns the new event
+  /// id, or a ParseError naming the offending key.
+  static Result<EventId> ParseLine(std::string_view line, AuditLog* log);
+
+  /// Parses a whole document (one record per line). Stops at the first
+  /// malformed line and reports its 1-based line number.
+  static Status ParseText(std::string_view text, AuditLog* log);
+
+  /// Renders `event` from `log` back into the line format (round-trips
+  /// through ParseLine).
+  static std::string FormatEvent(const AuditLog& log, const SystemEvent& event);
+};
+
+}  // namespace raptor::audit

@@ -1,0 +1,373 @@
+#include "audit/sysdig_parser.h"
+
+#include <charconv>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace raptor::audit {
+
+namespace {
+
+/// Parsed `fd=N(<tag>...)` annotation.
+struct FdInfo {
+  bool valid = false;
+  bool is_socket = false;
+  std::string path;  ///< File path when !is_socket.
+  std::string src_ip, dst_ip;
+  uint16_t src_port = 0, dst_port = 0;
+  std::string protocol = "tcp";
+};
+
+Result<int64_t> ParseClockTime(std::string_view s) {
+  // HH:MM:SS[.fraction] -> nanoseconds since midnight.
+  auto fail = [&] {
+    return Status::ParseError("bad sysdig timestamp: " + std::string(s));
+  };
+  if (s.size() < 8 || s[2] != ':' || s[5] != ':') return fail();
+  auto digits = [&](size_t pos, size_t len, int64_t* out) {
+    auto [ptr, ec] =
+        std::from_chars(s.data() + pos, s.data() + pos + len, *out);
+    return ec == std::errc() && ptr == s.data() + pos + len;
+  };
+  int64_t h = 0, m = 0, sec = 0;
+  if (!digits(0, 2, &h) || !digits(3, 2, &m) || !digits(6, 2, &sec)) {
+    return fail();
+  }
+  int64_t ns = ((h * 60 + m) * 60 + sec) * 1'000'000'000LL;
+  if (s.size() > 9 && s[8] == '.') {
+    std::string_view frac = s.substr(9);
+    if (frac.empty() || frac.size() > 9) return fail();
+    int64_t value = 0;
+    auto [ptr, ec] =
+        std::from_chars(frac.data(), frac.data() + frac.size(), value);
+    if (ec != std::errc() || ptr != frac.data() + frac.size()) return fail();
+    for (size_t i = frac.size(); i < 9; ++i) value *= 10;
+    ns += value;
+  }
+  return ns;
+}
+
+FdInfo ParseFdAnnotation(std::string_view value) {
+  FdInfo info;
+  size_t open = value.find('(');
+  if (open == std::string_view::npos || value.back() != ')') return info;
+  std::string_view inner = value.substr(open + 1, value.size() - open - 2);
+  if (StartsWith(inner, "<f>")) {
+    info.valid = true;
+    info.is_socket = false;
+    info.path = std::string(inner.substr(3));
+    return info;
+  }
+  for (std::string_view tag : {"<4t>", "<6t>", "<4u>", "<6u>"}) {
+    if (!StartsWith(inner, tag)) continue;
+    info.protocol = (tag[2] == 'u') ? "udp" : "tcp";
+    std::string_view tuple = inner.substr(tag.size());
+    size_t arrow = tuple.find("->");
+    if (arrow == std::string_view::npos) return info;
+    auto parse_endpoint = [](std::string_view ep, std::string* ip,
+                             uint16_t* port) {
+      size_t colon = ep.rfind(':');
+      if (colon == std::string_view::npos) return false;
+      *ip = std::string(ep.substr(0, colon));
+      std::string_view p = ep.substr(colon + 1);
+      uint16_t v = 0;
+      auto [ptr, ec] = std::from_chars(p.data(), p.data() + p.size(), v);
+      if (ec != std::errc() || ptr != p.data() + p.size()) return false;
+      *port = v;
+      return true;
+    };
+    if (parse_endpoint(tuple.substr(0, arrow), &info.src_ip,
+                       &info.src_port) &&
+        parse_endpoint(tuple.substr(arrow + 2), &info.dst_ip,
+                       &info.dst_port)) {
+      info.valid = true;
+      info.is_socket = true;
+    }
+    return info;
+  }
+  return info;
+}
+
+enum class CallClass {
+  kReadLike,    // read readv pread preadv
+  kWriteLike,   // write writev pwrite pwritev
+  kSendLike,    // sendto sendmsg send
+  kRecvLike,    // recvfrom recvmsg recv
+  kConnect,
+  kAccept,
+  kClone,
+  kExecve,
+  kUnlink,
+  kRename,
+  kChmod,
+  kUnsupported,
+};
+
+CallClass ClassifyCall(std::string_view type) {
+  static const std::unordered_map<std::string_view, CallClass> kMap = {
+      {"read", CallClass::kReadLike},     {"readv", CallClass::kReadLike},
+      {"pread", CallClass::kReadLike},    {"preadv", CallClass::kReadLike},
+      {"write", CallClass::kWriteLike},   {"writev", CallClass::kWriteLike},
+      {"pwrite", CallClass::kWriteLike},  {"pwritev", CallClass::kWriteLike},
+      {"send", CallClass::kSendLike},     {"sendto", CallClass::kSendLike},
+      {"sendmsg", CallClass::kSendLike},  {"recv", CallClass::kRecvLike},
+      {"recvfrom", CallClass::kRecvLike}, {"recvmsg", CallClass::kRecvLike},
+      {"connect", CallClass::kConnect},   {"accept", CallClass::kAccept},
+      {"accept4", CallClass::kAccept},    {"clone", CallClass::kClone},
+      {"fork", CallClass::kClone},        {"vfork", CallClass::kClone},
+      {"execve", CallClass::kExecve},     {"unlink", CallClass::kUnlink},
+      {"unlinkat", CallClass::kUnlink},   {"rename", CallClass::kRename},
+      {"renameat", CallClass::kRename},   {"chmod", CallClass::kChmod},
+      {"fchmod", CallClass::kChmod},
+  };
+  auto it = kMap.find(type);
+  return it == kMap.end() ? CallClass::kUnsupported : it->second;
+}
+
+}  // namespace
+
+Result<EventId> SysdigParser::ParseLine(std::string_view line,
+                                        AuditLog* log) {
+  std::vector<std::string> fields = SplitWhitespace(line);
+  // num time cpu name (pid) dir type [info...]
+  if (fields.size() < 7) {
+    return Status::ParseError("sysdig line has too few fields");
+  }
+  RAPTOR_ASSIGN_OR_RETURN(int64_t ts, ParseClockTime(fields[1]));
+  const std::string& proc_name = fields[3];
+  const std::string& pid_field = fields[4];
+  if (pid_field.size() < 3 || pid_field.front() != '(' ||
+      pid_field.back() != ')') {
+    return Status::ParseError("sysdig line has malformed pid field '" +
+                              pid_field + "'");
+  }
+  uint32_t pid = 0;
+  {
+    std::string_view digits(pid_field.data() + 1, pid_field.size() - 2);
+    auto [ptr, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), pid);
+    if (ec != std::errc() || ptr != digits.data() + digits.size()) {
+      return Status::ParseError("sysdig line has bad pid '" + pid_field + "'");
+    }
+  }
+  const std::string& dir = fields[5];
+  if (dir != "<" && dir != ">") {
+    return Status::ParseError("sysdig line has bad direction '" + dir + "'");
+  }
+  if (dir == ">") {
+    return Status::NotFound("enter event");  // results live on exits
+  }
+  CallClass call = ClassifyCall(fields[6]);
+  if (call == CallClass::kUnsupported) {
+    return Status::NotFound("unsupported syscall " + fields[6]);
+  }
+
+  // Info key=value fields.
+  std::unordered_map<std::string, std::string> kv;
+  for (size_t i = 7; i < fields.size(); ++i) {
+    size_t eq = fields[i].find('=');
+    if (eq == std::string::npos) continue;
+    kv[fields[i].substr(0, eq)] = fields[i].substr(eq + 1);
+  }
+  auto kv_or = [&kv](const char* key, const char* fallback = "") {
+    auto it = kv.find(key);
+    return it == kv.end() ? std::string(fallback) : it->second;
+  };
+  int64_t res = 0;
+  if (auto it = kv.find("res"); it != kv.end()) {
+    (void)std::from_chars(it->second.data(),
+                          it->second.data() + it->second.size(), res);
+  }
+  FdInfo fd;
+  if (auto it = kv.find("fd"); it != kv.end()) {
+    fd = ParseFdAnnotation(it->second);
+  }
+
+  SystemEvent event;
+  event.subject = log->InternProcess(pid, proc_name);
+  event.start_time = event.end_time = ts;
+
+  switch (call) {
+    case CallClass::kReadLike:
+    case CallClass::kWriteLike: {
+      if (!fd.valid) return Status::NotFound("no usable fd annotation");
+      bool is_read = call == CallClass::kReadLike;
+      if (fd.is_socket) {
+        event.op = is_read ? Operation::kRecv : Operation::kSend;
+        event.object = log->InternNetwork(fd.src_ip, fd.src_port, fd.dst_ip,
+                                          fd.dst_port, fd.protocol);
+      } else {
+        event.op = is_read ? Operation::kRead : Operation::kWrite;
+        event.object = log->InternFile(fd.path);
+      }
+      if (res > 0) event.bytes = static_cast<uint64_t>(res);
+      break;
+    }
+    case CallClass::kSendLike:
+    case CallClass::kRecvLike: {
+      if (!fd.valid || !fd.is_socket) {
+        return Status::NotFound("send/recv without socket fd");
+      }
+      event.op =
+          call == CallClass::kSendLike ? Operation::kSend : Operation::kRecv;
+      event.object = log->InternNetwork(fd.src_ip, fd.src_port, fd.dst_ip,
+                                        fd.dst_port, fd.protocol);
+      if (res > 0) event.bytes = static_cast<uint64_t>(res);
+      break;
+    }
+    case CallClass::kConnect:
+    case CallClass::kAccept: {
+      if (!fd.valid || !fd.is_socket) {
+        return Status::NotFound("connect/accept without socket fd");
+      }
+      event.op = call == CallClass::kConnect ? Operation::kConnect
+                                             : Operation::kAccept;
+      event.object = log->InternNetwork(fd.src_ip, fd.src_port, fd.dst_ip,
+                                        fd.dst_port, fd.protocol);
+      break;
+    }
+    case CallClass::kClone: {
+      // Parent's exit carries res=child pid; the child's copy (res=0) and
+      // failures (res<0) are skipped.
+      if (res <= 0) return Status::NotFound("clone child copy");
+      std::string child_exe = kv_or("exe", proc_name.c_str());
+      event.op = Operation::kFork;
+      event.object =
+          log->InternProcess(static_cast<uint32_t>(res), child_exe);
+      break;
+    }
+    case CallClass::kExecve: {
+      std::string image = kv_or("exe");
+      if (image.empty()) image = kv_or("filename");
+      if (image.empty()) return Status::NotFound("execve without image");
+      event.op = Operation::kExecute;
+      event.object = log->InternFile(image);
+      break;
+    }
+    case CallClass::kUnlink: {
+      std::string path = kv_or("name");
+      if (path.empty()) path = kv_or("path");
+      if (path.empty()) return Status::NotFound("unlink without path");
+      event.op = Operation::kDelete;
+      event.object = log->InternFile(path);
+      break;
+    }
+    case CallClass::kRename: {
+      std::string path = kv_or("oldpath");
+      if (path.empty()) path = kv_or("name");
+      if (path.empty()) return Status::NotFound("rename without path");
+      event.op = Operation::kRename;
+      event.object = log->InternFile(path);
+      break;
+    }
+    case CallClass::kChmod: {
+      std::string path = kv_or("filename");
+      if (path.empty() && fd.valid && !fd.is_socket) path = fd.path;
+      if (path.empty()) return Status::NotFound("chmod without path");
+      event.op = Operation::kChmod;
+      event.object = log->InternFile(path);
+      break;
+    }
+    case CallClass::kUnsupported:
+      return Status::NotFound("unsupported");
+  }
+  return log->AddEvent(event);
+}
+
+SysdigParseStats SysdigParser::ParseText(std::string_view text,
+                                         AuditLog* log) {
+  SysdigParseStats stats;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    std::string_view line = (nl == std::string_view::npos)
+                                ? text.substr(start)
+                                : text.substr(start, nl - start);
+    std::string_view trimmed = Trim(line);
+    if (!trimmed.empty()) {
+      ++stats.lines;
+      auto result = ParseLine(trimmed, log);
+      if (result.ok()) {
+        ++stats.events;
+      } else if (result.status().IsNotFound()) {
+        ++stats.skipped;
+      } else {
+        ++stats.malformed;
+      }
+    }
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+  return stats;
+}
+
+std::string SysdigParser::FormatEvent(const AuditLog& log,
+                                      const SystemEvent& event,
+                                      uint64_t event_number) {
+  const SystemEntity& subj = log.entity(event.subject);
+  const SystemEntity& obj = log.entity(event.object);
+
+  int64_t ns = event.start_time % 86'400'000'000'000LL;
+  std::string time = StrFormat(
+      "%02lld:%02lld:%02lld.%09lld",
+      static_cast<long long>(ns / 3'600'000'000'000LL),
+      static_cast<long long>(ns / 60'000'000'000LL % 60),
+      static_cast<long long>(ns / 1'000'000'000LL % 60),
+      static_cast<long long>(ns % 1'000'000'000LL));
+
+  std::string head = StrFormat(
+      "%llu %s 0 %s (%u) < ", static_cast<unsigned long long>(event_number),
+      time.c_str(), subj.exename.c_str(), subj.pid);
+
+  auto socket_fd = [&obj] {
+    return StrFormat("fd=3(<%s>%s:%u->%s:%u)",
+                     obj.protocol == "udp" ? "4u" : "4t", obj.src_ip.c_str(),
+                     obj.src_port, obj.dst_ip.c_str(), obj.dst_port);
+  };
+  auto file_fd = [&obj] {
+    return StrFormat("fd=5(<f>%s)", obj.path.c_str());
+  };
+
+  switch (event.op) {
+    case Operation::kRead:
+      return head + StrFormat("read res=%llu %s",
+                              static_cast<unsigned long long>(event.bytes),
+                              file_fd().c_str());
+    case Operation::kWrite:
+      return head + StrFormat("write res=%llu %s",
+                              static_cast<unsigned long long>(event.bytes),
+                              file_fd().c_str());
+    case Operation::kExecute:
+      return head + "execve res=0 exe=" + obj.path;
+    case Operation::kDelete:
+      return head + "unlink res=0 name=" + obj.path;
+    case Operation::kRename:
+      return head + "rename res=0 oldpath=" + obj.path;
+    case Operation::kChmod:
+      return head + "chmod res=0 filename=" + obj.path;
+    case Operation::kFork:
+    case Operation::kStart:
+      return head + StrFormat("clone res=%u exe=%s", obj.pid,
+                              obj.exename.c_str());
+    case Operation::kKill:
+      // No direct sysdig mapping; rendered as an unsupported marker.
+      return head + StrFormat("kill pid=%u", obj.pid);
+    case Operation::kConnect:
+      return head + "connect res=0 " + socket_fd();
+    case Operation::kAccept:
+      return head + "accept res=4 " + socket_fd();
+    case Operation::kSend:
+      return head + StrFormat("sendto res=%llu %s",
+                              static_cast<unsigned long long>(event.bytes),
+                              socket_fd().c_str());
+    case Operation::kRecv:
+      return head + StrFormat("recvfrom res=%llu %s",
+                              static_cast<unsigned long long>(event.bytes),
+                              socket_fd().c_str());
+  }
+  return head;
+}
+
+}  // namespace raptor::audit

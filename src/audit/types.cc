@@ -1,0 +1,140 @@
+#include "audit/types.h"
+
+#include "common/strings.h"
+
+namespace raptor::audit {
+
+std::string SystemEntity::Key() const {
+  switch (type) {
+    case EntityType::kFile:
+      return "file:" + path;
+    case EntityType::kProcess:
+      return StrFormat("proc:%u:%s", pid, exename.c_str());
+    case EntityType::kNetwork:
+      return StrFormat("net:%s:%u>%s:%u/%s", src_ip.c_str(), src_port,
+                       dst_ip.c_str(), dst_port, protocol.c_str());
+  }
+  return "?";
+}
+
+std::string SystemEntity::ToString() const {
+  switch (type) {
+    case EntityType::kFile:
+      return StrFormat("file{%s}", path.c_str());
+    case EntityType::kProcess:
+      return StrFormat("proc{pid=%u exe=%s}", pid, exename.c_str());
+    case EntityType::kNetwork:
+      return StrFormat("net{%s:%u -> %s:%u %s}", src_ip.c_str(), src_port,
+                       dst_ip.c_str(), dst_port, protocol.c_str());
+  }
+  return "?";
+}
+
+std::string_view EntityTypeName(EntityType type) {
+  switch (type) {
+    case EntityType::kFile:
+      return "file";
+    case EntityType::kProcess:
+      return "proc";
+    case EntityType::kNetwork:
+      return "net";
+  }
+  return "?";
+}
+
+std::string_view OperationName(Operation op) {
+  switch (op) {
+    case Operation::kRead:
+      return "read";
+    case Operation::kWrite:
+      return "write";
+    case Operation::kExecute:
+      return "execute";
+    case Operation::kDelete:
+      return "delete";
+    case Operation::kRename:
+      return "rename";
+    case Operation::kChmod:
+      return "chmod";
+    case Operation::kFork:
+      return "fork";
+    case Operation::kStart:
+      return "start";
+    case Operation::kKill:
+      return "kill";
+    case Operation::kConnect:
+      return "connect";
+    case Operation::kAccept:
+      return "accept";
+    case Operation::kSend:
+      return "send";
+    case Operation::kRecv:
+      return "recv";
+  }
+  return "?";
+}
+
+Result<EntityType> ParseEntityType(std::string_view name) {
+  if (name == "file") return EntityType::kFile;
+  if (name == "proc" || name == "process") return EntityType::kProcess;
+  if (name == "net" || name == "network" || name == "conn") {
+    return EntityType::kNetwork;
+  }
+  return Status::ParseError("unknown entity type: " + std::string(name));
+}
+
+Result<Operation> ParseOperation(std::string_view name) {
+  static const struct {
+    std::string_view name;
+    Operation op;
+  } kTable[] = {
+      {"read", Operation::kRead},       {"write", Operation::kWrite},
+      {"execute", Operation::kExecute}, {"exec", Operation::kExecute},
+      {"delete", Operation::kDelete},   {"unlink", Operation::kDelete},
+      {"rename", Operation::kRename},   {"chmod", Operation::kChmod},
+      {"fork", Operation::kFork},       {"start", Operation::kStart},
+      {"kill", Operation::kKill},       {"connect", Operation::kConnect},
+      {"accept", Operation::kAccept},   {"send", Operation::kSend},
+      {"recv", Operation::kRecv},
+  };
+  for (const auto& row : kTable) {
+    if (row.name == name) return row.op;
+  }
+  return Status::ParseError("unknown operation: " + std::string(name));
+}
+
+EventCategory CategoryOf(Operation op) {
+  switch (op) {
+    case Operation::kRead:
+    case Operation::kWrite:
+    case Operation::kExecute:
+    case Operation::kDelete:
+    case Operation::kRename:
+    case Operation::kChmod:
+      return EventCategory::kFileEvent;
+    case Operation::kFork:
+    case Operation::kStart:
+    case Operation::kKill:
+      return EventCategory::kProcessEvent;
+    case Operation::kConnect:
+    case Operation::kAccept:
+    case Operation::kSend:
+    case Operation::kRecv:
+      return EventCategory::kNetworkEvent;
+  }
+  return EventCategory::kFileEvent;
+}
+
+EntityType ObjectTypeOf(Operation op) {
+  switch (CategoryOf(op)) {
+    case EventCategory::kFileEvent:
+      return EntityType::kFile;
+    case EventCategory::kProcessEvent:
+      return EntityType::kProcess;
+    case EventCategory::kNetworkEvent:
+      return EntityType::kNetwork;
+  }
+  return EntityType::kFile;
+}
+
+}  // namespace raptor::audit

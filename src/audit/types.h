@@ -1,0 +1,115 @@
+// Core data model for system audit logging (paper §II-A).
+//
+// System auditing records interactions among system entities as system
+// events. Following the paper (and the AIQL/SAQL convention it cites),
+// entities are files, processes, and network connections; an event is
+// (subject, operation, object) where the subject is always a process.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace raptor::audit {
+
+/// Monotonic timestamp in nanoseconds since the trace epoch.
+using Timestamp = int64_t;
+
+/// Dense entity identifier assigned by the AuditLog on interning.
+using EntityId = uint64_t;
+
+/// Dense event identifier (position-stable within an AuditLog).
+using EventId = uint64_t;
+
+constexpr EntityId kInvalidEntityId = ~0ULL;
+
+/// \brief The three entity kinds the auditing component captures.
+enum class EntityType : uint8_t {
+  kFile = 0,
+  kProcess = 1,
+  kNetwork = 2,
+};
+
+/// \brief System call operations, grouped by the paper's three event types:
+/// file events, process events, and network events.
+enum class Operation : uint8_t {
+  // File events.
+  kRead = 0,
+  kWrite,
+  kExecute,
+  kDelete,
+  kRename,
+  kChmod,
+  // Process events.
+  kFork,
+  kStart,
+  kKill,
+  // Network events.
+  kConnect,
+  kAccept,
+  kSend,
+  kRecv,
+};
+
+/// Event category derived from the object entity type (paper §II-A).
+enum class EventCategory : uint8_t { kFileEvent, kProcessEvent, kNetworkEvent };
+
+/// \brief A system entity with the representative attributes the paper lists:
+/// file name/path, process executable name and pid, src/dst IP and port.
+///
+/// Only the fields relevant to the entity's type are meaningful; the others
+/// stay empty/zero. Entities are value types owned by an AuditLog.
+struct SystemEntity {
+  EntityId id = kInvalidEntityId;
+  EntityType type = EntityType::kFile;
+
+  // File attributes.
+  std::string path;  ///< Absolute file path ("name" attribute in TBQL).
+
+  // Process attributes.
+  std::string exename;  ///< Executable path.
+  uint32_t pid = 0;
+
+  // Network connection attributes.
+  std::string src_ip;
+  std::string dst_ip;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  std::string protocol;  ///< "tcp" or "udp".
+
+  /// Stable deduplication key: same key => same logical entity.
+  std::string Key() const;
+
+  /// Human-readable one-line rendering for diagnostics.
+  std::string ToString() const;
+};
+
+/// \brief A system event: subject process performs `op` on an object entity.
+struct SystemEvent {
+  EventId id = 0;
+  EntityId subject = kInvalidEntityId;  ///< Always a process.
+  EntityId object = kInvalidEntityId;
+  Operation op = Operation::kRead;
+  Timestamp start_time = 0;
+  Timestamp end_time = 0;
+  uint64_t bytes = 0;  ///< Data amount for read/write/send/recv.
+  /// Number of raw events folded into this record by CPR (>= 1).
+  uint32_t merged_count = 1;
+};
+
+/// Enum <-> string conversions (used by the parser, TBQL, and printers).
+std::string_view EntityTypeName(EntityType type);
+std::string_view OperationName(Operation op);
+Result<EntityType> ParseEntityType(std::string_view name);
+Result<Operation> ParseOperation(std::string_view name);
+
+/// Categorizes an operation into file/process/network events.
+EventCategory CategoryOf(Operation op);
+
+/// Entity type an operation's object must have (e.g. kRead -> kFile).
+EntityType ObjectTypeOf(Operation op);
+
+}  // namespace raptor::audit

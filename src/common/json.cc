@@ -1,0 +1,333 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace raptor {
+
+namespace {
+
+const Json& SharedNull() {
+  static const Json* null = new Json();
+  return *null;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<Json> Parse() {
+    RAPTOR_ASSIGN_OR_RETURN(Json value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& msg) const {
+    size_t line = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    return Status::ParseError(StrFormat("line %zu: %s", line, msg.c_str()));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    SkipWhitespace();
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+        if (ConsumeWord("true")) return Json(true);
+        return Error("invalid literal");
+      case 'f':
+        if (ConsumeWord("false")) return Json(false);
+        return Error("invalid literal");
+      case 'n':
+        if (ConsumeWord("null")) return Json(nullptr);
+        return Error("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<Json> ParseObject() {
+    ++pos_;  // '{'
+    Json::Object object;
+    if (Consume('}')) return Json(std::move(object));
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected string key in object");
+      }
+      RAPTOR_ASSIGN_OR_RETURN(Json key, ParseString());
+      if (!Consume(':')) return Error("expected ':' after object key");
+      RAPTOR_ASSIGN_OR_RETURN(Json value, ParseValue());
+      object.emplace(key.AsString(), std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Error("expected ',' or '}' in object");
+    }
+    return Json(std::move(object));
+  }
+
+  Result<Json> ParseArray() {
+    ++pos_;  // '['
+    Json::Array array;
+    if (Consume(']')) return Json(std::move(array));
+    while (true) {
+      RAPTOR_ASSIGN_OR_RETURN(Json value, ParseValue());
+      array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Error("expected ',' or ']' in array");
+    }
+    return Json(std::move(array));
+  }
+
+  Result<Json> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Json(std::move(out));
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogates unsupported).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape sequence");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<Json> ParseNumber() {
+    SkipWhitespace();
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double value = 0;
+    auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc() || ptr != text_.data() + pos_ || pos_ == start) {
+      return Error("invalid number");
+    }
+    return Json(value);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void EscapeInto(const std::string& s, std::string* out) {
+  *out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+}  // namespace
+
+const Json& Json::operator[](const std::string& key) const {
+  if (!is_object()) return SharedNull();
+  auto it = object_.find(key);
+  return it == object_.end() ? SharedNull() : it->second;
+}
+
+const Json& Json::operator[](size_t index) const {
+  if (!is_array() || index >= array_.size()) return SharedNull();
+  return array_[index];
+}
+
+Result<Json> Json::Parse(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  std::string pad =
+      indent > 0 ? "\n" + std::string(static_cast<size_t>(indent) *
+                                          (static_cast<size_t>(depth) + 1),
+                                      ' ')
+                 : "";
+  std::string close_pad =
+      indent > 0
+          ? "\n" + std::string(static_cast<size_t>(indent) *
+                                   static_cast<size_t>(depth),
+                               ' ')
+          : "";
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      if (number_ == std::floor(number_) && std::abs(number_) < 1e15) {
+        *out += StrFormat("%lld", static_cast<long long>(number_));
+      } else {
+        *out += StrFormat("%.17g", number_);
+      }
+      break;
+    case Type::kString:
+      EscapeInto(string_, out);
+      break;
+    case Type::kArray: {
+      *out += '[';
+      bool first = true;
+      for (const Json& v : array_) {
+        if (!first) *out += ',';
+        first = false;
+        *out += pad;
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (!array_.empty()) *out += close_pad;
+      *out += ']';
+      break;
+    }
+    case Type::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) *out += ',';
+        first = false;
+        *out += pad;
+        EscapeInto(key, out);
+        *out += indent > 0 ? ": " : ":";
+        value.DumpTo(out, indent, depth + 1);
+      }
+      if (!object_.empty()) *out += close_pad;
+      *out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+}  // namespace raptor

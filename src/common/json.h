@@ -1,0 +1,78 @@
+// Minimal JSON parser and writer (substrate for the STIX-like structured
+// OSCTI feed ingester; see src/cti/). Supports the full JSON value model
+// with the usual escape sequences; numbers are held as doubles.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace raptor {
+
+/// \brief A JSON value (null, bool, number, string, array, object).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}             // NOLINT
+  Json(bool b) : type_(Type::kBool), bool_(b) {}           // NOLINT
+  Json(double n) : type_(Type::kNumber), number_(n) {}     // NOLINT
+  Json(int n) : type_(Type::kNumber), number_(n) {}        // NOLINT
+  Json(std::string s)                                      // NOLINT
+      : type_(Type::kString), string_(std::move(s)) {}
+  Json(const char* s) : Json(std::string(s)) {}            // NOLINT
+  Json(Array a) : type_(Type::kArray), array_(std::move(a)) {}    // NOLINT
+  Json(Object o) : type_(Type::kObject), object_(std::move(o)) {}  // NOLINT
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const Array& AsArray() const { return array_; }
+  const Object& AsObject() const { return object_; }
+
+  /// Object member access; returns a shared null for missing keys or
+  /// non-objects, so lookups chain safely: j["a"]["b"].AsString().
+  const Json& operator[](const std::string& key) const;
+  /// Array element access; shared null when out of range.
+  const Json& operator[](size_t index) const;
+
+  /// Member presence test (false for non-objects).
+  bool Contains(const std::string& key) const {
+    return is_object() && object_.count(key) > 0;
+  }
+
+  /// Parses a JSON document. Reports line numbers on errors.
+  static Result<Json> Parse(std::string_view text);
+
+  /// Serializes; `indent` > 0 pretty-prints with that many spaces.
+  std::string Dump(int indent = 0) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace raptor

@@ -1,0 +1,78 @@
+// Result<T>: a value-or-Status, the Arrow idiom for fallible producers.
+
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace raptor {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// A Result constructed from an OK status is invalid; producers must supply
+/// either a value or a non-OK status.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : state_(std::move(value)) {}  // NOLINT: implicit by design
+
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status) : state_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(state_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  /// Returns the error status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(state_);
+  }
+
+  /// Accessors; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value or `fallback` on error.
+  T ValueOr(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> state_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error
+/// status from the current function.
+#define RAPTOR_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define RAPTOR_ASSIGN_OR_RETURN(lhs, expr) \
+  RAPTOR_ASSIGN_OR_RETURN_IMPL(            \
+      RAPTOR_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define RAPTOR_CONCAT_INNER_(a, b) a##b
+#define RAPTOR_CONCAT_(a, b) RAPTOR_CONCAT_INNER_(a, b)
+
+}  // namespace raptor

@@ -1,0 +1,79 @@
+// Deterministic pseudo-random number generator used by the workload
+// generator and property tests. Deterministic seeding keeps every benchmark
+// and test reproducible across runs and platforms.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace raptor {
+
+/// \brief xoshiro256** generator with convenience sampling helpers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 expansion of the seed into the full state.
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Zipf-like skewed index in [0, n): lower indexes are more likely.
+  /// Used to model hot files/processes in the synthetic workload.
+  size_t Skewed(size_t n) {
+    if (n <= 1) return 0;
+    double u = NextDouble();
+    // Quadratic skew: P(idx < k) = sqrt(k / n).
+    auto idx = static_cast<size_t>(u * u * static_cast<double>(n));
+    return idx >= n ? n - 1 : idx;
+  }
+
+  /// Picks a uniformly random element of `v`; `v` must be non-empty.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Uniform(v.size())];
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace raptor

@@ -1,0 +1,91 @@
+// Status: the error model used throughout ThreatRaptor.
+//
+// Follows the RocksDB/Arrow convention: library code does not throw; fallible
+// operations return a Status (or a Result<T>, see result.h) that callers must
+// inspect. A default-constructed Status is OK.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace raptor {
+
+/// \brief Outcome of a fallible operation.
+///
+/// Cheap to copy in the OK case (no allocation); error states carry a code
+/// and a human-readable message.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kParseError,
+    kTypeError,
+    kUnsupported,
+    kInternal,
+  };
+
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(Code::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(Code::kTypeError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(Code::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsParseError() const { return code_ == Code::kParseError; }
+  bool IsTypeError() const { return code_ == Code::kTypeError; }
+  bool IsUnsupported() const { return code_ == Code::kUnsupported; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders e.g. "ParseError: unexpected token at line 3".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// Returns the status from the current function if `expr` is not OK.
+#define RAPTOR_RETURN_NOT_OK(expr)             \
+  do {                                         \
+    ::raptor::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+}  // namespace raptor

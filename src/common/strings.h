@@ -1,0 +1,55 @@
+// Small string utilities shared across modules.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace raptor {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits `s` on runs of ASCII whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Returns true if `s` contains `needle`.
+bool Contains(std::string_view s, std::string_view needle);
+
+/// Replaces every occurrence of `from` with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// Classic edit distance; used by IOC merge and test helpers.
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Dice coefficient over character bigrams, in [0, 1]; 1 for identical
+/// strings. Used for the character-level overlap half of IOC merging.
+double BigramDiceSimilarity(std::string_view a, std::string_view b);
+
+/// SQL LIKE-style match where '%' matches any run of characters. Used by
+/// attribute filters ("%/bin/tar%"). Case-sensitive.
+bool LikeMatch(std::string_view value, std::string_view pattern);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace raptor

@@ -1,0 +1,84 @@
+#include "core/investigate.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace raptor {
+
+namespace {
+
+std::string EntityLabel(const audit::SystemEntity& e) {
+  switch (e.type) {
+    case audit::EntityType::kFile:
+      return e.path;
+    case audit::EntityType::kProcess:
+      return StrFormat("%s(%u)", e.exename.c_str(), e.pid);
+    case audit::EntityType::kNetwork:
+      return StrFormat("%s:%u", e.dst_ip.c_str(), e.dst_port);
+  }
+  return "?";
+}
+
+}  // namespace
+
+Result<InvestigationReport> Investigate(
+    const ThreatRaptor& system, const std::vector<audit::EventId>& seeds,
+    const graph::TrackingOptions& options) {
+  if (!system.storage_ready()) {
+    return Status::InvalidArgument(
+        "call FinalizeStorage() before investigating");
+  }
+  InvestigationReport report;
+  report.subgraph = graph::TrackBidirectional(system.graph(), seeds, options);
+
+  const audit::AuditLog& log = system.log();
+  std::set<audit::EventId> seed_set(seeds.begin(), seeds.end());
+
+  // Timeline: subgraph events in chronological order.
+  std::vector<audit::EventId> ordered = report.subgraph.events;
+  std::sort(ordered.begin(), ordered.end(),
+            [&log](audit::EventId a, audit::EventId b) {
+              const auto& ea = log.event(a);
+              const auto& eb = log.event(b);
+              if (ea.start_time != eb.start_time) {
+                return ea.start_time < eb.start_time;
+              }
+              return a < b;
+            });
+  for (audit::EventId id : ordered) {
+    const audit::SystemEvent& ev = log.event(id);
+    report.timeline += StrFormat(
+        "%c %lld  %s -[%s]-> %s\n", seed_set.count(id) ? '*' : ' ',
+        static_cast<long long>(ev.start_time),
+        EntityLabel(log.entity(ev.subject)).c_str(),
+        std::string(audit::OperationName(ev.op)).c_str(),
+        EntityLabel(log.entity(ev.object)).c_str());
+  }
+
+  // Provenance graph.
+  report.dot = "digraph provenance {\n  rankdir=LR;\n";
+  for (audit::EntityId id : report.subgraph.entities) {
+    const audit::SystemEntity& e = log.entity(id);
+    const char* shape = e.type == audit::EntityType::kProcess ? "box"
+                        : e.type == audit::EntityType::kFile  ? "ellipse"
+                                                              : "diamond";
+    report.dot += StrFormat("  n%llu [label=\"%s\", shape=%s];\n",
+                            static_cast<unsigned long long>(id),
+                            EntityLabel(e).c_str(), shape);
+  }
+  for (audit::EventId id : ordered) {
+    const audit::SystemEvent& ev = log.event(id);
+    report.dot += StrFormat(
+        "  n%llu -> n%llu [label=\"%s\"%s];\n",
+        static_cast<unsigned long long>(ev.subject),
+        static_cast<unsigned long long>(ev.object),
+        std::string(audit::OperationName(ev.op)).c_str(),
+        seed_set.count(id) ? ", color=red, penwidth=2" : "");
+  }
+  report.dot += "}\n";
+  return report;
+}
+
+}  // namespace raptor

@@ -1,0 +1,37 @@
+// Attack investigation on top of hunting (extension; see DESIGN.md).
+//
+// A hunt retrieves the events the OSCTI report narrates. Investigation
+// expands those seeds through causal dependency tracking into the full
+// attack subgraph — recovering the steps the report author omitted (the
+// initial exploit, fork chains, staging operations) — and renders it as a
+// timeline and a Graphviz provenance graph.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/threat_raptor.h"
+#include "storage/graph/dependency.h"
+
+namespace raptor {
+
+/// \brief The reconstructed attack context around a hunt's matches.
+struct InvestigationReport {
+  graph::DependencySubgraph subgraph;
+  /// Chronological "ts  subject -op-> object" lines for every event in the
+  /// subgraph; seed events are marked with '*'.
+  std::string timeline;
+  /// Graphviz provenance graph (entities as nodes, events as edges; seed
+  /// edges highlighted).
+  std::string dot;
+};
+
+/// Expands `seed_events` (typically HuntReport::result.MatchedEvents())
+/// through bidirectional dependency tracking over `system`'s graph store.
+/// Requires finalized storage.
+Result<InvestigationReport> Investigate(
+    const ThreatRaptor& system, const std::vector<audit::EventId>& seeds,
+    const graph::TrackingOptions& options = {});
+
+}  // namespace raptor

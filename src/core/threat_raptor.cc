@@ -1,0 +1,153 @@
+#include "core/threat_raptor.h"
+
+#include <algorithm>
+
+#include "storage/persist/snapshot.h"
+#include "tbql/analyzer.h"
+#include "tbql/parser.h"
+#include "tbql/printer.h"
+
+namespace raptor {
+
+ThreatRaptor::ThreatRaptor(ThreatRaptorOptions options)
+    : options_(options),
+      pipeline_(options.nlp),
+      synthesizer_(options.synthesis) {}
+
+ThreatRaptor::~ThreatRaptor() = default;
+
+Status ThreatRaptor::IngestLogText(std::string_view text) {
+  if (storage_ready_) {
+    return Status::InvalidArgument(
+        "storage already finalized; ingestion is frozen");
+  }
+  return audit::LogParser::ParseText(text, &log_);
+}
+
+Result<audit::SysdigParseStats> ThreatRaptor::IngestSysdigText(
+    std::string_view text) {
+  if (storage_ready_) {
+    return Status::InvalidArgument(
+        "storage already finalized; ingestion is frozen");
+  }
+  return audit::SysdigParser::ParseText(text, &log_);
+}
+
+Status ThreatRaptor::SaveTraceSnapshot(const std::string& path) const {
+  return persist::SaveSnapshot(log_, path);
+}
+
+Status ThreatRaptor::LoadTraceSnapshot(const std::string& path) {
+  if (storage_ready_) {
+    return Status::InvalidArgument(
+        "storage already finalized; ingestion is frozen");
+  }
+  RAPTOR_ASSIGN_OR_RETURN(log_, persist::LoadSnapshot(path));
+  return Status::OK();
+}
+
+Status ThreatRaptor::IngestLiveText(std::string_view text) {
+  if (!storage_ready_) {
+    return Status::InvalidArgument(
+        "live ingestion requires finalized storage; use IngestLogText "
+        "before FinalizeStorage()");
+  }
+  // Lines before a parse failure are already in the log; sync the backends
+  // unconditionally so they never lag behind it.
+  Status st = audit::LogParser::ParseText(text, &log_);
+  rel_->SyncWith(log_);
+  graph_->SyncWithLog();
+  return st;
+}
+
+Result<audit::SysdigParseStats> ThreatRaptor::IngestLiveSysdig(
+    std::string_view text) {
+  if (!storage_ready_) {
+    return Status::InvalidArgument(
+        "live ingestion requires finalized storage; use IngestSysdigText "
+        "before FinalizeStorage()");
+  }
+  audit::SysdigParseStats stats = audit::SysdigParser::ParseText(text, &log_);
+  rel_->SyncWith(log_);
+  graph_->SyncWithLog();
+  return stats;
+}
+
+audit::AuditLog* ThreatRaptor::mutable_log() {
+  return storage_ready_ ? nullptr : &log_;
+}
+
+Status ThreatRaptor::FinalizeStorage() {
+  if (storage_ready_) return Status::OK();
+  if (options_.apply_cpr) {
+    cpr_stats_ = audit::ReduceLog(&log_, options_.cpr, &cpr_old_to_new_);
+  } else {
+    cpr_stats_.events_before = cpr_stats_.events_after = log_.event_count();
+  }
+  rel_ = std::make_unique<rel::RelationalDatabase>();
+  rel_->Load(log_);
+  graph_ = std::make_unique<graph::GraphStore>(log_);
+  engine_ = std::make_unique<engine::QueryEngine>(&log_, rel_.get(),
+                                                  graph_.get());
+  storage_ready_ = true;
+  return Status::OK();
+}
+
+audit::EventId ThreatRaptor::TranslateEventId(audit::EventId pre_cpr_id) const {
+  if (pre_cpr_id < cpr_old_to_new_.size()) return cpr_old_to_new_[pre_cpr_id];
+  return pre_cpr_id;
+}
+
+std::vector<audit::EventId> ThreatRaptor::TranslateEventIds(
+    const std::vector<audit::EventId>& pre_cpr_ids) const {
+  std::vector<audit::EventId> out;
+  out.reserve(pre_cpr_ids.size());
+  for (audit::EventId id : pre_cpr_ids) out.push_back(TranslateEventId(id));
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+nlp::ExtractionResult ThreatRaptor::ExtractBehavior(
+    std::string_view report) const {
+  return pipeline_.Extract(report);
+}
+
+Result<synth::SynthesisResult> ThreatRaptor::SynthesizeQuery(
+    const nlp::ThreatBehaviorGraph& graph) const {
+  return synthesizer_.Synthesize(graph);
+}
+
+Result<engine::QueryResult> ThreatRaptor::ExecuteQuery(
+    const tbql::Query& query) {
+  if (!storage_ready_) {
+    return Status::InvalidArgument(
+        "call FinalizeStorage() before executing queries");
+  }
+  return engine_->Execute(query, options_.execution);
+}
+
+Result<engine::QueryResult> ThreatRaptor::ExecuteTbql(
+    std::string_view tbql_text) {
+  RAPTOR_ASSIGN_OR_RETURN(tbql::Query query, tbql::Parse(tbql_text));
+  RAPTOR_RETURN_NOT_OK(tbql::Analyze(&query));
+  return ExecuteQuery(query);
+}
+
+Result<HuntReport> ThreatRaptor::Hunt(std::string_view oscti_report) {
+  if (!storage_ready_) {
+    return Status::InvalidArgument(
+        "call FinalizeStorage() before hunting");
+  }
+  HuntReport report;
+  report.extraction = ExtractBehavior(oscti_report);
+  RAPTOR_ASSIGN_OR_RETURN(report.synthesis,
+                          SynthesizeQuery(report.extraction.graph));
+  report.query_text = tbql::Print(report.synthesis.query);
+  RAPTOR_ASSIGN_OR_RETURN(report.result,
+                          ExecuteQuery(report.synthesis.query));
+  report.cpr = cpr_stats_;
+  return report;
+}
+
+}  // namespace raptor

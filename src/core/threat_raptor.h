@@ -1,0 +1,161 @@
+// ThreatRaptor: the public facade (paper Figure 1).
+//
+// Wires the full pipeline together: audit log ingestion (data collection),
+// CPR + relational/graph storage (data storage), OSCTI threat behavior
+// extraction, TBQL query synthesis, and TBQL query execution — plus the
+// human-in-the-loop path of executing a hand-written or edited TBQL query.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   raptor::ThreatRaptor system;
+//   raptor::audit::WorkloadGenerator gen;
+//   gen.GenerateBenign(100000, system.mutable_log());
+//   auto attack = gen.InjectDataLeakageAttack(system.mutable_log());
+//   gen.GenerateBenign(100000, system.mutable_log());
+//   system.FinalizeStorage();
+//   auto hunt = system.Hunt(attack.report_text);   // extract -> synthesize
+//   std::cout << hunt->query_text << hunt->result.ToString();
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "audit/cpr.h"
+#include "audit/generator.h"
+#include "audit/log.h"
+#include "audit/parser.h"
+#include "audit/sysdig_parser.h"
+#include "common/result.h"
+#include "engine/engine.h"
+#include "nlp/pipeline.h"
+#include "storage/graph/graph_store.h"
+#include "storage/relational/database.h"
+#include "synthesis/synthesizer.h"
+#include "tbql/ast.h"
+
+namespace raptor {
+
+/// \brief End-to-end configuration; every component's knobs in one place.
+struct ThreatRaptorOptions {
+  nlp::PipelineOptions nlp;
+  synth::SynthesisPlan synthesis;
+  engine::ExecutionOptions execution;
+  audit::CprOptions cpr;
+  /// Run Causality-Preserved Reduction before loading storage (paper §II-B).
+  bool apply_cpr = true;
+};
+
+/// \brief Everything one hunt produced, for inspection and scoring.
+struct HuntReport {
+  nlp::ExtractionResult extraction;
+  synth::SynthesisResult synthesis;
+  std::string query_text;       ///< The synthesized TBQL, pretty-printed.
+  engine::QueryResult result;
+  audit::CprStats cpr;          ///< Stats of the reduction pass (if applied).
+};
+
+/// \brief The THREATRAPTOR system.
+class ThreatRaptor {
+ public:
+  explicit ThreatRaptor(ThreatRaptorOptions options = {});
+  ~ThreatRaptor();
+
+  ThreatRaptor(const ThreatRaptor&) = delete;
+  ThreatRaptor& operator=(const ThreatRaptor&) = delete;
+
+  // --- Data collection. ---
+
+  /// Parses textual audit records (see audit/parser.h for the format) into
+  /// the system's log.
+  Status IngestLogText(std::string_view text);
+
+  /// Parses a Sysdig default-format capture (see audit/sysdig_parser.h).
+  /// Unsupported/enter lines are skipped, as a deployment would; the
+  /// returned stats say how many.
+  Result<audit::SysdigParseStats> IngestSysdigText(std::string_view text);
+
+  /// Saves the current log as a binary snapshot (atomic write). Works both
+  /// before and after FinalizeStorage (after, the reduced log is saved).
+  Status SaveTraceSnapshot(const std::string& path) const;
+
+  /// Loads a snapshot file into the system's log, replacing any previously
+  /// ingested data. Must be called before FinalizeStorage().
+  Status LoadTraceSnapshot(const std::string& path);
+
+  // --- Live ingestion (continuous monitoring). ---
+
+  /// Appends audit records *after* FinalizeStorage(), updating both storage
+  /// backends incrementally; hunts see the new events immediately. Live
+  /// events bypass CPR (reduction is a batch pass over historical data).
+  Status IngestLiveText(std::string_view text);
+
+  /// Live counterpart of IngestSysdigText.
+  Result<audit::SysdigParseStats> IngestLiveSysdig(std::string_view text);
+
+  /// Direct access to the in-memory log, for generators and bulk loading.
+  /// Must not be called after FinalizeStorage().
+  audit::AuditLog* mutable_log();
+
+  // --- Data storage. ---
+
+  /// Runs CPR (unless disabled) and loads the relational and graph
+  /// backends. Ingestion is frozen afterwards. Idempotent.
+  Status FinalizeStorage();
+
+  bool storage_ready() const { return storage_ready_; }
+  const audit::AuditLog& log() const { return log_; }
+
+  /// Maps a pre-CPR event id (e.g. a generator ground-truth label) to the
+  /// id of the reduced event it was folded into. Identity before
+  /// FinalizeStorage() or when CPR is disabled.
+  audit::EventId TranslateEventId(audit::EventId pre_cpr_id) const;
+  /// Vector version; deduplicates (several originals may fold together).
+  std::vector<audit::EventId> TranslateEventIds(
+      const std::vector<audit::EventId>& pre_cpr_ids) const;
+
+  const audit::CprStats& cpr_stats() const { return cpr_stats_; }
+  const rel::RelationalDatabase& relational() const { return *rel_; }
+  const graph::GraphStore& graph() const { return *graph_; }
+
+  // --- Threat behavior extraction (paper §II-C). ---
+
+  /// Runs the NLP pipeline over an OSCTI report.
+  nlp::ExtractionResult ExtractBehavior(std::string_view report) const;
+
+  // --- Query synthesis (paper §II-E). ---
+
+  Result<synth::SynthesisResult> SynthesizeQuery(
+      const nlp::ThreatBehaviorGraph& graph) const;
+
+  // --- Query execution (paper §II-F). ---
+
+  /// Executes an analyzed query. Requires FinalizeStorage().
+  Result<engine::QueryResult> ExecuteQuery(const tbql::Query& query);
+
+  /// Parses, analyzes, and executes TBQL text — the human-in-the-loop
+  /// query-editing path of the paper's web UI.
+  Result<engine::QueryResult> ExecuteTbql(std::string_view tbql_text);
+
+  // --- The full pipeline (paper Figure 1). ---
+
+  /// OSCTI report in, matched system auditing records out.
+  Result<HuntReport> Hunt(std::string_view oscti_report);
+
+  const ThreatRaptorOptions& options() const { return options_; }
+
+ private:
+  ThreatRaptorOptions options_;
+  audit::AuditLog log_;
+  audit::CprStats cpr_stats_;
+  std::vector<audit::EventId> cpr_old_to_new_;
+  std::unique_ptr<rel::RelationalDatabase> rel_;
+  std::unique_ptr<graph::GraphStore> graph_;
+  std::unique_ptr<engine::QueryEngine> engine_;
+  nlp::ExtractionPipeline pipeline_;
+  synth::QuerySynthesizer synthesizer_;
+  bool storage_ready_ = false;
+};
+
+}  // namespace raptor

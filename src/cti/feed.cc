@@ -1,0 +1,194 @@
+#include "cti/feed.h"
+
+#include <algorithm>
+
+#include "common/json.h"
+#include "common/strings.h"
+#include "synthesis/rules.h"
+#include "tbql/analyzer.h"
+
+namespace raptor::cti {
+
+namespace {
+
+/// Parses one STIX comparison pattern "[<object-path> = '<value>']".
+Result<Indicator> ParsePattern(const std::string& pattern) {
+  std::string_view s = Trim(pattern);
+  if (s.size() < 2 || s.front() != '[' || s.back() != ']') {
+    return Status::ParseError("STIX pattern must be bracketed: " + pattern);
+  }
+  s = Trim(s.substr(1, s.size() - 2));
+  size_t eq = s.find('=');
+  if (eq == std::string_view::npos) {
+    return Status::ParseError("STIX pattern has no comparison: " + pattern);
+  }
+  std::string path = ToLower(Trim(s.substr(0, eq)));
+  std::string_view value_sv = Trim(s.substr(eq + 1));
+  if (value_sv.size() < 2 || value_sv.front() != '\'' ||
+      value_sv.back() != '\'') {
+    return Status::ParseError("STIX pattern value must be quoted: " + pattern);
+  }
+  Indicator indicator;
+  indicator.value = std::string(value_sv.substr(1, value_sv.size() - 2));
+
+  if (path == "file:name" || path == "file:path") {
+    indicator.type = StartsWith(indicator.value, "/") ||
+                             indicator.value.find(":\\") != std::string::npos
+                         ? nlp::IocType::kFilepath
+                         : nlp::IocType::kFilename;
+  } else if (path == "process:name") {
+    indicator.type = nlp::IocType::kFilepath;
+  } else if (path == "ipv4-addr:value") {
+    indicator.type = nlp::IocType::kIp;
+  } else if (path == "domain-name:value") {
+    indicator.type = nlp::IocType::kDomain;
+  } else if (path == "url:value") {
+    indicator.type = nlp::IocType::kUrl;
+  } else if (StartsWith(path, "file:hashes.")) {
+    std::string alg = ToLower(ReplaceAll(path.substr(12), "'", ""));
+    if (alg == "md5") {
+      indicator.type = nlp::IocType::kHashMd5;
+    } else if (alg == "sha-1" || alg == "sha1") {
+      indicator.type = nlp::IocType::kHashSha1;
+    } else {
+      indicator.type = nlp::IocType::kHashSha256;
+    }
+  } else {
+    return Status::Unsupported("unsupported STIX object path: " + path);
+  }
+  return indicator;
+}
+
+}  // namespace
+
+Result<std::vector<Indicator>> ParseStixBundle(std::string_view json_text) {
+  RAPTOR_ASSIGN_OR_RETURN(Json bundle, Json::Parse(json_text));
+  if (bundle["type"].AsString() != "bundle") {
+    return Status::InvalidArgument("not a STIX bundle (type != 'bundle')");
+  }
+  if (!bundle["objects"].is_array()) {
+    return Status::InvalidArgument("bundle has no 'objects' array");
+  }
+  std::vector<Indicator> indicators;
+  for (const Json& object : bundle["objects"].AsArray()) {
+    if (object["type"].AsString() != "indicator") continue;
+    if (!object["pattern"].is_string()) {
+      return Status::InvalidArgument("indicator without a pattern");
+    }
+    RAPTOR_ASSIGN_OR_RETURN(Indicator indicator,
+                            ParsePattern(object["pattern"].AsString()));
+    indicator.id = object["id"].AsString();
+    indicator.name = object["name"].AsString();
+    indicators.push_back(std::move(indicator));
+  }
+  return indicators;
+}
+
+std::vector<Indicator> IndicatorsFromText(
+    std::string_view text, const nlp::IocRecognizer& recognizer) {
+  std::vector<Indicator> indicators;
+  for (const nlp::IocSpan& span : recognizer.Recognize(text)) {
+    bool seen = std::any_of(indicators.begin(), indicators.end(),
+                            [&](const Indicator& i) {
+                              return i.type == span.type &&
+                                     i.value == span.text;
+                            });
+    if (seen) continue;
+    Indicator indicator;
+    indicator.type = span.type;
+    indicator.value = span.text;
+    indicators.push_back(std::move(indicator));
+  }
+  return indicators;
+}
+
+std::vector<tbql::Query> SynthesizeIocQueries(
+    const std::vector<Indicator>& indicators) {
+  std::vector<tbql::Query> queries;
+  for (const Indicator& indicator : indicators) {
+    if (!synth::IsAuditableIocType(indicator.type)) continue;
+
+    tbql::Query query;
+    tbql::Pattern p;
+    p.id = "evt1";
+    p.subject.type = audit::EntityType::kProcess;
+    p.subject.id = "p";
+
+    tbql::AttrFilter filter;
+    filter.is_string = true;
+    if (indicator.type == nlp::IocType::kIp) {
+      p.object.type = audit::EntityType::kNetwork;
+      p.object.id = "n";
+      filter.attr = "dstip";
+      filter.op = rel::CompareOp::kEq;
+      filter.string_value = indicator.value;
+      p.op.names = {"connect", "send", "recv"};
+    } else {
+      p.object.type = audit::EntityType::kFile;
+      p.object.id = "f";
+      filter.attr = "name";
+      filter.op = rel::CompareOp::kLike;
+      filter.string_value = "%" + indicator.value + "%";
+      p.op.names = {"read", "write", "execute", "delete"};
+    }
+    p.object.filters.push_back(std::move(filter));
+    query.patterns.push_back(std::move(p));
+    if (!tbql::Analyze(&query).ok()) continue;  // defensive; cannot fail
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+std::string ToStixBundle(const std::vector<Indicator>& indicators) {
+  Json::Array objects;
+  size_t counter = 0;
+  for (const Indicator& indicator : indicators) {
+    std::string path;
+    std::string value = indicator.value;
+    switch (indicator.type) {
+      case nlp::IocType::kFilepath:
+      case nlp::IocType::kFilename:
+        path = "file:name";
+        break;
+      case nlp::IocType::kIp:
+        path = "ipv4-addr:value";
+        break;
+      case nlp::IocType::kDomain:
+        path = "domain-name:value";
+        break;
+      case nlp::IocType::kUrl:
+        path = "url:value";
+        break;
+      case nlp::IocType::kHashMd5:
+        path = "file:hashes.'MD5'";
+        break;
+      case nlp::IocType::kHashSha1:
+        path = "file:hashes.'SHA-1'";
+        break;
+      case nlp::IocType::kHashSha256:
+        path = "file:hashes.'SHA-256'";
+        break;
+      default:
+        continue;  // no STIX mapping (registry, CVE)
+    }
+    Json::Object object;
+    object["type"] = "indicator";
+    object["id"] = indicator.id.empty()
+                       ? StrFormat("indicator--%zu", ++counter)
+                       : indicator.id;
+    if (!indicator.name.empty()) object["name"] = indicator.name;
+    std::string pattern = "[";
+    pattern += path;
+    pattern += " = '";
+    pattern += value;
+    pattern += "']";
+    object["pattern"] = std::move(pattern);
+    objects.push_back(Json(std::move(object)));
+  }
+  Json::Object bundle;
+  bundle["type"] = "bundle";
+  bundle["objects"] = Json(std::move(objects));
+  return Json(std::move(bundle)).Dump(2);
+}
+
+}  // namespace raptor::cti

@@ -1,0 +1,66 @@
+// Structured OSCTI feed ingestion (paper §I).
+//
+// The paper motivates ThreatRaptor by contrasting structured OSCTI feeds —
+// STIX-style lists of isolated Indicators of Compromise — with the
+// connected, multi-step threat behavior extractable from unstructured
+// reports: "these disconnected IOCs lack the capability to uncover the
+// complete threat scenario". This module ingests a STIX 2-like bundle and
+// synthesizes the corresponding *IOC-only* hunting queries (one per
+// indicator, no relations, no temporal order), which is exactly the
+// baseline bench_ioc_baseline (E10) compares against behavior-graph
+// hunting.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "nlp/ioc.h"
+#include "tbql/ast.h"
+
+namespace raptor::cti {
+
+/// \brief One indicator from a structured feed.
+struct Indicator {
+  std::string id;    ///< STIX object id (may be empty).
+  std::string name;  ///< Human-readable label (may be empty).
+  nlp::IocType type = nlp::IocType::kFilepath;
+  std::string value;
+};
+
+/// Parses a STIX 2-style bundle:
+///
+/// ```json
+/// {"type": "bundle", "objects": [
+///   {"type": "indicator", "id": "indicator--1", "name": "cracker",
+///    "pattern": "[file:name = '/tmp/cracker']"},
+///   {"type": "indicator", "pattern": "[ipv4-addr:value = '161.35.10.8']"}
+/// ]}
+/// ```
+///
+/// Supported pattern comparisons: `file:name`, `file:path`,
+/// `process:name`, `ipv4-addr:value`, `domain-name:value`, `url:value`,
+/// and `file:hashes.'<ALG>'`. Objects that are not indicators are skipped;
+/// an indicator with an unsupported pattern yields an Unsupported error
+/// naming it (strictness over silent loss).
+Result<std::vector<Indicator>> ParseStixBundle(std::string_view json_text);
+
+/// Extracts indicators from free text with the regex recognizer — turns
+/// any report into the "structured feed view" of itself (deduplicated).
+std::vector<Indicator> IndicatorsFromText(std::string_view text,
+                                          const nlp::IocRecognizer& recognizer);
+
+/// Synthesizes one IOC-only TBQL query per *auditable* indicator (files and
+/// IPs; see synth::IsAuditableIocType): any process touching the file with
+/// any file operation, or any flow to the address. Queries are analyzed and
+/// ready to execute. Non-auditable indicators are skipped.
+std::vector<tbql::Query> SynthesizeIocQueries(
+    const std::vector<Indicator>& indicators);
+
+/// Serializes indicators back to a STIX-like bundle (round-trips through
+/// ParseStixBundle).
+std::string ToStixBundle(const std::vector<Indicator>& indicators);
+
+}  // namespace raptor::cti

@@ -1,0 +1,460 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+
+#include "common/strings.h"
+
+namespace raptor::engine {
+
+using audit::EntityId;
+using audit::EntityType;
+using audit::EventId;
+using audit::Operation;
+using audit::SystemEntity;
+using audit::SystemEvent;
+
+namespace {
+
+using Binding = std::unordered_set<EntityId>;
+
+rel::Value FilterValue(const tbql::AttrFilter& f) {
+  if (f.is_string) return rel::Value(f.string_value);
+  return rel::Value(f.int_value);
+}
+
+/// Applies a comparison between two values (the filter language outside a
+/// table context, used for graph sink predicates).
+bool CompareValues(const rel::Value& cell, rel::CompareOp op,
+                   const rel::Value& rhs) {
+  switch (op) {
+    case rel::CompareOp::kEq:
+      return cell == rhs;
+    case rel::CompareOp::kNe:
+      return cell != rhs;
+    case rel::CompareOp::kLt:
+      return cell < rhs;
+    case rel::CompareOp::kLe:
+      return cell <= rhs;
+    case rel::CompareOp::kGt:
+      return cell > rhs;
+    case rel::CompareOp::kGe:
+      return cell >= rhs;
+    case rel::CompareOp::kLike:
+      return cell.is_string() && rhs.is_string() &&
+             LikeMatch(cell.AsString(), rhs.AsString());
+    case rel::CompareOp::kNotLike:
+      return !(cell.is_string() && rhs.is_string() &&
+               LikeMatch(cell.AsString(), rhs.AsString()));
+  }
+  return false;
+}
+
+/// Attribute accessor on an audit entity (graph-side filter evaluation and
+/// result projection).
+rel::Value EntityAttrValue(const SystemEntity& e, const std::string& attr) {
+  if (attr == "id") return rel::Value(static_cast<int64_t>(e.id));
+  switch (e.type) {
+    case EntityType::kFile:
+      if (attr == "name") return rel::Value(e.path);
+      break;
+    case EntityType::kProcess:
+      if (attr == "exename") return rel::Value(e.exename);
+      if (attr == "pid") return rel::Value(static_cast<int64_t>(e.pid));
+      break;
+    case EntityType::kNetwork:
+      if (attr == "srcip") return rel::Value(e.src_ip);
+      if (attr == "srcport") return rel::Value(static_cast<int64_t>(e.src_port));
+      if (attr == "dstip") return rel::Value(e.dst_ip);
+      if (attr == "dstport") return rel::Value(static_cast<int64_t>(e.dst_port));
+      if (attr == "protocol") return rel::Value(e.protocol);
+      break;
+  }
+  return rel::Value(std::string());
+}
+
+bool EntityMatchesFilters(const SystemEntity& e,
+                          const std::vector<tbql::AttrFilter>& filters) {
+  for (const tbql::AttrFilter& f : filters) {
+    if (!CompareValues(EntityAttrValue(e, f.attr), f.op, FilterValue(f))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+double QueryEngine::PruningScore(const tbql::Pattern& pattern) {
+  double score = static_cast<double>(pattern.subject.filters.size() +
+                                     pattern.object.filters.size());
+  if (pattern.window_start && pattern.window_end) score += 1.0;
+  if (pattern.op.ops.size() == 1) score += 0.5;  // narrower operation
+  if (pattern.is_path) {
+    // Longer maximum paths are more expensive to search; derate them.
+    score -= static_cast<double>(pattern.max_hops);
+  }
+  return score;
+}
+
+struct QueryEngine::PatternExecution {
+  const tbql::Pattern* pattern = nullptr;
+  std::vector<PatternMatch> matches;
+};
+
+Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
+                                         const ExecutionOptions& options) const {
+  auto t0 = std::chrono::steady_clock::now();
+  rel_->ResetStats();
+  graph_->ResetStats();
+
+  QueryResult result;
+  if (query.return_count) {
+    result.columns.push_back("count");
+  } else {
+    for (const tbql::ReturnItem& item : query.returns) {
+      result.columns.push_back(item.entity_id + "." + item.attr);
+    }
+  }
+  size_t row_cap = options.max_rows;
+  if (query.limit) row_cap = std::min(row_cap, *query.limit);
+
+  // --- Candidate-id computation against the relational backend. ---
+  // The analyzer unifies filters per entity id, so the filter-selection
+  // result is execution-invariant per entity and is cached: an entity used
+  // by several patterns (the shared-identity sugar) costs one entity-table
+  // select, not one per pattern.
+  std::unordered_map<std::string, Binding> bindings;
+  std::unordered_map<std::string, std::vector<EntityId>> filter_cache;
+  auto candidate_ids =
+      [&](const tbql::EntityRef& e) -> std::optional<std::vector<EntityId>> {
+    auto bound_it = bindings.find(e.id);
+    const Binding* bound =
+        bound_it == bindings.end() ? nullptr : &bound_it->second;
+    if (e.filters.empty() && bound == nullptr) return std::nullopt;
+
+    std::vector<EntityId> ids;
+    if (!e.filters.empty()) {
+      auto cached = filter_cache.find(e.id);
+      if (cached == filter_cache.end()) {
+        rel::Table& table = rel_->EntityTable(e.type);
+        rel::Conjunction preds;
+        for (const tbql::AttrFilter& f : e.filters) {
+          rel::ColumnId col = table.schema().Find(f.attr);
+          if (col == rel::kInvalidColumn) continue;  // analyzer validated
+          preds.push_back(rel::Predicate{col, f.op, FilterValue(f)});
+        }
+        rel::ColumnId id_col = table.schema().Find("id");
+        std::vector<EntityId> selected;
+        for (rel::RowId row : table.Select(preds)) {
+          selected.push_back(
+              static_cast<EntityId>(table.row(row)[id_col].AsInt()));
+        }
+        cached = filter_cache.emplace(e.id, std::move(selected)).first;
+      }
+      for (EntityId id : cached->second) {
+        if (bound == nullptr || bound->count(id) > 0) ids.push_back(id);
+      }
+    } else {
+      ids.assign(bound->begin(), bound->end());
+      std::sort(ids.begin(), ids.end());
+    }
+    return ids;
+  };
+
+  // --- Per-pattern execution. ---
+  auto execute_event_pattern =
+      [&](const tbql::Pattern& p) -> std::vector<PatternMatch> {
+    std::vector<PatternMatch> matches;
+    auto subj_ids = candidate_ids(p.subject);
+    auto obj_ids = candidate_ids(p.object);
+
+    std::unordered_set<EntityId> subj_set, obj_set;
+    if (subj_ids) subj_set.insert(subj_ids->begin(), subj_ids->end());
+    if (obj_ids) obj_set.insert(obj_ids->begin(), obj_ids->end());
+    std::unordered_set<int64_t> op_set;
+    for (Operation op : p.op.ops) op_set.insert(static_cast<int64_t>(op));
+
+    rel::Table& events = rel_->events();
+    const rel::Schema& schema = events.schema();
+    rel::ColumnId c_subject = schema.Find("subject");
+    rel::ColumnId c_object = schema.Find("object");
+    rel::ColumnId c_optype = schema.Find("optype");
+    rel::ColumnId c_start = schema.Find("starttime");
+    rel::ColumnId c_end = schema.Find("endtime");
+    rel::ColumnId c_id = schema.Find("id");
+
+    rel::Conjunction base;
+    if (p.window_start) {
+      base.push_back(
+          rel::Predicate{c_start, rel::CompareOp::kGe, *p.window_start});
+    }
+    if (p.window_end) {
+      base.push_back(
+          rel::Predicate{c_start, rel::CompareOp::kLe, *p.window_end});
+    }
+
+    auto emit_row = [&](rel::RowId row) {
+      const rel::Row& r = events.row(row);
+      if (op_set.count(r[c_optype].AsInt()) == 0) return;
+      auto subj = static_cast<EntityId>(r[c_subject].AsInt());
+      auto obj = static_cast<EntityId>(r[c_object].AsInt());
+      if (subj_ids && subj_set.count(subj) == 0) return;
+      if (obj_ids && obj_set.count(obj) == 0) return;
+      PatternMatch m;
+      m.events.push_back(static_cast<EventId>(r[c_id].AsInt()));
+      m.subject = subj;
+      m.object = obj;
+      m.start_time = r[c_start].AsInt();
+      m.end_time = r[c_end].AsInt();
+      matches.push_back(std::move(m));
+    };
+
+    // Probe the event table on the narrower entity side; fall back to an
+    // operation-type index probe when neither side constrains.
+    bool probe_subject =
+        subj_ids && (!obj_ids || subj_ids->size() <= obj_ids->size());
+    if (probe_subject) {
+      for (EntityId id : *subj_ids) {
+        rel::Conjunction preds = base;
+        preds.push_back(rel::Predicate{c_subject, rel::CompareOp::kEq,
+                                       static_cast<int64_t>(id)});
+        for (rel::RowId row : events.Select(preds)) emit_row(row);
+      }
+    } else if (obj_ids) {
+      for (EntityId id : *obj_ids) {
+        rel::Conjunction preds = base;
+        preds.push_back(rel::Predicate{c_object, rel::CompareOp::kEq,
+                                       static_cast<int64_t>(id)});
+        for (rel::RowId row : events.Select(preds)) emit_row(row);
+      }
+    } else {
+      for (Operation op : p.op.ops) {
+        rel::Conjunction preds = base;
+        preds.push_back(rel::Predicate{c_optype, rel::CompareOp::kEq,
+                                       static_cast<int64_t>(op)});
+        for (rel::RowId row : events.Select(preds)) emit_row(row);
+      }
+    }
+    return matches;
+  };
+
+  auto execute_path_pattern =
+      [&](const tbql::Pattern& p) -> std::vector<PatternMatch> {
+    std::vector<PatternMatch> matches;
+    auto subj_ids = candidate_ids(p.subject);
+    std::vector<EntityId> sources;
+    if (subj_ids) {
+      sources = *subj_ids;
+    } else {
+      for (const SystemEntity& e : log_->entities()) {
+        if (e.type == p.subject.type) sources.push_back(e.id);
+      }
+    }
+
+    auto obj_bound_it = bindings.find(p.object.id);
+    const Binding* obj_bound =
+        obj_bound_it == bindings.end() ? nullptr : &obj_bound_it->second;
+    const tbql::EntityRef& object = p.object;
+    graph::NodePredicate sink_pred = [&object, obj_bound](const SystemEntity& e) {
+      if (e.type != object.type) return false;
+      if (obj_bound != nullptr && obj_bound->count(e.id) == 0) return false;
+      return EntityMatchesFilters(e, object.filters);
+    };
+
+    graph::PathConstraints constraints;
+    constraints.min_hops = p.min_hops;
+    constraints.max_hops = p.max_hops;
+    constraints.final_ops = p.op.ops;
+    if (p.window_start) constraints.window_start = *p.window_start;
+    if (p.window_end) constraints.window_end = *p.window_end;
+
+    for (const graph::PathMatch& pm :
+         graph_->FindPaths(sources, sink_pred, constraints)) {
+      PatternMatch m;
+      m.events = pm.hops;
+      m.subject = pm.source;
+      m.object = pm.sink;
+      m.start_time = log_->event(pm.hops.front()).start_time;
+      m.end_time = log_->event(pm.hops.back()).end_time;
+      matches.push_back(std::move(m));
+    }
+    return matches;
+  };
+
+  // --- Scheduling (paper §II-F): highest pruning score first among the
+  // patterns connected to what has already executed. ---
+  const size_t n = query.patterns.size();
+  std::vector<bool> done(n, false);
+  std::vector<double> scores(n);
+  for (size_t i = 0; i < n; ++i) scores[i] = PruningScore(query.patterns[i]);
+
+  std::vector<PatternExecution> executions;
+  executions.reserve(n);
+
+  for (size_t step = 0; step < n; ++step) {
+    size_t pick = n;
+    if (!options.use_pruning_scores) {
+      for (size_t i = 0; i < n; ++i) {
+        if (!done[i]) {
+          pick = i;
+          break;
+        }
+      }
+    } else {
+      double best = -1e18;
+      for (size_t i = 0; i < n; ++i) {
+        if (done[i]) continue;
+        double eff = scores[i];
+        // Strongly prefer patterns whose entities are already bound: their
+        // execution is constrained by previous results.
+        if (bindings.count(query.patterns[i].subject.id) > 0) eff += 100.0;
+        if (bindings.count(query.patterns[i].object.id) > 0) eff += 100.0;
+        if (eff > best) {
+          best = eff;
+          pick = i;
+        }
+      }
+    }
+    const tbql::Pattern& p = query.patterns[pick];
+    done[pick] = true;
+
+    PatternExecution exec;
+    exec.pattern = &p;
+    bool constrained = bindings.count(p.subject.id) > 0 ||
+                       bindings.count(p.object.id) > 0;
+    auto p0 = std::chrono::steady_clock::now();
+    exec.matches = p.is_path ? execute_path_pattern(p)
+                             : execute_event_pattern(p);
+    result.stats.per_pattern_ms.push_back(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - p0)
+            .count());
+    result.stats.schedule.push_back(p.id);
+    result.stats.matches_per_pattern.push_back(exec.matches.size());
+    result.stats.pattern_scores.push_back(scores[pick]);
+    result.stats.pattern_used_graph.push_back(p.is_path);
+    result.stats.pattern_was_constrained.push_back(constrained);
+
+    if (options.propagate_constraints) {
+      Binding subj_seen, obj_seen;
+      for (const PatternMatch& m : exec.matches) {
+        subj_seen.insert(m.subject);
+        obj_seen.insert(m.object);
+      }
+      bindings[p.subject.id] = std::move(subj_seen);
+      bindings[p.object.id] = std::move(obj_seen);
+    }
+    executions.push_back(std::move(exec));
+  }
+
+  // --- Consistency join over pattern matches. ---
+  // Join in ascending match-count order: small match sets first prune the
+  // backtracking tree fastest. (Pure optimization; any order yields the
+  // same rows, which the fuzz suite asserts.)
+  std::stable_sort(executions.begin(), executions.end(),
+                   [](const PatternExecution& a, const PatternExecution& b) {
+                     return a.matches.size() < b.matches.size();
+                   });
+  std::map<std::string, EntityId> assignment;
+  std::map<std::string, PatternMatch> chosen;
+  Status join_status = Status::OK();
+
+  // Temporal and attribute-relationship constraints, checked on each fully
+  // assembled row.
+  auto temporal_ok = [&](const std::map<std::string, PatternMatch>& evts) {
+    for (const tbql::TemporalConstraint& tc : query.temporal) {
+      const PatternMatch& a = evts.at(tc.first);
+      const PatternMatch& b = evts.at(tc.second);
+      if (!(a.start_time < b.start_time)) return false;
+    }
+    for (const tbql::AttrRelationship& rel : query.attr_relationships) {
+      const PatternMatch& a = evts.at(rel.first_pattern);
+      const PatternMatch& b = evts.at(rel.second_pattern);
+      EntityId first = rel.first_is_subject ? a.subject : a.object;
+      EntityId second = rel.second_is_subject ? b.subject : b.object;
+      if (first != second) return false;
+    }
+    return true;
+  };
+
+  size_t count = 0;
+  std::function<void(size_t)> join = [&](size_t depth) {
+    if (!join_status.ok() || count >= row_cap) return;
+    if (depth == executions.size()) {
+      if (!temporal_ok(chosen)) return;
+      ++count;
+      if (query.return_count) return;  // only the count is materialized
+      result.bindings.push_back(assignment);
+      result.matches.push_back(chosen);
+      std::vector<std::string> row;
+      for (const tbql::ReturnItem& item : query.returns) {
+        auto it = assignment.find(item.entity_id);
+        if (it == assignment.end()) {
+          row.push_back("?");
+          continue;
+        }
+        row.push_back(
+            EntityAttrValue(log_->entity(it->second), item.attr).ToString());
+      }
+      result.rows.push_back(std::move(row));
+      return;
+    }
+    const PatternExecution& exec = executions[depth];
+    const std::string& subj_id = exec.pattern->subject.id;
+    const std::string& obj_id = exec.pattern->object.id;
+    for (const PatternMatch& m : exec.matches) {
+      auto s_it = assignment.find(subj_id);
+      if (s_it != assignment.end() && s_it->second != m.subject) continue;
+      auto o_it = assignment.find(obj_id);
+      if (o_it != assignment.end() && o_it->second != m.object) continue;
+      bool new_s = s_it == assignment.end();
+      bool new_o = o_it == assignment.end();
+      if (new_s) assignment[subj_id] = m.subject;
+      if (new_o) assignment[obj_id] = m.object;
+      chosen[exec.pattern->id] = m;
+      join(depth + 1);
+      chosen.erase(exec.pattern->id);
+      if (new_s) assignment.erase(subj_id);
+      if (new_o) assignment.erase(obj_id);
+    }
+  };
+  join(0);
+  RAPTOR_RETURN_NOT_OK(join_status);
+  if (query.return_count) {
+    result.rows.push_back({std::to_string(count)});
+  }
+
+  result.stats.relational_rows_touched = rel_->TotalRowsTouched();
+  result.stats.graph_edges_traversed = graph_->stats().edges_traversed;
+  result.stats.total_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+std::vector<EventId> QueryResult::MatchedEvents() const {
+  std::unordered_set<EventId> seen;
+  std::vector<EventId> out;
+  for (const auto& row : matches) {
+    for (const auto& [pattern_id, match] : row) {
+      for (EventId ev : match.events) {
+        if (seen.insert(ev).second) out.push_back(ev);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string QueryResult::ToString() const {
+  std::string out = Join(columns, " | ") + "\n";
+  for (const auto& row : rows) {
+    out += Join(row, " | ") + "\n";
+  }
+  return out;
+}
+
+}  // namespace raptor::engine

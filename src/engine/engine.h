@@ -1,0 +1,121 @@
+// TBQL query execution engine (paper §II-F).
+//
+// Each basic event pattern compiles to a relational plan (entity tables
+// joined with the event table, exactly what the paper compiles to SQL);
+// each variable-length path pattern compiles to a graph search (what the
+// paper compiles to Cypher). The engine computes a pruning score per
+// pattern from its declared constraints (path patterns additionally favor
+// smaller maximum lengths), then schedules execution so that when two
+// patterns share an entity, the higher-scoring one runs first and its
+// results constrain the other (filter propagation). A final consistency
+// join enforces shared-entity identity and the with-clause temporal order.
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "audit/log.h"
+#include "common/result.h"
+#include "storage/graph/graph_store.h"
+#include "storage/relational/database.h"
+#include "tbql/ast.h"
+
+namespace raptor::engine {
+
+/// \brief Execution switches; the defaults are THREATRAPTOR's behavior and
+/// the `false` settings are the unscheduled baseline of bench_execution.
+struct ExecutionOptions {
+  /// Order patterns by pruning score instead of declaration order.
+  bool use_pruning_scores = true;
+  /// Feed each executed pattern's entity bindings into the patterns that
+  /// share those entities.
+  bool propagate_constraints = true;
+  /// Safety cap on joined result rows.
+  size_t max_rows = 1'000'000;
+};
+
+/// \brief One match of one pattern: the event chain (length 1 for basic
+/// patterns) plus its endpoint entities.
+struct PatternMatch {
+  std::vector<audit::EventId> events;  ///< Hops, in order.
+  audit::EntityId subject = audit::kInvalidEntityId;
+  audit::EntityId object = audit::kInvalidEntityId;
+  audit::Timestamp start_time = 0;  ///< Start of the first hop.
+  audit::Timestamp end_time = 0;    ///< End of the final hop.
+};
+
+/// \brief Per-execution measurements, used by the benches.
+struct ExecutionStats {
+  double total_ms = 0;
+  uint64_t relational_rows_touched = 0;
+  uint64_t graph_edges_traversed = 0;
+  /// Pattern ids in the order the scheduler executed them.
+  std::vector<std::string> schedule;
+  /// Matches produced per pattern (same order as `schedule`).
+  std::vector<size_t> matches_per_pattern;
+  /// Static pruning score per executed pattern (same order).
+  std::vector<double> pattern_scores;
+  /// Backend used per executed pattern: true = graph, false = relational.
+  std::vector<bool> pattern_used_graph;
+  /// Wall time per pattern execution, ms (same order).
+  std::vector<double> per_pattern_ms;
+  /// Whether each pattern ran with at least one entity pre-bound by an
+  /// earlier pattern's results (constraint propagation in effect).
+  std::vector<bool> pattern_was_constrained;
+};
+
+/// \brief A fully joined query result.
+struct QueryResult {
+  /// Return-clause column headers ("p1.exename", ...).
+  std::vector<std::string> columns;
+  /// Projected values, one vector per result row.
+  std::vector<std::vector<std::string>> rows;
+  /// Entity bindings per row, keyed by TBQL entity id.
+  std::vector<std::map<std::string, audit::EntityId>> bindings;
+  /// Matched events per row, keyed by pattern id.
+  std::vector<std::map<std::string, PatternMatch>> matches;
+  ExecutionStats stats;
+
+  /// All distinct event ids across every row and pattern (the audit records
+  /// the hunt flags as malicious; benches score these against ground truth).
+  std::vector<audit::EventId> MatchedEvents() const;
+
+  /// Tabular rendering of columns + rows.
+  std::string ToString() const;
+};
+
+/// \brief The execution engine over one loaded trace.
+///
+/// Owns nothing: the audit log, relational database, and graph store must
+/// outlive the engine.
+class QueryEngine {
+ public:
+  QueryEngine(const audit::AuditLog* log, rel::RelationalDatabase* rel_db,
+              graph::GraphStore* graph_db)
+      : log_(log), rel_(rel_db), graph_(graph_db) {}
+
+  /// Executes an analyzed TBQL query. The query must have passed
+  /// tbql::Analyze (the facade and synthesizer guarantee this).
+  Result<QueryResult> Execute(const tbql::Query& query,
+                              const ExecutionOptions& options = {}) const;
+
+  /// Pruning score of one pattern (exposed for tests and benches):
+  /// one point per declared constraint (attribute filters on both entities,
+  /// time window), and for path patterns a penalty growing with the maximum
+  /// path length.
+  static double PruningScore(const tbql::Pattern& pattern);
+
+ private:
+  struct PatternExecution;  // defined in engine.cc
+
+  const audit::AuditLog* log_;
+  rel::RelationalDatabase* rel_;
+  graph::GraphStore* graph_;
+};
+
+}  // namespace raptor::engine

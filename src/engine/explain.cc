@@ -1,0 +1,65 @@
+#include "engine/explain.h"
+
+#include <map>
+
+#include "common/strings.h"
+#include "tbql/printer.h"
+
+namespace raptor::engine {
+
+std::string ExplainAnalyze(const tbql::Query& query,
+                           const QueryResult& result) {
+  std::map<std::string, const tbql::Pattern*> by_id;
+  for (const tbql::Pattern& p : query.patterns) by_id[p.id] = &p;
+
+  std::string out = "EXPLAIN ANALYZE\n";
+  const ExecutionStats& stats = result.stats;
+  for (size_t i = 0; i < stats.schedule.size(); ++i) {
+    const std::string& id = stats.schedule[i];
+    auto it = by_id.find(id);
+    const tbql::Pattern* p = it == by_id.end() ? nullptr : it->second;
+
+    out += StrFormat("  step %zu: %-6s", i + 1, id.c_str());
+    if (p != nullptr) {
+      out += StrFormat("  %s %s %s", tbql::PrintEntity(p->subject).c_str(),
+                       p->is_path
+                           ? StrFormat("~>(%zu~%zu)[%s]", p->min_hops,
+                                       p->max_hops,
+                                       Join(p->op.names, "||").c_str())
+                                 .c_str()
+                           : Join(p->op.names, "||").c_str(),
+                       tbql::PrintEntity(p->object).c_str());
+    }
+    out += "\n";
+    bool graph_backend =
+        i < stats.pattern_used_graph.size() && stats.pattern_used_graph[i];
+    double score =
+        i < stats.pattern_scores.size() ? stats.pattern_scores[i] : 0;
+    bool constrained = i < stats.pattern_was_constrained.size() &&
+                       stats.pattern_was_constrained[i];
+    size_t matches =
+        i < stats.matches_per_pattern.size() ? stats.matches_per_pattern[i]
+                                             : 0;
+    double ms = i < stats.per_pattern_ms.size() ? stats.per_pattern_ms[i] : 0;
+    out += StrFormat(
+        "          backend=%s score=%.1f %s matches=%zu time=%.3fms\n",
+        graph_backend ? "graph (Cypher-equivalent)"
+                      : "relational (SQL-equivalent)",
+        score,
+        constrained ? "constrained-by-propagation" : "unconstrained",
+        matches, ms);
+  }
+  out += StrFormat(
+      "  join: %zu result rows; %zu temporal + %zu attribute constraints\n",
+      result.rows.size(), query.temporal.size(),
+      query.attr_relationships.size());
+  out += StrFormat(
+      "  totals: %.3f ms, %llu relational rows touched, %llu graph edges "
+      "traversed\n",
+      stats.total_ms,
+      static_cast<unsigned long long>(stats.relational_rows_touched),
+      static_cast<unsigned long long>(stats.graph_edges_traversed));
+  return out;
+}
+
+}  // namespace raptor::engine

@@ -1,0 +1,21 @@
+// EXPLAIN ANALYZE rendering: a human-readable account of how the engine
+// executed a TBQL query — per-pattern pruning scores, backend choice,
+// whether constraint propagation narrowed it, match counts and timings,
+// then the totals. The paper's web UI surfaces the execution; this is the
+// library equivalent, also available in the tbql_shell example via
+// `:explain <query>`.
+
+#pragma once
+
+#include <string>
+
+#include "engine/engine.h"
+#include "tbql/ast.h"
+
+namespace raptor::engine {
+
+/// Formats an executed query's plan and measurements.
+std::string ExplainAnalyze(const tbql::Query& query,
+                           const QueryResult& result);
+
+}  // namespace raptor::engine

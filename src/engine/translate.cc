@@ -1,0 +1,212 @@
+#include "engine/translate.h"
+
+#include "common/strings.h"
+
+namespace raptor::engine {
+
+namespace {
+
+const char* EntityTableName(audit::EntityType type) {
+  switch (type) {
+    case audit::EntityType::kFile:
+      return "files";
+    case audit::EntityType::kProcess:
+      return "procs";
+    case audit::EntityType::kNetwork:
+      return "nets";
+  }
+  return "?";
+}
+
+std::string SqlLiteral(const tbql::AttrFilter& f) {
+  if (f.is_string) return "'" + f.string_value + "'";
+  return std::to_string(f.int_value);
+}
+
+std::string SqlOp(rel::CompareOp op) {
+  switch (op) {
+    case rel::CompareOp::kLike:
+      return "LIKE";
+    case rel::CompareOp::kNotLike:
+      return "NOT LIKE";
+    case rel::CompareOp::kNe:
+      return "<>";
+    default:
+      return std::string(rel::CompareOpName(op));
+  }
+}
+
+std::string OpList(const tbql::OpExpr& op) {
+  std::vector<std::string> quoted;
+  for (const std::string& name : op.names) quoted.push_back("'" + name + "'");
+  return Join(quoted, ", ");
+}
+
+}  // namespace
+
+std::string RenderSql(const tbql::Query& query) {
+  std::string sql = "SELECT ";
+  {
+    std::vector<std::string> cols;
+    for (const tbql::ReturnItem& r : query.returns) {
+      cols.push_back(r.entity_id + "." + r.attr);
+    }
+    sql += Join(cols, ", ") + "\n";
+  }
+
+  // FROM: one event-table alias per pattern, one entity-table alias per
+  // distinct entity id.
+  std::vector<std::string> from;
+  std::vector<std::string> where;
+  std::vector<std::string> seen_entities;
+  auto add_entity = [&](const tbql::EntityRef& e) {
+    for (const std::string& s : seen_entities) {
+      if (s == e.id) return;
+    }
+    seen_entities.push_back(e.id);
+    from.push_back(StrFormat("%s AS %s", EntityTableName(e.type),
+                             e.id.c_str()));
+    for (const tbql::AttrFilter& f : e.filters) {
+      where.push_back(StrFormat("%s.%s %s %s", e.id.c_str(), f.attr.c_str(),
+                                SqlOp(f.op).c_str(), SqlLiteral(f).c_str()));
+    }
+  };
+
+  for (const tbql::Pattern& p : query.patterns) {
+    from.push_back("events AS " + p.id);
+    add_entity(p.subject);
+    add_entity(p.object);
+    where.push_back(
+        StrFormat("%s.subject = %s.id", p.id.c_str(), p.subject.id.c_str()));
+    where.push_back(
+        StrFormat("%s.object = %s.id", p.id.c_str(), p.object.id.c_str()));
+    if (p.op.names.size() == 1) {
+      where.push_back(
+          StrFormat("%s.optype = '%s'", p.id.c_str(), p.op.names[0].c_str()));
+    } else {
+      where.push_back(
+          StrFormat("%s.optype IN (%s)", p.id.c_str(), OpList(p.op).c_str()));
+    }
+    if (p.window_start) {
+      where.push_back(StrFormat("%s.starttime >= %lld", p.id.c_str(),
+                                static_cast<long long>(*p.window_start)));
+    }
+    if (p.window_end) {
+      where.push_back(StrFormat("%s.starttime <= %lld", p.id.c_str(),
+                                static_cast<long long>(*p.window_end)));
+    }
+    if (p.is_path) {
+      // SQL cannot express variable-length paths directly; a recursive CTE
+      // per path pattern would be required. Rendered as a comment to keep
+      // the output executable-looking (and to be fair in the conciseness
+      // comparison this counts characters the human must still write).
+      where.push_back(StrFormat(
+          "/* %s requires a WITH RECURSIVE CTE over events (hops %zu..%zu) */",
+          p.id.c_str(), p.min_hops, p.max_hops));
+    }
+  }
+  for (const tbql::TemporalConstraint& tc : query.temporal) {
+    where.push_back(StrFormat("%s.starttime < %s.starttime", tc.first.c_str(),
+                              tc.second.c_str()));
+  }
+  for (const tbql::AttrRelationship& rel : query.attr_relationships) {
+    where.push_back(StrFormat(
+        "%s.%s = %s.%s", rel.first_pattern.c_str(),
+        rel.first_is_subject ? "subject" : "object",
+        rel.second_pattern.c_str(),
+        rel.second_is_subject ? "subject" : "object"));
+  }
+
+  sql += "FROM " + Join(from, ",\n     ") + "\n";
+  sql += "WHERE " + Join(where, "\n  AND ") + ";";
+  return sql;
+}
+
+std::string RenderCypher(const tbql::Query& query) {
+  std::string cy;
+  std::vector<std::string> where;
+  std::vector<std::string> declared;
+  auto entity_node = [&](const tbql::EntityRef& e) {
+    bool first_use = true;
+    for (const std::string& s : declared) {
+      if (s == e.id) first_use = false;
+    }
+    std::string label;
+    switch (e.type) {
+      case audit::EntityType::kFile:
+        label = "File";
+        break;
+      case audit::EntityType::kProcess:
+        label = "Process";
+        break;
+      case audit::EntityType::kNetwork:
+        label = "Connection";
+        break;
+    }
+    if (!first_use) return "(" + e.id + ")";
+    declared.push_back(e.id);
+    for (const tbql::AttrFilter& f : e.filters) {
+      std::string lit = f.is_string ? "'" + f.string_value + "'"
+                                    : std::to_string(f.int_value);
+      if (f.op == rel::CompareOp::kLike) {
+        std::string regex = ReplaceAll(f.string_value, "%", ".*");
+        where.push_back(
+            StrFormat("%s.%s =~ '%s'", e.id.c_str(), f.attr.c_str(),
+                      regex.c_str()));
+      } else {
+        where.push_back(StrFormat("%s.%s %s %s", e.id.c_str(), f.attr.c_str(),
+                                  SqlOp(f.op).c_str(), lit.c_str()));
+      }
+    }
+    return "(" + e.id + ":" + label + ")";
+  };
+
+  for (const tbql::Pattern& p : query.patterns) {
+    std::string subj = entity_node(p.subject);
+    std::string obj = entity_node(p.object);
+    std::string reltypes;
+    for (size_t i = 0; i < p.op.names.size(); ++i) {
+      if (i > 0) reltypes += "|";
+      reltypes += ToLower(p.op.names[i]);
+    }
+    if (p.is_path) {
+      cy += StrFormat("MATCH %s-[:EVENT*%zu..%zu]->%s\n", subj.c_str(),
+                      p.min_hops, p.max_hops, obj.c_str());
+      where.push_back(StrFormat(
+          "last(relationships(%s_path)).optype IN ['%s']", p.id.c_str(),
+          Join(p.op.names, "', '").c_str()));
+    } else {
+      cy += StrFormat("MATCH %s-[%s:EVENT {optype: '%s'}]->%s\n", subj.c_str(),
+                      p.id.c_str(), reltypes.c_str(), obj.c_str());
+    }
+    if (p.window_start) {
+      where.push_back(StrFormat("%s.starttime >= %lld", p.id.c_str(),
+                                static_cast<long long>(*p.window_start)));
+    }
+    if (p.window_end) {
+      where.push_back(StrFormat("%s.starttime <= %lld", p.id.c_str(),
+                                static_cast<long long>(*p.window_end)));
+    }
+  }
+  for (const tbql::TemporalConstraint& tc : query.temporal) {
+    where.push_back(StrFormat("%s.starttime < %s.starttime", tc.first.c_str(),
+                              tc.second.c_str()));
+  }
+  for (const tbql::AttrRelationship& rel : query.attr_relationships) {
+    where.push_back(StrFormat(
+        "id(%sNode(%s)) = id(%sNode(%s))",
+        rel.first_is_subject ? "start" : "end", rel.first_pattern.c_str(),
+        rel.second_is_subject ? "start" : "end", rel.second_pattern.c_str()));
+  }
+  if (!where.empty()) {
+    cy += "WHERE " + Join(where, "\n  AND ") + "\n";
+  }
+  std::vector<std::string> rets;
+  for (const tbql::ReturnItem& r : query.returns) {
+    rets.push_back(r.entity_id + "." + r.attr);
+  }
+  cy += "RETURN " + Join(rets, ", ") + ";";
+  return cy;
+}
+
+}  // namespace raptor::engine

@@ -1,0 +1,25 @@
+// Backend query rendering: the SQL and Cypher text a TBQL query compiles
+// to (paper §II-F). The engine executes the equivalent plans natively; the
+// rendered text is what a human would otherwise have to write by hand, and
+// is what the conciseness comparison (bench_conciseness, E3 in DESIGN.md)
+// measures TBQL against.
+
+#pragma once
+
+#include <string>
+
+#include "tbql/ast.h"
+
+namespace raptor::engine {
+
+/// Renders the SQL a basic event pattern compiles to: the entity tables
+/// joined with the event table, with all filters as WHERE conjuncts. For a
+/// whole query, renders one joined SELECT across all patterns including the
+/// shared-entity equalities and the temporal order conditions.
+std::string RenderSql(const tbql::Query& query);
+
+/// Renders the equivalent Cypher: one MATCH per pattern (path patterns use
+/// Cypher's variable-length relationship syntax), WHERE filters, RETURN.
+std::string RenderCypher(const tbql::Query& query);
+
+}  // namespace raptor::engine

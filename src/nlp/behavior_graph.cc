@@ -1,0 +1,31 @@
+#include "nlp/behavior_graph.h"
+
+#include "common/strings.h"
+
+namespace raptor::nlp {
+
+std::string ThreatBehaviorGraph::ToString() const {
+  std::string out;
+  for (const BehaviorEdge& e : edges_) {
+    out += StrFormat("%d: %s -[%s]-> %s\n", e.sequence,
+                     node(e.src).text.c_str(), e.verb.c_str(),
+                     node(e.dst).text.c_str());
+  }
+  return out;
+}
+
+std::string ThreatBehaviorGraph::ToDot() const {
+  std::string out = "digraph threat_behavior {\n  rankdir=LR;\n";
+  for (const IocEntity& n : nodes_) {
+    out += StrFormat("  n%d [label=\"%s\\n(%s)\"];\n", n.id, n.text.c_str(),
+                     std::string(IocTypeName(n.type)).c_str());
+  }
+  for (const BehaviorEdge& e : edges_) {
+    out += StrFormat("  n%d -> n%d [label=\"%d: %s\"];\n", e.src, e.dst,
+                     e.sequence, e.verb.c_str());
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace raptor::nlp

@@ -1,0 +1,61 @@
+// Threat behavior graph (paper §II-C step 10): the structured output of the
+// extraction pipeline. Nodes are merged IOC entities; edges are extracted
+// IOC relations carrying the lemmatized relation verb and a sequence number
+// that records the step order in the report text.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nlp/ioc.h"
+
+namespace raptor::nlp {
+
+/// \brief One merged IOC entity (node).
+struct IocEntity {
+  int id = -1;
+  IocType type = IocType::kFilepath;
+  std::string text;  ///< Canonical surface form (longest merged variant).
+  std::vector<std::string> aliases;  ///< Other merged surface forms.
+};
+
+/// \brief One extracted IOC relation (edge).
+struct BehaviorEdge {
+  int src = -1;  ///< IocEntity id (the relation's subject).
+  int dst = -1;  ///< IocEntity id (the relation's object).
+  std::string verb;  ///< Lemmatized relation verb ("read", "download", ...).
+  int sequence = 0;  ///< 1-based step order by verb occurrence offset.
+  size_t text_offset = 0;  ///< Offset of the relation verb in the document.
+};
+
+/// \brief The threat behavior graph.
+class ThreatBehaviorGraph {
+ public:
+  int AddNode(IocEntity node) {
+    node.id = static_cast<int>(nodes_.size());
+    nodes_.push_back(std::move(node));
+    return nodes_.back().id;
+  }
+
+  void AddEdge(BehaviorEdge edge) { edges_.push_back(std::move(edge)); }
+
+  const std::vector<IocEntity>& nodes() const { return nodes_; }
+  const std::vector<BehaviorEdge>& edges() const { return edges_; }
+  const IocEntity& node(int id) const { return nodes_[static_cast<size_t>(id)]; }
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// One edge per line: "3: /bin/tar -[read]-> /etc/passwd".
+  std::string ToString() const;
+
+  /// Graphviz dot rendering (the paper's Figure 2 visual).
+  std::string ToDot() const;
+
+ private:
+  std::vector<IocEntity> nodes_;
+  std::vector<BehaviorEdge> edges_;
+};
+
+}  // namespace raptor::nlp

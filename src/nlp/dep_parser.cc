@@ -1,0 +1,335 @@
+#include "nlp/dep_parser.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace raptor::nlp {
+
+namespace {
+
+bool IsNpToken(const Token& t) {
+  return t.pos == Pos::kDet || t.pos == Pos::kAdj || t.pos == Pos::kNum ||
+         t.pos == Pos::kNoun || t.pos == Pos::kPron;
+}
+
+bool IsNpHeadToken(const Token& t) {
+  return t.pos == Pos::kNoun || t.pos == Pos::kPron;
+}
+
+/// A chunked noun phrase: token range [begin, end) with head index.
+struct NounPhrase {
+  int begin = 0;
+  int end = 0;
+  int head = -1;
+  bool attached = false;
+};
+
+}  // namespace
+
+DepTree ParseDependency(std::vector<Token> tokens, const Lexicon& lexicon) {
+  DepTree tree;
+  tree.nodes.reserve(tokens.size());
+  for (auto& t : tokens) {
+    DepNode n;
+    n.token = std::move(t);
+    tree.nodes.push_back(std::move(n));
+  }
+  const int n = static_cast<int>(tree.nodes.size());
+  if (n == 0) return tree;
+
+  auto pos_of = [&](int i) { return tree.nodes[i].token.pos; };
+  auto lemma_of = [&](int i) -> const std::string& {
+    return tree.nodes[i].token.lemma;
+  };
+
+  // --- Verbs and clause structure. ---
+  std::vector<int> verbs;
+  for (int i = 0; i < n; ++i) {
+    if (pos_of(i) == Pos::kVerb) verbs.push_back(i);
+  }
+
+  // Degenerate sentence with no full verb: promote an auxiliary, else root
+  // the first contentful token and attach the rest flat.
+  if (verbs.empty()) {
+    int root = -1;
+    for (int i = 0; i < n; ++i) {
+      if (pos_of(i) == Pos::kAux) {
+        root = i;
+        break;
+      }
+    }
+    if (root < 0) {
+      for (int i = 0; i < n; ++i) {
+        if (pos_of(i) != Pos::kPunct) {
+          root = i;
+          break;
+        }
+      }
+    }
+    if (root < 0) root = 0;
+    tree.root = root;
+    tree.nodes[root].rel = DepRel::kRoot;
+    for (int i = 0; i < n; ++i) {
+      if (i == root) continue;
+      tree.nodes[i].head = root;
+      tree.nodes[i].rel =
+          pos_of(i) == Pos::kPunct ? DepRel::kPunct : DepRel::kDep;
+    }
+    tree.RebuildChildren();
+    return tree;
+  }
+
+  tree.root = verbs[0];
+  tree.nodes[verbs[0]].rel = DepRel::kRoot;
+  for (size_t v = 1; v < verbs.size(); ++v) {
+    tree.nodes[verbs[v]].head = verbs[v - 1];
+    tree.nodes[verbs[v]].rel = DepRel::kConj;
+  }
+
+  // Passive detection: a "be"-auxiliary directly governing the verb.
+  std::vector<bool> passive(static_cast<size_t>(n), false);
+  for (int vi : verbs) {
+    for (int i = vi - 1; i >= 0; --i) {
+      Pos p = pos_of(i);
+      if (p == Pos::kAdv || p == Pos::kPart) continue;
+      if (p == Pos::kAux) {
+        tree.nodes[i].head = vi;
+        bool is_be = lemma_of(i) == "be" ||
+                     lexicon.LemmatizeVerb(ToLower(tree.nodes[i].token.text)) ==
+                         "be";
+        tree.nodes[i].rel = is_be ? DepRel::kAuxPass : DepRel::kAux;
+        if (is_be) passive[static_cast<size_t>(vi)] = true;
+      }
+      break;
+    }
+  }
+
+  // --- Noun phrase chunking. ---
+  std::vector<NounPhrase> nps;
+  {
+    int i = 0;
+    while (i < n) {
+      if (!IsNpToken(tree.nodes[i].token) || pos_of(i) == Pos::kVerb ||
+          tree.nodes[i].head >= 0) {
+        ++i;
+        continue;
+      }
+      NounPhrase np;
+      np.begin = i;
+      while (i < n && IsNpToken(tree.nodes[i].token) &&
+             tree.nodes[i].head < 0) {
+        if (IsNpHeadToken(tree.nodes[i].token)) np.head = i;
+        ++i;
+      }
+      np.end = i;
+      if (np.head < 0) continue;  // determiner-only run; left for cleanup
+      // Intra-NP attachments.
+      for (int j = np.begin; j < np.end; ++j) {
+        if (j == np.head) continue;
+        tree.nodes[j].head = np.head;
+        switch (pos_of(j)) {
+          case Pos::kDet:
+            tree.nodes[j].rel = DepRel::kDet;
+            break;
+          case Pos::kAdj:
+          case Pos::kNum:
+            tree.nodes[j].rel = DepRel::kAmod;
+            break;
+          default:
+            tree.nodes[j].rel = DepRel::kCompound;
+            break;
+        }
+      }
+      nps.push_back(np);
+    }
+  }
+
+  // --- Subject assignment: for each clause verb, the last unattached NP
+  // between the previous verb and it that is not governed by a preposition.
+  auto np_preceded_by_adp = [&](const NounPhrase& np) {
+    for (int i = np.begin - 1; i >= 0; --i) {
+      Pos p = pos_of(i);
+      if (p == Pos::kPunct) continue;
+      return p == Pos::kAdp;
+    }
+    return false;
+  };
+  // An NP is a subject candidate only when it sits adjacent to its verb:
+  // everything between the NP and the verb must be an adverb, auxiliary,
+  // particle, or punctuation. This keeps the previous clause's object from
+  // being mistaken for the subject of a coordinated verb ("read X and
+  // wrote Z" shares the subject; X is not the subject of "wrote").
+  auto adjacent_to_verb = [&](const NounPhrase& np, int vi) {
+    for (int i = np.end; i < vi; ++i) {
+      Pos p = pos_of(i);
+      if (p != Pos::kAdv && p != Pos::kAux && p != Pos::kPart &&
+          p != Pos::kPunct) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (size_t v = 0; v < verbs.size(); ++v) {
+    int vi = verbs[v];
+    int prev = (v == 0) ? -1 : verbs[v - 1];
+    int chosen = -1;
+    for (size_t k = 0; k < nps.size(); ++k) {
+      const NounPhrase& np = nps[k];
+      if (np.attached || np.head > vi || np.end > vi) continue;
+      if (np.begin <= prev) continue;
+      if (np_preceded_by_adp(np)) continue;
+      if (!adjacent_to_verb(np, vi)) continue;
+      chosen = static_cast<int>(k);
+    }
+    if (chosen >= 0) {
+      NounPhrase& np = nps[static_cast<size_t>(chosen)];
+      np.attached = true;
+      tree.nodes[np.head].head = vi;
+      tree.nodes[np.head].rel = passive[static_cast<size_t>(vi)]
+                                    ? DepRel::kNsubjPass
+                                    : DepRel::kNsubj;
+      // Earlier unattached NPs in the same window coordinate with the
+      // subject ("X and Y connected ...").
+      for (auto& other : nps) {
+        if (!other.attached && other.begin > prev && other.end <= np.begin) {
+          other.attached = true;
+          tree.nodes[other.head].head = np.head;
+          tree.nodes[other.head].rel = DepRel::kConj;
+        }
+      }
+    }
+  }
+
+  // --- Remaining NPs: prepositional objects, direct objects, conjuncts.
+  auto nearest_verb_left = [&](int i) {
+    int best = -1;
+    for (int vi : verbs) {
+      if (vi < i) best = vi;
+    }
+    return best;
+  };
+  std::vector<int> last_object_of(static_cast<size_t>(n), -1);  // verb -> dobj
+
+  for (auto& np : nps) {
+    if (np.attached) continue;
+    np.attached = true;
+    int head = np.head;
+
+    // Look left, skipping punctuation, for the attachment cue.
+    int cue = -1;
+    for (int i = np.begin - 1; i >= 0; --i) {
+      if (pos_of(i) == Pos::kPunct) continue;
+      cue = i;
+      break;
+    }
+
+    if (cue >= 0 && pos_of(cue) == Pos::kAdp) {
+      // Prepositional phrase: prep attaches to the governing verb (or the
+      // previous NP head when no verb precedes), NP head becomes pobj.
+      int gov = nearest_verb_left(cue);
+      if (gov < 0) {
+        // Attach to the nearest attached NP head on the left.
+        for (int i = cue - 1; i >= 0 && gov < 0; --i) {
+          if (IsNpHeadToken(tree.nodes[i].token) && tree.nodes[i].head >= 0) {
+            gov = i;
+          }
+        }
+      }
+      if (gov < 0) gov = tree.root;
+      tree.nodes[cue].head = gov;
+      tree.nodes[cue].rel = DepRel::kPrep;
+      tree.nodes[head].head = cue;
+      tree.nodes[head].rel = DepRel::kPobj;
+      continue;
+    }
+
+    if (cue >= 0 && pos_of(cue) == Pos::kConj) {
+      // NP coordination: attach to the most recent attached NP head left of
+      // the conjunction (and after the nearest verb), cc to this conjunct.
+      int partner = -1;
+      for (int i = cue - 1; i >= 0; --i) {
+        if (IsNpHeadToken(tree.nodes[i].token) && tree.nodes[i].head >= 0 &&
+            (tree.nodes[i].rel == DepRel::kDobj ||
+             tree.nodes[i].rel == DepRel::kPobj ||
+             tree.nodes[i].rel == DepRel::kNsubj ||
+             tree.nodes[i].rel == DepRel::kConj)) {
+          partner = i;
+          break;
+        }
+        if (pos_of(i) == Pos::kVerb) break;
+      }
+      if (partner >= 0) {
+        tree.nodes[head].head = partner;
+        tree.nodes[head].rel = DepRel::kConj;
+        tree.nodes[cue].head = head;
+        tree.nodes[cue].rel = DepRel::kCc;
+        continue;
+      }
+    }
+
+    // Direct object of the nearest verb on the left; a second bare NP after
+    // the same verb coordinates with the first.
+    int gov = nearest_verb_left(np.begin);
+    if (gov < 0) gov = tree.root;
+    if (last_object_of[static_cast<size_t>(gov)] >= 0) {
+      tree.nodes[head].head = last_object_of[static_cast<size_t>(gov)];
+      tree.nodes[head].rel = DepRel::kConj;
+    } else {
+      tree.nodes[head].head = gov;
+      tree.nodes[head].rel = DepRel::kDobj;
+      last_object_of[static_cast<size_t>(gov)] = head;
+    }
+  }
+
+  // --- Cleanup: attach every remaining headless token. ---
+  for (int i = 0; i < n; ++i) {
+    if (i == tree.root || tree.nodes[i].head >= 0) continue;
+    DepNode& node = tree.nodes[i];
+    switch (pos_of(i)) {
+      case Pos::kAdv: {
+        int gov = nearest_verb_left(i);
+        if (gov < 0) gov = verbs[0];
+        node.head = gov;
+        node.rel = DepRel::kAdvmod;
+        break;
+      }
+      case Pos::kPart: {
+        // "to" before an infinitive: mark of the following verb.
+        int gov = -1;
+        for (int vi : verbs) {
+          if (vi > i) {
+            gov = vi;
+            break;
+          }
+        }
+        node.head = gov >= 0 ? gov : tree.root;
+        node.rel = DepRel::kMark;
+        break;
+      }
+      case Pos::kPunct:
+        node.head = tree.root;
+        node.rel = DepRel::kPunct;
+        break;
+      case Pos::kConj:
+        node.head = tree.root;
+        node.rel = DepRel::kCc;
+        break;
+      case Pos::kAdp: {
+        int gov = nearest_verb_left(i);
+        node.head = gov >= 0 ? gov : tree.root;
+        node.rel = DepRel::kPrep;
+        break;
+      }
+      default:
+        node.head = tree.root;
+        node.rel = DepRel::kDep;
+        break;
+    }
+  }
+
+  tree.RebuildChildren();
+  return tree;
+}
+
+}  // namespace raptor::nlp

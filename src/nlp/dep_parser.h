@@ -1,0 +1,28 @@
+// Deterministic rule-based dependency parser (paper §II-C step 3; spaCy
+// parser stand-in, see DESIGN.md "Substitutions").
+//
+// OSCTI report prose is overwhelmingly simple declarative English —
+// "<subject NP> <verb> <object NP> (<prep> <NP>)* (and <verb> ...)". A
+// head-rule parser that (a) chunks noun phrases, (b) assigns one subject
+// per clause verb, (c) attaches objects and prepositional phrases to the
+// nearest governing verb, and (d) chains coordinated verbs with conj edges
+// recovers exactly the dependency structure the relation-extraction rules
+// (step 8) consult. Crucially it operates on IOC-protected text, so noun
+// phrases are clean ("the file something") — disabling protection is what
+// breaks it, which is the paper's ablation.
+
+#pragma once
+
+#include <vector>
+
+#include "nlp/dep_tree.h"
+#include "nlp/lexicon.h"
+#include "nlp/text.h"
+
+namespace raptor::nlp {
+
+/// Parses one tagged sentence into a dependency tree. Tokens must already
+/// have POS tags and lemmas (see TagPos).
+DepTree ParseDependency(std::vector<Token> tokens, const Lexicon& lexicon);
+
+}  // namespace raptor::nlp

@@ -1,0 +1,136 @@
+#include "nlp/dep_tree.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace raptor::nlp {
+
+std::string_view DepRelName(DepRel rel) {
+  switch (rel) {
+    case DepRel::kRoot:
+      return "root";
+    case DepRel::kNsubj:
+      return "nsubj";
+    case DepRel::kNsubjPass:
+      return "nsubjpass";
+    case DepRel::kDobj:
+      return "dobj";
+    case DepRel::kPrep:
+      return "prep";
+    case DepRel::kPobj:
+      return "pobj";
+    case DepRel::kDet:
+      return "det";
+    case DepRel::kAmod:
+      return "amod";
+    case DepRel::kCompound:
+      return "compound";
+    case DepRel::kAdvmod:
+      return "advmod";
+    case DepRel::kAux:
+      return "aux";
+    case DepRel::kAuxPass:
+      return "auxpass";
+    case DepRel::kConj:
+      return "conj";
+    case DepRel::kCc:
+      return "cc";
+    case DepRel::kMark:
+      return "mark";
+    case DepRel::kPunct:
+      return "punct";
+    case DepRel::kDep:
+      return "dep";
+  }
+  return "?";
+}
+
+void DepTree::RebuildChildren() {
+  for (auto& n : nodes) n.children.clear();
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    int head = nodes[i].head;
+    if (head >= 0) nodes[head].children.push_back(static_cast<int>(i));
+  }
+}
+
+std::vector<int> DepTree::PathToRoot(int i) const {
+  std::vector<int> path;
+  int cur = i;
+  while (cur >= 0 && path.size() <= nodes.size()) {
+    path.push_back(cur);
+    cur = nodes[cur].head;
+  }
+  return path;
+}
+
+int DepTree::Lca(int a, int b) const {
+  std::vector<int> pa = PathToRoot(a);
+  std::vector<int> pb = PathToRoot(b);
+  // Walk from the root ends while they agree.
+  int lca = -1;
+  auto ia = pa.rbegin();
+  auto ib = pb.rbegin();
+  while (ia != pa.rend() && ib != pb.rend() && *ia == *ib) {
+    lca = *ia;
+    ++ia;
+    ++ib;
+  }
+  return lca;
+}
+
+std::string DepTree::ToString() const {
+  std::string out;
+  // Depth-first from root for a readable indented dump.
+  std::vector<std::pair<int, int>> stack;  // (node, depth)
+  if (root >= 0) stack.emplace_back(root, 0);
+  while (!stack.empty()) {
+    auto [i, depth] = stack.back();
+    stack.pop_back();
+    const DepNode& n = nodes[static_cast<size_t>(i)];
+    out += std::string(static_cast<size_t>(depth) * 2, ' ');
+    out += StrFormat("%s/%s (%s)%s%s\n", n.token.text.c_str(),
+                     std::string(PosName(n.token.pos)).c_str(),
+                     std::string(DepRelName(n.rel)).c_str(),
+                     n.is_ioc ? " [IOC]" : "", n.removed ? " [removed]" : "");
+    // Push children in reverse so they pop in order.
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.emplace_back(*it, depth + 1);
+    }
+  }
+  return out;
+}
+
+std::string_view PosName(Pos pos) {
+  switch (pos) {
+    case Pos::kNoun:
+      return "NOUN";
+    case Pos::kVerb:
+      return "VERB";
+    case Pos::kAux:
+      return "AUX";
+    case Pos::kPron:
+      return "PRON";
+    case Pos::kDet:
+      return "DET";
+    case Pos::kAdp:
+      return "ADP";
+    case Pos::kAdj:
+      return "ADJ";
+    case Pos::kAdv:
+      return "ADV";
+    case Pos::kConj:
+      return "CONJ";
+    case Pos::kNum:
+      return "NUM";
+    case Pos::kPart:
+      return "PART";
+    case Pos::kPunct:
+      return "PUNCT";
+    case Pos::kOther:
+      return "X";
+  }
+  return "?";
+}
+
+}  // namespace raptor::nlp

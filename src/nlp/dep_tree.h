@@ -1,0 +1,92 @@
+// Dependency tree representation plus the annotations the pipeline stages
+// attach (paper §II-C steps 3-6).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nlp/ioc.h"
+#include "nlp/text.h"
+
+namespace raptor::nlp {
+
+/// Dependency relations (the subset the extraction rules consult).
+enum class DepRel : uint8_t {
+  kRoot,
+  kNsubj,      ///< Active-voice subject.
+  kNsubjPass,  ///< Passive-voice subject.
+  kDobj,       ///< Direct object.
+  kPrep,       ///< Preposition attached to a verb or noun.
+  kPobj,       ///< Object of a preposition.
+  kDet,
+  kAmod,
+  kCompound,   ///< Noun-noun modifier ("the process X": process -> X).
+  kAdvmod,
+  kAux,
+  kAuxPass,
+  kConj,
+  kCc,
+  kMark,       ///< "to" before an infinitive, subordinators.
+  kPunct,
+  kDep,        ///< Unclassified attachment.
+};
+
+std::string_view DepRelName(DepRel rel);
+
+/// \brief One node of a dependency tree with pipeline annotations.
+struct DepNode {
+  Token token;
+  int head = -1;  ///< Parent node index; -1 for the root.
+  DepRel rel = DepRel::kDep;
+  std::vector<int> children;
+
+  // --- Stage 3: IOC restoration (RemoveIocProtection). ---
+  bool is_ioc = false;
+  IocSpan ioc;  ///< Valid when is_ioc.
+
+  // --- Stage 4: tree annotation. ---
+  bool is_relation_verb_candidate = false;
+  bool is_pronoun_mention = false;  ///< Pronoun that may corefer to an IOC.
+  /// Any node that may corefer to an IOC: pronouns plus definite NP heads
+  /// like "the archive" / "the C2 server". Simplification keeps these.
+  bool is_coref_candidate = false;
+
+  // --- Stage 6/7: coreference and merge results. ---
+  /// Index into the pipeline's global merged IOC list; -1 until resolved.
+  /// Set for IOC nodes (their merged identity) and for coreferring
+  /// pronouns (their antecedent's identity).
+  int resolved_ioc = -1;
+
+  // --- Stage 5: tree simplification. ---
+  bool removed = false;
+};
+
+/// \brief A parsed sentence as a dependency tree.
+struct DepTree {
+  std::vector<DepNode> nodes;
+  int root = -1;
+  /// Char offset of the sentence within its block (for global ordering).
+  size_t sentence_offset = 0;
+  /// Char offset of the block within the document.
+  size_t block_offset = 0;
+
+  /// Global document offset of node `i`'s token.
+  size_t GlobalOffset(int i) const {
+    return block_offset + sentence_offset + nodes[i].token.offset;
+  }
+
+  /// Recomputes every node's children list from the head pointers.
+  void RebuildChildren();
+
+  /// Node indexes from `i` up to the root, inclusive of both.
+  std::vector<int> PathToRoot(int i) const;
+
+  /// Lowest common ancestor of `a` and `b` (possibly a or b itself).
+  int Lca(int a, int b) const;
+
+  /// Indented one-node-per-line rendering for debugging and tests.
+  std::string ToString() const;
+};
+
+}  // namespace raptor::nlp

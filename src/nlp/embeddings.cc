@@ -1,0 +1,46 @@
+#include "nlp/embeddings.h"
+
+namespace raptor::nlp {
+
+namespace {
+
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Embedding EmbedWord(std::string_view word) {
+  Embedding v{};
+  for (size_t n : {size_t{3}, size_t{4}}) {
+    if (word.size() < n) continue;
+    for (size_t i = 0; i + n <= word.size(); ++i) {
+      uint64_t h = Fnv1a(word.substr(i, n));
+      size_t bucket = h % kEmbeddingDim;
+      float sign = ((h >> 32) & 1) ? 1.0f : -1.0f;
+      v[bucket] += sign;
+    }
+  }
+  double norm = 0;
+  for (float x : v) norm += static_cast<double>(x) * x;
+  if (norm > 0) {
+    float inv = static_cast<float>(1.0 / std::sqrt(norm));
+    for (float& x : v) x *= inv;
+  }
+  return v;
+}
+
+double CosineSimilarity(const Embedding& a, const Embedding& b) {
+  double dot = 0;
+  for (size_t i = 0; i < kEmbeddingDim; ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+  }
+  return dot;
+}
+
+}  // namespace raptor::nlp

@@ -1,0 +1,29 @@
+// Hashed character-n-gram word vectors (spaCy word-vector stand-in).
+//
+// The IOC scan-and-merge stage (paper §II-C step 7) merges similar IOCs
+// "based on both the character-level overlap and the word vector
+// similarities". These vectors give the second signal: two strings that
+// share many character 3-4-grams land close in cosine space, which catches
+// variants like "/tmp/payload_v2.bin" vs "/tmp/payload.bin".
+
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+
+namespace raptor::nlp {
+
+inline constexpr size_t kEmbeddingDim = 64;
+
+using Embedding = std::array<float, kEmbeddingDim>;
+
+/// Builds the hashed n-gram embedding of `word` (3- and 4-grams, FNV-1a
+/// hashed into kEmbeddingDim signed buckets, L2-normalized).
+Embedding EmbedWord(std::string_view word);
+
+/// Cosine similarity in [-1, 1]; 0 when either vector is zero.
+double CosineSimilarity(const Embedding& a, const Embedding& b);
+
+}  // namespace raptor::nlp

@@ -1,0 +1,181 @@
+#include "nlp/ioc.h"
+
+#include <algorithm>
+#include <regex>
+
+namespace raptor::nlp {
+
+std::string_view IocTypeName(IocType type) {
+  switch (type) {
+    case IocType::kFilepath:
+      return "Filepath";
+    case IocType::kFilename:
+      return "Filename";
+    case IocType::kIp:
+      return "IP";
+    case IocType::kUrl:
+      return "URL";
+    case IocType::kDomain:
+      return "Domain";
+    case IocType::kEmail:
+      return "Email";
+    case IocType::kHashMd5:
+      return "MD5";
+    case IocType::kHashSha1:
+      return "SHA1";
+    case IocType::kHashSha256:
+      return "SHA256";
+    case IocType::kRegistry:
+      return "Registry";
+    case IocType::kCve:
+      return "CVE";
+  }
+  return "?";
+}
+
+Result<IocType> ParseIocType(std::string_view name) {
+  static const struct {
+    std::string_view name;
+    IocType type;
+  } kTable[] = {
+      {"Filepath", IocType::kFilepath}, {"Filename", IocType::kFilename},
+      {"IP", IocType::kIp},             {"URL", IocType::kUrl},
+      {"Domain", IocType::kDomain},     {"Email", IocType::kEmail},
+      {"MD5", IocType::kHashMd5},       {"SHA1", IocType::kHashSha1},
+      {"SHA256", IocType::kHashSha256}, {"Registry", IocType::kRegistry},
+      {"CVE", IocType::kCve},
+  };
+  for (const auto& row : kTable) {
+    if (row.name == name) return row.type;
+  }
+  return Status::ParseError("unknown IOC type: " + std::string(name));
+}
+
+struct IocRecognizer::Rule {
+  IocType type;
+  int priority;  ///< Lower wins ties at the same offset and length.
+  std::regex pattern;
+};
+
+IocRecognizer::IocRecognizer() {
+  auto add = [this](IocType type, int priority, const char* re) {
+    rules_.push_back(Rule{
+        type, priority,
+        std::regex(re, std::regex::ECMAScript | std::regex::optimize)});
+  };
+  add(IocType::kCve, 0, R"(CVE-\d{4}-\d{4,7})");
+  add(IocType::kUrl, 1, R"(https?://[^\s"'<>)\],]+)");
+  add(IocType::kEmail, 2, R"([A-Za-z0-9._%+-]+@[A-Za-z0-9-]+(\.[A-Za-z0-9-]+)+)");
+  add(IocType::kIp, 3,
+      R"((\d{1,3}\.){3}\d{1,3}(:\d{1,5})?)");
+  add(IocType::kHashSha256, 4, R"([a-fA-F0-9]{64})");
+  add(IocType::kHashSha1, 5, R"([a-fA-F0-9]{40})");
+  add(IocType::kHashMd5, 6, R"([a-fA-F0-9]{32})");
+  add(IocType::kRegistry, 7,
+      R"(HK(LM|CU|CR|U|CC)(\\[A-Za-z0-9_.\-{}]+)+)");
+  // Unix absolute paths (at least one segment) and Windows drive paths.
+  add(IocType::kFilepath, 8,
+      R"((/[A-Za-z0-9._+\-]+)+/?|[A-Za-z]:(\\[A-Za-z0-9._+\-]+)+)");
+  add(IocType::kFilename, 9,
+      R"([A-Za-z0-9_\-.]+\.(exe|dll|sys|sh|py|doc|docx|xls|pdf|zip|tar|gz|jpg|jpeg|png|txt|bat|ps1|js|vbs|jar|php|rar|7z|bin|elf|img|iso|apk|scr))");
+  add(IocType::kDomain, 10,
+      R"(([a-z0-9][a-z0-9\-]*\.)+(com|net|org|io|ru|cn|info|biz|co|onion|xyz|top|site|edu|gov))");
+}
+
+IocRecognizer::~IocRecognizer() = default;
+
+std::vector<IocSpan> IocRecognizer::Recognize(std::string_view text) const {
+  struct Candidate {
+    IocSpan span;
+    int priority;
+  };
+  std::vector<Candidate> candidates;
+  for (const Rule& rule : rules_) {
+    auto begin = std::cregex_iterator(text.data(), text.data() + text.size(),
+                                      rule.pattern);
+    auto end = std::cregex_iterator();
+    for (auto it = begin; it != end; ++it) {
+      const std::cmatch& m = *it;
+      IocSpan span;
+      span.offset = static_cast<size_t>(m.position(0));
+      span.length = static_cast<size_t>(m.length(0));
+      span.type = rule.type;
+      span.text = m.str(0);
+      // A trailing '.' on a path/IP/domain is sentence punctuation, not part
+      // of the indicator.
+      while (!span.text.empty() && span.text.back() == '.') {
+        span.text.pop_back();
+        --span.length;
+      }
+      if (span.length == 0) continue;
+      // Hash rules must match standalone hex runs, not substrings of longer
+      // ones; filenames/domains must not start mid-word.
+      if (span.offset > 0) {
+        char prev = text[span.offset - 1];
+        bool word_prev = std::isalnum(static_cast<unsigned char>(prev)) ||
+                         prev == '.' || prev == '/' || prev == '-' ||
+                         prev == '_';
+        if (word_prev) continue;
+      }
+      if (span.offset + span.length < text.size()) {
+        char next = text[span.offset + span.length];
+        bool word_next = std::isalnum(static_cast<unsigned char>(next));
+        if (word_next && (rule.type == IocType::kHashMd5 ||
+                          rule.type == IocType::kHashSha1 ||
+                          rule.type == IocType::kHashSha256 ||
+                          rule.type == IocType::kIp)) {
+          continue;
+        }
+      }
+      candidates.push_back(Candidate{std::move(span), rule.priority});
+    }
+  }
+
+  // Longest-match-wins overlap resolution, priority breaking ties.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.span.offset != b.span.offset) {
+                return a.span.offset < b.span.offset;
+              }
+              if (a.span.length != b.span.length) {
+                return a.span.length > b.span.length;
+              }
+              return a.priority < b.priority;
+            });
+  std::vector<IocSpan> out;
+  size_t covered_until = 0;
+  for (auto& c : candidates) {
+    if (c.span.offset < covered_until) continue;
+    covered_until = c.span.offset + c.span.length;
+    out.push_back(std::move(c.span));
+  }
+  return out;
+}
+
+const ProtectedText::Replacement* ProtectedText::FindAtOffset(
+    size_t offset) const {
+  for (const auto& r : replacements) {
+    if (r.offset == offset) return &r;
+  }
+  return nullptr;
+}
+
+ProtectedText ProtectIocs(std::string_view text,
+                          const IocRecognizer& recognizer) {
+  ProtectedText out;
+  std::vector<IocSpan> spans = recognizer.Recognize(text);
+  size_t consumed = 0;
+  for (IocSpan& span : spans) {
+    out.text.append(text.substr(consumed, span.offset - consumed));
+    ProtectedText::Replacement repl;
+    repl.offset = out.text.size();
+    consumed = span.offset + span.length;
+    repl.ioc = std::move(span);
+    out.text.append(kIocDummy);
+    out.replacements.push_back(std::move(repl));
+  }
+  out.text.append(text.substr(consumed));
+  return out;
+}
+
+}  // namespace raptor::nlp

@@ -1,0 +1,87 @@
+// IOC recognition and IOC protection (paper §II-C steps 2-3).
+//
+// OSCTI text is full of indicators whose special characters (dots, slashes,
+// underscores) break general-purpose NLP modules: "/etc/passwd." ends a
+// sentence but tokenizers split the path, and "161.35.10.8" looks like four
+// sentence boundaries. The paper's fix — the key accuracy lever — is to
+// recognize IOCs with regex rules first and replace each with the dummy
+// word "something" before segmentation and parsing, then restore them in
+// the parsed trees (IOC protection).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace raptor::nlp {
+
+/// IOC categories recognized by the regex rule set.
+enum class IocType : uint8_t {
+  kFilepath,
+  kFilename,
+  kIp,
+  kUrl,
+  kDomain,
+  kEmail,
+  kHashMd5,
+  kHashSha1,
+  kHashSha256,
+  kRegistry,
+  kCve,
+};
+
+std::string_view IocTypeName(IocType type);
+Result<IocType> ParseIocType(std::string_view name);
+
+/// \brief One recognized indicator occurrence in a text.
+struct IocSpan {
+  size_t offset = 0;  ///< Char offset in the input text.
+  size_t length = 0;
+  IocType type = IocType::kFilepath;
+  std::string text;
+};
+
+/// \brief Regex-rule IOC recognizer.
+class IocRecognizer {
+ public:
+  IocRecognizer();
+
+  /// Finds all IOC occurrences, left to right, non-overlapping (longest
+  /// match wins on overlap; higher-priority types win ties).
+  std::vector<IocSpan> Recognize(std::string_view text) const;
+
+ private:
+  struct Rule;
+  std::vector<Rule> rules_;
+
+ public:
+  ~IocRecognizer();
+};
+
+/// The dummy word substituted for each IOC (paper §II-C step 2).
+inline constexpr std::string_view kIocDummy = "something";
+
+/// \brief A block of text after IOC protection, with enough bookkeeping to
+/// restore the original IOCs after parsing.
+struct ProtectedText {
+  std::string text;  ///< Input with every IOC replaced by kIocDummy.
+  /// Index i holds the IOC that the i-th dummy occurrence replaced, plus the
+  /// dummy's char offset in `text`.
+  struct Replacement {
+    size_t offset;  ///< Offset of the dummy word in `text`.
+    IocSpan ioc;
+  };
+  std::vector<Replacement> replacements;
+
+  /// Returns the replacement whose dummy occupies `offset`, or nullptr.
+  const Replacement* FindAtOffset(size_t offset) const;
+};
+
+/// Recognizes IOCs in `text` and replaces each with kIocDummy.
+ProtectedText ProtectIocs(std::string_view text,
+                          const IocRecognizer& recognizer);
+
+}  // namespace raptor::nlp

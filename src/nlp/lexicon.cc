@@ -1,0 +1,225 @@
+#include "nlp/lexicon.h"
+
+namespace raptor::nlp {
+
+namespace {
+
+const char* const kDeterminers[] = {
+    "the", "a", "an", "this", "that", "these", "those", "some", "any",
+    "each", "every", "all", "both", "no", "another", "such", "its",
+    "their", "his", "her", "our", "your",
+};
+
+const char* const kPronouns[] = {
+    "it", "he", "she", "they", "them", "him", "who", "whom", "which",
+    "itself", "themselves", "something", "anything", "everything", "one",
+};
+
+const char* const kPrepositions[] = {
+    "of",      "to",     "from",   "in",     "into",    "on",     "onto",
+    "at",      "by",     "with",   "without", "against", "over",  "via",
+    "through", "for",    "after",  "before",  "during",  "within", "under",
+    "between", "back",   "across", "toward",  "towards", "inside", "behind",
+    "about",   "off",    "up",     "down",    "out",     "as",
+};
+
+const char* const kConjunctions[] = {
+    "and", "or", "but", "nor", "so", "yet", "while", "when", "where",
+    "because", "if", "although", "though", "since", "until", "whereas",
+    "once",
+};
+
+const char* const kAuxiliaries[] = {
+    "is", "are", "was", "were", "be", "been", "being", "am",
+    "has", "have", "had", "having", "does", "do", "did", "doing",
+    "will", "would", "shall", "should", "can", "could", "may", "might",
+    "must",
+};
+
+const char* const kAdverbs[] = {
+    "then", "finally", "first", "next", "also", "later", "subsequently",
+    "additionally", "furthermore", "however", "remotely", "successfully",
+    "afterwards", "afterward", "eventually", "immediately", "initially",
+    "meanwhile", "moreover", "previously", "quickly", "silently",
+    "specifically", "repeatedly", "periodically", "not", "never", "again",
+    "already", "still", "often", "early",
+};
+
+// Base-form verb vocabulary: the security-domain verbs OSCTI reports use,
+// plus the common general verbs needed to parse report prose.
+const char* const kVerbs[] = {
+    // Security-relevant relation verbs.
+    "connect", "download", "upload", "read", "write", "send", "receive",
+    "execute", "run", "launch", "spawn", "fork", "create", "delete",
+    "remove", "modify", "drop", "install", "exfiltrate", "transfer",
+    "steal", "scan", "scrape", "compress", "decompress", "encode", "decode",
+    "encrypt", "decrypt", "inject", "open", "close", "access", "exploit",
+    "penetrate", "infect", "communicate", "beacon", "request", "resolve",
+    "copy", "move", "rename", "extract", "crack", "collect", "gather",
+    "harvest", "leak", "overwrite", "append", "query", "contact", "fetch",
+    "retrieve", "archive", "pack", "unpack", "load", "invoke", "start",
+    "stop", "terminate", "kill", "chmod", "touch", "establish", "listen",
+    "bind", "accept", "redirect", "tamper", "wipe", "dump", "log",
+    // General verbs.
+    "use", "perform", "contain", "include", "attempt", "continue", "begin",
+    "make", "take", "get", "give", "go", "come", "see", "find", "show",
+    "appear", "become", "allow", "enable", "cause", "target", "attack",
+    "compromise", "encode", "embed", "store", "save", "name", "call",
+    "describe", "report", "observe", "detect", "identify", "deliver",
+    "deploy", "host", "serve", "obtain", "acquire", "place",
+};
+
+// Verbs that can express an IOC-to-IOC relation (annotation stage 4 marks
+// these as candidates).
+const char* const kRelationVerbs[] = {
+    "connect", "download", "upload", "read", "write", "send", "receive",
+    "execute", "run", "launch", "spawn", "fork", "create", "delete",
+    "remove", "modify", "drop", "install", "exfiltrate", "transfer",
+    "steal", "scan", "scrape", "compress", "decompress", "encrypt",
+    "decrypt", "inject", "open", "access", "communicate", "beacon",
+    "request", "resolve", "copy", "move", "rename", "extract", "crack",
+    "collect", "harvest", "leak", "overwrite", "append", "query", "contact",
+    "fetch", "retrieve", "archive", "load", "invoke", "start", "terminate",
+    "kill", "chmod", "establish", "listen", "bind", "dump", "deliver",
+    "deploy", "host", "obtain", "acquire", "embed", "store", "save",
+    "place", "wipe",
+};
+
+const struct {
+  const char* form;
+  const char* lemma;
+} kIrregularVerbs[] = {
+    {"sent", "send"},       {"wrote", "write"},     {"written", "write"},
+    {"read", "read"},       {"ran", "run"},         {"run", "run"},
+    {"stole", "steal"},     {"stolen", "steal"},    {"took", "take"},
+    {"taken", "take"},      {"began", "begin"},     {"begun", "begin"},
+    {"got", "get"},         {"gotten", "get"},      {"gave", "give"},
+    {"given", "give"},      {"made", "make"},       {"did", "do"},
+    {"done", "do"},         {"was", "be"},          {"were", "be"},
+    {"been", "be"},         {"is", "be"},           {"are", "be"},
+    {"am", "be"},           {"had", "have"},        {"has", "have"},
+    {"went", "go"},         {"gone", "go"},         {"came", "come"},
+    {"saw", "see"},         {"seen", "see"},        {"found", "find"},
+    {"shown", "show"},      {"showed", "show"},     {"kept", "keep"},
+    {"left", "leave"},      {"built", "build"},     {"bound", "bind"},
+    {"held", "hold"},       {"put", "put"},         {"set", "set"},
+    {"hid", "hide"},        {"hidden", "hide"},     {"broke", "break"},
+    {"broken", "break"},    {"chose", "choose"},    {"chosen", "choose"},
+    {"drew", "draw"},       {"drawn", "draw"},      {"spread", "spread"},
+};
+
+}  // namespace
+
+Lexicon::Lexicon() {
+  for (const char* w : kDeterminers) determiners_.insert(w);
+  for (const char* w : kPronouns) pronouns_.insert(w);
+  for (const char* w : kPrepositions) prepositions_.insert(w);
+  for (const char* w : kConjunctions) conjunctions_.insert(w);
+  for (const char* w : kAuxiliaries) auxiliaries_.insert(w);
+  for (const char* w : kAdverbs) adverbs_.insert(w);
+  for (const char* w : kVerbs) verbs_.insert(w);
+  for (const char* w : kRelationVerbs) relation_verbs_.insert(w);
+  for (const auto& row : kIrregularVerbs) {
+    irregular_verbs_.emplace(row.form, row.lemma);
+  }
+}
+
+const Lexicon& Lexicon::Default() {
+  static const Lexicon* instance = new Lexicon();
+  return *instance;
+}
+
+bool Lexicon::IsDeterminer(std::string_view w) const {
+  return determiners_.count(std::string(w)) > 0;
+}
+bool Lexicon::IsPronoun(std::string_view w) const {
+  return pronouns_.count(std::string(w)) > 0;
+}
+bool Lexicon::IsPreposition(std::string_view w) const {
+  return prepositions_.count(std::string(w)) > 0;
+}
+bool Lexicon::IsConjunction(std::string_view w) const {
+  return conjunctions_.count(std::string(w)) > 0;
+}
+bool Lexicon::IsAuxiliary(std::string_view w) const {
+  return auxiliaries_.count(std::string(w)) > 0;
+}
+bool Lexicon::IsAdverb(std::string_view w) const {
+  return adverbs_.count(std::string(w)) > 0;
+}
+bool Lexicon::IsKnownVerb(std::string_view lemma) const {
+  return verbs_.count(std::string(lemma)) > 0;
+}
+bool Lexicon::IsRelationVerb(std::string_view lemma) const {
+  return relation_verbs_.count(std::string(lemma)) > 0;
+}
+
+std::string Lexicon::LemmatizeVerb(std::string_view lower) const {
+  std::string w(lower);
+  auto irr = irregular_verbs_.find(w);
+  if (irr != irregular_verbs_.end()) return irr->second;
+  if (verbs_.count(w) > 0) return w;
+
+  auto try_candidates = [this](std::initializer_list<std::string> cands,
+                               std::string* out) {
+    for (const std::string& c : cands) {
+      if (verbs_.count(c) > 0) {
+        *out = c;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::string out;
+  size_t n = w.size();
+  if (n > 4 && w.ends_with("ies")) {
+    if (try_candidates({w.substr(0, n - 3) + "y"}, &out)) return out;
+  }
+  if (n > 4 && w.ends_with("ied")) {
+    if (try_candidates({w.substr(0, n - 3) + "y"}, &out)) return out;
+  }
+  if (n > 4 && w.ends_with("ing")) {
+    std::string stem = w.substr(0, n - 3);
+    std::initializer_list<std::string> cands = {
+        stem, stem + "e",
+        (stem.size() >= 2 && stem[stem.size() - 1] == stem[stem.size() - 2])
+            ? stem.substr(0, stem.size() - 1)
+            : stem};
+    if (try_candidates(cands, &out)) return out;
+  }
+  if (n > 3 && w.ends_with("ed")) {
+    std::string stem = w.substr(0, n - 2);
+    std::initializer_list<std::string> cands = {
+        stem, w.substr(0, n - 1),  // e.g. "received" -> "receive"
+        (stem.size() >= 2 && stem[stem.size() - 1] == stem[stem.size() - 2])
+            ? stem.substr(0, stem.size() - 1)
+            : stem};
+    if (try_candidates(cands, &out)) return out;
+  }
+  if (n > 3 && w.ends_with("es")) {
+    if (try_candidates({w.substr(0, n - 2), w.substr(0, n - 1)}, &out)) {
+      return out;
+    }
+  }
+  if (n > 2 && w.ends_with("s")) {
+    if (try_candidates({w.substr(0, n - 1)}, &out)) return out;
+  }
+  return w;
+}
+
+std::string Lexicon::LemmatizeNoun(std::string_view lower) const {
+  std::string w(lower);
+  size_t n = w.size();
+  if (n > 3 && w.ends_with("ies")) return w.substr(0, n - 3) + "y";
+  if (n > 3 && (w.ends_with("ses") || w.ends_with("xes") ||
+                w.ends_with("zes") || w.ends_with("hes"))) {
+    return w.substr(0, n - 2);
+  }
+  if (n > 2 && w.ends_with("s") && !w.ends_with("ss") && !w.ends_with("us")) {
+    return w.substr(0, n - 1);
+  }
+  return w;
+}
+
+}  // namespace raptor::nlp

@@ -1,0 +1,58 @@
+// Lexicon: closed-class word lists, the verb vocabulary, and the rule-based
+// lemmatizer. This is the knowledge the POS tagger and the relation
+// extractor share (spaCy's statistical models stand-in; see DESIGN.md).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace raptor::nlp {
+
+/// \brief Word lists + lemmatization rules for security-report English.
+class Lexicon {
+ public:
+  Lexicon();
+
+  /// Shared immutable instance.
+  static const Lexicon& Default();
+
+  // Closed-class membership tests; `lower` must be lowercased.
+  bool IsDeterminer(std::string_view lower) const;
+  bool IsPronoun(std::string_view lower) const;
+  bool IsPreposition(std::string_view lower) const;
+  bool IsConjunction(std::string_view lower) const;
+  bool IsAuxiliary(std::string_view lower) const;
+  bool IsAdverb(std::string_view lower) const;
+
+  /// True when `lemma` is a known verb (base form).
+  bool IsKnownVerb(std::string_view lemma) const;
+
+  /// True when `lemma` is a verb that can express an IOC relation (the
+  /// "candidate IOC relation verbs" of paper §II-C step 4): read, write,
+  /// download, connect, send, execute, ...
+  bool IsRelationVerb(std::string_view lemma) const;
+
+  /// Lemmatizes a (lowercased) verb form: irregular table first, then
+  /// -ies/-ied/-ing/-ed/-es/-s suffix rules validated against the verb
+  /// vocabulary. Returns the input unchanged when no rule applies.
+  std::string LemmatizeVerb(std::string_view lower) const;
+
+  /// Strips plural suffixes from a (lowercased) noun.
+  std::string LemmatizeNoun(std::string_view lower) const;
+
+ private:
+  std::unordered_set<std::string> determiners_;
+  std::unordered_set<std::string> pronouns_;
+  std::unordered_set<std::string> prepositions_;
+  std::unordered_set<std::string> conjunctions_;
+  std::unordered_set<std::string> auxiliaries_;
+  std::unordered_set<std::string> adverbs_;
+  std::unordered_set<std::string> verbs_;
+  std::unordered_set<std::string> relation_verbs_;
+  std::unordered_map<std::string, std::string> irregular_verbs_;
+};
+
+}  // namespace raptor::nlp

@@ -1,0 +1,610 @@
+#include "nlp/pipeline.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "nlp/embeddings.h"
+#include "nlp/pos_tagger.h"
+#include "nlp/segmenter.h"
+
+namespace raptor::nlp {
+
+ExtractionPipeline::ExtractionPipeline(PipelineOptions options)
+    : options_(options), lexicon_(Lexicon::Default()) {}
+
+// --- Stage 3b: IOC restoration after parsing (RemoveIocProtection). ---
+
+void ExtractionPipeline::RestoreIocProtection(
+    const ProtectedText& protected_block, DepTree* tree) const {
+  for (DepNode& node : tree->nodes) {
+    if (node.token.text != kIocDummy) continue;
+    const ProtectedText::Replacement* repl = protected_block.FindAtOffset(
+        tree->sentence_offset + node.token.offset);
+    if (repl == nullptr) continue;
+    node.is_ioc = true;
+    node.ioc = repl->ioc;
+    node.token.text = repl->ioc.text;
+  }
+}
+
+// --- Ablation path: IOC recognition directly on the (shattered) parse. ---
+
+void ExtractionPipeline::RecognizeUnprotected(std::string_view sentence_text,
+                                              DepTree* tree) const {
+  std::vector<IocSpan> spans = recognizer_.Recognize(sentence_text);
+  for (const IocSpan& span : spans) {
+    // Without protection the tokenizer has split most indicators apart; an
+    // IOC is only recovered when one token covers the span exactly.
+    for (DepNode& node : tree->nodes) {
+      if (node.token.offset == span.offset &&
+          node.token.text.size() == span.length) {
+        node.is_ioc = true;
+        node.ioc = span;
+        break;
+      }
+    }
+  }
+}
+
+// --- Stage 4: tree annotation. ---
+
+namespace {
+
+bool SubjObjRel(DepRel rel) {
+  return rel == DepRel::kNsubj || rel == DepRel::kNsubjPass ||
+         rel == DepRel::kDobj || rel == DepRel::kPobj;
+}
+
+/// Common nouns that corefer to a file-like or host-like IOC when used as a
+/// definite NP head ("the archive", "the server").
+bool FileLikeNounLemma(const std::string& lemma) {
+  static const std::unordered_set<std::string> kSet = {
+      "file",   "archive", "image",  "binary", "script", "payload",
+      "executable", "document", "library", "sample", "dropper", "implant",
+      "backdoor", "tool",
+  };
+  return kSet.count(lemma) > 0;
+}
+
+bool HostLikeNounLemma(const std::string& lemma) {
+  static const std::unordered_set<std::string> kSet = {
+      "server", "address", "ip", "host", "domain", "endpoint",
+  };
+  return kSet.count(lemma) > 0;
+}
+
+}  // namespace
+
+void ExtractionPipeline::AnnotateTree(DepTree* tree) const {
+  static const std::unordered_set<std::string> kCorefPronouns = {
+      "it", "they", "them", "itself", "themselves", "which", "who",
+  };
+  for (DepNode& node : tree->nodes) {
+    if (node.is_ioc) continue;
+    if (node.token.pos == Pos::kVerb &&
+        lexicon_.IsRelationVerb(node.token.lemma)) {
+      node.is_relation_verb_candidate = true;
+    }
+    if (node.token.pos == Pos::kPron &&
+        kCorefPronouns.count(ToLower(node.token.text)) > 0) {
+      node.is_pronoun_mention = true;
+      node.is_coref_candidate = true;
+    }
+    // Definite NP heads over file-like/host-like common nouns ("the
+    // archive", "the C2 server") are coreference candidates too.
+    if (node.token.pos == Pos::kNoun && SubjObjRel(node.rel) &&
+        (FileLikeNounLemma(node.token.lemma) ||
+         HostLikeNounLemma(node.token.lemma))) {
+      bool has_det = false;
+      bool has_ioc_child = false;
+      for (int c : node.children) {
+        const DepNode& child = tree->nodes[static_cast<size_t>(c)];
+        if (child.rel == DepRel::kDet) has_det = true;
+        if (child.is_ioc) has_ioc_child = true;
+      }
+      if (has_det && !has_ioc_child) node.is_coref_candidate = true;
+    }
+  }
+}
+
+// --- Stage 5: tree simplification. ---
+
+void ExtractionPipeline::SimplifyTree(DepTree* tree) const {
+  if (tree->nodes.empty()) return;
+  // keep = subtree contains an IOC, a pronoun mention, or a candidate verb.
+  std::vector<int> keep(tree->nodes.size(), -1);
+  // Process nodes bottom-up: children before parents. A simple reverse
+  // topological pass: repeat until fixpoint is overkill; instead compute via
+  // DFS from root.
+  std::vector<int> order;
+  order.reserve(tree->nodes.size());
+  std::vector<int> stack{tree->root};
+  while (!stack.empty()) {
+    int i = stack.back();
+    stack.pop_back();
+    if (i < 0) continue;
+    order.push_back(i);
+    for (int c : tree->nodes[static_cast<size_t>(i)].children) {
+      stack.push_back(c);
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    DepNode& n = tree->nodes[static_cast<size_t>(*it)];
+    bool k = n.is_ioc || n.is_coref_candidate || n.is_relation_verb_candidate;
+    for (int c : n.children) {
+      if (keep[static_cast<size_t>(c)] == 1) k = true;
+    }
+    keep[static_cast<size_t>(*it)] = k ? 1 : 0;
+  }
+  for (size_t i = 0; i < tree->nodes.size(); ++i) {
+    if (static_cast<int>(i) == tree->root) continue;
+    if (keep[i] == 0) tree->nodes[i].removed = true;
+  }
+}
+
+// --- Stage 6: coreference resolution within a block. ---
+
+namespace {
+
+bool IsSubjectRel(DepRel rel) {
+  return rel == DepRel::kNsubj || rel == DepRel::kNsubjPass;
+}
+
+bool IsObjectRel(DepRel rel) {
+  return rel == DepRel::kDobj || rel == DepRel::kPobj;
+}
+
+}  // namespace
+
+void ExtractionPipeline::ResolveCoreference(
+    std::vector<DepTree>* block_trees) const {
+  // Chronological list of IOC mentions in the block: (global offset,
+  // tree idx, node idx).
+  struct Mention {
+    size_t offset;
+    size_t tree;
+    int node;
+  };
+  std::vector<Mention> mentions;
+  auto rebuild_mentions = [&]() {
+    mentions.clear();
+    for (size_t t = 0; t < block_trees->size(); ++t) {
+      const DepTree& tree = (*block_trees)[t];
+      for (size_t i = 0; i < tree.nodes.size(); ++i) {
+        if (tree.nodes[i].is_ioc && !tree.nodes[i].is_pronoun_mention) {
+          mentions.push_back(
+              Mention{tree.GlobalOffset(static_cast<int>(i)), t,
+                      static_cast<int>(i)});
+        }
+      }
+    }
+    std::sort(mentions.begin(), mentions.end(),
+              [](const Mention& a, const Mention& b) {
+                return a.offset < b.offset;
+              });
+  };
+  rebuild_mentions();
+
+  auto latest_before = [&](size_t offset,
+                           auto&& accept) -> const Mention* {
+    const Mention* best = nullptr;
+    for (const Mention& m : mentions) {
+      if (m.offset >= offset) break;
+      const DepNode& n = (*block_trees)[m.tree].nodes[static_cast<size_t>(m.node)];
+      if (accept(n)) best = &m;
+    }
+    return best;
+  };
+
+  for (size_t t = 0; t < block_trees->size(); ++t) {
+    DepTree& tree = (*block_trees)[t];
+    for (size_t i = 0; i < tree.nodes.size(); ++i) {
+      DepNode& node = tree.nodes[i];
+      if (node.is_ioc || node.removed || !node.is_coref_candidate) continue;
+      size_t offset = tree.GlobalOffset(static_cast<int>(i));
+
+      const Mention* antecedent = nullptr;
+      if (node.is_pronoun_mention) {
+        // Match the pronoun's grammatical role first (the paper's "checking
+        // their POS tags and dependencies"), then fall back to recency.
+        if (IsSubjectRel(node.rel)) {
+          antecedent = latest_before(offset, [](const DepNode& n) {
+            return IsSubjectRel(n.rel);
+          });
+        } else if (IsObjectRel(node.rel)) {
+          antecedent = latest_before(offset, [](const DepNode& n) {
+            return IsObjectRel(n.rel);
+          });
+        }
+        if (antecedent == nullptr) {
+          antecedent =
+              latest_before(offset, [](const DepNode&) { return true; });
+        }
+      } else {
+        // Definite NP coreference: "the archive", "the C2 server". The
+        // antecedent must itself have been a *thing* (object-ish mention) —
+        // never a clause subject, or "the archive" right after "the process
+        // /usr/bin/scp sent" would resolve to the sending process.
+        auto object_ish = [](const DepNode& n) {
+          return IsObjectRel(n.rel) || n.rel == DepRel::kNsubjPass;
+        };
+        if (FileLikeNounLemma(node.token.lemma)) {
+          antecedent = latest_before(offset, [&](const DepNode& n) {
+            return object_ish(n) && (n.ioc.type == IocType::kFilepath ||
+                                     n.ioc.type == IocType::kFilename ||
+                                     n.ioc.type == IocType::kUrl);
+          });
+        } else if (HostLikeNounLemma(node.token.lemma)) {
+          antecedent = latest_before(offset, [&](const DepNode& n) {
+            return object_ish(n) && (n.ioc.type == IocType::kIp ||
+                                     n.ioc.type == IocType::kDomain);
+          });
+        }
+      }
+
+      if (antecedent != nullptr) {
+        const DepNode& ant = (*block_trees)[antecedent->tree]
+                                 .nodes[static_cast<size_t>(antecedent->node)];
+        node.is_ioc = true;
+        node.ioc = ant.ioc;
+        // The resolved mention keeps its own position; only identity is
+        // borrowed from the antecedent.
+      }
+    }
+  }
+}
+
+// --- Stage 7: IOC scan and merge. ---
+
+namespace {
+
+/// Guard against over-merging path-like IOCs: "/tmp/data.tar" and
+/// "/tmp/data.tar.gz" are distinct entities (a file and the archive derived
+/// from it) even though they are character-wise similar. Two paths are merge
+/// candidates only when neither is a strict prefix of the other and their
+/// final extensions agree.
+bool MergeCompatible(const std::string& a, const std::string& b,
+                     IocType type) {
+  if (type != IocType::kFilepath && type != IocType::kFilename) return true;
+  if (a.size() != b.size() &&
+      (a.starts_with(b) || b.starts_with(a))) {
+    return false;
+  }
+  auto extension = [](const std::string& s) -> std::string {
+    size_t slash = s.find_last_of("/\\");
+    size_t dot = s.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash)) {
+      return "";
+    }
+    return s.substr(dot + 1);
+  };
+  return extension(a) == extension(b);
+}
+
+}  // namespace
+
+std::vector<IocEntity> ExtractionPipeline::ScanMergeIocs(
+    std::vector<DepTree>* all_trees, std::vector<IocSpan>* raw) const {
+  struct Occurrence {
+    size_t offset;
+    size_t tree;
+    int node;
+  };
+  std::vector<Occurrence> occurrences;
+  for (size_t t = 0; t < all_trees->size(); ++t) {
+    DepTree& tree = (*all_trees)[t];
+    for (size_t i = 0; i < tree.nodes.size(); ++i) {
+      if (!tree.nodes[i].is_ioc) continue;
+      occurrences.push_back(
+          Occurrence{tree.GlobalOffset(static_cast<int>(i)), t,
+                     static_cast<int>(i)});
+      raw->push_back(tree.nodes[i].ioc);
+    }
+  }
+  std::sort(occurrences.begin(), occurrences.end(),
+            [](const Occurrence& a, const Occurrence& b) {
+              return a.offset < b.offset;
+            });
+
+  std::vector<IocEntity> canon;
+  std::vector<Embedding> canon_vecs;
+  for (const Occurrence& occ : occurrences) {
+    DepNode& node = (*all_trees)[occ.tree].nodes[static_cast<size_t>(occ.node)];
+    const std::string& text = node.ioc.text;
+    int match = -1;
+    for (size_t c = 0; c < canon.size(); ++c) {
+      if (canon[c].type != node.ioc.type) continue;
+      if (canon[c].text == text) {
+        match = static_cast<int>(c);
+        break;
+      }
+      bool alias_hit = std::find(canon[c].aliases.begin(),
+                                 canon[c].aliases.end(),
+                                 text) != canon[c].aliases.end();
+      if (alias_hit) {
+        match = static_cast<int>(c);
+        break;
+      }
+      if (options_.enable_ioc_merge && MergeCompatible(canon[c].text, text,
+                                                       canon[c].type)) {
+        double dice = BigramDiceSimilarity(canon[c].text, text);
+        double cos = CosineSimilarity(canon_vecs[c], EmbedWord(text));
+        if (dice >= options_.merge_dice_threshold ||
+            cos >= options_.merge_cosine_threshold) {
+          match = static_cast<int>(c);
+          break;
+        }
+      }
+    }
+    if (match < 0) {
+      IocEntity entity;
+      entity.type = node.ioc.type;
+      entity.text = text;
+      entity.id = static_cast<int>(canon.size());
+      canon.push_back(std::move(entity));
+      canon_vecs.push_back(EmbedWord(text));
+      match = canon.back().id;
+    } else if (canon[static_cast<size_t>(match)].text != text) {
+      IocEntity& e = canon[static_cast<size_t>(match)];
+      if (std::find(e.aliases.begin(), e.aliases.end(), text) ==
+          e.aliases.end()) {
+        e.aliases.push_back(text);
+        // Canonical form: keep the longest (most specific) variant.
+        if (text.size() > e.text.size()) {
+          e.aliases.push_back(e.text);
+          e.text = text;
+          canon_vecs[static_cast<size_t>(match)] = EmbedWord(text);
+        }
+      }
+    }
+    node.resolved_ioc = match;
+  }
+  return canon;
+}
+
+// --- Stage 8: IOC relation extraction. ---
+
+namespace {
+
+/// Dependency rels from `node` up to (excluding) `lca`, bottom-to-top, plus
+/// flags the rules consult.
+struct SidePath {
+  std::vector<DepRel> rels;
+  std::vector<int> nodes;  ///< Path nodes excluding the endpoints' LCA.
+  bool via_by = false;     ///< Path crosses a "by" preposition.
+  bool crosses_verb = false;  ///< An intermediate node is a verb.
+  bool valid = false;
+};
+
+SidePath CollectSide(const DepTree& tree, int node, int lca) {
+  SidePath side;
+  int cur = node;
+  size_t guard = 0;
+  while (cur != lca && cur >= 0 && guard++ <= tree.nodes.size()) {
+    const DepNode& n = tree.nodes[static_cast<size_t>(cur)];
+    side.rels.push_back(n.rel);
+    side.nodes.push_back(cur);
+    if (n.rel == DepRel::kPrep && ToLower(n.token.text) == "by") {
+      side.via_by = true;
+    }
+    if (cur != node && n.token.pos == Pos::kVerb) side.crosses_verb = true;
+    cur = n.head;
+  }
+  side.valid = (cur == lca);
+  return side;
+}
+
+bool AllRelsIn(const std::vector<DepRel>& rels,
+               std::initializer_list<DepRel> allowed) {
+  for (DepRel r : rels) {
+    if (std::find(allowed.begin(), allowed.end(), r) == allowed.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ContainsRel(const std::vector<DepRel>& rels, DepRel rel) {
+  return std::find(rels.begin(), rels.end(), rel) != rels.end();
+}
+
+enum class Role { kNone, kSubjectActive, kSubjectPassive, kObject };
+
+Role ClassifySide(const SidePath& side) {
+  if (!side.valid || side.rels.empty()) return Role::kNone;
+  // Subject paths may traverse NP coordination ("X and Y read ...") but
+  // never another verb — a verb on the path means the candidate is the
+  // subject of a *different clause* than the LCA's.
+  if (!side.crosses_verb &&
+      AllRelsIn(side.rels,
+                {DepRel::kNsubj, DepRel::kConj, DepRel::kCompound}) &&
+      ContainsRel(side.rels, DepRel::kNsubj)) {
+    return Role::kSubjectActive;
+  }
+  if (!side.crosses_verb &&
+      AllRelsIn(side.rels,
+                {DepRel::kNsubjPass, DepRel::kConj, DepRel::kCompound}) &&
+      ContainsRel(side.rels, DepRel::kNsubjPass)) {
+    return Role::kSubjectPassive;
+  }
+  if (AllRelsIn(side.rels, {DepRel::kDobj, DepRel::kPobj, DepRel::kPrep,
+                            DepRel::kConj, DepRel::kCompound}) &&
+      (ContainsRel(side.rels, DepRel::kDobj) ||
+       ContainsRel(side.rels, DepRel::kPobj))) {
+    return Role::kObject;
+  }
+  return Role::kNone;
+}
+
+}  // namespace
+
+void ExtractionPipeline::ExtractRelations(const DepTree& tree,
+                                          const std::vector<IocEntity>& iocs,
+                                          std::vector<IocRelation>* out) const {
+  (void)iocs;
+  std::vector<int> ioc_nodes;
+  for (size_t i = 0; i < tree.nodes.size(); ++i) {
+    if (tree.nodes[i].is_ioc && tree.nodes[i].resolved_ioc >= 0 &&
+        !tree.nodes[i].removed) {
+      ioc_nodes.push_back(static_cast<int>(i));
+    }
+  }
+
+  for (size_t x = 0; x < ioc_nodes.size(); ++x) {
+    for (size_t y = x + 1; y < ioc_nodes.size(); ++y) {
+      int a = ioc_nodes[x];
+      int b = ioc_nodes[y];
+      if (tree.nodes[static_cast<size_t>(a)].resolved_ioc ==
+          tree.nodes[static_cast<size_t>(b)].resolved_ioc) {
+        continue;  // same entity mentioned twice
+      }
+      int lca = tree.Lca(a, b);
+      if (lca < 0 || lca == a || lca == b) continue;
+
+      SidePath side_a = CollectSide(tree, a, lca);
+      SidePath side_b = CollectSide(tree, b, lca);
+      Role role_a = ClassifySide(side_a);
+      Role role_b = ClassifySide(side_b);
+
+      int subj = -1, obj = -1;
+      SidePath* obj_side = nullptr;
+      if (role_a == Role::kSubjectActive && role_b == Role::kObject &&
+          !side_b.via_by) {
+        subj = a;
+        obj = b;
+        obj_side = &side_b;
+      } else if (role_b == Role::kSubjectActive && role_a == Role::kObject &&
+                 !side_a.via_by) {
+        subj = b;
+        obj = a;
+        obj_side = &side_a;
+      } else if (role_a == Role::kObject && side_a.via_by &&
+                 role_b == Role::kSubjectPassive) {
+        subj = a;  // agent of a passive clause
+        obj = b;
+        obj_side = &side_b;
+      } else if (role_b == Role::kObject && side_b.via_by &&
+                 role_a == Role::kSubjectPassive) {
+        subj = b;
+        obj = a;
+        obj_side = &side_a;
+      } else {
+        continue;
+      }
+      (void)obj_side;
+
+      // Relation verb: scan annotated candidates on the three dependency
+      // path parts (root->LCA, LCA->subject, LCA->object, plus the LCA
+      // itself) and pick the one closest to the object IOC node.
+      std::vector<int> candidates;
+      auto consider = [&](int i) {
+        if (tree.nodes[static_cast<size_t>(i)].is_relation_verb_candidate) {
+          candidates.push_back(i);
+        }
+      };
+      consider(lca);
+      for (int i : side_a.nodes) consider(i);
+      for (int i : side_b.nodes) consider(i);
+      for (int cur = tree.nodes[static_cast<size_t>(lca)].head; cur >= 0;
+           cur = tree.nodes[static_cast<size_t>(cur)].head) {
+        consider(cur);
+      }
+      if (candidates.empty()) continue;
+
+      size_t obj_offset = tree.GlobalOffset(obj);
+      int best = candidates[0];
+      size_t best_dist = SIZE_MAX;
+      for (int c : candidates) {
+        size_t off = tree.GlobalOffset(c);
+        size_t dist = off > obj_offset ? off - obj_offset : obj_offset - off;
+        if (dist < best_dist ||
+            (dist == best_dist && off < tree.GlobalOffset(best))) {
+          best = c;
+          best_dist = dist;
+        }
+      }
+
+      IocRelation rel;
+      rel.subject_ioc = tree.nodes[static_cast<size_t>(subj)].resolved_ioc;
+      rel.object_ioc = tree.nodes[static_cast<size_t>(obj)].resolved_ioc;
+      rel.verb = tree.nodes[static_cast<size_t>(best)].token.lemma;
+      rel.verb_offset = tree.GlobalOffset(best);
+      out->push_back(std::move(rel));
+    }
+  }
+}
+
+// --- Algorithm 1 driver. ---
+
+ExtractionResult ExtractionPipeline::Extract(std::string_view document) const {
+  ExtractionResult result;
+  std::vector<DepTree> all_trees;
+
+  for (const BlockSpan& block : SegmentBlocks(document)) {
+    ProtectedText protected_block;
+    if (options_.enable_ioc_protection) {
+      protected_block = ProtectIocs(block.text, recognizer_);
+    } else {
+      protected_block.text = block.text;
+    }
+
+    std::vector<DepTree> block_trees;
+    for (const SentenceSpan& sent : SegmentSentences(protected_block.text)) {
+      std::vector<Token> tokens = Tokenize(sent.text);
+      TagPos(&tokens, lexicon_);
+      DepTree tree = ParseDependency(std::move(tokens), lexicon_);
+      tree.sentence_offset = sent.offset;
+      tree.block_offset = block.offset;
+      if (options_.enable_ioc_protection) {
+        RestoreIocProtection(protected_block, &tree);
+      } else {
+        RecognizeUnprotected(sent.text, &tree);
+      }
+      AnnotateTree(&tree);
+      if (options_.enable_tree_simplification) SimplifyTree(&tree);
+      block_trees.push_back(std::move(tree));
+    }
+    if (options_.enable_coreference) ResolveCoreference(&block_trees);
+    for (auto& tree : block_trees) all_trees.push_back(std::move(tree));
+  }
+
+  std::vector<IocEntity> iocs = ScanMergeIocs(&all_trees, &result.raw_iocs);
+
+  std::vector<IocRelation> relations;
+  for (const DepTree& tree : all_trees) {
+    ExtractRelations(tree, iocs, &relations);
+  }
+
+  // Stage 10: construct the graph. Triplets are ordered by the occurrence
+  // offset of the relation verb and deduplicated; each edge carries its
+  // 1-based sequence number.
+  std::sort(relations.begin(), relations.end(),
+            [](const IocRelation& a, const IocRelation& b) {
+              return a.verb_offset < b.verb_offset;
+            });
+  std::set<std::tuple<int, int, std::string>> seen;
+  for (IocEntity& e : iocs) {
+    result.graph.AddNode(std::move(e));
+  }
+  int seq = 0;
+  for (const IocRelation& r : relations) {
+    auto key = std::make_tuple(r.subject_ioc, r.object_ioc, r.verb);
+    if (!seen.insert(key).second) continue;
+    BehaviorEdge edge;
+    edge.src = r.subject_ioc;
+    edge.dst = r.object_ioc;
+    edge.verb = r.verb;
+    edge.sequence = ++seq;
+    edge.text_offset = r.verb_offset;
+    result.graph.AddEdge(edge);
+    result.relations.push_back(r);
+  }
+
+  result.trees = std::move(all_trees);
+  return result;
+}
+
+}  // namespace raptor::nlp

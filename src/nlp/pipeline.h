@@ -1,0 +1,94 @@
+// The threat behavior extraction pipeline (paper §II-C, Algorithm 1).
+//
+// Given an unstructured OSCTI report, runs:
+//   (1) block segmentation          (2) IOC recognition + protection
+//   (3) sentence segmentation + dependency parsing + IOC restoration
+//   (4) tree annotation             (5) tree simplification
+//   (6) coreference resolution      (7) IOC scan & merge
+//   (8) IOC relation extraction     (10) behavior graph construction
+// and returns the threat behavior graph.
+//
+// Every stage the paper ablates is a switch in PipelineOptions, which is how
+// bench_extraction reproduces the accuracy comparison (E1 in DESIGN.md).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nlp/behavior_graph.h"
+#include "nlp/dep_parser.h"
+#include "nlp/dep_tree.h"
+#include "nlp/ioc.h"
+#include "nlp/lexicon.h"
+
+namespace raptor::nlp {
+
+/// \brief Pipeline configuration; defaults are the full THREATRAPTOR
+/// pipeline, switches are ablation levers.
+struct PipelineOptions {
+  /// Replace recognized IOCs with the dummy word before NLP (step 2).
+  /// Disabling reproduces the paper's "without IOC protection" baseline.
+  bool enable_ioc_protection = true;
+  /// Resolve pronouns / definite noun phrases to IOC antecedents (step 6).
+  bool enable_coreference = true;
+  /// Merge similar IOCs across the document (step 7).
+  bool enable_ioc_merge = true;
+  /// Prune tree paths that contain no IOC nodes (step 5).
+  bool enable_tree_simplification = true;
+
+  /// Character-overlap threshold (bigram Dice) for IOC merging.
+  double merge_dice_threshold = 0.85;
+  /// Word-vector cosine threshold for IOC merging.
+  double merge_cosine_threshold = 0.92;
+};
+
+/// \brief One extracted relation triplet before graph construction.
+struct IocRelation {
+  int subject_ioc = -1;  ///< Merged IOC index.
+  int object_ioc = -1;
+  std::string verb;
+  size_t verb_offset = 0;  ///< Global document offset of the relation verb.
+};
+
+/// \brief Full pipeline output: the graph plus intermediate artifacts that
+/// tests, benches, and the query synthesizer inspect.
+struct ExtractionResult {
+  ThreatBehaviorGraph graph;
+  std::vector<DepTree> trees;       ///< All block trees (annotated).
+  std::vector<IocSpan> raw_iocs;    ///< Every IOC occurrence recognized.
+  std::vector<IocRelation> relations;  ///< Deduplicated, offset-ordered.
+};
+
+/// \brief The unsupervised extraction pipeline.
+class ExtractionPipeline {
+ public:
+  explicit ExtractionPipeline(PipelineOptions options = {});
+
+  /// Runs Algorithm 1 over `document`.
+  ExtractionResult Extract(std::string_view document) const;
+
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  // Stage helpers (see .cc).
+  void RestoreIocProtection(const ProtectedText& protected_block,
+                            DepTree* tree) const;
+  void RecognizeUnprotected(std::string_view sentence_text,
+                            DepTree* tree) const;
+  void AnnotateTree(DepTree* tree) const;
+  void SimplifyTree(DepTree* tree) const;
+  void ResolveCoreference(std::vector<DepTree>* block_trees) const;
+  std::vector<IocEntity> ScanMergeIocs(std::vector<DepTree>* all_trees,
+                                       std::vector<IocSpan>* raw) const;
+  void ExtractRelations(const DepTree& tree,
+                        const std::vector<IocEntity>& iocs,
+                        std::vector<IocRelation>* out) const;
+
+  PipelineOptions options_;
+  IocRecognizer recognizer_;
+  const Lexicon& lexicon_;
+};
+
+}  // namespace raptor::nlp

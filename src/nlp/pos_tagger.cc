@@ -1,0 +1,136 @@
+#include "nlp/pos_tagger.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace raptor::nlp {
+
+namespace {
+
+bool IsNumber(std::string_view w) {
+  bool any_digit = false;
+  for (char c : w) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      any_digit = true;
+    } else if (c != '.' && c != ',' && c != '-' && c != '%') {
+      return false;
+    }
+  }
+  return any_digit;
+}
+
+}  // namespace
+
+void TagPos(std::vector<Token>* tokens, const Lexicon& lexicon) {
+  // Pass 1: lexicon + morphology.
+  for (Token& t : *tokens) {
+    if (t.pos == Pos::kPunct) {
+      t.lemma = t.text;
+      continue;
+    }
+    std::string lower = ToLower(t.text);
+    if (IsNumber(lower)) {
+      t.pos = Pos::kNum;
+      t.lemma = lower;
+      continue;
+    }
+    if (lower == "to") {
+      // Disambiguated in pass 2 (particle before verb vs preposition).
+      t.pos = Pos::kAdp;
+      t.lemma = lower;
+      continue;
+    }
+    if (lexicon.IsDeterminer(lower)) {
+      t.pos = Pos::kDet;
+    } else if (lexicon.IsPronoun(lower)) {
+      t.pos = Pos::kPron;
+    } else if (lexicon.IsAuxiliary(lower)) {
+      t.pos = Pos::kAux;
+    } else if (lexicon.IsPreposition(lower)) {
+      t.pos = Pos::kAdp;
+    } else if (lexicon.IsConjunction(lower)) {
+      t.pos = Pos::kConj;
+    } else if (lexicon.IsAdverb(lower)) {
+      t.pos = Pos::kAdv;
+    } else {
+      std::string verb_lemma = lexicon.LemmatizeVerb(lower);
+      if (lexicon.IsKnownVerb(verb_lemma)) {
+        t.pos = Pos::kVerb;
+        t.lemma = verb_lemma;
+        continue;
+      }
+      if (lower.size() > 3 && lower.ends_with("ly")) {
+        t.pos = Pos::kAdv;
+      } else if (lower.size() > 4 &&
+                 (lower.ends_with("ous") || lower.ends_with("ful") ||
+                  lower.ends_with("ive") || lower.ends_with("able") ||
+                  lower.ends_with("ible"))) {
+        t.pos = Pos::kAdj;
+      } else {
+        t.pos = Pos::kNoun;
+      }
+    }
+    t.lemma = (t.pos == Pos::kNoun) ? lexicon.LemmatizeNoun(lower) : lower;
+  }
+
+  // Pass 2: local context repairs. Two sweeps so chained NP-internal
+  // repairs settle ("the compressed archive": participle -> ADJ on sweep 1
+  // lets the base-form rule turn "archive" into a noun on sweep 2).
+  for (int sweep = 0; sweep < 2; ++sweep) {
+  for (size_t i = 0; i < tokens->size(); ++i) {
+    Token& t = (*tokens)[i];
+    std::string lower = ToLower(t.text);
+
+    // Participle used as a prenominal modifier: "the collected data",
+    // "the compressed archive" — an inflected verb between a determiner or
+    // adjective and a nominal is an adjective, not a clause verb.
+    if (t.pos == Pos::kVerb && i > 0 && i + 1 < tokens->size() &&
+        t.lemma != lower &&
+        (lower.ends_with("ed") || lower.ends_with("en") ||
+         lower.ends_with("ing"))) {
+      Pos prev = (*tokens)[i - 1].pos;
+      const Token& next = (*tokens)[i + 1];
+      bool next_nominal = next.pos == Pos::kNoun || next.pos == Pos::kPron ||
+                          next.pos == Pos::kAdj ||
+                          (next.pos == Pos::kVerb &&
+                           next.lemma == ToLower(next.text));
+      if ((prev == Pos::kDet || prev == Pos::kAdj) && next_nominal) {
+        t.pos = Pos::kAdj;
+      }
+    }
+
+    // A base-form (uninflected) verb inside a noun phrase is a noun: "the
+    // download", "the compressed archive". Inflected forms ("downloaded",
+    // "wrote") stay verbs — CTI narrative is past tense, so finite verbs
+    // after a subject noun keep their tag.
+    if (t.pos == Pos::kVerb && i > 0 && t.lemma == lower) {
+      Pos prev = (*tokens)[i - 1].pos;
+      if (prev == Pos::kDet || prev == Pos::kAdj || prev == Pos::kNoun ||
+          prev == Pos::kNum) {
+        t.pos = Pos::kNoun;
+        t.lemma = lexicon.LemmatizeNoun(lower);
+      }
+    }
+
+    // "to" + base verb => particle + verb ("attempted to connect").
+    if (t.pos == Pos::kAdp && lower == "to" && i + 1 < tokens->size()) {
+      const Token& next = (*tokens)[i + 1];
+      std::string next_lemma = lexicon.LemmatizeVerb(ToLower(next.text));
+      if (lexicon.IsKnownVerb(next_lemma) && next.pos == Pos::kVerb) {
+        t.pos = Pos::kPart;
+      }
+    }
+
+    // Auxiliary before a NOUN-tagged -ed/-en word => passive participle
+    // ("was downloaded" where "downloaded" missed the verb list).
+    if (i > 0 && (*tokens)[i - 1].pos == Pos::kAux && t.pos == Pos::kNoun &&
+        (lower.ends_with("ed") || lower.ends_with("en"))) {
+      t.pos = Pos::kVerb;
+      t.lemma = lexicon.LemmatizeVerb(lower);
+    }
+  }
+  }
+}
+
+}  // namespace raptor::nlp

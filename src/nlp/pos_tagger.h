@@ -1,0 +1,16 @@
+// Rule-based POS tagger over the lexicon (spaCy tagger stand-in).
+
+#pragma once
+
+#include <vector>
+
+#include "nlp/lexicon.h"
+#include "nlp/text.h"
+
+namespace raptor::nlp {
+
+/// Tags every token in `tokens` in place (pos + lemma), using lexicon
+/// lookups, morphological suffix rules, and local context repairs.
+void TagPos(std::vector<Token>* tokens, const Lexicon& lexicon);
+
+}  // namespace raptor::nlp

@@ -1,0 +1,275 @@
+#include "nlp/report_gen.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace raptor::nlp {
+
+namespace {
+
+/// A surface verb: past form for active voice, participle for passive, and
+/// the lemma the pipeline should extract.
+struct SurfaceVerb {
+  const char* past;
+  const char* participle;
+  const char* lemma;
+  /// Preposition linking the object ("" = direct object).
+  const char* prep;
+  /// Noun phrase inserted before a prepositional object ("the collected
+  /// data" in "wrote the collected data to X"); "" = none.
+  const char* filler;
+};
+
+const SurfaceVerb kReadVerbs[] = {
+    {"read", "read", "read", "", ""},
+    {"scanned", "scanned", "scan", "", ""},
+    {"accessed", "accessed", "access", "", ""},
+    {"opened", "opened", "open", "", ""},
+};
+const SurfaceVerb kWriteVerbs[] = {
+    {"wrote", "written", "write", "to", "the collected data"},
+    {"created", "created", "create", "", ""},
+    {"stored", "stored", "store", "in", "the stolen data"},
+    {"saved", "saved", "save", "to", "the output"},
+};
+const SurfaceVerb kConnectVerbs[] = {
+    {"connected", "connected", "connect", "to", ""},
+    {"communicated", "communicated", "communicate", "with", ""},
+    {"contacted", "contacted", "contact", "", ""},
+};
+const SurfaceVerb kSendVerbs[] = {
+    {"sent", "sent", "send", "to", "the harvested data"},
+    {"exfiltrated", "exfiltrated", "exfiltrate", "to", "the archive"},
+    {"transferred", "transferred", "transfer", "to", "the payload"},
+    {"uploaded", "uploaded", "upload", "to", "the stolen files"},
+};
+const SurfaceVerb kDownloadVerbs[] = {
+    {"downloaded", "downloaded", "download", "", ""},
+    {"fetched", "fetched", "fetch", "", ""},
+    {"retrieved", "retrieved", "retrieve", "", ""},
+};
+const SurfaceVerb kExecuteVerbs[] = {
+    {"executed", "executed", "execute", "", ""},
+    {"launched", "launched", "launch", "", ""},
+    {"invoked", "invoked", "invoke", "", ""},
+};
+const SurfaceVerb kDeleteVerbs[] = {
+    {"deleted", "deleted", "delete", "", ""},
+    {"removed", "removed", "remove", "", ""},
+    {"wiped", "wiped", "wipe", "", ""},
+};
+
+const char* const kDistractors[] = {
+    "The intrusion remained undetected for several days.",
+    "The campaign targeted organizations in the energy sector.",
+    "Analysts attribute the activity to a financially motivated group.",
+    "The operators moved carefully to avoid triggering alerts.",
+    "Defenders are advised to rotate credentials promptly.",
+};
+
+const char* const kObjectNouns[] = {
+    "file", "binary", "script", "payload", "archive", "image",
+};
+
+const SurfaceVerb& PickVerb(Rng* rng, VerbClass verb_class) {
+  switch (verb_class) {
+    case VerbClass::kRead:
+      return kReadVerbs[rng->Uniform(std::size(kReadVerbs))];
+    case VerbClass::kWrite:
+      return kWriteVerbs[rng->Uniform(std::size(kWriteVerbs))];
+    case VerbClass::kConnect:
+      return kConnectVerbs[rng->Uniform(std::size(kConnectVerbs))];
+    case VerbClass::kSend:
+      return kSendVerbs[rng->Uniform(std::size(kSendVerbs))];
+    case VerbClass::kDownload:
+      return kDownloadVerbs[rng->Uniform(std::size(kDownloadVerbs))];
+    case VerbClass::kExecute:
+      return kExecuteVerbs[rng->Uniform(std::size(kExecuteVerbs))];
+    case VerbClass::kDelete:
+      return kDeleteVerbs[rng->Uniform(std::size(kDeleteVerbs))];
+  }
+  return kReadVerbs[0];
+}
+
+bool IsIpObject(VerbClass verb_class) {
+  return verb_class == VerbClass::kConnect || verb_class == VerbClass::kSend;
+}
+
+}  // namespace
+
+ReportGenerator::ReportGenerator(ReportGenOptions options)
+    : options_(options), rng_(options.seed) {}
+
+GeneratedReport ReportGenerator::Render(const std::vector<ScriptStep>& steps) {
+  GeneratedReport report;
+  report.text =
+      "The adversary compromised the victim host during the intrusion. ";
+  std::string prev_subject;
+
+  auto note_relation = [&report](const std::string& subject,
+                                 const char* lemma,
+                                 const std::string& object) {
+    report.relations.push_back(GeneratedLabel{subject, lemma, object});
+    auto note_ioc = [&report](const std::string& text) {
+      if (std::find(report.iocs.begin(), report.iocs.end(), text) ==
+          report.iocs.end()) {
+        report.iocs.push_back(text);
+      }
+    };
+    note_ioc(subject);
+    note_ioc(object);
+  };
+
+  for (size_t step_index = 0; step_index < steps.size(); ++step_index) {
+    const ScriptStep& step = steps[step_index];
+
+    // Coalesce a run of same-subject reads/deletes into one list sentence
+    // ("X read /a, /b, and /c.") — common CTI phrasing.
+    if ((step.verb == VerbClass::kRead || step.verb == VerbClass::kDelete) &&
+        step_index + 1 < steps.size() &&
+        steps[step_index + 1].verb == step.verb &&
+        steps[step_index + 1].subject == step.subject &&
+        rng_.Chance(0.5)) {
+      std::vector<std::string> objects{step.object};
+      while (step_index + 1 < steps.size() &&
+             steps[step_index + 1].verb == step.verb &&
+             steps[step_index + 1].subject == step.subject &&
+             objects.size() < 3) {
+        objects.push_back(steps[++step_index].object);
+      }
+      const SurfaceVerb& verb = PickVerb(&rng_, step.verb);
+      std::string list;
+      for (size_t i = 0; i < objects.size(); ++i) {
+        if (i > 0) list += (i + 1 == objects.size()) ? ", and " : ", ";
+        list += objects[i];
+      }
+      report.text += StrFormat("The process %s %s %s. ",
+                               step.subject.c_str(), verb.past, list.c_str());
+      for (const std::string& object : objects) {
+        note_relation(step.subject, verb.lemma, object);
+      }
+      prev_subject = step.subject;
+      continue;
+    }
+    if (rng_.Chance(options_.distractor_probability)) {
+      report.text +=
+          std::string(kDistractors[rng_.Uniform(std::size(kDistractors))]) +
+          " ";
+    }
+
+    const SurfaceVerb& verb = PickVerb(&rng_, step.verb);
+    bool same_subject = step.subject == prev_subject;
+    bool use_pronoun =
+        same_subject && rng_.Chance(options_.pronoun_probability);
+    // Passive voice only for direct-object verbs ("/x was read by /y").
+    bool use_passive = std::string_view(verb.prep).empty() &&
+                       !use_pronoun && rng_.Chance(options_.passive_probability);
+
+    std::string object_np;
+    if (IsIpObject(step.verb)) {
+      object_np = "the IP " + step.object;
+    } else if (rng_.Chance(0.5)) {
+      object_np = StrFormat("the %s %s",
+                            kObjectNouns[rng_.Uniform(std::size(kObjectNouns))],
+                            step.object.c_str());
+    } else {
+      object_np = step.object;
+    }
+
+    std::string sentence;
+    if (use_passive) {
+      sentence = StrFormat("%s was %s by %s.", object_np.c_str(),
+                           verb.participle, step.subject.c_str());
+      // Capitalize "the".
+      if (sentence[0] == 't') sentence[0] = 'T';
+    } else {
+      std::string subject_np =
+          use_pronoun ? "It"
+                      : (rng_.Chance(0.5)
+                             ? "The process " + step.subject
+                             : step.subject);
+      std::string adverb = same_subject && !use_pronoun && rng_.Chance(0.3)
+                               ? " then"
+                               : "";
+      if (std::string_view(verb.prep).empty()) {
+        sentence = StrFormat("%s%s %s %s.", subject_np.c_str(),
+                             adverb.c_str(), verb.past, object_np.c_str());
+      } else {
+        std::string filler = std::string_view(verb.filler).empty()
+                                 ? ""
+                                 : std::string(" ") + verb.filler;
+        sentence = StrFormat("%s%s %s%s %s %s.", subject_np.c_str(),
+                             adverb.c_str(), verb.past, filler.c_str(),
+                             verb.prep, object_np.c_str());
+      }
+    }
+    report.text += sentence + " ";
+    note_relation(step.subject, verb.lemma, step.object);
+    prev_subject = step.subject;
+  }
+  return report;
+}
+
+std::vector<ScriptStep> ReportGenerator::RandomScript(size_t num_steps) {
+  static const char* const kWords[] = {
+      "updater", "agent",  "helper",  "daemon", "loader", "probe",
+      "sync",    "worker", "monitor", "relay",  "cache",  "audit",
+  };
+  auto word = [&] { return kWords[rng_.Uniform(std::size(kWords))]; };
+  auto fresh_path = [&](const char* dir, const char* ext) {
+    return StrFormat("%s/%s_%zu%s", dir, word(), ++name_counter_, ext);
+  };
+  auto fresh_ip = [&] {
+    return StrFormat("%u.%u.%u.%u",
+                     static_cast<unsigned>(11 + rng_.Uniform(180)),
+                     static_cast<unsigned>(1 + rng_.Uniform(250)),
+                     static_cast<unsigned>(1 + rng_.Uniform(250)),
+                     static_cast<unsigned>(1 + rng_.Uniform(250)));
+  };
+
+  std::vector<ScriptStep> steps;
+  std::string subject = fresh_path("/usr/bin", "");
+  std::string c2 = fresh_ip();
+  std::string staging = fresh_path("/tmp", ".dat");
+  while (steps.size() < num_steps) {
+    switch (rng_.Uniform(6)) {
+      case 0:
+        steps.push_back({subject, VerbClass::kConnect, c2});
+        break;
+      case 1: {
+        std::string tool = fresh_path("/tmp", ".bin");
+        steps.push_back({subject, VerbClass::kDownload, tool});
+        if (steps.size() < num_steps && rng_.Chance(0.7)) {
+          steps.push_back({subject, VerbClass::kExecute, tool});
+          // The tool may take over as the acting process.
+          if (rng_.Chance(0.5)) subject = tool;
+        }
+        break;
+      }
+      case 2: {
+        // Possibly a run of reads the renderer can coalesce into a list.
+        size_t n = 1 + rng_.Uniform(3);
+        for (size_t k = 0; k < n && steps.size() < num_steps; ++k) {
+          steps.push_back(
+              {subject, VerbClass::kRead, fresh_path("/etc", ".conf")});
+        }
+        break;
+      }
+      case 3:
+        steps.push_back({subject, VerbClass::kWrite, staging});
+        break;
+      case 4:
+        steps.push_back({subject, VerbClass::kSend, c2});
+        break;
+      case 5:
+        steps.push_back(
+            {subject, VerbClass::kDelete, fresh_path("/var/log", ".log")});
+        break;
+    }
+  }
+  steps.resize(num_steps);
+  return steps;
+}
+
+}  // namespace raptor::nlp

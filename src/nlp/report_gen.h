@@ -1,0 +1,83 @@
+// Synthetic OSCTI report generator.
+//
+// Renders an attack script — a chain of (subject IOC, verb class, object
+// IOC) steps — into natural-language threat-report prose with controlled
+// variety (verb synonyms, active/passive voice, pronoun and definite-NP
+// continuations, distractor sentences), together with the ground-truth
+// labels the rendering implies. This scales the extraction evaluation (E1)
+// beyond the hand-labeled corpus and powers property tests: for any
+// generated report, the pipeline's extraction can be scored exactly.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nlp/ioc.h"
+
+namespace raptor::nlp {
+
+/// Verb classes a script step can use; each renders through a set of
+/// synonymous surface verbs.
+enum class VerbClass : uint8_t {
+  kRead,
+  kWrite,
+  kConnect,   ///< Object must be an IP.
+  kSend,      ///< Object must be an IP.
+  kDownload,  ///< Object is a file the subject fetches.
+  kExecute,
+  kDelete,
+};
+
+/// \brief One step of an attack script.
+struct ScriptStep {
+  std::string subject;  ///< IOC text (a path acting as the process).
+  VerbClass verb;
+  std::string object;  ///< IOC text (path or IP, per the verb class).
+};
+
+/// \brief A labeled relation implied by one rendered sentence.
+struct GeneratedLabel {
+  std::string subject;
+  std::string verb;  ///< Lemma of the surface verb actually rendered.
+  std::string object;
+};
+
+/// \brief A rendered report plus its ground truth.
+struct GeneratedReport {
+  std::string text;
+  std::vector<std::string> iocs;          ///< Distinct IOC strings.
+  std::vector<GeneratedLabel> relations;  ///< One per script step.
+};
+
+/// \brief Options controlling rendering variety.
+struct ReportGenOptions {
+  uint64_t seed = 7;
+  double passive_probability = 0.25;
+  /// Probability of continuing a same-subject step with "It then ...".
+  double pronoun_probability = 0.3;
+  /// Probability of inserting a no-IOC distractor sentence between steps.
+  double distractor_probability = 0.25;
+};
+
+/// \brief Renders scripts to prose and samples random scripts.
+class ReportGenerator {
+ public:
+  explicit ReportGenerator(ReportGenOptions options = {});
+
+  /// Renders `steps` into a report with labels.
+  GeneratedReport Render(const std::vector<ScriptStep>& steps);
+
+  /// Samples a plausible multi-stage attack script of `num_steps` steps
+  /// (connect -> download -> execute -> read -> write -> exfiltrate
+  /// motifs over randomly named IOCs).
+  std::vector<ScriptStep> RandomScript(size_t num_steps);
+
+ private:
+  ReportGenOptions options_;
+  Rng rng_;
+  size_t name_counter_ = 0;
+};
+
+}  // namespace raptor::nlp

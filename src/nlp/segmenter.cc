@@ -1,0 +1,163 @@
+#include "nlp/segmenter.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace raptor::nlp {
+
+std::vector<BlockSpan> SegmentBlocks(std::string_view document) {
+  std::vector<BlockSpan> blocks;
+  size_t pos = 0;
+  size_t block_start = std::string_view::npos;
+  auto flush = [&](size_t end) {
+    if (block_start == std::string_view::npos) return;
+    std::string_view raw = document.substr(block_start, end - block_start);
+    std::string_view trimmed = Trim(raw);
+    if (!trimmed.empty()) {
+      size_t lead = static_cast<size_t>(trimmed.data() - raw.data());
+      blocks.push_back(BlockSpan{block_start + lead, std::string(trimmed)});
+    }
+    block_start = std::string_view::npos;
+  };
+
+  while (pos <= document.size()) {
+    size_t nl = document.find('\n', pos);
+    size_t line_end = (nl == std::string_view::npos) ? document.size() : nl;
+    std::string_view line = document.substr(pos, line_end - pos);
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) {
+      flush(pos);
+    } else if (trimmed[0] == '#') {
+      // Header: close the current block and emit the header as its own.
+      flush(pos);
+      block_start = pos;
+      flush(line_end);
+    } else if (block_start == std::string_view::npos) {
+      block_start = pos;
+    }
+    if (nl == std::string_view::npos) break;
+    pos = nl + 1;
+  }
+  flush(document.size());
+  return blocks;
+}
+
+namespace {
+
+bool IsAbbreviation(std::string_view block, size_t period_pos) {
+  static constexpr std::string_view kAbbrevs[] = {
+      "e.g", "i.e", "etc", "vs", "cf", "Mr", "Mrs", "Dr", "Fig", "al",
+  };
+  for (std::string_view abbr : kAbbrevs) {
+    if (period_pos >= abbr.size() &&
+        block.substr(period_pos - abbr.size(), abbr.size()) == abbr) {
+      // Must be preceded by a non-word char (or start of text).
+      size_t before = period_pos - abbr.size();
+      if (before == 0 ||
+          !std::isalnum(static_cast<unsigned char>(block[before - 1]))) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<SentenceSpan> SegmentSentences(std::string_view block) {
+  std::vector<SentenceSpan> sentences;
+  size_t start = 0;
+  for (size_t i = 0; i < block.size(); ++i) {
+    char c = block[i];
+    if (c != '.' && c != '!' && c != '?') continue;
+    bool at_end = (i + 1 == block.size());
+    bool before_space =
+        !at_end && std::isspace(static_cast<unsigned char>(block[i + 1]));
+    if (!at_end && !before_space) continue;
+    if (c == '.' && IsAbbreviation(block, i)) continue;
+    std::string_view raw = block.substr(start, i + 1 - start);
+    std::string_view trimmed = Trim(raw);
+    if (!trimmed.empty()) {
+      size_t lead = static_cast<size_t>(trimmed.data() - raw.data());
+      sentences.push_back(SentenceSpan{start + lead, std::string(trimmed)});
+    }
+    start = i + 1;
+  }
+  std::string_view tail = Trim(block.substr(start));
+  if (!tail.empty()) {
+    size_t lead = static_cast<size_t>(tail.data() - (block.data() + start));
+    sentences.push_back(SentenceSpan{start + lead, std::string(tail)});
+  }
+  return sentences;
+}
+
+std::vector<Token> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  auto is_punct = [](char c) {
+    return std::ispunct(static_cast<unsigned char>(c)) != 0;
+  };
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i >= text.size()) break;
+    size_t start = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    std::string_view word = text.substr(start, i - start);
+
+    // Peel leading punctuation.
+    size_t lead = 0;
+    while (lead < word.size() && is_punct(word[lead])) {
+      Token t;
+      t.text = std::string(1, word[lead]);
+      t.offset = start + lead;
+      t.pos = Pos::kPunct;
+      tokens.push_back(std::move(t));
+      ++lead;
+    }
+    // Peel trailing punctuation (kept aside, emitted after the core).
+    size_t trail = word.size();
+    while (trail > lead && is_punct(word[trail - 1])) --trail;
+    // Core: like general-purpose tokenizers (spaCy's infix rules), split on
+    // internal slashes and colons. This is deliberate: it is what shatters
+    // unprotected IOCs ("/etc/passwd" -> "/", "etc", "/", "passwd") and why
+    // the paper's IOC protection matters. Protected text never contains
+    // these characters inside a token.
+    size_t seg_start = lead;
+    for (size_t p = lead; p <= trail; ++p) {
+      bool is_infix =
+          p < trail && (word[p] == '/' || word[p] == '\\' || word[p] == ':');
+      if (p == trail || is_infix) {
+        if (p > seg_start) {
+          Token t;
+          t.text = std::string(word.substr(seg_start, p - seg_start));
+          t.offset = start + seg_start;
+          tokens.push_back(std::move(t));
+        }
+        if (is_infix) {
+          Token t;
+          t.text = std::string(1, word[p]);
+          t.offset = start + p;
+          t.pos = Pos::kPunct;
+          tokens.push_back(std::move(t));
+        }
+        seg_start = p + 1;
+      }
+    }
+    for (size_t p = trail; p < word.size(); ++p) {
+      Token t;
+      t.text = std::string(1, word[p]);
+      t.offset = start + p;
+      t.pos = Pos::kPunct;
+      tokens.push_back(std::move(t));
+    }
+  }
+  return tokens;
+}
+
+}  // namespace raptor::nlp

@@ -1,0 +1,43 @@
+// Block and sentence segmentation (paper §II-C steps 1 and 2) and
+// tokenization.
+//
+// Blocks are the natural paragraphs of an OSCTI article; coreference
+// resolution operates within a block. Sentence segmentation runs on
+// IOC-protected text, which is what makes the naive period rule safe: after
+// protection there are no dotted indicators left to split on.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nlp/text.h"
+
+namespace raptor::nlp {
+
+/// Splits a document into blocks on blank lines. Markdown-style headers
+/// (lines starting with '#') start a new block and are kept as their own
+/// block. Returns (offset, text) pairs; offsets index into `document`.
+struct BlockSpan {
+  size_t offset = 0;
+  std::string text;
+};
+std::vector<BlockSpan> SegmentBlocks(std::string_view document);
+
+/// Splits a block into sentences at '.', '!', '?' followed by whitespace or
+/// end of text. Common abbreviations (e.g., "e.g.", "i.e.", "etc.") do not
+/// break sentences. Offsets index into the block text.
+struct SentenceSpan {
+  size_t offset = 0;
+  std::string text;
+};
+std::vector<SentenceSpan> SegmentSentences(std::string_view block);
+
+/// Rule-based tokenizer: whitespace split, then leading/trailing punctuation
+/// is peeled into separate tokens. Hyphenated words and words containing
+/// internal punctuation (the protected dummy never has any) stay whole.
+/// Token offsets index into `text`.
+std::vector<Token> Tokenize(std::string_view text);
+
+}  // namespace raptor::nlp

@@ -1,0 +1,52 @@
+// Token and part-of-speech model for the NLP pipeline.
+//
+// The paper builds its extraction pipeline on spaCy; this reproduction uses
+// an equivalent from-scratch stack (see DESIGN.md "Substitutions"). The
+// coarse POS tag set below mirrors the Universal POS tags the pipeline's
+// rules need.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace raptor::nlp {
+
+/// Coarse universal POS tags.
+enum class Pos : uint8_t {
+  kNoun,
+  kVerb,
+  kAux,    ///< Auxiliary verbs (is, was, has, ...).
+  kPron,   ///< Pronouns (it, they, ...).
+  kDet,    ///< Determiners (the, a, this, ...).
+  kAdp,    ///< Adpositions/prepositions (to, from, into, ...).
+  kAdj,
+  kAdv,
+  kConj,   ///< Coordinating and subordinating conjunctions.
+  kNum,
+  kPart,   ///< Particles (to-infinitive, 's).
+  kPunct,
+  kOther,
+};
+
+std::string_view PosName(Pos pos);
+
+/// \brief One token with its surface form, document offset, and the
+/// annotations later stages fill in (POS, lemma).
+struct Token {
+  std::string text;
+  size_t offset = 0;  ///< Char offset of the token in its block.
+  Pos pos = Pos::kOther;
+  std::string lemma;  ///< Filled by the lemmatizer; empty until then.
+
+  bool IsPunct() const { return pos == Pos::kPunct; }
+};
+
+/// \brief A tokenized sentence.
+struct Sentence {
+  std::vector<Token> tokens;
+  size_t offset = 0;  ///< Char offset of the sentence start in its block.
+};
+
+}  // namespace raptor::nlp

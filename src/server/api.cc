@@ -1,0 +1,164 @@
+#include "server/api.h"
+
+#include "common/json.h"
+#include "common/strings.h"
+#include "engine/explain.h"
+#include "tbql/analyzer.h"
+#include "tbql/parser.h"
+#include "tbql/printer.h"
+
+namespace raptor::server {
+
+namespace {
+
+HttpResponse JsonResponse(const Json& json, int status = 200) {
+  return HttpResponse{status, "application/json; charset=utf-8",
+                      json.Dump(2) + "\n"};
+}
+
+HttpResponse ErrorResponse(const Status& status) {
+  Json::Object error;
+  error["error"] = status.ToString();
+  return JsonResponse(Json(std::move(error)), 400);
+}
+
+Json ResultToJson(const engine::QueryResult& result) {
+  Json::Object out;
+  Json::Array columns;
+  for (const std::string& c : result.columns) columns.push_back(c);
+  out["columns"] = Json(std::move(columns));
+  Json::Array rows;
+  for (const auto& row : result.rows) {
+    Json::Array cells;
+    for (const std::string& cell : row) cells.push_back(cell);
+    rows.push_back(Json(std::move(cells)));
+  }
+  out["rows"] = Json(std::move(rows));
+  Json::Object stats;
+  stats["total_ms"] = result.stats.total_ms;
+  stats["rows_touched"] =
+      static_cast<double>(result.stats.relational_rows_touched);
+  stats["graph_edges_traversed"] =
+      static_cast<double>(result.stats.graph_edges_traversed);
+  Json::Array schedule;
+  for (const std::string& s : result.stats.schedule) schedule.push_back(s);
+  stats["schedule"] = Json(std::move(schedule));
+  out["stats"] = Json(std::move(stats));
+  return Json(std::move(out));
+}
+
+Json GraphToJson(const nlp::ThreatBehaviorGraph& graph) {
+  Json::Object out;
+  Json::Array nodes;
+  for (const nlp::IocEntity& n : graph.nodes()) {
+    Json::Object node;
+    node["id"] = n.id;
+    node["type"] = std::string(nlp::IocTypeName(n.type));
+    node["text"] = n.text;
+    nodes.push_back(Json(std::move(node)));
+  }
+  out["nodes"] = Json(std::move(nodes));
+  Json::Array edges;
+  for (const nlp::BehaviorEdge& e : graph.edges()) {
+    Json::Object edge;
+    edge["seq"] = e.sequence;
+    edge["src"] = graph.node(e.src).text;
+    edge["verb"] = e.verb;
+    edge["dst"] = graph.node(e.dst).text;
+    edges.push_back(Json(std::move(edge)));
+  }
+  out["edges"] = Json(std::move(edges));
+  return Json(std::move(out));
+}
+
+constexpr const char* kIndexHtml = R"HTML(<!doctype html>
+<html><head><meta charset="utf-8"><title>ThreatRaptor</title>
+<style>
+ body { font-family: sans-serif; margin: 2rem; max-width: 70rem; }
+ textarea { width: 100%; font-family: monospace; }
+ pre { background: #f4f4f4; padding: .8rem; overflow-x: auto; }
+ h2 { margin-top: 2rem; }
+ button { margin: .3rem .3rem .3rem 0; }
+</style></head>
+<body>
+<h1>ThreatRaptor</h1>
+<p>Threat hunting with OSCTI: paste a threat report and hunt, or write
+TBQL directly.</p>
+
+<h2>OSCTI report</h2>
+<textarea id="report" rows="6">The process /bin/tar read the file /etc/passwd. /bin/tar then wrote the collected data to /tmp/data.tar. The process /bin/gzip read /tmp/data.tar and wrote the compressed archive /tmp/data.tar.gz. Finally, the process /usr/bin/curl read /tmp/data.tar.gz and sent the archive to the IP 161.35.10.8.</textarea><br>
+<button onclick="post('/api/extract','report')">Extract behavior graph</button>
+<button onclick="post('/api/hunt','report')">Hunt</button>
+
+<h2>TBQL query</h2>
+<textarea id="query" rows="4">proc p["%tar%"] read file f
+return p, f</textarea><br>
+<button onclick="post('/api/query','query')">Run</button>
+<button onclick="post('/api/explain','query')">Explain</button>
+<button onclick="fetch('/api/stats').then(r=>r.text()).then(show)">Stats</button>
+
+<h2>Output</h2>
+<pre id="out">(results appear here)</pre>
+<script>
+ function show(text) { document.getElementById('out').textContent = text; }
+ function post(url, boxId) {
+   fetch(url, {method: 'POST',
+               body: document.getElementById(boxId).value})
+     .then(r => r.text()).then(show)
+     .catch(e => show('request failed: ' + e));
+ }
+</script>
+</body></html>
+)HTML";
+
+}  // namespace
+
+void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
+  server->Route("GET", "/", [](const HttpRequest&) {
+    return HttpResponse{200, "text/html; charset=utf-8", kIndexHtml};
+  });
+
+  server->Route("GET", "/api/stats", [system](const HttpRequest&) {
+    Json::Object stats;
+    stats["events"] = static_cast<double>(system->log().event_count());
+    stats["entities"] = static_cast<double>(system->log().entity_count());
+    stats["cpr_reduction"] = system->cpr_stats().ReductionRatio();
+    return JsonResponse(Json(std::move(stats)));
+  });
+
+  server->Route("POST", "/api/extract", [system](const HttpRequest& req) {
+    nlp::ExtractionResult extraction = system->ExtractBehavior(req.body);
+    return JsonResponse(GraphToJson(extraction.graph));
+  });
+
+  server->Route("POST", "/api/hunt", [system](const HttpRequest& req) {
+    auto hunt = system->Hunt(req.body);
+    if (!hunt.ok()) return ErrorResponse(hunt.status());
+    Json::Object out;
+    out["behavior_graph"] = GraphToJson(hunt->extraction.graph);
+    out["tbql"] = hunt->query_text;
+    out["result"] = ResultToJson(hunt->result);
+    return JsonResponse(Json(std::move(out)));
+  });
+
+  server->Route("POST", "/api/query", [system](const HttpRequest& req) {
+    auto result = system->ExecuteTbql(req.body);
+    if (!result.ok()) return ErrorResponse(result.status());
+    return JsonResponse(ResultToJson(*result));
+  });
+
+  server->Route("POST", "/api/explain", [system](const HttpRequest& req) {
+    auto parsed = tbql::Parse(req.body);
+    if (!parsed.ok()) return ErrorResponse(parsed.status());
+    if (Status st = tbql::Analyze(&*parsed); !st.ok()) {
+      return ErrorResponse(st);
+    }
+    auto result = system->ExecuteQuery(*parsed);
+    if (!result.ok()) return ErrorResponse(result.status());
+    Json::Object out;
+    out["explain"] = engine::ExplainAnalyze(*parsed, *result);
+    return JsonResponse(Json(std::move(out)));
+  });
+}
+
+}  // namespace raptor::server

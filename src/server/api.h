@@ -1,0 +1,27 @@
+// The web UI and JSON API of the paper's §III deployment, bound to a
+// ThreatRaptor instance.
+//
+// Routes:
+//   GET  /             the demo page (report box -> hunt; query box -> run)
+//   GET  /api/stats    trace statistics (JSON)
+//   POST /api/hunt     body = OSCTI report text -> extraction + synthesized
+//                      TBQL + results (JSON)
+//   POST /api/extract  body = OSCTI report text -> behavior graph (JSON)
+//   POST /api/query    body = TBQL text -> results (JSON)
+//   POST /api/explain  body = TBQL text -> EXPLAIN ANALYZE (JSON)
+//
+// The server handles requests serially on its accept thread, which matches
+// ThreatRaptor's single-threaded execution model.
+
+#pragma once
+
+#include "core/threat_raptor.h"
+#include "server/http.h"
+
+namespace raptor::server {
+
+/// Registers all routes on `server`. `system` must be finalized and must
+/// outlive the server.
+void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system);
+
+}  // namespace raptor::server

@@ -1,0 +1,200 @@
+#include "server/http.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace raptor::server {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 500:
+      return "Internal Server Error";
+    default:
+      return "Unknown";
+  }
+}
+
+}  // namespace
+
+Result<HttpRequest> ParseRequestHead(std::string_view head) {
+  HttpRequest request;
+  size_t line_end = head.find("\r\n");
+  if (line_end == std::string_view::npos) {
+    return Status::ParseError("no request line");
+  }
+  std::vector<std::string> parts =
+      SplitWhitespace(head.substr(0, line_end));
+  if (parts.size() != 3 || !StartsWith(parts[2], "HTTP/1.")) {
+    return Status::ParseError("malformed request line");
+  }
+  request.method = parts[0];
+  std::string target = parts[1];
+  size_t qmark = target.find('?');
+  if (qmark == std::string::npos) {
+    request.path = target;
+  } else {
+    request.path = target.substr(0, qmark);
+    request.query = target.substr(qmark + 1);
+  }
+
+  size_t pos = line_end + 2;
+  while (pos < head.size()) {
+    size_t next = head.find("\r\n", pos);
+    if (next == std::string_view::npos) next = head.size();
+    std::string_view line = head.substr(pos, next - pos);
+    pos = next + 2;
+    if (line.empty()) break;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::ParseError("malformed header line");
+    }
+    std::string name = ToLower(Trim(line.substr(0, colon)));
+    request.headers[name] = std::string(Trim(line.substr(colon + 1)));
+  }
+  return request;
+}
+
+std::string SerializeResponse(const HttpResponse& response) {
+  std::string out = StrFormat("HTTP/1.1 %d %s\r\n", response.status,
+                              StatusText(response.status));
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += StrFormat("Content-Length: %zu\r\n", response.body.size());
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+void HttpServer::Route(const std::string& method, const std::string& path,
+                       Handler handler) {
+  routes_[{method, path}] = std::move(handler);
+}
+
+Status HttpServer::Start(uint16_t port) {
+  if (running_.load()) return Status::InvalidArgument("already running");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Internal("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(StrFormat("bind(127.0.0.1:%u) failed", port));
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::AcceptLoop() {
+  while (running_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, 100 /*ms*/);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check running_
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  // Read the head (until CRLFCRLF), then Content-Length body bytes.
+  std::string data;
+  char buffer[4096];
+  size_t head_end = std::string::npos;
+  while (head_end == std::string::npos && data.size() < (1u << 20)) {
+    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    data.append(buffer, static_cast<size_t>(n));
+    head_end = data.find("\r\n\r\n");
+  }
+  HttpResponse response;
+  if (head_end == std::string::npos) {
+    response = HttpResponse{400, "text/plain; charset=utf-8",
+                            "malformed request\n"};
+    std::string wire = SerializeResponse(response);
+    (void)::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+    return;
+  }
+
+  auto parsed = ParseRequestHead(data.substr(0, head_end + 2));
+  if (!parsed.ok()) {
+    response = HttpResponse{400, "text/plain; charset=utf-8",
+                            parsed.status().ToString() + "\n"};
+    std::string wire = SerializeResponse(response);
+    (void)::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+    return;
+  }
+  HttpRequest request = *std::move(parsed);
+  size_t content_length = 0;
+  if (auto it = request.headers.find("content-length");
+      it != request.headers.end()) {
+    content_length = static_cast<size_t>(std::strtoull(
+        it->second.c_str(), nullptr, 10));
+    content_length = std::min(content_length, size_t{1} << 24);
+  }
+  request.body = data.substr(head_end + 4);
+  while (request.body.size() < content_length) {
+    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    request.body.append(buffer, static_cast<size_t>(n));
+  }
+
+  auto route = routes_.find({request.method, request.path});
+  if (route == routes_.end()) {
+    bool path_known = false;
+    for (const auto& [key, handler] : routes_) {
+      if (key.second == request.path) path_known = true;
+    }
+    response = HttpResponse{path_known ? 405 : 404,
+                            "text/plain; charset=utf-8",
+                            path_known ? "method not allowed\n"
+                                       : "not found\n"};
+  } else {
+    response = route->second(request);
+  }
+  std::string wire = SerializeResponse(response);
+  (void)::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+}
+
+}  // namespace raptor::server

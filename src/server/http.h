@@ -1,0 +1,84 @@
+// Minimal embedded HTTP/1.1 server (substrate for the paper's §III web
+// UI deployment — "We deployed THREATRAPTOR on a server and built a web
+// UI"). Single accept thread, blocking per-request handling, exact-match
+// routing. Enough to serve the demo UI and its JSON API on localhost; not
+// a general-purpose web server.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "common/result.h"
+
+namespace raptor::server {
+
+/// \brief One parsed request.
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", ...
+  std::string path;    ///< Path only; the query string is split off.
+  std::string query;   ///< Raw query string (no leading '?').
+  std::map<std::string, std::string> headers;  ///< Lower-cased names.
+  std::string body;
+};
+
+/// \brief One response; the server adds Content-Length and connection
+/// headers.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// Parses the head of an HTTP/1.1 request (request line + headers). The
+/// body is whatever follows per Content-Length; the caller appends it.
+/// Exposed for unit tests.
+Result<HttpRequest> ParseRequestHead(std::string_view head);
+
+/// Serializes a response with Content-Length and Connection: close.
+std::string SerializeResponse(const HttpResponse& response);
+
+/// \brief The server. Routes are exact (method, path) matches registered
+/// before Start(); unknown paths get 404, unknown methods on known paths
+/// get 405.
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer() { Stop(); }
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers a handler. Not thread-safe against a running server.
+  void Route(const std::string& method, const std::string& path,
+             Handler handler);
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept thread.
+  Status Start(uint16_t port);
+
+  /// Stops the accept loop and joins the thread. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(); }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  std::map<std::pair<std::string, std::string>, Handler> routes_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace raptor::server

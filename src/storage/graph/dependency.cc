@@ -1,0 +1,167 @@
+#include "storage/graph/dependency.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+namespace raptor::graph {
+
+using audit::EntityId;
+using audit::EventId;
+using audit::Operation;
+using audit::Timestamp;
+
+namespace {
+
+/// True when information flows from the storage-object into the
+/// storage-subject (reads, receives, code loading); false when it flows
+/// subject -> object (writes, sends, process control, file maintenance).
+bool FlowsIntoSubject(Operation op) {
+  switch (op) {
+    case Operation::kRead:
+    case Operation::kRecv:
+    case Operation::kExecute:
+    case Operation::kAccept:
+      return true;
+    default:
+      return false;
+  }
+}
+
+EntityId FlowSource(const GraphEdge& e) {
+  return FlowsIntoSubject(e.op) ? e.dst : e.src;
+}
+
+EntityId FlowSink(const GraphEdge& e) {
+  return FlowsIntoSubject(e.op) ? e.src : e.dst;
+}
+
+/// Shared worklist engine. `backward` selects the closure direction.
+DependencySubgraph Track(const GraphStore& graph,
+                         const std::vector<EventId>& seeds,
+                         const TrackingOptions& options, bool backward) {
+  // Map event ids to edge indexes once.
+  std::unordered_map<EventId, size_t> edge_of_event;
+  for (size_t i = 0; i < graph.num_edges(); ++i) {
+    edge_of_event.emplace(graph.edge(i).event_id, i);
+  }
+
+  DependencySubgraph out;
+  // Per-entity frontier time: for backward tracking, the *latest* time at
+  // which the entity is known relevant (events before it qualify); for
+  // forward, the *earliest*.
+  std::unordered_map<EntityId, Timestamp> frontier;
+  struct Item {
+    EntityId entity;
+    Timestamp time;
+    size_t depth;
+  };
+  std::deque<Item> worklist;
+
+  auto relax = [&](EntityId entity, Timestamp time, size_t depth) {
+    auto it = frontier.find(entity);
+    bool improves = it == frontier.end() ||
+                    (backward ? time > it->second : time < it->second);
+    if (!improves) return;
+    frontier[entity] = time;
+    worklist.push_back(Item{entity, time, depth});
+  };
+
+  std::vector<bool> event_in(graph.num_edges(), false);
+  auto add_event = [&](size_t edge_idx) {
+    if (event_in[edge_idx]) return false;
+    event_in[edge_idx] = true;
+    out.events.push_back(graph.edge(edge_idx).event_id);
+    return true;
+  };
+
+  for (EventId seed : seeds) {
+    auto it = edge_of_event.find(seed);
+    if (it == edge_of_event.end()) continue;
+    const GraphEdge& e = graph.edge(it->second);
+    add_event(it->second);
+    if (backward) {
+      // What influenced this event: its flow source, before it started.
+      relax(FlowSource(e), e.start_time, 0);
+    } else {
+      relax(FlowSink(e), e.end_time, 0);
+    }
+  }
+
+  while (!worklist.empty()) {
+    Item item = worklist.front();
+    worklist.pop_front();
+    if (item.depth >= options.max_depth) continue;
+    // Events incident to the entity in the relevant flow role.
+    auto consider = [&](size_t edge_idx) {
+      const GraphEdge& e = graph.edge(edge_idx);
+      if (options.not_before && e.start_time < *options.not_before) return;
+      if (options.not_after && e.start_time > *options.not_after) return;
+      if (backward) {
+        // Event must write into this entity before the frontier time.
+        if (FlowSink(e) != item.entity) return;
+        if (!(e.start_time < item.time)) return;
+        add_event(edge_idx);
+        relax(FlowSource(e), e.start_time, item.depth + 1);
+      } else {
+        if (FlowSource(e) != item.entity) return;
+        if (!(e.start_time > item.time)) return;
+        add_event(edge_idx);
+        relax(FlowSink(e), e.end_time, item.depth + 1);
+      }
+    };
+    for (size_t idx : graph.OutEdges(item.entity)) consider(idx);
+    for (size_t idx : graph.InEdges(item.entity)) consider(idx);
+  }
+
+  // Collect entities from the included events.
+  std::vector<bool> entity_in(graph.num_nodes(), false);
+  for (EventId id : out.events) {
+    const GraphEdge& e = graph.edge(edge_of_event.at(id));
+    entity_in[e.src] = true;
+    entity_in[e.dst] = true;
+  }
+  for (EntityId id = 0; id < entity_in.size(); ++id) {
+    if (entity_in[id]) out.entities.push_back(id);
+  }
+  std::sort(out.events.begin(), out.events.end());
+  out.events.erase(std::unique(out.events.begin(), out.events.end()),
+                   out.events.end());
+  return out;
+}
+
+}  // namespace
+
+DependencySubgraph TrackBackward(const GraphStore& graph,
+                                 const std::vector<EventId>& seeds,
+                                 const TrackingOptions& options) {
+  return Track(graph, seeds, options, /*backward=*/true);
+}
+
+DependencySubgraph TrackForward(const GraphStore& graph,
+                                const std::vector<EventId>& seeds,
+                                const TrackingOptions& options) {
+  return Track(graph, seeds, options, /*backward=*/false);
+}
+
+DependencySubgraph TrackBidirectional(const GraphStore& graph,
+                                      const std::vector<EventId>& seeds,
+                                      const TrackingOptions& options) {
+  DependencySubgraph back = TrackBackward(graph, seeds, options);
+  DependencySubgraph fwd = TrackForward(graph, seeds, options);
+  DependencySubgraph out;
+  out.events.reserve(back.events.size() + fwd.events.size());
+  std::merge(back.events.begin(), back.events.end(), fwd.events.begin(),
+             fwd.events.end(), std::back_inserter(out.events));
+  out.events.erase(std::unique(out.events.begin(), out.events.end()),
+                   out.events.end());
+  std::merge(back.entities.begin(), back.entities.end(),
+             fwd.entities.begin(), fwd.entities.end(),
+             std::back_inserter(out.entities));
+  out.entities.erase(
+      std::unique(out.entities.begin(), out.entities.end()),
+      out.entities.end());
+  return out;
+}
+
+}  // namespace raptor::graph

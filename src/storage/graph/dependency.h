@@ -1,0 +1,55 @@
+// Causal dependency tracking over the event graph (extension; the
+// investigation step that the paper's hunting output feeds — the AIQL/CCS
+// lineage ThreatRaptor builds on uses exactly this backward/forward
+// closure for attack reconstruction).
+//
+// Backward tracking from a set of seed events answers "what led to this":
+// it follows information flow against its direction (for an event u->v at
+// time t, anything that flowed *into* u strictly before t is causally
+// relevant). Forward tracking answers "what did this affect". Both respect
+// event timestamps, so unrelated later/earlier activity on the same
+// entities is excluded.
+
+#pragma once
+
+#include <vector>
+
+#include "storage/graph/graph_store.h"
+
+namespace raptor::graph {
+
+/// \brief Result of a tracking pass: the causal subgraph.
+struct DependencySubgraph {
+  std::vector<audit::EventId> events;    ///< Sorted, deduplicated.
+  std::vector<audit::EntityId> entities; ///< Sorted, deduplicated.
+};
+
+/// \brief Tuning for dependency tracking.
+struct TrackingOptions {
+  /// Hop budget (entity expansions); bounds the closure on busy systems.
+  size_t max_depth = 16;
+  /// Optional absolute time fence: backward tracking ignores events before
+  /// this, forward tracking ignores events after its counterpart below.
+  std::optional<audit::Timestamp> not_before;
+  std::optional<audit::Timestamp> not_after;
+};
+
+/// Backward closure: every event that could have causally influenced the
+/// seed events, per time-respecting information flow.
+DependencySubgraph TrackBackward(const GraphStore& graph,
+                                 const std::vector<audit::EventId>& seeds,
+                                 const TrackingOptions& options = {});
+
+/// Forward closure: every event the seed events could have causally
+/// influenced.
+DependencySubgraph TrackForward(const GraphStore& graph,
+                                const std::vector<audit::EventId>& seeds,
+                                const TrackingOptions& options = {});
+
+/// Union of backward and forward closures from the seeds — the full attack
+/// reconstruction a hunt's matches anchor.
+DependencySubgraph TrackBidirectional(
+    const GraphStore& graph, const std::vector<audit::EventId>& seeds,
+    const TrackingOptions& options = {});
+
+}  // namespace raptor::graph

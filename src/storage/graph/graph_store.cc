@@ -1,0 +1,112 @@
+#include "storage/graph/graph_store.h"
+
+#include <algorithm>
+
+namespace raptor::graph {
+
+using audit::EntityId;
+using audit::Operation;
+
+GraphStore::GraphStore(const audit::AuditLog& log) : log_(&log) {
+  SyncWithLog();
+}
+
+void GraphStore::SyncWithLog() {
+  out_.resize(log_->entity_count());
+  in_.resize(log_->entity_count());
+  edges_.reserve(log_->event_count());
+  for (size_t i = edges_.size(); i < log_->event_count(); ++i) {
+    const auto& ev = log_->event(i);
+    size_t idx = edges_.size();
+    edges_.push_back(GraphEdge{ev.id, ev.subject, ev.object, ev.op,
+                               ev.start_time, ev.end_time, ev.bytes});
+    out_[ev.subject].push_back(idx);
+    in_[ev.object].push_back(idx);
+  }
+}
+
+std::vector<EntityId> GraphStore::FindNodes(const NodePredicate& pred) const {
+  std::vector<EntityId> out;
+  for (const auto& e : log_->entities()) {
+    if (pred(e)) out.push_back(e.id);
+  }
+  return out;
+}
+
+std::vector<PathMatch> GraphStore::FindPaths(
+    const std::vector<EntityId>& sources, const NodePredicate& sink_pred,
+    const PathConstraints& constraints) const {
+  std::vector<PathMatch> matches;
+  std::vector<bool> on_path(num_nodes(), false);
+  std::vector<size_t> edge_stack;
+  for (EntityId src : sources) {
+    if (src >= num_nodes()) continue;
+    on_path[src] = true;
+    Dfs(src, sink_pred, constraints, &edge_stack, &on_path, &matches);
+    on_path[src] = false;
+  }
+  return matches;
+}
+
+void GraphStore::Dfs(EntityId node, const NodePredicate& sink_pred,
+                     const PathConstraints& constraints,
+                     std::vector<size_t>* edge_stack,
+                     std::vector<bool>* on_path,
+                     std::vector<PathMatch>* out) const {
+  size_t depth = edge_stack->size();
+  if (depth >= constraints.max_hops) return;
+  ++stats_.nodes_expanded;
+
+  audit::Timestamp min_time =
+      edge_stack->empty() ? INT64_MIN : edges_[edge_stack->back()].start_time;
+
+  for (size_t edge_idx : out_[node]) {
+    const GraphEdge& e = edges_[edge_idx];
+    ++stats_.edges_traversed;
+    if ((*on_path)[e.dst]) continue;
+    if (constraints.monotonic_time && e.start_time < min_time) continue;
+    if (constraints.window_start && e.start_time < *constraints.window_start) {
+      continue;
+    }
+    if (constraints.window_end && e.start_time > *constraints.window_end) {
+      continue;
+    }
+
+    size_t hop_number = depth + 1;  // 1-based
+    bool final_op_ok =
+        constraints.final_ops.empty() ||
+        std::find(constraints.final_ops.begin(), constraints.final_ops.end(),
+                  e.op) != constraints.final_ops.end();
+    bool can_be_final = hop_number >= constraints.min_hops && final_op_ok;
+
+    // As a final hop: sink must match.
+    if (can_be_final && sink_pred(log_->entity(e.dst))) {
+      PathMatch m;
+      edge_stack->push_back(edge_idx);
+      m.hops.reserve(edge_stack->size());
+      for (size_t idx : *edge_stack) m.hops.push_back(edges_[idx].event_id);
+      m.source = edges_[edge_stack->front()].src;
+      m.sink = e.dst;
+      out->push_back(std::move(m));
+      edge_stack->pop_back();
+    }
+
+    // As an intermediate hop: op must be an allowed chaining op and there
+    // must be room for at least one more hop.
+    if (hop_number < constraints.max_hops) {
+      bool chainable =
+          std::find(constraints.intermediate_ops.begin(),
+                    constraints.intermediate_ops.end(),
+                    e.op) != constraints.intermediate_ops.end();
+      if (chainable) {
+        edge_stack->push_back(edge_idx);
+        (*on_path)[e.dst] = true;
+        Dfs(e.dst, sink_pred, constraints, edge_stack, on_path, out);
+        (*on_path)[e.dst] = false;
+        edge_stack->pop_back();
+      }
+    }
+  }
+}
+
+}  // namespace raptor::graph

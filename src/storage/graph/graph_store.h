@@ -1,0 +1,120 @@
+// GraphStore: the graph backend (paper §II-B, Neo4j stand-in).
+//
+// System entities are nodes, system events are edges. Adjacency indexes
+// make neighborhood expansion O(degree), and the variable-length path
+// matcher implements the search that TBQL path patterns
+// (`proc p ~>(2~4)[read] file f`, §II-D) compile to — the paper compiles
+// these to Cypher because SQL handles graph pattern search poorly.
+
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "audit/log.h"
+
+namespace raptor::graph {
+
+/// \brief One directed edge (a system event) in the graph.
+struct GraphEdge {
+  audit::EventId event_id = 0;
+  audit::EntityId src = audit::kInvalidEntityId;
+  audit::EntityId dst = audit::kInvalidEntityId;
+  audit::Operation op = audit::Operation::kRead;
+  audit::Timestamp start_time = 0;
+  audit::Timestamp end_time = 0;
+  uint64_t bytes = 0;
+};
+
+/// Predicate over a node's entity attributes.
+using NodePredicate = std::function<bool(const audit::SystemEntity&)>;
+
+/// \brief Constraints for a variable-length path search.
+struct PathConstraints {
+  size_t min_hops = 1;
+  size_t max_hops = 1;
+  /// Allowed operations of the final hop (the `[read]` in the TBQL syntax);
+  /// empty accepts any operation.
+  std::vector<audit::Operation> final_ops;
+  /// Operations allowed on intermediate hops. The paper motivates path
+  /// patterns with "intermediate processes are forked to chain system
+  /// events", so process-chaining operations are the default.
+  std::vector<audit::Operation> intermediate_ops = {
+      audit::Operation::kFork, audit::Operation::kStart,
+      audit::Operation::kExecute};
+  /// Require event times to be non-decreasing along the path (causality).
+  bool monotonic_time = true;
+  /// Optional time window applied to every event on the path.
+  std::optional<audit::Timestamp> window_start;
+  std::optional<audit::Timestamp> window_end;
+};
+
+/// \brief One matched path: the event ids of its hops, in order.
+struct PathMatch {
+  std::vector<audit::EventId> hops;
+
+  audit::EntityId source = audit::kInvalidEntityId;
+  audit::EntityId sink = audit::kInvalidEntityId;
+};
+
+/// \brief Search-effort counters for the benches.
+struct GraphStats {
+  uint64_t edges_traversed = 0;
+  uint64_t nodes_expanded = 0;
+};
+
+/// \brief Adjacency-indexed property graph over one AuditLog.
+class GraphStore {
+ public:
+  /// Builds nodes and adjacency from `log`; `log` must outlive the store.
+  explicit GraphStore(const audit::AuditLog& log);
+
+  /// Appends any entities/events added to the log since construction (or
+  /// the last sync) — the live-ingestion path. Existing edges are never
+  /// touched, so iterators/indexes held elsewhere stay valid.
+  void SyncWithLog();
+
+  size_t num_nodes() const { return out_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  const audit::SystemEntity& node(audit::EntityId id) const {
+    return log_->entity(id);
+  }
+  const GraphEdge& edge(size_t idx) const { return edges_[idx]; }
+
+  /// Outgoing/incoming edge indexes for a node.
+  const std::vector<size_t>& OutEdges(audit::EntityId id) const {
+    return out_[id];
+  }
+  const std::vector<size_t>& InEdges(audit::EntityId id) const {
+    return in_[id];
+  }
+
+  /// All node ids whose entity satisfies `pred`.
+  std::vector<audit::EntityId> FindNodes(const NodePredicate& pred) const;
+
+  /// Finds every path that starts at a node in `sources`, ends at a node
+  /// satisfying `sink_pred`, and satisfies `constraints`. Paths are simple
+  /// (no repeated node). DFS with depth bound max_hops.
+  std::vector<PathMatch> FindPaths(const std::vector<audit::EntityId>& sources,
+                                   const NodePredicate& sink_pred,
+                                   const PathConstraints& constraints) const;
+
+  const GraphStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = GraphStats{}; }
+
+ private:
+  void Dfs(audit::EntityId node, const NodePredicate& sink_pred,
+           const PathConstraints& constraints,
+           std::vector<size_t>* edge_stack, std::vector<bool>* on_path,
+           std::vector<PathMatch>* out) const;
+
+  const audit::AuditLog* log_;
+  std::vector<GraphEdge> edges_;
+  std::vector<std::vector<size_t>> out_;
+  std::vector<std::vector<size_t>> in_;
+  mutable GraphStats stats_;
+};
+
+}  // namespace raptor::graph

@@ -1,0 +1,280 @@
+#include "storage/persist/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace raptor::persist {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'A', 'P', 'T', 'R', 'L', 'O', 'G'};
+
+// --- Little-endian primitives over a growing buffer. ---
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> U8() {
+    RAPTOR_RETURN_NOT_OK(Need(1));
+    return static_cast<uint8_t>(static_cast<unsigned char>(data_[pos_++]));
+  }
+
+  Result<uint32_t> U32() {
+    RAPTOR_RETURN_NOT_OK(Need(4));
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> U64() {
+    RAPTOR_RETURN_NOT_OK(Need(8));
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<std::string> String() {
+    RAPTOR_ASSIGN_OR_RETURN(uint32_t len, U32());
+    RAPTOR_RETURN_NOT_OK(Need(len));
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+  size_t position() const { return pos_; }
+
+ private:
+  Status Need(size_t n) {
+    if (pos_ + n > data_.size()) {
+      return Status::ParseError("snapshot truncated");
+    }
+    return Status::OK();
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+const uint32_t* Crc32Table() {
+  static uint32_t table[256];
+  static bool initialized = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return true;
+  }();
+  (void)initialized;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  const uint32_t* table = Crc32Table();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string EncodeSnapshot(const audit::AuditLog& log) {
+  std::string out(kMagic, sizeof(kMagic));
+  PutU32(&out, kSnapshotVersion);
+
+  PutU64(&out, log.entity_count());
+  for (const audit::SystemEntity& e : log.entities()) {
+    out.push_back(static_cast<char>(e.type));
+    switch (e.type) {
+      case audit::EntityType::kFile:
+        PutString(&out, e.path);
+        break;
+      case audit::EntityType::kProcess:
+        PutU32(&out, e.pid);
+        PutString(&out, e.exename);
+        break;
+      case audit::EntityType::kNetwork:
+        PutString(&out, e.src_ip);
+        PutU32(&out, e.src_port);
+        PutString(&out, e.dst_ip);
+        PutU32(&out, e.dst_port);
+        PutString(&out, e.protocol);
+        break;
+    }
+  }
+
+  PutU64(&out, log.event_count());
+  for (const audit::SystemEvent& ev : log.events()) {
+    PutU64(&out, ev.subject);
+    PutU64(&out, ev.object);
+    out.push_back(static_cast<char>(ev.op));
+    PutU64(&out, static_cast<uint64_t>(ev.start_time));
+    PutU64(&out, static_cast<uint64_t>(ev.end_time));
+    PutU64(&out, ev.bytes);
+    PutU32(&out, ev.merged_count);
+  }
+
+  PutU32(&out, Crc32(out));
+  return out;
+}
+
+Result<audit::AuditLog> DecodeSnapshot(std::string_view data) {
+  if (data.size() < sizeof(kMagic) + 8 ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::ParseError("not a ThreatRaptor snapshot (bad magic)");
+  }
+  // Verify the CRC over everything except the 4-byte trailer.
+  std::string_view body = data.substr(0, data.size() - 4);
+  Reader crc_reader(data.substr(data.size() - 4));
+  RAPTOR_ASSIGN_OR_RETURN(uint32_t stored_crc, crc_reader.U32());
+  if (Crc32(body) != stored_crc) {
+    return Status::ParseError("snapshot checksum mismatch");
+  }
+
+  Reader reader(body.substr(sizeof(kMagic)));
+  RAPTOR_ASSIGN_OR_RETURN(uint32_t version, reader.U32());
+  if (version != kSnapshotVersion) {
+    return Status::Unsupported(
+        StrFormat("snapshot version %u not supported", version));
+  }
+
+  audit::AuditLog log;
+  RAPTOR_ASSIGN_OR_RETURN(uint64_t entity_count, reader.U64());
+  for (uint64_t i = 0; i < entity_count; ++i) {
+    RAPTOR_ASSIGN_OR_RETURN(uint8_t type_byte, reader.U8());
+    if (type_byte > static_cast<uint8_t>(audit::EntityType::kNetwork)) {
+      return Status::ParseError(
+          StrFormat("snapshot has bad entity type %u", type_byte));
+    }
+    audit::EntityId id = audit::kInvalidEntityId;
+    switch (static_cast<audit::EntityType>(type_byte)) {
+      case audit::EntityType::kFile: {
+        RAPTOR_ASSIGN_OR_RETURN(std::string path, reader.String());
+        id = log.InternFile(std::move(path));
+        break;
+      }
+      case audit::EntityType::kProcess: {
+        RAPTOR_ASSIGN_OR_RETURN(uint32_t pid, reader.U32());
+        RAPTOR_ASSIGN_OR_RETURN(std::string exe, reader.String());
+        id = log.InternProcess(pid, std::move(exe));
+        break;
+      }
+      case audit::EntityType::kNetwork: {
+        RAPTOR_ASSIGN_OR_RETURN(std::string src_ip, reader.String());
+        RAPTOR_ASSIGN_OR_RETURN(uint32_t src_port, reader.U32());
+        RAPTOR_ASSIGN_OR_RETURN(std::string dst_ip, reader.String());
+        RAPTOR_ASSIGN_OR_RETURN(uint32_t dst_port, reader.U32());
+        RAPTOR_ASSIGN_OR_RETURN(std::string protocol, reader.String());
+        id = log.InternNetwork(std::move(src_ip),
+                               static_cast<uint16_t>(src_port),
+                               std::move(dst_ip),
+                               static_cast<uint16_t>(dst_port),
+                               std::move(protocol));
+        break;
+      }
+    }
+    // Interning must reproduce ids densely in write order; duplicates in a
+    // valid snapshot are impossible (the source log was interned).
+    if (id != i) {
+      return Status::ParseError("snapshot entity ids are not dense");
+    }
+  }
+
+  RAPTOR_ASSIGN_OR_RETURN(uint64_t event_count, reader.U64());
+  for (uint64_t i = 0; i < event_count; ++i) {
+    audit::SystemEvent ev;
+    RAPTOR_ASSIGN_OR_RETURN(ev.subject, reader.U64());
+    RAPTOR_ASSIGN_OR_RETURN(ev.object, reader.U64());
+    RAPTOR_ASSIGN_OR_RETURN(uint8_t op_byte, reader.U8());
+    if (op_byte > static_cast<uint8_t>(audit::Operation::kRecv)) {
+      return Status::ParseError(
+          StrFormat("snapshot has bad operation %u", op_byte));
+    }
+    ev.op = static_cast<audit::Operation>(op_byte);
+    RAPTOR_ASSIGN_OR_RETURN(uint64_t start, reader.U64());
+    RAPTOR_ASSIGN_OR_RETURN(uint64_t end, reader.U64());
+    ev.start_time = static_cast<audit::Timestamp>(start);
+    ev.end_time = static_cast<audit::Timestamp>(end);
+    RAPTOR_ASSIGN_OR_RETURN(ev.bytes, reader.U64());
+    RAPTOR_ASSIGN_OR_RETURN(ev.merged_count, reader.U32());
+    if (ev.subject >= log.entity_count() || ev.object >= log.entity_count()) {
+      return Status::ParseError("snapshot event references unknown entity");
+    }
+    if (log.entity(ev.subject).type != audit::EntityType::kProcess) {
+      return Status::ParseError("snapshot event subject is not a process");
+    }
+    log.AddEvent(ev);
+  }
+  return log;
+}
+
+Status SaveSnapshot(const audit::AuditLog& log, const std::string& path) {
+  std::string data = EncodeSnapshot(log);
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + tmp + " for writing");
+  }
+  size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  bool ok = (written == data.size()) && (std::fclose(f) == 0);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+Result<audit::AuditLog> LoadSnapshot(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open snapshot " + path);
+  }
+  std::string data;
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    data.append(buffer, n);
+  }
+  std::fclose(f);
+  return DecodeSnapshot(data);
+}
+
+}  // namespace raptor::persist

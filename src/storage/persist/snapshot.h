@@ -1,0 +1,37 @@
+// Durable trace snapshots.
+//
+// The paper persists collected data in PostgreSQL/Neo4j; this embedded
+// reproduction persists the canonical AuditLog (from which both backends
+// load deterministically) as a single binary snapshot file: magic +
+// version header, length-prefixed records, CRC32 trailer. Corruption and
+// truncation are detected on load.
+
+#pragma once
+
+#include <string>
+
+#include "audit/log.h"
+#include "common/result.h"
+
+namespace raptor::persist {
+
+/// Current snapshot format version.
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Serializes `log` into the snapshot byte format.
+std::string EncodeSnapshot(const audit::AuditLog& log);
+
+/// Decodes a snapshot buffer back into an AuditLog. Fails with ParseError
+/// on bad magic, unsupported version, truncation, or checksum mismatch.
+Result<audit::AuditLog> DecodeSnapshot(std::string_view data);
+
+/// Writes `log` to `path` (atomically: temp file + rename).
+Status SaveSnapshot(const audit::AuditLog& log, const std::string& path);
+
+/// Reads a snapshot file.
+Result<audit::AuditLog> LoadSnapshot(const std::string& path);
+
+/// CRC32 (IEEE) used by the trailer; exposed for tests.
+uint32_t Crc32(std::string_view data);
+
+}  // namespace raptor::persist

@@ -1,0 +1,110 @@
+#include "storage/relational/database.h"
+
+namespace raptor::rel {
+
+RelationalDatabase::RelationalDatabase() {
+  files_ = std::make_unique<Table>(
+      "files", Schema{{"id", ColumnType::kInt64},
+                      {"name", ColumnType::kString}});
+  procs_ = std::make_unique<Table>(
+      "procs", Schema{{"id", ColumnType::kInt64},
+                      {"pid", ColumnType::kInt64},
+                      {"exename", ColumnType::kString}});
+  nets_ = std::make_unique<Table>(
+      "nets", Schema{{"id", ColumnType::kInt64},
+                     {"srcip", ColumnType::kString},
+                     {"srcport", ColumnType::kInt64},
+                     {"dstip", ColumnType::kString},
+                     {"dstport", ColumnType::kInt64},
+                     {"protocol", ColumnType::kString}});
+  events_ = std::make_unique<Table>(
+      "events", Schema{{"id", ColumnType::kInt64},
+                       {"subject", ColumnType::kInt64},
+                       {"object", ColumnType::kInt64},
+                       {"optype", ColumnType::kInt64},
+                       {"starttime", ColumnType::kInt64},
+                       {"endtime", ColumnType::kInt64},
+                       {"bytes", ColumnType::kInt64}});
+
+  // Indexes on key attributes (paper §II-B).
+  (void)files_->CreateIndex("id");
+  (void)files_->CreateIndex("name");
+  (void)procs_->CreateIndex("id");
+  (void)procs_->CreateIndex("exename");
+  (void)nets_->CreateIndex("id");
+  (void)nets_->CreateIndex("dstip");
+  (void)events_->CreateIndex("subject");
+  (void)events_->CreateIndex("object");
+  (void)events_->CreateIndex("optype");
+  (void)events_->CreateIndex("starttime");
+}
+
+void RelationalDatabase::Load(const audit::AuditLog& log) {
+  loaded_entities_ = 0;
+  loaded_events_ = 0;
+  SyncWith(log);
+}
+
+void RelationalDatabase::SyncWith(const audit::AuditLog& log) {
+  for (size_t i = loaded_entities_; i < log.entity_count(); ++i) {
+    const auto& e = log.entity(i);
+    switch (e.type) {
+      case audit::EntityType::kFile:
+        files_->Insert({static_cast<int64_t>(e.id), e.path});
+        break;
+      case audit::EntityType::kProcess:
+        procs_->Insert({static_cast<int64_t>(e.id),
+                        static_cast<int64_t>(e.pid), e.exename});
+        break;
+      case audit::EntityType::kNetwork:
+        nets_->Insert({static_cast<int64_t>(e.id), e.src_ip,
+                       static_cast<int64_t>(e.src_port), e.dst_ip,
+                       static_cast<int64_t>(e.dst_port), e.protocol});
+        break;
+    }
+  }
+  loaded_entities_ = log.entity_count();
+  for (size_t i = loaded_events_; i < log.event_count(); ++i) {
+    const auto& ev = log.event(i);
+    events_->Insert({static_cast<int64_t>(ev.id),
+                     static_cast<int64_t>(ev.subject),
+                     static_cast<int64_t>(ev.object),
+                     static_cast<int64_t>(ev.op), ev.start_time, ev.end_time,
+                     static_cast<int64_t>(ev.bytes)});
+  }
+  loaded_events_ = log.event_count();
+}
+
+Table& RelationalDatabase::EntityTable(audit::EntityType type) {
+  switch (type) {
+    case audit::EntityType::kFile:
+      return *files_;
+    case audit::EntityType::kProcess:
+      return *procs_;
+    case audit::EntityType::kNetwork:
+      return *nets_;
+  }
+  return *files_;
+}
+
+const Table& RelationalDatabase::EntityTable(audit::EntityType type) const {
+  return const_cast<RelationalDatabase*>(this)->EntityTable(type);
+}
+
+uint64_t RelationalDatabase::TotalRowsTouched() const {
+  uint64_t total = 0;
+  for (const Table* t : {files_.get(), procs_.get(), nets_.get(),
+                         events_.get()}) {
+    total += t->stats().rows_scanned + t->stats().rows_from_index;
+  }
+  return total;
+}
+
+void RelationalDatabase::ResetStats() {
+  files_->ResetStats();
+  procs_->ResetStats();
+  nets_->ResetStats();
+  events_->ResetStats();
+}
+
+}  // namespace raptor::rel

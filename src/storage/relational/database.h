@@ -1,0 +1,66 @@
+// RelationalDatabase: the audit-log schema on top of the embedded engine
+// (paper §II-B "Data Storage", PostgreSQL backend).
+//
+// System entities and events are stored in tables — one entity table per
+// entity type plus one event table — and indexes are created on the key
+// attributes the paper names (file name, process executable, dst IP, the
+// event join keys, and event start time).
+
+#pragma once
+
+#include <memory>
+
+#include "audit/log.h"
+#include "storage/relational/table.h"
+
+namespace raptor::rel {
+
+/// \brief The relational backend: entity tables + event table over one
+/// AuditLog.
+class RelationalDatabase {
+ public:
+  RelationalDatabase();
+
+  /// Bulk-loads every entity and event of `log`. `log` must outlive queries
+  /// only in the sense that ids refer back to it; the database copies all
+  /// attribute data.
+  void Load(const audit::AuditLog& log);
+
+  /// Loads only the entities/events appended to `log` since the last
+  /// Load/SyncWith — the live-ingestion path. Indexes are maintained
+  /// incrementally.
+  void SyncWith(const audit::AuditLog& log);
+
+  // Table accessors. Column layouts:
+  //   files(id, name)
+  //   procs(id, pid, exename)
+  //   nets(id, srcip, srcport, dstip, dstport, protocol)
+  //   events(id, subject, object, optype, starttime, endtime, bytes)
+  // `optype` stores the Operation as an integer.
+  Table& files() { return *files_; }
+  Table& procs() { return *procs_; }
+  Table& nets() { return *nets_; }
+  Table& events() { return *events_; }
+  const Table& files() const { return *files_; }
+  const Table& procs() const { return *procs_; }
+  const Table& nets() const { return *nets_; }
+  const Table& events() const { return *events_; }
+
+  /// The entity table for `type`.
+  Table& EntityTable(audit::EntityType type);
+  const Table& EntityTable(audit::EntityType type) const;
+
+  /// Total rows touched across all tables since the last ResetStats().
+  uint64_t TotalRowsTouched() const;
+  void ResetStats();
+
+ private:
+  std::unique_ptr<Table> files_;
+  std::unique_ptr<Table> procs_;
+  std::unique_ptr<Table> nets_;
+  std::unique_ptr<Table> events_;
+  size_t loaded_entities_ = 0;
+  size_t loaded_events_ = 0;
+};
+
+}  // namespace raptor::rel

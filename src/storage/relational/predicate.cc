@@ -1,0 +1,68 @@
+#include "storage/relational/predicate.h"
+
+#include "common/strings.h"
+
+namespace raptor::rel {
+
+bool Predicate::Matches(const Row& row) const {
+  const Value& cell = row[column];
+  switch (op) {
+    case CompareOp::kEq:
+      return cell == value;
+    case CompareOp::kNe:
+      return cell != value;
+    case CompareOp::kLt:
+      return cell < value;
+    case CompareOp::kLe:
+      return cell <= value;
+    case CompareOp::kGt:
+      return cell > value;
+    case CompareOp::kGe:
+      return cell >= value;
+    case CompareOp::kLike:
+      return cell.is_string() && value.is_string() &&
+             LikeMatch(cell.AsString(), value.AsString());
+    case CompareOp::kNotLike:
+      return !(cell.is_string() && value.is_string() &&
+               LikeMatch(cell.AsString(), value.AsString()));
+  }
+  return false;
+}
+
+bool MatchesAll(const Conjunction& preds, const Row& row) {
+  for (const Predicate& p : preds) {
+    if (!p.Matches(row)) return false;
+  }
+  return true;
+}
+
+std::string_view CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kLike:
+      return "LIKE";
+    case CompareOp::kNotLike:
+      return "NOT LIKE";
+  }
+  return "?";
+}
+
+std::string Predicate::ToString(const Schema& schema) const {
+  std::string v = value.ToString();
+  if (value.is_string()) v = "'" + v + "'";
+  return StrFormat("%s %s %s", schema.column(column).name.c_str(),
+                   std::string(CompareOpName(op)).c_str(), v.c_str());
+}
+
+}  // namespace raptor::rel

@@ -1,0 +1,44 @@
+// Predicates: the filter language the relational engine evaluates.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "storage/relational/schema.h"
+
+namespace raptor::rel {
+
+/// Comparison operators; kLike implements SQL LIKE with '%' wildcards.
+enum class CompareOp : uint8_t {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kLike,
+  kNotLike,
+};
+
+/// \brief One column-vs-constant comparison.
+struct Predicate {
+  ColumnId column = kInvalidColumn;
+  CompareOp op = CompareOp::kEq;
+  Value value;
+
+  /// Evaluates this predicate against `row`.
+  bool Matches(const Row& row) const;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// \brief Conjunction of predicates (all must hold).
+using Conjunction = std::vector<Predicate>;
+
+/// Evaluates a conjunction against `row`.
+bool MatchesAll(const Conjunction& preds, const Row& row);
+
+std::string_view CompareOpName(CompareOp op);
+
+}  // namespace raptor::rel

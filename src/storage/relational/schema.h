@@ -1,0 +1,58 @@
+// Table schemas for the embedded relational engine.
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/relational/value.h"
+
+namespace raptor::rel {
+
+/// Column index within a schema.
+using ColumnId = size_t;
+
+constexpr ColumnId kInvalidColumn = ~size_t{0};
+
+/// \brief A named, typed column.
+struct Column {
+  std::string name;
+  ColumnType type;
+};
+
+/// \brief Ordered list of columns with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::initializer_list<Column> columns) {
+    for (const auto& c : columns) AddColumn(c);
+  }
+
+  void AddColumn(Column column) {
+    by_name_.emplace(column.name, columns_.size());
+    columns_.push_back(std::move(column));
+  }
+
+  /// Returns the column index or kInvalidColumn when absent.
+  ColumnId Find(const std::string& name) const {
+    auto it = by_name_.find(name);
+    return it == by_name_.end() ? kInvalidColumn : it->second;
+  }
+
+  const Column& column(ColumnId id) const { return columns_[id]; }
+  size_t num_columns() const { return columns_.size(); }
+  const std::vector<Column>& columns() const { return columns_; }
+
+ private:
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, ColumnId> by_name_;
+};
+
+/// \brief A row: one Value per schema column.
+using Row = std::vector<Value>;
+
+/// Position of a row within its table.
+using RowId = size_t;
+
+}  // namespace raptor::rel

@@ -1,0 +1,159 @@
+#include "storage/relational/table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace raptor::rel {
+
+RowId Table::Insert(Row row) {
+  assert(row.size() == schema_.num_columns());
+  RowId id = rows_.size();
+  for (auto& [col, index] : indexes_) {
+    index.emplace(row[col], id);
+  }
+  rows_.push_back(std::move(row));
+  return id;
+}
+
+Status Table::CreateIndex(const std::string& column) {
+  ColumnId col = schema_.Find(column);
+  if (col == kInvalidColumn) {
+    return Status::NotFound("no column '" + column + "' in table " + name_);
+  }
+  if (indexes_.count(col) > 0) return Status::OK();
+  Index index;
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    index.emplace(rows_[id][col], id);
+  }
+  indexes_.emplace(col, std::move(index));
+  return Status::OK();
+}
+
+size_t Table::EstimateEqualityMatches(ColumnId column,
+                                      const Value& value) const {
+  auto it = indexes_.find(column);
+  if (it == indexes_.end()) return rows_.size();
+  auto [lo, hi] = it->second.equal_range(value);
+  return static_cast<size_t>(std::distance(lo, hi));
+}
+
+namespace {
+
+/// Walks [lo, hi) counting entries, stopping at `limit` — cardinality
+/// estimation must not cost more than the plan it is pricing.
+template <typename Iter>
+size_t CountUpTo(Iter lo, Iter hi, size_t limit) {
+  size_t n = 0;
+  for (auto it = lo; it != hi && n <= limit; ++it) ++n;
+  return n;
+}
+
+}  // namespace
+
+Table::AccessPath Table::ChooseAccessPath(
+    const Conjunction& predicates) const {
+  AccessPath best;
+  best.estimated_rows = rows_.size();
+
+  for (const Predicate& p : predicates) {
+    auto idx_it = indexes_.find(p.column);
+    if (idx_it == indexes_.end()) continue;
+    const Index& index = idx_it->second;
+    const size_t limit = best.estimated_rows;
+
+    AccessPath cand;
+    cand.column = p.column;
+    switch (p.op) {
+      case CompareOp::kEq: {
+        cand.kind = AccessPath::Kind::kIndexEq;
+        cand.eq_value = p.value;
+        auto [lo, hi] = index.equal_range(p.value);
+        cand.estimated_rows = CountUpTo(lo, hi, limit);
+        break;
+      }
+      case CompareOp::kLt:
+      case CompareOp::kLe:
+        cand.kind = AccessPath::Kind::kIndexRange;
+        cand.has_upper = true;
+        cand.upper = p.value;
+        cand.upper_strict = (p.op == CompareOp::kLt);
+        cand.estimated_rows =
+            CountUpTo(index.begin(), index.upper_bound(p.value), limit);
+        break;
+      case CompareOp::kGt:
+      case CompareOp::kGe:
+        cand.kind = AccessPath::Kind::kIndexRange;
+        cand.has_lower = true;
+        cand.lower = p.value;
+        cand.lower_strict = (p.op == CompareOp::kGt);
+        cand.estimated_rows =
+            CountUpTo(index.lower_bound(p.value), index.end(), limit);
+        break;
+      case CompareOp::kLike: {
+        // A LIKE pattern with a literal prefix becomes an index range scan
+        // over [prefix, prefix + 0xff).
+        if (!p.value.is_string()) continue;
+        const std::string& pattern = p.value.AsString();
+        size_t wild = pattern.find('%');
+        if (wild == 0 || wild == std::string::npos) continue;
+        std::string prefix = pattern.substr(0, wild);
+        cand.kind = AccessPath::Kind::kIndexRange;
+        cand.has_lower = true;
+        cand.lower = Value(prefix);
+        cand.has_upper = true;
+        cand.upper = Value(prefix + "\xff");
+        cand.estimated_rows = CountUpTo(index.lower_bound(cand.lower),
+                                        index.upper_bound(cand.upper), limit);
+        break;
+      }
+      default:
+        continue;
+    }
+    if (cand.estimated_rows < best.estimated_rows ||
+        best.kind == AccessPath::Kind::kFullScan) {
+      if (cand.estimated_rows <= best.estimated_rows) best = cand;
+    }
+  }
+  return best;
+}
+
+std::vector<RowId> Table::Select(const Conjunction& predicates) const {
+  std::vector<RowId> out;
+  if (predicates.empty()) {
+    out.resize(rows_.size());
+    for (RowId id = 0; id < rows_.size(); ++id) out[id] = id;
+    stats_.rows_scanned += rows_.size();
+    return out;
+  }
+
+  AccessPath path = ChooseAccessPath(predicates);
+  if (path.kind == AccessPath::Kind::kFullScan) {
+    for (RowId id = 0; id < rows_.size(); ++id) {
+      ++stats_.rows_scanned;
+      if (MatchesAll(predicates, rows_[id])) out.push_back(id);
+    }
+    return out;
+  }
+
+  const Index& index = indexes_.at(path.column);
+  ++stats_.index_probes;
+  Index::const_iterator lo, hi;
+  if (path.kind == AccessPath::Kind::kIndexEq) {
+    std::tie(lo, hi) = index.equal_range(path.eq_value);
+  } else {
+    lo = path.has_lower ? (path.lower_strict ? index.upper_bound(path.lower)
+                                             : index.lower_bound(path.lower))
+                        : index.begin();
+    hi = path.has_upper ? (path.upper_strict ? index.lower_bound(path.upper)
+                                             : index.upper_bound(path.upper))
+                        : index.end();
+  }
+  for (auto it = lo; it != hi; ++it) {
+    ++stats_.rows_from_index;
+    if (MatchesAll(predicates, rows_[it->second])) out.push_back(it->second);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace raptor::rel

@@ -1,0 +1,89 @@
+// Table: in-memory row store with ordered secondary indexes.
+//
+// This is the PostgreSQL stand-in (see DESIGN.md): the paper stores system
+// entities and events in tables, creates indexes on key attributes, and
+// compiles TBQL event patterns into entity-join-event SQL. Table provides
+// the storage and access-path layer those compiled queries run on: inserts,
+// full scans, and index-backed selection with a simple access-path picker.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/relational/predicate.h"
+#include "storage/relational/schema.h"
+
+namespace raptor::rel {
+
+/// \brief Execution counters, used by the benches to show how scheduling
+/// changes the work a query does.
+struct TableStats {
+  uint64_t rows_scanned = 0;   ///< Rows touched by full scans.
+  uint64_t index_probes = 0;   ///< Index lookups performed.
+  uint64_t rows_from_index = 0;  ///< Rows produced by index access paths.
+};
+
+/// \brief An in-memory table with optional ordered secondary indexes.
+class Table {
+ public:
+  explicit Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  const Row& row(RowId id) const { return rows_[id]; }
+
+  /// Appends `row` (must match the schema arity) and maintains indexes.
+  RowId Insert(Row row);
+
+  /// Builds an ordered index over `column`. Idempotent.
+  Status CreateIndex(const std::string& column);
+
+  bool HasIndex(ColumnId column) const {
+    return indexes_.count(column) > 0;
+  }
+
+  /// Returns the row ids satisfying all predicates, in insertion order.
+  /// Picks the cheapest access path: an equality/range/LIKE-prefix probe on
+  /// an indexed column when one exists, otherwise a full scan; remaining
+  /// predicates are applied as residual filters.
+  std::vector<RowId> Select(const Conjunction& predicates) const;
+
+  /// Number of index entries equal to `value` (selectivity estimate used by
+  /// access-path choice and the engine's scheduler).
+  size_t EstimateEqualityMatches(ColumnId column, const Value& value) const;
+
+  const TableStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = TableStats{}; }
+
+ private:
+  using Index = std::multimap<Value, RowId>;
+
+  /// Access path candidates considered by Select.
+  struct AccessPath {
+    enum class Kind { kFullScan, kIndexEq, kIndexRange } kind = Kind::kFullScan;
+    ColumnId column = kInvalidColumn;
+    // Range bounds for kIndexRange (inclusive lower, exclusive upper when
+    // upper_open, both optional).
+    bool has_lower = false, has_upper = false, lower_strict = false,
+         upper_strict = false;
+    Value lower, upper;
+    Value eq_value;
+    size_t estimated_rows = 0;
+  };
+
+  AccessPath ChooseAccessPath(const Conjunction& predicates) const;
+
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::unordered_map<ColumnId, Index> indexes_;
+  mutable TableStats stats_;
+};
+
+}  // namespace raptor::rel

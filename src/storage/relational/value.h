@@ -1,0 +1,80 @@
+// Typed values for the embedded relational engine.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/strings.h"
+
+namespace raptor::rel {
+
+/// Column types supported by the engine. The audit schema only needs
+/// integers and strings; doubles are kept for derived/statistics columns.
+enum class ColumnType : uint8_t { kInt64, kDouble, kString };
+
+/// \brief A dynamically typed cell value.
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  Value(int64_t v) : v_(v) {}              // NOLINT: implicit by design
+  Value(double v) : v_(v) {}               // NOLINT
+  Value(std::string v) : v_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : v_(std::string(v)) {}  // NOLINT
+
+  ColumnType type() const {
+    switch (v_.index()) {
+      case 0:
+        return ColumnType::kInt64;
+      case 1:
+        return ColumnType::kDouble;
+      default:
+        return ColumnType::kString;
+    }
+  }
+
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const {
+    return is_int() ? static_cast<double>(AsInt()) : std::get<double>(v_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// Three-way comparison. Numeric values compare numerically across
+  /// int/double; strings compare lexicographically; mixed string/numeric
+  /// compares by type index (stable total order for index keys).
+  int Compare(const Value& other) const {
+    bool a_num = !is_string();
+    bool b_num = !other.is_string();
+    if (a_num && b_num) {
+      double a = AsDouble(), b = other.AsDouble();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    if (!a_num && !b_num) {
+      return AsString().compare(other.AsString());
+    }
+    return a_num ? -1 : 1;
+  }
+
+  std::string ToString() const {
+    if (is_int()) return std::to_string(AsInt());
+    if (is_double()) return StrFormat("%g", std::get<double>(v_));
+    return AsString();
+  }
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+}  // namespace raptor::rel

@@ -1,0 +1,138 @@
+#include "synthesis/rules.h"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace raptor::synth {
+
+using audit::EntityType;
+using audit::Operation;
+using nlp::IocType;
+
+bool IsAuditableIocType(IocType type) {
+  switch (type) {
+    case IocType::kFilepath:
+    case IocType::kFilename:
+    case IocType::kIp:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+bool IsFileLike(IocType t) {
+  return t == IocType::kFilepath || t == IocType::kFilename;
+}
+
+const std::unordered_set<std::string>& VerbSet(const char* const* begin,
+                                               size_t count) {
+  // Helper to build static sets in the tables below.
+  static std::unordered_map<const char* const*, std::unordered_set<std::string>>
+      cache;
+  auto it = cache.find(begin);
+  if (it == cache.end()) {
+    std::unordered_set<std::string> s;
+    for (size_t i = 0; i < count; ++i) s.insert(begin[i]);
+    it = cache.emplace(begin, std::move(s)).first;
+  }
+  return it->second;
+}
+
+#define VERB_SET(name, ...)                                        \
+  bool name(const std::string& v) {                                \
+    static const char* const kWords[] = {__VA_ARGS__};             \
+    return VerbSet(kWords, sizeof(kWords) / sizeof(kWords[0]))     \
+        .count(v) > 0;                                             \
+  }
+
+VERB_SET(IsReadVerb, "read", "scan", "open", "access", "load", "collect",
+         "harvest", "steal", "parse", "extract")
+VERB_SET(IsWriteVerb, "write", "download", "create", "drop", "save", "store",
+         "modify", "append", "overwrite", "dump", "archive", "compress",
+         "encrypt", "decrypt", "encode", "decode", "pack", "place", "install",
+         "embed", "put", "copy")
+VERB_SET(IsExecVerb, "execute", "run", "launch", "invoke")
+VERB_SET(IsForkVerb, "fork", "spawn", "start")
+VERB_SET(IsDeleteVerb, "delete", "remove", "wipe", "unlink")
+VERB_SET(IsRenameVerb, "rename", "move")
+VERB_SET(IsChmodVerb, "chmod")
+VERB_SET(IsConnectVerb, "connect", "communicate", "beacon", "contact",
+         "establish", "resolve", "query", "request")
+VERB_SET(IsSendVerb, "send", "upload", "transfer", "exfiltrate", "leak",
+         "post")
+VERB_SET(IsRecvVerb, "receive", "fetch", "retrieve", "download")
+VERB_SET(IsKillVerb, "kill", "terminate", "stop")
+
+#undef VERB_SET
+
+}  // namespace
+
+std::optional<MappedRelation> MapRelation(std::string_view verb_sv,
+                                          IocType subject_type,
+                                          IocType object_type) {
+  // Subjects synthesize to processes, so only file-like subjects (the
+  // process's executable) are mappable.
+  if (!IsFileLike(subject_type)) return std::nullopt;
+  std::string verb(verb_sv);
+
+  if (IsFileLike(object_type)) {
+    // Process-creating verbs turn the file object into a process entity.
+    if (IsForkVerb(verb)) {
+      return MappedRelation{Operation::kFork, EntityType::kProcess};
+    }
+    if (IsKillVerb(verb)) {
+      return MappedRelation{Operation::kKill, EntityType::kProcess};
+    }
+    if (IsExecVerb(verb)) {
+      return MappedRelation{Operation::kExecute, EntityType::kFile};
+    }
+    if (IsReadVerb(verb)) {
+      return MappedRelation{Operation::kRead, EntityType::kFile};
+    }
+    if (IsWriteVerb(verb)) {
+      return MappedRelation{Operation::kWrite, EntityType::kFile};
+    }
+    if (IsDeleteVerb(verb)) {
+      return MappedRelation{Operation::kDelete, EntityType::kFile};
+    }
+    if (IsRenameVerb(verb)) {
+      return MappedRelation{Operation::kRename, EntityType::kFile};
+    }
+    if (IsChmodVerb(verb)) {
+      return MappedRelation{Operation::kChmod, EntityType::kFile};
+    }
+    // "send the archive": a file object of a send verb is a read (the
+    // process reads the file before shipping it out).
+    if (IsSendVerb(verb)) {
+      return MappedRelation{Operation::kRead, EntityType::kFile};
+    }
+    return std::nullopt;
+  }
+
+  if (object_type == IocType::kIp) {
+    if (IsSendVerb(verb)) {
+      return MappedRelation{Operation::kSend, EntityType::kNetwork};
+    }
+    if (IsRecvVerb(verb)) {
+      return MappedRelation{Operation::kRecv, EntityType::kNetwork};
+    }
+    if (IsConnectVerb(verb)) {
+      return MappedRelation{Operation::kConnect, EntityType::kNetwork};
+    }
+    // Reads/writes against a remote address are traffic.
+    if (IsReadVerb(verb)) {
+      return MappedRelation{Operation::kRecv, EntityType::kNetwork};
+    }
+    if (IsWriteVerb(verb)) {
+      return MappedRelation{Operation::kSend, EntityType::kNetwork};
+    }
+    return std::nullopt;
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace raptor::synth

@@ -1,0 +1,37 @@
+// Relation-to-operation mapping rules for TBQL query synthesis (paper
+// §II-E): each threat-behavior-graph edge's natural-language relation verb
+// is mapped to a TBQL operation according to the verb and the IOC types of
+// its endpoints (e.g. the "download" relation between two Filepath IOCs
+// maps to the "write" operation — a process writes the downloaded data to
+// a file).
+
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "audit/types.h"
+#include "nlp/ioc.h"
+
+namespace raptor::synth {
+
+/// \brief Result of mapping one IOC relation.
+struct MappedRelation {
+  audit::Operation op;
+  /// Entity type the object IOC synthesizes to. Usually follows the
+  /// operation category, but e.g. a "fork"-like verb turns a Filepath
+  /// object into a process entity.
+  audit::EntityType object_type;
+};
+
+/// IOC types the system auditing component captures (screening keeps only
+/// nodes of these types; paper §II-E "starts with a screening").
+bool IsAuditableIocType(nlp::IocType type);
+
+/// Maps (relation verb lemma, subject IOC type, object IOC type) to a TBQL
+/// operation, or nullopt when no rule applies (the edge is skipped).
+std::optional<MappedRelation> MapRelation(std::string_view verb,
+                                          nlp::IocType subject_type,
+                                          nlp::IocType object_type);
+
+}  // namespace raptor::synth

@@ -1,0 +1,179 @@
+#include "synthesis/synthesizer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "common/strings.h"
+#include "synthesis/rules.h"
+#include "tbql/analyzer.h"
+
+namespace raptor::synth {
+
+using audit::EntityType;
+
+namespace {
+
+/// Stable key for "this graph node used as this entity type". A Filepath
+/// IOC that appears both as a subject (process) and as an object (file)
+/// denotes two different system entities and gets two TBQL ids.
+using EntityKey = std::pair<int, EntityType>;
+
+tbql::EntityRef MakeEntity(const nlp::IocEntity& ioc, EntityType type,
+                           const std::string& id,
+                           const SynthesisPlan& plan) {
+  tbql::EntityRef e;
+  e.type = type;
+  e.id = id;
+  tbql::AttrFilter f;
+  f.is_string = true;
+  switch (type) {
+    case EntityType::kProcess:
+      // Report authors write "tar" or "/bin/tar" interchangeably; match the
+      // executable path by substring.
+      f.attr = "exename";
+      f.op = rel::CompareOp::kLike;
+      f.string_value = "%" + ioc.text + "%";
+      break;
+    case EntityType::kFile:
+      f.attr = "name";
+      if (plan.like_match_files) {
+        f.op = rel::CompareOp::kLike;
+        f.string_value = "%" + ioc.text + "%";
+      } else {
+        f.op = rel::CompareOp::kEq;
+        f.string_value = ioc.text;
+      }
+      break;
+    case EntityType::kNetwork:
+      f.attr = "dstip";
+      f.op = rel::CompareOp::kEq;
+      f.string_value = ioc.text;
+      break;
+  }
+  e.filters.push_back(std::move(f));
+  return e;
+}
+
+}  // namespace
+
+Result<SynthesisResult> QuerySynthesizer::Synthesize(
+    const nlp::ThreatBehaviorGraph& graph) const {
+  SynthesisResult result;
+
+  // (1) Screening: keep only nodes whose IOC type auditing captures.
+  std::vector<bool> node_ok(graph.num_nodes(), false);
+  for (const nlp::IocEntity& n : graph.nodes()) {
+    if (IsAuditableIocType(n.type)) {
+      node_ok[static_cast<size_t>(n.id)] = true;
+    } else {
+      result.screened_nodes.push_back(n.id);
+    }
+  }
+
+  // (2)-(3) Map edges and synthesize patterns in sequence order.
+  std::vector<nlp::BehaviorEdge> edges = graph.edges();
+  std::sort(edges.begin(), edges.end(),
+            [](const nlp::BehaviorEdge& a, const nlp::BehaviorEdge& b) {
+              return a.sequence < b.sequence;
+            });
+
+  std::map<EntityKey, std::string> entity_ids;
+  size_t proc_count = 0, file_count = 0, net_count = 0;
+  auto entity_id_for = [&](int node, EntityType type) {
+    // Processes and files reuse one TBQL id per graph node: the same
+    // executable or path is the same system entity, and the shared id is
+    // exactly the paper's implicit-join sugar. Network connections do NOT:
+    // every flow to an IP is a distinct connection entity (distinct source
+    // port), so each network pattern gets a fresh id and the dstip filter
+    // carries the IOC constraint.
+    if (type == EntityType::kNetwork) {
+      return StrFormat("n%zu", ++net_count);
+    }
+    EntityKey key{node, type};
+    auto it = entity_ids.find(key);
+    if (it != entity_ids.end()) return it->second;
+    std::string id;
+    switch (type) {
+      case EntityType::kProcess:
+        id = StrFormat("p%zu", ++proc_count);
+        break;
+      case EntityType::kFile:
+        id = StrFormat("f%zu", ++file_count);
+        break;
+      default:
+        break;
+    }
+    entity_ids.emplace(key, id);
+    return id;
+  };
+
+  tbql::Query query;
+  std::string prev_pattern_id;
+  // Dedup: distinct behavior edges can map to the same system-level pattern
+  // (e.g. "read the archive" and "send the archive" both become p read f);
+  // a duplicate pattern would break the strict temporal order.
+  std::set<std::tuple<std::string, std::string, std::string>> synthesized;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const nlp::BehaviorEdge& edge = edges[i];
+    if (!node_ok[static_cast<size_t>(edge.src)] ||
+        !node_ok[static_cast<size_t>(edge.dst)]) {
+      continue;  // endpoint screened out
+    }
+    const nlp::IocEntity& src = graph.node(edge.src);
+    const nlp::IocEntity& dst = graph.node(edge.dst);
+    std::optional<MappedRelation> mapped =
+        MapRelation(edge.verb, src.type, dst.type);
+    if (!mapped) {
+      result.unmapped_edges.push_back(static_cast<int>(i));
+      continue;
+    }
+
+    std::string subj_id = entity_id_for(edge.src, EntityType::kProcess);
+    std::string obj_id = entity_id_for(edge.dst, mapped->object_type);
+    std::string op_name(audit::OperationName(mapped->op));
+    if (!synthesized.insert({subj_id, op_name, obj_id}).second) continue;
+
+    tbql::Pattern p;
+    p.id = StrFormat("evt%zu", query.patterns.size() + 1);
+    p.subject = MakeEntity(src, EntityType::kProcess, subj_id, plan_);
+    p.object = MakeEntity(dst, mapped->object_type, obj_id, plan_);
+    p.op.names.push_back(op_name);
+
+    // User-defined plan: tolerate omitted intermediate processes with a
+    // variable-length path pattern (never for process events — a fork edge
+    // is already the chaining step itself).
+    if (plan_.use_path_patterns &&
+        audit::CategoryOf(mapped->op) != audit::EventCategory::kProcessEvent) {
+      p.is_path = true;
+      p.min_hops = plan_.path_min_hops;
+      p.max_hops = plan_.path_max_hops;
+    }
+    if (plan_.window) {
+      p.window_start = plan_.window->first;
+      p.window_end = plan_.window->second;
+    }
+
+    // (4) Temporal order follows the edge sequence numbers.
+    if (!prev_pattern_id.empty()) {
+      query.temporal.push_back(tbql::TemporalConstraint{prev_pattern_id, p.id});
+    }
+    prev_pattern_id = p.id;
+    query.patterns.push_back(std::move(p));
+  }
+
+  if (query.patterns.empty()) {
+    return Status::NotFound(
+        "no mappable threat behavior: every edge was screened out or had no "
+        "relation mapping rule");
+  }
+
+  // (5) Return clause: all entity ids (the analyzer expands the default
+  // attributes).
+  RAPTOR_RETURN_NOT_OK(tbql::Analyze(&query));
+  result.query = std::move(query);
+  return result;
+}
+
+}  // namespace raptor::synth

@@ -1,0 +1,66 @@
+// TBQL query synthesis from a threat behavior graph (paper §II-E).
+//
+// Steps: (1) screen out nodes whose IOC types auditing does not capture;
+// (2) map each remaining edge's relation verb to a TBQL operation;
+// (3) synthesize subject/object entities from the edge endpoints (subjects
+// are processes with an exename filter, objects follow the mapped type);
+// (4) synthesize the with clause from edge sequence numbers; (5) synthesize
+// the return clause from all entity ids. User-defined plans synthesize
+// other patterns (path patterns) and attributes (time windows).
+
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "audit/types.h"
+#include "common/result.h"
+#include "nlp/behavior_graph.h"
+#include "tbql/ast.h"
+
+namespace raptor::synth {
+
+/// \brief A synthesis plan. The default plan emits one basic event pattern
+/// per edge; the knobs implement the paper's user-defined plans.
+struct SynthesisPlan {
+  /// Emit variable-length path patterns instead of single-hop event
+  /// patterns for file/network edges, tolerating intermediate processes
+  /// that the report's author omitted (paper §II-D motivation).
+  bool use_path_patterns = false;
+  size_t path_min_hops = 1;
+  size_t path_max_hops = 3;
+
+  /// Optional time window attached to every synthesized pattern.
+  std::optional<std::pair<audit::Timestamp, audit::Timestamp>> window;
+
+  /// Match file names with a substring LIKE ("%/tmp/data.tar%") rather than
+  /// exactly. Process exenames always match with LIKE (report authors write
+  /// "tar" or "/bin/tar" interchangeably).
+  bool like_match_files = false;
+};
+
+/// \brief Synthesis output plus a record of what screening dropped.
+struct SynthesisResult {
+  tbql::Query query;
+  std::vector<int> screened_nodes;  ///< Node ids dropped by type screening.
+  std::vector<int> unmapped_edges;  ///< Edge indexes with no mapping rule.
+};
+
+/// \brief Synthesizes TBQL queries from threat behavior graphs.
+class QuerySynthesizer {
+ public:
+  explicit QuerySynthesizer(SynthesisPlan plan = {}) : plan_(plan) {}
+
+  /// Synthesizes a query; fails with NotFound when no edge is mappable.
+  /// The returned query is already analyzed (sugar expanded).
+  Result<SynthesisResult> Synthesize(
+      const nlp::ThreatBehaviorGraph& graph) const;
+
+  const SynthesisPlan& plan() const { return plan_; }
+
+ private:
+  SynthesisPlan plan_;
+};
+
+}  // namespace raptor::synth

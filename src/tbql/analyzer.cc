@@ -1,0 +1,274 @@
+#include "tbql/analyzer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace raptor::tbql {
+
+std::string_view DefaultAttribute(audit::EntityType type) {
+  switch (type) {
+    case audit::EntityType::kFile:
+      return "name";
+    case audit::EntityType::kProcess:
+      return "exename";
+    case audit::EntityType::kNetwork:
+      return "dstip";
+  }
+  return "name";
+}
+
+bool IsValidAttribute(audit::EntityType type, std::string_view attr) {
+  switch (type) {
+    case audit::EntityType::kFile:
+      return attr == "name" || attr == "path" || attr == "id";
+    case audit::EntityType::kProcess:
+      return attr == "exename" || attr == "pid" || attr == "id";
+    case audit::EntityType::kNetwork:
+      return attr == "srcip" || attr == "srcport" || attr == "dstip" ||
+             attr == "dstport" || attr == "protocol" || attr == "id";
+  }
+  return false;
+}
+
+namespace {
+
+Status AnalyzeEntity(EntityRef* entity) {
+  for (AttrFilter& f : entity->filters) {
+    if (f.attr.empty()) {
+      f.attr = std::string(DefaultAttribute(entity->type));
+    } else {
+      f.attr = ToLower(f.attr);
+      if (f.attr == "path" && entity->type == audit::EntityType::kFile) {
+        f.attr = "name";  // alias
+      }
+    }
+    if (!IsValidAttribute(entity->type, f.attr)) {
+      return Status::InvalidArgument(StrFormat(
+          "entity '%s': attribute '%s' is not valid for type '%s'",
+          entity->id.c_str(), f.attr.c_str(),
+          std::string(audit::EntityTypeName(entity->type)).c_str()));
+    }
+    // '%' wildcard with '=' / '!=' means (NOT) LIKE.
+    if (f.is_string && Contains(f.string_value, "%")) {
+      if (f.op == rel::CompareOp::kEq) f.op = rel::CompareOp::kLike;
+      if (f.op == rel::CompareOp::kNe) f.op = rel::CompareOp::kNotLike;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Analyze(Query* query) {
+  // Pattern ids unique.
+  std::unordered_set<std::string> pattern_ids;
+  for (const Pattern& p : query->patterns) {
+    if (!pattern_ids.insert(p.id).second) {
+      return Status::InvalidArgument("duplicate pattern id '" + p.id + "'");
+    }
+  }
+
+  // Entity consistency: same id => same type; filters accumulate.
+  struct EntityInfo {
+    audit::EntityType type;
+    std::vector<AttrFilter> filters;
+  };
+  std::map<std::string, EntityInfo> entities;  // ordered for stable output
+
+  for (Pattern& p : query->patterns) {
+    if (p.subject.type != audit::EntityType::kProcess) {
+      return Status::InvalidArgument(StrFormat(
+          "pattern '%s': subjects must be processes (paper §II-A)",
+          p.id.c_str()));
+    }
+    // Operations.
+    if (p.op.names.empty()) {
+      return Status::InvalidArgument("pattern '" + p.id + "': no operation");
+    }
+    p.op.ops.clear();
+    for (const std::string& name : p.op.names) {
+      RAPTOR_ASSIGN_OR_RETURN(audit::Operation op,
+                              audit::ParseOperation(name));
+      if (audit::ObjectTypeOf(op) != p.object.type) {
+        return Status::TypeError(StrFormat(
+            "pattern '%s': operation '%s' requires a '%s' object, got '%s'",
+            p.id.c_str(), name.c_str(),
+            std::string(audit::EntityTypeName(audit::ObjectTypeOf(op)))
+                .c_str(),
+            std::string(audit::EntityTypeName(p.object.type)).c_str()));
+      }
+      p.op.ops.push_back(op);
+    }
+    // Path bounds.
+    if (p.is_path) {
+      if (p.min_hops < 1 || p.min_hops > p.max_hops) {
+        return Status::InvalidArgument(StrFormat(
+            "pattern '%s': invalid path bounds (%zu~%zu)", p.id.c_str(),
+            p.min_hops, p.max_hops));
+      }
+      if (p.max_hops > 16) {
+        return Status::InvalidArgument(StrFormat(
+            "pattern '%s': path bound %zu exceeds the limit of 16",
+            p.id.c_str(), p.max_hops));
+      }
+    }
+    if (p.window_start && p.window_end && *p.window_start > *p.window_end) {
+      return Status::InvalidArgument(
+          "pattern '" + p.id + "': window start exceeds window end");
+    }
+
+    for (EntityRef* e : {&p.subject, &p.object}) {
+      RAPTOR_RETURN_NOT_OK(AnalyzeEntity(e));
+      auto it = entities.find(e->id);
+      if (it == entities.end()) {
+        entities.emplace(e->id, EntityInfo{e->type, e->filters});
+      } else {
+        if (it->second.type != e->type) {
+          return Status::TypeError(StrFormat(
+              "entity '%s' used with conflicting types '%s' and '%s'",
+              e->id.c_str(),
+              std::string(audit::EntityTypeName(it->second.type)).c_str(),
+              std::string(audit::EntityTypeName(e->type)).c_str()));
+        }
+        for (const AttrFilter& f : e->filters) {
+          if (std::find(it->second.filters.begin(), it->second.filters.end(),
+                        f) == it->second.filters.end()) {
+            it->second.filters.push_back(f);
+          }
+        }
+      }
+    }
+  }
+
+  // Propagate accumulated filters back to every declaration of an entity,
+  // so reusing an id anywhere applies all of its filters everywhere.
+  for (Pattern& p : query->patterns) {
+    for (EntityRef* e : {&p.subject, &p.object}) {
+      e->filters = entities.at(e->id).filters;
+    }
+  }
+
+  // Temporal constraints reference declared patterns and must be acyclic.
+  for (const TemporalConstraint& tc : query->temporal) {
+    if (pattern_ids.count(tc.first) == 0) {
+      return Status::NotFound("with clause references unknown pattern '" +
+                              tc.first + "'");
+    }
+    if (pattern_ids.count(tc.second) == 0) {
+      return Status::NotFound("with clause references unknown pattern '" +
+                              tc.second + "'");
+    }
+    if (tc.first == tc.second) {
+      return Status::InvalidArgument(
+          "with clause orders pattern '" + tc.first + "' against itself");
+    }
+  }
+  // Attribute relationships reference declared patterns, and the compared
+  // roles must refer to entities of the same type (identity across types is
+  // unsatisfiable).
+  {
+    std::unordered_map<std::string, const Pattern*> by_id;
+    for (const Pattern& p : query->patterns) by_id[p.id] = &p;
+    for (const AttrRelationship& rel : query->attr_relationships) {
+      auto first = by_id.find(rel.first_pattern);
+      auto second = by_id.find(rel.second_pattern);
+      if (first == by_id.end()) {
+        return Status::NotFound(
+            "with clause references unknown pattern '" + rel.first_pattern +
+            "'");
+      }
+      if (second == by_id.end()) {
+        return Status::NotFound(
+            "with clause references unknown pattern '" + rel.second_pattern +
+            "'");
+      }
+      if (rel.first_pattern == rel.second_pattern &&
+          rel.first_is_subject == rel.second_is_subject) {
+        return Status::InvalidArgument(
+            "with clause relates a pattern role to itself");
+      }
+      auto type_of = [](const Pattern& p, bool is_subject) {
+        return is_subject ? p.subject.type : p.object.type;
+      };
+      if (type_of(*first->second, rel.first_is_subject) !=
+          type_of(*second->second, rel.second_is_subject)) {
+        return Status::TypeError(StrFormat(
+            "attribute relationship %s.%s = %s.%s compares entities of "
+            "different types",
+            rel.first_pattern.c_str(), rel.first_is_subject ? "srcid" : "dstid",
+            rel.second_pattern.c_str(),
+            rel.second_is_subject ? "srcid" : "dstid"));
+      }
+    }
+  }
+
+  {
+    // Cycle check via Kahn's algorithm over the before-edges.
+    std::unordered_map<std::string, int> indegree;
+    std::unordered_map<std::string, std::vector<std::string>> adj;
+    for (const Pattern& p : query->patterns) indegree[p.id] = 0;
+    for (const TemporalConstraint& tc : query->temporal) {
+      adj[tc.first].push_back(tc.second);
+      ++indegree[tc.second];
+    }
+    std::vector<std::string> ready;
+    for (auto& [id, deg] : indegree) {
+      if (deg == 0) ready.push_back(id);
+    }
+    size_t seen = 0;
+    while (!ready.empty()) {
+      std::string id = std::move(ready.back());
+      ready.pop_back();
+      ++seen;
+      for (const std::string& next : adj[id]) {
+        if (--indegree[next] == 0) ready.push_back(next);
+      }
+    }
+    if (seen != indegree.size()) {
+      return Status::InvalidArgument(
+          "with clause temporal constraints form a cycle");
+    }
+  }
+
+  // Return clause: `return count` projects only the row count and takes no
+  // items; otherwise default to all entities and expand default attributes.
+  if (query->return_count) {
+    if (!query->returns.empty()) {
+      return Status::InvalidArgument(
+          "'return count' cannot be combined with other return items");
+    }
+    return Status::OK();
+  }
+  if (query->returns.empty()) {
+    for (const auto& [id, info] : entities) {
+      ReturnItem item;
+      item.entity_id = id;
+      query->returns.push_back(std::move(item));
+    }
+  }
+  for (ReturnItem& item : query->returns) {
+    auto it = entities.find(item.entity_id);
+    if (it == entities.end()) {
+      return Status::NotFound("return clause references unknown entity '" +
+                              item.entity_id + "'");
+    }
+    if (item.attr.empty()) {
+      item.attr = std::string(DefaultAttribute(it->second.type));
+    } else if (item.attr == "path" &&
+               it->second.type == audit::EntityType::kFile) {
+      item.attr = "name";
+    } else if (!IsValidAttribute(it->second.type, item.attr)) {
+      return Status::InvalidArgument(StrFormat(
+          "return clause: attribute '%s' is not valid for entity '%s'",
+          item.attr.c_str(), item.entity_id.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace raptor::tbql

@@ -1,0 +1,24 @@
+// Semantic analysis for TBQL queries: validation plus expansion of the
+// paper's syntactic sugar (default attributes, shared-entity identity,
+// default return clause).
+
+#pragma once
+
+#include "common/result.h"
+#include "tbql/ast.h"
+
+namespace raptor::tbql {
+
+/// Validates and rewrites `query` in place:
+///  - pattern ids unique; temporal constraints reference declared patterns
+///    and form no cycle;
+///  - subjects are processes; operation names parse and agree with the
+///    object entity type; path bounds are sane;
+///  - an entity id reused across patterns has a consistent type (its filters
+///    are the union of all declarations, the shared-identity sugar);
+///  - empty filter/return attributes become the type's default attribute
+///    ("name"/"exename"/"dstip"); '=' against a '%'-pattern becomes LIKE;
+///  - an empty return clause becomes "return every declared entity".
+Status Analyze(Query* query);
+
+}  // namespace raptor::tbql

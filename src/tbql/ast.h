@@ -1,0 +1,141 @@
+// TBQL abstract syntax tree (paper §II-D).
+//
+// TBQL treats system entities and events as first-class citizens. A query
+// declares one or more event patterns — each `(subject, operation, object)`
+// with optional entity attribute filters and time windows — an optional
+// `with` clause of temporal relationships, and a `return` clause. The
+// advanced syntax declares variable-length event path patterns
+// (`proc p ~>(2~4)[read] file f`).
+//
+// Concrete grammar accepted by the parser (the paper shows examples, not a
+// grammar; this is the reconstruction, also documented in README.md):
+//
+//   query     := pattern_decl+ with_clause? return_clause?
+//   pattern_decl := (IDENT ':')? (event_pattern | path_pattern) ';'?
+//   event_pattern := entity operation entity window?
+//   path_pattern  := entity '~>' bounds? '[' operation ']' entity window?
+//   bounds    := '(' INT '~' INT ')'
+//   operation := IDENT ('||' IDENT)*            // read || write
+//   entity    := ('proc'|'file'|'net') IDENT ('[' filters ']')?
+//   filters   := filter (',' filter | '&&' filter)*
+//   filter    := (IDENT cmp)? literal           // attr omitted => default
+//   cmp       := '=' | '!=' | '<' | '<=' | '>' | '>='
+//   window    := 'from' INT 'to' INT
+//   with_clause   := 'with' with_item (',' with_item)*
+//   with_item := temporal | attr_rel
+//   temporal  := IDENT ('before'|'after'|'->') IDENT
+//   attr_rel  := IDENT '.' role '=' IDENT '.' role   // role: srcid|dstid
+//   return_clause := 'return' ('count' | item (',' item)*)
+//   item      := IDENT ('.' IDENT)?             // attr omitted => default
+//   limit_clause  := 'limit' INT                // optional, after return
+//
+// Syntactic sugar (paper §II-D): an omitted filter attribute or return
+// attribute means the default attribute of the entity type — "name" for
+// files, "exename" for processes, "dstip" for network connections — and
+// '=' against a literal containing '%' means a LIKE match. Reusing an
+// entity identifier across patterns asserts the referred entities are the
+// same (an implicit attribute relationship).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "audit/types.h"
+#include "storage/relational/predicate.h"
+
+namespace raptor::tbql {
+
+/// \brief One attribute filter inside an entity declaration.
+struct AttrFilter {
+  /// Attribute name; empty until the analyzer substitutes the default.
+  std::string attr;
+  rel::CompareOp op = rel::CompareOp::kEq;
+  /// Exactly one of the two literals is meaningful, per is_string.
+  bool is_string = true;
+  std::string string_value;
+  int64_t int_value = 0;
+
+  bool operator==(const AttrFilter&) const = default;
+};
+
+/// \brief An entity reference: type, identifier, filters.
+struct EntityRef {
+  audit::EntityType type = audit::EntityType::kProcess;
+  std::string id;
+  std::vector<AttrFilter> filters;
+};
+
+/// \brief Event operation expression: a disjunction of operation names
+/// ("read || write"). Names are validated by the analyzer.
+struct OpExpr {
+  std::vector<std::string> names;
+  /// Filled by the analyzer.
+  std::vector<audit::Operation> ops;
+};
+
+/// \brief One declared pattern: a basic event pattern, or a variable-length
+/// path pattern when is_path is set.
+struct Pattern {
+  std::string id;  ///< evt1, evt2, ... (auto-named when omitted).
+  EntityRef subject;
+  EntityRef object;
+  OpExpr op;
+
+  bool is_path = false;
+  size_t min_hops = 1;  ///< Path bounds; 1..max for `~>(min~max)`.
+  size_t max_hops = 1;
+
+  /// Optional time window ("from T to T").
+  std::optional<int64_t> window_start;
+  std::optional<int64_t> window_end;
+};
+
+/// \brief One `with` clause constraint: pattern `first` occurs before
+/// pattern `second` ("evt1 before evt2" / "evt2 after evt1" / "evt1 -> evt2").
+struct TemporalConstraint {
+  std::string first;
+  std::string second;
+};
+
+/// \brief One explicit attribute relationship between event patterns
+/// (paper §II-D): "evt1.srcid = evt2.srcid" asserts the subject of evt1 is
+/// the same entity as the subject of evt2. Roles are `srcid` (subject) and
+/// `dstid` (object). This is the form the shared-entity-id sugar expands
+/// to; it is also directly writable.
+struct AttrRelationship {
+  std::string first_pattern;
+  bool first_is_subject = true;  ///< srcid => subject, dstid => object.
+  std::string second_pattern;
+  bool second_is_subject = true;
+};
+
+/// \brief One `return` item: entity id plus attribute (defaulted when
+/// omitted).
+struct ReturnItem {
+  std::string entity_id;
+  std::string attr;  ///< Empty until the analyzer substitutes the default.
+};
+
+/// \brief A parsed TBQL query.
+struct Query {
+  std::vector<Pattern> patterns;
+  std::vector<TemporalConstraint> temporal;
+  std::vector<AttrRelationship> attr_relationships;
+  std::vector<ReturnItem> returns;
+  /// `return count`: project only the number of result rows.
+  bool return_count = false;
+  /// `limit N`: cap the result rows.
+  std::optional<size_t> limit;
+};
+
+/// Default attribute of an entity type (paper §II-D: the most commonly used
+/// attribute in security analysis).
+std::string_view DefaultAttribute(audit::EntityType type);
+
+/// Valid filter/return attribute names per entity type.
+bool IsValidAttribute(audit::EntityType type, std::string_view attr);
+
+}  // namespace raptor::tbql

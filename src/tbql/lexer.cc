@@ -1,0 +1,227 @@
+#include "tbql/lexer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace raptor::tbql {
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kInt:
+      return "integer";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kOrOr:
+      return "'||'";
+    case TokenKind::kAndAnd:
+      return "'&&'";
+    case TokenKind::kArrow:
+      return "'->'";
+    case TokenKind::kPathArrow:
+      return "'~>'";
+    case TokenKind::kTilde:
+      return "'~'";
+    case TokenKind::kEof:
+      return "end of query";
+  }
+  return "?";
+}
+
+Result<std::vector<QueryToken>> Lex(std::string_view source) {
+  std::vector<QueryToken> tokens;
+  size_t line = 1, col = 1;
+  size_t i = 0;
+  auto make = [&](TokenKind kind) {
+    QueryToken t;
+    t.kind = kind;
+    t.line = line;
+    t.column = col;
+    return t;
+  };
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n; ++k) {
+      if (i < source.size() && source[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+
+  while (i < source.size()) {
+    char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Comments.
+    if (c == '#' || (c == '/' && i + 1 < source.size() &&
+                     source[i + 1] == '/')) {
+      while (i < source.size() && source[i] != '\n') advance(1);
+      continue;
+    }
+    // Identifiers and keywords (also path-friendly idents start a letter).
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      QueryToken t = make(TokenKind::kIdent);
+      size_t start = i;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) ||
+              source[i] == '_')) {
+        advance(1);
+      }
+      t.text = std::string(source.substr(start, i - start));
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Integers.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      QueryToken t = make(TokenKind::kInt);
+      size_t start = i;
+      while (i < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[i]))) {
+        advance(1);
+      }
+      t.text = std::string(source.substr(start, i - start));
+      t.int_value = std::stoll(t.text);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Strings.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      QueryToken t = make(TokenKind::kString);
+      advance(1);
+      std::string text;
+      bool closed = false;
+      while (i < source.size()) {
+        if (source[i] == '\\' && i + 1 < source.size()) {
+          text += source[i + 1];
+          advance(2);
+          continue;
+        }
+        if (source[i] == quote) {
+          advance(1);
+          closed = true;
+          break;
+        }
+        text += source[i];
+        advance(1);
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("line %zu: unterminated string literal", t.line));
+      }
+      t.text = std::move(text);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Operators and punctuation.
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < source.size() && source[i + 1] == b;
+    };
+    QueryToken t = make(TokenKind::kEof);
+    if (two('~', '>')) {
+      t.kind = TokenKind::kPathArrow;
+      advance(2);
+    } else if (two('-', '>')) {
+      t.kind = TokenKind::kArrow;
+      advance(2);
+    } else if (two('!', '=')) {
+      t.kind = TokenKind::kNe;
+      advance(2);
+    } else if (two('<', '=')) {
+      t.kind = TokenKind::kLe;
+      advance(2);
+    } else if (two('>', '=')) {
+      t.kind = TokenKind::kGe;
+      advance(2);
+    } else if (two('|', '|')) {
+      t.kind = TokenKind::kOrOr;
+      advance(2);
+    } else if (two('&', '&')) {
+      t.kind = TokenKind::kAndAnd;
+      advance(2);
+    } else {
+      switch (c) {
+        case ':':
+          t.kind = TokenKind::kColon;
+          break;
+        case ',':
+          t.kind = TokenKind::kComma;
+          break;
+        case ';':
+          t.kind = TokenKind::kSemicolon;
+          break;
+        case '.':
+          t.kind = TokenKind::kDot;
+          break;
+        case '[':
+          t.kind = TokenKind::kLBracket;
+          break;
+        case ']':
+          t.kind = TokenKind::kRBracket;
+          break;
+        case '(':
+          t.kind = TokenKind::kLParen;
+          break;
+        case ')':
+          t.kind = TokenKind::kRParen;
+          break;
+        case '=':
+          t.kind = TokenKind::kEq;
+          break;
+        case '<':
+          t.kind = TokenKind::kLt;
+          break;
+        case '>':
+          t.kind = TokenKind::kGt;
+          break;
+        case '~':
+          t.kind = TokenKind::kTilde;
+          break;
+        default:
+          return Status::ParseError(StrFormat(
+              "line %zu column %zu: unexpected character '%c'", line, col, c));
+      }
+      advance(1);
+    }
+    tokens.push_back(std::move(t));
+  }
+  tokens.push_back(make(TokenKind::kEof));
+  return tokens;
+}
+
+}  // namespace raptor::tbql

@@ -1,0 +1,58 @@
+// Lexer for TBQL, the Threat Behavior Query Language (paper §II-D).
+//
+// The paper builds TBQL with ANTLR 4; this reproduction uses a hand-written
+// lexer + recursive-descent parser (same grammar, zero dependencies, better
+// error messages).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace raptor::tbql {
+
+enum class TokenKind : uint8_t {
+  kIdent,       // p1, evt1, read, proc
+  kString,      // "%/bin/tar%"
+  kInt,         // 42
+  kColon,       // :
+  kComma,       // ,
+  kSemicolon,   // ;
+  kDot,         // .
+  kLBracket,    // [
+  kRBracket,    // ]
+  kLParen,      // (
+  kRParen,      // )
+  kEq,          // =
+  kNe,          // !=
+  kLt,          // <
+  kLe,          // <=
+  kGt,          // >
+  kGe,          // >=
+  kOrOr,        // ||
+  kAndAnd,      // &&
+  kArrow,       // ->
+  kPathArrow,   // ~>
+  kTilde,       // ~
+  kEof,
+};
+
+std::string_view TokenKindName(TokenKind kind);
+
+/// \brief One lexed token with source position for error reporting.
+struct QueryToken {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;    ///< Identifier text or unescaped string contents.
+  int64_t int_value = 0;
+  size_t line = 1;
+  size_t column = 1;
+};
+
+/// Lexes `source` into tokens (kEof-terminated). Comments run from '//' or
+/// '#' to end of line. Returns a ParseError naming line/column on bad input.
+Result<std::vector<QueryToken>> Lex(std::string_view source);
+
+}  // namespace raptor::tbql

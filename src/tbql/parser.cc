@@ -1,0 +1,295 @@
+#include "tbql/parser.h"
+
+#include "common/strings.h"
+#include "tbql/lexer.h"
+
+namespace raptor::tbql {
+
+namespace {
+
+/// Keywords that terminate or structure the pattern list.
+bool IsKeyword(const QueryToken& t, std::string_view kw) {
+  return t.kind == TokenKind::kIdent && EqualsIgnoreCase(t.text, kw);
+}
+
+bool IsEntityTypeKeyword(const QueryToken& t) {
+  return t.kind == TokenKind::kIdent &&
+         (EqualsIgnoreCase(t.text, "proc") || EqualsIgnoreCase(t.text, "file") ||
+          EqualsIgnoreCase(t.text, "net") ||
+          EqualsIgnoreCase(t.text, "process") ||
+          EqualsIgnoreCase(t.text, "network"));
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<QueryToken> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<Query> ParseQuery() {
+    Query query;
+    // Pattern declarations until 'with' / 'return' / 'limit' / EOF.
+    while (!AtEnd() && !IsKeyword(Peek(), "with") &&
+           !IsKeyword(Peek(), "return") && !IsKeyword(Peek(), "limit")) {
+      RAPTOR_ASSIGN_OR_RETURN(Pattern p, ParsePatternDecl());
+      if (p.id.empty()) {
+        p.id = StrFormat("evt%zu", query.patterns.size() + 1);
+      }
+      query.patterns.push_back(std::move(p));
+      if (Peek().kind == TokenKind::kSemicolon) Advance();
+    }
+    if (query.patterns.empty()) {
+      return Error("query declares no event patterns");
+    }
+    if (IsKeyword(Peek(), "with")) {
+      Advance();
+      while (true) {
+        RAPTOR_RETURN_NOT_OK(ParseWithItem(&query));
+        if (Peek().kind != TokenKind::kComma) break;
+        Advance();
+      }
+    }
+    if (IsKeyword(Peek(), "return")) {
+      Advance();
+      if (IsKeyword(Peek(), "count")) {
+        Advance();
+        query.return_count = true;
+      } else {
+        while (true) {
+          RAPTOR_ASSIGN_OR_RETURN(ReturnItem item, ParseReturnItem());
+          query.returns.push_back(std::move(item));
+          if (Peek().kind != TokenKind::kComma) break;
+          Advance();
+        }
+      }
+    }
+    if (IsKeyword(Peek(), "limit")) {
+      Advance();
+      RAPTOR_ASSIGN_OR_RETURN(QueryToken n, Expect(TokenKind::kInt));
+      if (n.int_value <= 0) return Error("limit must be positive");
+      query.limit = static_cast<size_t>(n.int_value);
+    }
+    if (!AtEnd()) {
+      return Error(StrFormat("unexpected %s after end of query",
+                             std::string(TokenKindName(Peek().kind)).c_str()));
+    }
+    return query;
+  }
+
+ private:
+  const QueryToken& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const QueryToken& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEof; }
+
+  Status Error(std::string msg) const {
+    const QueryToken& t = Peek();
+    return Status::ParseError(
+        StrFormat("line %zu column %zu: %s", t.line, t.column, msg.c_str()));
+  }
+
+  Result<QueryToken> Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return Error(StrFormat("expected %s, found %s",
+                             std::string(TokenKindName(kind)).c_str(),
+                             std::string(TokenKindName(Peek().kind)).c_str()));
+    }
+    return Advance();
+  }
+
+  Result<Pattern> ParsePatternDecl() {
+    Pattern p;
+    // Optional "evtN :" label.
+    if (Peek().kind == TokenKind::kIdent &&
+        Peek(1).kind == TokenKind::kColon) {
+      p.id = Advance().text;
+      Advance();  // ':'
+    }
+    RAPTOR_ASSIGN_OR_RETURN(p.subject, ParseEntity());
+
+    if (Peek().kind == TokenKind::kPathArrow) {
+      Advance();
+      p.is_path = true;
+      p.min_hops = 1;
+      p.max_hops = 5;  // default bound for unbounded-looking paths
+      if (Peek().kind == TokenKind::kLParen) {
+        Advance();
+        RAPTOR_ASSIGN_OR_RETURN(QueryToken lo, Expect(TokenKind::kInt));
+        RAPTOR_RETURN_NOT_OK(Expect(TokenKind::kTilde).status());
+        RAPTOR_ASSIGN_OR_RETURN(QueryToken hi, Expect(TokenKind::kInt));
+        RAPTOR_RETURN_NOT_OK(Expect(TokenKind::kRParen).status());
+        p.min_hops = static_cast<size_t>(lo.int_value);
+        p.max_hops = static_cast<size_t>(hi.int_value);
+      }
+      RAPTOR_RETURN_NOT_OK(Expect(TokenKind::kLBracket).status());
+      RAPTOR_ASSIGN_OR_RETURN(p.op, ParseOpExpr());
+      RAPTOR_RETURN_NOT_OK(Expect(TokenKind::kRBracket).status());
+    } else {
+      RAPTOR_ASSIGN_OR_RETURN(p.op, ParseOpExpr());
+    }
+    RAPTOR_ASSIGN_OR_RETURN(p.object, ParseEntity());
+
+    if (IsKeyword(Peek(), "from")) {
+      Advance();
+      RAPTOR_ASSIGN_OR_RETURN(QueryToken lo, Expect(TokenKind::kInt));
+      if (!IsKeyword(Peek(), "to")) return Error("expected 'to' in window");
+      Advance();
+      RAPTOR_ASSIGN_OR_RETURN(QueryToken hi, Expect(TokenKind::kInt));
+      p.window_start = lo.int_value;
+      p.window_end = hi.int_value;
+    }
+    return p;
+  }
+
+  Result<EntityRef> ParseEntity() {
+    EntityRef e;
+    if (!IsEntityTypeKeyword(Peek())) {
+      return Error("expected entity type ('proc', 'file', or 'net')");
+    }
+    RAPTOR_ASSIGN_OR_RETURN(e.type,
+                            audit::ParseEntityType(ToLower(Advance().text)));
+    RAPTOR_ASSIGN_OR_RETURN(QueryToken id, Expect(TokenKind::kIdent));
+    e.id = id.text;
+    if (Peek().kind == TokenKind::kLBracket) {
+      Advance();
+      while (true) {
+        RAPTOR_ASSIGN_OR_RETURN(AttrFilter f, ParseFilter());
+        e.filters.push_back(std::move(f));
+        if (Peek().kind == TokenKind::kComma ||
+            Peek().kind == TokenKind::kAndAnd) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      RAPTOR_RETURN_NOT_OK(Expect(TokenKind::kRBracket).status());
+    }
+    return e;
+  }
+
+  Result<AttrFilter> ParseFilter() {
+    AttrFilter f;
+    // Optional attribute name + comparator; a bare literal uses the default
+    // attribute and '='.
+    if (Peek().kind == TokenKind::kIdent) {
+      f.attr = Advance().text;
+      switch (Peek().kind) {
+        case TokenKind::kEq:
+          f.op = rel::CompareOp::kEq;
+          break;
+        case TokenKind::kNe:
+          f.op = rel::CompareOp::kNe;
+          break;
+        case TokenKind::kLt:
+          f.op = rel::CompareOp::kLt;
+          break;
+        case TokenKind::kLe:
+          f.op = rel::CompareOp::kLe;
+          break;
+        case TokenKind::kGt:
+          f.op = rel::CompareOp::kGt;
+          break;
+        case TokenKind::kGe:
+          f.op = rel::CompareOp::kGe;
+          break;
+        default:
+          return Error("expected comparison operator in filter");
+      }
+      Advance();
+    } else {
+      f.op = rel::CompareOp::kEq;
+    }
+    if (Peek().kind == TokenKind::kString) {
+      f.is_string = true;
+      f.string_value = Advance().text;
+    } else if (Peek().kind == TokenKind::kInt) {
+      f.is_string = false;
+      f.int_value = Advance().int_value;
+    } else {
+      return Error("expected string or integer literal in filter");
+    }
+    return f;
+  }
+
+  Result<OpExpr> ParseOpExpr() {
+    OpExpr op;
+    while (true) {
+      RAPTOR_ASSIGN_OR_RETURN(QueryToken name, Expect(TokenKind::kIdent));
+      op.names.push_back(ToLower(name.text));
+      if (Peek().kind == TokenKind::kOrOr || IsKeyword(Peek(), "or")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return op;
+  }
+
+  Result<bool> ParseRole() {
+    RAPTOR_ASSIGN_OR_RETURN(QueryToken role, Expect(TokenKind::kIdent));
+    if (EqualsIgnoreCase(role.text, "srcid")) return true;
+    if (EqualsIgnoreCase(role.text, "dstid")) return false;
+    return Error("expected 'srcid' or 'dstid' after '.'");
+  }
+
+  Status ParseWithItem(Query* query) {
+    RAPTOR_ASSIGN_OR_RETURN(QueryToken a, Expect(TokenKind::kIdent));
+    // Attribute relationship: "evt1.srcid = evt2.dstid".
+    if (Peek().kind == TokenKind::kDot) {
+      Advance();
+      AttrRelationship rel;
+      rel.first_pattern = a.text;
+      RAPTOR_ASSIGN_OR_RETURN(rel.first_is_subject, ParseRole());
+      RAPTOR_RETURN_NOT_OK(Expect(TokenKind::kEq).status());
+      RAPTOR_ASSIGN_OR_RETURN(QueryToken b, Expect(TokenKind::kIdent));
+      rel.second_pattern = b.text;
+      RAPTOR_RETURN_NOT_OK(Expect(TokenKind::kDot).status());
+      RAPTOR_ASSIGN_OR_RETURN(rel.second_is_subject, ParseRole());
+      query->attr_relationships.push_back(std::move(rel));
+      return Status::OK();
+    }
+    // Temporal constraint.
+    TemporalConstraint tc;
+    if (IsKeyword(Peek(), "before") || Peek().kind == TokenKind::kArrow) {
+      Advance();
+      RAPTOR_ASSIGN_OR_RETURN(QueryToken b, Expect(TokenKind::kIdent));
+      tc.first = a.text;
+      tc.second = b.text;
+    } else if (IsKeyword(Peek(), "after")) {
+      Advance();
+      RAPTOR_ASSIGN_OR_RETURN(QueryToken b, Expect(TokenKind::kIdent));
+      tc.first = b.text;
+      tc.second = a.text;
+    } else {
+      return Error("expected 'before', 'after', '->', or '.' in with clause");
+    }
+    query->temporal.push_back(std::move(tc));
+    return Status::OK();
+  }
+
+  Result<ReturnItem> ParseReturnItem() {
+    ReturnItem item;
+    RAPTOR_ASSIGN_OR_RETURN(QueryToken id, Expect(TokenKind::kIdent));
+    item.entity_id = id.text;
+    if (Peek().kind == TokenKind::kDot) {
+      Advance();
+      RAPTOR_ASSIGN_OR_RETURN(QueryToken attr, Expect(TokenKind::kIdent));
+      item.attr = ToLower(attr.text);
+    }
+    return item;
+  }
+
+  std::vector<QueryToken> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> Parse(std::string_view source) {
+  RAPTOR_ASSIGN_OR_RETURN(std::vector<QueryToken> tokens, Lex(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+}  // namespace raptor::tbql

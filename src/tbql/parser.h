@@ -1,0 +1,16 @@
+// Recursive-descent parser for TBQL (grammar in ast.h).
+
+#pragma once
+
+#include <string_view>
+
+#include "common/result.h"
+#include "tbql/ast.h"
+
+namespace raptor::tbql {
+
+/// Parses TBQL source into an (unanalyzed) Query AST. Run Analyze() next to
+/// validate and expand the syntactic sugar.
+Result<Query> Parse(std::string_view source);
+
+}  // namespace raptor::tbql

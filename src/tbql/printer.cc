@@ -1,0 +1,93 @@
+#include "tbql/printer.h"
+
+#include "common/strings.h"
+
+namespace raptor::tbql {
+
+namespace {
+
+std::string PrintFilter(const AttrFilter& f) {
+  // LIKE/NOT LIKE render back as '='/'!=' with the '%' pattern (the sugar
+  // the analyzer expanded).
+  rel::CompareOp op = f.op;
+  if (op == rel::CompareOp::kLike) op = rel::CompareOp::kEq;
+  if (op == rel::CompareOp::kNotLike) op = rel::CompareOp::kNe;
+  std::string value = f.is_string ? "\"" + f.string_value + "\""
+                                  : std::to_string(f.int_value);
+  if (f.attr.empty()) return value;
+  return StrFormat("%s %s %s", f.attr.c_str(),
+                   std::string(rel::CompareOpName(op)).c_str(), value.c_str());
+}
+
+}  // namespace
+
+std::string PrintEntity(const EntityRef& entity) {
+  std::string out(audit::EntityTypeName(entity.type));
+  out += " " + entity.id;
+  if (!entity.filters.empty()) {
+    out += "[";
+    for (size_t i = 0; i < entity.filters.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += PrintFilter(entity.filters[i]);
+    }
+    out += "]";
+  }
+  return out;
+}
+
+std::string Print(const Query& query) {
+  std::string out;
+  for (const Pattern& p : query.patterns) {
+    out += p.id + ": " + PrintEntity(p.subject);
+    std::string ops = Join(p.op.names, " || ");
+    if (p.is_path) {
+      out += StrFormat(" ~>(%zu~%zu)[%s] ", p.min_hops, p.max_hops,
+                       ops.c_str());
+    } else {
+      out += " " + ops + " ";
+    }
+    out += PrintEntity(p.object);
+    if (p.window_start && p.window_end) {
+      out += StrFormat(" from %lld to %lld",
+                       static_cast<long long>(*p.window_start),
+                       static_cast<long long>(*p.window_end));
+    }
+    out += "\n";
+  }
+  if (!query.temporal.empty() || !query.attr_relationships.empty()) {
+    out += "with ";
+    bool first = true;
+    for (const TemporalConstraint& tc : query.temporal) {
+      if (!first) out += ", ";
+      first = false;
+      out += tc.first + " before " + tc.second;
+    }
+    for (const AttrRelationship& rel : query.attr_relationships) {
+      if (!first) out += ", ";
+      first = false;
+      out += rel.first_pattern + (rel.first_is_subject ? ".srcid" : ".dstid") +
+             " = " + rel.second_pattern +
+             (rel.second_is_subject ? ".srcid" : ".dstid");
+    }
+    out += "\n";
+  }
+  if (query.return_count) {
+    out += "return count\n";
+  } else if (!query.returns.empty()) {
+    out += "return ";
+    for (size_t i = 0; i < query.returns.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += query.returns[i].entity_id;
+      if (!query.returns[i].attr.empty()) {
+        out += "." + query.returns[i].attr;
+      }
+    }
+    out += "\n";
+  }
+  if (query.limit) {
+    out += StrFormat("limit %zu\n", *query.limit);
+  }
+  return out;
+}
+
+}  // namespace raptor::tbql

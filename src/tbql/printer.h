@@ -1,0 +1,18 @@
+// Pretty-printer: renders a Query AST back to canonical TBQL text.
+
+#pragma once
+
+#include <string>
+
+#include "tbql/ast.h"
+
+namespace raptor::tbql {
+
+/// Renders `query` as canonical TBQL (one pattern per line, then the with
+/// and return clauses). Round-trips through Parse + Analyze.
+std::string Print(const Query& query);
+
+/// Renders one entity reference ("proc p1[exename = \"%/bin/tar%\"]").
+std::string PrintEntity(const EntityRef& entity);
+
+}  // namespace raptor::tbql

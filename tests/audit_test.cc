@@ -1,0 +1,331 @@
+// Tests for src/audit: the event model, log interning, the textual parser,
+// and the workload generator.
+
+#include <gtest/gtest.h>
+
+#include "audit/generator.h"
+#include "audit/log.h"
+#include "audit/parser.h"
+#include "audit/types.h"
+
+namespace raptor::audit {
+namespace {
+
+// --- Types. ---
+
+class OperationRoundTripTest : public ::testing::TestWithParam<Operation> {};
+
+TEST_P(OperationRoundTripTest, NameParsesBack) {
+  Operation op = GetParam();
+  auto parsed = ParseOperation(OperationName(op));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, op);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, OperationRoundTripTest,
+    ::testing::Values(Operation::kRead, Operation::kWrite, Operation::kExecute,
+                      Operation::kDelete, Operation::kRename,
+                      Operation::kChmod, Operation::kFork, Operation::kStart,
+                      Operation::kKill, Operation::kConnect,
+                      Operation::kAccept, Operation::kSend, Operation::kRecv));
+
+TEST(TypesTest, OperationAliases) {
+  EXPECT_EQ(*ParseOperation("exec"), Operation::kExecute);
+  EXPECT_EQ(*ParseOperation("unlink"), Operation::kDelete);
+  EXPECT_FALSE(ParseOperation("frobnicate").ok());
+}
+
+TEST(TypesTest, EntityTypeParse) {
+  EXPECT_EQ(*ParseEntityType("file"), EntityType::kFile);
+  EXPECT_EQ(*ParseEntityType("proc"), EntityType::kProcess);
+  EXPECT_EQ(*ParseEntityType("process"), EntityType::kProcess);
+  EXPECT_EQ(*ParseEntityType("net"), EntityType::kNetwork);
+  EXPECT_FALSE(ParseEntityType("disk").ok());
+}
+
+TEST(TypesTest, CategoryAndObjectType) {
+  EXPECT_EQ(CategoryOf(Operation::kRead), EventCategory::kFileEvent);
+  EXPECT_EQ(CategoryOf(Operation::kFork), EventCategory::kProcessEvent);
+  EXPECT_EQ(CategoryOf(Operation::kSend), EventCategory::kNetworkEvent);
+  EXPECT_EQ(ObjectTypeOf(Operation::kWrite), EntityType::kFile);
+  EXPECT_EQ(ObjectTypeOf(Operation::kKill), EntityType::kProcess);
+  EXPECT_EQ(ObjectTypeOf(Operation::kConnect), EntityType::kNetwork);
+}
+
+TEST(TypesTest, EntityKeyDistinguishesTypes) {
+  SystemEntity f;
+  f.type = EntityType::kFile;
+  f.path = "/x";
+  SystemEntity p;
+  p.type = EntityType::kProcess;
+  p.pid = 1;
+  p.exename = "/x";
+  EXPECT_NE(f.Key(), p.Key());
+}
+
+// --- AuditLog interning. ---
+
+TEST(AuditLogTest, InternDeduplicates) {
+  AuditLog log;
+  EntityId a = log.InternFile("/etc/passwd");
+  EntityId b = log.InternFile("/etc/passwd");
+  EntityId c = log.InternFile("/etc/shadow");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(log.entity_count(), 2u);
+}
+
+TEST(AuditLogTest, ProcessIdentityIsPidPlusExe) {
+  AuditLog log;
+  EntityId a = log.InternProcess(1, "/bin/bash");
+  EntityId b = log.InternProcess(2, "/bin/bash");
+  EntityId c = log.InternProcess(1, "/bin/bash");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(AuditLogTest, NetworkIdentityIsFiveTuple) {
+  AuditLog log;
+  EntityId a = log.InternNetwork("10.0.0.1", 1000, "8.8.8.8", 443);
+  EntityId b = log.InternNetwork("10.0.0.1", 1001, "8.8.8.8", 443);
+  EntityId c = log.InternNetwork("10.0.0.1", 1000, "8.8.8.8", 443);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(AuditLogTest, AddEventAssignsSequentialIds) {
+  AuditLog log;
+  EntityId p = log.InternProcess(1, "/bin/a");
+  EntityId f = log.InternFile("/x");
+  SystemEvent ev;
+  ev.subject = p;
+  ev.object = f;
+  ev.op = Operation::kRead;
+  EXPECT_EQ(log.AddEvent(ev), 0u);
+  EXPECT_EQ(log.AddEvent(ev), 1u);
+  EXPECT_EQ(log.event(1).id, 1u);
+}
+
+TEST(AuditLogTest, FindByKey) {
+  AuditLog log;
+  EntityId a = log.InternFile("/x");
+  EXPECT_EQ(log.FindByKey("file:/x"), a);
+  EXPECT_EQ(log.FindByKey("file:/y"), kInvalidEntityId);
+}
+
+// --- Parser. ---
+
+TEST(LogParserTest, ParsesFileEvent) {
+  AuditLog log;
+  auto id = LogParser::ParseLine(
+      "ts=100 pid=42 exe=/bin/tar op=read obj=file path=/etc/passwd "
+      "bytes=4096",
+      &log);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  const SystemEvent& ev = log.event(*id);
+  EXPECT_EQ(ev.op, Operation::kRead);
+  EXPECT_EQ(ev.start_time, 100);
+  EXPECT_EQ(ev.bytes, 4096u);
+  EXPECT_EQ(log.entity(ev.subject).exename, "/bin/tar");
+  EXPECT_EQ(log.entity(ev.object).path, "/etc/passwd");
+}
+
+TEST(LogParserTest, ParsesProcessEvent) {
+  AuditLog log;
+  auto id = LogParser::ParseLine(
+      "ts=5 pid=1 exe=/sbin/init op=fork obj=proc cpid=2 cexe=/bin/bash",
+      &log);
+  ASSERT_TRUE(id.ok());
+  const SystemEvent& ev = log.event(*id);
+  EXPECT_EQ(ev.op, Operation::kFork);
+  EXPECT_EQ(log.entity(ev.object).pid, 2u);
+  EXPECT_EQ(log.entity(ev.object).exename, "/bin/bash");
+}
+
+TEST(LogParserTest, ParsesNetworkEventWithDefaults) {
+  AuditLog log;
+  auto id = LogParser::ParseLine(
+      "ts=7 pid=3 exe=/usr/bin/curl op=connect obj=net srcip=10.0.0.5 "
+      "srcport=51532 dstip=103.5.8.9 dstport=443",
+      &log);
+  ASSERT_TRUE(id.ok());
+  const SystemEntity& obj = log.entity(log.event(*id).object);
+  EXPECT_EQ(obj.dst_ip, "103.5.8.9");
+  EXPECT_EQ(obj.dst_port, 443);
+  EXPECT_EQ(obj.protocol, "tcp");  // default
+}
+
+TEST(LogParserTest, FieldsInAnyOrder) {
+  AuditLog log;
+  auto id = LogParser::ParseLine(
+      "path=/x obj=file op=write exe=/bin/a pid=9 ts=50", &log);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(log.event(*id).op, Operation::kWrite);
+}
+
+struct BadLine {
+  const char* line;
+  const char* reason;
+};
+
+class LogParserErrorTest : public ::testing::TestWithParam<BadLine> {};
+
+TEST_P(LogParserErrorTest, Rejects) {
+  AuditLog log;
+  auto result = LogParser::ParseLine(GetParam().line, &log);
+  EXPECT_FALSE(result.ok()) << GetParam().reason;
+  EXPECT_TRUE(result.status().IsParseError());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LogParserErrorTest,
+    ::testing::Values(
+        BadLine{"pid=1 exe=/a op=read obj=file path=/x", "missing ts"},
+        BadLine{"ts=1 exe=/a op=read obj=file path=/x", "missing pid"},
+        BadLine{"ts=1 pid=1 op=read obj=file path=/x", "missing exe"},
+        BadLine{"ts=1 pid=1 exe=/a obj=file path=/x", "missing op"},
+        BadLine{"ts=1 pid=1 exe=/a op=read path=/x", "missing obj"},
+        BadLine{"ts=1 pid=1 exe=/a op=read obj=file", "missing path"},
+        BadLine{"ts=1 pid=1 exe=/a op=read obj=net srcip=1.2.3.4 srcport=1 "
+                "dstip=5.6.7.8 dstport=2",
+                "op/obj type mismatch"},
+        BadLine{"ts=xx pid=1 exe=/a op=read obj=file path=/x", "bad integer"},
+        BadLine{"ts=1 pid=1 exe=/a op=zap obj=file path=/x", "bad op"},
+        BadLine{"garbage", "no key=value"}));
+
+TEST(LogParserTest, ParseTextSkipsCommentsAndBlanks) {
+  AuditLog log;
+  Status st = LogParser::ParseText(
+      "# header\n"
+      "\n"
+      "ts=1 pid=1 exe=/a op=read obj=file path=/x\n"
+      "  ts=2 pid=1 exe=/a op=write obj=file path=/x  \n",
+      &log);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(log.event_count(), 2u);
+}
+
+TEST(LogParserTest, ParseTextReportsLineNumber) {
+  AuditLog log;
+  Status st = LogParser::ParseText(
+      "ts=1 pid=1 exe=/a op=read obj=file path=/x\nbroken line\n", &log);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("line 2"), std::string::npos) << st.ToString();
+}
+
+TEST(LogParserTest, FormatEventRoundTrips) {
+  AuditLog log;
+  WorkloadGenerator gen;
+  gen.GenerateBenign(200, &log);
+  AuditLog log2;
+  for (const SystemEvent& ev : log.events()) {
+    std::string line = LogParser::FormatEvent(log, ev);
+    auto id = LogParser::ParseLine(line, &log2);
+    ASSERT_TRUE(id.ok()) << line << ": " << id.status().ToString();
+    const SystemEvent& ev2 = log2.event(*id);
+    EXPECT_EQ(ev.op, ev2.op);
+    EXPECT_EQ(ev.start_time, ev2.start_time);
+    EXPECT_EQ(ev.bytes, ev2.bytes);
+    EXPECT_EQ(log.entity(ev.subject).Key(), log2.entity(ev2.subject).Key());
+    EXPECT_EQ(log.entity(ev.object).Key(), log2.entity(ev2.object).Key());
+  }
+  EXPECT_EQ(log.event_count(), log2.event_count());
+}
+
+// --- Generator. ---
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  GeneratorOptions opts;
+  opts.seed = 99;
+  AuditLog a, b;
+  WorkloadGenerator ga(opts), gb(opts);
+  ga.GenerateBenign(500, &a);
+  gb.GenerateBenign(500, &b);
+  ASSERT_EQ(a.event_count(), b.event_count());
+  for (size_t i = 0; i < a.event_count(); ++i) {
+    EXPECT_EQ(a.event(i).start_time, b.event(i).start_time);
+    EXPECT_EQ(a.event(i).op, b.event(i).op);
+  }
+}
+
+TEST(GeneratorTest, GeneratesRequestedCount) {
+  AuditLog log;
+  WorkloadGenerator gen;
+  gen.GenerateBenign(1234, &log);
+  EXPECT_EQ(log.event_count(), 1234u);
+}
+
+TEST(GeneratorTest, TimestampsMonotonic) {
+  AuditLog log;
+  WorkloadGenerator gen;
+  gen.GenerateBenign(100, &log);
+  auto attack = gen.InjectDataLeakageAttack(&log);
+  gen.GenerateBenign(100, &log);
+  for (size_t i = 1; i < log.event_count(); ++i) {
+    EXPECT_GE(log.event(i).start_time, log.event(i - 1).start_time);
+  }
+}
+
+TEST(GeneratorTest, AttackSubjectsAreProcesses) {
+  AuditLog log;
+  WorkloadGenerator gen;
+  for (auto attack : {gen.InjectDataLeakageAttack(&log),
+                      gen.InjectPasswordCrackingAttack(&log)}) {
+    EXPECT_FALSE(attack.event_ids.empty());
+    EXPECT_FALSE(attack.core_event_ids.empty());
+    EXPECT_FALSE(attack.report_text.empty());
+    for (EventId id : attack.event_ids) {
+      EXPECT_EQ(log.entity(log.event(id).subject).type, EntityType::kProcess);
+    }
+  }
+}
+
+TEST(GeneratorTest, CoreEventsAreSubsetOfAll) {
+  AuditLog log;
+  WorkloadGenerator gen;
+  auto attack = gen.InjectPasswordCrackingAttack(&log);
+  for (EventId id : attack.core_event_ids) {
+    EXPECT_NE(std::find(attack.event_ids.begin(), attack.event_ids.end(), id),
+              attack.event_ids.end());
+  }
+}
+
+TEST(GeneratorTest, DataLeakageChainEntities) {
+  AuditLog log;
+  WorkloadGenerator gen;
+  auto attack = gen.InjectDataLeakageAttack(&log);
+  // The chain touches tar, gzip, curl and the C2 address.
+  bool saw_tar = false, saw_c2 = false;
+  for (EventId id : attack.event_ids) {
+    const SystemEvent& ev = log.event(id);
+    if (log.entity(ev.subject).exename == "/bin/tar") saw_tar = true;
+    const SystemEntity& obj = log.entity(ev.object);
+    if (obj.type == EntityType::kNetwork &&
+        obj.dst_ip == WorkloadGenerator::kC2Ip) {
+      saw_c2 = true;
+    }
+  }
+  EXPECT_TRUE(saw_tar);
+  EXPECT_TRUE(saw_c2);
+}
+
+TEST(GeneratorTest, ForkChainHasRequestedLength) {
+  AuditLog log;
+  WorkloadGenerator gen;
+  auto ids = gen.InjectForkChain("/usr/bin/launcher", 4, Operation::kRead,
+                                 "/etc/secret", &log);
+  ASSERT_EQ(ids.size(), 5u);  // 4 forks + final read
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(log.event(ids[i]).op, Operation::kFork);
+    if (i > 0) {
+      // Chained: previous fork's child is this fork's subject.
+      EXPECT_EQ(log.event(ids[i]).subject, log.event(ids[i - 1]).object);
+    }
+  }
+  EXPECT_EQ(log.event(ids[4]).op, Operation::kRead);
+  EXPECT_EQ(log.entity(log.event(ids[4]).object).path, "/etc/secret");
+}
+
+}  // namespace
+}  // namespace raptor::audit

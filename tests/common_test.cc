@@ -1,0 +1,229 @@
+// Tests for src/common: Status/Result, string utilities, RNG.
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace raptor {
+namespace {
+
+// --- Status. ---
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsParseError());
+  EXPECT_FALSE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, EachConstructorSetsItsCode) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::TypeError("x").IsTypeError());
+  EXPECT_TRUE(Status::Unsupported("x").IsUnsupported());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto f = [](bool fail) -> Status {
+    RAPTOR_RETURN_NOT_OK(fail ? Status::Internal("boom") : Status::OK());
+    return Status::OK();
+  };
+  EXPECT_TRUE(f(false).ok());
+  EXPECT_TRUE(f(true).IsInternal());
+}
+
+// --- Result. ---
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::Internal("x");
+    return 5;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    RAPTOR_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*outer(false), 6);
+  EXPECT_TRUE(outer(true).status().IsInternal());
+}
+
+// --- Strings. ---
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringsTest, SplitWhitespaceDropsEmpty) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t\n "), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(StringsTest, JoinToLowerContains) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(ToLower("AbC/12"), "abc/12");
+  EXPECT_TRUE(Contains("abcdef", "cde"));
+  EXPECT_FALSE(Contains("abc", "x"));
+}
+
+TEST(StringsTest, StartsEndsWithAndCaseInsensitive) {
+  EXPECT_TRUE(StartsWith("/etc/passwd", "/etc"));
+  EXPECT_FALSE(StartsWith("/etc", "/etc/passwd"));
+  EXPECT_TRUE(EndsWith("data.tar.gz", ".gz"));
+  EXPECT_TRUE(EqualsIgnoreCase("PROC", "proc"));
+  EXPECT_FALSE(EqualsIgnoreCase("proc", "procs"));
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a%b%c", "%", ".*"), "a.*b.*c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(ReplaceAll("x", "", "y"), "x");
+}
+
+TEST(StringsTest, Levenshtein) {
+  EXPECT_EQ(LevenshteinDistance("", ""), 0u);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0u);
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+}
+
+TEST(StringsTest, BigramDice) {
+  EXPECT_DOUBLE_EQ(BigramDiceSimilarity("night", "night"), 1.0);
+  EXPECT_DOUBLE_EQ(BigramDiceSimilarity("a", "a"), 1.0);  // identical short
+  EXPECT_EQ(BigramDiceSimilarity("ab", "cd"), 0.0);
+  double sim = BigramDiceSimilarity("/tmp/payload.bin", "/tmp/payload2.bin");
+  EXPECT_GT(sim, 0.8);
+  EXPECT_LT(sim, 1.0);
+}
+
+struct LikeCase {
+  const char* value;
+  const char* pattern;
+  bool match;
+};
+
+class LikeMatchTest : public ::testing::TestWithParam<LikeCase> {};
+
+TEST_P(LikeMatchTest, Matches) {
+  const LikeCase& c = GetParam();
+  EXPECT_EQ(LikeMatch(c.value, c.pattern), c.match)
+      << c.value << " LIKE " << c.pattern;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LikeMatchTest,
+    ::testing::Values(
+        LikeCase{"/bin/tar", "%/bin/tar%", true},
+        LikeCase{"/usr/bin/tar", "%tar%", true},
+        LikeCase{"/bin/tar", "/bin/tar", true},
+        LikeCase{"/bin/tarx", "/bin/tar", false},
+        LikeCase{"abc", "%", true},
+        LikeCase{"", "%", true},
+        LikeCase{"", "", true},
+        LikeCase{"abc", "a%c", true},
+        LikeCase{"ac", "a%c", true},
+        LikeCase{"abd", "a%c", false},
+        LikeCase{"aXbXc", "a%b%c", true},
+        LikeCase{"tar", "%/bin/tar%", false},
+        LikeCase{"xx/bin/tar-yy", "%/bin/tar%", true}));
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+// --- Rng. ---
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.Next() != b.Next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, SkewedFavorsLowIndexes) {
+  Rng rng(9);
+  size_t low = 0, high = 0;
+  for (int i = 0; i < 10000; ++i) {
+    size_t v = rng.Skewed(100);
+    ASSERT_LT(v, 100u);
+    if (v < 25) ++low;
+    if (v >= 75) ++high;
+  }
+  EXPECT_GT(low, high * 2);
+}
+
+TEST(RngTest, PickReturnsElement) {
+  Rng rng(11);
+  std::vector<int> v{1, 2, 3};
+  for (int i = 0; i < 50; ++i) {
+    int x = rng.Pick(v);
+    EXPECT_TRUE(x >= 1 && x <= 3);
+  }
+}
+
+}  // namespace
+}  // namespace raptor

@@ -1,0 +1,360 @@
+// Tests for the ThreatRaptor facade (src/core).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "core/investigate.h"
+#include "core/threat_raptor.h"
+
+namespace raptor {
+namespace {
+
+TEST(ThreatRaptorTest, IngestLogText) {
+  ThreatRaptor system;
+  Status st = system.IngestLogText(
+      "ts=1 pid=1 exe=/bin/a op=read obj=file path=/x\n"
+      "ts=2 pid=1 exe=/bin/a op=write obj=file path=/y\n");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(system.log().event_count(), 2u);
+  EXPECT_FALSE(system.storage_ready());
+}
+
+TEST(ThreatRaptorTest, IngestRejectsBadText) {
+  ThreatRaptor system;
+  EXPECT_TRUE(system.IngestLogText("nonsense").IsParseError());
+}
+
+TEST(ThreatRaptorTest, FinalizeFreezesIngestion) {
+  ThreatRaptor system;
+  ASSERT_TRUE(system
+                  .IngestLogText(
+                      "ts=1 pid=1 exe=/bin/a op=read obj=file path=/x\n")
+                  .ok());
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+  EXPECT_TRUE(system.storage_ready());
+  EXPECT_EQ(system.mutable_log(), nullptr);
+  EXPECT_TRUE(system.IngestLogText("ts=2 pid=1 exe=/b op=read obj=file "
+                                   "path=/y")
+                  .IsInvalidArgument());
+  // Idempotent.
+  EXPECT_TRUE(system.FinalizeStorage().ok());
+}
+
+TEST(ThreatRaptorTest, QueriesRequireFinalizedStorage) {
+  ThreatRaptor system;
+  auto result = system.ExecuteTbql("proc p read file f");
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  auto hunt = system.Hunt("The process /bin/a read /etc/x.");
+  EXPECT_TRUE(hunt.status().IsInvalidArgument());
+}
+
+TEST(ThreatRaptorTest, CprAppliedByDefault) {
+  ThreatRaptor system;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(10000, system.mutable_log());
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+  EXPECT_GT(system.cpr_stats().ReductionRatio(), 1.0);
+  EXPECT_LT(system.log().event_count(), 10000u);
+}
+
+TEST(ThreatRaptorTest, CprCanBeDisabled) {
+  ThreatRaptorOptions opts;
+  opts.apply_cpr = false;
+  ThreatRaptor system(opts);
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(5000, system.mutable_log());
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+  EXPECT_EQ(system.log().event_count(), 5000u);
+  EXPECT_DOUBLE_EQ(system.cpr_stats().ReductionRatio(), 1.0);
+}
+
+TEST(ThreatRaptorTest, TranslateEventIdsAfterCpr) {
+  ThreatRaptor system;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(5000, system.mutable_log());
+  auto attack = gen.InjectDataLeakageAttack(system.mutable_log());
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+  auto translated = system.TranslateEventIds(attack.event_ids);
+  EXPECT_FALSE(translated.empty());
+  EXPECT_LE(translated.size(), attack.event_ids.size());
+  for (audit::EventId id : translated) {
+    ASSERT_LT(id, system.log().event_count());
+  }
+}
+
+TEST(ThreatRaptorTest, ExecuteTbqlParsesAndRuns) {
+  ThreatRaptor system;
+  ASSERT_TRUE(system
+                  .IngestLogText(
+                      "ts=1 pid=1 exe=/bin/tar op=read obj=file "
+                      "path=/etc/passwd\n")
+                  .ok());
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+  auto result =
+      system.ExecuteTbql(R"(proc p["%tar%"] read file f  return f)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], "/etc/passwd");
+}
+
+TEST(ThreatRaptorTest, ExecuteTbqlReportsSyntaxErrors) {
+  ThreatRaptor system;
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+  EXPECT_TRUE(system.ExecuteTbql("proc p read widget w")
+                  .status()
+                  .IsParseError());
+  EXPECT_FALSE(system.ExecuteTbql("proc p read net n").ok());  // analyzer
+}
+
+TEST(ThreatRaptorTest, ExtractBehaviorWorksWithoutStorage) {
+  ThreatRaptor system;
+  auto extraction =
+      system.ExtractBehavior("The process /bin/a read /etc/x.");
+  EXPECT_EQ(extraction.graph.num_edges(), 1u);
+}
+
+class HuntBothAttacksTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HuntBothAttacksTest, PerfectPrecisionRecallOnCoreEvents) {
+  ThreatRaptor system;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(15000, system.mutable_log());
+  audit::AttackTrace attack =
+      GetParam() == 0 ? gen.InjectDataLeakageAttack(system.mutable_log())
+                      : gen.InjectPasswordCrackingAttack(system.mutable_log());
+  gen.GenerateBenign(15000, system.mutable_log());
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+
+  auto hunt = system.Hunt(attack.report_text);
+  ASSERT_TRUE(hunt.ok()) << hunt.status().ToString();
+  EXPECT_FALSE(hunt->query_text.empty());
+  EXPECT_GE(hunt->result.rows.size(), 1u);
+
+  auto matched = hunt->result.MatchedEvents();
+  auto truth = system.TranslateEventIds(attack.core_event_ids);
+  std::set<audit::EventId> truth_set(truth.begin(), truth.end());
+  size_t tp = 0;
+  for (audit::EventId id : matched) tp += truth_set.count(id);
+  ASSERT_FALSE(matched.empty());
+  EXPECT_DOUBLE_EQ(static_cast<double>(tp) / matched.size(), 1.0);
+  EXPECT_DOUBLE_EQ(static_cast<double>(tp) / truth.size(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Attacks, HuntBothAttacksTest, ::testing::Values(0, 1));
+
+TEST(ThreatRaptorTest, HuntFailsCleanlyOnIrrelevantReport) {
+  ThreatRaptor system;
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+  auto hunt = system.Hunt("Nothing security-relevant is described here.");
+  EXPECT_TRUE(hunt.status().IsNotFound());
+}
+
+TEST(ThreatRaptorTest, HuntReportCarriesAllArtifacts) {
+  ThreatRaptor system;
+  audit::WorkloadGenerator gen;
+  auto attack = gen.InjectDataLeakageAttack(system.mutable_log());
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+  auto hunt = system.Hunt(attack.report_text);
+  ASSERT_TRUE(hunt.ok());
+  EXPECT_GT(hunt->extraction.graph.num_edges(), 0u);
+  EXPECT_GT(hunt->synthesis.query.patterns.size(), 0u);
+  EXPECT_NE(hunt->query_text.find("with"), std::string::npos);
+  EXPECT_GE(hunt->cpr.events_before, hunt->cpr.events_after);
+}
+
+TEST(ThreatRaptorTest, PathPatternPlanHuntsOmittedIntermediates) {
+  // The report says bash wrote the file, but in the trace bash forked a
+  // helper that wrote it — the §II-D motivation for path patterns. The
+  // default plan misses it; the user-defined path plan finds it.
+  const char* report = "The process /bin/bash wrote the file /tmp/loot.";
+
+  auto build = [](ThreatRaptor* system) {
+    audit::AuditLog* log = system->mutable_log();
+    audit::EntityId bash = log->InternProcess(50, "/bin/bash");
+    audit::EntityId helper = log->InternProcess(51, "/usr/bin/helper");
+    audit::SystemEvent fork;
+    fork.subject = bash;
+    fork.object = helper;
+    fork.op = audit::Operation::kFork;
+    fork.start_time = fork.end_time = 100;
+    log->AddEvent(fork);
+    audit::SystemEvent write;
+    write.subject = helper;
+    write.object = log->InternFile("/tmp/loot");
+    write.op = audit::Operation::kWrite;
+    write.start_time = write.end_time = 200;
+    log->AddEvent(write);
+    ASSERT_TRUE(system->FinalizeStorage().ok());
+  };
+
+  ThreatRaptor plain;
+  build(&plain);
+  auto miss = plain.Hunt(report);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_TRUE(miss->result.rows.empty());
+
+  ThreatRaptorOptions opts;
+  opts.synthesis.use_path_patterns = true;
+  opts.synthesis.path_max_hops = 3;
+  ThreatRaptor pathy(opts);
+  build(&pathy);
+  auto hit = pathy.Hunt(report);
+  ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+  ASSERT_EQ(hit->result.rows.size(), 1u);
+  EXPECT_EQ(hit->result.matches[0].at("evt1").events.size(), 2u);
+}
+
+
+TEST(ThreatRaptorTest, IngestSysdigText) {
+  ThreatRaptor system;
+  auto stats = system.IngestSysdigText(
+      "1 00:00:01 0 tar (842) < read res=10 fd=5(<f>/etc/passwd)\n"
+      "2 00:00:02 0 tar (842) > write fd=5(<f>/etc/passwd)\n"
+      "3 00:00:03 0 tar (842) < write res=20 fd=6(<f>/tmp/out)\n");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->events, 2u);
+  EXPECT_EQ(stats->skipped, 1u);
+  EXPECT_EQ(system.log().event_count(), 2u);
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+  auto result = system.ExecuteTbql("proc p read file f  return f");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], "/etc/passwd");
+}
+
+TEST(ThreatRaptorTest, SnapshotRoundTripPreservesHunts) {
+  std::string path = ::testing::TempDir() + "/raptor_core_snapshot.bin";
+  audit::AttackTrace attack;
+  std::vector<std::vector<std::string>> original_rows;
+  {
+    ThreatRaptor system;
+    audit::WorkloadGenerator gen;
+    gen.GenerateBenign(3000, system.mutable_log());
+    attack = gen.InjectDataLeakageAttack(system.mutable_log());
+    gen.GenerateBenign(3000, system.mutable_log());
+    ASSERT_TRUE(system.SaveTraceSnapshot(path).ok());
+    ASSERT_TRUE(system.FinalizeStorage().ok());
+    auto hunt = system.Hunt(attack.report_text);
+    ASSERT_TRUE(hunt.ok());
+    original_rows = hunt->result.rows;
+  }
+  {
+    ThreatRaptor restored;
+    ASSERT_TRUE(restored.LoadTraceSnapshot(path).ok());
+    ASSERT_TRUE(restored.FinalizeStorage().ok());
+    auto hunt = restored.Hunt(attack.report_text);
+    ASSERT_TRUE(hunt.ok());
+    EXPECT_EQ(hunt->result.rows, original_rows);
+    EXPECT_FALSE(hunt->result.rows.empty());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ThreatRaptorTest, SnapshotOpsFrozenAfterFinalize) {
+  ThreatRaptor system;
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+  EXPECT_TRUE(system.IngestSysdigText("x").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      system.LoadTraceSnapshot("/tmp/whatever").IsInvalidArgument());
+}
+
+
+TEST(ThreatRaptorTest, LiveIngestionVisibleToQueries) {
+  ThreatRaptor system;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(2000, system.mutable_log());
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+
+  // Nothing touches /srv/secret.db yet.
+  auto before = system.ExecuteTbql(
+      "proc p read file f[\"/srv/secret.db\"]");
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before->rows.empty());
+
+  // A live record arrives.
+  ASSERT_TRUE(system
+                  .IngestLiveText("ts=9999999999 pid=77 exe=/usr/bin/exfil "
+                                  "op=read obj=file path=/srv/secret.db")
+                  .ok());
+  auto after = system.ExecuteTbql(
+      "proc p read file f[\"/srv/secret.db\"]\nreturn p");
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->rows.size(), 1u);
+  EXPECT_EQ(after->rows[0][0], "/usr/bin/exfil");
+}
+
+TEST(ThreatRaptorTest, LiveIngestionFeedsPathPatterns) {
+  ThreatRaptor system;
+  ASSERT_TRUE(system
+                  .IngestLogText("ts=1 pid=1 exe=/bin/init op=fork obj=proc "
+                                 "cpid=2 cexe=/bin/stage1")
+                  .ok());
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+  ASSERT_TRUE(system
+                  .IngestLiveText(
+                      "ts=2 pid=2 exe=/bin/stage1 op=fork obj=proc cpid=3 "
+                      "cexe=/bin/stage2\n"
+                      "ts=3 pid=3 exe=/bin/stage2 op=read obj=file "
+                      "path=/etc/target")
+                  .ok());
+  auto r = system.ExecuteTbql(
+      "proc p[\"%init%\"] ~>(3~3)[read] file f[\"/etc/target\"]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 1u);
+}
+
+TEST(ThreatRaptorTest, LiveIngestionRequiresFinalizedStorage) {
+  ThreatRaptor system;
+  EXPECT_TRUE(system.IngestLiveText("x").IsInvalidArgument());
+  EXPECT_TRUE(system.IngestLiveSysdig("x").status().IsInvalidArgument());
+}
+
+TEST(ThreatRaptorTest, LiveSysdigIngestion) {
+  ThreatRaptor system;
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+  auto stats = system.IngestLiveSysdig(
+      "1 00:00:01 0 evil (9) < read res=10 fd=5(<f>/etc/shadow)");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->events, 1u);
+  auto r = system.ExecuteTbql("proc p read file f[\"/etc/shadow\"]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 1u);
+}
+
+TEST(InvestigateTest, RequiresFinalizedStorage) {
+  ThreatRaptor system;
+  EXPECT_TRUE(
+      Investigate(system, {}).status().IsInvalidArgument());
+}
+
+TEST(InvestigateTest, HuntSeedsReconstructFullAttack) {
+  ThreatRaptor system;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(10000, system.mutable_log());
+  auto attack = gen.InjectDataLeakageAttack(system.mutable_log());
+  gen.GenerateBenign(10000, system.mutable_log());
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+
+  auto hunt = system.Hunt(attack.report_text);
+  ASSERT_TRUE(hunt.ok());
+  auto investigation = Investigate(system, hunt->result.MatchedEvents());
+  ASSERT_TRUE(investigation.ok());
+
+  auto truth = system.TranslateEventIds(attack.event_ids);
+  std::set<audit::EventId> tracked(
+      investigation->subgraph.events.begin(),
+      investigation->subgraph.events.end());
+  for (audit::EventId id : truth) {
+    EXPECT_TRUE(tracked.count(id) > 0) << "missed attack event " << id;
+  }
+  // Timeline marks seeds and is chronological.
+  EXPECT_NE(investigation->timeline.find("* "), std::string::npos);
+  EXPECT_NE(investigation->dot.find("digraph provenance"),
+            std::string::npos);
+  EXPECT_NE(investigation->dot.find("color=red"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace raptor

@@ -1,0 +1,237 @@
+// Tests for Causality-Preserved Reduction (src/audit/cpr.*): merging
+// behavior, causality barriers, the old->new id mapping, and the key
+// property — dependency (reachability) equivalence before and after
+// reduction.
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <set>
+
+#include "audit/cpr.h"
+#include "audit/generator.h"
+#include "audit/log.h"
+
+namespace raptor::audit {
+namespace {
+
+SystemEvent MakeEvent(EntityId subj, EntityId obj, Operation op, Timestamp ts,
+                      uint64_t bytes = 100) {
+  SystemEvent ev;
+  ev.subject = subj;
+  ev.object = obj;
+  ev.op = op;
+  ev.start_time = ts;
+  ev.end_time = ts;
+  ev.bytes = bytes;
+  return ev;
+}
+
+TEST(CprTest, MergesBurstBetweenSamePair) {
+  AuditLog log;
+  EntityId p = log.InternProcess(1, "/bin/a");
+  EntityId f = log.InternFile("/x");
+  for (int i = 0; i < 10; ++i) {
+    log.AddEvent(MakeEvent(p, f, Operation::kRead, 100 + i));
+  }
+  CprStats stats = ReduceLog(&log);
+  EXPECT_EQ(stats.events_before, 10u);
+  EXPECT_EQ(stats.events_after, 1u);
+  EXPECT_DOUBLE_EQ(stats.ReductionRatio(), 10.0);
+  const SystemEvent& merged = log.event(0);
+  EXPECT_EQ(merged.merged_count, 10u);
+  EXPECT_EQ(merged.bytes, 1000u);
+  EXPECT_EQ(merged.start_time, 100);
+  EXPECT_EQ(merged.end_time, 109);
+}
+
+TEST(CprTest, DifferentOperationsDoNotMerge) {
+  AuditLog log;
+  EntityId p = log.InternProcess(1, "/bin/a");
+  EntityId f = log.InternFile("/x");
+  log.AddEvent(MakeEvent(p, f, Operation::kRead, 1));
+  log.AddEvent(MakeEvent(p, f, Operation::kWrite, 2));
+  log.AddEvent(MakeEvent(p, f, Operation::kRead, 3));
+  CprStats stats = ReduceLog(&log);
+  EXPECT_EQ(stats.events_after, 3u);
+}
+
+TEST(CprTest, InterleavingEventOnSharedEntityBlocksMerge) {
+  AuditLog log;
+  EntityId p1 = log.InternProcess(1, "/bin/a");
+  EntityId p2 = log.InternProcess(2, "/bin/b");
+  EntityId f = log.InternFile("/x");
+  // p1 reads f, then p2 writes f (a causality barrier on f), then p1 reads
+  // f again: the two reads must NOT merge or dependency tracking would lose
+  // the read-after-write ordering.
+  log.AddEvent(MakeEvent(p1, f, Operation::kRead, 1));
+  log.AddEvent(MakeEvent(p2, f, Operation::kWrite, 2));
+  log.AddEvent(MakeEvent(p1, f, Operation::kRead, 3));
+  CprStats stats = ReduceLog(&log);
+  EXPECT_EQ(stats.events_after, 3u);
+}
+
+TEST(CprTest, UnrelatedInterleavingDoesNotBlockMerge) {
+  AuditLog log;
+  EntityId p1 = log.InternProcess(1, "/bin/a");
+  EntityId p2 = log.InternProcess(2, "/bin/b");
+  EntityId f = log.InternFile("/x");
+  EntityId g = log.InternFile("/y");
+  // The p2->g event shares no entity with the p1->f reads.
+  log.AddEvent(MakeEvent(p1, f, Operation::kRead, 1));
+  log.AddEvent(MakeEvent(p2, g, Operation::kWrite, 2));
+  log.AddEvent(MakeEvent(p1, f, Operation::kRead, 3));
+  CprStats stats = ReduceLog(&log);
+  EXPECT_EQ(stats.events_after, 2u);
+}
+
+TEST(CprTest, GapLargerThanLimitSplitsGroups) {
+  AuditLog log;
+  EntityId p = log.InternProcess(1, "/bin/a");
+  EntityId f = log.InternFile("/x");
+  log.AddEvent(MakeEvent(p, f, Operation::kRead, 0));
+  log.AddEvent(MakeEvent(p, f, Operation::kRead, 10));
+  log.AddEvent(MakeEvent(p, f, Operation::kRead, 10'000'000'000LL));
+  CprOptions opts;
+  opts.max_merge_gap_ns = 1'000'000'000;  // 1 s
+  CprStats stats = ReduceLog(&log, opts);
+  EXPECT_EQ(stats.events_after, 2u);
+}
+
+TEST(CprTest, OldToNewMappingCoversEveryEvent) {
+  AuditLog log;
+  WorkloadGenerator gen;
+  gen.GenerateBenign(5000, &log);
+  size_t before = log.event_count();
+  std::vector<EventId> old_to_new;
+  CprStats stats = ReduceLog(&log, CprOptions{}, &old_to_new);
+  ASSERT_EQ(old_to_new.size(), before);
+  for (EventId nid : old_to_new) {
+    ASSERT_LT(nid, stats.events_after);
+  }
+  // Each original's mapped event has the same subject/object/op.
+  // (Reconstruct the original to compare: regenerate.)
+  AuditLog orig;
+  WorkloadGenerator gen2;
+  gen2.GenerateBenign(5000, &orig);
+  for (EventId old_id = 0; old_id < before; ++old_id) {
+    const SystemEvent& o = orig.event(old_id);
+    const SystemEvent& n = log.event(old_to_new[old_id]);
+    EXPECT_EQ(o.subject, n.subject);
+    EXPECT_EQ(o.object, n.object);
+    EXPECT_EQ(o.op, n.op);
+    EXPECT_GE(o.start_time, n.start_time);
+    EXPECT_LE(o.end_time, n.end_time);
+  }
+}
+
+TEST(CprTest, MergedCountsSumToOriginalCount) {
+  AuditLog log;
+  WorkloadGenerator gen;
+  gen.GenerateBenign(10000, &log);
+  size_t before = log.event_count();
+  ReduceLog(&log);
+  uint64_t total = 0;
+  for (const SystemEvent& ev : log.events()) total += ev.merged_count;
+  EXPECT_EQ(total, before);
+}
+
+TEST(CprTest, BurstyWorkloadReducesMoreThanUniform) {
+  GeneratorOptions bursty;
+  bursty.burst_probability = 0.5;
+  bursty.burst_max_len = 16;
+  GeneratorOptions uniform;
+  uniform.burst_probability = 0.0;
+
+  AuditLog a, b;
+  WorkloadGenerator ga(bursty), gb(uniform);
+  ga.GenerateBenign(20000, &a);
+  gb.GenerateBenign(20000, &b);
+  double ra = ReduceLog(&a).ReductionRatio();
+  double rb = ReduceLog(&b).ReductionRatio();
+  EXPECT_GT(ra, rb);
+}
+
+// --- The causality-preservation property itself. ---
+//
+// Forward dependency closure: starting from an entity, the set of entities
+// reachable by time-respecting event traversal must be identical before and
+// after reduction.
+
+std::set<EntityId> ForwardClosure(const AuditLog& log, EntityId start) {
+  // Collect (time, subject, object) triples and propagate reachability in
+  // time order: an event e makes object reachable if subject is reachable
+  // no later than e's end (and vice versa for reads... keep the simple
+  // directional model used by the storage graph: subject -> object).
+  std::vector<const SystemEvent*> events;
+  events.reserve(log.event_count());
+  for (const SystemEvent& ev : log.events()) events.push_back(&ev);
+  std::sort(events.begin(), events.end(),
+            [](const SystemEvent* a, const SystemEvent* b) {
+              return a->start_time < b->start_time;
+            });
+  std::set<EntityId> reach{start};
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const SystemEvent* ev : events) {
+      if (reach.count(ev->subject) > 0 && reach.count(ev->object) == 0) {
+        reach.insert(ev->object);
+        changed = true;
+      }
+    }
+  }
+  return reach;
+}
+
+TEST(CprTest, ForwardReachabilityPreserved) {
+  AuditLog log;
+  WorkloadGenerator gen;
+  gen.GenerateBenign(2000, &log);
+  auto attack = gen.InjectDataLeakageAttack(&log);
+  gen.GenerateBenign(2000, &log);
+
+  // Reachability from the attack's bash process before reduction.
+  EntityId bash = kInvalidEntityId;
+  for (const SystemEntity& e : log.entities()) {
+    if (e.type == EntityType::kProcess && e.exename == "/bin/bash") {
+      bash = e.id;
+    }
+  }
+  ASSERT_NE(bash, kInvalidEntityId);
+
+  std::set<EntityId> before = ForwardClosure(log, bash);
+  ReduceLog(&log);
+  std::set<EntityId> after = ForwardClosure(log, bash);
+  EXPECT_EQ(before, after);
+}
+
+class CprSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CprSeedTest, ReachabilityPreservedAcrossSeeds) {
+  GeneratorOptions opts;
+  opts.seed = GetParam();
+  opts.burst_probability = 0.3;
+  AuditLog log;
+  WorkloadGenerator gen(opts);
+  gen.GenerateBenign(3000, &log);
+  // Check closure from every distinct process exe's first entity.
+  std::vector<EntityId> probes;
+  for (const SystemEntity& e : log.entities()) {
+    if (e.type == EntityType::kProcess && probes.size() < 5) {
+      probes.push_back(e.id);
+    }
+  }
+  std::vector<std::set<EntityId>> before;
+  for (EntityId p : probes) before.push_back(ForwardClosure(log, p));
+  ReduceLog(&log);
+  for (size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(before[i], ForwardClosure(log, probes[i])) << "probe " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CprSeedTest,
+                         ::testing::Values(1, 2, 3, 17, 1234));
+
+}  // namespace
+}  // namespace raptor::audit

@@ -1,0 +1,162 @@
+// Tests for the structured OSCTI feed module (src/cti).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/threat_raptor.h"
+#include "cti/feed.h"
+
+namespace raptor::cti {
+namespace {
+
+constexpr const char* kBundle = R"({
+  "type": "bundle",
+  "objects": [
+    {"type": "indicator", "id": "indicator--1", "name": "cracker",
+     "pattern": "[file:name = '/tmp/cracker']"},
+    {"type": "indicator", "id": "indicator--2",
+     "pattern": "[ipv4-addr:value = '161.35.10.8']"},
+    {"type": "indicator", "id": "indicator--3",
+     "pattern": "[domain-name:value = 'evil-c2.com']"},
+    {"type": "indicator", "id": "indicator--4",
+     "pattern": "[file:hashes.'SHA-256' = 'aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa']"},
+    {"type": "malware", "id": "malware--1", "name": "not an indicator"}
+  ]
+})";
+
+TEST(StixTest, ParsesBundle) {
+  auto indicators = ParseStixBundle(kBundle);
+  ASSERT_TRUE(indicators.ok()) << indicators.status().ToString();
+  ASSERT_EQ(indicators->size(), 4u);  // the malware object is skipped
+  EXPECT_EQ((*indicators)[0].value, "/tmp/cracker");
+  EXPECT_EQ((*indicators)[0].type, nlp::IocType::kFilepath);
+  EXPECT_EQ((*indicators)[0].name, "cracker");
+  EXPECT_EQ((*indicators)[1].type, nlp::IocType::kIp);
+  EXPECT_EQ((*indicators)[2].type, nlp::IocType::kDomain);
+  EXPECT_EQ((*indicators)[3].type, nlp::IocType::kHashSha256);
+}
+
+TEST(StixTest, FileNameWithoutSlashIsFilename) {
+  auto indicators = ParseStixBundle(
+      R"({"type":"bundle","objects":[
+           {"type":"indicator","pattern":"[file:name = 'dropper.exe']"}]})");
+  ASSERT_TRUE(indicators.ok());
+  EXPECT_EQ((*indicators)[0].type, nlp::IocType::kFilename);
+}
+
+TEST(StixTest, RejectsNonBundle) {
+  EXPECT_TRUE(ParseStixBundle(R"({"type":"report"})")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseStixBundle("not json").status().IsParseError());
+}
+
+TEST(StixTest, RejectsUnsupportedPattern) {
+  auto r = ParseStixBundle(
+      R"({"type":"bundle","objects":[
+           {"type":"indicator","pattern":"[x509:serial = '1']"}]})");
+  EXPECT_TRUE(r.status().IsUnsupported());
+}
+
+TEST(StixTest, RejectsMalformedPattern) {
+  for (const char* pattern :
+       {"file:name = '/x'", "[file:name '/x']", "[file:name = /x]"}) {
+    std::string bundle =
+        std::string(R"({"type":"bundle","objects":[
+             {"type":"indicator","pattern":")") +
+        pattern + R"("}]})";
+    EXPECT_FALSE(ParseStixBundle(bundle).ok()) << pattern;
+  }
+}
+
+TEST(StixTest, RoundTripThroughBundleText) {
+  auto indicators = ParseStixBundle(kBundle);
+  ASSERT_TRUE(indicators.ok());
+  std::string serialized = ToStixBundle(*indicators);
+  auto reparsed = ParseStixBundle(serialized);
+  ASSERT_TRUE(reparsed.ok()) << serialized;
+  ASSERT_EQ(reparsed->size(), indicators->size());
+  for (size_t i = 0; i < indicators->size(); ++i) {
+    EXPECT_EQ((*reparsed)[i].type, (*indicators)[i].type);
+    EXPECT_EQ((*reparsed)[i].value, (*indicators)[i].value);
+  }
+}
+
+TEST(IndicatorsFromTextTest, ExtractsAndDeduplicates) {
+  nlp::IocRecognizer recognizer;
+  auto indicators = IndicatorsFromText(
+      "/bin/tar read /etc/passwd and again /etc/passwd, then sent data to "
+      "161.35.10.8.",
+      recognizer);
+  ASSERT_EQ(indicators.size(), 3u);
+  EXPECT_EQ(indicators[0].value, "/bin/tar");
+  EXPECT_EQ(indicators[1].value, "/etc/passwd");
+  EXPECT_EQ(indicators[2].value, "161.35.10.8");
+}
+
+TEST(IocQueriesTest, SynthesizesPerAuditableIndicator) {
+  std::vector<Indicator> indicators = {
+      {"", "", nlp::IocType::kFilepath, "/etc/shadow"},
+      {"", "", nlp::IocType::kIp, "161.35.10.8"},
+      {"", "", nlp::IocType::kCve, "CVE-2014-6271"},   // not auditable
+      {"", "", nlp::IocType::kDomain, "evil.com"},     // not auditable
+  };
+  auto queries = SynthesizeIocQueries(indicators);
+  ASSERT_EQ(queries.size(), 2u);
+  EXPECT_EQ(queries[0].patterns[0].object.type, audit::EntityType::kFile);
+  EXPECT_EQ(queries[1].patterns[0].object.type, audit::EntityType::kNetwork);
+  // Queries are analyzed: default return clauses were synthesized.
+  EXPECT_FALSE(queries[0].returns.empty());
+}
+
+TEST(IocQueriesTest, ExecutesAgainstTrace) {
+  ThreatRaptor system;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(5000, system.mutable_log());
+  auto attack = gen.InjectPasswordCrackingAttack(system.mutable_log());
+  gen.GenerateBenign(5000, system.mutable_log());
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+
+  std::vector<Indicator> indicators = {
+      {"", "", nlp::IocType::kFilepath, "/etc/shadow"},
+  };
+  auto queries = SynthesizeIocQueries(indicators);
+  ASSERT_EQ(queries.size(), 1u);
+  auto result = system.ExecuteQuery(queries[0]);
+  ASSERT_TRUE(result.ok());
+  // The cracker touched the shadow file — and so did legitimate sshd
+  // logins: the isolated-IOC query cannot tell them apart.
+  std::set<std::string> processes;
+  for (const auto& row : result->bindings) {
+    processes.insert(
+        system.log().entity(row.at("p")).exename);
+  }
+  EXPECT_TRUE(processes.count("/tmp/cracker") > 0);
+  EXPECT_TRUE(processes.count("/usr/sbin/sshd") > 0);
+}
+
+TEST(IocQueriesTest, BehaviorHuntExcludesBenignTouches) {
+  // The contrast experiment (E10) as a regression test: behavior-graph
+  // hunting keeps precision 1.0 in the presence of benign sensitive
+  // touches that fool isolated-IOC matching.
+  ThreatRaptor system;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(20000, system.mutable_log());
+  auto attack = gen.InjectPasswordCrackingAttack(system.mutable_log());
+  gen.GenerateBenign(20000, system.mutable_log());
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+
+  auto hunt = system.Hunt(attack.report_text);
+  ASSERT_TRUE(hunt.ok());
+  auto truth = system.TranslateEventIds(attack.event_ids);
+  std::set<audit::EventId> truth_set(truth.begin(), truth.end());
+  for (audit::EventId id : hunt->result.MatchedEvents()) {
+    EXPECT_TRUE(truth_set.count(id) > 0)
+        << "behavior hunt flagged non-attack event " << id;
+  }
+}
+
+}  // namespace
+}  // namespace raptor::cti

@@ -1,0 +1,189 @@
+// Tests for causal dependency tracking (src/storage/graph/dependency.*).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "audit/generator.h"
+#include "core/threat_raptor.h"
+#include "storage/graph/dependency.h"
+
+namespace raptor::graph {
+namespace {
+
+using audit::AuditLog;
+using audit::EntityId;
+using audit::EventId;
+using audit::Operation;
+using audit::SystemEvent;
+
+EventId Add(AuditLog* log, EntityId subj, EntityId obj, Operation op,
+            audit::Timestamp t, uint64_t bytes = 10) {
+  SystemEvent ev;
+  ev.subject = subj;
+  ev.object = obj;
+  ev.op = op;
+  ev.start_time = ev.end_time = t;
+  ev.bytes = bytes;
+  return log->AddEvent(ev);
+}
+
+/// Classic exfiltration chain plus decoys:
+///   t=10  wget  recv  <- c2        (payload arrives)
+///   t=20  wget  write /tmp/x       (drops file)
+///   t=30  bash  read  /tmp/x       (stages)
+///   t=40  bash  send  -> c2        (exfiltrates)
+///   t=50  cat   read  /tmp/x       (later unrelated read)
+///   t=5   vim   write /tmp/x       (earlier write: backward-relevant)
+///   t=35  bash  read  /etc/hosts   (flows into bash before send)
+struct Fixture {
+  AuditLog log;
+  EntityId wget, bash, cat, vim, file, hosts, c2;
+  EventId recv, drop, stage, exfil, later_read, early_write, hosts_read;
+
+  Fixture() {
+    wget = log.InternProcess(1, "/usr/bin/wget");
+    bash = log.InternProcess(2, "/bin/bash");
+    cat = log.InternProcess(3, "/bin/cat");
+    vim = log.InternProcess(4, "/usr/bin/vim");
+    file = log.InternFile("/tmp/x");
+    hosts = log.InternFile("/etc/hosts");
+    c2 = log.InternNetwork("10.0.0.5", 5000, "161.35.10.8", 443);
+    early_write = Add(&log, vim, file, Operation::kWrite, 5);
+    recv = Add(&log, wget, c2, Operation::kRecv, 10);
+    drop = Add(&log, wget, file, Operation::kWrite, 20);
+    stage = Add(&log, bash, file, Operation::kRead, 30);
+    hosts_read = Add(&log, bash, hosts, Operation::kRead, 35);
+    exfil = Add(&log, bash, c2, Operation::kSend, 40);
+    later_read = Add(&log, cat, file, Operation::kRead, 50);
+  }
+};
+
+TEST(DependencyTest, BackwardFromExfiltration) {
+  Fixture fx;
+  GraphStore g(fx.log);
+  auto sub = TrackBackward(g, {fx.exfil});
+  std::set<EventId> events(sub.events.begin(), sub.events.end());
+  // Everything that flowed into bash before t=40.
+  EXPECT_TRUE(events.count(fx.exfil));
+  EXPECT_TRUE(events.count(fx.stage));
+  EXPECT_TRUE(events.count(fx.hosts_read));
+  // ... and transitively into /tmp/x before t=30.
+  EXPECT_TRUE(events.count(fx.drop));
+  EXPECT_TRUE(events.count(fx.early_write));
+  // ... and into wget before t=20.
+  EXPECT_TRUE(events.count(fx.recv));
+  // The later unrelated read is NOT backward-relevant.
+  EXPECT_FALSE(events.count(fx.later_read));
+}
+
+TEST(DependencyTest, BackwardRespectsTime) {
+  Fixture fx;
+  GraphStore g(fx.log);
+  // From the staging read at t=30: the exfil (t=40) is not in its past.
+  auto sub = TrackBackward(g, {fx.stage});
+  std::set<EventId> events(sub.events.begin(), sub.events.end());
+  EXPECT_FALSE(events.count(fx.exfil));
+  EXPECT_FALSE(events.count(fx.hosts_read));
+  EXPECT_TRUE(events.count(fx.drop));
+}
+
+TEST(DependencyTest, ForwardFromInitialRecv) {
+  Fixture fx;
+  GraphStore g(fx.log);
+  auto sub = TrackForward(g, {fx.recv});
+  std::set<EventId> events(sub.events.begin(), sub.events.end());
+  // Payload propagates: wget writes file, bash reads it, bash sends out,
+  // cat reads the file later.
+  EXPECT_TRUE(events.count(fx.drop));
+  EXPECT_TRUE(events.count(fx.stage));
+  EXPECT_TRUE(events.count(fx.exfil));
+  EXPECT_TRUE(events.count(fx.later_read));
+  // The early vim write precedes the recv: not forward-reachable.
+  EXPECT_FALSE(events.count(fx.early_write));
+}
+
+TEST(DependencyTest, BidirectionalIsUnion) {
+  Fixture fx;
+  GraphStore g(fx.log);
+  auto both = TrackBidirectional(g, {fx.stage});
+  auto back = TrackBackward(g, {fx.stage});
+  auto fwd = TrackForward(g, {fx.stage});
+  std::set<EventId> expected(back.events.begin(), back.events.end());
+  expected.insert(fwd.events.begin(), fwd.events.end());
+  EXPECT_EQ(std::set<EventId>(both.events.begin(), both.events.end()),
+            expected);
+}
+
+TEST(DependencyTest, EntitiesCoverIncludedEvents) {
+  Fixture fx;
+  GraphStore g(fx.log);
+  auto sub = TrackBackward(g, {fx.exfil});
+  std::set<EntityId> entities(sub.entities.begin(), sub.entities.end());
+  for (EventId id : sub.events) {
+    EXPECT_TRUE(entities.count(fx.log.event(id).subject));
+    EXPECT_TRUE(entities.count(fx.log.event(id).object));
+  }
+}
+
+TEST(DependencyTest, DepthBoundsClosure) {
+  Fixture fx;
+  GraphStore g(fx.log);
+  TrackingOptions opts;
+  opts.max_depth = 1;
+  auto sub = TrackBackward(g, {fx.exfil}, opts);
+  std::set<EventId> events(sub.events.begin(), sub.events.end());
+  // One expansion: things flowing into bash; not into /tmp/x.
+  EXPECT_TRUE(events.count(fx.stage));
+  EXPECT_FALSE(events.count(fx.drop));
+}
+
+TEST(DependencyTest, TimeFences) {
+  Fixture fx;
+  GraphStore g(fx.log);
+  TrackingOptions opts;
+  opts.not_before = 8;  // exclude the early vim write at t=5
+  auto sub = TrackBackward(g, {fx.exfil}, opts);
+  std::set<EventId> events(sub.events.begin(), sub.events.end());
+  EXPECT_FALSE(events.count(fx.early_write));
+  EXPECT_TRUE(events.count(fx.recv));
+}
+
+TEST(DependencyTest, UnknownSeedsIgnored) {
+  Fixture fx;
+  GraphStore g(fx.log);
+  auto sub = TrackBackward(g, {9999});
+  EXPECT_TRUE(sub.events.empty());
+}
+
+TEST(DependencyTest, HuntPlusTrackingRecoversFullAttack) {
+  // The end-to-end story: hunting retrieves the narrated events; tracking
+  // from those seeds reconstructs the entire attack, including the steps
+  // the report never mentioned (the shellshock recv, the forks, the
+  // chmod). Precision stays perfect w.r.t. benign noise.
+  ThreatRaptor system;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(20000, system.mutable_log());
+  auto attack = gen.InjectPasswordCrackingAttack(system.mutable_log());
+  gen.GenerateBenign(20000, system.mutable_log());
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+
+  auto hunt = system.Hunt(attack.report_text);
+  ASSERT_TRUE(hunt.ok());
+  auto seeds = hunt->result.MatchedEvents();
+
+  TrackingOptions opts;
+  opts.max_depth = 6;
+  auto sub = TrackBidirectional(system.graph(), seeds, opts);
+
+  auto truth_all = system.TranslateEventIds(attack.event_ids);
+  std::set<EventId> tracked(sub.events.begin(), sub.events.end());
+  size_t recovered = 0;
+  for (EventId id : truth_all) recovered += tracked.count(id);
+  // Full attack recall (hunting alone only reaches the narrated subset).
+  EXPECT_EQ(recovered, truth_all.size());
+  EXPECT_GT(truth_all.size(), seeds.size());
+}
+
+}  // namespace
+}  // namespace raptor::graph

@@ -1,0 +1,187 @@
+// Randomized property tests across module boundaries:
+//  - TBQL printer/parser fixpoint over randomly generated queries;
+//  - scheduled vs unscheduled execution equivalence over random queries
+//    and random traces;
+//  - audit log text round-trip over random traces.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "audit/generator.h"
+#include "audit/parser.h"
+#include "common/rng.h"
+#include "engine/engine.h"
+#include "storage/graph/graph_store.h"
+#include "storage/relational/database.h"
+#include "tbql/analyzer.h"
+#include "tbql/parser.h"
+#include "tbql/printer.h"
+
+namespace raptor {
+namespace {
+
+/// Generates a random valid TBQL query AST as source text.
+std::string RandomQuerySource(Rng* rng) {
+  static const char* const kFileOps[] = {"read", "write", "execute",
+                                         "delete", "chmod"};
+  static const char* const kNetOps[] = {"connect", "send", "recv"};
+  static const char* const kExeFilters[] = {"%tar%", "%bash%", "%curl%",
+                                            "/usr/sbin/apache2", "%svc%"};
+  static const char* const kFileFilters[] = {
+      "/etc/passwd", "%/tmp/%", "/var/log/syslog", "%.txt", "%data%"};
+  static const char* const kIps[] = {"161.35.10.8", "151.101.1.1",
+                                     "108.160.172.1"};
+
+  size_t num_patterns = 1 + rng->Uniform(4);
+  std::string src;
+  std::vector<std::string> pattern_ids;
+  for (size_t i = 0; i < num_patterns; ++i) {
+    std::string id = "e" + std::to_string(i + 1);
+    pattern_ids.push_back(id);
+    src += id + ": proc p" + std::to_string(rng->Uniform(num_patterns) + 1);
+    if (rng->Chance(0.6)) {
+      src += std::string("[\"") + kExeFilters[rng->Uniform(5)] + "\"]";
+    }
+    bool net = rng->Chance(0.3);
+    bool path = !net && rng->Chance(0.2);
+    std::string op = net ? kNetOps[rng->Uniform(3)] : kFileOps[rng->Uniform(5)];
+    if (path) {
+      size_t lo = 1 + rng->Uniform(2);
+      size_t hi = lo + rng->Uniform(3);
+      src += " ~>(" + std::to_string(lo) + "~" + std::to_string(hi) + ")[" +
+             op + "] ";
+    } else {
+      src += " " + op;
+      if (rng->Chance(0.2)) {
+        src += std::string(" || ") +
+               (net ? kNetOps[rng->Uniform(3)] : kFileOps[rng->Uniform(5)]);
+      }
+      src += " ";
+    }
+    if (net) {
+      src += "net n" + std::to_string(i + 1);
+      if (rng->Chance(0.7)) {
+        src += std::string("[dstip = \"") + kIps[rng->Uniform(3)] + "\"]";
+      }
+    } else {
+      src += "file f" + std::to_string(rng->Uniform(num_patterns) + 1);
+      if (rng->Chance(0.6)) {
+        src += std::string("[\"") + kFileFilters[rng->Uniform(5)] + "\"]";
+      }
+    }
+    src += "\n";
+  }
+  if (num_patterns > 1 && rng->Chance(0.6)) {
+    src += "with ";
+    for (size_t i = 0; i + 1 < num_patterns; ++i) {
+      if (i > 0) src += ", ";
+      src += pattern_ids[i] + " before " + pattern_ids[i + 1];
+    }
+    src += "\n";
+  }
+  return src;
+}
+
+class QueryFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QueryFuzzTest, PrintParseFixpoint) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string src = RandomQuerySource(&rng);
+    auto q1 = tbql::Parse(src);
+    ASSERT_TRUE(q1.ok()) << src << "\n" << q1.status().ToString();
+    ASSERT_TRUE(tbql::Analyze(&*q1).ok()) << src;
+    std::string printed1 = tbql::Print(*q1);
+    auto q2 = tbql::Parse(printed1);
+    ASSERT_TRUE(q2.ok()) << printed1;
+    ASSERT_TRUE(tbql::Analyze(&*q2).ok()) << printed1;
+    EXPECT_EQ(tbql::Print(*q2), printed1) << src;
+  }
+}
+
+TEST_P(QueryFuzzTest, SchedulingNeverChangesResults) {
+  Rng rng(GetParam() * 31 + 7);
+
+  audit::GeneratorOptions gopts;
+  gopts.seed = GetParam();
+  audit::AuditLog log;
+  audit::WorkloadGenerator gen(gopts);
+  gen.GenerateBenign(3000, &log);
+  gen.InjectDataLeakageAttack(&log);
+  gen.InjectForkChain("/usr/bin/svc_1", 2, audit::Operation::kRead,
+                      "/etc/passwd", &log);
+  gen.GenerateBenign(3000, &log);
+
+  rel::RelationalDatabase rel_db;
+  rel_db.Load(log);
+  graph::GraphStore graph_db(log);
+  engine::QueryEngine engine(&log, &rel_db, &graph_db);
+
+  engine::ExecutionOptions scheduled;
+  engine::ExecutionOptions unscheduled;
+  unscheduled.use_pruning_scores = false;
+  unscheduled.propagate_constraints = false;
+  // Cap rows so pathological random queries stay fast; the cap must be
+  // large enough that capped queries are excluded from comparison.
+  scheduled.max_rows = 20000;
+  unscheduled.max_rows = 20000;
+
+  for (int trial = 0; trial < 25; ++trial) {
+    std::string src = RandomQuerySource(&rng);
+    auto q = tbql::Parse(src);
+    ASSERT_TRUE(q.ok()) << src;
+    ASSERT_TRUE(tbql::Analyze(&*q).ok()) << src;
+    auto r1 = engine.Execute(*q, scheduled);
+    auto r2 = engine.Execute(*q, unscheduled);
+    ASSERT_TRUE(r1.ok() && r2.ok()) << src;
+    if (r1->rows.size() >= scheduled.max_rows ||
+        r2->rows.size() >= unscheduled.max_rows) {
+      continue;  // truncated result sets may legally differ
+    }
+    // Join order differs, so compare as multisets of projected rows.
+    auto rows1 = r1->rows;
+    auto rows2 = r2->rows;
+    std::sort(rows1.begin(), rows1.end());
+    std::sort(rows2.begin(), rows2.end());
+    EXPECT_EQ(rows1, rows2) << src;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryFuzzTest,
+                         ::testing::Values(1, 5, 13, 101));
+
+class LogRoundTripFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LogRoundTripFuzzTest, FormatParseIdentity) {
+  audit::GeneratorOptions opts;
+  opts.seed = GetParam();
+  audit::AuditLog log;
+  audit::WorkloadGenerator gen(opts);
+  gen.GenerateBenign(2000, &log);
+  gen.InjectPasswordCrackingAttack(&log);
+
+  std::string text;
+  for (const auto& ev : log.events()) {
+    text += audit::LogParser::FormatEvent(log, ev) + "\n";
+  }
+  audit::AuditLog log2;
+  ASSERT_TRUE(audit::LogParser::ParseText(text, &log2).ok());
+  ASSERT_EQ(log2.event_count(), log.event_count());
+  ASSERT_EQ(log2.entity_count(), log.entity_count());
+  for (size_t i = 0; i < log.event_count(); ++i) {
+    const auto& a = log.event(i);
+    const auto& b = log2.event(i);
+    EXPECT_EQ(a.op, b.op);
+    EXPECT_EQ(a.start_time, b.start_time);
+    EXPECT_EQ(a.bytes, b.bytes);
+    EXPECT_EQ(log.entity(a.subject).Key(), log2.entity(b.subject).Key());
+    EXPECT_EQ(log.entity(a.object).Key(), log2.entity(b.object).Key());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LogRoundTripFuzzTest,
+                         ::testing::Values(2, 42, 777));
+
+}  // namespace
+}  // namespace raptor

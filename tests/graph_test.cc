@@ -1,0 +1,246 @@
+// Tests for the embedded graph backend (src/storage/graph).
+
+#include <gtest/gtest.h>
+
+#include "audit/generator.h"
+#include "storage/graph/graph_store.h"
+
+namespace raptor::graph {
+namespace {
+
+using audit::AuditLog;
+using audit::EntityId;
+using audit::EntityType;
+using audit::Operation;
+using audit::SystemEvent;
+
+SystemEvent MakeEvent(EntityId subj, EntityId obj, Operation op,
+                      audit::Timestamp ts) {
+  SystemEvent ev;
+  ev.subject = subj;
+  ev.object = obj;
+  ev.op = op;
+  ev.start_time = ts;
+  ev.end_time = ts;
+  return ev;
+}
+
+/// Builds: bash -fork-> w1 -fork-> w2 -read-> /etc/secret, plus a direct
+/// bash -read-> /etc/secret at the end.
+struct ChainFixture {
+  AuditLog log;
+  EntityId bash, w1, w2, secret;
+
+  ChainFixture() {
+    bash = log.InternProcess(1, "/bin/bash");
+    w1 = log.InternProcess(2, "/w1");
+    w2 = log.InternProcess(3, "/w2");
+    secret = log.InternFile("/etc/secret");
+    log.AddEvent(MakeEvent(bash, w1, Operation::kFork, 10));
+    log.AddEvent(MakeEvent(w1, w2, Operation::kFork, 20));
+    log.AddEvent(MakeEvent(w2, secret, Operation::kRead, 30));
+    log.AddEvent(MakeEvent(bash, secret, Operation::kRead, 40));
+  }
+};
+
+NodePredicate IsFile(const std::string& path) {
+  return [path](const audit::SystemEntity& e) {
+    return e.type == EntityType::kFile && e.path == path;
+  };
+}
+
+TEST(GraphStoreTest, BuildsAdjacency) {
+  ChainFixture fx;
+  GraphStore g(fx.log);
+  EXPECT_EQ(g.num_nodes(), fx.log.entity_count());
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.OutEdges(fx.bash).size(), 2u);
+  EXPECT_EQ(g.InEdges(fx.secret).size(), 2u);
+  EXPECT_EQ(g.OutEdges(fx.secret).size(), 0u);
+}
+
+TEST(GraphStoreTest, FindNodes) {
+  ChainFixture fx;
+  GraphStore g(fx.log);
+  auto files = g.FindNodes([](const audit::SystemEntity& e) {
+    return e.type == EntityType::kFile;
+  });
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_EQ(files[0], fx.secret);
+}
+
+TEST(GraphStoreTest, SingleHopPath) {
+  ChainFixture fx;
+  GraphStore g(fx.log);
+  PathConstraints c;
+  c.min_hops = 1;
+  c.max_hops = 1;
+  c.final_ops = {Operation::kRead};
+  auto paths = g.FindPaths({fx.bash}, IsFile("/etc/secret"), c);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].hops.size(), 1u);
+  EXPECT_EQ(paths[0].source, fx.bash);
+  EXPECT_EQ(paths[0].sink, fx.secret);
+}
+
+TEST(GraphStoreTest, MultiHopPathThroughForkChain) {
+  ChainFixture fx;
+  GraphStore g(fx.log);
+  PathConstraints c;
+  c.min_hops = 1;
+  c.max_hops = 3;
+  c.final_ops = {Operation::kRead};
+  auto paths = g.FindPaths({fx.bash}, IsFile("/etc/secret"), c);
+  // Direct read (1 hop) and fork-fork-read (3 hops).
+  ASSERT_EQ(paths.size(), 2u);
+}
+
+TEST(GraphStoreTest, MinHopsExcludesShortPaths) {
+  ChainFixture fx;
+  GraphStore g(fx.log);
+  PathConstraints c;
+  c.min_hops = 2;
+  c.max_hops = 3;
+  c.final_ops = {Operation::kRead};
+  auto paths = g.FindPaths({fx.bash}, IsFile("/etc/secret"), c);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].hops.size(), 3u);
+}
+
+TEST(GraphStoreTest, MaxHopsExcludesLongPaths) {
+  ChainFixture fx;
+  GraphStore g(fx.log);
+  PathConstraints c;
+  c.min_hops = 1;
+  c.max_hops = 2;
+  c.final_ops = {Operation::kRead};
+  auto paths = g.FindPaths({fx.bash}, IsFile("/etc/secret"), c);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].hops.size(), 1u);
+}
+
+TEST(GraphStoreTest, FinalOpFilters) {
+  ChainFixture fx;
+  GraphStore g(fx.log);
+  PathConstraints c;
+  c.min_hops = 1;
+  c.max_hops = 3;
+  c.final_ops = {Operation::kWrite};
+  EXPECT_TRUE(g.FindPaths({fx.bash}, IsFile("/etc/secret"), c).empty());
+  c.final_ops.clear();  // empty accepts any op
+  EXPECT_FALSE(g.FindPaths({fx.bash}, IsFile("/etc/secret"), c).empty());
+}
+
+TEST(GraphStoreTest, MonotonicTimeEnforced) {
+  AuditLog log;
+  EntityId a = log.InternProcess(1, "/a");
+  EntityId b = log.InternProcess(2, "/b");
+  EntityId f = log.InternFile("/x");
+  // Fork happens AFTER the read: the 2-hop path a->b->f violates time order.
+  log.AddEvent(MakeEvent(a, b, Operation::kFork, 100));
+  log.AddEvent(MakeEvent(b, f, Operation::kRead, 50));
+  GraphStore g(log);
+  PathConstraints c;
+  c.min_hops = 2;
+  c.max_hops = 2;
+  auto paths = g.FindPaths({a}, IsFile("/x"), c);
+  EXPECT_TRUE(paths.empty());
+  c.monotonic_time = false;
+  EXPECT_EQ(g.FindPaths({a}, IsFile("/x"), c).size(), 1u);
+}
+
+TEST(GraphStoreTest, TimeWindowFiltersHops) {
+  ChainFixture fx;
+  GraphStore g(fx.log);
+  PathConstraints c;
+  c.min_hops = 1;
+  c.max_hops = 3;
+  c.final_ops = {Operation::kRead};
+  c.window_start = 35;  // only the direct read at t=40 qualifies
+  auto paths = g.FindPaths({fx.bash}, IsFile("/etc/secret"), c);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].hops.size(), 1u);
+}
+
+TEST(GraphStoreTest, IntermediateOpsRestrictChaining) {
+  AuditLog log;
+  EntityId a = log.InternProcess(1, "/a");
+  EntityId b = log.InternProcess(2, "/b");
+  EntityId f = log.InternFile("/x");
+  // Chain via a kill event (not a default chaining op).
+  log.AddEvent(MakeEvent(a, b, Operation::kKill, 1));
+  log.AddEvent(MakeEvent(b, f, Operation::kRead, 2));
+  GraphStore g(log);
+  PathConstraints c;
+  c.min_hops = 2;
+  c.max_hops = 2;
+  EXPECT_TRUE(g.FindPaths({a}, IsFile("/x"), c).empty());
+  c.intermediate_ops = {Operation::kKill};
+  EXPECT_EQ(g.FindPaths({a}, IsFile("/x"), c).size(), 1u);
+}
+
+TEST(GraphStoreTest, CyclesDoNotLoopForever) {
+  AuditLog log;
+  EntityId a = log.InternProcess(1, "/a");
+  EntityId b = log.InternProcess(2, "/b");
+  EntityId f = log.InternFile("/x");
+  // a forks b, b forks a (cycle), b reads f.
+  log.AddEvent(MakeEvent(a, b, Operation::kFork, 1));
+  log.AddEvent(MakeEvent(b, a, Operation::kFork, 2));
+  log.AddEvent(MakeEvent(b, f, Operation::kRead, 3));
+  GraphStore g(log);
+  PathConstraints c;
+  c.min_hops = 1;
+  c.max_hops = 8;
+  auto paths = g.FindPaths({a}, IsFile("/x"), c);
+  // Simple paths only: a->b->f.
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].hops.size(), 2u);
+}
+
+TEST(GraphStoreTest, MultipleSources) {
+  ChainFixture fx;
+  GraphStore g(fx.log);
+  PathConstraints c;
+  c.min_hops = 1;
+  c.max_hops = 1;
+  c.final_ops = {Operation::kRead};
+  auto paths = g.FindPaths({fx.bash, fx.w2}, IsFile("/etc/secret"), c);
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+TEST(GraphStoreTest, StatsCountTraversals) {
+  ChainFixture fx;
+  GraphStore g(fx.log);
+  g.ResetStats();
+  PathConstraints c;
+  c.min_hops = 1;
+  c.max_hops = 3;
+  (void)g.FindPaths({fx.bash}, IsFile("/etc/secret"), c);
+  EXPECT_GT(g.stats().edges_traversed, 0u);
+  EXPECT_GT(g.stats().nodes_expanded, 0u);
+  g.ResetStats();
+  EXPECT_EQ(g.stats().edges_traversed, 0u);
+}
+
+TEST(GraphStoreTest, LargeWorkloadSmoke) {
+  AuditLog log;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(20000, &log);
+  auto ids = gen.InjectForkChain("/evil/root", 3, Operation::kWrite,
+                                 "/tmp/out", &log);
+  GraphStore g(log);
+  PathConstraints c;
+  c.min_hops = 4;
+  c.max_hops = 4;
+  c.final_ops = {Operation::kWrite};
+  auto sources = g.FindNodes([](const audit::SystemEntity& e) {
+    return e.type == EntityType::kProcess && e.exename == "/evil/root";
+  });
+  auto paths = g.FindPaths(sources, IsFile("/tmp/out"), c);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].hops, ids);
+}
+
+}  // namespace
+}  // namespace raptor::graph

@@ -1,0 +1,197 @@
+// Cross-module integration and property tests: the full pipeline under
+// varied seeds, CPR on/off equivalence, scheduling equivalence at scale,
+// and robustness to report paraphrasing.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/threat_raptor.h"
+#include "engine/translate.h"
+#include "tbql/printer.h"
+
+namespace raptor {
+namespace {
+
+struct HuntScore {
+  double precision = 0;
+  double recall = 0;
+  size_t rows = 0;
+};
+
+HuntScore ScoreHunt(ThreatRaptor* system, const audit::AttackTrace& attack,
+                    const std::string& report) {
+  auto hunt = system->Hunt(report);
+  EXPECT_TRUE(hunt.ok()) << hunt.status().ToString();
+  if (!hunt.ok()) return {};
+  auto matched = hunt->result.MatchedEvents();
+  auto truth = system->TranslateEventIds(attack.core_event_ids);
+  std::set<audit::EventId> truth_set(truth.begin(), truth.end());
+  size_t tp = 0;
+  for (audit::EventId id : matched) tp += truth_set.count(id);
+  HuntScore score;
+  score.rows = hunt->result.rows.size();
+  score.precision =
+      matched.empty() ? 0.0 : static_cast<double>(tp) / matched.size();
+  score.recall =
+      truth.empty() ? 0.0 : static_cast<double>(tp) / truth.size();
+  return score;
+}
+
+class SeededHuntTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeededHuntTest, LeakageHuntExactAcrossSeeds) {
+  audit::GeneratorOptions gopts;
+  gopts.seed = GetParam();
+  ThreatRaptor system;
+  audit::WorkloadGenerator gen(gopts);
+  gen.GenerateBenign(10000, system.mutable_log());
+  auto attack = gen.InjectDataLeakageAttack(system.mutable_log());
+  gen.GenerateBenign(10000, system.mutable_log());
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+  HuntScore score = ScoreHunt(&system, attack, attack.report_text);
+  EXPECT_DOUBLE_EQ(score.precision, 1.0) << "seed " << GetParam();
+  EXPECT_DOUBLE_EQ(score.recall, 1.0) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededHuntTest,
+                         ::testing::Values(7, 21, 99, 1234, 88888));
+
+TEST(IntegrationTest, CprOnAndOffFindSameAttackEvents) {
+  // CPR must not change what a hunt finds — only how much storage it scans.
+  auto run = [](bool cpr) {
+    ThreatRaptorOptions opts;
+    opts.apply_cpr = cpr;
+    auto system = std::make_unique<ThreatRaptor>(opts);
+    audit::WorkloadGenerator gen;
+    gen.GenerateBenign(20000, system->mutable_log());
+    auto attack = gen.InjectPasswordCrackingAttack(system->mutable_log());
+    gen.GenerateBenign(20000, system->mutable_log());
+    EXPECT_TRUE(system->FinalizeStorage().ok());
+    auto hunt = system->Hunt(attack.report_text);
+    EXPECT_TRUE(hunt.ok());
+    // Compare results by projected rows (ids differ after reduction).
+    return hunt.ok() ? hunt->result.rows
+                     : std::vector<std::vector<std::string>>{};
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(IntegrationTest, BothAttacksInOneTraceAreSeparable) {
+  ThreatRaptor system;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(10000, system.mutable_log());
+  auto leak = gen.InjectDataLeakageAttack(system.mutable_log());
+  gen.GenerateBenign(10000, system.mutable_log());
+  auto crack = gen.InjectPasswordCrackingAttack(system.mutable_log());
+  gen.GenerateBenign(10000, system.mutable_log());
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+
+  HuntScore leak_score = ScoreHunt(&system, leak, leak.report_text);
+  EXPECT_DOUBLE_EQ(leak_score.precision, 1.0);
+  EXPECT_DOUBLE_EQ(leak_score.recall, 1.0);
+  HuntScore crack_score = ScoreHunt(&system, crack, crack.report_text);
+  EXPECT_DOUBLE_EQ(crack_score.precision, 1.0);
+  EXPECT_DOUBLE_EQ(crack_score.recall, 1.0);
+}
+
+TEST(IntegrationTest, ParaphrasedReportStillHunts) {
+  ThreatRaptor system;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(5000, system.mutable_log());
+  auto attack = gen.InjectDataLeakageAttack(system.mutable_log());
+  gen.GenerateBenign(5000, system.mutable_log());
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+
+  // A differently-worded description of the same behavior (passive voice,
+  // pronouns, different verbs).
+  const char* paraphrase =
+      "After breaking in, the adversary collected credentials: the file "
+      "/etc/passwd was read by /bin/tar. /bin/tar stored the stolen data in "
+      "/tmp/data.tar. Later /bin/gzip read /tmp/data.tar and created "
+      "/tmp/data.tar.gz. /usr/bin/curl read /tmp/data.tar.gz and "
+      "exfiltrated the archive to 161.35.10.8.";
+  HuntScore score = ScoreHunt(&system, attack, paraphrase);
+  EXPECT_GE(score.recall, 0.8);
+  EXPECT_DOUBLE_EQ(score.precision, 1.0);
+  EXPECT_GE(score.rows, 1u);
+}
+
+TEST(IntegrationTest, HumanInTheLoopQueryEditing) {
+  // The demo's query-editing path: synthesize, narrow, re-execute.
+  ThreatRaptor system;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(5000, system.mutable_log());
+  auto attack = gen.InjectDataLeakageAttack(system.mutable_log());
+  gen.GenerateBenign(5000, system.mutable_log());
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+
+  auto extraction = system.ExtractBehavior(attack.report_text);
+  auto synthesis = system.SynthesizeQuery(extraction.graph);
+  ASSERT_TRUE(synthesis.ok());
+  std::string text = tbql::Print(synthesis->query);
+
+  // Analyst narrows the hunt to the exfiltration step only.
+  auto narrowed = system.ExecuteTbql(
+      "proc p[\"%curl%\"] send net n[dstip = \"161.35.10.8\"]\n"
+      "return p, n");
+  ASSERT_TRUE(narrowed.ok());
+  ASSERT_EQ(narrowed->rows.size(), 1u);
+  EXPECT_EQ(narrowed->rows[0][0], "/usr/bin/curl");
+  EXPECT_EQ(narrowed->rows[0][1], "161.35.10.8");
+}
+
+TEST(IntegrationTest, ScalesToLargerTraces) {
+  ThreatRaptor system;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(100000, system.mutable_log());
+  auto attack = gen.InjectDataLeakageAttack(system.mutable_log());
+  gen.GenerateBenign(100000, system.mutable_log());
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+  HuntScore score = ScoreHunt(&system, attack, attack.report_text);
+  EXPECT_DOUBLE_EQ(score.precision, 1.0);
+  EXPECT_DOUBLE_EQ(score.recall, 1.0);
+}
+
+TEST(IntegrationTest, SqlAndCypherRenderForSynthesizedQueries) {
+  ThreatRaptor system;
+  audit::WorkloadGenerator gen;
+  auto attack = gen.InjectPasswordCrackingAttack(system.mutable_log());
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+  auto extraction = system.ExtractBehavior(attack.report_text);
+  auto synthesis = system.SynthesizeQuery(extraction.graph);
+  ASSERT_TRUE(synthesis.ok());
+  std::string sql = engine::RenderSql(synthesis->query);
+  std::string cypher = engine::RenderCypher(synthesis->query);
+  EXPECT_NE(sql.find("SELECT"), std::string::npos);
+  EXPECT_NE(cypher.find("MATCH"), std::string::npos);
+  // TBQL stays the most concise of the three (paper's conciseness claim).
+  std::string tbql_text = tbql::Print(synthesis->query);
+  EXPECT_LT(tbql_text.size(), sql.size());
+  EXPECT_LT(tbql_text.size(), cypher.size());
+}
+
+TEST(IntegrationTest, RoundTripLogSerialization) {
+  // Generate -> format -> parse -> hunt gives the same answer as hunting
+  // the original log.
+  audit::AuditLog original;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(3000, &original);
+  auto attack = gen.InjectDataLeakageAttack(&original);
+  gen.GenerateBenign(3000, &original);
+
+  std::string text;
+  for (const auto& ev : original.events()) {
+    text += audit::LogParser::FormatEvent(original, ev) + "\n";
+  }
+
+  ThreatRaptor system;
+  ASSERT_TRUE(system.IngestLogText(text).ok());
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+  auto hunt = system.Hunt(attack.report_text);
+  ASSERT_TRUE(hunt.ok());
+  EXPECT_EQ(hunt->result.rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace raptor

@@ -1,0 +1,128 @@
+// Tests for the minimal JSON parser/writer (src/common/json.*).
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace raptor {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(Json::Parse("null")->is_null());
+  EXPECT_EQ(Json::Parse("true")->AsBool(), true);
+  EXPECT_EQ(Json::Parse("false")->AsBool(), false);
+  EXPECT_DOUBLE_EQ(Json::Parse("3.5")->AsNumber(), 3.5);
+  EXPECT_DOUBLE_EQ(Json::Parse("-42")->AsNumber(), -42);
+  EXPECT_DOUBLE_EQ(Json::Parse("1e3")->AsNumber(), 1000);
+  EXPECT_EQ(Json::Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonTest, ParsesContainers) {
+  auto j = Json::Parse(R"({"a": [1, 2, {"b": "c"}], "d": null})");
+  ASSERT_TRUE(j.ok()) << j.status().ToString();
+  EXPECT_TRUE(j->is_object());
+  EXPECT_EQ((*j)["a"][1].AsNumber(), 2);
+  EXPECT_EQ((*j)["a"][2]["b"].AsString(), "c");
+  EXPECT_TRUE((*j)["d"].is_null());
+  EXPECT_TRUE(j->Contains("a"));
+  EXPECT_FALSE(j->Contains("z"));
+}
+
+TEST(JsonTest, MissingLookupsChainSafely) {
+  auto j = Json::Parse("{}");
+  EXPECT_TRUE((*j)["nope"]["deeper"][3].is_null());
+  EXPECT_EQ((*j)["nope"].AsString(), "");
+}
+
+TEST(JsonTest, StringEscapes) {
+  auto j = Json::Parse(R"("a\"b\\c\nA\t")");
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->AsString(), "a\"b\\c\nA\t");
+}
+
+TEST(JsonTest, RawUtf8PassesThrough) {
+  auto j = Json::Parse("\"\xC3\xA9\xE4\xB8\xAD\"");  // é中 as raw UTF-8
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->AsString(), "\xC3\xA9\xE4\xB8\xAD");
+}
+
+TEST(JsonTest, UnicodeEscapesEncodeUtf8) {
+  auto j = Json::Parse(R"("\u00e9\u4e2d\u0041")");  // e-acute, zhong, A
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->AsString(), "\xC3\xA9\xE4\xB8\xAD\x41");
+}
+
+TEST(JsonTest, AsciiUnicodeEscape) {
+  auto j = Json::Parse(R"("\u0041z")");
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->AsString(), "Az");
+}
+
+TEST(JsonTest, EmptyContainers) {
+  EXPECT_TRUE(Json::Parse("[]")->AsArray().empty());
+  EXPECT_TRUE(Json::Parse("{}")->AsObject().empty());
+}
+
+struct BadJson {
+  const char* text;
+  const char* what;
+};
+
+class JsonErrorTest : public ::testing::TestWithParam<BadJson> {};
+
+TEST_P(JsonErrorTest, Rejects) {
+  auto j = Json::Parse(GetParam().text);
+  EXPECT_FALSE(j.ok()) << GetParam().what;
+  EXPECT_TRUE(j.status().IsParseError());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, JsonErrorTest,
+    ::testing::Values(BadJson{"", "empty"}, BadJson{"{", "unclosed object"},
+                      BadJson{"[1,", "unclosed array"},
+                      BadJson{"\"abc", "unterminated string"},
+                      BadJson{"{\"a\" 1}", "missing colon"},
+                      BadJson{"{a: 1}", "unquoted key"},
+                      BadJson{"[1 2]", "missing comma"},
+                      BadJson{"tru", "bad literal"},
+                      BadJson{"1.2.3", "bad number"},
+                      BadJson{"{} extra", "trailing content"},
+                      BadJson{"\"\\q\"", "bad escape"}));
+
+TEST(JsonTest, ErrorsCarryLineNumbers) {
+  auto j = Json::Parse("{\n  \"a\": 1,\n  oops\n}");
+  ASSERT_FALSE(j.ok());
+  EXPECT_NE(j.status().message().find("line 3"), std::string::npos)
+      << j.status().ToString();
+}
+
+TEST(JsonTest, DumpRoundTrips) {
+  const char* docs[] = {
+      R"({"a":[1,2,3],"b":{"c":"d"},"e":null,"f":true})",
+      R"([{"x":1.5},[],{},"s"])",
+      R"("plain")",
+  };
+  for (const char* doc : docs) {
+    auto j1 = Json::Parse(doc);
+    ASSERT_TRUE(j1.ok()) << doc;
+    std::string dumped = j1->Dump();
+    auto j2 = Json::Parse(dumped);
+    ASSERT_TRUE(j2.ok()) << dumped;
+    EXPECT_EQ(j2->Dump(), dumped);
+  }
+}
+
+TEST(JsonTest, PrettyPrintIndents) {
+  auto j = Json::Parse(R"({"a": [1]})");
+  std::string pretty = j->Dump(2);
+  EXPECT_NE(pretty.find("{\n  \"a\": [\n    1\n  ]\n}"), std::string::npos)
+      << pretty;
+}
+
+TEST(JsonTest, IntegersDumpWithoutDecimals) {
+  EXPECT_EQ(Json(42).Dump(), "42");
+  EXPECT_EQ(Json(1.25).Dump(), "1.25");
+}
+
+}  // namespace
+}  // namespace raptor

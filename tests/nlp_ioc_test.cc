@@ -1,0 +1,156 @@
+// Tests for IOC recognition and protection (src/nlp/ioc.*).
+
+#include <gtest/gtest.h>
+
+#include "nlp/ioc.h"
+
+namespace raptor::nlp {
+namespace {
+
+const IocRecognizer& Recognizer() {
+  static const IocRecognizer* r = new IocRecognizer();
+  return *r;
+}
+
+struct RecognizeCase {
+  const char* text;
+  const char* expected_ioc;
+  IocType expected_type;
+};
+
+class RecognizeOneTest : public ::testing::TestWithParam<RecognizeCase> {};
+
+TEST_P(RecognizeOneTest, FindsExactlyOne) {
+  const RecognizeCase& c = GetParam();
+  auto spans = Recognizer().Recognize(c.text);
+  ASSERT_EQ(spans.size(), 1u) << c.text;
+  EXPECT_EQ(spans[0].text, c.expected_ioc);
+  EXPECT_EQ(spans[0].type, c.expected_type);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, RecognizeOneTest,
+    ::testing::Values(
+        RecognizeCase{"read the file /etc/passwd today", "/etc/passwd",
+                      IocType::kFilepath},
+        RecognizeCase{"path /tmp/data.tar.gz was written", "/tmp/data.tar.gz",
+                      IocType::kFilepath},
+        RecognizeCase{"the host 161.35.10.8 responded", "161.35.10.8",
+                      IocType::kIp},
+        RecognizeCase{"connects to 10.0.0.1:8080 first", "10.0.0.1:8080",
+                      IocType::kIp},
+        RecognizeCase{"fetches http://evil.example/payload.bin now",
+                      "http://evil.example/payload.bin", IocType::kUrl},
+        RecognizeCase{"mail to admin@corp.example.com please",
+                      "admin@corp.example.com", IocType::kEmail},
+        RecognizeCase{"tracked as CVE-2014-6271 by NVD", "CVE-2014-6271",
+                      IocType::kCve},
+        RecognizeCase{"dropped dropper.exe on disk", "dropper.exe",
+                      IocType::kFilename},
+        RecognizeCase{"beacons to evil-c2.com daily", "evil-c2.com",
+                      IocType::kDomain},
+        RecognizeCase{
+            "hash d41d8cd98f00b204e9800998ecf8427e matched",
+            "d41d8cd98f00b204e9800998ecf8427e", IocType::kHashMd5},
+        RecognizeCase{
+            "hash da39a3ee5e6b4b0d3255bfef95601890afd80709 found",
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709", IocType::kHashSha1},
+        RecognizeCase{"key HKLM\\Software\\Evil\\Run persisted",
+                      "HKLM\\Software\\Evil\\Run", IocType::kRegistry},
+        RecognizeCase{"path C:\\Windows\\evil.dll loaded",
+                      "C:\\Windows\\evil.dll", IocType::kFilepath}));
+
+TEST(IocRecognizerTest, Sha256) {
+  std::string h(64, 'a');
+  auto spans = Recognizer().Recognize("hash " + h + " seen");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].type, IocType::kHashSha256);
+}
+
+TEST(IocRecognizerTest, TrailingSentencePeriodStripped) {
+  auto spans = Recognizer().Recognize("wrote to /tmp/data.tar.");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].text, "/tmp/data.tar");
+}
+
+TEST(IocRecognizerTest, MultipleIocsLeftToRight) {
+  auto spans = Recognizer().Recognize(
+      "/bin/tar read /etc/passwd and sent it to 161.35.10.8");
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].text, "/bin/tar");
+  EXPECT_EQ(spans[1].text, "/etc/passwd");
+  EXPECT_EQ(spans[2].text, "161.35.10.8");
+  EXPECT_LT(spans[0].offset, spans[1].offset);
+  EXPECT_LT(spans[1].offset, spans[2].offset);
+}
+
+TEST(IocRecognizerTest, UrlWinsOverEmbeddedDomainAndPath) {
+  auto spans = Recognizer().Recognize("see https://evil.com/drop/a.exe here");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].type, IocType::kUrl);
+}
+
+TEST(IocRecognizerTest, NoIocsInPlainText) {
+  auto spans = Recognizer().Recognize(
+      "The attacker scanned the system for valuable assets.");
+  EXPECT_TRUE(spans.empty());
+}
+
+TEST(IocRecognizerTest, HashNotMatchedInsideLongerHexRun) {
+  std::string h(70, 'b');  // longer than SHA256
+  auto spans = Recognizer().Recognize("blob " + h + " end");
+  EXPECT_TRUE(spans.empty());
+}
+
+TEST(IocRecognizerTest, SpansCarryCorrectOffsets) {
+  std::string text = "proc /bin/tar ran";
+  auto spans = Recognizer().Recognize(text);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(text.substr(spans[0].offset, spans[0].length), spans[0].text);
+}
+
+// --- Protection. ---
+
+TEST(ProtectTest, ReplacesIocsWithDummy) {
+  ProtectedText p =
+      ProtectIocs("/bin/tar read /etc/passwd.", Recognizer());
+  EXPECT_EQ(p.text, "something read something.");
+  ASSERT_EQ(p.replacements.size(), 2u);
+  EXPECT_EQ(p.replacements[0].ioc.text, "/bin/tar");
+  EXPECT_EQ(p.replacements[1].ioc.text, "/etc/passwd");
+}
+
+TEST(ProtectTest, ReplacementOffsetsPointAtDummies) {
+  ProtectedText p = ProtectIocs("see /a/b and /c/d now", Recognizer());
+  for (const auto& r : p.replacements) {
+    EXPECT_EQ(p.text.substr(r.offset, kIocDummy.size()), kIocDummy);
+    EXPECT_EQ(p.FindAtOffset(r.offset), &r);
+  }
+  EXPECT_EQ(p.FindAtOffset(9999), nullptr);
+}
+
+TEST(ProtectTest, NoIocsIsIdentity) {
+  ProtectedText p = ProtectIocs("nothing interesting here", Recognizer());
+  EXPECT_EQ(p.text, "nothing interesting here");
+  EXPECT_TRUE(p.replacements.empty());
+}
+
+TEST(ProtectTest, PreservesSurroundingText) {
+  ProtectedText p = ProtectIocs("a /x/y b", Recognizer());
+  EXPECT_EQ(p.text, "a something b");
+}
+
+TEST(IocTypeTest, NameRoundTrip) {
+  for (IocType t : {IocType::kFilepath, IocType::kFilename, IocType::kIp,
+                    IocType::kUrl, IocType::kDomain, IocType::kEmail,
+                    IocType::kHashMd5, IocType::kHashSha1,
+                    IocType::kHashSha256, IocType::kRegistry, IocType::kCve}) {
+    auto parsed = ParseIocType(IocTypeName(t));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, t);
+  }
+  EXPECT_FALSE(ParseIocType("Nope").ok());
+}
+
+}  // namespace
+}  // namespace raptor::nlp

@@ -1,0 +1,185 @@
+// Tests for the rule-based dependency parser (src/nlp/dep_parser.*).
+
+#include <gtest/gtest.h>
+
+#include "nlp/dep_parser.h"
+#include "nlp/pos_tagger.h"
+#include "nlp/segmenter.h"
+
+namespace raptor::nlp {
+namespace {
+
+DepTree ParseSentence(const std::string& text) {
+  auto toks = Tokenize(text);
+  TagPos(&toks, Lexicon::Default());
+  return ParseDependency(std::move(toks), Lexicon::Default());
+}
+
+/// Index of the first node whose token text equals `text`; -1 if absent.
+int Find(const DepTree& tree, const std::string& text) {
+  for (size_t i = 0; i < tree.nodes.size(); ++i) {
+    if (tree.nodes[i].token.text == text) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+TEST(DepParserTest, SimpleSvo) {
+  // Protected form of "The process /bin/tar read the file /etc/passwd."
+  DepTree t = ParseSentence("The process something read the file bravo.");
+  int verb = Find(t, "read");
+  int subj = Find(t, "something");
+  int obj = Find(t, "bravo");
+  ASSERT_GE(verb, 0);
+  EXPECT_EQ(t.root, verb);
+  EXPECT_EQ(t.nodes[verb].rel, DepRel::kRoot);
+  EXPECT_EQ(t.nodes[subj].head, verb);
+  EXPECT_EQ(t.nodes[subj].rel, DepRel::kNsubj);
+  EXPECT_EQ(t.nodes[obj].head, verb);
+  EXPECT_EQ(t.nodes[obj].rel, DepRel::kDobj);
+}
+
+TEST(DepParserTest, NpInternalStructure) {
+  DepTree t = ParseSentence("The process something ran.");
+  int head = Find(t, "something");
+  int det = Find(t, "The");
+  int compound = Find(t, "process");
+  EXPECT_EQ(t.nodes[det].head, head);
+  EXPECT_EQ(t.nodes[det].rel, DepRel::kDet);
+  EXPECT_EQ(t.nodes[compound].head, head);
+  EXPECT_EQ(t.nodes[compound].rel, DepRel::kCompound);
+}
+
+TEST(DepParserTest, PrepositionalPhrase) {
+  DepTree t = ParseSentence("something wrote data to bravo.");
+  int verb = Find(t, "wrote");
+  int to = Find(t, "to");
+  int pobj = Find(t, "bravo");
+  EXPECT_EQ(t.nodes[to].head, verb);
+  EXPECT_EQ(t.nodes[to].rel, DepRel::kPrep);
+  EXPECT_EQ(t.nodes[pobj].head, to);
+  EXPECT_EQ(t.nodes[pobj].rel, DepRel::kPobj);
+}
+
+TEST(DepParserTest, CoordinatedVerbsShareNoFalseSubject) {
+  DepTree t = ParseSentence("something read one and wrote bravo.");
+  int read = Find(t, "read");
+  int wrote = Find(t, "wrote");
+  int one = Find(t, "one");
+  ASSERT_GE(wrote, 0);
+  EXPECT_EQ(t.nodes[wrote].head, read);
+  EXPECT_EQ(t.nodes[wrote].rel, DepRel::kConj);
+  // "one" is the object of read, not the subject of wrote.
+  EXPECT_EQ(t.nodes[one].head, read);
+  EXPECT_EQ(t.nodes[one].rel, DepRel::kDobj);
+}
+
+TEST(DepParserTest, SecondClauseWithOwnSubject) {
+  DepTree t =
+      ParseSentence("something read one and the process manager wrote two.");
+  int wrote = Find(t, "wrote");
+  int subj2 = Find(t, "manager");
+  ASSERT_GE(wrote, 0);
+  ASSERT_GE(subj2, 0);
+  EXPECT_EQ(t.nodes[subj2].head, wrote);
+  EXPECT_EQ(t.nodes[subj2].rel, DepRel::kNsubj);
+}
+
+TEST(DepParserTest, PassiveVoice) {
+  DepTree t = ParseSentence("something was downloaded by bravo.");
+  int verb = Find(t, "downloaded");
+  int subj = Find(t, "something");
+  int by = Find(t, "by");
+  int agent = Find(t, "bravo");
+  EXPECT_EQ(t.nodes[subj].rel, DepRel::kNsubjPass);
+  EXPECT_EQ(t.nodes[subj].head, verb);
+  EXPECT_EQ(t.nodes[Find(t, "was")].rel, DepRel::kAuxPass);
+  EXPECT_EQ(t.nodes[by].rel, DepRel::kPrep);
+  EXPECT_EQ(t.nodes[agent].head, by);
+  EXPECT_EQ(t.nodes[agent].rel, DepRel::kPobj);
+}
+
+TEST(DepParserTest, NpCoordination) {
+  DepTree t = ParseSentence("something read one and two.");
+  int one = Find(t, "one");
+  int two = Find(t, "two");
+  EXPECT_EQ(t.nodes[one].rel, DepRel::kDobj);
+  EXPECT_EQ(t.nodes[two].head, one);
+  EXPECT_EQ(t.nodes[two].rel, DepRel::kConj);
+}
+
+TEST(DepParserTest, AdverbAttachesToVerb) {
+  DepTree t = ParseSentence("something then connected to bravo.");
+  int adv = Find(t, "then");
+  int verb = Find(t, "connected");
+  EXPECT_EQ(t.nodes[adv].head, verb);
+  EXPECT_EQ(t.nodes[adv].rel, DepRel::kAdvmod);
+}
+
+TEST(DepParserTest, NoVerbSentenceStillBuildsTree) {
+  DepTree t = ParseSentence("The quick summary.");
+  ASSERT_GE(t.root, 0);
+  // Every non-root node has a head; the structure is a tree.
+  for (size_t i = 0; i < t.nodes.size(); ++i) {
+    if (static_cast<int>(i) == t.root) {
+      EXPECT_EQ(t.nodes[i].head, -1);
+    } else {
+      EXPECT_GE(t.nodes[i].head, 0);
+    }
+  }
+}
+
+TEST(DepParserTest, EmptySentence) {
+  DepTree t = ParseSentence("");
+  EXPECT_TRUE(t.nodes.empty());
+  EXPECT_EQ(t.root, -1);
+}
+
+TEST(DepParserTest, EveryTokenGetsAHead) {
+  for (const char* s :
+       {"After the penetration, the attacker scanned the file system for "
+        "valuable assets.",
+        "Finally, the process something read bravo and sent the archive "
+        "to the IP third.",
+        "something was encoded in the metadata, and bravo read third."}) {
+    DepTree t = ParseSentence(s);
+    ASSERT_GE(t.root, 0) << s;
+    size_t headless = 0;
+    for (size_t i = 0; i < t.nodes.size(); ++i) {
+      if (static_cast<int>(i) != t.root && t.nodes[i].head < 0) ++headless;
+    }
+    EXPECT_EQ(headless, 0u) << s;
+  }
+}
+
+TEST(DepParserTest, TreeIsAcyclic) {
+  DepTree t = ParseSentence(
+      "The process something connected to the IP bravo and downloaded the "
+      "image third.");
+  for (size_t i = 0; i < t.nodes.size(); ++i) {
+    auto path = t.PathToRoot(static_cast<int>(i));
+    EXPECT_LE(path.size(), t.nodes.size());
+    EXPECT_EQ(path.back(), t.root);
+  }
+}
+
+TEST(DepTreeTest, LcaBasics) {
+  DepTree t = ParseSentence("something read one and wrote bravo.");
+  int subj = Find(t, "something");
+  int one = Find(t, "one");
+  int bravo = Find(t, "bravo");
+  int read = Find(t, "read");
+  EXPECT_EQ(t.Lca(subj, one), read);
+  EXPECT_EQ(t.Lca(subj, bravo), read);
+  EXPECT_EQ(t.Lca(subj, subj), subj);
+  EXPECT_EQ(t.Lca(read, one), read);
+}
+
+TEST(DepTreeTest, ToStringContainsTokens) {
+  DepTree t = ParseSentence("something read bravo.");
+  std::string dump = t.ToString();
+  EXPECT_NE(dump.find("read/VERB (root)"), std::string::npos);
+  EXPECT_NE(dump.find("(nsubj)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace raptor::nlp

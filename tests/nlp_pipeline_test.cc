@@ -1,0 +1,267 @@
+// Tests for the full threat behavior extraction pipeline (Algorithm 1).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nlp/pipeline.h"
+
+namespace raptor::nlp {
+namespace {
+
+/// Edge set of a graph as "src verb dst" strings for order-free comparison.
+std::set<std::string> EdgeSet(const ThreatBehaviorGraph& g) {
+  std::set<std::string> out;
+  for (const BehaviorEdge& e : g.edges()) {
+    out.insert(g.node(e.src).text + " " + e.verb + " " + g.node(e.dst).text);
+  }
+  return out;
+}
+
+constexpr const char* kLeakageReport =
+    "The attacker exploited the Shellshock vulnerability to penetrate into "
+    "the victim host. After the penetration, the attacker scanned the file "
+    "system for valuable assets. The process /bin/tar read the file "
+    "/etc/passwd. /bin/tar then wrote the collected data to /tmp/data.tar. "
+    "The process /bin/gzip read /tmp/data.tar and wrote the compressed "
+    "archive /tmp/data.tar.gz. Finally, the process /usr/bin/curl read "
+    "/tmp/data.tar.gz and sent the archive to the IP 161.35.10.8.";
+
+TEST(PipelineTest, DataLeakageReportExtractsExpectedEdges) {
+  ExtractionPipeline pipeline;
+  ExtractionResult result = pipeline.Extract(kLeakageReport);
+  std::set<std::string> expected = {
+      "/bin/tar read /etc/passwd",
+      "/bin/tar write /tmp/data.tar",
+      "/bin/gzip read /tmp/data.tar",
+      "/bin/gzip write /tmp/data.tar.gz",
+      "/usr/bin/curl read /tmp/data.tar.gz",
+      "/usr/bin/curl send /tmp/data.tar.gz",  // "sent the archive" coref
+      "/usr/bin/curl send 161.35.10.8",
+  };
+  EXPECT_EQ(EdgeSet(result.graph), expected);
+}
+
+TEST(PipelineTest, SequenceNumbersFollowTextOrder) {
+  ExtractionPipeline pipeline;
+  ExtractionResult result = pipeline.Extract(kLeakageReport);
+  const auto& edges = result.graph.edges();
+  ASSERT_GE(edges.size(), 2u);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(edges[i].sequence, static_cast<int>(i) + 1);
+    if (i > 0) {
+      EXPECT_GE(edges[i].text_offset, edges[i - 1].text_offset);
+    }
+  }
+}
+
+TEST(PipelineTest, PronounCoreference) {
+  ExtractionPipeline pipeline;
+  auto result = pipeline.Extract(
+      "The process /bin/bash read /etc/shadow. It then connected to the IP "
+      "161.35.10.8.");
+  auto edges = EdgeSet(result.graph);
+  EXPECT_TRUE(edges.count("/bin/bash connect 161.35.10.8")) << [&] {
+    std::string s;
+    for (auto& e : edges) s += e + "\n";
+    return s;
+  }();
+}
+
+TEST(PipelineTest, DefiniteNpCoreference) {
+  ExtractionPipeline pipeline;
+  auto result = pipeline.Extract(
+      "The process /bin/gzip wrote /tmp/data.tar.gz. The process "
+      "/usr/bin/scp sent the archive to the IP 161.35.10.8.");
+  auto edges = EdgeSet(result.graph);
+  EXPECT_TRUE(edges.count("/usr/bin/scp send /tmp/data.tar.gz"));
+  EXPECT_TRUE(edges.count("/usr/bin/scp send 161.35.10.8"));
+}
+
+TEST(PipelineTest, CorefDisabledDropsPronounEdges) {
+  PipelineOptions opts;
+  opts.enable_coreference = false;
+  ExtractionPipeline pipeline(opts);
+  auto result = pipeline.Extract(
+      "The process /bin/bash read /etc/shadow. It then connected to the IP "
+      "161.35.10.8.");
+  EXPECT_FALSE(EdgeSet(result.graph).count("/bin/bash connect 161.35.10.8"));
+}
+
+TEST(PipelineTest, IocMergeUnifiesVariants) {
+  ExtractionPipeline pipeline;
+  auto result = pipeline.Extract(
+      "The malware dropped /tmp/payload_v1.bin on the host. The process "
+      "/bin/bash executed /tmp/payload_v2.bin immediately.");
+  // The two payload variants merge into one node (same type, same
+  // extension, high character overlap).
+  int payload_nodes = 0;
+  for (const IocEntity& n : result.graph.nodes()) {
+    if (n.text.find("payload") != std::string::npos) ++payload_nodes;
+  }
+  EXPECT_EQ(payload_nodes, 1);
+}
+
+TEST(PipelineTest, MergeKeepsDistinctDerivedFiles) {
+  ExtractionPipeline pipeline;
+  auto result = pipeline.Extract(
+      "The process /bin/gzip read /tmp/data.tar and wrote "
+      "/tmp/data.tar.gz.");
+  // Archive and compressed archive must stay separate entities.
+  std::set<std::string> names;
+  for (const IocEntity& n : result.graph.nodes()) names.insert(n.text);
+  EXPECT_TRUE(names.count("/tmp/data.tar"));
+  EXPECT_TRUE(names.count("/tmp/data.tar.gz"));
+}
+
+TEST(PipelineTest, MergeDisabledKeepsVariantsSeparate) {
+  PipelineOptions opts;
+  opts.enable_ioc_merge = false;
+  ExtractionPipeline pipeline(opts);
+  auto result = pipeline.Extract(
+      "The malware dropped /tmp/payload_v1.bin on the host. The process "
+      "/bin/bash executed /tmp/payload_v2.bin immediately.");
+  int payload_nodes = 0;
+  for (const IocEntity& n : result.graph.nodes()) {
+    if (n.text.find("payload") != std::string::npos) ++payload_nodes;
+  }
+  EXPECT_EQ(payload_nodes, 2);
+}
+
+TEST(PipelineTest, PassiveVoiceRelation) {
+  ExtractionPipeline pipeline;
+  auto result = pipeline.Extract(
+      "The file /tmp/cracker was downloaded by /bin/bash.");
+  auto edges = EdgeSet(result.graph);
+  EXPECT_TRUE(edges.count("/bin/bash download /tmp/cracker")) << [&] {
+    std::string s;
+    for (auto& e : edges) s += e + "\n";
+    return s;
+  }();
+}
+
+TEST(PipelineTest, WithoutProtectionRecallCollapses) {
+  ExtractionPipeline full;
+  PipelineOptions ablated_opts;
+  ablated_opts.enable_ioc_protection = false;
+  ExtractionPipeline ablated(ablated_opts);
+
+  auto full_result = full.Extract(kLeakageReport);
+  auto ablated_result = ablated.Extract(kLeakageReport);
+  // The paper's headline ablation: without IOC protection the tokenizer
+  // shatters the path-like indicators, so both IOC and relation recall
+  // collapse.
+  EXPECT_GT(full_result.raw_iocs.size(), ablated_result.raw_iocs.size());
+  EXPECT_GT(full_result.graph.num_edges(),
+            ablated_result.graph.num_edges());
+}
+
+TEST(PipelineTest, MultiBlockDocument) {
+  ExtractionPipeline pipeline;
+  auto result = pipeline.Extract(
+      "# Threat report\n"
+      "\n"
+      "The process /bin/a read /etc/x.\n"
+      "\n"
+      "The process /bin/b wrote /tmp/y.\n");
+  auto edges = EdgeSet(result.graph);
+  EXPECT_TRUE(edges.count("/bin/a read /etc/x"));
+  EXPECT_TRUE(edges.count("/bin/b write /tmp/y"));
+}
+
+TEST(PipelineTest, CorefDoesNotCrossBlocks) {
+  ExtractionPipeline pipeline;
+  auto result = pipeline.Extract(
+      "The process /bin/a read /etc/x.\n"
+      "\n"
+      "It connected to the IP 1.2.3.4.\n");
+  // "It" has no antecedent within its own block.
+  EXPECT_FALSE(EdgeSet(result.graph).count("/bin/a connect 1.2.3.4"));
+}
+
+TEST(PipelineTest, EmptyAndIrrelevantInput) {
+  ExtractionPipeline pipeline;
+  EXPECT_EQ(pipeline.Extract("").graph.num_edges(), 0u);
+  auto result = pipeline.Extract(
+      "Lorem ipsum dolor sit amet, consectetur adipiscing elit.");
+  EXPECT_EQ(result.graph.num_edges(), 0u);
+  EXPECT_TRUE(result.raw_iocs.empty());
+}
+
+TEST(PipelineTest, DuplicateRelationsDeduplicated) {
+  ExtractionPipeline pipeline;
+  auto result = pipeline.Extract(
+      "/bin/tar read /etc/passwd. /bin/tar read /etc/passwd.");
+  int count = 0;
+  for (const BehaviorEdge& e : result.graph.edges()) {
+    if (e.verb == "read") ++count;
+  }
+  EXPECT_EQ(count, 1);
+}
+
+TEST(PipelineTest, RelationVerbClosestToObjectWins) {
+  ExtractionPipeline pipeline;
+  auto result = pipeline.Extract(
+      "The process /bin/gzip read /tmp/data.tar and wrote "
+      "/tmp/data.tar.gz.");
+  auto edges = EdgeSet(result.graph);
+  EXPECT_TRUE(edges.count("/bin/gzip read /tmp/data.tar"));
+  EXPECT_TRUE(edges.count("/bin/gzip write /tmp/data.tar.gz"));
+  EXPECT_FALSE(edges.count("/bin/gzip read /tmp/data.tar.gz"));
+}
+
+TEST(PipelineTest, UnmappableTypesStillBecomeNodes) {
+  ExtractionPipeline pipeline;
+  auto result = pipeline.Extract(
+      "The dropper used CVE-2014-6271 and contacted evil-c2.com. The "
+      "process /bin/bash read /etc/shadow.");
+  bool saw_cve = false;
+  for (const IocEntity& n : result.graph.nodes()) {
+    if (n.type == IocType::kCve) saw_cve = true;
+  }
+  EXPECT_TRUE(saw_cve);
+}
+
+TEST(PipelineTest, GraphRenderings) {
+  ExtractionPipeline pipeline;
+  auto result = pipeline.Extract("/bin/tar read /etc/passwd.");
+  EXPECT_NE(result.graph.ToString().find("-[read]->"), std::string::npos);
+  std::string dot = result.graph.ToDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("/etc/passwd"), std::string::npos);
+}
+
+
+TEST(PipelineTest, ObjectListCoordination) {
+  ExtractionPipeline pipeline;
+  auto result = pipeline.Extract(
+      "The process /bin/tar read /etc/passwd, /etc/shadow, and "
+      "/etc/hosts.");
+  auto edges = EdgeSet(result.graph);
+  EXPECT_TRUE(edges.count("/bin/tar read /etc/passwd"));
+  EXPECT_TRUE(edges.count("/bin/tar read /etc/shadow"));
+  EXPECT_TRUE(edges.count("/bin/tar read /etc/hosts"));
+  EXPECT_EQ(result.graph.num_edges(), 3u);
+}
+
+TEST(PipelineTest, AsWellAsCoordination) {
+  ExtractionPipeline pipeline;
+  auto result = pipeline.Extract(
+      "The malware /tmp/evil.bin deleted /var/log/auth.log as well as "
+      "/var/log/syslog.");
+  auto edges = EdgeSet(result.graph);
+  EXPECT_TRUE(edges.count("/tmp/evil.bin delete /var/log/auth.log"));
+  EXPECT_TRUE(edges.count("/tmp/evil.bin delete /var/log/syslog"));
+}
+
+TEST(PipelineTest, SubjectCoordination) {
+  ExtractionPipeline pipeline;
+  auto result = pipeline.Extract(
+      "/bin/curl and /usr/bin/wget connected to the IP 203.0.113.9.");
+  auto edges = EdgeSet(result.graph);
+  EXPECT_TRUE(edges.count("/bin/curl connect 203.0.113.9"));
+  EXPECT_TRUE(edges.count("/usr/bin/wget connect 203.0.113.9"));
+}
+
+}  // namespace
+}  // namespace raptor::nlp

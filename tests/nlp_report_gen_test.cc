@@ -1,0 +1,137 @@
+// Tests for the synthetic OSCTI report generator and the pipeline's
+// accuracy properties over generated reports.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nlp/pipeline.h"
+#include "nlp/report_gen.h"
+
+namespace raptor::nlp {
+namespace {
+
+TEST(ReportGenTest, DeterministicForSeed) {
+  ReportGenOptions opts;
+  opts.seed = 42;
+  ReportGenerator a(opts), b(opts);
+  auto sa = a.RandomScript(6);
+  auto sb = b.RandomScript(6);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].subject, sb[i].subject);
+    EXPECT_EQ(sa[i].object, sb[i].object);
+  }
+  EXPECT_EQ(a.Render(sa).text, b.Render(sb).text);
+}
+
+TEST(ReportGenTest, RenderMentionsEveryIoc) {
+  ReportGenerator gen;
+  auto script = gen.RandomScript(8);
+  auto report = gen.Render(script);
+  for (const std::string& ioc : report.iocs) {
+    EXPECT_NE(report.text.find(ioc), std::string::npos) << ioc;
+  }
+  EXPECT_EQ(report.relations.size(), script.size());
+}
+
+TEST(ReportGenTest, LabelsUseLemmas) {
+  ReportGenerator gen;
+  auto report = gen.Render(gen.RandomScript(20));
+  const Lexicon& lex = Lexicon::Default();
+  for (const GeneratedLabel& label : report.relations) {
+    EXPECT_TRUE(lex.IsRelationVerb(label.verb)) << label.verb;
+  }
+}
+
+TEST(ReportGenTest, ScriptStepsRespectVerbObjectTypes) {
+  ReportGenerator gen;
+  IocRecognizer recognizer;
+  for (const ScriptStep& step : gen.RandomScript(50)) {
+    auto spans = recognizer.Recognize(step.object);
+    ASSERT_EQ(spans.size(), 1u) << step.object;
+    bool is_ip = spans[0].type == IocType::kIp;
+    bool wants_ip = step.verb == VerbClass::kConnect ||
+                    step.verb == VerbClass::kSend;
+    EXPECT_EQ(is_ip, wants_ip) << step.object;
+  }
+}
+
+/// Property: on generated reports the full pipeline's extraction stays
+/// above realistic accuracy floors, and the no-protection ablation is
+/// strictly worse. (The exact values for the default seed are reported by
+/// bench_extraction E1b.)
+class GeneratedAccuracyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratedAccuracyTest, PipelineBeatsAblation) {
+  ReportGenOptions opts;
+  opts.seed = GetParam();
+  ReportGenerator gen(opts);
+
+  size_t full_tp = 0, full_fp = 0, full_fn = 0;
+  size_t ablated_tp = 0, ablated_found = 0;
+  ExtractionPipeline full;
+  PipelineOptions no_protection;
+  no_protection.enable_ioc_protection = false;
+  ExtractionPipeline ablated(no_protection);
+
+  for (int d = 0; d < 15; ++d) {
+    auto report = gen.Render(gen.RandomScript(4 + d % 6));
+    std::set<std::string> truth;
+    for (const auto& r : report.relations) {
+      truth.insert(r.subject + "|" + r.verb + "|" + r.object);
+    }
+    auto score = [&truth](const ExtractionResult& result, size_t* tp,
+                          size_t* fp, size_t* fn) {
+      std::set<std::string> got;
+      for (const auto& e : result.graph.edges()) {
+        got.insert(result.graph.node(e.src).text + "|" + e.verb + "|" +
+                   result.graph.node(e.dst).text);
+      }
+      for (const auto& g : got) {
+        if (truth.count(g) > 0) {
+          ++*tp;
+        } else if (fp != nullptr) {
+          ++*fp;
+        }
+      }
+      if (fn != nullptr) {
+        for (const auto& t : truth) {
+          if (got.count(t) == 0) ++*fn;
+        }
+      }
+      return got.size();
+    };
+    score(full.Extract(report.text), &full_tp, &full_fp, &full_fn);
+    ablated_found +=
+        score(ablated.Extract(report.text), &ablated_tp, nullptr, nullptr);
+  }
+
+  double precision =
+      full_tp + full_fp == 0
+          ? 0.0
+          : static_cast<double>(full_tp) / (full_tp + full_fp);
+  double recall = full_tp + full_fn == 0
+                      ? 0.0
+                      : static_cast<double>(full_tp) / (full_tp + full_fn);
+  EXPECT_GE(precision, 0.75) << "seed " << GetParam();
+  EXPECT_GE(recall, 0.85) << "seed " << GetParam();
+  // The ablation extracts far fewer correct relations.
+  EXPECT_LT(ablated_tp, full_tp / 2) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedAccuracyTest,
+                         ::testing::Values(3, 11, 29, 47));
+
+TEST(ReportGenTest, GeneratedReportSynthesizesAndHunts) {
+  // A generated report must flow through the whole downstream pipeline:
+  // extraction -> synthesis succeeds with mappable patterns.
+  ReportGenerator gen;
+  ExtractionPipeline pipeline;
+  auto report = gen.Render(gen.RandomScript(6));
+  auto extraction = pipeline.Extract(report.text);
+  EXPECT_GT(extraction.graph.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace raptor::nlp

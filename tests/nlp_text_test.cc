@@ -1,0 +1,270 @@
+// Tests for segmentation, tokenization, POS tagging, lemmatization, and
+// word embeddings (src/nlp).
+
+#include <gtest/gtest.h>
+
+#include "nlp/embeddings.h"
+#include "nlp/lexicon.h"
+#include "nlp/pos_tagger.h"
+#include "nlp/segmenter.h"
+
+namespace raptor::nlp {
+namespace {
+
+// --- Block segmentation. ---
+
+TEST(SegmenterTest, BlocksSplitOnBlankLines) {
+  auto blocks = SegmentBlocks("para one line a\nline b\n\npara two\n");
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].text, "para one line a\nline b");
+  EXPECT_EQ(blocks[1].text, "para two");
+  EXPECT_EQ(blocks[1].offset, 17u + 7u);  // after "para one line a\nline b\n\n"
+}
+
+TEST(SegmenterTest, HeadersAreOwnBlocks) {
+  auto blocks = SegmentBlocks("# Title\nbody text\nmore body");
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].text, "# Title");
+  EXPECT_EQ(blocks[1].text, "body text\nmore body");
+}
+
+TEST(SegmenterTest, EmptyDocument) {
+  EXPECT_TRUE(SegmentBlocks("").empty());
+  EXPECT_TRUE(SegmentBlocks("\n\n\n").empty());
+}
+
+// --- Sentence segmentation. ---
+
+TEST(SegmenterTest, SentencesSplitOnTerminators) {
+  auto sents = SegmentSentences("First one. Second one! Third one?");
+  ASSERT_EQ(sents.size(), 3u);
+  EXPECT_EQ(sents[0].text, "First one.");
+  EXPECT_EQ(sents[1].text, "Second one!");
+  EXPECT_EQ(sents[2].text, "Third one?");
+}
+
+TEST(SegmenterTest, AbbreviationsDoNotSplit) {
+  auto sents = SegmentSentences("Files, e.g. shadow files, were read.");
+  ASSERT_EQ(sents.size(), 1u);
+}
+
+TEST(SegmenterTest, NoTrailingTerminator) {
+  auto sents = SegmentSentences("One. Two without period");
+  ASSERT_EQ(sents.size(), 2u);
+  EXPECT_EQ(sents[1].text, "Two without period");
+}
+
+TEST(SegmenterTest, SentenceOffsetsIndexIntoBlock) {
+  std::string block = "Alpha beta. Gamma delta.";
+  auto sents = SegmentSentences(block);
+  ASSERT_EQ(sents.size(), 2u);
+  for (const auto& s : sents) {
+    EXPECT_EQ(block.substr(s.offset, s.text.size()), s.text);
+  }
+}
+
+// --- Tokenizer. ---
+
+TEST(TokenizerTest, BasicWordsAndPunct) {
+  auto toks = Tokenize("The process read it.");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0].text, "The");
+  EXPECT_EQ(toks[3].text, "it");
+  EXPECT_EQ(toks[4].text, ".");
+  EXPECT_EQ(toks[4].pos, Pos::kPunct);
+}
+
+TEST(TokenizerTest, OffsetsIndexIntoText) {
+  std::string text = "abc, def (ghi)";
+  for (const Token& t : Tokenize(text)) {
+    EXPECT_EQ(text.substr(t.offset, t.text.size()), t.text);
+  }
+}
+
+TEST(TokenizerTest, SplitsInternalSlashesLikeGeneralTokenizers) {
+  // This is the behavior that shatters unprotected IOCs (see segmenter.cc).
+  auto toks = Tokenize("/etc/passwd");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "/");
+  EXPECT_EQ(toks[1].text, "etc");
+  EXPECT_EQ(toks[2].text, "/");
+  EXPECT_EQ(toks[3].text, "passwd");
+}
+
+TEST(TokenizerTest, ProtectedDummySurvivesWhole) {
+  auto toks = Tokenize("read something now");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].text, "something");
+}
+
+TEST(TokenizerTest, HyphensAndUnderscoresStayInside) {
+  auto toks = Tokenize("command-and-control my_var");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].text, "command-and-control");
+  EXPECT_EQ(toks[1].text, "my_var");
+}
+
+TEST(TokenizerTest, LeadingAndTrailingPunct) {
+  auto toks = Tokenize("(hello),");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "(");
+  EXPECT_EQ(toks[1].text, "hello");
+  EXPECT_EQ(toks[2].text, ")");
+  EXPECT_EQ(toks[3].text, ",");
+}
+
+// --- Lexicon + lemmatizer. ---
+
+TEST(LexiconTest, ClosedClasses) {
+  const Lexicon& lex = Lexicon::Default();
+  EXPECT_TRUE(lex.IsDeterminer("the"));
+  EXPECT_TRUE(lex.IsPronoun("it"));
+  EXPECT_TRUE(lex.IsPreposition("into"));
+  EXPECT_TRUE(lex.IsConjunction("and"));
+  EXPECT_TRUE(lex.IsAuxiliary("was"));
+  EXPECT_TRUE(lex.IsAdverb("finally"));
+  EXPECT_FALSE(lex.IsDeterminer("tar"));
+}
+
+struct LemmaCase {
+  const char* form;
+  const char* lemma;
+};
+
+class VerbLemmaTest : public ::testing::TestWithParam<LemmaCase> {};
+
+TEST_P(VerbLemmaTest, Lemmatizes) {
+  EXPECT_EQ(Lexicon::Default().LemmatizeVerb(GetParam().form),
+            GetParam().lemma);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, VerbLemmaTest,
+    ::testing::Values(
+        LemmaCase{"wrote", "write"}, LemmaCase{"written", "write"},
+        LemmaCase{"sent", "send"}, LemmaCase{"read", "read"},
+        LemmaCase{"ran", "run"}, LemmaCase{"stole", "steal"},
+        LemmaCase{"connected", "connect"}, LemmaCase{"connects", "connect"},
+        LemmaCase{"connecting", "connect"}, LemmaCase{"downloaded",
+                                                      "download"},
+        LemmaCase{"downloads", "download"}, LemmaCase{"executes", "execute"},
+        LemmaCase{"executed", "execute"}, LemmaCase{"running", "run"},
+        LemmaCase{"dropped", "drop"}, LemmaCase{"dropping", "drop"},
+        LemmaCase{"copies", "copy"}, LemmaCase{"copied", "copy"},
+        LemmaCase{"received", "receive"}, LemmaCase{"receives", "receive"},
+        LemmaCase{"uses", "use"}, LemmaCase{"scanned", "scan"},
+        LemmaCase{"was", "be"}, LemmaCase{"launch", "launch"}));
+
+TEST(LexiconTest, NounLemmatizer) {
+  const Lexicon& lex = Lexicon::Default();
+  EXPECT_EQ(lex.LemmatizeNoun("files"), "file");
+  EXPECT_EQ(lex.LemmatizeNoun("processes"), "process");
+  EXPECT_EQ(lex.LemmatizeNoun("binaries"), "binary");
+  EXPECT_EQ(lex.LemmatizeNoun("pass"), "pass");   // -ss untouched
+  EXPECT_EQ(lex.LemmatizeNoun("virus"), "virus");  // -us untouched
+}
+
+TEST(LexiconTest, RelationVerbsAreKnownVerbs) {
+  const Lexicon& lex = Lexicon::Default();
+  for (const char* v : {"read", "write", "download", "connect", "send",
+                        "execute", "exfiltrate"}) {
+    EXPECT_TRUE(lex.IsRelationVerb(v)) << v;
+    EXPECT_TRUE(lex.IsKnownVerb(v)) << v;
+  }
+  EXPECT_FALSE(lex.IsRelationVerb("seem"));
+}
+
+// --- POS tagger. ---
+
+std::vector<Token> Tag(const std::string& text) {
+  auto toks = Tokenize(text);
+  TagPos(&toks, Lexicon::Default());
+  return toks;
+}
+
+TEST(PosTaggerTest, SimpleClause) {
+  auto toks = Tag("The process something read the file something.");
+  ASSERT_EQ(toks.size(), 8u);
+  EXPECT_EQ(toks[0].pos, Pos::kDet);
+  EXPECT_EQ(toks[1].pos, Pos::kNoun);
+  EXPECT_EQ(toks[2].pos, Pos::kPron);
+  EXPECT_EQ(toks[3].pos, Pos::kVerb);
+  EXPECT_EQ(toks[3].lemma, "read");
+  EXPECT_EQ(toks[7].pos, Pos::kPunct);
+}
+
+TEST(PosTaggerTest, BaseFormVerbAfterDeterminerIsNoun) {
+  auto toks = Tag("the download finished");
+  EXPECT_EQ(toks[1].pos, Pos::kNoun);
+}
+
+TEST(PosTaggerTest, ParticipleBeforeNounIsAdjective) {
+  auto toks = Tag("wrote the collected data there");
+  EXPECT_EQ(toks[2].pos, Pos::kAdj);   // collected
+  EXPECT_EQ(toks[3].pos, Pos::kNoun);  // data
+}
+
+TEST(PosTaggerTest, ChainedNpInternalRepair) {
+  auto toks = Tag("wrote the compressed archive something");
+  EXPECT_EQ(toks[2].pos, Pos::kAdj);   // compressed
+  EXPECT_EQ(toks[3].pos, Pos::kNoun);  // archive (base-form verb in NP)
+}
+
+TEST(PosTaggerTest, InflectedVerbAfterNounStaysVerb) {
+  auto toks = Tag("the attacker downloaded something");
+  EXPECT_EQ(toks[2].pos, Pos::kVerb);
+  EXPECT_EQ(toks[2].lemma, "download");
+}
+
+TEST(PosTaggerTest, PassiveAuxiliary) {
+  auto toks = Tag("something was downloaded by something");
+  EXPECT_EQ(toks[1].pos, Pos::kAux);
+  EXPECT_EQ(toks[2].pos, Pos::kVerb);
+  EXPECT_EQ(toks[3].pos, Pos::kAdp);
+}
+
+TEST(PosTaggerTest, ToBeforeVerbIsParticle) {
+  auto toks = Tag("attempted to connect immediately");
+  EXPECT_EQ(toks[1].pos, Pos::kPart);
+  EXPECT_EQ(toks[2].pos, Pos::kVerb);
+  EXPECT_EQ(toks[3].pos, Pos::kAdv);
+}
+
+TEST(PosTaggerTest, ToBeforeNounIsPreposition) {
+  auto toks = Tag("wrote data to something");
+  EXPECT_EQ(toks[2].pos, Pos::kAdp);
+}
+
+TEST(PosTaggerTest, NumbersTagged) {
+  auto toks = Tag("sent 4096 bytes");
+  EXPECT_EQ(toks[1].pos, Pos::kNum);
+}
+
+// --- Embeddings. ---
+
+TEST(EmbeddingsTest, IdenticalWordsHaveSimilarityOne) {
+  Embedding a = EmbedWord("/tmp/payload.bin");
+  EXPECT_NEAR(CosineSimilarity(a, a), 1.0, 1e-5);
+}
+
+TEST(EmbeddingsTest, SimilarStringsScoreHigherThanDissimilar) {
+  Embedding a = EmbedWord("/tmp/payload.bin");
+  Embedding b = EmbedWord("/tmp/payload2.bin");
+  Embedding c = EmbedWord("161.35.10.8");
+  EXPECT_GT(CosineSimilarity(a, b), CosineSimilarity(a, c));
+  EXPECT_GT(CosineSimilarity(a, b), 0.8);
+}
+
+TEST(EmbeddingsTest, ShortWordsAreZeroVectors) {
+  Embedding a = EmbedWord("ab");  // below the 3-gram minimum
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, a), 0.0);
+}
+
+TEST(EmbeddingsTest, Deterministic) {
+  Embedding a = EmbedWord("/bin/tar");
+  Embedding b = EmbedWord("/bin/tar");
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace raptor::nlp

@@ -1,0 +1,275 @@
+// Tests for the embedded relational engine (src/storage/relational).
+
+#include <gtest/gtest.h>
+
+#include "audit/generator.h"
+#include "common/rng.h"
+#include "storage/relational/database.h"
+#include "storage/relational/table.h"
+
+namespace raptor::rel {
+namespace {
+
+// --- Value. ---
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value(int64_t{3}).is_int());
+  EXPECT_TRUE(Value(3.5).is_double());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_EQ(Value(int64_t{3}).AsInt(), 3);
+  EXPECT_DOUBLE_EQ(Value(int64_t{3}).AsDouble(), 3.0);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value(int64_t{3}), Value(3.0));
+  EXPECT_LT(Value(int64_t{2}), Value(2.5));
+  EXPECT_GT(Value(3.5), Value(int64_t{3}));
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_EQ(Value("x"), Value("x"));
+  // Mixed numeric/string ordering is stable: numerics first.
+  EXPECT_LT(Value(int64_t{999}), Value("0"));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+}
+
+// --- Predicates. ---
+
+struct PredCase {
+  CompareOp op;
+  Value cell;
+  Value rhs;
+  bool expect;
+};
+
+class PredicateTest : public ::testing::TestWithParam<PredCase> {};
+
+TEST_P(PredicateTest, Matches) {
+  const PredCase& c = GetParam();
+  Predicate p{0, c.op, c.rhs};
+  Row row{c.cell};
+  EXPECT_EQ(p.Matches(row), c.expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PredicateTest,
+    ::testing::Values(
+        PredCase{CompareOp::kEq, Value(int64_t{5}), Value(int64_t{5}), true},
+        PredCase{CompareOp::kEq, Value(int64_t{5}), Value(int64_t{6}), false},
+        PredCase{CompareOp::kNe, Value("a"), Value("b"), true},
+        PredCase{CompareOp::kLt, Value(int64_t{1}), Value(int64_t{2}), true},
+        PredCase{CompareOp::kLe, Value(int64_t{2}), Value(int64_t{2}), true},
+        PredCase{CompareOp::kGt, Value(int64_t{3}), Value(int64_t{2}), true},
+        PredCase{CompareOp::kGe, Value(int64_t{1}), Value(int64_t{2}), false},
+        PredCase{CompareOp::kLike, Value("/bin/tar"), Value("%tar%"), true},
+        PredCase{CompareOp::kLike, Value("/bin/cat"), Value("%tar%"), false},
+        PredCase{CompareOp::kNotLike, Value("/bin/cat"), Value("%tar%"),
+                 true},
+        PredCase{CompareOp::kLike, Value(int64_t{5}), Value("%5%"), false}));
+
+TEST(PredicateTest, MatchesAllIsConjunction) {
+  Conjunction preds{{0, CompareOp::kGe, Value(int64_t{10})},
+                    {0, CompareOp::kLe, Value(int64_t{20})}};
+  EXPECT_TRUE(MatchesAll(preds, Row{Value(int64_t{15})}));
+  EXPECT_FALSE(MatchesAll(preds, Row{Value(int64_t{25})}));
+  EXPECT_TRUE(MatchesAll({}, Row{Value(int64_t{1})}));
+}
+
+TEST(PredicateTest, ToStringRendering) {
+  Schema schema{{"name", ColumnType::kString}};
+  Predicate p{0, CompareOp::kLike, Value("%x%")};
+  EXPECT_EQ(p.ToString(schema), "name LIKE '%x%'");
+}
+
+// --- Table. ---
+
+Table MakePeopleTable() {
+  Table t("people", Schema{{"id", ColumnType::kInt64},
+                           {"name", ColumnType::kString},
+                           {"age", ColumnType::kInt64}});
+  const char* names[] = {"alice", "bob", "carol", "dave", "erin",
+                         "frank", "grace", "heidi"};
+  for (int i = 0; i < 8; ++i) {
+    t.Insert({int64_t{i}, names[i], int64_t{20 + (i * 7) % 30}});
+  }
+  return t;
+}
+
+TEST(TableTest, InsertAndRowAccess) {
+  Table t = MakePeopleTable();
+  EXPECT_EQ(t.num_rows(), 8u);
+  EXPECT_EQ(t.row(2)[1].AsString(), "carol");
+}
+
+TEST(TableTest, SelectFullScanWithoutIndex) {
+  Table t = MakePeopleTable();
+  ColumnId name = t.schema().Find("name");
+  auto rows = t.Select({{name, CompareOp::kEq, Value("dave")}});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 3u);
+  EXPECT_GT(t.stats().rows_scanned, 0u);
+  EXPECT_EQ(t.stats().index_probes, 0u);
+}
+
+TEST(TableTest, SelectUsesIndexWhenAvailable) {
+  Table t = MakePeopleTable();
+  ASSERT_TRUE(t.CreateIndex("name").ok());
+  t.ResetStats();
+  auto rows = t.Select({{t.schema().Find("name"), CompareOp::kEq,
+                         Value("dave")}});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(t.stats().index_probes, 1u);
+  EXPECT_EQ(t.stats().rows_scanned, 0u);
+}
+
+TEST(TableTest, IndexMaintainedAcrossInserts) {
+  Table t("t", Schema{{"k", ColumnType::kInt64}});
+  ASSERT_TRUE(t.CreateIndex("k").ok());
+  for (int i = 0; i < 100; ++i) t.Insert({int64_t{i % 10}});
+  auto rows = t.Select({{0, CompareOp::kEq, Value(int64_t{3})}});
+  EXPECT_EQ(rows.size(), 10u);
+}
+
+TEST(TableTest, CreateIndexUnknownColumnFails) {
+  Table t("t", Schema{{"k", ColumnType::kInt64}});
+  EXPECT_TRUE(t.CreateIndex("nope").IsNotFound());
+  EXPECT_TRUE(t.CreateIndex("k").ok());
+  EXPECT_TRUE(t.CreateIndex("k").ok());  // idempotent
+}
+
+TEST(TableTest, RangeSelectViaIndex) {
+  Table t("t", Schema{{"k", ColumnType::kInt64}});
+  ASSERT_TRUE(t.CreateIndex("k").ok());
+  for (int i = 0; i < 50; ++i) t.Insert({int64_t{i}});
+  auto rows = t.Select({{0, CompareOp::kGe, Value(int64_t{40})}});
+  EXPECT_EQ(rows.size(), 10u);
+  rows = t.Select({{0, CompareOp::kLt, Value(int64_t{5})}});
+  EXPECT_EQ(rows.size(), 5u);
+  rows = t.Select({{0, CompareOp::kGt, Value(int64_t{44})},
+                   {0, CompareOp::kLe, Value(int64_t{47})}});
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST(TableTest, LikePrefixUsesIndexRange) {
+  Table t("t", Schema{{"name", ColumnType::kString}});
+  ASSERT_TRUE(t.CreateIndex("name").ok());
+  t.Insert({"/bin/tar"});
+  t.Insert({"/bin/cat"});
+  t.Insert({"/usr/bin/tar"});
+  t.ResetStats();
+  auto rows = t.Select({{0, CompareOp::kLike, Value("/bin/%")}});
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_EQ(t.stats().index_probes, 1u);
+  EXPECT_EQ(t.stats().rows_scanned, 0u);
+  // A leading-wildcard pattern cannot use the index.
+  t.ResetStats();
+  rows = t.Select({{0, CompareOp::kLike, Value("%tar%")}});
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_GT(t.stats().rows_scanned, 0u);
+}
+
+TEST(TableTest, EmptyPredicatesReturnAllRows) {
+  Table t = MakePeopleTable();
+  EXPECT_EQ(t.Select({}).size(), 8u);
+}
+
+TEST(TableTest, EstimateEqualityMatches) {
+  Table t("t", Schema{{"k", ColumnType::kInt64}});
+  ASSERT_TRUE(t.CreateIndex("k").ok());
+  for (int i = 0; i < 30; ++i) t.Insert({int64_t{i % 3}});
+  EXPECT_EQ(t.EstimateEqualityMatches(0, Value(int64_t{1})), 10u);
+  EXPECT_EQ(t.EstimateEqualityMatches(0, Value(int64_t{9})), 0u);
+}
+
+// Property: index-backed selection returns exactly what a full scan does.
+class TableEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TableEquivalenceTest, IndexAndScanAgree) {
+  raptor::Rng rng(GetParam());
+  Table indexed("a", Schema{{"k", ColumnType::kInt64},
+                            {"s", ColumnType::kString}});
+  Table plain("b", Schema{{"k", ColumnType::kInt64},
+                          {"s", ColumnType::kString}});
+  ASSERT_TRUE(indexed.CreateIndex("k").ok());
+  ASSERT_TRUE(indexed.CreateIndex("s").ok());
+  for (int i = 0; i < 500; ++i) {
+    int64_t k = static_cast<int64_t>(rng.Uniform(40));
+    std::string s = "item_" + std::to_string(rng.Uniform(20));
+    indexed.Insert({k, s});
+    plain.Insert({k, s});
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    Conjunction preds;
+    if (rng.Chance(0.7)) {
+      auto op = static_cast<CompareOp>(rng.Uniform(6));
+      preds.push_back({0, op, Value(static_cast<int64_t>(rng.Uniform(40)))});
+    }
+    if (rng.Chance(0.5)) {
+      preds.push_back({1, CompareOp::kEq,
+                       Value("item_" + std::to_string(rng.Uniform(20)))});
+    }
+    if (rng.Chance(0.3)) {
+      preds.push_back({1, CompareOp::kLike, Value("item_1%")});
+    }
+    EXPECT_EQ(indexed.Select(preds), plain.Select(preds));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TableEquivalenceTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+// --- RelationalDatabase. ---
+
+TEST(DatabaseTest, LoadsAllEntitiesAndEvents) {
+  audit::AuditLog log;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(2000, &log);
+  RelationalDatabase db;
+  db.Load(log);
+  EXPECT_EQ(db.events().num_rows(), log.event_count());
+  size_t entity_rows = db.files().num_rows() + db.procs().num_rows() +
+                       db.nets().num_rows();
+  EXPECT_EQ(entity_rows, log.entity_count());
+}
+
+TEST(DatabaseTest, EntityTableDispatch) {
+  RelationalDatabase db;
+  EXPECT_EQ(&db.EntityTable(audit::EntityType::kFile), &db.files());
+  EXPECT_EQ(&db.EntityTable(audit::EntityType::kProcess), &db.procs());
+  EXPECT_EQ(&db.EntityTable(audit::EntityType::kNetwork), &db.nets());
+}
+
+TEST(DatabaseTest, ExenameIndexProbeFindsProcess) {
+  audit::AuditLog log;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(1000, &log);
+  RelationalDatabase db;
+  db.Load(log);
+  db.ResetStats();
+  ColumnId exe = db.procs().schema().Find("exename");
+  auto rows = db.procs().Select({{exe, CompareOp::kEq,
+                                  Value("/usr/sbin/apache2")}});
+  EXPECT_FALSE(rows.empty());
+  EXPECT_GT(db.procs().stats().index_probes, 0u);
+}
+
+TEST(DatabaseTest, StatsAccumulateAndReset) {
+  audit::AuditLog log;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(100, &log);
+  RelationalDatabase db;
+  db.Load(log);
+  db.ResetStats();
+  EXPECT_EQ(db.TotalRowsTouched(), 0u);
+  (void)db.events().Select({});
+  EXPECT_EQ(db.TotalRowsTouched(), log.event_count());
+}
+
+}  // namespace
+}  // namespace raptor::rel

@@ -1,0 +1,227 @@
+// Tests for the embedded HTTP server and the ThreatRaptor JSON API
+// (src/server).
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/json.h"
+#include "core/threat_raptor.h"
+#include "server/api.h"
+#include "server/http.h"
+
+namespace raptor::server {
+namespace {
+
+// --- Request-head parsing. ---
+
+TEST(HttpParseTest, RequestLineAndHeaders) {
+  auto req = ParseRequestHead(
+      "POST /api/query?x=1 HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Length: 12\r\n"
+      "\r\n");
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(req->method, "POST");
+  EXPECT_EQ(req->path, "/api/query");
+  EXPECT_EQ(req->query, "x=1");
+  EXPECT_EQ(req->headers.at("host"), "localhost");
+  EXPECT_EQ(req->headers.at("content-length"), "12");
+}
+
+TEST(HttpParseTest, HeaderNamesLowercased) {
+  auto req = ParseRequestHead("GET / HTTP/1.1\r\nX-CuStOm: Value\r\n\r\n");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->headers.at("x-custom"), "Value");
+}
+
+TEST(HttpParseTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseRequestHead("").ok());
+  EXPECT_FALSE(ParseRequestHead("GET /\r\n\r\n").ok());           // no version
+  EXPECT_FALSE(ParseRequestHead("GET / SPDY/3\r\n\r\n").ok());    // bad proto
+  EXPECT_FALSE(
+      ParseRequestHead("GET / HTTP/1.1\r\nbroken header\r\n\r\n").ok());
+}
+
+TEST(HttpParseTest, SerializeResponseHasFraming) {
+  HttpResponse response{200, "application/json", "{}"};
+  std::string wire = SerializeResponse(response);
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 2\r\n"), std::string::npos);
+  EXPECT_TRUE(wire.ends_with("\r\n\r\n{}"));
+}
+
+// --- Loopback client helper. ---
+
+std::string RawRequest(uint16_t port, const std::string& wire) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  EXPECT_EQ(::send(fd, wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  std::string out;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    out.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+std::string Post(uint16_t port, const std::string& path,
+                 const std::string& body) {
+  std::string wire = "POST " + path + " HTTP/1.1\r\nHost: t\r\n" +
+                     "Content-Length: " + std::to_string(body.size()) +
+                     "\r\n\r\n" + body;
+  return RawRequest(port, wire);
+}
+
+std::string Get(uint16_t port, const std::string& path) {
+  return RawRequest(port, "GET " + path + " HTTP/1.1\r\nHost: t\r\n\r\n");
+}
+
+/// Body of a response (after the blank line).
+std::string Body(const std::string& wire) {
+  size_t pos = wire.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : wire.substr(pos + 4);
+}
+
+// --- End-to-end over loopback. ---
+
+struct ServerFixture {
+  ThreatRaptor system;
+  HttpServer server;
+
+  ServerFixture() {
+    audit::WorkloadGenerator gen;
+    gen.GenerateBenign(3000, system.mutable_log());
+    gen.InjectDataLeakageAttack(system.mutable_log());
+    gen.GenerateBenign(3000, system.mutable_log());
+    EXPECT_TRUE(system.FinalizeStorage().ok());
+    RegisterThreatRaptorApi(&server, &system);
+    EXPECT_TRUE(server.Start(0).ok());  // ephemeral port
+  }
+};
+
+TEST(ServerTest, ServesIndexPage) {
+  ServerFixture fx;
+  std::string response = Get(fx.server.port(), "/");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("ThreatRaptor"), std::string::npos);
+  EXPECT_NE(response.find("text/html"), std::string::npos);
+}
+
+TEST(ServerTest, StatsEndpoint) {
+  ServerFixture fx;
+  std::string response = Get(fx.server.port(), "/api/stats");
+  auto json = Json::Parse(Body(response));
+  ASSERT_TRUE(json.ok()) << Body(response);
+  EXPECT_GT((*json)["events"].AsNumber(), 0);
+  EXPECT_GE((*json)["cpr_reduction"].AsNumber(), 1.0);
+}
+
+TEST(ServerTest, QueryEndpoint) {
+  ServerFixture fx;
+  std::string response =
+      Post(fx.server.port(), "/api/query",
+           "proc p[\"%tar%\"] read file f[\"/etc/passwd\"]\nreturn p, f");
+  auto json = Json::Parse(Body(response));
+  ASSERT_TRUE(json.ok()) << Body(response);
+  ASSERT_EQ((*json)["rows"].AsArray().size(), 1u);
+  EXPECT_EQ((*json)["rows"][0][0].AsString(), "/bin/tar");
+  EXPECT_EQ((*json)["rows"][0][1].AsString(), "/etc/passwd");
+  EXPECT_FALSE((*json)["stats"]["schedule"].AsArray().empty());
+}
+
+TEST(ServerTest, QueryErrorsAreJson) {
+  ServerFixture fx;
+  std::string response =
+      Post(fx.server.port(), "/api/query", "widget w read file f");
+  EXPECT_NE(response.find("400"), std::string::npos);
+  auto json = Json::Parse(Body(response));
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE((*json)["error"].AsString().find("ParseError"),
+            std::string::npos);
+}
+
+TEST(ServerTest, HuntEndpoint) {
+  ServerFixture fx;
+  std::string response = Post(
+      fx.server.port(), "/api/hunt",
+      "The process /bin/tar read the file /etc/passwd. /bin/tar then "
+      "wrote the collected data to /tmp/data.tar.");
+  auto json = Json::Parse(Body(response));
+  ASSERT_TRUE(json.ok()) << Body(response);
+  EXPECT_NE((*json)["tbql"].AsString().find("evt1"), std::string::npos);
+  EXPECT_EQ((*json)["behavior_graph"]["edges"].AsArray().size(), 2u);
+  EXPECT_EQ((*json)["result"]["rows"].AsArray().size(), 1u);
+}
+
+TEST(ServerTest, ExtractEndpoint) {
+  ServerFixture fx;
+  std::string response =
+      Post(fx.server.port(), "/api/extract",
+           "The process /bin/a read /etc/x and connected to the IP "
+           "9.9.9.9.");
+  auto json = Json::Parse(Body(response));
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ((*json)["edges"].AsArray().size(), 2u);
+}
+
+TEST(ServerTest, ExplainEndpoint) {
+  ServerFixture fx;
+  std::string response =
+      Post(fx.server.port(), "/api/explain", "proc p read file f\nlimit 1");
+  auto json = Json::Parse(Body(response));
+  ASSERT_TRUE(json.ok()) << Body(response);
+  EXPECT_NE((*json)["explain"].AsString().find("EXPLAIN ANALYZE"),
+            std::string::npos);
+}
+
+TEST(ServerTest, UnknownPathIs404AndWrongMethodIs405) {
+  ServerFixture fx;
+  EXPECT_NE(Get(fx.server.port(), "/nope").find("404"), std::string::npos);
+  EXPECT_NE(Get(fx.server.port(), "/api/query").find("405"),
+            std::string::npos);
+}
+
+TEST(ServerTest, MalformedRequestIs400) {
+  ServerFixture fx;
+  std::string response = RawRequest(fx.server.port(), "garbage\r\n\r\n");
+  EXPECT_NE(response.find("400"), std::string::npos);
+}
+
+TEST(ServerTest, StopIsIdempotentAndRestartable) {
+  ServerFixture fx;
+  uint16_t port = fx.server.port();
+  EXPECT_GT(port, 0);
+  fx.server.Stop();
+  fx.server.Stop();
+  EXPECT_FALSE(fx.server.running());
+  // A fresh server can bind a fresh port.
+  HttpServer second;
+  second.Route("GET", "/ping", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "pong"};
+  });
+  ASSERT_TRUE(second.Start(0).ok());
+  EXPECT_EQ(Body(Get(second.port(), "/ping")), "pong");
+}
+
+TEST(ServerTest, SequentialRequestsAreServed) {
+  ServerFixture fx;
+  for (int i = 0; i < 10; ++i) {
+    std::string response = Get(fx.server.port(), "/api/stats");
+    EXPECT_NE(response.find("200 OK"), std::string::npos) << i;
+  }
+}
+
+}  // namespace
+}  // namespace raptor::server

@@ -1,0 +1,313 @@
+// Tests for TBQL query synthesis (src/synthesis).
+
+#include <gtest/gtest.h>
+
+#include "nlp/behavior_graph.h"
+#include "synthesis/rules.h"
+#include "synthesis/synthesizer.h"
+#include "tbql/printer.h"
+
+namespace raptor::synth {
+namespace {
+
+using audit::EntityType;
+using audit::Operation;
+using nlp::BehaviorEdge;
+using nlp::IocEntity;
+using nlp::IocType;
+using nlp::ThreatBehaviorGraph;
+
+// --- Mapping rules. ---
+
+TEST(RulesTest, AuditableTypes) {
+  EXPECT_TRUE(IsAuditableIocType(IocType::kFilepath));
+  EXPECT_TRUE(IsAuditableIocType(IocType::kFilename));
+  EXPECT_TRUE(IsAuditableIocType(IocType::kIp));
+  EXPECT_FALSE(IsAuditableIocType(IocType::kCve));
+  EXPECT_FALSE(IsAuditableIocType(IocType::kHashMd5));
+  EXPECT_FALSE(IsAuditableIocType(IocType::kRegistry));
+  EXPECT_FALSE(IsAuditableIocType(IocType::kDomain));
+}
+
+struct RuleCase {
+  const char* verb;
+  IocType subj;
+  IocType obj;
+  Operation expected_op;
+  EntityType expected_obj_type;
+};
+
+class MapRelationTest : public ::testing::TestWithParam<RuleCase> {};
+
+TEST_P(MapRelationTest, Maps) {
+  const RuleCase& c = GetParam();
+  auto mapped = MapRelation(c.verb, c.subj, c.obj);
+  ASSERT_TRUE(mapped.has_value()) << c.verb;
+  EXPECT_EQ(mapped->op, c.expected_op) << c.verb;
+  EXPECT_EQ(mapped->object_type, c.expected_obj_type) << c.verb;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MapRelationTest,
+    ::testing::Values(
+        // The paper's example: "download" between two Filepath IOCs -> write.
+        RuleCase{"download", IocType::kFilepath, IocType::kFilepath,
+                 Operation::kWrite, EntityType::kFile},
+        RuleCase{"read", IocType::kFilepath, IocType::kFilepath,
+                 Operation::kRead, EntityType::kFile},
+        RuleCase{"scan", IocType::kFilepath, IocType::kFilename,
+                 Operation::kRead, EntityType::kFile},
+        RuleCase{"write", IocType::kFilepath, IocType::kFilepath,
+                 Operation::kWrite, EntityType::kFile},
+        RuleCase{"compress", IocType::kFilepath, IocType::kFilepath,
+                 Operation::kWrite, EntityType::kFile},
+        RuleCase{"execute", IocType::kFilepath, IocType::kFilepath,
+                 Operation::kExecute, EntityType::kFile},
+        RuleCase{"delete", IocType::kFilepath, IocType::kFilepath,
+                 Operation::kDelete, EntityType::kFile},
+        RuleCase{"chmod", IocType::kFilepath, IocType::kFilepath,
+                 Operation::kChmod, EntityType::kFile},
+        // Process-creating verbs retarget the object to a process entity.
+        RuleCase{"spawn", IocType::kFilepath, IocType::kFilepath,
+                 Operation::kFork, EntityType::kProcess},
+        RuleCase{"fork", IocType::kFilepath, IocType::kFilename,
+                 Operation::kFork, EntityType::kProcess},
+        // "send the archive": file object of a send verb is a read.
+        RuleCase{"send", IocType::kFilepath, IocType::kFilepath,
+                 Operation::kRead, EntityType::kFile},
+        // Network objects.
+        RuleCase{"connect", IocType::kFilepath, IocType::kIp,
+                 Operation::kConnect, EntityType::kNetwork},
+        RuleCase{"send", IocType::kFilepath, IocType::kIp, Operation::kSend,
+                 EntityType::kNetwork},
+        RuleCase{"exfiltrate", IocType::kFilepath, IocType::kIp,
+                 Operation::kSend, EntityType::kNetwork},
+        RuleCase{"download", IocType::kFilepath, IocType::kIp,
+                 Operation::kRecv, EntityType::kNetwork},
+        RuleCase{"beacon", IocType::kFilepath, IocType::kIp,
+                 Operation::kConnect, EntityType::kNetwork}));
+
+TEST(RulesTest, UnmappableCombinations) {
+  // IP subject cannot be a process.
+  EXPECT_FALSE(MapRelation("read", IocType::kIp, IocType::kFilepath));
+  // Unknown verb.
+  EXPECT_FALSE(
+      MapRelation("ponder", IocType::kFilepath, IocType::kFilepath));
+  // Connect verb against a file object.
+  EXPECT_FALSE(
+      MapRelation("connect", IocType::kFilepath, IocType::kFilepath));
+}
+
+// --- Synthesizer. ---
+
+/// Builds the Figure-2-style behavior graph used by most tests.
+ThreatBehaviorGraph LeakageGraph() {
+  ThreatBehaviorGraph g;
+  int tar = g.AddNode({-1, IocType::kFilepath, "/bin/tar", {}});
+  int passwd = g.AddNode({-1, IocType::kFilepath, "/etc/passwd", {}});
+  int archive = g.AddNode({-1, IocType::kFilepath, "/tmp/data.tar", {}});
+  int c2 = g.AddNode({-1, IocType::kIp, "161.35.10.8", {}});
+  g.AddEdge({tar, passwd, "read", 1, 10});
+  g.AddEdge({tar, archive, "write", 2, 20});
+  g.AddEdge({tar, c2, "send", 3, 30});
+  return g;
+}
+
+TEST(SynthesizerTest, BasicSynthesis) {
+  QuerySynthesizer synth;
+  auto result = synth.Synthesize(LeakageGraph());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const tbql::Query& q = result->query;
+  ASSERT_EQ(q.patterns.size(), 3u);
+  EXPECT_EQ(q.patterns[0].op.names[0], "read");
+  EXPECT_EQ(q.patterns[1].op.names[0], "write");
+  EXPECT_EQ(q.patterns[2].op.names[0], "send");
+  // Shared subject entity id across all three patterns.
+  EXPECT_EQ(q.patterns[0].subject.id, q.patterns[1].subject.id);
+  EXPECT_EQ(q.patterns[1].subject.id, q.patterns[2].subject.id);
+}
+
+TEST(SynthesizerTest, SubjectUsesLikeFilter) {
+  QuerySynthesizer synth;
+  auto result = synth.Synthesize(LeakageGraph());
+  ASSERT_TRUE(result.ok());
+  const auto& f = result->query.patterns[0].subject.filters[0];
+  EXPECT_EQ(f.attr, "exename");
+  EXPECT_EQ(f.op, rel::CompareOp::kLike);
+  EXPECT_EQ(f.string_value, "%/bin/tar%");
+}
+
+TEST(SynthesizerTest, FileObjectUsesExactMatchByDefault) {
+  QuerySynthesizer synth;
+  auto result = synth.Synthesize(LeakageGraph());
+  ASSERT_TRUE(result.ok());
+  const auto& f = result->query.patterns[0].object.filters[0];
+  EXPECT_EQ(f.attr, "name");
+  EXPECT_EQ(f.op, rel::CompareOp::kEq);
+  EXPECT_EQ(f.string_value, "/etc/passwd");
+}
+
+TEST(SynthesizerTest, LikeMatchFilesPlan) {
+  SynthesisPlan plan;
+  plan.like_match_files = true;
+  QuerySynthesizer synth(plan);
+  auto result = synth.Synthesize(LeakageGraph());
+  ASSERT_TRUE(result.ok());
+  const auto& f = result->query.patterns[0].object.filters[0];
+  EXPECT_EQ(f.op, rel::CompareOp::kLike);
+  EXPECT_EQ(f.string_value, "%/etc/passwd%");
+}
+
+TEST(SynthesizerTest, TemporalChainFollowsSequence) {
+  QuerySynthesizer synth;
+  auto result = synth.Synthesize(LeakageGraph());
+  ASSERT_TRUE(result.ok());
+  const auto& temporal = result->query.temporal;
+  ASSERT_EQ(temporal.size(), 2u);
+  EXPECT_EQ(temporal[0].first, "evt1");
+  EXPECT_EQ(temporal[0].second, "evt2");
+  EXPECT_EQ(temporal[1].first, "evt2");
+  EXPECT_EQ(temporal[1].second, "evt3");
+}
+
+TEST(SynthesizerTest, ScreeningDropsNonAuditableNodes) {
+  ThreatBehaviorGraph g;
+  int bash = g.AddNode({-1, IocType::kFilepath, "/bin/bash", {}});
+  int shadow = g.AddNode({-1, IocType::kFilepath, "/etc/shadow", {}});
+  int cve = g.AddNode({-1, IocType::kCve, "CVE-2014-6271", {}});
+  int domain = g.AddNode({-1, IocType::kDomain, "evil.com", {}});
+  g.AddEdge({bash, cve, "exploit", 1, 5});
+  g.AddEdge({bash, shadow, "read", 2, 10});
+  g.AddEdge({bash, domain, "contact", 3, 15});
+
+  QuerySynthesizer synth;
+  auto result = synth.Synthesize(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->query.patterns.size(), 1u);
+  EXPECT_EQ(result->screened_nodes.size(), 2u);
+}
+
+TEST(SynthesizerTest, UnmappedEdgesRecorded) {
+  ThreatBehaviorGraph g;
+  int a = g.AddNode({-1, IocType::kFilepath, "/bin/a", {}});
+  int b = g.AddNode({-1, IocType::kFilepath, "/tmp/b", {}});
+  g.AddEdge({a, b, "mention", 1, 5});  // no rule for "mention"
+  g.AddEdge({a, b, "read", 2, 10});
+  QuerySynthesizer synth;
+  auto result = synth.Synthesize(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->query.patterns.size(), 1u);
+  EXPECT_EQ(result->unmapped_edges.size(), 1u);
+}
+
+TEST(SynthesizerTest, AllEdgesScreenedIsNotFound) {
+  ThreatBehaviorGraph g;
+  int cve = g.AddNode({-1, IocType::kCve, "CVE-1-2", {}});
+  int dom = g.AddNode({-1, IocType::kDomain, "x.com", {}});
+  g.AddEdge({cve, dom, "use", 1, 5});
+  QuerySynthesizer synth;
+  auto result = synth.Synthesize(g);
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST(SynthesizerTest, EmptyGraphIsNotFound) {
+  QuerySynthesizer synth;
+  EXPECT_TRUE(synth.Synthesize(ThreatBehaviorGraph()).status().IsNotFound());
+}
+
+TEST(SynthesizerTest, DuplicateMappedEdgesCollapse) {
+  ThreatBehaviorGraph g;
+  int p = g.AddNode({-1, IocType::kFilepath, "/bin/p", {}});
+  int f = g.AddNode({-1, IocType::kFilepath, "/tmp/f", {}});
+  // "read" and "send" (file object) both map to the read operation.
+  g.AddEdge({p, f, "read", 1, 5});
+  g.AddEdge({p, f, "send", 2, 10});
+  QuerySynthesizer synth;
+  auto result = synth.Synthesize(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->query.patterns.size(), 1u);
+  EXPECT_TRUE(result->query.temporal.empty());
+}
+
+TEST(SynthesizerTest, NetworkEntitiesAreNotShared) {
+  ThreatBehaviorGraph g;
+  int bash = g.AddNode({-1, IocType::kFilepath, "/bin/bash", {}});
+  int cracker = g.AddNode({-1, IocType::kFilepath, "/tmp/cracker", {}});
+  int c2 = g.AddNode({-1, IocType::kIp, "161.35.10.8", {}});
+  g.AddEdge({bash, c2, "connect", 1, 5});
+  g.AddEdge({cracker, c2, "send", 2, 10});
+  QuerySynthesizer synth;
+  auto result = synth.Synthesize(g);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->query.patterns.size(), 2u);
+  // Two different flows to the same IP: distinct network entity ids.
+  EXPECT_NE(result->query.patterns[0].object.id,
+            result->query.patterns[1].object.id);
+}
+
+TEST(SynthesizerTest, FileAndProcessRolesOfSameIocAreDistinctEntities) {
+  ThreatBehaviorGraph g;
+  int bash = g.AddNode({-1, IocType::kFilepath, "/bin/bash", {}});
+  int cracker = g.AddNode({-1, IocType::kFilepath, "/tmp/cracker", {}});
+  int shadow = g.AddNode({-1, IocType::kFilepath, "/etc/shadow", {}});
+  g.AddEdge({bash, cracker, "download", 1, 5});   // cracker as file
+  g.AddEdge({cracker, shadow, "read", 2, 10});    // cracker as process
+  QuerySynthesizer synth;
+  auto result = synth.Synthesize(g);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->query.patterns.size(), 2u);
+  EXPECT_NE(result->query.patterns[0].object.id,
+            result->query.patterns[1].subject.id);
+  EXPECT_EQ(result->query.patterns[0].object.type, EntityType::kFile);
+  EXPECT_EQ(result->query.patterns[1].subject.type, EntityType::kProcess);
+}
+
+TEST(SynthesizerTest, PathPatternPlan) {
+  SynthesisPlan plan;
+  plan.use_path_patterns = true;
+  plan.path_min_hops = 1;
+  plan.path_max_hops = 3;
+  QuerySynthesizer synth(plan);
+  ThreatBehaviorGraph g;
+  int bash = g.AddNode({-1, IocType::kFilepath, "/bin/bash", {}});
+  int shadow = g.AddNode({-1, IocType::kFilepath, "/etc/shadow", {}});
+  int child = g.AddNode({-1, IocType::kFilepath, "/tmp/child", {}});
+  g.AddEdge({bash, shadow, "read", 1, 5});
+  g.AddEdge({bash, child, "spawn", 2, 10});
+  auto result = synth.Synthesize(g);
+  ASSERT_TRUE(result.ok());
+  // File edge becomes a path pattern; the fork edge stays single-hop.
+  EXPECT_TRUE(result->query.patterns[0].is_path);
+  EXPECT_EQ(result->query.patterns[0].max_hops, 3u);
+  EXPECT_FALSE(result->query.patterns[1].is_path);
+}
+
+TEST(SynthesizerTest, WindowPlan) {
+  SynthesisPlan plan;
+  plan.window = {100, 200};
+  QuerySynthesizer synth(plan);
+  auto result = synth.Synthesize(LeakageGraph());
+  ASSERT_TRUE(result.ok());
+  for (const auto& p : result->query.patterns) {
+    ASSERT_TRUE(p.window_start.has_value());
+    EXPECT_EQ(*p.window_start, 100);
+    EXPECT_EQ(*p.window_end, 200);
+  }
+}
+
+TEST(SynthesizerTest, SynthesizedQueryIsAnalyzed) {
+  QuerySynthesizer synth;
+  auto result = synth.Synthesize(LeakageGraph());
+  ASSERT_TRUE(result.ok());
+  // Defaults were expanded: every filter has an attribute, returns exist.
+  for (const auto& p : result->query.patterns) {
+    for (const auto& f : p.subject.filters) EXPECT_FALSE(f.attr.empty());
+    for (const auto& f : p.object.filters) EXPECT_FALSE(f.attr.empty());
+  }
+  EXPECT_FALSE(result->query.returns.empty());
+  // And it pretty-prints.
+  EXPECT_FALSE(tbql::Print(result->query).empty());
+}
+
+}  // namespace
+}  // namespace raptor::synth

@@ -1,0 +1,204 @@
+// Tests for the Sysdig default-format parser (src/audit/sysdig_parser.*).
+
+#include <gtest/gtest.h>
+
+#include "audit/generator.h"
+#include "audit/sysdig_parser.h"
+
+namespace raptor::audit {
+namespace {
+
+TEST(SysdigParserTest, FileRead) {
+  AuditLog log;
+  auto id = SysdigParser::ParseLine(
+      "100123 16:31:57.779817000 0 tar (842) < read res=4096 "
+      "data=root:x:0:0 fd=5(<f>/etc/passwd)",
+      &log);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  const SystemEvent& ev = log.event(*id);
+  EXPECT_EQ(ev.op, Operation::kRead);
+  EXPECT_EQ(ev.bytes, 4096u);
+  EXPECT_EQ(log.entity(ev.subject).pid, 842u);
+  EXPECT_EQ(log.entity(ev.subject).exename, "tar");
+  EXPECT_EQ(log.entity(ev.object).path, "/etc/passwd");
+  // 16:31:57.779817000 since midnight.
+  EXPECT_EQ(ev.start_time,
+            ((16LL * 60 + 31) * 60 + 57) * 1'000'000'000LL + 779'817'000LL);
+}
+
+TEST(SysdigParserTest, WriteOnSocketIsSend) {
+  AuditLog log;
+  auto id = SysdigParser::ParseLine(
+      "7 01:02:03.5 0 curl (905) < write res=1024 "
+      "fd=3(<4t>10.10.2.15:51710->161.35.10.8:8080)",
+      &log);
+  ASSERT_TRUE(id.ok());
+  const SystemEvent& ev = log.event(*id);
+  EXPECT_EQ(ev.op, Operation::kSend);
+  const SystemEntity& net = log.entity(ev.object);
+  EXPECT_EQ(net.type, EntityType::kNetwork);
+  EXPECT_EQ(net.dst_ip, "161.35.10.8");
+  EXPECT_EQ(net.dst_port, 8080);
+  EXPECT_EQ(net.src_port, 51710);
+  EXPECT_EQ(net.protocol, "tcp");
+}
+
+TEST(SysdigParserTest, ReadOnSocketIsRecv) {
+  AuditLog log;
+  auto id = SysdigParser::ParseLine(
+      "8 01:02:03.5 0 curl (905) < read res=64 "
+      "fd=3(<4u>10.0.0.1:999->8.8.8.8:53)",
+      &log);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(log.event(*id).op, Operation::kRecv);
+  EXPECT_EQ(log.entity(log.event(*id).object).protocol, "udp");
+}
+
+TEST(SysdigParserTest, ConnectAndAccept) {
+  AuditLog log;
+  auto c = SysdigParser::ParseLine(
+      "9 00:00:01 0 bash (900) < connect res=0 "
+      "fd=3(<4t>10.10.2.15:51620->108.160.172.1:443)",
+      &log);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(log.event(*c).op, Operation::kConnect);
+  auto a = SysdigParser::ParseLine(
+      "10 00:00:02 0 apache2 (800) < accept res=4 "
+      "fd=7(<4t>162.211.33.7:45612->10.10.2.15:80)",
+      &log);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(log.event(*a).op, Operation::kAccept);
+}
+
+TEST(SysdigParserTest, CloneParentSideBecomesFork) {
+  AuditLog log;
+  auto id = SysdigParser::ParseLine(
+      "11 00:00:03 0 bash (900) < clone res=901 exe=/tmp/cracker", &log);
+  ASSERT_TRUE(id.ok());
+  const SystemEvent& ev = log.event(*id);
+  EXPECT_EQ(ev.op, Operation::kFork);
+  EXPECT_EQ(log.entity(ev.object).pid, 901u);
+  EXPECT_EQ(log.entity(ev.object).exename, "/tmp/cracker");
+}
+
+TEST(SysdigParserTest, CloneChildCopySkipped) {
+  AuditLog log;
+  auto id = SysdigParser::ParseLine(
+      "12 00:00:03 0 bash (901) < clone res=0 exe=/bin/bash", &log);
+  EXPECT_TRUE(id.status().IsNotFound());
+}
+
+TEST(SysdigParserTest, ExecveUnlinkRenameChmod) {
+  AuditLog log;
+  auto e = SysdigParser::ParseLine(
+      "13 00:00:04 0 cracker (901) < execve res=0 exe=/tmp/cracker", &log);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(log.event(*e).op, Operation::kExecute);
+  auto u = SysdigParser::ParseLine(
+      "14 00:00:05 0 rm (902) < unlink res=0 name=/var/log/auth.log", &log);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(log.event(*u).op, Operation::kDelete);
+  auto r = SysdigParser::ParseLine(
+      "15 00:00:06 0 mv (903) < rename res=0 oldpath=/tmp/a newpath=/tmp/b",
+      &log);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(log.event(*r).op, Operation::kRename);
+  EXPECT_EQ(log.entity(log.event(*r).object).path, "/tmp/a");
+  auto c = SysdigParser::ParseLine(
+      "16 00:00:07 0 chmod (904) < chmod res=0 filename=/tmp/cracker "
+      "mode=0755",
+      &log);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(log.event(*c).op, Operation::kChmod);
+}
+
+TEST(SysdigParserTest, EnterEventsSkipped) {
+  AuditLog log;
+  auto id = SysdigParser::ParseLine(
+      "17 00:00:08 0 tar (842) > read fd=5(<f>/etc/passwd)", &log);
+  EXPECT_TRUE(id.status().IsNotFound());
+}
+
+TEST(SysdigParserTest, UnsupportedSyscallSkipped) {
+  AuditLog log;
+  auto id = SysdigParser::ParseLine(
+      "18 00:00:09 0 tar (842) < futex addr=7F00 op=129", &log);
+  EXPECT_TRUE(id.status().IsNotFound());
+}
+
+TEST(SysdigParserTest, ReadWithoutFdInfoSkipped) {
+  AuditLog log;
+  auto id = SysdigParser::ParseLine(
+      "19 00:00:10 0 tar (842) < read res=512 fd=5(<p>pipe)", &log);
+  EXPECT_TRUE(id.status().IsNotFound());
+}
+
+struct BadSysdig {
+  const char* line;
+  const char* what;
+};
+
+class SysdigMalformedTest : public ::testing::TestWithParam<BadSysdig> {};
+
+TEST_P(SysdigMalformedTest, Rejects) {
+  AuditLog log;
+  auto id = SysdigParser::ParseLine(GetParam().line, &log);
+  EXPECT_TRUE(id.status().IsParseError()) << GetParam().what;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SysdigMalformedTest,
+    ::testing::Values(
+        BadSysdig{"short line", "too few fields"},
+        BadSysdig{"1 xx:00:00 0 tar (842) < read res=1 fd=5(<f>/x)",
+                  "bad timestamp"},
+        BadSysdig{"1 00:00:00 0 tar 842 < read res=1 fd=5(<f>/x)",
+                  "pid not parenthesized"},
+        BadSysdig{"1 00:00:00 0 tar (abc) < read res=1 fd=5(<f>/x)",
+                  "pid not a number"},
+        BadSysdig{"1 00:00:00 0 tar (842) ? read res=1 fd=5(<f>/x)",
+                  "bad direction"}));
+
+TEST(SysdigParserTest, ParseTextCountsOutcomes) {
+  AuditLog log;
+  SysdigParseStats stats = SysdigParser::ParseText(
+      "1 00:00:01 0 tar (842) < read res=10 fd=5(<f>/etc/passwd)\n"
+      "2 00:00:02 0 tar (842) > write fd=5(<f>/etc/passwd)\n"
+      "3 00:00:03 0 tar (842) < futex addr=1\n"
+      "garbage\n"
+      "\n"
+      "4 00:00:04 0 tar (842) < write res=20 fd=6(<f>/tmp/out)\n",
+      &log);
+  EXPECT_EQ(stats.lines, 5u);
+  EXPECT_EQ(stats.events, 2u);
+  EXPECT_EQ(stats.skipped, 2u);
+  EXPECT_EQ(stats.malformed, 1u);
+  EXPECT_EQ(log.event_count(), 2u);
+}
+
+TEST(SysdigParserTest, FormatRoundTripsGeneratedTrace) {
+  AuditLog log;
+  WorkloadGenerator gen;
+  gen.GenerateBenign(500, &log);
+  gen.InjectDataLeakageAttack(&log);
+
+  AuditLog log2;
+  uint64_t number = 0;
+  size_t round_tripped = 0;
+  for (const SystemEvent& ev : log.events()) {
+    if (ev.op == Operation::kKill || ev.op == Operation::kStart) continue;
+    std::string line = SysdigParser::FormatEvent(log, ev, ++number);
+    auto id = SysdigParser::ParseLine(line, &log2);
+    ASSERT_TRUE(id.ok()) << line << "\n" << id.status().ToString();
+    const SystemEvent& ev2 = log2.event(*id);
+    EXPECT_EQ(ev.op, ev2.op) << line;
+    EXPECT_EQ(ev.bytes, ev2.bytes);
+    // Time round-trips modulo the day boundary.
+    EXPECT_EQ(ev.start_time % 86'400'000'000'000LL, ev2.start_time);
+    ++round_tripped;
+  }
+  EXPECT_GT(round_tripped, 500u);
+}
+
+}  // namespace
+}  // namespace raptor::audit

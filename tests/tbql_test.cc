@@ -1,0 +1,355 @@
+// Tests for the TBQL language front end: lexer, parser, analyzer, printer.
+
+#include <gtest/gtest.h>
+
+#include "tbql/analyzer.h"
+#include "tbql/lexer.h"
+#include "tbql/parser.h"
+#include "tbql/printer.h"
+
+namespace raptor::tbql {
+namespace {
+
+// --- Lexer. ---
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Lex(R"(evt1: proc p1["%tar%"] ~>(2~4)[read] file f1 ; -> != <= >= || && 42)");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const auto& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kIdent, TokenKind::kColon, TokenKind::kIdent,
+                TokenKind::kIdent, TokenKind::kLBracket, TokenKind::kString,
+                TokenKind::kRBracket, TokenKind::kPathArrow,
+                TokenKind::kLParen, TokenKind::kInt, TokenKind::kTilde,
+                TokenKind::kInt, TokenKind::kRParen, TokenKind::kLBracket,
+                TokenKind::kIdent, TokenKind::kRBracket, TokenKind::kIdent,
+                TokenKind::kIdent, TokenKind::kSemicolon, TokenKind::kArrow,
+                TokenKind::kNe, TokenKind::kLe, TokenKind::kGe,
+                TokenKind::kOrOr, TokenKind::kAndAnd, TokenKind::kInt,
+                TokenKind::kEof}));
+}
+
+TEST(LexerTest, StringsAndEscapes) {
+  auto tokens = Lex(R"("a b" 'c d' "e\"f")");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "a b");
+  EXPECT_EQ((*tokens)[1].text, "c d");
+  EXPECT_EQ((*tokens)[2].text, "e\"f");
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Lex("proc // comment\n# another\np1");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);  // proc, p1, EOF
+}
+
+TEST(LexerTest, UnterminatedString) {
+  auto tokens = Lex("\"oops");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_TRUE(tokens.status().IsParseError());
+}
+
+TEST(LexerTest, LineColumnTracking) {
+  auto tokens = Lex("a\n  b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1u);
+  EXPECT_EQ((*tokens)[1].line, 2u);
+  EXPECT_EQ((*tokens)[1].column, 3u);
+}
+
+TEST(LexerTest, UnexpectedCharacter) {
+  auto tokens = Lex("proc @");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("'@'"), std::string::npos);
+}
+
+// --- Parser. ---
+
+Query MustParse(const std::string& src) {
+  auto q = Parse(src);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return *std::move(q);
+}
+
+TEST(ParserTest, FigureTwoStyleQuery) {
+  Query q = MustParse(R"(
+    evt1: proc p1["%/bin/tar%"] read file f1[name = "/etc/passwd"]
+    evt2: proc p1 write file f2["/tmp/data.tar"]
+    with evt1 before evt2
+    return p1, f1.name, f2
+  )");
+  ASSERT_EQ(q.patterns.size(), 2u);
+  EXPECT_EQ(q.patterns[0].id, "evt1");
+  EXPECT_EQ(q.patterns[0].subject.id, "p1");
+  EXPECT_EQ(q.patterns[0].subject.type, audit::EntityType::kProcess);
+  ASSERT_EQ(q.patterns[0].subject.filters.size(), 1u);
+  EXPECT_TRUE(q.patterns[0].subject.filters[0].attr.empty());  // sugar
+  EXPECT_EQ(q.patterns[0].op.names, std::vector<std::string>{"read"});
+  ASSERT_EQ(q.temporal.size(), 1u);
+  EXPECT_EQ(q.temporal[0].first, "evt1");
+  EXPECT_EQ(q.temporal[0].second, "evt2");
+  ASSERT_EQ(q.returns.size(), 3u);
+  EXPECT_EQ(q.returns[1].attr, "name");
+  EXPECT_TRUE(q.returns[0].attr.empty());  // default sugar
+}
+
+TEST(ParserTest, AutoNamedPatterns) {
+  Query q = MustParse("proc p read file f\nproc p write file g");
+  EXPECT_EQ(q.patterns[0].id, "evt1");
+  EXPECT_EQ(q.patterns[1].id, "evt2");
+}
+
+TEST(ParserTest, PathPatternWithBounds) {
+  Query q = MustParse("proc p ~>(2~4)[read] file f[\"/etc/shadow\"]");
+  ASSERT_EQ(q.patterns.size(), 1u);
+  EXPECT_TRUE(q.patterns[0].is_path);
+  EXPECT_EQ(q.patterns[0].min_hops, 2u);
+  EXPECT_EQ(q.patterns[0].max_hops, 4u);
+}
+
+TEST(ParserTest, PathPatternDefaultBounds) {
+  Query q = MustParse("proc p ~>[read] file f");
+  EXPECT_TRUE(q.patterns[0].is_path);
+  EXPECT_EQ(q.patterns[0].min_hops, 1u);
+  EXPECT_GE(q.patterns[0].max_hops, q.patterns[0].min_hops);
+}
+
+TEST(ParserTest, OperationDisjunction) {
+  Query q = MustParse("proc p read || write file f");
+  EXPECT_EQ(q.patterns[0].op.names,
+            (std::vector<std::string>{"read", "write"}));
+  Query q2 = MustParse("proc p read or write file f");
+  EXPECT_EQ(q2.patterns[0].op.names, q.patterns[0].op.names);
+}
+
+TEST(ParserTest, TimeWindow) {
+  Query q = MustParse("proc p read file f from 100 to 200");
+  ASSERT_TRUE(q.patterns[0].window_start.has_value());
+  EXPECT_EQ(*q.patterns[0].window_start, 100);
+  EXPECT_EQ(*q.patterns[0].window_end, 200);
+}
+
+TEST(ParserTest, AfterAndArrowTemporalForms) {
+  Query q = MustParse(
+      "e1: proc p read file f\ne2: proc p write file g\n"
+      "with e2 after e1, e1 -> e2");
+  ASSERT_EQ(q.temporal.size(), 2u);
+  EXPECT_EQ(q.temporal[0].first, "e1");
+  EXPECT_EQ(q.temporal[0].second, "e2");
+  EXPECT_EQ(q.temporal[1].first, "e1");
+}
+
+TEST(ParserTest, MultipleFiltersAndComparators) {
+  Query q = MustParse(
+      R"(proc p[exename = "%x%", pid > 100] read file f[name != "/y"])");
+  ASSERT_EQ(q.patterns[0].subject.filters.size(), 2u);
+  EXPECT_EQ(q.patterns[0].subject.filters[1].op, rel::CompareOp::kGt);
+  EXPECT_EQ(q.patterns[0].subject.filters[1].int_value, 100);
+  EXPECT_EQ(q.patterns[0].object.filters[0].op, rel::CompareOp::kNe);
+}
+
+struct BadQuery {
+  const char* src;
+  const char* what;
+};
+
+class ParserErrorTest : public ::testing::TestWithParam<BadQuery> {};
+
+TEST_P(ParserErrorTest, Rejects) {
+  auto q = Parse(GetParam().src);
+  EXPECT_FALSE(q.ok()) << GetParam().what;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParserErrorTest,
+    ::testing::Values(
+        BadQuery{"", "empty"},
+        BadQuery{"return p1", "no patterns"},
+        BadQuery{"proc p read file", "missing object id"},
+        BadQuery{"widget w read file f", "bad entity type"},
+        BadQuery{"proc p read file f with", "truncated with"},
+        BadQuery{"proc p read file f with e1 around e2", "bad temporal op"},
+        BadQuery{"proc p ~>(4~2 [read] file f", "unclosed bounds"},
+        BadQuery{"proc p[name ~ \"x\"] read file f", "bad comparator"},
+        BadQuery{"proc p read file f return p extra", "trailing garbage"}));
+
+// --- Analyzer. ---
+
+Status AnalyzeSrc(const std::string& src, Query* out = nullptr) {
+  auto q = Parse(src);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  Status st = Analyze(&*q);
+  if (out != nullptr) *out = *std::move(q);
+  return st;
+}
+
+TEST(AnalyzerTest, DefaultAttributeSugar) {
+  Query q;
+  ASSERT_TRUE(AnalyzeSrc(
+                  R"(proc p["%/bin/tar%"] read file f["/etc/passwd"]
+                     return p, f)",
+                  &q)
+                  .ok());
+  EXPECT_EQ(q.patterns[0].subject.filters[0].attr, "exename");
+  EXPECT_EQ(q.patterns[0].object.filters[0].attr, "name");
+  EXPECT_EQ(q.returns[0].attr, "exename");
+  EXPECT_EQ(q.returns[1].attr, "name");
+}
+
+TEST(AnalyzerTest, PercentBecomesLike) {
+  Query q;
+  ASSERT_TRUE(AnalyzeSrc(R"(proc p["%tar%"] read file f["/exact"])", &q).ok());
+  EXPECT_EQ(q.patterns[0].subject.filters[0].op, rel::CompareOp::kLike);
+  EXPECT_EQ(q.patterns[0].object.filters[0].op, rel::CompareOp::kEq);
+}
+
+TEST(AnalyzerTest, SharedEntityFiltersPropagate) {
+  Query q;
+  ASSERT_TRUE(AnalyzeSrc(
+                  R"(evt1: proc p1["%tar%"] read file f1
+                     evt2: proc p1 write file f2)",
+                  &q)
+                  .ok());
+  // evt2's p1 inherits the filter declared in evt1.
+  ASSERT_EQ(q.patterns[1].subject.filters.size(), 1u);
+  EXPECT_EQ(q.patterns[1].subject.filters[0].string_value, "%tar%");
+}
+
+TEST(AnalyzerTest, EmptyReturnDefaultsToAllEntities) {
+  Query q;
+  ASSERT_TRUE(AnalyzeSrc("proc p read file f", &q).ok());
+  ASSERT_EQ(q.returns.size(), 2u);
+}
+
+TEST(AnalyzerTest, OperationsResolved) {
+  Query q;
+  ASSERT_TRUE(AnalyzeSrc("proc p read || write file f", &q).ok());
+  EXPECT_EQ(q.patterns[0].op.ops,
+            (std::vector<audit::Operation>{audit::Operation::kRead,
+                                           audit::Operation::kWrite}));
+}
+
+struct BadSemantics {
+  const char* src;
+  const char* what;
+};
+
+class AnalyzerErrorTest : public ::testing::TestWithParam<BadSemantics> {};
+
+TEST_P(AnalyzerErrorTest, Rejects) {
+  auto q = Parse(GetParam().src);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_FALSE(Analyze(&*q).ok()) << GetParam().what;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AnalyzerErrorTest,
+    ::testing::Values(
+        BadSemantics{"e1: proc p read file f\ne1: proc p write file g",
+                     "duplicate pattern id"},
+        BadSemantics{"file f read file g", "subject must be process"},
+        BadSemantics{"proc p read net n", "op/object type mismatch"},
+        BadSemantics{"proc p frobnicate file f", "unknown operation"},
+        BadSemantics{"proc p read proc q", "read needs file object"},
+        BadSemantics{"proc p ~>(3~2)[read] file f", "min > max"},
+        BadSemantics{"proc p ~>(1~99)[read] file f", "bound too large"},
+        BadSemantics{"proc p read file f from 200 to 100", "window reversed"},
+        BadSemantics{"proc p[srcip = \"1.2.3.4\"] read file f",
+                     "attr not valid for type"},
+        BadSemantics{"proc p read file f\nwith e1 before e9",
+                     "unknown pattern in with"},
+        BadSemantics{"e1: proc p read file f\nwith e1 before e1",
+                     "self temporal"},
+        BadSemantics{"e1: proc p read file f\ne2: proc p write file g\n"
+                     "with e1 before e2, e2 before e1",
+                     "temporal cycle"},
+        BadSemantics{"proc p read file f return zz", "unknown return entity"},
+        BadSemantics{"proc p read file f return f.pid",
+                     "attr invalid for entity"},
+        BadSemantics{"e1: proc x read file f\ne2: file x read file g",
+                     "entity type conflict"}));
+
+// --- Printer round trip. ---
+
+class PrinterRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PrinterRoundTripTest, PrintParseAnalyzeFixpoint) {
+  auto q1 = Parse(GetParam());
+  ASSERT_TRUE(q1.ok()) << q1.status().ToString();
+  ASSERT_TRUE(Analyze(&*q1).ok());
+  std::string printed1 = Print(*q1);
+
+  auto q2 = Parse(printed1);
+  ASSERT_TRUE(q2.ok()) << printed1 << "\n" << q2.status().ToString();
+  ASSERT_TRUE(Analyze(&*q2).ok());
+  EXPECT_EQ(Print(*q2), printed1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PrinterRoundTripTest,
+    ::testing::Values(
+        "proc p1[\"%/bin/tar%\"] read file f1[\"/etc/passwd\"]",
+        "evt1: proc p read || write file f from 5 to 10\n"
+        "evt2: proc p send net n[dstip = \"1.2.3.4\"]\n"
+        "with evt1 before evt2\nreturn p.pid, n.dstport",
+        "proc p ~>(2~4)[read] file f",
+        "proc p[pid > 100] fork proc q\nreturn q",
+        "e: proc p[exename != \"%sshd%\"] delete file f"));
+
+TEST(PrinterTest, RendersWithAndReturn) {
+  Query q;
+  ASSERT_TRUE(AnalyzeSrc(
+                  "e1: proc p read file f\ne2: proc p write file f\n"
+                  "with e1 before e2\nreturn p, f",
+                  &q)
+                  .ok());
+  std::string out = Print(q);
+  EXPECT_NE(out.find("with e1 before e2"), std::string::npos);
+  EXPECT_NE(out.find("return p.exename, f.name"), std::string::npos);
+}
+
+
+TEST(ParserTest, ReturnCountAndLimit) {
+  Query q = MustParse("proc p read file f\nreturn count\nlimit 10");
+  EXPECT_TRUE(q.return_count);
+  EXPECT_TRUE(q.returns.empty());
+  ASSERT_TRUE(q.limit.has_value());
+  EXPECT_EQ(*q.limit, 10u);
+  EXPECT_TRUE(Analyze(&q).ok());
+}
+
+TEST(ParserTest, LimitWithoutReturn) {
+  Query q = MustParse("proc p read file f\nlimit 3");
+  ASSERT_TRUE(q.limit.has_value());
+  EXPECT_EQ(*q.limit, 3u);
+}
+
+TEST(ParserTest, LimitMustBePositive) {
+  EXPECT_FALSE(Parse("proc p read file f\nlimit 0").ok());
+}
+
+TEST(AnalyzerTest, CountCannotMixWithItems) {
+  // 'count' consumes the return clause; a following item is a parse error
+  // (trailing content), and the analyzer also rejects a hand-built mix.
+  EXPECT_FALSE(Parse("proc p read file f\nreturn count, p").ok());
+  Query q = MustParse("proc p read file f\nreturn p");
+  q.return_count = true;
+  EXPECT_TRUE(Analyze(&q).IsInvalidArgument());
+}
+
+TEST(PrinterTest, CountAndLimitRoundTrip) {
+  Query q = MustParse("proc p read file f\nreturn count\nlimit 5");
+  ASSERT_TRUE(Analyze(&q).ok());
+  std::string printed = Print(q);
+  EXPECT_NE(printed.find("return count"), std::string::npos);
+  EXPECT_NE(printed.find("limit 5"), std::string::npos);
+  auto q2 = Parse(printed);
+  ASSERT_TRUE(q2.ok());
+  ASSERT_TRUE(Analyze(&*q2).ok());
+  EXPECT_EQ(Print(*q2), printed);
+}
+
+}  // namespace
+}  // namespace raptor::tbql
