@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conciseness.dir/bench_conciseness.cc.o"
+  "CMakeFiles/bench_conciseness.dir/bench_conciseness.cc.o.d"
+  "bench_conciseness"
+  "bench_conciseness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conciseness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cpr.dir/bench_cpr.cc.o"
+  "CMakeFiles/bench_cpr.dir/bench_cpr.cc.o.d"
+  "bench_cpr"
+  "bench_cpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

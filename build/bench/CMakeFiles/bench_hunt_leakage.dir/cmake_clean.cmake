@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hunt_leakage.dir/bench_hunt_leakage.cc.o"
+  "CMakeFiles/bench_hunt_leakage.dir/bench_hunt_leakage.cc.o.d"
+  "bench_hunt_leakage"
+  "bench_hunt_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hunt_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ioc_baseline.dir/bench_ioc_baseline.cc.o"
+  "CMakeFiles/bench_ioc_baseline.dir/bench_ioc_baseline.cc.o.d"
+  "bench_ioc_baseline"
+  "bench_ioc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ioc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extract_report.dir/extract_report.cpp.o"
+  "CMakeFiles/extract_report.dir/extract_report.cpp.o.d"
+  "extract_report"
+  "extract_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extract_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hunt_data_leakage.dir/hunt_data_leakage.cpp.o"
+  "CMakeFiles/hunt_data_leakage.dir/hunt_data_leakage.cpp.o.d"
+  "hunt_data_leakage"
+  "hunt_data_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hunt_data_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hunt_password_cracking.dir/hunt_password_cracking.cpp.o"
+  "CMakeFiles/hunt_password_cracking.dir/hunt_password_cracking.cpp.o.d"
+  "hunt_password_cracking"
+  "hunt_password_cracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hunt_password_cracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hunt_password_cracking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/investigate_attack.dir/investigate_attack.cpp.o"
+  "CMakeFiles/investigate_attack.dir/investigate_attack.cpp.o.d"
+  "investigate_attack"
+  "investigate_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/investigate_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stix_feed_hunt.dir/stix_feed_hunt.cpp.o"
+  "CMakeFiles/stix_feed_hunt.dir/stix_feed_hunt.cpp.o.d"
+  "stix_feed_hunt"
+  "stix_feed_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stix_feed_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

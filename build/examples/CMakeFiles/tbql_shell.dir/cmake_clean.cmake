@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbql_shell.dir/tbql_shell.cpp.o"
+  "CMakeFiles/tbql_shell.dir/tbql_shell.cpp.o.d"
+  "tbql_shell"
+  "tbql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_ui.dir/web_ui.cpp.o"
+  "CMakeFiles/web_ui.dir/web_ui.cpp.o.d"
+  "web_ui"
+  "web_ui.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_ui.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/audit/cpr.cc" "src/audit/CMakeFiles/raptor_audit.dir/cpr.cc.o" "gcc" "src/audit/CMakeFiles/raptor_audit.dir/cpr.cc.o.d"
+  "/root/repo/src/audit/generator.cc" "src/audit/CMakeFiles/raptor_audit.dir/generator.cc.o" "gcc" "src/audit/CMakeFiles/raptor_audit.dir/generator.cc.o.d"
+  "/root/repo/src/audit/log.cc" "src/audit/CMakeFiles/raptor_audit.dir/log.cc.o" "gcc" "src/audit/CMakeFiles/raptor_audit.dir/log.cc.o.d"
+  "/root/repo/src/audit/parser.cc" "src/audit/CMakeFiles/raptor_audit.dir/parser.cc.o" "gcc" "src/audit/CMakeFiles/raptor_audit.dir/parser.cc.o.d"
+  "/root/repo/src/audit/sysdig_parser.cc" "src/audit/CMakeFiles/raptor_audit.dir/sysdig_parser.cc.o" "gcc" "src/audit/CMakeFiles/raptor_audit.dir/sysdig_parser.cc.o.d"
+  "/root/repo/src/audit/types.cc" "src/audit/CMakeFiles/raptor_audit.dir/types.cc.o" "gcc" "src/audit/CMakeFiles/raptor_audit.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/raptor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raptor_audit.dir/cpr.cc.o"
+  "CMakeFiles/raptor_audit.dir/cpr.cc.o.d"
+  "CMakeFiles/raptor_audit.dir/generator.cc.o"
+  "CMakeFiles/raptor_audit.dir/generator.cc.o.d"
+  "CMakeFiles/raptor_audit.dir/log.cc.o"
+  "CMakeFiles/raptor_audit.dir/log.cc.o.d"
+  "CMakeFiles/raptor_audit.dir/parser.cc.o"
+  "CMakeFiles/raptor_audit.dir/parser.cc.o.d"
+  "CMakeFiles/raptor_audit.dir/sysdig_parser.cc.o"
+  "CMakeFiles/raptor_audit.dir/sysdig_parser.cc.o.d"
+  "CMakeFiles/raptor_audit.dir/types.cc.o"
+  "CMakeFiles/raptor_audit.dir/types.cc.o.d"
+  "libraptor_audit.a"
+  "libraptor_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raptor_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

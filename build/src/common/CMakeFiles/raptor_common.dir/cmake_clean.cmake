@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raptor_common.dir/json.cc.o"
+  "CMakeFiles/raptor_common.dir/json.cc.o.d"
+  "CMakeFiles/raptor_common.dir/status.cc.o"
+  "CMakeFiles/raptor_common.dir/status.cc.o.d"
+  "CMakeFiles/raptor_common.dir/strings.cc.o"
+  "CMakeFiles/raptor_common.dir/strings.cc.o.d"
+  "libraptor_common.a"
+  "libraptor_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raptor_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

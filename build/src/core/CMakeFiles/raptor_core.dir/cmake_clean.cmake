@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raptor_core.dir/investigate.cc.o"
+  "CMakeFiles/raptor_core.dir/investigate.cc.o.d"
+  "CMakeFiles/raptor_core.dir/threat_raptor.cc.o"
+  "CMakeFiles/raptor_core.dir/threat_raptor.cc.o.d"
+  "libraptor_core.a"
+  "libraptor_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raptor_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raptor_cti.dir/feed.cc.o"
+  "CMakeFiles/raptor_cti.dir/feed.cc.o.d"
+  "libraptor_cti.a"
+  "libraptor_cti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raptor_cti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

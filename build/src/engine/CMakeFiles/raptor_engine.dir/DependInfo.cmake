@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/engine.cc" "src/engine/CMakeFiles/raptor_engine.dir/engine.cc.o" "gcc" "src/engine/CMakeFiles/raptor_engine.dir/engine.cc.o.d"
+  "/root/repo/src/engine/explain.cc" "src/engine/CMakeFiles/raptor_engine.dir/explain.cc.o" "gcc" "src/engine/CMakeFiles/raptor_engine.dir/explain.cc.o.d"
+  "/root/repo/src/engine/translate.cc" "src/engine/CMakeFiles/raptor_engine.dir/translate.cc.o" "gcc" "src/engine/CMakeFiles/raptor_engine.dir/translate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/raptor_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/audit/CMakeFiles/raptor_audit.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/raptor_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/tbql/CMakeFiles/raptor_tbql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

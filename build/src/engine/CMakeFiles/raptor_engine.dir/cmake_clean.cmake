@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raptor_engine.dir/engine.cc.o"
+  "CMakeFiles/raptor_engine.dir/engine.cc.o.d"
+  "CMakeFiles/raptor_engine.dir/explain.cc.o"
+  "CMakeFiles/raptor_engine.dir/explain.cc.o.d"
+  "CMakeFiles/raptor_engine.dir/translate.cc.o"
+  "CMakeFiles/raptor_engine.dir/translate.cc.o.d"
+  "libraptor_engine.a"
+  "libraptor_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raptor_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

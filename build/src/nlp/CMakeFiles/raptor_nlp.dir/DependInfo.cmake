@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nlp/behavior_graph.cc" "src/nlp/CMakeFiles/raptor_nlp.dir/behavior_graph.cc.o" "gcc" "src/nlp/CMakeFiles/raptor_nlp.dir/behavior_graph.cc.o.d"
+  "/root/repo/src/nlp/dep_parser.cc" "src/nlp/CMakeFiles/raptor_nlp.dir/dep_parser.cc.o" "gcc" "src/nlp/CMakeFiles/raptor_nlp.dir/dep_parser.cc.o.d"
+  "/root/repo/src/nlp/dep_tree.cc" "src/nlp/CMakeFiles/raptor_nlp.dir/dep_tree.cc.o" "gcc" "src/nlp/CMakeFiles/raptor_nlp.dir/dep_tree.cc.o.d"
+  "/root/repo/src/nlp/embeddings.cc" "src/nlp/CMakeFiles/raptor_nlp.dir/embeddings.cc.o" "gcc" "src/nlp/CMakeFiles/raptor_nlp.dir/embeddings.cc.o.d"
+  "/root/repo/src/nlp/ioc.cc" "src/nlp/CMakeFiles/raptor_nlp.dir/ioc.cc.o" "gcc" "src/nlp/CMakeFiles/raptor_nlp.dir/ioc.cc.o.d"
+  "/root/repo/src/nlp/lexicon.cc" "src/nlp/CMakeFiles/raptor_nlp.dir/lexicon.cc.o" "gcc" "src/nlp/CMakeFiles/raptor_nlp.dir/lexicon.cc.o.d"
+  "/root/repo/src/nlp/pipeline.cc" "src/nlp/CMakeFiles/raptor_nlp.dir/pipeline.cc.o" "gcc" "src/nlp/CMakeFiles/raptor_nlp.dir/pipeline.cc.o.d"
+  "/root/repo/src/nlp/pos_tagger.cc" "src/nlp/CMakeFiles/raptor_nlp.dir/pos_tagger.cc.o" "gcc" "src/nlp/CMakeFiles/raptor_nlp.dir/pos_tagger.cc.o.d"
+  "/root/repo/src/nlp/report_gen.cc" "src/nlp/CMakeFiles/raptor_nlp.dir/report_gen.cc.o" "gcc" "src/nlp/CMakeFiles/raptor_nlp.dir/report_gen.cc.o.d"
+  "/root/repo/src/nlp/segmenter.cc" "src/nlp/CMakeFiles/raptor_nlp.dir/segmenter.cc.o" "gcc" "src/nlp/CMakeFiles/raptor_nlp.dir/segmenter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/raptor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

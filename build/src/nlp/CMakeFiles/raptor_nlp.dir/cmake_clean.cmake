@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raptor_nlp.dir/behavior_graph.cc.o"
+  "CMakeFiles/raptor_nlp.dir/behavior_graph.cc.o.d"
+  "CMakeFiles/raptor_nlp.dir/dep_parser.cc.o"
+  "CMakeFiles/raptor_nlp.dir/dep_parser.cc.o.d"
+  "CMakeFiles/raptor_nlp.dir/dep_tree.cc.o"
+  "CMakeFiles/raptor_nlp.dir/dep_tree.cc.o.d"
+  "CMakeFiles/raptor_nlp.dir/embeddings.cc.o"
+  "CMakeFiles/raptor_nlp.dir/embeddings.cc.o.d"
+  "CMakeFiles/raptor_nlp.dir/ioc.cc.o"
+  "CMakeFiles/raptor_nlp.dir/ioc.cc.o.d"
+  "CMakeFiles/raptor_nlp.dir/lexicon.cc.o"
+  "CMakeFiles/raptor_nlp.dir/lexicon.cc.o.d"
+  "CMakeFiles/raptor_nlp.dir/pipeline.cc.o"
+  "CMakeFiles/raptor_nlp.dir/pipeline.cc.o.d"
+  "CMakeFiles/raptor_nlp.dir/pos_tagger.cc.o"
+  "CMakeFiles/raptor_nlp.dir/pos_tagger.cc.o.d"
+  "CMakeFiles/raptor_nlp.dir/report_gen.cc.o"
+  "CMakeFiles/raptor_nlp.dir/report_gen.cc.o.d"
+  "CMakeFiles/raptor_nlp.dir/segmenter.cc.o"
+  "CMakeFiles/raptor_nlp.dir/segmenter.cc.o.d"
+  "libraptor_nlp.a"
+  "libraptor_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raptor_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raptor_server.dir/api.cc.o"
+  "CMakeFiles/raptor_server.dir/api.cc.o.d"
+  "CMakeFiles/raptor_server.dir/http.cc.o"
+  "CMakeFiles/raptor_server.dir/http.cc.o.d"
+  "libraptor_server.a"
+  "libraptor_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raptor_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/graph/dependency.cc" "src/storage/CMakeFiles/raptor_storage.dir/graph/dependency.cc.o" "gcc" "src/storage/CMakeFiles/raptor_storage.dir/graph/dependency.cc.o.d"
+  "/root/repo/src/storage/graph/graph_store.cc" "src/storage/CMakeFiles/raptor_storage.dir/graph/graph_store.cc.o" "gcc" "src/storage/CMakeFiles/raptor_storage.dir/graph/graph_store.cc.o.d"
+  "/root/repo/src/storage/persist/snapshot.cc" "src/storage/CMakeFiles/raptor_storage.dir/persist/snapshot.cc.o" "gcc" "src/storage/CMakeFiles/raptor_storage.dir/persist/snapshot.cc.o.d"
+  "/root/repo/src/storage/relational/database.cc" "src/storage/CMakeFiles/raptor_storage.dir/relational/database.cc.o" "gcc" "src/storage/CMakeFiles/raptor_storage.dir/relational/database.cc.o.d"
+  "/root/repo/src/storage/relational/predicate.cc" "src/storage/CMakeFiles/raptor_storage.dir/relational/predicate.cc.o" "gcc" "src/storage/CMakeFiles/raptor_storage.dir/relational/predicate.cc.o.d"
+  "/root/repo/src/storage/relational/table.cc" "src/storage/CMakeFiles/raptor_storage.dir/relational/table.cc.o" "gcc" "src/storage/CMakeFiles/raptor_storage.dir/relational/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/raptor_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/audit/CMakeFiles/raptor_audit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raptor_storage.dir/graph/dependency.cc.o"
+  "CMakeFiles/raptor_storage.dir/graph/dependency.cc.o.d"
+  "CMakeFiles/raptor_storage.dir/graph/graph_store.cc.o"
+  "CMakeFiles/raptor_storage.dir/graph/graph_store.cc.o.d"
+  "CMakeFiles/raptor_storage.dir/persist/snapshot.cc.o"
+  "CMakeFiles/raptor_storage.dir/persist/snapshot.cc.o.d"
+  "CMakeFiles/raptor_storage.dir/relational/database.cc.o"
+  "CMakeFiles/raptor_storage.dir/relational/database.cc.o.d"
+  "CMakeFiles/raptor_storage.dir/relational/predicate.cc.o"
+  "CMakeFiles/raptor_storage.dir/relational/predicate.cc.o.d"
+  "CMakeFiles/raptor_storage.dir/relational/table.cc.o"
+  "CMakeFiles/raptor_storage.dir/relational/table.cc.o.d"
+  "libraptor_storage.a"
+  "libraptor_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raptor_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raptor_synthesis.dir/rules.cc.o"
+  "CMakeFiles/raptor_synthesis.dir/rules.cc.o.d"
+  "CMakeFiles/raptor_synthesis.dir/synthesizer.cc.o"
+  "CMakeFiles/raptor_synthesis.dir/synthesizer.cc.o.d"
+  "libraptor_synthesis.a"
+  "libraptor_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raptor_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

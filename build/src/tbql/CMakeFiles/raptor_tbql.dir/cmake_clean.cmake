@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raptor_tbql.dir/analyzer.cc.o"
+  "CMakeFiles/raptor_tbql.dir/analyzer.cc.o.d"
+  "CMakeFiles/raptor_tbql.dir/lexer.cc.o"
+  "CMakeFiles/raptor_tbql.dir/lexer.cc.o.d"
+  "CMakeFiles/raptor_tbql.dir/parser.cc.o"
+  "CMakeFiles/raptor_tbql.dir/parser.cc.o.d"
+  "CMakeFiles/raptor_tbql.dir/printer.cc.o"
+  "CMakeFiles/raptor_tbql.dir/printer.cc.o.d"
+  "libraptor_tbql.a"
+  "libraptor_tbql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raptor_tbql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attr_relationship_test.dir/attr_relationship_test.cc.o"
+  "CMakeFiles/attr_relationship_test.dir/attr_relationship_test.cc.o.d"
+  "attr_relationship_test"
+  "attr_relationship_test.pdb"
+  "attr_relationship_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attr_relationship_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_test.dir/cpr_test.cc.o"
+  "CMakeFiles/cpr_test.dir/cpr_test.cc.o.d"
+  "cpr_test"
+  "cpr_test.pdb"
+  "cpr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cti_test.dir/cti_test.cc.o"
+  "CMakeFiles/cti_test.dir/cti_test.cc.o.d"
+  "cti_test"
+  "cti_test.pdb"
+  "cti_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cti_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/engine_test.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cti/CMakeFiles/raptor_cti.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/raptor_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/raptor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/raptor_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/synthesis/CMakeFiles/raptor_synthesis.dir/DependInfo.cmake"
+  "/root/repo/build/src/tbql/CMakeFiles/raptor_tbql.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/raptor_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/raptor_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/audit/CMakeFiles/raptor_audit.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/raptor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlp_ioc_test.dir/nlp_ioc_test.cc.o"
+  "CMakeFiles/nlp_ioc_test.dir/nlp_ioc_test.cc.o.d"
+  "nlp_ioc_test"
+  "nlp_ioc_test.pdb"
+  "nlp_ioc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlp_ioc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

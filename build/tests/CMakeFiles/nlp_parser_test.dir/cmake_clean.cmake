@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlp_parser_test.dir/nlp_parser_test.cc.o"
+  "CMakeFiles/nlp_parser_test.dir/nlp_parser_test.cc.o.d"
+  "nlp_parser_test"
+  "nlp_parser_test.pdb"
+  "nlp_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlp_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlp_report_gen_test.dir/nlp_report_gen_test.cc.o"
+  "CMakeFiles/nlp_report_gen_test.dir/nlp_report_gen_test.cc.o.d"
+  "nlp_report_gen_test"
+  "nlp_report_gen_test.pdb"
+  "nlp_report_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlp_report_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysdig_parser_test.dir/sysdig_parser_test.cc.o"
+  "CMakeFiles/sysdig_parser_test.dir/sysdig_parser_test.cc.o.d"
+  "sysdig_parser_test"
+  "sysdig_parser_test.pdb"
+  "sysdig_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysdig_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

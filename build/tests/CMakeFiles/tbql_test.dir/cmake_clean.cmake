@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbql_test.dir/tbql_test.cc.o"
+  "CMakeFiles/tbql_test.dir/tbql_test.cc.o.d"
+  "tbql_test"
+  "tbql_test.pdb"
+  "tbql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

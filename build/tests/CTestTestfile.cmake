@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/audit_test[1]_include.cmake")
+include("/root/repo/build/tests/cpr_test[1]_include.cmake")
+include("/root/repo/build/tests/relational_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/nlp_ioc_test[1]_include.cmake")
+include("/root/repo/build/tests/nlp_text_test[1]_include.cmake")
+include("/root/repo/build/tests/nlp_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/nlp_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/tbql_test[1]_include.cmake")
+include("/root/repo/build/tests/synthesis_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/nlp_report_gen_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/attr_relationship_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/cti_test[1]_include.cmake")
+include("/root/repo/build/tests/sysdig_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_test[1]_include.cmake")
+include("/root/repo/build/tests/dependency_test[1]_include.cmake")
+include("/root/repo/build/tests/server_test[1]_include.cmake")
