@@ -17,9 +17,7 @@ for b in build/bench/*; do
 done
 
 echo "=== ASan+UBSan build ==="
-cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
-  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
-  >/dev/null
+cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug -DASAN=ON >/dev/null
 cmake --build build-asan
 
 echo "=== Tests (sanitized) ==="

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "common/fault_injection.h"
 #include "common/strings.h"
 
 namespace raptor::audit {
@@ -36,6 +37,7 @@ Result<std::string_view> Require(
 }  // namespace
 
 Result<EventId> LogParser::ParseLine(std::string_view line, AuditLog* log) {
+  RAPTOR_RETURN_NOT_OK(TriggerFaultPoint("audit.parser.line"));
   std::unordered_map<std::string_view, std::string_view> kv;
   size_t i = 0;
   while (i < line.size()) {
@@ -118,6 +120,12 @@ Result<EventId> LogParser::ParseLine(std::string_view line, AuditLog* log) {
 }
 
 Status LogParser::ParseText(std::string_view text, AuditLog* log) {
+  return ParseText(text, log, ParseOptions{}).status();
+}
+
+Result<ParseStats> LogParser::ParseText(std::string_view text, AuditLog* log,
+                                        const ParseOptions& options) {
+  ParseStats stats;
   size_t line_no = 0;
   size_t start = 0;
   while (start <= text.size()) {
@@ -128,16 +136,31 @@ Status LogParser::ParseText(std::string_view text, AuditLog* log) {
     ++line_no;
     std::string_view trimmed = Trim(line);
     if (!trimmed.empty() && trimmed[0] != '#') {
+      ++stats.lines;
       auto result = ParseLine(trimmed, log);
-      if (!result.ok()) {
-        return Status::ParseError(StrFormat(
-            "line %zu: %s", line_no, result.status().message().c_str()));
+      if (result.ok()) {
+        ++stats.events;
+      } else {
+        std::string error = StrFormat(
+            "line %zu: %s", line_no, result.status().message().c_str());
+        if (stats.skipped >= options.error_budget) {
+          // Budget exhausted: fail the batch. Events parsed so far stay in
+          // the log (callers that need atomicity parse into a scratch log).
+          if (options.error_budget == 0) return Status::ParseError(error);
+          return Status::ParseError(StrFormat(
+              "error budget (%zu malformed lines) exceeded: %s",
+              options.error_budget, error.c_str()));
+        }
+        ++stats.skipped;
+        if (stats.error_samples.size() < options.max_error_samples) {
+          stats.error_samples.push_back(std::move(error));
+        }
       }
     }
     if (nl == std::string_view::npos) break;
     start = nl + 1;
   }
-  return Status::OK();
+  return stats;
 }
 
 std::string LogParser::FormatEvent(const AuditLog& log,

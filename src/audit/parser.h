@@ -17,11 +17,32 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "audit/log.h"
 #include "common/result.h"
 
 namespace raptor::audit {
+
+/// \brief Outcome of a (possibly tolerant) text parse pass.
+struct ParseStats {
+  size_t lines = 0;    ///< Record lines seen (blank/comment lines excluded).
+  size_t events = 0;   ///< Lines parsed into audit events.
+  size_t skipped = 0;  ///< Malformed lines skipped under the error budget.
+  /// The first few skipped lines' errors, "line <n>: <message>" — enough to
+  /// diagnose a bad producer without retaining the whole firehose.
+  std::vector<std::string> error_samples;
+};
+
+/// \brief Tolerance knobs for ParseText.
+struct ParseOptions {
+  /// Malformed lines tolerated before the parse aborts. 0 is strict mode:
+  /// the first malformed line fails the whole batch (the historic
+  /// behavior). Lines already parsed stay in the log either way.
+  size_t error_budget = 0;
+  /// Cap on retained ParseStats::error_samples.
+  size_t max_error_samples = 5;
+};
 
 /// \brief Parses the textual audit record format into an AuditLog.
 class LogParser {
@@ -33,6 +54,13 @@ class LogParser {
   /// Parses a whole document (one record per line). Stops at the first
   /// malformed line and reports its 1-based line number.
   static Status ParseText(std::string_view text, AuditLog* log);
+
+  /// Error-budgeted parse: skips and counts up to `options.error_budget`
+  /// malformed lines, recording the first few errors in the stats. Fails
+  /// with ParseError once the budget is exceeded (strict when the budget is
+  /// 0, matching ParseText above).
+  static Result<ParseStats> ParseText(std::string_view text, AuditLog* log,
+                                      const ParseOptions& options);
 
   /// Renders `event` from `log` back into the line format (round-trips
   /// through ParseLine).

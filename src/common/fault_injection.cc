@@ -1,0 +1,21 @@
+#include "common/fault_injection.h"
+
+#include <atomic>
+
+namespace raptor {
+
+namespace {
+std::atomic<FaultInjector*> g_injector{nullptr};
+}  // namespace
+
+void SetFaultInjector(FaultInjector* injector) {
+  g_injector.store(injector, std::memory_order_release);
+}
+
+Status TriggerFaultPoint(std::string_view point) {
+  FaultInjector* injector = g_injector.load(std::memory_order_acquire);
+  if (injector == nullptr) return Status::OK();
+  return injector->OnPoint(point);
+}
+
+}  // namespace raptor

@@ -1,0 +1,44 @@
+// Fault-injection hook points for resilience testing.
+//
+// Production code marks interesting failure sites with
+// `RAPTOR_RETURN_NOT_OK(TriggerFaultPoint("layer.site"))`. In normal
+// operation no injector is installed and the hook is a single relaxed
+// atomic load. Tests install a FaultInjector (see tests/fault_injection.h
+// for the scripted harness) to flip those sites into error Statuses or
+// delays and prove the system degrades instead of dying.
+//
+// Registered points (keep this list current; resilience_test relies on it):
+//   audit.parser.line      — LogParser::ParseLine, before parsing
+//   synthesis.synthesize   — QuerySynthesizer::Synthesize, on entry
+//   engine.execute         — QueryEngine::Execute, on entry
+//   engine.pattern         — QueryEngine::Execute, before each pattern
+//   server.handler         — HttpServer, before invoking a route handler
+
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+
+namespace raptor {
+
+/// \brief Test-installed hook that decides the fate of a fault point.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Called once per hit of `point`. Return a non-OK Status to make the
+  /// site fail; sleep inside to inject latency. Must be thread-safe: the
+  /// server hits points from its accept thread.
+  virtual Status OnPoint(std::string_view point) = 0;
+};
+
+/// Installs `injector` process-wide (nullptr uninstalls). The caller keeps
+/// ownership and must uninstall before destroying it.
+void SetFaultInjector(FaultInjector* injector);
+
+/// Evaluates the fault point `point`: OK when no injector is installed,
+/// otherwise whatever the injector decides.
+Status TriggerFaultPoint(std::string_view point);
+
+}  // namespace raptor

@@ -2,12 +2,25 @@
 
 #include <algorithm>
 
+#include "common/strings.h"
 #include "storage/persist/snapshot.h"
+#include "synthesis/rules.h"
 #include "tbql/analyzer.h"
 #include "tbql/parser.h"
 #include "tbql/printer.h"
 
 namespace raptor {
+
+std::string DegradationReport::ToString() const {
+  if (!degraded) return "not degraded";
+  std::string out;
+  for (const StageFailure& f : failures) {
+    out += f.stage + " failed: " + f.error + "\n";
+  }
+  out += StrFormat("degraded sub-queries: %zu/%zu succeeded",
+                   subqueries_succeeded, subqueries_attempted);
+  return out;
+}
 
 ThreatRaptor::ThreatRaptor(ThreatRaptorOptions options)
     : options_(options),
@@ -22,6 +35,15 @@ Status ThreatRaptor::IngestLogText(std::string_view text) {
         "storage already finalized; ingestion is frozen");
   }
   return audit::LogParser::ParseText(text, &log_);
+}
+
+Result<audit::ParseStats> ThreatRaptor::IngestLogText(
+    std::string_view text, const audit::ParseOptions& options) {
+  if (storage_ready_) {
+    return Status::InvalidArgument(
+        "storage already finalized; ingestion is frozen");
+  }
+  return audit::LogParser::ParseText(text, &log_, options);
 }
 
 Result<audit::SysdigParseStats> ThreatRaptor::IngestSysdigText(
@@ -58,6 +80,19 @@ Status ThreatRaptor::IngestLiveText(std::string_view text) {
   rel_->SyncWith(log_);
   graph_->SyncWithLog();
   return st;
+}
+
+Result<audit::ParseStats> ThreatRaptor::IngestLiveText(
+    std::string_view text, const audit::ParseOptions& options) {
+  if (!storage_ready_) {
+    return Status::InvalidArgument(
+        "live ingestion requires finalized storage; use IngestLogText "
+        "before FinalizeStorage()");
+  }
+  auto stats = audit::LogParser::ParseText(text, &log_, options);
+  rel_->SyncWith(log_);
+  graph_->SyncWithLog();
+  return stats;
 }
 
 Result<audit::SysdigParseStats> ThreatRaptor::IngestLiveSysdig(
@@ -134,19 +169,138 @@ Result<engine::QueryResult> ThreatRaptor::ExecuteTbql(
   return ExecuteQuery(query);
 }
 
+namespace {
+
+/// Builds the degraded sub-query for one already-analyzed pattern of the
+/// full behavior query: the pattern alone, no temporal constraints.
+tbql::Query SinglePatternQuery(const tbql::Pattern& pattern) {
+  tbql::Query query;
+  query.patterns.push_back(pattern);
+  query.returns.push_back(tbql::ReturnItem{pattern.subject.id, ""});
+  query.returns.push_back(tbql::ReturnItem{pattern.object.id, ""});
+  return query;
+}
+
+/// Builds the degraded sub-query for one auditable IOC, matching any event
+/// that touches it: file-like IOCs as the object of any file operation
+/// (execute covers executables named in reports), IPs as the destination of
+/// any network operation. Returns nullopt for non-auditable IOC types.
+std::optional<tbql::Query> PerIocQuery(const nlp::IocEntity& ioc) {
+  if (!synth::IsAuditableIocType(ioc.type)) return std::nullopt;
+  tbql::Query query;
+  tbql::Pattern p;
+  p.id = "evt1";
+  p.subject.type = audit::EntityType::kProcess;
+  p.subject.id = "p1";
+
+  tbql::AttrFilter f;
+  f.is_string = true;
+  if (ioc.type == nlp::IocType::kIp) {
+    p.object.type = audit::EntityType::kNetwork;
+    p.object.id = "n1";
+    f.attr = "dstip";
+    f.op = rel::CompareOp::kEq;
+    f.string_value = ioc.text;
+    p.op.names = {"connect", "send", "recv"};
+  } else {
+    p.object.type = audit::EntityType::kFile;
+    p.object.id = "f1";
+    f.attr = "name";
+    f.op = rel::CompareOp::kLike;  // recall over precision in degraded mode
+    f.string_value = "%" + ioc.text + "%";
+    p.op.names = {"read", "write", "execute", "delete", "rename", "chmod"};
+  }
+  p.object.filters.push_back(std::move(f));
+  query.patterns.push_back(std::move(p));
+  query.returns.push_back(tbql::ReturnItem{"p1", ""});
+  query.returns.push_back(tbql::ReturnItem{
+      query.patterns[0].object.id, ""});
+  return query;
+}
+
+}  // namespace
+
 Result<HuntReport> ThreatRaptor::Hunt(std::string_view oscti_report) {
+  return Hunt(oscti_report, options_.hunt);
+}
+
+Result<HuntReport> ThreatRaptor::Hunt(std::string_view oscti_report,
+                                      const HuntOptions& options) {
   if (!storage_ready_) {
     return Status::InvalidArgument(
         "call FinalizeStorage() before hunting");
   }
   HuntReport report;
-  report.extraction = ExtractBehavior(oscti_report);
-  RAPTOR_ASSIGN_OR_RETURN(report.synthesis,
-                          SynthesizeQuery(report.extraction.graph));
-  report.query_text = tbql::Print(report.synthesis.query);
-  RAPTOR_ASSIGN_OR_RETURN(report.result,
-                          ExecuteQuery(report.synthesis.query));
   report.cpr = cpr_stats_;
+  report.extraction = ExtractBehavior(oscti_report);
+
+  auto synthesis = SynthesizeQuery(report.extraction.graph);
+  bool have_query = synthesis.ok();
+  if (have_query) {
+    report.synthesis = *std::move(synthesis);
+    report.query_text = tbql::Print(report.synthesis.query);
+    auto result = ExecuteQuery(report.synthesis.query);
+    if (result.ok()) {
+      report.result = *std::move(result);
+      return report;
+    }
+    if (!options.allow_degraded) return result.status();
+    report.degradation.failures.push_back(
+        {"execution", result.status().ToString()});
+  } else {
+    if (!options.allow_degraded) return synthesis.status();
+    report.degradation.failures.push_back(
+        {"synthesis", synthesis.status().ToString()});
+  }
+
+  // Degraded path: the full behavior query could not run. Fall back to
+  // per-pattern sub-queries (when synthesis produced a query) or per-IOC
+  // sub-queries (straight from the behavior graph), merge whatever
+  // matched, and record what happened.
+  report.degradation.degraded = true;
+  std::vector<std::pair<std::string, tbql::Query>> subqueries;
+  if (have_query) {
+    for (const tbql::Pattern& p : report.synthesis.query.patterns) {
+      subqueries.emplace_back(p.id, SinglePatternQuery(p));
+    }
+  } else {
+    for (const nlp::IocEntity& ioc : report.extraction.graph.nodes()) {
+      if (auto q = PerIocQuery(ioc)) {
+        subqueries.emplace_back("ioc:" + ioc.text, *std::move(q));
+      }
+    }
+  }
+
+  engine::QueryResult& merged = report.result;
+  merged.columns = {"subquery", "pattern", "subject", "object"};
+  for (auto& [label, subquery] : subqueries) {
+    ++report.degradation.subqueries_attempted;
+    if (Status st = tbql::Analyze(&subquery); !st.ok()) continue;
+    auto sub = ExecuteQuery(subquery);
+    if (!sub.ok()) continue;
+    ++report.degradation.subqueries_succeeded;
+    for (size_t i = 0; i < sub->matches.size(); ++i) {
+      for (const auto& [pattern_id, match] : sub->matches[i]) {
+        merged.rows.push_back({label, pattern_id,
+                               log_.entity(match.subject).ToString(),
+                               log_.entity(match.object).ToString()});
+        merged.bindings.push_back(sub->bindings[i]);
+        merged.matches.push_back({{pattern_id, match}});
+      }
+    }
+    merged.stats.total_ms += sub->stats.total_ms;
+    merged.stats.relational_rows_touched +=
+        sub->stats.relational_rows_touched;
+    merged.stats.graph_edges_traversed += sub->stats.graph_edges_traversed;
+    for (const std::string& s : sub->stats.schedule) {
+      merged.stats.schedule.push_back(label + "/" + s);
+    }
+    if (sub->truncated && !merged.truncated) {
+      merged.truncated = true;
+      merged.stats.truncation_reason =
+          label + ": " + sub->stats.truncation_reason;
+    }
+  }
   return report;
 }
 

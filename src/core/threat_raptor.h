@@ -37,14 +37,41 @@
 
 namespace raptor {
 
+/// \brief Hunt-level resilience switches.
+struct HuntOptions {
+  /// When synthesis or execution of the full behavior query fails, fall
+  /// back to per-pattern (or, without a synthesized query, per-IOC)
+  /// sub-queries and return whatever matched instead of failing the hunt.
+  /// The fallback is recorded in HuntReport::degradation.
+  bool allow_degraded = false;
+};
+
 /// \brief End-to-end configuration; every component's knobs in one place.
 struct ThreatRaptorOptions {
   nlp::PipelineOptions nlp;
   synth::SynthesisPlan synthesis;
   engine::ExecutionOptions execution;
   audit::CprOptions cpr;
+  HuntOptions hunt;
   /// Run Causality-Preserved Reduction before loading storage (paper §II-B).
   bool apply_cpr = true;
+};
+
+/// \brief Which hunt stages fell back and why (degraded mode).
+struct DegradationReport {
+  /// One stage that failed and was worked around.
+  struct StageFailure {
+    std::string stage;  ///< "synthesis" or "execution".
+    std::string error;  ///< The Status that caused the fallback.
+  };
+
+  bool degraded = false;  ///< True when any fallback ran.
+  std::vector<StageFailure> failures;
+  size_t subqueries_attempted = 0;
+  size_t subqueries_succeeded = 0;
+
+  /// One line per failure plus the sub-query tally, for logs and the API.
+  std::string ToString() const;
 };
 
 /// \brief Everything one hunt produced, for inspection and scoring.
@@ -54,6 +81,10 @@ struct HuntReport {
   std::string query_text;       ///< The synthesized TBQL, pretty-printed.
   engine::QueryResult result;
   audit::CprStats cpr;          ///< Stats of the reduction pass (if applied).
+  /// Degraded-mode record; degradation.degraded is false on a clean hunt.
+  /// In degraded mode `result` holds the merged sub-query matches with
+  /// columns (subquery, pattern, subject, object).
+  DegradationReport degradation;
 };
 
 /// \brief The THREATRAPTOR system.
@@ -68,8 +99,13 @@ class ThreatRaptor {
   // --- Data collection. ---
 
   /// Parses textual audit records (see audit/parser.h for the format) into
-  /// the system's log.
+  /// the system's log. Strict: the first malformed line fails the batch.
   Status IngestLogText(std::string_view text);
+
+  /// Error-budgeted variant: tolerates up to `options.error_budget`
+  /// malformed lines (skip-and-count; see audit::ParseOptions).
+  Result<audit::ParseStats> IngestLogText(std::string_view text,
+                                          const audit::ParseOptions& options);
 
   /// Parses a Sysdig default-format capture (see audit/sysdig_parser.h).
   /// Unsupported/enter lines are skipped, as a deployment would; the
@@ -90,6 +126,11 @@ class ThreatRaptor {
   /// backends incrementally; hunts see the new events immediately. Live
   /// events bypass CPR (reduction is a batch pass over historical data).
   Status IngestLiveText(std::string_view text);
+
+  /// Error-budgeted live ingestion. Whatever parsed — even when the budget
+  /// is eventually exceeded — is synced to both backends before returning.
+  Result<audit::ParseStats> IngestLiveText(std::string_view text,
+                                           const audit::ParseOptions& options);
 
   /// Live counterpart of IngestSysdigText.
   Result<audit::SysdigParseStats> IngestLiveSysdig(std::string_view text);
@@ -140,8 +181,15 @@ class ThreatRaptor {
 
   // --- The full pipeline (paper Figure 1). ---
 
-  /// OSCTI report in, matched system auditing records out.
+  /// OSCTI report in, matched system auditing records out. Uses the
+  /// hunt options from ThreatRaptorOptions.
   Result<HuntReport> Hunt(std::string_view oscti_report);
+
+  /// Hunt with explicit per-call options. With `allow_degraded`, a failed
+  /// synthesis falls back to per-IOC sub-queries and a failed execution to
+  /// per-pattern sub-queries; the report's DegradationReport records both.
+  Result<HuntReport> Hunt(std::string_view oscti_report,
+                          const HuntOptions& options);
 
   const ThreatRaptorOptions& options() const { return options_; }
 

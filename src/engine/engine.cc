@@ -4,6 +4,7 @@
 #include <chrono>
 #include <functional>
 
+#include "common/fault_injection.h"
 #include "common/strings.h"
 
 namespace raptor::engine {
@@ -105,11 +106,29 @@ struct QueryEngine::PatternExecution {
 
 Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
                                          const ExecutionOptions& options) const {
+  RAPTOR_RETURN_NOT_OK(TriggerFaultPoint("engine.execute"));
   auto t0 = std::chrono::steady_clock::now();
   rel_->ResetStats();
   graph_->ResetStats();
 
   QueryResult result;
+
+  // Execution budgets. The first budget to trip records its reason and
+  // flips `truncated`; everything already computed stays in the result.
+  std::chrono::steady_clock::time_point deadline{};
+  if (options.deadline_ms > 0) {
+    deadline = t0 + std::chrono::milliseconds(options.deadline_ms);
+  }
+  auto deadline_exceeded = [&deadline] {
+    return deadline != std::chrono::steady_clock::time_point{} &&
+           std::chrono::steady_clock::now() > deadline;
+  };
+  auto truncate = [&result](std::string reason) {
+    if (!result.truncated) {
+      result.truncated = true;
+      result.stats.truncation_reason = std::move(reason);
+    }
+  };
   if (query.return_count) {
     result.columns.push_back("count");
   } else {
@@ -212,11 +231,22 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
     };
 
     // Probe the event table on the narrower entity side; fall back to an
-    // operation-type index probe when neither side constrains.
+    // operation-type index probe when neither side constrains. The deadline
+    // is polled between index probes, so a truncated scan still returns the
+    // matches emitted so far.
+    auto scan_deadline_hit = [&] {
+      if (!deadline_exceeded()) return false;
+      truncate(StrFormat("deadline of %llu ms exceeded during pattern '%s' "
+                         "(relational scan)",
+                         static_cast<unsigned long long>(options.deadline_ms),
+                         p.id.c_str()));
+      return true;
+    };
     bool probe_subject =
         subj_ids && (!obj_ids || subj_ids->size() <= obj_ids->size());
     if (probe_subject) {
       for (EntityId id : *subj_ids) {
+        if (scan_deadline_hit()) break;
         rel::Conjunction preds = base;
         preds.push_back(rel::Predicate{c_subject, rel::CompareOp::kEq,
                                        static_cast<int64_t>(id)});
@@ -224,6 +254,7 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
       }
     } else if (obj_ids) {
       for (EntityId id : *obj_ids) {
+        if (scan_deadline_hit()) break;
         rel::Conjunction preds = base;
         preds.push_back(rel::Predicate{c_object, rel::CompareOp::kEq,
                                        static_cast<int64_t>(id)});
@@ -231,6 +262,7 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
       }
     } else {
       for (Operation op : p.op.ops) {
+        if (scan_deadline_hit()) break;
         rel::Conjunction preds = base;
         preds.push_back(rel::Predicate{c_optype, rel::CompareOp::kEq,
                                        static_cast<int64_t>(op)});
@@ -270,8 +302,42 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
     if (p.window_start) constraints.window_start = *p.window_start;
     if (p.window_end) constraints.window_end = *p.window_end;
 
-    for (const graph::PathMatch& pm :
-         graph_->FindPaths(sources, sink_pred, constraints)) {
+    // Bound the search: remaining edge budget (max_graph_edges spans all
+    // path patterns of this call; graph stats were reset at entry) plus the
+    // call-wide deadline.
+    graph::SearchLimits limits;
+    limits.deadline = deadline;
+    if (options.max_graph_edges != 0) {
+      uint64_t used = graph_->stats().edges_traversed;
+      if (used >= options.max_graph_edges) {
+        truncate(StrFormat("max_graph_edges (%llu) reached before pattern "
+                           "'%s' (graph search)",
+                           static_cast<unsigned long long>(
+                               options.max_graph_edges),
+                           p.id.c_str()));
+        return matches;
+      }
+      limits.max_edges = options.max_graph_edges - used;
+    }
+
+    std::vector<graph::PathMatch> paths =
+        graph_->FindPaths(sources, sink_pred, constraints, &limits);
+    if (limits.hit) {
+      if (std::string_view(limits.reason) == "max_edges") {
+        truncate(StrFormat("max_graph_edges (%llu) reached during pattern "
+                           "'%s' (graph search)",
+                           static_cast<unsigned long long>(
+                               options.max_graph_edges),
+                           p.id.c_str()));
+      } else {
+        truncate(StrFormat("deadline of %llu ms exceeded during pattern "
+                           "'%s' (graph search)",
+                           static_cast<unsigned long long>(
+                               options.deadline_ms),
+                           p.id.c_str()));
+      }
+    }
+    for (const graph::PathMatch& pm : paths) {
       PatternMatch m;
       m.events = pm.hops;
       m.subject = pm.source;
@@ -294,6 +360,17 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
   executions.reserve(n);
 
   for (size_t step = 0; step < n; ++step) {
+    // A tripped budget ends scheduling: patterns not yet executed are
+    // dropped from the (truncated) result rather than run over-budget.
+    if (result.truncated) break;
+    if (deadline_exceeded()) {
+      truncate(StrFormat("deadline of %llu ms exceeded before pattern "
+                         "%zu of %zu",
+                         static_cast<unsigned long long>(options.deadline_ms),
+                         step + 1, n));
+      break;
+    }
+    RAPTOR_RETURN_NOT_OK(TriggerFaultPoint("engine.pattern"));
     size_t pick = n;
     if (!options.use_pruning_scores) {
       for (size_t i = 0; i < n; ++i) {
@@ -363,25 +440,42 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
 
   // Temporal and attribute-relationship constraints, checked on each fully
   // assembled row.
+  // Constraints whose patterns a tripped budget skipped are vacuously
+  // satisfied — a truncated result joins only the patterns that executed.
   auto temporal_ok = [&](const std::map<std::string, PatternMatch>& evts) {
     for (const tbql::TemporalConstraint& tc : query.temporal) {
-      const PatternMatch& a = evts.at(tc.first);
-      const PatternMatch& b = evts.at(tc.second);
-      if (!(a.start_time < b.start_time)) return false;
+      auto a = evts.find(tc.first);
+      auto b = evts.find(tc.second);
+      if (a == evts.end() || b == evts.end()) continue;
+      if (!(a->second.start_time < b->second.start_time)) return false;
     }
     for (const tbql::AttrRelationship& rel : query.attr_relationships) {
-      const PatternMatch& a = evts.at(rel.first_pattern);
-      const PatternMatch& b = evts.at(rel.second_pattern);
-      EntityId first = rel.first_is_subject ? a.subject : a.object;
-      EntityId second = rel.second_is_subject ? b.subject : b.object;
+      auto a = evts.find(rel.first_pattern);
+      auto b = evts.find(rel.second_pattern);
+      if (a == evts.end() || b == evts.end()) continue;
+      EntityId first = rel.first_is_subject ? a->second.subject
+                                            : a->second.object;
+      EntityId second = rel.second_is_subject ? b->second.subject
+                                              : b->second.object;
       if (first != second) return false;
     }
     return true;
   };
 
   size_t count = 0;
+  uint64_t join_steps = 0;
+  bool join_aborted = false;
   std::function<void(size_t)> join = [&](size_t depth) {
-    if (!join_status.ok() || count >= row_cap) return;
+    if (!join_status.ok() || count >= row_cap || join_aborted) return;
+    // The backtracking join can explode combinatorially; poll the deadline
+    // every few thousand steps and keep the rows assembled so far.
+    if ((++join_steps & 0xFFF) == 0 && deadline_exceeded()) {
+      truncate(StrFormat("deadline of %llu ms exceeded during the "
+                         "consistency join",
+                         static_cast<unsigned long long>(options.deadline_ms)));
+      join_aborted = true;
+      return;
+    }
     if (depth == executions.size()) {
       if (!temporal_ok(chosen)) return;
       ++count;
@@ -422,6 +516,12 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
   };
   join(0);
   RAPTOR_RETURN_NOT_OK(join_status);
+  // Hitting the safety row cap truncates; hitting a user-written LIMIT is
+  // the requested behavior, not truncation.
+  bool cap_is_user_limit = query.limit && *query.limit <= options.max_rows;
+  if (count >= row_cap && !cap_is_user_limit) {
+    truncate(StrFormat("row cap (%zu) reached", row_cap));
+  }
   if (query.return_count) {
     result.rows.push_back({std::to_string(count)});
   }

@@ -37,6 +37,15 @@ struct ExecutionOptions {
   bool propagate_constraints = true;
   /// Safety cap on joined result rows.
   size_t max_rows = 1'000'000;
+  /// Wall-clock budget for one Execute() call in milliseconds; 0 =
+  /// unbounded. On expiry the engine stops where it is (relational scan,
+  /// graph search, or consistency join) and returns the partial result with
+  /// QueryResult::truncated set.
+  uint64_t deadline_ms = 0;
+  /// Cap on graph edges traversed across all path patterns of one
+  /// Execute() call; 0 = unbounded. Exceeding it truncates like the
+  /// deadline does.
+  uint64_t max_graph_edges = 0;
 };
 
 /// \brief One match of one pattern: the event chain (length 1 for basic
@@ -67,6 +76,10 @@ struct ExecutionStats {
   /// Whether each pattern ran with at least one entity pre-bound by an
   /// earlier pattern's results (constraint propagation in effect).
   std::vector<bool> pattern_was_constrained;
+  /// Why the result was truncated ("deadline of 5 ms exceeded during
+  /// pattern 'evt2' (graph search)", "max_graph_edges (1000) reached", "row
+  /// cap (1000000) reached", ...); empty when complete.
+  std::string truncation_reason;
 };
 
 /// \brief A fully joined query result.
@@ -80,6 +93,10 @@ struct QueryResult {
   /// Matched events per row, keyed by pattern id.
   std::vector<std::map<std::string, PatternMatch>> matches;
   ExecutionStats stats;
+  /// Set when an execution budget (deadline, graph-edge cap, row cap)
+  /// stopped execution early: the rows present are valid matches but the
+  /// result may be incomplete. stats.truncation_reason says why.
+  bool truncated = false;
 
   /// All distinct event ids across every row and pattern (the audit records
   /// the hunt flags as malicious; benches score these against ground truth).

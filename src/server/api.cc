@@ -43,6 +43,10 @@ Json ResultToJson(const engine::QueryResult& result) {
   Json::Array schedule;
   for (const std::string& s : result.stats.schedule) schedule.push_back(s);
   stats["schedule"] = Json(std::move(schedule));
+  stats["truncated"] = result.truncated;
+  if (result.truncated) {
+    stats["truncation_reason"] = result.stats.truncation_reason;
+  }
   out["stats"] = Json(std::move(stats));
   return Json(std::move(out));
 }
@@ -132,12 +136,35 @@ void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
   });
 
   server->Route("POST", "/api/hunt", [system](const HttpRequest& req) {
-    auto hunt = system->Hunt(req.body);
+    // "?degraded=1" opts this hunt into degraded mode: partial results
+    // instead of an error when synthesis or full-query execution fails.
+    HuntOptions hunt_options = system->options().hunt;
+    if (req.query.find("degraded=1") != std::string::npos) {
+      hunt_options.allow_degraded = true;
+    }
+    auto hunt = system->Hunt(req.body, hunt_options);
     if (!hunt.ok()) return ErrorResponse(hunt.status());
     Json::Object out;
     out["behavior_graph"] = GraphToJson(hunt->extraction.graph);
     out["tbql"] = hunt->query_text;
     out["result"] = ResultToJson(hunt->result);
+    if (hunt->degradation.degraded) {
+      Json::Object degradation;
+      degradation["degraded"] = true;
+      Json::Array failures;
+      for (const auto& f : hunt->degradation.failures) {
+        Json::Object failure;
+        failure["stage"] = f.stage;
+        failure["error"] = f.error;
+        failures.push_back(Json(std::move(failure)));
+      }
+      degradation["failures"] = Json(std::move(failures));
+      degradation["subqueries_attempted"] =
+          static_cast<double>(hunt->degradation.subqueries_attempted);
+      degradation["subqueries_succeeded"] =
+          static_cast<double>(hunt->degradation.subqueries_succeeded);
+      out["degradation"] = Json(std::move(degradation));
+    }
     return JsonResponse(Json(std::move(out)));
   });
 

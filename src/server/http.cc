@@ -5,8 +5,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 
+#include "common/fault_injection.h"
 #include "common/strings.h"
 
 namespace raptor::server {
@@ -23,11 +26,24 @@ const char* StatusText(int status) {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 413:
+      return "Payload Too Large";
     case 500:
       return "Internal Server Error";
     default:
       return "Unknown";
   }
+}
+
+void SendResponse(int fd, const HttpResponse& response) {
+  std::string wire = SerializeResponse(response);
+  (void)::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+}
+
+HttpResponse PlainResponse(int status, const std::string& body) {
+  return HttpResponse{status, "text/plain; charset=utf-8", body};
 }
 
 }  // namespace
@@ -58,7 +74,9 @@ Result<HttpRequest> ParseRequestHead(std::string_view head) {
     size_t next = head.find("\r\n", pos);
     if (next == std::string_view::npos) next = head.size();
     std::string_view line = head.substr(pos, next - pos);
-    pos = next + 2;
+    // Clamp: when the head lacks a trailing CRLF, next + 2 would step past
+    // head.size().
+    pos = std::min(next + 2, head.size());
     if (line.empty()) break;
     size_t colon = line.find(':');
     if (colon == std::string_view::npos) {
@@ -138,31 +156,55 @@ void HttpServer::AcceptLoop() {
 }
 
 void HttpServer::HandleConnection(int fd) {
+  // One wall-clock budget covers reading the whole request (head + body):
+  // a slowloris client that dribbles bytes cannot hold the accept loop
+  // hostage for longer than recv_timeout_ms.
+  auto read_deadline = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(options_.recv_timeout_ms);
+  // recv with the remaining budget; 0 = orderly close / error, -1 = timeout.
+  auto recv_some = [&](char* buffer, size_t cap) -> ssize_t {
+    auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         read_deadline - std::chrono::steady_clock::now())
+                         .count();
+    if (remaining <= 0) return -1;
+    pollfd pfd{fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (ready <= 0) return -1;
+    ssize_t n = ::recv(fd, buffer, cap, 0);
+    return n <= 0 ? 0 : n;
+  };
+
   // Read the head (until CRLFCRLF), then Content-Length body bytes.
   std::string data;
   char buffer[4096];
   size_t head_end = std::string::npos;
-  while (head_end == std::string::npos && data.size() < (1u << 20)) {
-    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+  bool timed_out = false;
+  while (head_end == std::string::npos &&
+         data.size() <= options_.max_header_bytes) {
+    ssize_t n = recv_some(buffer, sizeof(buffer));
+    if (n < 0) timed_out = true;
     if (n <= 0) break;
     data.append(buffer, static_cast<size_t>(n));
     head_end = data.find("\r\n\r\n");
   }
-  HttpResponse response;
   if (head_end == std::string::npos) {
-    response = HttpResponse{400, "text/plain; charset=utf-8",
-                            "malformed request\n"};
-    std::string wire = SerializeResponse(response);
-    (void)::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+    if (timed_out) {
+      SendResponse(fd, PlainResponse(408, "request timeout\n"));
+    } else if (data.size() > options_.max_header_bytes) {
+      SendResponse(fd, PlainResponse(413, "request head too large\n"));
+    } else {
+      SendResponse(fd, PlainResponse(400, "malformed request\n"));
+    }
+    return;
+  }
+  if (head_end > options_.max_header_bytes) {
+    SendResponse(fd, PlainResponse(413, "request head too large\n"));
     return;
   }
 
   auto parsed = ParseRequestHead(data.substr(0, head_end + 2));
   if (!parsed.ok()) {
-    response = HttpResponse{400, "text/plain; charset=utf-8",
-                            parsed.status().ToString() + "\n"};
-    std::string wire = SerializeResponse(response);
-    (void)::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+    SendResponse(fd, PlainResponse(400, parsed.status().ToString() + "\n"));
     return;
   }
   HttpRequest request = *std::move(parsed);
@@ -171,30 +213,58 @@ void HttpServer::HandleConnection(int fd) {
       it != request.headers.end()) {
     content_length = static_cast<size_t>(std::strtoull(
         it->second.c_str(), nullptr, 10));
-    content_length = std::min(content_length, size_t{1} << 24);
+  }
+  if (content_length > options_.max_body_bytes) {
+    SendResponse(fd, PlainResponse(413, "request body too large\n"));
+    return;
   }
   request.body = data.substr(head_end + 4);
+  timed_out = false;
   while (request.body.size() < content_length) {
-    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    ssize_t n = recv_some(buffer, sizeof(buffer));
+    if (n < 0) timed_out = true;
     if (n <= 0) break;
     request.body.append(buffer, static_cast<size_t>(n));
   }
+  if (request.body.size() < content_length) {
+    SendResponse(fd, PlainResponse(
+                         timed_out ? 408 : 400,
+                         timed_out ? "request timeout\n" : "truncated body\n"));
+    return;
+  }
+  if (request.body.size() > options_.max_body_bytes) {
+    SendResponse(fd, PlainResponse(413, "request body too large\n"));
+    return;
+  }
 
+  HttpResponse response;
   auto route = routes_.find({request.method, request.path});
   if (route == routes_.end()) {
     bool path_known = false;
     for (const auto& [key, handler] : routes_) {
       if (key.second == request.path) path_known = true;
     }
-    response = HttpResponse{path_known ? 405 : 404,
-                            "text/plain; charset=utf-8",
-                            path_known ? "method not allowed\n"
-                                       : "not found\n"};
+    response = PlainResponse(path_known ? 405 : 404,
+                             path_known ? "method not allowed\n"
+                                        : "not found\n");
   } else {
-    response = route->second(request);
+    // A handler failure must cost one 500, never the accept loop. Handlers
+    // are user code (std::function), the one place exceptions can enter
+    // this otherwise Status-based codebase.
+    try {
+      if (Status st = TriggerFaultPoint("server.handler"); !st.ok()) {
+        response = PlainResponse(500, st.ToString() + "\n");
+      } else {
+        response = route->second(request);
+      }
+    } catch (const std::exception& e) {
+      response = PlainResponse(
+          500, std::string("handler failed: ") + e.what() + "\n");
+    } catch (...) {
+      response = PlainResponse(500, "handler failed\n");
+    }
   }
-  std::string wire = SerializeResponse(response);
-  (void)::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+  SendResponse(fd, response);
 }
 
 }  // namespace raptor::server

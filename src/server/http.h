@@ -37,6 +37,18 @@ struct HttpResponse {
 
 using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
+/// \brief Abuse limits for one connection. Defaults suit a localhost demo
+/// deployment; tests shrink them to drive the failure paths.
+struct HttpServerOptions {
+  /// Total wall-clock budget for reading one request (head + body). A
+  /// client that dribbles bytes slower than this (slowloris) gets a 408.
+  int recv_timeout_ms = 5000;
+  /// Maximum bytes of request head (request line + headers); 413 beyond.
+  size_t max_header_bytes = 64 * 1024;
+  /// Maximum Content-Length / body bytes accepted; 413 beyond.
+  size_t max_body_bytes = 16u << 20;
+};
+
 /// Parses the head of an HTTP/1.1 request (request line + headers). The
 /// body is whatever follows per Content-Length; the caller appends it.
 /// Exposed for unit tests.
@@ -51,6 +63,7 @@ std::string SerializeResponse(const HttpResponse& response);
 class HttpServer {
  public:
   HttpServer() = default;
+  explicit HttpServer(HttpServerOptions options) : options_(options) {}
   ~HttpServer() { Stop(); }
 
   HttpServer(const HttpServer&) = delete;
@@ -70,10 +83,13 @@ class HttpServer {
   uint16_t port() const { return port_; }
   bool running() const { return running_.load(); }
 
+  const HttpServerOptions& options() const { return options_; }
+
  private:
   void AcceptLoop();
   void HandleConnection(int fd);
 
+  HttpServerOptions options_;
   std::map<std::pair<std::string, std::string>, Handler> routes_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;

@@ -35,32 +35,51 @@ std::vector<EntityId> GraphStore::FindNodes(const NodePredicate& pred) const {
 
 std::vector<PathMatch> GraphStore::FindPaths(
     const std::vector<EntityId>& sources, const NodePredicate& sink_pred,
-    const PathConstraints& constraints) const {
+    const PathConstraints& constraints, SearchLimits* limits) const {
   std::vector<PathMatch> matches;
   std::vector<bool> on_path(num_nodes(), false);
   std::vector<size_t> edge_stack;
+  uint64_t edges_at_start = stats_.edges_traversed;
   for (EntityId src : sources) {
+    if (limits != nullptr && limits->hit) break;
     if (src >= num_nodes()) continue;
     on_path[src] = true;
-    Dfs(src, sink_pred, constraints, &edge_stack, &on_path, &matches);
+    Dfs(src, sink_pred, constraints, limits, edges_at_start, &edge_stack,
+        &on_path, &matches);
     on_path[src] = false;
   }
   return matches;
 }
 
 void GraphStore::Dfs(EntityId node, const NodePredicate& sink_pred,
-                     const PathConstraints& constraints,
-                     std::vector<size_t>* edge_stack,
+                     const PathConstraints& constraints, SearchLimits* limits,
+                     uint64_t edges_at_start, std::vector<size_t>* edge_stack,
                      std::vector<bool>* on_path,
                      std::vector<PathMatch>* out) const {
   size_t depth = edge_stack->size();
   if (depth >= constraints.max_hops) return;
+  if (limits != nullptr) {
+    if (limits->hit) return;
+    if (limits->max_edges != 0 &&
+        stats_.edges_traversed - edges_at_start > limits->max_edges) {
+      limits->hit = true;
+      limits->reason = "max_edges";
+      return;
+    }
+    if (limits->deadline != std::chrono::steady_clock::time_point{} &&
+        std::chrono::steady_clock::now() > limits->deadline) {
+      limits->hit = true;
+      limits->reason = "deadline";
+      return;
+    }
+  }
   ++stats_.nodes_expanded;
 
   audit::Timestamp min_time =
       edge_stack->empty() ? INT64_MIN : edges_[edge_stack->back()].start_time;
 
   for (size_t edge_idx : out_[node]) {
+    if (limits != nullptr && limits->hit) return;
     const GraphEdge& e = edges_[edge_idx];
     ++stats_.edges_traversed;
     if ((*on_path)[e.dst]) continue;
@@ -101,7 +120,8 @@ void GraphStore::Dfs(EntityId node, const NodePredicate& sink_pred,
       if (chainable) {
         edge_stack->push_back(edge_idx);
         (*on_path)[e.dst] = true;
-        Dfs(e.dst, sink_pred, constraints, edge_stack, on_path, out);
+        Dfs(e.dst, sink_pred, constraints, limits, edges_at_start, edge_stack,
+            on_path, out);
         (*on_path)[e.dst] = false;
         edge_stack->pop_back();
       }

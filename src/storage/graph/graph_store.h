@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -64,6 +65,22 @@ struct GraphStats {
   uint64_t nodes_expanded = 0;
 };
 
+/// \brief Effort bounds for one FindPaths call. A bounded search stops as
+/// soon as a limit trips and returns the (valid, partial) matches found so
+/// far; `hit` reports which limit stopped it.
+struct SearchLimits {
+  /// Maximum edges traversed within this search; 0 = unbounded.
+  uint64_t max_edges = 0;
+  /// Wall-clock cutoff; time_point{} (the epoch default) = unbounded. The
+  /// clock is polled once per node expansion.
+  std::chrono::steady_clock::time_point deadline{};
+
+  /// Output: set when a limit stopped the search early.
+  bool hit = false;
+  /// Output: "max_edges" or "deadline" when hit.
+  const char* reason = "";
+};
+
 /// \brief Adjacency-indexed property graph over one AuditLog.
 class GraphStore {
  public:
@@ -96,19 +113,22 @@ class GraphStore {
 
   /// Finds every path that starts at a node in `sources`, ends at a node
   /// satisfying `sink_pred`, and satisfies `constraints`. Paths are simple
-  /// (no repeated node). DFS with depth bound max_hops.
+  /// (no repeated node). DFS with depth bound max_hops. When `limits` is
+  /// non-null the search is bounded: it stops early once a limit trips
+  /// (reported through the limits struct) and returns the partial matches.
   std::vector<PathMatch> FindPaths(const std::vector<audit::EntityId>& sources,
                                    const NodePredicate& sink_pred,
-                                   const PathConstraints& constraints) const;
+                                   const PathConstraints& constraints,
+                                   SearchLimits* limits = nullptr) const;
 
   const GraphStats& stats() const { return stats_; }
   void ResetStats() { stats_ = GraphStats{}; }
 
  private:
   void Dfs(audit::EntityId node, const NodePredicate& sink_pred,
-           const PathConstraints& constraints,
-           std::vector<size_t>* edge_stack, std::vector<bool>* on_path,
-           std::vector<PathMatch>* out) const;
+           const PathConstraints& constraints, SearchLimits* limits,
+           uint64_t edges_at_start, std::vector<size_t>* edge_stack,
+           std::vector<bool>* on_path, std::vector<PathMatch>* out) const;
 
   const audit::AuditLog* log_;
   std::vector<GraphEdge> edges_;

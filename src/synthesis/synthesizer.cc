@@ -5,6 +5,7 @@
 #include <set>
 #include <tuple>
 
+#include "common/fault_injection.h"
 #include "common/strings.h"
 #include "synthesis/rules.h"
 #include "tbql/analyzer.h"
@@ -60,6 +61,7 @@ tbql::EntityRef MakeEntity(const nlp::IocEntity& ioc, EntityType type,
 
 Result<SynthesisResult> QuerySynthesizer::Synthesize(
     const nlp::ThreatBehaviorGraph& graph) const {
+  RAPTOR_RETURN_NOT_OK(TriggerFaultPoint("synthesis.synthesize"));
   SynthesisResult result;
 
   // (1) Screening: keep only nodes whose IOC type auditing captures.

@@ -1,0 +1,90 @@
+// Scripted fault injection for resilience tests.
+//
+// ScriptedFaults installs itself as the process-wide FaultInjector for its
+// lifetime (RAII) and fails or delays configured fault points. Hit counting
+// lets a script fail only the Nth..(N+k)th hits of a point — e.g. "the full
+// behavior query fails, the degraded sub-queries succeed".
+//
+// The registered point names live in src/common/fault_injection.h.
+
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/fault_injection.h"
+
+namespace raptor::testing {
+
+class ScriptedFaults : public FaultInjector {
+ public:
+  ScriptedFaults() { SetFaultInjector(this); }
+  ~ScriptedFaults() override { SetFaultInjector(nullptr); }
+
+  ScriptedFaults(const ScriptedFaults&) = delete;
+  ScriptedFaults& operator=(const ScriptedFaults&) = delete;
+
+  /// Fails hits of `point` with `status`, starting after `after` clean
+  /// hits, for `times` hits (-1 = forever). Hits are counted per point.
+  ScriptedFaults& FailAt(std::string point, Status status, int after = 0,
+                         int times = -1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Script& s = scripts_[std::move(point)];
+    s.status = std::move(status);
+    s.after = after;
+    s.times = times;
+    return *this;
+  }
+
+  /// Sleeps `delay` on every hit of `point` (latency injection).
+  ScriptedFaults& DelayAt(std::string point,
+                          std::chrono::milliseconds delay) {
+    std::lock_guard<std::mutex> lock(mu_);
+    scripts_[std::move(point)].delay = delay;
+    return *this;
+  }
+
+  /// How many times `point` was hit so far.
+  int hits(const std::string& point) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = hits_.find(point);
+    return it == hits_.end() ? 0 : it->second;
+  }
+
+  Status OnPoint(std::string_view point) override {
+    std::chrono::milliseconds delay{0};
+    Status result = Status::OK();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      std::string key(point);
+      int hit = hits_[key]++;  // 0-based index of this hit
+      auto it = scripts_.find(key);
+      if (it != scripts_.end()) {
+        const Script& s = it->second;
+        delay = s.delay;
+        bool in_window = hit >= s.after &&
+                         (s.times < 0 || hit < s.after + s.times);
+        if (!s.status.ok() && in_window) result = s.status;
+      }
+    }
+    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+    return result;
+  }
+
+ private:
+  struct Script {
+    Status status;  ///< OK = delay-only script.
+    int after = 0;
+    int times = -1;
+    std::chrono::milliseconds delay{0};
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Script> scripts_;
+  mutable std::map<std::string, int> hits_;
+};
+
+}  // namespace raptor::testing

@@ -12,6 +12,7 @@
 #include "audit/parser.h"
 #include "common/rng.h"
 #include "engine/engine.h"
+#include "server/http.h"
 #include "storage/graph/graph_store.h"
 #include "storage/relational/database.h"
 #include "tbql/analyzer.h"
@@ -182,6 +183,114 @@ TEST_P(LogRoundTripFuzzTest, FormatParseIdentity) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LogRoundTripFuzzTest,
                          ::testing::Values(2, 42, 777));
+
+// --- Malformed-input fuzzing: parsers must fail with ParseError, never
+// crash, on truncated, corrupted, or binary input. ---
+
+/// Applies 1-4 random byte-level mutations: truncation, byte flips (any
+/// value, including NUL and non-UTF8 0x80..0xFF), insertions, deletions.
+std::string MutateBytes(std::string s, Rng* rng) {
+  size_t num_mutations = 1 + rng->Uniform(4);
+  for (size_t m = 0; m < num_mutations && !s.empty(); ++m) {
+    size_t pos = rng->Uniform(s.size());
+    switch (rng->Uniform(4)) {
+      case 0:  // truncate
+        s.resize(pos);
+        break;
+      case 1:  // flip a byte to an arbitrary value
+        s[pos] = static_cast<char>(rng->Uniform(256));
+        break;
+      case 2:  // insert arbitrary bytes
+        s.insert(s.begin() + static_cast<ptrdiff_t>(pos), 1 + rng->Uniform(8),
+                 static_cast<char>(rng->Uniform(256)));
+        break;
+      case 3:  // delete a span
+        s.erase(pos, 1 + rng->Uniform(8));
+        break;
+    }
+  }
+  return s;
+}
+
+class MalformedInputFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MalformedInputFuzzTest, LogParserNeverCrashes) {
+  static const char* const kBaseLines[] = {
+      "ts=100 pid=42 exe=/bin/tar op=read obj=file path=/etc/passwd "
+      "bytes=4096",
+      "ts=5 pid=1 exe=/sbin/init op=fork obj=proc cpid=2 cexe=/bin/bash",
+      "ts=7 pid=3 exe=/usr/bin/curl op=connect obj=net srcip=10.0.0.5 "
+      "srcport=51532 dstip=103.5.8.9 dstport=443 proto=tcp",
+  };
+  Rng rng(GetParam());
+  audit::AuditLog log;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string line = MutateBytes(kBaseLines[rng.Uniform(3)], &rng);
+    auto result = audit::LogParser::ParseLine(line, &log);
+    if (!result.ok()) {
+      EXPECT_TRUE(result.status().IsParseError()) << result.status().ToString();
+    }
+  }
+  // Targeted nasties: truncated key=value pairs, bare keys, embedded NULs,
+  // non-UTF8 bytes, and an overlong line.
+  const std::string kNasty[] = {
+      "ts=", "ts", "=", "ts=1 pid", "ts=1 pid=",
+      "ts=1 pid=1 exe=/a op=read obj=file path=",
+      std::string("ts=1\0pid=1 exe=/a op=read obj=file path=/x", 42),
+      "ts=1 pid=1 exe=/\x80\xfe\xff op=read obj=file path=/x",
+      "ts=1 pid=1 exe=/a op=read obj=file path=/" + std::string(100000, 'a'),
+  };
+  for (const std::string& line : kNasty) {
+    auto result = audit::LogParser::ParseLine(line, &log);
+    if (!result.ok()) {
+      EXPECT_TRUE(result.status().IsParseError()) << line;
+    }
+  }
+}
+
+TEST_P(MalformedInputFuzzTest, HttpRequestHeadParserNeverCrashes) {
+  static const char* const kBaseHeads[] = {
+      "POST /api/query?x=1 HTTP/1.1\r\nHost: localhost\r\n"
+      "Content-Length: 12\r\n\r\n",
+      "GET / HTTP/1.1\r\nX-CuStOm: Value\r\nAccept: */*\r\n\r\n",
+  };
+  Rng rng(GetParam() * 17 + 3);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string head = MutateBytes(kBaseHeads[rng.Uniform(2)], &rng);
+    auto result = server::ParseRequestHead(head);
+    if (!result.ok()) {
+      EXPECT_TRUE(result.status().IsParseError()) << result.status().ToString();
+    }
+  }
+  // Every prefix of a valid head parses or fails cleanly — the truncated
+  // head (no trailing CRLF) must not step past the buffer.
+  std::string head(kBaseHeads[0]);
+  for (size_t len = 0; len <= head.size(); ++len) {
+    auto result = server::ParseRequestHead(
+        std::string_view(head).substr(0, len));
+    if (!result.ok()) {
+      EXPECT_TRUE(result.status().IsParseError()) << len;
+    }
+  }
+  // Oversized single header and NUL/non-UTF8 header bytes: the parser
+  // itself has no limits (the server enforces those); it just must not die.
+  EXPECT_TRUE(server::ParseRequestHead("GET / HTTP/1.1\r\nX-Big: " +
+                                       std::string(100000, 'h') + "\r\n\r\n")
+                  .ok());
+  auto nul = server::ParseRequestHead(
+      std::string("GET / HTTP/1.1\r\nX\0Y: v\r\n\r\n", 26));
+  if (!nul.ok()) {
+    EXPECT_TRUE(nul.status().IsParseError());
+  }
+  auto bin = server::ParseRequestHead(
+      "GET /\x80\xff HTTP/1.1\r\nH: \xfe\r\n\r\n");
+  if (!bin.ok()) {
+    EXPECT_TRUE(bin.status().IsParseError());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MalformedInputFuzzTest,
+                         ::testing::Values(3, 17, 271, 9001));
 
 }  // namespace
 }  // namespace raptor

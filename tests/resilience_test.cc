@@ -1,0 +1,557 @@
+// End-to-end resilience tests: error-budgeted ingestion, bounded query
+// execution, degraded-mode hunting, and the hardened HTTP server — driven
+// by corrupt inputs, tight deadlines, scripted faults (tests/
+// fault_injection.h), and misbehaving loopback clients.
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "audit/generator.h"
+#include "audit/log.h"
+#include "audit/parser.h"
+#include "common/strings.h"
+#include "core/threat_raptor.h"
+#include "engine/engine.h"
+#include "fault_injection.h"
+#include "server/http.h"
+#include "storage/graph/graph_store.h"
+#include "storage/relational/database.h"
+#include "tbql/analyzer.h"
+#include "tbql/parser.h"
+
+namespace raptor {
+namespace {
+
+using audit::AuditLog;
+using audit::LogParser;
+using audit::ParseOptions;
+using engine::ExecutionOptions;
+using engine::QueryResult;
+using testing::ScriptedFaults;
+
+// =====================================================================
+// Error-budgeted ingestion.
+// =====================================================================
+
+/// A generated workload rendered back to the textual log format, plus the
+/// same text with `garbage_lines` malformed lines interleaved.
+struct Corpus {
+  std::string clean_text;
+  std::string corrupt_text;
+  size_t events = 0;
+  size_t garbage_lines = 0;
+  audit::AttackTrace attack;
+};
+
+Corpus MakeCorpus(size_t benign_per_side) {
+  static const char* kGarbage[] = {
+      "!!! corrupted frame 0xdeadbeef",
+      "ts=notanumber pid=1 exe=/a op=read obj=file path=/x",
+      "ts=1 pid=2 exe=/b op=read obj=file",  // missing path
+  };
+  Corpus corpus;
+  AuditLog source;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(benign_per_side, &source);
+  corpus.attack = gen.InjectDataLeakageAttack(&source);
+  gen.GenerateBenign(benign_per_side, &source);
+  corpus.events = source.event_count();
+  for (size_t i = 0; i < source.event_count(); ++i) {
+    std::string line = LogParser::FormatEvent(source, source.event(i)) + "\n";
+    corpus.clean_text += line;
+    if (i % 500 == 250) {
+      corpus.corrupt_text += kGarbage[corpus.garbage_lines % 3];
+      corpus.corrupt_text += "\n";
+      ++corpus.garbage_lines;
+    }
+    corpus.corrupt_text += line;
+  }
+  return corpus;
+}
+
+TEST(ErrorBudgetTest, CorruptLogWithinBudgetHuntsLikeCleanLog) {
+  Corpus corpus = MakeCorpus(1500);
+  ASSERT_GT(corpus.garbage_lines, 0u);
+
+  ThreatRaptor clean;
+  ASSERT_TRUE(clean.IngestLogText(corpus.clean_text).ok());
+  ASSERT_TRUE(clean.FinalizeStorage().ok());
+
+  ThreatRaptor corrupt;
+  auto stats = corrupt.IngestLogText(corpus.corrupt_text,
+                                     ParseOptions{.error_budget = 10});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->events, corpus.events);
+  EXPECT_EQ(stats->skipped, corpus.garbage_lines);
+  EXPECT_EQ(stats->lines, corpus.events + corpus.garbage_lines);
+  EXPECT_FALSE(stats->error_samples.empty());
+  ASSERT_TRUE(corrupt.FinalizeStorage().ok());
+
+  auto clean_hunt = clean.Hunt(corpus.attack.report_text);
+  auto corrupt_hunt = corrupt.Hunt(corpus.attack.report_text);
+  ASSERT_TRUE(clean_hunt.ok()) << clean_hunt.status().ToString();
+  ASSERT_TRUE(corrupt_hunt.ok()) << corrupt_hunt.status().ToString();
+  EXPECT_FALSE(clean_hunt->result.rows.empty());
+  EXPECT_EQ(clean_hunt->result.rows, corrupt_hunt->result.rows);
+  EXPECT_FALSE(corrupt_hunt->degradation.degraded);
+}
+
+TEST(ErrorBudgetTest, StrictModeStillRejectsCorruptLog) {
+  Corpus corpus = MakeCorpus(300);
+  ThreatRaptor strict;
+  Status st = strict.IngestLogText(corpus.corrupt_text);
+  EXPECT_TRUE(st.IsParseError()) << st.ToString();
+  // The zero-budget options overload behaves identically.
+  ThreatRaptor strict2;
+  auto stats = strict2.IngestLogText(corpus.corrupt_text, ParseOptions{});
+  EXPECT_TRUE(stats.status().IsParseError());
+}
+
+TEST(ErrorBudgetTest, ExceededBudgetFailsButKeepsParsedPrefix) {
+  std::string text;
+  for (int i = 0; i < 4; ++i) {
+    text += StrFormat("ts=%d pid=7 exe=/bin/w op=write obj=file path=/t%d\n",
+                      i + 1, i);
+    text += "broken record\n";
+  }
+  AuditLog log;
+  auto stats =
+      LogParser::ParseText(text, &log, ParseOptions{.error_budget = 2});
+  EXPECT_TRUE(stats.status().IsParseError()) << stats.status().ToString();
+  EXPECT_NE(stats.status().ToString().find("error budget"), std::string::npos);
+  // Everything parsed before the abort stays in the log.
+  EXPECT_EQ(log.event_count(), 3u);
+
+  AuditLog log2;
+  auto ok_stats =
+      LogParser::ParseText(text, &log2, ParseOptions{.error_budget = 4});
+  ASSERT_TRUE(ok_stats.ok());
+  EXPECT_EQ(ok_stats->events, 4u);
+  EXPECT_EQ(ok_stats->skipped, 4u);
+}
+
+TEST(ErrorBudgetTest, ErrorSamplesAreCappedAndNumbered) {
+  std::string text = "ts=1 pid=1 exe=/a op=read obj=file path=/x\n";
+  for (int i = 0; i < 6; ++i) text += "junk\n";
+  AuditLog log;
+  auto stats = LogParser::ParseText(
+      text, &log, ParseOptions{.error_budget = 10, .max_error_samples = 2});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->skipped, 6u);
+  ASSERT_EQ(stats->error_samples.size(), 2u);
+  EXPECT_NE(stats->error_samples[0].find("line 2:"), std::string::npos);
+}
+
+TEST(ErrorBudgetTest, InjectedParserFaultsCountAgainstBudget) {
+  std::string text;
+  for (int i = 0; i < 10; ++i) {
+    text += StrFormat("ts=%d pid=7 exe=/bin/w op=write obj=file path=/t%d\n",
+                      i + 1, i);
+  }
+  ScriptedFaults faults;
+  faults.FailAt("audit.parser.line", Status::ParseError("injected fault"),
+                /*after=*/5, /*times=*/2);
+  AuditLog log;
+  auto stats =
+      LogParser::ParseText(text, &log, ParseOptions{.error_budget = 2});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->events, 8u);
+  EXPECT_EQ(stats->skipped, 2u);
+  ASSERT_FALSE(stats->error_samples.empty());
+  EXPECT_NE(stats->error_samples[0].find("injected fault"),
+            std::string::npos);
+  EXPECT_EQ(faults.hits("audit.parser.line"), 10);
+}
+
+// =====================================================================
+// Bounded query execution.
+// =====================================================================
+
+struct EngineFixture {
+  AuditLog log;
+  std::unique_ptr<rel::RelationalDatabase> rel_db;
+  std::unique_ptr<graph::GraphStore> graph_db;
+  std::unique_ptr<engine::QueryEngine> engine;
+
+  void Finish() {
+    rel_db = std::make_unique<rel::RelationalDatabase>();
+    rel_db->Load(log);
+    graph_db = std::make_unique<graph::GraphStore>(log);
+    engine = std::make_unique<engine::QueryEngine>(&log, rel_db.get(),
+                                                   graph_db.get());
+  }
+
+  Result<QueryResult> Run(const std::string& src,
+                          const ExecutionOptions& opts = {}) {
+    auto q = tbql::Parse(src);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    Status st = tbql::Analyze(&*q);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return engine->Execute(*q, opts);
+  }
+};
+
+TEST(BoundedExecutionTest, TightDeadlineReturnsTruncatedPartialResult) {
+  EngineFixture fx;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(50000, &fx.log);
+  fx.Finish();
+  // An unconstrained variable-length path search over a 50k-edge graph is
+  // far more than 1 ms of work; the engine must give up mid-search and say
+  // so instead of hanging.
+  ExecutionOptions opts;
+  opts.deadline_ms = 1;
+  auto r = fx.Run(
+      "e1: proc p ~>(1~10)[read] file f\n"
+      "e2: proc q write file g\n"
+      "return p, g",
+      opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->truncated);
+  EXPECT_NE(r->stats.truncation_reason.find("deadline"), std::string::npos)
+      << r->stats.truncation_reason;
+}
+
+TEST(BoundedExecutionTest, InjectedDelayTripsDeadlineBetweenPatterns) {
+  EngineFixture fx;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(300, &fx.log);
+  fx.Finish();
+  ScriptedFaults faults;
+  faults.DelayAt("engine.pattern", std::chrono::milliseconds(50));
+  ExecutionOptions opts;
+  opts.deadline_ms = 5;
+  auto r = fx.Run(
+      "e1: proc p read file f\n"
+      "e2: proc q write file g\n"
+      "return p, g",
+      opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->truncated);
+  EXPECT_NE(r->stats.truncation_reason.find("deadline"), std::string::npos);
+  // Only the first pattern got to run before the budget expired.
+  EXPECT_EQ(faults.hits("engine.pattern"), 1);
+}
+
+TEST(BoundedExecutionTest, MaxGraphEdgesBoundsPathSearch) {
+  EngineFixture fx;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(5000, &fx.log);
+  gen.InjectForkChain("/evil/root", 3, audit::Operation::kRead, "/etc/secret",
+                      &fx.log);
+  fx.Finish();
+  ExecutionOptions opts;
+  opts.max_graph_edges = 10;
+  auto r = fx.Run("proc p ~>(1~10)[read] file f\nreturn p, f", opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->truncated);
+  EXPECT_NE(r->stats.truncation_reason.find("max_graph_edges"),
+            std::string::npos)
+      << r->stats.truncation_reason;
+  // The search stopped early: nowhere near the whole graph was traversed.
+  EXPECT_LT(r->stats.graph_edges_traversed, fx.graph_db->num_edges());
+}
+
+TEST(BoundedExecutionTest, UserLimitIsNotTruncation) {
+  EngineFixture fx;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(2000, &fx.log);
+  fx.Finish();
+  auto limited = fx.Run("proc p read file f\nreturn p, f\nlimit 3");
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->rows.size(), 3u);
+  EXPECT_FALSE(limited->truncated);
+
+  // The same cap imposed by the engine's safety net IS truncation.
+  ExecutionOptions opts;
+  opts.max_rows = 3;
+  auto capped = fx.Run("proc p read file f\nreturn p, f", opts);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped->rows.size(), 3u);
+  EXPECT_TRUE(capped->truncated);
+  EXPECT_NE(capped->stats.truncation_reason.find("row cap"),
+            std::string::npos);
+}
+
+TEST(BoundedExecutionTest, EngineFaultPointFailsExecution) {
+  EngineFixture fx;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(100, &fx.log);
+  fx.Finish();
+  ScriptedFaults faults;
+  faults.FailAt("engine.execute", Status::Internal("injected engine fault"));
+  auto r = fx.Run("proc p read file f\nreturn p, f");
+  EXPECT_TRUE(r.status().IsInternal()) << r.status().ToString();
+}
+
+// =====================================================================
+// Degraded-mode hunting.
+// =====================================================================
+
+struct HuntFixture {
+  ThreatRaptor system;
+  audit::AttackTrace attack;
+
+  HuntFixture() {
+    audit::WorkloadGenerator gen;
+    gen.GenerateBenign(2000, system.mutable_log());
+    attack = gen.InjectDataLeakageAttack(system.mutable_log());
+    gen.GenerateBenign(2000, system.mutable_log());
+    EXPECT_TRUE(system.FinalizeStorage().ok());
+  }
+};
+
+TEST(DegradedHuntTest, SynthesisFailureFallsBackToPerIocQueries) {
+  HuntFixture fx;
+  ScriptedFaults faults;
+  faults.FailAt("synthesis.synthesize",
+                Status::Internal("injected synthesis fault"));
+
+  // Without degraded mode the hunt surfaces the original error.
+  auto strict = fx.system.Hunt(fx.attack.report_text);
+  EXPECT_TRUE(strict.status().IsInternal()) << strict.status().ToString();
+
+  HuntOptions degraded;
+  degraded.allow_degraded = true;
+  auto hunt = fx.system.Hunt(fx.attack.report_text, degraded);
+  ASSERT_TRUE(hunt.ok()) << hunt.status().ToString();
+  EXPECT_TRUE(hunt->degradation.degraded);
+  ASSERT_EQ(hunt->degradation.failures.size(), 1u);
+  EXPECT_EQ(hunt->degradation.failures[0].stage, "synthesis");
+  EXPECT_NE(hunt->degradation.failures[0].error.find("injected"),
+            std::string::npos);
+  EXPECT_GT(hunt->degradation.subqueries_attempted, 0u);
+  EXPECT_GT(hunt->degradation.subqueries_succeeded, 0u);
+  // Per-IOC sub-queries still surface the attack's events.
+  ASSERT_EQ(hunt->result.columns.size(), 4u);
+  EXPECT_EQ(hunt->result.columns[0], "subquery");
+  EXPECT_FALSE(hunt->result.rows.empty());
+  EXPECT_FALSE(hunt->result.MatchedEvents().empty());
+  EXPECT_NE(hunt->degradation.ToString().find("synthesis failed"),
+            std::string::npos);
+}
+
+TEST(DegradedHuntTest, ExecutionFailureFallsBackToPerPatternQueries) {
+  HuntFixture fx;
+  ScriptedFaults faults;
+  // Only the full behavior query fails; the per-pattern sub-queries (the
+  // 2nd..Nth Execute calls) succeed.
+  faults.FailAt("engine.execute", Status::Internal("injected engine fault"),
+                /*after=*/0, /*times=*/1);
+  HuntOptions degraded;
+  degraded.allow_degraded = true;
+  auto hunt = fx.system.Hunt(fx.attack.report_text, degraded);
+  ASSERT_TRUE(hunt.ok()) << hunt.status().ToString();
+  EXPECT_TRUE(hunt->degradation.degraded);
+  ASSERT_EQ(hunt->degradation.failures.size(), 1u);
+  EXPECT_EQ(hunt->degradation.failures[0].stage, "execution");
+  EXPECT_GT(hunt->degradation.subqueries_attempted, 0u);
+  EXPECT_EQ(hunt->degradation.subqueries_succeeded,
+            hunt->degradation.subqueries_attempted);
+  // The synthesized query survived, so the report still carries it.
+  EXPECT_FALSE(hunt->query_text.empty());
+  EXPECT_FALSE(hunt->result.rows.empty());
+  // The per-pattern labels come from the synthesized query's pattern ids.
+  EXPECT_EQ(hunt->result.rows[0][1].substr(0, 3), "evt");
+  EXPECT_GT(faults.hits("engine.execute"), 1);
+}
+
+TEST(DegradedHuntTest, ExecutionFailureWithoutDegradedModeIsAnError) {
+  HuntFixture fx;
+  ScriptedFaults faults;
+  faults.FailAt("engine.execute", Status::Internal("injected engine fault"));
+  auto hunt = fx.system.Hunt(fx.attack.report_text);
+  EXPECT_TRUE(hunt.status().IsInternal()) << hunt.status().ToString();
+}
+
+// =====================================================================
+// Hardened HTTP server.
+// =====================================================================
+
+std::string RawRequest(uint16_t port, const std::string& wire,
+                       bool half_close = false) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  if (!wire.empty()) {
+    EXPECT_EQ(::send(fd, wire.data(), wire.size(), 0),
+              static_cast<ssize_t>(wire.size()));
+  }
+  if (half_close) ::shutdown(fd, SHUT_WR);
+  std::string out;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    out.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+struct SmallServer {
+  server::HttpServer http;
+
+  SmallServer()
+      : http(server::HttpServerOptions{.recv_timeout_ms = 200,
+                                       .max_header_bytes = 256,
+                                       .max_body_bytes = 1024}) {
+    http.Route("GET", "/ping", [](const server::HttpRequest&) {
+      return server::HttpResponse{200, "text/plain", "pong"};
+    });
+    http.Route("POST", "/echo", [](const server::HttpRequest& req) {
+      return server::HttpResponse{200, "text/plain", req.body};
+    });
+    http.Route("GET", "/boom",
+               [](const server::HttpRequest&) -> server::HttpResponse {
+                 throw std::runtime_error("kaboom");
+               });
+    EXPECT_TRUE(http.Start(0).ok());
+  }
+};
+
+TEST(HardenedServerTest, SlowlorisClientGets408AndServerRecovers) {
+  SmallServer fx;
+  // Dribble a few bytes and then stall: the server must give up after its
+  // read budget (200 ms) instead of blocking the accept loop forever.
+  std::string response = RawRequest(fx.http.port(), "GET /ping HT");
+  EXPECT_NE(response.find("408"), std::string::npos) << response;
+  // The next well-behaved client is served normally.
+  response = RawRequest(fx.http.port(), "GET /ping HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_TRUE(response.ends_with("pong"));
+}
+
+TEST(HardenedServerTest, OversizedHeadGets413) {
+  SmallServer fx;
+  std::string wire = "GET /ping HTTP/1.1\r\nX-Pad: " +
+                     std::string(600, 'a') + "\r\n\r\n";
+  std::string response = RawRequest(fx.http.port(), wire);
+  EXPECT_NE(response.find("413"), std::string::npos) << response;
+}
+
+TEST(HardenedServerTest, OversizedBodyGets413) {
+  SmallServer fx;
+  std::string wire =
+      "POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: 5000\r\n\r\n";
+  std::string response = RawRequest(fx.http.port(), wire);
+  EXPECT_NE(response.find("413"), std::string::npos) << response;
+  // A body within the limit still round-trips.
+  std::string ok = RawRequest(fx.http.port(),
+                              "POST /echo HTTP/1.1\r\nHost: t\r\n"
+                              "Content-Length: 5\r\n\r\nhello");
+  EXPECT_TRUE(ok.ends_with("hello"));
+}
+
+TEST(HardenedServerTest, TruncatedBodyGets400) {
+  SmallServer fx;
+  std::string wire =
+      "POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: 100\r\n\r\nhalf";
+  std::string response =
+      RawRequest(fx.http.port(), wire, /*half_close=*/true);
+  EXPECT_NE(response.find("400"), std::string::npos) << response;
+  EXPECT_NE(response.find("truncated body"), std::string::npos);
+}
+
+TEST(HardenedServerTest, ThrowingHandlerGets500AndServerSurvives) {
+  SmallServer fx;
+  std::string response = RawRequest(fx.http.port(),
+                                    "GET /boom HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(response.find("500"), std::string::npos) << response;
+  EXPECT_NE(response.find("kaboom"), std::string::npos);
+  response = RawRequest(fx.http.port(),
+                        "GET /ping HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+}
+
+TEST(HardenedServerTest, HandlerFaultPointGets500) {
+  SmallServer fx;
+  {
+    ScriptedFaults faults;
+    faults.FailAt("server.handler",
+                  Status::Internal("injected handler fault"));
+    std::string response = RawRequest(
+        fx.http.port(), "GET /ping HTTP/1.1\r\nHost: t\r\n\r\n");
+    EXPECT_NE(response.find("500"), std::string::npos) << response;
+    EXPECT_NE(response.find("injected handler fault"), std::string::npos);
+  }
+  // Fault uninstalled: back to normal.
+  std::string response = RawRequest(fx.http.port(),
+                                    "GET /ping HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+}
+
+// =====================================================================
+// Live-ingestion consistency under partial failure.
+// =====================================================================
+
+TEST(LiveIngestConsistencyTest, StrictFailureMidBatchLeavesBackendsInSync) {
+  ThreatRaptor system;
+  ASSERT_TRUE(system
+                  .IngestLogText(
+                      "ts=1 pid=1 exe=/sbin/init op=read obj=file "
+                      "path=/boot/config\n")
+                  .ok());
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+  size_t base = system.log().event_count();
+
+  Status st = system.IngestLiveText(
+      "ts=10 pid=5 exe=/live/agent op=write obj=file path=/tmp/live1\n"
+      "ts=11 pid=5 exe=/live/agent op=write obj=file path=/tmp/live2\n"
+      "BROKEN LINE\n"
+      "ts=12 pid=5 exe=/live/agent op=write obj=file path=/tmp/live3\n");
+  EXPECT_TRUE(st.IsParseError()) << st.ToString();
+
+  // The two events before the malformed line landed, and every backend
+  // agrees with the log — no torn state.
+  EXPECT_EQ(system.log().event_count(), base + 2);
+  EXPECT_EQ(system.relational().events().num_rows(),
+            system.log().event_count());
+  EXPECT_EQ(system.graph().num_edges(), system.log().event_count());
+  auto r = system.ExecuteTbql("proc p[\"%live%\"] write file f\nreturn p, f");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 2u);
+}
+
+TEST(LiveIngestConsistencyTest, BudgetedLiveIngestSkipsAndStaysInSync) {
+  ThreatRaptor system;
+  ASSERT_TRUE(system
+                  .IngestLogText(
+                      "ts=1 pid=1 exe=/sbin/init op=read obj=file "
+                      "path=/boot/config\n")
+                  .ok());
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+  size_t base = system.log().event_count();
+
+  auto stats = system.IngestLiveText(
+      "ts=10 pid=5 exe=/live/agent op=write obj=file path=/tmp/live1\n"
+      "BROKEN LINE\n"
+      "ts=11 pid=5 exe=/live/agent op=write obj=file path=/tmp/live2\n"
+      "ts=12 pid=5 exe=/live/agent op=write obj=file path=/tmp/live3\n",
+      ParseOptions{.error_budget = 1});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->events, 3u);
+  EXPECT_EQ(stats->skipped, 1u);
+
+  EXPECT_EQ(system.log().event_count(), base + 3);
+  EXPECT_EQ(system.relational().events().num_rows(),
+            system.log().event_count());
+  EXPECT_EQ(system.graph().num_edges(), system.log().event_count());
+  auto r = system.ExecuteTbql("proc p[\"%live%\"] write file f\nreturn p, f");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 3u);
+}
+
+}  // namespace
+}  // namespace raptor

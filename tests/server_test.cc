@@ -45,6 +45,23 @@ TEST(HttpParseTest, RejectsMalformed) {
       ParseRequestHead("GET / HTTP/1.1\r\nbroken header\r\n\r\n").ok());
 }
 
+TEST(HttpParseTest, HeadWithoutTrailingCrlfIsHandled) {
+  // Regression: the header loop used to advance pos = next + 2 past
+  // head.size() when the last header line lacked its CRLF.
+  auto req = ParseRequestHead("GET / HTTP/1.1\r\nHost: x");
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(req->headers.at("host"), "x");
+  // Every prefix of a valid head parses or fails cleanly.
+  std::string head =
+      "POST /p?q=1 HTTP/1.1\r\nHost: localhost\r\nContent-Length: 3\r\n\r\n";
+  for (size_t len = 0; len <= head.size(); ++len) {
+    auto r = ParseRequestHead(std::string_view(head).substr(0, len));
+    if (!r.ok()) {
+      EXPECT_TRUE(r.status().IsParseError()) << len;
+    }
+  }
+}
+
 TEST(HttpParseTest, SerializeResponseHasFraming) {
   HttpResponse response{200, "application/json", "{}"};
   std::string wire = SerializeResponse(response);
