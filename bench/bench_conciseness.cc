@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/strings.h"
 #include "core/threat_raptor.h"
 #include "engine/translate.h"
 #include "tbql/analyzer.h"
@@ -42,29 +43,31 @@ void Report(const char* name, const tbql::Query& query) {
   std::string sql = engine::RenderSql(query);
   std::string cypher = engine::RenderCypher(query);
 
-  std::printf("\nQuery: %s (%zu event patterns)\n", name,
-              query.patterns.size());
-  PrintRule();
-  std::printf("%-8s | %8s | %6s | %s\n", "language", "chars", "lines",
-              "constructs");
-  PrintRule();
-  std::printf("%-8s | %8zu | %6zu | %zu event patterns\n", "TBQL",
-              tbql_text.size(), CountLines(tbql_text),
-              query.patterns.size());
-  std::printf("%-8s | %8zu | %6zu | %zu table aliases, %zu WHERE conjuncts\n",
-              "SQL", sql.size(), CountLines(sql),
-              CountOccurrences(sql, " AS "),
-              CountOccurrences(sql, "\n  AND ") + 1);
-  std::printf("%-8s | %8zu | %6zu | %zu MATCH clauses\n", "Cypher",
-              cypher.size(), CountLines(cypher),
-              CountOccurrences(cypher, "MATCH "));
-  std::printf("TBQL size ratio: %.2fx vs SQL, %.2fx vs Cypher\n",
-              static_cast<double>(sql.size()) / tbql_text.size(),
-              static_cast<double>(cypher.size()) / tbql_text.size());
+  Narrate("\nQuery: %s (%zu event patterns)\n", name, query.patterns.size());
+  Table table(std::string("conciseness/") + name,
+              {"language", "chars", "lines", "constructs"});
+  table.AddRow({"TBQL", tbql_text.size(), CountLines(tbql_text),
+                StrFormat("%zu event patterns", query.patterns.size())});
+  table.AddRow(
+      {"SQL", sql.size(), CountLines(sql),
+       StrFormat("%zu table aliases, %zu WHERE conjuncts",
+                 CountOccurrences(sql, " AS "),
+                 CountOccurrences(sql, "\n  AND ") + 1)});
+  table.AddRow({"Cypher", cypher.size(), CountLines(cypher),
+                StrFormat("%zu MATCH clauses",
+                          CountOccurrences(cypher, "MATCH "))});
+  table.Done();
+  Narrate("TBQL size ratio: %.2fx vs SQL, %.2fx vs Cypher\n",
+          static_cast<double>(sql.size()) / tbql_text.size(),
+          static_cast<double>(cypher.size()) / tbql_text.size());
+  AddExtra(std::string("size_ratio_sql/") + name,
+           static_cast<double>(sql.size()) / tbql_text.size());
+  AddExtra(std::string("size_ratio_cypher/") + name,
+           static_cast<double>(cypher.size()) / tbql_text.size());
 }
 
 void Run() {
-  std::printf("E3: Query conciseness — TBQL vs hand-written SQL/Cypher\n");
+  Narrate("E3: Query conciseness — TBQL vs hand-written SQL/Cypher\n");
 
   // Synthesize the two attack queries from their reports, exactly as the
   // end-to-end pipeline would.
@@ -82,8 +85,8 @@ void Run() {
     auto extraction = pipeline.Extract(report);
     auto synthesis = synthesizer.Synthesize(extraction.graph);
     if (!synthesis.ok()) {
-      std::printf("synthesis failed for %s: %s\n", name,
-                  synthesis.status().ToString().c_str());
+      Narrate("synthesis failed for %s: %s\n", name,
+              synthesis.status().ToString().c_str());
       continue;
     }
     Report(name, synthesis->query);
@@ -102,7 +105,9 @@ void Run() {
 }  // namespace
 }  // namespace raptor::bench
 
-int main() {
+int main(int argc, char** argv) {
+  raptor::bench::Init(argc, argv, "conciseness");
   raptor::bench::Run();
+  raptor::bench::Finish();
   return 0;
 }

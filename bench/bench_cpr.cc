@@ -17,12 +17,9 @@ namespace raptor::bench {
 namespace {
 
 void Run() {
-  std::printf("E4: Causality-Preserved Reduction (ref [10])\n");
-  PrintRule();
-  std::printf("%10s | %10s | %12s | %12s | %10s | %9s\n", "events",
-              "burst_prob", "evts_before", "evts_after", "reduction",
-              "Mevt/s");
-  PrintRule();
+  Narrate("E4: Causality-Preserved Reduction (ref [10])\n");
+  Table table("cpr_reduction", {"events", "burst_prob", "evts_before",
+                                "evts_after", "reduction_x", "Mevt_per_s"});
 
   for (size_t events : {10'000u, 100'000u, 400'000u}) {
     for (double burst : {0.0, 0.15, 0.4, 0.7}) {
@@ -37,14 +34,13 @@ void Run() {
       double secs = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - t0)
                         .count();
-      std::printf("%10zu | %10.2f | %12zu | %12zu | %9.2fx | %9.2f\n",
-                  events, burst, stats.events_before, stats.events_after,
-                  stats.ReductionRatio(),
-                  static_cast<double>(stats.events_before) / secs / 1e6);
+      table.AddRow({events, burst, stats.events_before, stats.events_after,
+                    stats.ReductionRatio(),
+                    static_cast<double>(stats.events_before) / secs / 1e6});
     }
   }
-  PrintRule();
-  std::printf(
+  table.Done();
+  Narrate(
       "Shape check: reduction grows with burstiness, is roughly\n"
       "size-independent, and throughput stays linear in trace size.\n");
 }
@@ -52,7 +48,9 @@ void Run() {
 }  // namespace
 }  // namespace raptor::bench
 
-int main() {
+int main(int argc, char** argv) {
+  raptor::bench::Init(argc, argv, "cpr");
   raptor::bench::Run();
+  raptor::bench::Finish();
   return 0;
 }

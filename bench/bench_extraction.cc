@@ -51,15 +51,11 @@ void Run() {
   configs.push_back({"regex-only", {}, true});
 
   std::vector<CorpusDoc> corpus = BuildCorpus();
-  std::printf("E1: Threat behavior extraction accuracy "
-              "(%zu labeled corpus documents)\n",
-              corpus.size());
-  PrintRule();
-  std::printf("%-14s | %23s | %23s\n", "", "IOC extraction",
-              "Relation extraction");
-  std::printf("%-14s | %6s %6s %6s  | %6s %6s %6s\n", "pipeline", "P", "R",
-              "F1", "P", "R", "F1");
-  PrintRule();
+  Narrate("E1: Threat behavior extraction accuracy "
+          "(%zu labeled corpus documents)\n",
+          corpus.size());
+  Table table("labeled_corpus", {"pipeline", "ioc_p", "ioc_r", "ioc_f1",
+                                 "rel_p", "rel_r", "rel_f1"});
 
   nlp::IocRecognizer recognizer;
   for (const Config& config : configs) {
@@ -85,13 +81,13 @@ void Run() {
       ioc_counter.Score(got_iocs, truth_iocs);
       rel_counter.Score(got_rels, truth_rels);
     }
-    std::printf("%-14s | %6.3f %6.3f %6.3f  | %6.3f %6.3f %6.3f\n",
-                config.name, ioc_counter.Precision(), ioc_counter.Recall(),
-                ioc_counter.F1(), rel_counter.Precision(),
-                rel_counter.Recall(), rel_counter.F1());
+    table.AddRow({config.name, Cell(ioc_counter.Precision(), 3),
+                  Cell(ioc_counter.Recall(), 3), Cell(ioc_counter.F1(), 3),
+                  Cell(rel_counter.Precision(), 3),
+                  Cell(rel_counter.Recall(), 3), Cell(rel_counter.F1(), 3)});
   }
-  PrintRule();
-  std::printf(
+  table.Done();
+  Narrate(
       "Shape check: 'full' should dominate 'no-protection' on both F1s;\n"
       "'regex-only' finds indicators but extracts no relations.\n");
 }
@@ -101,15 +97,11 @@ void Run() {
 /// sentences) stresses the pipeline beyond the hand-labeled documents.
 void RunGenerated() {
   constexpr size_t kNumDocs = 100;
-  std::printf("\nE1b: Extraction accuracy on the generated corpus "
-              "(%zu rendered attack reports)\n",
-              kNumDocs);
-  PrintRule();
-  std::printf("%-14s | %23s | %23s\n", "", "IOC extraction",
-              "Relation extraction");
-  std::printf("%-14s | %6s %6s %6s  | %6s %6s %6s\n", "pipeline", "P", "R",
-              "F1", "P", "R", "F1");
-  PrintRule();
+  Narrate("\nE1b: Extraction accuracy on the generated corpus "
+          "(%zu rendered attack reports)\n",
+          kNumDocs);
+  Table table("generated_corpus", {"pipeline", "ioc_p", "ioc_r", "ioc_f1",
+                                   "rel_p", "rel_r", "rel_f1"});
 
   struct Config {
     const char* name;
@@ -148,19 +140,21 @@ void RunGenerated() {
       ioc_counter.Score(ExtractedIocs(result), truth_iocs);
       rel_counter.Score(ExtractedRelations(result), truth_rels);
     }
-    std::printf("%-14s | %6.3f %6.3f %6.3f  | %6.3f %6.3f %6.3f\n",
-                config.name, ioc_counter.Precision(), ioc_counter.Recall(),
-                ioc_counter.F1(), rel_counter.Precision(),
-                rel_counter.Recall(), rel_counter.F1());
+    table.AddRow({config.name, Cell(ioc_counter.Precision(), 3),
+                  Cell(ioc_counter.Recall(), 3), Cell(ioc_counter.F1(), 3),
+                  Cell(rel_counter.Precision(), 3),
+                  Cell(rel_counter.Recall(), 3), Cell(rel_counter.F1(), 3)});
   }
-  PrintRule();
+  table.Done();
 }
 
 }  // namespace
 }  // namespace raptor::bench
 
-int main() {
+int main(int argc, char** argv) {
+  raptor::bench::Init(argc, argv, "extraction");
   raptor::bench::Run();
   raptor::bench::RunGenerated();
+  raptor::bench::Finish();
   return 0;
 }

@@ -9,11 +9,13 @@
 
 #include "hunt_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  raptor::bench::Init(argc, argv, "hunt_leakage");
   raptor::bench::RunHuntExperiment(
       "E6", "Data Leakage After Shellshock Penetration",
       [](raptor::audit::WorkloadGenerator* gen, raptor::audit::AuditLog* log) {
         return gen->InjectDataLeakageAttack(log);
       });
+  raptor::bench::Finish();
   return 0;
 }

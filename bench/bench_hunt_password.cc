@@ -7,11 +7,13 @@
 
 #include "hunt_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  raptor::bench::Init(argc, argv, "hunt_password");
   raptor::bench::RunHuntExperiment(
       "E5", "Password Cracking After Shellshock Penetration",
       [](raptor::audit::WorkloadGenerator* gen, raptor::audit::AuditLog* log) {
         return gen->InjectPasswordCrackingAttack(log);
       });
+  raptor::bench::Finish();
   return 0;
 }

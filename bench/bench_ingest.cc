@@ -23,11 +23,9 @@ double Secs(std::chrono::steady_clock::time_point a,
 }
 
 void LoadThroughput() {
-  std::printf("E9a: Storage load throughput (Mevents/s per stage)\n");
-  PrintRule(90);
-  std::printf("%10s | %10s | %8s | %10s | %10s | %10s\n", "events",
-              "parse_text", "cpr", "relational", "graph", "end_to_end");
-  PrintRule(90);
+  Narrate("E9a: Storage load throughput (Mevents/s per stage)\n");
+  Table table("load_throughput", {"events", "parse_text", "cpr", "relational",
+                                  "graph", "end_to_end"});
   for (size_t events : {20'000u, 100'000u, 400'000u}) {
     audit::AuditLog gen_log;
     audit::WorkloadGenerator gen;
@@ -52,21 +50,17 @@ void LoadThroughput() {
     (void)cpr;
 
     double mevents = static_cast<double>(events) / 1e6;
-    std::printf("%10zu | %10.2f | %8.2f | %10.2f | %10.2f | %10.2f\n",
-                events, mevents / Secs(t0, t1), mevents / Secs(t1, t2),
-                mevents / Secs(t2, t3), mevents / Secs(t3, t4),
-                mevents / Secs(t0, t4));
+    table.AddRow({events, mevents / Secs(t0, t1), mevents / Secs(t1, t2),
+                  mevents / Secs(t2, t3), mevents / Secs(t3, t4),
+                  mevents / Secs(t0, t4)});
   }
-  PrintRule(90);
+  table.Done();
 }
 
 void CprAblation() {
-  std::printf("\nE9b: CPR design-choice ablation (200k-event trace)\n");
-  PrintRule(90);
-  std::printf("%8s | %12s | %12s | %12s | %10s | %10s\n", "cpr",
-              "event_rows", "entity_rows", "graph_edges", "hunt_ms",
-              "rows_same");
-  PrintRule(90);
+  Narrate("\nE9b: CPR design-choice ablation (200k-event trace)\n");
+  Table table("cpr_ablation", {"cpr", "event_rows", "entity_rows",
+                               "graph_edges", "hunt_ms", "rows_same"});
 
   std::vector<std::vector<std::string>> reference_rows;
   for (bool use_cpr : {true, false}) {
@@ -84,7 +78,7 @@ void CprAblation() {
     double hunt_ms =
         1000.0 * Secs(t0, std::chrono::steady_clock::now());
     if (!hunt.ok()) {
-      std::printf("hunt failed: %s\n", hunt.status().ToString().c_str());
+      Narrate("hunt failed: %s\n", hunt.status().ToString().c_str());
       return;
     }
     bool same = true;
@@ -93,13 +87,13 @@ void CprAblation() {
     } else {
       same = hunt->result.rows == reference_rows;
     }
-    std::printf("%8s | %12zu | %12zu | %12zu | %10.2f | %10s\n",
-                use_cpr ? "on" : "off", system.relational().events().num_rows(),
-                system.log().entity_count(), system.graph().num_edges(),
-                hunt_ms, use_cpr ? "(ref)" : (same ? "YES" : "NO"));
+    table.AddRow({use_cpr ? "on" : "off",
+                  system.relational().events().num_rows(),
+                  system.log().entity_count(), system.graph().num_edges(),
+                  hunt_ms, use_cpr ? "(ref)" : (same ? "YES" : "NO")});
   }
-  PrintRule(90);
-  std::printf(
+  table.Done();
+  Narrate(
       "Shape check: CPR shrinks event storage ~1.5-2x on this workload at\n"
       "identical hunt results; bursty hosts (see E4) save far more.\n");
 }
@@ -107,8 +101,10 @@ void CprAblation() {
 }  // namespace
 }  // namespace raptor::bench
 
-int main() {
+int main(int argc, char** argv) {
+  raptor::bench::Init(argc, argv, "ingest");
   raptor::bench::LoadThroughput();
   raptor::bench::CprAblation();
+  raptor::bench::Finish();
   return 0;
 }

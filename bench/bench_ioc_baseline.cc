@@ -56,14 +56,11 @@ Score Evaluate(const std::vector<audit::EventId>& matched,
 }
 
 void Run() {
-  std::printf("E10: behavior-graph hunting vs isolated-IOC matching "
-              "(structured-feed baseline)\n");
-  PrintRule(100);
-  std::printf("%10s | %28s | %28s\n", "", "THREATRAPTOR (behavior graph)",
-              "IOC-only (STIX-style feed)");
-  std::printf("%10s | %8s %9s %8s | %8s %9s %8s\n", "benign", "matched",
-              "precision", "recall", "matched", "precision", "recall");
-  PrintRule(100);
+  Narrate("E10: behavior-graph hunting vs isolated-IOC matching "
+          "(structured-feed baseline)\n");
+  Table table("ioc_baseline",
+              {"benign", "tr_matched", "tr_precision", "tr_recall",
+               "ioc_matched", "ioc_precision", "ioc_recall"});
 
   for (size_t benign : {20'000u, 100'000u, 400'000u}) {
     ThreatRaptor system;
@@ -82,7 +79,7 @@ void Run() {
     // Behavior-graph hunt (the full pipeline).
     auto hunt = system.Hunt(attack.report_text);
     if (!hunt.ok()) {
-      std::printf("hunt failed: %s\n", hunt.status().ToString().c_str());
+      Narrate("hunt failed: %s\n", hunt.status().ToString().c_str());
       return;
     }
     Score behavior =
@@ -105,12 +102,12 @@ void Run() {
                                             ioc_matched_set.end());
     Score ioc_only = Evaluate(ioc_matched, attack_set, core_set);
 
-    std::printf("%10zu | %8zu %9.3f %8.2f | %8zu %9.3f %8.2f\n", benign,
-                behavior.matched, behavior.precision, behavior.recall,
-                ioc_only.matched, ioc_only.precision, ioc_only.recall);
+    table.AddRow({benign, behavior.matched, Cell(behavior.precision, 3),
+                  Cell(behavior.recall, 2), ioc_only.matched,
+                  Cell(ioc_only.precision, 3), Cell(ioc_only.recall, 2)});
   }
-  PrintRule(100);
-  std::printf(
+  table.Done();
+  Narrate(
       "Shape check: both recall the narrated attack chain; IOC-only\n"
       "precision degrades with benign volume (legitimate /etc/passwd and\n"
       "/etc/shadow activity matches the indicators), while the behavior\n"
@@ -121,7 +118,9 @@ void Run() {
 }  // namespace
 }  // namespace raptor::bench
 
-int main() {
+int main(int argc, char** argv) {
+  raptor::bench::Init(argc, argv, "ioc_baseline");
   raptor::bench::Run();
+  raptor::bench::Finish();
   return 0;
 }

@@ -1,0 +1,143 @@
+// Observability overhead (ISSUE 2 acceptance): instrumentation with no
+// sink attached must cost a few atomic ops per batch, and end-to-end
+// execution must stay within 5% of the uninstrumented wall time.
+//
+// Two levels:
+//   (a) micro: cost of one counter increment, one histogram observation,
+//       and one Span construction with no active trace (the no-sink path).
+//   (b) macro: bench_execution's default scenario (the scheduled leakage
+//       query on a 50k-event trace) with the tracer disabled (no sink),
+//       enabled (ring sink), and with full profile collection. The
+//       notrace/traced/profiled times must agree within 5%.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/threat_raptor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tbql/analyzer.h"
+#include "tbql/parser.h"
+
+namespace raptor::bench {
+namespace {
+
+// --- (a) Micro costs of the no-sink instrumentation primitives. ---
+
+void BM_CounterIncrement(benchmark::State& state) {
+  obs::Counter* counter = obs::Registry::Default().GetCounter(
+      "bench_overhead_counter", "overhead bench scratch counter");
+  for (auto _ : state) {
+    counter->Increment();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_CounterIncrement);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::Histogram* histogram = obs::Registry::Default().GetHistogram(
+      "bench_overhead_ms", "overhead bench scratch histogram");
+  double v = 0;
+  for (auto _ : state) {
+    histogram->Observe(v);
+    v += 0.125;
+    benchmark::DoNotOptimize(histogram);
+  }
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_SpanNoSink(benchmark::State& state) {
+  obs::Tracer& tracer = obs::Tracer::Default();
+  bool was_enabled = tracer.enabled();
+  tracer.set_enabled(false);
+  for (auto _ : state) {
+    obs::Span span = tracer.StartSpan("noop");
+    benchmark::DoNotOptimize(span.active());
+  }
+  tracer.set_enabled(was_enabled);
+}
+BENCHMARK(BM_SpanNoSink);
+
+void BM_SpanRecorded(benchmark::State& state) {
+  obs::Tracer& tracer = obs::Tracer::Default();
+  obs::TraceScope scope = tracer.BeginTrace("bench", /*force=*/true);
+  for (auto _ : state) {
+    obs::Span span = tracer.StartSpan("op");
+    benchmark::DoNotOptimize(span.active());
+  }
+}
+BENCHMARK(BM_SpanRecorded);
+
+// --- (b) Macro: bench_execution's default scenario, three sink levels. ---
+
+const char* kLeakageQuery =
+    "evt1: proc p1[\"%/bin/tar%\"] read file f1[\"/etc/passwd\"]\n"
+    "evt2: proc p1 write file f2[\"/tmp/data.tar\"]\n"
+    "evt3: proc p2[\"%/bin/gzip%\"] read file f2\n"
+    "evt4: proc p2 write file f3[\"/tmp/data.tar.gz\"]\n"
+    "evt5: proc p3[\"%/usr/bin/curl%\"] read file f3\n"
+    "evt6: proc p3 send net n1[dstip = \"161.35.10.8\"]\n"
+    "with evt1 before evt2, evt2 before evt3, evt3 before evt4, "
+    "evt4 before evt5, evt5 before evt6\n"
+    "return p1, p2, p3, f1, f2, f3, n1";
+
+ThreatRaptor& GetTrace() {
+  static auto* system = [] {
+    auto s = std::make_unique<ThreatRaptor>();
+    audit::WorkloadGenerator gen;
+    gen.GenerateBenign(25'000, s->mutable_log());
+    gen.InjectDataLeakageAttack(s->mutable_log());
+    gen.GenerateBenign(25'000, s->mutable_log());
+    (void)s->FinalizeStorage();
+    return s.release();
+  }();
+  return *system;
+}
+
+enum class Sink { kNone, kRing, kProfile };
+
+void BM_Execute(benchmark::State& state, Sink sink) {
+  ThreatRaptor& system = GetTrace();
+  auto query = tbql::Parse(kLeakageQuery);
+  if (!query.ok() || !tbql::Analyze(&*query).ok()) std::abort();
+  engine::QueryEngine engine(
+      &system.log(),
+      const_cast<rel::RelationalDatabase*>(&system.relational()),
+      const_cast<graph::GraphStore*>(&system.graph()));
+  engine::ExecutionOptions opts;
+  opts.collect_profile = sink == Sink::kProfile;
+
+  obs::Tracer& tracer = obs::Tracer::Default();
+  bool was_enabled = tracer.enabled();
+  tracer.set_enabled(sink == Sink::kRing);
+
+  for (auto _ : state) {
+    auto result = engine.Execute(*query, opts);
+    benchmark::DoNotOptimize(result);
+  }
+  tracer.set_enabled(was_enabled);
+}
+
+}  // namespace
+}  // namespace raptor::bench
+
+int main(int argc, char** argv) {
+  using raptor::bench::BM_Execute;
+  using raptor::bench::Sink;
+  benchmark::RegisterBenchmark(
+      "E2overhead/leakage/notrace",
+      [](benchmark::State& s) { BM_Execute(s, Sink::kNone); })
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      "E2overhead/leakage/traced",
+      [](benchmark::State& s) { BM_Execute(s, Sink::kRing); })
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      "E2overhead/leakage/profiled",
+      [](benchmark::State& s) { BM_Execute(s, Sink::kProfile); })
+      ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -21,32 +21,29 @@ namespace raptor::bench {
 namespace {
 
 void CoverageTable() {
-  std::printf("E7a: Synthesis coverage over the labeled corpus\n");
-  PrintRule(90);
-  std::printf("%-26s | %5s | %5s | %8s | %8s | %8s | %8s\n", "document",
-              "nodes", "edges", "screened", "unmapped", "patterns",
-              "temporal");
-  PrintRule(90);
+  Narrate("E7a: Synthesis coverage over the labeled corpus\n");
+  Table table("synthesis_coverage",
+              {"document", "nodes", "edges", "screened", "unmapped",
+               "patterns", "temporal"});
   nlp::ExtractionPipeline pipeline;
   synth::QuerySynthesizer synthesizer;
   for (const CorpusDoc& doc : BuildCorpus()) {
     auto extraction = pipeline.Extract(doc.text);
     auto synthesis = synthesizer.Synthesize(extraction.graph);
     if (!synthesis.ok()) {
-      std::printf("%-26s | %5zu | %5zu | %8s\n", doc.name.c_str(),
-                  extraction.graph.num_nodes(), extraction.graph.num_edges(),
-                  "n/a (no mappable behavior)");
+      table.AddRow({doc.name, extraction.graph.num_nodes(),
+                    extraction.graph.num_edges(),
+                    "n/a (no mappable behavior)", "", "", ""});
       continue;
     }
-    std::printf("%-26s | %5zu | %5zu | %8zu | %8zu | %8zu | %8zu\n",
-                doc.name.c_str(), extraction.graph.num_nodes(),
-                extraction.graph.num_edges(),
-                synthesis->screened_nodes.size(),
-                synthesis->unmapped_edges.size(),
-                synthesis->query.patterns.size(),
-                synthesis->query.temporal.size());
+    table.AddRow({doc.name, extraction.graph.num_nodes(),
+                  extraction.graph.num_edges(),
+                  synthesis->screened_nodes.size(),
+                  synthesis->unmapped_edges.size(),
+                  synthesis->query.patterns.size(),
+                  synthesis->query.temporal.size()});
   }
-  PrintRule(90);
+  table.Done();
 }
 
 /// Hand-written ground-truth query for the data leakage attack (what an
@@ -63,8 +60,7 @@ const char* kHandWrittenLeakage =
     "return p1, p2, p3, f1, f2, f3, n1.dstip";
 
 void EquivalenceCheck() {
-  std::printf("\nE7b: Synthesized vs hand-written query equivalence\n");
-  PrintRule(90);
+  Narrate("\nE7b: Synthesized vs hand-written query equivalence\n");
   ThreatRaptor system;
   audit::WorkloadGenerator gen;
   gen.GenerateBenign(50'000, system.mutable_log());
@@ -75,27 +71,30 @@ void EquivalenceCheck() {
   auto hunt = system.Hunt(attack.report_text);
   auto manual = system.ExecuteTbql(kHandWrittenLeakage);
   if (!hunt.ok() || !manual.ok()) {
-    std::printf("FAILED: %s / %s\n", hunt.status().ToString().c_str(),
-                manual.status().ToString().c_str());
+    Narrate("FAILED: %s / %s\n", hunt.status().ToString().c_str(),
+            manual.status().ToString().c_str());
     return;
   }
   auto synth_events = hunt->result.MatchedEvents();
   auto manual_events = manual->MatchedEvents();
   bool same = synth_events == manual_events;
-  std::printf("synthesized query: %zu patterns, %zu result rows, %zu events\n",
-              hunt->synthesis.query.patterns.size(), hunt->result.rows.size(),
-              synth_events.size());
-  std::printf("hand-written query: %zu result rows, %zu events\n",
-              manual->rows.size(), manual_events.size());
-  std::printf("matched event sets identical: %s\n", same ? "YES" : "NO");
-  PrintRule(90);
+  Table table("equivalence", {"query", "patterns", "rows", "events"});
+  table.AddRow({"synthesized", hunt->synthesis.query.patterns.size(),
+                hunt->result.rows.size(), synth_events.size()});
+  table.AddRow({"hand-written", manual->stats.schedule.size(),
+                manual->rows.size(), manual_events.size()});
+  table.Done();
+  Narrate("matched event sets identical: %s\n", same ? "YES" : "NO");
+  AddExtra("matched_event_sets_identical", same);
 }
 
 }  // namespace
 }  // namespace raptor::bench
 
-int main() {
+int main(int argc, char** argv) {
+  raptor::bench::Init(argc, argv, "synthesis");
   raptor::bench::CoverageTable();
   raptor::bench::EquivalenceCheck();
+  raptor::bench::Finish();
   return 0;
 }

@@ -1,13 +1,23 @@
 // Shared helpers for the experiment harness: precision/recall accounting
 // and paper-style table printing.
+//
+// Every bench supports two output modes. The default prints the familiar
+// human tables. `--json` suppresses all prose and emits one machine-readable
+// JSON document on stdout ({"bench", "tables", "extras"}), which
+// scripts/bench.sh captures as BENCH_<name>.json to seed the perf
+// trajectory. Benches route prose through Narrate() and tabular data
+// through Table so both modes stay in sync.
 
 #pragma once
 
+#include <algorithm>
+#include <cstdarg>
 #include <cstdio>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "nlp/pipeline.h"
 
 namespace raptor::bench {
@@ -65,9 +75,159 @@ inline std::set<std::string> ExtractedRelations(
   return out;
 }
 
+// --- Output mode and the machine-readable document. ---
+
+/// Accumulated output for `--json` mode: one document per bench run.
+struct BenchDoc {
+  std::string name;
+  bool json = false;
+  Json::Array tables;
+  Json::Object extras;
+};
+
+inline BenchDoc& Doc() {
+  static BenchDoc doc;
+  return doc;
+}
+
+inline bool JsonMode() { return Doc().json; }
+
+/// Call first in main(): records the bench name and consumes `--json`.
+inline void Init(int argc, char** argv, const char* bench_name) {
+  Doc().name = bench_name;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") Doc().json = true;
+  }
+}
+
+/// Human-mode prose (titles, shape checks). Silent under `--json` so stdout
+/// stays a single parseable document.
+__attribute__((format(printf, 1, 2))) inline void Narrate(const char* fmt,
+                                                          ...) {
+  if (JsonMode()) return;
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stdout, fmt, ap);
+  va_end(ap);
+}
+
+/// Attaches a free-form value to the JSON document (e.g. the synthesized
+/// query text). No-op in human mode — pair with a Narrate() call.
+inline void AddExtra(const std::string& key, Json value) {
+  if (JsonMode()) Doc().extras[key] = std::move(value);
+}
+
+/// Call last in main(): emits the JSON document in `--json` mode.
+inline void Finish() {
+  if (!JsonMode()) return;
+  Json::Object out;
+  out["bench"] = Doc().name;
+  out["tables"] = Json(std::move(Doc().tables));
+  out["extras"] = Json(std::move(Doc().extras));
+  std::printf("%s\n", Json(std::move(out)).Dump(2).c_str());
+}
+
 inline void PrintRule(size_t width = 78) {
+  if (JsonMode()) return;
   std::string line(width, '-');
   std::printf("%s\n", line.c_str());
 }
+
+/// One table cell: the JSON value plus its human rendering. Implicit
+/// constructors let AddRow take brace lists of mixed types.
+struct Cell {
+  Json value;
+  std::string display;
+
+  Cell(const char* s) : value(s), display(s) {}             // NOLINT
+  Cell(const std::string& s) : value(s), display(s) {}      // NOLINT
+  Cell(double v, int precision = 2) : value(v) {            // NOLINT
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    display = buf;
+  }
+  Cell(size_t v)                                            // NOLINT
+      : value(static_cast<double>(v)), display(std::to_string(v)) {}
+  Cell(int v) : value(v), display(std::to_string(v)) {}     // NOLINT
+  Cell(bool b)                                              // NOLINT
+      : value(b), display(b ? "yes" : "no") {}
+};
+
+/// A named result table. Collect rows, then Done() either pretty-prints
+/// (human mode) or appends {"name","columns","rows"} to the document.
+class Table {
+ public:
+  Table(std::string name, std::vector<std::string> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  Table& AddRow(std::vector<Cell> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void Done() {
+    if (JsonMode()) {
+      Json::Object table;
+      table["name"] = name_;
+      Json::Array columns;
+      for (const std::string& c : columns_) columns.push_back(c);
+      table["columns"] = Json(std::move(columns));
+      Json::Array rows;
+      for (const std::vector<Cell>& row : rows_) {
+        Json::Array cells;
+        for (const Cell& c : row) cells.push_back(c.value);
+        rows.push_back(Json(std::move(cells)));
+      }
+      table["rows"] = Json(std::move(rows));
+      Doc().tables.push_back(Json(std::move(table)));
+      return;
+    }
+    PrintHuman();
+  }
+
+ private:
+  void PrintHuman() const {
+    // Column width: max of header and cells; strings left-align.
+    std::vector<size_t> widths(columns_.size());
+    std::vector<bool> left(columns_.size(), false);
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      widths[c] = columns_[c].size();
+      for (const std::vector<Cell>& row : rows_) {
+        if (c >= row.size()) continue;
+        widths[c] = std::max(widths[c], row[c].display.size());
+        if (row[c].value.is_string()) left[c] = true;
+      }
+    }
+    size_t total = columns_.size() >= 1 ? 3 * (columns_.size() - 1) : 0;
+    for (size_t w : widths) total += w;
+
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::string line;
+      for (size_t c = 0; c < columns_.size(); ++c) {
+        const std::string& text = c < cells.size() ? cells[c] : "";
+        std::string pad(widths[c] > text.size() ? widths[c] - text.size() : 0,
+                        ' ');
+        if (c > 0) line += " | ";
+        line += left[c] ? text + pad : pad + text;
+      }
+      std::printf("%s\n", line.c_str());
+    };
+
+    PrintRule(total);
+    print_row(columns_);
+    PrintRule(total);
+    for (const std::vector<Cell>& row : rows_) {
+      std::vector<std::string> cells;
+      cells.reserve(row.size());
+      for (const Cell& cell : row) cells.push_back(cell.display);
+      print_row(cells);
+    }
+    PrintRule(total);
+  }
+
+  std::string name_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
 
 }  // namespace raptor::bench

@@ -22,12 +22,9 @@ using AttackInjector = std::function<audit::AttackTrace(
 inline void RunHuntExperiment(const char* experiment_id,
                               const char* attack_name,
                               const AttackInjector& inject) {
-  std::printf("%s: end-to-end hunt — %s\n", experiment_id, attack_name);
-  PrintRule(100);
-  std::printf("%10s | %8s | %10s | %10s | %9s | %5s | %9s | %7s\n",
-              "benign", "cpr", "extract_ms", "synth_ms", "exec_ms", "rows",
-              "precision", "recall");
-  PrintRule(100);
+  Narrate("%s: end-to-end hunt — %s\n", experiment_id, attack_name);
+  Table table("hunt", {"benign", "cpr_x", "extract_ms", "synth_ms", "exec_ms",
+                       "rows", "precision", "recall"});
 
   std::string query_text;
   for (size_t benign : {10'000u, 100'000u, 400'000u}) {
@@ -49,15 +46,14 @@ inline void RunHuntExperiment(const char* experiment_id,
     auto synthesis = system.SynthesizeQuery(extraction.graph);
     auto t2 = now();
     if (!synthesis.ok()) {
-      std::printf("synthesis failed: %s\n",
-                  synthesis.status().ToString().c_str());
+      Narrate("synthesis failed: %s\n",
+              synthesis.status().ToString().c_str());
       return;
     }
     auto result = system.ExecuteQuery(synthesis->query);
     auto t3 = now();
     if (!result.ok()) {
-      std::printf("execution failed: %s\n",
-                  result.status().ToString().c_str());
+      Narrate("execution failed: %s\n", result.status().ToString().c_str());
       return;
     }
     query_text = tbql::Print(synthesis->query);
@@ -72,14 +68,13 @@ inline void RunHuntExperiment(const char* experiment_id,
     double recall =
         truth.empty() ? 0.0 : static_cast<double>(tp) / truth.size();
 
-    std::printf("%10zu | %7.2fx | %10.2f | %10.2f | %9.2f | %5zu | %9.2f | "
-                "%7.2f\n",
-                benign, system.cpr_stats().ReductionRatio(), ms(t0, t1),
-                ms(t1, t2), ms(t2, t3), result->rows.size(), precision,
-                recall);
+    table.AddRow({benign, system.cpr_stats().ReductionRatio(), ms(t0, t1),
+                  ms(t1, t2), ms(t2, t3), result->rows.size(),
+                  Cell(precision, 2), Cell(recall, 2)});
   }
-  PrintRule(100);
-  std::printf("Synthesized TBQL query:\n%s\n", query_text.c_str());
+  table.Done();
+  Narrate("Synthesized TBQL query:\n%s\n", query_text.c_str());
+  AddExtra("query_text", query_text);
 }
 
 }  // namespace raptor::bench

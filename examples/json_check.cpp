@@ -1,0 +1,51 @@
+// Validates that each file argument (or stdin) parses as JSON, using the
+// same raptor::Json parser the system runs. scripts/bench.sh and the
+// check.sh --bench-smoke step use this to gate the machine-readable bench
+// output; it doubles as a tiny command-line exerciser for the parser.
+//
+//   ./json_check BENCH_cpr.json ...   # exit 0 iff every file parses
+//   ./bench_cpr --json | ./json_check # no arguments: validate stdin
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+
+namespace {
+
+bool Check(const std::string& name, const std::string& text) {
+  auto json = raptor::Json::Parse(text);
+  if (!json.ok()) {
+    std::fprintf(stderr, "json_check: %s: %s\n", name.c_str(),
+                 json.status().ToString().c_str());
+    return false;
+  }
+  std::printf("json_check: %s: ok (%zu bytes)\n", name.c_str(), text.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool ok = true;
+  if (argc < 2) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    ok = Check("<stdin>", buffer.str());
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "json_check: %s: cannot open\n", argv[i]);
+      ok = false;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    ok = Check(argv[i], buffer.str()) && ok;
+  }
+  return ok ? 0 : 1;
+}

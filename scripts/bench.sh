@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Runs the bench suite in machine-readable mode and writes one
+# BENCH_<name>.json per bench at the repo root — the perf trajectory that
+# later optimization PRs diff against.
+#
+# Custom experiment harnesses use their --json mode; google-benchmark
+# binaries use --benchmark_format=json. Every document is validated with
+# the json_check tool before it lands.
+#
+# Usage: scripts/bench.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+if [ ! -x "$BUILD/examples/json_check" ]; then
+  echo "bench.sh: $BUILD/examples/json_check not built; run cmake --build $BUILD first" >&2
+  exit 1
+fi
+
+# Benches with the bench_util.h --json mode.
+CUSTOM="bench_cpr bench_ingest bench_conciseness bench_extraction \
+  bench_synthesis bench_ioc_baseline bench_hunt_leakage bench_hunt_password"
+# Google-benchmark binaries with native JSON reporters.
+GBENCH="bench_execution bench_paths bench_obs_overhead"
+
+for b in $CUSTOM; do
+  name="${b#bench_}"
+  echo "=== $b -> BENCH_${name}.json ==="
+  "$BUILD/bench/$b" --json > "BENCH_${name}.json"
+  "$BUILD/examples/json_check" "BENCH_${name}.json"
+done
+
+for b in $GBENCH; do
+  name="${b#bench_}"
+  echo "=== $b -> BENCH_${name}.json ==="
+  "$BUILD/bench/$b" --benchmark_format=json > "BENCH_${name}.json"
+  "$BUILD/examples/json_check" "BENCH_${name}.json"
+done
+
+echo "bench.sh: all bench documents written and validated"

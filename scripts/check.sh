@@ -1,15 +1,36 @@
 #!/usr/bin/env bash
 # Full verification pass: Release build + tests + benches, then an
-# ASan+UBSan build + tests. What CI would run.
+# ASan+UBSan build + tests. What CI would run. Both configurations build
+# with -Werror (RAPTOR_WERROR=ON).
+#
+# --bench-smoke: stop after the bench smoke step (build + tests + one tiny
+# bench in --json mode validated by json_check) — the quick CI path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+BENCH_SMOKE_ONLY=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench-smoke) BENCH_SMOKE_ONLY=1 ;;
+    *) echo "usage: $0 [--bench-smoke]" >&2; exit 2 ;;
+  esac
+done
+
 echo "=== Release build ==="
-cmake -B build -G Ninja >/dev/null
+cmake -B build -G Ninja -DRAPTOR_WERROR=ON >/dev/null
 cmake --build build
 
 echo "=== Tests (Release) ==="
 ctest --test-dir build --output-on-failure
+
+echo "=== Bench smoke (--json output parses) ==="
+build/bench/bench_conciseness --json > build/BENCH_smoke.json
+build/examples/json_check build/BENCH_smoke.json
+
+if [ "$BENCH_SMOKE_ONLY" -eq 1 ]; then
+  echo "BENCH SMOKE PASSED"
+  exit 0
+fi
 
 echo "=== Benches ==="
 for b in build/bench/*; do
@@ -17,7 +38,7 @@ for b in build/bench/*; do
 done
 
 echo "=== ASan+UBSan build ==="
-cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug -DASAN=ON >/dev/null
+cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug -DASAN=ON -DRAPTOR_WERROR=ON >/dev/null
 cmake --build build-asan
 
 echo "=== Tests (sanitized) ==="

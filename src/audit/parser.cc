@@ -6,6 +6,8 @@
 
 #include "common/fault_injection.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace raptor::audit {
 
@@ -125,7 +127,31 @@ Status LogParser::ParseText(std::string_view text, AuditLog* log) {
 
 Result<ParseStats> LogParser::ParseText(std::string_view text, AuditLog* log,
                                         const ParseOptions& options) {
+  // One batch of counter updates per ParseText call, whatever its outcome.
+  static obs::Counter* lines_total = obs::Registry::Default().GetCounter(
+      "raptor_ingest_lines_total", "Audit record lines seen by the parser");
+  static obs::Counter* events_total = obs::Registry::Default().GetCounter(
+      "raptor_ingest_events_total", "Audit lines parsed into events");
+  static obs::Counter* malformed_total = obs::Registry::Default().GetCounter(
+      "raptor_ingest_malformed_lines_total",
+      "Malformed audit lines (skipped under the error budget or fatal)");
+  obs::Span span = obs::Tracer::Default().StartSpan("ingest.parse");
+
   ParseStats stats;
+  auto record_batch = [&](bool budget_exceeded) {
+    lines_total->Increment(stats.lines);
+    events_total->Increment(stats.events);
+    // The line that exceeded the budget was malformed too, even though the
+    // skip counter no longer advances for it.
+    malformed_total->Increment(stats.skipped + (budget_exceeded ? 1 : 0));
+    if (span.active()) {
+      span.SetAttr("lines", static_cast<int64_t>(stats.lines));
+      span.SetAttr("events", static_cast<int64_t>(stats.events));
+      span.SetAttr("skipped", static_cast<int64_t>(stats.skipped));
+      if (budget_exceeded) span.Annotate("error budget exceeded");
+    }
+  };
+
   size_t line_no = 0;
   size_t start = 0;
   while (start <= text.size()) {
@@ -146,6 +172,7 @@ Result<ParseStats> LogParser::ParseText(std::string_view text, AuditLog* log,
         if (stats.skipped >= options.error_budget) {
           // Budget exhausted: fail the batch. Events parsed so far stay in
           // the log (callers that need atomicity parse into a scratch log).
+          record_batch(/*budget_exceeded=*/true);
           if (options.error_budget == 0) return Status::ParseError(error);
           return Status::ParseError(StrFormat(
               "error budget (%zu malformed lines) exceeded: %s",
@@ -160,6 +187,7 @@ Result<ParseStats> LogParser::ParseText(std::string_view text, AuditLog* log,
     if (nl == std::string_view::npos) break;
     start = nl + 1;
   }
+  record_batch(/*budget_exceeded=*/false);
   return stats;
 }
 

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "obs/metrics.h"
+
 namespace raptor {
 
 namespace {
@@ -15,7 +17,17 @@ void SetFaultInjector(FaultInjector* injector) {
 Status TriggerFaultPoint(std::string_view point) {
   FaultInjector* injector = g_injector.load(std::memory_order_acquire);
   if (injector == nullptr) return Status::OK();
-  return injector->OnPoint(point);
+  Status status = injector->OnPoint(point);
+  if (!status.ok()) {
+    // Registration cost only on actual injections, which are test-driven
+    // and rare; the uninstrumented path above stays one atomic load.
+    obs::Registry::Default()
+        .GetCounter("raptor_faults_injected_total",
+                    "Faults injected by the test harness, by hook point",
+                    {{"point", std::string(point)}})
+        ->Increment();
+  }
+  return status;
 }
 
 }  // namespace raptor

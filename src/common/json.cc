@@ -265,17 +265,15 @@ Result<Json> Json::Parse(std::string_view text) {
 }
 
 void Json::DumpTo(std::string* out, int indent, int depth) const {
-  std::string pad =
-      indent > 0 ? "\n" + std::string(static_cast<size_t>(indent) *
-                                          (static_cast<size_t>(depth) + 1),
-                                      ' ')
-                 : "";
-  std::string close_pad =
-      indent > 0
-          ? "\n" + std::string(static_cast<size_t>(indent) *
-                                   static_cast<size_t>(depth),
-                               ' ')
-          : "";
+  std::string pad, close_pad;
+  if (indent > 0) {
+    pad = '\n' + std::string(static_cast<size_t>(indent) *
+                                 (static_cast<size_t>(depth) + 1),
+                             ' ');
+    close_pad = '\n' + std::string(static_cast<size_t>(indent) *
+                                       static_cast<size_t>(depth),
+                                   ' ');
+  }
   switch (type_) {
     case Type::kNull:
       *out += "null";

@@ -1,8 +1,11 @@
 #include "core/threat_raptor.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/persist/snapshot.h"
 #include "synthesis/rules.h"
 #include "tbql/analyzer.h"
@@ -125,6 +128,14 @@ Status ThreatRaptor::FinalizeStorage() {
   engine_ = std::make_unique<engine::QueryEngine>(&log_, rel_.get(),
                                                   graph_.get());
   storage_ready_ = true;
+  // Storage-size gauges reflect the most recently finalized system in the
+  // process (the server owns exactly one).
+  obs::Registry::Default()
+      .GetGauge("raptor_storage_events", "Events in finalized storage")
+      ->Set(static_cast<int64_t>(log_.event_count()));
+  obs::Registry::Default()
+      .GetGauge("raptor_storage_entities", "Entities in finalized storage")
+      ->Set(static_cast<int64_t>(log_.entity_count()));
   return Status::OK();
 }
 
@@ -155,18 +166,28 @@ Result<synth::SynthesisResult> ThreatRaptor::SynthesizeQuery(
 
 Result<engine::QueryResult> ThreatRaptor::ExecuteQuery(
     const tbql::Query& query) {
+  return ExecuteQuery(query, options_.execution);
+}
+
+Result<engine::QueryResult> ThreatRaptor::ExecuteQuery(
+    const tbql::Query& query, const engine::ExecutionOptions& execution) {
   if (!storage_ready_) {
     return Status::InvalidArgument(
         "call FinalizeStorage() before executing queries");
   }
-  return engine_->Execute(query, options_.execution);
+  return engine_->Execute(query, execution);
 }
 
 Result<engine::QueryResult> ThreatRaptor::ExecuteTbql(
     std::string_view tbql_text) {
+  return ExecuteTbql(tbql_text, options_.execution);
+}
+
+Result<engine::QueryResult> ThreatRaptor::ExecuteTbql(
+    std::string_view tbql_text, const engine::ExecutionOptions& execution) {
   RAPTOR_ASSIGN_OR_RETURN(tbql::Query query, tbql::Parse(tbql_text));
   RAPTOR_RETURN_NOT_OK(tbql::Analyze(&query));
-  return ExecuteQuery(query);
+  return ExecuteQuery(query, execution);
 }
 
 namespace {
@@ -230,6 +251,29 @@ Result<HuntReport> ThreatRaptor::Hunt(std::string_view oscti_report,
     return Status::InvalidArgument(
         "call FinalizeStorage() before hunting");
   }
+  static obs::Counter* hunts_total = obs::Registry::Default().GetCounter(
+      "raptor_hunts_total", "Hunts started (report text in, matches out)");
+  static obs::Counter* hunts_degraded = obs::Registry::Default().GetCounter(
+      "raptor_hunts_degraded_total",
+      "Hunts that fell back to degraded per-pattern/per-IOC sub-queries");
+  static obs::Histogram* hunt_ms = obs::Registry::Default().GetHistogram(
+      "raptor_hunt_ms", "Wall time of one full hunt (ms)");
+  hunts_total->Increment();
+  obs::Tracer& tracer = obs::Tracer::Default();
+  obs::TraceScope trace_scope =
+      tracer.BeginTrace("hunt", options.collect_profile);
+  auto t0 = std::chrono::steady_clock::now();
+  // Stamp timing + profile on whichever report we hand back; error returns
+  // skip it and let the TraceScope destructor unwind the trace.
+  auto finish = [&](HuntReport* r) {
+    hunt_ms->Observe(std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count());
+    if (std::optional<obs::Trace> trace = trace_scope.Finish()) {
+      r->profile = obs::AggregateProfile(*trace);
+    }
+  };
+
   HuntReport report;
   report.cpr = cpr_stats_;
   report.extraction = ExtractBehavior(oscti_report);
@@ -242,6 +286,7 @@ Result<HuntReport> ThreatRaptor::Hunt(std::string_view oscti_report,
     auto result = ExecuteQuery(report.synthesis.query);
     if (result.ok()) {
       report.result = *std::move(result);
+      finish(&report);
       return report;
     }
     if (!options.allow_degraded) return result.status();
@@ -258,6 +303,7 @@ Result<HuntReport> ThreatRaptor::Hunt(std::string_view oscti_report,
   // sub-queries (straight from the behavior graph), merge whatever
   // matched, and record what happened.
   report.degradation.degraded = true;
+  hunts_degraded->Increment();
   std::vector<std::pair<std::string, tbql::Query>> subqueries;
   if (have_query) {
     for (const tbql::Pattern& p : report.synthesis.query.patterns) {
@@ -292,8 +338,19 @@ Result<HuntReport> ThreatRaptor::Hunt(std::string_view oscti_report,
     merged.stats.relational_rows_touched +=
         sub->stats.relational_rows_touched;
     merged.stats.graph_edges_traversed += sub->stats.graph_edges_traversed;
-    for (const std::string& s : sub->stats.schedule) {
-      merged.stats.schedule.push_back(label + "/" + s);
+    // Append all six per-pattern vectors together: ExecutionStats keeps
+    // them parallel (same length, same order), and a merged result must
+    // preserve that invariant even across sub-queries.
+    for (size_t k = 0; k < sub->stats.schedule.size(); ++k) {
+      merged.stats.schedule.push_back(label + "/" + sub->stats.schedule[k]);
+      merged.stats.matches_per_pattern.push_back(
+          sub->stats.matches_per_pattern[k]);
+      merged.stats.pattern_scores.push_back(sub->stats.pattern_scores[k]);
+      merged.stats.pattern_used_graph.push_back(
+          sub->stats.pattern_used_graph[k]);
+      merged.stats.per_pattern_ms.push_back(sub->stats.per_pattern_ms[k]);
+      merged.stats.pattern_was_constrained.push_back(
+          sub->stats.pattern_was_constrained[k]);
     }
     if (sub->truncated && !merged.truncated) {
       merged.truncated = true;
@@ -301,6 +358,7 @@ Result<HuntReport> ThreatRaptor::Hunt(std::string_view oscti_report,
           label + ": " + sub->stats.truncation_reason;
     }
   }
+  finish(&report);
   return report;
 }
 

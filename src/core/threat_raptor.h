@@ -30,6 +30,7 @@
 #include "common/result.h"
 #include "engine/engine.h"
 #include "nlp/pipeline.h"
+#include "obs/profile.h"
 #include "storage/graph/graph_store.h"
 #include "storage/relational/database.h"
 #include "synthesis/synthesizer.h"
@@ -44,6 +45,10 @@ struct HuntOptions {
   /// sub-queries and return whatever matched instead of failing the hunt.
   /// The fallback is recorded in HuntReport::degradation.
   bool allow_degraded = false;
+  /// Record a trace for this hunt even when the global tracer is disabled,
+  /// and aggregate it into HuntReport::profile (the ?profile=1 path of the
+  /// API).
+  bool collect_profile = false;
 };
 
 /// \brief End-to-end configuration; every component's knobs in one place.
@@ -85,6 +90,11 @@ struct HuntReport {
   /// In degraded mode `result` holds the merged sub-query matches with
   /// columns (subquery, pattern, subject, object).
   DegradationReport degradation;
+  /// Stage-level timing breakdown (extract / synthesize / execute and their
+  /// sub-stages) aggregated from this hunt's span tree. Populated whenever a
+  /// trace covered the hunt — always under HuntOptions::collect_profile, and
+  /// also when the global tracer is enabled (the API's sink).
+  obs::Profile profile;
 };
 
 /// \brief The THREATRAPTOR system.
@@ -175,9 +185,18 @@ class ThreatRaptor {
   /// Executes an analyzed query. Requires FinalizeStorage().
   Result<engine::QueryResult> ExecuteQuery(const tbql::Query& query);
 
+  /// Same, but with per-call execution options overriding the system-wide
+  /// ones (the API uses this for ?profile=1).
+  Result<engine::QueryResult> ExecuteQuery(
+      const tbql::Query& query, const engine::ExecutionOptions& execution);
+
   /// Parses, analyzes, and executes TBQL text — the human-in-the-loop
   /// query-editing path of the paper's web UI.
   Result<engine::QueryResult> ExecuteTbql(std::string_view tbql_text);
+
+  /// Same, with per-call execution options.
+  Result<engine::QueryResult> ExecuteTbql(
+      std::string_view tbql_text, const engine::ExecutionOptions& execution);
 
   // --- The full pipeline (paper Figure 1). ---
 

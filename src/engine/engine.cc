@@ -6,6 +6,8 @@
 
 #include "common/fault_injection.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace raptor::engine {
 
@@ -107,6 +109,18 @@ struct QueryEngine::PatternExecution {
 Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
                                          const ExecutionOptions& options) const {
   RAPTOR_RETURN_NOT_OK(TriggerFaultPoint("engine.execute"));
+  static obs::Counter* queries_total = obs::Registry::Default().GetCounter(
+      "raptor_queries_total", "TBQL query executions started");
+  static obs::Histogram* query_ms = obs::Registry::Default().GetHistogram(
+      "raptor_query_ms", "Wall time of one query execution (ms)");
+  queries_total->Increment();
+
+  obs::Tracer& tracer = obs::Tracer::Default();
+  // Top-level when called directly; a subtree span when a hunt (or the
+  // HTTP request trace) is already recording on this thread.
+  obs::TraceScope trace_scope =
+      tracer.BeginTrace("execute", options.collect_profile);
+
   auto t0 = std::chrono::steady_clock::now();
   rel_->ResetStats();
   graph_->ResetStats();
@@ -123,10 +137,20 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
     return deadline != std::chrono::steady_clock::time_point{} &&
            std::chrono::steady_clock::now() > deadline;
   };
-  auto truncate = [&result](std::string reason) {
+  // `code` labels the truncation counter ("deadline", "max_graph_edges",
+  // "row_cap"); `reason` is the human-readable stats string.
+  auto truncate = [&result, &trace_scope](std::string_view code,
+                                          std::string reason) {
     if (!result.truncated) {
       result.truncated = true;
       result.stats.truncation_reason = std::move(reason);
+      obs::Registry::Default()
+          .GetCounter("raptor_query_truncations_total",
+                      "Query executions stopped early by a budget, by cause",
+                      {{"reason", std::string(code)}})
+          ->Increment();
+      trace_scope.root().Annotate("truncated: " +
+                                  result.stats.truncation_reason);
     }
   };
   if (query.return_count) {
@@ -236,7 +260,8 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
     // matches emitted so far.
     auto scan_deadline_hit = [&] {
       if (!deadline_exceeded()) return false;
-      truncate(StrFormat("deadline of %llu ms exceeded during pattern '%s' "
+      truncate("deadline",
+               StrFormat("deadline of %llu ms exceeded during pattern '%s' "
                          "(relational scan)",
                          static_cast<unsigned long long>(options.deadline_ms),
                          p.id.c_str()));
@@ -310,7 +335,8 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
     if (options.max_graph_edges != 0) {
       uint64_t used = graph_->stats().edges_traversed;
       if (used >= options.max_graph_edges) {
-        truncate(StrFormat("max_graph_edges (%llu) reached before pattern "
+        truncate("max_graph_edges",
+                 StrFormat("max_graph_edges (%llu) reached before pattern "
                            "'%s' (graph search)",
                            static_cast<unsigned long long>(
                                options.max_graph_edges),
@@ -324,13 +350,15 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
         graph_->FindPaths(sources, sink_pred, constraints, &limits);
     if (limits.hit) {
       if (std::string_view(limits.reason) == "max_edges") {
-        truncate(StrFormat("max_graph_edges (%llu) reached during pattern "
+        truncate("max_graph_edges",
+                 StrFormat("max_graph_edges (%llu) reached during pattern "
                            "'%s' (graph search)",
                            static_cast<unsigned long long>(
                                options.max_graph_edges),
                            p.id.c_str()));
       } else {
-        truncate(StrFormat("deadline of %llu ms exceeded during pattern "
+        truncate("deadline",
+                 StrFormat("deadline of %llu ms exceeded during pattern "
                            "'%s' (graph search)",
                            static_cast<unsigned long long>(
                                options.deadline_ms),
@@ -364,13 +392,15 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
     // dropped from the (truncated) result rather than run over-budget.
     if (result.truncated) break;
     if (deadline_exceeded()) {
-      truncate(StrFormat("deadline of %llu ms exceeded before pattern "
+      truncate("deadline",
+               StrFormat("deadline of %llu ms exceeded before pattern "
                          "%zu of %zu",
                          static_cast<unsigned long long>(options.deadline_ms),
                          step + 1, n));
       break;
     }
     RAPTOR_RETURN_NOT_OK(TriggerFaultPoint("engine.pattern"));
+    obs::Span schedule_span = tracer.StartSpan("schedule");
     size_t pick = n;
     if (!options.use_pruning_scores) {
       for (size_t i = 0; i < n; ++i) {
@@ -396,14 +426,27 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
     }
     const tbql::Pattern& p = query.patterns[pick];
     done[pick] = true;
+    schedule_span.End();
 
     PatternExecution exec;
     exec.pattern = &p;
     bool constrained = bindings.count(p.subject.id) > 0 ||
                        bindings.count(p.object.id) > 0;
+    obs::Span pattern_span =
+        tracer.StartSpan(p.is_path ? "graph_search" : "scan");
     auto p0 = std::chrono::steady_clock::now();
     exec.matches = p.is_path ? execute_path_pattern(p)
                              : execute_event_pattern(p);
+    if (pattern_span.active()) {
+      pattern_span.SetAttr("pattern", p.id);
+      pattern_span.SetAttr("backend",
+                           std::string_view(p.is_path ? "graph" : "relational"));
+      pattern_span.SetAttr("pruning_score", scores[pick]);
+      pattern_span.SetAttr("constrained", constrained);
+      pattern_span.SetAttr("matches",
+                           static_cast<int64_t>(exec.matches.size()));
+    }
+    pattern_span.End();
     result.stats.per_pattern_ms.push_back(
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - p0)
@@ -470,7 +513,8 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
     // The backtracking join can explode combinatorially; poll the deadline
     // every few thousand steps and keep the rows assembled so far.
     if ((++join_steps & 0xFFF) == 0 && deadline_exceeded()) {
-      truncate(StrFormat("deadline of %llu ms exceeded during the "
+      truncate("deadline",
+               StrFormat("deadline of %llu ms exceeded during the "
                          "consistency join",
                          static_cast<unsigned long long>(options.deadline_ms)));
       join_aborted = true;
@@ -514,13 +558,19 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
       if (new_o) assignment.erase(obj_id);
     }
   };
-  join(0);
+  {
+    obs::Span join_span = tracer.StartSpan("join");
+    join(0);
+    if (join_span.active()) {
+      join_span.SetAttr("rows", static_cast<int64_t>(count));
+    }
+  }
   RAPTOR_RETURN_NOT_OK(join_status);
   // Hitting the safety row cap truncates; hitting a user-written LIMIT is
   // the requested behavior, not truncation.
   bool cap_is_user_limit = query.limit && *query.limit <= options.max_rows;
   if (count >= row_cap && !cap_is_user_limit) {
-    truncate(StrFormat("row cap (%zu) reached", row_cap));
+    truncate("row_cap", StrFormat("row cap (%zu) reached", row_cap));
   }
   if (query.return_count) {
     result.rows.push_back({std::to_string(count)});
@@ -532,6 +582,10 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)
           .count();
+  query_ms->Observe(result.stats.total_ms);
+  if (std::optional<obs::Trace> trace = trace_scope.Finish()) {
+    result.profile = obs::AggregateProfile(*trace);
+  }
   return result;
 }
 

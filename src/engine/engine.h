@@ -21,6 +21,7 @@
 
 #include "audit/log.h"
 #include "common/result.h"
+#include "obs/profile.h"
 #include "storage/graph/graph_store.h"
 #include "storage/relational/database.h"
 #include "tbql/ast.h"
@@ -46,6 +47,10 @@ struct ExecutionOptions {
   /// Execute() call; 0 = unbounded. Exceeding it truncates like the
   /// deadline does.
   uint64_t max_graph_edges = 0;
+  /// Record a trace for this execution even when the global tracer is
+  /// disabled, and aggregate it into QueryResult::profile (the ?profile=1
+  /// path of the API).
+  bool collect_profile = false;
 };
 
 /// \brief One match of one pattern: the event chain (length 1 for basic
@@ -93,6 +98,11 @@ struct QueryResult {
   /// Matched events per row, keyed by pattern id.
   std::vector<std::map<std::string, PatternMatch>> matches;
   ExecutionStats stats;
+  /// Stage-level timing breakdown aggregated from this execution's span
+  /// tree. Populated whenever a trace covered the execution — always under
+  /// ExecutionOptions::collect_profile, and also when an enclosing trace
+  /// (a hunt with profiling, or the tracer's HTTP sink) was active.
+  obs::Profile profile;
   /// Set when an execution budget (deadline, graph-edge cap, row cap)
   /// stopped execution early: the rows present are valid matches but the
   /// result may be incomplete. stats.truncation_reason says why.

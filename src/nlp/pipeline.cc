@@ -8,6 +8,8 @@
 #include "nlp/embeddings.h"
 #include "nlp/pos_tagger.h"
 #include "nlp/segmenter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace raptor::nlp {
 
@@ -540,9 +542,21 @@ void ExtractionPipeline::ExtractRelations(const DepTree& tree,
 // --- Algorithm 1 driver. ---
 
 ExtractionResult ExtractionPipeline::Extract(std::string_view document) const {
+  // One batch of counter updates per document, whatever its size.
+  static obs::Counter* extractions_total = obs::Registry::Default().GetCounter(
+      "raptor_extractions_total", "CTI documents run through NLP extraction");
+  static obs::Counter* iocs_total = obs::Registry::Default().GetCounter(
+      "raptor_iocs_extracted_total", "Canonical IOC entities extracted");
+  static obs::Counter* relations_total = obs::Registry::Default().GetCounter(
+      "raptor_relations_extracted_total",
+      "Deduplicated IOC relations extracted");
+  obs::Tracer& tracer = obs::Tracer::Default();
+  obs::Span extract_span = tracer.StartSpan("extract");
+
   ExtractionResult result;
   std::vector<DepTree> all_trees;
 
+  obs::Span parse_span = tracer.StartSpan("parse_blocks");
   for (const BlockSpan& block : SegmentBlocks(document)) {
     ProtectedText protected_block;
     if (options_.enable_ioc_protection) {
@@ -570,13 +584,24 @@ ExtractionResult ExtractionPipeline::Extract(std::string_view document) const {
     if (options_.enable_coreference) ResolveCoreference(&block_trees);
     for (auto& tree : block_trees) all_trees.push_back(std::move(tree));
   }
+  if (parse_span.active()) {
+    parse_span.SetAttr("trees", static_cast<int64_t>(all_trees.size()));
+  }
+  parse_span.End();
 
+  obs::Span merge_span = tracer.StartSpan("merge_iocs");
   std::vector<IocEntity> iocs = ScanMergeIocs(&all_trees, &result.raw_iocs);
+  if (merge_span.active()) {
+    merge_span.SetAttr("iocs", static_cast<int64_t>(iocs.size()));
+  }
+  merge_span.End();
 
+  obs::Span relations_span = tracer.StartSpan("relations");
   std::vector<IocRelation> relations;
   for (const DepTree& tree : all_trees) {
     ExtractRelations(tree, iocs, &relations);
   }
+  relations_span.End();
 
   // Stage 10: construct the graph. Triplets are ordered by the occurrence
   // offset of the relation verb and deduplicated; each edge carries its
@@ -604,6 +629,15 @@ ExtractionResult ExtractionPipeline::Extract(std::string_view document) const {
   }
 
   result.trees = std::move(all_trees);
+  extractions_total->Increment();
+  iocs_total->Increment(result.graph.num_nodes());
+  relations_total->Increment(result.relations.size());
+  if (extract_span.active()) {
+    extract_span.SetAttr("iocs",
+                         static_cast<int64_t>(result.graph.num_nodes()));
+    extract_span.SetAttr("relations",
+                         static_cast<int64_t>(result.relations.size()));
+  }
   return result;
 }
 

@@ -1,0 +1,248 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace raptor::obs {
+
+namespace {
+
+/// Formats a double the way Prometheus expects: integral values without a
+/// fractional part, everything else with enough digits to round-trip.
+std::string FormatNumber(double value) {
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      value > -1e15 && value < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(value));
+    return buffer;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void AppendEscaped(std::string* out, std::string_view value) {
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+void AppendEscapedHelp(std::string* out, std::string_view help) {
+  for (char c : help) {
+    if (c == '\\') {
+      *out += "\\\\";
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else {
+      *out += c;
+    }
+  }
+}
+
+/// Dummy instruments returned on family-type conflicts: updates land in an
+/// unregistered instrument instead of corrupting the exposition.
+Counter* DummyCounter() {
+  static Counter* dummy = new Counter();
+  return dummy;
+}
+Gauge* DummyGauge() {
+  static Gauge* dummy = new Gauge();
+  return dummy;
+}
+Histogram* DummyHistogram() {
+  static Histogram* dummy = new Histogram(LatencyBucketsMs());
+  return dummy;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<double> LatencyBucketsMs() {
+  return {0.05, 0.1, 0.25, 0.5, 1,   2.5,  5,    10,   25,
+          50,   100, 250,  500, 1000, 2500, 5000, 10000};
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::string RenderLabels(const LabelSet& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key;
+    out += "=\"";
+    AppendEscaped(&out, value);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+Registry& Registry::Default() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Registry::Family* Registry::GetFamily(std::string_view name,
+                                      std::string_view help, Type type) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Family family;
+    family.type = type;
+    family.help = std::string(help);
+    it = families_.emplace(std::string(name), std::move(family)).first;
+  }
+  if (it->second.type != type) return nullptr;
+  if (it->second.help.empty() && !help.empty()) {
+    it->second.help = std::string(help);
+  }
+  return &it->second;
+}
+
+Counter* Registry::GetCounter(std::string_view name, std::string_view help,
+                              const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = GetFamily(name, help, Type::kCounter);
+  if (family == nullptr) return DummyCounter();
+  auto& child = family->counters[RenderLabels(labels)];
+  if (child == nullptr) child = std::make_unique<Counter>();
+  return child.get();
+}
+
+Gauge* Registry::GetGauge(std::string_view name, std::string_view help,
+                          const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = GetFamily(name, help, Type::kGauge);
+  if (family == nullptr) return DummyGauge();
+  auto& child = family->gauges[RenderLabels(labels)];
+  if (child == nullptr) child = std::make_unique<Gauge>();
+  return child.get();
+}
+
+Histogram* Registry::GetHistogram(std::string_view name,
+                                  std::string_view help,
+                                  std::vector<double> bounds,
+                                  const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = GetFamily(name, help, Type::kHistogram);
+  if (family == nullptr) return DummyHistogram();
+  if (family->bounds.empty()) {
+    family->bounds = bounds.empty() ? LatencyBucketsMs() : std::move(bounds);
+  }
+  auto& child = family->histograms[RenderLabels(labels)];
+  if (child == nullptr) child = std::make_unique<Histogram>(family->bounds);
+  return child.get();
+}
+
+uint64_t Registry::CounterValue(std::string_view name,
+                                const LabelSet& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  if (it == families_.end() || it->second.type != Type::kCounter) return 0;
+  auto child = it->second.counters.find(RenderLabels(labels));
+  if (child == it->second.counters.end()) return 0;
+  return child->second->Value();
+}
+
+std::string Registry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) {
+      out += "# HELP " + name + " ";
+      AppendEscapedHelp(&out, family.help);
+      out += "\n";
+    }
+    out += "# TYPE " + name + " ";
+    switch (family.type) {
+      case Type::kCounter:
+        out += "counter\n";
+        for (const auto& [labels, counter] : family.counters) {
+          out += name + labels + " " +
+                 FormatNumber(static_cast<double>(counter->Value())) + "\n";
+        }
+        break;
+      case Type::kGauge:
+        out += "gauge\n";
+        for (const auto& [labels, gauge] : family.gauges) {
+          out += name + labels + " " +
+                 FormatNumber(static_cast<double>(gauge->Value())) + "\n";
+        }
+        break;
+      case Type::kHistogram:
+        out += "histogram\n";
+        for (const auto& [labels, histogram] : family.histograms) {
+          // The exposition's bucket counts are cumulative and each bucket
+          // line needs the `le` label appended to the child's labels.
+          std::string label_prefix =
+              labels.empty() ? "{"
+                             : labels.substr(0, labels.size() - 1) + ",";
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i < histogram->bounds().size(); ++i) {
+            cumulative += histogram->BucketCount(i);
+            out += name + "_bucket" + label_prefix + "le=\"" +
+                   FormatNumber(histogram->bounds()[i]) + "\"} " +
+                   FormatNumber(static_cast<double>(cumulative)) + "\n";
+          }
+          cumulative += histogram->BucketCount(histogram->bounds().size());
+          out += name + "_bucket" + label_prefix + "le=\"+Inf\"} " +
+                 FormatNumber(static_cast<double>(cumulative)) + "\n";
+          out += name + "_sum" + labels + " " +
+                 FormatNumber(histogram->Sum()) + "\n";
+          out += name + "_count" + labels + " " +
+                 FormatNumber(static_cast<double>(histogram->Count())) + "\n";
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  families_.clear();
+}
+
+}  // namespace raptor::obs

@@ -1,0 +1,158 @@
+// Process-wide metrics registry (the measurement substrate DESIGN.md's
+// "Observability" section describes).
+//
+// Three instrument kinds, all safe for concurrent updates:
+//   Counter    monotonically increasing uint64 (relaxed atomic add)
+//   Gauge      settable int64 (relaxed atomic store)
+//   Histogram  fixed-bucket distribution of doubles (one relaxed add per
+//              observation plus a CAS loop for the running sum)
+//
+// Instruments are registered once (mutex-protected map insert) and updated
+// through stable pointers, so hot paths cache the pointer in a
+// function-local static and pay only the atomic op per event or batch:
+//
+//   static obs::Counter* rows = obs::Registry::Default().GetCounter(
+//       "raptor_relational_rows_touched_total", "Rows touched by Select");
+//   rows->Increment(batch_size);
+//
+// Registry::RenderPrometheus() serializes everything in the Prometheus
+// text exposition format (served at GET /api/metrics). The full metric
+// name catalog lives in docs/OBSERVABILITY.md.
+//
+// This library is dependency-free (standard library only): raptor_common
+// links against it, so it must not link raptor_common back.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace raptor::obs {
+
+/// Label key/value pairs, rendered in the given order.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// \brief Monotonic counter.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Settable instantaneous value.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Fixed-bucket histogram with Prometheus `le` (less-or-equal)
+/// semantics: an observation lands in the first bucket whose upper bound is
+/// >= the value; values above every bound land in the implicit +Inf bucket.
+class Histogram {
+ public:
+  /// `bounds` must be sorted ascending; they are the buckets' inclusive
+  /// upper bounds.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) count; index bounds().size() is +Inf.
+  uint64_t BucketCount(size_t index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default request/stage latency buckets in milliseconds (0.05ms .. 10s).
+std::vector<double> LatencyBucketsMs();
+
+/// `count` buckets starting at `start`, each `factor` times the previous.
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count);
+
+/// \brief The process-wide instrument registry.
+///
+/// Instruments are identified by (family name, label set). The first
+/// registration of a family fixes its type and help text; later lookups
+/// with the same name return children of that family. A lookup whose type
+/// conflicts with the registered family returns a detached dummy
+/// instrument (updates go nowhere) rather than corrupting the exposition —
+/// a misuse the tests assert on.
+class Registry {
+ public:
+  /// The process-wide default registry used by all built-in
+  /// instrumentation.
+  static Registry& Default();
+
+  Counter* GetCounter(std::string_view name, std::string_view help = "",
+                      const LabelSet& labels = {});
+  Gauge* GetGauge(std::string_view name, std::string_view help = "",
+                  const LabelSet& labels = {});
+  /// `bounds` applies on first registration of the family; later calls
+  /// reuse the registered bounds. Empty bounds mean LatencyBucketsMs().
+  Histogram* GetHistogram(std::string_view name, std::string_view help = "",
+                          std::vector<double> bounds = {},
+                          const LabelSet& labels = {});
+
+  /// Value of a counter child, 0 when it was never registered. (Reads do
+  /// not create instruments, unlike the Get* calls.)
+  uint64_t CounterValue(std::string_view name,
+                        const LabelSet& labels = {}) const;
+
+  /// Prometheus text exposition of every registered instrument.
+  std::string RenderPrometheus() const;
+
+  /// Drops every instrument. Outstanding pointers dangle — test-only, for
+  /// isolating registry state between test cases that use a private
+  /// Registry instance.
+  void Reset();
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  struct Family {
+    Type type = Type::kCounter;
+    std::string help;
+    std::vector<double> bounds;  // histograms only
+    // Children keyed by their rendered label string ("" or {k="v",...}).
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+
+  Family* GetFamily(std::string_view name, std::string_view help, Type type);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family, std::less<>> families_;
+};
+
+/// Renders `labels` as `{k="v",...}` with Prometheus escaping (backslash,
+/// double quote, and newline in values). Empty set renders as "".
+std::string RenderLabels(const LabelSet& labels);
+
+}  // namespace raptor::obs

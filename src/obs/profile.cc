@@ -1,0 +1,42 @@
+#include "obs/profile.h"
+
+#include <map>
+
+namespace raptor::obs {
+
+double Profile::TopLevelMs() const {
+  double sum = 0;
+  for (const StageStat& stage : stages) {
+    if (stage.stage.find('/') == std::string::npos) sum += stage.ms;
+  }
+  return sum;
+}
+
+Profile AggregateProfile(const Trace& trace) {
+  Profile profile;
+  if (trace.spans.empty()) return profile;
+  profile.total_ms = trace.TotalMs();
+
+  // Span ids are topologically ordered (parents precede children), so one
+  // forward pass can build every span's path from its parent's.
+  std::vector<std::string> paths(trace.spans.size());
+  std::map<std::string, size_t> stage_index;
+  for (size_t i = 1; i < trace.spans.size(); ++i) {
+    const SpanData& span = trace.spans[i];
+    const std::string& parent_path =
+        span.parent == 0 ? std::string() : paths[span.parent];
+    paths[i] = parent_path.empty() ? span.name
+                                   : parent_path + "/" + span.name;
+    auto [it, inserted] =
+        stage_index.emplace(paths[i], profile.stages.size());
+    if (inserted) {
+      profile.stages.push_back(StageStat{paths[i], 0, 0});
+    }
+    StageStat& stage = profile.stages[it->second];
+    stage.ms += span.DurationMs();
+    stage.count += 1;
+  }
+  return profile;
+}
+
+}  // namespace raptor::obs

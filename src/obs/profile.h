@@ -1,0 +1,47 @@
+// Per-operation stage profiles: a finished trace's span tree folded into
+// flat per-stage wall-time totals.
+//
+// Stages are identified by the span-name path below the trace root, joined
+// with '/': a hunt trace with spans hunt -> execute -> scan yields stages
+// "execute" and "execute/scan". Grouping by path means repeated spans (one
+// scan per pattern) aggregate into one stage with a count, and top-level
+// stages partition the root's wall time — their sum is the total minus
+// whatever the root spent between stages, which is what lets the API
+// assert that per-stage times add up to the reported total.
+//
+// HuntReport::profile and engine::QueryResult::profile are Profiles built
+// here; the server serializes them behind the ?profile=1 flag.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace raptor::obs {
+
+/// \brief Aggregated wall time of one stage (one span-name path).
+struct StageStat {
+  std::string stage;   ///< Path below the root, e.g. "execute/scan".
+  double ms = 0;       ///< Total wall time across all spans on this path.
+  uint64_t count = 0;  ///< Number of spans aggregated.
+};
+
+/// \brief One operation's stage breakdown.
+struct Profile {
+  double total_ms = 0;           ///< The root span's wall time.
+  std::vector<StageStat> stages;  ///< First-seen order; root excluded.
+
+  bool empty() const { return total_ms == 0 && stages.empty(); }
+
+  /// Sum of the top-level stages (paths without '/'): the instrumented
+  /// share of total_ms.
+  double TopLevelMs() const;
+};
+
+/// Folds `trace`'s span tree into a Profile (see file comment).
+Profile AggregateProfile(const Trace& trace);
+
+}  // namespace raptor::obs

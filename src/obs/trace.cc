@@ -1,0 +1,232 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+namespace raptor::obs {
+
+namespace {
+
+uint64_t UnixMillisNow() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+/// \brief The trace a thread is currently recording: the growing span list
+/// plus the open-span stack that gives StartSpan its parent.
+struct ActiveTrace {
+  Trace trace;
+  std::vector<uint32_t> open_spans;
+  std::chrono::steady_clock::time_point t0;
+
+  uint64_t NowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+};
+
+namespace {
+
+thread_local ActiveTrace* g_active = nullptr;
+
+uint32_t OpenSpan(ActiveTrace* at, std::string_view name) {
+  SpanData span;
+  span.id = static_cast<uint32_t>(at->trace.spans.size());
+  span.parent = at->open_spans.empty() ? span.id : at->open_spans.back();
+  span.name = std::string(name);
+  span.start_ns = at->NowNs();
+  at->trace.spans.push_back(std::move(span));
+  at->open_spans.push_back(at->trace.spans.back().id);
+  return at->trace.spans.back().id;
+}
+
+/// Copies the subtree rooted at `root` out of `spans`, reindexing ids so
+/// the subtree root becomes span 0 of the returned trace.
+Trace ExtractSubtree(const Trace& full, uint32_t root) {
+  Trace out;
+  out.id = full.id;
+  out.started_unix_ms = full.started_unix_ms;
+  out.name = full.spans[root].name;
+  std::vector<uint32_t> remap(full.spans.size(), UINT32_MAX);
+  for (uint32_t i = root; i < full.spans.size(); ++i) {
+    const SpanData& span = full.spans[i];
+    bool in_subtree = i == root || (span.parent != i &&
+                                    remap[span.parent] != UINT32_MAX);
+    if (!in_subtree) continue;
+    SpanData copy = span;
+    copy.id = static_cast<uint32_t>(out.spans.size());
+    copy.parent = i == root ? copy.id : remap[span.parent];
+    remap[i] = copy.id;
+    out.spans.push_back(std::move(copy));
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- Span. ---
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    trace_ = other.trace_;
+    index_ = other.index_;
+    other.trace_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::SetAttr(std::string_view key, std::string_view value) {
+  if (trace_ == nullptr) return;
+  trace_->trace.spans[index_].attrs.emplace_back(std::string(key),
+                                                 std::string(value));
+}
+
+void Span::SetAttr(std::string_view key, int64_t value) {
+  if (trace_ == nullptr) return;
+  SetAttr(key, std::to_string(value));
+}
+
+void Span::SetAttr(std::string_view key, double value) {
+  if (trace_ == nullptr) return;
+  SetAttr(key, std::to_string(value));
+}
+
+void Span::SetAttr(std::string_view key, bool value) {
+  if (trace_ == nullptr) return;
+  SetAttr(key, std::string_view(value ? "true" : "false"));
+}
+
+void Span::Annotate(std::string_view note) {
+  if (trace_ == nullptr) return;
+  trace_->trace.spans[index_].annotations.emplace_back(note);
+}
+
+void Span::End() {
+  if (trace_ == nullptr) return;
+  trace_->trace.spans[index_].end_ns = trace_->NowNs();
+  // Spans end LIFO under RAII; tolerate out-of-order ends by erasing
+  // wherever the span sits on the open stack.
+  auto& open = trace_->open_spans;
+  for (size_t i = open.size(); i > 0; --i) {
+    if (open[i - 1] == index_) {
+      open.erase(open.begin() + static_cast<ptrdiff_t>(i - 1));
+      break;
+    }
+  }
+  trace_ = nullptr;
+}
+
+// --- TraceScope. ---
+
+TraceScope& TraceScope::operator=(TraceScope&& other) noexcept {
+  if (this != &other) {
+    Finish();
+    tracer_ = other.tracer_;
+    trace_ = other.trace_;
+    owns_ = other.owns_;
+    root_span_ = std::move(other.root_span_);
+    other.trace_ = nullptr;
+    other.owns_ = false;
+  }
+  return *this;
+}
+
+std::optional<Trace> TraceScope::Finish() {
+  if (trace_ == nullptr) return std::nullopt;
+  ActiveTrace* at = trace_;
+  trace_ = nullptr;
+  uint32_t root_index = root_span_.index_;
+  root_span_.End();
+
+  if (!owns_) {
+    // Nested scope: the enclosing trace keeps recording; hand back a copy
+    // of the finished subtree.
+    return ExtractSubtree(at->trace, root_index);
+  }
+
+  g_active = nullptr;
+  Trace finished = std::move(at->trace);
+  delete at;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    Trace copy = finished;
+    tracer_->Publish(std::move(copy));
+  }
+  return finished;
+}
+
+// --- Tracer. ---
+
+Tracer& Tracer::Default() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+TraceScope Tracer::BeginTrace(std::string_view name, bool force) {
+  TraceScope scope;
+  if (g_active != nullptr) {
+    // Nested: open a subtree span within the active trace.
+    scope.tracer_ = this;
+    scope.trace_ = g_active;
+    scope.owns_ = false;
+    scope.root_span_ = Span(g_active, OpenSpan(g_active, name));
+    return scope;
+  }
+  if (!force && !enabled()) return scope;  // inactive
+
+  auto* at = new ActiveTrace();
+  at->t0 = std::chrono::steady_clock::now();
+  at->trace.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  at->trace.name = std::string(name);
+  at->trace.started_unix_ms = UnixMillisNow();
+  g_active = at;
+  scope.tracer_ = this;
+  scope.trace_ = at;
+  scope.owns_ = true;
+  scope.root_span_ = Span(at, OpenSpan(at, name));
+  return scope;
+}
+
+Span Tracer::StartSpan(std::string_view name) {
+  if (g_active == nullptr) return Span();
+  return Span(g_active, OpenSpan(g_active, name));
+}
+
+bool Tracer::TraceActive() { return g_active != nullptr; }
+
+void Tracer::Publish(Trace&& trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(trace));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<Trace> Tracer::RecentTraces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Trace>(ring_.rbegin(), ring_.rend());
+}
+
+std::optional<Trace> Tracer::FindTrace(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Trace& trace : ring_) {
+    if (trace.id == id) return trace;
+  }
+  return std::nullopt;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+}  // namespace raptor::obs

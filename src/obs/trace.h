@@ -1,0 +1,187 @@
+// Lightweight in-process tracing: RAII spans with parent/child nesting,
+// per-span attributes and annotations, and a bounded ring of recently
+// completed traces (served at GET /api/traces).
+//
+// Design for near-zero idle cost: a trace must be explicitly begun
+// (Tracer::BeginTrace) before any span records anything. Instrumentation
+// sites call Tracer::StartSpan unconditionally; when no trace is active on
+// the calling thread the returned Span is inert and the call costs one
+// thread-local read. Whether BeginTrace actually starts recording is
+// decided by the tracer's `enabled` flag (flipped when a sink such as the
+// HTTP API attaches) or by the caller forcing it (the ?profile=1 path).
+//
+// Traces are thread-local: one thread records one trace at a time, which
+// matches ThreatRaptor's single-threaded execution model. A nested
+// BeginTrace (e.g. QueryEngine::Execute inside a Hunt) opens a child span
+// instead of a new trace; its TraceScope::Finish() still returns the
+// finished subtree, which is how per-query profiles are carved out of
+// per-hunt traces.
+//
+// Span names form the stage taxonomy documented in docs/OBSERVABILITY.md;
+// obs/profile.h aggregates a finished trace into per-stage timings.
+//
+// Dependency-free (standard library only); see metrics.h for why.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace raptor::obs {
+
+/// \brief One recorded span.
+struct SpanData {
+  uint32_t id = 0;      ///< Index into Trace::spans.
+  uint32_t parent = 0;  ///< Parent span id; the root span is its own parent.
+  std::string name;
+  uint64_t start_ns = 0;  ///< steady_clock, relative to the trace start.
+  uint64_t end_ns = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+  std::vector<std::string> annotations;
+
+  double DurationMs() const {
+    return static_cast<double>(end_ns - start_ns) / 1e6;
+  }
+};
+
+/// \brief One completed trace; spans[0] is the root.
+struct Trace {
+  uint64_t id = 0;
+  std::string name;
+  uint64_t started_unix_ms = 0;  ///< Wall clock, for display.
+  std::vector<SpanData> spans;
+
+  double TotalMs() const {
+    return spans.empty() ? 0.0 : spans.front().DurationMs();
+  }
+};
+
+struct ActiveTrace;  // internal (trace.cc)
+class Tracer;
+
+/// \brief RAII guard for one span. Inert (all methods no-ops) when no trace
+/// was active at StartSpan time. Movable, not copyable; ends at destruction
+/// or explicit End().
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { End(); }
+
+  bool active() const { return trace_ != nullptr; }
+
+  /// Attaches a key/value attribute. Call sites formatting expensive values
+  /// should guard on active() first.
+  void SetAttr(std::string_view key, std::string_view value);
+  void SetAttr(std::string_view key, int64_t value);
+  void SetAttr(std::string_view key, double value);
+  void SetAttr(std::string_view key, bool value);
+
+  /// Appends a free-form event note (truncation reasons, budget expiries).
+  void Annotate(std::string_view note);
+
+  /// Records the end time and pops the span off the nesting stack.
+  /// Idempotent.
+  void End();
+
+ private:
+  friend class Tracer;
+  friend class TraceScope;
+  Span(ActiveTrace* trace, uint32_t index) : trace_(trace), index_(index) {}
+
+  ActiveTrace* trace_ = nullptr;
+  uint32_t index_ = 0;
+};
+
+/// \brief RAII guard for one trace (or, when nested under an already-active
+/// trace, for a subtree of it). Finish() — or destruction — completes the
+/// root span; a completed top-level trace is published to the tracer ring
+/// when the tracer is enabled.
+class TraceScope {
+ public:
+  TraceScope() = default;
+  TraceScope(TraceScope&& other) noexcept { *this = std::move(other); }
+  TraceScope& operator=(TraceScope&& other) noexcept;
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+  ~TraceScope() { Finish(); }
+
+  /// True when this scope is actually recording.
+  bool active() const { return trace_ != nullptr; }
+
+  /// The scope's root span, for attributes/annotations. Inert when the
+  /// scope is inactive.
+  Span& root() { return root_span_; }
+
+  /// Ends the scope and returns what it recorded: the whole trace for a
+  /// top-level scope, the finished subtree for a nested one, nullopt when
+  /// inactive (or already finished). Publication to the ring (top-level,
+  /// tracer enabled) happens here.
+  std::optional<Trace> Finish();
+
+ private:
+  friend class Tracer;
+
+  Tracer* tracer_ = nullptr;
+  ActiveTrace* trace_ = nullptr;  ///< Owned when owns_ is true.
+  bool owns_ = false;             ///< Top-level (true) vs nested subtree.
+  Span root_span_;
+};
+
+/// \brief The process-wide tracer.
+class Tracer {
+ public:
+  static Tracer& Default();
+
+  /// Whether BeginTrace records by default and completed traces are kept in
+  /// the ring. Flipped on when a sink attaches (the HTTP API does this at
+  /// registration).
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Ring capacity for completed traces (default 64; keeps memory bounded).
+  void set_capacity(size_t capacity);
+
+  /// Begins a trace on this thread. Returns an inactive scope when the
+  /// tracer is disabled and `force` is false. When a trace is already
+  /// active on this thread, opens a child span instead (see TraceScope).
+  TraceScope BeginTrace(std::string_view name, bool force = false);
+
+  /// Opens a child span of this thread's active trace; inert Span when no
+  /// trace is active.
+  Span StartSpan(std::string_view name);
+
+  /// True when the calling thread is inside an active trace.
+  static bool TraceActive();
+
+  /// Most recent completed traces, newest first.
+  std::vector<Trace> RecentTraces() const;
+
+  /// One completed trace by id.
+  std::optional<Trace> FindTrace(uint64_t id) const;
+
+  /// Drops all completed traces (test support).
+  void Clear();
+
+ private:
+  friend class TraceScope;
+  void Publish(Trace&& trace);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_id_{1};
+  mutable std::mutex mu_;
+  size_t capacity_ = 64;
+  std::deque<Trace> ring_;
+};
+
+}  // namespace raptor::obs

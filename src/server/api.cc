@@ -1,8 +1,15 @@
 #include "server/api.h"
 
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+
 #include "common/json.h"
 #include "common/strings.h"
 #include "engine/explain.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "tbql/analyzer.h"
 #include "tbql/parser.h"
 #include "tbql/printer.h"
@@ -22,8 +29,14 @@ HttpResponse ErrorResponse(const Status& status) {
   return JsonResponse(Json(std::move(error)), 400);
 }
 
-Json ResultToJson(const engine::QueryResult& result) {
+Json ProfileToJson(const obs::Profile& profile);
+
+Json ResultToJson(const engine::QueryResult& result,
+                  const obs::Profile* profile = nullptr) {
   Json::Object out;
+  if (profile != nullptr && !profile->empty()) {
+    out["profile"] = ProfileToJson(*profile);
+  }
   Json::Array columns;
   for (const std::string& c : result.columns) columns.push_back(c);
   out["columns"] = Json(std::move(columns));
@@ -48,6 +61,61 @@ Json ResultToJson(const engine::QueryResult& result) {
     stats["truncation_reason"] = result.stats.truncation_reason;
   }
   out["stats"] = Json(std::move(stats));
+  return Json(std::move(out));
+}
+
+/// True when the raw query string carries `flag=1` (the API's convention
+/// for boolean opt-ins, e.g. ?degraded=1&profile=1).
+bool QueryFlag(const HttpRequest& req, std::string_view flag) {
+  std::string needle = std::string(flag) + "=1";
+  return req.query.find(needle) != std::string::npos;
+}
+
+Json ProfileToJson(const obs::Profile& profile) {
+  Json::Object out;
+  out["total_ms"] = profile.total_ms;
+  Json::Array stages;
+  for (const obs::StageStat& s : profile.stages) {
+    Json::Object stage;
+    stage["stage"] = s.stage;
+    stage["ms"] = s.ms;
+    stage["count"] = static_cast<double>(s.count);
+    stages.push_back(Json(std::move(stage)));
+  }
+  out["stages"] = Json(std::move(stages));
+  return Json(std::move(out));
+}
+
+Json TraceToJson(const obs::Trace& trace, bool include_spans) {
+  Json::Object out;
+  out["id"] = static_cast<double>(trace.id);
+  out["name"] = trace.name;
+  out["started_unix_ms"] = static_cast<double>(trace.started_unix_ms);
+  out["total_ms"] = trace.TotalMs();
+  out["span_count"] = static_cast<double>(trace.spans.size());
+  if (include_spans) {
+    Json::Array spans;
+    for (const obs::SpanData& s : trace.spans) {
+      Json::Object span;
+      span["id"] = static_cast<double>(s.id);
+      span["parent"] = static_cast<double>(s.parent);
+      span["name"] = s.name;
+      span["start_ms"] = static_cast<double>(s.start_ns) / 1e6;
+      span["duration_ms"] = s.DurationMs();
+      if (!s.attrs.empty()) {
+        Json::Object attrs;
+        for (const auto& [key, value] : s.attrs) attrs[key] = value;
+        span["attrs"] = Json(std::move(attrs));
+      }
+      if (!s.annotations.empty()) {
+        Json::Array annotations;
+        for (const std::string& a : s.annotations) annotations.push_back(a);
+        span["annotations"] = Json(std::move(annotations));
+      }
+      spans.push_back(Json(std::move(span)));
+    }
+    out["spans"] = Json(std::move(spans));
+  }
   return Json(std::move(out));
 }
 
@@ -115,19 +183,97 @@ return p, f</textarea><br>
 </body></html>
 )HTML";
 
+/// The closed set of reason labels the engine attaches to
+/// raptor_query_truncations_total.
+constexpr const char* kTruncationReasons[] = {"deadline", "max_graph_edges",
+                                              "row_cap"};
+
 }  // namespace
 
 void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
+  // The API is the observability sink: with a server registered, traces of
+  // hunts and queries are recorded into the tracer's ring for /api/traces.
+  obs::Tracer::Default().set_enabled(true);
+  // Pre-register the lazily-created pipeline counters so a scrape exposes
+  // the full catalog at zero even before the matching code path runs.
+  obs::Registry& registry = obs::Registry::Default();
+  registry.GetCounter("raptor_graph_edges_traversed_total",
+                      "Graph edges traversed by path searches");
+  registry.GetCounter("raptor_graph_nodes_expanded_total",
+                      "Graph nodes expanded by path searches");
+  registry.GetCounter("raptor_relational_rows_touched_total",
+                      "Rows touched by relational scans and index probes");
+  for (const char* reason : kTruncationReasons) {
+    registry.GetCounter("raptor_query_truncations_total",
+                        "Query executions cut short by a resource bound",
+                        {{"reason", reason}});
+  }
+  auto started = std::make_shared<const std::chrono::steady_clock::time_point>(
+      std::chrono::steady_clock::now());
+
   server->Route("GET", "/", [](const HttpRequest&) {
     return HttpResponse{200, "text/html; charset=utf-8", kIndexHtml};
   });
 
-  server->Route("GET", "/api/stats", [system](const HttpRequest&) {
+  server->Route("GET", "/api/stats", [system, started](const HttpRequest&) {
+    obs::Registry& registry = obs::Registry::Default();
     Json::Object stats;
     stats["events"] = static_cast<double>(system->log().event_count());
     stats["entities"] = static_cast<double>(system->log().entity_count());
     stats["cpr_reduction"] = system->cpr_stats().ReductionRatio();
+    stats["uptime_s"] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      *started)
+            .count();
+    stats["http_requests"] = static_cast<double>(
+        registry.CounterValue("raptor_http_requests_total"));
+    stats["hunts"] =
+        static_cast<double>(registry.CounterValue("raptor_hunts_total"));
+    stats["hunts_degraded"] = static_cast<double>(
+        registry.CounterValue("raptor_hunts_degraded_total"));
+    stats["queries"] =
+        static_cast<double>(registry.CounterValue("raptor_queries_total"));
+    // The truncation counter is labeled by reason; the reasons the engine
+    // emits are a closed set.
+    uint64_t truncations = 0;
+    for (const char* reason : kTruncationReasons) {
+      truncations += registry.CounterValue("raptor_query_truncations_total",
+                                           {{"reason", reason}});
+    }
+    stats["queries_truncated"] = static_cast<double>(truncations);
     return JsonResponse(Json(std::move(stats)));
+  });
+
+  server->Route("GET", "/api/metrics", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                        obs::Registry::Default().RenderPrometheus()};
+  });
+
+  server->Route("GET", "/api/traces", [](const HttpRequest&) {
+    Json::Array traces;
+    for (const obs::Trace& trace : obs::Tracer::Default().RecentTraces()) {
+      traces.push_back(TraceToJson(trace, /*include_spans=*/false));
+    }
+    Json::Object out;
+    out["traces"] = Json(std::move(traces));
+    return JsonResponse(Json(std::move(out)));
+  });
+
+  server->RoutePrefix("GET", "/api/traces/", [](const HttpRequest& req) {
+    std::string id_text = req.path.substr(std::string("/api/traces/").size());
+    char* end = nullptr;
+    uint64_t id = std::strtoull(id_text.c_str(), &end, 10);
+    if (id_text.empty() || end == nullptr || *end != '\0') {
+      return ErrorResponse(
+          Status::InvalidArgument("trace id must be an integer"));
+    }
+    std::optional<obs::Trace> trace = obs::Tracer::Default().FindTrace(id);
+    if (!trace) {
+      Json::Object error;
+      error["error"] = "no trace " + id_text + " in the ring";
+      return JsonResponse(Json(std::move(error)), 404);
+    }
+    return JsonResponse(TraceToJson(*trace, /*include_spans=*/true));
   });
 
   server->Route("POST", "/api/extract", [system](const HttpRequest& req) {
@@ -138,16 +284,20 @@ void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
   server->Route("POST", "/api/hunt", [system](const HttpRequest& req) {
     // "?degraded=1" opts this hunt into degraded mode: partial results
     // instead of an error when synthesis or full-query execution fails.
+    // "?profile=1" embeds the stage-level timing breakdown.
     HuntOptions hunt_options = system->options().hunt;
-    if (req.query.find("degraded=1") != std::string::npos) {
-      hunt_options.allow_degraded = true;
-    }
+    if (QueryFlag(req, "degraded")) hunt_options.allow_degraded = true;
+    bool profile = QueryFlag(req, "profile");
+    if (profile) hunt_options.collect_profile = true;
     auto hunt = system->Hunt(req.body, hunt_options);
     if (!hunt.ok()) return ErrorResponse(hunt.status());
     Json::Object out;
     out["behavior_graph"] = GraphToJson(hunt->extraction.graph);
     out["tbql"] = hunt->query_text;
     out["result"] = ResultToJson(hunt->result);
+    if (profile && !hunt->profile.empty()) {
+      out["profile"] = ProfileToJson(hunt->profile);
+    }
     if (hunt->degradation.degraded) {
       Json::Object degradation;
       degradation["degraded"] = true;
@@ -169,9 +319,14 @@ void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
   });
 
   server->Route("POST", "/api/query", [system](const HttpRequest& req) {
-    auto result = system->ExecuteTbql(req.body);
+    // "?profile=1" embeds the stage-level timing breakdown.
+    engine::ExecutionOptions execution = system->options().execution;
+    bool profile = QueryFlag(req, "profile");
+    if (profile) execution.collect_profile = true;
+    auto result = system->ExecuteTbql(req.body, execution);
     if (!result.ok()) return ErrorResponse(result.status());
-    return JsonResponse(ResultToJson(*result));
+    return JsonResponse(
+        ResultToJson(*result, profile ? &result->profile : nullptr));
   });
 
   server->Route("POST", "/api/explain", [system](const HttpRequest& req) {

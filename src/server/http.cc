@@ -11,6 +11,7 @@
 
 #include "common/fault_injection.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace raptor::server {
 
@@ -103,6 +104,11 @@ void HttpServer::Route(const std::string& method, const std::string& path,
   routes_[{method, path}] = std::move(handler);
 }
 
+void HttpServer::RoutePrefix(const std::string& method,
+                             const std::string& prefix, Handler handler) {
+  prefix_routes_[{method, prefix}] = std::move(handler);
+}
+
 Status HttpServer::Start(uint16_t port) {
   if (running_.load()) return Status::InvalidArgument("already running");
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -156,6 +162,41 @@ void HttpServer::AcceptLoop() {
 }
 
 void HttpServer::HandleConnection(int fd) {
+  static obs::Counter* requests_total = obs::Registry::Default().GetCounter(
+      "raptor_http_requests_total", "HTTP connections handled");
+  requests_total->Increment();
+  auto handle_start = std::chrono::steady_clock::now();
+  // Records the response metrics and sends it. `route_label` is a
+  // registered route path ("unmatched" for 404/405, "unparsed" when the
+  // request never parsed) so metric cardinality stays bounded by the route
+  // table, not by client-controlled paths.
+  auto finish = [&](const HttpResponse& response,
+                    const std::string& route_label) {
+    obs::Registry& registry = obs::Registry::Default();
+    std::string code = std::to_string(response.status);
+    registry
+        .GetCounter("raptor_http_responses_total",
+                    "HTTP responses by route and status code",
+                    {{"route", route_label}, {"code", code}})
+        ->Increment();
+    if (response.status == 408 || response.status == 413 ||
+        response.status == 500) {
+      registry
+          .GetCounter("raptor_http_errors_total",
+                      "HTTP failure responses (timeouts, oversize, crashes)",
+                      {{"code", code}})
+          ->Increment();
+    }
+    registry
+        .GetHistogram("raptor_http_request_ms",
+                      "Wall time from accept to response sent (ms)",
+                      /*bounds=*/{}, {{"route", route_label}})
+        ->Observe(std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - handle_start)
+                      .count());
+    SendResponse(fd, response);
+  };
+
   // One wall-clock budget covers reading the whole request (head + body):
   // a slowloris client that dribbles bytes cannot hold the accept loop
   // hostage for longer than recv_timeout_ms.
@@ -189,22 +230,22 @@ void HttpServer::HandleConnection(int fd) {
   }
   if (head_end == std::string::npos) {
     if (timed_out) {
-      SendResponse(fd, PlainResponse(408, "request timeout\n"));
+      finish(PlainResponse(408, "request timeout\n"), "unparsed");
     } else if (data.size() > options_.max_header_bytes) {
-      SendResponse(fd, PlainResponse(413, "request head too large\n"));
+      finish(PlainResponse(413, "request head too large\n"), "unparsed");
     } else {
-      SendResponse(fd, PlainResponse(400, "malformed request\n"));
+      finish(PlainResponse(400, "malformed request\n"), "unparsed");
     }
     return;
   }
   if (head_end > options_.max_header_bytes) {
-    SendResponse(fd, PlainResponse(413, "request head too large\n"));
+    finish(PlainResponse(413, "request head too large\n"), "unparsed");
     return;
   }
 
   auto parsed = ParseRequestHead(data.substr(0, head_end + 2));
   if (!parsed.ok()) {
-    SendResponse(fd, PlainResponse(400, parsed.status().ToString() + "\n"));
+    finish(PlainResponse(400, parsed.status().ToString() + "\n"), "unparsed");
     return;
   }
   HttpRequest request = *std::move(parsed);
@@ -215,7 +256,7 @@ void HttpServer::HandleConnection(int fd) {
         it->second.c_str(), nullptr, 10));
   }
   if (content_length > options_.max_body_bytes) {
-    SendResponse(fd, PlainResponse(413, "request body too large\n"));
+    finish(PlainResponse(413, "request body too large\n"), "unparsed");
     return;
   }
   request.body = data.substr(head_end + 4);
@@ -227,22 +268,46 @@ void HttpServer::HandleConnection(int fd) {
     request.body.append(buffer, static_cast<size_t>(n));
   }
   if (request.body.size() < content_length) {
-    SendResponse(fd, PlainResponse(
-                         timed_out ? 408 : 400,
-                         timed_out ? "request timeout\n" : "truncated body\n"));
+    finish(PlainResponse(timed_out ? 408 : 400,
+                         timed_out ? "request timeout\n" : "truncated body\n"),
+           "unparsed");
     return;
   }
   if (request.body.size() > options_.max_body_bytes) {
-    SendResponse(fd, PlainResponse(413, "request body too large\n"));
+    finish(PlainResponse(413, "request body too large\n"), "unparsed");
     return;
   }
 
+  // Exact routes win; otherwise the longest matching prefix route.
+  const Handler* handler = nullptr;
+  std::string route_label = "unmatched";
+  if (auto route = routes_.find({request.method, request.path});
+      route != routes_.end()) {
+    handler = &route->second;
+    route_label = request.path;
+  } else {
+    size_t best_len = 0;
+    for (const auto& [key, h] : prefix_routes_) {
+      if (key.first == request.method && request.path.size() >= key.second.size() &&
+          request.path.compare(0, key.second.size(), key.second) == 0 &&
+          key.second.size() >= best_len) {
+        handler = &h;
+        route_label = key.second;
+        best_len = key.second.size();
+      }
+    }
+  }
+
   HttpResponse response;
-  auto route = routes_.find({request.method, request.path});
-  if (route == routes_.end()) {
+  if (handler == nullptr) {
     bool path_known = false;
-    for (const auto& [key, handler] : routes_) {
+    for (const auto& [key, h] : routes_) {
       if (key.second == request.path) path_known = true;
+    }
+    for (const auto& [key, h] : prefix_routes_) {
+      if (request.path.compare(0, key.second.size(), key.second) == 0) {
+        path_known = true;
+      }
     }
     response = PlainResponse(path_known ? 405 : 404,
                              path_known ? "method not allowed\n"
@@ -255,7 +320,7 @@ void HttpServer::HandleConnection(int fd) {
       if (Status st = TriggerFaultPoint("server.handler"); !st.ok()) {
         response = PlainResponse(500, st.ToString() + "\n");
       } else {
-        response = route->second(request);
+        response = (*handler)(request);
       }
     } catch (const std::exception& e) {
       response = PlainResponse(
@@ -264,7 +329,7 @@ void HttpServer::HandleConnection(int fd) {
       response = PlainResponse(500, "handler failed\n");
     }
   }
-  SendResponse(fd, response);
+  finish(response, route_label);
 }
 
 }  // namespace raptor::server

@@ -58,7 +58,8 @@ Result<HttpRequest> ParseRequestHead(std::string_view head);
 std::string SerializeResponse(const HttpResponse& response);
 
 /// \brief The server. Routes are exact (method, path) matches registered
-/// before Start(); unknown paths get 404, unknown methods on known paths
+/// before Start(), plus prefix routes for path-parameter endpoints
+/// (RoutePrefix); unknown paths get 404, unknown methods on known paths
 /// get 405.
 class HttpServer {
  public:
@@ -72,6 +73,12 @@ class HttpServer {
   /// Registers a handler. Not thread-safe against a running server.
   void Route(const std::string& method, const std::string& path,
              Handler handler);
+
+  /// Registers a handler for every path starting with `prefix` (e.g.
+  /// "/api/traces/" serving "/api/traces/<id>"). Exact routes win over
+  /// prefix routes; among prefix routes the longest matching prefix wins.
+  void RoutePrefix(const std::string& method, const std::string& prefix,
+                   Handler handler);
 
   /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept thread.
   Status Start(uint16_t port);
@@ -91,6 +98,8 @@ class HttpServer {
 
   HttpServerOptions options_;
   std::map<std::pair<std::string, std::string>, Handler> routes_;
+  /// Prefix routes, keyed (method, prefix); longest prefix wins.
+  std::map<std::pair<std::string, std::string>, Handler> prefix_routes_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::thread thread_;

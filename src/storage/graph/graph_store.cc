@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace raptor::graph {
 
 using audit::EntityId;
@@ -36,10 +38,20 @@ std::vector<EntityId> GraphStore::FindNodes(const NodePredicate& pred) const {
 std::vector<PathMatch> GraphStore::FindPaths(
     const std::vector<EntityId>& sources, const NodePredicate& sink_pred,
     const PathConstraints& constraints, SearchLimits* limits) const {
+  // Process-wide search-effort counters, updated once per FindPaths call
+  // with the deltas the search accumulated in stats_.
+  static obs::Counter* edges_traversed = obs::Registry::Default().GetCounter(
+      "raptor_graph_edges_traversed_total",
+      "Edges traversed by variable-length path searches");
+  static obs::Counter* nodes_expanded = obs::Registry::Default().GetCounter(
+      "raptor_graph_nodes_expanded_total",
+      "Nodes expanded by variable-length path searches");
+
   std::vector<PathMatch> matches;
   std::vector<bool> on_path(num_nodes(), false);
   std::vector<size_t> edge_stack;
   uint64_t edges_at_start = stats_.edges_traversed;
+  uint64_t nodes_at_start = stats_.nodes_expanded;
   for (EntityId src : sources) {
     if (limits != nullptr && limits->hit) break;
     if (src >= num_nodes()) continue;
@@ -48,6 +60,8 @@ std::vector<PathMatch> GraphStore::FindPaths(
         &on_path, &matches);
     on_path[src] = false;
   }
+  edges_traversed->Increment(stats_.edges_traversed - edges_at_start);
+  nodes_expanded->Increment(stats_.nodes_expanded - nodes_at_start);
   return matches;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace raptor::rel {
 
 RowId Table::Insert(Row row) {
@@ -118,11 +120,26 @@ Table::AccessPath Table::ChooseAccessPath(
 }
 
 std::vector<RowId> Table::Select(const Conjunction& predicates) const {
+  // Process-wide access-path counters (per-query numbers live in stats_).
+  // One batch of relaxed adds per Select call keeps the overhead a few
+  // atomic ops regardless of how many rows the scan touches.
+  static obs::Counter* rows_touched = obs::Registry::Default().GetCounter(
+      "raptor_relational_rows_touched_total",
+      "Rows touched by relational Select calls (scans + index reads)");
+  static obs::Counter* full_scans = obs::Registry::Default().GetCounter(
+      "raptor_relational_full_scans_total",
+      "Select calls that fell back to a full table scan");
+  static obs::Counter* index_probes = obs::Registry::Default().GetCounter(
+      "raptor_relational_index_probes_total",
+      "Select calls served by an index probe");
+
   std::vector<RowId> out;
   if (predicates.empty()) {
     out.resize(rows_.size());
     for (RowId id = 0; id < rows_.size(); ++id) out[id] = id;
     stats_.rows_scanned += rows_.size();
+    full_scans->Increment();
+    rows_touched->Increment(rows_.size());
     return out;
   }
 
@@ -132,11 +149,14 @@ std::vector<RowId> Table::Select(const Conjunction& predicates) const {
       ++stats_.rows_scanned;
       if (MatchesAll(predicates, rows_[id])) out.push_back(id);
     }
+    full_scans->Increment();
+    rows_touched->Increment(rows_.size());
     return out;
   }
 
   const Index& index = indexes_.at(path.column);
   ++stats_.index_probes;
+  index_probes->Increment();
   Index::const_iterator lo, hi;
   if (path.kind == AccessPath::Kind::kIndexEq) {
     std::tie(lo, hi) = index.equal_range(path.eq_value);
@@ -148,10 +168,13 @@ std::vector<RowId> Table::Select(const Conjunction& predicates) const {
                                              : index.upper_bound(path.upper))
                         : index.end();
   }
+  uint64_t from_index = 0;
   for (auto it = lo; it != hi; ++it) {
-    ++stats_.rows_from_index;
+    ++from_index;
     if (MatchesAll(predicates, rows_[it->second])) out.push_back(it->second);
   }
+  stats_.rows_from_index += from_index;
+  rows_touched->Increment(from_index);
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -7,6 +7,8 @@
 
 #include "common/fault_injection.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "synthesis/rules.h"
 #include "tbql/analyzer.h"
 
@@ -62,6 +64,14 @@ tbql::EntityRef MakeEntity(const nlp::IocEntity& ioc, EntityType type,
 Result<SynthesisResult> QuerySynthesizer::Synthesize(
     const nlp::ThreatBehaviorGraph& graph) const {
   RAPTOR_RETURN_NOT_OK(TriggerFaultPoint("synthesis.synthesize"));
+  static obs::Counter* syntheses_total = obs::Registry::Default().GetCounter(
+      "raptor_syntheses_total", "Behavior graphs run through TBQL synthesis");
+  static obs::Counter* patterns_total = obs::Registry::Default().GetCounter(
+      "raptor_patterns_synthesized_total",
+      "TBQL patterns emitted by the synthesizer");
+  syntheses_total->Increment();
+  obs::Span span = obs::Tracer::Default().StartSpan("synthesize");
+
   SynthesisResult result;
 
   // (1) Screening: keep only nodes whose IOC type auditing captures.
@@ -174,6 +184,12 @@ Result<SynthesisResult> QuerySynthesizer::Synthesize(
   // (5) Return clause: all entity ids (the analyzer expands the default
   // attributes).
   RAPTOR_RETURN_NOT_OK(tbql::Analyze(&query));
+  patterns_total->Increment(query.patterns.size());
+  if (span.active()) {
+    span.SetAttr("patterns", static_cast<int64_t>(query.patterns.size()));
+    span.SetAttr("screened_nodes",
+                 static_cast<int64_t>(result.screened_nodes.size()));
+  }
   result.query = std::move(query);
   return result;
 }

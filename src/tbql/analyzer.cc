@@ -7,6 +7,8 @@
 #include <unordered_set>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace raptor::tbql {
 
@@ -62,9 +64,7 @@ Status AnalyzeEntity(EntityRef* entity) {
   return Status::OK();
 }
 
-}  // namespace
-
-Status Analyze(Query* query) {
+Status AnalyzeImpl(Query* query) {
   // Pattern ids unique.
   std::unordered_set<std::string> pattern_ids;
   for (const Pattern& p : query->patterns) {
@@ -269,6 +269,21 @@ Status Analyze(Query* query) {
     }
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status Analyze(Query* query) {
+  static obs::Counter* analyze_errors = obs::Registry::Default().GetCounter(
+      "raptor_tbql_analyze_errors_total",
+      "TBQL queries rejected by semantic analysis");
+  obs::Span span = obs::Tracer::Default().StartSpan("tbql.analyze");
+  Status status = AnalyzeImpl(query);
+  if (!status.ok()) {
+    analyze_errors->Increment();
+    if (span.active()) span.Annotate("analyze error: " + status.message());
+  }
+  return status;
 }
 
 }  // namespace raptor::tbql

@@ -1,6 +1,8 @@
 #include "tbql/parser.h"
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tbql/lexer.h"
 
 namespace raptor::tbql {
@@ -287,9 +289,20 @@ class Parser {
 }  // namespace
 
 Result<Query> Parse(std::string_view source) {
-  RAPTOR_ASSIGN_OR_RETURN(std::vector<QueryToken> tokens, Lex(source));
-  Parser parser(std::move(tokens));
-  return parser.ParseQuery();
+  static obs::Counter* parse_errors = obs::Registry::Default().GetCounter(
+      "raptor_tbql_parse_errors_total", "TBQL sources rejected by the parser");
+  obs::Span span = obs::Tracer::Default().StartSpan("tbql.parse");
+  auto reject = [&](Status status) {
+    parse_errors->Increment();
+    if (span.active()) span.Annotate("parse error: " + status.message());
+    return status;
+  };
+  auto tokens = Lex(source);
+  if (!tokens.ok()) return reject(tokens.status());
+  Parser parser(std::move(tokens).value());
+  Result<Query> query = parser.ParseQuery();
+  if (!query.ok()) return reject(query.status());
+  return query;
 }
 
 }  // namespace raptor::tbql

@@ -38,7 +38,10 @@ std::string RandomQuerySource(Rng* rng) {
   std::string src;
   std::vector<std::string> pattern_ids;
   for (size_t i = 0; i < num_patterns; ++i) {
-    std::string id = "e" + std::to_string(i + 1);
+    // Built with += to dodge a GCC 12 -Wrestrict false positive in the
+    // inlined operator+(const char*, string&&) (GCC bug 105651).
+    std::string id = "e";
+    id += std::to_string(i + 1);
     pattern_ids.push_back(id);
     src += id + ": proc p" + std::to_string(rng->Uniform(num_patterns) + 1);
     if (rng->Chance(0.6)) {

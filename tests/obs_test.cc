@@ -1,0 +1,330 @@
+// Unit tests for the observability substrate (src/obs/): metrics registry
+// semantics, Prometheus text exposition, histogram bucket edges, span
+// nesting, trace-ring eviction, and profile aggregation.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+
+namespace raptor::obs {
+namespace {
+
+// =====================================================================
+// Registry semantics.
+// =====================================================================
+
+TEST(RegistryTest, CounterIsStableAndMonotonic) {
+  Registry registry;
+  Counter* c = registry.GetCounter("test_total", "help");
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->Value(), 42u);
+  // Same (name, labels) returns the same instrument.
+  EXPECT_EQ(registry.GetCounter("test_total"), c);
+  EXPECT_EQ(registry.CounterValue("test_total"), 42u);
+}
+
+TEST(RegistryTest, LabeledChildrenAreIndependent) {
+  Registry registry;
+  Counter* a = registry.GetCounter("reqs_total", "", {{"code", "200"}});
+  Counter* b = registry.GetCounter("reqs_total", "", {{"code", "500"}});
+  EXPECT_NE(a, b);
+  a->Increment(3);
+  b->Increment();
+  EXPECT_EQ(registry.CounterValue("reqs_total", {{"code", "200"}}), 3u);
+  EXPECT_EQ(registry.CounterValue("reqs_total", {{"code", "500"}}), 1u);
+}
+
+TEST(RegistryTest, ReadOfUnregisteredCounterIsZeroAndDoesNotRegister) {
+  Registry registry;
+  EXPECT_EQ(registry.CounterValue("never_registered_total"), 0u);
+  EXPECT_EQ(registry.RenderPrometheus().find("never_registered_total"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, TypeConflictReturnsDetachedDummy) {
+  Registry registry;
+  Counter* c = registry.GetCounter("thing", "first registration wins");
+  c->Increment(7);
+  // Asking for the same family as a gauge must not corrupt it.
+  Gauge* g = registry.GetGauge("thing");
+  ASSERT_NE(g, nullptr);
+  g->Set(999);
+  EXPECT_EQ(registry.CounterValue("thing"), 7u);
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("thing 7"), std::string::npos) << text;
+  EXPECT_EQ(text.find("999"), std::string::npos) << text;
+}
+
+TEST(RegistryTest, GaugeSetAndAdd) {
+  Registry registry;
+  Gauge* g = registry.GetGauge("events", "stored events");
+  g->Set(10);
+  g->Add(-3);
+  EXPECT_EQ(g->Value(), 7);
+}
+
+TEST(RegistryTest, ConcurrentRegistrationAndIncrements) {
+  Registry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 1000; ++i) {
+        registry.GetCounter("shared_total")->Increment();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.CounterValue("shared_total"), 4000u);
+}
+
+// =====================================================================
+// Histogram bucket edges.
+// =====================================================================
+
+TEST(HistogramTest, LeSemanticsAtBucketEdges) {
+  Histogram h({1.0, 5.0, 10.0});
+  h.Observe(1.0);   // exactly on a bound: le="1" bucket
+  h.Observe(1.001);  // just above: le="5" bucket
+  h.Observe(10.0);  // last finite bucket
+  h.Observe(10.5);  // +Inf bucket
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  EXPECT_EQ(h.BucketCount(3), 1u);  // +Inf
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 1.0 + 1.001 + 10.0 + 10.5);
+}
+
+TEST(HistogramTest, RenderedBucketsAreCumulativeWithInf) {
+  Registry registry;
+  Histogram* h = registry.GetHistogram("lat_ms", "latency", {1.0, 5.0});
+  h->Observe(0.5);
+  h->Observe(0.7);
+  h->Observe(3.0);
+  h->Observe(100.0);
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE lat_ms histogram"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"1\"} 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"5\"} 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"+Inf\"} 4"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_ms_count 4"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_ms_sum "), std::string::npos) << text;
+}
+
+TEST(HistogramTest, LabeledHistogramSplicesLeAfterLabels) {
+  Registry registry;
+  registry.GetHistogram("req_ms", "", {1.0}, {{"route", "/api/hunt"}})
+      ->Observe(0.2);
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("req_ms_bucket{route=\"/api/hunt\",le=\"1\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("req_ms_count{route=\"/api/hunt\"} 1"),
+            std::string::npos)
+      << text;
+}
+
+TEST(HistogramTest, ExponentialBuckets) {
+  std::vector<double> bounds = ExponentialBuckets(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+}
+
+// =====================================================================
+// Prometheus exposition format.
+// =====================================================================
+
+TEST(PrometheusTest, HelpAndTypeLines) {
+  Registry registry;
+  registry.GetCounter("widgets_total", "Widgets made")->Increment();
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP widgets_total Widgets made"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE widgets_total counter"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("widgets_total 1\n"), std::string::npos) << text;
+}
+
+TEST(PrometheusTest, LabelValueEscaping) {
+  Registry registry;
+  registry
+      .GetCounter("odd_total", "",
+                  {{"path", "C:\\dir"}, {"quote", "say \"hi\""},
+                   {"nl", "a\nb"}})
+      ->Increment();
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("path=\"C:\\\\dir\""), std::string::npos) << text;
+  EXPECT_NE(text.find("quote=\"say \\\"hi\\\"\""), std::string::npos) << text;
+  EXPECT_NE(text.find("nl=\"a\\nb\""), std::string::npos) << text;
+}
+
+TEST(PrometheusTest, IntegralValuesRenderWithoutFraction) {
+  Registry registry;
+  registry.GetCounter("n_total")->Increment(123);
+  registry.GetGauge("g")->Set(-5);
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("n_total 123\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("g -5\n"), std::string::npos) << text;
+}
+
+// =====================================================================
+// Tracing: span nesting, subtree extraction, ring eviction.
+// =====================================================================
+
+TEST(TraceTest, StartSpanIsInertWithoutActiveTrace) {
+  Span span = Tracer::Default().StartSpan("orphan");
+  EXPECT_FALSE(span.active());
+  span.SetAttr("k", std::string_view("v"));  // must be a no-op, not a crash
+  span.Annotate("note");
+}
+
+TEST(TraceTest, ForcedTraceRecordsNestedSpans) {
+  Tracer& tracer = Tracer::Default();
+  TraceScope scope = tracer.BeginTrace("root", /*force=*/true);
+  ASSERT_TRUE(scope.active());
+  {
+    Span outer = tracer.StartSpan("outer");
+    ASSERT_TRUE(outer.active());
+    outer.SetAttr("items", static_cast<int64_t>(3));
+    Span inner = tracer.StartSpan("inner");
+    inner.End();
+    outer.End();
+  }
+  std::optional<Trace> trace = scope.Finish();
+  ASSERT_TRUE(trace.has_value());
+  ASSERT_EQ(trace->spans.size(), 3u);
+  EXPECT_EQ(trace->spans[0].name, "root");
+  EXPECT_EQ(trace->spans[0].parent, trace->spans[0].id);  // root: own parent
+  EXPECT_EQ(trace->spans[1].name, "outer");
+  EXPECT_EQ(trace->spans[1].parent, trace->spans[0].id);
+  EXPECT_EQ(trace->spans[2].name, "inner");
+  EXPECT_EQ(trace->spans[2].parent, trace->spans[1].id);
+  ASSERT_EQ(trace->spans[1].attrs.size(), 1u);
+  EXPECT_EQ(trace->spans[1].attrs[0].first, "items");
+  EXPECT_EQ(trace->spans[1].attrs[0].second, "3");
+}
+
+TEST(TraceTest, NestedBeginTraceYieldsSubtreeAndParentKeepsRecording) {
+  Tracer& tracer = Tracer::Default();
+  TraceScope outer = tracer.BeginTrace("hunt", /*force=*/true);
+  ASSERT_TRUE(outer.active());
+  {
+    TraceScope inner = tracer.BeginTrace("execute", /*force=*/true);
+    Span scan = tracer.StartSpan("scan");
+    scan.End();
+    std::optional<Trace> subtree = inner.Finish();
+    ASSERT_TRUE(subtree.has_value());
+    ASSERT_EQ(subtree->spans.size(), 2u);
+    EXPECT_EQ(subtree->spans[0].name, "execute");
+    EXPECT_EQ(subtree->spans[1].name, "scan");
+    EXPECT_EQ(subtree->spans[1].parent, subtree->spans[0].id);
+  }
+  std::optional<Trace> full = outer.Finish();
+  ASSERT_TRUE(full.has_value());
+  // The parent trace still holds the whole tree.
+  ASSERT_EQ(full->spans.size(), 3u);
+  EXPECT_EQ(full->spans[0].name, "hunt");
+  EXPECT_EQ(full->spans[1].name, "execute");
+  EXPECT_EQ(full->spans[2].name, "scan");
+}
+
+TEST(TraceTest, RingKeepsNewestAndEvictsOldest) {
+  Tracer& tracer = Tracer::Default();
+  tracer.Clear();
+  tracer.set_capacity(2);
+  bool was_enabled = tracer.enabled();
+  tracer.set_enabled(true);
+  uint64_t last_id = 0;
+  for (int i = 0; i < 3; ++i) {
+    TraceScope scope = tracer.BeginTrace("t");
+    std::optional<Trace> t = scope.Finish();
+    ASSERT_TRUE(t.has_value());
+    last_id = t->id;
+  }
+  std::vector<Trace> recent = tracer.RecentTraces();
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0].id, last_id);  // newest first
+  EXPECT_EQ(recent[1].id, last_id - 1);
+  EXPECT_FALSE(tracer.FindTrace(last_id - 2).has_value());  // evicted
+  EXPECT_TRUE(tracer.FindTrace(last_id).has_value());
+  tracer.set_enabled(was_enabled);
+  tracer.set_capacity(64);
+  tracer.Clear();
+}
+
+TEST(TraceTest, DisabledTracerRecordsNothingWithoutForce) {
+  Tracer& tracer = Tracer::Default();
+  tracer.Clear();
+  bool was_enabled = tracer.enabled();
+  tracer.set_enabled(false);
+  TraceScope scope = tracer.BeginTrace("idle");
+  EXPECT_FALSE(scope.active());
+  EXPECT_FALSE(Tracer::TraceActive());
+  EXPECT_FALSE(scope.Finish().has_value());
+  EXPECT_TRUE(tracer.RecentTraces().empty());
+  tracer.set_enabled(was_enabled);
+}
+
+TEST(TraceTest, ForcedTraceIsNotPublishedWhenDisabled) {
+  Tracer& tracer = Tracer::Default();
+  tracer.Clear();
+  bool was_enabled = tracer.enabled();
+  tracer.set_enabled(false);
+  TraceScope scope = tracer.BeginTrace("profile-only", /*force=*/true);
+  ASSERT_TRUE(scope.active());
+  EXPECT_TRUE(scope.Finish().has_value());
+  // ?profile=1 with the sink detached: the caller gets the trace, the ring
+  // stays empty.
+  EXPECT_TRUE(tracer.RecentTraces().empty());
+  tracer.set_enabled(was_enabled);
+}
+
+// =====================================================================
+// Profile aggregation.
+// =====================================================================
+
+TEST(ProfileTest, AggregatesStagesByPathAndCountsRepeats) {
+  Tracer& tracer = Tracer::Default();
+  TraceScope scope = tracer.BeginTrace("execute", /*force=*/true);
+  for (int i = 0; i < 2; ++i) {
+    Span scan = tracer.StartSpan("scan");
+    scan.End();
+  }
+  {
+    Span join = tracer.StartSpan("join");
+    Span probe = tracer.StartSpan("probe");
+    probe.End();
+    join.End();
+  }
+  std::optional<Trace> trace = scope.Finish();
+  ASSERT_TRUE(trace.has_value());
+  Profile profile = AggregateProfile(*trace);
+  EXPECT_FALSE(profile.empty());
+  EXPECT_GE(profile.total_ms, 0.0);
+  ASSERT_EQ(profile.stages.size(), 3u);
+  EXPECT_EQ(profile.stages[0].stage, "scan");
+  EXPECT_EQ(profile.stages[0].count, 2u);
+  EXPECT_EQ(profile.stages[1].stage, "join");
+  EXPECT_EQ(profile.stages[1].count, 1u);
+  EXPECT_EQ(profile.stages[2].stage, "join/probe");
+  // Top-level stages (no '/') partition the root's time.
+  EXPECT_LE(profile.TopLevelMs(), profile.total_ms + 1e-6);
+}
+
+TEST(ProfileTest, EmptyTraceYieldsEmptyProfile) {
+  Profile profile = AggregateProfile(Trace{});
+  EXPECT_TRUE(profile.empty());
+  EXPECT_EQ(profile.TopLevelMs(), 0.0);
+}
+
+}  // namespace
+}  // namespace raptor::obs

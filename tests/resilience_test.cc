@@ -280,6 +280,38 @@ TEST(BoundedExecutionTest, UserLimitIsNotTruncation) {
             std::string::npos);
 }
 
+// ExecutionStats keeps six per-pattern vectors parallel (schedule,
+// matches_per_pattern, pattern_scores, pattern_used_graph, per_pattern_ms,
+// pattern_was_constrained). Truncation paths stop mid-loop, which is
+// exactly where a missed push_back would skew them.
+void ExpectStatsVectorsParallel(const engine::ExecutionStats& stats) {
+  size_t n = stats.schedule.size();
+  EXPECT_EQ(stats.matches_per_pattern.size(), n);
+  EXPECT_EQ(stats.pattern_scores.size(), n);
+  EXPECT_EQ(stats.pattern_used_graph.size(), n);
+  EXPECT_EQ(stats.per_pattern_ms.size(), n);
+  EXPECT_EQ(stats.pattern_was_constrained.size(), n);
+}
+
+TEST(BoundedExecutionTest, TruncationKeepsStatsVectorsParallel) {
+  EngineFixture fx;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(300, &fx.log);
+  fx.Finish();
+  ScriptedFaults faults;
+  faults.DelayAt("engine.pattern", std::chrono::milliseconds(50));
+  ExecutionOptions opts;
+  opts.deadline_ms = 5;
+  auto r = fx.Run(
+      "e1: proc p read file f\n"
+      "e2: proc q write file g\n"
+      "return p, g",
+      opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(r->truncated);
+  ExpectStatsVectorsParallel(r->stats);
+}
+
 TEST(BoundedExecutionTest, EngineFaultPointFailsExecution) {
   EngineFixture fx;
   audit::WorkloadGenerator gen;
@@ -361,6 +393,22 @@ TEST(DegradedHuntTest, ExecutionFailureFallsBackToPerPatternQueries) {
   // The per-pattern labels come from the synthesized query's pattern ids.
   EXPECT_EQ(hunt->result.rows[0][1].substr(0, 3), "evt");
   EXPECT_GT(faults.hits("engine.execute"), 1);
+}
+
+TEST(DegradedHuntTest, MergedStatsVectorsStayParallel) {
+  HuntFixture fx;
+  ScriptedFaults faults;
+  faults.FailAt("engine.execute", Status::Internal("injected engine fault"),
+                /*after=*/0, /*times=*/1);
+  HuntOptions degraded;
+  degraded.allow_degraded = true;
+  auto hunt = fx.system.Hunt(fx.attack.report_text, degraded);
+  ASSERT_TRUE(hunt.ok()) << hunt.status().ToString();
+  ASSERT_TRUE(hunt->degradation.degraded);
+  // The merged result appends per-pattern stats across every successful
+  // sub-query; all six vectors must stay the same length.
+  EXPECT_FALSE(hunt->result.stats.schedule.empty());
+  ExpectStatsVectorsParallel(hunt->result.stats);
 }
 
 TEST(DegradedHuntTest, ExecutionFailureWithoutDegradedModeIsAnError) {

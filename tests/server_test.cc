@@ -9,6 +9,7 @@
 
 #include "common/json.h"
 #include "core/threat_raptor.h"
+#include "obs/trace.h"
 #include "server/api.h"
 #include "server/http.h"
 
@@ -201,6 +202,139 @@ TEST(ServerTest, ExplainEndpoint) {
   ASSERT_TRUE(json.ok()) << Body(response);
   EXPECT_NE((*json)["explain"].AsString().find("EXPLAIN ANALYZE"),
             std::string::npos);
+}
+
+// --- Observability endpoints. ---
+
+TEST(ServerTest, MetricsEndpointScrapesAfterHunt) {
+  ServerFixture fx;
+  std::string hunt = Post(
+      fx.server.port(), "/api/hunt?profile=1",
+      "The process /bin/tar read the file /etc/passwd. /bin/tar then "
+      "wrote the collected data to /tmp/data.tar.");
+  EXPECT_NE(hunt.find("200 OK"), std::string::npos);
+
+  std::string response = Get(fx.server.port(), "/api/metrics");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  std::string body = Body(response);
+  // Valid Prometheus text: every non-comment line is `name[{labels}] value`.
+  size_t samples = 0;
+  size_t start = 0;
+  while (start < body.size()) {
+    size_t nl = body.find('\n', start);
+    if (nl == std::string::npos) nl = body.size();
+    std::string line = body.substr(start, nl - start);
+    start = nl + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                  line.rfind("# TYPE ", 0) == 0)
+          << line;
+      continue;
+    }
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_FALSE(line.substr(0, space).empty()) << line;
+    EXPECT_NE(line.substr(space + 1), "") << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 0u);
+  // The catalog the hunt exercises end to end.
+  EXPECT_NE(body.find("raptor_hunts_total"), std::string::npos);
+  EXPECT_NE(body.find("raptor_relational_rows_touched_total"),
+            std::string::npos);
+  EXPECT_NE(body.find("raptor_graph_edges_traversed_total"),
+            std::string::npos);
+  EXPECT_NE(body.find("raptor_query_truncations_total"), std::string::npos);
+  EXPECT_NE(body.find("raptor_http_request_ms_bucket"), std::string::npos);
+  EXPECT_NE(body.find("route=\"/api/hunt\""), std::string::npos);
+}
+
+TEST(ServerTest, HuntProfileStagesSumCloseToTotal) {
+  ServerFixture fx;
+  std::string response = Post(
+      fx.server.port(), "/api/hunt?profile=1",
+      "The process /bin/tar read the file /etc/passwd. /bin/tar then "
+      "wrote the collected data to /tmp/data.tar.");
+  auto json = Json::Parse(Body(response));
+  ASSERT_TRUE(json.ok()) << Body(response);
+  const Json& profile = (*json)["profile"];
+  double total = profile["total_ms"].AsNumber();
+  EXPECT_GT(total, 0.0);
+  double top_level = 0;
+  bool saw_extract = false, saw_execute = false;
+  for (const Json& stage : profile["stages"].AsArray()) {
+    const std::string& name = stage["stage"].AsString();
+    EXPECT_GE(stage["ms"].AsNumber(), 0.0) << name;
+    EXPECT_GE(stage["count"].AsNumber(), 1.0) << name;
+    if (name.find('/') == std::string::npos) {
+      top_level += stage["ms"].AsNumber();
+    }
+    if (name == "extract") saw_extract = true;
+    if (name == "execute") saw_execute = true;
+  }
+  EXPECT_TRUE(saw_extract);
+  EXPECT_TRUE(saw_execute);
+  // The top-level stages partition the hunt; their sum must land within
+  // 20% of the reported total.
+  EXPECT_GT(top_level, 0.8 * total);
+  EXPECT_LE(top_level, 1.2 * total);
+}
+
+TEST(ServerTest, QueryProfileFlag) {
+  ServerFixture fx;
+  std::string with = Post(fx.server.port(), "/api/query?profile=1",
+                          "proc p read file f\nlimit 1");
+  auto json = Json::Parse(Body(with));
+  ASSERT_TRUE(json.ok()) << Body(with);
+  EXPECT_FALSE((*json)["profile"]["stages"].AsArray().empty());
+
+  // Without the flag the response omits the profile.
+  std::string without =
+      Post(fx.server.port(), "/api/query", "proc p read file f\nlimit 1");
+  auto plain = Json::Parse(Body(without));
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(Body(without).find("\"profile\""), std::string::npos);
+}
+
+TEST(ServerTest, TracesEndpointListsAndFetchesById) {
+  ServerFixture fx;
+  obs::Tracer::Default().Clear();
+  Post(fx.server.port(), "/api/query", "proc p read file f\nlimit 1");
+  std::string listing = Get(fx.server.port(), "/api/traces");
+  auto json = Json::Parse(Body(listing));
+  ASSERT_TRUE(json.ok()) << Body(listing);
+  const auto& traces = (*json)["traces"].AsArray();
+  ASSERT_FALSE(traces.empty());
+  EXPECT_EQ(traces[0]["name"].AsString(), "execute");
+
+  // Fetch the full trace by id; it carries the span tree.
+  int64_t id = static_cast<int64_t>(traces[0]["id"].AsNumber());
+  std::string detail =
+      Get(fx.server.port(), "/api/traces/" + std::to_string(id));
+  auto trace = Json::Parse(Body(detail));
+  ASSERT_TRUE(trace.ok()) << Body(detail);
+  EXPECT_FALSE((*trace)["spans"].AsArray().empty());
+  EXPECT_EQ((*trace)["spans"][0]["name"].AsString(), "execute");
+
+  // Bad ids are handled, not crashes.
+  EXPECT_NE(Get(fx.server.port(), "/api/traces/999999999").find("404"),
+            std::string::npos);
+  EXPECT_NE(Get(fx.server.port(), "/api/traces/abc").find("400"),
+            std::string::npos);
+}
+
+TEST(ServerTest, StatsEndpointCarriesObservabilityCounters) {
+  ServerFixture fx;
+  Post(fx.server.port(), "/api/query", "proc p read file f\nlimit 1");
+  std::string response = Get(fx.server.port(), "/api/stats");
+  auto json = Json::Parse(Body(response));
+  ASSERT_TRUE(json.ok()) << Body(response);
+  EXPECT_GE((*json)["uptime_s"].AsNumber(), 0.0);
+  EXPECT_GT((*json)["http_requests"].AsNumber(), 0.0);
+  EXPECT_GT((*json)["queries"].AsNumber(), 0.0);
+  EXPECT_GE((*json)["hunts"].AsNumber(), 0.0);
+  EXPECT_GE((*json)["queries_truncated"].AsNumber(), 0.0);
 }
 
 TEST(ServerTest, UnknownPathIs404AndWrongMethodIs405) {
