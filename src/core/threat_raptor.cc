@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/strings.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/persist/snapshot.h"
@@ -136,6 +137,14 @@ Status ThreatRaptor::FinalizeStorage() {
   obs::Registry::Default()
       .GetGauge("raptor_storage_entities", "Entities in finalized storage")
       ->Set(static_cast<int64_t>(log_.entity_count()));
+  obs::Logger::Default()
+      .Log(obs::LogLevel::kInfo, "core", "storage finalized")
+      .Field("events", static_cast<uint64_t>(log_.event_count()))
+      .Field("entities", static_cast<uint64_t>(log_.entity_count()))
+      .Field("cpr_events_before",
+             static_cast<uint64_t>(cpr_stats_.events_before))
+      .Field("cpr_events_after",
+             static_cast<uint64_t>(cpr_stats_.events_after));
   return Status::OK();
 }
 
@@ -292,10 +301,18 @@ Result<HuntReport> ThreatRaptor::Hunt(std::string_view oscti_report,
     if (!options.allow_degraded) return result.status();
     report.degradation.failures.push_back(
         {"execution", result.status().ToString()});
+    obs::Logger::Default()
+        .Log(obs::LogLevel::kWarn, "core", "hunt stage failed, degrading")
+        .Field("stage", "execution")
+        .Field("error", result.status().ToString());
   } else {
     if (!options.allow_degraded) return synthesis.status();
     report.degradation.failures.push_back(
         {"synthesis", synthesis.status().ToString()});
+    obs::Logger::Default()
+        .Log(obs::LogLevel::kWarn, "core", "hunt stage failed, degrading")
+        .Field("stage", "synthesis")
+        .Field("error", synthesis.status().ToString());
   }
 
   // Degraded path: the full behavior query could not run. Fall back to
@@ -358,6 +375,13 @@ Result<HuntReport> ThreatRaptor::Hunt(std::string_view oscti_report,
           label + ": " + sub->stats.truncation_reason;
     }
   }
+  obs::Logger::Default()
+      .Log(obs::LogLevel::kInfo, "core", "degraded hunt merged")
+      .Field("subqueries_attempted",
+             static_cast<uint64_t>(report.degradation.subqueries_attempted))
+      .Field("subqueries_succeeded",
+             static_cast<uint64_t>(report.degradation.subqueries_succeeded))
+      .Field("rows", static_cast<uint64_t>(merged.rows.size()));
   finish(&report);
   return report;
 }

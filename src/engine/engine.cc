@@ -6,6 +6,7 @@
 
 #include "common/fault_injection.h"
 #include "common/strings.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -151,6 +152,10 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
           ->Increment();
       trace_scope.root().Annotate("truncated: " +
                                   result.stats.truncation_reason);
+      obs::Logger::Default()
+          .Log(obs::LogLevel::kWarn, "engine", "query truncated")
+          .Field("reason", code)
+          .Field("detail", result.stats.truncation_reason);
     }
   };
   if (query.return_count) {
@@ -447,10 +452,18 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
                            static_cast<int64_t>(exec.matches.size()));
     }
     pattern_span.End();
-    result.stats.per_pattern_ms.push_back(
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - p0)
-            .count());
+    double pattern_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - p0)
+                            .count();
+    obs::Logger::Default()
+        .Log(obs::LogLevel::kDebug, "engine", "pattern scheduled")
+        .Field("pattern", p.id)
+        .Field("backend", std::string_view(p.is_path ? "graph" : "relational"))
+        .Field("pruning_score", scores[pick])
+        .Field("constrained", constrained)
+        .Field("matches", static_cast<uint64_t>(exec.matches.size()))
+        .Field("ms", pattern_ms);
+    result.stats.per_pattern_ms.push_back(pattern_ms);
     result.stats.schedule.push_back(p.id);
     result.stats.matches_per_pattern.push_back(exec.matches.size());
     result.stats.pattern_scores.push_back(scores[pick]);

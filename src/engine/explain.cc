@@ -59,6 +59,16 @@ std::string ExplainAnalyze(const tbql::Query& query,
       stats.total_ms,
       static_cast<unsigned long long>(stats.relational_rows_touched),
       static_cast<unsigned long long>(stats.graph_edges_traversed));
+  if (result.truncated) {
+    out += StrFormat("  truncated: %s\n", stats.truncation_reason.c_str());
+  }
+  if (!result.profile.empty()) {
+    out += StrFormat("  profile: %.3f ms total\n", result.profile.total_ms);
+    for (const obs::StageStat& s : result.profile.stages) {
+      out += StrFormat("    %-24s %8.3f ms  (x%zu)\n", s.stage.c_str(), s.ms,
+                       s.count);
+    }
+  }
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include "nlp/embeddings.h"
 #include "nlp/pos_tagger.h"
 #include "nlp/segmenter.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -615,9 +616,13 @@ ExtractionResult ExtractionPipeline::Extract(std::string_view document) const {
     result.graph.AddNode(std::move(e));
   }
   int seq = 0;
+  size_t dropped_relations = 0;
   for (const IocRelation& r : relations) {
     auto key = std::make_tuple(r.subject_ioc, r.object_ioc, r.verb);
-    if (!seen.insert(key).second) continue;
+    if (!seen.insert(key).second) {
+      ++dropped_relations;
+      continue;
+    }
     BehaviorEdge edge;
     edge.src = r.subject_ioc;
     edge.dst = r.object_ioc;
@@ -632,6 +637,22 @@ ExtractionResult ExtractionPipeline::Extract(std::string_view document) const {
   extractions_total->Increment();
   iocs_total->Increment(result.graph.num_nodes());
   relations_total->Increment(result.relations.size());
+  obs::Logger& logger = obs::Logger::Default();
+  if (result.graph.num_nodes() == 0) {
+    logger
+        .Log(obs::LogLevel::kWarn, "nlp", "document yielded no IOCs")
+        .Field("bytes", static_cast<uint64_t>(document.size()));
+  } else {
+    logger.Log(obs::LogLevel::kInfo, "nlp", "extraction complete")
+        .Field("iocs", static_cast<uint64_t>(result.graph.num_nodes()))
+        .Field("relations", static_cast<uint64_t>(result.relations.size()))
+        .Field("raw_iocs", static_cast<uint64_t>(result.raw_iocs.size()));
+  }
+  if (dropped_relations > 0) {
+    logger
+        .Log(obs::LogLevel::kDebug, "nlp", "duplicate relations dropped")
+        .Field("dropped", static_cast<uint64_t>(dropped_relations));
+  }
   if (extract_span.active()) {
     extract_span.SetAttr("iocs",
                          static_cast<int64_t>(result.graph.num_nodes()));

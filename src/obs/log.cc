@@ -1,0 +1,236 @@
+#include "obs/log.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace raptor::obs {
+
+namespace {
+
+uint64_t UnixMillisNow() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+Counter* RecordsCounter(std::string_view subsystem, LogLevel level) {
+  return Registry::Default().GetCounter(
+      "raptor_log_records_total", "Log records committed to the ring",
+      {{"subsystem", std::string(subsystem)},
+       {"level", std::string(LogLevelName(level))}});
+}
+
+Counter* DroppedCounter(std::string_view subsystem, LogLevel level,
+                        std::string_view reason) {
+  return Registry::Default().GetCounter(
+      "raptor_log_dropped_total", "Log records dropped before serving",
+      {{"subsystem", std::string(subsystem)},
+       {"level", std::string(LogLevelName(level))},
+       {"reason", std::string(reason)}});
+}
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "info";
+}
+
+std::optional<LogLevel> ParseLogLevel(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
+// --- LogSampler. ---
+
+LogSampler::LogSampler(double burst, double refill_per_sec)
+    : tokens_(burst),
+      burst_(burst),
+      refill_per_sec_(refill_per_sec),
+      last_refill_(std::chrono::steady_clock::now()) {}
+
+bool LogSampler::Admit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto now = std::chrono::steady_clock::now();
+  double elapsed_s =
+      std::chrono::duration<double>(now - last_refill_).count();
+  last_refill_ = now;
+  tokens_ = std::min(burst_, tokens_ + elapsed_s * refill_per_sec_);
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return true;
+  }
+  pending_suppressed_.fetch_add(1, std::memory_order_relaxed);
+  suppressed_total_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+uint64_t LogSampler::TakeSuppressed() {
+  return pending_suppressed_.exchange(0, std::memory_order_relaxed);
+}
+
+// --- LogEvent. ---
+
+LogEvent& LogEvent::operator=(LogEvent&& other) noexcept {
+  if (this != &other) {
+    Commit();
+    logger_ = other.logger_;
+    record_ = std::move(other.record_);
+    other.logger_ = nullptr;
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::Field(std::string_view key, std::string_view value) {
+  if (record_ != nullptr) {
+    record_->fields.emplace_back(std::string(key), std::string(value));
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::Field(std::string_view key, int64_t value) {
+  if (record_ != nullptr) Field(key, std::to_string(value));
+  return *this;
+}
+
+LogEvent& LogEvent::Field(std::string_view key, uint64_t value) {
+  if (record_ != nullptr) Field(key, std::to_string(value));
+  return *this;
+}
+
+LogEvent& LogEvent::Field(std::string_view key, double value) {
+  if (record_ != nullptr) Field(key, FormatDouble(value));
+  return *this;
+}
+
+LogEvent& LogEvent::Field(std::string_view key, bool value) {
+  if (record_ != nullptr) {
+    Field(key, std::string_view(value ? "true" : "false"));
+  }
+  return *this;
+}
+
+void LogEvent::Commit() {
+  if (record_ == nullptr || logger_ == nullptr) return;
+  logger_->Commit(std::move(record_));
+  logger_ = nullptr;
+}
+
+// --- Logger. ---
+
+Logger& Logger::Default() {
+  static Logger* logger = new Logger();
+  return *logger;
+}
+
+void Logger::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+size_t Logger::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+LogEvent Logger::Log(LogLevel level, std::string_view subsystem,
+                     std::string_view message) {
+  if (!enabled() || level < min_level()) return LogEvent();
+  auto record = std::make_unique<LogRecord>();
+  record->level = level;
+  record->subsystem = std::string(subsystem);
+  record->message = std::string(message);
+  record->trace_id = Tracer::CurrentTraceId();
+  return LogEvent(this, std::move(record));
+}
+
+LogEvent Logger::Sampled(LogLevel level, std::string_view subsystem,
+                         std::string_view message, LogSampler* sampler) {
+  if (!enabled() || level < min_level()) return LogEvent();
+  if (sampler != nullptr && !sampler->Admit()) {
+    DroppedCounter(subsystem, level, "sampled")->Increment();
+    return LogEvent();
+  }
+  LogEvent event = Log(level, subsystem, message);
+  if (event.active() && sampler != nullptr) {
+    event.record_->suppressed = sampler->TakeSuppressed();
+    if (event.record_->suppressed > 0) {
+      event.Field("suppressed", event.record_->suppressed);
+    }
+  }
+  return event;
+}
+
+void Logger::Commit(std::unique_ptr<LogRecord> record) {
+  record->seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  record->unix_ms = UnixMillisNow();
+  RecordsCounter(record->subsystem, record->level)->Increment();
+  committed_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(*record));
+  while (ring_.size() > capacity_) {
+    const LogRecord& evicted = ring_.front();
+    DroppedCounter(evicted.subsystem, evicted.level, "ring_evicted")
+        ->Increment();
+    ring_.pop_front();
+  }
+}
+
+std::vector<LogRecord> Logger::Snapshot(const LogFilter& filter) const {
+  std::vector<LogRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const LogRecord& record : ring_) {
+      if (filter.min_level.has_value() && record.level < *filter.min_level) {
+        continue;
+      }
+      if (!filter.subsystem.empty() && record.subsystem != filter.subsystem) {
+        continue;
+      }
+      if (filter.trace_id != 0 && record.trace_id != filter.trace_id) {
+        continue;
+      }
+      out.push_back(record);
+    }
+  }
+  if (filter.limit > 0 && out.size() > filter.limit) {
+    out.erase(out.begin(),
+              out.end() - static_cast<ptrdiff_t>(filter.limit));
+  }
+  return out;
+}
+
+void Logger::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+}  // namespace raptor::obs

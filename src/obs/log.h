@@ -1,0 +1,216 @@
+// Trace-correlated structured logging with a bounded in-memory ring (the
+// "flight recorder" served at GET /api/logs).
+//
+// Records are leveled (DEBUG/INFO/WARN/ERROR) key-value documents that
+// automatically carry the id of the trace active on the calling thread
+// (obs::Tracer), which is what lets one `GET /api/logs?trace=<id>` pull
+// every decision the engine narrated during one hunt.
+//
+// Design for near-zero disabled cost, mirroring the tracer: every call
+// site goes through Logger::Log unconditionally; when the logger is
+// disabled (no sink attached) or the record's level is below the
+// threshold, the returned LogEvent is inert and the call costs two relaxed
+// atomic loads — no allocation, no formatting. Field() values attached to
+// an inert event are never materialized by the caller pattern
+//
+//   logger.Log(LogLevel::kWarn, "engine", "query truncated")
+//       .Field("pattern", p.id)
+//       .Field("reason", code);
+//
+// because Field() on an inert event returns immediately. Call sites that
+// must *compute* an expensive value first should guard on active().
+//
+// The ring is lock-cheap: one short mutex hold per committed record (and
+// commits only happen when a sink is attached). Per-(subsystem,level)
+// emission and drop counters live in obs::Registry:
+//
+//   raptor_log_records_total{subsystem,level}          committed records
+//   raptor_log_dropped_total{subsystem,level,reason}   reason = "ring_evicted"
+//                                                      (overflow) | "sampled"
+//                                                      (token bucket said no)
+//
+// Hot-path sites (e.g. malformed audit lines, which an adversarial
+// producer controls) log through a LogSampler token bucket: the first
+// `burst` records in a window commit, the rest are counted, and the next
+// committed record carries a `suppressed` tally so nothing is silently
+// lost.
+//
+// Dependency-free (standard library + obs only); raptor_common links this
+// library, so it must not link anything above obs.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace raptor::obs {
+
+enum class LogLevel : uint8_t { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Canonical lower-case level name ("debug", "info", "warn", "error").
+std::string_view LogLevelName(LogLevel level);
+
+/// Parses a level name, case-insensitive; nullopt for unknown names.
+std::optional<LogLevel> ParseLogLevel(std::string_view name);
+
+/// \brief One committed log record.
+struct LogRecord {
+  uint64_t seq = 0;      ///< Monotonic per-process sequence number.
+  uint64_t unix_ms = 0;  ///< Wall clock at commit.
+  uint64_t trace_id = 0; ///< Active trace on the emitting thread; 0 = none.
+  LogLevel level = LogLevel::kInfo;
+  std::string subsystem;  ///< Closed set: "audit", "nlp", "synthesis",
+                          ///< "tbql", "engine", "storage", "core",
+                          ///< "server", "fault".
+  std::string message;    ///< Static description; variability goes in fields.
+  std::vector<std::pair<std::string, std::string>> fields;
+  /// Records the sampler dropped since the previous committed record of
+  /// this site (0 for unsampled sites).
+  uint64_t suppressed = 0;
+};
+
+/// \brief Token bucket for hot-path log sites: admits the first `burst`
+/// records, then refills at `refill_per_sec`; everything else is counted.
+/// Thread-safe; call sites hold one in a function-local static.
+class LogSampler {
+ public:
+  LogSampler(double burst, double refill_per_sec);
+
+  /// Consumes one token when available. On failure the caller's record is
+  /// dropped and the suppression tally grows.
+  bool Admit();
+
+  /// Suppressed-since-last-admit tally, consumed by the next committed
+  /// record.
+  uint64_t TakeSuppressed();
+
+  uint64_t suppressed_total() const {
+    return suppressed_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::mutex mu_;
+  double tokens_;
+  const double burst_;
+  const double refill_per_sec_;
+  std::chrono::steady_clock::time_point last_refill_;
+  std::atomic<uint64_t> pending_suppressed_{0};
+  std::atomic<uint64_t> suppressed_total_{0};
+};
+
+class Logger;
+
+/// \brief Builder for one record. Inert (all methods no-ops) when the
+/// logger declined the record; commits to the ring at destruction or
+/// explicit Commit(). Movable, not copyable.
+class LogEvent {
+ public:
+  LogEvent() = default;
+  LogEvent(LogEvent&& other) noexcept { *this = std::move(other); }
+  LogEvent& operator=(LogEvent&& other) noexcept;
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+  ~LogEvent() { Commit(); }
+
+  bool active() const { return record_ != nullptr; }
+
+  LogEvent& Field(std::string_view key, std::string_view value);
+  LogEvent& Field(std::string_view key, const char* value) {
+    return Field(key, std::string_view(value));
+  }
+  LogEvent& Field(std::string_view key, const std::string& value) {
+    return Field(key, std::string_view(value));
+  }
+  LogEvent& Field(std::string_view key, int64_t value);
+  LogEvent& Field(std::string_view key, uint64_t value);
+  LogEvent& Field(std::string_view key, double value);
+  LogEvent& Field(std::string_view key, bool value);
+
+  /// Pushes the record into the ring. Idempotent.
+  void Commit();
+
+ private:
+  friend class Logger;
+  LogEvent(Logger* logger, std::unique_ptr<LogRecord> record)
+      : logger_(logger), record_(std::move(record)) {}
+
+  Logger* logger_ = nullptr;
+  std::unique_ptr<LogRecord> record_;
+};
+
+/// \brief Filter for Logger::Snapshot (the /api/logs query parameters).
+struct LogFilter {
+  std::optional<LogLevel> min_level;  ///< Keep records at/above this level.
+  std::string subsystem;              ///< Exact match; empty = any.
+  uint64_t trace_id = 0;              ///< Exact match; 0 = any.
+  size_t limit = 0;  ///< Keep only the newest N matches; 0 = all.
+};
+
+/// \brief The process-wide structured logger ("flight recorder").
+class Logger {
+ public:
+  static Logger& Default();
+
+  /// Whether Log() records at all. Flipped on when a sink attaches (the
+  /// HTTP API does this at registration); library users keep the zero-cost
+  /// disabled path.
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Minimum level recorded (default kInfo; DEBUG narration is opt-in).
+  void set_min_level(LogLevel level) {
+    min_level_.store(static_cast<uint8_t>(level), std::memory_order_relaxed);
+  }
+  LogLevel min_level() const {
+    return static_cast<LogLevel>(min_level_.load(std::memory_order_relaxed));
+  }
+
+  /// Ring capacity (default 2048 records; overflow evicts the oldest and
+  /// bumps the ring_evicted drop counter).
+  void set_capacity(size_t capacity);
+  size_t capacity() const;
+
+  /// Opens a record. Inert when disabled or below the level threshold.
+  LogEvent Log(LogLevel level, std::string_view subsystem,
+               std::string_view message);
+
+  /// Sampled variant for hot paths: when the bucket declines, the record
+  /// is dropped, counted under reason="sampled", and the next admitted
+  /// record carries the suppressed tally.
+  LogEvent Sampled(LogLevel level, std::string_view subsystem,
+                   std::string_view message, LogSampler* sampler);
+
+  /// Matching records, oldest first (the newest `filter.limit` of them).
+  std::vector<LogRecord> Snapshot(const LogFilter& filter = {}) const;
+
+  /// Records committed since process start (evictions do not subtract).
+  uint64_t records_committed() const {
+    return committed_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops everything in the ring (test support).
+  void Clear();
+
+ private:
+  friend class LogEvent;
+  void Commit(std::unique_ptr<LogRecord> record);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint8_t> min_level_{static_cast<uint8_t>(LogLevel::kInfo)};
+  std::atomic<uint64_t> next_seq_{1};
+  std::atomic<uint64_t> committed_{0};
+  mutable std::mutex mu_;
+  size_t capacity_ = 2048;
+  std::deque<LogRecord> ring_;
+};
+
+}  // namespace raptor::obs

@@ -186,6 +186,16 @@ uint64_t Registry::CounterValue(std::string_view name,
   return child->second->Value();
 }
 
+int64_t Registry::GaugeValue(std::string_view name,
+                             const LabelSet& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  if (it == families_.end() || it->second.type != Type::kGauge) return 0;
+  auto child = it->second.gauges.find(RenderLabels(labels));
+  if (child == it->second.gauges.end()) return 0;
+  return child->second->Value();
+}
+
 std::string Registry::RenderPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;

@@ -124,6 +124,9 @@ class Registry {
   uint64_t CounterValue(std::string_view name,
                         const LabelSet& labels = {}) const;
 
+  /// Value of a gauge child, 0 when it was never registered.
+  int64_t GaugeValue(std::string_view name, const LabelSet& labels = {}) const;
+
   /// Prometheus text exposition of every registered instrument.
   std::string RenderPrometheus() const;
 

@@ -205,6 +205,10 @@ Span Tracer::StartSpan(std::string_view name) {
 
 bool Tracer::TraceActive() { return g_active != nullptr; }
 
+uint64_t Tracer::CurrentTraceId() {
+  return g_active == nullptr ? 0 : g_active->trace.id;
+}
+
 void Tracer::Publish(Trace&& trace) {
   std::lock_guard<std::mutex> lock(mu_);
   ring_.push_back(std::move(trace));

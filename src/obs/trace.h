@@ -164,6 +164,10 @@ class Tracer {
   /// True when the calling thread is inside an active trace.
   static bool TraceActive();
 
+  /// Id of the trace active on the calling thread, 0 when none. This is
+  /// how log records (obs/log.h) get their trace correlation.
+  static uint64_t CurrentTraceId();
+
   /// Most recent completed traces, newest first.
   std::vector<Trace> RecentTraces() const;
 

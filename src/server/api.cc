@@ -7,6 +7,7 @@
 #include "common/json.h"
 #include "common/strings.h"
 #include "engine/explain.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -69,6 +70,45 @@ Json ResultToJson(const engine::QueryResult& result,
 bool QueryFlag(const HttpRequest& req, std::string_view flag) {
   std::string needle = std::string(flag) + "=1";
   return req.query.find(needle) != std::string::npos;
+}
+
+/// Value of `key` in the request's `k=v&k=v` query string; nullopt when the
+/// key is absent. No percent-decoding — the API's parameter values are
+/// plain identifiers and integers.
+std::optional<std::string> QueryParam(const HttpRequest& req,
+                                      std::string_view key) {
+  std::string_view query = req.query;
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string_view::npos) amp = query.size();
+    std::string_view pair = query.substr(pos, amp - pos);
+    size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return std::string(pair.substr(eq + 1));
+    }
+    pos = amp + 1;
+  }
+  return std::nullopt;
+}
+
+Json LogRecordToJson(const obs::LogRecord& record) {
+  Json::Object out;
+  out["seq"] = static_cast<double>(record.seq);
+  out["unix_ms"] = static_cast<double>(record.unix_ms);
+  out["trace_id"] = static_cast<double>(record.trace_id);
+  out["level"] = std::string(obs::LogLevelName(record.level));
+  out["subsystem"] = record.subsystem;
+  out["message"] = record.message;
+  if (!record.fields.empty()) {
+    Json::Object fields;
+    for (const auto& [key, value] : record.fields) fields[key] = value;
+    out["fields"] = Json(std::move(fields));
+  }
+  if (record.suppressed > 0) {
+    out["suppressed"] = static_cast<double>(record.suppressed);
+  }
+  return Json(std::move(out));
 }
 
 Json ProfileToJson(const obs::Profile& profile) {
@@ -188,12 +228,156 @@ return p, f</textarea><br>
 constexpr const char* kTruncationReasons[] = {"deadline", "max_graph_edges",
                                               "row_cap"};
 
+/// The /api/stats document, derived entirely from the obs::Registry (one
+/// source of truth, also the scrape) plus wall clock. Shared with the
+/// diagnostic bundle.
+Json StatsJson(const ThreatRaptor* system,
+               std::chrono::steady_clock::time_point started) {
+  obs::Registry& registry = obs::Registry::Default();
+  Json::Object stats;
+  stats["events"] =
+      static_cast<double>(registry.GaugeValue("raptor_storage_events"));
+  stats["entities"] =
+      static_cast<double>(registry.GaugeValue("raptor_storage_entities"));
+  stats["cpr_reduction"] = system->cpr_stats().ReductionRatio();
+  stats["uptime_s"] =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  stats["http_requests"] =
+      static_cast<double>(registry.CounterValue("raptor_http_requests_total"));
+  stats["hunts"] =
+      static_cast<double>(registry.CounterValue("raptor_hunts_total"));
+  stats["hunts_degraded"] = static_cast<double>(
+      registry.CounterValue("raptor_hunts_degraded_total"));
+  stats["queries"] =
+      static_cast<double>(registry.CounterValue("raptor_queries_total"));
+  // The truncation counter is labeled by reason; the reasons the engine
+  // emits are a closed set.
+  uint64_t truncations = 0;
+  for (const char* reason : kTruncationReasons) {
+    truncations += registry.CounterValue("raptor_query_truncations_total",
+                                         {{"reason", reason}});
+  }
+  stats["queries_truncated"] = static_cast<double>(truncations);
+  stats["log_records"] = static_cast<double>(
+      obs::Logger::Default().records_committed());
+  return Json(std::move(stats));
+}
+
+/// Serializes the live option set (every knob ThreatRaptorOptions carries)
+/// for the diagnostic bundle.
+Json OptionsToJson(const ThreatRaptorOptions& options) {
+  Json::Object nlp;
+  nlp["enable_ioc_protection"] = options.nlp.enable_ioc_protection;
+  nlp["enable_coreference"] = options.nlp.enable_coreference;
+  nlp["enable_ioc_merge"] = options.nlp.enable_ioc_merge;
+  nlp["enable_tree_simplification"] = options.nlp.enable_tree_simplification;
+  nlp["merge_dice_threshold"] = options.nlp.merge_dice_threshold;
+  nlp["merge_cosine_threshold"] = options.nlp.merge_cosine_threshold;
+
+  Json::Object synthesis;
+  synthesis["use_path_patterns"] = options.synthesis.use_path_patterns;
+  synthesis["path_min_hops"] =
+      static_cast<double>(options.synthesis.path_min_hops);
+  synthesis["path_max_hops"] =
+      static_cast<double>(options.synthesis.path_max_hops);
+  synthesis["like_match_files"] = options.synthesis.like_match_files;
+  if (options.synthesis.window) {
+    synthesis["window_start"] =
+        static_cast<double>(options.synthesis.window->first);
+    synthesis["window_end"] =
+        static_cast<double>(options.synthesis.window->second);
+  }
+
+  Json::Object execution;
+  execution["use_pruning_scores"] = options.execution.use_pruning_scores;
+  execution["propagate_constraints"] =
+      options.execution.propagate_constraints;
+  execution["max_rows"] = static_cast<double>(options.execution.max_rows);
+  execution["deadline_ms"] =
+      static_cast<double>(options.execution.deadline_ms);
+  execution["max_graph_edges"] =
+      static_cast<double>(options.execution.max_graph_edges);
+  execution["collect_profile"] = options.execution.collect_profile;
+
+  Json::Object hunt;
+  hunt["allow_degraded"] = options.hunt.allow_degraded;
+  hunt["collect_profile"] = options.hunt.collect_profile;
+
+  Json::Object out;
+  out["nlp"] = Json(std::move(nlp));
+  out["synthesis"] = Json(std::move(synthesis));
+  out["execution"] = Json(std::move(execution));
+  out["hunt"] = Json(std::move(hunt));
+  out["apply_cpr"] = options.apply_cpr;
+  out["cpr_max_merge_gap_ns"] =
+      static_cast<double>(options.cpr.max_merge_gap_ns);
+  return Json(std::move(out));
+}
+
+/// Machine-readable EXPLAIN ANALYZE (the ?format=json branch of
+/// /api/explain): the same facts as engine::ExplainAnalyze, structured.
+Json ExplainToJson(const tbql::Query& query,
+                   const engine::QueryResult& result) {
+  const engine::ExecutionStats& stats = result.stats;
+  Json::Object out;
+  Json::Array steps;
+  for (size_t i = 0; i < stats.schedule.size(); ++i) {
+    Json::Object step;
+    step["step"] = static_cast<double>(i + 1);
+    step["pattern"] = stats.schedule[i];
+    bool graph_backend =
+        i < stats.pattern_used_graph.size() && stats.pattern_used_graph[i];
+    step["backend"] = std::string(graph_backend ? "graph" : "relational");
+    step["score"] =
+        i < stats.pattern_scores.size() ? stats.pattern_scores[i] : 0.0;
+    step["constrained"] = i < stats.pattern_was_constrained.size() &&
+                          stats.pattern_was_constrained[i];
+    step["matches"] = static_cast<double>(
+        i < stats.matches_per_pattern.size() ? stats.matches_per_pattern[i]
+                                             : 0);
+    step["ms"] =
+        i < stats.per_pattern_ms.size() ? stats.per_pattern_ms[i] : 0.0;
+    steps.push_back(Json(std::move(step)));
+  }
+  out["steps"] = Json(std::move(steps));
+
+  Json::Object join;
+  join["rows"] = static_cast<double>(result.rows.size());
+  join["temporal_constraints"] = static_cast<double>(query.temporal.size());
+  join["attr_relationships"] =
+      static_cast<double>(query.attr_relationships.size());
+  out["join"] = Json(std::move(join));
+
+  Json::Object totals;
+  totals["total_ms"] = stats.total_ms;
+  totals["rows_touched"] =
+      static_cast<double>(stats.relational_rows_touched);
+  totals["graph_edges_traversed"] =
+      static_cast<double>(stats.graph_edges_traversed);
+  out["totals"] = Json(std::move(totals));
+
+  out["truncated"] = result.truncated;
+  if (result.truncated) {
+    out["truncation_reason"] = stats.truncation_reason;
+  }
+  if (!result.profile.empty()) {
+    out["profile"] = ProfileToJson(result.profile);
+  }
+  return Json(std::move(out));
+}
+
 }  // namespace
 
 void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
   // The API is the observability sink: with a server registered, traces of
-  // hunts and queries are recorded into the tracer's ring for /api/traces.
+  // hunts and queries are recorded into the tracer's ring for /api/traces,
+  // and log records into the flight-recorder ring for /api/logs. DEBUG
+  // narration (per-pattern scheduling) is on: the ring is bounded, so depth
+  // costs eviction of history, not memory.
   obs::Tracer::Default().set_enabled(true);
+  obs::Logger::Default().set_enabled(true);
+  obs::Logger::Default().set_min_level(obs::LogLevel::kDebug);
   // Pre-register the lazily-created pipeline counters so a scrape exposes
   // the full catalog at zero even before the matching code path runs.
   obs::Registry& registry = obs::Registry::Default();
@@ -216,32 +400,73 @@ void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
   });
 
   server->Route("GET", "/api/stats", [system, started](const HttpRequest&) {
-    obs::Registry& registry = obs::Registry::Default();
-    Json::Object stats;
-    stats["events"] = static_cast<double>(system->log().event_count());
-    stats["entities"] = static_cast<double>(system->log().entity_count());
-    stats["cpr_reduction"] = system->cpr_stats().ReductionRatio();
-    stats["uptime_s"] =
+    return JsonResponse(StatsJson(system, *started));
+  });
+
+  server->Route("GET", "/api/logs", [](const HttpRequest& req) {
+    obs::LogFilter filter;
+    if (auto level = QueryParam(req, "level")) {
+      std::optional<obs::LogLevel> parsed = obs::ParseLogLevel(*level);
+      if (!parsed) {
+        return ErrorResponse(Status::InvalidArgument(
+            "unknown level '" + *level + "' (debug|info|warn|error)"));
+      }
+      filter.min_level = *parsed;
+    }
+    if (auto subsystem = QueryParam(req, "subsystem")) {
+      filter.subsystem = *subsystem;
+    }
+    if (auto trace = QueryParam(req, "trace")) {
+      char* end = nullptr;
+      filter.trace_id = std::strtoull(trace->c_str(), &end, 10);
+      if (trace->empty() || end == nullptr || *end != '\0' ||
+          filter.trace_id == 0) {
+        return ErrorResponse(
+            Status::InvalidArgument("trace must be a positive integer"));
+      }
+    }
+    if (auto limit = QueryParam(req, "limit")) {
+      filter.limit = static_cast<size_t>(
+          std::strtoull(limit->c_str(), nullptr, 10));
+    }
+    Json::Array records;
+    for (const obs::LogRecord& record :
+         obs::Logger::Default().Snapshot(filter)) {
+      records.push_back(LogRecordToJson(record));
+    }
+    Json::Object out;
+    out["records"] = Json(std::move(records));
+    return JsonResponse(Json(std::move(out)));
+  });
+
+  server->Route("GET", "/api/debug/bundle", [system,
+                                             started](const HttpRequest&) {
+    // One curl captures everything needed to diagnose an incident: build,
+    // uptime, configuration, counters, recent traces, and the log ring.
+    Json::Object build;
+    build["name"] = std::string("ThreatRaptor");
+    build["compiler"] = std::string(__VERSION__);
+    build["built"] = std::string(__DATE__ " " __TIME__);
+    Json::Object bundle;
+    bundle["build"] = Json(std::move(build));
+    bundle["uptime_s"] =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       *started)
             .count();
-    stats["http_requests"] = static_cast<double>(
-        registry.CounterValue("raptor_http_requests_total"));
-    stats["hunts"] =
-        static_cast<double>(registry.CounterValue("raptor_hunts_total"));
-    stats["hunts_degraded"] = static_cast<double>(
-        registry.CounterValue("raptor_hunts_degraded_total"));
-    stats["queries"] =
-        static_cast<double>(registry.CounterValue("raptor_queries_total"));
-    // The truncation counter is labeled by reason; the reasons the engine
-    // emits are a closed set.
-    uint64_t truncations = 0;
-    for (const char* reason : kTruncationReasons) {
-      truncations += registry.CounterValue("raptor_query_truncations_total",
-                                           {{"reason", reason}});
+    bundle["options"] = OptionsToJson(system->options());
+    bundle["stats"] = StatsJson(system, *started);
+    bundle["metrics"] = obs::Registry::Default().RenderPrometheus();
+    Json::Array traces;
+    for (const obs::Trace& trace : obs::Tracer::Default().RecentTraces()) {
+      traces.push_back(TraceToJson(trace, /*include_spans=*/false));
     }
-    stats["queries_truncated"] = static_cast<double>(truncations);
-    return JsonResponse(Json(std::move(stats)));
+    bundle["traces"] = Json(std::move(traces));
+    Json::Array logs;
+    for (const obs::LogRecord& record : obs::Logger::Default().Snapshot()) {
+      logs.push_back(LogRecordToJson(record));
+    }
+    bundle["logs"] = Json(std::move(logs));
+    return JsonResponse(Json(std::move(bundle)));
   });
 
   server->Route("GET", "/api/metrics", [](const HttpRequest&) {
@@ -330,13 +555,20 @@ void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
   });
 
   server->Route("POST", "/api/explain", [system](const HttpRequest& req) {
+    // "?format=json" structures the plan for machine consumption;
+    // "?profile=1" adds the stage breakdown to either form.
     auto parsed = tbql::Parse(req.body);
     if (!parsed.ok()) return ErrorResponse(parsed.status());
     if (Status st = tbql::Analyze(&*parsed); !st.ok()) {
       return ErrorResponse(st);
     }
-    auto result = system->ExecuteQuery(*parsed);
+    engine::ExecutionOptions execution = system->options().execution;
+    if (QueryFlag(req, "profile")) execution.collect_profile = true;
+    auto result = system->ExecuteQuery(*parsed, execution);
     if (!result.ok()) return ErrorResponse(result.status());
+    if (auto format = QueryParam(req, "format"); format == "json") {
+      return JsonResponse(ExplainToJson(*parsed, *result));
+    }
     Json::Object out;
     out["explain"] = engine::ExplainAnalyze(*parsed, *result);
     return JsonResponse(Json(std::move(out)));

@@ -11,6 +11,7 @@
 
 #include "common/fault_injection.h"
 #include "common/strings.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 
 namespace raptor::server {
@@ -179,21 +180,30 @@ void HttpServer::HandleConnection(int fd) {
                     "HTTP responses by route and status code",
                     {{"route", route_label}, {"code", code}})
         ->Increment();
-    if (response.status == 408 || response.status == 413 ||
-        response.status == 500) {
+    bool is_error = response.status == 408 || response.status == 413 ||
+                    response.status == 500;
+    if (is_error) {
       registry
           .GetCounter("raptor_http_errors_total",
                       "HTTP failure responses (timeouts, oversize, crashes)",
                       {{"code", code}})
           ->Increment();
     }
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - handle_start)
+                    .count();
     registry
         .GetHistogram("raptor_http_request_ms",
                       "Wall time from accept to response sent (ms)",
                       /*bounds=*/{}, {{"route", route_label}})
-        ->Observe(std::chrono::duration<double, std::milli>(
-                      std::chrono::steady_clock::now() - handle_start)
-                      .count());
+        ->Observe(ms);
+    // The request log carries the bounded route label, never the raw path.
+    obs::Logger::Default()
+        .Log(is_error ? obs::LogLevel::kWarn : obs::LogLevel::kInfo, "server",
+             "request handled")
+        .Field("route", route_label)
+        .Field("status", static_cast<int64_t>(response.status))
+        .Field("ms", ms);
     SendResponse(fd, response);
   };
 

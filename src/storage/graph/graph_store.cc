@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 
 namespace raptor::graph {
@@ -62,6 +63,13 @@ std::vector<PathMatch> GraphStore::FindPaths(
   }
   edges_traversed->Increment(stats_.edges_traversed - edges_at_start);
   nodes_expanded->Increment(stats_.nodes_expanded - nodes_at_start);
+  if (limits != nullptr && limits->hit) {
+    obs::Logger::Default()
+        .Log(obs::LogLevel::kWarn, "storage", "path search limit hit")
+        .Field("reason", std::string_view(limits->reason))
+        .Field("edges_traversed", stats_.edges_traversed - edges_at_start)
+        .Field("matches", static_cast<uint64_t>(matches.size()));
+  }
   return matches;
 }
 

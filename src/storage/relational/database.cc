@@ -1,5 +1,7 @@
 #include "storage/relational/database.h"
 
+#include "obs/log.h"
+
 namespace raptor::rel {
 
 RelationalDatabase::RelationalDatabase() {
@@ -73,6 +75,10 @@ void RelationalDatabase::SyncWith(const audit::AuditLog& log) {
                      static_cast<int64_t>(ev.bytes)});
   }
   loaded_events_ = log.event_count();
+  obs::Logger::Default()
+      .Log(obs::LogLevel::kInfo, "storage", "relational store synced")
+      .Field("entities", static_cast<uint64_t>(loaded_entities_))
+      .Field("events", static_cast<uint64_t>(loaded_events_));
 }
 
 Table& RelationalDatabase::EntityTable(audit::EntityType type) {

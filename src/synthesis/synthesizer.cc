@@ -7,6 +7,7 @@
 
 #include "common/fault_injection.h"
 #include "common/strings.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "synthesis/rules.h"
@@ -175,7 +176,21 @@ Result<SynthesisResult> QuerySynthesizer::Synthesize(
     query.patterns.push_back(std::move(p));
   }
 
+  if (!result.screened_nodes.empty() || !result.unmapped_edges.empty()) {
+    obs::Logger::Default()
+        .Log(obs::LogLevel::kWarn, "synthesis",
+             "behavior graph partially mapped")
+        .Field("screened_nodes",
+               static_cast<uint64_t>(result.screened_nodes.size()))
+        .Field("unmapped_edges",
+               static_cast<uint64_t>(result.unmapped_edges.size()));
+  }
+
   if (query.patterns.empty()) {
+    obs::Logger::Default()
+        .Log(obs::LogLevel::kError, "synthesis", "no mappable threat behavior")
+        .Field("nodes", static_cast<uint64_t>(graph.num_nodes()))
+        .Field("edges", static_cast<uint64_t>(edges.size()));
     return Status::NotFound(
         "no mappable threat behavior: every edge was screened out or had no "
         "relation mapping rule");
@@ -190,6 +205,11 @@ Result<SynthesisResult> QuerySynthesizer::Synthesize(
     span.SetAttr("screened_nodes",
                  static_cast<int64_t>(result.screened_nodes.size()));
   }
+  obs::Logger::Default()
+      .Log(obs::LogLevel::kInfo, "synthesis", "query synthesized")
+      .Field("patterns", static_cast<uint64_t>(query.patterns.size()))
+      .Field("temporal_constraints",
+             static_cast<uint64_t>(query.temporal.size()));
   result.query = std::move(query);
   return result;
 }

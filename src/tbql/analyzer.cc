@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "common/strings.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -282,6 +283,10 @@ Status Analyze(Query* query) {
   if (!status.ok()) {
     analyze_errors->Increment();
     if (span.active()) span.Annotate("analyze error: " + status.message());
+    obs::Logger::Default()
+        .Log(obs::LogLevel::kWarn, "tbql", "query rejected by analyzer")
+        .Field("error", status.message())
+        .Field("patterns", static_cast<uint64_t>(query->patterns.size()));
   }
   return status;
 }

@@ -1,6 +1,7 @@
 #include "tbql/parser.h"
 
 #include "common/strings.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tbql/lexer.h"
@@ -295,6 +296,10 @@ Result<Query> Parse(std::string_view source) {
   auto reject = [&](Status status) {
     parse_errors->Increment();
     if (span.active()) span.Annotate("parse error: " + status.message());
+    obs::Logger::Default()
+        .Log(obs::LogLevel::kWarn, "tbql", "query rejected by parser")
+        .Field("error", status.message())
+        .Field("source_bytes", static_cast<uint64_t>(source.size()));
     return status;
   };
   auto tokens = Lex(source);

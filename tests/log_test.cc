@@ -1,0 +1,279 @@
+// Tests for the structured logger / flight recorder (src/obs/log).
+
+#include "obs/log.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace raptor::obs {
+namespace {
+
+/// Value of `key` in a record's fields, or "" when absent.
+std::string FieldValue(const LogRecord& record, std::string_view key) {
+  for (const auto& [k, v] : record.fields) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+TEST(LogLevelTest, NamesRoundTrip) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError}) {
+    auto parsed = ParseLogLevel(LogLevelName(level));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, level);
+  }
+  EXPECT_EQ(ParseLogLevel("WARN"), LogLevel::kWarn);  // case-insensitive
+  EXPECT_EQ(ParseLogLevel("warning"), LogLevel::kWarn);
+  EXPECT_FALSE(ParseLogLevel("loud").has_value());
+  EXPECT_FALSE(ParseLogLevel("").has_value());
+}
+
+TEST(LoggerTest, DisabledLoggerIsInert) {
+  Logger logger;
+  LogEvent event = logger.Log(LogLevel::kError, "engine", "boom");
+  EXPECT_FALSE(event.active());
+  event.Field("k", "v");  // no-op, must not crash
+  event.Commit();
+  EXPECT_TRUE(logger.Snapshot().empty());
+  EXPECT_EQ(logger.records_committed(), 0u);
+}
+
+TEST(LoggerTest, MinLevelGatesEmission) {
+  Logger logger;
+  logger.set_enabled(true);
+  logger.set_min_level(LogLevel::kWarn);
+  logger.Log(LogLevel::kInfo, "engine", "chatty");
+  logger.Log(LogLevel::kWarn, "engine", "notable");
+  logger.Log(LogLevel::kError, "engine", "broken");
+  auto records = logger.Snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].message, "notable");
+  EXPECT_EQ(records[1].message, "broken");
+}
+
+TEST(LoggerTest, FieldsSerializeEveryType) {
+  Logger logger;
+  logger.set_enabled(true);
+  logger.Log(LogLevel::kInfo, "engine", "typed")
+      .Field("s", "text")
+      .Field("i", static_cast<int64_t>(-7))
+      .Field("u", static_cast<uint64_t>(42))
+      .Field("d", 1.5)
+      .Field("b", true);
+  auto records = logger.Snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(FieldValue(records[0], "s"), "text");
+  EXPECT_EQ(FieldValue(records[0], "i"), "-7");
+  EXPECT_EQ(FieldValue(records[0], "u"), "42");
+  EXPECT_EQ(FieldValue(records[0], "d"), "1.5");
+  EXPECT_EQ(FieldValue(records[0], "b"), "true");
+}
+
+TEST(LoggerTest, RecordsCarryActiveTraceId) {
+  Logger logger;
+  logger.set_enabled(true);
+  logger.Log(LogLevel::kInfo, "core", "outside");
+  {
+    TraceScope scope = Tracer::Default().BeginTrace("hunt", /*force=*/true);
+    ASSERT_TRUE(scope.active());
+    logger.Log(LogLevel::kWarn, "core", "inside");
+  }
+  auto records = logger.Snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].trace_id, 0u);
+  EXPECT_NE(records[1].trace_id, 0u);
+
+  LogFilter filter;
+  filter.trace_id = records[1].trace_id;
+  auto correlated = logger.Snapshot(filter);
+  ASSERT_EQ(correlated.size(), 1u);
+  EXPECT_EQ(correlated[0].message, "inside");
+}
+
+TEST(LoggerTest, RingEvictsOldestAndCountsDrops) {
+  Registry& registry = Registry::Default();
+  uint64_t evicted_before = registry.CounterValue(
+      "raptor_log_dropped_total", {{"subsystem", "evict_test"},
+                                   {"level", "info"},
+                                   {"reason", "ring_evicted"}});
+  Logger logger;
+  logger.set_enabled(true);
+  logger.set_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    logger.Log(LogLevel::kInfo, "evict_test", "r")
+        .Field("i", static_cast<int64_t>(i));
+  }
+  auto records = logger.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  // Oldest-first, and only the newest four survive.
+  EXPECT_EQ(FieldValue(records[0], "i"), "6");
+  EXPECT_EQ(FieldValue(records[3], "i"), "9");
+  EXPECT_LT(records[0].seq, records[3].seq);
+  // Commits count emissions, not survivors.
+  EXPECT_EQ(logger.records_committed(), 10u);
+  uint64_t evicted_after = registry.CounterValue(
+      "raptor_log_dropped_total", {{"subsystem", "evict_test"},
+                                   {"level", "info"},
+                                   {"reason", "ring_evicted"}});
+  EXPECT_EQ(evicted_after - evicted_before, 6u);
+}
+
+TEST(LoggerTest, ShrinkingCapacityTrimsRing) {
+  Logger logger;
+  logger.set_enabled(true);
+  for (int i = 0; i < 8; ++i) logger.Log(LogLevel::kInfo, "core", "r");
+  logger.set_capacity(3);
+  EXPECT_EQ(logger.Snapshot().size(), 3u);
+  EXPECT_EQ(logger.capacity(), 3u);
+}
+
+TEST(LoggerTest, SnapshotFilters) {
+  Logger logger;
+  logger.set_enabled(true);
+  logger.set_min_level(LogLevel::kDebug);
+  logger.Log(LogLevel::kDebug, "engine", "scheduling");
+  logger.Log(LogLevel::kWarn, "engine", "truncated");
+  logger.Log(LogLevel::kWarn, "audit", "malformed");
+  logger.Log(LogLevel::kError, "audit", "budget");
+
+  LogFilter by_level;
+  by_level.min_level = LogLevel::kWarn;
+  EXPECT_EQ(logger.Snapshot(by_level).size(), 3u);
+
+  LogFilter by_subsystem;
+  by_subsystem.subsystem = "audit";
+  auto audit = logger.Snapshot(by_subsystem);
+  ASSERT_EQ(audit.size(), 2u);
+  EXPECT_EQ(audit[0].message, "malformed");
+
+  LogFilter combined;
+  combined.min_level = LogLevel::kError;
+  combined.subsystem = "audit";
+  auto errors = logger.Snapshot(combined);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].message, "budget");
+
+  // limit keeps the newest matches, still oldest-first.
+  LogFilter limited;
+  limited.limit = 2;
+  auto newest = logger.Snapshot(limited);
+  ASSERT_EQ(newest.size(), 2u);
+  EXPECT_EQ(newest[0].message, "malformed");
+  EXPECT_EQ(newest[1].message, "budget");
+}
+
+TEST(LogSamplerTest, AdmitsBurstThenSuppresses) {
+  LogSampler sampler(/*burst=*/3.0, /*refill_per_sec=*/0.0);
+  EXPECT_TRUE(sampler.Admit());
+  EXPECT_TRUE(sampler.Admit());
+  EXPECT_TRUE(sampler.Admit());
+  EXPECT_FALSE(sampler.Admit());
+  EXPECT_FALSE(sampler.Admit());
+  EXPECT_EQ(sampler.suppressed_total(), 2u);
+  EXPECT_EQ(sampler.TakeSuppressed(), 2u);
+  EXPECT_EQ(sampler.TakeSuppressed(), 0u);  // tally was consumed
+}
+
+TEST(LoggerTest, SampledDeclinesCountUnderSampledReason) {
+  Registry& registry = Registry::Default();
+  uint64_t sampled_before = registry.CounterValue(
+      "raptor_log_dropped_total", {{"subsystem", "sample_test"},
+                                   {"level", "warn"},
+                                   {"reason", "sampled"}});
+  Logger logger;
+  logger.set_enabled(true);
+  // A zero-refill sampler models the inside of one burst window: the first
+  // record commits, the next two are dropped and counted.
+  LogSampler sampler(/*burst=*/1.0, /*refill_per_sec=*/0.0);
+  EXPECT_TRUE(logger.Sampled(LogLevel::kWarn, "sample_test", "hot", &sampler)
+                  .active());
+  EXPECT_FALSE(logger.Sampled(LogLevel::kWarn, "sample_test", "hot", &sampler)
+                   .active());
+  EXPECT_FALSE(logger.Sampled(LogLevel::kWarn, "sample_test", "hot", &sampler)
+                   .active());
+  uint64_t sampled_after = registry.CounterValue(
+      "raptor_log_dropped_total", {{"subsystem", "sample_test"},
+                                   {"level", "warn"},
+                                   {"reason", "sampled"}});
+  EXPECT_EQ(sampled_after - sampled_before, 2u);
+  EXPECT_EQ(logger.Snapshot().size(), 1u);
+}
+
+TEST(LoggerTest, SampledRecordCarriesSuppressedField) {
+  // Force the sequence decline,decline,admit through one sampler by
+  // draining a burst of 1 and then waiting for a fast refill.
+  Logger logger;
+  logger.set_enabled(true);
+  LogSampler sampler(/*burst=*/1.0, /*refill_per_sec=*/200.0);
+  EXPECT_TRUE(logger.Sampled(LogLevel::kWarn, "audit", "hot", &sampler)
+                  .active());
+  int declined = 0;
+  LogEvent admitted;
+  for (int i = 0; i < 10000; ++i) {
+    LogEvent event = logger.Sampled(LogLevel::kWarn, "audit", "hot", &sampler);
+    if (event.active()) {
+      admitted = std::move(event);
+      break;
+    }
+    ++declined;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(admitted.active());
+  ASSERT_GT(declined, 0);
+  admitted.Commit();
+  auto records = logger.Snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].suppressed, static_cast<uint64_t>(declined));
+  EXPECT_EQ(FieldValue(records[1], "suppressed"),
+            std::to_string(declined));
+}
+
+TEST(LoggerTest, ConcurrentWritersKeepRingConsistent) {
+  Logger logger;
+  logger.set_enabled(true);
+  logger.set_capacity(64);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&logger, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        logger.Log(LogLevel::kInfo, "core", "concurrent")
+            .Field("thread", static_cast<int64_t>(t))
+            .Field("i", static_cast<int64_t>(i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(logger.records_committed(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  auto records = logger.Snapshot();
+  EXPECT_EQ(records.size(), 64u);
+  // Sequence numbers are unique. (They are assigned before the ring lock,
+  // so two racing commits may land out of order — order is not asserted.)
+  std::set<uint64_t> seqs;
+  for (const LogRecord& record : records) seqs.insert(record.seq);
+  EXPECT_EQ(seqs.size(), records.size());
+}
+
+TEST(LoggerTest, ClearEmptiesRingButKeepsCounters) {
+  Logger logger;
+  logger.set_enabled(true);
+  logger.Log(LogLevel::kInfo, "core", "r");
+  EXPECT_EQ(logger.Snapshot().size(), 1u);
+  logger.Clear();
+  EXPECT_TRUE(logger.Snapshot().empty());
+  EXPECT_EQ(logger.records_committed(), 1u);
+}
+
+}  // namespace
+}  // namespace raptor::obs

@@ -7,8 +7,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdlib>
+#include <fstream>
+
 #include "common/json.h"
 #include "core/threat_raptor.h"
+#include "fault_injection.h"
+#include "obs/log.h"
 #include "obs/trace.h"
 #include "server/api.h"
 #include "server/http.h"
@@ -335,6 +340,258 @@ TEST(ServerTest, StatsEndpointCarriesObservabilityCounters) {
   EXPECT_GT((*json)["queries"].AsNumber(), 0.0);
   EXPECT_GE((*json)["hunts"].AsNumber(), 0.0);
   EXPECT_GE((*json)["queries_truncated"].AsNumber(), 0.0);
+}
+
+// --- Structured logs, explain format=json, and the diagnostic bundle. ---
+
+/// Sum of every sample of `name` in a Prometheus text body (all label
+/// children).
+double MetricSum(const std::string& body, const std::string& name) {
+  double sum = 0;
+  size_t start = 0;
+  while (start < body.size()) {
+    size_t nl = body.find('\n', start);
+    if (nl == std::string::npos) nl = body.size();
+    std::string line = body.substr(start, nl - start);
+    start = nl + 1;
+    if (line.rfind(name, 0) != 0) continue;
+    char next = line.size() > name.size() ? line[name.size()] : '\0';
+    if (next != ' ' && next != '{') continue;  // prefix of a longer name
+    size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    sum += std::strtod(line.c_str() + space + 1, nullptr);
+  }
+  return sum;
+}
+
+/// Fixture whose engine row cap is tiny: any broad query truncates with
+/// reason "row_cap", which exercises the WARN path and the structured
+/// truncation reporting.
+struct TruncatingFixture {
+  ThreatRaptor system;
+  HttpServer server;
+
+  static ThreatRaptorOptions MakeOptions() {
+    ThreatRaptorOptions options;
+    options.execution.max_rows = 1;
+    return options;
+  }
+
+  TruncatingFixture() : system(MakeOptions()) {
+    audit::WorkloadGenerator gen;
+    gen.GenerateBenign(3000, system.mutable_log());
+    gen.InjectDataLeakageAttack(system.mutable_log());
+    EXPECT_TRUE(system.FinalizeStorage().ok());
+    RegisterThreatRaptorApi(&server, &system);
+    EXPECT_TRUE(server.Start(0).ok());
+  }
+};
+
+TEST(ServerTest, ExplainJsonFormat) {
+  TruncatingFixture fx;
+  std::string response =
+      Post(fx.server.port(), "/api/explain?format=json&profile=1",
+           "proc p read file f\nreturn p, f");
+  auto json = Json::Parse(Body(response));
+  ASSERT_TRUE(json.ok()) << Body(response);
+  const auto& steps = (*json)["steps"].AsArray();
+  ASSERT_FALSE(steps.empty());
+  EXPECT_EQ(steps[0]["step"].AsNumber(), 1.0);
+  EXPECT_FALSE(steps[0]["backend"].AsString().empty());
+  EXPECT_GE(steps[0]["matches"].AsNumber(), 0.0);
+  EXPECT_GT((*json)["totals"]["total_ms"].AsNumber(), 0.0);
+  EXPECT_FALSE((*json)["profile"]["stages"].AsArray().empty());
+  // `limit 1` truncates this query, and the structured form says why.
+  EXPECT_TRUE((*json)["truncated"].AsBool());
+  EXPECT_FALSE((*json)["truncation_reason"].AsString().empty());
+
+  // The default (no format param) still returns the text plan, now with
+  // the truncation line.
+  std::string text = Post(fx.server.port(), "/api/explain",
+                          "proc p read file f\nreturn p, f");
+  auto plain = Json::Parse(Body(text));
+  ASSERT_TRUE(plain.ok()) << Body(text);
+  EXPECT_NE((*plain)["explain"].AsString().find("truncated:"),
+            std::string::npos);
+}
+
+TEST(ServerTest, LogsEndpointFiltersByLevelSubsystemAndLimit) {
+  TruncatingFixture fx;
+  obs::Logger::Default().Clear();
+  // Generate some server-request records plus one engine WARN (the broad
+  // query overflows the fixture's one-row cap).
+  Post(fx.server.port(), "/api/query", "proc p read file f\nreturn p, f");
+  Get(fx.server.port(), "/api/stats");
+
+  std::string all = Body(Get(fx.server.port(), "/api/logs"));
+  auto json = Json::Parse(all);
+  ASSERT_TRUE(json.ok()) << all;
+  ASSERT_FALSE((*json)["records"].AsArray().empty());
+
+  std::string engine_only =
+      Body(Get(fx.server.port(), "/api/logs?subsystem=engine"));
+  auto engine_json = Json::Parse(engine_only);
+  ASSERT_TRUE(engine_json.ok());
+  for (const Json& record : (*engine_json)["records"].AsArray()) {
+    EXPECT_EQ(record["subsystem"].AsString(), "engine");
+  }
+
+  std::string warns = Body(Get(fx.server.port(), "/api/logs?level=warn"));
+  auto warn_json = Json::Parse(warns);
+  ASSERT_TRUE(warn_json.ok());
+  ASSERT_FALSE((*warn_json)["records"].AsArray().empty());
+  for (const Json& record : (*warn_json)["records"].AsArray()) {
+    const std::string& level = record["level"].AsString();
+    EXPECT_TRUE(level == "warn" || level == "error") << level;
+  }
+
+  std::string limited = Body(Get(fx.server.port(), "/api/logs?limit=2"));
+  auto limited_json = Json::Parse(limited);
+  ASSERT_TRUE(limited_json.ok());
+  EXPECT_EQ((*limited_json)["records"].AsArray().size(), 2u);
+
+  // Bad parameters are 400s, not silent empties.
+  EXPECT_NE(Get(fx.server.port(), "/api/logs?level=loud").find("400"),
+            std::string::npos);
+  EXPECT_NE(Get(fx.server.port(), "/api/logs?trace=abc").find("400"),
+            std::string::npos);
+}
+
+TEST(ServerTest, WarnRecordsDuringHuntCarryTraceId) {
+  ServerFixture fx;
+  obs::Tracer::Default().Clear();
+  obs::Logger::Default().Clear();
+  // Fail the full behavior query once so the hunt degrades: the core and
+  // fault subsystems emit WARNs inside the hunt's trace.
+  testing::ScriptedFaults faults;
+  faults.FailAt("engine.execute", Status::Internal("injected engine fault"),
+                /*after=*/0, /*times=*/1);
+  std::string hunt = Post(
+      fx.server.port(), "/api/hunt?degraded=1",
+      "The process /bin/tar read the file /etc/passwd. /bin/tar then "
+      "wrote the collected data to /tmp/data.tar.");
+  ASSERT_NE(hunt.find("200 OK"), std::string::npos) << hunt;
+
+  std::string listing = Body(Get(fx.server.port(), "/api/traces"));
+  auto traces = Json::Parse(listing);
+  ASSERT_TRUE(traces.ok()) << listing;
+  ASSERT_FALSE((*traces)["traces"].AsArray().empty());
+  EXPECT_EQ((*traces)["traces"][0]["name"].AsString(), "hunt");
+  uint64_t id =
+      static_cast<uint64_t>((*traces)["traces"][0]["id"].AsNumber());
+  ASSERT_NE(id, 0u);
+
+  // The trace filter returns exactly the hunt's records...
+  std::string correlated = Body(
+      Get(fx.server.port(), "/api/logs?trace=" + std::to_string(id)));
+  auto correlated_json = Json::Parse(correlated);
+  ASSERT_TRUE(correlated_json.ok()) << correlated;
+  const auto& hunt_records = (*correlated_json)["records"].AsArray();
+  ASSERT_FALSE(hunt_records.empty());
+  bool saw_degrade_warn = false;
+  for (const Json& record : hunt_records) {
+    EXPECT_EQ(static_cast<uint64_t>(record["trace_id"].AsNumber()), id);
+    if (record["level"].AsString() == "warn" &&
+        record["subsystem"].AsString() == "core") {
+      saw_degrade_warn = true;
+    }
+  }
+  EXPECT_TRUE(saw_degrade_warn) << correlated;
+
+  // ...and matches a client-side filter of the full dump: same sequence
+  // numbers, nothing more, nothing less. Every WARN/ERROR since the clear
+  // came from the hunt, so each one carries its trace id.
+  std::string all = Body(Get(fx.server.port(), "/api/logs"));
+  auto all_json = Json::Parse(all);
+  ASSERT_TRUE(all_json.ok());
+  std::vector<double> expected_seqs, got_seqs;
+  for (const Json& record : (*all_json)["records"].AsArray()) {
+    if (static_cast<uint64_t>(record["trace_id"].AsNumber()) == id) {
+      expected_seqs.push_back(record["seq"].AsNumber());
+    }
+    const std::string& level = record["level"].AsString();
+    if (level == "warn" || level == "error") {
+      EXPECT_EQ(static_cast<uint64_t>(record["trace_id"].AsNumber()), id)
+          << record["subsystem"].AsString() << ": "
+          << record["message"].AsString();
+    }
+  }
+  for (const Json& record : hunt_records) {
+    got_seqs.push_back(record["seq"].AsNumber());
+  }
+  EXPECT_EQ(got_seqs, expected_seqs);
+}
+
+TEST(ServerTest, StatsAgreeWithMetrics) {
+  ServerFixture fx;
+  Post(fx.server.port(), "/api/query", "proc p read file f\nlimit 1");
+  std::string stats_body = Body(Get(fx.server.port(), "/api/stats"));
+  auto stats = Json::Parse(stats_body);
+  ASSERT_TRUE(stats.ok()) << stats_body;
+  std::string metrics = Body(Get(fx.server.port(), "/api/metrics"));
+
+  // /api/stats is a view over the same registry /api/metrics scrapes;
+  // counters that only the two requests above could move must agree
+  // exactly.
+  EXPECT_EQ((*stats)["events"].AsNumber(),
+            MetricSum(metrics, "raptor_storage_events"));
+  EXPECT_EQ((*stats)["entities"].AsNumber(),
+            MetricSum(metrics, "raptor_storage_entities"));
+  EXPECT_EQ((*stats)["queries"].AsNumber(),
+            MetricSum(metrics, "raptor_queries_total"));
+  EXPECT_EQ((*stats)["hunts"].AsNumber(),
+            MetricSum(metrics, "raptor_hunts_total"));
+  EXPECT_EQ((*stats)["hunts_degraded"].AsNumber(),
+            MetricSum(metrics, "raptor_hunts_degraded_total"));
+  EXPECT_EQ((*stats)["queries_truncated"].AsNumber(),
+            MetricSum(metrics, "raptor_query_truncations_total"));
+  // The requests after /api/stats rendered keep moving their own
+  // counters (each request logs itself), so these two only grow.
+  EXPECT_GE(MetricSum(metrics, "raptor_http_requests_total"),
+            (*stats)["http_requests"].AsNumber());
+  EXPECT_GE(MetricSum(metrics, "raptor_log_records_total"),
+            (*stats)["log_records"].AsNumber());
+}
+
+TEST(ServerTest, DebugBundleParsesAndCarriesEverySection) {
+  ServerFixture fx;
+  Post(fx.server.port(), "/api/query", "proc p read file f\nlimit 1");
+  std::string body = Body(Get(fx.server.port(), "/api/debug/bundle"));
+  auto bundle = Json::Parse(body);
+  ASSERT_TRUE(bundle.ok()) << body.substr(0, 400);
+
+  EXPECT_EQ((*bundle)["build"]["name"].AsString(), "ThreatRaptor");
+  EXPECT_FALSE((*bundle)["build"]["compiler"].AsString().empty());
+  EXPECT_GE((*bundle)["uptime_s"].AsNumber(), 0.0);
+  EXPECT_GT((*bundle)["stats"]["events"].AsNumber(), 0.0);
+  EXPECT_GT((*bundle)["options"]["execution"]["max_rows"].AsNumber(), 0.0);
+  EXPECT_NE((*bundle)["metrics"].AsString().find("raptor_queries_total"),
+            std::string::npos);
+  EXPECT_FALSE((*bundle)["traces"].AsArray().empty());
+  EXPECT_FALSE((*bundle)["logs"].AsArray().empty());
+
+  // Round-trip: re-serializing the parsed bundle yields the same document.
+  auto again = Json::Parse(bundle->Dump());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->Dump(), bundle->Dump());
+}
+
+TEST(ServerTest, DebugBundleValidatesWithJsonCheck) {
+  // The same gate scripts/bench.sh applies to bench output: the bundle
+  // must satisfy the standalone json_check tool. ctest runs with the test
+  // binary's directory as cwd, so the examples tree is a sibling.
+  const char* tool = "../examples/json_check";
+  if (::access(tool, X_OK) != 0) {
+    GTEST_SKIP() << "json_check not built next to this test binary";
+  }
+  ServerFixture fx;
+  std::string body = Body(Get(fx.server.port(), "/api/debug/bundle"));
+  ASSERT_FALSE(body.empty());
+  std::ofstream out("debug_bundle_roundtrip.json", std::ios::trunc);
+  out << body;
+  out.close();
+  int rc = std::system("../examples/json_check debug_bundle_roundtrip.json");
+  EXPECT_EQ(rc, 0);
 }
 
 TEST(ServerTest, UnknownPathIs404AndWrongMethodIs405) {
