@@ -18,10 +18,11 @@ if [ ! -x "$BUILD/examples/json_check" ]; then
 fi
 
 # Benches with the bench_util.h --json mode.
-CUSTOM="bench_cpr bench_ingest bench_conciseness bench_extraction \
-  bench_synthesis bench_ioc_baseline bench_hunt_leakage bench_hunt_password"
+CUSTOM="bench_cpr bench_ingest bench_execution bench_conciseness \
+  bench_extraction bench_synthesis bench_ioc_baseline bench_hunt_leakage \
+  bench_hunt_password"
 # Google-benchmark binaries with native JSON reporters.
-GBENCH="bench_execution bench_paths bench_obs_overhead bench_log_overhead"
+GBENCH="bench_paths bench_obs_overhead bench_log_overhead"
 
 for b in $CUSTOM; do
   name="${b#bench_}"

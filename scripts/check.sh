@@ -7,18 +7,34 @@
 # bench in --json mode validated by json_check) — the quick CI path.
 # --asan-only: skip the Release half and run just the sanitized build +
 # tests — the second CI job, so the two halves run in parallel.
+# --tsan: ThreadSanitizer build (RAPTOR_TSAN=ON), then just the Parallel*
+# test suites — the concurrency gate for the thread-pool execution paths.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE_ONLY=0
 ASAN_ONLY=0
+TSAN_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE_ONLY=1 ;;
     --asan-only) ASAN_ONLY=1 ;;
-    *) echo "usage: $0 [--bench-smoke|--asan-only]" >&2; exit 2 ;;
+    --tsan) TSAN_ONLY=1 ;;
+    *) echo "usage: $0 [--bench-smoke|--asan-only|--tsan]" >&2; exit 2 ;;
   esac
 done
+
+if [ "$TSAN_ONLY" -eq 1 ]; then
+  echo "=== TSan build ==="
+  cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug -DRAPTOR_TSAN=ON -DRAPTOR_WERROR=ON >/dev/null
+  cmake --build build-tsan
+
+  echo "=== Parallel tests (TSan) ==="
+  ctest --test-dir build-tsan -R Parallel --output-on-failure
+
+  echo "TSAN CHECKS PASSED"
+  exit 0
+fi
 
 if [ "$ASAN_ONLY" -eq 1 ]; then
   echo "=== ASan+UBSan build ==="

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 #include <vector>
+
+#include "common/thread_pool.h"
 
 namespace raptor::audit {
 
@@ -27,6 +30,66 @@ struct GroupKeyHash {
   }
 };
 
+/// Stable sort by start time, parallelized as a merge sort: sorted runs are
+/// built concurrently, then pairwise stable merges fold them together. The
+/// run boundaries depend only on (size, run count) and std::merge takes ties
+/// from the left range first, so the output is byte-identical to a serial
+/// std::stable_sort at any thread count.
+void StableSortByStartTime(std::vector<SystemEvent>* events,
+                           size_t num_threads) {
+  auto cmp = [](const SystemEvent& a, const SystemEvent& b) {
+    return a.start_time < b.start_time;
+  };
+  const size_t n = events->size();
+  const size_t threads =
+      num_threads == 0 ? ThreadPool::HardwareThreads() : num_threads;
+  constexpr size_t kMinParallelSort = 32 * 1024;
+  if (threads <= 1 || n < kMinParallelSort) {
+    std::stable_sort(events->begin(), events->end(), cmp);
+    return;
+  }
+
+  ThreadPool& pool = ThreadPool::Shared();
+  size_t nruns = 1;  // power of two, so merge rounds pair cleanly
+  while (nruns < threads) nruns <<= 1;
+  const size_t per = (n + nruns - 1) / nruns;
+  std::vector<std::pair<size_t, size_t>> bounds(nruns);
+  for (size_t r = 0; r < nruns; ++r) {
+    bounds[r] = {std::min(n, r * per), std::min(n, (r + 1) * per)};
+  }
+  pool.ParallelFor(
+      nruns, 1,
+      [&](size_t, size_t begin, size_t end) {
+        for (size_t r = begin; r < end; ++r) {
+          std::stable_sort(events->begin() + bounds[r].first,
+                           events->begin() + bounds[r].second, cmp);
+        }
+      },
+      threads);
+
+  std::vector<SystemEvent> buf(n);
+  std::vector<SystemEvent>* src = events;
+  std::vector<SystemEvent>* dst = &buf;
+  for (size_t width = 1; width < nruns; width <<= 1) {
+    const size_t pairs = nruns / (2 * width);
+    pool.ParallelFor(
+        pairs, 1,
+        [&](size_t, size_t begin, size_t end) {
+          for (size_t p = begin; p < end; ++p) {
+            size_t lo = bounds[p * 2 * width].first;
+            size_t mid = bounds[p * 2 * width + width].first;
+            size_t hi = bounds[p * 2 * width + 2 * width - 1].second;
+            std::merge(src->begin() + lo, src->begin() + mid,
+                       src->begin() + mid, src->begin() + hi,
+                       dst->begin() + lo, cmp);
+          }
+        },
+        threads);
+    std::swap(src, dst);
+  }
+  if (src != events) *events = std::move(*src);
+}
+
 }  // namespace
 
 CprStats ReduceLog(AuditLog* log, const CprOptions& options,
@@ -38,10 +101,7 @@ CprStats ReduceLog(AuditLog* log, const CprOptions& options,
   }
 
   std::vector<SystemEvent> sorted = log->events();
-  std::stable_sort(sorted.begin(), sorted.end(),
-                   [](const SystemEvent& a, const SystemEvent& b) {
-                     return a.start_time < b.start_time;
-                   });
+  StableSortByStartTime(&sorted, options.num_threads);
 
   // Pending merged events, one per open group, plus a per-entity index of
   // the groups each entity participates in. An incoming event acts as a

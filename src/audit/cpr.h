@@ -24,6 +24,11 @@ struct CprOptions {
   /// Events further apart are kept separate even when causality would allow
   /// merging; this bounds the temporal imprecision a merged record carries.
   Timestamp max_merge_gap_ns = 1'000'000'000;  // 1 s
+  /// Parallelism for the start-time sort (a stable parallel merge sort; the
+  /// result is byte-identical to std::stable_sort at any thread count). The
+  /// causality-barrier fold itself is inherently sequential and always runs
+  /// on the calling thread. 0 = hardware concurrency; 1 = serial.
+  size_t num_threads = 0;
 };
 
 /// \brief Result statistics of one reduction pass.

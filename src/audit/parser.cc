@@ -2,10 +2,14 @@
 
 #include <charconv>
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/fault_injection.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -153,6 +157,185 @@ Result<ParseStats> LogParser::ParseText(std::string_view text, AuditLog* log,
     }
   };
 
+  // Shared malformed-line handling (serial loop and the parallel commit
+  // phase): sampled WARN, error budget, retained samples. Returns the
+  // batch-failing status once the budget is exceeded.
+  auto handle_malformed = [&](size_t line_no, size_t byte_offset,
+                              const Status& status) -> std::optional<Status> {
+    std::string error =
+        StrFormat("line %zu: %s", line_no, status.message().c_str());
+    // Malformed lines are producer-controlled, so sample: commit the
+    // first few per window and count the rest.
+    static obs::LogSampler* malformed_sampler = new obs::LogSampler(8.0, 2.0);
+    obs::Logger::Default()
+        .Sampled(obs::LogLevel::kWarn, "audit", "malformed audit line",
+                 malformed_sampler)
+        .Field("line", static_cast<uint64_t>(line_no))
+        .Field("byte_offset", static_cast<uint64_t>(byte_offset))
+        .Field("error", status.message());
+    if (stats.skipped >= options.error_budget) {
+      // Budget exhausted: fail the batch. Events parsed so far stay in
+      // the log (callers that need atomicity parse into a scratch log).
+      obs::Logger::Default()
+          .Log(obs::LogLevel::kError, "audit", "parse error budget exceeded")
+          .Field("budget", static_cast<uint64_t>(options.error_budget))
+          .Field("line", static_cast<uint64_t>(line_no))
+          .Field("byte_offset", static_cast<uint64_t>(byte_offset));
+      record_batch(/*budget_exceeded=*/true);
+      if (options.error_budget == 0) return Status::ParseError(error);
+      return Status::ParseError(
+          StrFormat("error budget (%zu malformed lines) exceeded: %s",
+                    options.error_budget, error.c_str()));
+    }
+    ++stats.skipped;
+    if (stats.error_samples.size() < options.max_error_samples) {
+      stats.error_samples.push_back(std::move(error));
+    }
+    return std::nullopt;
+  };
+
+  const size_t threads = options.num_threads == 0
+                             ? ThreadPool::HardwareThreads()
+                             : options.num_threads;
+  // Below this size the serial parse wins; the gate also keeps small
+  // (test-sized) batches on the exact serial code path.
+  constexpr size_t kMinParallelBytes = 64 * 1024;
+  if (threads > 1 && text.size() >= kMinParallelBytes) {
+    // --- Parallel parse. ---
+    // The text splits at line boundaries; chunks parse concurrently into
+    // private scratch logs; a serial commit pass walks the chunks in input
+    // order, re-interning each staged event's entities into the target log.
+    // Interning is by entity key, so re-interning in line order assigns
+    // exactly the ids the serial parse assigns; event ids, line numbers,
+    // byte offsets, error samples, and budget semantics are byte-identical.
+    // (Fault-injected ParseLine failures are the one exception: faults fire
+    // on worker threads in nondeterministic order across chunks.)
+    struct Staged {
+      size_t rel_line = 0;    // 1-based line number within the chunk
+      size_t rel_offset = 0;  // byte offset within the chunk
+      bool ok = false;
+      EventId scratch_event = 0;
+      std::string_view line;  // trimmed text, for malformed-line replay
+    };
+    struct Chunk {
+      size_t base_offset = 0;
+      std::string_view body;
+      size_t total_lines = 0;
+      AuditLog scratch;
+      std::vector<Staged> staged;
+    };
+
+    const size_t nchunks =
+        std::max<size_t>(2, std::min(threads * 2, text.size() / (16 * 1024)));
+    std::vector<std::pair<size_t, size_t>> ranges;  // [begin, end) into text
+    size_t range_begin = 0;
+    for (size_t i = 1; i < nchunks && range_begin < text.size(); ++i) {
+      size_t target = std::max(range_begin, text.size() * i / nchunks);
+      size_t nl = text.find('\n', target);
+      if (nl == std::string_view::npos) break;
+      ranges.emplace_back(range_begin, nl + 1);
+      range_begin = nl + 1;
+    }
+    ranges.emplace_back(range_begin, text.size());
+
+    std::vector<Chunk> chunks(ranges.size());
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      auto [begin, end] = ranges[i];
+      chunks[i].base_offset = begin;
+      // Non-final chunks end with '\n'; strip it so the chunk's line count
+      // excludes the empty segment after it (the serial loop counts that
+      // segment only at the very end of the whole text).
+      bool final_chunk = i + 1 == ranges.size();
+      chunks[i].body = final_chunk ? text.substr(begin, end - begin)
+                                   : text.substr(begin, end - begin - 1);
+    }
+
+    ThreadPool::Shared().ParallelFor(
+        chunks.size(), 1,
+        [&](size_t, size_t chunk_begin, size_t chunk_end) {
+          for (size_t c = chunk_begin; c < chunk_end; ++c) {
+            Chunk& chunk = chunks[c];
+            std::string_view body = chunk.body;
+            size_t rel_line = 0;
+            size_t start = 0;
+            while (start <= body.size()) {
+              size_t nl = body.find('\n', start);
+              std::string_view line = (nl == std::string_view::npos)
+                                          ? body.substr(start)
+                                          : body.substr(start, nl - start);
+              ++rel_line;
+              std::string_view trimmed = Trim(line);
+              if (!trimmed.empty() && trimmed[0] != '#') {
+                Staged staged;
+                staged.rel_line = rel_line;
+                staged.rel_offset = start;
+                auto parsed = ParseLine(trimmed, &chunk.scratch);
+                staged.ok = parsed.ok();
+                if (parsed.ok()) {
+                  staged.scratch_event = *parsed;
+                } else {
+                  staged.line = trimmed;
+                }
+                chunk.staged.push_back(staged);
+              }
+              if (nl == std::string_view::npos) break;
+              start = nl + 1;
+            }
+            chunk.total_lines = rel_line;
+          }
+        },
+        threads);
+
+    // Ordered commit.
+    size_t line_base = 0;
+    for (Chunk& chunk : chunks) {
+      for (const Staged& staged : chunk.staged) {
+        size_t line_no = line_base + staged.rel_line;
+        size_t byte_offset = chunk.base_offset + staged.rel_offset;
+        ++stats.lines;
+        if (staged.ok) {
+          SystemEvent ev = chunk.scratch.event(staged.scratch_event);
+          const SystemEntity& subj = chunk.scratch.entity(ev.subject);
+          ev.subject = log->InternProcess(subj.pid, subj.exename);
+          const SystemEntity& obj = chunk.scratch.entity(ev.object);
+          switch (obj.type) {
+            case EntityType::kFile:
+              ev.object = log->InternFile(obj.path);
+              break;
+            case EntityType::kProcess:
+              ev.object = log->InternProcess(obj.pid, obj.exename);
+              break;
+            case EntityType::kNetwork:
+              ev.object = log->InternNetwork(obj.src_ip, obj.src_port,
+                                             obj.dst_ip, obj.dst_port,
+                                             obj.protocol);
+              break;
+          }
+          log->AddEvent(ev);
+          ++stats.events;
+          continue;
+        }
+        // Re-parse the malformed line against the real log: this replays
+        // any partial interning the serial parse would have done before
+        // failing, and regenerates the identical error message.
+        auto replay = ParseLine(staged.line, log);
+        if (replay.ok()) {
+          // Only possible under fault injection (the fault fired in the
+          // worker but not here); keep the successfully parsed event.
+          ++stats.events;
+          continue;
+        }
+        if (auto failed =
+                handle_malformed(line_no, byte_offset, replay.status())) {
+          return *failed;
+        }
+      }
+      line_base += chunk.total_lines;
+    }
+    record_batch(/*budget_exceeded=*/false);
+    return stats;
+  }
+
   size_t line_no = 0;
   size_t start = 0;
   while (start <= text.size()) {
@@ -167,38 +350,9 @@ Result<ParseStats> LogParser::ParseText(std::string_view text, AuditLog* log,
       auto result = ParseLine(trimmed, log);
       if (result.ok()) {
         ++stats.events;
-      } else {
-        std::string error = StrFormat(
-            "line %zu: %s", line_no, result.status().message().c_str());
-        // Malformed lines are producer-controlled, so sample: commit the
-        // first few per window and count the rest.
-        static obs::LogSampler* malformed_sampler =
-            new obs::LogSampler(8.0, 2.0);
-        obs::Logger::Default()
-            .Sampled(obs::LogLevel::kWarn, "audit", "malformed audit line",
-                     malformed_sampler)
-            .Field("line", static_cast<uint64_t>(line_no))
-            .Field("byte_offset", static_cast<uint64_t>(start))
-            .Field("error", result.status().message());
-        if (stats.skipped >= options.error_budget) {
-          // Budget exhausted: fail the batch. Events parsed so far stay in
-          // the log (callers that need atomicity parse into a scratch log).
-          obs::Logger::Default()
-              .Log(obs::LogLevel::kError, "audit",
-                   "parse error budget exceeded")
-              .Field("budget", static_cast<uint64_t>(options.error_budget))
-              .Field("line", static_cast<uint64_t>(line_no))
-              .Field("byte_offset", static_cast<uint64_t>(start));
-          record_batch(/*budget_exceeded=*/true);
-          if (options.error_budget == 0) return Status::ParseError(error);
-          return Status::ParseError(StrFormat(
-              "error budget (%zu malformed lines) exceeded: %s",
-              options.error_budget, error.c_str()));
-        }
-        ++stats.skipped;
-        if (stats.error_samples.size() < options.max_error_samples) {
-          stats.error_samples.push_back(std::move(error));
-        }
+      } else if (auto failed =
+                     handle_malformed(line_no, start, result.status())) {
+        return *failed;
       }
     }
     if (nl == std::string_view::npos) break;

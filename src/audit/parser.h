@@ -42,6 +42,13 @@ struct ParseOptions {
   size_t error_budget = 0;
   /// Cap on retained ParseStats::error_samples.
   size_t max_error_samples = 5;
+  /// Parallel parsing: the text is split at line boundaries, chunks are
+  /// parsed concurrently into scratch logs, and events are committed to the
+  /// target log in input order — entity interning, event ids, line numbers,
+  /// error samples, and budget semantics are byte-identical to the serial
+  /// parse. 0 = hardware concurrency; 1 = the exact serial path. Inputs
+  /// under ~64 KiB always parse serially (fan-out costs more than it wins).
+  size_t num_threads = 0;
 };
 
 /// \brief Parses the textual audit record format into an AuditLog.

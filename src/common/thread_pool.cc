@@ -1,0 +1,203 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <memory>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace raptor {
+
+namespace {
+
+struct PoolMetrics {
+  obs::Gauge* threads;
+  obs::Gauge* busy;
+  obs::Counter* tasks;
+  obs::Counter* regions;
+  obs::Histogram* task_ms;
+
+  static PoolMetrics& Get() {
+    static PoolMetrics* m = [] {
+      auto* metrics = new PoolMetrics();
+      obs::Registry& reg = obs::Registry::Default();
+      metrics->threads = reg.GetGauge(
+          "raptor_pool_threads", "Worker threads in the shared thread pool");
+      metrics->busy = reg.GetGauge(
+          "raptor_pool_busy_workers", "Pool workers currently running a task");
+      metrics->tasks = reg.GetCounter(
+          "raptor_pool_tasks_total", "Tasks executed by pool workers");
+      metrics->regions = reg.GetCounter(
+          "raptor_pool_parallel_regions_total",
+          "ParallelFor fork/join regions entered");
+      metrics->task_ms = reg.GetHistogram(
+          "raptor_pool_task_ms", "Wall time of one pool worker task (ms)");
+      return metrics;
+    }();
+    return *m;
+  }
+};
+
+/// Shared state of one ParallelFor region. Helpers hold it via shared_ptr:
+/// a helper dequeued after the region already completed (every chunk
+/// claimed by faster participants) must still be able to read `next`.
+struct Region {
+  const std::function<void(size_t, size_t, size_t)>* body = nullptr;
+  size_t total = 0;
+  size_t chunk_size = 0;
+  size_t num_chunks = 0;
+  std::atomic<size_t> next{0};
+  obs::TraceContext trace;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t chunks_done = 0;
+  std::exception_ptr error;
+};
+
+/// Claims and runs chunks until none remain; returns how many it ran.
+/// Does NOT count them as done — the participant commits via CommitChunks
+/// after releasing its trace scope, so the joining caller cannot observe
+/// completion (and Merge the trace) before the worker's subtree is stashed.
+size_t RunChunks(Region& region) {
+  size_t ran = 0;
+  for (;;) {
+    size_t chunk = region.next.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= region.num_chunks) break;
+    size_t begin = chunk * region.chunk_size;
+    size_t end = std::min(region.total, begin + region.chunk_size);
+    try {
+      (*region.body)(chunk, begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(region.mu);
+      if (!region.error) region.error = std::current_exception();
+    }
+    ++ran;
+  }
+  return ran;
+}
+
+void CommitChunks(Region& region, size_t ran) {
+  if (ran == 0) return;
+  std::lock_guard<std::mutex> lock(region.mu);
+  region.chunks_done += ran;
+  if (region.chunks_done == region.num_chunks) region.cv.notify_all();
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    queue_.clear();
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = [] {
+    auto* p = new ThreadPool(std::max<size_t>(4, HardwareThreads()));
+    PoolMetrics::Get().threads->Set(static_cast<int64_t>(p->size()));
+    return p;
+  }();
+  return *pool;
+}
+
+size_t ThreadPool::HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  PoolMetrics& metrics = PoolMetrics::Get();
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    metrics.busy->Add(1);
+    metrics.tasks->Increment();
+    auto t0 = std::chrono::steady_clock::now();
+    task();
+    metrics.task_ms->Observe(std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count());
+    metrics.busy->Add(-1);
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t total, size_t grain,
+    const std::function<void(size_t, size_t, size_t)>& body,
+    size_t num_threads) {
+  if (total == 0) return;
+  size_t ways = num_threads == 0 ? workers_.size() + 1 : num_threads;
+  size_t chunk = std::max<size_t>(1, grain);
+  // At most 4 chunks per participant: enough slack for load balancing
+  // without paying per-chunk overhead on tiny grains.
+  size_t max_chunks = std::max<size_t>(1, ways * 4);
+  chunk = std::max(chunk, (total + max_chunks - 1) / max_chunks);
+  size_t num_chunks = (total + chunk - 1) / chunk;
+
+  if (ways <= 1 || num_chunks <= 1) {
+    for (size_t c = 0; c < num_chunks; ++c) {
+      body(c, c * chunk, std::min(total, (c + 1) * chunk));
+    }
+    return;
+  }
+
+  PoolMetrics::Get().regions->Increment();
+  auto region = std::make_shared<Region>();
+  region->body = &body;
+  region->total = total;
+  region->chunk_size = chunk;
+  region->num_chunks = num_chunks;
+  region->trace = obs::TraceContext::Capture();
+
+  size_t helpers = std::min(ways - 1, num_chunks - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    Enqueue([region] {
+      size_t ran = 0;
+      {
+        obs::TraceContext::Scope scope = region->trace.Adopt("pool-task");
+        ran = RunChunks(*region);
+      }
+      CommitChunks(*region, ran);
+    });
+  }
+  CommitChunks(*region, RunChunks(*region));
+  {
+    std::unique_lock<std::mutex> lock(region->mu);
+    region->cv.wait(lock,
+                    [&] { return region->chunks_done == region->num_chunks; });
+  }
+  region->trace.Merge();
+  if (region->error) std::rethrow_exception(region->error);
+}
+
+}  // namespace raptor

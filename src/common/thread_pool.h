@@ -1,0 +1,92 @@
+// Fixed-size worker pool shared by the parallel execution layer.
+//
+// Two entry points:
+//   Submit       one fire-and-forget-or-future task, queued FIFO.
+//   ParallelFor  fork/join over an index range with grain-size control —
+//                the caller participates (so a pool of N threads yields
+//                N+1-way parallelism, and nested ParallelFor from a worker
+//                cannot deadlock waiting on a full queue), chunks are
+//                claimed via one shared atomic, and the caller's active
+//                obs::Tracer trace is propagated into the helper tasks so
+//                worker spans and log records stay trace-correlated.
+//
+// The shared process pool (ThreadPool::Shared()) is what the engine,
+// storage, and ingestion layers use; its size is fixed at first use. Pool
+// activity is exported through obs::Registry as the raptor_pool_* metrics
+// (see docs/OBSERVABILITY.md).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace raptor {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains nothing: queued tasks not yet started are dropped; running
+  /// tasks are joined.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide pool. Sized max(4, hardware_concurrency) so that
+  /// concurrency tests exercise real interleaving even on small machines;
+  /// constructed on first use, never destroyed (workers park on the queue
+  /// condition variable when idle).
+  static ThreadPool& Shared();
+
+  /// Hardware concurrency with a floor of 1 (std::thread reports 0 when it
+  /// cannot tell). This is what a num_threads knob of 0 resolves to.
+  static size_t HardwareThreads();
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task and returns a future for its result. Exceptions
+  /// propagate through the future.
+  template <typename F>
+  auto Submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> future = packaged->get_future();
+    Enqueue([packaged] { (*packaged)(); });
+    return future;
+  }
+
+  /// Runs `body(chunk, begin, end)` over a partition of [0, total) into
+  /// contiguous chunks of at least `grain` indexes each (the last chunk may
+  /// be shorter), using up to `num_threads`-way parallelism (0 = pool size
+  /// + 1). The caller executes chunks too; the call returns when every
+  /// chunk has run. Chunk boundaries depend only on (total, grain,
+  /// num_threads), so callers that concatenate per-chunk results in chunk
+  /// order get a deterministic, serial-order result. The first exception
+  /// thrown by any chunk is rethrown here after the join.
+  void ParallelFor(size_t total, size_t grain,
+                   const std::function<void(size_t, size_t, size_t)>& body,
+                   size_t num_threads = 0);
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace raptor

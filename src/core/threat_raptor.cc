@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -124,8 +125,21 @@ Status ThreatRaptor::FinalizeStorage() {
     cpr_stats_.events_before = cpr_stats_.events_after = log_.event_count();
   }
   rel_ = std::make_unique<rel::RelationalDatabase>();
-  rel_->Load(log_);
-  graph_ = std::make_unique<graph::GraphStore>(log_);
+  const size_t threads = options_.execution.num_threads == 0
+                             ? ThreadPool::HardwareThreads()
+                             : options_.execution.num_threads;
+  if (threads > 1) {
+    // The relational load and the graph build both only read the (now
+    // frozen) log, so they can overlap: the graph builds on a pool worker
+    // while the relational tables load here.
+    auto graph_future = ThreadPool::Shared().Submit(
+        [this] { return std::make_unique<graph::GraphStore>(log_); });
+    rel_->Load(log_);
+    graph_ = graph_future.get();
+  } else {
+    rel_->Load(log_);
+    graph_ = std::make_unique<graph::GraphStore>(log_);
+  }
   engine_ = std::make_unique<engine::QueryEngine>(&log_, rel_.get(),
                                                   graph_.get());
   storage_ready_ = true;
@@ -283,6 +297,10 @@ Result<HuntReport> ThreatRaptor::Hunt(std::string_view oscti_report,
     }
   };
 
+  // Per-hunt thread override; 0 keeps the system-wide execution setting.
+  engine::ExecutionOptions execution = options_.execution;
+  if (options.num_threads != 0) execution.num_threads = options.num_threads;
+
   HuntReport report;
   report.cpr = cpr_stats_;
   report.extraction = ExtractBehavior(oscti_report);
@@ -292,7 +310,7 @@ Result<HuntReport> ThreatRaptor::Hunt(std::string_view oscti_report,
   if (have_query) {
     report.synthesis = *std::move(synthesis);
     report.query_text = tbql::Print(report.synthesis.query);
-    auto result = ExecuteQuery(report.synthesis.query);
+    auto result = ExecuteQuery(report.synthesis.query, execution);
     if (result.ok()) {
       report.result = *std::move(result);
       finish(&report);
@@ -339,7 +357,7 @@ Result<HuntReport> ThreatRaptor::Hunt(std::string_view oscti_report,
   for (auto& [label, subquery] : subqueries) {
     ++report.degradation.subqueries_attempted;
     if (Status st = tbql::Analyze(&subquery); !st.ok()) continue;
-    auto sub = ExecuteQuery(subquery);
+    auto sub = ExecuteQuery(subquery, execution);
     if (!sub.ok()) continue;
     ++report.degradation.subqueries_succeeded;
     for (size_t i = 0; i < sub->matches.size(); ++i) {

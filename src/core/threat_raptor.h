@@ -49,6 +49,11 @@ struct HuntOptions {
   /// and aggregate it into HuntReport::profile (the ?profile=1 path of the
   /// API).
   bool collect_profile = false;
+  /// Per-hunt thread count for query execution (the full behavior query and
+  /// any degraded sub-queries). 0 = use ExecutionOptions::num_threads from
+  /// the system-wide options (whose own 0 means hardware concurrency);
+  /// 1 = exact serial execution. Results are byte-identical at any setting.
+  size_t num_threads = 0;
 };
 
 /// \brief End-to-end configuration; every component's knobs in one place.

@@ -1,11 +1,13 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <functional>
 
 #include "common/fault_injection.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -168,15 +170,27 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
   size_t row_cap = options.max_rows;
   if (query.limit) row_cap = std::min(row_cap, *query.limit);
 
+  // --- Parallelism. ---
+  // The thread count resolves here once; `pool` is non-null only when this
+  // execution may fan out. threads == 1 is the exact serial flow: every
+  // wave below holds a single pattern and every scan/search call is serial.
+  const size_t threads = options.num_threads == 0 ? ThreadPool::HardwareThreads()
+                                                  : options.num_threads;
+  ThreadPool* pool = threads > 1 ? &ThreadPool::Shared() : nullptr;
+  result.stats.num_threads = threads;
+
   // --- Candidate-id computation against the relational backend. ---
   // The analyzer unifies filters per entity id, so the filter-selection
   // result is execution-invariant per entity and is cached: an entity used
   // by several patterns (the shared-identity sugar) costs one entity-table
-  // select, not one per pattern.
+  // select, not one per pattern. Always called on the scheduling thread in
+  // schedule order, so the cache needs no lock and a fill is charged to the
+  // same pattern at any thread count.
   std::unordered_map<std::string, Binding> bindings;
   std::unordered_map<std::string, std::vector<EntityId>> filter_cache;
-  auto candidate_ids =
-      [&](const tbql::EntityRef& e) -> std::optional<std::vector<EntityId>> {
+  auto candidate_ids = [&](const tbql::EntityRef& e,
+                           rel::TableStats* scan_stats)
+      -> std::optional<std::vector<EntityId>> {
     auto bound_it = bindings.find(e.id);
     const Binding* bound =
         bound_it == bindings.end() ? nullptr : &bound_it->second;
@@ -195,7 +209,8 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
         }
         rel::ColumnId id_col = table.schema().Find("id");
         std::vector<EntityId> selected;
-        for (rel::RowId row : table.Select(preds)) {
+        rel::ScanOptions scan{pool, threads, 4096, scan_stats};
+        for (rel::RowId row : table.Select(preds, scan)) {
           selected.push_back(
               static_cast<EntityId>(table.row(row)[id_col].AsInt()));
         }
@@ -211,16 +226,44 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
     return ids;
   };
 
-  // --- Per-pattern execution. ---
-  auto execute_event_pattern =
-      [&](const tbql::Pattern& p) -> std::vector<PatternMatch> {
+  // --- Per-member execution. ---
+  // A "member" is one pattern inside a scheduling wave. Members run with
+  // private outputs (matches, stats deltas, truncation verdicts); a serial
+  // commit loop folds them into the result in schedule order, which is what
+  // makes the result byte-identical to the serial engine at any thread
+  // count.
+  struct MemberPlan {
+    const tbql::Pattern* p = nullptr;
+    size_t pattern_index = 0;
+    bool constrained = false;
+    bool skip = false;  ///< Budget exhausted before the pattern; don't run.
+    std::optional<std::vector<EntityId>> subj_ids;
+    std::optional<std::vector<EntityId>> obj_ids;  // event patterns only
+    const Binding* obj_bound = nullptr;            // path patterns only
+    /// Exact-budget mode: limits.max_edges = local_max_edges, counted the
+    /// way the serial engine counts the remaining call-wide budget.
+    bool exact_graph_budget = false;
+    uint64_t local_max_edges = 0;
+  };
+  struct MemberRun {
     std::vector<PatternMatch> matches;
-    auto subj_ids = candidate_ids(p.subject);
-    auto obj_ids = candidate_ids(p.object);
+    rel::TableStats rel_stats;
+    uint64_t graph_edges = 0;
+    double ms = 0;
+    std::string trunc_code;  // "deadline" / "max_graph_edges"; empty = none
+    std::string trunc_reason;
+  };
 
+  auto run_event_member = [&](const MemberPlan& plan, ThreadPool* member_pool,
+                              MemberRun* run) {
+    const tbql::Pattern& p = *plan.p;
     std::unordered_set<EntityId> subj_set, obj_set;
-    if (subj_ids) subj_set.insert(subj_ids->begin(), subj_ids->end());
-    if (obj_ids) obj_set.insert(obj_ids->begin(), obj_ids->end());
+    if (plan.subj_ids) {
+      subj_set.insert(plan.subj_ids->begin(), plan.subj_ids->end());
+    }
+    if (plan.obj_ids) {
+      obj_set.insert(plan.obj_ids->begin(), plan.obj_ids->end());
+    }
     std::unordered_set<int64_t> op_set;
     for (Operation op : p.op.ops) op_set.insert(static_cast<int64_t>(op));
 
@@ -243,83 +286,143 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
           rel::Predicate{c_start, rel::CompareOp::kLe, *p.window_end});
     }
 
-    auto emit_row = [&](rel::RowId row) {
+    auto emit_row = [&](rel::RowId row, std::vector<PatternMatch>* out) {
       const rel::Row& r = events.row(row);
       if (op_set.count(r[c_optype].AsInt()) == 0) return;
       auto subj = static_cast<EntityId>(r[c_subject].AsInt());
       auto obj = static_cast<EntityId>(r[c_object].AsInt());
-      if (subj_ids && subj_set.count(subj) == 0) return;
-      if (obj_ids && obj_set.count(obj) == 0) return;
+      if (plan.subj_ids && subj_set.count(subj) == 0) return;
+      if (plan.obj_ids && obj_set.count(obj) == 0) return;
       PatternMatch m;
       m.events.push_back(static_cast<EventId>(r[c_id].AsInt()));
       m.subject = subj;
       m.object = obj;
       m.start_time = r[c_start].AsInt();
       m.end_time = r[c_end].AsInt();
-      matches.push_back(std::move(m));
+      out->push_back(std::move(m));
+    };
+    auto deadline_reason = [&] {
+      return StrFormat("deadline of %llu ms exceeded during pattern '%s' "
+                       "(relational scan)",
+                       static_cast<unsigned long long>(options.deadline_ms),
+                       p.id.c_str());
     };
 
     // Probe the event table on the narrower entity side; fall back to an
     // operation-type index probe when neither side constrains. The deadline
-    // is polled between index probes, so a truncated scan still returns the
-    // matches emitted so far.
-    auto scan_deadline_hit = [&] {
-      if (!deadline_exceeded()) return false;
-      truncate("deadline",
-               StrFormat("deadline of %llu ms exceeded during pattern '%s' "
-                         "(relational scan)",
-                         static_cast<unsigned long long>(options.deadline_ms),
-                         p.id.c_str()));
-      return true;
+    // is polled between probes, so a truncated scan still returns valid
+    // matches. With a pool the probe loop is partitioned; concatenating
+    // chunk outputs in chunk order reproduces the serial match order.
+    auto run_probes = [&](const std::vector<EntityId>& ids, rel::ColumnId col) {
+      constexpr size_t kProbeGrain = 16;
+      if (member_pool != nullptr && ids.size() >= 2 * kProbeGrain) {
+        size_t nparts =
+            std::min((ids.size() + kProbeGrain - 1) / kProbeGrain, threads * 4);
+        size_t per = (ids.size() + nparts - 1) / nparts;
+        struct Chunk {
+          std::vector<PatternMatch> matches;
+          rel::TableStats stats;
+          bool deadline_hit = false;
+        };
+        std::vector<Chunk> chunks(nparts);
+        member_pool->ParallelFor(
+            nparts, 1,
+            [&](size_t, size_t begin, size_t end) {
+              for (size_t part = begin; part < end; ++part) {
+                Chunk& chunk = chunks[part];
+                size_t lo = part * per;
+                size_t hi = std::min(ids.size(), lo + per);
+                for (size_t i = lo; i < hi; ++i) {
+                  if (deadline_exceeded()) {
+                    chunk.deadline_hit = true;
+                    break;
+                  }
+                  rel::Conjunction preds = base;
+                  preds.push_back(rel::Predicate{col, rel::CompareOp::kEq,
+                                                 static_cast<int64_t>(ids[i])});
+                  rel::ScanOptions scan{nullptr, 1, 4096, &chunk.stats};
+                  for (rel::RowId row : events.Select(preds, scan)) {
+                    emit_row(row, &chunk.matches);
+                  }
+                }
+              }
+            },
+            threads);
+        for (Chunk& chunk : chunks) {
+          run->matches.insert(run->matches.end(),
+                              std::make_move_iterator(chunk.matches.begin()),
+                              std::make_move_iterator(chunk.matches.end()));
+          run->rel_stats.rows_scanned += chunk.stats.rows_scanned;
+          run->rel_stats.index_probes += chunk.stats.index_probes;
+          run->rel_stats.rows_from_index += chunk.stats.rows_from_index;
+          if (chunk.deadline_hit && run->trunc_code.empty()) {
+            run->trunc_code = "deadline";
+            run->trunc_reason = deadline_reason();
+          }
+        }
+      } else {
+        for (EntityId id : ids) {
+          if (deadline_exceeded()) {
+            run->trunc_code = "deadline";
+            run->trunc_reason = deadline_reason();
+            break;
+          }
+          rel::Conjunction preds = base;
+          preds.push_back(rel::Predicate{col, rel::CompareOp::kEq,
+                                         static_cast<int64_t>(id)});
+          rel::ScanOptions scan{nullptr, 1, 4096, &run->rel_stats};
+          for (rel::RowId row : events.Select(preds, scan)) {
+            emit_row(row, &run->matches);
+          }
+        }
+      }
     };
+
     bool probe_subject =
-        subj_ids && (!obj_ids || subj_ids->size() <= obj_ids->size());
+        plan.subj_ids &&
+        (!plan.obj_ids || plan.subj_ids->size() <= plan.obj_ids->size());
     if (probe_subject) {
-      for (EntityId id : *subj_ids) {
-        if (scan_deadline_hit()) break;
-        rel::Conjunction preds = base;
-        preds.push_back(rel::Predicate{c_subject, rel::CompareOp::kEq,
-                                       static_cast<int64_t>(id)});
-        for (rel::RowId row : events.Select(preds)) emit_row(row);
-      }
-    } else if (obj_ids) {
-      for (EntityId id : *obj_ids) {
-        if (scan_deadline_hit()) break;
-        rel::Conjunction preds = base;
-        preds.push_back(rel::Predicate{c_object, rel::CompareOp::kEq,
-                                       static_cast<int64_t>(id)});
-        for (rel::RowId row : events.Select(preds)) emit_row(row);
-      }
+      run_probes(*plan.subj_ids, c_subject);
+    } else if (plan.obj_ids) {
+      run_probes(*plan.obj_ids, c_object);
     } else {
+      // Unconstrained pattern: one probe per operation type. The per-probe
+      // Select may parallelize internally (a full-scan fallback partitions
+      // across the pool).
       for (Operation op : p.op.ops) {
-        if (scan_deadline_hit()) break;
+        if (deadline_exceeded()) {
+          run->trunc_code = "deadline";
+          run->trunc_reason = deadline_reason();
+          break;
+        }
         rel::Conjunction preds = base;
         preds.push_back(rel::Predicate{c_optype, rel::CompareOp::kEq,
                                        static_cast<int64_t>(op)});
-        for (rel::RowId row : events.Select(preds)) emit_row(row);
+        rel::ScanOptions scan{member_pool, threads, 4096, &run->rel_stats};
+        for (rel::RowId row : events.Select(preds, scan)) {
+          emit_row(row, &run->matches);
+        }
       }
     }
-    return matches;
   };
 
-  auto execute_path_pattern =
-      [&](const tbql::Pattern& p) -> std::vector<PatternMatch> {
-    std::vector<PatternMatch> matches;
-    auto subj_ids = candidate_ids(p.subject);
+  auto run_path_member = [&](const MemberPlan& plan, ThreadPool* member_pool,
+                             std::atomic<uint64_t>* shared_edges,
+                             MemberRun* run) {
+    const tbql::Pattern& p = *plan.p;
     std::vector<EntityId> sources;
-    if (subj_ids) {
-      sources = *subj_ids;
+    if (plan.subj_ids) {
+      sources = *plan.subj_ids;
     } else {
       for (const SystemEntity& e : log_->entities()) {
         if (e.type == p.subject.type) sources.push_back(e.id);
       }
     }
 
-    auto obj_bound_it = bindings.find(p.object.id);
-    const Binding* obj_bound =
-        obj_bound_it == bindings.end() ? nullptr : &obj_bound_it->second;
+    const Binding* obj_bound = plan.obj_bound;
     const tbql::EntityRef& object = p.object;
-    graph::NodePredicate sink_pred = [&object, obj_bound](const SystemEntity& e) {
+    graph::NodePredicate sink_pred = [&object,
+                                      obj_bound](const SystemEntity& e) {
       if (e.type != object.type) return false;
       if (obj_bound != nullptr && obj_bound->count(e.id) == 0) return false;
       return EntityMatchesFilters(e, object.filters);
@@ -332,42 +435,42 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
     if (p.window_start) constraints.window_start = *p.window_start;
     if (p.window_end) constraints.window_end = *p.window_end;
 
-    // Bound the search: remaining edge budget (max_graph_edges spans all
-    // path patterns of this call; graph stats were reset at entry) plus the
-    // call-wide deadline.
+    // Bound the search: the remaining edge budget (max_graph_edges spans
+    // all path patterns of this call) plus the call-wide deadline. A
+    // singleton wave gets the exact serial budget; members of a multi-
+    // pattern wave share one atomic so the cap still holds globally, and
+    // the commit loop re-runs anything the shared budget touched.
     graph::SearchLimits limits;
     limits.deadline = deadline;
-    if (options.max_graph_edges != 0) {
-      uint64_t used = graph_->stats().edges_traversed;
-      if (used >= options.max_graph_edges) {
-        truncate("max_graph_edges",
-                 StrFormat("max_graph_edges (%llu) reached before pattern "
-                           "'%s' (graph search)",
-                           static_cast<unsigned long long>(
-                               options.max_graph_edges),
-                           p.id.c_str()));
-        return matches;
-      }
-      limits.max_edges = options.max_graph_edges - used;
+    if (plan.exact_graph_budget) {
+      limits.max_edges = plan.local_max_edges;
+    } else if (shared_edges != nullptr && options.max_graph_edges != 0) {
+      limits.shared_edges = shared_edges;
+      limits.shared_max_edges = options.max_graph_edges;
     }
 
+    graph::SearchParallelism par;
+    par.pool = member_pool;
+    par.num_threads = member_pool != nullptr ? threads : 1;
     std::vector<graph::PathMatch> paths =
-        graph_->FindPaths(sources, sink_pred, constraints, &limits);
+        graph_->FindPaths(sources, sink_pred, constraints, &limits,
+                          member_pool != nullptr ? &par : nullptr);
+    run->graph_edges = limits.edges_traversed;
     if (limits.hit) {
       if (std::string_view(limits.reason) == "max_edges") {
-        truncate("max_graph_edges",
-                 StrFormat("max_graph_edges (%llu) reached during pattern "
-                           "'%s' (graph search)",
-                           static_cast<unsigned long long>(
-                               options.max_graph_edges),
-                           p.id.c_str()));
+        run->trunc_code = "max_graph_edges";
+        run->trunc_reason =
+            StrFormat("max_graph_edges (%llu) reached during pattern '%s' "
+                      "(graph search)",
+                      static_cast<unsigned long long>(options.max_graph_edges),
+                      p.id.c_str());
       } else {
-        truncate("deadline",
-                 StrFormat("deadline of %llu ms exceeded during pattern "
-                           "'%s' (graph search)",
-                           static_cast<unsigned long long>(
-                               options.deadline_ms),
-                           p.id.c_str()));
+        run->trunc_code = "deadline";
+        run->trunc_reason =
+            StrFormat("deadline of %llu ms exceeded during pattern '%s' "
+                      "(graph search)",
+                      static_cast<unsigned long long>(options.deadline_ms),
+                      p.id.c_str());
       }
     }
     for (const graph::PathMatch& pm : paths) {
@@ -377,23 +480,101 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
       m.object = pm.sink;
       m.start_time = log_->event(pm.hops.front()).start_time;
       m.end_time = log_->event(pm.hops.back()).end_time;
-      matches.push_back(std::move(m));
+      run->matches.push_back(std::move(m));
     }
-    return matches;
   };
 
-  // --- Scheduling (paper §II-F): highest pruning score first among the
-  // patterns connected to what has already executed. ---
+  auto before_pattern_reason = [&](const tbql::Pattern& p) {
+    return StrFormat("max_graph_edges (%llu) reached before pattern '%s' "
+                     "(graph search)",
+                     static_cast<unsigned long long>(options.max_graph_edges),
+                     p.id.c_str());
+  };
+
+  // --- Static schedule (paper §II-F): highest pruning score first among
+  // the patterns connected to what has already executed. The pick rule
+  // depends only on WHICH entity ids are bound — a bindings entry is
+  // created for every executed pattern's entities regardless of match
+  // contents — so the complete order is computable before anything runs.
   const size_t n = query.patterns.size();
-  std::vector<bool> done(n, false);
   std::vector<double> scores(n);
   for (size_t i = 0; i < n; ++i) scores[i] = PruningScore(query.patterns[i]);
 
+  std::vector<size_t> order;
+  order.reserve(n);
+  {
+    obs::Span schedule_span = tracer.StartSpan("schedule");
+    std::vector<bool> done(n, false);
+    std::unordered_set<std::string> bound;
+    for (size_t step = 0; step < n; ++step) {
+      size_t pick = n;
+      if (!options.use_pruning_scores) {
+        for (size_t i = 0; i < n; ++i) {
+          if (!done[i]) {
+            pick = i;
+            break;
+          }
+        }
+      } else {
+        double best = -1e18;
+        for (size_t i = 0; i < n; ++i) {
+          if (done[i]) continue;
+          double eff = scores[i];
+          // Strongly prefer patterns whose entities are already bound:
+          // their execution is constrained by previous results.
+          if (bound.count(query.patterns[i].subject.id) > 0) eff += 100.0;
+          if (bound.count(query.patterns[i].object.id) > 0) eff += 100.0;
+          if (eff > best) {
+            best = eff;
+            pick = i;
+          }
+        }
+      }
+      done[pick] = true;
+      order.push_back(pick);
+      if (options.propagate_constraints) {
+        bound.insert(query.patterns[pick].subject.id);
+        bound.insert(query.patterns[pick].object.id);
+      }
+    }
+    schedule_span.End();
+  }
+
+  // --- Wave partition: a wave is a maximal schedule prefix of patterns
+  // that pairwise share no entity ids. Every member of a wave sees the same
+  // bindings whether the wave runs serially or concurrently, so members may
+  // run in parallel; the commit loop folds them back in schedule order. ---
+  std::vector<std::pair<size_t, size_t>> waves;  // [begin, end) into `order`
+  for (size_t s = 0; s < order.size();) {
+    size_t e = s + 1;
+    if (pool != nullptr) {
+      std::unordered_set<std::string> wave_entities{
+          query.patterns[order[s]].subject.id,
+          query.patterns[order[s]].object.id};
+      while (e < order.size()) {
+        const tbql::Pattern& q = query.patterns[order[e]];
+        if (wave_entities.count(q.subject.id) > 0 ||
+            wave_entities.count(q.object.id) > 0) {
+          break;
+        }
+        wave_entities.insert(q.subject.id);
+        wave_entities.insert(q.object.id);
+        ++e;
+      }
+    }
+    waves.emplace_back(s, e);
+    s = e;
+  }
+
+  // --- Wave execution. ---
   std::vector<PatternExecution> executions;
   executions.reserve(n);
+  uint64_t committed_graph_edges = 0;
+  uint64_t committed_rel_rows = 0;
+  size_t committed_patterns = 0;
 
-  for (size_t step = 0; step < n; ++step) {
-    // A tripped budget ends scheduling: patterns not yet executed are
+  for (const auto& [wave_begin, wave_end] : waves) {
+    // A tripped budget ends scheduling: patterns not yet committed are
     // dropped from the (truncated) result rather than run over-budget.
     if (result.truncated) break;
     if (deadline_exceeded()) {
@@ -401,85 +582,157 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
                StrFormat("deadline of %llu ms exceeded before pattern "
                          "%zu of %zu",
                          static_cast<unsigned long long>(options.deadline_ms),
-                         step + 1, n));
+                         committed_patterns + 1, n));
       break;
     }
-    RAPTOR_RETURN_NOT_OK(TriggerFaultPoint("engine.pattern"));
-    obs::Span schedule_span = tracer.StartSpan("schedule");
-    size_t pick = n;
-    if (!options.use_pruning_scores) {
-      for (size_t i = 0; i < n; ++i) {
-        if (!done[i]) {
-          pick = i;
-          break;
+    const size_t wave_size = wave_end - wave_begin;
+    for (size_t j = 0; j < wave_size; ++j) {
+      RAPTOR_RETURN_NOT_OK(TriggerFaultPoint("engine.pattern"));
+    }
+    const bool multi = wave_size > 1;
+    if (multi) ++result.stats.parallel_waves;
+
+    // Plan members on this thread, in schedule order.
+    std::vector<MemberPlan> plans(wave_size);
+    std::vector<MemberRun> runs(wave_size);
+    for (size_t j = 0; j < wave_size; ++j) {
+      const size_t idx = order[wave_begin + j];
+      const tbql::Pattern& p = query.patterns[idx];
+      MemberPlan& plan = plans[j];
+      plan.p = &p;
+      plan.pattern_index = idx;
+      plan.constrained = bindings.count(p.subject.id) > 0 ||
+                         bindings.count(p.object.id) > 0;
+      plan.subj_ids = candidate_ids(p.subject, &runs[j].rel_stats);
+      if (p.is_path) {
+        auto it = bindings.find(p.object.id);
+        plan.obj_bound = it == bindings.end() ? nullptr : &it->second;
+        if (!multi && options.max_graph_edges != 0) {
+          if (committed_graph_edges >= options.max_graph_edges) {
+            plan.skip = true;
+            runs[j].trunc_code = "max_graph_edges";
+            runs[j].trunc_reason = before_pattern_reason(p);
+          } else {
+            plan.exact_graph_budget = true;
+            plan.local_max_edges =
+                options.max_graph_edges - committed_graph_edges;
+          }
+        }
+      } else {
+        plan.obj_ids = candidate_ids(p.object, &runs[j].rel_stats);
+      }
+    }
+
+    std::atomic<uint64_t> wave_edges{committed_graph_edges};
+
+    auto run_member = [&](size_t j, ThreadPool* member_pool) {
+      const MemberPlan& plan = plans[j];
+      MemberRun& run = runs[j];
+      obs::Span span =
+          tracer.StartSpan(plan.p->is_path ? "graph_search" : "scan");
+      auto m0 = std::chrono::steady_clock::now();
+      if (!plan.skip) {
+        if (plan.p->is_path) {
+          run_path_member(plan, member_pool, multi ? &wave_edges : nullptr,
+                          &run);
+        } else {
+          run_event_member(plan, member_pool, &run);
         }
       }
+      if (span.active()) {
+        span.SetAttr("pattern", plan.p->id);
+        span.SetAttr("backend", std::string_view(plan.p->is_path
+                                                     ? "graph"
+                                                     : "relational"));
+        span.SetAttr("pruning_score", scores[plan.pattern_index]);
+        span.SetAttr("constrained", plan.constrained);
+        span.SetAttr("matches", static_cast<int64_t>(run.matches.size()));
+      }
+      span.End();
+      run.ms = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - m0)
+                   .count();
+    };
+
+    if (!multi) {
+      // Singleton wave: the pattern runs on this thread and may use the
+      // whole pool internally (partitioned probes, per-source search).
+      run_member(0, pool);
     } else {
-      double best = -1e18;
-      for (size_t i = 0; i < n; ++i) {
-        if (done[i]) continue;
-        double eff = scores[i];
-        // Strongly prefer patterns whose entities are already bound: their
-        // execution is constrained by previous results.
-        if (bindings.count(query.patterns[i].subject.id) > 0) eff += 100.0;
-        if (bindings.count(query.patterns[i].object.id) > 0) eff += 100.0;
-        if (eff > best) {
-          best = eff;
-          pick = i;
+      pool->ParallelFor(
+          wave_size, 1,
+          [&](size_t, size_t begin, size_t end) {
+            for (size_t j = begin; j < end; ++j) run_member(j, nullptr);
+          },
+          std::min(threads, wave_size));
+    }
+
+    // Serial commit in schedule order. Speculative work a budget should
+    // have stopped is discarded or replayed with the exact remaining
+    // budget, so the committed result never depends on scheduling luck.
+    for (size_t j = 0; j < wave_size; ++j) {
+      if (result.truncated) break;
+      MemberPlan& plan = plans[j];
+      MemberRun& run = runs[j];
+      const tbql::Pattern& p = *plan.p;
+      if (multi && p.is_path && options.max_graph_edges != 0) {
+        if (committed_graph_edges >= options.max_graph_edges) {
+          rel::TableStats planned = run.rel_stats;
+          double spent_ms = run.ms;
+          run = MemberRun{};
+          run.rel_stats = planned;
+          run.ms = spent_ms;
+          run.trunc_code = "max_graph_edges";
+          run.trunc_reason = before_pattern_reason(p);
+        } else if (run.trunc_code == "max_graph_edges" ||
+                   committed_graph_edges + run.graph_edges >
+                       options.max_graph_edges) {
+          MemberRun redo;
+          redo.rel_stats = run.rel_stats;
+          redo.ms = run.ms;
+          plan.exact_graph_budget = true;
+          plan.local_max_edges =
+              options.max_graph_edges - committed_graph_edges;
+          run_path_member(plan, nullptr, nullptr, &redo);
+          run = std::move(redo);
         }
       }
-    }
-    const tbql::Pattern& p = query.patterns[pick];
-    done[pick] = true;
-    schedule_span.End();
-
-    PatternExecution exec;
-    exec.pattern = &p;
-    bool constrained = bindings.count(p.subject.id) > 0 ||
-                       bindings.count(p.object.id) > 0;
-    obs::Span pattern_span =
-        tracer.StartSpan(p.is_path ? "graph_search" : "scan");
-    auto p0 = std::chrono::steady_clock::now();
-    exec.matches = p.is_path ? execute_path_pattern(p)
-                             : execute_event_pattern(p);
-    if (pattern_span.active()) {
-      pattern_span.SetAttr("pattern", p.id);
-      pattern_span.SetAttr("backend",
-                           std::string_view(p.is_path ? "graph" : "relational"));
-      pattern_span.SetAttr("pruning_score", scores[pick]);
-      pattern_span.SetAttr("constrained", constrained);
-      pattern_span.SetAttr("matches",
-                           static_cast<int64_t>(exec.matches.size()));
-    }
-    pattern_span.End();
-    double pattern_ms = std::chrono::duration<double, std::milli>(
-                            std::chrono::steady_clock::now() - p0)
-                            .count();
-    obs::Logger::Default()
-        .Log(obs::LogLevel::kDebug, "engine", "pattern scheduled")
-        .Field("pattern", p.id)
-        .Field("backend", std::string_view(p.is_path ? "graph" : "relational"))
-        .Field("pruning_score", scores[pick])
-        .Field("constrained", constrained)
-        .Field("matches", static_cast<uint64_t>(exec.matches.size()))
-        .Field("ms", pattern_ms);
-    result.stats.per_pattern_ms.push_back(pattern_ms);
-    result.stats.schedule.push_back(p.id);
-    result.stats.matches_per_pattern.push_back(exec.matches.size());
-    result.stats.pattern_scores.push_back(scores[pick]);
-    result.stats.pattern_used_graph.push_back(p.is_path);
-    result.stats.pattern_was_constrained.push_back(constrained);
-
-    if (options.propagate_constraints) {
-      Binding subj_seen, obj_seen;
-      for (const PatternMatch& m : exec.matches) {
-        subj_seen.insert(m.subject);
-        obj_seen.insert(m.object);
+      result.stats.per_pattern_ms.push_back(run.ms);
+      result.stats.schedule.push_back(p.id);
+      result.stats.matches_per_pattern.push_back(run.matches.size());
+      result.stats.pattern_scores.push_back(scores[plan.pattern_index]);
+      result.stats.pattern_used_graph.push_back(p.is_path);
+      result.stats.pattern_was_constrained.push_back(plan.constrained);
+      committed_graph_edges += run.graph_edges;
+      committed_rel_rows +=
+          run.rel_stats.rows_scanned + run.rel_stats.rows_from_index;
+      obs::Logger::Default()
+          .Log(obs::LogLevel::kDebug, "engine", "pattern scheduled")
+          .Field("pattern", p.id)
+          .Field("backend",
+                 std::string_view(p.is_path ? "graph" : "relational"))
+          .Field("pruning_score", scores[plan.pattern_index])
+          .Field("constrained", plan.constrained)
+          .Field("matches", static_cast<uint64_t>(run.matches.size()))
+          .Field("ms", run.ms);
+      if (options.propagate_constraints) {
+        Binding subj_seen, obj_seen;
+        for (const PatternMatch& m : run.matches) {
+          subj_seen.insert(m.subject);
+          obj_seen.insert(m.object);
+        }
+        bindings[p.subject.id] = std::move(subj_seen);
+        bindings[p.object.id] = std::move(obj_seen);
       }
-      bindings[p.subject.id] = std::move(subj_seen);
-      bindings[p.object.id] = std::move(obj_seen);
+      PatternExecution exec;
+      exec.pattern = &p;
+      exec.matches = std::move(run.matches);
+      executions.push_back(std::move(exec));
+      ++committed_patterns;
+      if (!run.trunc_code.empty()) {
+        truncate(run.trunc_code, std::move(run.trunc_reason));
+      }
     }
-    executions.push_back(std::move(exec));
   }
 
   // --- Consistency join over pattern matches. ---
@@ -589,8 +842,11 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
     result.rows.push_back({std::to_string(count)});
   }
 
-  result.stats.relational_rows_touched = rel_->TotalRowsTouched();
-  result.stats.graph_edges_traversed = graph_->stats().edges_traversed;
+  // Committed per-pattern sums, not the live backend counters: these are
+  // deterministic at any thread count (speculative work the commit loop
+  // discarded is excluded) and unaffected by concurrent executions.
+  result.stats.relational_rows_touched = committed_rel_rows;
+  result.stats.graph_edges_traversed = committed_graph_edges;
   result.stats.total_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)

@@ -51,6 +51,14 @@ struct ExecutionOptions {
   /// disabled, and aggregate it into QueryResult::profile (the ?profile=1
   /// path of the API).
   bool collect_profile = false;
+  /// Parallelism for this execution: relational scans and join probes are
+  /// partitioned, graph path searches fan out over source entities, and
+  /// patterns sharing no entities run concurrently within a scheduling
+  /// wave. 0 = hardware concurrency; 1 = the exact serial execution path.
+  /// Results are byte-identical at any setting (see DESIGN.md, "Parallel
+  /// execution"); only timing-dependent fields (per-pattern milliseconds,
+  /// deadline truncation points) can differ.
+  size_t num_threads = 0;
 };
 
 /// \brief One match of one pattern: the event chain (length 1 for basic
@@ -85,6 +93,11 @@ struct ExecutionStats {
   /// pattern 'evt2' (graph search)", "max_graph_edges (1000) reached", "row
   /// cap (1000000) reached", ...); empty when complete.
   std::string truncation_reason;
+  /// Thread count this execution resolved to (diagnostic; not part of the
+  /// deterministic result contract, like total_ms/per_pattern_ms).
+  size_t num_threads = 1;
+  /// Scheduling waves that ran more than one pattern concurrently.
+  size_t parallel_waves = 0;
 };
 
 /// \brief A fully joined query result.

@@ -160,6 +160,106 @@ std::optional<Trace> TraceScope::Finish() {
   return finished;
 }
 
+// --- TraceContext. ---
+
+struct TraceContext::State {
+  ActiveTrace* parent = nullptr;  ///< Valid while the capturing thread waits.
+  uint64_t trace_id = 0;
+  std::chrono::steady_clock::time_point parent_t0;
+
+  struct Subtree {
+    Trace trace;
+    std::chrono::steady_clock::time_point t0;
+  };
+  std::mutex mu;
+  std::vector<Subtree> subtrees;
+};
+
+TraceContext TraceContext::Capture() {
+  TraceContext context;
+  if (g_active == nullptr) return context;
+  context.state_ = std::make_shared<State>();
+  context.state_->parent = g_active;
+  context.state_->trace_id = g_active->trace.id;
+  context.state_->parent_t0 = g_active->t0;
+  return context;
+}
+
+uint64_t TraceContext::trace_id() const {
+  return state_ == nullptr ? 0 : state_->trace_id;
+}
+
+TraceContext::Scope TraceContext::Adopt(std::string_view task_name) const {
+  Scope scope;
+  // No captured trace, the capturing thread itself (spans nest directly),
+  // or a thread already recording some other trace: adopt nothing.
+  if (state_ == nullptr || g_active != nullptr) return scope;
+  auto* at = new ActiveTrace();
+  at->t0 = std::chrono::steady_clock::now();
+  at->trace.id = state_->trace_id;
+  at->trace.name = std::string(task_name);
+  at->trace.started_unix_ms = UnixMillisNow();
+  g_active = at;
+  OpenSpan(at, task_name);
+  scope.context_ = this;
+  scope.adopted_ = at;
+  return scope;
+}
+
+TraceContext::Scope& TraceContext::Scope::operator=(Scope&& other) noexcept {
+  if (this != &other) {
+    Release();
+    context_ = other.context_;
+    adopted_ = other.adopted_;
+    other.context_ = nullptr;
+    other.adopted_ = nullptr;
+  }
+  return *this;
+}
+
+void TraceContext::Scope::Release() {
+  if (adopted_ == nullptr) return;
+  ActiveTrace* at = adopted_;
+  adopted_ = nullptr;
+  at->trace.spans[0].end_ns = at->NowNs();
+  g_active = nullptr;
+  State* state = context_->state_.get();
+  context_ = nullptr;
+  std::lock_guard<std::mutex> lock(state->mu);
+  state->subtrees.push_back({std::move(at->trace), at->t0});
+  delete at;
+}
+
+void TraceContext::Merge() const {
+  if (state_ == nullptr) return;
+  // Only the capturing thread, still inside the captured trace, can splice.
+  if (g_active != state_->parent) return;
+  ActiveTrace* parent = state_->parent;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  for (State::Subtree& sub : state_->subtrees) {
+    // Worker spans are timed against the worker's own t0; shift them onto
+    // the parent clock base.
+    uint64_t offset_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            sub.t0 - state_->parent_t0)
+            .count());
+    uint32_t attach = parent->open_spans.empty()
+                          ? 0
+                          : parent->open_spans.back();
+    std::vector<uint32_t> remap(sub.trace.spans.size(), 0);
+    for (const SpanData& span : sub.trace.spans) {
+      SpanData copy = span;
+      copy.id = static_cast<uint32_t>(parent->trace.spans.size());
+      copy.parent = span.id == span.parent ? attach : remap[span.parent];
+      copy.start_ns += offset_ns;
+      if (copy.end_ns != 0) copy.end_ns += offset_ns;
+      remap[span.id] = copy.id;
+      parent->trace.spans.push_back(std::move(copy));
+    }
+  }
+  state_->subtrees.clear();
+}
+
 // --- Tracer. ---
 
 Tracer& Tracer::Default() {

@@ -25,8 +25,10 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -136,6 +138,64 @@ class TraceScope {
   ActiveTrace* trace_ = nullptr;  ///< Owned when owns_ is true.
   bool owns_ = false;             ///< Top-level (true) vs nested subtree.
   Span root_span_;
+};
+
+/// \brief Hand-off of an active trace across threads (the thread pool's
+/// ParallelFor uses this so worker spans and log records stay correlated
+/// with the caller's trace).
+///
+/// Protocol: the thread that owns the trace calls Capture() before fanning
+/// out; each worker task holds a Scope from Adopt() while it runs (worker
+/// StartSpan/CurrentTraceId then record against a private subtree carrying
+/// the captured trace id); after joining all workers the owning thread
+/// calls Merge() to splice the collected subtrees into the parent trace,
+/// time-shifted onto its clock base. Inactive (all methods no-ops) when no
+/// trace was active at capture time, so the uninstrumented path costs one
+/// thread-local read.
+class TraceContext {
+ public:
+  TraceContext() = default;
+
+  /// Captures the calling thread's active trace; inactive context when none.
+  static TraceContext Capture();
+
+  bool active() const { return state_ != nullptr; }
+
+  /// Id of the captured trace (0 when inactive).
+  uint64_t trace_id() const;
+
+  /// \brief RAII guard for one adopted worker task.
+  class Scope {
+   public:
+    Scope() = default;
+    Scope(Scope&& other) noexcept { *this = std::move(other); }
+    Scope& operator=(Scope&& other) noexcept;
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { Release(); }
+
+   private:
+    friend class TraceContext;
+    void Release();
+
+    const TraceContext* context_ = nullptr;
+    ActiveTrace* adopted_ = nullptr;
+  };
+
+  /// Worker-side: installs the captured trace on the calling thread for the
+  /// scope's lifetime, recording under a subtree root named `task_name`.
+  /// No-op when inactive, or when called on the capturing thread itself
+  /// (its spans already nest directly).
+  Scope Adopt(std::string_view task_name) const;
+
+  /// Caller-side, after every adopted scope has been released: splices the
+  /// collected worker subtrees into the parent trace under its currently
+  /// open span. Must run on the capturing thread.
+  void Merge() const;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
 };
 
 /// \brief The process-wide tracer.

@@ -5,7 +5,9 @@
 #include <memory>
 
 #include "common/json.h"
+#include "common/result.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "engine/explain.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -90,6 +92,25 @@ std::optional<std::string> QueryParam(const HttpRequest& req,
     pos = amp + 1;
   }
   return std::nullopt;
+}
+
+/// Parses the optional `?threads=` parameter shared by /api/query,
+/// /api/hunt, and /api/explain. Returns 0 when absent (keep the configured
+/// default). Non-numeric, zero, negative, or oversized (> 1024) values are
+/// rejected; values above the machine's hardware concurrency are capped
+/// rather than rejected — results are byte-identical at any thread count,
+/// so capping only changes timing.
+Result<size_t> ThreadsParam(const HttpRequest& req) {
+  std::optional<std::string> raw = QueryParam(req, "threads");
+  if (!raw) return size_t{0};
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(raw->c_str(), &end, 10);
+  if (raw->empty() || end == nullptr || *end != '\0' ||
+      raw->front() == '-' || value == 0 || value > 1024) {
+    return Status::InvalidArgument(
+        "threads must be an integer in [1, 1024], got '" + *raw + "'");
+  }
+  return std::min(static_cast<size_t>(value), ThreadPool::HardwareThreads());
 }
 
 Json LogRecordToJson(const obs::LogRecord& record) {
@@ -261,6 +282,15 @@ Json StatsJson(const ThreatRaptor* system,
   stats["queries_truncated"] = static_cast<double>(truncations);
   stats["log_records"] = static_cast<double>(
       obs::Logger::Default().records_committed());
+  // Shared thread-pool activity (the raptor_pool_* metric family).
+  stats["pool_threads"] =
+      static_cast<double>(registry.GaugeValue("raptor_pool_threads"));
+  stats["pool_busy_workers"] =
+      static_cast<double>(registry.GaugeValue("raptor_pool_busy_workers"));
+  stats["pool_tasks"] =
+      static_cast<double>(registry.CounterValue("raptor_pool_tasks_total"));
+  stats["pool_parallel_regions"] = static_cast<double>(
+      registry.CounterValue("raptor_pool_parallel_regions_total"));
   return Json(std::move(stats));
 }
 
@@ -299,10 +329,13 @@ Json OptionsToJson(const ThreatRaptorOptions& options) {
   execution["max_graph_edges"] =
       static_cast<double>(options.execution.max_graph_edges);
   execution["collect_profile"] = options.execution.collect_profile;
+  execution["num_threads"] =
+      static_cast<double>(options.execution.num_threads);
 
   Json::Object hunt;
   hunt["allow_degraded"] = options.hunt.allow_degraded;
   hunt["collect_profile"] = options.hunt.collect_profile;
+  hunt["num_threads"] = static_cast<double>(options.hunt.num_threads);
 
   Json::Object out;
   out["nlp"] = Json(std::move(nlp));
@@ -392,6 +425,9 @@ void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
                         "Query executions cut short by a resource bound",
                         {{"reason", reason}});
   }
+  // Warm the shared pool so the raptor_pool_* gauges (and the pool's worker
+  // threads) exist from the first scrape, not from the first parallel query.
+  ThreadPool::Shared();
   auto started = std::make_shared<const std::chrono::steady_clock::time_point>(
       std::chrono::steady_clock::now());
 
@@ -509,8 +545,12 @@ void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
   server->Route("POST", "/api/hunt", [system](const HttpRequest& req) {
     // "?degraded=1" opts this hunt into degraded mode: partial results
     // instead of an error when synthesis or full-query execution fails.
-    // "?profile=1" embeds the stage-level timing breakdown.
+    // "?profile=1" embeds the stage-level timing breakdown. "?threads=N"
+    // overrides the execution thread count for this hunt.
+    Result<size_t> threads = ThreadsParam(req);
+    if (!threads.ok()) return ErrorResponse(threads.status());
     HuntOptions hunt_options = system->options().hunt;
+    if (*threads != 0) hunt_options.num_threads = *threads;
     if (QueryFlag(req, "degraded")) hunt_options.allow_degraded = true;
     bool profile = QueryFlag(req, "profile");
     if (profile) hunt_options.collect_profile = true;
@@ -544,8 +584,12 @@ void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
   });
 
   server->Route("POST", "/api/query", [system](const HttpRequest& req) {
-    // "?profile=1" embeds the stage-level timing breakdown.
+    // "?profile=1" embeds the stage-level timing breakdown. "?threads=N"
+    // overrides the execution thread count for this query.
+    Result<size_t> threads = ThreadsParam(req);
+    if (!threads.ok()) return ErrorResponse(threads.status());
     engine::ExecutionOptions execution = system->options().execution;
+    if (*threads != 0) execution.num_threads = *threads;
     bool profile = QueryFlag(req, "profile");
     if (profile) execution.collect_profile = true;
     auto result = system->ExecuteTbql(req.body, execution);
@@ -556,13 +600,17 @@ void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
 
   server->Route("POST", "/api/explain", [system](const HttpRequest& req) {
     // "?format=json" structures the plan for machine consumption;
-    // "?profile=1" adds the stage breakdown to either form.
+    // "?profile=1" adds the stage breakdown to either form; "?threads=N"
+    // overrides the execution thread count.
+    Result<size_t> threads = ThreadsParam(req);
+    if (!threads.ok()) return ErrorResponse(threads.status());
     auto parsed = tbql::Parse(req.body);
     if (!parsed.ok()) return ErrorResponse(parsed.status());
     if (Status st = tbql::Analyze(&*parsed); !st.ok()) {
       return ErrorResponse(st);
     }
     engine::ExecutionOptions execution = system->options().execution;
+    if (*threads != 0) execution.num_threads = *threads;
     if (QueryFlag(req, "profile")) execution.collect_profile = true;
     auto result = system->ExecuteQuery(*parsed, execution);
     if (!result.ok()) return ErrorResponse(result.status());

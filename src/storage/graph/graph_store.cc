@@ -1,7 +1,9 @@
 #include "storage/graph/graph_store.h"
 
 #include <algorithm>
+#include <atomic>
 
+#include "common/thread_pool.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 
@@ -18,7 +20,24 @@ void GraphStore::SyncWithLog() {
   out_.resize(log_->entity_count());
   in_.resize(log_->entity_count());
   edges_.reserve(log_->event_count());
-  for (size_t i = edges_.size(); i < log_->event_count(); ++i) {
+  size_t first_new = edges_.size();
+  size_t num_new = log_->event_count() - first_new;
+  if (num_new >= 4096) {
+    // Bulk load: pre-count the batch's degree per node and reserve each
+    // adjacency vector once, instead of growing them edge by edge.
+    std::vector<uint32_t> out_deg(out_.size(), 0);
+    std::vector<uint32_t> in_deg(in_.size(), 0);
+    for (size_t i = first_new; i < log_->event_count(); ++i) {
+      const auto& ev = log_->event(i);
+      ++out_deg[ev.subject];
+      ++in_deg[ev.object];
+    }
+    for (size_t id = 0; id < out_.size(); ++id) {
+      if (out_deg[id] != 0) out_[id].reserve(out_[id].size() + out_deg[id]);
+      if (in_deg[id] != 0) in_[id].reserve(in_[id].size() + in_deg[id]);
+    }
+  }
+  for (size_t i = first_new; i < log_->event_count(); ++i) {
     const auto& ev = log_->event(i);
     size_t idx = edges_.size();
     edges_.push_back(GraphEdge{ev.id, ev.subject, ev.object, ev.op,
@@ -36,54 +55,67 @@ std::vector<EntityId> GraphStore::FindNodes(const NodePredicate& pred) const {
   return out;
 }
 
-std::vector<PathMatch> GraphStore::FindPaths(
-    const std::vector<EntityId>& sources, const NodePredicate& sink_pred,
-    const PathConstraints& constraints, SearchLimits* limits) const {
-  // Process-wide search-effort counters, updated once per FindPaths call
-  // with the deltas the search accumulated in stats_.
-  static obs::Counter* edges_traversed = obs::Registry::Default().GetCounter(
-      "raptor_graph_edges_traversed_total",
-      "Edges traversed by variable-length path searches");
-  static obs::Counter* nodes_expanded = obs::Registry::Default().GetCounter(
-      "raptor_graph_nodes_expanded_total",
-      "Nodes expanded by variable-length path searches");
-
-  std::vector<PathMatch> matches;
-  std::vector<bool> on_path(num_nodes(), false);
+/// \brief One DFS traversal's working set. Search effort is accumulated
+/// locally and merged into the store's shared stats once per FindPaths
+/// call, so concurrent searches never race on stats_.
+struct GraphStore::SearchState {
+  const NodePredicate* sink_pred = nullptr;
+  const PathConstraints* constraints = nullptr;
+  SearchLimits* limits = nullptr;
+  /// Edges already charged against limits->max_edges before this traversal
+  /// (the serial search counts cumulatively across sources; per-source
+  /// replay resumes the count here).
+  uint64_t initial_edges = 0;
+  uint64_t edges = 0;
+  uint64_t nodes = 0;
   std::vector<size_t> edge_stack;
-  uint64_t edges_at_start = stats_.edges_traversed;
-  uint64_t nodes_at_start = stats_.nodes_expanded;
-  for (EntityId src : sources) {
-    if (limits != nullptr && limits->hit) break;
-    if (src >= num_nodes()) continue;
-    on_path[src] = true;
-    Dfs(src, sink_pred, constraints, limits, edges_at_start, &edge_stack,
-        &on_path, &matches);
-    on_path[src] = false;
-  }
-  edges_traversed->Increment(stats_.edges_traversed - edges_at_start);
-  nodes_expanded->Increment(stats_.nodes_expanded - nodes_at_start);
-  if (limits != nullptr && limits->hit) {
-    obs::Logger::Default()
-        .Log(obs::LogLevel::kWarn, "storage", "path search limit hit")
-        .Field("reason", std::string_view(limits->reason))
-        .Field("edges_traversed", stats_.edges_traversed - edges_at_start)
-        .Field("matches", static_cast<uint64_t>(matches.size()));
-  }
-  return matches;
-}
+  std::vector<bool> on_path;
+  std::vector<PathMatch>* out = nullptr;
+};
 
-void GraphStore::Dfs(EntityId node, const NodePredicate& sink_pred,
-                     const PathConstraints& constraints, SearchLimits* limits,
-                     uint64_t edges_at_start, std::vector<size_t>* edge_stack,
-                     std::vector<bool>* on_path,
-                     std::vector<PathMatch>* out) const {
-  size_t depth = edge_stack->size();
-  if (depth >= constraints.max_hops) return;
+namespace {
+
+struct SearchMetrics {
+  obs::Counter* edges;
+  obs::Counter* nodes;
+
+  static SearchMetrics& Get() {
+    static SearchMetrics* m = [] {
+      auto* metrics = new SearchMetrics();
+      metrics->edges = obs::Registry::Default().GetCounter(
+          "raptor_graph_edges_traversed_total",
+          "Edges traversed by variable-length path searches");
+      metrics->nodes = obs::Registry::Default().GetCounter(
+          "raptor_graph_nodes_expanded_total",
+          "Nodes expanded by variable-length path searches");
+      return metrics;
+    }();
+    return *m;
+  }
+};
+
+/// Per-source record of the speculative parallel phase. `ran` is false for
+/// sources skipped after a stop flag; those (and budget-tripped sources)
+/// are re-run serially at commit.
+struct SourceRun {
+  std::vector<PathMatch> matches;
+  uint64_t edges = 0;
+  uint64_t nodes = 0;
+  bool ran = false;
+  bool hit = false;
+  const char* reason = "";
+};
+
+}  // namespace
+
+void GraphStore::Dfs(SearchState* s, EntityId node) const {
+  size_t depth = s->edge_stack.size();
+  if (depth >= s->constraints->max_hops) return;
+  SearchLimits* limits = s->limits;
   if (limits != nullptr) {
     if (limits->hit) return;
     if (limits->max_edges != 0 &&
-        stats_.edges_traversed - edges_at_start > limits->max_edges) {
+        s->initial_edges + s->edges > limits->max_edges) {
       limits->hit = true;
       limits->reason = "max_edges";
       return;
@@ -95,25 +127,39 @@ void GraphStore::Dfs(EntityId node, const NodePredicate& sink_pred,
       return;
     }
   }
-  ++stats_.nodes_expanded;
+  ++s->nodes;
 
   audit::Timestamp min_time =
-      edge_stack->empty() ? INT64_MIN : edges_[edge_stack->back()].start_time;
+      s->edge_stack.empty() ? INT64_MIN
+                            : edges_[s->edge_stack.back()].start_time;
 
   for (size_t edge_idx : out_[node]) {
     if (limits != nullptr && limits->hit) return;
     const GraphEdge& e = edges_[edge_idx];
-    ++stats_.edges_traversed;
-    if ((*on_path)[e.dst]) continue;
-    if (constraints.monotonic_time && e.start_time < min_time) continue;
-    if (constraints.window_start && e.start_time < *constraints.window_start) {
+    ++s->edges;
+    if (limits != nullptr && limits->shared_edges != nullptr) {
+      uint64_t total =
+          limits->shared_edges->fetch_add(1, std::memory_order_relaxed) + 1;
+      if (limits->shared_max_edges != 0 &&
+          total > limits->shared_max_edges) {
+        limits->hit = true;
+        limits->reason = "max_edges";
+        return;
+      }
+    }
+    if (s->on_path[e.dst]) continue;
+    if (s->constraints->monotonic_time && e.start_time < min_time) continue;
+    if (s->constraints->window_start &&
+        e.start_time < *s->constraints->window_start) {
       continue;
     }
-    if (constraints.window_end && e.start_time > *constraints.window_end) {
+    if (s->constraints->window_end &&
+        e.start_time > *s->constraints->window_end) {
       continue;
     }
 
     size_t hop_number = depth + 1;  // 1-based
+    const PathConstraints& constraints = *s->constraints;
     bool final_op_ok =
         constraints.final_ops.empty() ||
         std::find(constraints.final_ops.begin(), constraints.final_ops.end(),
@@ -121,15 +167,15 @@ void GraphStore::Dfs(EntityId node, const NodePredicate& sink_pred,
     bool can_be_final = hop_number >= constraints.min_hops && final_op_ok;
 
     // As a final hop: sink must match.
-    if (can_be_final && sink_pred(log_->entity(e.dst))) {
+    if (can_be_final && (*s->sink_pred)(log_->entity(e.dst))) {
       PathMatch m;
-      edge_stack->push_back(edge_idx);
-      m.hops.reserve(edge_stack->size());
-      for (size_t idx : *edge_stack) m.hops.push_back(edges_[idx].event_id);
-      m.source = edges_[edge_stack->front()].src;
+      s->edge_stack.push_back(edge_idx);
+      m.hops.reserve(s->edge_stack.size());
+      for (size_t idx : s->edge_stack) m.hops.push_back(edges_[idx].event_id);
+      m.source = edges_[s->edge_stack.front()].src;
       m.sink = e.dst;
-      out->push_back(std::move(m));
-      edge_stack->pop_back();
+      s->out->push_back(std::move(m));
+      s->edge_stack.pop_back();
     }
 
     // As an intermediate hop: op must be an allowed chaining op and there
@@ -140,15 +186,171 @@ void GraphStore::Dfs(EntityId node, const NodePredicate& sink_pred,
                     constraints.intermediate_ops.end(),
                     e.op) != constraints.intermediate_ops.end();
       if (chainable) {
-        edge_stack->push_back(edge_idx);
-        (*on_path)[e.dst] = true;
-        Dfs(e.dst, sink_pred, constraints, limits, edges_at_start, edge_stack,
-            on_path, out);
-        (*on_path)[e.dst] = false;
-        edge_stack->pop_back();
+        s->edge_stack.push_back(edge_idx);
+        s->on_path[e.dst] = true;
+        Dfs(s, e.dst);
+        s->on_path[e.dst] = false;
+        s->edge_stack.pop_back();
       }
     }
   }
+}
+
+std::vector<PathMatch> GraphStore::FindPaths(
+    const std::vector<EntityId>& sources, const NodePredicate& sink_pred,
+    const PathConstraints& constraints, SearchLimits* limits,
+    const SearchParallelism* parallel) const {
+  SearchMetrics& metrics = SearchMetrics::Get();
+  std::vector<PathMatch> matches;
+
+  // Actual work performed (including speculative work the parallel commit
+  // discards) feeds the process-wide effort counters; the deterministic
+  // committed totals feed the SearchLimits outputs.
+  uint64_t actual_edges = 0;
+  uint64_t actual_nodes = 0;
+  uint64_t committed_edges = 0;
+  uint64_t committed_nodes = 0;
+
+  size_t ways = 1;
+  if (parallel != nullptr && parallel->pool != nullptr) {
+    ways = parallel->num_threads == 0 ? parallel->pool->size() + 1
+                                      : parallel->num_threads;
+  }
+  bool run_parallel =
+      ways > 1 &&
+      sources.size() >= 2 * std::max<size_t>(1, parallel->min_sources_per_task);
+
+  if (!run_parallel) {
+    SearchState s;
+    s.sink_pred = &sink_pred;
+    s.constraints = &constraints;
+    s.limits = limits;
+    s.on_path.assign(num_nodes(), false);
+    s.out = &matches;
+    for (EntityId src : sources) {
+      if (limits != nullptr && limits->hit) break;
+      if (src >= num_nodes()) continue;
+      s.on_path[src] = true;
+      Dfs(&s, src);
+      s.on_path[src] = false;
+    }
+    actual_edges = committed_edges = s.edges;
+    actual_nodes = committed_nodes = s.nodes;
+  } else {
+    // Speculative phase: each source searched independently against the
+    // shared edge budget; a deadline or budget hit stops the fleet.
+    std::vector<SourceRun> runs(sources.size());
+    std::atomic<uint64_t> shared_total{0};
+    std::atomic<bool> stop{false};
+    parallel->pool->ParallelFor(
+        sources.size(), parallel->min_sources_per_task,
+        [&](size_t, size_t begin, size_t end) {
+          SearchState s;
+          s.sink_pred = &sink_pred;
+          s.constraints = &constraints;
+          s.on_path.assign(num_nodes(), false);
+          for (size_t i = begin; i < end; ++i) {
+            if (stop.load(std::memory_order_relaxed)) break;
+            SourceRun& run = runs[i];
+            run.ran = true;
+            EntityId src = sources[i];
+            if (src >= num_nodes()) continue;
+            SearchLimits task_limits;
+            if (limits != nullptr) {
+              task_limits.deadline = limits->deadline;
+              if (limits->max_edges != 0) {
+                task_limits.shared_edges = &shared_total;
+                task_limits.shared_max_edges = limits->max_edges;
+              }
+            }
+            s.limits = &task_limits;
+            s.out = &run.matches;
+            s.edges = 0;
+            s.nodes = 0;
+            s.edge_stack.clear();
+            s.on_path[src] = true;
+            Dfs(&s, src);
+            s.on_path[src] = false;
+            run.edges = s.edges;
+            run.nodes = s.nodes;
+            if (task_limits.hit) {
+              run.hit = true;
+              run.reason = task_limits.reason;
+              stop.store(true, std::memory_order_relaxed);
+            }
+          }
+        },
+        ways);
+
+    // Ordered commit: concatenate per-source matches in source order — the
+    // serial result exactly. A source that tripped a limit, was skipped
+    // after the stop flag, or would push the cumulative count past the
+    // budget is re-run serially with the cumulative budget the serial loop
+    // would have had, so truncation is bit-for-bit serial too.
+    SearchState replay;
+    replay.sink_pred = &sink_pred;
+    replay.constraints = &constraints;
+    replay.on_path.assign(num_nodes(), false);
+    for (size_t i = 0; i < sources.size(); ++i) {
+      if (limits != nullptr && limits->hit) break;
+      SourceRun& run = runs[i];
+      actual_edges += run.edges;
+      actual_nodes += run.nodes;
+      bool over_budget = limits != nullptr && limits->max_edges != 0 &&
+                         committed_edges + run.edges > limits->max_edges;
+      if (run.ran && !run.hit && !over_budget) {
+        for (PathMatch& m : run.matches) matches.push_back(std::move(m));
+        committed_edges += run.edges;
+        committed_nodes += run.nodes;
+        continue;
+      }
+      EntityId src = sources[i];
+      if (src >= num_nodes()) continue;
+      SearchLimits sub;
+      if (limits != nullptr) {
+        sub.max_edges = limits->max_edges;
+        sub.deadline = limits->deadline;
+      }
+      replay.limits = &sub;
+      replay.out = &matches;
+      replay.initial_edges = committed_edges;
+      replay.edges = 0;
+      replay.nodes = 0;
+      replay.edge_stack.clear();
+      replay.on_path[src] = true;
+      Dfs(&replay, src);
+      replay.on_path[src] = false;
+      actual_edges += replay.edges;
+      actual_nodes += replay.nodes;
+      committed_edges += replay.edges;
+      committed_nodes += replay.nodes;
+      if (sub.hit && limits != nullptr) {
+        limits->hit = true;
+        limits->reason = sub.reason;
+      }
+    }
+  }
+
+  // One atomic merge per call: stats_ stays a plain struct but is safe
+  // against concurrent FindPaths/Select-style readers and writers.
+  std::atomic_ref<uint64_t>(stats_.edges_traversed)
+      .fetch_add(actual_edges, std::memory_order_relaxed);
+  std::atomic_ref<uint64_t>(stats_.nodes_expanded)
+      .fetch_add(actual_nodes, std::memory_order_relaxed);
+  metrics.edges->Increment(actual_edges);
+  metrics.nodes->Increment(actual_nodes);
+  if (limits != nullptr) {
+    limits->edges_traversed = committed_edges;
+    limits->nodes_expanded = committed_nodes;
+    if (limits->hit) {
+      obs::Logger::Default()
+          .Log(obs::LogLevel::kWarn, "storage", "path search limit hit")
+          .Field("reason", std::string_view(limits->reason))
+          .Field("edges_traversed", committed_edges)
+          .Field("matches", static_cast<uint64_t>(matches.size()));
+    }
+  }
+  return matches;
 }
 
 }  // namespace raptor::graph

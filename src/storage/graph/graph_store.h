@@ -8,12 +8,17 @@
 
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <functional>
 #include <optional>
 #include <vector>
 
 #include "audit/log.h"
+
+namespace raptor {
+class ThreadPool;
+}
 
 namespace raptor::graph {
 
@@ -74,11 +79,39 @@ struct SearchLimits {
   /// Wall-clock cutoff; time_point{} (the epoch default) = unbounded. The
   /// clock is polled once per node expansion.
   std::chrono::steady_clock::time_point deadline{};
+  /// Optional edge budget shared with concurrently running searches (the
+  /// engine points every member of a parallel scheduling wave at one
+  /// atomic): each traversed edge also counts against *shared_edges, and
+  /// exceeding shared_max_edges trips the search like max_edges does. The
+  /// caller is responsible for making the overall result deterministic
+  /// (the engine re-runs budget-tripped members serially in commit order).
+  std::atomic<uint64_t>* shared_edges = nullptr;
+  uint64_t shared_max_edges = 0;
 
   /// Output: set when a limit stopped the search early.
   bool hit = false;
   /// Output: "max_edges" or "deadline" when hit.
   const char* reason = "";
+  /// Output: search effort committed to this call's result. Unlike the
+  /// process-wide stats()/metrics counters these are deterministic at any
+  /// thread count (speculative work discarded by the parallel search is
+  /// not included).
+  uint64_t edges_traversed = 0;
+  uint64_t nodes_expanded = 0;
+};
+
+/// \brief Parallel-search knobs for FindPaths: independent source entities
+/// are searched concurrently and their matches committed in source order,
+/// so the result (matches, limit hits, SearchLimits effort outputs) is
+/// byte-identical to the serial search. Sources that trip a budget are
+/// re-run serially with the exact remaining budget to keep `max_edges`
+/// semantics bit-for-bit.
+struct SearchParallelism {
+  ThreadPool* pool = nullptr;
+  /// Parallelism cap (0 = pool size + 1, 1 = serial).
+  size_t num_threads = 1;
+  /// Minimum sources per worker task.
+  size_t min_sources_per_task = 4;
 };
 
 /// \brief Adjacency-indexed property graph over one AuditLog.
@@ -116,19 +149,22 @@ class GraphStore {
   /// (no repeated node). DFS with depth bound max_hops. When `limits` is
   /// non-null the search is bounded: it stops early once a limit trips
   /// (reported through the limits struct) and returns the partial matches.
+  /// When `parallel` provides a pool, independent sources are searched
+  /// concurrently with matches committed in source order (see
+  /// SearchParallelism); the result is identical to the serial search.
   std::vector<PathMatch> FindPaths(const std::vector<audit::EntityId>& sources,
                                    const NodePredicate& sink_pred,
                                    const PathConstraints& constraints,
-                                   SearchLimits* limits = nullptr) const;
+                                   SearchLimits* limits = nullptr,
+                                   const SearchParallelism* parallel =
+                                       nullptr) const;
 
   const GraphStats& stats() const { return stats_; }
   void ResetStats() { stats_ = GraphStats{}; }
 
  private:
-  void Dfs(audit::EntityId node, const NodePredicate& sink_pred,
-           const PathConstraints& constraints, SearchLimits* limits,
-           uint64_t edges_at_start, std::vector<size_t>* edge_stack,
-           std::vector<bool>* on_path, std::vector<PathMatch>* out) const;
+  struct SearchState;  // defined in graph_store.cc
+  void Dfs(SearchState* state, audit::EntityId node) const;
 
   const audit::AuditLog* log_;
   std::vector<GraphEdge> edges_;

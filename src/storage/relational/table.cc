@@ -1,8 +1,10 @@
 #include "storage/relational/table.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
 
 namespace raptor::rel {
@@ -120,6 +122,11 @@ Table::AccessPath Table::ChooseAccessPath(
 }
 
 std::vector<RowId> Table::Select(const Conjunction& predicates) const {
+  return Select(predicates, ScanOptions{});
+}
+
+std::vector<RowId> Table::Select(const Conjunction& predicates,
+                                 const ScanOptions& options) const {
   // Process-wide access-path counters (per-query numbers live in stats_).
   // One batch of relaxed adds per Select call keeps the overhead a few
   // atomic ops regardless of how many rows the scan touches.
@@ -133,11 +140,30 @@ std::vector<RowId> Table::Select(const Conjunction& predicates) const {
       "raptor_relational_index_probes_total",
       "Select calls served by an index probe");
 
+  // Select may run concurrently from several engine workers, so the shared
+  // stats_ fields take one atomic merge per call; the caller-private
+  // call_stats copy is plain.
+  TableStats delta;
+  auto commit_stats = [&] {
+    std::atomic_ref<uint64_t>(stats_.rows_scanned)
+        .fetch_add(delta.rows_scanned, std::memory_order_relaxed);
+    std::atomic_ref<uint64_t>(stats_.index_probes)
+        .fetch_add(delta.index_probes, std::memory_order_relaxed);
+    std::atomic_ref<uint64_t>(stats_.rows_from_index)
+        .fetch_add(delta.rows_from_index, std::memory_order_relaxed);
+    if (options.call_stats != nullptr) {
+      options.call_stats->rows_scanned += delta.rows_scanned;
+      options.call_stats->index_probes += delta.index_probes;
+      options.call_stats->rows_from_index += delta.rows_from_index;
+    }
+  };
+
   std::vector<RowId> out;
   if (predicates.empty()) {
     out.resize(rows_.size());
     for (RowId id = 0; id < rows_.size(); ++id) out[id] = id;
-    stats_.rows_scanned += rows_.size();
+    delta.rows_scanned += rows_.size();
+    commit_stats();
     full_scans->Increment();
     rows_touched->Increment(rows_.size());
     return out;
@@ -145,17 +171,47 @@ std::vector<RowId> Table::Select(const Conjunction& predicates) const {
 
   AccessPath path = ChooseAccessPath(predicates);
   if (path.kind == AccessPath::Kind::kFullScan) {
-    for (RowId id = 0; id < rows_.size(); ++id) {
-      ++stats_.rows_scanned;
-      if (MatchesAll(predicates, rows_[id])) out.push_back(id);
+    size_t ways = options.pool == nullptr ? 1 : options.num_threads;
+    if (ways == 0) ways = options.pool->size() + 1;
+    size_t grain = std::max<size_t>(1, options.grain);
+    if (ways > 1 && rows_.size() >= 2 * grain) {
+      // Partition the scan; concatenating per-partition hits in partition
+      // order reproduces the serial (insertion-order) result exactly.
+      size_t nparts =
+          std::min((rows_.size() + grain - 1) / grain, ways * 4);
+      size_t per = (rows_.size() + nparts - 1) / nparts;
+      std::vector<std::vector<RowId>> parts(nparts);
+      options.pool->ParallelFor(
+          nparts, 1,
+          [&](size_t, size_t begin, size_t end) {
+            for (size_t part = begin; part < end; ++part) {
+              RowId lo = part * per;
+              RowId hi = std::min<RowId>(rows_.size(), lo + per);
+              for (RowId id = lo; id < hi; ++id) {
+                if (MatchesAll(predicates, rows_[id])) {
+                  parts[part].push_back(id);
+                }
+              }
+            }
+          },
+          ways);
+      for (const std::vector<RowId>& part : parts) {
+        out.insert(out.end(), part.begin(), part.end());
+      }
+    } else {
+      for (RowId id = 0; id < rows_.size(); ++id) {
+        if (MatchesAll(predicates, rows_[id])) out.push_back(id);
+      }
     }
+    delta.rows_scanned += rows_.size();
+    commit_stats();
     full_scans->Increment();
     rows_touched->Increment(rows_.size());
     return out;
   }
 
   const Index& index = indexes_.at(path.column);
-  ++stats_.index_probes;
+  ++delta.index_probes;
   index_probes->Increment();
   Index::const_iterator lo, hi;
   if (path.kind == AccessPath::Kind::kIndexEq) {
@@ -173,7 +229,8 @@ std::vector<RowId> Table::Select(const Conjunction& predicates) const {
     ++from_index;
     if (MatchesAll(predicates, rows_[it->second])) out.push_back(it->second);
   }
-  stats_.rows_from_index += from_index;
+  delta.rows_from_index += from_index;
+  commit_stats();
   rows_touched->Increment(from_index);
   std::sort(out.begin(), out.end());
   return out;

@@ -17,6 +17,10 @@
 #include "storage/relational/predicate.h"
 #include "storage/relational/schema.h"
 
+namespace raptor {
+class ThreadPool;
+}
+
 namespace raptor::rel {
 
 /// \brief Execution counters, used by the benches to show how scheduling
@@ -25,6 +29,25 @@ struct TableStats {
   uint64_t rows_scanned = 0;   ///< Rows touched by full scans.
   uint64_t index_probes = 0;   ///< Index lookups performed.
   uint64_t rows_from_index = 0;  ///< Rows produced by index access paths.
+};
+
+/// \brief Per-call execution knobs for Select. Full scans are partitioned
+/// across the pool when one is provided; index probes stay serial (they are
+/// already sub-linear). Concurrent Select calls on one table are safe: the
+/// table itself is read-only during Select and the shared stats_ counters
+/// are updated atomically.
+struct ScanOptions {
+  /// Worker pool for partitioned full scans; nullptr = serial.
+  ThreadPool* pool = nullptr;
+  /// Parallelism cap for this call (0 = pool size + 1, 1 = serial).
+  size_t num_threads = 1;
+  /// Minimum rows per scan partition; below 2x this a scan stays serial.
+  size_t grain = 4096;
+  /// When set, this call's counter deltas are also accumulated here (plain
+  /// writes — the struct must be private to the caller). The engine uses
+  /// this to attribute rows deterministically to the pattern that ran the
+  /// scan, independent of what other threads do concurrently.
+  TableStats* call_stats = nullptr;
 };
 
 /// \brief An in-memory table with optional ordered secondary indexes.
@@ -53,6 +76,12 @@ class Table {
   /// an indexed column when one exists, otherwise a full scan; remaining
   /// predicates are applied as residual filters.
   std::vector<RowId> Select(const Conjunction& predicates) const;
+
+  /// Same result as Select(predicates) — byte-identical row ids in the same
+  /// order at any thread count — with per-call parallelism and stats
+  /// attribution (see ScanOptions).
+  std::vector<RowId> Select(const Conjunction& predicates,
+                            const ScanOptions& options) const;
 
   /// Number of index entries equal to `value` (selectivity estimate used by
   /// access-path choice and the engine's scheduler).

@@ -1,0 +1,649 @@
+// Tests for the parallel execution layer (src/common/thread_pool.h and its
+// consumers): pool semantics, trace propagation into workers, partitioned
+// relational scans, parallel graph path search, the engine's determinism
+// contract (byte-identical results at any thread count, including under
+// budget truncation and fault injection), and parallel ingestion (parser
+// chunking + CPR's parallel stable sort).
+//
+// Every suite here is named Parallel* so the TSAN CI job can select the
+// whole concurrency surface with `ctest -R Parallel`.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "audit/cpr.h"
+#include "audit/generator.h"
+#include "audit/log.h"
+#include "audit/parser.h"
+#include "common/thread_pool.h"
+#include "core/threat_raptor.h"
+#include "engine/engine.h"
+#include "fault_injection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/graph/graph_store.h"
+#include "storage/relational/database.h"
+#include "tbql/analyzer.h"
+#include "tbql/parser.h"
+
+namespace raptor {
+namespace {
+
+// --- The pool itself. ---
+
+TEST(ParallelPoolTest, SharedPoolHasAtLeastFourWorkers) {
+  // The shared pool is floored at 4 so concurrency tests interleave even on
+  // single-core machines.
+  EXPECT_GE(ThreadPool::Shared().size(), 4u);
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+}
+
+TEST(ParallelPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool& pool = ThreadPool::Shared();
+  for (size_t total : std::vector<size_t>{1, 7, 64, 1000}) {
+    for (size_t grain : std::vector<size_t>{1, 3, 64}) {
+      std::vector<std::atomic<int>> hits(total);
+      pool.ParallelFor(total, grain, [&](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+      for (size_t i = 0; i < total; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i << " total " << total
+                                     << " grain " << grain;
+      }
+    }
+  }
+}
+
+TEST(ParallelPoolTest, ParallelForZeroTotalIsNoop) {
+  bool ran = false;
+  ThreadPool::Shared().ParallelFor(0, 1,
+                                   [&](size_t, size_t, size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelPoolTest, NumThreadsOneRunsOnTheCallingThread) {
+  std::vector<std::thread::id> seen(100);
+  ThreadPool::Shared().ParallelFor(
+      100, 10,
+      [&](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) seen[i] = std::this_thread::get_id();
+      },
+      /*num_threads=*/1);
+  for (const std::thread::id& id : seen) {
+    EXPECT_EQ(id, std::this_thread::get_id());
+  }
+}
+
+TEST(ParallelPoolTest, SubmitPropagatesValueAndException) {
+  ThreadPool& pool = ThreadPool::Shared();
+  std::future<int> ok = pool.Submit([] { return 41 + 1; });
+  EXPECT_EQ(ok.get(), 42);
+  std::future<void> bad =
+      pool.Submit([]() -> void { throw std::runtime_error("submit boom"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ParallelPoolTest, ParallelForRethrowsAnException) {
+  EXPECT_THROW(ThreadPool::Shared().ParallelFor(
+                   64, 1,
+                   [](size_t, size_t begin, size_t) {
+                     if (begin == 0) throw std::runtime_error("chunk boom");
+                   }),
+               std::runtime_error);
+}
+
+TEST(ParallelPoolTest, NestedParallelForCompletes) {
+  // A worker running the outer body issues an inner ParallelFor; the
+  // caller-participates design means this cannot deadlock on a full queue.
+  std::atomic<int> count{0};
+  ThreadPool::Shared().ParallelFor(4, 1, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      ThreadPool::Shared().ParallelFor(
+          64, 1, [&](size_t, size_t b, size_t e) {
+            count.fetch_add(static_cast<int>(e - b));
+          });
+    }
+  });
+  EXPECT_EQ(count.load(), 4 * 64);
+}
+
+TEST(ParallelPoolTest, ExportsPoolMetrics) {
+  obs::Registry& registry = obs::Registry::Default();
+  ThreadPool::Shared().ParallelFor(1000, 1, [](size_t, size_t, size_t) {});
+  // The instant body above can be claimed entirely by the caller before any
+  // helper dequeues, and the task counter bumps on the worker side — so use
+  // a Submit, whose future orders the bump before the read.
+  ThreadPool::Shared().Submit([] {}).get();
+  EXPECT_GE(registry.GaugeValue("raptor_pool_threads"), 4);
+  EXPECT_GT(registry.CounterValue("raptor_pool_parallel_regions_total"), 0u);
+  EXPECT_GT(registry.CounterValue("raptor_pool_tasks_total"), 0u);
+}
+
+// --- Trace propagation into workers. ---
+
+TEST(ParallelTraceTest, WorkerSpansAndLogsStayTraceCorrelated) {
+  obs::Tracer& tracer = obs::Tracer::Default();
+  constexpr size_t kTasks = 32;
+  std::vector<std::atomic<uint64_t>> ids(kTasks);
+  obs::TraceScope scope = tracer.BeginTrace("parallel-root", /*force=*/true);
+  ASSERT_TRUE(scope.active());
+  const uint64_t root_id = obs::Tracer::CurrentTraceId();
+  ASSERT_NE(root_id, 0u);
+  ThreadPool::Shared().ParallelFor(kTasks, 1, [&](size_t, size_t begin,
+                                                  size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      obs::Span span = obs::Tracer::Default().StartSpan("worker-span");
+      span.SetAttr("index", static_cast<int64_t>(i));
+      // The captured trace id is what log records correlate on.
+      ids[i].store(obs::Tracer::CurrentTraceId());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::optional<obs::Trace> trace = scope.Finish();
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->id, root_id);
+  for (size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(ids[i].load(), root_id) << "task " << i;
+  }
+  // Every worker span was merged back into the parent trace.
+  size_t worker_spans = 0;
+  for (const obs::SpanData& s : trace->spans) {
+    if (s.name == "worker-span") ++worker_spans;
+  }
+  EXPECT_EQ(worker_spans, kTasks);
+}
+
+// --- Partitioned relational scans. ---
+
+TEST(ParallelScanTest, PartitionedFullScanMatchesSerial) {
+  audit::AuditLog log;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(20000, &log);
+  rel::RelationalDatabase db;
+  db.Load(log);
+  const rel::Table& events = db.events();
+  // `bytes` has no index, so this predicate forces a full scan.
+  rel::ColumnId c_bytes = events.schema().Find("bytes");
+  ASSERT_NE(c_bytes, rel::kInvalidColumn);
+  rel::Conjunction preds{
+      rel::Predicate{c_bytes, rel::CompareOp::kGt, rel::Value(int64_t{512})}};
+
+  std::vector<rel::RowId> serial = events.Select(preds);
+  ASSERT_FALSE(serial.empty());
+  for (size_t t : std::vector<size_t>{2, 4, 8}) {
+    rel::TableStats call;
+    rel::ScanOptions scan{&ThreadPool::Shared(), t, /*grain=*/256, &call};
+    std::vector<rel::RowId> parallel = events.Select(preds, scan);
+    EXPECT_EQ(parallel, serial) << t << " threads";
+    // Per-call attribution sees the whole scan regardless of who ran it.
+    EXPECT_EQ(call.rows_scanned, events.num_rows()) << t << " threads";
+  }
+}
+
+TEST(ParallelScanTest, ConcurrentSelectsAreSafeAndConsistent) {
+  audit::AuditLog log;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(8000, &log);
+  rel::RelationalDatabase db;
+  db.Load(log);
+  const rel::Table& events = db.events();
+  rel::ColumnId c_bytes = events.schema().Find("bytes");
+  rel::Conjunction preds{
+      rel::Predicate{c_bytes, rel::CompareOp::kGe, rel::Value(int64_t{0})}};
+  std::vector<rel::RowId> expected = events.Select(preds);
+  // Many parallel Selects racing on one table: results stay identical and
+  // the shared stats counters (updated atomically) don't corrupt.
+  ThreadPool::Shared().ParallelFor(16, 1, [&](size_t, size_t begin,
+                                              size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      rel::ScanOptions scan{&ThreadPool::Shared(), 4, 256, nullptr};
+      std::vector<rel::RowId> got = events.Select(preds, scan);
+      ASSERT_EQ(got.size(), expected.size());
+      ASSERT_EQ(got, expected);
+    }
+  });
+}
+
+// --- Parallel graph path search. ---
+
+TEST(ParallelGraphTest, FindPathsMatchesSerialIncludingTruncation) {
+  audit::AuditLog log;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(3000, &log);
+  for (int i = 0; i < 8; ++i) {
+    gen.InjectForkChain("/bin/bash", 3, audit::Operation::kWrite, "/tmp/out",
+                        &log);
+  }
+  graph::GraphStore g(log);
+  std::vector<audit::EntityId> sources;
+  for (const audit::SystemEntity& e : log.entities()) {
+    if (e.type == audit::EntityType::kProcess) sources.push_back(e.id);
+  }
+  ASSERT_GT(sources.size(), 8u);
+  graph::NodePredicate sink = [](const audit::SystemEntity& e) {
+    return e.type == audit::EntityType::kFile && e.path == "/tmp/out";
+  };
+  graph::PathConstraints c;
+  c.min_hops = 1;
+  c.max_hops = 4;
+  c.final_ops = {audit::Operation::kWrite};
+
+  // Unbounded, loose bound, and a bound tight enough to truncate: the
+  // parallel search must reproduce the serial matches, limit verdict, and
+  // committed-effort counters exactly.
+  for (uint64_t max_edges : std::vector<uint64_t>{0, 40, 100000}) {
+    graph::SearchLimits serial_limits;
+    serial_limits.max_edges = max_edges;
+    std::vector<graph::PathMatch> serial =
+        g.FindPaths(sources, sink, c, &serial_limits);
+
+    for (size_t t : std::vector<size_t>{2, 8}) {
+      graph::SearchLimits limits;
+      limits.max_edges = max_edges;
+      graph::SearchParallelism par{&ThreadPool::Shared(), t,
+                                   /*min_sources_per_task=*/1};
+      std::vector<graph::PathMatch> parallel =
+          g.FindPaths(sources, sink, c, &limits, &par);
+      ASSERT_EQ(parallel.size(), serial.size())
+          << t << " threads, max_edges " << max_edges;
+      for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(parallel[i].hops, serial[i].hops) << i;
+        EXPECT_EQ(parallel[i].source, serial[i].source) << i;
+        EXPECT_EQ(parallel[i].sink, serial[i].sink) << i;
+      }
+      EXPECT_EQ(limits.hit, serial_limits.hit);
+      EXPECT_EQ(std::string(limits.reason), std::string(serial_limits.reason));
+      EXPECT_EQ(limits.edges_traversed, serial_limits.edges_traversed);
+      EXPECT_EQ(limits.nodes_expanded, serial_limits.nodes_expanded);
+    }
+  }
+}
+
+// --- Engine determinism at any thread count. ---
+
+struct EngineFixture {
+  audit::AuditLog log;
+  std::unique_ptr<rel::RelationalDatabase> rel_db;
+  std::unique_ptr<graph::GraphStore> graph_db;
+  std::unique_ptr<engine::QueryEngine> engine;
+
+  EngineFixture() {
+    audit::WorkloadGenerator gen;
+    gen.GenerateBenign(6000, &log);
+    gen.InjectDataLeakageAttack(&log);
+    gen.GenerateBenign(6000, &log);
+    for (int i = 0; i < 4; ++i) {
+      gen.InjectForkChain("/bin/bash", 3, audit::Operation::kWrite,
+                          "/tmp/stolen", &log);
+    }
+    rel_db = std::make_unique<rel::RelationalDatabase>();
+    rel_db->Load(log);
+    graph_db = std::make_unique<graph::GraphStore>(log);
+    engine = std::make_unique<engine::QueryEngine>(&log, rel_db.get(),
+                                                   graph_db.get());
+  }
+
+  engine::QueryResult Run(const std::string& src,
+                          engine::ExecutionOptions opts) {
+    auto q = tbql::Parse(src);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    Status st = tbql::Analyze(&*q);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    auto result = engine->Execute(*q, opts);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return *std::move(result);
+  }
+};
+
+/// Everything in a QueryResult that is part of the determinism contract —
+/// all fields except wall-clock timings and the thread-count diagnostics.
+void ExpectSameResult(const engine::QueryResult& a,
+                      const engine::QueryResult& b, const std::string& label) {
+  EXPECT_EQ(a.columns, b.columns) << label;
+  EXPECT_EQ(a.rows, b.rows) << label;
+  EXPECT_EQ(a.truncated, b.truncated) << label;
+  EXPECT_EQ(a.stats.truncation_reason, b.stats.truncation_reason) << label;
+  EXPECT_EQ(a.stats.schedule, b.stats.schedule) << label;
+  EXPECT_EQ(a.stats.matches_per_pattern, b.stats.matches_per_pattern)
+      << label;
+  EXPECT_EQ(a.stats.pattern_scores, b.stats.pattern_scores) << label;
+  EXPECT_EQ(a.stats.pattern_used_graph, b.stats.pattern_used_graph) << label;
+  EXPECT_EQ(a.stats.pattern_was_constrained, b.stats.pattern_was_constrained)
+      << label;
+  EXPECT_EQ(a.stats.relational_rows_touched, b.stats.relational_rows_touched)
+      << label;
+  EXPECT_EQ(a.stats.graph_edges_traversed, b.stats.graph_edges_traversed)
+      << label;
+}
+
+TEST(ParallelEngineTest, MultiPatternQueryIsByteIdentical) {
+  EngineFixture fx;
+  // e1/e2 share p; e3 is entity-disjoint, so with a pool e3 can share a
+  // scheduling wave with one of them.
+  // The limit keeps the combinatorial join bounded; row_cap truncation is
+  // itself part of the deterministic contract (the join is serial and runs
+  // over identical per-pattern matches).
+  const std::string query =
+      "e1: proc p read file f1[\"%/etc/%\"]\n"
+      "e2: proc p write file f2\n"
+      "e3: proc q send net n\n"
+      "with e1 before e2\n"
+      "return p, f1, f2\n"
+      "limit 200";
+  engine::ExecutionOptions base;
+  base.num_threads = 1;
+  engine::QueryResult serial = fx.Run(query, base);
+  EXPECT_EQ(serial.stats.num_threads, 1u);
+  for (size_t t : std::vector<size_t>{2, 8}) {
+    engine::ExecutionOptions opts;
+    opts.num_threads = t;
+    engine::QueryResult parallel = fx.Run(query, opts);
+    EXPECT_EQ(parallel.stats.num_threads, t);
+    ExpectSameResult(serial, parallel,
+                     "threads=" + std::to_string(t));
+  }
+}
+
+TEST(ParallelEngineTest, PathQueryWithEdgeBudgetIsByteIdentical) {
+  EngineFixture fx;
+  const std::string query =
+      "e1: proc p[\"%bash%\"] ~>(1~4)[write] file f[\"/tmp/stolen\"]\n"
+      "e2: proc q read file f2[\"%/etc/%\"]\n"
+      "return p, f";
+  // Sweep the budget from "truncates almost immediately" to "unbounded";
+  // the committed matches, effort counters, and truncation verdict must
+  // agree with the serial engine at every setting.
+  for (uint64_t budget : std::vector<uint64_t>{5, 200, 0}) {
+    engine::ExecutionOptions base;
+    base.num_threads = 1;
+    base.max_graph_edges = budget;
+    engine::QueryResult serial = fx.Run(query, base);
+    for (size_t t : std::vector<size_t>{2, 8}) {
+      engine::ExecutionOptions opts = base;
+      opts.num_threads = t;
+      ExpectSameResult(serial, fx.Run(query, opts),
+                       "budget=" + std::to_string(budget) +
+                           " threads=" + std::to_string(t));
+    }
+  }
+}
+
+TEST(ParallelEngineTest, FaultInjectionTripsAtTheSamePoint) {
+  EngineFixture fx;
+  const std::string query =
+      "e1: proc p read file f1[\"%/etc/%\"]\n"
+      "e2: proc q send net n\n"
+      "return p";
+  auto run = [&](size_t threads) -> Status {
+    testing::ScriptedFaults faults;
+    faults.FailAt("engine.pattern", Status::Internal("injected pattern fault"),
+                  /*after=*/1, /*times=*/1);
+    auto q = tbql::Parse(query);
+    EXPECT_TRUE(q.ok());
+    EXPECT_TRUE(tbql::Analyze(&*q).ok());
+    engine::ExecutionOptions opts;
+    opts.num_threads = threads;
+    return fx.engine->Execute(*q, opts).status();
+  };
+  Status serial = run(1);
+  EXPECT_FALSE(serial.ok());
+  for (size_t t : std::vector<size_t>{2, 8}) {
+    EXPECT_EQ(run(t).ToString(), serial.ToString()) << t << " threads";
+  }
+}
+
+TEST(ParallelEngineTest, DeadlineTruncationIsReportedAtEveryThreadCount) {
+  // Deadline truncation depends on the wall clock, so the exact cut point
+  // is not part of the byte-identical contract; what must hold at every
+  // thread count is that an expired deadline truncates (never errors, never
+  // returns unbounded work) and reports the deadline reason.
+  EngineFixture fx;
+  const std::string query =
+      "e1: proc p read file f1\n"
+      "e2: proc q send net n\n"
+      "return p";
+  for (size_t t : std::vector<size_t>{1, 2, 8}) {
+    testing::ScriptedFaults faults;
+    faults.DelayAt("engine.pattern", std::chrono::milliseconds(80));
+    engine::ExecutionOptions opts;
+    opts.num_threads = t;
+    opts.deadline_ms = 20;
+    engine::QueryResult r = fx.Run(query, opts);
+    EXPECT_TRUE(r.truncated) << t << " threads";
+    EXPECT_NE(r.stats.truncation_reason.find("deadline"), std::string::npos)
+        << t << " threads: " << r.stats.truncation_reason;
+  }
+}
+
+// --- End-to-end hunts through the facade. ---
+
+TEST(ParallelHuntTest, HuntResultsAreByteIdenticalAcrossThreadCounts) {
+  auto build = [] {
+    auto system = std::make_unique<ThreatRaptor>();
+    audit::WorkloadGenerator gen;
+    gen.GenerateBenign(4000, system->mutable_log());
+    gen.InjectDataLeakageAttack(system->mutable_log());
+    gen.GenerateBenign(4000, system->mutable_log());
+    EXPECT_TRUE(system->FinalizeStorage().ok());
+    return system;
+  };
+  auto system = build();
+  audit::WorkloadGenerator gen;  // deterministic: same attack text
+  audit::AuditLog scratch;
+  std::string report = gen.InjectDataLeakageAttack(&scratch).report_text;
+
+  HuntOptions serial_opts;
+  serial_opts.num_threads = 1;
+  auto serial = system->Hunt(report, serial_opts);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_FALSE(serial->result.rows.empty());
+  for (size_t t : std::vector<size_t>{2, 8}) {
+    HuntOptions opts;
+    opts.num_threads = t;
+    auto parallel = system->Hunt(report, opts);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_EQ(parallel->query_text, serial->query_text) << t;
+    ExpectSameResult(serial->result, parallel->result,
+                     "hunt threads=" + std::to_string(t));
+  }
+}
+
+TEST(ParallelHuntTest, DegradedHuntIsByteIdenticalAcrossThreadCounts) {
+  ThreatRaptor system;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(3000, system.mutable_log());
+  gen.InjectDataLeakageAttack(system.mutable_log());
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+  audit::AuditLog scratch;
+  audit::WorkloadGenerator gen2;
+  std::string report = gen2.InjectDataLeakageAttack(&scratch).report_text;
+
+  auto run = [&](size_t threads) {
+    // Fail the full behavior query once; the degraded per-pattern
+    // sub-queries (which also honor num_threads) take over.
+    testing::ScriptedFaults faults;
+    faults.FailAt("engine.execute", Status::Internal("injected engine fault"),
+                  /*after=*/0, /*times=*/1);
+    HuntOptions opts;
+    opts.allow_degraded = true;
+    opts.num_threads = threads;
+    return system.Hunt(report, opts);
+  };
+  auto serial = run(1);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(serial->degradation.degraded);
+  for (size_t t : std::vector<size_t>{2, 8}) {
+    auto parallel = run(t);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_TRUE(parallel->degradation.degraded) << t;
+    EXPECT_EQ(parallel->result.rows, serial->result.rows) << t;
+    EXPECT_EQ(parallel->result.columns, serial->result.columns) << t;
+    EXPECT_EQ(parallel->degradation.subqueries_attempted,
+              serial->degradation.subqueries_attempted)
+        << t;
+    EXPECT_EQ(parallel->degradation.subqueries_succeeded,
+              serial->degradation.subqueries_succeeded)
+        << t;
+  }
+}
+
+// --- Parallel ingestion: parser. ---
+
+TEST(ParallelIngestTest, ParserMatchesSerialByteForByte) {
+  // Build a >=64 KiB corpus (the parallel gate) from a generated log, with
+  // comments, blank lines, and malformed records sprinkled in.
+  audit::AuditLog src;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(4000, &src);
+  std::string text;
+  size_t line_no = 0;
+  for (const audit::SystemEvent& ev : src.events()) {
+    text += audit::LogParser::FormatEvent(src, ev);
+    text += '\n';
+    ++line_no;
+    if (line_no % 97 == 0) text += "# comment line\n\n";
+    if (line_no % 211 == 0) {
+      text += "ts=notanumber pid=1 exe=/x op=read obj=file path=/y\n";
+    }
+  }
+  ASSERT_GE(text.size(), 64u * 1024);
+
+  audit::ParseOptions serial_opts;
+  serial_opts.error_budget = 100;
+  serial_opts.max_error_samples = 3;
+  serial_opts.num_threads = 1;
+  audit::AuditLog serial_log;
+  auto serial = audit::LogParser::ParseText(text, &serial_log, serial_opts);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_GT(serial->skipped, 0u);
+
+  for (size_t t : std::vector<size_t>{2, 4, 8}) {
+    audit::ParseOptions opts = serial_opts;
+    opts.num_threads = t;
+    audit::AuditLog log;
+    auto stats = audit::LogParser::ParseText(text, &log, opts);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->lines, serial->lines) << t;
+    EXPECT_EQ(stats->events, serial->events) << t;
+    EXPECT_EQ(stats->skipped, serial->skipped) << t;
+    EXPECT_EQ(stats->error_samples, serial->error_samples) << t;
+    // Interned entity ids and event records are byte-identical: parallel
+    // chunks commit in input order against the real log.
+    ASSERT_EQ(log.entity_count(), serial_log.entity_count()) << t;
+    ASSERT_EQ(log.event_count(), serial_log.event_count()) << t;
+    for (size_t i = 0; i < log.entity_count(); ++i) {
+      ASSERT_EQ(log.entities()[i].Key(), serial_log.entities()[i].Key())
+          << t << " threads, entity " << i;
+    }
+    for (size_t i = 0; i < log.event_count(); ++i) {
+      const audit::SystemEvent& a = log.events()[i];
+      const audit::SystemEvent& b = serial_log.events()[i];
+      ASSERT_EQ(a.subject, b.subject) << i;
+      ASSERT_EQ(a.object, b.object) << i;
+      ASSERT_EQ(a.op, b.op) << i;
+      ASSERT_EQ(a.start_time, b.start_time) << i;
+      ASSERT_EQ(a.end_time, b.end_time) << i;
+      ASSERT_EQ(a.bytes, b.bytes) << i;
+    }
+  }
+}
+
+TEST(ParallelIngestTest, ParserBudgetFailureMatchesSerial) {
+  audit::AuditLog src;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(3000, &src);
+  std::string text;
+  size_t line_no = 0;
+  for (const audit::SystemEvent& ev : src.events()) {
+    text += audit::LogParser::FormatEvent(src, ev);
+    text += '\n';
+    if (++line_no % 200 == 0) text += "op=read this line is broken\n";
+  }
+  ASSERT_GE(text.size(), 64u * 1024);
+
+  audit::ParseOptions serial_opts;
+  serial_opts.error_budget = 3;  // exceeded partway through the corpus
+  serial_opts.num_threads = 1;
+  audit::AuditLog serial_log;
+  auto serial = audit::LogParser::ParseText(text, &serial_log, serial_opts);
+  ASSERT_FALSE(serial.ok());
+
+  for (size_t t : std::vector<size_t>{2, 8}) {
+    audit::ParseOptions opts = serial_opts;
+    opts.num_threads = t;
+    audit::AuditLog log;
+    auto stats = audit::LogParser::ParseText(text, &log, opts);
+    ASSERT_FALSE(stats.ok()) << t;
+    // Identical failure, and identical prefix already committed.
+    EXPECT_EQ(stats.status().ToString(), serial.status().ToString()) << t;
+    EXPECT_EQ(log.event_count(), serial_log.event_count()) << t;
+    EXPECT_EQ(log.entity_count(), serial_log.entity_count()) << t;
+  }
+}
+
+// --- Parallel ingestion: CPR's stable sort. ---
+
+TEST(ParallelIngestTest, CprMatchesSerialOnTieHeavyData) {
+  // 40k events (over the 32k parallel-sort gate) with heavy start-time ties
+  // so stable-sort order is load-bearing.
+  auto build = [](audit::AuditLog* log) {
+    audit::EntityId proc = log->InternProcess(1, "/bin/worker");
+    std::vector<audit::EntityId> files = {log->InternFile("/data/a"),
+                                          log->InternFile("/data/b")};
+    for (size_t i = 0; i < 40000; ++i) {
+      audit::SystemEvent ev;
+      ev.subject = proc;
+      // Runs of 8 per (subject, object) key, 16-way start-time ties: each
+      // tie straddles a key switch, so what CPR folds together depends on
+      // the stable order within the tie, and distinct `bytes` values make
+      // the fold composition visible in the merged records.
+      ev.object = files[(i / 8) % 2];
+      ev.op = audit::Operation::kRead;
+      ev.start_time = static_cast<audit::Timestamp>((i / 16) * 1000);
+      ev.end_time = ev.start_time + 10;
+      ev.bytes = i;
+      log->AddEvent(ev);
+    }
+  };
+  audit::AuditLog serial_log, parallel_log;
+  build(&serial_log);
+  build(&parallel_log);
+
+  audit::CprOptions serial_opts;
+  serial_opts.num_threads = 1;
+  std::vector<audit::EventId> serial_map;
+  audit::CprStats serial_stats =
+      audit::ReduceLog(&serial_log, serial_opts, &serial_map);
+  ASSERT_LT(serial_stats.events_after, serial_stats.events_before);
+
+  audit::CprOptions opts;
+  opts.num_threads = 8;
+  std::vector<audit::EventId> parallel_map;
+  audit::CprStats stats = audit::ReduceLog(&parallel_log, opts, &parallel_map);
+
+  EXPECT_EQ(stats.events_before, serial_stats.events_before);
+  EXPECT_EQ(stats.events_after, serial_stats.events_after);
+  EXPECT_EQ(parallel_map, serial_map);
+  ASSERT_EQ(parallel_log.event_count(), serial_log.event_count());
+  for (size_t i = 0; i < serial_log.event_count(); ++i) {
+    const audit::SystemEvent& a = parallel_log.events()[i];
+    const audit::SystemEvent& b = serial_log.events()[i];
+    ASSERT_EQ(a.subject, b.subject) << i;
+    ASSERT_EQ(a.object, b.object) << i;
+    ASSERT_EQ(a.op, b.op) << i;
+    ASSERT_EQ(a.start_time, b.start_time) << i;
+    ASSERT_EQ(a.end_time, b.end_time) << i;
+    ASSERT_EQ(a.bytes, b.bytes) << i;
+    ASSERT_EQ(a.merged_count, b.merged_count) << i;
+  }
+}
+
+}  // namespace
+}  // namespace raptor

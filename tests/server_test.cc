@@ -594,6 +594,74 @@ TEST(ServerTest, DebugBundleValidatesWithJsonCheck) {
   EXPECT_EQ(rc, 0);
 }
 
+// --- The ?threads= parameter and pool stats. ---
+
+TEST(ServerTest, ThreadsParamValidatedAndCapped) {
+  ServerFixture fx;
+  const std::string query =
+      "proc p[\"%tar%\"] read file f[\"/etc/passwd\"]\nreturn p, f";
+  // Valid thread counts run and return the same rows as the default —
+  // results are byte-identical at any thread count.
+  for (const char* t : {"1", "2", "8"}) {
+    std::string response = Post(
+        fx.server.port(), std::string("/api/query?threads=") + t, query);
+    EXPECT_NE(response.find("200 OK"), std::string::npos) << t;
+    auto json = Json::Parse(Body(response));
+    ASSERT_TRUE(json.ok()) << Body(response);
+    ASSERT_EQ((*json)["rows"].AsArray().size(), 1u) << t;
+    EXPECT_EQ((*json)["rows"][0][0].AsString(), "/bin/tar");
+    EXPECT_EQ((*json)["rows"][0][1].AsString(), "/etc/passwd");
+  }
+  // The in-range maximum is capped to hardware concurrency, not rejected.
+  std::string capped =
+      Post(fx.server.port(), "/api/query?threads=1024", query);
+  EXPECT_NE(capped.find("200 OK"), std::string::npos);
+  // Non-numeric, zero, negative, oversized, and empty values are 400s.
+  for (const char* bad : {"abc", "0", "-1", "1025", "99999", ""}) {
+    std::string response = Post(
+        fx.server.port(), std::string("/api/query?threads=") + bad, query);
+    EXPECT_NE(response.find("400"), std::string::npos) << "'" << bad << "'";
+    auto json = Json::Parse(Body(response));
+    ASSERT_TRUE(json.ok()) << Body(response);
+    EXPECT_NE((*json)["error"].AsString().find("threads"), std::string::npos)
+        << "'" << bad << "'";
+  }
+  // Hunt and explain take the parameter too, with the same validation.
+  EXPECT_NE(Post(fx.server.port(), "/api/explain?threads=2",
+                 "proc p read file f\nlimit 1")
+                .find("200 OK"),
+            std::string::npos);
+  EXPECT_NE(Post(fx.server.port(), "/api/explain?threads=abc",
+                 "proc p read file f\nlimit 1")
+                .find("400"),
+            std::string::npos);
+  EXPECT_NE(
+      Post(fx.server.port(), "/api/hunt?threads=0", "any report").find("400"),
+      std::string::npos);
+}
+
+TEST(ServerTest, StatsAndBundleCarryPoolCounters) {
+  ServerFixture fx;
+  std::string response = Get(fx.server.port(), "/api/stats");
+  auto json = Json::Parse(Body(response));
+  ASSERT_TRUE(json.ok()) << Body(response);
+  // RegisterThreatRaptorApi warms the shared pool (sized at least 4), so
+  // the gauge is live before any parallel query ran.
+  EXPECT_GE((*json)["pool_threads"].AsNumber(), 4.0);
+  EXPECT_GE((*json)["pool_busy_workers"].AsNumber(), 0.0);
+  EXPECT_GE((*json)["pool_tasks"].AsNumber(), 0.0);
+  EXPECT_GE((*json)["pool_parallel_regions"].AsNumber(), 0.0);
+
+  // The diagnostic bundle records the thread knobs alongside the rest of
+  // the option set.
+  std::string bundle = Body(Get(fx.server.port(), "/api/debug/bundle"));
+  auto parsed = Json::Parse(bundle);
+  ASSERT_TRUE(parsed.ok()) << bundle.substr(0, 400);
+  EXPECT_GE((*parsed)["options"]["execution"]["num_threads"].AsNumber(), 0.0);
+  EXPECT_GE((*parsed)["options"]["hunt"]["num_threads"].AsNumber(), 0.0);
+  EXPECT_GE((*parsed)["stats"]["pool_threads"].AsNumber(), 4.0);
+}
+
 TEST(ServerTest, UnknownPathIs404AndWrongMethodIs405) {
   ServerFixture fx;
   EXPECT_NE(Get(fx.server.port(), "/nope").find("404"), std::string::npos);
