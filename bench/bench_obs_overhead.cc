@@ -16,6 +16,8 @@
 
 #include "core/threat_raptor.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
+#include "obs/slow_journal.h"
 #include "obs/trace.h"
 #include "tbql/analyzer.h"
 #include "tbql/parser.h"
@@ -68,6 +70,42 @@ void BM_SpanRecorded(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpanRecorded);
+
+// Resource accounting: one batch charge (the storage hot-path shape — a
+// handful of these per load/sync/query, never per row).
+void BM_ResourceCharge(benchmark::State& state) {
+  obs::ResourceTracker tracker;
+  for (auto _ : state) {
+    tracker.Charge(obs::Component::kEngine, 4096);
+    tracker.Charge(obs::Component::kEngine, -4096);
+    benchmark::DoNotOptimize(tracker.LiveBytes(obs::Component::kEngine));
+  }
+}
+BENCHMARK(BM_ResourceCharge);
+
+// The RAII form the engine uses around a query's intermediate results.
+void BM_MemoryScope(benchmark::State& state) {
+  obs::ResourceTracker tracker;
+  for (auto _ : state) {
+    obs::MemoryScope scope(obs::Component::kEngine, &tracker);
+    scope.Charge(1 << 16);
+    benchmark::DoNotOptimize(scope.charged());
+  }
+}
+BENCHMARK(BM_MemoryScope);
+
+// The per-query slow-journal check on the fast (under-threshold) path:
+// every query pays this, so it must stay a mutex acquire and two compares.
+void BM_SlowJournalMiss(benchmark::State& state) {
+  obs::SlowJournal journal;
+  journal.Configure({.latency_threshold_ms = 1e9,
+                     .bytes_threshold = 1ull << 60,
+                     .capacity = 8});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(journal.ShouldRecord(0.5, 1024));
+  }
+}
+BENCHMARK(BM_SlowJournalMiss);
 
 // --- (b) Macro: bench_execution's default scenario, three sink levels. ---
 

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench run against the committed BENCH_*.json baselines.
+
+Fails (exit 1) when any benchmark's latency regressed by more than the
+threshold (default 25%). Understands both JSON formats the repo emits:
+
+  * bench_util documents: {"bench": ..., "tables": [{"columns": [...,
+    "ms", ...], "rows": [...]}]}. Each row is keyed by the column values
+    preceding the "ms" column (e.g. query/mode/events) and its "ms" value
+    is the latency.
+  * google-benchmark documents: {"benchmarks": [{"name": ...,
+    "real_time": ..., "time_unit": ...}]}. Each entry is keyed by name and
+    real_time (normalized to ms) is the latency.
+
+Very small timings are skipped (--min-ms, default 0.05 ms): below that,
+CI-runner noise dwarfs any real regression and the gate would flap.
+
+Usage:
+  scripts/bench_compare.py --baseline-dir . --current-dir fresh/ \
+      [--threshold 0.25] [--min-ms 0.05]
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+UNIT_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+
+def load_latencies(path):
+    """Returns {key: latency_ms} for either bench JSON format."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    if "benchmarks" in doc:  # google-benchmark format
+        for entry in doc["benchmarks"]:
+            if entry.get("run_type") == "aggregate":
+                continue
+            scale = UNIT_TO_MS.get(entry.get("time_unit", "ns"), 1e-6)
+            out[entry["name"]] = float(entry["real_time"]) * scale
+    elif "tables" in doc:  # bench_util format
+        for table in doc["tables"]:
+            columns = table.get("columns", [])
+            if "ms" not in columns:
+                continue
+            ms_index = columns.index("ms")
+            for row in table.get("rows", []):
+                key_parts = [str(v) for v in row[:ms_index]]
+                key = "%s[%s]" % (table.get("name", "?"), "/".join(key_parts))
+                # Repeated keys (sweeps over a hidden variable) keep the max
+                # so a regression in any repetition is still visible.
+                value = float(row[ms_index])
+                out[key] = max(out.get(key, 0.0), value)
+    return out
+
+
+def compare_file(name, baseline, current, threshold, min_ms):
+    """Returns a list of regression descriptions for one bench document."""
+    regressions = []
+    compared = skipped = 0
+    for key, base_ms in sorted(baseline.items()):
+        if key not in current:
+            print("  ~ %s: missing from current run, skipped" % key)
+            continue
+        cur_ms = current[key]
+        if base_ms < min_ms:
+            skipped += 1
+            continue
+        compared += 1
+        ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
+        if ratio > 1.0 + threshold:
+            regressions.append(
+                "%s :: %s: %.4f ms -> %.4f ms (%.0f%% slower)"
+                % (name, key, base_ms, cur_ms, (ratio - 1.0) * 100.0)
+            )
+    print(
+        "  %s: %d compared, %d below %.3f ms noise floor, %d regressed"
+        % (name, compared, skipped, min_ms, len(regressions))
+    )
+    return regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-dir", default=".",
+                        help="directory holding committed BENCH_*.json")
+    parser.add_argument("--current-dir", required=True,
+                        help="directory holding the fresh BENCH_*.json run")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional slowdown (0.25 = 25%%)")
+    parser.add_argument("--min-ms", type=float, default=0.05,
+                        help="ignore baselines faster than this (noise)")
+    args = parser.parse_args()
+
+    baselines = sorted(glob.glob(os.path.join(args.baseline_dir,
+                                              "BENCH_*.json")))
+    if not baselines:
+        print("bench_compare: no BENCH_*.json baselines in %s"
+              % args.baseline_dir, file=sys.stderr)
+        return 2
+
+    all_regressions = []
+    for baseline_path in baselines:
+        name = os.path.basename(baseline_path)
+        current_path = os.path.join(args.current_dir, name)
+        if not os.path.exists(current_path):
+            print("  ~ %s: not produced by current run, skipped" % name)
+            continue
+        all_regressions += compare_file(
+            name,
+            load_latencies(baseline_path),
+            load_latencies(current_path),
+            args.threshold,
+            args.min_ms,
+        )
+
+    if all_regressions:
+        print("\nbench_compare: FAIL — %d regression(s) above %.0f%%:"
+              % (len(all_regressions), args.threshold * 100.0))
+        for regression in all_regressions:
+            print("  ! " + regression)
+        return 1
+    print("\nbench_compare: OK — no regression above %.0f%%"
+          % (args.threshold * 100.0))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

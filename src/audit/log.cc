@@ -5,12 +5,29 @@
 
 namespace raptor::audit {
 
+namespace {
+
+// Per-record overheads of the byte-accounting model (hash-map node for the
+// interning key, struct storage for entities/events). Approximate by
+// design: the gauges should move with the data, not be malloc-exact.
+constexpr size_t kInternEntryOverheadBytes = 4 * sizeof(void*);
+
+size_t EntityBytes(const SystemEntity& entity) {
+  return sizeof(SystemEntity) + entity.path.size() + entity.exename.size() +
+         entity.src_ip.size() + entity.dst_ip.size() +
+         entity.protocol.size();
+}
+
+}  // namespace
+
 EntityId AuditLog::AddEntity(SystemEntity entity) {
   std::string key = entity.Key();
   auto it = key_to_id_.find(key);
   if (it != key_to_id_.end()) return it->second;
   EntityId id = entities_.size();
   entity.id = id;
+  approx_bytes_ +=
+      EntityBytes(entity) + key.size() + kInternEntryOverheadBytes;
   entities_.push_back(std::move(entity));
   key_to_id_.emplace(std::move(key), id);
   return id;
@@ -23,6 +40,7 @@ EventId AuditLog::AddEvent(SystemEvent event) {
   EventId id = events_.size();
   event.id = id;
   events_.push_back(event);
+  approx_bytes_ += sizeof(SystemEvent);
   return id;
 }
 
@@ -60,7 +78,9 @@ EntityId AuditLog::FindByKey(const std::string& key) const {
 }
 
 void AuditLog::ReplaceEvents(std::vector<SystemEvent> events) {
+  approx_bytes_ -= events_.size() * sizeof(SystemEvent);
   events_ = std::move(events);
+  approx_bytes_ += events_.size() * sizeof(SystemEvent);
   for (size_t i = 0; i < events_.size(); ++i) {
     events_[i].id = i;
   }

@@ -58,10 +58,17 @@ class AuditLog {
   /// Replaces the event vector (used by CPR, which rewrites events).
   void ReplaceEvents(std::vector<SystemEvent> events);
 
+  /// Approximate bytes held by the log (entities, interning map, events),
+  /// maintained incrementally. A plain counter so the log stays cheaply
+  /// movable; the owner (ThreatRaptor) charges deltas to the
+  /// ResourceTracker's ingest component.
+  size_t ApproxBytes() const { return approx_bytes_; }
+
  private:
   std::vector<SystemEntity> entities_;
   std::vector<SystemEvent> events_;
   std::unordered_map<std::string, EntityId> key_to_id_;
+  size_t approx_bytes_ = 0;
 };
 
 }  // namespace raptor::audit

@@ -5,8 +5,10 @@
 
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "engine/explain.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 #include "storage/persist/snapshot.h"
 #include "synthesis/rules.h"
@@ -27,19 +29,75 @@ std::string DegradationReport::ToString() const {
   return out;
 }
 
+namespace {
+
+/// Translates an executed query's per-operator stats into the generic
+/// journal rows (the obs layer has no engine types).
+obs::SlowEntry BuildSlowEntry(std::string kind, std::string query_text,
+                              const engine::QueryResult& result) {
+  const engine::ExecutionStats& stats = result.stats;
+  obs::SlowEntry entry;
+  entry.kind = std::move(kind);
+  entry.query = std::move(query_text);
+  entry.total_ms = stats.total_ms;
+  entry.bytes = stats.bytes_touched;
+  entry.truncated = result.truncated;
+  entry.profile = result.profile;
+  for (size_t i = 0; i < stats.schedule.size(); ++i) {
+    obs::SlowOperator op;
+    op.name = stats.schedule[i];
+    op.backend = i < stats.pattern_used_graph.size() &&
+                         stats.pattern_used_graph[i]
+                     ? "graph"
+                     : "relational";
+    op.access = std::string(engine::AccessPathLabel(stats, i));
+    if (i < stats.pattern_rows_examined.size()) {
+      op.rows_examined = stats.pattern_rows_examined[i];
+    }
+    if (i < stats.matches_per_pattern.size()) {
+      op.rows_emitted = stats.matches_per_pattern[i];
+    }
+    if (i < stats.pattern_bytes_touched.size()) {
+      op.bytes = stats.pattern_bytes_touched[i];
+    }
+    if (i < stats.per_pattern_ms.size()) op.ms = stats.per_pattern_ms[i];
+    entry.ops.push_back(std::move(op));
+  }
+  return entry;
+}
+
+}  // namespace
+
 ThreatRaptor::ThreatRaptor(ThreatRaptorOptions options)
     : options_(options),
       pipeline_(options.nlp),
-      synthesizer_(options.synthesis) {}
+      synthesizer_(options.synthesis) {
+  // The journal, like the storage gauges, reflects the most recently
+  // constructed system in the process (the server owns exactly one).
+  obs::SlowJournal::Default().Configure(options_.slow_journal);
+}
 
-ThreatRaptor::~ThreatRaptor() = default;
+ThreatRaptor::~ThreatRaptor() {
+  obs::ResourceTracker::Default().Charge(
+      obs::Component::kIngest, -static_cast<int64_t>(ingest_charged_));
+}
+
+void ThreatRaptor::RechargeIngest() {
+  size_t now = log_.ApproxBytes();
+  obs::ResourceTracker::Default().Charge(
+      obs::Component::kIngest,
+      static_cast<int64_t>(now) - static_cast<int64_t>(ingest_charged_));
+  ingest_charged_ = now;
+}
 
 Status ThreatRaptor::IngestLogText(std::string_view text) {
   if (storage_ready_) {
     return Status::InvalidArgument(
         "storage already finalized; ingestion is frozen");
   }
-  return audit::LogParser::ParseText(text, &log_);
+  Status st = audit::LogParser::ParseText(text, &log_);
+  RechargeIngest();
+  return st;
 }
 
 Result<audit::ParseStats> ThreatRaptor::IngestLogText(
@@ -48,7 +106,9 @@ Result<audit::ParseStats> ThreatRaptor::IngestLogText(
     return Status::InvalidArgument(
         "storage already finalized; ingestion is frozen");
   }
-  return audit::LogParser::ParseText(text, &log_, options);
+  auto stats = audit::LogParser::ParseText(text, &log_, options);
+  RechargeIngest();
+  return stats;
 }
 
 Result<audit::SysdigParseStats> ThreatRaptor::IngestSysdigText(
@@ -57,7 +117,9 @@ Result<audit::SysdigParseStats> ThreatRaptor::IngestSysdigText(
     return Status::InvalidArgument(
         "storage already finalized; ingestion is frozen");
   }
-  return audit::SysdigParser::ParseText(text, &log_);
+  auto stats = audit::SysdigParser::ParseText(text, &log_);
+  RechargeIngest();
+  return stats;
 }
 
 Status ThreatRaptor::SaveTraceSnapshot(const std::string& path) const {
@@ -70,6 +132,7 @@ Status ThreatRaptor::LoadTraceSnapshot(const std::string& path) {
         "storage already finalized; ingestion is frozen");
   }
   RAPTOR_ASSIGN_OR_RETURN(log_, persist::LoadSnapshot(path));
+  RechargeIngest();
   return Status::OK();
 }
 
@@ -84,6 +147,7 @@ Status ThreatRaptor::IngestLiveText(std::string_view text) {
   Status st = audit::LogParser::ParseText(text, &log_);
   rel_->SyncWith(log_);
   graph_->SyncWithLog();
+  RechargeIngest();
   return st;
 }
 
@@ -97,6 +161,7 @@ Result<audit::ParseStats> ThreatRaptor::IngestLiveText(
   auto stats = audit::LogParser::ParseText(text, &log_, options);
   rel_->SyncWith(log_);
   graph_->SyncWithLog();
+  RechargeIngest();
   return stats;
 }
 
@@ -110,6 +175,7 @@ Result<audit::SysdigParseStats> ThreatRaptor::IngestLiveSysdig(
   audit::SysdigParseStats stats = audit::SysdigParser::ParseText(text, &log_);
   rel_->SyncWith(log_);
   graph_->SyncWithLog();
+  RechargeIngest();
   return stats;
 }
 
@@ -143,6 +209,9 @@ Status ThreatRaptor::FinalizeStorage() {
   engine_ = std::make_unique<engine::QueryEngine>(&log_, rel_.get(),
                                                   graph_.get());
   storage_ready_ = true;
+  // CPR and any generator writes through mutable_log() changed the log's
+  // footprint without passing through an Ingest* call.
+  RechargeIngest();
   // Storage-size gauges reflect the most recently finalized system in the
   // process (the server owns exactly one).
   obs::Registry::Default()
@@ -198,7 +267,16 @@ Result<engine::QueryResult> ThreatRaptor::ExecuteQuery(
     return Status::InvalidArgument(
         "call FinalizeStorage() before executing queries");
   }
-  return engine_->Execute(query, execution);
+  auto result = engine_->Execute(query, execution);
+  if (result.ok()) {
+    obs::SlowJournal& journal = obs::SlowJournal::Default();
+    if (journal.ShouldRecord(result->stats.total_ms,
+                             result->stats.bytes_touched)) {
+      journal.Record(
+          BuildSlowEntry("query", tbql::Print(query), *result));
+    }
+  }
+  return result;
 }
 
 Result<engine::QueryResult> ThreatRaptor::ExecuteTbql(
@@ -289,11 +367,26 @@ Result<HuntReport> ThreatRaptor::Hunt(std::string_view oscti_report,
   // Stamp timing + profile on whichever report we hand back; error returns
   // skip it and let the TraceScope destructor unwind the trace.
   auto finish = [&](HuntReport* r) {
-    hunt_ms->Observe(std::chrono::duration<double, std::milli>(
-                         std::chrono::steady_clock::now() - t0)
-                         .count());
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    hunt_ms->Observe(ms);
     if (std::optional<obs::Trace> trace = trace_scope.Finish()) {
       r->profile = obs::AggregateProfile(*trace);
+    }
+    obs::SlowJournal& journal = obs::SlowJournal::Default();
+    if (journal.ShouldRecord(ms, r->result.stats.bytes_touched)) {
+      obs::SlowEntry entry = BuildSlowEntry(
+          "hunt",
+          r->query_text.empty()
+              ? std::string(oscti_report.substr(0, 200))
+              : r->query_text,
+          r->result);
+      entry.total_ms = ms;
+      // Prefer the hunt-level profile (extract/synthesize/execute stages)
+      // over the execution-only one copied from the result.
+      if (!r->profile.empty()) entry.profile = r->profile;
+      journal.Record(std::move(entry));
     }
   };
 
@@ -373,8 +466,11 @@ Result<HuntReport> ThreatRaptor::Hunt(std::string_view oscti_report,
     merged.stats.relational_rows_touched +=
         sub->stats.relational_rows_touched;
     merged.stats.graph_edges_traversed += sub->stats.graph_edges_traversed;
-    // Append all six per-pattern vectors together: ExecutionStats keeps
-    // them parallel (same length, same order), and a merged result must
+    merged.stats.bytes_touched += sub->stats.bytes_touched;
+    merged.stats.intermediate_result_bytes +=
+        sub->stats.intermediate_result_bytes;
+    // Append every per-pattern vector together: ExecutionStats keeps them
+    // parallel (same length, same order), and a merged result must
     // preserve that invariant even across sub-queries.
     for (size_t k = 0; k < sub->stats.schedule.size(); ++k) {
       merged.stats.schedule.push_back(label + "/" + sub->stats.schedule[k]);
@@ -386,6 +482,14 @@ Result<HuntReport> ThreatRaptor::Hunt(std::string_view oscti_report,
       merged.stats.per_pattern_ms.push_back(sub->stats.per_pattern_ms[k]);
       merged.stats.pattern_was_constrained.push_back(
           sub->stats.pattern_was_constrained[k]);
+      merged.stats.pattern_rows_examined.push_back(
+          sub->stats.pattern_rows_examined[k]);
+      merged.stats.pattern_bytes_touched.push_back(
+          sub->stats.pattern_bytes_touched[k]);
+      merged.stats.pattern_index_probes.push_back(
+          sub->stats.pattern_index_probes[k]);
+      merged.stats.pattern_full_scans.push_back(
+          sub->stats.pattern_full_scans[k]);
     }
     if (sub->truncated && !merged.truncated) {
       merged.truncated = true;

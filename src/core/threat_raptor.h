@@ -31,6 +31,7 @@
 #include "engine/engine.h"
 #include "nlp/pipeline.h"
 #include "obs/profile.h"
+#include "obs/slow_journal.h"
 #include "storage/graph/graph_store.h"
 #include "storage/relational/database.h"
 #include "synthesis/synthesizer.h"
@@ -63,6 +64,10 @@ struct ThreatRaptorOptions {
   engine::ExecutionOptions execution;
   audit::CprOptions cpr;
   HuntOptions hunt;
+  /// Thresholds for the slow-hunt journal (obs::SlowJournal::Default()):
+  /// hunts/queries whose wall time or bytes touched meet a threshold are
+  /// retained with their full profile and operator stats for /api/slow.
+  obs::SlowJournalOptions slow_journal;
   /// Run Causality-Preserved Reduction before loading storage (paper §II-B).
   bool apply_cpr = true;
 };
@@ -218,8 +223,13 @@ class ThreatRaptor {
   const ThreatRaptorOptions& options() const { return options_; }
 
  private:
+  /// Charges the audit log's byte delta (since the last call) to the
+  /// ingest memory component; released in the destructor.
+  void RechargeIngest();
+
   ThreatRaptorOptions options_;
   audit::AuditLog log_;
+  size_t ingest_charged_ = 0;
   audit::CprStats cpr_stats_;
   std::vector<audit::EventId> cpr_old_to_new_;
   std::unique_ptr<rel::RelationalDatabase> rel_;

@@ -10,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 namespace raptor::engine {
@@ -355,6 +356,8 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
           run->rel_stats.rows_scanned += chunk.stats.rows_scanned;
           run->rel_stats.index_probes += chunk.stats.index_probes;
           run->rel_stats.rows_from_index += chunk.stats.rows_from_index;
+          run->rel_stats.full_scans += chunk.stats.full_scans;
+          run->rel_stats.bytes_touched += chunk.stats.bytes_touched;
           if (chunk.deadline_hit && run->trunc_code.empty()) {
             run->trunc_code = "deadline";
             run->trunc_reason = deadline_reason();
@@ -571,7 +574,12 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
   executions.reserve(n);
   uint64_t committed_graph_edges = 0;
   uint64_t committed_rel_rows = 0;
+  uint64_t committed_bytes = 0;
   size_t committed_patterns = 0;
+  // Intermediate result sets (committed pattern matches, then projected
+  // rows) are charged to the engine memory component for the life of this
+  // call; the peak watermark survives the scope's release.
+  obs::MemoryScope mem_scope(obs::Component::kEngine);
 
   for (const auto& [wave_begin, wave_end] : waves) {
     // A tripped budget ends scheduling: patterns not yet committed are
@@ -703,9 +711,19 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
       result.stats.pattern_scores.push_back(scores[plan.pattern_index]);
       result.stats.pattern_used_graph.push_back(p.is_path);
       result.stats.pattern_was_constrained.push_back(plan.constrained);
-      committed_graph_edges += run.graph_edges;
-      committed_rel_rows +=
+      const uint64_t step_rel_rows =
           run.rel_stats.rows_scanned + run.rel_stats.rows_from_index;
+      const uint64_t step_bytes =
+          run.rel_stats.bytes_touched +
+          run.graph_edges * sizeof(graph::GraphEdge);
+      result.stats.pattern_rows_examined.push_back(step_rel_rows +
+                                                   run.graph_edges);
+      result.stats.pattern_bytes_touched.push_back(step_bytes);
+      result.stats.pattern_index_probes.push_back(run.rel_stats.index_probes);
+      result.stats.pattern_full_scans.push_back(run.rel_stats.full_scans);
+      committed_graph_edges += run.graph_edges;
+      committed_rel_rows += step_rel_rows;
+      committed_bytes += step_bytes;
       obs::Logger::Default()
           .Log(obs::LogLevel::kDebug, "engine", "pattern scheduled")
           .Field("pattern", p.id)
@@ -724,6 +742,12 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
         bindings[p.subject.id] = std::move(subj_seen);
         bindings[p.object.id] = std::move(obj_seen);
       }
+      int64_t match_bytes = 0;
+      for (const PatternMatch& m : run.matches) {
+        match_bytes += static_cast<int64_t>(sizeof(PatternMatch) +
+                                            m.events.size() * sizeof(EventId));
+      }
+      mem_scope.Charge(match_bytes);
       PatternExecution exec;
       exec.pattern = &p;
       exec.matches = std::move(run.matches);
@@ -842,11 +866,25 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
     result.rows.push_back({std::to_string(count)});
   }
 
+  {
+    int64_t row_bytes = 0;
+    for (const auto& row : result.rows) {
+      row_bytes += static_cast<int64_t>(sizeof(row));
+      for (const std::string& cell : row) {
+        row_bytes += static_cast<int64_t>(sizeof(cell) + cell.size());
+      }
+    }
+    mem_scope.Charge(row_bytes);
+  }
+
   // Committed per-pattern sums, not the live backend counters: these are
   // deterministic at any thread count (speculative work the commit loop
   // discarded is excluded) and unaffected by concurrent executions.
   result.stats.relational_rows_touched = committed_rel_rows;
   result.stats.graph_edges_traversed = committed_graph_edges;
+  result.stats.bytes_touched = committed_bytes;
+  result.stats.intermediate_result_bytes =
+      static_cast<uint64_t>(mem_scope.charged());
   result.stats.total_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)

@@ -89,6 +89,20 @@ struct ExecutionStats {
   /// Whether each pattern ran with at least one entity pre-bound by an
   /// earlier pattern's results (constraint propagation in effect).
   std::vector<bool> pattern_was_constrained;
+  /// Per-operator counters (same order as `schedule`; rows emitted is
+  /// `matches_per_pattern`). Rows examined counts relational rows touched
+  /// plus graph edges traversed by the step; bytes price those rows/edges
+  /// at the backing store's row width. Like the other per-pattern vectors
+  /// these are deterministic at any thread count.
+  std::vector<uint64_t> pattern_rows_examined;
+  std::vector<uint64_t> pattern_bytes_touched;
+  std::vector<uint64_t> pattern_index_probes;
+  std::vector<uint64_t> pattern_full_scans;
+  /// Total bytes touched (sum of pattern_bytes_touched).
+  uint64_t bytes_touched = 0;
+  /// Bytes of intermediate result sets (pattern matches + projected rows)
+  /// this execution held, as charged to the engine memory component.
+  uint64_t intermediate_result_bytes = 0;
   /// Why the result was truncated ("deadline of 5 ms exceeded during
   /// pattern 'evt2' (graph search)", "max_graph_edges (1000) reached", "row
   /// cap (1000000) reached", ...); empty when complete.

@@ -7,6 +7,21 @@
 
 namespace raptor::engine {
 
+std::string_view AccessPathLabel(const ExecutionStats& stats, size_t i) {
+  if (i < stats.pattern_used_graph.size() && stats.pattern_used_graph[i]) {
+    return "graph";
+  }
+  uint64_t probes =
+      i < stats.pattern_index_probes.size() ? stats.pattern_index_probes[i]
+                                            : 0;
+  uint64_t scans =
+      i < stats.pattern_full_scans.size() ? stats.pattern_full_scans[i] : 0;
+  if (probes > 0 && scans > 0) return "mixed";
+  if (probes > 0) return "index";
+  if (scans > 0) return "fullscan";
+  return "none";
+}
+
 std::string ExplainAnalyze(const tbql::Query& query,
                            const QueryResult& result) {
   std::map<std::string, const tbql::Pattern*> by_id;
@@ -48,6 +63,29 @@ std::string ExplainAnalyze(const tbql::Query& query,
         score,
         constrained ? "constrained-by-propagation" : "unconstrained",
         matches, ms);
+    uint64_t examined = i < stats.pattern_rows_examined.size()
+                            ? stats.pattern_rows_examined[i]
+                            : 0;
+    uint64_t bytes = i < stats.pattern_bytes_touched.size()
+                         ? stats.pattern_bytes_touched[i]
+                         : 0;
+    uint64_t probes = i < stats.pattern_index_probes.size()
+                          ? stats.pattern_index_probes[i]
+                          : 0;
+    uint64_t scans =
+        i < stats.pattern_full_scans.size() ? stats.pattern_full_scans[i] : 0;
+    double selectivity =
+        examined == 0 ? 0.0
+                      : static_cast<double>(matches) /
+                            static_cast<double>(examined);
+    out += StrFormat(
+        "          access=%s rows_examined=%llu rows_emitted=%zu "
+        "selectivity=%.4f bytes=%llu index_probes=%llu full_scans=%llu\n",
+        std::string(AccessPathLabel(stats, i)).c_str(),
+        static_cast<unsigned long long>(examined), matches, selectivity,
+        static_cast<unsigned long long>(bytes),
+        static_cast<unsigned long long>(probes),
+        static_cast<unsigned long long>(scans));
   }
   out += StrFormat(
       "  join: %zu result rows; %zu temporal + %zu attribute constraints\n",
@@ -55,10 +93,12 @@ std::string ExplainAnalyze(const tbql::Query& query,
       query.attr_relationships.size());
   out += StrFormat(
       "  totals: %.3f ms, %llu relational rows touched, %llu graph edges "
-      "traversed\n",
+      "traversed, %llu bytes touched, %llu intermediate bytes\n",
       stats.total_ms,
       static_cast<unsigned long long>(stats.relational_rows_touched),
-      static_cast<unsigned long long>(stats.graph_edges_traversed));
+      static_cast<unsigned long long>(stats.graph_edges_traversed),
+      static_cast<unsigned long long>(stats.bytes_touched),
+      static_cast<unsigned long long>(stats.intermediate_result_bytes));
   if (result.truncated) {
     out += StrFormat("  truncated: %s\n", stats.truncation_reason.c_str());
   }

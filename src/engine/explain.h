@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "engine/engine.h"
 #include "tbql/ast.h"
@@ -17,5 +18,10 @@ namespace raptor::engine {
 /// Formats an executed query's plan and measurements.
 std::string ExplainAnalyze(const tbql::Query& query,
                            const QueryResult& result);
+
+/// Access-path label for step `i` of `stats`: "graph" for path searches,
+/// else "index" / "fullscan" / "mixed" / "none" from the step's relational
+/// counters. Shared by the text and JSON explain renderings.
+std::string_view AccessPathLabel(const ExecutionStats& stats, size_t i);
 
 }  // namespace raptor::engine

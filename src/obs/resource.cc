@@ -1,0 +1,87 @@
+#include "obs/resource.h"
+
+#include "obs/metrics.h"
+
+namespace raptor::obs {
+
+std::string_view ComponentName(Component component) {
+  switch (component) {
+    case Component::kRelational:
+      return "relational";
+    case Component::kGraph:
+      return "graph";
+    case Component::kIngest:
+      return "ingest";
+    case Component::kEngine:
+      return "engine";
+  }
+  return "unknown";
+}
+
+ResourceTracker& ResourceTracker::Default() {
+  static ResourceTracker* tracker = new ResourceTracker();
+  return *tracker;
+}
+
+void ResourceTracker::Charge(Component component, int64_t bytes) {
+  if (bytes == 0) return;
+  Slot& slot = slots_[static_cast<size_t>(component)];
+  int64_t now =
+      slot.live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (bytes > 0) {
+    int64_t peak = slot.peak.load(std::memory_order_relaxed);
+    while (now > peak && !slot.peak.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+int64_t ResourceTracker::LiveBytes(Component component) const {
+  return slots_[static_cast<size_t>(component)].live.load(
+      std::memory_order_relaxed);
+}
+
+int64_t ResourceTracker::PeakBytes(Component component) const {
+  return slots_[static_cast<size_t>(component)].peak.load(
+      std::memory_order_relaxed);
+}
+
+void ResourceTracker::Publish() const {
+  Registry& registry = Registry::Default();
+  for (size_t i = 0; i < kNumComponents; ++i) {
+    Component component = static_cast<Component>(i);
+    LabelSet labels = {{"component", std::string(ComponentName(component))}};
+    registry
+        .GetGauge("raptor_mem_live_bytes",
+                  "Bytes currently accounted to the component", labels)
+        ->Set(LiveBytes(component));
+    registry
+        .GetGauge("raptor_mem_peak_bytes",
+                  "High-water mark of bytes accounted to the component",
+                  labels)
+        ->Set(PeakBytes(component));
+  }
+}
+
+void ResourceTracker::Reset() {
+  for (Slot& slot : slots_) {
+    slot.live.store(0, std::memory_order_relaxed);
+    slot.peak.store(0, std::memory_order_relaxed);
+  }
+}
+
+MemoryScope::MemoryScope(Component component, ResourceTracker* tracker)
+    : tracker_(tracker ? tracker : &ResourceTracker::Default()),
+      component_(component) {}
+
+MemoryScope::~MemoryScope() {
+  if (charged_ != 0) tracker_->Charge(component_, -charged_);
+}
+
+void MemoryScope::Charge(int64_t bytes) {
+  if (bytes == 0) return;
+  tracker_->Charge(component_, bytes);
+  charged_ += bytes;
+}
+
+}  // namespace raptor::obs

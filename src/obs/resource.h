@@ -1,0 +1,89 @@
+// Resource accounting: per-subsystem byte counters with live/peak
+// watermarks, cheap enough to sit on storage hot paths.
+//
+// Components charge bytes in batches (after a load, a sync, a query — never
+// per row), so the counters are a handful of relaxed atomics updated a few
+// times per operation. `MemoryScope` is the RAII form for transient
+// allocations (e.g. a query's intermediate result sets): everything charged
+// through the scope is released when it dies, leaving only the peak
+// watermark behind.
+//
+// Values surface as `raptor_mem_live_bytes{component=...}` and
+// `raptor_mem_peak_bytes{component=...}` gauges after `Publish()`, which
+// the server calls before every metrics/stats render.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace raptor::obs {
+
+/// Subsystems whose memory footprint is tracked separately.
+enum class Component : uint8_t {
+  kRelational = 0,  ///< Relational tables (rows + indexes).
+  kGraph,           ///< Graph adjacency (edge list + out/in lists).
+  kIngest,          ///< Audit ingestion buffers (entities + events).
+  kEngine,          ///< Query-engine intermediate result sets.
+};
+
+inline constexpr size_t kNumComponents = 4;
+
+/// Stable label value for a component ("relational", "graph", ...).
+std::string_view ComponentName(Component component);
+
+/// Process-wide byte accounting. All methods are thread-safe; charges are
+/// relaxed atomics (no ordering is implied between components).
+class ResourceTracker {
+ public:
+  /// The process-wide tracker used by all built-in instrumentation.
+  static ResourceTracker& Default();
+
+  /// Adds `bytes` (negative to release) to the component's live counter
+  /// and advances its peak watermark.
+  void Charge(Component component, int64_t bytes);
+
+  int64_t LiveBytes(Component component) const;
+  int64_t PeakBytes(Component component) const;
+
+  /// Refreshes the raptor_mem_live_bytes / raptor_mem_peak_bytes gauges in
+  /// Registry::Default() from the current counters.
+  void Publish() const;
+
+  /// Test support: resets every live counter and peak watermark to zero.
+  void Reset();
+
+ private:
+  struct Slot {
+    std::atomic<int64_t> live{0};
+    std::atomic<int64_t> peak{0};
+  };
+  Slot slots_[kNumComponents];
+};
+
+/// RAII charge against one component: everything charged through the scope
+/// is released on destruction. Not thread-safe (one owner), but the
+/// underlying tracker is.
+class MemoryScope {
+ public:
+  explicit MemoryScope(Component component,
+                       ResourceTracker* tracker = nullptr);
+  ~MemoryScope();
+
+  MemoryScope(const MemoryScope&) = delete;
+  MemoryScope& operator=(const MemoryScope&) = delete;
+
+  /// Charges `bytes` more to the component (released at scope exit).
+  void Charge(int64_t bytes);
+
+  /// Total bytes currently charged through this scope.
+  int64_t charged() const { return charged_; }
+
+ private:
+  ResourceTracker* tracker_;
+  Component component_;
+  int64_t charged_ = 0;
+};
+
+}  // namespace raptor::obs

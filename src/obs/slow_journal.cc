@@ -1,0 +1,89 @@
+#include "obs/slow_journal.h"
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace raptor::obs {
+
+SlowJournal& SlowJournal::Default() {
+  static SlowJournal* journal = new SlowJournal();
+  return *journal;
+}
+
+void SlowJournal::Configure(const SlowJournalOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  if (options_.capacity == 0) options_.capacity = 1;
+  while (entries_.size() > options_.capacity) entries_.pop_front();
+}
+
+SlowJournalOptions SlowJournal::options() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_;
+}
+
+bool SlowJournal::ShouldRecord(double total_ms, uint64_t bytes) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.latency_threshold_ms > 0 &&
+      total_ms >= options_.latency_threshold_ms) {
+    return true;
+  }
+  return options_.bytes_threshold > 0 && bytes >= options_.bytes_threshold;
+}
+
+uint64_t SlowJournal::Record(SlowEntry entry) {
+  entry.unix_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  std::string kind = entry.kind;
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entry.trigger.empty()) {
+      entry.trigger = (options_.latency_threshold_ms > 0 &&
+                       entry.total_ms >= options_.latency_threshold_ms)
+                          ? "latency"
+                          : "bytes";
+    }
+    id = next_id_++;
+    entry.id = id;
+    entries_.push_back(std::move(entry));
+    while (entries_.size() > options_.capacity) entries_.pop_front();
+  }
+  Registry::Default()
+      .GetCounter("raptor_slow_journal_entries_total",
+                  "Executions recorded by the slow journal",
+                  {{"kind", kind}})
+      ->Increment();
+  return id;
+}
+
+std::vector<SlowEntry> SlowJournal::Snapshot(size_t limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SlowEntry> out;
+  size_t n = entries_.size();
+  if (limit != 0 && limit < n) n = limit;
+  out.reserve(n);
+  for (auto it = entries_.rbegin(); it != entries_.rend() && out.size() < n;
+       ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+std::optional<SlowEntry> SlowJournal::Find(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const SlowEntry& entry : entries_) {
+    if (entry.id == id) return entry;
+  }
+  return std::nullopt;
+}
+
+void SlowJournal::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace raptor::obs

@@ -1,0 +1,88 @@
+// Bounded slow-hunt journal: the last N hunts/queries that blew past a
+// latency or bytes threshold, each retained with its full span profile,
+// per-operator statistics, and query text — enough to post-mortem a slow
+// hunt without reproducing it.
+//
+// The journal is deliberately generic (plain strings and counters) so that
+// the obs layer stays free of engine types; the core layer translates
+// `engine::ExecutionStats` into `SlowOperator` rows when it records an
+// entry. Served at `GET /api/slow` and folded into `/api/debug/bundle`.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/profile.h"
+
+namespace raptor::obs {
+
+/// One execution step of a recorded hunt (a pattern scan, index probe, or
+/// graph path search).
+struct SlowOperator {
+  std::string name;     ///< Step label (pattern id or edge description).
+  std::string backend;  ///< "relational" or "graph".
+  std::string access;   ///< "index", "fullscan", "mixed", "graph", "none".
+  uint64_t rows_examined = 0;
+  uint64_t rows_emitted = 0;
+  uint64_t bytes = 0;  ///< Approximate bytes touched by the step.
+  double ms = 0;
+};
+
+/// One over-threshold hunt or query.
+struct SlowEntry {
+  uint64_t id = 0;       ///< Journal-assigned, monotonically increasing.
+  uint64_t unix_ms = 0;  ///< Wall-clock time the entry was recorded.
+  std::string kind;      ///< "query" or "hunt".
+  std::string query;     ///< TBQL text (or report excerpt for hunts).
+  std::string trigger;   ///< Which threshold fired: "latency" or "bytes".
+  double total_ms = 0;
+  uint64_t bytes = 0;  ///< Total bytes touched across operators.
+  bool truncated = false;
+  Profile profile;  ///< Full span profile, when one was collected.
+  std::vector<SlowOperator> ops;
+};
+
+/// Thresholds and retention for the journal. A threshold of 0 disables
+/// that trigger.
+struct SlowJournalOptions {
+  double latency_threshold_ms = 250;
+  uint64_t bytes_threshold = 64ull << 20;
+  size_t capacity = 32;  ///< Entries retained; oldest evicted first.
+};
+
+/// Bounded, thread-safe journal of slow executions.
+class SlowJournal {
+ public:
+  /// The process-wide journal used by built-in instrumentation.
+  static SlowJournal& Default();
+
+  void Configure(const SlowJournalOptions& options);
+  SlowJournalOptions options() const;
+
+  /// True when either enabled threshold is met or exceeded.
+  bool ShouldRecord(double total_ms, uint64_t bytes) const;
+
+  /// Appends an entry (evicting the oldest past capacity), assigning its
+  /// id, timestamp, and trigger. Returns the assigned id. Also bumps
+  /// raptor_slow_journal_entries_total{kind}.
+  uint64_t Record(SlowEntry entry);
+
+  /// Newest-first copy of the retained entries; `limit` 0 means all.
+  std::vector<SlowEntry> Snapshot(size_t limit = 0) const;
+
+  std::optional<SlowEntry> Find(uint64_t id) const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  SlowJournalOptions options_;
+  std::deque<SlowEntry> entries_;  // Oldest first.
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace raptor::obs

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <memory>
+#include <thread>
 
 #include "common/json.h"
 #include "common/result.h"
@@ -12,6 +13,8 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/resource.h"
+#include "obs/slow_journal.h"
 #include "obs/trace.h"
 #include "tbql/analyzer.h"
 #include "tbql/parser.h"
@@ -56,6 +59,7 @@ Json ResultToJson(const engine::QueryResult& result,
       static_cast<double>(result.stats.relational_rows_touched);
   stats["graph_edges_traversed"] =
       static_cast<double>(result.stats.graph_edges_traversed);
+  stats["bytes_touched"] = static_cast<double>(result.stats.bytes_touched);
   Json::Array schedule;
   for (const std::string& s : result.stats.schedule) schedule.push_back(s);
   stats["schedule"] = Json(std::move(schedule));
@@ -111,6 +115,31 @@ Result<size_t> ThreadsParam(const HttpRequest& req) {
         "threads must be an integer in [1, 1024], got '" + *raw + "'");
   }
   return std::min(static_cast<size_t>(value), ThreadPool::HardwareThreads());
+}
+
+/// Documented cap for list-style query parameters (`limit`, `count`): the
+/// observability rings are bounded, so asking for more than this is a
+/// client bug, not a bigger answer.
+constexpr size_t kMaxListLimit = 10000;
+
+/// Shared validation for optional non-negative integer query parameters
+/// (/api/logs, /api/traces, /api/slow, /api/watch): absent returns
+/// `fallback`, malformed (non-numeric, negative, empty, trailing garbage)
+/// returns InvalidArgument for a consistent 400, and anything above `cap`
+/// is clamped to it.
+Result<size_t> BoundedParam(const HttpRequest& req, std::string_view key,
+                            size_t fallback, size_t cap) {
+  std::optional<std::string> raw = QueryParam(req, key);
+  if (!raw) return fallback;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(raw->c_str(), &end, 10);
+  if (raw->empty() || end == nullptr || *end != '\0' || raw->front() == '-' ||
+      raw->front() == '+') {
+    return Status::InvalidArgument(std::string(key) +
+                                   " must be a non-negative integer, got '" +
+                                   *raw + "'");
+  }
+  return std::min(static_cast<size_t>(value), cap);
 }
 
 Json LogRecordToJson(const obs::LogRecord& record) {
@@ -254,6 +283,7 @@ constexpr const char* kTruncationReasons[] = {"deadline", "max_graph_edges",
 /// diagnostic bundle.
 Json StatsJson(const ThreatRaptor* system,
                std::chrono::steady_clock::time_point started) {
+  obs::ResourceTracker::Default().Publish();
   obs::Registry& registry = obs::Registry::Default();
   Json::Object stats;
   stats["events"] =
@@ -291,7 +321,52 @@ Json StatsJson(const ThreatRaptor* system,
       static_cast<double>(registry.CounterValue("raptor_pool_tasks_total"));
   stats["pool_parallel_regions"] = static_cast<double>(
       registry.CounterValue("raptor_pool_parallel_regions_total"));
+  // Per-component memory accounting (the raptor_mem_* gauge family).
+  Json::Object mem;
+  obs::ResourceTracker& tracker = obs::ResourceTracker::Default();
+  for (size_t i = 0; i < obs::kNumComponents; ++i) {
+    obs::Component component = static_cast<obs::Component>(i);
+    Json::Object entry;
+    entry["live_bytes"] =
+        static_cast<double>(tracker.LiveBytes(component));
+    entry["peak_bytes"] =
+        static_cast<double>(tracker.PeakBytes(component));
+    mem[std::string(obs::ComponentName(component))] =
+        Json(std::move(entry));
+  }
+  stats["mem"] = Json(std::move(mem));
+  stats["slow_journal_entries"] =
+      static_cast<double>(obs::SlowJournal::Default().Snapshot().size());
   return Json(std::move(stats));
+}
+
+Json SlowEntryToJson(const obs::SlowEntry& entry) {
+  Json::Object out;
+  out["id"] = static_cast<double>(entry.id);
+  out["unix_ms"] = static_cast<double>(entry.unix_ms);
+  out["kind"] = entry.kind;
+  out["query"] = entry.query;
+  out["trigger"] = entry.trigger;
+  out["total_ms"] = entry.total_ms;
+  out["bytes"] = static_cast<double>(entry.bytes);
+  out["truncated"] = entry.truncated;
+  Json::Array ops;
+  for (const obs::SlowOperator& op : entry.ops) {
+    Json::Object step;
+    step["name"] = op.name;
+    step["backend"] = op.backend;
+    step["access"] = op.access;
+    step["rows_examined"] = static_cast<double>(op.rows_examined);
+    step["rows_emitted"] = static_cast<double>(op.rows_emitted);
+    step["bytes"] = static_cast<double>(op.bytes);
+    step["ms"] = op.ms;
+    ops.push_back(Json(std::move(step)));
+  }
+  out["operators"] = Json(std::move(ops));
+  if (!entry.profile.empty()) {
+    out["profile"] = ProfileToJson(entry.profile);
+  }
+  return Json(std::move(out));
 }
 
 /// Serializes the live option set (every knob ThreatRaptorOptions carries)
@@ -366,11 +441,35 @@ Json ExplainToJson(const tbql::Query& query,
         i < stats.pattern_scores.size() ? stats.pattern_scores[i] : 0.0;
     step["constrained"] = i < stats.pattern_was_constrained.size() &&
                           stats.pattern_was_constrained[i];
-    step["matches"] = static_cast<double>(
-        i < stats.matches_per_pattern.size() ? stats.matches_per_pattern[i]
-                                             : 0);
+    size_t matches = i < stats.matches_per_pattern.size()
+                         ? stats.matches_per_pattern[i]
+                         : 0;
+    step["matches"] = static_cast<double>(matches);
     step["ms"] =
         i < stats.per_pattern_ms.size() ? stats.per_pattern_ms[i] : 0.0;
+    // Per-operator resource counters. `access` is the index-vs-fullscan
+    // choice ("graph" for path searches); selectivity is emitted over
+    // examined rows. Everything except `ms` is deterministic at any
+    // ?threads= setting.
+    uint64_t examined = i < stats.pattern_rows_examined.size()
+                            ? stats.pattern_rows_examined[i]
+                            : 0;
+    step["access"] = std::string(engine::AccessPathLabel(stats, i));
+    step["rows_examined"] = static_cast<double>(examined);
+    step["rows_emitted"] = static_cast<double>(matches);
+    step["selectivity"] =
+        examined == 0 ? 0.0
+                      : static_cast<double>(matches) /
+                            static_cast<double>(examined);
+    step["bytes"] = static_cast<double>(
+        i < stats.pattern_bytes_touched.size() ? stats.pattern_bytes_touched[i]
+                                               : 0);
+    step["index_probes"] = static_cast<double>(
+        i < stats.pattern_index_probes.size() ? stats.pattern_index_probes[i]
+                                              : 0);
+    step["full_scans"] = static_cast<double>(
+        i < stats.pattern_full_scans.size() ? stats.pattern_full_scans[i]
+                                            : 0);
     steps.push_back(Json(std::move(step)));
   }
   out["steps"] = Json(std::move(steps));
@@ -388,6 +487,9 @@ Json ExplainToJson(const tbql::Query& query,
       static_cast<double>(stats.relational_rows_touched);
   totals["graph_edges_traversed"] =
       static_cast<double>(stats.graph_edges_traversed);
+  totals["bytes_touched"] = static_cast<double>(stats.bytes_touched);
+  totals["intermediate_result_bytes"] =
+      static_cast<double>(stats.intermediate_result_bytes);
   out["totals"] = Json(std::move(totals));
 
   out["truncated"] = result.truncated;
@@ -425,6 +527,13 @@ void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
                         "Query executions cut short by a resource bound",
                         {{"reason", reason}});
   }
+  for (const char* kind : {"query", "hunt"}) {
+    registry.GetCounter("raptor_slow_journal_entries_total",
+                        "Executions recorded by the slow journal",
+                        {{"kind", kind}});
+  }
+  // Publish once so every raptor_mem_* gauge exists from the first scrape.
+  obs::ResourceTracker::Default().Publish();
   // Warm the shared pool so the raptor_pool_* gauges (and the pool's worker
   // threads) exist from the first scrape, not from the first parallel query.
   ThreadPool::Shared();
@@ -461,10 +570,9 @@ void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
             Status::InvalidArgument("trace must be a positive integer"));
       }
     }
-    if (auto limit = QueryParam(req, "limit")) {
-      filter.limit = static_cast<size_t>(
-          std::strtoull(limit->c_str(), nullptr, 10));
-    }
+    Result<size_t> limit = BoundedParam(req, "limit", 0, kMaxListLimit);
+    if (!limit.ok()) return ErrorResponse(limit.status());
+    filter.limit = *limit;
     Json::Array records;
     for (const obs::LogRecord& record :
          obs::Logger::Default().Snapshot(filter)) {
@@ -502,22 +610,104 @@ void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
       logs.push_back(LogRecordToJson(record));
     }
     bundle["logs"] = Json(std::move(logs));
+    Json::Array slow;
+    for (const obs::SlowEntry& entry : obs::SlowJournal::Default().Snapshot()) {
+      slow.push_back(SlowEntryToJson(entry));
+    }
+    bundle["slow"] = Json(std::move(slow));
     return JsonResponse(Json(std::move(bundle)));
   });
 
   server->Route("GET", "/api/metrics", [](const HttpRequest&) {
+    obs::ResourceTracker::Default().Publish();
     return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
                         obs::Registry::Default().RenderPrometheus()};
   });
 
-  server->Route("GET", "/api/traces", [](const HttpRequest&) {
+  server->Route("GET", "/api/traces", [](const HttpRequest& req) {
+    // "?limit=N" keeps only the newest N traces (validated like every
+    // other list limit; 0 or absent = the whole ring).
+    Result<size_t> limit = BoundedParam(req, "limit", 0, kMaxListLimit);
+    if (!limit.ok()) return ErrorResponse(limit.status());
+    std::vector<obs::Trace> recent = obs::Tracer::Default().RecentTraces();
+    if (*limit != 0 && recent.size() > *limit) {
+      recent.erase(recent.begin(),
+                   recent.end() - static_cast<ptrdiff_t>(*limit));
+    }
     Json::Array traces;
-    for (const obs::Trace& trace : obs::Tracer::Default().RecentTraces()) {
+    for (const obs::Trace& trace : recent) {
       traces.push_back(TraceToJson(trace, /*include_spans=*/false));
     }
     Json::Object out;
     out["traces"] = Json(std::move(traces));
     return JsonResponse(Json(std::move(out)));
+  });
+
+  server->Route("GET", "/api/slow", [](const HttpRequest& req) {
+    // The slow-hunt journal: hunts/queries over the configured latency or
+    // bytes threshold, newest first, each with its full profile and
+    // per-operator stats. "?limit=N" keeps the newest N.
+    Result<size_t> limit = BoundedParam(req, "limit", 0, kMaxListLimit);
+    if (!limit.ok()) return ErrorResponse(limit.status());
+    obs::SlowJournal& journal = obs::SlowJournal::Default();
+    obs::SlowJournalOptions options = journal.options();
+    Json::Array entries;
+    for (const obs::SlowEntry& entry : journal.Snapshot(*limit)) {
+      entries.push_back(SlowEntryToJson(entry));
+    }
+    Json::Object out;
+    out["entries"] = Json(std::move(entries));
+    out["latency_threshold_ms"] = options.latency_threshold_ms;
+    out["bytes_threshold"] = static_cast<double>(options.bytes_threshold);
+    out["capacity"] = static_cast<double>(options.capacity);
+    return JsonResponse(Json(std::move(out)));
+  });
+
+  server->Route("GET", "/api/healthz", [](const HttpRequest&) {
+    // Liveness: the accept loop is serving requests.
+    return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+  });
+
+  server->Route("GET", "/api/readyz", [system](const HttpRequest&) {
+    // Readiness: gated on storage sync state — before FinalizeStorage()
+    // hunts and queries would only return errors, so load balancers should
+    // not route traffic here yet.
+    if (system->storage_ready()) {
+      return HttpResponse{200, "text/plain; charset=utf-8", "ready\n"};
+    }
+    return HttpResponse{503, "text/plain; charset=utf-8",
+                        "storage not finalized\n"};
+  });
+
+  server->Route("GET", "/api/watch", [system, started](const HttpRequest& req) {
+    // Server-Sent Events live-metrics stream for dashboards: one
+    // `event: metrics` block per interval carrying the /api/stats document.
+    // Bounded by design ("?count=N", default 5) because the accept loop
+    // serves connections serially — an unbounded stream would starve other
+    // clients.
+    Result<size_t> count = BoundedParam(req, "count", 5, 3600);
+    if (!count.ok()) return ErrorResponse(count.status());
+    Result<size_t> interval = BoundedParam(req, "interval_ms", 500, 60000);
+    if (!interval.ok()) return ErrorResponse(interval.status());
+    auto remaining = std::make_shared<size_t>(std::max<size_t>(1, *count));
+    auto first = std::make_shared<bool>(true);
+    size_t interval_ms = *interval;
+    HttpResponse response;
+    response.status = 200;
+    response.content_type = "text/event-stream; charset=utf-8";
+    response.body_stream = [system, started, remaining, first,
+                            interval_ms]() -> std::optional<std::string> {
+      if (*remaining == 0) return std::nullopt;
+      if (*first) {
+        *first = false;
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      }
+      --*remaining;
+      return "event: metrics\ndata: " + StatsJson(system, *started).Dump() +
+             "\n\n";
+    };
+    return response;
   });
 
   server->RoutePrefix("GET", "/api/traces/", [](const HttpRequest& req) {

@@ -34,12 +34,29 @@ const char* StatusText(int status) {
       return "Payload Too Large";
     case 500:
       return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
     default:
       return "Unknown";
   }
 }
 
 void SendResponse(int fd, const HttpResponse& response) {
+  if (response.body_stream) {
+    // Streamed body: headers without Content-Length, then chunks until the
+    // producer is done or the client hangs up (send failure).
+    std::string head = StrFormat("HTTP/1.1 %d %s\r\n", response.status,
+                                 StatusText(response.status));
+    head += "Content-Type: " + response.content_type + "\r\n";
+    head += "Cache-Control: no-store\r\n";
+    head += "Connection: close\r\n\r\n";
+    if (::send(fd, head.data(), head.size(), MSG_NOSIGNAL) < 0) return;
+    while (std::optional<std::string> chunk = response.body_stream()) {
+      if (chunk->empty()) continue;
+      if (::send(fd, chunk->data(), chunk->size(), MSG_NOSIGNAL) < 0) return;
+    }
+    return;
+  }
   std::string wire = SerializeResponse(response);
   (void)::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
 }

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -33,6 +34,13 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
+  /// Streaming body (Server-Sent Events): when set, `body` is ignored. The
+  /// server sends the status line and headers without Content-Length
+  /// (Connection: close delimits the body), then calls this repeatedly —
+  /// writing each returned chunk — until it returns nullopt. The callback
+  /// may block between chunks (it runs on the accept thread, which serves
+  /// connections serially, so handlers should bound the stream).
+  std::function<std::optional<std::string>()> body_stream = nullptr;
 };
 
 using Handler = std::function<HttpResponse(const HttpRequest&)>;

@@ -6,6 +6,7 @@
 #include "common/thread_pool.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 
 namespace raptor::graph {
 
@@ -45,6 +46,26 @@ void GraphStore::SyncWithLog() {
     out_[ev.subject].push_back(idx);
     in_[ev.object].push_back(idx);
   }
+  // Re-charge the delta so raptor_mem_* gauges track adjacency growth.
+  size_t now = ApproxBytes();
+  obs::ResourceTracker::Default().Charge(
+      obs::Component::kGraph,
+      static_cast<int64_t>(now) - static_cast<int64_t>(charged_bytes_));
+  charged_bytes_ = now;
+}
+
+GraphStore::~GraphStore() {
+  obs::ResourceTracker::Default().Charge(
+      obs::Component::kGraph, -static_cast<int64_t>(charged_bytes_));
+}
+
+size_t GraphStore::ApproxBytes() const {
+  size_t total = edges_.capacity() * sizeof(GraphEdge);
+  total += (out_.capacity() + in_.capacity()) *
+           sizeof(std::vector<size_t>);
+  for (const auto& adj : out_) total += adj.capacity() * sizeof(size_t);
+  for (const auto& adj : in_) total += adj.capacity() * sizeof(size_t);
+  return total;
 }
 
 std::vector<EntityId> GraphStore::FindNodes(const NodePredicate& pred) const {

@@ -119,6 +119,7 @@ class GraphStore {
  public:
   /// Builds nodes and adjacency from `log`; `log` must outlive the store.
   explicit GraphStore(const audit::AuditLog& log);
+  ~GraphStore();
 
   /// Appends any entities/events added to the log since construction (or
   /// the last sync) — the live-ingestion path. Existing edges are never
@@ -162,6 +163,9 @@ class GraphStore {
   const GraphStats& stats() const { return stats_; }
   void ResetStats() { stats_ = GraphStats{}; }
 
+  /// Approximate bytes of the edge list + adjacency indexes.
+  size_t ApproxBytes() const;
+
  private:
   struct SearchState;  // defined in graph_store.cc
   void Dfs(SearchState* state, audit::EntityId node) const;
@@ -171,6 +175,7 @@ class GraphStore {
   std::vector<std::vector<size_t>> out_;
   std::vector<std::vector<size_t>> in_;
   mutable GraphStats stats_;
+  size_t charged_bytes_ = 0;  ///< Bytes reported to the ResourceTracker.
 };
 
 }  // namespace raptor::graph

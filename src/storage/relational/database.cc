@@ -1,6 +1,7 @@
 #include "storage/relational/database.h"
 
 #include "obs/log.h"
+#include "obs/resource.h"
 
 namespace raptor::rel {
 
@@ -75,6 +76,13 @@ void RelationalDatabase::SyncWith(const audit::AuditLog& log) {
                      static_cast<int64_t>(ev.bytes)});
   }
   loaded_events_ = log.event_count();
+  // Re-charge the delta since the last sync so the raptor_mem_* gauges
+  // follow table growth without per-row accounting overhead.
+  size_t now = ApproxBytes();
+  obs::ResourceTracker::Default().Charge(
+      obs::Component::kRelational,
+      static_cast<int64_t>(now) - static_cast<int64_t>(charged_bytes_));
+  charged_bytes_ = now;
   obs::Logger::Default()
       .Log(obs::LogLevel::kInfo, "storage", "relational store synced")
       .Field("entities", static_cast<uint64_t>(loaded_entities_))
@@ -102,6 +110,20 @@ uint64_t RelationalDatabase::TotalRowsTouched() const {
   for (const Table* t : {files_.get(), procs_.get(), nets_.get(),
                          events_.get()}) {
     total += t->stats().rows_scanned + t->stats().rows_from_index;
+  }
+  return total;
+}
+
+RelationalDatabase::~RelationalDatabase() {
+  obs::ResourceTracker::Default().Charge(
+      obs::Component::kRelational, -static_cast<int64_t>(charged_bytes_));
+}
+
+size_t RelationalDatabase::ApproxBytes() const {
+  size_t total = 0;
+  for (const Table* t :
+       {files_.get(), procs_.get(), nets_.get(), events_.get()}) {
+    total += t->ApproxBytes();
   }
   return total;
 }

@@ -20,6 +20,7 @@ namespace raptor::rel {
 class RelationalDatabase {
  public:
   RelationalDatabase();
+  ~RelationalDatabase();
 
   /// Bulk-loads every entity and event of `log`. `log` must outlive queries
   /// only in the sense that ids refer back to it; the database copies all
@@ -54,6 +55,9 @@ class RelationalDatabase {
   uint64_t TotalRowsTouched() const;
   void ResetStats();
 
+  /// Approximate bytes held by all tables (rows + indexes).
+  size_t ApproxBytes() const;
+
  private:
   std::unique_ptr<Table> files_;
   std::unique_ptr<Table> procs_;
@@ -61,6 +65,7 @@ class RelationalDatabase {
   std::unique_ptr<Table> events_;
   size_t loaded_entities_ = 0;
   size_t loaded_events_ = 0;
+  size_t charged_bytes_ = 0;  ///< Bytes reported to the ResourceTracker.
 };
 
 }  // namespace raptor::rel

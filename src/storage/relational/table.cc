@@ -9,12 +9,36 @@
 
 namespace raptor::rel {
 
+namespace {
+
+// Fixed overheads of the byte-accounting model: a vector header per row and
+// a tree node per index entry. Approximate by design — the point is that
+// the gauges move proportionally with the data, not malloc-exact numbers.
+constexpr size_t kRowOverheadBytes = sizeof(Row);
+constexpr size_t kIndexEntryOverheadBytes = 4 * sizeof(void*);
+
+size_t ValueBytes(const Value& value) {
+  size_t bytes = sizeof(Value);
+  if (value.is_string()) bytes += value.AsString().size();
+  return bytes;
+}
+
+size_t RowBytes(const Row& row) {
+  size_t bytes = kRowOverheadBytes;
+  for (const Value& value : row) bytes += ValueBytes(value);
+  return bytes;
+}
+
+}  // namespace
+
 RowId Table::Insert(Row row) {
   assert(row.size() == schema_.num_columns());
   RowId id = rows_.size();
   for (auto& [col, index] : indexes_) {
     index.emplace(row[col], id);
+    index_bytes_ += ValueBytes(row[col]) + kIndexEntryOverheadBytes;
   }
+  data_bytes_ += RowBytes(row);
   rows_.push_back(std::move(row));
   return id;
 }
@@ -28,6 +52,7 @@ Status Table::CreateIndex(const std::string& column) {
   Index index;
   for (RowId id = 0; id < rows_.size(); ++id) {
     index.emplace(rows_[id][col], id);
+    index_bytes_ += ValueBytes(rows_[id][col]) + kIndexEntryOverheadBytes;
   }
   indexes_.emplace(col, std::move(index));
   return Status::OK();
@@ -151,10 +176,16 @@ std::vector<RowId> Table::Select(const Conjunction& predicates,
         .fetch_add(delta.index_probes, std::memory_order_relaxed);
     std::atomic_ref<uint64_t>(stats_.rows_from_index)
         .fetch_add(delta.rows_from_index, std::memory_order_relaxed);
+    std::atomic_ref<uint64_t>(stats_.full_scans)
+        .fetch_add(delta.full_scans, std::memory_order_relaxed);
+    std::atomic_ref<uint64_t>(stats_.bytes_touched)
+        .fetch_add(delta.bytes_touched, std::memory_order_relaxed);
     if (options.call_stats != nullptr) {
       options.call_stats->rows_scanned += delta.rows_scanned;
       options.call_stats->index_probes += delta.index_probes;
       options.call_stats->rows_from_index += delta.rows_from_index;
+      options.call_stats->full_scans += delta.full_scans;
+      options.call_stats->bytes_touched += delta.bytes_touched;
     }
   };
 
@@ -163,6 +194,8 @@ std::vector<RowId> Table::Select(const Conjunction& predicates,
     out.resize(rows_.size());
     for (RowId id = 0; id < rows_.size(); ++id) out[id] = id;
     delta.rows_scanned += rows_.size();
+    ++delta.full_scans;
+    delta.bytes_touched += data_bytes_;
     commit_stats();
     full_scans->Increment();
     rows_touched->Increment(rows_.size());
@@ -204,6 +237,8 @@ std::vector<RowId> Table::Select(const Conjunction& predicates,
       }
     }
     delta.rows_scanned += rows_.size();
+    ++delta.full_scans;
+    delta.bytes_touched += data_bytes_;
     commit_stats();
     full_scans->Increment();
     rows_touched->Increment(rows_.size());
@@ -230,6 +265,9 @@ std::vector<RowId> Table::Select(const Conjunction& predicates,
     if (MatchesAll(predicates, rows_[it->second])) out.push_back(it->second);
   }
   delta.rows_from_index += from_index;
+  // Index reads touch one row per matching entry; price them at the table's
+  // average row width so byte counts stay deterministic and O(1) to derive.
+  delta.bytes_touched += from_index * AvgRowBytes();
   commit_stats();
   rows_touched->Increment(from_index);
   std::sort(out.begin(), out.end());

@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -29,6 +30,8 @@ struct TableStats {
   uint64_t rows_scanned = 0;   ///< Rows touched by full scans.
   uint64_t index_probes = 0;   ///< Index lookups performed.
   uint64_t rows_from_index = 0;  ///< Rows produced by index access paths.
+  uint64_t full_scans = 0;     ///< Select calls that fell back to a scan.
+  uint64_t bytes_touched = 0;  ///< Approximate bytes of row data examined.
 };
 
 /// \brief Per-call execution knobs for Select. Full scans are partitioned
@@ -90,6 +93,20 @@ class Table {
   const TableStats& stats() const { return stats_; }
   void ResetStats() { stats_ = TableStats{}; }
 
+  /// Approximate bytes of row data (values + per-row overhead), maintained
+  /// incrementally on Insert so reading it is O(1).
+  size_t ApproxDataBytes() const { return data_bytes_; }
+  /// Approximate bytes of index entries across all secondary indexes.
+  size_t ApproxIndexBytes() const { return index_bytes_; }
+  size_t ApproxBytes() const { return data_bytes_ + index_bytes_; }
+
+  /// Average bytes per row (>= 1 once the table has rows) — the unit used
+  /// to convert row counts into bytes-touched estimates.
+  size_t AvgRowBytes() const {
+    return rows_.empty() ? 0
+                         : std::max<size_t>(1, data_bytes_ / rows_.size());
+  }
+
  private:
   using Index = std::multimap<Value, RowId>;
 
@@ -113,6 +130,8 @@ class Table {
   std::vector<Row> rows_;
   std::unordered_map<ColumnId, Index> indexes_;
   mutable TableStats stats_;
+  size_t data_bytes_ = 0;
+  size_t index_bytes_ = 0;
 };
 
 }  // namespace raptor::rel

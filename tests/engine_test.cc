@@ -447,5 +447,59 @@ TEST(EngineTest, CountWithLimitCapsTheCount) {
   EXPECT_EQ(r.rows[0][0], "1");
 }
 
+// --- Per-operator resource statistics. ---
+
+TEST(OperatorStatsTest, PerPatternVectorsAlignWithSchedule) {
+  Fixture fx = MakeSmallFixture();
+  auto r = fx.Run(
+      "e1: proc p read file f1[\"/etc/passwd\"]\n"
+      "e2: proc p write file f2[\"/tmp/out\"]\n"
+      "return p");
+  const ExecutionStats& stats = r.stats;
+  ASSERT_EQ(stats.schedule.size(), 2u);
+  EXPECT_EQ(stats.pattern_rows_examined.size(), stats.schedule.size());
+  EXPECT_EQ(stats.pattern_bytes_touched.size(), stats.schedule.size());
+  EXPECT_EQ(stats.pattern_index_probes.size(), stats.schedule.size());
+  EXPECT_EQ(stats.pattern_full_scans.size(), stats.schedule.size());
+  // Each pattern examined at least its own matches.
+  for (size_t i = 0; i < stats.schedule.size(); ++i) {
+    EXPECT_GE(stats.pattern_rows_examined[i], stats.matches_per_pattern[i])
+        << "step " << i;
+    EXPECT_GT(stats.pattern_bytes_touched[i], 0u) << "step " << i;
+  }
+  // Totals are the sum of the per-pattern contributions.
+  uint64_t summed = 0;
+  for (uint64_t b : stats.pattern_bytes_touched) summed += b;
+  EXPECT_EQ(stats.bytes_touched, summed);
+  EXPECT_GT(stats.intermediate_result_bytes, 0u);
+}
+
+TEST(OperatorStatsTest, AccessPathLabelsReflectBackendChoice) {
+  Fixture fx = MakeSmallFixture();
+  auto r = fx.Run(R"(proc p["%tar%"] read file f["/etc/passwd"])");
+  ASSERT_EQ(r.stats.schedule.size(), 1u);
+  // An exact file-name filter goes through the name index (possibly with a
+  // residual scan for the proc filter, i.e. "mixed"); never "none".
+  std::string_view label = AccessPathLabel(r.stats, 0);
+  EXPECT_TRUE(label == "index" || label == "mixed" || label == "fullscan")
+      << label;
+  // Out-of-range steps degrade to "none" rather than crashing.
+  EXPECT_EQ(AccessPathLabel(r.stats, 99), "none");
+}
+
+TEST(OperatorStatsTest, ExplainAnalyzeRendersOperatorLines) {
+  Fixture fx = MakeSmallFixture();
+  auto parsed = tbql::Parse("proc p read file f");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(tbql::Analyze(&*parsed).ok());
+  auto result = fx.engine->Execute(*parsed, {});
+  ASSERT_TRUE(result.ok());
+  std::string text = ExplainAnalyze(*parsed, *result);
+  EXPECT_NE(text.find("access="), std::string::npos) << text;
+  EXPECT_NE(text.find("rows_examined="), std::string::npos) << text;
+  EXPECT_NE(text.find("selectivity="), std::string::npos) << text;
+  EXPECT_NE(text.find("bytes touched"), std::string::npos) << text;
+}
+
 }  // namespace
 }  // namespace raptor::engine

@@ -10,6 +10,8 @@
 
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/resource.h"
+#include "obs/slow_journal.h"
 #include "obs/trace.h"
 
 namespace raptor::obs {
@@ -324,6 +326,172 @@ TEST(ProfileTest, EmptyTraceYieldsEmptyProfile) {
   Profile profile = AggregateProfile(Trace{});
   EXPECT_TRUE(profile.empty());
   EXPECT_EQ(profile.TopLevelMs(), 0.0);
+}
+
+// =====================================================================
+// Resource accounting.
+// =====================================================================
+
+TEST(ResourceTrackerTest, ChargeReleaseAndPeakWatermark) {
+  ResourceTracker tracker;
+  tracker.Charge(Component::kRelational, 100);
+  tracker.Charge(Component::kRelational, 50);
+  EXPECT_EQ(tracker.LiveBytes(Component::kRelational), 150);
+  EXPECT_EQ(tracker.PeakBytes(Component::kRelational), 150);
+  tracker.Charge(Component::kRelational, -120);
+  EXPECT_EQ(tracker.LiveBytes(Component::kRelational), 30);
+  // Releases never move the watermark.
+  EXPECT_EQ(tracker.PeakBytes(Component::kRelational), 150);
+  // Components are independent.
+  EXPECT_EQ(tracker.LiveBytes(Component::kGraph), 0);
+  EXPECT_EQ(tracker.PeakBytes(Component::kGraph), 0);
+}
+
+TEST(ResourceTrackerTest, ResetClearsLiveAndPeak) {
+  ResourceTracker tracker;
+  tracker.Charge(Component::kEngine, 1 << 20);
+  tracker.Reset();
+  EXPECT_EQ(tracker.LiveBytes(Component::kEngine), 0);
+  EXPECT_EQ(tracker.PeakBytes(Component::kEngine), 0);
+}
+
+TEST(ResourceTrackerTest, ConcurrentChargesBalance) {
+  ResourceTracker tracker;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 1000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&tracker] {
+      for (int i = 0; i < kIters; ++i) {
+        tracker.Charge(Component::kIngest, 64);
+        tracker.Charge(Component::kIngest, -64);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(tracker.LiveBytes(Component::kIngest), 0);
+  EXPECT_GE(tracker.PeakBytes(Component::kIngest), 64);
+}
+
+TEST(ResourceTrackerTest, PublishSetsPerComponentGauges) {
+  ResourceTracker& tracker = ResourceTracker::Default();
+  tracker.Charge(Component::kGraph, 4096);
+  tracker.Publish();
+  Registry& registry = Registry::Default();
+  EXPECT_GE(registry.GaugeValue("raptor_mem_live_bytes",
+                                {{"component", "graph"}}),
+            4096);
+  EXPECT_GE(registry.GaugeValue("raptor_mem_peak_bytes",
+                                {{"component", "graph"}}),
+            4096);
+  tracker.Charge(Component::kGraph, -4096);
+}
+
+TEST(MemoryScopeTest, ReleasesOnDestructionLeavingPeak) {
+  ResourceTracker tracker;
+  {
+    MemoryScope scope(Component::kEngine, &tracker);
+    scope.Charge(1000);
+    scope.Charge(500);
+    EXPECT_EQ(scope.charged(), 1500);
+    EXPECT_EQ(tracker.LiveBytes(Component::kEngine), 1500);
+  }
+  EXPECT_EQ(tracker.LiveBytes(Component::kEngine), 0);
+  EXPECT_EQ(tracker.PeakBytes(Component::kEngine), 1500);
+}
+
+// =====================================================================
+// Slow journal.
+// =====================================================================
+
+SlowEntry MakeEntry(std::string kind, double ms, uint64_t bytes) {
+  SlowEntry entry;
+  entry.kind = std::move(kind);
+  entry.query = "proc p read file f return p, f";
+  entry.total_ms = ms;
+  entry.bytes = bytes;
+  return entry;
+}
+
+TEST(SlowJournalTest, ThresholdsGateRecording) {
+  SlowJournal journal;
+  journal.Configure({.latency_threshold_ms = 100,
+                     .bytes_threshold = 1 << 20,
+                     .capacity = 8});
+  EXPECT_FALSE(journal.ShouldRecord(99.0, 1000));
+  EXPECT_TRUE(journal.ShouldRecord(100.0, 0));  // Latency trigger.
+  EXPECT_TRUE(journal.ShouldRecord(0.0, 1 << 20));  // Bytes trigger.
+  // A zero threshold disables that trigger entirely.
+  journal.Configure(
+      {.latency_threshold_ms = 0, .bytes_threshold = 1 << 20, .capacity = 8});
+  EXPECT_FALSE(journal.ShouldRecord(1e9, 0));
+  EXPECT_TRUE(journal.ShouldRecord(1e9, 1 << 20));
+  journal.Configure(
+      {.latency_threshold_ms = 0, .bytes_threshold = 0, .capacity = 8});
+  EXPECT_FALSE(journal.ShouldRecord(1e9, 1ull << 40));
+}
+
+TEST(SlowJournalTest, RecordAssignsIdsTimestampsAndTriggers) {
+  SlowJournal journal;
+  journal.Configure({.latency_threshold_ms = 100,
+                     .bytes_threshold = 1 << 20,
+                     .capacity = 8});
+  uint64_t first = journal.Record(MakeEntry("query", 500.0, 0));
+  uint64_t second = journal.Record(MakeEntry("hunt", 1.0, 2 << 20));
+  EXPECT_LT(first, second);
+  std::optional<SlowEntry> slow_query = journal.Find(first);
+  ASSERT_TRUE(slow_query.has_value());
+  EXPECT_EQ(slow_query->trigger, "latency");
+  EXPECT_GT(slow_query->unix_ms, 0u);
+  std::optional<SlowEntry> slow_hunt = journal.Find(second);
+  ASSERT_TRUE(slow_hunt.has_value());
+  EXPECT_EQ(slow_hunt->trigger, "bytes");
+  EXPECT_FALSE(journal.Find(9999).has_value());
+}
+
+TEST(SlowJournalTest, SnapshotIsNewestFirstAndBounded) {
+  SlowJournal journal;
+  journal.Configure(
+      {.latency_threshold_ms = 1, .bytes_threshold = 0, .capacity = 3});
+  for (int i = 0; i < 5; ++i) {
+    journal.Record(MakeEntry("query", 10.0 + i, 0));
+  }
+  // Capacity 3: the two oldest entries were evicted.
+  std::vector<SlowEntry> all = journal.Snapshot();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_GT(all[0].id, all[1].id);
+  EXPECT_GT(all[1].id, all[2].id);
+  EXPECT_DOUBLE_EQ(all[0].total_ms, 14.0);
+  std::vector<SlowEntry> top = journal.Snapshot(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, all[0].id);
+  journal.Clear();
+  EXPECT_TRUE(journal.Snapshot().empty());
+}
+
+TEST(SlowJournalTest, EntryRetainsProfileAndOperators) {
+  SlowJournal journal;
+  journal.Configure(
+      {.latency_threshold_ms = 1, .bytes_threshold = 0, .capacity = 4});
+  SlowEntry entry = MakeEntry("hunt", 42.0, 4096);
+  entry.profile.total_ms = 42.0;
+  entry.profile.stages.push_back({"execute", 40.0, 1});
+  SlowOperator op;
+  op.name = "p1: read(p, f)";
+  op.backend = "relational";
+  op.access = "index";
+  op.rows_examined = 100;
+  op.rows_emitted = 7;
+  op.bytes = 4096;
+  entry.ops.push_back(op);
+  uint64_t id = journal.Record(std::move(entry));
+  std::optional<SlowEntry> found = journal.Find(id);
+  ASSERT_TRUE(found.has_value());
+  ASSERT_EQ(found->ops.size(), 1u);
+  EXPECT_EQ(found->ops[0].access, "index");
+  EXPECT_EQ(found->ops[0].rows_examined, 100u);
+  ASSERT_FALSE(found->profile.empty());
+  EXPECT_EQ(found->profile.stages[0].stage, "execute");
 }
 
 }  // namespace

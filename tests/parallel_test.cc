@@ -13,6 +13,7 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -321,6 +322,18 @@ void ExpectSameResult(const engine::QueryResult& a,
       << label;
   EXPECT_EQ(a.stats.graph_edges_traversed, b.stats.graph_edges_traversed)
       << label;
+  // Per-operator resource statistics are committed in schedule order from
+  // the serial commit loop, so they inherit the same contract.
+  EXPECT_EQ(a.stats.pattern_rows_examined, b.stats.pattern_rows_examined)
+      << label;
+  EXPECT_EQ(a.stats.pattern_bytes_touched, b.stats.pattern_bytes_touched)
+      << label;
+  EXPECT_EQ(a.stats.pattern_index_probes, b.stats.pattern_index_probes)
+      << label;
+  EXPECT_EQ(a.stats.pattern_full_scans, b.stats.pattern_full_scans) << label;
+  EXPECT_EQ(a.stats.bytes_touched, b.stats.bytes_touched) << label;
+  EXPECT_EQ(a.stats.intermediate_result_bytes, b.stats.intermediate_result_bytes)
+      << label;
 }
 
 TEST(ParallelEngineTest, MultiPatternQueryIsByteIdentical) {
@@ -419,6 +432,41 @@ TEST(ParallelEngineTest, DeadlineTruncationIsReportedAtEveryThreadCount) {
     EXPECT_TRUE(r.truncated) << t << " threads";
     EXPECT_NE(r.stats.truncation_reason.find("deadline"), std::string::npos)
         << t << " threads: " << r.stats.truncation_reason;
+  }
+}
+
+TEST(ParallelEngineTest, ProfileMergesPoolWorkerSpansOnce) {
+  // ?profile=1 + ?threads=N: AggregateProfile merges spans by path, so each
+  // stage path — including the pool workers' "pool-task" spans — must
+  // appear exactly once in the merged profile at every thread count (the
+  // repeat count lives in StageStat::count, not in duplicate rows).
+  EngineFixture fx;
+  const std::string query =
+      "e1: proc p read file f1\n"
+      "e2: proc q write file f2\n"
+      "return p\n"
+      "limit 50";
+  for (size_t t : std::vector<size_t>{1, 2, 8}) {
+    engine::ExecutionOptions opts;
+    opts.num_threads = t;
+    opts.collect_profile = true;
+    engine::QueryResult r = fx.Run(query, opts);
+    ASSERT_FALSE(r.profile.empty()) << t << " threads";
+    std::set<std::string> seen;
+    size_t pool_spans = 0;
+    for (const obs::StageStat& stage : r.profile.stages) {
+      EXPECT_TRUE(seen.insert(stage.stage).second)
+          << "duplicate stage path '" << stage.stage << "' at " << t
+          << " threads";
+      if (stage.stage.find("pool-task") != std::string::npos) {
+        pool_spans += 1;
+        EXPECT_GE(stage.count, 1u) << stage.stage;
+      }
+    }
+    if (t == 1) {
+      // Serial execution never enters the pool.
+      EXPECT_EQ(pool_spans, 0u) << "threads=1 must not use pool workers";
+    }
   }
 }
 

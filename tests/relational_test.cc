@@ -271,5 +271,66 @@ TEST(DatabaseTest, StatsAccumulateAndReset) {
   EXPECT_EQ(db.TotalRowsTouched(), log.event_count());
 }
 
+// --- Resource accounting (bytes touched, access-path counters). ---
+
+TEST(TableTest, FullScanChargesWholeTableBytes) {
+  Table t = MakePeopleTable();
+  ASSERT_GT(t.ApproxDataBytes(), 0u);
+  t.ResetStats();
+  ColumnId name = t.schema().Find("name");
+  (void)t.Select({{name, CompareOp::kEq, Value("dave")}});
+  EXPECT_EQ(t.stats().full_scans, 1u);
+  // A scan reads every row: bytes touched is the whole data footprint.
+  EXPECT_EQ(t.stats().bytes_touched, t.ApproxDataBytes());
+}
+
+TEST(TableTest, IndexProbeChargesOnlyMatchedRows) {
+  Table t = MakePeopleTable();
+  ASSERT_TRUE(t.CreateIndex("name").ok());
+  t.ResetStats();
+  (void)t.Select({{t.schema().Find("name"), CompareOp::kEq, Value("dave")}});
+  EXPECT_EQ(t.stats().full_scans, 0u);
+  // One matched row: bytes touched is the average row width, far below the
+  // whole table.
+  EXPECT_EQ(t.stats().bytes_touched, t.AvgRowBytes());
+  EXPECT_LT(t.stats().bytes_touched, t.ApproxDataBytes());
+}
+
+TEST(TableTest, EmptyPredicateSelectIsAFullScan) {
+  Table t = MakePeopleTable();
+  t.ResetStats();
+  (void)t.Select({});
+  EXPECT_EQ(t.stats().full_scans, 1u);
+  EXPECT_EQ(t.stats().bytes_touched, t.ApproxDataBytes());
+}
+
+TEST(TableTest, ApproxBytesGrowWithRowsAndIndexes) {
+  Table t("t", Schema{{"k", ColumnType::kInt64},
+                      {"s", ColumnType::kString}});
+  EXPECT_EQ(t.ApproxDataBytes(), 0u);
+  EXPECT_EQ(t.AvgRowBytes(), 0u);
+  t.Insert({int64_t{1}, "some string payload"});
+  size_t one_row = t.ApproxDataBytes();
+  EXPECT_GT(one_row, 0u);
+  t.Insert({int64_t{2}, "another string payload"});
+  EXPECT_GT(t.ApproxDataBytes(), one_row);
+  EXPECT_GT(t.AvgRowBytes(), 0u);
+  EXPECT_EQ(t.ApproxIndexBytes(), 0u);
+  ASSERT_TRUE(t.CreateIndex("k").ok());
+  EXPECT_GT(t.ApproxIndexBytes(), 0u);
+  EXPECT_EQ(t.ApproxBytes(), t.ApproxDataBytes() + t.ApproxIndexBytes());
+}
+
+TEST(DatabaseTest, ApproxBytesCoverLoadedTables) {
+  audit::AuditLog log;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(200, &log);
+  RelationalDatabase db;
+  db.Load(log);
+  // Four tables of real rows plus their indexes: the footprint estimate
+  // must be material, and at least the sum of the event rows.
+  EXPECT_GT(db.ApproxBytes(), db.events().ApproxDataBytes());
+}
+
 }  // namespace
 }  // namespace raptor::rel

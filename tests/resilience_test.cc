@@ -280,10 +280,11 @@ TEST(BoundedExecutionTest, UserLimitIsNotTruncation) {
             std::string::npos);
 }
 
-// ExecutionStats keeps six per-pattern vectors parallel (schedule,
+// ExecutionStats keeps ten per-pattern vectors parallel (schedule,
 // matches_per_pattern, pattern_scores, pattern_used_graph, per_pattern_ms,
-// pattern_was_constrained). Truncation paths stop mid-loop, which is
-// exactly where a missed push_back would skew them.
+// pattern_was_constrained, plus the four per-operator resource vectors).
+// Truncation paths stop mid-loop, which is exactly where a missed
+// push_back would skew them.
 void ExpectStatsVectorsParallel(const engine::ExecutionStats& stats) {
   size_t n = stats.schedule.size();
   EXPECT_EQ(stats.matches_per_pattern.size(), n);
@@ -291,6 +292,10 @@ void ExpectStatsVectorsParallel(const engine::ExecutionStats& stats) {
   EXPECT_EQ(stats.pattern_used_graph.size(), n);
   EXPECT_EQ(stats.per_pattern_ms.size(), n);
   EXPECT_EQ(stats.pattern_was_constrained.size(), n);
+  EXPECT_EQ(stats.pattern_rows_examined.size(), n);
+  EXPECT_EQ(stats.pattern_bytes_touched.size(), n);
+  EXPECT_EQ(stats.pattern_index_probes.size(), n);
+  EXPECT_EQ(stats.pattern_full_scans.size(), n);
 }
 
 TEST(BoundedExecutionTest, TruncationKeepsStatsVectorsParallel) {

@@ -699,5 +699,261 @@ TEST(ServerTest, SequentialRequestsAreServed) {
   }
 }
 
+// --- Health and readiness. ---
+
+TEST(ServerTest, HealthzIsAlwaysOk) {
+  ServerFixture fx;
+  std::string response = Get(fx.server.port(), "/api/healthz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_EQ(Body(response), "ok\n");
+}
+
+TEST(ServerTest, ReadyzGatesOnStorageSyncState) {
+  // Before FinalizeStorage the system cannot serve hunts: readiness must
+  // say 503 so a load balancer keeps traffic away.
+  ThreatRaptor system;
+  HttpServer server;
+  RegisterThreatRaptorApi(&server, &system);
+  ASSERT_TRUE(server.Start(0).ok());
+  std::string before = Get(server.port(), "/api/readyz");
+  EXPECT_NE(before.find("503"), std::string::npos);
+  EXPECT_EQ(Body(before), "storage not finalized\n");
+  // Liveness is independent of readiness.
+  EXPECT_NE(Get(server.port(), "/api/healthz").find("200 OK"),
+            std::string::npos);
+
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+  std::string after = Get(server.port(), "/api/readyz");
+  EXPECT_NE(after.find("200 OK"), std::string::npos);
+  EXPECT_EQ(Body(after), "ready\n");
+}
+
+// --- Resource gauges. ---
+
+TEST(ServerTest, MetricsAndStatsCarryMemoryGauges) {
+  ServerFixture fx;
+  std::string metrics = Body(Get(fx.server.port(), "/api/metrics"));
+  // Finalized storage charged the relational/graph/ingest components; the
+  // engine gauge exists (pre-registered) even before any query ran.
+  for (const char* component : {"relational", "graph", "ingest", "engine"}) {
+    EXPECT_NE(metrics.find("raptor_mem_live_bytes{component=\"" +
+                           std::string(component) + "\"}"),
+              std::string::npos)
+        << component << "\n"
+        << metrics.substr(0, 400);
+    EXPECT_NE(metrics.find("raptor_mem_peak_bytes{component=\"" +
+                           std::string(component) + "\"}"),
+              std::string::npos)
+        << component;
+  }
+  std::string stats = Body(Get(fx.server.port(), "/api/stats"));
+  auto json = Json::Parse(stats);
+  ASSERT_TRUE(json.ok()) << stats;
+  const Json& mem = (*json)["mem"];
+  EXPECT_GT(mem["relational"]["live_bytes"].AsNumber(), 0.0);
+  EXPECT_GT(mem["graph"]["live_bytes"].AsNumber(), 0.0);
+  EXPECT_GT(mem["ingest"]["live_bytes"].AsNumber(), 0.0);
+  EXPECT_GE(mem["relational"]["peak_bytes"].AsNumber(),
+            mem["relational"]["live_bytes"].AsNumber());
+}
+
+// --- The slow journal endpoint. ---
+
+/// Fixture whose slow-journal latency threshold is microscopic: every
+/// query and hunt lands in the journal.
+struct SlowJournalFixture {
+  ThreatRaptor system;
+  HttpServer server;
+
+  static ThreatRaptorOptions MakeOptions() {
+    ThreatRaptorOptions options;
+    options.slow_journal.latency_threshold_ms = 1e-6;
+    options.slow_journal.capacity = 16;
+    return options;
+  }
+
+  SlowJournalFixture() : system(MakeOptions()) {
+    obs::SlowJournal::Default().Clear();
+    audit::WorkloadGenerator gen;
+    gen.GenerateBenign(3000, system.mutable_log());
+    gen.InjectDataLeakageAttack(system.mutable_log());
+    EXPECT_TRUE(system.FinalizeStorage().ok());
+    RegisterThreatRaptorApi(&server, &system);
+    EXPECT_TRUE(server.Start(0).ok());
+  }
+};
+
+TEST(ServerTest, SlowEndpointServesOverThresholdExecutions) {
+  SlowJournalFixture fx;
+  Post(fx.server.port(), "/api/query", "proc p read file f\nlimit 1");
+  std::string response = Body(Get(fx.server.port(), "/api/slow"));
+  auto json = Json::Parse(response);
+  ASSERT_TRUE(json.ok()) << response;
+  EXPECT_DOUBLE_EQ((*json)["latency_threshold_ms"].AsNumber(), 1e-6);
+  EXPECT_GT((*json)["bytes_threshold"].AsNumber(), 0.0);
+  const auto& entries = (*json)["entries"].AsArray();
+  ASSERT_FALSE(entries.empty());
+  const Json& entry = entries[0];
+  EXPECT_EQ(entry["kind"].AsString(), "query");
+  EXPECT_EQ(entry["trigger"].AsString(), "latency");
+  EXPECT_NE(entry["query"].AsString().find("read"), std::string::npos);
+  EXPECT_GT(entry["total_ms"].AsNumber(), 0.0);
+  const auto& ops = entry["operators"].AsArray();
+  ASSERT_FALSE(ops.empty());
+  EXPECT_FALSE(ops[0]["access"].AsString().empty());
+  EXPECT_GE(ops[0]["rows_examined"].AsNumber(),
+            ops[0]["rows_emitted"].AsNumber());
+  EXPECT_GT(ops[0]["bytes"].AsNumber(), 0.0);
+}
+
+TEST(ServerTest, SlowJournalRetainsHuntProfile) {
+  SlowJournalFixture fx;
+  std::string hunt = Post(
+      fx.server.port(), "/api/hunt?profile=1",
+      "The process /bin/tar read the file /etc/passwd. Then /bin/tar wrote "
+      "the file /tmp/data.tar.");
+  ASSERT_NE(hunt.find("200 OK"), std::string::npos);
+  std::string response = Body(Get(fx.server.port(), "/api/slow?limit=1"));
+  auto json = Json::Parse(response);
+  ASSERT_TRUE(json.ok()) << response;
+  const auto& entries = (*json)["entries"].AsArray();
+  ASSERT_EQ(entries.size(), 1u);
+  const Json& entry = entries[0];
+  EXPECT_EQ(entry["kind"].AsString(), "hunt");
+  // The report excerpt stands in for the query text, and the full span
+  // profile rode along ("find the hunt that ate the memory" needs both).
+  EXPECT_NE(entry["query"].AsString().find("/bin/tar"), std::string::npos);
+  EXPECT_FALSE(entry["profile"]["stages"].AsArray().empty());
+  std::string bundle = Body(Get(fx.server.port(), "/api/debug/bundle"));
+  auto parsed = Json::Parse(bundle);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE((*parsed)["slow"].AsArray().empty());
+}
+
+// --- Unified query-parameter validation. ---
+
+TEST(ServerTest, ListLimitsValidateConsistentlyAcrossEndpoints) {
+  ServerFixture fx;
+  // Malformed limits get the same 400 on every list endpoint.
+  for (const char* path :
+       {"/api/logs?limit=abc", "/api/logs?limit=-1", "/api/logs?limit=",
+        "/api/traces?limit=abc", "/api/traces?limit=-5",
+        "/api/slow?limit=xyz", "/api/slow?limit=-1",
+        "/api/watch?count=abc", "/api/watch?interval_ms=-1"}) {
+    std::string response = Get(fx.server.port(), path);
+    EXPECT_NE(response.find("400"), std::string::npos) << path;
+    auto json = Json::Parse(Body(response));
+    ASSERT_TRUE(json.ok()) << path;
+    EXPECT_NE((*json)["error"].AsString().find("non-negative integer"),
+              std::string::npos)
+        << path;
+  }
+  // Oversized limits clamp to the documented cap instead of erroring.
+  EXPECT_NE(Get(fx.server.port(), "/api/traces?limit=99999999")
+                .find("200 OK"),
+            std::string::npos);
+  // A valid limit keeps only the newest traces.
+  Post(fx.server.port(), "/api/query", "proc p read file f\nlimit 1");
+  Post(fx.server.port(), "/api/query", "proc p write file f\nlimit 1");
+  std::string limited = Body(Get(fx.server.port(), "/api/traces?limit=1"));
+  auto json = Json::Parse(limited);
+  ASSERT_TRUE(json.ok()) << limited;
+  EXPECT_EQ((*json)["traces"].AsArray().size(), 1u);
+}
+
+// --- Live metrics stream. ---
+
+TEST(ServerTest, WatchStreamsBoundedServerSentEvents) {
+  ServerFixture fx;
+  std::string wire =
+      Get(fx.server.port(), "/api/watch?count=2&interval_ms=10");
+  EXPECT_NE(wire.find("200 OK"), std::string::npos);
+  EXPECT_NE(wire.find("text/event-stream"), std::string::npos);
+  // Streaming framing: no Content-Length, Connection: close delimits.
+  EXPECT_EQ(wire.find("Content-Length"), std::string::npos);
+  // Exactly the requested number of SSE blocks, each carrying the stats
+  // document as its data payload.
+  size_t events = 0;
+  for (size_t pos = wire.find("event: metrics"); pos != std::string::npos;
+       pos = wire.find("event: metrics", pos + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, 2u);
+  size_t data = wire.find("data: ");
+  ASSERT_NE(data, std::string::npos);
+  size_t end = wire.find('\n', data);
+  auto json = Json::Parse(wire.substr(data + 6, end - data - 6));
+  ASSERT_TRUE(json.ok()) << wire.substr(data, 200);
+  EXPECT_GE((*json)["events"].AsNumber(), 0.0);
+  EXPECT_TRUE((*json)["mem"].is_object());
+}
+
+// --- Explain determinism across thread counts. ---
+
+TEST(ServerTest, ExplainJsonOperatorStatsAreThreadCountInvariant) {
+  ServerFixture fx;
+  const std::string query =
+      "e1: proc p read file f1[\"%/etc/%\"]\n"
+      "e2: proc p write file f2\n"
+      "return p, f1, f2\n"
+      "limit 100";
+  auto fetch = [&](const std::string& threads) {
+    std::string response = Post(
+        fx.server.port(), "/api/explain?format=json&threads=" + threads,
+        query);
+    auto json = Json::Parse(Body(response));
+    EXPECT_TRUE(json.ok()) << Body(response);
+    return *json;
+  };
+  Json serial = fetch("1");
+  Json parallel = fetch("8");
+  const auto& s_steps = serial["steps"].AsArray();
+  const auto& p_steps = parallel["steps"].AsArray();
+  ASSERT_EQ(s_steps.size(), p_steps.size());
+  ASSERT_FALSE(s_steps.empty());
+  for (size_t i = 0; i < s_steps.size(); ++i) {
+    // Every per-operator value except wall time is part of the determinism
+    // contract: identical at threads=1 and threads=8.
+    for (const char* key :
+         {"pattern", "backend", "access", "rows_examined", "rows_emitted",
+          "selectivity", "bytes", "index_probes", "full_scans", "matches",
+          "constrained"}) {
+      EXPECT_EQ(s_steps[i][key].Dump(), p_steps[i][key].Dump())
+          << "step " << i << " key " << key;
+    }
+  }
+  for (const char* key :
+       {"rows_touched", "graph_edges_traversed", "bytes_touched",
+        "intermediate_result_bytes"}) {
+    EXPECT_EQ(serial["totals"][key].Dump(), parallel["totals"][key].Dump())
+        << key;
+  }
+}
+
+// --- Debug-bundle capture on suite failure (CI artifact). ---
+
+/// When the suite fails and RAPTOR_DEBUG_BUNDLE_DIR is set (the CI wires
+/// it), capture /api/debug/bundle — with the obs rings still holding the
+/// failing run's traces, logs, and slow entries — for artifact upload.
+class BundleOnFailure : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    const char* dir = std::getenv("RAPTOR_DEBUG_BUNDLE_DIR");
+    if (dir == nullptr || !::testing::UnitTest::GetInstance()->Failed()) {
+      return;
+    }
+    ThreatRaptor system;
+    HttpServer server;
+    RegisterThreatRaptorApi(&server, &system);
+    if (!server.Start(0).ok()) return;
+    std::string bundle = Body(Get(server.port(), "/api/debug/bundle"));
+    std::ofstream out(std::string(dir) + "/server_test_bundle.json");
+    out << bundle;
+  }
+};
+
+const ::testing::Environment* const kBundleOnFailure =
+    ::testing::AddGlobalTestEnvironment(new BundleOnFailure);
+
 }  // namespace
 }  // namespace raptor::server
