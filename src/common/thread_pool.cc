@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace raptor {
@@ -19,6 +20,7 @@ struct PoolMetrics {
   obs::Counter* tasks;
   obs::Counter* regions;
   obs::Histogram* task_ms;
+  obs::Histogram* task_wait_ms;
 
   static PoolMetrics& Get() {
     static PoolMetrics* m = [] {
@@ -35,6 +37,9 @@ struct PoolMetrics {
           "ParallelFor fork/join regions entered");
       metrics->task_ms = reg.GetHistogram(
           "raptor_pool_task_ms", "Wall time of one pool worker task (ms)");
+      metrics->task_wait_ms = reg.GetHistogram(
+          "raptor_pool_task_wait_ms",
+          "Time a task waited in the pool queue before a worker ran it (ms)");
       return metrics;
     }();
     return *m;
@@ -124,15 +129,16 @@ size_t ThreadPool::HardwareThreads() {
 void ThreadPool::Enqueue(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back({std::move(task), std::chrono::steady_clock::now()});
   }
   cv_.notify_one();
 }
 
 void ThreadPool::WorkerLoop() {
+  obs::ProfiledThread profiled("pool-worker");
   PoolMetrics& metrics = PoolMetrics::Get();
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
@@ -140,10 +146,13 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    auto t0 = std::chrono::steady_clock::now();
+    metrics.task_wait_ms->Observe(
+        std::chrono::duration<double, std::milli>(t0 - task.enqueued)
+            .count());
     metrics.busy->Add(1);
     metrics.tasks->Increment();
-    auto t0 = std::chrono::steady_clock::now();
-    task();
+    task.fn();
     metrics.task_ms->Observe(std::chrono::duration<double, std::milli>(
                                  std::chrono::steady_clock::now() - t0)
                                  .count());

@@ -17,6 +17,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -79,12 +80,20 @@ class ThreadPool {
                    size_t num_threads = 0);
 
  private:
+  /// A queued task plus its enqueue time, so the dequeueing worker can
+  /// observe the queue wait (raptor_pool_task_wait_ms — the profiler's
+  /// queue-wait attribution reads it too).
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void Enqueue(std::function<void()> task);
   void WorkerLoop();
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
 };

@@ -75,6 +75,11 @@ ThreatRaptor::ThreatRaptor(ThreatRaptorOptions options)
   // The journal, like the storage gauges, reflects the most recently
   // constructed system in the process (the server owns exactly one).
   obs::SlowJournal::Default().Configure(options_.slow_journal);
+  // Same contract for the profiler (starts sampling only when enabled)
+  // and the SLO catalog (specs installed here; the API server starts the
+  // periodic evaluator so plain library use never spawns a thread).
+  obs::Profiler::Default().Configure(options_.profiler);
+  obs::SloEngine::Default().Configure(options_.slo);
 }
 
 ThreatRaptor::~ThreatRaptor() {

@@ -31,6 +31,8 @@
 #include "engine/engine.h"
 #include "nlp/pipeline.h"
 #include "obs/profile.h"
+#include "obs/profiler.h"
+#include "obs/slo.h"
 #include "obs/slow_journal.h"
 #include "storage/graph/graph_store.h"
 #include "storage/relational/database.h"
@@ -68,6 +70,14 @@ struct ThreatRaptorOptions {
   /// hunts/queries whose wall time or bytes touched meet a threshold are
   /// retained with their full profile and operator stats for /api/slow.
   obs::SlowJournalOptions slow_journal;
+  /// Sampling profiler (obs::Profiler::Default()); off by default. When
+  /// enabled, a 99 Hz sampler thread aggregates span-stack samples served
+  /// at /api/profile. Never affects hunt/query results.
+  obs::ProfilerOptions profiler;
+  /// SLO burn-rate alerting (obs::SloEngine::Default()): the default
+  /// catalog is installed at construction; the API server starts the
+  /// periodic evaluator when enabled. Served at /api/alerts.
+  obs::SloOptions slo;
   /// Run Causality-Preserved Reduction before loading storage (paper §II-B).
   bool apply_cpr = true;
 };

@@ -70,7 +70,7 @@ struct LogRecord {
   LogLevel level = LogLevel::kInfo;
   std::string subsystem;  ///< Closed set: "audit", "nlp", "synthesis",
                           ///< "tbql", "engine", "storage", "core",
-                          ///< "server", "fault".
+                          ///< "server", "fault", "slo".
   std::string message;    ///< Static description; variability goes in fields.
   std::vector<std::pair<std::string, std::string>> fields;
   /// Records the sampler dropped since the previous committed record of

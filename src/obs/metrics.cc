@@ -196,6 +196,91 @@ int64_t Registry::GaugeValue(std::string_view name,
   return child->second->Value();
 }
 
+uint64_t Registry::CounterFamilySum(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  if (it == families_.end() || it->second.type != Type::kCounter) return 0;
+  uint64_t sum = 0;
+  for (const auto& [labels, counter] : it->second.counters) {
+    sum += counter->Value();
+  }
+  return sum;
+}
+
+const Histogram* Registry::FindHistogram(std::string_view name,
+                                         const LabelSet& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  if (it == families_.end() || it->second.type != Type::kHistogram) {
+    return nullptr;
+  }
+  auto child = it->second.histograms.find(RenderLabels(labels));
+  if (child == it->second.histograms.end()) return nullptr;
+  return child->second.get();
+}
+
+std::vector<std::pair<LabelSet, const Histogram*>> Registry::HistogramChildren(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<LabelSet, const Histogram*>> children;
+  auto it = families_.find(name);
+  if (it == families_.end() || it->second.type != Type::kHistogram) {
+    return children;
+  }
+  for (const auto& [labels, histogram] : it->second.histograms) {
+    children.emplace_back(ParseRenderedLabels(labels), histogram.get());
+  }
+  return children;
+}
+
+std::vector<FamilySnapshot> Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FamilySnapshot> out;
+  out.reserve(families_.size());
+  for (const auto& [name, family] : families_) {
+    FamilySnapshot snapshot;
+    snapshot.name = name;
+    snapshot.help = family.help;
+    switch (family.type) {
+      case Type::kCounter:
+        snapshot.type = "counter";
+        for (const auto& [labels, counter] : family.counters) {
+          MetricSample sample;
+          sample.labels = ParseRenderedLabels(labels);
+          sample.value = static_cast<double>(counter->Value());
+          snapshot.samples.push_back(std::move(sample));
+        }
+        break;
+      case Type::kGauge:
+        snapshot.type = "gauge";
+        for (const auto& [labels, gauge] : family.gauges) {
+          MetricSample sample;
+          sample.labels = ParseRenderedLabels(labels);
+          sample.value = static_cast<double>(gauge->Value());
+          snapshot.samples.push_back(std::move(sample));
+        }
+        break;
+      case Type::kHistogram:
+        snapshot.type = "histogram";
+        for (const auto& [labels, histogram] : family.histograms) {
+          MetricSample sample;
+          sample.labels = ParseRenderedLabels(labels);
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i < histogram->bounds().size(); ++i) {
+            cumulative += histogram->BucketCount(i);
+            sample.buckets.emplace_back(histogram->bounds()[i], cumulative);
+          }
+          sample.sum = histogram->Sum();
+          sample.count = histogram->Count();
+          snapshot.samples.push_back(std::move(sample));
+        }
+        break;
+    }
+    out.push_back(std::move(snapshot));
+  }
+  return out;
+}
+
 std::string Registry::RenderPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
@@ -253,6 +338,58 @@ std::string Registry::RenderPrometheus() const {
 void Registry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   families_.clear();
+}
+
+LabelSet ParseRenderedLabels(std::string_view rendered) {
+  LabelSet labels;
+  if (rendered.size() < 2 || rendered.front() != '{') return labels;
+  size_t i = 1;
+  while (i < rendered.size() && rendered[i] != '}') {
+    size_t eq = rendered.find('=', i);
+    if (eq == std::string_view::npos || eq + 1 >= rendered.size() ||
+        rendered[eq + 1] != '"') {
+      break;  // malformed; RenderLabels never produces this
+    }
+    std::string key(rendered.substr(i, eq - i));
+    std::string value;
+    size_t j = eq + 2;
+    while (j < rendered.size() && rendered[j] != '"') {
+      if (rendered[j] == '\\' && j + 1 < rendered.size()) {
+        char escaped = rendered[j + 1];
+        value += escaped == 'n' ? '\n' : escaped;
+        j += 2;
+      } else {
+        value += rendered[j];
+        ++j;
+      }
+    }
+    labels.emplace_back(std::move(key), std::move(value));
+    i = j + 1;                                   // past closing quote
+    if (i < rendered.size() && rendered[i] == ',') ++i;
+  }
+  return labels;
+}
+
+double HistogramQuantile(const Histogram& histogram, double q) {
+  uint64_t count = histogram.Count();
+  if (count == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  double target = q * static_cast<double>(count);
+  const std::vector<double>& bounds = histogram.bounds();
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    uint64_t in_bucket = histogram.BucketCount(i);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      double lower = i == 0 ? 0.0 : bounds[i - 1];
+      double fraction = (target - static_cast<double>(cumulative)) /
+                        static_cast<double>(in_bucket);
+      return lower + (bounds[i] - lower) * fraction;
+    }
+    cumulative += in_bucket;
+  }
+  // Target falls in the +Inf bucket: clamp to the largest finite bound.
+  return bounds.empty() ? 0 : bounds.back();
 }
 
 }  // namespace raptor::obs

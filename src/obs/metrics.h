@@ -95,6 +95,26 @@ std::vector<double> LatencyBucketsMs();
 std::vector<double> ExponentialBuckets(double start, double factor,
                                        size_t count);
 
+/// \brief One instrument's values at snapshot time (Registry::Snapshot).
+/// Counters and gauges fill `value`; histograms fill `buckets` (cumulative
+/// counts per finite bound; the implicit +Inf bucket equals `count`),
+/// `sum`, and `count`.
+struct MetricSample {
+  LabelSet labels;
+  double value = 0;
+  std::vector<std::pair<double, uint64_t>> buckets;
+  double sum = 0;
+  uint64_t count = 0;
+};
+
+/// \brief One metric family's snapshot: name, metadata, and every child.
+struct FamilySnapshot {
+  std::string name;
+  std::string type;  ///< "counter", "gauge", or "histogram".
+  std::string help;
+  std::vector<MetricSample> samples;
+};
+
 /// \brief The process-wide instrument registry.
 ///
 /// Instruments are identified by (family name, label set). The first
@@ -127,6 +147,27 @@ class Registry {
   /// Value of a gauge child, 0 when it was never registered.
   int64_t GaugeValue(std::string_view name, const LabelSet& labels = {}) const;
 
+  /// Sum over every child of a counter family (e.g. all `code` labels of
+  /// raptor_http_errors_total). 0 when the family was never registered.
+  uint64_t CounterFamilySum(std::string_view name) const;
+
+  /// A histogram child for reading (Count/Sum/BucketCount/quantiles), or
+  /// nullptr when it was never registered. Like the *Value readers, never
+  /// creates instruments. The pointer stays valid for the registry's
+  /// lifetime (instruments are never dropped outside Reset()).
+  const Histogram* FindHistogram(std::string_view name,
+                                 const LabelSet& labels = {}) const;
+
+  /// Every child of a histogram family with its parsed labels, in label
+  /// order; empty when the family was never registered.
+  std::vector<std::pair<LabelSet, const Histogram*>> HistogramChildren(
+      std::string_view name) const;
+
+  /// Structured dump of every registered instrument, mirroring
+  /// RenderPrometheus (same families, children, and values) for the JSON
+  /// exposition.
+  std::vector<FamilySnapshot> Snapshot() const;
+
   /// Prometheus text exposition of every registered instrument.
   std::string RenderPrometheus() const;
 
@@ -157,5 +198,19 @@ class Registry {
 /// Renders `labels` as `{k="v",...}` with Prometheus escaping (backslash,
 /// double quote, and newline in values). Empty set renders as "".
 std::string RenderLabels(const LabelSet& labels);
+
+/// Inverse of RenderLabels: parses `{k="v",...}` (or "") back into a
+/// LabelSet, undoing the escaping. Registry child keys are rendered label
+/// strings; Snapshot/HistogramChildren use this to hand back structured
+/// labels.
+LabelSet ParseRenderedLabels(std::string_view rendered);
+
+/// Quantile estimate (q in [0,1]) from a histogram's buckets: finds the
+/// bucket holding the q-th observation and interpolates linearly inside
+/// it. Observations beyond the last finite bound clamp to that bound (the
+/// +Inf bucket has no width to interpolate in); 0 when the histogram is
+/// empty. Bucket-resolution accuracy — fine for SLO dashboards, not for
+/// billing.
+double HistogramQuantile(const Histogram& histogram, double q);
 
 }  // namespace raptor::obs

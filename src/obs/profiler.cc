@@ -1,0 +1,269 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace raptor::obs {
+
+namespace {
+
+// Folded-format metacharacters (';' separates frames, ' ' separates the
+// count) are rewritten so arbitrary span/thread names can't corrupt lines.
+void AppendSanitized(std::string_view name, char* out, size_t cap) {
+  size_t n = std::min(name.size(), cap);
+  for (size_t i = 0; i < n; ++i) {
+    char c = name[i];
+    if (c == ';' || c == ' ' || c == '\n' || c == '\t' || c == '\0') c = '_';
+    out[i] = c;
+  }
+  out[n] = '\0';
+}
+
+double PoolHistogramSum(const char* name) {
+  const Histogram* h = Registry::Default().FindHistogram(name);
+  return h == nullptr ? 0.0 : h->Sum();
+}
+
+}  // namespace
+
+/// One registered thread's published span stack. The writer (that thread,
+/// on every span open/close while tracking is on) and the reader (the
+/// sampler, at the sampling frequency) synchronize on the slot mutex; at
+/// 99 Hz the sampler-side contention is negligible.
+struct SpanStackSlot {
+  std::mutex mu;
+  std::string thread_name;  ///< Sanitized; immutable after registration.
+  uint64_t generation = 0;  ///< Profiler run that published `frames`.
+  uint32_t depth = 0;       ///< 0 = idle (no open spans).
+  char frames[kMaxProfileDepth][kMaxProfileFrame + 1];
+};
+
+namespace {
+thread_local SpanStackSlot* g_slot = nullptr;
+}  // namespace
+
+namespace profiler_internal {
+
+std::atomic<bool> g_tracking{false};
+std::atomic<uint64_t> g_generation{0};
+
+void PublishSpanStack(const std::string_view* frames, size_t depth) {
+  SpanStackSlot* slot = g_slot;
+  if (slot == nullptr) return;
+  uint64_t generation = g_generation.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(slot->mu);
+  slot->generation = generation;
+  slot->depth = static_cast<uint32_t>(std::min(depth, kMaxProfileDepth));
+  for (uint32_t i = 0; i < slot->depth; ++i) {
+    AppendSanitized(frames[i], slot->frames[i], kMaxProfileFrame);
+  }
+}
+
+}  // namespace profiler_internal
+
+ProfiledThread::ProfiledThread(std::string_view name) {
+  slot_ = std::make_shared<SpanStackSlot>();
+  char sanitized[kMaxProfileFrame + 1];
+  AppendSanitized(name.empty() ? std::string_view("thread") : name, sanitized,
+                  kMaxProfileFrame);
+  slot_->thread_name = sanitized;
+  Profiler::Default().Register(slot_);
+  g_slot = slot_.get();
+}
+
+ProfiledThread::~ProfiledThread() {
+  if (g_slot == slot_.get()) g_slot = nullptr;
+  Profiler::Default().Unregister(slot_.get());
+}
+
+Profiler& Profiler::Default() {
+  static Profiler* profiler = new Profiler();  // leaked: outlives everything
+  return *profiler;
+}
+
+void Profiler::Configure(const ProfilerOptions& options) {
+  Stop();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    options_ = options;
+    counts_.clear();
+    total_samples_ = 0;
+    accumulated_s_ = 0;
+  }
+  if (options.enabled) Start();
+}
+
+ProfilerOptions Profiler::options() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_;
+}
+
+void Profiler::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  StartLocked();
+}
+
+void Profiler::StartLocked() {
+  if (running_) return;
+  profiler_internal::g_generation.fetch_add(1, std::memory_order_relaxed);
+  profiler_internal::g_tracking.store(true, std::memory_order_relaxed);
+  running_ = true;
+  started_ = std::chrono::steady_clock::now();
+  sampler_ = std::thread([this] { SamplerLoop(); });
+}
+
+void Profiler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    accumulated_s_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started_)
+            .count();
+    profiler_internal::g_tracking.store(false, std::memory_order_relaxed);
+  }
+  cv_.notify_all();
+  sampler_.join();
+}
+
+bool Profiler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void Profiler::Register(std::shared_ptr<SpanStackSlot> slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.push_back(std::move(slot));
+}
+
+void Profiler::Unregister(SpanStackSlot* slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+    if (it->get() == slot) {
+      slots_.erase(it);
+      return;
+    }
+  }
+}
+
+void Profiler::SamplerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto period = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(1.0 / std::max(1.0, options_.hz)));
+  auto next = std::chrono::steady_clock::now() + period;
+  while (running_) {
+    cv_.wait_until(lock, next, [this] { return !running_; });
+    if (!running_) break;
+    // Fixed schedule: a slow tick doesn't shift later ones, so sample
+    // counts scale with wall time even under scheduling jitter.
+    next += period;
+    SampleOnce();
+  }
+}
+
+void Profiler::SampleOnce() {
+  // mu_ is held (slots_ stable). Lock order is mu_ -> slot->mu; publishers
+  // take only slot->mu, Register/Unregister only mu_ — no cycle.
+  uint64_t generation =
+      profiler_internal::g_generation.load(std::memory_order_relaxed);
+  std::string key;
+  for (const auto& slot : slots_) {
+    key.assign(slot->thread_name);
+    {
+      std::lock_guard<std::mutex> slot_lock(slot->mu);
+      if (slot->generation != generation || slot->depth == 0) {
+        key += ";idle";
+      } else {
+        for (uint32_t i = 0; i < slot->depth; ++i) {
+          key += ';';
+          key += slot->frames[i];
+        }
+      }
+    }
+    ++counts_[key];
+    ++total_samples_;
+  }
+}
+
+ProfileSnapshot Profiler::SnapshotLocked() const {
+  ProfileSnapshot snapshot;
+  snapshot.folded = counts_;
+  snapshot.total_samples = total_samples_;
+  snapshot.hz = options_.hz;
+  snapshot.duration_s = accumulated_s_;
+  if (running_) {
+    snapshot.duration_s +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started_)
+            .count();
+  }
+  return snapshot;
+}
+
+ProfileSnapshot Profiler::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SnapshotLocked();
+}
+
+ProfileSnapshot Profiler::Capture(double seconds) {
+  seconds = std::max(0.0, seconds);
+  bool was_running;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    was_running = running_;
+    if (!running_) StartLocked();
+  }
+  ProfileSnapshot before = Snapshot();
+  double wait_before = PoolHistogramSum("raptor_pool_task_wait_ms");
+  double run_before = PoolHistogramSum("raptor_pool_task_ms");
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+
+  ProfileSnapshot after = Snapshot();
+  ProfileSnapshot window;
+  window.hz = after.hz;
+  window.duration_s = after.duration_s - before.duration_s;
+  window.total_samples = after.total_samples - before.total_samples;
+  for (const auto& [stack, count] : after.folded) {
+    uint64_t base = 0;
+    auto it = before.folded.find(stack);
+    if (it != before.folded.end()) base = it->second;
+    if (count > base) window.folded[stack] = count - base;
+  }
+  window.queue_wait_ms =
+      PoolHistogramSum("raptor_pool_task_wait_ms") - wait_before;
+  window.queue_run_ms = PoolHistogramSum("raptor_pool_task_ms") - run_before;
+  // Render queue wait as samples at this profile's frequency so the
+  // synthetic frame is proportionate next to the sampled stacks.
+  if (window.queue_wait_ms > 0 && window.hz > 0) {
+    auto samples = static_cast<uint64_t>(
+        std::llround(window.queue_wait_ms * window.hz / 1000.0));
+    if (samples > 0) window.folded["pool-worker;queue-wait"] += samples;
+  }
+  if (!was_running) Stop();
+  return window;
+}
+
+std::string Profiler::RenderFolded(const ProfileSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [stack, count] : snapshot.folded) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+size_t Profiler::registered_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+}  // namespace raptor::obs

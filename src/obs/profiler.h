@@ -1,0 +1,168 @@
+// Low-overhead sampling profiler: a sampler thread periodically snapshots
+// every registered thread's current span stack (published by the tracer on
+// span open/close) and aggregates the samples into folded-stack counts —
+// the format flamegraph.pl and speedscope consume unmodified. Served at
+// GET /api/profile.
+//
+// Design for near-zero disabled cost, mirroring the tracer and logger:
+// span open/close sites call profiler_internal::PublishSpanStack through
+// trace.cc unconditionally, but the call is gated on one relaxed atomic
+// load (`g_tracking`); when the profiler is stopped that load is the whole
+// cost. When tracking is on, the publisher rebuilds the thread's open-span
+// name stack from the tracer's source of truth (never incrementally), so a
+// profiler started mid-trace self-corrects on the next span operation; the
+// generation counter bumped by Start() marks stacks published before the
+// current run as stale, and the sampler counts those threads as idle.
+//
+// Threads opt in via the ProfiledThread RAII guard (one per thread):
+// thread-pool workers, the HTTP accept thread, and workload drivers
+// register themselves; unregistered threads cost nothing and are invisible
+// to the sampler.
+//
+// Queue-wait attribution: a capture window diffs the pool's
+// raptor_pool_task_wait_ms / raptor_pool_task_ms histogram sums and
+// renders the wait as a synthetic `pool-worker;queue-wait` folded entry
+// (scaled to sample counts), so time tasks spent queued — which no span
+// covers — still shows up in the flame graph.
+//
+// Dependency-free (standard library + obs only); see metrics.h for why.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace raptor::obs {
+
+/// \brief Profiler knobs (ThreatRaptorOptions::profiler). Off by default:
+/// profiling is an opt-in diagnostic, never an always-on cost.
+struct ProfilerOptions {
+  bool enabled = false;
+  /// Sampling frequency. 99 Hz (the perf convention) avoids lockstep with
+  /// 100 Hz periodic work while keeping overhead well under 5%.
+  double hz = 99.0;
+};
+
+/// Frames kept per sampled stack; deeper stacks are truncated root-first
+/// (the root context survives, the deepest leaves fold into their parent).
+inline constexpr size_t kMaxProfileDepth = 32;
+/// Characters kept per frame name.
+inline constexpr size_t kMaxProfileFrame = 47;
+
+struct SpanStackSlot;  // internal (profiler.cc)
+
+/// \brief One aggregated profile: folded-stack sample counts plus the
+/// window's queue-wait attribution.
+struct ProfileSnapshot {
+  /// "thread;frame;frame" -> samples. Idle registered threads sample as
+  /// "thread;idle"; the synthetic "pool-worker;queue-wait" entry carries
+  /// the capture window's queued-task wait (captures only).
+  std::map<std::string, uint64_t> folded;
+  uint64_t total_samples = 0;  ///< Sum over all stacks, idle included.
+  double duration_s = 0;       ///< Profiled wall time covered.
+  double hz = 0;               ///< Configured sampling frequency.
+  /// Pool-task queue wait / run time accumulated in the window (captures
+  /// only; exact milliseconds, unlike the sampled stacks).
+  double queue_wait_ms = 0;
+  double queue_run_ms = 0;
+};
+
+/// \brief RAII registration of the calling thread with the sampler. One
+/// per thread; the name becomes the root frame of every stack sampled off
+/// this thread ("pool-worker", "http", ...).
+class ProfiledThread {
+ public:
+  explicit ProfiledThread(std::string_view name);
+  ~ProfiledThread();
+
+  ProfiledThread(const ProfiledThread&) = delete;
+  ProfiledThread& operator=(const ProfiledThread&) = delete;
+
+ private:
+  std::shared_ptr<SpanStackSlot> slot_;
+};
+
+/// \brief The process-wide sampling profiler.
+class Profiler {
+ public:
+  static Profiler& Default();
+
+  /// Installs new options: stops a running sampler, clears accumulated
+  /// samples, and starts sampling when `options.enabled`. The ThreatRaptor
+  /// constructor calls this with ThreatRaptorOptions::profiler.
+  void Configure(const ProfilerOptions& options);
+  ProfilerOptions options() const;
+
+  /// Starts the sampler thread and span-stack tracking. Idempotent.
+  void Start();
+  /// Stops sampling (accumulated samples are kept for Snapshot).
+  void Stop();
+  bool running() const;
+
+  /// Cumulative samples since the last Configure.
+  ProfileSnapshot Snapshot() const;
+
+  /// Blocks for `seconds` and returns only the samples collected in that
+  /// window, with queue-wait attribution. Starts the sampler temporarily
+  /// when it is not already running.
+  ProfileSnapshot Capture(double seconds);
+
+  /// Folded-stack text: one "frame;frame;... count" line per stack,
+  /// consumable by flamegraph.pl / speedscope unmodified.
+  static std::string RenderFolded(const ProfileSnapshot& snapshot);
+
+  /// Threads currently registered via ProfiledThread.
+  size_t registered_threads() const;
+
+ private:
+  friend class ProfiledThread;
+
+  void Register(std::shared_ptr<SpanStackSlot> slot);
+  void Unregister(SpanStackSlot* slot);
+  void StartLocked();
+  void SampleOnce();
+  void SamplerLoop();
+  ProfileSnapshot SnapshotLocked() const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  ProfilerOptions options_;
+  std::vector<std::shared_ptr<SpanStackSlot>> slots_;
+  std::map<std::string, uint64_t> counts_;
+  uint64_t total_samples_ = 0;
+  bool running_ = false;
+  double accumulated_s_ = 0;  ///< Sampled seconds of finished runs.
+  std::chrono::steady_clock::time_point started_{};
+  std::thread sampler_;
+};
+
+namespace profiler_internal {
+
+/// Span-stack tracking switch, read (relaxed) by every span open/close.
+extern std::atomic<bool> g_tracking;
+/// Bumped by Profiler::Start(); slots stamped with an older generation
+/// hold stacks from a previous run and sample as idle.
+extern std::atomic<uint64_t> g_generation;
+
+inline bool Tracking() {
+  return g_tracking.load(std::memory_order_relaxed);
+}
+
+/// Publishes the calling thread's current open-span names (root first)
+/// into its registered slot; depth 0 marks the thread idle. No-op for
+/// unregistered threads. Called by trace.cc on every span open/close while
+/// tracking is on.
+void PublishSpanStack(const std::string_view* frames, size_t depth);
+
+}  // namespace profiler_internal
+
+}  // namespace raptor::obs

@@ -1,0 +1,387 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/resource.h"
+
+namespace raptor::obs {
+
+namespace {
+
+constexpr size_t kMaxTransitions = 256;
+
+uint64_t UnixMillisNow() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// hunt_latency_p99 tallies: good = hunts whose latency landed in a bucket
+/// whose bound is within the target (the target snaps down to a bucket
+/// bound), bad = the rest. Zeroes until the first hunt registers the
+/// histogram.
+SloSample HuntLatencySample(double target_ms) {
+  SloSample sample;
+  const Histogram* h = Registry::Default().FindHistogram("raptor_hunt_ms");
+  if (h == nullptr) return sample;
+  uint64_t good = 0;
+  const std::vector<double>& bounds = h->bounds();
+  for (size_t i = 0; i < bounds.size() && bounds[i] <= target_ms; ++i) {
+    good += h->BucketCount(i);
+  }
+  uint64_t total = h->Count();
+  sample.good = static_cast<double>(good);
+  sample.bad = static_cast<double>(total - std::min(total, good));
+  return sample;
+}
+
+SloSample HttpErrorSample() {
+  Registry& registry = Registry::Default();
+  double errors = static_cast<double>(
+      registry.CounterFamilySum("raptor_http_errors_total"));
+  double responses = static_cast<double>(
+      registry.CounterFamilySum("raptor_http_responses_total"));
+  SloSample sample;
+  sample.bad = errors;
+  sample.good = std::max(0.0, responses - errors);
+  return sample;
+}
+
+SloSample DegradedHuntSample() {
+  Registry& registry = Registry::Default();
+  double degraded = static_cast<double>(
+      registry.CounterValue("raptor_hunts_degraded_total"));
+  double hunts =
+      static_cast<double>(registry.CounterValue("raptor_hunts_total"));
+  SloSample sample;
+  sample.bad = degraded;
+  sample.good = std::max(0.0, hunts - degraded);
+  return sample;
+}
+
+/// memory_headroom tallies (kInstant): bad = sum of component peak bytes,
+/// good = remaining budget. The per-sample ratio is budget utilization.
+SloSample MemoryHeadroomSample(uint64_t budget_bytes) {
+  double used = 0;
+  ResourceTracker& tracker = ResourceTracker::Default();
+  for (size_t i = 0; i < kNumComponents; ++i) {
+    used += static_cast<double>(
+        tracker.PeakBytes(static_cast<Component>(i)));
+  }
+  SloSample sample;
+  sample.bad = used;
+  sample.good = std::max(0.0, static_cast<double>(budget_bytes) - used);
+  return sample;
+}
+
+}  // namespace
+
+std::string_view AlertStateName(AlertState state) {
+  switch (state) {
+    case AlertState::kOk:
+      return "ok";
+    case AlertState::kPending:
+      return "pending";
+    case AlertState::kFiring:
+      return "firing";
+  }
+  return "ok";
+}
+
+/// One installed SLO: its spec, the rolling sample ring, and the state
+/// machine's position.
+struct SloEngine::Runtime {
+  SloSpec spec;
+  struct Point {
+    std::chrono::steady_clock::time_point at;
+    SloSample sample;
+  };
+  std::deque<Point> points;
+  AlertState state = AlertState::kOk;
+  std::chrono::steady_clock::time_point pending_since{};
+  uint64_t state_since_unix_ms = 0;
+  double short_burn = 0;
+  double long_burn = 0;
+  double error_ratio = 0;
+  Gauge* gauge = nullptr;
+
+  /// Error ratio over the trailing window ending at `now`.
+  double WindowRatio(double window_s,
+                     std::chrono::steady_clock::time_point now) const {
+    auto cutoff = now - std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(window_s));
+    if (spec.kind == SloKind::kCumulative) {
+      // Delta between the oldest in-window point and the newest. A single
+      // point has no delta: the window saw no events yet.
+      const Point* first = nullptr;
+      for (const Point& p : points) {
+        if (p.at >= cutoff) {
+          first = &p;
+          break;
+        }
+      }
+      if (first == nullptr || first == &points.back()) return 0;
+      const Point& last = points.back();
+      double bad = last.sample.bad - first->sample.bad;
+      double good = last.sample.good - first->sample.good;
+      double total = bad + good;
+      if (total <= 0) return 0;
+      return std::max(0.0, bad) / total;
+    }
+    // kInstant: average of per-sample ratios.
+    double sum = 0;
+    size_t n = 0;
+    for (const Point& p : points) {
+      if (p.at < cutoff) continue;
+      double total = p.sample.bad + p.sample.good;
+      if (total > 0) sum += p.sample.bad / total;
+      ++n;
+    }
+    return n == 0 ? 0 : sum / static_cast<double>(n);
+  }
+};
+
+SloEngine& SloEngine::Default() {
+  static SloEngine* engine = new SloEngine();  // leaked: outlives everything
+  return *engine;
+}
+
+void SloEngine::Configure(const SloOptions& options) {
+  Stop();
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  slos_.clear();
+  transitions_.clear();
+  if (options_.enabled) InstallDefaultCatalogLocked();
+}
+
+SloOptions SloEngine::options() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_;
+}
+
+void SloEngine::InstallDefaultCatalogLocked() {
+  const SloOptions& o = options_;
+  // Shared state-machine tuning applied to every catalog entry.
+  auto tune = [&o](SloSpec* spec) {
+    spec->short_window_s = o.short_window_s;
+    spec->long_window_s = o.long_window_s;
+    spec->burn_threshold = o.burn_threshold;
+    spec->pending_for_s = o.pending_for_s;
+  };
+
+  SloSpec hunt;
+  hunt.name = "hunt_latency_p99";
+  hunt.description = "Hunts must finish within the p99 latency target";
+  hunt.kind = SloKind::kCumulative;
+  hunt.objective = o.hunt_latency_objective;
+  double target_ms = o.hunt_p99_target_ms;
+  hunt.sample = [target_ms] { return HuntLatencySample(target_ms); };
+  tune(&hunt);
+  AddSloLocked(hunt);
+
+  SloSpec http;
+  http.name = "http_error_rate";
+  http.description = "HTTP responses must not be errors (408/413/5xx)";
+  http.kind = SloKind::kCumulative;
+  http.objective = o.http_error_objective;
+  http.sample = HttpErrorSample;
+  tune(&http);
+  AddSloLocked(http);
+
+  SloSpec degraded;
+  degraded.name = "degraded_hunt_fraction";
+  degraded.description = "Hunts must complete without degraded fallbacks";
+  degraded.kind = SloKind::kCumulative;
+  degraded.objective = o.degraded_hunt_objective;
+  degraded.sample = DegradedHuntSample;
+  tune(&degraded);
+  AddSloLocked(degraded);
+
+  SloSpec memory;
+  memory.name = "memory_headroom";
+  memory.description =
+      "Component peak memory must stay within the budget's burn threshold";
+  memory.kind = SloKind::kInstant;
+  memory.objective = 0;  // burn == budget utilization
+  uint64_t budget = o.memory_budget_bytes;
+  memory.sample = [budget] { return MemoryHeadroomSample(budget); };
+  tune(&memory);
+  memory.burn_threshold = o.memory_burn_threshold;
+  AddSloLocked(memory);
+}
+
+void SloEngine::AddSlo(const SloSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AddSloLocked(spec);
+}
+
+void SloEngine::AddSloLocked(const SloSpec& spec) {
+  auto runtime = std::make_unique<Runtime>();
+  runtime->spec = spec;
+  runtime->state_since_unix_ms = UnixMillisNow();
+  runtime->gauge = Registry::Default().GetGauge(
+      "raptor_alert_state",
+      "SLO alert state machine position (0=ok, 1=pending, 2=firing)",
+      {{"slo", spec.name}});
+  runtime->gauge->Set(static_cast<int64_t>(AlertState::kOk));
+  slos_.push_back(std::move(runtime));
+}
+
+void SloEngine::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  evaluator_ = std::thread([this] { EvaluatorLoop(); });
+}
+
+void SloEngine::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  cv_.notify_all();
+  evaluator_.join();
+}
+
+bool SloEngine::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void SloEngine::EvaluatorLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (running_) {
+    EvaluateLocked();
+    auto interval = std::chrono::duration<double, std::milli>(
+        std::max(1.0, options_.eval_interval_ms));
+    cv_.wait_for(lock, interval, [this] { return !running_; });
+  }
+}
+
+void SloEngine::EvaluateNow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  EvaluateLocked();
+}
+
+void SloEngine::EvaluateLocked() {
+  auto now = std::chrono::steady_clock::now();
+  uint64_t unix_ms = UnixMillisNow();
+  for (const auto& slo : slos_) {
+    if (!slo->spec.sample) continue;
+    slo->points.push_back({now, slo->spec.sample()});
+    // Prune beyond the long window, always keeping the newest point.
+    auto cutoff = now - std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(
+                                slo->spec.long_window_s));
+    while (slo->points.size() > 1 && slo->points.front().at < cutoff) {
+      slo->points.pop_front();
+    }
+
+    double budget = std::max(1e-9, 1.0 - slo->spec.objective);
+    double short_ratio = slo->WindowRatio(slo->spec.short_window_s, now);
+    double long_ratio = slo->WindowRatio(slo->spec.long_window_s, now);
+    slo->short_burn = short_ratio / budget;
+    slo->long_burn = long_ratio / budget;
+    slo->error_ratio = long_ratio;
+    bool above = slo->short_burn > slo->spec.burn_threshold &&
+                 slo->long_burn > slo->spec.burn_threshold;
+
+    AlertState next = slo->state;
+    switch (slo->state) {
+      case AlertState::kOk:
+        if (above) {
+          next = AlertState::kPending;
+          slo->pending_since = now;
+        }
+        break;
+      case AlertState::kPending:
+        if (!above) {
+          next = AlertState::kOk;
+        } else if (std::chrono::duration<double>(now - slo->pending_since)
+                       .count() >= slo->spec.pending_for_s) {
+          next = AlertState::kFiring;
+        }
+        break;
+      case AlertState::kFiring:
+        if (!above) next = AlertState::kOk;
+        break;
+    }
+
+    if (next != slo->state) {
+      AlertTransition transition;
+      transition.slo = slo->spec.name;
+      transition.from = slo->state;
+      transition.to = next;
+      transition.unix_ms = unix_ms;
+      transition.short_burn = slo->short_burn;
+      transition.long_burn = slo->long_burn;
+      transitions_.push_back(transition);
+      while (transitions_.size() > kMaxTransitions) transitions_.pop_front();
+
+      bool resolved = slo->state == AlertState::kFiring &&
+                      next == AlertState::kOk;
+      LogLevel level = next == AlertState::kFiring ? LogLevel::kWarn
+                                                   : LogLevel::kInfo;
+      Logger::Default()
+          .Log(level, "slo",
+               resolved ? "alert resolved" : "alert state changed")
+          .Field("slo", slo->spec.name)
+          .Field("from", AlertStateName(slo->state))
+          .Field("to", AlertStateName(next))
+          .Field("short_burn", slo->short_burn)
+          .Field("long_burn", slo->long_burn);
+
+      slo->state = next;
+      slo->state_since_unix_ms = unix_ms;
+    }
+    if (slo->gauge != nullptr) {
+      slo->gauge->Set(static_cast<int64_t>(slo->state));
+    }
+  }
+}
+
+std::vector<AlertStatus> SloEngine::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AlertStatus> out;
+  out.reserve(slos_.size());
+  for (const auto& slo : slos_) {
+    AlertStatus status;
+    status.name = slo->spec.name;
+    status.description = slo->spec.description;
+    status.state = slo->state;
+    status.objective = slo->spec.objective;
+    status.burn_threshold = slo->spec.burn_threshold;
+    status.short_window_s = slo->spec.short_window_s;
+    status.long_window_s = slo->spec.long_window_s;
+    status.short_burn = slo->short_burn;
+    status.long_burn = slo->long_burn;
+    status.error_ratio = slo->error_ratio;
+    status.state_since_unix_ms = slo->state_since_unix_ms;
+    status.samples = slo->points.size();
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+std::vector<AlertTransition> SloEngine::Transitions(size_t limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AlertTransition> out;
+  size_t n = std::min(limit, transitions_.size());
+  out.reserve(n);
+  for (auto it = transitions_.rbegin();
+       it != transitions_.rend() && out.size() < n; ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+}  // namespace raptor::obs

@@ -1,0 +1,191 @@
+// SLO burn-rate alerting over the metrics registry.
+//
+// An SloSpec declares an objective ("99% of hunts finish under the p99
+// target") plus a sampler closure that reads good/bad tallies — usually
+// registry counters or histogram buckets. The engine evaluates every spec
+// on a rolling ring of samples and computes the *burn rate* over two
+// windows (short for fast detection, long against flapping):
+//
+//   error_ratio = bad_delta / (good_delta + bad_delta)    over the window
+//   burn        = error_ratio / (1 - objective)
+//
+// burn == 1 means errors arrive exactly at the rate the objective budgets
+// for; burn > threshold on BOTH windows trips the alert state machine:
+//
+//   ok -> pending      both windows above threshold
+//   pending -> firing  still above after `pending_for_s`
+//   pending -> ok      dropped below before confirming
+//   firing -> ok       dropped below (the transition log marks it resolved)
+//
+// Every evaluation publishes the state to raptor_alert_state{slo} (0=ok,
+// 1=pending, 2=firing); every transition emits a structured log event
+// (subsystem "slo") and lands in a bounded transition ring. GET /api/alerts
+// serves the whole picture and /api/debug/bundle embeds it.
+//
+// Two sample kinds:
+//   kCumulative  good/bad are monotonic totals (counters, histogram bucket
+//                counts); window ratios come from first/last deltas.
+//   kInstant     good/bad are instantaneous quantities (memory headroom);
+//                window ratios average the per-sample ratios.
+//
+// The default catalog (installed by Configure from SloOptions) covers hunt
+// p99 latency, HTTP error rate, degraded-hunt fraction, and memory
+// headroom vs the ResourceTracker budget; docs/OBSERVABILITY.md documents
+// each. Dependency-free (standard library + obs only).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace raptor::obs {
+
+class Gauge;
+
+/// \brief One reading of an SLO's good/bad tallies (see SloKind).
+struct SloSample {
+  double good = 0;
+  double bad = 0;
+};
+
+enum class SloKind {
+  kCumulative,  ///< good/bad are monotonic totals; windows use deltas.
+  kInstant,     ///< good/bad are instantaneous; windows average ratios.
+};
+
+enum class AlertState : int { kOk = 0, kPending = 1, kFiring = 2 };
+
+/// Canonical lower-case state name ("ok", "pending", "firing").
+std::string_view AlertStateName(AlertState state);
+
+/// \brief A declarative SLO: objective, windows, and the sampler closure.
+struct SloSpec {
+  std::string name;         ///< Stable identifier (the `slo` label value).
+  std::string description;  ///< One line for /api/alerts and docs.
+  SloKind kind = SloKind::kCumulative;
+  /// Fraction of events that must be good (0.99 = 1% error budget). An
+  /// objective of 0 makes burn equal the raw error ratio (used with a
+  /// fractional threshold for utilization-style SLOs).
+  double objective = 0.99;
+  double short_window_s = 60;
+  double long_window_s = 300;
+  /// Burn rate both windows must exceed to trip the alert.
+  double burn_threshold = 1.0;
+  /// Seconds the burn must persist before pending escalates to firing.
+  double pending_for_s = 30;
+  /// Reads the current tallies; called on every evaluation with the
+  /// engine's lock held, so it must not call back into the engine.
+  std::function<SloSample()> sample;
+};
+
+/// \brief Knobs for the default SLO catalog (ThreatRaptorOptions::slo).
+struct SloOptions {
+  /// Install the default catalog and let the API start the evaluator.
+  bool enabled = true;
+  double eval_interval_ms = 1000;
+
+  // Shared state-machine tuning applied to every default spec.
+  double short_window_s = 60;
+  double long_window_s = 300;
+  double burn_threshold = 1.0;
+  double pending_for_s = 30;
+
+  /// hunt_latency_p99: fraction of hunts that must finish within the
+  /// target. The target snaps down to the nearest raptor_hunt_ms bucket
+  /// bound (bucket-resolution accounting).
+  double hunt_p99_target_ms = 250;
+  double hunt_latency_objective = 0.99;
+  /// http_error_rate: fraction of HTTP responses that must not be errors
+  /// (raptor_http_errors_total over raptor_http_responses_total).
+  double http_error_objective = 0.99;
+  /// degraded_hunt_fraction: fraction of hunts that must complete clean.
+  double degraded_hunt_objective = 0.95;
+  /// memory_headroom: alert when the sum of ResourceTracker component
+  /// peaks exceeds this fraction of the budget (kInstant; objective 0 so
+  /// burn is utilization itself).
+  uint64_t memory_budget_bytes = 4ull << 30;
+  double memory_burn_threshold = 0.8;
+};
+
+/// \brief One state-machine transition, for /api/alerts and the bundle.
+struct AlertTransition {
+  std::string slo;
+  AlertState from = AlertState::kOk;
+  AlertState to = AlertState::kOk;
+  uint64_t unix_ms = 0;
+  double short_burn = 0;
+  double long_burn = 0;
+};
+
+/// \brief An SLO's current standing (Snapshot output).
+struct AlertStatus {
+  std::string name;
+  std::string description;
+  AlertState state = AlertState::kOk;
+  double objective = 0;
+  double burn_threshold = 0;
+  double short_window_s = 0;
+  double long_window_s = 0;
+  double short_burn = 0;
+  double long_burn = 0;
+  double error_ratio = 0;  ///< Long-window error ratio.
+  uint64_t state_since_unix_ms = 0;
+  uint64_t samples = 0;  ///< Evaluations currently inside the long window.
+};
+
+/// \brief The process-wide SLO evaluator.
+///
+/// Configure installs the default catalog (no thread); Start — called by
+/// RegisterThreatRaptorApi when SloOptions::enabled — runs the periodic
+/// evaluator. EvaluateNow lets the API and tests advance the state machine
+/// deterministically.
+class SloEngine {
+ public:
+  static SloEngine& Default();
+
+  /// Stops a running evaluator, drops all specs/history/transitions, and
+  /// installs the default catalog when `options.enabled` (gauges reset to
+  /// ok). The ThreatRaptor constructor calls this.
+  void Configure(const SloOptions& options);
+  SloOptions options() const;
+
+  /// Adds a custom spec (tests, deployments with bespoke SLOs).
+  void AddSlo(const SloSpec& spec);
+
+  void Start();
+  void Stop();
+  bool running() const;
+
+  /// Samples every spec once and advances the state machines.
+  void EvaluateNow();
+
+  std::vector<AlertStatus> Snapshot() const;
+  /// Newest-first transitions, at most `limit`.
+  std::vector<AlertTransition> Transitions(size_t limit = 64) const;
+
+ private:
+  struct Runtime;
+
+  void InstallDefaultCatalogLocked();
+  void AddSloLocked(const SloSpec& spec);
+  void EvaluateLocked();
+  void EvaluatorLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  SloOptions options_;
+  std::vector<std::unique_ptr<Runtime>> slos_;
+  std::deque<AlertTransition> transitions_;
+  bool running_ = false;
+  std::thread evaluator_;
+};
+
+}  // namespace raptor::obs

@@ -1,6 +1,9 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <chrono>
+
+#include "obs/profiler.h"
 
 namespace raptor::obs {
 
@@ -34,6 +37,26 @@ namespace {
 
 thread_local ActiveTrace* g_active = nullptr;
 
+/// Mirrors the thread's open-span names into its profiler slot (see
+/// profiler.h). Always a full rebuild from `open_spans` — the source of
+/// truth — so a profiler started mid-trace self-corrects on the next span
+/// operation. Gated on one relaxed atomic load when profiling is off.
+void PublishStackForProfiler(const ActiveTrace* at) {
+  if (!profiler_internal::Tracking()) return;
+  std::string_view frames[kMaxProfileDepth];
+  size_t depth = std::min(at->open_spans.size(), kMaxProfileDepth);
+  for (size_t i = 0; i < depth; ++i) {
+    frames[i] = at->trace.spans[at->open_spans[i]].name;
+  }
+  profiler_internal::PublishSpanStack(frames, depth);
+}
+
+/// Marks the thread idle for the profiler when its trace ends.
+void PublishIdleForProfiler() {
+  if (!profiler_internal::Tracking()) return;
+  profiler_internal::PublishSpanStack(nullptr, 0);
+}
+
 uint32_t OpenSpan(ActiveTrace* at, std::string_view name) {
   SpanData span;
   span.id = static_cast<uint32_t>(at->trace.spans.size());
@@ -42,6 +65,7 @@ uint32_t OpenSpan(ActiveTrace* at, std::string_view name) {
   span.start_ns = at->NowNs();
   at->trace.spans.push_back(std::move(span));
   at->open_spans.push_back(at->trace.spans.back().id);
+  PublishStackForProfiler(at);
   return at->trace.spans.back().id;
 }
 
@@ -119,6 +143,7 @@ void Span::End() {
       break;
     }
   }
+  PublishStackForProfiler(trace_);
   trace_ = nullptr;
 }
 
@@ -151,6 +176,7 @@ std::optional<Trace> TraceScope::Finish() {
   }
 
   g_active = nullptr;
+  PublishIdleForProfiler();
   Trace finished = std::move(at->trace);
   delete at;
   if (tracer_ != nullptr && tracer_->enabled()) {
@@ -223,6 +249,7 @@ void TraceContext::Scope::Release() {
   adopted_ = nullptr;
   at->trace.spans[0].end_ns = at->NowNs();
   g_active = nullptr;
+  PublishIdleForProfiler();
   State* state = context_->state_.get();
   context_ = nullptr;
   std::lock_guard<std::mutex> lock(state->mu);

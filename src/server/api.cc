@@ -13,7 +13,9 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/profiler.h"
 #include "obs/resource.h"
+#include "obs/slo.h"
 #include "obs/slow_journal.h"
 #include "obs/trace.h"
 #include "tbql/analyzer.h"
@@ -140,6 +142,25 @@ Result<size_t> BoundedParam(const HttpRequest& req, std::string_view key,
                                    *raw + "'");
   }
   return std::min(static_cast<size_t>(value), cap);
+}
+
+/// Shared validation for the `?format=` parameter (/api/metrics,
+/// /api/profile, /api/explain): absent returns `fallback`, anything not in
+/// `allowed` returns InvalidArgument for a consistent 400 listing the
+/// accepted values.
+Result<std::string> FormatParam(const HttpRequest& req,
+                                std::initializer_list<std::string_view> allowed,
+                                std::string_view fallback) {
+  std::optional<std::string> raw = QueryParam(req, "format");
+  if (!raw) return std::string(fallback);
+  std::string choices;
+  for (std::string_view candidate : allowed) {
+    if (*raw == candidate) return *raw;
+    if (!choices.empty()) choices += '|';
+    choices += candidate;
+  }
+  return Status::InvalidArgument("unknown format '" + *raw + "' (" + choices +
+                                 ")");
 }
 
 Json LogRecordToJson(const obs::LogRecord& record) {
@@ -278,6 +299,17 @@ return p, f</textarea><br>
 constexpr const char* kTruncationReasons[] = {"deadline", "max_graph_edges",
                                               "row_cap"};
 
+/// Count plus p50/p95/p99 estimates for one latency histogram (see
+/// obs::HistogramQuantile for the accuracy contract).
+Json QuantilesJson(const obs::Histogram& histogram) {
+  Json::Object out;
+  out["count"] = static_cast<double>(histogram.Count());
+  out["p50"] = obs::HistogramQuantile(histogram, 0.50);
+  out["p95"] = obs::HistogramQuantile(histogram, 0.95);
+  out["p99"] = obs::HistogramQuantile(histogram, 0.99);
+  return Json(std::move(out));
+}
+
 /// The /api/stats document, derived entirely from the obs::Registry (one
 /// source of truth, also the scrape) plus wall clock. Shared with the
 /// diagnostic bundle.
@@ -337,7 +369,136 @@ Json StatsJson(const ThreatRaptor* system,
   stats["mem"] = Json(std::move(mem));
   stats["slow_journal_entries"] =
       static_cast<double>(obs::SlowJournal::Default().Snapshot().size());
+  // Latency quantiles so SLO targets are inspectable without scraping the
+  // Prometheus text. Hunt/query histograms are pre-registered by
+  // RegisterThreatRaptorApi; HTTP latency is per route.
+  Json::Object latency;
+  if (const obs::Histogram* h = registry.FindHistogram("raptor_hunt_ms")) {
+    latency["hunt_ms"] = QuantilesJson(*h);
+  }
+  if (const obs::Histogram* h = registry.FindHistogram("raptor_query_ms")) {
+    latency["query_ms"] = QuantilesJson(*h);
+  }
+  Json::Object routes;
+  for (const auto& [labels, histogram] :
+       registry.HistogramChildren("raptor_http_request_ms")) {
+    std::string route;
+    for (const auto& [key, value] : labels) {
+      if (key == "route") route = value;
+    }
+    if (route.empty()) continue;
+    routes[route] = QuantilesJson(*histogram);
+  }
+  latency["http_request_ms"] = Json(std::move(routes));
+  stats["latency"] = Json(std::move(latency));
   return Json(std::move(stats));
+}
+
+/// JSON mirror of the Prometheus exposition (/api/metrics?format=json):
+/// same families, children, and values as RenderPrometheus, structured.
+Json MetricsJson() {
+  Json::Array families;
+  for (const obs::FamilySnapshot& family : obs::Registry::Default().Snapshot()) {
+    Json::Object f;
+    f["name"] = family.name;
+    f["type"] = family.type;
+    if (!family.help.empty()) f["help"] = family.help;
+    Json::Array samples;
+    for (const obs::MetricSample& sample : family.samples) {
+      Json::Object s;
+      if (!sample.labels.empty()) {
+        Json::Object labels;
+        for (const auto& [key, value] : sample.labels) labels[key] = value;
+        s["labels"] = Json(std::move(labels));
+      }
+      if (family.type == "histogram") {
+        Json::Array buckets;
+        for (const auto& [bound, cumulative] : sample.buckets) {
+          Json::Object bucket;
+          bucket["le"] = bound;
+          bucket["count"] = static_cast<double>(cumulative);
+          buckets.push_back(Json(std::move(bucket)));
+        }
+        Json::Object inf;
+        inf["le"] = std::string("+Inf");
+        inf["count"] = static_cast<double>(sample.count);
+        buckets.push_back(Json(std::move(inf)));
+        s["buckets"] = Json(std::move(buckets));
+        s["sum"] = sample.sum;
+        s["count"] = static_cast<double>(sample.count);
+      } else {
+        s["value"] = sample.value;
+      }
+      samples.push_back(Json(std::move(s)));
+    }
+    f["samples"] = Json(std::move(samples));
+    families.push_back(Json(std::move(f)));
+  }
+  Json::Object out;
+  out["families"] = Json(std::move(families));
+  return Json(std::move(out));
+}
+
+/// The /api/alerts document; shared with the diagnostic bundle. Evaluates
+/// synchronously first so the answer (and tests driving the state machine)
+/// never waits on the background evaluator's tick.
+Json AlertsJson() {
+  obs::SloEngine& engine = obs::SloEngine::Default();
+  engine.EvaluateNow();
+  Json::Object out;
+  out["evaluator_running"] = engine.running();
+  Json::Array alerts;
+  for (const obs::AlertStatus& status : engine.Snapshot()) {
+    Json::Object alert;
+    alert["slo"] = status.name;
+    alert["description"] = status.description;
+    alert["state"] = std::string(obs::AlertStateName(status.state));
+    alert["objective"] = status.objective;
+    alert["burn_threshold"] = status.burn_threshold;
+    alert["short_window_s"] = status.short_window_s;
+    alert["long_window_s"] = status.long_window_s;
+    alert["short_burn"] = status.short_burn;
+    alert["long_burn"] = status.long_burn;
+    alert["error_ratio"] = status.error_ratio;
+    alert["state_since_unix_ms"] =
+        static_cast<double>(status.state_since_unix_ms);
+    alert["samples"] = static_cast<double>(status.samples);
+    alerts.push_back(Json(std::move(alert)));
+  }
+  out["alerts"] = Json(std::move(alerts));
+  Json::Array transitions;
+  for (const obs::AlertTransition& t : engine.Transitions()) {
+    Json::Object transition;
+    transition["slo"] = t.slo;
+    transition["from"] = std::string(obs::AlertStateName(t.from));
+    transition["to"] = std::string(obs::AlertStateName(t.to));
+    transition["unix_ms"] = static_cast<double>(t.unix_ms);
+    transition["short_burn"] = t.short_burn;
+    transition["long_burn"] = t.long_burn;
+    transitions.push_back(Json(std::move(transition)));
+  }
+  out["transitions"] = Json(std::move(transitions));
+  return Json(std::move(out));
+}
+
+/// The /api/profile document for ?format=json; the folded text is
+/// Profiler::RenderFolded.
+Json ProfileSnapshotToJson(const obs::ProfileSnapshot& snapshot) {
+  Json::Object out;
+  out["duration_s"] = snapshot.duration_s;
+  out["hz"] = snapshot.hz;
+  out["samples"] = static_cast<double>(snapshot.total_samples);
+  out["queue_wait_ms"] = snapshot.queue_wait_ms;
+  out["queue_run_ms"] = snapshot.queue_run_ms;
+  Json::Array stacks;
+  for (const auto& [stack, count] : snapshot.folded) {
+    Json::Object entry;
+    entry["stack"] = stack;
+    entry["samples"] = static_cast<double>(count);
+    stacks.push_back(Json(std::move(entry)));
+  }
+  out["stacks"] = Json(std::move(stacks));
+  return Json(std::move(out));
 }
 
 Json SlowEntryToJson(const obs::SlowEntry& entry) {
@@ -412,11 +573,32 @@ Json OptionsToJson(const ThreatRaptorOptions& options) {
   hunt["collect_profile"] = options.hunt.collect_profile;
   hunt["num_threads"] = static_cast<double>(options.hunt.num_threads);
 
+  Json::Object profiler;
+  profiler["enabled"] = options.profiler.enabled;
+  profiler["hz"] = options.profiler.hz;
+
+  Json::Object slo;
+  slo["enabled"] = options.slo.enabled;
+  slo["eval_interval_ms"] = options.slo.eval_interval_ms;
+  slo["short_window_s"] = options.slo.short_window_s;
+  slo["long_window_s"] = options.slo.long_window_s;
+  slo["burn_threshold"] = options.slo.burn_threshold;
+  slo["pending_for_s"] = options.slo.pending_for_s;
+  slo["hunt_p99_target_ms"] = options.slo.hunt_p99_target_ms;
+  slo["hunt_latency_objective"] = options.slo.hunt_latency_objective;
+  slo["http_error_objective"] = options.slo.http_error_objective;
+  slo["degraded_hunt_objective"] = options.slo.degraded_hunt_objective;
+  slo["memory_budget_bytes"] =
+      static_cast<double>(options.slo.memory_budget_bytes);
+  slo["memory_burn_threshold"] = options.slo.memory_burn_threshold;
+
   Json::Object out;
   out["nlp"] = Json(std::move(nlp));
   out["synthesis"] = Json(std::move(synthesis));
   out["execution"] = Json(std::move(execution));
   out["hunt"] = Json(std::move(hunt));
+  out["profiler"] = Json(std::move(profiler));
+  out["slo"] = Json(std::move(slo));
   out["apply_cpr"] = options.apply_cpr;
   out["cpr_max_merge_gap_ns"] =
       static_cast<double>(options.cpr.max_merge_gap_ns);
@@ -532,11 +714,19 @@ void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
                         "Executions recorded by the slow journal",
                         {{"kind", kind}});
   }
+  // Pre-register the latency histograms /api/stats quantiles and the SLO
+  // catalog read, so both exist from the first scrape.
+  registry.GetHistogram("raptor_hunt_ms", "Wall time of one full hunt (ms)");
+  registry.GetHistogram("raptor_query_ms",
+                        "Wall time of one query execution (ms)");
   // Publish once so every raptor_mem_* gauge exists from the first scrape.
   obs::ResourceTracker::Default().Publish();
   // Warm the shared pool so the raptor_pool_* gauges (and the pool's worker
   // threads) exist from the first scrape, not from the first parallel query.
   ThreadPool::Shared();
+  // Start the periodic SLO evaluator: alerting belongs to the serving
+  // deployment, so the API (not the library constructor) owns the thread.
+  if (system->options().slo.enabled) obs::SloEngine::Default().Start();
   auto started = std::make_shared<const std::chrono::steady_clock::time_point>(
       std::chrono::steady_clock::now());
 
@@ -615,13 +805,57 @@ void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
       slow.push_back(SlowEntryToJson(entry));
     }
     bundle["slow"] = Json(std::move(slow));
+    bundle["alerts"] = AlertsJson();
     return JsonResponse(Json(std::move(bundle)));
   });
 
-  server->Route("GET", "/api/metrics", [](const HttpRequest&) {
+  server->Route("GET", "/api/metrics", [](const HttpRequest& req) {
+    // "?format=json" mirrors the Prometheus exposition as structured JSON;
+    // the default (or "?format=text") stays the scrape format.
+    Result<std::string> format = FormatParam(req, {"text", "json"}, "text");
+    if (!format.ok()) return ErrorResponse(format.status());
     obs::ResourceTracker::Default().Publish();
+    if (*format == "json") return JsonResponse(MetricsJson());
     return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
                         obs::Registry::Default().RenderPrometheus()};
+  });
+
+  server->Route("GET", "/api/alerts", [](const HttpRequest&) {
+    // SLO burn-rate alert standing: every SLO's state machine, burn
+    // rates, and the recent transition history.
+    return JsonResponse(AlertsJson());
+  });
+
+  server->Route("GET", "/api/profile", [](const HttpRequest& req) {
+    // Sampling-profiler capture: blocks for "?seconds=N" (default 2,
+    // cap 60 — the accept loop serves connections serially, so captures
+    // hold it like a long /api/watch does) and returns the window's
+    // folded stacks. "?seconds=0" returns the cumulative snapshot instead,
+    // which requires the profiler to be running (enable it via
+    // ThreatRaptorOptions::profiler). "?format=folded" (default) is
+    // flamegraph.pl/speedscope input; "?format=json" structures it.
+    Result<std::string> format =
+        FormatParam(req, {"folded", "json"}, "folded");
+    if (!format.ok()) return ErrorResponse(format.status());
+    Result<size_t> seconds = BoundedParam(req, "seconds", 2, 60);
+    if (!seconds.ok()) return ErrorResponse(seconds.status());
+    obs::Profiler& profiler = obs::Profiler::Default();
+    obs::ProfileSnapshot snapshot;
+    if (*seconds == 0) {
+      if (!profiler.running()) {
+        return ErrorResponse(Status::InvalidArgument(
+            "seconds=0 reads the cumulative profile, but the profiler is "
+            "not running (enable options.profiler or pass seconds>0)"));
+      }
+      snapshot = profiler.Snapshot();
+    } else {
+      snapshot = profiler.Capture(static_cast<double>(*seconds));
+    }
+    if (*format == "json") {
+      return JsonResponse(ProfileSnapshotToJson(snapshot));
+    }
+    return HttpResponse{200, "text/plain; charset=utf-8",
+                        obs::Profiler::RenderFolded(snapshot)};
   });
 
   server->Route("GET", "/api/traces", [](const HttpRequest& req) {
@@ -689,21 +923,43 @@ void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
     if (!count.ok()) return ErrorResponse(count.status());
     Result<size_t> interval = BoundedParam(req, "interval_ms", 500, 60000);
     if (!interval.ok()) return ErrorResponse(interval.status());
-    auto remaining = std::make_shared<size_t>(std::max<size_t>(1, *count));
-    auto first = std::make_shared<bool>(true);
+    // "?heartbeat_ms=N" (default 1000, 0 = off) bounds the stream's silent
+    // gaps: while waiting out an interval longer than the heartbeat, the
+    // stream emits `: heartbeat` comment frames so idle streams are
+    // distinguishable from dead connections and survive proxy idle
+    // timeouts. SSE clients ignore comment lines by spec.
+    Result<size_t> heartbeat = BoundedParam(req, "heartbeat_ms", 1000, 60000);
+    if (!heartbeat.ok()) return ErrorResponse(heartbeat.status());
+    struct WatchState {
+      size_t remaining = 0;
+      bool first = true;
+      size_t sleep_left_ms = 0;  ///< Rest of the current interval.
+    };
+    auto state = std::make_shared<WatchState>();
+    state->remaining = std::max<size_t>(1, *count);
     size_t interval_ms = *interval;
+    size_t heartbeat_ms = *heartbeat;
     HttpResponse response;
     response.status = 200;
     response.content_type = "text/event-stream; charset=utf-8";
-    response.body_stream = [system, started, remaining, first,
-                            interval_ms]() -> std::optional<std::string> {
-      if (*remaining == 0) return std::nullopt;
-      if (*first) {
-        *first = false;
-      } else {
-        std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    response.body_stream = [system, started, state, interval_ms,
+                            heartbeat_ms]() -> std::optional<std::string> {
+      if (state->remaining == 0) return std::nullopt;
+      if (state->first) {
+        state->first = false;
+      } else if (state->sleep_left_ms == 0) {
+        state->sleep_left_ms = std::max<size_t>(1, interval_ms);
       }
-      --*remaining;
+      // Sleep the interval in heartbeat-sized slices, emitting a comment
+      // frame after each non-final slice.
+      if (state->sleep_left_ms > 0) {
+        size_t slice = state->sleep_left_ms;
+        if (heartbeat_ms > 0) slice = std::min(slice, heartbeat_ms);
+        std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+        state->sleep_left_ms -= slice;
+        if (state->sleep_left_ms > 0) return ": heartbeat\n\n";
+      }
+      --state->remaining;
       return "event: metrics\ndata: " + StatsJson(system, *started).Dump() +
              "\n\n";
     };
@@ -802,9 +1058,11 @@ void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
     engine::ExecutionOptions execution = system->options().execution;
     if (*threads != 0) execution.num_threads = *threads;
     if (QueryFlag(req, "profile")) execution.collect_profile = true;
+    Result<std::string> format = FormatParam(req, {"text", "json"}, "text");
+    if (!format.ok()) return ErrorResponse(format.status());
     auto result = system->ExecuteQuery(*parsed, execution);
     if (!result.ok()) return ErrorResponse(result.status());
-    if (auto format = QueryParam(req, "format"); format == "json") {
+    if (*format == "json") {
       return JsonResponse(ExplainToJson(*parsed, *result));
     }
     Json::Object out;

@@ -13,6 +13,7 @@
 #include "common/strings.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace raptor::server {
 
@@ -168,6 +169,7 @@ void HttpServer::Stop() {
 }
 
 void HttpServer::AcceptLoop() {
+  obs::ProfiledThread profiled("http");
   while (running_.load()) {
     pollfd pfd{listen_fd_, POLLIN, 0};
     int ready = ::poll(&pfd, 1, 100 /*ms*/);

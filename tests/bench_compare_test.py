@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""ctest-registered checks for scripts/bench_compare.py.
+
+Exercises both bench JSON formats the repo emits (bench_util tables and
+google-benchmark documents), the 25% regression gate, the 0.05 ms noise
+floor, and the missing-baseline exit codes — against synthetic documents,
+so the test is machine-speed independent.
+
+Usage: bench_compare_test.py /path/to/bench_compare.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+COMPARE = None  # set from argv[1] in __main__
+
+
+def gbench_doc(entries):
+    """google-benchmark format: [(name, real_time, unit), ...]."""
+    return {
+        "benchmarks": [
+            {"name": n, "real_time": t, "time_unit": u, "run_type": "iteration"}
+            for (n, t, u) in entries
+        ]
+    }
+
+
+def table_doc(name, columns, rows):
+    """bench_util format: one table."""
+    return {"bench": name, "tables": [{"name": name, "columns": columns,
+                                       "rows": rows}]}
+
+
+class BenchCompareTest(unittest.TestCase):
+    def run_compare(self, baseline_docs, current_docs, extra_args=()):
+        """Writes the synthetic documents into two temp dirs and runs the
+        script; returns (exit_code, stdout+stderr)."""
+        with tempfile.TemporaryDirectory() as tmp:
+            base_dir = os.path.join(tmp, "base")
+            cur_dir = os.path.join(tmp, "cur")
+            os.mkdir(base_dir)
+            os.mkdir(cur_dir)
+            for fname, doc in baseline_docs.items():
+                with open(os.path.join(base_dir, fname), "w") as f:
+                    json.dump(doc, f)
+            for fname, doc in current_docs.items():
+                with open(os.path.join(cur_dir, fname), "w") as f:
+                    json.dump(doc, f)
+            proc = subprocess.run(
+                [sys.executable, COMPARE, "--baseline-dir", base_dir,
+                 "--current-dir", cur_dir] + list(extra_args),
+                capture_output=True, text=True)
+            return proc.returncode, proc.stdout + proc.stderr
+
+    def test_identical_runs_pass(self):
+        doc = gbench_doc([("hunt/off", 2.0, "ms")])
+        code, out = self.run_compare({"BENCH_x.json": doc},
+                                     {"BENCH_x.json": doc})
+        self.assertEqual(code, 0, out)
+        self.assertIn("OK", out)
+
+    def test_gbench_regression_over_threshold_fails(self):
+        base = gbench_doc([("hunt/off", 2.0, "ms"), ("steady", 1.0, "ms")])
+        cur = gbench_doc([("hunt/off", 2.6, "ms"), ("steady", 1.0, "ms")])
+        code, out = self.run_compare({"BENCH_x.json": base},
+                                     {"BENCH_x.json": cur})
+        self.assertEqual(code, 1, out)
+        self.assertIn("hunt/off", out)
+        self.assertIn("30% slower", out)
+
+    def test_gbench_slowdown_under_threshold_passes(self):
+        base = gbench_doc([("hunt/off", 2.0, "ms")])
+        cur = gbench_doc([("hunt/off", 2.4, "ms")])  # +20% < 25%
+        code, out = self.run_compare({"BENCH_x.json": base},
+                                     {"BENCH_x.json": cur})
+        self.assertEqual(code, 0, out)
+
+    def test_time_units_normalize(self):
+        # 2e6 ns == 2 ms: a baseline in ns compared against a current run
+        # in ms must not spuriously regress.
+        base = gbench_doc([("op", 2.0e6, "ns")])
+        cur = gbench_doc([("op", 2.0, "ms")])
+        code, out = self.run_compare({"BENCH_x.json": base},
+                                     {"BENCH_x.json": cur})
+        self.assertEqual(code, 0, out)
+
+    def test_table_format_regression_fails(self):
+        base = table_doc("paths", ["query", "events", "ms"],
+                         [["q1", 1000, 5.0], ["q2", 1000, 1.0]])
+        cur = table_doc("paths", ["query", "events", "ms"],
+                        [["q1", 1000, 9.0], ["q2", 1000, 1.0]])
+        code, out = self.run_compare({"BENCH_paths.json": base},
+                                     {"BENCH_paths.json": cur})
+        self.assertEqual(code, 1, out)
+        self.assertIn("paths[q1/1000]", out)
+
+    def test_table_repeated_keys_keep_max(self):
+        # Sweeps over a hidden variable repeat a key; the max is the
+        # baseline, so only a regression beyond every repetition fires.
+        base = table_doc("paths", ["query", "ms"],
+                         [["q1", 1.0], ["q1", 4.0]])
+        cur = table_doc("paths", ["query", "ms"], [["q1", 4.5]])
+        code, out = self.run_compare({"BENCH_paths.json": base},
+                                     {"BENCH_paths.json": cur})
+        self.assertEqual(code, 0, out)  # 4.5 vs max(1,4)=4: +12.5%
+
+    def test_noise_floor_skips_tiny_baselines(self):
+        # 0.01 ms baseline doubling would be a 100% "regression", but it is
+        # below the 0.05 ms noise floor.
+        base = gbench_doc([("micro", 0.01, "ms")])
+        cur = gbench_doc([("micro", 0.02, "ms")])
+        code, out = self.run_compare({"BENCH_x.json": base},
+                                     {"BENCH_x.json": cur})
+        self.assertEqual(code, 0, out)
+        self.assertIn("below 0.050 ms noise floor", out)
+
+    def test_custom_threshold_and_min_ms(self):
+        base = gbench_doc([("hunt", 2.0, "ms")])
+        cur = gbench_doc([("hunt", 2.3, "ms")])  # +15%
+        code, out = self.run_compare({"BENCH_x.json": base},
+                                     {"BENCH_x.json": cur},
+                                     extra_args=["--threshold", "0.10"])
+        self.assertEqual(code, 1, out)
+        # A min-ms above the baseline mutes the same regression.
+        code, out = self.run_compare({"BENCH_x.json": base},
+                                     {"BENCH_x.json": cur},
+                                     extra_args=["--threshold", "0.10",
+                                                 "--min-ms", "3.0"])
+        self.assertEqual(code, 0, out)
+
+    def test_no_baselines_is_exit_2(self):
+        code, out = self.run_compare({}, {})
+        self.assertEqual(code, 2, out)
+        self.assertIn("no BENCH_*.json baselines", out)
+
+    def test_missing_current_file_is_skipped_not_failed(self):
+        base = gbench_doc([("hunt", 2.0, "ms")])
+        code, out = self.run_compare({"BENCH_x.json": base}, {})
+        self.assertEqual(code, 0, out)
+        self.assertIn("not produced by current run, skipped", out)
+
+    def test_missing_key_in_current_is_skipped(self):
+        base = gbench_doc([("hunt", 2.0, "ms"), ("gone", 2.0, "ms")])
+        cur = gbench_doc([("hunt", 2.0, "ms")])
+        code, out = self.run_compare({"BENCH_x.json": base},
+                                     {"BENCH_x.json": cur})
+        self.assertEqual(code, 0, out)
+        self.assertIn("missing from current run, skipped", out)
+
+    def test_aggregate_entries_are_ignored(self):
+        base = gbench_doc([("hunt", 2.0, "ms")])
+        cur = gbench_doc([("hunt", 2.0, "ms")])
+        cur["benchmarks"].append({"name": "hunt_mean", "real_time": 99.0,
+                                  "time_unit": "ms",
+                                  "run_type": "aggregate"})
+        base["benchmarks"].append({"name": "hunt_mean", "real_time": 1.0,
+                                   "time_unit": "ms",
+                                   "run_type": "aggregate"})
+        code, out = self.run_compare({"BENCH_x.json": base},
+                                     {"BENCH_x.json": cur})
+        self.assertEqual(code, 0, out)
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2 or not os.path.exists(sys.argv[1]):
+        print("usage: bench_compare_test.py /path/to/bench_compare.py",
+              file=sys.stderr)
+        sys.exit(2)
+    COMPARE = sys.argv.pop(1)
+    unittest.main()

@@ -4,13 +4,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/profiler.h"
 #include "obs/resource.h"
+#include "obs/slo.h"
 #include "obs/slow_journal.h"
 #include "obs/trace.h"
 
@@ -492,6 +496,337 @@ TEST(SlowJournalTest, EntryRetainsProfileAndOperators) {
   EXPECT_EQ(found->ops[0].rows_examined, 100u);
   ASSERT_FALSE(found->profile.empty());
   EXPECT_EQ(found->profile.stages[0].stage, "execute");
+}
+
+// =====================================================================
+// Registry structured snapshot, family sums, quantiles.
+// =====================================================================
+
+TEST(RegistrySnapshotTest, FamiliesCarryTypesValuesAndCumulativeBuckets) {
+  Registry registry;
+  registry.GetCounter("snap_total", "a counter", {{"kind", "x"}})
+      ->Increment(3);
+  registry.GetGauge("snap_gauge")->Set(-2);
+  Histogram* h = registry.GetHistogram("snap_ms", "a histogram", {1.0, 5.0});
+  h->Observe(0.5);
+  h->Observe(3.0);
+  h->Observe(100.0);
+  std::vector<FamilySnapshot> families = registry.Snapshot();
+  ASSERT_EQ(families.size(), 3u);
+  const FamilySnapshot* hist = nullptr;
+  for (const FamilySnapshot& f : families) {
+    if (f.name == "snap_total") {
+      EXPECT_EQ(f.type, "counter");
+      EXPECT_EQ(f.help, "a counter");
+      ASSERT_EQ(f.samples.size(), 1u);
+      EXPECT_DOUBLE_EQ(f.samples[0].value, 3.0);
+      ASSERT_EQ(f.samples[0].labels.size(), 1u);
+      EXPECT_EQ(f.samples[0].labels[0].second, "x");
+    } else if (f.name == "snap_gauge") {
+      EXPECT_EQ(f.type, "gauge");
+      ASSERT_EQ(f.samples.size(), 1u);
+      EXPECT_DOUBLE_EQ(f.samples[0].value, -2.0);
+    } else if (f.name == "snap_ms") {
+      hist = &f;
+    }
+  }
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->type, "histogram");
+  ASSERT_EQ(hist->samples.size(), 1u);
+  const MetricSample& s = hist->samples[0];
+  // Buckets are cumulative over the finite bounds; +Inf is the count.
+  ASSERT_EQ(s.buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.buckets[0].first, 1.0);
+  EXPECT_EQ(s.buckets[0].second, 1u);
+  EXPECT_DOUBLE_EQ(s.buckets[1].first, 5.0);
+  EXPECT_EQ(s.buckets[1].second, 2u);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 103.5);
+}
+
+TEST(RegistrySnapshotTest, CounterFamilySumSpansAllChildren) {
+  Registry registry;
+  registry.GetCounter("fam_total", "", {{"code", "200"}})->Increment(5);
+  registry.GetCounter("fam_total", "", {{"code", "500"}})->Increment(2);
+  EXPECT_EQ(registry.CounterFamilySum("fam_total"), 7u);
+  EXPECT_EQ(registry.CounterFamilySum("missing_total"), 0u);
+}
+
+TEST(RegistrySnapshotTest, FindHistogramAndChildren) {
+  Registry registry;
+  registry.GetHistogram("find_ms", "", {1.0}, {{"route", "/a"}})
+      ->Observe(0.5);
+  registry.GetHistogram("find_ms", "", {1.0}, {{"route", "/b"}})
+      ->Observe(2.0);
+  EXPECT_EQ(registry.FindHistogram("find_ms"), nullptr);  // no unlabeled child
+  EXPECT_NE(registry.FindHistogram("find_ms", {{"route", "/a"}}), nullptr);
+  auto children = registry.HistogramChildren("find_ms");
+  ASSERT_EQ(children.size(), 2u);
+  for (const auto& [labels, h] : children) {
+    ASSERT_EQ(labels.size(), 1u);
+    EXPECT_EQ(labels[0].first, "route");
+    EXPECT_EQ(h->Count(), 1u);
+  }
+}
+
+TEST(RegistrySnapshotTest, ParseRenderedLabelsUndoesEscapes) {
+  LabelSet labels =
+      ParseRenderedLabels(R"({path="C:\\dir",quote="say \"hi\"",nl="a\nb"})");
+  ASSERT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[0].first, "path");
+  EXPECT_EQ(labels[0].second, "C:\\dir");
+  EXPECT_EQ(labels[1].second, "say \"hi\"");
+  EXPECT_EQ(labels[2].second, "a\nb");
+  EXPECT_TRUE(ParseRenderedLabels("").empty());
+}
+
+TEST(HistogramQuantileTest, InterpolatesWithinBuckets) {
+  Histogram h({10.0, 20.0, 40.0});
+  for (int i = 0; i < 10; ++i) h.Observe(5.0);   // le=10
+  for (int i = 0; i < 10; ++i) h.Observe(15.0);  // le=20
+  // p50: target rank 10 lands exactly at the end of the first bucket.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.5), 10.0);
+  // p75: rank 15 is midway through the (10, 20] bucket.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.75), 15.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 1.0), 20.0);
+}
+
+TEST(HistogramQuantileTest, InfBucketClampsToLastFiniteBound) {
+  Histogram h({10.0});
+  h.Observe(1000.0);  // lands in +Inf
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.99), 10.0);
+}
+
+TEST(HistogramQuantileTest, EmptyHistogramIsZero) {
+  Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.99), 0.0);
+}
+
+// =====================================================================
+// Sampling profiler.
+// =====================================================================
+
+TEST(ProfilerTest, RenderFoldedEmitsSortedStackLines) {
+  ProfileSnapshot snapshot;
+  snapshot.folded["worker;hunt;scan"] = 12;
+  snapshot.folded["http;idle"] = 3;
+  EXPECT_EQ(Profiler::RenderFolded(snapshot),
+            "http;idle 3\nworker;hunt;scan 12\n");
+}
+
+TEST(ProfilerTest, DisabledByDefaultAndTrackingFollowsRunState) {
+  Profiler& profiler = Profiler::Default();
+  profiler.Configure({});  // defaults: disabled
+  EXPECT_FALSE(profiler.running());
+  EXPECT_FALSE(profiler_internal::Tracking());
+  ProfilerOptions on;
+  on.enabled = true;
+  on.hz = 500;
+  profiler.Configure(on);
+  EXPECT_TRUE(profiler.running());
+  EXPECT_TRUE(profiler_internal::Tracking());
+  profiler.Configure({});
+  EXPECT_FALSE(profiler.running());
+  EXPECT_FALSE(profiler_internal::Tracking());
+}
+
+TEST(ProfilerTest, SamplesRegisteredThreadSpanStacks) {
+  Profiler& profiler = Profiler::Default();
+  ProfilerOptions options;
+  options.enabled = true;
+  options.hz = 1000;
+  profiler.Configure(options);
+
+  std::atomic<bool> stop{false};
+  std::thread worker([&stop] {
+    ProfiledThread profiled("sampler-test");
+    Tracer& tracer = Tracer::Default();
+    TraceScope scope = tracer.BeginTrace("outer", /*force=*/true);
+    Span inner = tracer.StartSpan("inner");
+    while (!stop.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    inner.End();
+  });
+  // At 1 kHz, 100 ms yields ~100 samples of the open outer;inner stack.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true);
+  worker.join();
+  profiler.Stop();
+
+  ProfileSnapshot snapshot = profiler.Snapshot();
+  EXPECT_GT(snapshot.total_samples, 0u);
+  EXPECT_GT(snapshot.duration_s, 0.0);
+  auto it = snapshot.folded.find("sampler-test;outer;inner");
+  ASSERT_NE(it, snapshot.folded.end())
+      << Profiler::RenderFolded(snapshot);
+  EXPECT_GT(it->second, 0u);
+  profiler.Configure({});
+}
+
+TEST(ProfilerTest, SpanNamesAreSanitizedInFoldedKeys) {
+  Profiler& profiler = Profiler::Default();
+  ProfilerOptions options;
+  options.enabled = true;
+  options.hz = 1000;
+  profiler.Configure(options);
+  {
+    ProfiledThread profiled("bad;name here");
+    Tracer& tracer = Tracer::Default();
+    TraceScope scope = tracer.BeginTrace("semi;colon", /*force=*/true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  profiler.Stop();
+  ProfileSnapshot snapshot = profiler.Snapshot();
+  profiler.Configure({});
+  ASSERT_FALSE(snapshot.folded.empty());
+  auto it = snapshot.folded.find("bad_name_here;semi_colon");
+  ASSERT_NE(it, snapshot.folded.end()) << Profiler::RenderFolded(snapshot);
+}
+
+TEST(ProfilerTest, UnregisteredThreadsAreInvisible) {
+  Profiler& profiler = Profiler::Default();
+  size_t before = profiler.registered_threads();
+  {
+    ProfiledThread profiled("ephemeral");
+    EXPECT_EQ(profiler.registered_threads(), before + 1);
+  }
+  EXPECT_EQ(profiler.registered_threads(), before);
+}
+
+// =====================================================================
+// SLO burn-rate engine.
+// =====================================================================
+
+/// Drives a cumulative SLO through ok -> pending -> firing -> resolved by
+/// steering closure-owned good/bad tallies between evaluations.
+TEST(SloEngineTest, StateMachineWalksPendingFiringResolved) {
+  SloEngine& engine = SloEngine::Default();
+  SloOptions bare;
+  bare.enabled = false;  // no default catalog, no evaluator thread
+  engine.Configure(bare);
+
+  auto tallies = std::make_shared<SloSample>();
+  SloSpec spec;
+  spec.name = "obs_test_slo";
+  spec.description = "unit-test slo";
+  spec.kind = SloKind::kCumulative;
+  spec.objective = 0.9;  // error budget 0.1
+  spec.short_window_s = 60;
+  spec.long_window_s = 300;
+  spec.burn_threshold = 1.0;
+  spec.pending_for_s = 0;
+  spec.sample = [tallies] { return *tallies; };
+  engine.AddSlo(spec);
+
+  auto state_of = [&engine]() {
+    std::vector<AlertStatus> all = engine.Snapshot();
+    EXPECT_EQ(all.size(), 1u);
+    return all.empty() ? AlertState::kOk : all[0].state;
+  };
+
+  // Eval 1: single point, no delta yet -> ok.
+  engine.EvaluateNow();
+  EXPECT_EQ(state_of(), AlertState::kOk);
+
+  // Eval 2: 10 new bad events, 0 good -> ratio 1.0, burn 10 -> pending.
+  tallies->bad = 10;
+  engine.EvaluateNow();
+  EXPECT_EQ(state_of(), AlertState::kPending);
+  EXPECT_EQ(Registry::Default().GaugeValue("raptor_alert_state",
+                                           {{"slo", "obs_test_slo"}}),
+            1);
+
+  // Eval 3: still burning and pending_for elapsed (0 s) -> firing.
+  engine.EvaluateNow();
+  EXPECT_EQ(state_of(), AlertState::kFiring);
+  EXPECT_EQ(Registry::Default().GaugeValue("raptor_alert_state",
+                                           {{"slo", "obs_test_slo"}}),
+            2);
+
+  // Eval 4: a flood of good events dilutes the window ratio -> resolved.
+  tallies->good = 1000;
+  engine.EvaluateNow();
+  EXPECT_EQ(state_of(), AlertState::kOk);
+  EXPECT_EQ(Registry::Default().GaugeValue("raptor_alert_state",
+                                           {{"slo", "obs_test_slo"}}),
+            0);
+
+  std::vector<AlertTransition> transitions = engine.Transitions();
+  ASSERT_EQ(transitions.size(), 3u);  // newest first
+  EXPECT_EQ(transitions[0].from, AlertState::kFiring);
+  EXPECT_EQ(transitions[0].to, AlertState::kOk);
+  EXPECT_EQ(transitions[1].from, AlertState::kPending);
+  EXPECT_EQ(transitions[1].to, AlertState::kFiring);
+  EXPECT_EQ(transitions[2].from, AlertState::kOk);
+  EXPECT_EQ(transitions[2].to, AlertState::kPending);
+  EXPECT_GT(transitions[1].short_burn, 1.0);
+
+  engine.Configure(bare);
+}
+
+TEST(SloEngineTest, InstantKindAveragesPerSampleRatios) {
+  SloEngine& engine = SloEngine::Default();
+  SloOptions bare;
+  bare.enabled = false;
+  engine.Configure(bare);
+
+  auto tallies = std::make_shared<SloSample>();
+  SloSpec spec;
+  spec.name = "obs_test_instant";
+  spec.kind = SloKind::kInstant;
+  spec.objective = 0;  // burn == utilization, the memory_headroom shape
+  spec.burn_threshold = 0.8;
+  spec.pending_for_s = 0;
+  spec.sample = [tallies] { return *tallies; };
+  engine.AddSlo(spec);
+
+  tallies->bad = 10;   // 10% utilization
+  tallies->good = 90;
+  engine.EvaluateNow();
+  std::vector<AlertStatus> all = engine.Snapshot();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_NEAR(all[0].short_burn, 0.1, 1e-9);
+  EXPECT_EQ(all[0].state, AlertState::kOk);
+
+  tallies->bad = 100;  // 100% utilization: each new instant sample is
+  tallies->good = 0;   // averaged with the initial 0.1 point.
+  engine.EvaluateNow();  // mean of {0.1, 1.0} = 0.55
+  engine.EvaluateNow();  // mean of {0.1, 1.0 x2} = 0.7
+  engine.EvaluateNow();  // mean of {0.1, 1.0 x3} = 0.775 < 0.8
+  all = engine.Snapshot();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].state, AlertState::kOk);
+  engine.EvaluateNow();  // mean of {0.1, 1.0 x4} = 0.82 > 0.8 -> pending
+  all = engine.Snapshot();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].state, AlertState::kPending);
+
+  engine.Configure(bare);
+}
+
+TEST(SloEngineTest, DefaultCatalogInstallsFourSlosWithoutThread) {
+  SloEngine& engine = SloEngine::Default();
+  SloOptions options;  // enabled by default
+  engine.Configure(options);
+  EXPECT_FALSE(engine.running());  // the API server starts the evaluator
+  std::vector<AlertStatus> all = engine.Snapshot();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].name, "hunt_latency_p99");
+  EXPECT_EQ(all[1].name, "http_error_rate");
+  EXPECT_EQ(all[2].name, "degraded_hunt_fraction");
+  EXPECT_EQ(all[3].name, "memory_headroom");
+  // The memory SLO keeps its own threshold, not the shared one.
+  EXPECT_DOUBLE_EQ(all[3].burn_threshold, options.memory_burn_threshold);
+  EXPECT_DOUBLE_EQ(all[0].burn_threshold, options.burn_threshold);
+  // All four evaluate cleanly against the live registry.
+  engine.EvaluateNow();
+  for (const AlertStatus& status : engine.Snapshot()) {
+    EXPECT_EQ(status.state, AlertState::kOk) << status.name;
+  }
+  SloOptions bare;
+  bare.enabled = false;
+  engine.Configure(bare);
 }
 
 }  // namespace

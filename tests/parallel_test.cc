@@ -28,6 +28,7 @@
 #include "engine/engine.h"
 #include "fault_injection.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "storage/graph/graph_store.h"
 #include "storage/relational/database.h"
@@ -501,6 +502,47 @@ TEST(ParallelHuntTest, HuntResultsAreByteIdenticalAcrossThreadCounts) {
     ExpectSameResult(serial->result, parallel->result,
                      "hunt threads=" + std::to_string(t));
   }
+}
+
+TEST(ParallelHuntTest, ProfilerEnabledHuntsAreByteIdenticalAcrossThreads) {
+  // The sampling profiler is an observer: with it running at a high rate —
+  // span stacks published from the hunt thread and every pool worker, the
+  // sampler reading them concurrently — hunt results must stay
+  // byte-identical to the serial, profiler-off baseline at every thread
+  // count.
+  ThreatRaptorOptions options;
+  options.profiler.enabled = true;
+  options.profiler.hz = 500;
+  options.hunt.collect_profile = true;  // spans exist even with no server
+  ThreatRaptor system(options);
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(4000, system.mutable_log());
+  gen.InjectDataLeakageAttack(system.mutable_log());
+  gen.GenerateBenign(4000, system.mutable_log());
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+  audit::AuditLog scratch;
+  audit::WorkloadGenerator gen2;
+  std::string report = gen2.InjectDataLeakageAttack(&scratch).report_text;
+
+  obs::ProfiledThread profiled("hunt-test");
+  ASSERT_TRUE(obs::Profiler::Default().running());
+  HuntOptions serial_opts;
+  serial_opts.num_threads = 1;
+  auto serial = system.Hunt(report, serial_opts);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_FALSE(serial->result.rows.empty());
+  for (size_t t : std::vector<size_t>{2, 8}) {
+    HuntOptions opts;
+    opts.num_threads = t;
+    auto parallel = system.Hunt(report, opts);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ExpectSameResult(serial->result, parallel->result,
+                     "profiled hunt threads=" + std::to_string(t));
+  }
+  // The profiler observed the hunts it rode along with.
+  obs::ProfileSnapshot snapshot = obs::Profiler::Default().Snapshot();
+  EXPECT_GT(snapshot.total_samples, 0u);
+  obs::Profiler::Default().Configure({});  // leave the profiler off
 }
 
 TEST(ParallelHuntTest, DegradedHuntIsByteIdenticalAcrossThreadCounts) {

@@ -7,13 +7,18 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
+#include <thread>
 
 #include "common/json.h"
 #include "core/threat_raptor.h"
 #include "fault_injection.h"
 #include "obs/log.h"
+#include "obs/profiler.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "server/api.h"
 #include "server/http.h"
@@ -928,6 +933,372 @@ TEST(ServerTest, ExplainJsonOperatorStatsAreThreadCountInvariant) {
     EXPECT_EQ(serial["totals"][key].Dump(), parallel["totals"][key].Dump())
         << key;
   }
+}
+
+// --- Structured metrics dump (?format=json). ---
+
+TEST(ServerTest, MetricsJsonFormatMirrorsTheRegistry) {
+  ServerFixture fx;
+  Post(fx.server.port(), "/api/query", "proc p read file f\nlimit 1");
+  std::string body = Body(Get(fx.server.port(), "/api/metrics?format=json"));
+  auto json = Json::Parse(body);
+  ASSERT_TRUE(json.ok()) << body.substr(0, 400);
+  const auto& families = (*json)["families"].AsArray();
+  ASSERT_FALSE(families.empty());
+  bool saw_counter = false, saw_histogram = false;
+  for (const Json& family : families) {
+    const std::string& name = family["name"].AsString();
+    if (name == "raptor_queries_total") {
+      saw_counter = true;
+      EXPECT_EQ(family["type"].AsString(), "counter");
+      ASSERT_FALSE(family["samples"].AsArray().empty());
+      EXPECT_GE(family["samples"][0]["value"].AsNumber(), 1.0);
+    }
+    if (name == "raptor_http_request_ms") {
+      saw_histogram = true;
+      EXPECT_EQ(family["type"].AsString(), "histogram");
+      ASSERT_FALSE(family["samples"].AsArray().empty());
+      const Json& sample = family["samples"][0];
+      const auto& buckets = sample["buckets"].AsArray();
+      ASSERT_GE(buckets.size(), 2u);
+      // Finite bounds are numbers; the implicit +Inf bucket closes the list
+      // and equals the sample count.
+      EXPECT_TRUE(buckets[0]["le"].is_number());
+      EXPECT_EQ(buckets.back()["le"].AsString(), "+Inf");
+      EXPECT_EQ(buckets.back()["count"].AsNumber(),
+                sample["count"].AsNumber());
+      EXPECT_GE(sample["sum"].AsNumber(), 0.0);
+      EXPECT_FALSE(sample["labels"]["route"].AsString().empty());
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_histogram);
+
+  // The explicit text format is the Prometheus exposition.
+  std::string text = Get(fx.server.port(), "/api/metrics?format=text");
+  EXPECT_NE(text.find("200 OK"), std::string::npos);
+  EXPECT_NE(Body(text).find("# TYPE"), std::string::npos);
+}
+
+TEST(ServerTest, UnknownFormatIs400OnEveryFormatEndpoint) {
+  ServerFixture fx;
+  struct Case {
+    const char* method;
+    const char* path;
+    const char* choices;
+  };
+  for (const Case& c : {Case{"GET", "/api/metrics?format=xml", "text|json"},
+                        Case{"GET", "/api/profile?format=yaml",
+                             "folded|json"}}) {
+    std::string response = Get(fx.server.port(), c.path);
+    EXPECT_NE(response.find("400"), std::string::npos) << c.path;
+    auto json = Json::Parse(Body(response));
+    ASSERT_TRUE(json.ok()) << c.path;
+    EXPECT_NE((*json)["error"].AsString().find(c.choices), std::string::npos)
+        << c.path << ": " << (*json)["error"].AsString();
+  }
+  // /api/explain shares the same validator: unknown formats are rejected
+  // before the query executes.
+  std::string response = Post(fx.server.port(), "/api/explain?format=yaml",
+                              "proc p read file f\nlimit 1");
+  EXPECT_NE(response.find("400"), std::string::npos);
+  auto json = Json::Parse(Body(response));
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE((*json)["error"].AsString().find("text|json"), std::string::npos);
+}
+
+// --- Latency quantiles in /api/stats. ---
+
+TEST(ServerTest, StatsCarryLatencyQuantiles) {
+  ServerFixture fx;
+  Post(fx.server.port(), "/api/hunt",
+       "The process /bin/tar read the file /etc/passwd. /bin/tar then "
+       "wrote the collected data to /tmp/data.tar.");
+  Post(fx.server.port(), "/api/query", "proc p read file f\nlimit 1");
+  std::string body = Body(Get(fx.server.port(), "/api/stats"));
+  auto json = Json::Parse(body);
+  ASSERT_TRUE(json.ok()) << body;
+  const Json& latency = (*json)["latency"];
+  EXPECT_GE(latency["hunt_ms"]["count"].AsNumber(), 1.0);
+  EXPECT_GT(latency["hunt_ms"]["p50"].AsNumber(), 0.0);
+  EXPECT_GE(latency["hunt_ms"]["p99"].AsNumber(),
+            latency["hunt_ms"]["p50"].AsNumber());
+  EXPECT_GE(latency["query_ms"]["count"].AsNumber(), 1.0);
+  EXPECT_GE(latency["query_ms"]["p95"].AsNumber(), 0.0);
+  // Per-route HTTP latency: the hunt we just made has a quantile row.
+  const Json& hunt_route = latency["http_request_ms"]["/api/hunt"];
+  EXPECT_GE(hunt_route["count"].AsNumber(), 1.0);
+  EXPECT_GE(hunt_route["p99"].AsNumber(), 0.0);
+}
+
+// --- SSE heartbeats. ---
+
+TEST(ServerTest, WatchEmitsHeartbeatCommentFramesBetweenEvents) {
+  ServerFixture fx;
+  // A 150 ms interval sliced by a 50 ms heartbeat: the single inter-event
+  // gap yields exactly two comment frames (the third slice ends the wait).
+  std::string wire = Get(
+      fx.server.port(),
+      "/api/watch?count=2&interval_ms=150&heartbeat_ms=50");
+  EXPECT_NE(wire.find("200 OK"), std::string::npos);
+  size_t events = 0;
+  for (size_t pos = wire.find("event: metrics"); pos != std::string::npos;
+       pos = wire.find("event: metrics", pos + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, 2u);
+  size_t heartbeats = 0;
+  for (size_t pos = wire.find(": heartbeat"); pos != std::string::npos;
+       pos = wire.find(": heartbeat", pos + 1)) {
+    ++heartbeats;
+  }
+  EXPECT_EQ(heartbeats, 2u);
+  // heartbeat_ms=0 disables the frames entirely.
+  std::string quiet = Get(
+      fx.server.port(),
+      "/api/watch?count=2&interval_ms=50&heartbeat_ms=0");
+  EXPECT_EQ(quiet.find(": heartbeat"), std::string::npos);
+  // And the parameter validates like every other bounded integer.
+  EXPECT_NE(Get(fx.server.port(), "/api/watch?heartbeat_ms=abc").find("400"),
+            std::string::npos);
+}
+
+// --- The sampling profiler endpoint. ---
+
+/// Fixture with the profiler always on, so both the windowed capture and
+/// the cumulative (?seconds=0) read have samples to serve.
+struct ProfilerFixture {
+  ThreatRaptor system;
+  HttpServer server;
+
+  static ThreatRaptorOptions MakeOptions() {
+    ThreatRaptorOptions options;
+    options.profiler.enabled = true;
+    options.profiler.hz = 199;  // faster than default: shorter test windows
+    return options;
+  }
+
+  ProfilerFixture() : system(MakeOptions()) {
+    audit::WorkloadGenerator gen;
+    gen.GenerateBenign(3000, system.mutable_log());
+    gen.InjectDataLeakageAttack(system.mutable_log());
+    EXPECT_TRUE(system.FinalizeStorage().ok());
+    RegisterThreatRaptorApi(&server, &system);
+    EXPECT_TRUE(server.Start(0).ok());
+  }
+
+  ~ProfilerFixture() { obs::Profiler::Default().Configure({}); }
+};
+
+TEST(ServerTest, ProfileEndpointCapturesHuntSpanStacks) {
+  ProfilerFixture fx;
+  // A hunter thread keeps span stacks live while the capture window runs.
+  std::atomic<bool> stop{false};
+  std::thread hunter([&fx, &stop] {
+    obs::ProfiledThread profiled("hunter");
+    const std::string report =
+        "The process /bin/tar read the file /etc/passwd. /bin/tar then "
+        "wrote the collected data to /tmp/data.tar.";
+    while (!stop.load()) {
+      auto hunt = fx.system.Hunt(report);
+      EXPECT_TRUE(hunt.ok());
+    }
+  });
+
+  std::string response =
+      Get(fx.server.port(), "/api/profile?seconds=1&format=folded");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain"), std::string::npos);
+  std::string folded = Body(response);
+  // The acceptance gate: folded stacks rooted at the hunter thread with
+  // hunt-pipeline span leaves.
+  EXPECT_NE(folded.find("hunter;hunt"), std::string::npos) << folded;
+
+  // The cumulative read (?seconds=0) serves without blocking, structured.
+  std::string body =
+      Body(Get(fx.server.port(), "/api/profile?seconds=0&format=json"));
+  stop.store(true);
+  hunter.join();
+  auto json = Json::Parse(body);
+  ASSERT_TRUE(json.ok()) << body.substr(0, 400);
+  EXPECT_DOUBLE_EQ((*json)["hz"].AsNumber(), 199.0);
+  EXPECT_GT((*json)["samples"].AsNumber(), 0.0);
+  EXPECT_GT((*json)["duration_s"].AsNumber(), 0.0);
+  bool saw_hunt_stack = false;
+  for (const Json& entry : (*json)["stacks"].AsArray()) {
+    EXPECT_GE(entry["samples"].AsNumber(), 1.0);
+    if (entry["stack"].AsString().rfind("hunter;hunt", 0) == 0) {
+      saw_hunt_stack = true;
+    }
+  }
+  EXPECT_TRUE(saw_hunt_stack) << body.substr(0, 400);
+}
+
+TEST(ServerTest, ProfileEndpointValidatesParameters) {
+  ServerFixture fx;  // profiler disabled (the default)
+  // The cumulative read needs a running profiler.
+  std::string off = Get(fx.server.port(), "/api/profile?seconds=0");
+  EXPECT_NE(off.find("400"), std::string::npos);
+  auto json = Json::Parse(Body(off));
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE((*json)["error"].AsString().find("not running"),
+            std::string::npos);
+  // Malformed seconds values get the shared bounded-integer 400.
+  EXPECT_NE(Get(fx.server.port(), "/api/profile?seconds=abc").find("400"),
+            std::string::npos);
+  EXPECT_NE(Get(fx.server.port(), "/api/profile?seconds=-1").find("400"),
+            std::string::npos);
+}
+
+// --- SLO burn-rate alerts end to end. ---
+
+/// Fixture tuned so a handful of injected 500s blow the HTTP error budget:
+/// generous objective (50% budget), no pending dwell, and a background
+/// evaluator tick long enough that the /api/alerts polls drive every
+/// state-machine step deterministically.
+struct SloFixture {
+  ThreatRaptor system;
+  HttpServer server;
+
+  static ThreatRaptorOptions MakeOptions() {
+    ThreatRaptorOptions options;
+    options.slo.http_error_objective = 0.5;
+    options.slo.pending_for_s = 0;
+    options.slo.eval_interval_ms = 60000;
+    return options;
+  }
+
+  SloFixture() : system(MakeOptions()) {
+    audit::WorkloadGenerator gen;
+    gen.GenerateBenign(3000, system.mutable_log());
+    EXPECT_TRUE(system.FinalizeStorage().ok());
+    RegisterThreatRaptorApi(&server, &system);
+    EXPECT_TRUE(server.Start(0).ok());
+  }
+
+  ~SloFixture() { obs::SloEngine::Default().Stop(); }
+
+  /// Polls /api/alerts (each poll evaluates synchronously) and returns the
+  /// parsed document.
+  Json Alerts() {
+    std::string body = Body(Get(server.port(), "/api/alerts"));
+    auto json = Json::Parse(body);
+    EXPECT_TRUE(json.ok()) << body.substr(0, 400);
+    return json.ok() ? *json : Json();
+  }
+
+  static std::string StateOf(const Json& doc, const std::string& slo) {
+    for (const Json& alert : doc["alerts"].AsArray()) {
+      if (alert["slo"].AsString() == slo) return alert["state"].AsString();
+    }
+    return "missing";
+  }
+};
+
+TEST(ServerTest, AlertsWalkPendingFiringResolvedOnInjectedErrors) {
+  SloFixture fx;
+  // Baseline: the full default catalog, everything ok.
+  Json baseline = fx.Alerts();
+  EXPECT_TRUE(baseline["evaluator_running"].AsBool());
+  ASSERT_EQ(baseline["alerts"].AsArray().size(), 4u);
+  for (const Json& alert : baseline["alerts"].AsArray()) {
+    EXPECT_EQ(alert["state"].AsString(), "ok") << alert["slo"].AsString();
+  }
+
+  // Burn the error budget: eight injected 500s, no successes in between.
+  {
+    testing::ScriptedFaults faults;
+    faults.FailAt("server.handler",
+                  Status::Internal("injected server fault"),
+                  /*after=*/0, /*times=*/8);
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_NE(Get(fx.server.port(), "/api/healthz").find("500"),
+                std::string::npos)
+          << i;
+    }
+  }
+
+  // Poll 1: burn = (8/9) / 0.5 ≈ 1.8 over both windows -> pending.
+  Json pending = fx.Alerts();
+  EXPECT_EQ(SloFixture::StateOf(pending, "http_error_rate"), "pending");
+  // Poll 2: still burning, pending dwell is zero -> firing.
+  Json firing = fx.Alerts();
+  EXPECT_EQ(SloFixture::StateOf(firing, "http_error_rate"), "firing");
+  for (const Json& alert : firing["alerts"].AsArray()) {
+    if (alert["slo"].AsString() != "http_error_rate") continue;
+    EXPECT_GT(alert["short_burn"].AsNumber(), 1.0);
+    EXPECT_GT(alert["long_burn"].AsNumber(), 1.0);
+    EXPECT_GT(alert["error_ratio"].AsNumber(), 0.5);
+    EXPECT_GT(alert["state_since_unix_ms"].AsNumber(), 0.0);
+  }
+  // The firing state is scrape-visible as the labeled gauge.
+  std::string metrics = Body(Get(fx.server.port(), "/api/metrics"));
+  EXPECT_NE(metrics.find("raptor_alert_state{slo=\"http_error_rate\"} 2"),
+            std::string::npos);
+
+  // Recovery: a flood of successes dilutes the window ratio under the
+  // threshold; the next evaluation resolves the alert.
+  for (int i = 0; i < 80; ++i) {
+    EXPECT_NE(Get(fx.server.port(), "/api/healthz").find("200 OK"),
+              std::string::npos);
+  }
+  Json resolved = fx.Alerts();
+  EXPECT_EQ(SloFixture::StateOf(resolved, "http_error_rate"), "ok");
+  metrics = Body(Get(fx.server.port(), "/api/metrics"));
+  EXPECT_NE(metrics.find("raptor_alert_state{slo=\"http_error_rate\"} 0"),
+            std::string::npos);
+
+  // The transition history tells the whole story, newest first.
+  std::vector<std::string> steps;
+  for (const Json& t : resolved["transitions"].AsArray()) {
+    if (t["slo"].AsString() != "http_error_rate") continue;
+    steps.push_back(t["from"].AsString() + "->" + t["to"].AsString());
+    EXPECT_GT(t["unix_ms"].AsNumber(), 0.0);
+  }
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_EQ(steps[0], "firing->ok");
+  EXPECT_EQ(steps[1], "pending->firing");
+  EXPECT_EQ(steps[2], "ok->pending");
+}
+
+TEST(ServerTest, AlertTransitionsEmitTraceCorrelatedLogs) {
+  SloFixture fx;
+  obs::Logger::Default().Clear();
+  fx.Alerts();
+  {
+    testing::ScriptedFaults faults;
+    faults.FailAt("server.handler",
+                  Status::Internal("injected server fault"),
+                  /*after=*/0, /*times=*/8);
+    for (int i = 0; i < 8; ++i) Get(fx.server.port(), "/api/healthz");
+  }
+  fx.Alerts();  // -> pending
+  fx.Alerts();  // -> firing (logged at WARN)
+  std::string warns =
+      Body(Get(fx.server.port(), "/api/logs?level=warn&subsystem=slo"));
+  auto json = Json::Parse(warns);
+  ASSERT_TRUE(json.ok()) << warns;
+  bool saw_firing = false;
+  for (const Json& record : (*json)["records"].AsArray()) {
+    EXPECT_EQ(record["subsystem"].AsString(), "slo");
+    if (record["fields"]["to"].AsString() == "firing" &&
+        record["fields"]["slo"].AsString() == "http_error_rate") {
+      saw_firing = true;
+      EXPECT_EQ(record["fields"]["from"].AsString(), "pending");
+    }
+  }
+  EXPECT_TRUE(saw_firing) << warns;
+}
+
+TEST(ServerTest, DebugBundleCarriesAlertsSection) {
+  ServerFixture fx;
+  std::string body = Body(Get(fx.server.port(), "/api/debug/bundle"));
+  auto bundle = Json::Parse(body);
+  ASSERT_TRUE(bundle.ok()) << body.substr(0, 400);
+  const Json& alerts = (*bundle)["alerts"];
+  ASSERT_EQ(alerts["alerts"].AsArray().size(), 4u);
+  EXPECT_EQ(alerts["alerts"][0]["slo"].AsString(), "hunt_latency_p99");
+  EXPECT_TRUE(alerts["transitions"].is_array());
 }
 
 // --- Debug-bundle capture on suite failure (CI artifact). ---
