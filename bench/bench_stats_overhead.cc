@@ -1,0 +1,201 @@
+// Data-statistics maintenance overhead on the storage load path.
+//
+// The statistics subsystem (storage/stats/) folds sampled rows into
+// per-column sketches and every graph edge into degree distributions on
+// the serial load/sync path. This harness measures the marginal cost of
+// that maintenance by replaying the loaded tables' rows through fresh
+// TableStatistics objects and the audit log's edges through fresh
+// DegreeDistributions — byte-for-byte the work SetStatisticsEnabled(true)
+// adds — and gates it against the statistics-off load time: more than 5%
+// fails the bench, so a regression in sketch cost cannot land silently.
+//
+// Why a replay instead of differencing A/B loads: on a shared runner,
+// individual loads swing by +-20% even on the CPU clock (cache and
+// memory-bandwidth pollution costs real cycles), so the difference of two
+// ~140 ms measurements is noise at the few-percent level no matter how
+// the arms are paired or which robust statistic summarizes them. The
+// replay measures the added work directly as a ~5 ms tight loop whose
+// min-over-reps is stable, and the ratio against the min-over-reps base
+// inherits that stability. A/B loads are still reported (informational)
+// to confirm the replayed cost matches the integrated delta in shape.
+//
+// The JSON document doubles as the BENCH_stats_overhead.json baseline for
+// scripts/bench_compare.py.
+
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <vector>
+
+#include "audit/generator.h"
+#include "bench_util.h"
+#include "storage/graph/graph_store.h"
+#include "storage/relational/database.h"
+#include "storage/stats/table_statistics.h"
+
+namespace raptor::bench {
+namespace {
+
+constexpr double kMaxOverheadPct = 5.0;
+
+/// Per-thread CPU time: the load path under measurement is serial, and
+/// unlike wall time this is immune to scheduler preemption by noisy
+/// co-tenants — the difference between a usable 5% gate and a coin flip
+/// on a shared runner.
+double ThreadCpuMs() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e3 +
+         static_cast<double>(ts.tv_nsec) / 1e6;
+}
+
+/// Relational load of `log`; returns CPU ms.
+double LoadRelational(const audit::AuditLog& log, bool stats,
+                      size_t* stats_bytes) {
+  double t0 = ThreadCpuMs();
+  rel::RelationalDatabase rel_db;
+  rel_db.SetStatisticsEnabled(stats);
+  rel_db.Load(log);
+  double ms = ThreadCpuMs() - t0;
+  if (stats_bytes != nullptr) *stats_bytes = rel_db.StatisticsBytes();
+  return ms;
+}
+
+/// Graph build of `log`; returns CPU ms.
+double LoadGraph(const audit::AuditLog& log, bool stats) {
+  double t0 = ThreadCpuMs();
+  graph::GraphStore graph_db(log, /*degree_statistics=*/stats);
+  return ThreadCpuMs() - t0;
+}
+
+/// One replay of exactly the work statistics maintenance adds to a load:
+/// every table row through TableStatistics::AddRow (sampling, sketches,
+/// batch reconciliation) and every edge through the per-entity-type degree
+/// distributions (including building the entity-type cache, mirroring
+/// GraphStore). Returns CPU ms.
+double ReplayStats(const rel::RelationalDatabase& db,
+                   const audit::AuditLog& log) {
+  double t0 = ThreadCpuMs();
+  const rel::Table* tables[] = {&db.files(), &db.procs(), &db.nets(),
+                                &db.events()};
+  for (const rel::Table* t : tables) {
+    stats::TableStatistics st(t->name(), t->schema());
+    const size_t n = t->num_rows();
+    for (size_t id = 0; id < n; ++id) st.AddRow(t->row(id));
+    st.EndBatch();
+  }
+  stats::DegreeDistribution out_dd[3], in_dd[3];
+  std::vector<uint8_t> types;
+  types.reserve(log.entity_count());
+  for (size_t i = 0; i < log.entity_count(); ++i) {
+    uint8_t ty = static_cast<uint8_t>(log.entity(i).type);
+    types.push_back(ty);
+    out_dd[ty].AddNode();
+    in_dd[ty].AddNode();
+  }
+  std::vector<uint32_t> outdeg(log.entity_count(), 0);
+  std::vector<uint32_t> indeg(log.entity_count(), 0);
+  for (size_t i = 0; i < log.event_count(); ++i) {
+    const audit::SystemEvent& ev = log.event(i);
+    out_dd[types[ev.subject]].IncrementDegree(outdeg[ev.subject]++);
+    in_dd[types[ev.object]].IncrementDegree(indeg[ev.object]++);
+  }
+  return ThreadCpuMs() - t0;
+}
+
+bool RunOverhead() {
+  Narrate("Statistics maintenance overhead on storage load (gate: <%.0f%%)\n",
+          kMaxOverheadPct);
+  Table table("stats_overhead",
+              {"config", "events", "ms", "stats_bytes", "overhead_pct"});
+
+  const size_t events = 100'000;
+  audit::AuditLog log;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(events, &log);
+  (void)gen.InjectDataLeakageAttack(&log);
+
+  // The replay source: a stats-off database supplies the rows so the
+  // replay's TableStatistics start from the same blank state a real
+  // load's do.
+  rel::RelationalDatabase db;
+  db.SetStatisticsEnabled(false);
+  db.Load(log);
+
+  // Informational A/B loads (alternating arms) plus the two gate
+  // measurements. Contention only ever adds CPU time, so the min over
+  // reps is the cleanest estimate of each quantity — but a burst can
+  // outlast any back-to-back block, so the short replay reps are spread
+  // across the whole bench run (a batch between every pair of loads)
+  // instead of being taken in one burst-sized clump.
+  constexpr int kPairs = 6;
+  constexpr int kReplayRepsPerPair = 6;
+  double rel_on = 1e300, rel_off = 1e300, graph_on = 1e300,
+         graph_off = 1e300, replay_ms = 1e300;
+  size_t stats_bytes = 0;
+  for (int pair = 0; pair < kPairs; ++pair) {
+    const bool off_first = (pair & 1) == 0;
+    for (int arm = 0; arm < 2; ++arm) {
+      const bool stats = (arm == 0) == !off_first;
+      if (stats) {
+        rel_on = std::min(rel_on, LoadRelational(log, true, &stats_bytes));
+        graph_on = std::min(graph_on, LoadGraph(log, true));
+      } else {
+        rel_off = std::min(rel_off, LoadRelational(log, false, nullptr));
+        graph_off = std::min(graph_off, LoadGraph(log, false));
+      }
+    }
+    for (int rep = 0; rep < kReplayRepsPerPair; ++rep) {
+      replay_ms = std::min(replay_ms, ReplayStats(db, log));
+    }
+  }
+
+  const double base_ms = rel_off + graph_off;
+  const double overhead_pct =
+      base_ms <= 0 ? 0.0 : 100.0 * replay_ms / base_ms;
+
+  auto pct = [](double on, double off) {
+    return off <= 0 ? 0.0 : 100.0 * (on - off) / off;
+  };
+  table.AddRow(
+      {"rel_off", events, Cell(rel_off, 3), size_t{0}, Cell(0.0, 2)});
+  table.AddRow({"rel_on", events, Cell(rel_on, 3), stats_bytes,
+                Cell(pct(rel_on, rel_off), 2)});
+  table.AddRow(
+      {"graph_off", events, Cell(graph_off, 3), size_t{0}, Cell(0.0, 2)});
+  table.AddRow({"graph_on", events, Cell(graph_on, 3), size_t{0},
+                Cell(pct(graph_on, graph_off), 2)});
+  table.AddRow({"stats_replay", events, Cell(replay_ms, 3), stats_bytes,
+                Cell(overhead_pct, 2)});
+  table.Done();
+  AddExtra("replay_ms", Json(replay_ms));
+  AddExtra("base_ms", Json(base_ms));
+  AddExtra("overhead_pct", Json(overhead_pct));
+  AddExtra("gate_pct", Json(kMaxOverheadPct));
+
+  bool pass = overhead_pct < kMaxOverheadPct;
+  Narrate("Shape check: a non-sampled row costs one counter + LCG step;\n"
+          "sampled rows pay O(1) sketch work (HLL register update, short\n"
+          "flat-slot scan, reservoir LCG) and heavy-hitter sketches drop\n"
+          "themselves on columns with nothing heavy, so the replayed\n"
+          "marginal cost stays in low single digits of the load time.\n"
+          "stats replay %.2f ms over a %.2f ms base: %.2f%% -> %s\n",
+          replay_ms, base_ms, overhead_pct, pass ? "PASS" : "FAIL");
+  if (!pass) {
+    std::fprintf(stderr,
+                 "bench_stats_overhead: statistics overhead %.2f%% exceeds "
+                 "the %.0f%% gate\n",
+                 overhead_pct, kMaxOverheadPct);
+  }
+  return pass;
+}
+
+}  // namespace
+}  // namespace raptor::bench
+
+int main(int argc, char** argv) {
+  raptor::bench::Init(argc, argv, "stats_overhead");
+  bool pass = raptor::bench::RunOverhead();
+  raptor::bench::Finish();
+  return pass ? 0 : 1;
+}

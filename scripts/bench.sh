@@ -7,10 +7,30 @@
 # binaries use --benchmark_format=json. Every document is validated with
 # the json_check tool before it lands.
 #
-# Usage: scripts/bench.sh [build-dir]   (default: build)
+# Usage: scripts/bench.sh [build-dir] [--compare]   (default dir: build)
+#
+# --compare: instead of overwriting the committed BENCH_*.json baselines,
+# write the fresh documents to <build-dir>/bench-current and run
+# bench_compare.py against every committed baseline — the CI perf gate as
+# a one-liner.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-BUILD="${1:-build}"
+
+BUILD="build"
+COMPARE=0
+for arg in "$@"; do
+  case "$arg" in
+    --compare) COMPARE=1 ;;
+    -*) echo "usage: $0 [build-dir] [--compare]" >&2; exit 2 ;;
+    *) BUILD="$arg" ;;
+  esac
+done
+
+OUT="."
+if [ "$COMPARE" -eq 1 ]; then
+  OUT="$BUILD/bench-current"
+  mkdir -p "$OUT"
+fi
 
 if [ ! -x "$BUILD/examples/json_check" ]; then
   echo "bench.sh: $BUILD/examples/json_check not built; run cmake --build $BUILD first" >&2
@@ -20,22 +40,27 @@ fi
 # Benches with the bench_util.h --json mode.
 CUSTOM="bench_cpr bench_ingest bench_execution bench_conciseness \
   bench_extraction bench_synthesis bench_ioc_baseline bench_hunt_leakage \
-  bench_hunt_password"
+  bench_hunt_password bench_stats_overhead"
 # Google-benchmark binaries with native JSON reporters.
 GBENCH="bench_paths bench_obs_overhead bench_log_overhead bench_profiler_overhead"
 
 for b in $CUSTOM; do
   name="${b#bench_}"
-  echo "=== $b -> BENCH_${name}.json ==="
-  "$BUILD/bench/$b" --json > "BENCH_${name}.json"
-  "$BUILD/examples/json_check" "BENCH_${name}.json"
+  echo "=== $b -> $OUT/BENCH_${name}.json ==="
+  "$BUILD/bench/$b" --json > "$OUT/BENCH_${name}.json"
+  "$BUILD/examples/json_check" "$OUT/BENCH_${name}.json"
 done
 
 for b in $GBENCH; do
   name="${b#bench_}"
-  echo "=== $b -> BENCH_${name}.json ==="
-  "$BUILD/bench/$b" --benchmark_format=json > "BENCH_${name}.json"
-  "$BUILD/examples/json_check" "BENCH_${name}.json"
+  echo "=== $b -> $OUT/BENCH_${name}.json ==="
+  "$BUILD/bench/$b" --benchmark_format=json > "$OUT/BENCH_${name}.json"
+  "$BUILD/examples/json_check" "$OUT/BENCH_${name}.json"
 done
 
 echo "bench.sh: all bench documents written and validated"
+
+if [ "$COMPARE" -eq 1 ]; then
+  echo "=== bench_compare.py against committed baselines ==="
+  scripts/bench_compare.py --baseline-dir . --current-dir "$OUT"
+fi

@@ -9,20 +9,37 @@
 # tests — the second CI job, so the two halves run in parallel.
 # --tsan: ThreadSanitizer build (RAPTOR_TSAN=ON), then just the Parallel*
 # test suites — the concurrency gate for the thread-pool execution paths.
+# --ubsan: UBSan-only build (RAPTOR_UBSAN=ON) + full tests — catches UB
+# that ASan's instrumentation happens to mask, and runs faster than the
+# combined sanitizer job.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE_ONLY=0
 ASAN_ONLY=0
 TSAN_ONLY=0
+UBSAN_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE_ONLY=1 ;;
     --asan-only) ASAN_ONLY=1 ;;
     --tsan) TSAN_ONLY=1 ;;
-    *) echo "usage: $0 [--bench-smoke|--asan-only|--tsan]" >&2; exit 2 ;;
+    --ubsan) UBSAN_ONLY=1 ;;
+    *) echo "usage: $0 [--bench-smoke|--asan-only|--tsan|--ubsan]" >&2; exit 2 ;;
   esac
 done
+
+if [ "$UBSAN_ONLY" -eq 1 ]; then
+  echo "=== UBSan build ==="
+  cmake -B build-ubsan -G Ninja -DCMAKE_BUILD_TYPE=Debug -DRAPTOR_UBSAN=ON -DRAPTOR_WERROR=ON >/dev/null
+  cmake --build build-ubsan
+
+  echo "=== Tests (UBSan) ==="
+  ctest --test-dir build-ubsan --output-on-failure
+
+  echo "UBSAN CHECKS PASSED"
+  exit 0
+fi
 
 if [ "$TSAN_ONLY" -eq 1 ]; then
   echo "=== TSan build ==="

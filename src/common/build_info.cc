@@ -1,0 +1,18 @@
+#include "common/build_info.h"
+
+#ifndef RAPTOR_VERSION
+#define RAPTOR_VERSION "0.0.0"
+#endif
+#ifndef RAPTOR_GIT_SHA
+#define RAPTOR_GIT_SHA "unknown"
+#endif
+
+namespace raptor {
+
+std::string_view BuildVersion() { return RAPTOR_VERSION; }
+
+std::string_view BuildGitSha() { return RAPTOR_GIT_SHA; }
+
+std::string_view BuildCompiler() { return __VERSION__; }
+
+}  // namespace raptor

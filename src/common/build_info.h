@@ -1,0 +1,22 @@
+// Build identity: the version from the CMake project() call and the git
+// revision the binary was configured from. Exposed as the
+// raptor_build_info info-gauge on /api/metrics and in the build block of
+// /api/stats and /api/debug/bundle, so a scrape or a diagnostic bundle
+// always says which build produced it.
+#pragma once
+
+#include <string_view>
+
+namespace raptor {
+
+/// Semantic version from CMake (project VERSION), e.g. "1.0.0".
+std::string_view BuildVersion();
+
+/// Short git revision the build was configured from; "unknown" when the
+/// source tree was not a git checkout at configure time.
+std::string_view BuildGitSha();
+
+/// Compiler identification string (__VERSION__).
+std::string_view BuildCompiler();
+
+}  // namespace raptor

@@ -66,6 +66,37 @@ obs::SlowEntry BuildSlowEntry(std::string kind, std::string query_text,
   return entry;
 }
 
+/// Translates an executed query's estimate-vs-actual rows into the generic
+/// misestimate journal shape. `stats_snapshot` summarizes what the
+/// estimator saw (filled by the caller, which can reach the storage).
+obs::MisestimateEntry BuildMisestimateEntry(
+    std::string kind, std::string query_text, std::string stats_snapshot,
+    const engine::QueryResult& result) {
+  const engine::ExecutionStats& stats = result.stats;
+  obs::MisestimateEntry entry;
+  entry.kind = std::move(kind);
+  entry.query = std::move(query_text);
+  entry.stats_snapshot = std::move(stats_snapshot);
+  const size_t n =
+      std::min(stats.pattern_est_rows.size(), stats.pattern_q_error.size());
+  for (size_t i = 0; i < n && i < stats.schedule.size(); ++i) {
+    obs::MisestimateOperator op;
+    op.name = stats.schedule[i];
+    op.backend = i < stats.pattern_used_graph.size() &&
+                         stats.pattern_used_graph[i]
+                     ? "graph"
+                     : "relational";
+    op.est_rows = stats.pattern_est_rows[i];
+    op.actual_rows = i < stats.matches_per_pattern.size()
+                         ? stats.matches_per_pattern[i]
+                         : 0;
+    op.q_error = stats.pattern_q_error[i];
+    entry.worst_q_error = std::max(entry.worst_q_error, op.q_error);
+    entry.ops.push_back(std::move(op));
+  }
+  return entry;
+}
+
 }  // namespace
 
 ThreatRaptor::ThreatRaptor(ThreatRaptorOptions options)
@@ -75,6 +106,7 @@ ThreatRaptor::ThreatRaptor(ThreatRaptorOptions options)
   // The journal, like the storage gauges, reflects the most recently
   // constructed system in the process (the server owns exactly one).
   obs::SlowJournal::Default().Configure(options_.slow_journal);
+  obs::MisestimateJournal::Default().Configure(options_.misestimate_journal);
   // Same contract for the profiler (starts sampling only when enabled)
   // and the SLO catalog (specs installed here; the API server starts the
   // periodic evaluator so plain library use never spawns a thread).
@@ -266,6 +298,21 @@ Result<engine::QueryResult> ThreatRaptor::ExecuteQuery(
   return ExecuteQuery(query, options_.execution);
 }
 
+std::string ThreatRaptor::StatisticsSnapshot() const {
+  if (!storage_ready_ || rel_ == nullptr) return "";
+  std::string out;
+  for (const stats::TableStatistics* table : rel_->AllStatistics()) {
+    out += StrFormat("%s=%llu ", table->name().c_str(),
+                     static_cast<unsigned long long>(table->RowCount()));
+  }
+  if (graph_ != nullptr) {
+    out += StrFormat(
+        "proc_avg_out_degree=%.2f",
+        graph_->OutDegreeStatistics(audit::EntityType::kProcess).AvgDegree());
+  }
+  return out;
+}
+
 Result<engine::QueryResult> ThreatRaptor::ExecuteQuery(
     const tbql::Query& query, const engine::ExecutionOptions& execution) {
   if (!storage_ready_) {
@@ -279,6 +326,14 @@ Result<engine::QueryResult> ThreatRaptor::ExecuteQuery(
                              result->stats.bytes_touched)) {
       journal.Record(
           BuildSlowEntry("query", tbql::Print(query), *result));
+    }
+    obs::MisestimateJournal& misestimates = obs::MisestimateJournal::Default();
+    double worst = 1.0;
+    for (double q : result->stats.pattern_q_error) worst = std::max(worst, q);
+    if (!result->stats.pattern_q_error.empty() &&
+        misestimates.ShouldRecord(worst)) {
+      misestimates.Record(BuildMisestimateEntry(
+          "query", tbql::Print(query), StatisticsSnapshot(), *result));
     }
   }
   return result;
@@ -495,6 +550,13 @@ Result<HuntReport> ThreatRaptor::Hunt(std::string_view oscti_report,
           sub->stats.pattern_index_probes[k]);
       merged.stats.pattern_full_scans.push_back(
           sub->stats.pattern_full_scans[k]);
+      if (k < sub->stats.pattern_est_rows.size() &&
+          k < sub->stats.pattern_q_error.size()) {
+        merged.stats.pattern_est_rows.push_back(
+            sub->stats.pattern_est_rows[k]);
+        merged.stats.pattern_q_error.push_back(
+            sub->stats.pattern_q_error[k]);
+      }
     }
     if (sub->truncated && !merged.truncated) {
       merged.truncated = true;

@@ -30,6 +30,7 @@
 #include "common/result.h"
 #include "engine/engine.h"
 #include "nlp/pipeline.h"
+#include "obs/misestimate_journal.h"
 #include "obs/profile.h"
 #include "obs/profiler.h"
 #include "obs/slo.h"
@@ -70,6 +71,11 @@ struct ThreatRaptorOptions {
   /// hunts/queries whose wall time or bytes touched meet a threshold are
   /// retained with their full profile and operator stats for /api/slow.
   obs::SlowJournalOptions slow_journal;
+  /// Threshold/retention for the misestimate journal
+  /// (obs::MisestimateJournal::Default()): queries whose worst per-pattern
+  /// estimation q-error meets the threshold are retained worst-first with
+  /// the query text and a statistics snapshot for /api/misestimates.
+  obs::MisestimateJournalOptions misestimate_journal;
   /// Sampling profiler (obs::Profiler::Default()); off by default. When
   /// enabled, a 99 Hz sampler thread aggregates span-stack samples served
   /// at /api/profile. Never affects hunt/query results.
@@ -236,6 +242,11 @@ class ThreatRaptor {
   /// Charges the audit log's byte delta (since the last call) to the
   /// ingest memory component; released in the destructor.
   void RechargeIngest();
+
+  /// One-line summary of the statistics the cardinality estimator reads
+  /// (table row counts, process out-degree), for misestimate journal
+  /// entries. Empty before FinalizeStorage().
+  std::string StatisticsSnapshot() const;
 
   ThreatRaptorOptions options_;
   audit::AuditLog log_;

@@ -8,6 +8,7 @@
 #include "common/fault_injection.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "engine/estimator.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/resource.h"
@@ -503,6 +504,21 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
   std::vector<double> scores(n);
   for (size_t i = 0; i < n; ++i) scores[i] = PruningScore(query.patterns[i]);
 
+  // Pre-execution cardinality estimates. The statistics are frozen during
+  // queries (maintained only on the serial load/sync path), so the
+  // estimates — and the scheduling decisions they feed — are identical at
+  // every thread count.
+  const bool estimate =
+      options.use_cardinality_estimates && rel_->statistics_enabled();
+  CardinalityEstimator estimator(rel_, graph_);
+  std::vector<double> est_unconstrained;
+  if (estimate) {
+    est_unconstrained.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      est_unconstrained[i] = estimator.EstimatePattern(query.patterns[i]);
+    }
+  }
+
   std::vector<size_t> order;
   order.reserve(n);
   {
@@ -527,7 +543,11 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
           // their execution is constrained by previous results.
           if (bound.count(query.patterns[i].subject.id) > 0) eff += 100.0;
           if (bound.count(query.patterns[i].object.id) > 0) eff += 100.0;
-          if (eff > best) {
+          // Estimates break exact score ties: cheaper (fewer predicted
+          // rows) first, so its bindings prune the more expensive twin.
+          if (eff > best ||
+              (estimate && pick < n && eff == best &&
+               est_unconstrained[i] < est_unconstrained[pick])) {
             best = eff;
             pick = i;
           }
@@ -541,6 +561,17 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
       }
     }
     schedule_span.End();
+  }
+
+  // Binding-aware estimates for the final schedule (the estimator's mirror
+  // of filter propagation), indexed back by pattern for the commit loop.
+  std::vector<double> est_by_pattern(n, 0.0);
+  if (estimate) {
+    std::vector<double> sched_est =
+        estimator.EstimateSchedule(query, order, options.propagate_constraints);
+    for (size_t i = 0; i < order.size(); ++i) {
+      est_by_pattern[order[i]] = sched_est[i];
+    }
   }
 
   // --- Wave partition: a wave is a maximal schedule prefix of patterns
@@ -721,6 +752,20 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
       result.stats.pattern_bytes_touched.push_back(step_bytes);
       result.stats.pattern_index_probes.push_back(run.rel_stats.index_probes);
       result.stats.pattern_full_scans.push_back(run.rel_stats.full_scans);
+      if (estimate) {
+        static obs::Histogram* qerror_hist =
+            obs::Registry::Default().GetHistogram(
+                "raptor_estimate_qerror",
+                "q-error of per-pattern cardinality estimates "
+                "(max(est,actual)/min(est,actual), floored at 1)",
+                obs::ExponentialBuckets(1.0, 2.0, 12));
+        const double est = est_by_pattern[plan.pattern_index];
+        const double qerr =
+            QError(est, static_cast<double>(run.matches.size()));
+        result.stats.pattern_est_rows.push_back(est);
+        result.stats.pattern_q_error.push_back(qerr);
+        qerror_hist->Observe(qerr);
+      }
       committed_graph_edges += run.graph_edges;
       committed_rel_rows += step_rel_rows;
       committed_bytes += step_bytes;

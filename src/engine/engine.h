@@ -51,6 +51,13 @@ struct ExecutionOptions {
   /// disabled, and aggregate it into QueryResult::profile (the ?profile=1
   /// path of the API).
   bool collect_profile = false;
+  /// Predict per-pattern cardinalities from the data statistics
+  /// (storage/stats/) before execution: estimates break pruning-score ties
+  /// in the scheduler (lower estimated rows first) and populate
+  /// ExecutionStats::pattern_est_rows / pattern_q_error for explain.
+  /// Estimates are a pure function of the load-time statistics, so enabling
+  /// this preserves byte-identical results at any thread count.
+  bool use_cardinality_estimates = true;
   /// Parallelism for this execution: relational scans and join probes are
   /// partitioned, graph path searches fan out over source entities, and
   /// patterns sharing no entities run concurrently within a scheduling
@@ -98,6 +105,14 @@ struct ExecutionStats {
   std::vector<uint64_t> pattern_bytes_touched;
   std::vector<uint64_t> pattern_index_probes;
   std::vector<uint64_t> pattern_full_scans;
+  /// Estimated rows per executed pattern (same order as `schedule`),
+  /// computed before execution from the data statistics with the same
+  /// constraint propagation the scheduler applies. Empty when
+  /// ExecutionOptions::use_cardinality_estimates is off.
+  std::vector<double> pattern_est_rows;
+  /// q-error of each estimate against the observed match count:
+  /// max(est, actual) / min(est, actual), both floored at 1.
+  std::vector<double> pattern_q_error;
   /// Total bytes touched (sum of pattern_bytes_touched).
   uint64_t bytes_touched = 0;
   /// Bytes of intermediate result sets (pattern matches + projected rows)

@@ -1,0 +1,213 @@
+#include "engine/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace raptor::engine {
+
+namespace {
+
+// Row estimates are capped well below overflow so downstream arithmetic
+// (q-error, JSON rendering) stays finite.
+constexpr double kMaxEstimate = 1e15;
+
+rel::Value FilterLiteral(const tbql::AttrFilter& f) {
+  if (f.is_string) return rel::Value(f.string_value);
+  return rel::Value(f.int_value);
+}
+
+/// Selectivity of one attribute filter against the column's statistics.
+double FilterSelectivity(const stats::ColumnStatistics& col, uint64_t rows,
+                         const tbql::AttrFilter& f) {
+  const rel::Value literal = FilterLiteral(f);
+  switch (f.op) {
+    case rel::CompareOp::kEq:
+      return col.EqualitySelectivity(literal, rows);
+    case rel::CompareOp::kNe:
+      return 1.0 - col.EqualitySelectivity(literal, rows);
+    case rel::CompareOp::kLt:
+      if (!f.is_string) return col.RangeSelectivity(std::nullopt, f.int_value - 1);
+      return 1.0 / 3.0;
+    case rel::CompareOp::kLe:
+      if (!f.is_string) return col.RangeSelectivity(std::nullopt, f.int_value);
+      return 1.0 / 3.0;
+    case rel::CompareOp::kGt:
+      if (!f.is_string) return col.RangeSelectivity(f.int_value + 1, std::nullopt);
+      return 1.0 / 3.0;
+    case rel::CompareOp::kGe:
+      if (!f.is_string) return col.RangeSelectivity(f.int_value, std::nullopt);
+      return 1.0 / 3.0;
+    case rel::CompareOp::kLike:
+      return col.LikeSelectivity(f.is_string ? f.string_value
+                                             : literal.ToString());
+    case rel::CompareOp::kNotLike:
+      return 1.0 - col.LikeSelectivity(f.is_string ? f.string_value
+                                                   : literal.ToString());
+  }
+  return 1.0;
+}
+
+double Clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+/// Fraction of all events whose operation is in `ops`.
+double OpMixFraction(const stats::TableStatistics& events,
+                     const std::vector<audit::Operation>& ops) {
+  const uint64_t rows = events.RowCount();
+  if (rows == 0 || ops.empty()) return 0.0;
+  const stats::ColumnStatistics* optype = events.Column("optype");
+  if (optype == nullptr) return 1.0;
+  double total = 0;
+  for (audit::Operation op : ops) {
+    total += optype->EqualitySelectivity(
+        rel::Value(static_cast<int64_t>(op)), rows);
+  }
+  return Clamp01(total);
+}
+
+}  // namespace
+
+double QError(double est_rows, double actual_rows) {
+  double e = std::max(1.0, est_rows);
+  double a = std::max(1.0, actual_rows);
+  return std::max(e, a) / std::min(e, a);
+}
+
+CardinalityEstimator::CardinalityEstimator(const rel::RelationalDatabase* rel,
+                                           const graph::GraphStore* graph)
+    : rel_(rel), graph_(graph) {}
+
+double CardinalityEstimator::EstimateEntityMatches(
+    const tbql::EntityRef& ref) const {
+  const stats::TableStatistics& table = rel_->EntityStatistics(ref.type);
+  const uint64_t rows = table.RowCount();
+  if (rows == 0) return 0.0;
+  double sel = 1.0;
+  for (const tbql::AttrFilter& f : ref.filters) {
+    const stats::ColumnStatistics* col = table.Column(f.attr);
+    if (col == nullptr) continue;  // analyzer validated attribute names
+    sel *= Clamp01(FilterSelectivity(*col, rows, f));
+  }
+  return static_cast<double>(rows) * Clamp01(sel);
+}
+
+double CardinalityEstimator::EventsWithOp(audit::Operation op) const {
+  const stats::TableStatistics& events = rel_->events_statistics();
+  const uint64_t rows = events.RowCount();
+  if (rows == 0) return 0.0;
+  const stats::ColumnStatistics* optype = events.Column("optype");
+  if (optype == nullptr) return static_cast<double>(rows);
+  return optype->EqualitySelectivity(rel::Value(static_cast<int64_t>(op)),
+                                     rows) *
+         static_cast<double>(rows);
+}
+
+double CardinalityEstimator::EstimateWithCandidates(
+    const tbql::Pattern& pattern, double subject_candidates,
+    double object_candidates) const {
+  const stats::TableStatistics& events = rel_->events_statistics();
+  if (events.RowCount() == 0) return 0.0;
+
+  const double subj_rows = static_cast<double>(
+      rel_->EntityStatistics(pattern.subject.type).RowCount());
+  const double obj_rows = static_cast<double>(
+      rel_->EntityStatistics(pattern.object.type).RowCount());
+  const double subj_frac =
+      subj_rows == 0 ? 0.0 : Clamp01(subject_candidates / subj_rows);
+  const double obj_frac =
+      obj_rows == 0 ? 0.0 : Clamp01(object_candidates / obj_rows);
+
+  // Time-window selectivity from the starttime equi-depth histogram (the
+  // engine's window predicates are on starttime).
+  double window_sel = 1.0;
+  if (pattern.window_start || pattern.window_end) {
+    const stats::ColumnStatistics* start = events.Column("starttime");
+    if (start != nullptr) {
+      window_sel = start->RangeSelectivity(pattern.window_start,
+                                           pattern.window_end);
+    }
+  }
+
+  if (!pattern.is_path) {
+    // Per-op exact counts scaled by the endpoint fractions. An operation
+    // whose object type disagrees with the declared object entity cannot
+    // match (the subject of any event is a process by the audit model).
+    double est = 0;
+    for (audit::Operation op : pattern.op.ops) {
+      if (audit::ObjectTypeOf(op) != pattern.object.type) continue;
+      est += EventsWithOp(op) * obj_frac;
+    }
+    est *= window_sel * subj_frac;
+    return std::min(est, kMaxEstimate);
+  }
+
+  // Path pattern: sources × per-hop branching × sink selectivity, summed
+  // over the allowed hop counts. Branching = average out-degree of process
+  // nodes × the fraction of events usable as that kind of hop.
+  double avg_out = 1.0;
+  if (graph_ != nullptr) {
+    avg_out = graph_->OutDegreeStatistics(audit::EntityType::kProcess)
+                  .AvgDegree();
+  } else if (subj_rows > 0) {
+    avg_out = static_cast<double>(events.RowCount()) / subj_rows;
+  }
+  // Intermediate hops chain processes (fork/start/execute, the engine's
+  // default intermediate-op set); the final hop uses the pattern's ops.
+  const double intermediate_frac =
+      OpMixFraction(events, {audit::Operation::kFork, audit::Operation::kStart,
+                             audit::Operation::kExecute});
+  const double final_frac = OpMixFraction(events, pattern.op.ops);
+  const double branch_intermediate =
+      std::max(0.0, avg_out * intermediate_frac);
+  const double branch_final = std::max(0.0, avg_out * final_frac);
+
+  double est = 0;
+  const size_t max_hops = std::min<size_t>(pattern.max_hops, 32);
+  for (size_t hops = std::max<size_t>(pattern.min_hops, 1); hops <= max_hops;
+       ++hops) {
+    double paths = subject_candidates * branch_final;
+    for (size_t h = 1; h < hops; ++h) paths *= branch_intermediate;
+    est += std::min(paths, kMaxEstimate);
+    if (est >= kMaxEstimate) break;
+  }
+  est *= obj_frac * window_sel;
+  return std::min(est, kMaxEstimate);
+}
+
+double CardinalityEstimator::EstimatePattern(
+    const tbql::Pattern& pattern) const {
+  return EstimateWithCandidates(pattern,
+                                EstimateEntityMatches(pattern.subject),
+                                EstimateEntityMatches(pattern.object));
+}
+
+std::vector<double> CardinalityEstimator::EstimateSchedule(
+    const tbql::Query& query, const std::vector<size_t>& order,
+    bool propagate_constraints) const {
+  std::vector<double> out;
+  out.reserve(order.size());
+  // Entity id -> estimated distinct entities bound by earlier patterns.
+  std::unordered_map<std::string, double> bound;
+  for (size_t idx : order) {
+    const tbql::Pattern& p = query.patterns[idx];
+    double subj = EstimateEntityMatches(p.subject);
+    double obj = EstimateEntityMatches(p.object);
+    if (propagate_constraints) {
+      auto s_it = bound.find(p.subject.id);
+      if (s_it != bound.end()) subj = std::min(subj, s_it->second);
+      auto o_it = bound.find(p.object.id);
+      if (o_it != bound.end()) obj = std::min(obj, o_it->second);
+    }
+    const double est = EstimateWithCandidates(p, subj, obj);
+    out.push_back(est);
+    if (propagate_constraints) {
+      // A pattern cannot bind more distinct endpoints than it has matches
+      // or candidates — the estimator's mirror of filter propagation.
+      bound[p.subject.id] = std::min(subj, std::max(est, 1.0));
+      bound[p.object.id] = std::min(obj, std::max(est, 1.0));
+    }
+  }
+  return out;
+}
+
+}  // namespace raptor::engine

@@ -86,6 +86,13 @@ std::string ExplainAnalyze(const tbql::Query& query,
         static_cast<unsigned long long>(bytes),
         static_cast<unsigned long long>(probes),
         static_cast<unsigned long long>(scans));
+    // Timing-free by design: like every other per-pattern line except the
+    // time= field, it is byte-identical at any thread count.
+    if (i < stats.pattern_est_rows.size() && i < stats.pattern_q_error.size()) {
+      out += StrFormat("          est_rows=%.1f actual_rows=%zu q_error=%.2f\n",
+                       stats.pattern_est_rows[i], matches,
+                       stats.pattern_q_error[i]);
+    }
   }
   out += StrFormat(
       "  join: %zu result rows; %zu temporal + %zu attribute constraints\n",

@@ -381,7 +381,10 @@ double HistogramQuantile(const Histogram& histogram, double q) {
     uint64_t in_bucket = histogram.BucketCount(i);
     if (in_bucket == 0) continue;
     if (static_cast<double>(cumulative + in_bucket) >= target) {
-      double lower = i == 0 ? 0.0 : bounds[i - 1];
+      // The first bucket spans (-inf, bounds[0]]; interpolate from 0 for
+      // the usual all-positive latency buckets, but never from above the
+      // bucket's own upper bound when bounds[0] is negative.
+      double lower = i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
       double fraction = (target - static_cast<double>(cumulative)) /
                         static_cast<double>(in_bucket);
       return lower + (bounds[i] - lower) * fraction;

@@ -209,8 +209,10 @@ LabelSet ParseRenderedLabels(std::string_view rendered);
 /// bucket holding the q-th observation and interpolates linearly inside
 /// it. Observations beyond the last finite bound clamp to that bound (the
 /// +Inf bucket has no width to interpolate in); 0 when the histogram is
-/// empty. Bucket-resolution accuracy — fine for SLO dashboards, not for
-/// billing.
+/// empty. The first bucket interpolates from 0 (or from bounds[0] itself
+/// when that bound is negative — the estimate never exceeds the bucket's
+/// upper edge). Bucket-resolution accuracy — fine for SLO dashboards, not
+/// for billing.
 double HistogramQuantile(const Histogram& histogram, double q);
 
 }  // namespace raptor::obs

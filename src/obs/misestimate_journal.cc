@@ -1,0 +1,97 @@
+#include "obs/misestimate_journal.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace raptor::obs {
+
+MisestimateJournal& MisestimateJournal::Default() {
+  static MisestimateJournal* journal = new MisestimateJournal();
+  return *journal;
+}
+
+void MisestimateJournal::Configure(const MisestimateJournalOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  if (options_.capacity == 0) options_.capacity = 1;
+  while (entries_.size() > options_.capacity) {
+    // Shrinking the capacity drops the mildest misses first.
+    auto mildest = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const MisestimateEntry& a, const MisestimateEntry& b) {
+          return a.worst_q_error < b.worst_q_error;
+        });
+    entries_.erase(mildest);
+  }
+}
+
+MisestimateJournalOptions MisestimateJournal::options() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_;
+}
+
+bool MisestimateJournal::ShouldRecord(double worst_q_error) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return worst_q_error >= options_.q_error_threshold;
+}
+
+uint64_t MisestimateJournal::Record(MisestimateEntry entry) {
+  entry.unix_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  std::string kind = entry.kind;
+  uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.size() >= options_.capacity) {
+      auto mildest = std::min_element(
+          entries_.begin(), entries_.end(),
+          [](const MisestimateEntry& a, const MisestimateEntry& b) {
+            return a.worst_q_error < b.worst_q_error;
+          });
+      if (mildest->worst_q_error >= entry.worst_q_error) return 0;
+      entries_.erase(mildest);
+    }
+    id = next_id_++;
+    entry.id = id;
+    entries_.push_back(std::move(entry));
+  }
+  Registry::Default()
+      .GetCounter("raptor_misestimate_journal_entries_total",
+                  "Executions recorded by the misestimate journal",
+                  {{"kind", kind}})
+      ->Increment();
+  return id;
+}
+
+std::vector<MisestimateEntry> MisestimateJournal::Snapshot(size_t limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MisestimateEntry> out(entries_.begin(), entries_.end());
+  std::sort(out.begin(), out.end(),
+            [](const MisestimateEntry& a, const MisestimateEntry& b) {
+              if (a.worst_q_error != b.worst_q_error) {
+                return a.worst_q_error > b.worst_q_error;
+              }
+              return a.id > b.id;  // Newer first among equals.
+            });
+  if (limit != 0 && limit < out.size()) out.resize(limit);
+  return out;
+}
+
+std::optional<MisestimateEntry> MisestimateJournal::Find(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const MisestimateEntry& entry : entries_) {
+    if (entry.id == id) return entry;
+  }
+  return std::nullopt;
+}
+
+void MisestimateJournal::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace raptor::obs

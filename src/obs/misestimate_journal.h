@@ -1,0 +1,86 @@
+// Bounded misestimate journal: the worst cardinality-estimation misses,
+// each retained with the query text, a snapshot of the statistics the
+// estimator saw, and per-operator estimate-vs-actual rows — enough to
+// diagnose why the estimator was wrong without re-running the query.
+//
+// Like the slow journal, this layer is deliberately generic (plain strings
+// and doubles) so obs stays free of engine types; the core layer
+// translates `engine::ExecutionStats` into `MisestimateOperator` rows.
+// Served at `GET /api/misestimates` and folded into `/api/debug/bundle`.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace raptor::obs {
+
+/// One executed pattern's estimate against its observed row count.
+struct MisestimateOperator {
+  std::string name;     ///< Step label (pattern id).
+  std::string backend;  ///< "relational" or "graph".
+  double est_rows = 0;
+  uint64_t actual_rows = 0;
+  double q_error = 1;  ///< max(est,actual)/min(est,actual), floored at 1.
+};
+
+/// One recorded misestimated execution.
+struct MisestimateEntry {
+  uint64_t id = 0;       ///< Journal-assigned, monotonically increasing.
+  uint64_t unix_ms = 0;  ///< Wall-clock time the entry was recorded.
+  std::string kind;      ///< "query" or "hunt".
+  std::string query;     ///< TBQL text.
+  double worst_q_error = 1;  ///< Max q-error across the operators.
+  /// Human-readable summary of the statistics the estimator read (table
+  /// row counts and such), captured at record time.
+  std::string stats_snapshot;
+  std::vector<MisestimateOperator> ops;
+};
+
+/// Threshold and retention. A threshold of 0 records every execution.
+struct MisestimateJournalOptions {
+  /// Record when any operator's q-error meets or exceeds this.
+  double q_error_threshold = 4.0;
+  size_t capacity = 32;  ///< Entries retained; the journal keeps the worst
+                         ///< offenders, evicting the mildest miss first.
+};
+
+/// Bounded, thread-safe journal of cardinality misestimates. Unlike the
+/// slow journal's FIFO retention, eviction keeps the worst offenders: when
+/// full, a new entry replaces the retained entry with the smallest
+/// worst_q_error (and only if it is worse than that entry).
+class MisestimateJournal {
+ public:
+  /// The process-wide journal used by built-in instrumentation.
+  static MisestimateJournal& Default();
+
+  void Configure(const MisestimateJournalOptions& options);
+  MisestimateJournalOptions options() const;
+
+  /// True when `worst_q_error` meets or exceeds the threshold.
+  bool ShouldRecord(double worst_q_error) const;
+
+  /// Appends an entry, assigning its id and timestamp. When the journal is
+  /// full the mildest retained entry is evicted if the new entry is worse;
+  /// otherwise the new entry is dropped and 0 is returned. Also bumps
+  /// raptor_misestimate_journal_entries_total{kind}.
+  uint64_t Record(MisestimateEntry entry);
+
+  /// Retained entries sorted worst-first; `limit` 0 means all.
+  std::vector<MisestimateEntry> Snapshot(size_t limit = 0) const;
+
+  std::optional<MisestimateEntry> Find(uint64_t id) const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  MisestimateJournalOptions options_;
+  std::deque<MisestimateEntry> entries_;  // Insertion order.
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace raptor::obs

@@ -14,6 +14,8 @@ std::string_view ComponentName(Component component) {
       return "ingest";
     case Component::kEngine:
       return "engine";
+    case Component::kStats:
+      return "stats";
   }
   return "unknown";
 }

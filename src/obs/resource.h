@@ -26,9 +26,10 @@ enum class Component : uint8_t {
   kGraph,           ///< Graph adjacency (edge list + out/in lists).
   kIngest,          ///< Audit ingestion buffers (entities + events).
   kEngine,          ///< Query-engine intermediate result sets.
+  kStats,           ///< Data-statistics sketches (NDV, heavy hitters, ...).
 };
 
-inline constexpr size_t kNumComponents = 4;
+inline constexpr size_t kNumComponents = 5;
 
 /// Stable label value for a component ("relational", "graph", ...).
 std::string_view ComponentName(Component component);

@@ -5,6 +5,7 @@
 #include <memory>
 #include <thread>
 
+#include "common/build_info.h"
 #include "common/json.h"
 #include "common/result.h"
 #include "common/strings.h"
@@ -12,6 +13,7 @@
 #include "engine/explain.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/misestimate_journal.h"
 #include "obs/profile.h"
 #include "obs/profiler.h"
 #include "obs/resource.h"
@@ -38,6 +40,7 @@ HttpResponse ErrorResponse(const Status& status) {
 }
 
 Json ProfileToJson(const obs::Profile& profile);
+Json BuildInfoJson();
 
 Json ResultToJson(const engine::QueryResult& result,
                   const obs::Profile* profile = nullptr) {
@@ -369,6 +372,9 @@ Json StatsJson(const ThreatRaptor* system,
   stats["mem"] = Json(std::move(mem));
   stats["slow_journal_entries"] =
       static_cast<double>(obs::SlowJournal::Default().Snapshot().size());
+  stats["misestimate_journal_entries"] = static_cast<double>(
+      obs::MisestimateJournal::Default().Snapshot().size());
+  stats["build"] = BuildInfoJson();
   // Latency quantiles so SLO targets are inspectable without scraping the
   // Prometheus text. Hunt/query histograms are pre-registered by
   // RegisterThreatRaptorApi; HTTP latency is per route.
@@ -530,6 +536,132 @@ Json SlowEntryToJson(const obs::SlowEntry& entry) {
   return Json(std::move(out));
 }
 
+Json MisestimateEntryToJson(const obs::MisestimateEntry& entry) {
+  Json::Object out;
+  out["id"] = static_cast<double>(entry.id);
+  out["unix_ms"] = static_cast<double>(entry.unix_ms);
+  out["kind"] = entry.kind;
+  out["query"] = entry.query;
+  out["worst_q_error"] = entry.worst_q_error;
+  out["stats_snapshot"] = entry.stats_snapshot;
+  Json::Array ops;
+  for (const obs::MisestimateOperator& op : entry.ops) {
+    Json::Object step;
+    step["name"] = op.name;
+    step["backend"] = op.backend;
+    step["est_rows"] = op.est_rows;
+    step["actual_rows"] = static_cast<double>(op.actual_rows);
+    step["q_error"] = op.q_error;
+    ops.push_back(Json(std::move(step)));
+  }
+  out["operators"] = Json(std::move(ops));
+  return Json(std::move(out));
+}
+
+/// The /api/datastats document: per-table/per-column statistics (row
+/// counts, NDV, heavy hitters, min/max, time histograms) plus per-entity
+/// graph degree distributions — everything the cardinality estimator
+/// reads. Shared with the diagnostic bundle.
+Json DataStatsJson(const ThreatRaptor* system) {
+  Json::Object out;
+  out["storage_ready"] = system->storage_ready();
+  if (!system->storage_ready()) return Json(std::move(out));
+
+  const rel::RelationalDatabase& rel = system->relational();
+  out["statistics_enabled"] = rel.statistics_enabled();
+  out["statistics_bytes"] = static_cast<double>(rel.StatisticsBytes());
+  Json::Array tables;
+  for (const stats::TableStatistics* table : rel.AllStatistics()) {
+    Json::Object t;
+    t["name"] = table->name();
+    t["rows"] = static_cast<double>(table->RowCount());
+    Json::Array columns;
+    for (size_t i = 0; i < table->num_columns(); ++i) {
+      const stats::ColumnStatistics& col = table->column(i);
+      Json::Object c;
+      c["name"] = col.name();
+      c["type"] = std::string(col.type() == rel::ColumnType::kInt64
+                                  ? "int64"
+                                  : "string");
+      c["ndv"] = col.Ndv();
+      if (col.Min()) c["min"] = col.Min()->ToString();
+      if (col.Max()) c["max"] = col.Max()->ToString();
+      Json::Array hitters;
+      for (const auto& hh : col.HeavyHitters()) {
+        Json::Object h;
+        h["value"] = hh.key;
+        h["count"] = static_cast<double>(hh.count);
+        h["error"] = static_cast<double>(hh.error);
+        hitters.push_back(Json(std::move(h)));
+      }
+      if (!hitters.empty()) c["heavy_hitters"] = Json(std::move(hitters));
+      if (const stats::EquiDepthHistogram* hist = col.Histogram()) {
+        if (hist->Count() > 0) {
+          // Bucket masses count the sketched stream; scale to table rows
+          // so the histogram reads in the same unit as `rows`.
+          const double scale = col.SketchScale();
+          Json::Array buckets;
+          for (const auto& b : hist->Buckets()) {
+            Json::Object bucket;
+            bucket["lo"] = static_cast<double>(b.lo);
+            bucket["hi"] = static_cast<double>(b.hi);
+            bucket["est_count"] = static_cast<double>(b.est_count) * scale;
+            buckets.push_back(Json(std::move(bucket)));
+          }
+          c["histogram"] = Json(std::move(buckets));
+        }
+      }
+      columns.push_back(Json(std::move(c)));
+    }
+    t["columns"] = Json(std::move(columns));
+    tables.push_back(Json(std::move(t)));
+  }
+  out["tables"] = Json(std::move(tables));
+
+  const graph::GraphStore& graph = system->graph();
+  Json::Object degrees;
+  static constexpr audit::EntityType kTypes[] = {audit::EntityType::kFile,
+                                                 audit::EntityType::kProcess,
+                                                 audit::EntityType::kNetwork};
+  static constexpr const char* kTypeNames[] = {"file", "process", "network"};
+  auto degree_json = [](const stats::DegreeDistribution& d) {
+    Json::Object out;
+    out["nodes"] = static_cast<double>(d.Nodes());
+    out["total_degree"] = static_cast<double>(d.TotalDegree());
+    out["max_degree"] = static_cast<double>(d.MaxDegree());
+    out["avg_degree"] = d.AvgDegree();
+    Json::Array buckets;
+    for (const auto& b : d.Buckets()) {
+      Json::Object bucket;
+      bucket["lo"] = static_cast<double>(b.lo);
+      bucket["hi"] = static_cast<double>(b.hi);
+      bucket["nodes"] = static_cast<double>(b.nodes);
+      buckets.push_back(Json(std::move(bucket)));
+    }
+    out["buckets"] = Json(std::move(buckets));
+    return Json(std::move(out));
+  };
+  for (size_t i = 0; i < 3; ++i) {
+    Json::Object per_type;
+    per_type["out"] = degree_json(graph.OutDegreeStatistics(kTypes[i]));
+    per_type["in"] = degree_json(graph.InDegreeStatistics(kTypes[i]));
+    degrees[kTypeNames[i]] = Json(std::move(per_type));
+  }
+  out["degree_distributions"] = Json(std::move(degrees));
+  return Json(std::move(out));
+}
+
+/// The build block shared by /api/stats and /api/debug/bundle.
+Json BuildInfoJson() {
+  Json::Object build;
+  build["name"] = std::string("ThreatRaptor");
+  build["version"] = std::string(BuildVersion());
+  build["git_sha"] = std::string(BuildGitSha());
+  build["compiler"] = std::string(BuildCompiler());
+  build["built"] = std::string(__DATE__ " " __TIME__);
+  return Json(std::move(build));
+}
+
 /// Serializes the live option set (every knob ThreatRaptorOptions carries)
 /// for the diagnostic bundle.
 Json OptionsToJson(const ThreatRaptorOptions& options) {
@@ -652,6 +784,13 @@ Json ExplainToJson(const tbql::Query& query,
     step["full_scans"] = static_cast<double>(
         i < stats.pattern_full_scans.size() ? stats.pattern_full_scans[i]
                                             : 0);
+    // Estimate-vs-actual observability: present whenever cardinality
+    // estimation ran (ExecutionOptions::use_cardinality_estimates).
+    if (i < stats.pattern_est_rows.size() &&
+        i < stats.pattern_q_error.size()) {
+      step["est_rows"] = stats.pattern_est_rows[i];
+      step["q_error"] = stats.pattern_q_error[i];
+    }
     steps.push_back(Json(std::move(step)));
   }
   out["steps"] = Json(std::move(steps));
@@ -713,7 +852,23 @@ void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
     registry.GetCounter("raptor_slow_journal_entries_total",
                         "Executions recorded by the slow journal",
                         {{"kind", kind}});
+    registry.GetCounter("raptor_misestimate_journal_entries_total",
+                        "Executions recorded by the misestimate journal",
+                        {{"kind", kind}});
   }
+  // Build identity as a Prometheus info-gauge: constant 1, the facts in
+  // the labels (the node_exporter "_info" convention).
+  registry
+      .GetGauge("raptor_build_info",
+                "Build identity; constant 1 with version/git_sha labels",
+                {{"version", std::string(BuildVersion())},
+                 {"git_sha", std::string(BuildGitSha())}})
+      ->Set(1);
+  registry.GetHistogram(
+      "raptor_estimate_qerror",
+      "q-error of per-pattern cardinality estimates "
+      "(max(est,actual)/min(est,actual), floored at 1)",
+      obs::ExponentialBuckets(1.0, 2.0, 12));
   // Pre-register the latency histograms /api/stats quantiles and the SLO
   // catalog read, so both exist from the first scrape.
   registry.GetHistogram("raptor_hunt_ms", "Wall time of one full hunt (ms)");
@@ -777,12 +932,8 @@ void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
                                              started](const HttpRequest&) {
     // One curl captures everything needed to diagnose an incident: build,
     // uptime, configuration, counters, recent traces, and the log ring.
-    Json::Object build;
-    build["name"] = std::string("ThreatRaptor");
-    build["compiler"] = std::string(__VERSION__);
-    build["built"] = std::string(__DATE__ " " __TIME__);
     Json::Object bundle;
-    bundle["build"] = Json(std::move(build));
+    bundle["build"] = BuildInfoJson();
     bundle["uptime_s"] =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       *started)
@@ -805,6 +956,13 @@ void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
       slow.push_back(SlowEntryToJson(entry));
     }
     bundle["slow"] = Json(std::move(slow));
+    Json::Array misestimates;
+    for (const obs::MisestimateEntry& entry :
+         obs::MisestimateJournal::Default().Snapshot()) {
+      misestimates.push_back(MisestimateEntryToJson(entry));
+    }
+    bundle["misestimates"] = Json(std::move(misestimates));
+    bundle["datastats"] = DataStatsJson(system);
     bundle["alerts"] = AlertsJson();
     return JsonResponse(Json(std::move(bundle)));
   });
@@ -895,6 +1053,33 @@ void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
     out["bytes_threshold"] = static_cast<double>(options.bytes_threshold);
     out["capacity"] = static_cast<double>(options.capacity);
     return JsonResponse(Json(std::move(out)));
+  });
+
+  server->Route("GET", "/api/misestimates", [](const HttpRequest& req) {
+    // The misestimate journal: the worst cardinality-estimation misses
+    // (q-error over the configured threshold), worst first, each with the
+    // query text, the statistics snapshot the estimator saw, and
+    // per-operator estimate-vs-actual rows. "?limit=N" keeps the worst N.
+    Result<size_t> limit = BoundedParam(req, "limit", 0, kMaxListLimit);
+    if (!limit.ok()) return ErrorResponse(limit.status());
+    obs::MisestimateJournal& journal = obs::MisestimateJournal::Default();
+    obs::MisestimateJournalOptions options = journal.options();
+    Json::Array entries;
+    for (const obs::MisestimateEntry& entry : journal.Snapshot(*limit)) {
+      entries.push_back(MisestimateEntryToJson(entry));
+    }
+    Json::Object out;
+    out["entries"] = Json(std::move(entries));
+    out["q_error_threshold"] = options.q_error_threshold;
+    out["capacity"] = static_cast<double>(options.capacity);
+    return JsonResponse(Json(std::move(out)));
+  });
+
+  server->Route("GET", "/api/datastats", [system](const HttpRequest&) {
+    // The data-statistics subsystem: per-table/per-column sketches and
+    // graph degree distributions, exactly what the cardinality estimator
+    // reads. Cheap to render — the sketches are bounded by construction.
+    return JsonResponse(DataStatsJson(system));
   });
 
   server->Route("GET", "/api/healthz", [](const HttpRequest&) {

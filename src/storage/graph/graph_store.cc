@@ -13,7 +13,8 @@ namespace raptor::graph {
 using audit::EntityId;
 using audit::Operation;
 
-GraphStore::GraphStore(const audit::AuditLog& log) : log_(&log) {
+GraphStore::GraphStore(const audit::AuditLog& log, bool degree_statistics)
+    : log_(&log), degree_stats_enabled_(degree_statistics) {
   SyncWithLog();
 }
 
@@ -38,13 +39,32 @@ void GraphStore::SyncWithLog() {
       if (in_deg[id] != 0) in_[id].reserve(in_[id].size() + in_deg[id]);
     }
   }
+  // Register nodes appended since the last sync with the degree stats
+  // before their edges arrive, so every node sits in the degree-0 bucket
+  // until an edge moves it.
+  if (degree_stats_enabled_) {
+    entity_types_.reserve(log_->entity_count());
+    for (size_t id = stats_nodes_; id < log_->entity_count(); ++id) {
+      uint8_t type = static_cast<uint8_t>(log_->entity(id).type);
+      entity_types_.push_back(type);
+      out_degrees_[type].AddNode();
+      in_degrees_[type].AddNode();
+    }
+    stats_nodes_ = log_->entity_count();
+  }
   for (size_t i = first_new; i < log_->event_count(); ++i) {
     const auto& ev = log_->event(i);
     size_t idx = edges_.size();
     edges_.push_back(GraphEdge{ev.id, ev.subject, ev.object, ev.op,
                                ev.start_time, ev.end_time, ev.bytes});
-    out_[ev.subject].push_back(idx);
-    in_[ev.object].push_back(idx);
+    std::vector<size_t>& out_vec = out_[ev.subject];
+    std::vector<size_t>& in_vec = in_[ev.object];
+    if (degree_stats_enabled_) {
+      out_degrees_[entity_types_[ev.subject]].IncrementDegree(out_vec.size());
+      in_degrees_[entity_types_[ev.object]].IncrementDegree(in_vec.size());
+    }
+    out_vec.push_back(idx);
+    in_vec.push_back(idx);
   }
   // Re-charge the delta so raptor_mem_* gauges track adjacency growth.
   size_t now = ApproxBytes();

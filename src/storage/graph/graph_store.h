@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "audit/log.h"
+#include "storage/stats/table_statistics.h"
 
 namespace raptor {
 class ThreadPool;
@@ -118,7 +119,10 @@ struct SearchParallelism {
 class GraphStore {
  public:
   /// Builds nodes and adjacency from `log`; `log` must outlive the store.
-  explicit GraphStore(const audit::AuditLog& log);
+  /// `degree_statistics` = false skips degree-distribution maintenance
+  /// (the stats-overhead bench's control arm).
+  explicit GraphStore(const audit::AuditLog& log,
+                      bool degree_statistics = true);
   ~GraphStore();
 
   /// Appends any entities/events added to the log since construction (or
@@ -166,6 +170,27 @@ class GraphStore {
   /// Approximate bytes of the edge list + adjacency indexes.
   size_t ApproxBytes() const;
 
+  // --- Degree statistics (maintained incrementally at build/sync). ---
+
+  /// Disables/enables degree-distribution maintenance for subsequent syncs
+  /// (the stats-overhead bench's control arm).
+  void SetDegreeStatisticsEnabled(bool enabled) {
+    degree_stats_enabled_ = enabled;
+  }
+  bool degree_statistics_enabled() const { return degree_stats_enabled_; }
+
+  /// Out/in degree distribution of nodes of one entity type. Degrees count
+  /// edges (events), so a process that wrote one file twice has out
+  /// degree 2.
+  const stats::DegreeDistribution& OutDegreeStatistics(
+      audit::EntityType type) const {
+    return out_degrees_[static_cast<size_t>(type)];
+  }
+  const stats::DegreeDistribution& InDegreeStatistics(
+      audit::EntityType type) const {
+    return in_degrees_[static_cast<size_t>(type)];
+  }
+
  private:
   struct SearchState;  // defined in graph_store.cc
   void Dfs(SearchState* state, audit::EntityId node) const;
@@ -176,6 +201,15 @@ class GraphStore {
   std::vector<std::vector<size_t>> in_;
   mutable GraphStats stats_;
   size_t charged_bytes_ = 0;  ///< Bytes reported to the ResourceTracker.
+  bool degree_stats_enabled_ = true;
+  size_t stats_nodes_ = 0;  ///< Nodes already registered with the stats.
+  /// Dense per-entity type cache for the per-edge degree updates: the
+  /// AuditLog entity structs are string-heavy, so reading `.type` through
+  /// them costs a cache miss per edge endpoint; one byte per entity keeps
+  /// the whole map in L2.
+  std::vector<uint8_t> entity_types_;
+  stats::DegreeDistribution out_degrees_[3];  // indexed by EntityType
+  stats::DegreeDistribution in_degrees_[3];
 };
 
 }  // namespace raptor::graph

@@ -29,6 +29,15 @@ RelationalDatabase::RelationalDatabase() {
                        {"endtime", ColumnType::kInt64},
                        {"bytes", ColumnType::kInt64}});
 
+  files_stats_ =
+      std::make_unique<stats::TableStatistics>("files", files_->schema());
+  procs_stats_ =
+      std::make_unique<stats::TableStatistics>("procs", procs_->schema());
+  nets_stats_ =
+      std::make_unique<stats::TableStatistics>("nets", nets_->schema());
+  events_stats_ =
+      std::make_unique<stats::TableStatistics>("events", events_->schema());
+
   // Indexes on key attributes (paper §II-B).
   (void)files_->CreateIndex("id");
   (void)files_->CreateIndex("name");
@@ -49,33 +58,50 @@ void RelationalDatabase::Load(const audit::AuditLog& log) {
 }
 
 void RelationalDatabase::SyncWith(const audit::AuditLog& log) {
+  // Statistics ride the same serial insert path: each row is folded into
+  // the table's sketches before the table takes ownership of it, so the
+  // collected statistics are a deterministic function of the log sequence.
+  auto insert = [this](Table* table, stats::TableStatistics* stats, Row row) {
+    if (stats_enabled_) stats->AddRow(row);
+    table->Insert(std::move(row));
+  };
   for (size_t i = loaded_entities_; i < log.entity_count(); ++i) {
     const auto& e = log.entity(i);
     switch (e.type) {
       case audit::EntityType::kFile:
-        files_->Insert({static_cast<int64_t>(e.id), e.path});
+        insert(files_.get(), files_stats_.get(),
+               {static_cast<int64_t>(e.id), e.path});
         break;
       case audit::EntityType::kProcess:
-        procs_->Insert({static_cast<int64_t>(e.id),
-                        static_cast<int64_t>(e.pid), e.exename});
+        insert(procs_.get(), procs_stats_.get(),
+               {static_cast<int64_t>(e.id), static_cast<int64_t>(e.pid),
+                e.exename});
         break;
       case audit::EntityType::kNetwork:
-        nets_->Insert({static_cast<int64_t>(e.id), e.src_ip,
-                       static_cast<int64_t>(e.src_port), e.dst_ip,
-                       static_cast<int64_t>(e.dst_port), e.protocol});
+        insert(nets_.get(), nets_stats_.get(),
+               {static_cast<int64_t>(e.id), e.src_ip,
+                static_cast<int64_t>(e.src_port), e.dst_ip,
+                static_cast<int64_t>(e.dst_port), e.protocol});
         break;
     }
   }
   loaded_entities_ = log.entity_count();
   for (size_t i = loaded_events_; i < log.event_count(); ++i) {
     const auto& ev = log.event(i);
-    events_->Insert({static_cast<int64_t>(ev.id),
-                     static_cast<int64_t>(ev.subject),
-                     static_cast<int64_t>(ev.object),
-                     static_cast<int64_t>(ev.op), ev.start_time, ev.end_time,
-                     static_cast<int64_t>(ev.bytes)});
+    insert(events_.get(), events_stats_.get(),
+           {static_cast<int64_t>(ev.id), static_cast<int64_t>(ev.subject),
+            static_cast<int64_t>(ev.object), static_cast<int64_t>(ev.op),
+            ev.start_time, ev.end_time, static_cast<int64_t>(ev.bytes)});
   }
   loaded_events_ = log.event_count();
+  if (stats_enabled_) {
+    // Reconcile exact per-column value counts once per batch instead of
+    // per cell on the insert path.
+    files_stats_->EndBatch();
+    procs_stats_->EndBatch();
+    nets_stats_->EndBatch();
+    events_stats_->EndBatch();
+  }
   // Re-charge the delta since the last sync so the raptor_mem_* gauges
   // follow table growth without per-row accounting overhead.
   size_t now = ApproxBytes();
@@ -83,6 +109,12 @@ void RelationalDatabase::SyncWith(const audit::AuditLog& log) {
       obs::Component::kRelational,
       static_cast<int64_t>(now) - static_cast<int64_t>(charged_bytes_));
   charged_bytes_ = now;
+  size_t stats_now = StatisticsBytes();
+  obs::ResourceTracker::Default().Charge(
+      obs::Component::kStats,
+      static_cast<int64_t>(stats_now) -
+          static_cast<int64_t>(stats_charged_bytes_));
+  stats_charged_bytes_ = stats_now;
   obs::Logger::Default()
       .Log(obs::LogLevel::kInfo, "storage", "relational store synced")
       .Field("entities", static_cast<uint64_t>(loaded_entities_))
@@ -117,6 +149,35 @@ uint64_t RelationalDatabase::TotalRowsTouched() const {
 RelationalDatabase::~RelationalDatabase() {
   obs::ResourceTracker::Default().Charge(
       obs::Component::kRelational, -static_cast<int64_t>(charged_bytes_));
+  obs::ResourceTracker::Default().Charge(
+      obs::Component::kStats, -static_cast<int64_t>(stats_charged_bytes_));
+}
+
+const stats::TableStatistics& RelationalDatabase::EntityStatistics(
+    audit::EntityType type) const {
+  switch (type) {
+    case audit::EntityType::kFile:
+      return *files_stats_;
+    case audit::EntityType::kProcess:
+      return *procs_stats_;
+    case audit::EntityType::kNetwork:
+      return *nets_stats_;
+  }
+  return *files_stats_;
+}
+
+std::vector<const stats::TableStatistics*> RelationalDatabase::AllStatistics()
+    const {
+  return {files_stats_.get(), procs_stats_.get(), nets_stats_.get(),
+          events_stats_.get()};
+}
+
+size_t RelationalDatabase::StatisticsBytes() const {
+  size_t total = 0;
+  for (const stats::TableStatistics* s : AllStatistics()) {
+    total += s->MemoryBytes();
+  }
+  return total;
 }
 
 size_t RelationalDatabase::ApproxBytes() const {

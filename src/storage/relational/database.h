@@ -12,6 +12,7 @@
 
 #include "audit/log.h"
 #include "storage/relational/table.h"
+#include "storage/stats/table_statistics.h"
 
 namespace raptor::rel {
 
@@ -58,14 +59,51 @@ class RelationalDatabase {
   /// Approximate bytes held by all tables (rows + indexes).
   size_t ApproxBytes() const;
 
+  // --- Data statistics (maintained incrementally at load/sync). ---
+
+  /// Disables/enables statistics maintenance for subsequent syncs (the
+  /// stats-overhead bench's control arm). Already-collected statistics are
+  /// kept; they just stop advancing.
+  void SetStatisticsEnabled(bool enabled) { stats_enabled_ = enabled; }
+  bool statistics_enabled() const { return stats_enabled_; }
+
+  /// Per-table statistics, same layout as the table accessors.
+  const stats::TableStatistics& files_statistics() const {
+    return *files_stats_;
+  }
+  const stats::TableStatistics& procs_statistics() const {
+    return *procs_stats_;
+  }
+  const stats::TableStatistics& nets_statistics() const {
+    return *nets_stats_;
+  }
+  const stats::TableStatistics& events_statistics() const {
+    return *events_stats_;
+  }
+  /// The statistics of the entity table for `type`.
+  const stats::TableStatistics& EntityStatistics(audit::EntityType type) const;
+
+  /// Every table's statistics (files, procs, nets, events — stable order).
+  std::vector<const stats::TableStatistics*> AllStatistics() const;
+
+  /// Approximate bytes held by the statistics sketches (charged to
+  /// obs::Component::kStats).
+  size_t StatisticsBytes() const;
+
  private:
   std::unique_ptr<Table> files_;
   std::unique_ptr<Table> procs_;
   std::unique_ptr<Table> nets_;
   std::unique_ptr<Table> events_;
+  std::unique_ptr<stats::TableStatistics> files_stats_;
+  std::unique_ptr<stats::TableStatistics> procs_stats_;
+  std::unique_ptr<stats::TableStatistics> nets_stats_;
+  std::unique_ptr<stats::TableStatistics> events_stats_;
+  bool stats_enabled_ = true;
   size_t loaded_entities_ = 0;
   size_t loaded_events_ = 0;
   size_t charged_bytes_ = 0;  ///< Bytes reported to the ResourceTracker.
+  size_t stats_charged_bytes_ = 0;  ///< Sketch bytes reported to kStats.
 };
 
 }  // namespace raptor::rel

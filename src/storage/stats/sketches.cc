@@ -1,0 +1,188 @@
+#include "storage/stats/sketches.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace raptor::stats {
+
+uint64_t MixHash(uint64_t x) {
+  // splitmix64 finalizer: full-avalanche, constant across platforms.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return MixHash(h);
+}
+
+// --- HyperLogLog ---
+
+HyperLogLog::HyperLogLog(int precision) : precision_(precision) {
+  if (precision_ < 4) precision_ = 4;
+  if (precision_ > 16) precision_ = 16;
+  registers_.assign(size_t{1} << precision_, 0);
+}
+
+void HyperLogLog::Add(uint64_t hash) {
+  ++adds_;
+  const size_t index = hash >> (64 - precision_);
+  // Rank of the first set bit in the remaining 64 - precision_ bits.
+  uint64_t rest = hash << precision_;
+  uint8_t rank = rest == 0
+                     ? static_cast<uint8_t>(64 - precision_ + 1)
+                     : static_cast<uint8_t>(std::countl_zero(rest) + 1);
+  if (rank > registers_[index]) registers_[index] = rank;
+}
+
+double HyperLogLog::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double sum = 0;
+  size_t zeros = 0;
+  for (uint8_t r : registers_) {
+    sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  double alpha;
+  if (registers_.size() <= 16) {
+    alpha = 0.673;
+  } else if (registers_.size() <= 32) {
+    alpha = 0.697;
+  } else if (registers_.size() <= 64) {
+    alpha = 0.709;
+  } else {
+    alpha = 0.7213 / (1.0 + 1.079 / m);
+  }
+  double raw = alpha * m * m / sum;
+  if (raw <= 2.5 * m && zeros > 0) {
+    // Linear counting for small cardinalities.
+    return m * std::log(m / static_cast<double>(zeros));
+  }
+  return raw;
+}
+
+// --- EquiDepthHistogram ---
+
+EquiDepthHistogram::EquiDepthHistogram(size_t sample_capacity,
+                                       size_t num_buckets)
+    : sample_capacity_(sample_capacity == 0 ? 1 : sample_capacity),
+      num_buckets_(num_buckets == 0 ? 1 : num_buckets),
+      rng_state_(0x5bd1e995u) {
+  sample_.reserve(sample_capacity_);
+}
+
+void EquiDepthHistogram::Add(int64_t value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  if (sample_.size() < sample_capacity_) {
+    sample_.push_back(value);
+    sorted_dirty_ = true;
+    return;
+  }
+  // Algorithm R with a fixed-seed LCG: element i replaces a random slot
+  // with probability capacity/i. Deterministic in the insertion sequence.
+  // Lemire range reduction (48-bit draw x count >> 48) instead of a
+  // modulo — this runs once per int64 cell on the load path and an
+  // integer division there is measurable.
+  rng_state_ = rng_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+  uint64_t r = static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(rng_state_ >> 16) * count_) >> 48);
+  if (r < sample_capacity_) {
+    sample_[r] = value;
+    sorted_dirty_ = true;
+  }
+}
+
+std::optional<int64_t> EquiDepthHistogram::Min() const {
+  if (count_ == 0) return std::nullopt;
+  return min_;
+}
+
+std::optional<int64_t> EquiDepthHistogram::Max() const {
+  if (count_ == 0) return std::nullopt;
+  return max_;
+}
+
+const std::vector<int64_t>& EquiDepthHistogram::Sorted() const {
+  if (sorted_dirty_ || sorted_cache_.size() != sample_.size()) {
+    sorted_cache_ = sample_;
+    std::sort(sorted_cache_.begin(), sorted_cache_.end());
+    sorted_dirty_ = false;
+  }
+  return sorted_cache_;
+}
+
+double EquiDepthHistogram::SelectivityBetween(std::optional<int64_t> lo,
+                                              std::optional<int64_t> hi) const {
+  if (count_ == 0) return 0.0;
+  if (lo && hi && *lo > *hi) return 0.0;
+  const std::vector<int64_t>& s = Sorted();
+  // Fraction of the sample inside [lo, hi]; the sample is an unbiased
+  // estimate of the full distribution.
+  auto begin = lo ? std::lower_bound(s.begin(), s.end(), *lo) : s.begin();
+  auto end = hi ? std::upper_bound(s.begin(), s.end(), *hi) : s.end();
+  if (begin >= end) return 0.0;
+  return static_cast<double>(end - begin) / static_cast<double>(s.size());
+}
+
+std::vector<EquiDepthHistogram::Bucket> EquiDepthHistogram::Buckets() const {
+  std::vector<Bucket> out;
+  if (count_ == 0) return out;
+  const std::vector<int64_t>& s = Sorted();
+  const size_t buckets = std::min(num_buckets_, s.size());
+  const double per = static_cast<double>(s.size()) / buckets;
+  const double scale =
+      static_cast<double>(count_) / static_cast<double>(s.size());
+  for (size_t b = 0; b < buckets; ++b) {
+    size_t begin = static_cast<size_t>(b * per);
+    size_t end = b + 1 == buckets ? s.size()
+                                  : static_cast<size_t>((b + 1) * per);
+    if (end <= begin) end = begin + 1;
+    Bucket bucket;
+    bucket.lo = s[begin];
+    bucket.hi = s[end - 1];
+    bucket.est_count =
+        static_cast<uint64_t>(static_cast<double>(end - begin) * scale + 0.5);
+    out.push_back(bucket);
+  }
+  return out;
+}
+
+// --- StringReservoir ---
+
+StringReservoir::StringReservoir(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), rng_state_(0x2545f491u) {
+  sample_.reserve(capacity_);
+}
+
+void StringReservoir::Add(const std::string& value) {
+  ++count_;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(value);
+    return;
+  }
+  rng_state_ = rng_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+  uint64_t r = static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(rng_state_ >> 16) * count_) >> 48);
+  if (r < capacity_) sample_[r] = value;
+}
+
+size_t StringReservoir::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const std::string& s : sample_) bytes += sizeof(s) + s.capacity();
+  return bytes;
+}
+
+}  // namespace raptor::stats

@@ -1,0 +1,256 @@
+// Streaming sketches for the data-statistics subsystem (paper §II-F's
+// pruning scores need selectivity knowledge; ROADMAP item 2's
+// selectivity-fed execution needs a statistics layer to read from).
+//
+// Three single-pass, incrementally-maintained summaries:
+//   HyperLogLog        number-of-distinct-values (NDV) per column
+//   SpaceSavingTopK    heavy hitters (the most frequent values) per column
+//   EquiDepthHistogram value distribution of the event time columns, built
+//                      from a bounded deterministic reservoir sample
+//
+// All three are deterministic functions of the insertion sequence — stats
+// are maintained only on the serial load/sync path, so two processes that
+// ingest the same trace hold byte-identical statistics, which in turn keeps
+// the cardinality estimator (and through it the scheduler) deterministic at
+// any query thread count.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace raptor::stats {
+
+/// 64-bit mixing hash for sketch input (splitmix64 finalizer). Stable
+/// across platforms and runs — no seed, no address-based state.
+uint64_t MixHash(uint64_t x);
+
+/// Hash of a string value for sketch input (FNV-1a folded through
+/// MixHash). Stable across platforms and runs.
+uint64_t HashBytes(std::string_view bytes);
+
+/// \brief HyperLogLog distinct-value counter.
+///
+/// 2^precision one-byte registers (precision 10 = 1 KiB) give a relative
+/// standard error of about 1.04 / sqrt(2^precision) ≈ 3.2%. Small
+/// cardinalities use the linear-counting correction, so exact-ish answers
+/// come back for the low hundreds of distinct values.
+class HyperLogLog {
+ public:
+  explicit HyperLogLog(int precision = 10);
+
+  /// Adds one (pre-hashed) value.
+  void Add(uint64_t hash);
+
+  /// Estimated number of distinct values added.
+  double Estimate() const;
+
+  /// Exact number of Add() calls (for density diagnostics).
+  uint64_t AddCount() const { return adds_; }
+
+  size_t MemoryBytes() const { return registers_.size() + sizeof(*this); }
+
+ private:
+  int precision_;
+  uint64_t adds_ = 0;
+  std::vector<uint8_t> registers_;  // 2^precision_
+};
+
+/// \brief Space-Saving heavy-hitter sketch (Metwally et al.): tracks the
+/// top `capacity` most frequent values of a stream with bounded
+/// overcounting. A value's reported count overestimates its true count by
+/// at most its `error` field; values whose true count exceeds
+/// total/capacity are guaranteed to be tracked.
+///
+/// Templated on the key type so int64 columns feed raw integers — no
+/// per-row string conversion. Slots live in a flat array sized `capacity`
+/// (16 by default): lookup and eviction are short linear scans and an
+/// eviction rewrites a slot in place, so the steady state allocates
+/// nothing per Add(). Scan order — and therefore eviction tie-breaking —
+/// is a deterministic function of the insertion sequence.
+template <typename Key>
+class SpaceSavingSketch {
+ public:
+  explicit SpaceSavingSketch(size_t capacity = 16)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    slots_.reserve(capacity_);
+  }
+
+  struct HeavyHitter {
+    Key key{};
+    uint64_t count = 0;  ///< Estimated count (upper bound).
+    uint64_t error = 0;  ///< Maximum overcount baked into `count`.
+  };
+
+  void Add(const Key& key) {
+    ++total_;
+    for (Slot& s : slots_) {
+      if (s.key == key) {
+        ++s.count;
+        return;
+      }
+    }
+    if (slots_.size() < capacity_) {
+      slots_.push_back(Slot{key, 1, 0});
+      return;
+    }
+    // Evict a minimum-count slot (the first one in scan order) and
+    // inherit its count as the new key's overcount bound. Rewriting the
+    // slot in place reuses a string key's capacity.
+    Slot* victim = &slots_[0];
+    for (Slot& s : slots_) {
+      if (s.count < victim->count) victim = &s;
+    }
+    victim->error = victim->count;
+    ++victim->count;
+    victim->key = key;
+  }
+
+  /// Tracked values, most frequent first (ties by key for determinism).
+  std::vector<HeavyHitter> TopK() const {
+    std::vector<HeavyHitter> out;
+    out.reserve(slots_.size());
+    for (const Slot& s : slots_) {
+      out.push_back(HeavyHitter{s.key, s.count, s.error});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const HeavyHitter& a, const HeavyHitter& b) {
+                if (a.count != b.count) return a.count > b.count;
+                return a.key < b.key;
+              });
+    return out;
+  }
+
+  /// Estimated count of `key` when tracked; nullopt when the sketch
+  /// evicted (or never saw) it.
+  std::optional<uint64_t> EstimateCount(const Key& key) const {
+    for (const Slot& s : slots_) {
+      if (s.key == key) return s.count;
+    }
+    return std::nullopt;
+  }
+
+  /// Total stream length (all Add() calls).
+  uint64_t TotalCount() const { return total_; }
+
+  /// Largest guaranteed true count across tracked values (count minus
+  /// overcount bound); 0 when empty. A stream with no value above the
+  /// noise floor keeps this near zero — the signal column statistics use
+  /// to drop sketches that are not finding anything heavy.
+  uint64_t MaxGuaranteedCount() const {
+    uint64_t best = 0;
+    for (const Slot& s : slots_) {
+      best = std::max(best, s.count - s.error);
+    }
+    return best;
+  }
+
+  /// Number of distinct values currently tracked (at most `capacity`).
+  size_t TrackedCount() const { return slots_.size(); }
+
+  size_t capacity() const { return capacity_; }
+
+  size_t MemoryBytes() const {
+    size_t bytes = sizeof(*this) + slots_.capacity() * sizeof(Slot);
+    if constexpr (std::is_same_v<Key, std::string>) {
+      for (const Slot& s : slots_) bytes += s.key.capacity();
+    }
+    return bytes;
+  }
+
+ private:
+  struct Slot {
+    Key key{};
+    uint64_t count = 0;
+    uint64_t error = 0;
+  };
+  size_t capacity_;
+  uint64_t total_ = 0;
+  std::vector<Slot> slots_;  // flat; at most capacity_ entries
+};
+
+using SpaceSavingTopK = SpaceSavingSketch<std::string>;
+using SpaceSavingTopKInt = SpaceSavingSketch<int64_t>;
+
+/// \brief Equi-depth histogram over int64 values (event timestamps),
+/// maintained from a bounded deterministic reservoir sample.
+///
+/// Insertions feed a classic reservoir (Vitter's algorithm R) driven by a
+/// fixed-seed linear congruential generator, so the retained sample — and
+/// every selectivity answer — depends only on the insertion sequence.
+/// `Buckets()` materializes `num_buckets` equal-mass buckets from the
+/// sorted sample; `SelectivityBetween` interpolates inside the sample
+/// without materializing buckets.
+class EquiDepthHistogram {
+ public:
+  explicit EquiDepthHistogram(size_t sample_capacity = 2048,
+                              size_t num_buckets = 16);
+
+  void Add(int64_t value);
+
+  uint64_t Count() const { return count_; }
+  std::optional<int64_t> Min() const;
+  std::optional<int64_t> Max() const;
+
+  /// Estimated fraction of inserted values in [lo, hi] (inclusive; pass
+  /// nullopt for an open end). 0 when empty.
+  double SelectivityBetween(std::optional<int64_t> lo,
+                            std::optional<int64_t> hi) const;
+
+  struct Bucket {
+    int64_t lo = 0;        ///< Inclusive lower edge.
+    int64_t hi = 0;        ///< Inclusive upper edge.
+    uint64_t est_count = 0;  ///< Estimated rows in the bucket.
+  };
+
+  /// Equal-mass buckets over the sample, scaled to the true count. Fewer
+  /// buckets come back when the sample is smaller than `num_buckets`.
+  std::vector<Bucket> Buckets() const;
+
+  size_t MemoryBytes() const {
+    return sample_.capacity() * sizeof(int64_t) + sizeof(*this);
+  }
+
+ private:
+  /// Sorted view of the sample (cached between Add() calls).
+  const std::vector<int64_t>& Sorted() const;
+
+  size_t sample_capacity_;
+  size_t num_buckets_;
+  uint64_t count_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  uint64_t rng_state_;  ///< Fixed-seed LCG for the reservoir.
+  std::vector<int64_t> sample_;
+  mutable std::vector<int64_t> sorted_cache_;
+  mutable bool sorted_dirty_ = false;
+};
+
+/// \brief Bounded deterministic reservoir of string values (algorithm R
+/// with the same fixed-seed LCG as EquiDepthHistogram). The estimator
+/// evaluates LIKE patterns against the sample to estimate match fractions.
+class StringReservoir {
+ public:
+  explicit StringReservoir(size_t capacity = 256);
+
+  void Add(const std::string& value);
+
+  uint64_t Count() const { return count_; }
+  const std::vector<std::string>& Sample() const { return sample_; }
+
+  size_t MemoryBytes() const;
+
+ private:
+  size_t capacity_;
+  uint64_t count_ = 0;
+  uint64_t rng_state_;
+  std::vector<std::string> sample_;
+};
+
+}  // namespace raptor::stats

@@ -1,0 +1,263 @@
+#include "storage/stats/table_statistics.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/strings.h"
+
+namespace raptor::stats {
+
+namespace {
+
+// Heavy-hitter sketches are probed every kHeavyHitterProbe sketched adds:
+// a column where no value has a guaranteed frequency of at least 1/256 by
+// then has nothing heavy to report (Space-Saving only reliably retains
+// values above total/capacity anyway), so the sketch is dropped and the
+// estimator's uniform 1/NDV model takes over. The probe depends only on
+// the insertion sequence, so dropping is deterministic. This is what
+// keeps statistics maintenance cheap on high-NDV columns (timestamps,
+// entity ids), where every add would otherwise churn an eviction.
+constexpr uint64_t kHeavyHitterProbe = 4096;
+
+template <typename Sketch>
+bool SketchStillUseful(const Sketch& sketch, uint64_t sketch_adds) {
+  return sketch.MaxGuaranteedCount() * 256 >= sketch_adds;
+}
+
+/// Shared equality-selectivity model over either sketch key type. All
+/// masses are fractions of the sketched stream, which row sampling leaves
+/// unbiased: exact-ish when tracked; exact-zero when the sketch never
+/// saturated AND saw every row (an absent key then truly has count 0 —
+/// under sampling it may merely be unsampled, so fall back to uniform);
+/// uniform over the untracked rest otherwise.
+template <typename Sketch, typename Key>
+double SketchEqualitySelectivity(const Sketch& sketch, const Key& key,
+                                 bool exact_stream, double ndv) {
+  const double total = static_cast<double>(sketch.TotalCount());
+  if (total <= 0) return 0.0;
+  if (auto count = sketch.EstimateCount(key)) {
+    return std::min(1.0, static_cast<double>(*count) / total);
+  }
+  if (sketch.TrackedCount() < sketch.capacity()) {
+    return exact_stream ? 0.0 : std::min(1.0, 1.0 / std::max(1.0, ndv));
+  }
+  uint64_t tracked_mass = 0;
+  for (const auto& hh : sketch.TopK()) tracked_mass += hh.count - hh.error;
+  double rest_rows = total > static_cast<double>(tracked_mass)
+                         ? total - static_cast<double>(tracked_mass)
+                         : 1.0;
+  double rest_ndv =
+      std::max(1.0, ndv - static_cast<double>(sketch.TrackedCount()));
+  return std::min(1.0, rest_rows / rest_ndv / total);
+}
+
+}  // namespace
+
+// --- ColumnStatistics ---
+
+ColumnStatistics::ColumnStatistics(std::string name, rel::ColumnType type,
+                                   bool is_unique_id)
+    : name_(std::move(name)), type_(type), is_unique_id_(is_unique_id) {
+  if (!is_unique_id_) {
+    if (type_ == rel::ColumnType::kString) {
+      heavy_hitters_ = std::make_unique<SpaceSavingTopK>(16);
+    } else if (type_ == rel::ColumnType::kInt64) {
+      int_heavy_hitters_ = std::make_unique<SpaceSavingTopKInt>(16);
+    }
+  }
+  if (type_ == rel::ColumnType::kInt64 && !is_unique_id_) {
+    histogram_ = std::make_unique<EquiDepthHistogram>();
+  }
+  if (type_ == rel::ColumnType::kString && !is_unique_id_) {
+    sample_ = std::make_unique<StringReservoir>();
+  }
+}
+
+void ColumnStatistics::AddSketches(const rel::Value& value) {
+  ++sketch_adds_;
+  if (const int64_t* pv = value.IfInt()) {
+    const int64_t v = *pv;
+    ndv_.Add(MixHash(static_cast<uint64_t>(v)));
+    if (int_heavy_hitters_ != nullptr) {
+      int_heavy_hitters_->Add(v);
+      if ((sketch_adds_ & (kHeavyHitterProbe - 1)) == 0 &&
+          !SketchStillUseful(*int_heavy_hitters_, sketch_adds_)) {
+        int_heavy_hitters_.reset();
+      }
+    }
+    if (histogram_ != nullptr) histogram_->Add(v);
+  } else if (const std::string* ps = value.IfString()) {
+    const std::string& s = *ps;
+    ndv_.Add(HashBytes(s));
+    if (heavy_hitters_ != nullptr) {
+      heavy_hitters_->Add(s);
+      if ((sketch_adds_ & (kHeavyHitterProbe - 1)) == 0 &&
+          !SketchStillUseful(*heavy_hitters_, sketch_adds_)) {
+        heavy_hitters_.reset();
+      }
+    }
+    if (sample_ != nullptr) sample_->Add(s);
+  } else {
+    ndv_.Add(HashBytes(value.ToString()));
+  }
+}
+
+std::optional<rel::Value> ColumnStatistics::Min() const {
+  if (int_min_ <= int_max_) return rel::Value(int_min_);
+  if (has_string_range_) return rel::Value(string_min_);
+  return std::nullopt;
+}
+
+std::optional<rel::Value> ColumnStatistics::Max() const {
+  if (int_min_ <= int_max_) return rel::Value(int_max_);
+  if (has_string_range_) return rel::Value(string_max_);
+  return std::nullopt;
+}
+
+double ColumnStatistics::Ndv() const {
+  if (adds_ == 0) return 0.0;
+  // Unique-id columns are distinct by construction; report exactly.
+  double est = is_unique_id_ ? static_cast<double>(adds_) : ndv_.Estimate();
+  // Under row sampling the HLL only saw sketch_adds_ values. Columns that
+  // repeat values are still fully represented in the sample; an estimate
+  // tracking the sampled stream length means a mostly-unique column, so
+  // scale it back up by the sampling factor.
+  if (!is_unique_id_ && sketch_adds_ > 0 && sketch_adds_ < adds_ &&
+      est >= 0.5 * static_cast<double>(sketch_adds_)) {
+    est *= SketchScale();
+  }
+  est = std::min(est, static_cast<double>(adds_));
+  return std::max(est, 1.0);
+}
+
+std::vector<SpaceSavingTopK::HeavyHitter> ColumnStatistics::HeavyHitters()
+    const {
+  std::vector<SpaceSavingTopK::HeavyHitter> out;
+  if (heavy_hitters_ != nullptr) {
+    out = heavy_hitters_->TopK();
+  } else if (int_heavy_hitters_ != nullptr) {
+    for (const auto& hh : int_heavy_hitters_->TopK()) {
+      out.push_back({std::to_string(hh.key), hh.count, hh.error});
+    }
+  }
+  // Counts are sketched-stream masses; scale to full-table rows.
+  const double scale = SketchScale();
+  if (scale > 1.0) {
+    for (auto& hh : out) {
+      hh.count = static_cast<uint64_t>(static_cast<double>(hh.count) * scale +
+                                       0.5);
+      hh.error = static_cast<uint64_t>(static_cast<double>(hh.error) * scale +
+                                       0.5);
+    }
+  }
+  return out;
+}
+
+double ColumnStatistics::EqualitySelectivity(const rel::Value& value,
+                                             uint64_t rows) const {
+  if (rows == 0 || adds_ == 0) return 0.0;
+  if (is_unique_id_) return 1.0 / static_cast<double>(rows);
+  const bool exact_stream = sketch_adds_ == adds_;
+  if (value.is_int() && int_heavy_hitters_ != nullptr) {
+    return SketchEqualitySelectivity(*int_heavy_hitters_, value.AsInt(),
+                                     exact_stream, Ndv());
+  }
+  if (value.is_string() && heavy_hitters_ != nullptr) {
+    return SketchEqualitySelectivity(*heavy_hitters_, value.AsString(),
+                                     exact_stream, Ndv());
+  }
+  // No sketch (unique-id-adjacent, adaptively dropped, or type mismatch):
+  // uniform model over the distinct values.
+  return std::min(1.0, 1.0 / Ndv());
+}
+
+double ColumnStatistics::LikeSelectivity(
+    const std::string& like_pattern) const {
+  if (sample_ == nullptr || sample_->Sample().empty()) return 0.0;
+  size_t matched = 0;
+  for (const std::string& s : sample_->Sample()) {
+    if (LikeMatch(s, like_pattern)) ++matched;
+  }
+  return static_cast<double>(matched) /
+         static_cast<double>(sample_->Sample().size());
+}
+
+double ColumnStatistics::RangeSelectivity(std::optional<int64_t> lo,
+                                          std::optional<int64_t> hi) const {
+  if (histogram_ == nullptr) return 1.0;
+  if (histogram_->Count() == 0) return 0.0;
+  return histogram_->SelectivityBetween(lo, hi);
+}
+
+size_t ColumnStatistics::MemoryBytes() const {
+  size_t bytes = sizeof(*this) + name_.size() + ndv_.MemoryBytes();
+  if (heavy_hitters_ != nullptr) bytes += heavy_hitters_->MemoryBytes();
+  if (int_heavy_hitters_ != nullptr) bytes += int_heavy_hitters_->MemoryBytes();
+  if (histogram_ != nullptr) bytes += histogram_->MemoryBytes();
+  if (sample_ != nullptr) bytes += sample_->MemoryBytes();
+  return bytes;
+}
+
+// --- TableStatistics ---
+
+TableStatistics::TableStatistics(std::string table_name,
+                                 const rel::Schema& schema)
+    : name_(std::move(table_name)) {
+  columns_.reserve(schema.num_columns());
+  for (const rel::Column& c : schema.columns()) {
+    // Entity/event ids are distinct by construction (dense AuditLog ids);
+    // sketching them would only blur an exact answer.
+    columns_.emplace_back(c.name, c.type, /*is_unique_id=*/c.name == "id");
+  }
+}
+
+
+const ColumnStatistics* TableStatistics::Column(std::string_view name) const {
+  for (const ColumnStatistics& c : columns_) {
+    if (c.name() == name) return &c;
+  }
+  return nullptr;
+}
+
+size_t TableStatistics::MemoryBytes() const {
+  size_t bytes = sizeof(*this) + name_.size();
+  for (const ColumnStatistics& c : columns_) bytes += c.MemoryBytes();
+  return bytes;
+}
+
+// --- DegreeDistribution ---
+
+size_t DegreeDistribution::BucketIndex(uint64_t degree) {
+  return static_cast<size_t>(std::bit_width(degree));
+}
+
+void DegreeDistribution::AddNode() {
+  ++nodes_;
+  ++buckets_[BucketIndex(0)];
+}
+
+void DegreeDistribution::IncrementDegree(uint64_t old_degree) {
+  ++total_degree_;
+  max_degree_ = std::max(max_degree_, old_degree + 1);
+  size_t from = BucketIndex(old_degree);
+  size_t to = BucketIndex(old_degree + 1);
+  if (from != to) {
+    if (buckets_[from] > 0) --buckets_[from];
+    ++buckets_[to];
+  }
+}
+
+std::vector<DegreeDistribution::Bucket> DegreeDistribution::Buckets() const {
+  std::vector<Bucket> out;
+  for (size_t i = 0; i < 64; ++i) {
+    if (buckets_[i] == 0) continue;
+    Bucket b;
+    b.lo = i == 0 ? 0 : uint64_t{1} << (i - 1);
+    b.hi = i == 0 ? 0 : (uint64_t{1} << i) - 1;
+    b.nodes = buckets_[i];
+    out.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace raptor::stats

@@ -1,0 +1,251 @@
+// Per-table / per-column statistics, maintained incrementally on the
+// serial load/sync path (RelationalDatabase::SyncWith). Each column keeps:
+//
+//   - an NDV estimate (HyperLogLog over the column's hashed values)
+//   - the top-K heavy hitters (Space-Saving; skipped for unique-id columns
+//     where every value is distinct by construction)
+//   - observed min/max
+//   - for int64 columns, an equi-depth histogram for range selectivity
+//     (the event time columns are the paying customers)
+//
+// Cost model: the load path budget is tight (<5% overhead end to end, see
+// bench/bench_stats_overhead.cc), so a non-sampled row costs exactly one
+// counter increment plus an LCG step — no per-cell work at all. The
+// per-column work (min/max + sketches) runs for every row of small tables
+// but only a deterministic 1-in-16 row sample once a table grows past the
+// warmup, and exact value counts are reconciled batch-wise (every row
+// supplies every column, so the per-column count IS the row count).
+// Fraction-valued answers (selectivities) are computed against the
+// sketched stream, so uniform sampling leaves them unbiased; count-valued
+// answers (heavy hitters, NDV of mostly-unique columns) are scaled back
+// up by the observed sampling factor.
+//
+// Everything is a deterministic function of the insertion sequence; the
+// cardinality estimator (engine/estimator.h) reads these to predict rows
+// per TBQL pattern before execution.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/relational/schema.h"
+#include "storage/relational/value.h"
+#include "storage/stats/sketches.h"
+
+namespace raptor::stats {
+
+/// \brief Streaming statistics for one column.
+class ColumnStatistics {
+ public:
+  ColumnStatistics(std::string name, rel::ColumnType type,
+                   bool is_unique_id);
+
+  /// Folds one sampled value in (typed min/max plus the sketches). Only
+  /// called for rows the owning table selected for the sketch tier; the
+  /// total row count is reconciled batch-wise via SetTotalRows(), so
+  /// non-sampled rows cost the statistics subsystem nothing at all.
+  void Add(const rel::Value& value) {
+    if (const int64_t* pv = value.IfInt()) {
+      const int64_t v = *pv;
+      if (v < int_min_) int_min_ = v;
+      if (v > int_max_) int_max_ = v;
+    } else if (const std::string* ps = value.IfString()) {
+      const std::string& s = *ps;
+      if (!has_string_range_) {
+        has_string_range_ = true;
+        string_min_ = string_max_ = s;
+      } else if (s < string_min_) {
+        string_min_ = s;
+      } else if (s > string_max_) {
+        string_max_ = s;
+      }
+    }
+    if (!is_unique_id_) AddSketches(value);
+  }
+
+  /// Reconciles the exact value count. Every row supplies every column, so
+  /// the per-column count is just the table's row count — maintaining it
+  /// per cell on the load path would be pure overhead. The owning table
+  /// calls this once per sync batch (and before any read).
+  void SetTotalRows(uint64_t rows) { adds_ = rows; }
+
+  const std::string& name() const { return name_; }
+  rel::ColumnType type() const { return type_; }
+
+  /// Estimated number of distinct values (exact add count for unique-id
+  /// columns, HyperLogLog otherwise; rescaled for sampled mostly-unique
+  /// columns). At least 1 once a row was added.
+  double Ndv() const;
+
+  /// Rows seen / rows sketched — the factor count-valued sketch answers
+  /// are scaled by. 1 while the table is inside the sketch warmup.
+  double SketchScale() const {
+    if (sketch_adds_ == 0 || adds_ <= sketch_adds_) return 1.0;
+    return static_cast<double>(adds_) / static_cast<double>(sketch_adds_);
+  }
+
+  /// Observed min/max (int64 and string columns; built on demand from
+  /// typed fast-path fields). Exact while the table is inside the sketch
+  /// warmup, the sampled-stream range beyond it. nullopt before the first
+  /// sampled add.
+  std::optional<rel::Value> Min() const;
+  std::optional<rel::Value> Max() const;
+
+  /// Heavy hitters, most frequent first (int columns report keys in
+  /// decimal; counts scaled to full-table rows under sampling). Empty for
+  /// unique-id columns and for columns whose sketch was adaptively
+  /// dropped because nothing heavy ever surfaced — see AddSketches().
+  std::vector<SpaceSavingTopK::HeavyHitter> HeavyHitters() const;
+
+  /// Histogram over the column's int64 values; nullptr for string columns.
+  const EquiDepthHistogram* Histogram() const { return histogram_.get(); }
+
+  /// Value sample of string columns (LIKE-pattern estimation); nullptr for
+  /// int64 and unique-id columns.
+  const StringReservoir* Sample() const { return sample_.get(); }
+
+  /// Estimated fraction of rows whose value matches `like_pattern`
+  /// (SQL LIKE with % and _), from the value sample.
+  double LikeSelectivity(const std::string& like_pattern) const;
+
+  /// Estimated fraction of rows equal to `value` (0..1). Uses the exact
+  /// heavy-hitter count when the value is tracked, the uniform
+  /// rest-of-distribution model otherwise.
+  double EqualitySelectivity(const rel::Value& value, uint64_t rows) const;
+
+  /// Estimated fraction of rows in [lo, hi] for int64 columns (nullopt =
+  /// open end); falls back to 1.0 when no histogram exists.
+  double RangeSelectivity(std::optional<int64_t> lo,
+                          std::optional<int64_t> hi) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  /// The sketch tier: NDV, heavy hitters, histogram/reservoir. Out of
+  /// line — it runs on sampled rows only once the table is large.
+  void AddSketches(const rel::Value& value);
+
+  std::string name_;
+  rel::ColumnType type_;
+  bool is_unique_id_;
+  uint64_t adds_ = 0;         ///< Values seen; reconciled by SetTotalRows().
+  uint64_t sketch_adds_ = 0;  ///< Values folded into the sketch tier.
+  HyperLogLog ndv_;
+  // Exactly one heavy-hitter sketch is live, keyed to the column type so
+  // int columns never stringify per row; either may be dropped adaptively
+  // when the column turns out to have no heavy values (see AddSketches()).
+  std::unique_ptr<SpaceSavingTopK> heavy_hitters_;        // string columns
+  std::unique_ptr<SpaceSavingTopKInt> int_heavy_hitters_;  // int64 columns
+  std::unique_ptr<EquiDepthHistogram> histogram_;   // int64 columns only
+  std::unique_ptr<StringReservoir> sample_;         // string columns only
+  // Typed min/max storage: comparing through rel::Value's variant per cell
+  // is measurable on the load path, so Add() tracks plain fields (int
+  // range with open-range sentinels) and Min()/Max() materialize Values
+  // on demand.
+  int64_t int_min_ = INT64_MAX;
+  int64_t int_max_ = INT64_MIN;
+  bool has_string_range_ = false;
+  std::string string_min_;
+  std::string string_max_;
+};
+
+/// \brief Statistics over one table: a row count plus one ColumnStatistics
+/// per schema column.
+class TableStatistics {
+ public:
+  /// Rows below this all feed the sketch tier (small tables stay exact);
+  /// past it, sketch maintenance runs on a 1-in-16 deterministic sample.
+  /// Kept small: warmup rows pay full sketch cost, and the bench gate
+  /// (<5% on load) leaves room for only a few thousand of them per table.
+  static constexpr uint64_t kSketchWarmupRows = 1024;
+
+  TableStatistics(std::string table_name, const rel::Schema& schema);
+
+  /// Folds one inserted row in. `row` must match the schema. A non-sampled
+  /// row costs one counter increment and an LCG step — the per-column work
+  /// (min/max + sketches) runs for every warmup row and then on a
+  /// fixed-seed 1-in-16 LCG row sample, so the statistics stay a
+  /// deterministic function of the insertion sequence.
+  void AddRow(const rel::Row& row) {
+    ++rows_;
+    if (rows_ > kSketchWarmupRows) {
+      rng_state_ =
+          rng_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+      if ((rng_state_ >> 60) != 0) return;  // top 4 bits clear: 1 in 16
+    }
+    const size_t n = std::min(row.size(), columns_.size());
+    for (size_t i = 0; i < n; ++i) columns_[i].Add(row[i]);
+  }
+
+  /// Reconciles the per-column value counts with the row count. Cheap
+  /// (O(columns)); the owner calls it once per sync batch rather than the
+  /// columns counting per cell on the load path.
+  void EndBatch() {
+    for (ColumnStatistics& c : columns_) c.SetTotalRows(rows_);
+  }
+
+  const std::string& name() const { return name_; }
+  uint64_t RowCount() const { return rows_; }
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnStatistics& column(size_t i) const { return columns_[i]; }
+
+  /// Column statistics by name; nullptr when the schema has no such column.
+  const ColumnStatistics* Column(std::string_view name) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  std::string name_;
+  uint64_t rows_ = 0;
+  uint64_t rng_state_ = 0x9e3779b9u;  ///< Fixed-seed LCG row sampler.
+  std::vector<ColumnStatistics> columns_;
+};
+
+/// \brief Log2-bucketed degree distribution (bucket i holds nodes whose
+/// degree has bit width i, i.e. bucket 0 = degree 0, bucket 1 = degree 1,
+/// bucket 2 = degrees 2–3, bucket 3 = 4–7, ...). Maintained incrementally:
+/// an edge append moves its endpoint from one bucket to the next when the
+/// degree crosses a power of two.
+class DegreeDistribution {
+ public:
+  /// Registers a new node with degree 0.
+  void AddNode();
+
+  /// Records one degree increment `old_degree` -> `old_degree + 1`.
+  void IncrementDegree(uint64_t old_degree);
+
+  uint64_t Nodes() const { return nodes_; }
+  uint64_t TotalDegree() const { return total_degree_; }
+  uint64_t MaxDegree() const { return max_degree_; }
+  double AvgDegree() const {
+    return nodes_ == 0 ? 0.0
+                       : static_cast<double>(total_degree_) /
+                             static_cast<double>(nodes_);
+  }
+
+  struct Bucket {
+    uint64_t lo = 0;  ///< Inclusive smallest degree of the bucket.
+    uint64_t hi = 0;  ///< Inclusive largest degree of the bucket.
+    uint64_t nodes = 0;
+  };
+
+  /// Non-empty buckets in ascending degree order.
+  std::vector<Bucket> Buckets() const;
+
+ private:
+  static size_t BucketIndex(uint64_t degree);
+
+  uint64_t nodes_ = 0;
+  uint64_t total_degree_ = 0;
+  uint64_t max_degree_ = 0;
+  uint64_t buckets_[64] = {};
+};
+
+}  // namespace raptor::stats

@@ -1,0 +1,663 @@
+// Tests for the data-statistics subsystem (storage/stats/) and its
+// consumers: the streaming sketches, per-table/per-column statistics with
+// warmup + deterministic row sampling, resource accounting, graph degree
+// distributions, the cardinality estimator's accuracy gate (median q-error
+// <= 2 on a bench-scale corpus) and robustness on degenerate inputs, and
+// the bounded misestimate journal's worst-kept retention.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "audit/generator.h"
+#include "audit/log.h"
+#include "engine/engine.h"
+#include "engine/estimator.h"
+#include "obs/misestimate_journal.h"
+#include "obs/resource.h"
+#include "storage/graph/graph_store.h"
+#include "storage/relational/database.h"
+#include "storage/stats/sketches.h"
+#include "storage/stats/table_statistics.h"
+#include "tbql/analyzer.h"
+#include "tbql/parser.h"
+
+namespace raptor {
+namespace {
+
+// --- Sketches. ---
+
+TEST(DataStatsSketchTest, HyperLogLogIsNearExactAtSmallCardinality) {
+  stats::HyperLogLog hll;
+  for (uint64_t i = 0; i < 200; ++i) hll.Add(stats::MixHash(i));
+  // Linear counting covers this regime; expect a tight answer.
+  EXPECT_NEAR(hll.Estimate(), 200.0, 10.0);
+  EXPECT_EQ(hll.AddCount(), 200u);
+}
+
+TEST(DataStatsSketchTest, HyperLogLogWithinRelativeErrorAtLargeCardinality) {
+  stats::HyperLogLog hll;
+  constexpr uint64_t kDistinct = 50'000;
+  for (uint64_t i = 0; i < kDistinct; ++i) hll.Add(stats::MixHash(i));
+  // Precision 10 gives ~3.2% standard error; 10% is three sigmas.
+  EXPECT_NEAR(hll.Estimate(), static_cast<double>(kDistinct),
+              0.10 * kDistinct);
+}
+
+TEST(DataStatsSketchTest, HyperLogLogIgnoresDuplicates) {
+  stats::HyperLogLog hll;
+  for (uint64_t i = 0; i < 10'000; ++i) hll.Add(stats::MixHash(i % 100));
+  EXPECT_NEAR(hll.Estimate(), 100.0, 10.0);
+}
+
+TEST(DataStatsSketchTest, SpaceSavingIsExactUnderCapacity) {
+  stats::SpaceSavingTopK sketch(8);
+  for (int i = 0; i < 5; ++i) sketch.Add("a");
+  for (int i = 0; i < 3; ++i) sketch.Add("b");
+  sketch.Add("c");
+  auto top = sketch.TopK();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, "a");
+  EXPECT_EQ(top[0].count, 5u);
+  EXPECT_EQ(top[0].error, 0u);
+  EXPECT_EQ(top[1].key, "b");
+  EXPECT_EQ(top[1].count, 3u);
+  EXPECT_EQ(top[2].key, "c");
+  EXPECT_EQ(top[2].count, 1u);
+  EXPECT_EQ(sketch.TotalCount(), 9u);
+  EXPECT_EQ(sketch.MaxGuaranteedCount(), 5u);
+  ASSERT_TRUE(sketch.EstimateCount("b").has_value());
+  EXPECT_EQ(*sketch.EstimateCount("b"), 3u);
+  EXPECT_FALSE(sketch.EstimateCount("zz").has_value());
+}
+
+TEST(DataStatsSketchTest, SpaceSavingKeepsHeavyValueUnderEviction) {
+  // One value takes 50 of 150 adds, interleaved with 100 singletons that
+  // force constant eviction in a capacity-4 sketch. The Space-Saving
+  // guarantee: any value with true count > total/capacity stays tracked,
+  // its reported count is an upper bound, and count - error a lower bound.
+  stats::SpaceSavingTopKInt sketch(4);
+  for (int64_t i = 0; i < 100; ++i) {
+    sketch.Add(0);
+    sketch.Add(1000 + i);
+    if (i % 2 == 0) sketch.Add(0);
+  }
+  auto est = sketch.EstimateCount(0);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_GE(*est, 150u);
+  auto top = sketch.TopK();
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].key, 0);
+  EXPECT_LE(top[0].count - top[0].error, 150u);
+  EXPECT_EQ(sketch.TrackedCount(), 4u);
+}
+
+TEST(DataStatsSketchTest, SpaceSavingIsDeterministic) {
+  stats::SpaceSavingTopK a(4), b(4);
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "k" + std::to_string(i % 23);
+    a.Add(key);
+    b.Add(key);
+  }
+  auto ta = a.TopK(), tb = b.TopK();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].key, tb[i].key);
+    EXPECT_EQ(ta[i].count, tb[i].count);
+    EXPECT_EQ(ta[i].error, tb[i].error);
+  }
+}
+
+TEST(DataStatsSketchTest, EquiDepthHistogramUniformSelectivity) {
+  stats::EquiDepthHistogram hist;
+  for (int64_t v = 0; v < 10'000; ++v) hist.Add(v);
+  EXPECT_EQ(hist.Count(), 10'000u);
+  EXPECT_NEAR(hist.SelectivityBetween(0, 4999), 0.5, 0.05);
+  EXPECT_NEAR(hist.SelectivityBetween(std::nullopt, 4999), 0.5, 0.05);
+  EXPECT_NEAR(hist.SelectivityBetween(2500, std::nullopt), 0.75, 0.05);
+  EXPECT_DOUBLE_EQ(hist.SelectivityBetween(std::nullopt, std::nullopt), 1.0);
+  auto buckets = hist.Buckets();
+  ASSERT_FALSE(buckets.empty());
+  uint64_t mass = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(buckets[i].lo, buckets[i - 1].lo);
+    }
+    EXPECT_LE(buckets[i].lo, buckets[i].hi);
+    mass += buckets[i].est_count;
+  }
+  // Equal-mass buckets scaled to the true count.
+  EXPECT_NEAR(static_cast<double>(mass), 10'000.0, 1'000.0);
+}
+
+TEST(DataStatsSketchTest, EquiDepthHistogramEmptyIsZero) {
+  stats::EquiDepthHistogram hist;
+  EXPECT_EQ(hist.Count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.SelectivityBetween(0, 100), 0.0);
+  EXPECT_FALSE(hist.Min().has_value());
+  EXPECT_FALSE(hist.Max().has_value());
+  EXPECT_TRUE(hist.Buckets().empty());
+}
+
+TEST(DataStatsSketchTest, StringReservoirIsBoundedAndDeterministic) {
+  stats::StringReservoir a(256), b(256);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::string v = "/path/" + std::to_string(i);
+    a.Add(v);
+    b.Add(v);
+  }
+  EXPECT_EQ(a.Count(), 10'000u);
+  EXPECT_EQ(a.Sample().size(), 256u);
+  EXPECT_EQ(a.Sample(), b.Sample());
+}
+
+// --- TableStatistics: warmup, sampling, batch reconciliation. ---
+
+rel::Schema TestSchema() {
+  return rel::Schema{{"id", rel::ColumnType::kInt64},
+                     {"name", rel::ColumnType::kString},
+                     {"code", rel::ColumnType::kInt64}};
+}
+
+TEST(DataStatsTableTest, SmallTableStaysExact) {
+  stats::TableStatistics st("t", TestSchema());
+  for (int64_t i = 0; i < 100; ++i) {
+    st.AddRow({i, rel::Value("n" + std::to_string(i % 10)), i % 5});
+  }
+  st.EndBatch();
+  EXPECT_EQ(st.RowCount(), 100u);
+
+  const stats::ColumnStatistics* id = st.Column("id");
+  const stats::ColumnStatistics* name = st.Column("name");
+  const stats::ColumnStatistics* code = st.Column("code");
+  ASSERT_NE(id, nullptr);
+  ASSERT_NE(name, nullptr);
+  ASSERT_NE(code, nullptr);
+  EXPECT_EQ(st.Column("nosuch"), nullptr);
+
+  // Inside the warmup every row feeds the sketch tier: no scaling.
+  EXPECT_DOUBLE_EQ(code->SketchScale(), 1.0);
+  // Unique-id columns report the exact row count as NDV.
+  EXPECT_DOUBLE_EQ(id->Ndv(), 100.0);
+  EXPECT_TRUE(id->HeavyHitters().empty());
+  EXPECT_NEAR(name->Ndv(), 10.0, 1.0);
+
+  auto hh = code->HeavyHitters();
+  ASSERT_EQ(hh.size(), 5u);
+  for (const auto& h : hh) {
+    EXPECT_EQ(h.count, 20u);
+    EXPECT_EQ(h.error, 0u);
+  }
+  EXPECT_NEAR(code->EqualitySelectivity(rel::Value(int64_t{3}), 100), 0.2,
+              0.01);
+
+  ASSERT_TRUE(id->Min().has_value());
+  ASSERT_TRUE(id->Max().has_value());
+  EXPECT_EQ(*id->Min()->IfInt(), 0);
+  EXPECT_EQ(*id->Max()->IfInt(), 99);
+  ASSERT_TRUE(name->Min().has_value());
+  EXPECT_EQ(*name->Min()->IfString(), "n0");
+  EXPECT_EQ(*name->Max()->IfString(), "n9");
+}
+
+TEST(DataStatsTableTest, SamplingPastWarmupKeepsFractionsUnbiased) {
+  stats::TableStatistics st("t", TestSchema());
+  constexpr int64_t kRows = 50'000;
+  for (int64_t i = 0; i < kRows; ++i) {
+    // The code column is uniform but decorrelated from insertion order:
+    // the warmup sketches the first 1024 rows exactly, so an
+    // order-correlated column would (by design) overweight early values.
+    st.AddRow({i, rel::Value("n" + std::to_string(i % 10)),
+               (i * 48271) % kRows});
+  }
+  st.EndBatch();
+  EXPECT_EQ(st.RowCount(), static_cast<uint64_t>(kRows));
+
+  const stats::ColumnStatistics* id = st.Column("id");
+  const stats::ColumnStatistics* name = st.Column("name");
+  const stats::ColumnStatistics* code = st.Column("code");
+
+  // EndBatch reconciled the per-column count, so the unique-id NDV is the
+  // exact row count even though almost no rows hit the sketch tier.
+  EXPECT_DOUBLE_EQ(id->Ndv(), static_cast<double>(kRows));
+
+  // 1-in-16 sampling past the 1024-row warmup: the scale factor sits
+  // around rows / (warmup + (rows - warmup)/16) ~= 12.
+  EXPECT_GT(name->SketchScale(), 8.0);
+  EXPECT_LT(name->SketchScale(), 20.0);
+
+  // Fraction-valued answers are computed against the sampled stream and
+  // stay unbiased; count-valued answers are scaled back up.
+  EXPECT_NEAR(name->Ndv(), 10.0, 2.0);
+  EXPECT_NEAR(name->EqualitySelectivity(rel::Value(std::string("n3")), kRows),
+              0.1, 0.05);
+  EXPECT_NEAR(code->RangeSelectivity(0, kRows / 2 - 1), 0.5, 0.1);
+
+  auto hh = name->HeavyHitters();
+  ASSERT_FALSE(hh.empty());
+  // Heavy-hitter counts read in table-row units under sampling.
+  EXPECT_NEAR(static_cast<double>(hh[0].count), kRows / 10.0,
+              0.5 * kRows / 10.0);
+}
+
+TEST(DataStatsTableTest, EndBatchReconcilesUniqueIdCount) {
+  stats::TableStatistics st("t", TestSchema());
+  for (int64_t i = 0; i < 2'000; ++i) {
+    st.AddRow({i, rel::Value(std::string("x")), int64_t{0}});
+  }
+  // Before reconciliation the unique-id column has only seen the sampled
+  // subset; EndBatch snaps it to the row count.
+  st.EndBatch();
+  EXPECT_DOUBLE_EQ(st.Column("id")->Ndv(), 2'000.0);
+}
+
+TEST(DataStatsTableTest, AdaptiveDropReleasesUselessHeavyHitterSketch) {
+  // A non-id string column where every value is distinct: nothing heavy
+  // ever surfaces, so once enough sampled adds accumulate the sketch drops
+  // itself and HeavyHitters() comes back empty.
+  stats::TableStatistics st("t", TestSchema());
+  constexpr int64_t kRows = 120'000;  // ~8k sampled adds, past the probe.
+  for (int64_t i = 0; i < kRows; ++i) {
+    st.AddRow({i, rel::Value("u" + std::to_string(i)), i});
+  }
+  st.EndBatch();
+  EXPECT_TRUE(st.Column("name")->HeavyHitters().empty());
+  // The column is still otherwise served: NDV and range come back.
+  EXPECT_GT(st.Column("name")->Ndv(), 1.0);
+  EXPECT_GT(st.Column("name")->EqualitySelectivity(
+                rel::Value(std::string("u1")), kRows),
+            0.0);
+}
+
+TEST(DataStatsTableTest, StatisticsAreDeterministicAcrossInstances) {
+  stats::TableStatistics a("t", TestSchema()), b("t", TestSchema());
+  for (int64_t i = 0; i < 5'000; ++i) {
+    rel::Row row{i, rel::Value("n" + std::to_string(i % 37)), (i * 7) % 113};
+    a.AddRow(row);
+    b.AddRow(row);
+  }
+  a.EndBatch();
+  b.EndBatch();
+  for (const char* col : {"id", "name", "code"}) {
+    const auto* ca = a.Column(col);
+    const auto* cb = b.Column(col);
+    EXPECT_DOUBLE_EQ(ca->Ndv(), cb->Ndv()) << col;
+    EXPECT_DOUBLE_EQ(ca->SketchScale(), cb->SketchScale()) << col;
+    auto ha = ca->HeavyHitters(), hb = cb->HeavyHitters();
+    ASSERT_EQ(ha.size(), hb.size()) << col;
+    for (size_t i = 0; i < ha.size(); ++i) {
+      EXPECT_EQ(ha[i].key, hb[i].key) << col;
+      EXPECT_EQ(ha[i].count, hb[i].count) << col;
+    }
+  }
+  EXPECT_DOUBLE_EQ(a.Column("code")->RangeSelectivity(0, 56),
+                   b.Column("code")->RangeSelectivity(0, 56));
+}
+
+// --- Database integration and resource accounting. ---
+
+TEST(DataStatsDatabaseTest, LoadMaintainsStatistics) {
+  audit::AuditLog log;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(3'000, &log);
+
+  rel::RelationalDatabase db;
+  EXPECT_TRUE(db.statistics_enabled());
+  db.Load(log);
+
+  EXPECT_EQ(db.events_statistics().RowCount(), log.event_count());
+  uint64_t entity_rows = 0;
+  for (auto type : {audit::EntityType::kFile, audit::EntityType::kProcess,
+                    audit::EntityType::kNetwork}) {
+    entity_rows += db.EntityStatistics(type).RowCount();
+  }
+  EXPECT_EQ(entity_rows, log.entity_count());
+
+  auto all = db.AllStatistics();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0]->name(), "files");
+  EXPECT_EQ(all[1]->name(), "procs");
+  EXPECT_EQ(all[2]->name(), "nets");
+  EXPECT_EQ(all[3]->name(), "events");
+  EXPECT_GT(db.StatisticsBytes(), 0u);
+
+  // The optype column drives the estimator's per-op counts: low
+  // cardinality, so Space-Saving tracks every operation exactly-ish.
+  const stats::ColumnStatistics* optype =
+      db.events_statistics().Column("optype");
+  ASSERT_NE(optype, nullptr);
+  EXPECT_FALSE(optype->HeavyHitters().empty());
+}
+
+TEST(DataStatsDatabaseTest, DisabledStatisticsStayEmpty) {
+  audit::AuditLog log;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(500, &log);
+
+  rel::RelationalDatabase db;
+  db.SetStatisticsEnabled(false);
+  EXPECT_FALSE(db.statistics_enabled());
+  db.Load(log);
+  EXPECT_EQ(db.events_statistics().RowCount(), 0u);
+  EXPECT_GT(db.events().num_rows(), 0u);  // The data itself still loads.
+}
+
+TEST(DataStatsDatabaseTest, StatsBytesChargedToResourceTracker) {
+  auto& tracker = obs::ResourceTracker::Default();
+  const int64_t before = tracker.LiveBytes(obs::Component::kStats);
+  {
+    audit::AuditLog log;
+    audit::WorkloadGenerator gen;
+    gen.GenerateBenign(2'000, &log);
+    rel::RelationalDatabase db;
+    db.Load(log);
+    EXPECT_GE(tracker.LiveBytes(obs::Component::kStats),
+              before + static_cast<int64_t>(db.StatisticsBytes()));
+  }
+  // Destruction releases the charge.
+  EXPECT_EQ(tracker.LiveBytes(obs::Component::kStats), before);
+}
+
+// --- Degree distributions. ---
+
+TEST(DataStatsDegreeTest, BucketsFollowBitWidth) {
+  stats::DegreeDistribution dd;
+  for (int i = 0; i < 3; ++i) dd.AddNode();
+  // Node A reaches degree 5, node B degree 1, node C stays at 0.
+  for (uint64_t d = 0; d < 5; ++d) dd.IncrementDegree(d);
+  dd.IncrementDegree(0);
+  EXPECT_EQ(dd.Nodes(), 3u);
+  EXPECT_EQ(dd.TotalDegree(), 6u);
+  EXPECT_EQ(dd.MaxDegree(), 5u);
+  EXPECT_DOUBLE_EQ(dd.AvgDegree(), 2.0);
+
+  auto buckets = dd.Buckets();
+  // Expected occupancy: degree 0 -> one node, degree 1 -> one node,
+  // degrees 4..7 -> one node. (Log2 buckets: [0,0] [1,1] [2,3] [4,7] ...)
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0].lo, 0u);
+  EXPECT_EQ(buckets[0].hi, 0u);
+  EXPECT_EQ(buckets[0].nodes, 1u);
+  EXPECT_EQ(buckets[1].lo, 1u);
+  EXPECT_EQ(buckets[1].hi, 1u);
+  EXPECT_EQ(buckets[1].nodes, 1u);
+  EXPECT_EQ(buckets[2].lo, 4u);
+  EXPECT_EQ(buckets[2].hi, 7u);
+  EXPECT_EQ(buckets[2].nodes, 1u);
+}
+
+TEST(DataStatsDegreeTest, GraphStoreDegreeTotalsMatchLog) {
+  audit::AuditLog log;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(2'000, &log);
+
+  graph::GraphStore graph(log);
+  ASSERT_TRUE(graph.degree_statistics_enabled());
+  uint64_t out_total = 0, in_total = 0, nodes = 0;
+  for (auto type : {audit::EntityType::kFile, audit::EntityType::kProcess,
+                    audit::EntityType::kNetwork}) {
+    out_total += graph.OutDegreeStatistics(type).TotalDegree();
+    in_total += graph.InDegreeStatistics(type).TotalDegree();
+    nodes += graph.OutDegreeStatistics(type).Nodes();
+    EXPECT_EQ(graph.OutDegreeStatistics(type).Nodes(),
+              graph.InDegreeStatistics(type).Nodes());
+  }
+  EXPECT_EQ(out_total, log.event_count());
+  EXPECT_EQ(in_total, log.event_count());
+  EXPECT_EQ(nodes, log.entity_count());
+}
+
+TEST(DataStatsDegreeTest, DisabledDegreeStatisticsStayEmpty) {
+  audit::AuditLog log;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(500, &log);
+  graph::GraphStore graph(log, /*degree_statistics=*/false);
+  EXPECT_FALSE(graph.degree_statistics_enabled());
+  EXPECT_EQ(graph.OutDegreeStatistics(audit::EntityType::kProcess).Nodes(),
+            0u);
+}
+
+// --- Estimator accuracy: the acceptance gate. ---
+
+struct CorpusFixture {
+  audit::AuditLog log;
+  std::unique_ptr<rel::RelationalDatabase> rel_db;
+  std::unique_ptr<graph::GraphStore> graph_db;
+  std::unique_ptr<engine::QueryEngine> engine;
+
+  explicit CorpusFixture(size_t benign_events) {
+    audit::WorkloadGenerator gen;
+    gen.GenerateBenign(benign_events / 2, &log);
+    gen.InjectDataLeakageAttack(&log);
+    gen.GenerateBenign(benign_events / 2, &log);
+    for (int i = 0; i < 4; ++i) {
+      gen.InjectForkChain("/bin/bash", 3, audit::Operation::kWrite,
+                          "/tmp/stolen", &log);
+    }
+    rel_db = std::make_unique<rel::RelationalDatabase>();
+    rel_db->Load(log);
+    graph_db = std::make_unique<graph::GraphStore>(log);
+    engine = std::make_unique<engine::QueryEngine>(&log, rel_db.get(),
+                                                   graph_db.get());
+  }
+
+  engine::QueryResult Run(const std::string& src) {
+    auto q = tbql::Parse(src);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    Status st = tbql::Analyze(&*q);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    auto result = engine->Execute(*q, engine::ExecutionOptions{});
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return *std::move(result);
+  }
+};
+
+TEST(DataStatsEstimatorTest, MedianQErrorAtMostTwoOnBenchCorpus) {
+  CorpusFixture fx(40'000);
+
+  // A representative hunting mix: full-table event scans, operation
+  // disjunctions, LIKE and equality entity filters, a time window over the
+  // middle of the trace, multi-pattern queries, and a fork pattern.
+  int64_t tmin = std::numeric_limits<int64_t>::max(), tmax = 0;
+  for (size_t i = 0; i < fx.log.event_count(); ++i) {
+    tmin = std::min(tmin, fx.log.event(i).start_time);
+    tmax = std::max(tmax, fx.log.event(i).start_time);
+  }
+  const int64_t tmid = tmin + (tmax - tmin) / 2;
+  const std::vector<std::string> corpus = {
+      "proc p read file f",
+      "proc p write file f",
+      "proc p read || write file f",
+      "proc p send net n",
+      "proc p[\"%bash%\"] read file f",
+      "proc p read file f[\"%/etc/%\"]",
+      "proc p write file f[\"/tmp/stolen\"]",
+      "proc p fork proc q\nreturn q",
+      "proc p read file f from " + std::to_string(tmin) + " to " +
+          std::to_string(tmid),
+      "e1: proc p read file f1\ne2: proc p write file f2",
+  };
+
+  std::vector<double> q_errors;
+  for (const std::string& src : corpus) {
+    auto r = fx.Run(src);
+    ASSERT_EQ(r.stats.pattern_est_rows.size(),
+              r.stats.pattern_q_error.size());
+    ASSERT_FALSE(r.stats.pattern_q_error.empty()) << src;
+    for (size_t i = 0; i < r.stats.pattern_q_error.size(); ++i) {
+      EXPECT_TRUE(std::isfinite(r.stats.pattern_est_rows[i])) << src;
+      EXPECT_GE(r.stats.pattern_est_rows[i], 0.0) << src;
+      EXPECT_GE(r.stats.pattern_q_error[i], 1.0) << src;
+      q_errors.push_back(r.stats.pattern_q_error[i]);
+    }
+  }
+
+  ASSERT_GE(q_errors.size(), corpus.size());
+  std::sort(q_errors.begin(), q_errors.end());
+  const double median = q_errors[q_errors.size() / 2];
+  EXPECT_LE(median, 2.0) << "median q-error over " << q_errors.size()
+                         << " estimated patterns (worst "
+                         << q_errors.back() << ")";
+}
+
+TEST(DataStatsEstimatorTest, QErrorIsSymmetricAndFloored) {
+  EXPECT_DOUBLE_EQ(engine::QError(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(engine::QError(10.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(engine::QError(10.0, 5.0), 2.0);
+  EXPECT_DOUBLE_EQ(engine::QError(5.0, 10.0), 2.0);
+  EXPECT_DOUBLE_EQ(engine::QError(0.0, 100.0), 100.0);
+}
+
+// --- Estimator robustness on degenerate inputs. ---
+
+tbql::Query ParseQuery(const std::string& src) {
+  auto q = tbql::Parse(src);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  Status st = tbql::Analyze(&*q);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return *std::move(q);
+}
+
+TEST(DataStatsEstimatorFuzzTest, EmptyDatabaseEstimatesAreFinite) {
+  audit::AuditLog log;  // No entities, no events.
+  rel::RelationalDatabase db;
+  db.Load(log);
+  graph::GraphStore graph(log);
+  engine::CardinalityEstimator est(&db, &graph);
+
+  for (const std::string& src : std::vector<std::string>{
+           "proc p read file f",
+           "proc p[\"%x%\"] write file f[\"/a\"]",
+           "proc p ~>(1~5)[read] file f",
+           "proc p send net n[dstip = \"1.2.3.4\", dstport = 80]",
+       }) {
+    tbql::Query q = ParseQuery(src);
+    for (const tbql::Pattern& p : q.patterns) {
+      const double rows = est.EstimatePattern(p);
+      EXPECT_TRUE(std::isfinite(rows)) << src;
+      EXPECT_GE(rows, 0.0) << src;
+      EXPECT_TRUE(std::isfinite(est.EstimateEntityMatches(p.subject))) << src;
+      EXPECT_TRUE(std::isfinite(est.EstimateEntityMatches(p.object))) << src;
+    }
+  }
+
+  // End-to-end: executing over the empty trace records perfect q-errors.
+  engine::QueryEngine eng(&log, &db, &graph);
+  tbql::Query q = ParseQuery("proc p read file f");
+  auto r = eng.Execute(q, engine::ExecutionOptions{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->rows.empty());
+  for (double qe : r->stats.pattern_q_error) EXPECT_DOUBLE_EQ(qe, 1.0);
+}
+
+TEST(DataStatsEstimatorFuzzTest, NeverMatchingConstantsStayFinite) {
+  CorpusFixture fx(8'000);
+  for (const std::string& src : std::vector<std::string>{
+           "proc p read file f[\"/no/such/file/anywhere\"]",
+           "proc p[exename = \"/does/not/exist\"] write file f",
+           "proc p send net n[dstip = \"255.255.255.255\", dstport = 1]",
+           "proc p read file f[\"%never-matching-fragment%\"]",
+           "proc p read file f from 999999999 to 1000000000",
+       }) {
+    auto r = fx.Run(src);
+    EXPECT_TRUE(r.rows.empty()) << src;
+    for (size_t i = 0; i < r.stats.pattern_q_error.size(); ++i) {
+      EXPECT_TRUE(std::isfinite(r.stats.pattern_est_rows[i])) << src;
+      EXPECT_TRUE(std::isfinite(r.stats.pattern_q_error[i])) << src;
+    }
+  }
+}
+
+TEST(DataStatsEstimatorFuzzTest, NullGraphStoreFallsBack) {
+  audit::AuditLog log;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(1'000, &log);
+  rel::RelationalDatabase db;
+  db.Load(log);
+  engine::CardinalityEstimator est(&db, nullptr);
+  tbql::Query q = ParseQuery("proc p ~>(1~4)[read || write] file f");
+  for (const tbql::Pattern& p : q.patterns) {
+    const double rows = est.EstimatePattern(p);
+    EXPECT_TRUE(std::isfinite(rows));
+    EXPECT_GE(rows, 0.0);
+  }
+}
+
+// --- Misestimate journal. ---
+
+obs::MisestimateEntry MakeEntry(double worst, const std::string& query) {
+  obs::MisestimateEntry e;
+  e.kind = "query";
+  e.query = query;
+  e.worst_q_error = worst;
+  e.ops.push_back(
+      obs::MisestimateOperator{"e1", "relational", worst, 1, worst});
+  return e;
+}
+
+TEST(DataStatsJournalTest, ThresholdGatesRecording) {
+  obs::MisestimateJournal journal;
+  journal.Configure({/*q_error_threshold=*/4.0, /*capacity=*/8});
+  EXPECT_FALSE(journal.ShouldRecord(3.9));
+  EXPECT_TRUE(journal.ShouldRecord(4.0));
+  EXPECT_TRUE(journal.ShouldRecord(100.0));
+  journal.Configure({/*q_error_threshold=*/0.0, /*capacity=*/8});
+  EXPECT_TRUE(journal.ShouldRecord(1.0));
+}
+
+TEST(DataStatsJournalTest, KeepsWorstOffendersWhenFull) {
+  obs::MisestimateJournal journal;
+  journal.Configure({/*q_error_threshold=*/0.0, /*capacity=*/2});
+
+  const uint64_t id10 = journal.Record(MakeEntry(10.0, "q10"));
+  const uint64_t id5 = journal.Record(MakeEntry(5.0, "q5"));
+  EXPECT_NE(id10, 0u);
+  EXPECT_NE(id5, 0u);
+
+  // Milder than everything retained: dropped.
+  EXPECT_EQ(journal.Record(MakeEntry(3.0, "q3")), 0u);
+  auto snap = journal.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_DOUBLE_EQ(snap[0].worst_q_error, 10.0);  // Worst-first.
+  EXPECT_DOUBLE_EQ(snap[1].worst_q_error, 5.0);
+
+  // Worse than the mildest: evicts it.
+  const uint64_t id7 = journal.Record(MakeEntry(7.0, "q7"));
+  EXPECT_NE(id7, 0u);
+  snap = journal.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_DOUBLE_EQ(snap[0].worst_q_error, 10.0);
+  EXPECT_DOUBLE_EQ(snap[1].worst_q_error, 7.0);
+
+  EXPECT_TRUE(journal.Find(id10).has_value());
+  EXPECT_EQ(journal.Find(id10)->query, "q10");
+  EXPECT_FALSE(journal.Find(id5).has_value());  // Evicted.
+
+  // Snapshot limit returns the worst entries only.
+  auto top1 = journal.Snapshot(1);
+  ASSERT_EQ(top1.size(), 1u);
+  EXPECT_DOUBLE_EQ(top1[0].worst_q_error, 10.0);
+
+  journal.Clear();
+  EXPECT_TRUE(journal.Snapshot().empty());
+}
+
+TEST(DataStatsJournalTest, RecordAssignsIdsAndTimestamps) {
+  obs::MisestimateJournal journal;
+  journal.Configure({/*q_error_threshold=*/0.0, /*capacity=*/4});
+  const uint64_t a = journal.Record(MakeEntry(2.0, "a"));
+  const uint64_t b = journal.Record(MakeEntry(3.0, "b"));
+  EXPECT_LT(a, b);
+  auto found = journal.Find(b);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_GT(found->unix_ms, 0u);
+  EXPECT_EQ(found->ops.size(), 1u);
+}
+
+}  // namespace
+}  // namespace raptor

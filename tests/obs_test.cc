@@ -602,6 +602,35 @@ TEST(HistogramQuantileTest, EmptyHistogramIsZero) {
   EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.99), 0.0);
 }
 
+TEST(HistogramQuantileTest, NegativeFirstBoundNeverInterpolatesFromZero) {
+  // Regression: the first bucket spans (-inf, bounds[0]]. Interpolating
+  // from 0 when bounds[0] is negative returned a value ABOVE the bucket's
+  // own upper bound (q=1 gave 0.0 > -5.0); the lower edge must clamp to
+  // min(0, bounds[0]).
+  Histogram h({-5.0, 10.0});
+  h.Observe(-7.0);
+  // The unbounded bucket has no finite width to interpolate across, so
+  // every quantile inside it clamps to the bound itself.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 1.0), -5.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.5), -5.0);
+}
+
+TEST(HistogramQuantileTest, QuantileArgumentIsClamped) {
+  Histogram h({10.0});
+  h.Observe(5.0);
+  // Out-of-range q behaves as 0 and 1, not as garbage ranks.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, -3.0), HistogramQuantile(h, 0.0));
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 7.0), HistogramQuantile(h, 1.0));
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 7.0), 10.0);
+}
+
+TEST(HistogramQuantileTest, SingleBucketInterpolatesFromZero) {
+  Histogram h({100.0});
+  for (int i = 0; i < 4; ++i) h.Observe(1.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.25), 25.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 1.0), 100.0);
+}
+
 // =====================================================================
 // Sampling profiler.
 // =====================================================================

@@ -26,6 +26,7 @@
 #include "common/thread_pool.h"
 #include "core/threat_raptor.h"
 #include "engine/engine.h"
+#include "engine/explain.h"
 #include "fault_injection.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
@@ -335,6 +336,11 @@ void ExpectSameResult(const engine::QueryResult& a,
   EXPECT_EQ(a.stats.bytes_touched, b.stats.bytes_touched) << label;
   EXPECT_EQ(a.stats.intermediate_result_bytes, b.stats.intermediate_result_bytes)
       << label;
+  // Cardinality estimates are a pure function of the load-time statistics
+  // (which only advance on the serial sync path), so est/actual/q-error
+  // are bitwise identical at any thread count.
+  EXPECT_EQ(a.stats.pattern_est_rows, b.stats.pattern_est_rows) << label;
+  EXPECT_EQ(a.stats.pattern_q_error, b.stats.pattern_q_error) << label;
 }
 
 TEST(ParallelEngineTest, MultiPatternQueryIsByteIdentical) {
@@ -410,6 +416,45 @@ TEST(ParallelEngineTest, FaultInjectionTripsAtTheSamePoint) {
   EXPECT_FALSE(serial.ok());
   for (size_t t : std::vector<size_t>{2, 8}) {
     EXPECT_EQ(run(t).ToString(), serial.ToString()) << t << " threads";
+  }
+}
+
+TEST(ParallelEngineTest, ExplainEstimateLinesAreByteIdenticalAcrossThreads) {
+  // The explain text mixes wall-clock timings (not deterministic) with the
+  // est_rows/actual_rows/q_error lines fed by the cardinality estimator
+  // (deterministic: estimates read load-time statistics that are frozen
+  // during execution). Extract just the estimate lines and require them
+  // byte-identical at 1/2/8 threads.
+  EngineFixture fx;
+  const std::string query =
+      "e1: proc p read file f1[\"%/etc/%\"]\n"
+      "e2: proc p write file f2\n"
+      "e3: proc q send net n\n"
+      "return p, f1, f2\n"
+      "limit 200";
+  auto est_lines = [&](size_t threads) {
+    auto q = tbql::Parse(query);
+    EXPECT_TRUE(q.ok());
+    EXPECT_TRUE(tbql::Analyze(&*q).ok());
+    engine::ExecutionOptions opts;
+    opts.num_threads = threads;
+    auto r = fx.engine->Execute(*q, opts);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    std::string text = engine::ExplainAnalyze(*q, *r);
+    std::string lines;
+    size_t pos = 0;
+    while ((pos = text.find("est_rows=", pos)) != std::string::npos) {
+      size_t eol = text.find('\n', pos);
+      lines += text.substr(pos, eol - pos);
+      lines += '\n';
+      pos = eol;
+    }
+    EXPECT_FALSE(lines.empty()) << "explain carried no estimate lines";
+    return lines;
+  };
+  const std::string serial = est_lines(1);
+  for (size_t t : std::vector<size_t>{2, 8}) {
+    EXPECT_EQ(est_lines(t), serial) << t << " threads";
   }
 }
 

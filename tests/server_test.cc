@@ -17,6 +17,7 @@
 #include "core/threat_raptor.h"
 #include "fault_injection.h"
 #include "obs/log.h"
+#include "obs/misestimate_journal.h"
 #include "obs/profiler.h"
 #include "obs/slo.h"
 #include "obs/trace.h"
@@ -258,6 +259,18 @@ TEST(ServerTest, MetricsEndpointScrapesAfterHunt) {
   EXPECT_NE(body.find("raptor_query_truncations_total"), std::string::npos);
   EXPECT_NE(body.find("raptor_http_request_ms_bucket"), std::string::npos);
   EXPECT_NE(body.find("route=\"/api/hunt\""), std::string::npos);
+  // Build identity: constant 1 with version/git_sha labels.
+  size_t build = body.find("raptor_build_info{");
+  ASSERT_NE(build, std::string::npos);
+  std::string build_line =
+      body.substr(build, body.find('\n', build) - build);
+  EXPECT_NE(build_line.find("version=\""), std::string::npos);
+  EXPECT_NE(build_line.find("git_sha=\""), std::string::npos);
+  EXPECT_EQ(build_line.substr(build_line.rfind(' ') + 1), "1");
+  // The estimator's q-error histogram scrapes after an estimated query.
+  Post(fx.server.port(), "/api/query", "proc p read file f\nlimit 1");
+  std::string after = Body(Get(fx.server.port(), "/api/metrics"));
+  EXPECT_NE(after.find("raptor_estimate_qerror_bucket"), std::string::npos);
 }
 
 TEST(ServerTest, HuntProfileStagesSumCloseToTotal) {
@@ -347,6 +360,110 @@ TEST(ServerTest, StatsEndpointCarriesObservabilityCounters) {
   EXPECT_GE((*json)["queries_truncated"].AsNumber(), 0.0);
 }
 
+TEST(ServerTest, StatsEndpointCarriesBuildInfo) {
+  ServerFixture fx;
+  std::string response = Get(fx.server.port(), "/api/stats");
+  auto json = Json::Parse(Body(response));
+  ASSERT_TRUE(json.ok()) << Body(response);
+  EXPECT_EQ((*json)["build"]["name"].AsString(), "ThreatRaptor");
+  EXPECT_FALSE((*json)["build"]["version"].AsString().empty());
+  EXPECT_FALSE((*json)["build"]["git_sha"].AsString().empty());
+}
+
+TEST(ServerTest, DataStatsEndpoint) {
+  ServerFixture fx;
+  std::string response = Get(fx.server.port(), "/api/datastats");
+  auto json = Json::Parse(Body(response));
+  ASSERT_TRUE(json.ok()) << Body(response);
+  EXPECT_TRUE((*json)["storage_ready"].AsBool());
+  EXPECT_TRUE((*json)["statistics_enabled"].AsBool());
+  EXPECT_GT((*json)["statistics_bytes"].AsNumber(), 0.0);
+
+  const auto& tables = (*json)["tables"].AsArray();
+  ASSERT_EQ(tables.size(), 4u);
+  EXPECT_EQ(tables[0]["name"].AsString(), "files");
+  EXPECT_EQ(tables[3]["name"].AsString(), "events");
+  EXPECT_GT(tables[3]["rows"].AsNumber(), 0.0);
+
+  // The events table carries the estimator's key inputs: per-op counts on
+  // the optype column and a time histogram whose mass reads in table-row
+  // units even under sampling.
+  bool saw_optype = false, saw_starttime_histogram = false;
+  double events_rows = tables[3]["rows"].AsNumber();
+  for (const auto& col : tables[3]["columns"].AsArray()) {
+    if (col["name"].AsString() == "optype") {
+      saw_optype = true;
+      EXPECT_GT(col["ndv"].AsNumber(), 0.0);
+      ASSERT_TRUE(col.Contains("heavy_hitters"));
+      EXPECT_FALSE(col["heavy_hitters"].AsArray().empty());
+    }
+    if (col["name"].AsString() == "starttime" && col.Contains("histogram")) {
+      saw_starttime_histogram = true;
+      double mass = 0;
+      for (const auto& b : col["histogram"].AsArray()) {
+        EXPECT_LE(b["lo"].AsNumber(), b["hi"].AsNumber());
+        mass += b["est_count"].AsNumber();
+      }
+      EXPECT_GT(mass, 0.5 * events_rows);
+      EXPECT_LT(mass, 2.0 * events_rows);
+    }
+  }
+  EXPECT_TRUE(saw_optype);
+  EXPECT_TRUE(saw_starttime_histogram);
+
+  const auto& degrees = (*json)["degree_distributions"];
+  for (const char* type : {"file", "process", "network"}) {
+    ASSERT_TRUE(degrees.Contains(type)) << type;
+    EXPECT_GE(degrees[type]["out"]["nodes"].AsNumber(), 0.0);
+    EXPECT_GE(degrees[type]["in"]["avg_degree"].AsNumber(), 0.0);
+  }
+  EXPECT_GT(degrees["process"]["out"]["total_degree"].AsNumber(), 0.0);
+}
+
+TEST(ServerTest, MisestimatesEndpointRecordsAndServesWorstFirst) {
+  ServerFixture fx;
+  // Threshold 0 records every estimated execution; restored below so the
+  // process-wide journal does not leak into other tests.
+  obs::MisestimateJournal& journal = obs::MisestimateJournal::Default();
+  const obs::MisestimateJournalOptions saved = journal.options();
+  journal.Configure({/*q_error_threshold=*/0.0, /*capacity=*/8});
+  journal.Clear();
+
+  Post(fx.server.port(), "/api/query", "proc p read file f");
+  Post(fx.server.port(), "/api/query", "proc p write file f");
+
+  std::string response = Get(fx.server.port(), "/api/misestimates");
+  auto json = Json::Parse(Body(response));
+  ASSERT_TRUE(json.ok()) << Body(response);
+  EXPECT_DOUBLE_EQ((*json)["q_error_threshold"].AsNumber(), 0.0);
+  const auto& entries = (*json)["entries"].AsArray();
+  ASSERT_GE(entries.size(), 2u);
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_GE(entries[i - 1]["worst_q_error"].AsNumber(),
+              entries[i]["worst_q_error"].AsNumber());
+  }
+  const auto& first = entries[0];
+  EXPECT_EQ(first["kind"].AsString(), "query");
+  EXPECT_FALSE(first["query"].AsString().empty());
+  EXPECT_FALSE(first["stats_snapshot"].AsString().empty());
+  const auto& ops = first["operators"].AsArray();
+  ASSERT_FALSE(ops.empty());
+  EXPECT_GE(ops[0]["est_rows"].AsNumber(), 0.0);
+  EXPECT_GE(ops[0]["actual_rows"].AsNumber(), 0.0);
+  EXPECT_GE(ops[0]["q_error"].AsNumber(), 1.0);
+
+  // ?limit=1 keeps the worst entry only; a bad limit is a 400.
+  std::string limited = Get(fx.server.port(), "/api/misestimates?limit=1");
+  auto lim = Json::Parse(Body(limited));
+  ASSERT_TRUE(lim.ok());
+  EXPECT_EQ((*lim)["entries"].AsArray().size(), 1u);
+  EXPECT_NE(Get(fx.server.port(), "/api/misestimates?limit=abc").find("400"),
+            std::string::npos);
+
+  journal.Configure(saved);
+  journal.Clear();
+}
+
 // --- Structured logs, explain format=json, and the diagnostic bundle. ---
 
 /// Sum of every sample of `name` in a Prometheus text body (all label
@@ -404,6 +521,10 @@ TEST(ServerTest, ExplainJsonFormat) {
   EXPECT_EQ(steps[0]["step"].AsNumber(), 1.0);
   EXPECT_FALSE(steps[0]["backend"].AsString().empty());
   EXPECT_GE(steps[0]["matches"].AsNumber(), 0.0);
+  // Estimate-vs-actual observability rides every estimated step.
+  ASSERT_TRUE(steps[0].Contains("est_rows"));
+  EXPECT_GE(steps[0]["est_rows"].AsNumber(), 0.0);
+  EXPECT_GE(steps[0]["q_error"].AsNumber(), 1.0);
   EXPECT_GT((*json)["totals"]["total_ms"].AsNumber(), 0.0);
   EXPECT_FALSE((*json)["profile"]["stages"].AsArray().empty());
   // `limit 1` truncates this query, and the structured form says why.
@@ -1299,6 +1420,18 @@ TEST(ServerTest, DebugBundleCarriesAlertsSection) {
   ASSERT_EQ(alerts["alerts"].AsArray().size(), 4u);
   EXPECT_EQ(alerts["alerts"][0]["slo"].AsString(), "hunt_latency_p99");
   EXPECT_TRUE(alerts["transitions"].is_array());
+}
+
+TEST(ServerTest, DebugBundleCarriesBuildAndDataStatsSections) {
+  ServerFixture fx;
+  std::string body = Body(Get(fx.server.port(), "/api/debug/bundle"));
+  auto bundle = Json::Parse(body);
+  ASSERT_TRUE(bundle.ok()) << body.substr(0, 400);
+  EXPECT_FALSE((*bundle)["build"]["git_sha"].AsString().empty());
+  EXPECT_TRUE((*bundle)["misestimates"].is_array());
+  const Json& datastats = (*bundle)["datastats"];
+  EXPECT_TRUE(datastats["storage_ready"].AsBool());
+  EXPECT_EQ(datastats["tables"].AsArray().size(), 4u);
 }
 
 // --- Debug-bundle capture on suite failure (CI artifact). ---
