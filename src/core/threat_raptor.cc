@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "common/strings.h"
 #include "common/thread_pool.h"
@@ -351,6 +352,63 @@ Result<engine::QueryResult> ThreatRaptor::ExecuteTbql(
   return ExecuteQuery(query, execution);
 }
 
+std::vector<Result<engine::QueryResult>> ThreatRaptor::ExecuteTbqlBatch(
+    const std::vector<std::string>& tbql_texts) {
+  return ExecuteTbqlBatch(tbql_texts, options_.execution);
+}
+
+std::vector<Result<engine::QueryResult>> ThreatRaptor::ExecuteTbqlBatch(
+    const std::vector<std::string>& tbql_texts,
+    const engine::ExecutionOptions& execution) {
+  std::vector<Result<engine::QueryResult>> results;
+  results.reserve(tbql_texts.size());
+  if (!storage_ready_) {
+    for (size_t i = 0; i < tbql_texts.size(); ++i) {
+      results.emplace_back(Status::InvalidArgument(
+          "call FinalizeStorage() before executing queries"));
+    }
+    return results;
+  }
+  // Parse and analyze every slot first; only the well-formed queries join
+  // the shared-scan batch, the rest keep their front-end error.
+  std::vector<std::optional<tbql::Query>> parsed(tbql_texts.size());
+  std::vector<Status> front_errors(tbql_texts.size(), Status::OK());
+  std::vector<const tbql::Query*> batch;
+  for (size_t i = 0; i < tbql_texts.size(); ++i) {
+    Result<tbql::Query> q = tbql::Parse(tbql_texts[i]);
+    Status status = q.status();
+    if (status.ok()) {
+      status = tbql::Analyze(&*q);
+    }
+    if (!status.ok()) {
+      front_errors[i] = std::move(status);
+      continue;
+    }
+    parsed[i] = std::move(*q);
+    batch.push_back(&*parsed[i]);
+  }
+  std::vector<Result<engine::QueryResult>> executed =
+      engine_->ExecuteBatch(batch, execution);
+  size_t next = 0;
+  for (size_t i = 0; i < tbql_texts.size(); ++i) {
+    if (!parsed[i].has_value()) {
+      results.emplace_back(front_errors[i]);
+      continue;
+    }
+    Result<engine::QueryResult> result = std::move(executed[next++]);
+    if (result.ok()) {
+      obs::SlowJournal& journal = obs::SlowJournal::Default();
+      if (journal.ShouldRecord(result->stats.total_ms,
+                               result->stats.bytes_touched)) {
+        journal.Record(
+            BuildSlowEntry("query", tbql::Print(*parsed[i]), *result));
+      }
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
 namespace {
 
 /// Builds the degraded sub-query for one already-analyzed pattern of the
@@ -529,6 +587,8 @@ Result<HuntReport> ThreatRaptor::Hunt(std::string_view oscti_report,
     merged.stats.bytes_touched += sub->stats.bytes_touched;
     merged.stats.intermediate_result_bytes +=
         sub->stats.intermediate_result_bytes;
+    merged.stats.plan_cache_hit |= sub->stats.plan_cache_hit;
+    merged.stats.shared_scan_patterns += sub->stats.shared_scan_patterns;
     // Append every per-pattern vector together: ExecutionStats keeps them
     // parallel (same length, same order), and a merged result must
     // preserve that invariant even across sub-queries.
@@ -550,6 +610,10 @@ Result<HuntReport> ThreatRaptor::Hunt(std::string_view oscti_report,
           sub->stats.pattern_index_probes[k]);
       merged.stats.pattern_full_scans.push_back(
           sub->stats.pattern_full_scans[k]);
+      merged.stats.pattern_segments_scanned.push_back(
+          sub->stats.pattern_segments_scanned[k]);
+      merged.stats.pattern_segments_pruned.push_back(
+          sub->stats.pattern_segments_pruned[k]);
       if (k < sub->stats.pattern_est_rows.size() &&
           k < sub->stats.pattern_q_error.size()) {
         merged.stats.pattern_est_rows.push_back(

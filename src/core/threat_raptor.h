@@ -224,6 +224,18 @@ class ThreatRaptor {
   Result<engine::QueryResult> ExecuteTbql(
       std::string_view tbql_text, const engine::ExecutionOptions& execution);
 
+  /// Executes several TBQL queries as one batch: patterns probing
+  /// overlapping event windows share a single pass over the columnar
+  /// segment store (QueryEngine::ExecuteBatch). Results are positional and
+  /// byte-identical to executing each query alone; a query that fails to
+  /// parse or analyze yields its error in that slot without affecting the
+  /// others.
+  std::vector<Result<engine::QueryResult>> ExecuteTbqlBatch(
+      const std::vector<std::string>& tbql_texts);
+  std::vector<Result<engine::QueryResult>> ExecuteTbqlBatch(
+      const std::vector<std::string>& tbql_texts,
+      const engine::ExecutionOptions& execution);
+
   // --- The full pipeline (paper Figure 1). ---
 
   /// OSCTI report in, matched system auditing records out. Uses the

@@ -13,6 +13,7 @@
 #include "obs/metrics.h"
 #include "obs/resource.h"
 #include "obs/trace.h"
+#include "tbql/printer.h"
 
 namespace raptor::engine {
 
@@ -111,8 +112,267 @@ struct QueryEngine::PatternExecution {
   std::vector<PatternMatch> matches;
 };
 
+/// Everything Execute() decides before any pattern runs. All of it is a
+/// pure function of (query, plan-affecting options, data generation), which
+/// is what makes it cacheable and thread-count independent.
+struct QueryEngine::PlanPrelude {
+  bool estimate = false;
+  bool columnar = false;
+  std::string key;  ///< Plan-cache key; empty when the cache is disabled.
+  std::shared_ptr<const CachedPlan> cached;  ///< Non-null on a cache hit.
+  std::shared_ptr<CachedPlan> fresh;  ///< Built this call; inserted at end.
+  std::vector<double> scores;             // indexed by pattern
+  std::vector<double> est_unconstrained;  // indexed by pattern
+  std::vector<double> est_by_pattern;     // indexed by pattern
+  std::vector<size_t> order;              // schedule
+  /// Per pattern: will it execute as an unconstrained event scan (no
+  /// entity filters, no bindings propagated into it)? Mirrors the
+  /// candidate_ids nullopt rule against the final schedule.
+  std::vector<bool> case_c;
+};
+
+/// Output of one probe of a shared segment pass, keyed back to the pattern
+/// it serves. The records already honor the pattern's operation set and
+/// time window; the consuming member only re-emits them as matches.
+struct QueryEngine::SharedScanResult {
+  std::vector<rel::EventRecord> records;
+  rel::SegmentProbeStats stats;
+  bool complete = true;
+};
+
+QueryEngine::QueryEngine(const audit::AuditLog* log,
+                         rel::RelationalDatabase* rel_db,
+                         graph::GraphStore* graph_db)
+    : log_(log),
+      rel_(rel_db),
+      graph_(graph_db),
+      plan_cache_(std::make_unique<PlanCache>()) {}
+
+QueryEngine::~QueryEngine() = default;
+
+QueryEngine::PlanPrelude QueryEngine::MakePrelude(
+    const tbql::Query& query, const ExecutionOptions& options) const {
+  PlanPrelude pre;
+  const size_t n = query.patterns.size();
+  pre.estimate =
+      options.use_cardinality_estimates && rel_->statistics_enabled();
+  // The columnar layout is maintained in lockstep with the events table;
+  // the equality check is a safety net for hand-built databases.
+  pre.columnar = options.use_columnar &&
+                 rel_->event_segments().num_rows() ==
+                     static_cast<size_t>(rel_->events().num_rows());
+
+  if (options.use_plan_cache) {
+    pre.key = StrFormat("prune=%d|prop=%d|est=%d|col=%d|",
+                        options.use_pruning_scores ? 1 : 0,
+                        options.propagate_constraints ? 1 : 0,
+                        pre.estimate ? 1 : 0, pre.columnar ? 1 : 0) +
+              tbql::Print(query);
+    pre.cached = plan_cache_->Lookup(pre.key, rel_->generation());
+  }
+
+  if (pre.cached != nullptr) {
+    pre.scores = pre.cached->scores;
+    pre.order = pre.cached->order;
+    pre.est_unconstrained = pre.cached->est_unconstrained;
+    pre.est_by_pattern = pre.cached->est_by_pattern;
+  } else {
+    pre.scores.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      pre.scores[i] = PruningScore(query.patterns[i]);
+    }
+    // Pre-execution cardinality estimates. The statistics are frozen
+    // during queries (maintained only on the serial load/sync path), so
+    // the estimates — and the scheduling decisions they feed — are
+    // identical at every thread count.
+    CardinalityEstimator estimator(rel_, graph_);
+    if (pre.estimate) {
+      pre.est_unconstrained.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        pre.est_unconstrained[i] =
+            estimator.EstimatePattern(query.patterns[i]);
+      }
+    }
+
+    // Static schedule (paper §II-F): highest pruning score first among the
+    // patterns connected to what has already executed. The pick rule
+    // depends only on WHICH entity ids are bound, so the complete order is
+    // computable before anything runs.
+    obs::Span schedule_span = obs::Tracer::Default().StartSpan("schedule");
+    pre.order.reserve(n);
+    std::vector<bool> done(n, false);
+    std::unordered_set<std::string> bound;
+    for (size_t step = 0; step < n; ++step) {
+      size_t pick = n;
+      if (!options.use_pruning_scores) {
+        for (size_t i = 0; i < n; ++i) {
+          if (!done[i]) {
+            pick = i;
+            break;
+          }
+        }
+      } else {
+        double best = -1e18;
+        for (size_t i = 0; i < n; ++i) {
+          if (done[i]) continue;
+          double eff = pre.scores[i];
+          // Strongly prefer patterns whose entities are already bound:
+          // their execution is constrained by previous results.
+          if (bound.count(query.patterns[i].subject.id) > 0) eff += 100.0;
+          if (bound.count(query.patterns[i].object.id) > 0) eff += 100.0;
+          // Estimates break exact score ties: cheaper (fewer predicted
+          // rows) first, so its bindings prune the more expensive twin.
+          if (eff > best ||
+              (pre.estimate && pick < n && eff == best &&
+               pre.est_unconstrained[i] < pre.est_unconstrained[pick])) {
+            best = eff;
+            pick = i;
+          }
+        }
+      }
+      done[pick] = true;
+      pre.order.push_back(pick);
+      if (options.propagate_constraints) {
+        bound.insert(query.patterns[pick].subject.id);
+        bound.insert(query.patterns[pick].object.id);
+      }
+    }
+    schedule_span.End();
+
+    // Binding-aware estimates for the final schedule (the estimator's
+    // mirror of filter propagation), indexed back by pattern.
+    if (pre.estimate) {
+      pre.est_by_pattern.assign(n, 0.0);
+      std::vector<double> sched_est = estimator.EstimateSchedule(
+          query, pre.order, options.propagate_constraints);
+      for (size_t i = 0; i < pre.order.size(); ++i) {
+        pre.est_by_pattern[pre.order[i]] = sched_est[i];
+      }
+    }
+
+    if (!pre.key.empty()) {
+      pre.fresh = std::make_shared<CachedPlan>();
+      pre.fresh->generation = rel_->generation();
+      pre.fresh->order = pre.order;
+      pre.fresh->scores = pre.scores;
+      pre.fresh->est_unconstrained = pre.est_unconstrained;
+      pre.fresh->est_by_pattern = pre.est_by_pattern;
+    }
+  }
+
+  // Which patterns will run unconstrained? Mirrors candidate_ids: a side
+  // yields no candidate list iff it has no filters and no earlier-scheduled
+  // pattern bound its entity id.
+  pre.case_c.assign(n, false);
+  {
+    std::unordered_set<std::string> bound;
+    for (size_t idx : pre.order) {
+      const tbql::Pattern& p = query.patterns[idx];
+      pre.case_c[idx] = !p.is_path && p.subject.filters.empty() &&
+                        p.object.filters.empty() &&
+                        bound.count(p.subject.id) == 0 &&
+                        bound.count(p.object.id) == 0;
+      if (options.propagate_constraints) {
+        bound.insert(p.subject.id);
+        bound.insert(p.object.id);
+      }
+    }
+  }
+  return pre;
+}
+
 Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
                                          const ExecutionOptions& options) const {
+  return ExecuteInternal(query, options, nullptr);
+}
+
+std::vector<Result<QueryResult>> QueryEngine::ExecuteBatch(
+    const std::vector<const tbql::Query*>& queries,
+    const ExecutionOptions& options) const {
+  const bool columnar = options.use_columnar &&
+                        rel_->event_segments().num_rows() ==
+                            static_cast<size_t>(rel_->events().num_rows());
+
+  // Collect the patterns a shared pass can serve: filterless, non-path,
+  // and — under constraint propagation — using entity ids no other pattern
+  // of the same query mentions, so no binding can ever constrain them.
+  // (Prediction only: a pattern this misses simply scans privately, and a
+  // precomputed result is consumed only if the member really plans an
+  // unconstrained scan, so results are identical either way.)
+  struct ProbeRef {
+    size_t query;
+    size_t pattern;
+  };
+  std::vector<ProbeRef> refs;
+  std::vector<rel::EventSegmentStore::OpScanProbe> probes;
+  if (columnar) {
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const tbql::Query& q = *queries[qi];
+      for (size_t i = 0; i < q.patterns.size(); ++i) {
+        const tbql::Pattern& p = q.patterns[i];
+        if (p.is_path || !p.subject.filters.empty() ||
+            !p.object.filters.empty()) {
+          continue;
+        }
+        bool isolated = true;
+        if (options.propagate_constraints) {
+          for (size_t o = 0; o < q.patterns.size() && isolated; ++o) {
+            if (o == i) continue;
+            const tbql::Pattern& other = q.patterns[o];
+            for (const std::string* id :
+                 {&other.subject.id, &other.object.id}) {
+              if (*id == p.subject.id || *id == p.object.id) {
+                isolated = false;
+                break;
+              }
+            }
+          }
+        }
+        if (!isolated) continue;
+        rel::EventSegmentStore::OpScanProbe probe;
+        probe.ops.reserve(p.op.ops.size());
+        for (Operation op : p.op.ops) {
+          probe.ops.push_back(static_cast<int64_t>(op));
+        }
+        probe.window_start = p.window_start;
+        probe.window_end = p.window_end;
+        refs.push_back({qi, i});
+        probes.push_back(std::move(probe));
+      }
+    }
+  }
+
+  std::vector<std::unordered_map<size_t, SharedScanResult>> shared(
+      queries.size());
+  if (refs.size() >= 2) {
+    static obs::Histogram* shared_hist = obs::Registry::Default().GetHistogram(
+        "raptor_shared_scan_patterns",
+        "Patterns served per shared segment scan",
+        obs::ExponentialBuckets(1.0, 2.0, 8));
+    std::vector<std::vector<rel::EventRecord>> outs;
+    std::vector<rel::SegmentProbeStats> pstats;
+    rel_->event_segments().SharedOpScan(probes, nullptr, &outs, &pstats);
+    for (size_t k = 0; k < refs.size(); ++k) {
+      SharedScanResult r;
+      r.records = std::move(outs[k]);
+      r.stats = pstats[k];
+      shared[refs[k].query].emplace(refs[k].pattern, std::move(r));
+    }
+    shared_hist->Observe(static_cast<double>(refs.size()));
+  }
+
+  std::vector<Result<QueryResult>> results;
+  results.reserve(queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    results.push_back(ExecuteInternal(
+        *queries[qi], options, shared[qi].empty() ? nullptr : &shared[qi]));
+  }
+  return results;
+}
+
+Result<QueryResult> QueryEngine::ExecuteInternal(
+    const tbql::Query& query, const ExecutionOptions& options,
+    const std::unordered_map<size_t, SharedScanResult>* shared) const {
   RAPTOR_RETURN_NOT_OK(TriggerFaultPoint("engine.execute"));
   static obs::Counter* queries_total = obs::Registry::Default().GetCounter(
       "raptor_queries_total", "TBQL query executions started");
@@ -181,6 +441,17 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
   ThreadPool* pool = threads > 1 ? &ThreadPool::Shared() : nullptr;
   result.stats.num_threads = threads;
 
+  // --- Plan: schedule order, scores, estimates, access-path decisions ---
+  // from the plan cache when a fresh-generation entry exists, computed (and
+  // cached) otherwise. None of it depends on the thread count.
+  PlanPrelude pre = MakePrelude(query, options);
+  result.stats.plan_cache_hit = pre.cached != nullptr;
+  const size_t n = query.patterns.size();
+  const bool estimate = pre.estimate;
+  const std::vector<double>& scores = pre.scores;
+  const std::vector<double>& est_by_pattern = pre.est_by_pattern;
+  const std::vector<size_t>& order = pre.order;
+
   // --- Candidate-id computation against the relational backend. ---
   // The analyzer unifies filters per entity id, so the filter-selection
   // result is execution-invariant per entity and is cached: an entity used
@@ -246,10 +517,21 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
     /// way the serial engine counts the remaining call-wide budget.
     bool exact_graph_budget = false;
     uint64_t local_max_edges = 0;
+    /// Unconstrained event pattern served by the columnar segment store.
+    bool columnar_scan = false;
+    /// Zone-map-pruned segment list for a columnar scan (points into the
+    /// cached plan, the fresh plan being built, or `owned_segments`).
+    const std::vector<uint32_t>* scan_segments = nullptr;
+    std::vector<uint32_t> owned_segments;
+    /// Precomputed shared-scan output (wave- or batch-level); consumed
+    /// instead of scanning.
+    const SharedScanResult* shared = nullptr;
   };
   struct MemberRun {
     std::vector<PatternMatch> matches;
     rel::TableStats rel_stats;
+    rel::SegmentProbeStats seg_stats;
+    bool used_shared = false;
     uint64_t graph_edges = 0;
     double ms = 0;
     std::string trunc_code;  // "deadline" / "max_graph_edges"; empty = none
@@ -303,6 +585,18 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
       m.end_time = r[c_end].AsInt();
       out->push_back(std::move(m));
     };
+    // Columnar probes apply every residual filter themselves, so their
+    // records convert to matches directly.
+    auto emit_record = [](const rel::EventRecord& rec,
+                          std::vector<PatternMatch>* out) {
+      PatternMatch m;
+      m.events.push_back(static_cast<EventId>(rec.id));
+      m.subject = static_cast<EntityId>(rec.subject);
+      m.object = static_cast<EntityId>(rec.object);
+      m.start_time = rec.start_time;
+      m.end_time = rec.end_time;
+      out->push_back(std::move(m));
+    };
     auto deadline_reason = [&] {
       return StrFormat("deadline of %llu ms exceeded during pattern '%s' "
                        "(relational scan)",
@@ -310,12 +604,55 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
                        p.id.c_str());
     };
 
+    // A shared segment pass (wave- or batch-level) already produced this
+    // pattern's records; re-emitting them preserves the scan order.
+    if (plan.shared != nullptr) {
+      for (const rel::EventRecord& rec : plan.shared->records) {
+        emit_record(rec, &run->matches);
+      }
+      run->seg_stats.Add(plan.shared->stats);
+      run->used_shared = true;
+      if (!plan.shared->complete && run->trunc_code.empty()) {
+        run->trunc_code = "deadline";
+        run->trunc_reason = deadline_reason();
+      }
+      return;
+    }
+
+    const rel::EventSegmentStore& segs = rel_->event_segments();
     // Probe the event table on the narrower entity side; fall back to an
-    // operation-type index probe when neither side constrains. The deadline
-    // is polled between probes, so a truncated scan still returns valid
+    // operation-type scan when neither side constrains. The deadline is
+    // polled between probes, so a truncated scan still returns valid
     // matches. With a pool the probe loop is partitioned; concatenating
     // chunk outputs in chunk order reproduces the serial match order.
-    auto run_probes = [&](const std::vector<EntityId>& ids, rel::ColumnId col) {
+    auto run_probes = [&](const std::vector<EntityId>& ids, rel::ColumnId col,
+                          rel::EventSegmentStore::Side side) {
+      // Columnar probes resolve the opposite-side filter in the store.
+      const std::unordered_set<uint64_t>* other_filter =
+          side == rel::EventSegmentStore::Side::kSubject
+              ? (plan.obj_ids ? &obj_set : nullptr)
+              : (plan.subj_ids ? &subj_set : nullptr);
+      auto probe_one = [&](EntityId id, std::vector<PatternMatch>* matches,
+                           rel::TableStats* row_stats,
+                           rel::SegmentProbeStats* seg_stats) {
+        if (pre.columnar) {
+          std::vector<rel::EventRecord> records;
+          segs.ProbeEntity(side, static_cast<int64_t>(id), op_set,
+                           p.window_start, p.window_end, other_filter,
+                           &records, seg_stats);
+          for (const rel::EventRecord& rec : records) {
+            emit_record(rec, matches);
+          }
+        } else {
+          rel::Conjunction preds = base;
+          preds.push_back(rel::Predicate{col, rel::CompareOp::kEq,
+                                         static_cast<int64_t>(id)});
+          rel::ScanOptions scan{nullptr, 1, 4096, row_stats};
+          for (rel::RowId row : events.Select(preds, scan)) {
+            emit_row(row, matches);
+          }
+        }
+      };
       constexpr size_t kProbeGrain = 16;
       if (member_pool != nullptr && ids.size() >= 2 * kProbeGrain) {
         size_t nparts =
@@ -324,6 +661,7 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
         struct Chunk {
           std::vector<PatternMatch> matches;
           rel::TableStats stats;
+          rel::SegmentProbeStats seg_stats;
           bool deadline_hit = false;
         };
         std::vector<Chunk> chunks(nparts);
@@ -339,13 +677,8 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
                     chunk.deadline_hit = true;
                     break;
                   }
-                  rel::Conjunction preds = base;
-                  preds.push_back(rel::Predicate{col, rel::CompareOp::kEq,
-                                                 static_cast<int64_t>(ids[i])});
-                  rel::ScanOptions scan{nullptr, 1, 4096, &chunk.stats};
-                  for (rel::RowId row : events.Select(preds, scan)) {
-                    emit_row(row, &chunk.matches);
-                  }
+                  probe_one(ids[i], &chunk.matches, &chunk.stats,
+                            &chunk.seg_stats);
                 }
               }
             },
@@ -359,6 +692,7 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
           run->rel_stats.rows_from_index += chunk.stats.rows_from_index;
           run->rel_stats.full_scans += chunk.stats.full_scans;
           run->rel_stats.bytes_touched += chunk.stats.bytes_touched;
+          run->seg_stats.Add(chunk.seg_stats);
           if (chunk.deadline_hit && run->trunc_code.empty()) {
             run->trunc_code = "deadline";
             run->trunc_reason = deadline_reason();
@@ -371,13 +705,7 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
             run->trunc_reason = deadline_reason();
             break;
           }
-          rel::Conjunction preds = base;
-          preds.push_back(rel::Predicate{col, rel::CompareOp::kEq,
-                                         static_cast<int64_t>(id)});
-          rel::ScanOptions scan{nullptr, 1, 4096, &run->rel_stats};
-          for (rel::RowId row : events.Select(preds, scan)) {
-            emit_row(row, &run->matches);
-          }
+          probe_one(id, &run->matches, &run->rel_stats, &run->seg_stats);
         }
       }
     };
@@ -386,13 +714,44 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
         plan.subj_ids &&
         (!plan.obj_ids || plan.subj_ids->size() <= plan.obj_ids->size());
     if (probe_subject) {
-      run_probes(*plan.subj_ids, c_subject);
+      run_probes(*plan.subj_ids, c_subject,
+                 rel::EventSegmentStore::Side::kSubject);
     } else if (plan.obj_ids) {
-      run_probes(*plan.obj_ids, c_object);
+      run_probes(*plan.obj_ids, c_object,
+                 rel::EventSegmentStore::Side::kObject);
+    } else if (plan.columnar_scan) {
+      // Unconstrained pattern, columnar path: one pass over the zone-map
+      // surviving segments, reading only the declared operations' bitmaps.
+      std::vector<rel::EventSegmentStore::OpScanProbe> probes(1);
+      rel::EventSegmentStore::OpScanProbe& probe = probes[0];
+      probe.ops.reserve(p.op.ops.size());
+      for (Operation op : p.op.ops) {
+        probe.ops.push_back(static_cast<int64_t>(op));
+      }
+      probe.window_start = p.window_start;
+      probe.window_end = p.window_end;
+      probe.segments = plan.scan_segments;
+      std::function<bool()> stop = [&] { return deadline_exceeded(); };
+      std::vector<std::vector<rel::EventRecord>> outs;
+      std::vector<rel::SegmentProbeStats> pstats;
+      bool complete = segs.SharedOpScan(
+          probes, options.deadline_ms > 0 ? &stop : nullptr, &outs, &pstats);
+      run->seg_stats.Add(pstats[0]);
+      for (const rel::EventRecord& rec : outs[0]) {
+        emit_record(rec, &run->matches);
+      }
+      if (!complete && run->trunc_code.empty()) {
+        run->trunc_code = "deadline";
+        run->trunc_reason = deadline_reason();
+      }
     } else {
-      // Unconstrained pattern: one probe per operation type. The per-probe
-      // Select may parallelize internally (a full-scan fallback partitions
-      // across the pool).
+      // Unconstrained pattern, row-store baseline: one probe per operation
+      // type. The per-probe Select may parallelize internally (a full-scan
+      // fallback partitions across the pool).
+      const double op_scan_est =
+          estimate && est_by_pattern.size() > plan.pattern_index
+              ? est_by_pattern[plan.pattern_index]
+              : 0.0;
       for (Operation op : p.op.ops) {
         if (deadline_exceeded()) {
           run->trunc_code = "deadline";
@@ -403,6 +762,12 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
         preds.push_back(rel::Predicate{c_optype, rel::CompareOp::kEq,
                                        static_cast<int64_t>(op)});
         rel::ScanOptions scan{member_pool, threads, 4096, &run->rel_stats};
+        // Estimator-driven reservation: a full-scan fallback pre-sizes its
+        // hit vector from the predicted row count instead of growing from
+        // empty (clamped inside Select to the table size).
+        scan.expected_rows = static_cast<size_t>(
+            std::min(op_scan_est / static_cast<double>(p.op.ops.size()),
+                     1e9));
         for (rel::RowId row : events.Select(preds, scan)) {
           emit_row(row, &run->matches);
         }
@@ -495,85 +860,6 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
                      p.id.c_str());
   };
 
-  // --- Static schedule (paper §II-F): highest pruning score first among
-  // the patterns connected to what has already executed. The pick rule
-  // depends only on WHICH entity ids are bound — a bindings entry is
-  // created for every executed pattern's entities regardless of match
-  // contents — so the complete order is computable before anything runs.
-  const size_t n = query.patterns.size();
-  std::vector<double> scores(n);
-  for (size_t i = 0; i < n; ++i) scores[i] = PruningScore(query.patterns[i]);
-
-  // Pre-execution cardinality estimates. The statistics are frozen during
-  // queries (maintained only on the serial load/sync path), so the
-  // estimates — and the scheduling decisions they feed — are identical at
-  // every thread count.
-  const bool estimate =
-      options.use_cardinality_estimates && rel_->statistics_enabled();
-  CardinalityEstimator estimator(rel_, graph_);
-  std::vector<double> est_unconstrained;
-  if (estimate) {
-    est_unconstrained.resize(n);
-    for (size_t i = 0; i < n; ++i) {
-      est_unconstrained[i] = estimator.EstimatePattern(query.patterns[i]);
-    }
-  }
-
-  std::vector<size_t> order;
-  order.reserve(n);
-  {
-    obs::Span schedule_span = tracer.StartSpan("schedule");
-    std::vector<bool> done(n, false);
-    std::unordered_set<std::string> bound;
-    for (size_t step = 0; step < n; ++step) {
-      size_t pick = n;
-      if (!options.use_pruning_scores) {
-        for (size_t i = 0; i < n; ++i) {
-          if (!done[i]) {
-            pick = i;
-            break;
-          }
-        }
-      } else {
-        double best = -1e18;
-        for (size_t i = 0; i < n; ++i) {
-          if (done[i]) continue;
-          double eff = scores[i];
-          // Strongly prefer patterns whose entities are already bound:
-          // their execution is constrained by previous results.
-          if (bound.count(query.patterns[i].subject.id) > 0) eff += 100.0;
-          if (bound.count(query.patterns[i].object.id) > 0) eff += 100.0;
-          // Estimates break exact score ties: cheaper (fewer predicted
-          // rows) first, so its bindings prune the more expensive twin.
-          if (eff > best ||
-              (estimate && pick < n && eff == best &&
-               est_unconstrained[i] < est_unconstrained[pick])) {
-            best = eff;
-            pick = i;
-          }
-        }
-      }
-      done[pick] = true;
-      order.push_back(pick);
-      if (options.propagate_constraints) {
-        bound.insert(query.patterns[pick].subject.id);
-        bound.insert(query.patterns[pick].object.id);
-      }
-    }
-    schedule_span.End();
-  }
-
-  // Binding-aware estimates for the final schedule (the estimator's mirror
-  // of filter propagation), indexed back by pattern for the commit loop.
-  std::vector<double> est_by_pattern(n, 0.0);
-  if (estimate) {
-    std::vector<double> sched_est =
-        estimator.EstimateSchedule(query, order, options.propagate_constraints);
-    for (size_t i = 0; i < order.size(); ++i) {
-      est_by_pattern[order[i]] = sched_est[i];
-    }
-  }
-
   // --- Wave partition: a wave is a maximal schedule prefix of patterns
   // that pairwise share no entity ids. Every member of a wave sees the same
   // bindings whether the wave runs serially or concurrently, so members may
@@ -659,6 +945,90 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
         }
       } else {
         plan.obj_ids = candidate_ids(p.object, &runs[j].rel_stats);
+        if (pre.columnar && !plan.subj_ids && !plan.obj_ids) {
+          // Unconstrained event pattern: columnar segment scan. The access
+          // path (the zone-map-pruned segment list) comes from the cached
+          // plan when present, is computed here otherwise, and is recorded
+          // into the plan being built. Batch-precomputed shared results
+          // short-circuit the scan entirely.
+          plan.columnar_scan = true;
+          if (shared != nullptr) {
+            auto it = shared->find(idx);
+            if (it != shared->end()) plan.shared = &it->second;
+          }
+          if (plan.shared == nullptr) {
+            if (pre.cached != nullptr) {
+              auto it = pre.cached->scan_segments.find(idx);
+              if (it != pre.cached->scan_segments.end()) {
+                plan.scan_segments = &it->second;
+              }
+            }
+            if (plan.scan_segments == nullptr) {
+              std::vector<uint32_t> pruned =
+                  rel_->event_segments().PruneByWindow(p.window_start,
+                                                       p.window_end);
+              if (pre.fresh != nullptr) {
+                // unordered_map nodes are stable; the pointer survives.
+                auto& slot = pre.fresh->scan_segments[idx];
+                slot = std::move(pruned);
+                plan.scan_segments = &slot;
+              } else {
+                plan.owned_segments = std::move(pruned);
+                plan.scan_segments = &plan.owned_segments;
+              }
+            }
+          }
+        }
+      }
+    }
+
+    // Wave-level shared scan: two or more members of this wave running
+    // unconstrained columnar scans share one segment pass. Their outputs
+    // are per-member (and per-operation) buckets, so each member's matches
+    // are byte-identical to a private scan; only wall-clock changes.
+    std::vector<SharedScanResult> wave_shared;
+    if (multi) {
+      std::vector<size_t> shared_members;
+      for (size_t j = 0; j < wave_size; ++j) {
+        if (!plans[j].skip && plans[j].columnar_scan &&
+            plans[j].shared == nullptr) {
+          shared_members.push_back(j);
+        }
+      }
+      if (shared_members.size() >= 2) {
+        static obs::Histogram* shared_hist =
+            obs::Registry::Default().GetHistogram(
+                "raptor_shared_scan_patterns",
+                "Patterns served per shared segment scan",
+                obs::ExponentialBuckets(1.0, 2.0, 8));
+        std::vector<rel::EventSegmentStore::OpScanProbe> probes;
+        probes.reserve(shared_members.size());
+        for (size_t j : shared_members) {
+          const tbql::Pattern& p = *plans[j].p;
+          rel::EventSegmentStore::OpScanProbe probe;
+          probe.ops.reserve(p.op.ops.size());
+          for (Operation op : p.op.ops) {
+            probe.ops.push_back(static_cast<int64_t>(op));
+          }
+          probe.window_start = p.window_start;
+          probe.window_end = p.window_end;
+          probe.segments = plans[j].scan_segments;
+          probes.push_back(std::move(probe));
+        }
+        std::function<bool()> stop = [&] { return deadline_exceeded(); };
+        std::vector<std::vector<rel::EventRecord>> outs;
+        std::vector<rel::SegmentProbeStats> pstats;
+        bool complete = rel_->event_segments().SharedOpScan(
+            probes, options.deadline_ms > 0 ? &stop : nullptr, &outs,
+            &pstats);
+        wave_shared.resize(shared_members.size());
+        for (size_t k = 0; k < shared_members.size(); ++k) {
+          wave_shared[k].records = std::move(outs[k]);
+          wave_shared[k].stats = pstats[k];
+          wave_shared[k].complete = complete;
+          plans[shared_members[k]].shared = &wave_shared[k];
+        }
+        shared_hist->Observe(static_cast<double>(shared_members.size()));
       }
     }
 
@@ -742,16 +1112,36 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
       result.stats.pattern_scores.push_back(scores[plan.pattern_index]);
       result.stats.pattern_used_graph.push_back(p.is_path);
       result.stats.pattern_was_constrained.push_back(plan.constrained);
-      const uint64_t step_rel_rows =
-          run.rel_stats.rows_scanned + run.rel_stats.rows_from_index;
+      const uint64_t step_rel_rows = run.rel_stats.rows_scanned +
+                                     run.rel_stats.rows_from_index +
+                                     run.seg_stats.rows_scanned;
       const uint64_t step_bytes =
           run.rel_stats.bytes_touched +
+          run.seg_stats.rows_scanned * rel::EventSegmentStore::kApproxRowBytes +
           run.graph_edges * sizeof(graph::GraphEdge);
       result.stats.pattern_rows_examined.push_back(step_rel_rows +
                                                    run.graph_edges);
       result.stats.pattern_bytes_touched.push_back(step_bytes);
-      result.stats.pattern_index_probes.push_back(run.rel_stats.index_probes);
+      result.stats.pattern_index_probes.push_back(run.rel_stats.index_probes +
+                                                  run.seg_stats.probes);
       result.stats.pattern_full_scans.push_back(run.rel_stats.full_scans);
+      result.stats.pattern_segments_scanned.push_back(
+          run.seg_stats.segments_scanned);
+      result.stats.pattern_segments_pruned.push_back(
+          run.seg_stats.segments_pruned());
+      if (run.used_shared) ++result.stats.shared_scan_patterns;
+      {
+        static obs::Counter* pruned_zone = obs::Registry::Default().GetCounter(
+            "raptor_segments_pruned_total",
+            "Columnar segments skipped before reading row data, by reason",
+            {{"reason", "zone_map"}});
+        static obs::Counter* pruned_bloom = obs::Registry::Default().GetCounter(
+            "raptor_segments_pruned_total",
+            "Columnar segments skipped before reading row data, by reason",
+            {{"reason", "bloom"}});
+        pruned_zone->Increment(run.seg_stats.segments_pruned_zone);
+        pruned_bloom->Increment(run.seg_stats.segments_pruned_bloom);
+      }
       if (estimate) {
         static obs::Histogram* qerror_hist =
             obs::Registry::Default().GetHistogram(
@@ -930,6 +1320,10 @@ Result<QueryResult> QueryEngine::Execute(const tbql::Query& query,
   result.stats.bytes_touched = committed_bytes;
   result.stats.intermediate_result_bytes =
       static_cast<uint64_t>(mem_scope.charged());
+  // Publish the freshly built plan (schedule, estimates, access paths).
+  // Patterns a budget stopped before planning stay absent from
+  // scan_segments and are filled in by a later execution.
+  if (pre.fresh != nullptr) plan_cache_->Insert(pre.key, pre.fresh);
   result.stats.total_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)

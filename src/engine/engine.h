@@ -21,6 +21,7 @@
 
 #include "audit/log.h"
 #include "common/result.h"
+#include "engine/plan_cache.h"
 #include "obs/profile.h"
 #include "storage/graph/graph_store.h"
 #include "storage/relational/database.h"
@@ -66,6 +67,17 @@ struct ExecutionOptions {
   /// execution"); only timing-dependent fields (per-pattern milliseconds,
   /// deadline truncation points) can differ.
   size_t num_threads = 0;
+  /// Answer event patterns from the columnar segment store (zone-map
+  /// pruning, bloom filters, operation bitmaps) instead of row-store
+  /// scans. The columnar path emits matches in exactly the row-store
+  /// order, so results stay byte-identical either way; `false` is the
+  /// row-store baseline arm of bench_execution.
+  bool use_columnar = true;
+  /// Reuse cached plans (schedule order, estimates, pruned segment lists)
+  /// keyed by query fingerprint; entries invalidate when SyncWith() lands
+  /// new data. Plans are thread-count independent, so a cached plan never
+  /// changes results.
+  bool use_plan_cache = true;
 };
 
 /// \brief One match of one pattern: the event chain (length 1 for basic
@@ -113,6 +125,12 @@ struct ExecutionStats {
   /// q-error of each estimate against the observed match count:
   /// max(est, actual) / min(est, actual), both floored at 1.
   std::vector<double> pattern_q_error;
+  /// Columnar segments whose row data each pattern read, and segments its
+  /// probes skipped via zone maps or bloom filters (same order as
+  /// `schedule`; zero for graph patterns and row-store executions). Like
+  /// the other per-pattern vectors, deterministic at any thread count.
+  std::vector<uint64_t> pattern_segments_scanned;
+  std::vector<uint64_t> pattern_segments_pruned;
   /// Total bytes touched (sum of pattern_bytes_touched).
   uint64_t bytes_touched = 0;
   /// Bytes of intermediate result sets (pattern matches + projected rows)
@@ -127,6 +145,13 @@ struct ExecutionStats {
   size_t num_threads = 1;
   /// Scheduling waves that ran more than one pattern concurrently.
   size_t parallel_waves = 0;
+  /// Whether this execution reused a cached plan.
+  bool plan_cache_hit = false;
+  /// Patterns whose matches came out of a shared segment pass (a multi-
+  /// pattern wave or an ExecuteBatch scan) rather than a private scan.
+  /// Diagnostic: like parallel_waves, this depends on the thread count and
+  /// batching, though the matches themselves do not.
+  size_t shared_scan_patterns = 0;
 };
 
 /// \brief A fully joined query result.
@@ -165,13 +190,22 @@ struct QueryResult {
 class QueryEngine {
  public:
   QueryEngine(const audit::AuditLog* log, rel::RelationalDatabase* rel_db,
-              graph::GraphStore* graph_db)
-      : log_(log), rel_(rel_db), graph_(graph_db) {}
+              graph::GraphStore* graph_db);
+  ~QueryEngine();
 
   /// Executes an analyzed TBQL query. The query must have passed
   /// tbql::Analyze (the facade and synthesizer guarantee this).
   Result<QueryResult> Execute(const tbql::Query& query,
                               const ExecutionOptions& options = {}) const;
+
+  /// Executes N analyzed queries as one batch: their unconstrained event
+  /// patterns (no entity filters, no shared-entity propagation into them)
+  /// are served by a single shared pass over the columnar segments, then
+  /// each query completes normally in order. Every returned result is
+  /// byte-identical to the corresponding Execute() call.
+  std::vector<Result<QueryResult>> ExecuteBatch(
+      const std::vector<const tbql::Query*>& queries,
+      const ExecutionOptions& options = {}) const;
 
   /// Pruning score of one pattern (exposed for tests and benches):
   /// one point per declared constraint (attribute filters on both entities,
@@ -179,12 +213,30 @@ class QueryEngine {
   /// path length.
   static double PruningScore(const tbql::Pattern& pattern);
 
+  /// The plan cache (exposed for tests and /api/stats).
+  const PlanCache& plan_cache() const { return *plan_cache_; }
+
  private:
-  struct PatternExecution;  // defined in engine.cc
+  struct PatternExecution;   // defined in engine.cc
+  struct PlanPrelude;        // defined in engine.cc
+  struct SharedScanResult;   // defined in engine.cc
+
+  /// Everything Execute() decides before running patterns: scores,
+  /// estimates, schedule order, case-C classification — from the plan
+  /// cache when possible.
+  PlanPrelude MakePrelude(const tbql::Query& query,
+                          const ExecutionOptions& options) const;
+
+  Result<QueryResult> ExecuteInternal(
+      const tbql::Query& query, const ExecutionOptions& options,
+      const std::unordered_map<size_t, SharedScanResult>* shared) const;
 
   const audit::AuditLog* log_;
   rel::RelationalDatabase* rel_;
   graph::GraphStore* graph_;
+  /// Mutable: Execute() is logically const; the cache is a memo. Its own
+  /// mutex makes concurrent executions safe.
+  std::unique_ptr<PlanCache> plan_cache_;
 };
 
 }  // namespace raptor::engine

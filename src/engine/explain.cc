@@ -11,6 +11,16 @@ std::string_view AccessPathLabel(const ExecutionStats& stats, size_t i) {
   if (i < stats.pattern_used_graph.size() && stats.pattern_used_graph[i]) {
     return "graph";
   }
+  // Any consulted segment metadata means the step ran against the columnar
+  // event store (probe or shared scan), whatever it then pruned.
+  uint64_t segments =
+      (i < stats.pattern_segments_scanned.size()
+           ? stats.pattern_segments_scanned[i]
+           : 0) +
+      (i < stats.pattern_segments_pruned.size()
+           ? stats.pattern_segments_pruned[i]
+           : 0);
+  if (segments > 0) return "columnar";
   uint64_t probes =
       i < stats.pattern_index_probes.size() ? stats.pattern_index_probes[i]
                                             : 0;
@@ -86,6 +96,18 @@ std::string ExplainAnalyze(const tbql::Query& query,
         static_cast<unsigned long long>(bytes),
         static_cast<unsigned long long>(probes),
         static_cast<unsigned long long>(scans));
+    uint64_t segs_scanned = i < stats.pattern_segments_scanned.size()
+                                ? stats.pattern_segments_scanned[i]
+                                : 0;
+    uint64_t segs_pruned = i < stats.pattern_segments_pruned.size()
+                               ? stats.pattern_segments_pruned[i]
+                               : 0;
+    if (segs_scanned + segs_pruned > 0) {
+      out += StrFormat(
+          "          segments_scanned=%llu segments_pruned=%llu\n",
+          static_cast<unsigned long long>(segs_scanned),
+          static_cast<unsigned long long>(segs_pruned));
+    }
     // Timing-free by design: like every other per-pattern line except the
     // time= field, it is byte-identical at any thread count.
     if (i < stats.pattern_est_rows.size() && i < stats.pattern_q_error.size()) {
@@ -98,6 +120,9 @@ std::string ExplainAnalyze(const tbql::Query& query,
       "  join: %zu result rows; %zu temporal + %zu attribute constraints\n",
       result.rows.size(), query.temporal.size(),
       query.attr_relationships.size());
+  out += StrFormat("  plan: cache=%s shared_scan_patterns=%zu\n",
+                   stats.plan_cache_hit ? "hit" : "miss",
+                   stats.shared_scan_patterns);
   out += StrFormat(
       "  totals: %.3f ms, %llu relational rows touched, %llu graph edges "
       "traversed, %llu bytes touched, %llu intermediate bytes\n",

@@ -1,0 +1,100 @@
+#include "engine/plan_cache.h"
+
+#include "obs/metrics.h"
+
+namespace raptor::engine {
+
+namespace {
+
+obs::Counter* HitCounter() {
+  static obs::Counter* c = obs::Registry::Default().GetCounter(
+      "raptor_plan_cache_hits_total",
+      "Query executions that reused a cached plan");
+  return c;
+}
+
+obs::Counter* MissCounter() {
+  static obs::Counter* c = obs::Registry::Default().GetCounter(
+      "raptor_plan_cache_misses_total",
+      "Query executions that built a fresh plan");
+  return c;
+}
+
+obs::Counter* EvictionCounter() {
+  static obs::Counter* c = obs::Registry::Default().GetCounter(
+      "raptor_plan_cache_evictions_total",
+      "Cached plans dropped (LRU capacity or stale data generation)");
+  return c;
+}
+
+}  // namespace
+
+PlanCache::PlanCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::shared_ptr<const CachedPlan> PlanCache::Lookup(const std::string& key,
+                                                    uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    MissCounter()->Increment();
+    return nullptr;
+  }
+  if (it->second->plan->generation != generation) {
+    // SyncWith() has landed new data since this plan was built.
+    EvictLocked(it->second);
+    ++misses_;
+    MissCounter()->Increment();
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  HitCounter()->Increment();
+  return it->second->plan;
+}
+
+void PlanCache::Insert(const std::string& key,
+                       std::shared_ptr<const CachedPlan> plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(plan)});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    EvictLocked(std::prev(lru_.end()));
+  }
+}
+
+void PlanCache::EvictLocked(std::list<Entry>::iterator it) {
+  ++evictions_;
+  EvictionCounter()->Increment();
+  index_.erase(it->key);
+  lru_.erase(it);
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+uint64_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+uint64_t PlanCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+}  // namespace raptor::engine

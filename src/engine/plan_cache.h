@@ -1,0 +1,93 @@
+// Bounded LRU cache of analyzed-TBQL execution plans.
+//
+// A plan records every pre-execution decision Execute() makes that is a
+// pure function of (query text, plan-affecting options, data generation):
+// the schedule order, the pruning scores, the cardinality estimates, and
+// the columnar access paths (the zone-map-pruned segment list per
+// unconstrained pattern). Thread count is deliberately NOT part of the key
+// — the determinism contract says those decisions are identical at any
+// thread count, so a plan built at 1 thread serves an 8-thread execution.
+//
+// Entries are tagged with the RelationalDatabase generation they were built
+// against; SyncWith() bumps the generation, so the first lookup after new
+// data lands evicts the stale entry and misses (counted as both an eviction
+// and a miss in the raptor_plan_cache_* metrics).
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace raptor::engine {
+
+/// \brief One cached plan. Immutable after insertion (shared_ptr lets
+/// executions keep reading an entry the cache has since evicted).
+struct CachedPlan {
+  uint64_t generation = 0;  ///< Data version the plan was built against.
+  /// Pattern execution order (indexes into Query::patterns).
+  std::vector<size_t> order;
+  /// Static pruning score per pattern (indexed by pattern, not schedule).
+  std::vector<double> scores;
+  /// Unconstrained cardinality estimate per pattern; empty when estimates
+  /// were disabled.
+  std::vector<double> est_unconstrained;
+  /// Binding-aware estimate per pattern (the EstimateSchedule mirror);
+  /// empty when estimates were disabled.
+  std::vector<double> est_by_pattern;
+  /// Chosen columnar access path per pattern: the zone-map-pruned segment
+  /// list of each pattern that ran an unconstrained operation scan. Absent
+  /// entries mean the pattern used a different access path (entity probe,
+  /// graph search) or was never reached.
+  std::unordered_map<size_t, std::vector<uint32_t>> scan_segments;
+};
+
+/// \brief Bounded, thread-safe LRU keyed by plan fingerprint
+/// (tbql::Print(query) + plan-affecting option flags).
+class PlanCache {
+ public:
+  static constexpr size_t kDefaultCapacity = 128;
+
+  explicit PlanCache(size_t capacity = kDefaultCapacity);
+
+  /// Returns the entry for `key` if present and built at `generation`;
+  /// counts a hit. A stale-generation entry is evicted and counts a miss
+  /// plus an eviction; a absent key counts a miss.
+  std::shared_ptr<const CachedPlan> Lookup(const std::string& key,
+                                           uint64_t generation);
+
+  /// Inserts (or replaces) the entry for `key`, evicting the least recently
+  /// used entry beyond capacity.
+  void Insert(const std::string& key, std::shared_ptr<const CachedPlan> plan);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  /// Lifetime counters (mirrored into the metrics registry as
+  /// raptor_plan_cache_{hits,misses,evictions}_total).
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const CachedPlan> plan;
+  };
+
+  void EvictLocked(std::list<Entry>::iterator it);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< Front = most recently used.
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace raptor::engine

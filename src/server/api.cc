@@ -356,6 +356,30 @@ Json StatsJson(const ThreatRaptor* system,
       static_cast<double>(registry.CounterValue("raptor_pool_tasks_total"));
   stats["pool_parallel_regions"] = static_cast<double>(
       registry.CounterValue("raptor_pool_parallel_regions_total"));
+  // Columnar access paths and the TBQL plan cache (ROADMAP item 2):
+  // segment pruning by reason, plan-cache effectiveness, and how many
+  // patterns rode shared segment scans.
+  Json::Object plan_cache;
+  plan_cache["hits"] = static_cast<double>(
+      registry.CounterValue("raptor_plan_cache_hits_total"));
+  plan_cache["misses"] = static_cast<double>(
+      registry.CounterValue("raptor_plan_cache_misses_total"));
+  plan_cache["evictions"] = static_cast<double>(
+      registry.CounterValue("raptor_plan_cache_evictions_total"));
+  stats["plan_cache"] = Json(std::move(plan_cache));
+  Json::Object pruned;
+  pruned["zone_map"] = static_cast<double>(registry.CounterValue(
+      "raptor_segments_pruned_total", {{"reason", "zone_map"}}));
+  pruned["bloom"] = static_cast<double>(registry.CounterValue(
+      "raptor_segments_pruned_total", {{"reason", "bloom"}}));
+  stats["segments_pruned"] = Json(std::move(pruned));
+  if (const obs::Histogram* h =
+          registry.FindHistogram("raptor_shared_scan_patterns")) {
+    Json::Object shared;
+    shared["scans"] = static_cast<double>(h->Count());
+    shared["patterns"] = h->Sum();
+    stats["shared_scans"] = Json(std::move(shared));
+  }
   // Per-component memory accounting (the raptor_mem_* gauge family).
   Json::Object mem;
   obs::ResourceTracker& tracker = obs::ResourceTracker::Default();
@@ -784,6 +808,16 @@ Json ExplainToJson(const tbql::Query& query,
     step["full_scans"] = static_cast<double>(
         i < stats.pattern_full_scans.size() ? stats.pattern_full_scans[i]
                                             : 0);
+    // Columnar access-path observability: how many event segments the step
+    // actually read vs skipped via zone maps / bloom filters.
+    step["segments_scanned"] = static_cast<double>(
+        i < stats.pattern_segments_scanned.size()
+            ? stats.pattern_segments_scanned[i]
+            : 0);
+    step["segments_pruned"] = static_cast<double>(
+        i < stats.pattern_segments_pruned.size()
+            ? stats.pattern_segments_pruned[i]
+            : 0);
     // Estimate-vs-actual observability: present whenever cardinality
     // estimation ran (ExecutionOptions::use_cardinality_estimates).
     if (i < stats.pattern_est_rows.size() &&
@@ -812,6 +846,13 @@ Json ExplainToJson(const tbql::Query& query,
   totals["intermediate_result_bytes"] =
       static_cast<double>(stats.intermediate_result_bytes);
   out["totals"] = Json(std::move(totals));
+
+  // Plan-cache and shared-scan observability for this execution.
+  Json::Object plan;
+  plan["cache_hit"] = stats.plan_cache_hit;
+  plan["shared_scan_patterns"] =
+      static_cast<double>(stats.shared_scan_patterns);
+  out["plan"] = Json(std::move(plan));
 
   out["truncated"] = result.truncated;
   if (result.truncated) {
@@ -843,6 +884,21 @@ void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
                       "Graph nodes expanded by path searches");
   registry.GetCounter("raptor_relational_rows_touched_total",
                       "Rows touched by relational scans and index probes");
+  for (const char* reason : {"zone_map", "bloom"}) {
+    registry.GetCounter(
+        "raptor_segments_pruned_total",
+        "Columnar event segments skipped before reading row data",
+        {{"reason", reason}});
+  }
+  registry.GetCounter("raptor_plan_cache_hits_total",
+                      "TBQL plan-cache lookups served from the cache");
+  registry.GetCounter("raptor_plan_cache_misses_total",
+                      "TBQL plan-cache lookups that had to re-plan");
+  registry.GetCounter("raptor_plan_cache_evictions_total",
+                      "TBQL plan-cache entries evicted (LRU or stale)");
+  registry.GetHistogram("raptor_shared_scan_patterns",
+                        "Patterns served per shared segment scan",
+                        obs::ExponentialBuckets(1.0, 2.0, 8));
   for (const char* reason : kTruncationReasons) {
     registry.GetCounter("raptor_query_truncations_total",
                         "Query executions cut short by a resource bound",

@@ -1,0 +1,54 @@
+#include "storage/relational/column.h"
+
+#include "storage/stats/sketches.h"
+
+namespace raptor::rel {
+
+size_t Bitmap::Count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+  return n;
+}
+
+uint32_t Dictionary::Intern(int64_t value) {
+  auto [it, inserted] =
+      code_of_.emplace(value, static_cast<uint32_t>(values_.size()));
+  if (inserted) values_.push_back(value);
+  return it->second;
+}
+
+std::optional<uint32_t> Dictionary::Find(int64_t value) const {
+  auto it = code_of_.find(value);
+  if (it == code_of_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t Dictionary::ApproxBytes() const {
+  return sizeof(*this) + values_.capacity() * sizeof(int64_t) +
+         code_of_.size() * (sizeof(int64_t) + sizeof(uint32_t) +
+                            2 * sizeof(void*));
+}
+
+BloomFilter::BloomFilter(size_t expected_keys) {
+  size_t bits = 64;
+  while (bits < expected_keys * 10) bits <<= 1;
+  mask_ = bits - 1;
+  words_.assign(bits / 64, 0);
+}
+
+void BloomFilter::Add(uint64_t key) {
+  uint64_t h1 = stats::MixHash(key);
+  uint64_t h2 = stats::MixHash(key ^ 0x9e3779b97f4a7c15ULL);
+  words_[(h1 & mask_) >> 6] |= uint64_t{1} << (h1 & 63);
+  words_[(h2 & mask_) >> 6] |= uint64_t{1} << (h2 & 63);
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  if (words_.empty()) return false;
+  uint64_t h1 = stats::MixHash(key);
+  uint64_t h2 = stats::MixHash(key ^ 0x9e3779b97f4a7c15ULL);
+  if (!((words_[(h1 & mask_) >> 6] >> (h1 & 63)) & 1)) return false;
+  return (words_[(h2 & mask_) >> 6] >> (h2 & 63)) & 1;
+}
+
+}  // namespace raptor::rel

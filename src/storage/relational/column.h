@@ -1,0 +1,103 @@
+// Building blocks for the columnar event layout: a dense bitmap, a
+// dictionary coder for int64 columns, and a blocked bloom filter for
+// per-segment entity membership tests. All three are deterministic —
+// identical input sequences produce identical structures — which the
+// engine's byte-identical-results contract relies on.
+
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace raptor::rel {
+
+/// \brief A fixed-capacity bitmap over row offsets within one segment.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(size_t bits) { Resize(bits); }
+
+  void Resize(size_t bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+  }
+
+  void Set(size_t i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
+
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  size_t bits() const { return bits_; }
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  /// Calls `fn(offset)` for every set bit in ascending offset order.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        unsigned bit = static_cast<unsigned>(__builtin_ctzll(word));
+        fn(w * 64 + bit);
+        word &= word - 1;
+      }
+    }
+  }
+
+  size_t ApproxBytes() const {
+    return sizeof(*this) + words_.capacity() * sizeof(uint64_t);
+  }
+
+ private:
+  size_t bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// \brief Dictionary coder: maps int64 column values to dense uint32 codes
+/// in first-appearance order. Codes are stable once assigned.
+class Dictionary {
+ public:
+  /// Returns the code for `value`, assigning the next free code when the
+  /// value is new.
+  uint32_t Intern(int64_t value);
+
+  /// Returns the code for `value` if it has been interned.
+  std::optional<uint32_t> Find(int64_t value) const;
+
+  int64_t value(uint32_t code) const { return values_[code]; }
+  size_t size() const { return values_.size(); }
+
+  size_t ApproxBytes() const;
+
+ private:
+  std::unordered_map<int64_t, uint32_t> code_of_;
+  std::vector<int64_t> values_;
+};
+
+/// \brief A small bloom filter over uint64 keys (two hash probes derived
+/// from one 64-bit mix). Sized at construction; power-of-two bit count.
+class BloomFilter {
+ public:
+  BloomFilter() = default;
+  /// `expected_keys` drives sizing at ~10 bits per key, rounded up to a
+  /// power of two (minimum 64 bits).
+  explicit BloomFilter(size_t expected_keys);
+
+  void Add(uint64_t key);
+  bool MayContain(uint64_t key) const;
+
+  size_t ApproxBytes() const {
+    return sizeof(*this) + words_.capacity() * sizeof(uint64_t);
+  }
+
+ private:
+  uint64_t mask_ = 0;  ///< bit-index mask (bit count - 1).
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace raptor::rel

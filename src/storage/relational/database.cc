@@ -37,6 +37,7 @@ RelationalDatabase::RelationalDatabase() {
       std::make_unique<stats::TableStatistics>("nets", nets_->schema());
   events_stats_ =
       std::make_unique<stats::TableStatistics>("events", events_->schema());
+  event_segments_ = std::make_unique<EventSegmentStore>();
 
   // Indexes on key attributes (paper §II-B).
   (void)files_->CreateIndex("id");
@@ -58,6 +59,8 @@ void RelationalDatabase::Load(const audit::AuditLog& log) {
 }
 
 void RelationalDatabase::SyncWith(const audit::AuditLog& log) {
+  const size_t prev_entities = loaded_entities_;
+  const size_t prev_events = loaded_events_;
   // Statistics ride the same serial insert path: each row is folded into
   // the table's sketches before the table takes ownership of it, so the
   // collected statistics are a deterministic function of the log sequence.
@@ -92,8 +95,18 @@ void RelationalDatabase::SyncWith(const audit::AuditLog& log) {
            {static_cast<int64_t>(ev.id), static_cast<int64_t>(ev.subject),
             static_cast<int64_t>(ev.object), static_cast<int64_t>(ev.op),
             ev.start_time, ev.end_time, static_cast<int64_t>(ev.bytes)});
+    // The columnar layout rides the same serial path, so its RowIds match
+    // the row store's and its contents are a deterministic function of the
+    // log sequence.
+    event_segments_->Append(
+        static_cast<int64_t>(ev.id), static_cast<int64_t>(ev.subject),
+        static_cast<int64_t>(ev.object), static_cast<int64_t>(ev.op),
+        ev.start_time, ev.end_time);
   }
   loaded_events_ = log.event_count();
+  if (loaded_entities_ > prev_entities || loaded_events_ > prev_events) {
+    ++generation_;  // Invalidates cached query plans.
+  }
   if (stats_enabled_) {
     // Reconcile exact per-column value counts once per batch instead of
     // per cell on the insert path.
@@ -186,6 +199,7 @@ size_t RelationalDatabase::ApproxBytes() const {
        {files_.get(), procs_.get(), nets_.get(), events_.get()}) {
     total += t->ApproxBytes();
   }
+  total += event_segments_->ApproxBytes();
   return total;
 }
 

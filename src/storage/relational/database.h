@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "audit/log.h"
+#include "storage/relational/segment.h"
 #include "storage/relational/table.h"
 #include "storage/stats/table_statistics.h"
 
@@ -51,6 +52,17 @@ class RelationalDatabase {
   /// The entity table for `type`.
   Table& EntityTable(audit::EntityType type);
   const Table& EntityTable(audit::EntityType type) const;
+
+  /// The columnar event layout, maintained in lockstep with events() on the
+  /// serial load/sync path (same rows, same RowId order). The engine's
+  /// columnar access paths read this; the row store remains the reference
+  /// layout (and still backs generic Select calls).
+  const EventSegmentStore& event_segments() const { return *event_segments_; }
+
+  /// Monotonic data version: bumped by every SyncWith() that appended
+  /// anything. Cached query plans are tagged with the generation they were
+  /// built against and discarded on mismatch.
+  uint64_t generation() const { return generation_; }
 
   /// Total rows touched across all tables since the last ResetStats().
   uint64_t TotalRowsTouched() const;
@@ -95,6 +107,8 @@ class RelationalDatabase {
   std::unique_ptr<Table> procs_;
   std::unique_ptr<Table> nets_;
   std::unique_ptr<Table> events_;
+  std::unique_ptr<EventSegmentStore> event_segments_;
+  uint64_t generation_ = 0;
   std::unique_ptr<stats::TableStatistics> files_stats_;
   std::unique_ptr<stats::TableStatistics> procs_stats_;
   std::unique_ptr<stats::TableStatistics> nets_stats_;

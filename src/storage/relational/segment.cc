@@ -1,0 +1,274 @@
+#include "storage/relational/segment.h"
+
+#include <algorithm>
+
+namespace raptor::rel {
+
+EventSegmentStore::EventSegmentStore(size_t segment_rows)
+    : segment_rows_(segment_rows) {
+  if (segment_rows_ == 0) segment_rows_ = kDefaultSegmentRows;
+  // Posting lists hold uint16 in-segment offsets.
+  if (segment_rows_ > 65536) segment_rows_ = 65536;
+}
+
+void EventSegmentStore::Append(int64_t id, int64_t subject, int64_t object,
+                               int64_t op, int64_t start_time,
+                               int64_t end_time) {
+  const size_t row = start_.size();
+  const size_t offset = row % segment_rows_;
+  if (offset == 0) {
+    Segment seg;
+    seg.begin = row;
+    // Blooms sized for the typical distinct-entity count of one segment
+    // (well under one entity per row); ~2 KiB each at the default size.
+    seg.subject_bloom = BloomFilter(segment_rows_ / 4);
+    seg.object_bloom = BloomFilter(segment_rows_ / 4);
+    segments_.push_back(std::move(seg));
+  }
+  Segment& seg = segments_.back();
+
+  const uint32_t subj_code = subject_dict_.Intern(subject);
+  const uint32_t obj_code = object_dict_.Intern(object);
+  const uint32_t op_code = op_dict_.Intern(op);
+
+  id_.push_back(id);
+  subject_code_.push_back(subj_code);
+  object_code_.push_back(obj_code);
+  op_code_.push_back(static_cast<uint8_t>(op_code));
+  start_.push_back(start_time);
+  end_.push_back(end_time);
+
+  if (seg.count == 0) {
+    seg.min_start = seg.max_start = start_time;
+    seg.min_subject = seg.max_subject = subject;
+    seg.min_object = seg.max_object = object;
+  } else {
+    seg.min_start = std::min(seg.min_start, start_time);
+    seg.max_start = std::max(seg.max_start, start_time);
+    seg.min_subject = std::min(seg.min_subject, subject);
+    seg.max_subject = std::max(seg.max_subject, subject);
+    seg.min_object = std::min(seg.min_object, object);
+    seg.max_object = std::max(seg.max_object, object);
+  }
+  seg.subject_bloom.Add(static_cast<uint64_t>(subject));
+  seg.object_bloom.Add(static_cast<uint64_t>(object));
+
+  auto [op_it, op_new] = seg.op_rows.try_emplace(op_code);
+  if (op_new) op_it->second.Resize(segment_rows_);
+  op_it->second.Set(offset);
+  seg.subject_rows[subj_code].push_back(static_cast<uint16_t>(offset));
+  seg.object_rows[obj_code].push_back(static_cast<uint16_t>(offset));
+  ++seg.count;
+}
+
+EventRecord EventSegmentStore::Record(size_t row) const {
+  EventRecord r;
+  r.id = id_[row];
+  r.subject = subject_dict_.value(subject_code_[row]);
+  r.object = object_dict_.value(object_code_[row]);
+  r.op = op_dict_.value(op_code_[row]);
+  r.start_time = start_[row];
+  r.end_time = end_[row];
+  return r;
+}
+
+std::vector<uint32_t> EventSegmentStore::PruneByWindow(
+    std::optional<int64_t> lo, std::optional<int64_t> hi) const {
+  std::vector<uint32_t> keep;
+  keep.reserve(segments_.size());
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    if (WindowOverlaps(segments_[s], lo, hi)) {
+      keep.push_back(static_cast<uint32_t>(s));
+    }
+  }
+  return keep;
+}
+
+void EventSegmentStore::ProbeEntity(
+    Side side, int64_t entity_id, const std::unordered_set<int64_t>& op_set,
+    std::optional<int64_t> window_start, std::optional<int64_t> window_end,
+    const std::unordered_set<uint64_t>* other_filter,
+    std::vector<EventRecord>* out, SegmentProbeStats* stats) const {
+  ++stats->probes;
+  const Dictionary& dict =
+      side == Side::kSubject ? subject_dict_ : object_dict_;
+  std::optional<uint32_t> code = dict.Find(entity_id);
+  if (!code) return;  // Entity appears in no event at all.
+
+  // Operation filter as a flag per dictionary code (the dictionary is tiny:
+  // one entry per distinct operation).
+  std::vector<char> op_ok(op_dict_.size(), op_set.empty() ? 1 : 0);
+  if (!op_set.empty()) {
+    for (int64_t op : op_set) {
+      if (std::optional<uint32_t> oc = op_dict_.Find(op)) op_ok[*oc] = 1;
+    }
+  }
+
+  const uint64_t key = static_cast<uint64_t>(entity_id);
+  for (const Segment& seg : segments_) {
+    ++stats->segments_considered;
+    // Zone maps: time window, then the entity-id min/max of this side.
+    if (!WindowOverlaps(seg, window_start, window_end)) {
+      ++stats->segments_pruned_zone;
+      continue;
+    }
+    const int64_t zmin =
+        side == Side::kSubject ? seg.min_subject : seg.min_object;
+    const int64_t zmax =
+        side == Side::kSubject ? seg.max_subject : seg.max_object;
+    if (entity_id < zmin || entity_id > zmax) {
+      ++stats->segments_pruned_zone;
+      continue;
+    }
+    const BloomFilter& bloom =
+        side == Side::kSubject ? seg.subject_bloom : seg.object_bloom;
+    if (!bloom.MayContain(key)) {
+      ++stats->segments_pruned_bloom;
+      continue;
+    }
+    // The bloom says "maybe": fall back to the segment's posting lists.
+    ++stats->segments_scanned;
+    const auto& postings =
+        side == Side::kSubject ? seg.subject_rows : seg.object_rows;
+    auto it = postings.find(*code);
+    if (it == postings.end()) {
+      ++stats->bloom_false_positives;
+      continue;
+    }
+    for (uint16_t offset : it->second) {
+      const size_t row = seg.begin + offset;
+      ++stats->rows_scanned;
+      if (window_start && start_[row] < *window_start) continue;
+      if (window_end && start_[row] > *window_end) continue;
+      if (!op_ok[op_code_[row]]) continue;
+      if (other_filter != nullptr) {
+        const int64_t other =
+            side == Side::kSubject ? object_dict_.value(object_code_[row])
+                                   : subject_dict_.value(subject_code_[row]);
+        if (other_filter->count(static_cast<uint64_t>(other)) == 0) continue;
+      }
+      out->push_back(Record(row));
+    }
+  }
+}
+
+bool EventSegmentStore::SharedOpScan(
+    const std::vector<OpScanProbe>& probes,
+    const std::function<bool()>* should_stop,
+    std::vector<std::vector<EventRecord>>* out,
+    std::vector<SegmentProbeStats>* stats) const {
+  out->assign(probes.size(), {});
+  stats->assign(probes.size(), {});
+
+  // Resolve each probe's surviving segments (cached plan or fresh prune)
+  // and its declared operations as dictionary codes.
+  struct ProbeState {
+    std::vector<uint32_t> owned_segments;       // when not cached
+    const std::vector<uint32_t>* segments = nullptr;
+    size_t next = 0;                            // cursor into *segments
+    std::vector<std::optional<uint32_t>> op_codes;  // declared order
+    // Per-operation output buckets; concatenated at the end so the shared
+    // segment-major pass still emits (operation, row) order per probe.
+    std::vector<std::vector<EventRecord>> buckets;
+  };
+  std::vector<ProbeState> states(probes.size());
+  for (size_t i = 0; i < probes.size(); ++i) {
+    ProbeState& st = states[i];
+    const OpScanProbe& probe = probes[i];
+    if (probe.segments != nullptr) {
+      st.segments = probe.segments;
+    } else {
+      st.owned_segments = PruneByWindow(probe.window_start, probe.window_end);
+      st.segments = &st.owned_segments;
+    }
+    st.op_codes.reserve(probe.ops.size());
+    for (int64_t op : probe.ops) st.op_codes.push_back(op_dict_.Find(op));
+    st.buckets.resize(probe.ops.size());
+    SegmentProbeStats& s = (*stats)[i];
+    s.probes = probe.ops.size();
+    s.segments_considered = segments_.size();
+    s.segments_pruned_zone = segments_.size() - st.segments->size();
+  }
+
+  bool complete = true;
+  for (uint32_t seg_id = 0; seg_id < segments_.size(); ++seg_id) {
+    // Which probes want this segment? (Each cursor advances monotonically;
+    // segment lists are ascending.)
+    bool any = false;
+    for (const ProbeState& st : states) {
+      if (st.next < st.segments->size() && (*st.segments)[st.next] == seg_id) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) continue;
+    if (should_stop != nullptr && (*should_stop)()) {
+      complete = false;
+      break;
+    }
+    const Segment& seg = segments_[seg_id];
+    for (size_t i = 0; i < probes.size(); ++i) {
+      ProbeState& st = states[i];
+      if (st.next >= st.segments->size() ||
+          (*st.segments)[st.next] != seg_id) {
+        continue;
+      }
+      ++st.next;
+      SegmentProbeStats& s = (*stats)[i];
+      ++s.segments_scanned;
+      const OpScanProbe& probe = probes[i];
+      for (size_t k = 0; k < st.op_codes.size(); ++k) {
+        if (!st.op_codes[k]) continue;  // op never ingested: zero rows
+        auto it = seg.op_rows.find(*st.op_codes[k]);
+        if (it == seg.op_rows.end()) continue;
+        it->second.ForEachSet([&](size_t offset) {
+          const size_t row = seg.begin + offset;
+          ++s.rows_scanned;
+          if (probe.window_start && start_[row] < *probe.window_start) return;
+          if (probe.window_end && start_[row] > *probe.window_end) return;
+          st.buckets[k].push_back(Record(row));
+        });
+      }
+    }
+  }
+
+  for (size_t i = 0; i < probes.size(); ++i) {
+    ProbeState& st = states[i];
+    size_t total = 0;
+    for (const auto& b : st.buckets) total += b.size();
+    std::vector<EventRecord>& dst = (*out)[i];
+    dst.reserve(total);
+    for (auto& b : st.buckets) {
+      dst.insert(dst.end(), b.begin(), b.end());
+    }
+  }
+  return complete;
+}
+
+size_t EventSegmentStore::ApproxBytes() const {
+  size_t total = sizeof(*this);
+  total += id_.capacity() * sizeof(int64_t);
+  total += subject_code_.capacity() * sizeof(uint32_t);
+  total += object_code_.capacity() * sizeof(uint32_t);
+  total += op_code_.capacity() * sizeof(uint8_t);
+  total += start_.capacity() * sizeof(int64_t);
+  total += end_.capacity() * sizeof(int64_t);
+  total += subject_dict_.ApproxBytes() + object_dict_.ApproxBytes() +
+           op_dict_.ApproxBytes();
+  for (const Segment& seg : segments_) {
+    total += sizeof(Segment);
+    total += seg.subject_bloom.ApproxBytes() + seg.object_bloom.ApproxBytes();
+    for (const auto& [code, bitmap] : seg.op_rows) {
+      total += sizeof(code) + bitmap.ApproxBytes();
+    }
+    for (const auto* postings : {&seg.subject_rows, &seg.object_rows}) {
+      for (const auto& [code, rows] : *postings) {
+        total += sizeof(code) + 2 * sizeof(void*) +
+                 rows.capacity() * sizeof(uint16_t);
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace raptor::rel

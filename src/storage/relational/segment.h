@@ -1,0 +1,185 @@
+// Columnar event storage (ROADMAP item 2): dictionary-encoded, fixed-size,
+// time-ordered segments with per-segment zone maps (min/max start time,
+// min/max entity id per side), entity-id bloom filters, per-operation row
+// bitmaps, and per-segment entity posting lists — the orrp
+// `inverted_event_index_db` / `count_index_db` pattern adapted to an
+// in-memory layout.
+//
+// The store answers the two probe shapes the TBQL engine issues against the
+// event table:
+//
+//   ProbeEntity   "events whose subject (or object) is entity X" — cases A/B
+//                 of the engine's event-member execution. Zone maps and
+//                 bloom filters skip segments before any row data is read.
+//   SharedOpScan  "events with operation in {...} inside a time window" —
+//                 the unconstrained case C. N probes (from one wave or from
+//                 N concurrent hunts) share a single pass over the union of
+//                 their zone-map-surviving segments; each probe's output is
+//                 emitted in (declared-operation order, ascending row)
+//                 order, byte-identical to N independent scans.
+//
+// Both probes emit rows in exactly the order the row-store path would
+// (ascending RowId per probe / per operation), which is what lets the
+// engine switch storage layouts without perturbing its byte-identical
+// determinism contract.
+//
+// Everything here is a deterministic function of the append sequence, and
+// the store is immutable during queries (appends happen only on the serial
+// load/sync path), so probe results and probe *statistics* are identical at
+// any query thread count.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/relational/column.h"
+
+namespace raptor::rel {
+
+/// \brief One decoded event row, mirroring the event-table columns the
+/// engine reads (`bytes` is never probed and is not stored columnar).
+struct EventRecord {
+  int64_t id = 0;
+  int64_t subject = 0;
+  int64_t object = 0;
+  int64_t op = 0;
+  int64_t start_time = 0;
+  int64_t end_time = 0;
+};
+
+/// \brief Per-probe accounting, the columnar analogue of TableStats.
+struct SegmentProbeStats {
+  uint64_t segments_considered = 0;  ///< Segments examined by metadata.
+  uint64_t segments_pruned_zone = 0;    ///< Skipped via zone maps.
+  uint64_t segments_pruned_bloom = 0;   ///< Skipped via bloom filters.
+  uint64_t segments_scanned = 0;     ///< Segments whose row data was read.
+  uint64_t bloom_false_positives = 0;  ///< Bloom said maybe; segment had 0 rows.
+  uint64_t rows_scanned = 0;         ///< Rows decoded and filtered.
+  uint64_t probes = 0;               ///< Entity/operation lookups issued.
+
+  uint64_t segments_pruned() const {
+    return segments_pruned_zone + segments_pruned_bloom;
+  }
+  void Add(const SegmentProbeStats& o) {
+    segments_considered += o.segments_considered;
+    segments_pruned_zone += o.segments_pruned_zone;
+    segments_pruned_bloom += o.segments_pruned_bloom;
+    segments_scanned += o.segments_scanned;
+    bloom_false_positives += o.bloom_false_positives;
+    rows_scanned += o.rows_scanned;
+    probes += o.probes;
+  }
+};
+
+/// \brief Dictionary-encoded columnar event store in fixed-size segments.
+class EventSegmentStore {
+ public:
+  static constexpr size_t kDefaultSegmentRows = 4096;
+  /// Pricing width of one decoded row (id + coded entities/op + times) for
+  /// bytes-touched accounting, mirroring Table::AvgRowBytes()'s role.
+  static constexpr size_t kApproxRowBytes = 33;
+
+  enum class Side { kSubject, kObject };
+
+  explicit EventSegmentStore(size_t segment_rows = kDefaultSegmentRows);
+
+  /// Appends one event (serial load/sync path only; never concurrent with
+  /// probes).
+  void Append(int64_t id, int64_t subject, int64_t object, int64_t op,
+              int64_t start_time, int64_t end_time);
+
+  size_t num_rows() const { return start_.size(); }
+  size_t num_segments() const { return segments_.size(); }
+  size_t segment_rows() const { return segment_rows_; }
+
+  /// Approximate heap bytes (columns + dictionaries + per-segment indexes),
+  /// charged to obs::Component::kRelational by the owning database.
+  size_t ApproxBytes() const;
+
+  /// Decodes row `row` (0 <= row < num_rows()).
+  EventRecord Record(size_t row) const;
+
+  /// Segment ids whose start-time zone map intersects [lo, hi] (either
+  /// bound optional), ascending. This is the access-path decision a cached
+  /// plan stores.
+  std::vector<uint32_t> PruneByWindow(std::optional<int64_t> lo,
+                                      std::optional<int64_t> hi) const;
+
+  /// Events whose `side` column equals `entity_id`, filtered by the
+  /// optional window, operation set (empty = any), and an optional
+  /// filter on the opposite entity column. Appends to `out` in ascending
+  /// row order — the order the row-store index probe emits.
+  void ProbeEntity(Side side, int64_t entity_id,
+                   const std::unordered_set<int64_t>& op_set,
+                   std::optional<int64_t> window_start,
+                   std::optional<int64_t> window_end,
+                   const std::unordered_set<uint64_t>* other_filter,
+                   std::vector<EventRecord>* out,
+                   SegmentProbeStats* stats) const;
+
+  /// One operation-scan request: the unconstrained pattern shape.
+  struct OpScanProbe {
+    std::vector<int64_t> ops;  ///< Declared order; preserved in the output.
+    std::optional<int64_t> window_start;
+    std::optional<int64_t> window_end;
+    /// Optional precomputed zone-map prune result (a cached plan's segment
+    /// list). When null the store computes PruneByWindow itself.
+    const std::vector<uint32_t>* segments = nullptr;
+  };
+
+  /// Runs every probe in one pass over the union of their surviving
+  /// segments. `out` and `stats` are resized to `probes.size()`; probe i's
+  /// rows land in (*out)[i] in (operation order, ascending row) order —
+  /// byte-identical to running the probes one at a time. `should_stop` (may
+  /// be null) is polled between segments; returns false if it tripped, in
+  /// which case outputs hold the valid prefix.
+  bool SharedOpScan(const std::vector<OpScanProbe>& probes,
+                    const std::function<bool()>* should_stop,
+                    std::vector<std::vector<EventRecord>>* out,
+                    std::vector<SegmentProbeStats>* stats) const;
+
+ private:
+  struct Segment {
+    size_t begin = 0;  ///< First global row of the segment.
+    size_t count = 0;
+    int64_t min_start = 0, max_start = 0;
+    int64_t min_subject = 0, max_subject = 0;
+    int64_t min_object = 0, max_object = 0;
+    BloomFilter subject_bloom;
+    BloomFilter object_bloom;
+    /// Operation code -> bitmap of in-segment row offsets.
+    std::unordered_map<uint32_t, Bitmap> op_rows;
+    /// Entity code -> ascending in-segment row offsets (posting lists).
+    std::unordered_map<uint32_t, std::vector<uint16_t>> subject_rows;
+    std::unordered_map<uint32_t, std::vector<uint16_t>> object_rows;
+  };
+
+  /// Window-vs-zone-map overlap test for one segment.
+  bool WindowOverlaps(const Segment& seg, std::optional<int64_t> lo,
+                      std::optional<int64_t> hi) const {
+    if (lo && seg.max_start < *lo) return false;
+    if (hi && seg.min_start > *hi) return false;
+    return true;
+  }
+
+  size_t segment_rows_;
+  // Column vectors (parallel, one entry per event). Entity and operation
+  // columns are dictionary codes; times and ids are raw.
+  std::vector<int64_t> id_;
+  std::vector<uint32_t> subject_code_;
+  std::vector<uint32_t> object_code_;
+  std::vector<uint8_t> op_code_;  ///< Operation fits one byte (<=256 kinds).
+  std::vector<int64_t> start_;
+  std::vector<int64_t> end_;
+  Dictionary subject_dict_;
+  Dictionary object_dict_;
+  Dictionary op_dict_;
+  std::vector<Segment> segments_;
+};
+
+}  // namespace raptor::rel

@@ -204,6 +204,9 @@ std::vector<RowId> Table::Select(const Conjunction& predicates,
 
   AccessPath path = ChooseAccessPath(predicates);
   if (path.kind == AccessPath::Kind::kFullScan) {
+    if (options.expected_rows > 0) {
+      out.reserve(std::min(options.expected_rows, rows_.size()));
+    }
     size_t ways = options.pool == nullptr ? 1 : options.num_threads;
     if (ways == 0) ways = options.pool->size() + 1;
     size_t grain = std::max<size_t>(1, options.grain);

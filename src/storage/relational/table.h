@@ -51,6 +51,11 @@ struct ScanOptions {
   /// this to attribute rows deterministically to the pattern that ran the
   /// scan, independent of what other threads do concurrently.
   TableStats* call_stats = nullptr;
+  /// Estimator-predicted result rows for this call (0 = unknown). A full
+  /// scan reserves its hit vector to min(expected_rows, table rows) up
+  /// front instead of growing from empty; purely a performance hint — the
+  /// result is identical either way.
+  size_t expected_rows = 0;
 };
 
 /// \brief An in-memory table with optional ordered secondary indexes.

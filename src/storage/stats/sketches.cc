@@ -128,6 +128,11 @@ double EquiDepthHistogram::SelectivityBetween(std::optional<int64_t> lo,
                                               std::optional<int64_t> hi) const {
   if (count_ == 0) return 0.0;
   if (lo && hi && *lo > *hi) return 0.0;
+  // A range entirely outside the observed [min, max] clamps to exactly 0
+  // against the exact extremes — never extrapolated from the sample (whose
+  // own extremes may have been evicted) and without forcing a sample sort.
+  if (lo && *lo > max_) return 0.0;
+  if (hi && *hi < min_) return 0.0;
   const std::vector<int64_t>& s = Sorted();
   // Fraction of the sample inside [lo, hi]; the sample is an unbiased
   // estimate of the full distribution.

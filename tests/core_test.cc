@@ -7,6 +7,7 @@
 
 #include "core/investigate.h"
 #include "core/threat_raptor.h"
+#include "obs/metrics.h"
 
 namespace raptor {
 namespace {
@@ -97,6 +98,56 @@ TEST(ThreatRaptorTest, ExecuteTbqlParsesAndRuns) {
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ASSERT_EQ(result->rows.size(), 1u);
   EXPECT_EQ(result->rows[0][0], "/etc/passwd");
+}
+
+TEST(ThreatRaptorTest, ExecuteTbqlBatchMatchesIndividualRuns) {
+  ThreatRaptor system;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(2000, system.mutable_log());
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+  std::vector<std::string> sources = {
+      "proc p read file f\nreturn p, f\nlimit 100",
+      "proc p read widget w",  // parse error: isolated to its slot
+      "proc p write file f\nreturn p, f\nlimit 100",
+  };
+  auto batch = system.ExecuteTbqlBatch(sources);
+  ASSERT_EQ(batch.size(), 3u);
+  ASSERT_TRUE(batch[0].ok());
+  EXPECT_TRUE(batch[1].status().IsParseError());
+  ASSERT_TRUE(batch[2].ok());
+  for (size_t i : {size_t{0}, size_t{2}}) {
+    auto solo = system.ExecuteTbql(sources[i]);
+    ASSERT_TRUE(solo.ok());
+    EXPECT_EQ(batch[i]->rows, solo->rows) << sources[i];
+  }
+}
+
+TEST(ThreatRaptorTest, RepeatedHuntsHitThePlanCache) {
+  obs::Registry& registry = obs::Registry::Default();
+  uint64_t hits0 = registry.CounterValue("raptor_plan_cache_hits_total");
+  uint64_t misses0 = registry.CounterValue("raptor_plan_cache_misses_total");
+  ThreatRaptor system;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(2000, system.mutable_log());
+  audit::AttackTrace attack = gen.InjectDataLeakageAttack(system.mutable_log());
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+  auto first = system.Hunt(attack.report_text);
+  ASSERT_TRUE(first.ok());
+  uint64_t misses_after_first =
+      registry.CounterValue("raptor_plan_cache_misses_total");
+  uint64_t hits_after_first =
+      registry.CounterValue("raptor_plan_cache_hits_total");
+  EXPECT_GT(misses_after_first, misses0);  // cold: the hunt's plan is built
+  auto second = system.Hunt(attack.report_text);
+  ASSERT_TRUE(second.ok());
+  // Warm: the identical synthesized query reuses the cached plan, with
+  // byte-identical results.
+  EXPECT_GT(registry.CounterValue("raptor_plan_cache_hits_total"),
+            hits_after_first);
+  EXPECT_EQ(registry.CounterValue("raptor_plan_cache_misses_total"),
+            misses_after_first);
+  EXPECT_EQ(second->result.rows, first->result.rows);
+  EXPECT_TRUE(second->result.stats.plan_cache_hit);
 }
 
 TEST(ThreatRaptorTest, ExecuteTbqlReportsSyntaxErrors) {

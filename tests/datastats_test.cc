@@ -135,6 +135,39 @@ TEST(DataStatsSketchTest, EquiDepthHistogramUniformSelectivity) {
   EXPECT_NEAR(static_cast<double>(mass), 10'000.0, 1'000.0);
 }
 
+TEST(DataStatsSketchTest, EquiDepthHistogramOutsideObservedRangeIsZero) {
+  // Regression: a queried range entirely outside the observed [min, max]
+  // must clamp to exactly 0, never extrapolate from the sample.
+  stats::EquiDepthHistogram hist;
+  for (int64_t v = 100; v <= 200; ++v) hist.Add(v);
+  EXPECT_DOUBLE_EQ(hist.SelectivityBetween(201, 300), 0.0);
+  EXPECT_DOUBLE_EQ(hist.SelectivityBetween(std::nullopt, 99), 0.0);
+  EXPECT_DOUBLE_EQ(hist.SelectivityBetween(201, std::nullopt), 0.0);
+  EXPECT_DOUBLE_EQ(hist.SelectivityBetween(0, 50), 0.0);
+  // Ranges touching the exact extremes are NOT outside.
+  EXPECT_GT(hist.SelectivityBetween(200, 300), 0.0);
+  EXPECT_GT(hist.SelectivityBetween(std::nullopt, 100), 0.0);
+}
+
+TEST(DataStatsSketchTest,
+     EquiDepthHistogramClampsAgainstTrueExtremesNotSample) {
+  // The reservoir may evict the true minimum/maximum from the sample; the
+  // clamp must use the exact streaming min/max, so a range beyond the
+  // sampled values but inside the observed extremes still answers from the
+  // sample (possibly 0) while a range beyond the true extremes is 0 by
+  // the clamp even though the sample can no longer witness that.
+  stats::EquiDepthHistogram hist(/*sample_capacity=*/64, /*num_buckets=*/8);
+  for (int64_t v = 0; v < 100'000; ++v) hist.Add(v);
+  ASSERT_EQ(hist.Min(), std::optional<int64_t>{0});
+  ASSERT_EQ(hist.Max(), std::optional<int64_t>{99'999});
+  EXPECT_DOUBLE_EQ(hist.SelectivityBetween(100'000, 200'000), 0.0);
+  EXPECT_DOUBLE_EQ(hist.SelectivityBetween(std::nullopt, -1), 0.0);
+  // Inside the observed range the estimate stays sane (fraction in [0,1]).
+  double mid = hist.SelectivityBetween(25'000, 75'000);
+  EXPECT_GE(mid, 0.0);
+  EXPECT_LE(mid, 1.0);
+}
+
 TEST(DataStatsSketchTest, EquiDepthHistogramEmptyIsZero) {
   stats::EquiDepthHistogram hist;
   EXPECT_EQ(hist.Count(), 0u);

@@ -5,9 +5,12 @@
 #include <memory>
 
 #include "audit/generator.h"
+#include "common/strings.h"
 #include "engine/engine.h"
 #include "engine/explain.h"
 #include "engine/translate.h"
+#include "obs/metrics.h"
+#include "storage/relational/database.h"
 #include "tbql/analyzer.h"
 #include "tbql/parser.h"
 
@@ -478,10 +481,12 @@ TEST(OperatorStatsTest, AccessPathLabelsReflectBackendChoice) {
   Fixture fx = MakeSmallFixture();
   auto r = fx.Run(R"(proc p["%tar%"] read file f["/etc/passwd"])");
   ASSERT_EQ(r.stats.schedule.size(), 1u);
-  // An exact file-name filter goes through the name index (possibly with a
-  // residual scan for the proc filter, i.e. "mixed"); never "none".
+  // An exact file-name filter goes through the name index into columnar
+  // entity probes ("columnar" with the default options, "index"/"mixed"
+  // when columnar is disabled); never "none".
   std::string_view label = AccessPathLabel(r.stats, 0);
-  EXPECT_TRUE(label == "index" || label == "mixed" || label == "fullscan")
+  EXPECT_TRUE(label == "columnar" || label == "index" || label == "mixed" ||
+              label == "fullscan")
       << label;
   // Out-of-range steps degrade to "none" rather than crashing.
   EXPECT_EQ(AccessPathLabel(r.stats, 99), "none");
@@ -499,6 +504,187 @@ TEST(OperatorStatsTest, ExplainAnalyzeRendersOperatorLines) {
   EXPECT_NE(text.find("rows_examined="), std::string::npos) << text;
   EXPECT_NE(text.find("selectivity="), std::string::npos) << text;
   EXPECT_NE(text.find("bytes touched"), std::string::npos) << text;
+}
+
+// --- Columnar segments, shared scans, and the plan cache (ROADMAP 2). ---
+
+/// A generator-built trace big enough for several segments, with both
+/// attack chains injected so selective queries have real matches.
+Fixture MakeTraceFixture(size_t benign = 3000) {
+  Fixture fx;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(benign / 2, &fx.log);
+  gen.InjectDataLeakageAttack(&fx.log);
+  gen.GenerateBenign(benign / 2, &fx.log);
+  fx.Finish();
+  return fx;
+}
+
+TEST(ColumnarTest, ColumnarAndRowStoreResultsAreByteIdentical) {
+  Fixture fx = MakeTraceFixture();
+  const auto& events = fx.log.events();
+  int64_t t0 = events.front().start_time;
+  int64_t t1 = events.back().start_time;
+  int64_t mid = t0 + (t1 - t0) / 2;
+  std::vector<std::string> queries = {
+      // Entity-filtered probes (cases A/B).
+      "proc p[\"%tar%\"] read file f\nreturn p, f",
+      // Unconstrained operation scan (case C).
+      "proc p write file f\nreturn p, f",
+      // Windowed unconstrained scan: the zone-map pruning path.
+      StrFormat("proc p read file f from %lld to %lld\nreturn p, f",
+                static_cast<long long>(t0),
+                static_cast<long long>(mid)),
+      // Multi-pattern with propagation and a temporal constraint.
+      "e1: proc p read file f1[\"/etc/passwd\"]\n"
+      "e2: proc p write file f2\n"
+      "with e1 before e2\nreturn p, f1, f2",
+  };
+  for (const std::string& src : queries) {
+    ExecutionOptions row_opts;
+    row_opts.use_columnar = false;
+    row_opts.use_plan_cache = false;
+    QueryResult columnar = fx.Run(src);
+    QueryResult row = fx.Run(src, row_opts);
+    EXPECT_EQ(columnar.columns, row.columns) << src;
+    EXPECT_EQ(columnar.rows, row.rows) << src;
+    EXPECT_EQ(columnar.stats.matches_per_pattern,
+              row.stats.matches_per_pattern)
+        << src;
+    // The columnar arm actually took columnar access paths.
+    uint64_t segments = 0;
+    for (uint64_t s : columnar.stats.pattern_segments_scanned) segments += s;
+    for (uint64_t s : columnar.stats.pattern_segments_pruned) segments += s;
+    EXPECT_GT(segments, 0u) << src;
+  }
+}
+
+TEST(ColumnarTest, AllSegmentsPrunedHuntScansNothing) {
+  Fixture fx = MakeSmallFixture();
+  // The small fixture's events live at t=5..50; this window is far beyond.
+  QueryResult r =
+      fx.Run("proc p read file f from 100000 to 200000\nreturn p, f");
+  EXPECT_TRUE(r.rows.empty());
+  ASSERT_EQ(r.stats.pattern_segments_scanned.size(), 1u);
+  EXPECT_EQ(r.stats.pattern_segments_scanned[0], 0u);
+  EXPECT_EQ(r.stats.pattern_segments_pruned[0],
+            fx.rel_db->event_segments().num_segments());
+  EXPECT_EQ(r.stats.relational_rows_touched, 0u);
+}
+
+TEST(ColumnarTest, EmptyLogExecutesCleanly) {
+  Fixture fx;
+  fx.Finish();  // no events at all: zero segments
+  QueryResult r = fx.Run("proc p read file f\nreturn p, f");
+  EXPECT_TRUE(r.rows.empty());
+  EXPECT_FALSE(r.truncated);
+}
+
+TEST(PlanCacheTest, HitMissAndInvalidationCounters) {
+  obs::Registry& registry = obs::Registry::Default();
+  uint64_t hits0 = registry.CounterValue("raptor_plan_cache_hits_total");
+  uint64_t misses0 = registry.CounterValue("raptor_plan_cache_misses_total");
+  uint64_t evict0 = registry.CounterValue("raptor_plan_cache_evictions_total");
+
+  Fixture fx = MakeSmallFixture();
+  const std::string src = "proc p read file f\nreturn p, f";
+  QueryResult first = fx.Run(src);
+  EXPECT_FALSE(first.stats.plan_cache_hit);
+  EXPECT_EQ(fx.engine->plan_cache().misses(), 1u);
+  EXPECT_EQ(fx.engine->plan_cache().hits(), 0u);
+  EXPECT_EQ(fx.engine->plan_cache().size(), 1u);
+
+  QueryResult second = fx.Run(src);
+  EXPECT_TRUE(second.stats.plan_cache_hit);
+  EXPECT_EQ(fx.engine->plan_cache().hits(), 1u);
+  EXPECT_EQ(second.rows, first.rows);
+
+  // Different plan-affecting options are a different fingerprint.
+  ExecutionOptions no_est;
+  no_est.use_cardinality_estimates = false;
+  QueryResult third = fx.Run(src, no_est);
+  EXPECT_FALSE(third.stats.plan_cache_hit);
+  EXPECT_EQ(third.rows, first.rows);
+
+  // New data bumps the database generation: the stale entry is evicted and
+  // the lookup re-plans.
+  audit::SystemEvent ev;
+  ev.subject = fx.log.InternProcess(99, "/bin/late");
+  ev.object = fx.log.InternFile("/tmp/late");
+  ev.op = Operation::kRead;
+  ev.start_time = 60;
+  ev.end_time = 60;
+  fx.log.AddEvent(ev);
+  fx.rel_db->SyncWith(fx.log);
+  QueryResult fourth = fx.Run(src);
+  EXPECT_FALSE(fourth.stats.plan_cache_hit);
+  EXPECT_GE(fx.engine->plan_cache().evictions(), 1u);
+  // The re-planned execution sees the new event.
+  EXPECT_EQ(fourth.rows.size(), first.rows.size() + 1);
+
+  // The registry mirrors the per-engine counters (global across engines,
+  // so compare as deltas).
+  EXPECT_GT(registry.CounterValue("raptor_plan_cache_hits_total"), hits0);
+  EXPECT_GT(registry.CounterValue("raptor_plan_cache_misses_total"), misses0);
+  EXPECT_GT(registry.CounterValue("raptor_plan_cache_evictions_total"),
+            evict0);
+}
+
+TEST(PlanCacheTest, CachedWindowedPlanReusesSegmentListIdentically) {
+  Fixture fx = MakeTraceFixture(2000);
+  const auto& events = fx.log.events();
+  int64_t t0 = events.front().start_time;
+  int64_t t1 = events.back().start_time;
+  std::string src = StrFormat(
+      "proc p read file f from %lld to %lld\nreturn p, f",
+      static_cast<long long>(t0 + (t1 - t0) / 4),
+      static_cast<long long>(t0 + (t1 - t0) / 3));
+  QueryResult cold = fx.Run(src);
+  QueryResult warm = fx.Run(src);
+  EXPECT_FALSE(cold.stats.plan_cache_hit);
+  EXPECT_TRUE(warm.stats.plan_cache_hit);
+  EXPECT_EQ(warm.rows, cold.rows);
+  EXPECT_EQ(warm.stats.pattern_segments_scanned,
+            cold.stats.pattern_segments_scanned);
+  EXPECT_EQ(warm.stats.pattern_segments_pruned,
+            cold.stats.pattern_segments_pruned);
+}
+
+TEST(BatchTest, ExecuteBatchMatchesIndividualExecution) {
+  Fixture fx = MakeTraceFixture(2000);
+  std::vector<std::string> sources = {
+      "proc p read file f\nreturn p, f",
+      "proc p write file f\nreturn p, f",
+      "proc p[\"%tar%\"] read file f\nreturn p, f",
+  };
+  std::vector<tbql::Query> parsed;
+  for (const std::string& src : sources) {
+    auto q = tbql::Parse(src);
+    ASSERT_TRUE(q.ok());
+    ASSERT_TRUE(tbql::Analyze(&*q).ok());
+    parsed.push_back(std::move(*q));
+  }
+  std::vector<const tbql::Query*> refs;
+  for (const tbql::Query& q : parsed) refs.push_back(&q);
+  std::vector<Result<QueryResult>> batch =
+      fx.engine->ExecuteBatch(refs, ExecutionOptions{});
+  ASSERT_EQ(batch.size(), sources.size());
+  bool any_shared = false;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok()) << sources[i];
+    QueryResult solo = fx.Run(sources[i]);
+    EXPECT_EQ(batch[i]->rows, solo.rows) << sources[i];
+    EXPECT_EQ(batch[i]->columns, solo.columns) << sources[i];
+    any_shared |= batch[i]->stats.shared_scan_patterns > 0;
+  }
+  // The two filterless single-pattern queries rode one shared segment scan.
+  EXPECT_TRUE(any_shared);
+  // Degenerate batches are fine.
+  EXPECT_TRUE(fx.engine->ExecuteBatch({}, ExecutionOptions{}).empty());
+  std::vector<Result<QueryResult>> one =
+      fx.engine->ExecuteBatch({refs[0]}, ExecutionOptions{});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_TRUE(one[0].ok());
 }
 
 }  // namespace

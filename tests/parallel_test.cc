@@ -458,6 +458,75 @@ TEST(ParallelEngineTest, ExplainEstimateLinesAreByteIdenticalAcrossThreads) {
   }
 }
 
+TEST(ParallelEngineTest, SharedScansAndCachedPlansAreByteIdentical) {
+  // The columnar additions to the determinism contract: (a) batch
+  // execution, where filterless patterns share one segment scan, and (b)
+  // plan-cache reuse, where a plan built at one thread count serves
+  // executions at another (thread count is deliberately not in the cache
+  // key). Rows, matches, and the per-pattern segment counters must be
+  // byte-identical at 1/2/8 threads, batch and solo, cold and cached.
+  EngineFixture fx;
+  std::vector<std::string> sources = {
+      "proc p read file f1\nreturn p, f1\nlimit 500",
+      "proc p write file f2\nreturn p, f2\nlimit 500",
+      "e1: proc p read file f1[\"%/etc/%\"]\n"
+      "e2: proc p write file f2\n"
+      "with e1 before e2\nreturn p, f1, f2\nlimit 200",
+  };
+  std::vector<tbql::Query> parsed;
+  for (const std::string& src : sources) {
+    auto q = tbql::Parse(src);
+    ASSERT_TRUE(q.ok());
+    ASSERT_TRUE(tbql::Analyze(&*q).ok());
+    parsed.push_back(std::move(*q));
+  }
+  auto append_result = [](const engine::QueryResult& r, std::string* out) {
+    for (const auto& row : r.rows) {
+      for (const std::string& cell : row) {
+        *out += cell;
+        *out += ',';
+      }
+      *out += ';';
+    }
+    for (size_t m : r.stats.matches_per_pattern) {
+      *out += std::to_string(m) + '+';
+    }
+    for (uint64_t s : r.stats.pattern_segments_scanned) {
+      *out += std::to_string(s) + '/';
+    }
+    for (uint64_t s : r.stats.pattern_segments_pruned) {
+      *out += std::to_string(s) + '\\';
+    }
+    *out += '\n';
+  };
+  auto transcript = [&](size_t threads) {
+    engine::ExecutionOptions opts;
+    opts.num_threads = threads;
+    std::string out;
+    std::vector<const tbql::Query*> refs;
+    for (const tbql::Query& q : parsed) refs.push_back(&q);
+    for (Result<engine::QueryResult>& r :
+         fx.engine->ExecuteBatch(refs, opts)) {
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+      append_result(*r, &out);
+    }
+    for (const tbql::Query& q : parsed) {
+      auto r = fx.engine->Execute(q, opts);
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+      append_result(*r, &out);
+    }
+    return out;
+  };
+  const std::string serial = transcript(1);
+  EXPECT_FALSE(serial.empty());
+  // From the second run on, every plan comes from the cache.
+  EXPECT_GT(fx.engine->plan_cache().size(), 0u);
+  for (size_t t : std::vector<size_t>{2, 8}) {
+    EXPECT_EQ(transcript(t), serial) << t << " threads";
+  }
+  EXPECT_GT(fx.engine->plan_cache().hits(), 0u);
+}
+
 TEST(ParallelEngineTest, DeadlineTruncationIsReportedAtEveryThreadCount) {
   // Deadline truncation depends on the wall clock, so the exact cut point
   // is not part of the byte-identical contract; what must hold at every

@@ -2,9 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
 #include "audit/generator.h"
 #include "common/rng.h"
+#include "storage/relational/column.h"
 #include "storage/relational/database.h"
+#include "storage/relational/segment.h"
 #include "storage/relational/table.h"
 
 namespace raptor::rel {
@@ -330,6 +337,284 @@ TEST(DatabaseTest, ApproxBytesCoverLoadedTables) {
   // Four tables of real rows plus their indexes: the footprint estimate
   // must be material, and at least the sum of the event rows.
   EXPECT_GT(db.ApproxBytes(), db.events().ApproxDataBytes());
+}
+
+// --- Columnar building blocks (column.h). ---
+
+TEST(BitmapTest, SetTestCountAndAscendingIteration) {
+  Bitmap bm(200);
+  for (size_t i : {size_t{0}, size_t{63}, size_t{64}, size_t{130},
+                   size_t{199}}) {
+    bm.Set(i);
+  }
+  EXPECT_TRUE(bm.Test(63));
+  EXPECT_FALSE(bm.Test(62));
+  EXPECT_EQ(bm.Count(), 5u);
+  std::vector<size_t> seen;
+  bm.ForEachSet([&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<size_t>{0, 63, 64, 130, 199}));
+}
+
+TEST(DictionaryTest, FirstAppearanceCodesAreStable) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Intern(500), 0u);
+  EXPECT_EQ(dict.Intern(-7), 1u);
+  EXPECT_EQ(dict.Intern(500), 0u);  // idempotent
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.value(1), -7);
+  EXPECT_EQ(dict.Find(500), std::optional<uint32_t>{0});
+  EXPECT_EQ(dict.Find(999), std::nullopt);
+}
+
+TEST(BloomFilterTest, NeverFalseNegative) {
+  BloomFilter bloom(64);
+  for (uint64_t k = 0; k < 64; ++k) bloom.Add(k * 7919);
+  for (uint64_t k = 0; k < 64; ++k) EXPECT_TRUE(bloom.MayContain(k * 7919));
+}
+
+TEST(BloomFilterTest, DefaultConstructedContainsNothing) {
+  BloomFilter bloom;
+  EXPECT_FALSE(bloom.MayContain(42));
+}
+
+// --- Columnar event segments (segment.h). ---
+
+/// Builds a store with tiny segments (4 rows) so multi-segment behavior is
+/// reachable with hand-countable data. Rows r=0..n-1 get start time
+/// 100 + 10*r, subject 1 + (r % 3), object 50 + r, operation op.
+EventSegmentStore MakeTinyStore(size_t rows, int64_t op = 1) {
+  EventSegmentStore store(/*segment_rows=*/4);
+  for (size_t r = 0; r < rows; ++r) {
+    store.Append(/*id=*/static_cast<int64_t>(r),
+                 /*subject=*/1 + static_cast<int64_t>(r % 3),
+                 /*object=*/50 + static_cast<int64_t>(r), op,
+                 /*start_time=*/100 + 10 * static_cast<int64_t>(r),
+                 /*end_time=*/105 + 10 * static_cast<int64_t>(r));
+  }
+  return store;
+}
+
+TEST(SegmentStoreTest, AppendSegmentsAndRecordRoundTrip) {
+  EventSegmentStore store = MakeTinyStore(10);
+  EXPECT_EQ(store.num_rows(), 10u);
+  EXPECT_EQ(store.num_segments(), 3u);  // 4 + 4 + 2
+  EXPECT_EQ(store.segment_rows(), 4u);
+  EventRecord r = store.Record(7);
+  EXPECT_EQ(r.id, 7);
+  EXPECT_EQ(r.subject, 1 + 7 % 3);
+  EXPECT_EQ(r.object, 57);
+  EXPECT_EQ(r.op, 1);
+  EXPECT_EQ(r.start_time, 170);
+  EXPECT_EQ(r.end_time, 175);
+  EXPECT_GT(store.ApproxBytes(), 0u);
+}
+
+TEST(SegmentStoreTest, EmptyStoreHasNoSegmentsAndPrunesToNothing) {
+  EventSegmentStore store(4);
+  EXPECT_EQ(store.num_rows(), 0u);
+  EXPECT_EQ(store.num_segments(), 0u);
+  EXPECT_TRUE(store.PruneByWindow(std::nullopt, std::nullopt).empty());
+  std::vector<EventRecord> out;
+  SegmentProbeStats stats;
+  store.ProbeEntity(EventSegmentStore::Side::kSubject, 1, {}, std::nullopt,
+                    std::nullopt, nullptr, &out, &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.probes, 1u);
+  EXPECT_EQ(stats.segments_considered, 0u);
+}
+
+TEST(SegmentStoreTest, PruneByWindowZoneMaps) {
+  // Segments cover starts [100..130], [140..170], [180..190].
+  EventSegmentStore store = MakeTinyStore(10);
+  EXPECT_EQ(store.PruneByWindow(std::nullopt, std::nullopt),
+            (std::vector<uint32_t>{0, 1, 2}));
+  // Entirely before / after the data: everything pruned.
+  EXPECT_TRUE(store.PruneByWindow(int64_t{0}, int64_t{50}).empty());
+  EXPECT_TRUE(store.PruneByWindow(int64_t{500}, std::nullopt).empty());
+  // Inside one segment.
+  EXPECT_EQ(store.PruneByWindow(int64_t{145}, int64_t{150}),
+            (std::vector<uint32_t>{1}));
+  // Straddling the segment 0 / segment 1 time boundary (130 and 140).
+  EXPECT_EQ(store.PruneByWindow(int64_t{130}, int64_t{140}),
+            (std::vector<uint32_t>{0, 1}));
+  // Exact boundary values are inclusive.
+  EXPECT_EQ(store.PruneByWindow(int64_t{190}, int64_t{190}),
+            (std::vector<uint32_t>{2}));
+}
+
+TEST(SegmentStoreTest, ProbeEntityEmitsAscendingRowsAcrossSegments) {
+  // Subject 1 appears at rows 0, 3, 6, 9 — spanning all three segments.
+  EventSegmentStore store = MakeTinyStore(10);
+  std::vector<EventRecord> out;
+  SegmentProbeStats stats;
+  store.ProbeEntity(EventSegmentStore::Side::kSubject, 1, {}, std::nullopt,
+                    std::nullopt, nullptr, &out, &stats);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].id, 0);
+  EXPECT_EQ(out[1].id, 3);
+  EXPECT_EQ(out[2].id, 6);
+  EXPECT_EQ(out[3].id, 9);
+  EXPECT_EQ(stats.probes, 1u);
+  EXPECT_EQ(stats.segments_considered, 3u);
+  EXPECT_EQ(stats.segments_scanned, 3u);
+  EXPECT_EQ(stats.rows_scanned, 4u);
+}
+
+TEST(SegmentStoreTest, ProbeEntityAppliesWindowOpAndOtherFilters) {
+  EventSegmentStore store = MakeTinyStore(10);
+  // Window [160, 200] keeps rows 6..9; zone maps prune segment 0 entirely.
+  std::vector<EventRecord> out;
+  SegmentProbeStats stats;
+  store.ProbeEntity(EventSegmentStore::Side::kSubject, 1, {}, int64_t{160},
+                    int64_t{200}, nullptr, &out, &stats);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 6);
+  EXPECT_EQ(out[1].id, 9);
+  EXPECT_GE(stats.segments_pruned_zone, 1u);
+  // An operation set that matches nothing ingested yields zero rows.
+  out.clear();
+  SegmentProbeStats stats2;
+  store.ProbeEntity(EventSegmentStore::Side::kSubject, 1, {int64_t{99}},
+                    std::nullopt, std::nullopt, nullptr, &out, &stats2);
+  EXPECT_TRUE(out.empty());
+  // Opposite-side filter: keep only object 53 (row 3).
+  std::unordered_set<uint64_t> others{53};
+  out.clear();
+  SegmentProbeStats stats3;
+  store.ProbeEntity(EventSegmentStore::Side::kSubject, 1, {}, std::nullopt,
+                    std::nullopt, &others, &out, &stats3);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 3);
+}
+
+TEST(SegmentStoreTest, ProbeObjectSideUsesObjectPostings) {
+  EventSegmentStore store = MakeTinyStore(10);
+  std::vector<EventRecord> out;
+  SegmentProbeStats stats;
+  store.ProbeEntity(EventSegmentStore::Side::kObject, 55, {}, std::nullopt,
+                    std::nullopt, nullptr, &out, &stats);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 5);
+  // Objects are unique per row, so every other segment is zone- or
+  // bloom-pruned before its rows are read.
+  EXPECT_EQ(stats.rows_scanned, 1u);
+}
+
+TEST(SegmentStoreTest, ProbeForUnknownEntityTouchesNoSegment) {
+  EventSegmentStore store = MakeTinyStore(10);
+  std::vector<EventRecord> out;
+  SegmentProbeStats stats;
+  store.ProbeEntity(EventSegmentStore::Side::kSubject, 424242, {},
+                    std::nullopt, std::nullopt, nullptr, &out, &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.probes, 1u);
+  EXPECT_EQ(stats.segments_considered, 0u);  // dictionary miss short-circuits
+}
+
+TEST(SegmentStoreTest, BloomFalsePositiveFallsBackToSegmentLookup) {
+  // Segment 0 holds two far-apart subject ids {100, 200000}, so every
+  // probed id in between passes its entity zone map and reaches its bloom
+  // filter. The probed ids live in later segments (they must be in the
+  // global dictionary to be probed at all). Segment 0's bloom is 64 bits
+  // with <= 4 set, so a sweep of thousands of candidates deterministically
+  // finds false positives; the contract under test: a false positive costs
+  // one posting-list lookup (segments_scanned + bloom_false_positives) but
+  // contributes zero rows — results stay exact.
+  EventSegmentStore store(4);
+  for (int i = 0; i < 4; ++i) {
+    store.Append(i, /*subject=*/i % 2 == 0 ? 100 : 200000, 900 + i, 1,
+                 10 + i, 10 + i);
+  }
+  for (int64_t candidate = 101; candidate < 4000; ++candidate) {
+    store.Append(candidate, /*subject=*/candidate, 900, 1, 20, 20);
+  }
+  uint64_t false_positives = 0, bloom_pruned = 0;
+  for (int64_t candidate = 101; candidate < 4000; ++candidate) {
+    std::vector<EventRecord> out;
+    SegmentProbeStats stats;
+    store.ProbeEntity(EventSegmentStore::Side::kSubject, candidate, {},
+                      std::nullopt, std::nullopt, nullptr, &out, &stats);
+    // Exactly the candidate's own row, never a phantom from segment 0.
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].id, candidate);
+    false_positives += stats.bloom_false_positives;
+    bloom_pruned += stats.segments_pruned_bloom;
+  }
+  EXPECT_GT(false_positives, 0u);
+  EXPECT_GT(bloom_pruned, 0u);  // ...and the bloom does prune the majority
+  EXPECT_GT(bloom_pruned, false_positives);
+}
+
+TEST(SegmentStoreTest, SharedOpScanMatchesIndependentScans) {
+  // Interleave two operations so per-op buckets matter.
+  EventSegmentStore store(4);
+  for (size_t r = 0; r < 12; ++r) {
+    store.Append(static_cast<int64_t>(r), 1, 50 + static_cast<int64_t>(r),
+                 /*op=*/static_cast<int64_t>(r % 2),
+                 100 + 10 * static_cast<int64_t>(r),
+                 100 + 10 * static_cast<int64_t>(r));
+  }
+  EventSegmentStore::OpScanProbe a;
+  a.ops = {1, 0};  // declared order reversed vs ingestion
+  a.window_start = int64_t{120};
+  a.window_end = int64_t{180};
+  EventSegmentStore::OpScanProbe b;
+  b.ops = {0};
+  std::vector<std::vector<EventRecord>> shared_out, solo_a, solo_b;
+  std::vector<SegmentProbeStats> shared_stats, solo_stats;
+  EXPECT_TRUE(store.SharedOpScan({a, b}, nullptr, &shared_out, &shared_stats));
+  EXPECT_TRUE(store.SharedOpScan({a}, nullptr, &solo_a, &solo_stats));
+  EXPECT_TRUE(store.SharedOpScan({b}, nullptr, &solo_b, &solo_stats));
+  ASSERT_EQ(shared_out.size(), 2u);
+  auto ids = [](const std::vector<EventRecord>& v) {
+    std::vector<int64_t> out;
+    for (const EventRecord& r : v) out.push_back(r.id);
+    return out;
+  };
+  EXPECT_EQ(ids(shared_out[0]), ids(solo_a[0]));
+  EXPECT_EQ(ids(shared_out[1]), ids(solo_b[0]));
+  // Probe a: window keeps rows 2..8; op 1 (odd rows) first in declared
+  // order, then op 0 (even rows), each ascending.
+  EXPECT_EQ(ids(shared_out[0]),
+            (std::vector<int64_t>{3, 5, 7, 2, 4, 6, 8}));
+}
+
+TEST(SegmentStoreTest, SharedOpScanHonorsCachedSegmentListAndStop) {
+  EventSegmentStore store = MakeTinyStore(12);
+  // A pinned segment list (as a cached plan would supply) limits the scan.
+  std::vector<uint32_t> only_middle{1};
+  EventSegmentStore::OpScanProbe probe;
+  probe.ops = {1};
+  probe.segments = &only_middle;
+  std::vector<std::vector<EventRecord>> out;
+  std::vector<SegmentProbeStats> stats;
+  EXPECT_TRUE(store.SharedOpScan({probe}, nullptr, &out, &stats));
+  ASSERT_EQ(out[0].size(), 4u);
+  EXPECT_EQ(out[0][0].id, 4);
+  EXPECT_EQ(out[0][3].id, 7);
+  EXPECT_EQ(stats[0].segments_scanned, 1u);
+  // A tripped stop callback reports an incomplete scan.
+  std::function<bool()> stop = [] { return true; };
+  EventSegmentStore::OpScanProbe full;
+  full.ops = {1};
+  EXPECT_FALSE(store.SharedOpScan({full}, &stop, &out, &stats));
+  EXPECT_TRUE(out[0].empty());
+}
+
+TEST(DatabaseTest, SyncKeepsSegmentStoreAlignedAndBumpsGeneration) {
+  audit::AuditLog log;
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(100, &log);
+  RelationalDatabase db;
+  db.Load(log);
+  EXPECT_EQ(db.event_segments().num_rows(), db.events().num_rows());
+  uint64_t gen0 = db.generation();
+  db.SyncWith(log);  // no new data: generation must hold
+  EXPECT_EQ(db.generation(), gen0);
+  gen.GenerateBenign(50, &log);
+  db.SyncWith(log);
+  EXPECT_EQ(db.event_segments().num_rows(), db.events().num_rows());
+  EXPECT_GT(db.generation(), gen0);
 }
 
 }  // namespace
