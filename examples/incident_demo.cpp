@@ -1,0 +1,142 @@
+// Incident capture end to end: starts the embedded API server under a
+// manual clock, burns the HTTP error budget with injected handler faults,
+// walks the http_error_rate SLO to firing, and prints the captured
+// incident — frozen debug bundle and history windows included — from
+// GET /api/incidents to stdout.
+//
+//   ./build/examples/incident_demo > incident.json
+//
+// CI runs this to attach a real incident document to every release build.
+// Exits 0 when the incident was captured with a bundle and history, 1
+// otherwise.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/fault_injection.h"
+#include "common/json.h"
+#include "core/threat_raptor.h"
+#include "obs/clock.h"
+#include "obs/slo.h"
+#include "server/api.h"
+#include "server/http.h"
+
+namespace {
+
+using raptor::Json;
+using raptor::Status;
+
+/// Fails the server request handler for a scripted number of hits —
+/// loopback 500s that burn the HTTP error budget like a real outage.
+class HandlerFaults : public raptor::FaultInjector {
+ public:
+  explicit HandlerFaults(int times) : remaining_(times) {
+    raptor::SetFaultInjector(this);
+  }
+  ~HandlerFaults() override { raptor::SetFaultInjector(nullptr); }
+
+  Status OnPoint(std::string_view point) override {
+    if (point == "server.handler" && remaining_ > 0) {
+      --remaining_;
+      return Status::Internal("incident_demo: injected outage");
+    }
+    return Status::OK();
+  }
+
+ private:
+  int remaining_;
+};
+
+std::string Get(uint16_t port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  std::string wire = "GET " + path + " HTTP/1.1\r\nHost: demo\r\n\r\n";
+  std::string out;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0 &&
+      ::send(fd, wire.data(), wire.size(), 0) ==
+          static_cast<ssize_t>(wire.size())) {
+    char buffer[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+      out.append(buffer, static_cast<size_t>(n));
+    }
+  }
+  ::close(fd);
+  size_t pos = out.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : out.substr(pos + 4);
+}
+
+}  // namespace
+
+int main() {
+  // A manual clock shared by the history store and the SLO engine makes
+  // the walk deterministic: each /api/alerts poll evaluates exactly one
+  // new sample timestamp.
+  auto clock = std::make_shared<raptor::obs::ManualClock>();
+  raptor::ThreatRaptorOptions options;
+  options.history.clock = clock;
+  options.slo.http_error_objective = 0.5;  // generous budget: 8 faults blow it
+  options.slo.pending_for_s = 0;
+  options.slo.eval_interval_ms = 60'000;  // polls drive every step below
+  raptor::ThreatRaptor system(options);
+
+  raptor::audit::WorkloadGenerator generator;
+  generator.GenerateBenign(3'000, system.mutable_log());
+  if (!system.FinalizeStorage().ok()) {
+    std::fprintf(stderr, "incident_demo: storage finalize failed\n");
+    return 1;
+  }
+
+  raptor::server::HttpServer server;
+  raptor::server::RegisterThreatRaptorApi(&server, &system);
+  if (!server.Start(0).ok()) {
+    std::fprintf(stderr, "incident_demo: server start failed\n");
+    return 1;
+  }
+
+  auto poll_alerts = [&] {
+    clock->AdvanceSeconds(1);
+    return Get(server.port(), "/api/alerts");
+  };
+
+  poll_alerts();  // Baseline sample: every SLO ok.
+  {
+    HandlerFaults faults(/*times=*/8);
+    for (int i = 0; i < 8; ++i) Get(server.port(), "/api/healthz");
+  }
+  poll_alerts();  // Burn over threshold: ok -> pending.
+  poll_alerts();  // Still burning, no dwell: pending -> firing + capture.
+
+  std::string body = Get(server.port(), "/api/incidents");
+  auto doc = Json::Parse(body);
+  if (!doc.ok() || (*doc)["incidents"].AsArray().empty()) {
+    std::fprintf(stderr, "incident_demo: no incident captured: %s\n",
+                 body.substr(0, 400).c_str());
+    return 1;
+  }
+  const Json& incident = (*doc)["incidents"][0];
+  bool ok = incident["slo"].AsString() == "http_error_rate" &&
+            incident["bundle"]["build"].is_object() &&
+            !incident["history"].AsArray().empty();
+  std::fprintf(stderr,
+               "incident_demo: captured incident #%.0f for %s "
+               "(short_burn=%.2f, %zu history windows): %s\n",
+               incident["id"].AsNumber(), incident["slo"].AsString().c_str(),
+               incident["short_burn"].AsNumber(),
+               incident["history"].AsArray().size(), ok ? "OK" : "INCOMPLETE");
+  std::printf("%s\n", body.c_str());
+
+  raptor::obs::SloEngine::Default().Stop();
+  return ok ? 0 : 1;
+}

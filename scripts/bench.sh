@@ -42,7 +42,8 @@ CUSTOM="bench_cpr bench_ingest bench_execution bench_conciseness \
   bench_extraction bench_synthesis bench_ioc_baseline bench_hunt_leakage \
   bench_hunt_password bench_stats_overhead"
 # Google-benchmark binaries with native JSON reporters.
-GBENCH="bench_paths bench_obs_overhead bench_log_overhead bench_profiler_overhead"
+GBENCH="bench_paths bench_obs_overhead bench_log_overhead bench_profiler_overhead \
+  bench_history_overhead"
 
 for b in $CUSTOM; do
   name="${b#bench_}"

@@ -112,6 +112,11 @@ ThreatRaptor::ThreatRaptor(ThreatRaptorOptions options)
   // and the SLO catalog (specs installed here; the API server starts the
   // periodic evaluator so plain library use never spawns a thread).
   obs::Profiler::Default().Configure(options_.profiler);
+  // The history store must be configured before the SLO engine: the
+  // engine's rolling burn windows live in it, and the two share one clock
+  // so burn windows and retention tiers agree on "now".
+  obs::MetricsHistory::Default().Configure(options_.history);
+  if (!options_.slo.clock) options_.slo.clock = options_.history.clock;
   obs::SloEngine::Default().Configure(options_.slo);
 }
 

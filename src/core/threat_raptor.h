@@ -30,6 +30,7 @@
 #include "common/result.h"
 #include "engine/engine.h"
 #include "nlp/pipeline.h"
+#include "obs/history.h"
 #include "obs/misestimate_journal.h"
 #include "obs/profile.h"
 #include "obs/profiler.h"
@@ -80,9 +81,17 @@ struct ThreatRaptorOptions {
   /// enabled, a 99 Hz sampler thread aggregates span-stack samples served
   /// at /api/profile. Never affects hunt/query results.
   obs::ProfilerOptions profiler;
+  /// Metrics time-series history (obs::MetricsHistory::Default()): the
+  /// store is configured at construction; the API server starts the
+  /// background collector when enabled. Serves /api/metrics/range, the
+  /// SLO engine's rolling burn windows, incident capture, and the
+  /// /api/dashboard sparklines.
+  obs::HistoryOptions history;
   /// SLO burn-rate alerting (obs::SloEngine::Default()): the default
   /// catalog is installed at construction; the API server starts the
-  /// periodic evaluator when enabled. Served at /api/alerts.
+  /// periodic evaluator when enabled. Served at /api/alerts. When
+  /// slo.clock is unset it inherits history.clock so windows and
+  /// retention agree on time.
   obs::SloOptions slo;
   /// Run Causality-Preserved Reduction before loading storage (paper §II-B).
   bool apply_cpr = true;

@@ -1,0 +1,70 @@
+// Injectable time source for the time-aware observability pieces (metrics
+// history, SLO evaluation, incident capture).
+//
+// Production code uses SystemClock (wall time); tests inject ManualClock
+// and step it explicitly, which makes retention-tier boundaries, burn-rate
+// windows, and downsampling deterministic — the clock *is* the test input.
+// Header-only and dependency-free (standard library only), like the rest
+// of src/obs.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace raptor::obs {
+
+/// \brief A source of unix-epoch milliseconds. Implementations must be
+/// safe to call from any thread.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual uint64_t NowUnixMs() const = 0;
+};
+
+/// \brief Wall time (std::chrono::system_clock).
+class SystemClock : public Clock {
+ public:
+  uint64_t NowUnixMs() const override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+/// \brief A clock tests advance by hand. Starts at `start_unix_ms` (a
+/// plausible epoch by default so unix-timestamp fields look real).
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(uint64_t start_unix_ms = 1'700'000'000'000ull)
+      : now_ms_(start_unix_ms) {}
+
+  uint64_t NowUnixMs() const override {
+    return now_ms_.load(std::memory_order_relaxed);
+  }
+
+  void AdvanceMs(uint64_t delta_ms) {
+    now_ms_.fetch_add(delta_ms, std::memory_order_relaxed);
+  }
+  void AdvanceSeconds(double s) {
+    AdvanceMs(static_cast<uint64_t>(s * 1000.0));
+  }
+  void Set(uint64_t unix_ms) {
+    now_ms_.store(unix_ms, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> now_ms_;
+};
+
+/// `clock` when set, else a shared SystemClock — the null-object pattern
+/// every clock-carrying options struct uses.
+inline const Clock& ClockOrSystem(const std::shared_ptr<Clock>& clock) {
+  static const SystemClock* system_clock = new SystemClock();
+  return clock ? *clock : static_cast<const Clock&>(*system_clock);
+}
+
+}  // namespace raptor::obs

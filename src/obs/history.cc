@@ -1,0 +1,905 @@
+#include "obs/history.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "obs/resource.h"
+
+namespace raptor::obs {
+
+namespace {
+
+/// Hard cap on output points per range query; wider asks are a client bug
+/// (the tiers cannot hold more than ~86400 points per series anyway).
+constexpr size_t kMaxRangePoints = 10000;
+
+uint64_t MsFromSeconds(double s) {
+  return static_cast<uint64_t>(std::max(0.0, s) * 1000.0);
+}
+
+/// Quantile with the exact interpolation semantics of
+/// obs::HistogramQuantile, over a window's per-bucket (non-cumulative)
+/// count deltas. `deltas` has one entry per finite bound plus the +Inf
+/// bucket at the end.
+double QuantileFromDeltas(const std::vector<double>& bounds,
+                          const std::vector<uint64_t>& deltas, double q) {
+  uint64_t count = 0;
+  for (uint64_t d : deltas) count += d;
+  if (count == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    uint64_t in_bucket = deltas[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      double lower = i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
+      double fraction = (target - static_cast<double>(cumulative)) /
+                        static_cast<double>(in_bucket);
+      return lower + (bounds[i] - lower) * fraction;
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+
+}  // namespace
+
+std::string_view SeriesKindName(SeriesKind kind) {
+  switch (kind) {
+    case SeriesKind::kCounter:
+      return "counter";
+    case SeriesKind::kGauge:
+      return "gauge";
+    case SeriesKind::kHistogram:
+      return "histogram";
+  }
+  return "gauge";
+}
+
+std::optional<RangeAgg> ParseRangeAgg(std::string_view name) {
+  if (name == "rate") return RangeAgg::kRate;
+  if (name == "avg") return RangeAgg::kAvg;
+  if (name == "min") return RangeAgg::kMin;
+  if (name == "max") return RangeAgg::kMax;
+  if (name == "last") return RangeAgg::kLast;
+  if (name == "p50") return RangeAgg::kP50;
+  if (name == "p99") return RangeAgg::kP99;
+  return std::nullopt;
+}
+
+std::string_view RangeAggName(RangeAgg agg) {
+  switch (agg) {
+    case RangeAgg::kRate:
+      return "rate";
+    case RangeAgg::kAvg:
+      return "avg";
+    case RangeAgg::kMin:
+      return "min";
+    case RangeAgg::kMax:
+      return "max";
+    case RangeAgg::kLast:
+      return "last";
+    case RangeAgg::kP50:
+      return "p50";
+    case RangeAgg::kP99:
+      return "p99";
+  }
+  return "avg";
+}
+
+/// One series: its identity plus one ring per retention tier and the
+/// fold-down accumulators between adjacent tiers.
+struct MetricsHistory::Series {
+  std::string name;
+  LabelSet labels;
+  SeriesKind kind = SeriesKind::kGauge;
+  std::vector<double> bounds;  ///< Histograms only; fixed at creation.
+
+  /// Scalar point: 32-bit time offset from the ring base + the value
+  /// (counters: cumulative; gauges: the reading; coarse counter tiers:
+  /// last-in-bucket).
+  struct ScalarPoint {
+    uint32_t dt_ms = 0;
+    double value = 0;
+  };
+  /// Gauge fold-down point (tiers > 0): the bucket's last/min/max plus
+  /// sum/count so averages merge exactly.
+  struct GaugePoint {
+    uint32_t dt_ms = 0;
+    double last = 0;
+    double min = 0;
+    double max = 0;
+    double sum = 0;
+    uint32_t count = 0;
+  };
+  /// Histogram point, delta-encoded: per-bucket count increments vs the
+  /// previous point (cumulative counts are rebuilt front-to-back from
+  /// `hist_base`). `sum` stays absolute — accumulating double deltas
+  /// across rebases would drift.
+  struct HistPoint {
+    uint32_t dt_ms = 0;
+    std::vector<uint32_t> dbuckets;  ///< One per finite bound, then +Inf.
+    double sum = 0;
+  };
+
+  struct Ring {
+    uint64_t base_t_ms = 0;  ///< dt_ms offsets are relative to this.
+    std::deque<ScalarPoint> scalar;
+    std::deque<GaugePoint> gauge;
+    std::deque<HistPoint> hist;
+    /// Cumulative counts (finite bounds + +Inf) just before `hist.front()`.
+    std::vector<uint64_t> hist_base;
+
+    bool empty() const {
+      return scalar.empty() && gauge.empty() && hist.empty();
+    }
+    size_t size() const {
+      return scalar.size() + gauge.size() + hist.size();
+    }
+    uint64_t NewestMs() const {
+      if (!scalar.empty()) return base_t_ms + scalar.back().dt_ms;
+      if (!gauge.empty()) return base_t_ms + gauge.back().dt_ms;
+      if (!hist.empty()) return base_t_ms + hist.back().dt_ms;
+      return 0;
+    }
+  };
+
+  /// Fold-down accumulator from tier i into tier i+1.
+  struct Accum {
+    int64_t bucket = -1;  ///< floor(t / coarser interval); -1 = empty.
+    double last = 0;
+    double min = 0;
+    double max = 0;
+    double sum = 0;
+    uint64_t count = 0;
+    /// Histogram: the bucket's last cumulative counts + sum.
+    std::vector<uint64_t> hist_cum;
+    double hist_sum = 0;
+  };
+
+  std::vector<Ring> tiers;
+  std::vector<Accum> accums;  ///< One per tier boundary (tiers.size() - 1).
+
+  /// Newest cumulative histogram counts (for delta encoding and reset
+  /// detection).
+  std::vector<uint64_t> last_cum;
+  uint64_t newest_ms = 0;  ///< Newest accepted raw timestamp.
+
+  size_t ApproxBytes() const {
+    size_t bytes = sizeof(Series) + name.size();
+    for (const auto& [k, v] : labels) bytes += k.size() + v.size();
+    for (const Ring& ring : tiers) {
+      bytes += ring.scalar.size() * sizeof(ScalarPoint);
+      bytes += ring.gauge.size() * sizeof(GaugePoint);
+      bytes += ring.hist.size() *
+               (sizeof(HistPoint) + bounds.size() * sizeof(uint32_t));
+      bytes += ring.hist_base.size() * sizeof(uint64_t);
+    }
+    return bytes;
+  }
+};
+
+namespace {
+
+using Ring = MetricsHistory::Series::Ring;
+
+/// Evicts points older than `newest - retention` (keeping at least the
+/// newest), folding evicted histogram deltas into the ring base.
+void EvictRing(Ring* ring, uint64_t newest_ms, uint64_t retention_ms) {
+  uint64_t cutoff =
+      newest_ms > retention_ms ? newest_ms - retention_ms : 0;
+  while (ring->scalar.size() > 1 &&
+         ring->base_t_ms + ring->scalar.front().dt_ms < cutoff) {
+    ring->scalar.pop_front();
+  }
+  while (ring->gauge.size() > 1 &&
+         ring->base_t_ms + ring->gauge.front().dt_ms < cutoff) {
+    ring->gauge.pop_front();
+  }
+  while (ring->hist.size() > 1 &&
+         ring->base_t_ms + ring->hist.front().dt_ms < cutoff) {
+    const auto& front = ring->hist.front();
+    for (size_t i = 0; i < front.dbuckets.size(); ++i) {
+      ring->hist_base[i] += front.dbuckets[i];
+    }
+    ring->hist.pop_front();
+  }
+}
+
+/// Rebases a ring so new offsets fit in 32 bits (only needed after ~49
+/// days on one base; rebasing rewrites every offset once).
+void MaybeRebase(Ring* ring, uint64_t t_ms) {
+  if (ring->empty()) {
+    ring->base_t_ms = t_ms;
+    return;
+  }
+  if (t_ms - ring->base_t_ms <= 0xFFFF0000ull) return;
+  uint64_t oldest = ring->NewestMs();
+  auto oldest_of = [&](uint64_t candidate) {
+    oldest = std::min(oldest, candidate);
+  };
+  if (!ring->scalar.empty()) {
+    oldest_of(ring->base_t_ms + ring->scalar.front().dt_ms);
+  }
+  if (!ring->gauge.empty()) {
+    oldest_of(ring->base_t_ms + ring->gauge.front().dt_ms);
+  }
+  if (!ring->hist.empty()) {
+    oldest_of(ring->base_t_ms + ring->hist.front().dt_ms);
+  }
+  uint64_t shift = oldest - ring->base_t_ms;
+  for (auto& p : ring->scalar) p.dt_ms -= static_cast<uint32_t>(shift);
+  for (auto& p : ring->gauge) p.dt_ms -= static_cast<uint32_t>(shift);
+  for (auto& p : ring->hist) p.dt_ms -= static_cast<uint32_t>(shift);
+  ring->base_t_ms = oldest;
+}
+
+}  // namespace
+
+MetricsHistory::MetricsHistory() = default;
+
+MetricsHistory::~MetricsHistory() { Stop(); }
+
+MetricsHistory& MetricsHistory::Default() {
+  static MetricsHistory* history = new MetricsHistory();  // leaked singleton
+  return *history;
+}
+
+void MetricsHistory::Configure(const HistoryOptions& options) {
+  Stop();
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  if (options_.tiers.empty()) options_.tiers = {{1, 900}};
+  series_.clear();
+  latest_.reset();
+  ticks_ = 0;
+  dropped_series_ = 0;
+  approx_bytes_ = 0;
+  if (charged_bytes_ != 0) {
+    ResourceTracker::Default().Charge(Component::kHistory, -charged_bytes_);
+    charged_bytes_ = 0;
+  }
+}
+
+HistoryOptions MetricsHistory::options() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_;
+}
+
+void MetricsHistory::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  collector_ = std::thread([this] { CollectorLoop(); });
+}
+
+void MetricsHistory::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  cv_.notify_all();
+  collector_.join();
+}
+
+bool MetricsHistory::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void MetricsHistory::CollectorLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (running_) {
+    double interval_s = std::max(0.01, options_.sample_interval_s);
+    lock.unlock();
+    CollectNow();
+    lock.lock();
+    cv_.wait_for(lock, std::chrono::duration<double>(interval_s),
+                 [this] { return !running_; });
+  }
+}
+
+uint64_t MetricsHistory::NowUnixMs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ClockOrSystem(options_.clock).NowUnixMs();
+}
+
+std::shared_ptr<const std::vector<FamilySnapshot>>
+MetricsHistory::LatestSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latest_;
+}
+
+void MetricsHistory::CollectNow() {
+  // Snapshot the registry outside the store lock (the registry has its
+  // own mutex; neither calls back into the other).
+  auto snapshot = std::make_shared<const std::vector<FamilySnapshot>>(
+      Registry::Default().Snapshot());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t t_ms = ClockOrSystem(options_.clock).NowUnixMs();
+  for (const FamilySnapshot& family : *snapshot) {
+    SeriesKind kind = SeriesKind::kGauge;
+    if (family.type == "counter") kind = SeriesKind::kCounter;
+    if (family.type == "histogram") kind = SeriesKind::kHistogram;
+    for (const MetricSample& sample : family.samples) {
+      if (kind == SeriesKind::kHistogram) {
+        std::vector<double> bounds;
+        std::vector<uint64_t> cumulative;
+        bounds.reserve(sample.buckets.size());
+        cumulative.reserve(sample.buckets.size() + 1);
+        for (const auto& [bound, cum] : sample.buckets) {
+          bounds.push_back(bound);
+          cumulative.push_back(cum);
+        }
+        cumulative.push_back(sample.count);  // the +Inf bucket
+        Series* series =
+            FindOrCreateLocked(family.name, sample.labels, kind, &bounds);
+        if (series == nullptr) continue;
+        AppendLocked(series, t_ms, 0, &cumulative, sample.count, sample.sum);
+      } else {
+        Series* series =
+            FindOrCreateLocked(family.name, sample.labels, kind, nullptr);
+        if (series == nullptr) continue;
+        AppendLocked(series, t_ms, sample.value, nullptr, 0, 0);
+      }
+    }
+  }
+  latest_ = snapshot;
+  ++ticks_;
+  PublishSelfMetricsLocked();
+}
+
+MetricsHistory::Series* MetricsHistory::FindOrCreateLocked(
+    std::string_view name, const LabelSet& labels, SeriesKind kind,
+    const std::vector<double>* bounds) {
+  std::string key = std::string(name) + RenderLabels(labels);
+  auto it = series_.find(key);
+  if (it != series_.end()) {
+    // A kind mismatch (family re-registered differently) drops the sample
+    // rather than mixing semantics, mirroring the registry's dummy-child
+    // behavior.
+    return it->second->kind == kind ? it->second.get() : nullptr;
+  }
+  if (series_.size() >= options_.max_series) {
+    ++dropped_series_;
+    return nullptr;
+  }
+  auto series = std::make_unique<Series>();
+  series->name = std::string(name);
+  series->labels = labels;
+  series->kind = kind;
+  if (bounds != nullptr) series->bounds = *bounds;
+  series->tiers.resize(options_.tiers.size());
+  if (options_.tiers.size() > 1) {
+    series->accums.resize(options_.tiers.size() - 1);
+  }
+  Series* raw = series.get();
+  series_.emplace(std::move(key), std::move(series));
+  return raw;
+}
+
+const MetricsHistory::Series* MetricsHistory::FindLocked(
+    std::string_view name, const LabelSet& labels) const {
+  std::string key = std::string(name) + RenderLabels(labels);
+  auto it = series_.find(key);
+  return it == series_.end() ? nullptr : it->second.get();
+}
+
+void MetricsHistory::Append(std::string_view name, const LabelSet& labels,
+                            SeriesKind kind, uint64_t t_ms, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series* series = FindOrCreateLocked(name, labels, kind, nullptr);
+  if (series == nullptr) return;
+  AppendLocked(series, t_ms, value, nullptr, 0, 0);
+}
+
+void MetricsHistory::RemoveSeries(std::string_view name,
+                                  const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  series_.erase(std::string(name) + RenderLabels(labels));
+}
+
+void MetricsHistory::AppendLocked(Series* series, uint64_t t_ms, double value,
+                                  const std::vector<uint64_t>* cumulative,
+                                  uint64_t count, double sum) {
+  (void)count;  // The +Inf cumulative entry already carries it.
+  // Out-of-order (or repeated-tick) samples are dropped: every ring is
+  // time-ascending by construction.
+  if (series->newest_ms != 0 && t_ms <= series->newest_ms) return;
+
+  if (cumulative != nullptr) {
+    // Histogram reset / shape change: restart the series cleanly.
+    bool reset = cumulative->size() != series->last_cum.size();
+    if (!reset && !series->last_cum.empty()) {
+      for (size_t i = 0; i < cumulative->size(); ++i) {
+        if ((*cumulative)[i] < series->last_cum[i]) {
+          reset = true;
+          break;
+        }
+      }
+    }
+    if (reset && !series->last_cum.empty()) {
+      for (auto& ring : series->tiers) {
+        ring = Series::Ring();
+      }
+      for (auto& accum : series->accums) accum = Series::Accum();
+      series->last_cum.clear();
+    }
+  }
+
+  const std::vector<HistoryTier>& tiers = options_.tiers;
+  // Fold completed buckets down the tier chain before appending, finest
+  // boundary first: a sample that crosses a 60 s boundary also crossed
+  // the 10 s one, and the mid flush must land before the coarse one reads
+  // it. Flush points carry the completed bucket's END timestamp.
+  for (size_t boundary = 0; boundary + 1 < tiers.size(); ++boundary) {
+    uint64_t interval_ms = MsFromSeconds(tiers[boundary + 1].interval_s);
+    if (interval_ms == 0) continue;
+    int64_t bucket = static_cast<int64_t>(t_ms / interval_ms);
+    Series::Accum& accum = series->accums[boundary];
+    if (accum.bucket != -1 && bucket > accum.bucket) {
+      uint64_t flush_ms =
+          static_cast<uint64_t>(accum.bucket + 1) * interval_ms;
+      Series::Ring& ring = series->tiers[boundary + 1];
+      MaybeRebase(&ring, flush_ms);
+      uint32_t dt = static_cast<uint32_t>(flush_ms - ring.base_t_ms);
+      if (series->kind == SeriesKind::kHistogram) {
+        Series::HistPoint point;
+        point.dt_ms = dt;
+        point.sum = accum.hist_sum;
+        point.dbuckets.resize(accum.hist_cum.size());
+        // Delta vs the coarser ring's newest reconstructed cumulative.
+        std::vector<uint64_t> prev = ring.hist_base;
+        prev.resize(accum.hist_cum.size(), 0);
+        for (const auto& p : ring.hist) {
+          for (size_t i = 0; i < p.dbuckets.size() && i < prev.size(); ++i) {
+            prev[i] += p.dbuckets[i];
+          }
+        }
+        if (ring.hist.empty()) ring.hist_base = prev;
+        for (size_t i = 0; i < accum.hist_cum.size(); ++i) {
+          uint64_t before = i < prev.size() ? prev[i] : 0;
+          point.dbuckets[i] = static_cast<uint32_t>(
+              accum.hist_cum[i] >= before ? accum.hist_cum[i] - before : 0);
+        }
+        if (ring.hist.empty() && ring.hist_base.empty()) {
+          ring.hist_base.assign(accum.hist_cum.size(), 0);
+        }
+        ring.hist.push_back(std::move(point));
+      } else if (series->kind == SeriesKind::kGauge) {
+        Series::GaugePoint point;
+        point.dt_ms = dt;
+        point.last = accum.last;
+        point.min = accum.min;
+        point.max = accum.max;
+        point.sum = accum.sum;
+        point.count = static_cast<uint32_t>(
+            std::min<uint64_t>(accum.count, 0xFFFFFFFFull));
+        ring.gauge.push_back(point);
+      } else {
+        ring.scalar.push_back({dt, accum.last});
+      }
+      EvictRing(&ring, flush_ms,
+                MsFromSeconds(tiers[boundary + 1].retention_s));
+      accum = Series::Accum();
+    }
+    // Merge this sample into the (possibly fresh) accumulator.
+    if (accum.bucket == -1) {
+      accum.bucket = bucket;
+      accum.last = value;
+      accum.min = value;
+      accum.max = value;
+      accum.sum = value;
+      accum.count = 1;
+      if (cumulative != nullptr) {
+        accum.hist_cum = *cumulative;
+        accum.hist_sum = sum;
+      }
+    } else {
+      accum.last = value;
+      accum.min = std::min(accum.min, value);
+      accum.max = std::max(accum.max, value);
+      accum.sum += value;
+      ++accum.count;
+      if (cumulative != nullptr) {
+        accum.hist_cum = *cumulative;
+        accum.hist_sum = sum;
+      }
+    }
+  }
+
+  // Append to the raw tier.
+  Series::Ring& raw = series->tiers.front();
+  MaybeRebase(&raw, t_ms);
+  uint32_t dt = static_cast<uint32_t>(t_ms - raw.base_t_ms);
+  if (series->kind == SeriesKind::kHistogram) {
+    Series::HistPoint point;
+    point.dt_ms = dt;
+    point.sum = sum;
+    point.dbuckets.resize(cumulative->size());
+    if (raw.hist.empty() && raw.hist_base.empty()) {
+      raw.hist_base.assign(cumulative->size(), 0);
+    }
+    const std::vector<uint64_t>& prev =
+        series->last_cum.empty() ? raw.hist_base : series->last_cum;
+    if (raw.hist.empty()) raw.hist_base = prev;
+    for (size_t i = 0; i < cumulative->size(); ++i) {
+      uint64_t before = i < prev.size() ? prev[i] : 0;
+      point.dbuckets[i] = static_cast<uint32_t>(
+          (*cumulative)[i] >= before ? (*cumulative)[i] - before : 0);
+    }
+    raw.hist.push_back(std::move(point));
+    series->last_cum = *cumulative;
+  } else {
+    raw.scalar.push_back({dt, value});
+  }
+  EvictRing(&raw, t_ms, MsFromSeconds(options_.tiers.front().retention_s));
+  series->newest_ms = t_ms;
+}
+
+size_t MetricsHistory::TierForLocked(uint64_t t0_ms, uint64_t now_ms) const {
+  uint64_t age_ms = now_ms > t0_ms ? now_ms - t0_ms : 0;
+  for (size_t i = 0; i < options_.tiers.size(); ++i) {
+    if (MsFromSeconds(options_.tiers[i].retention_s) >= age_ms) return i;
+  }
+  return options_.tiers.size() - 1;
+}
+
+namespace {
+
+/// A tier's points reconstructed as absolute (t, value[, extras]) rows for
+/// window/range math. Histograms reconstruct cumulative counts.
+struct FlatPoint {
+  uint64_t t_ms = 0;
+  double value = 0;               ///< Scalar value / gauge last.
+  double min = 0, max = 0, sum = 0;
+  uint64_t count = 0;             ///< Gauge fold count (1 for raw).
+  std::vector<uint64_t> cum;      ///< Histogram cumulative (incl. +Inf).
+  double hist_sum = 0;
+};
+
+std::vector<FlatPoint> Flatten(const MetricsHistory::Series& series,
+                               const Ring& ring) {
+  std::vector<FlatPoint> out;
+  out.reserve(ring.size());
+  for (const auto& p : ring.scalar) {
+    FlatPoint f;
+    f.t_ms = ring.base_t_ms + p.dt_ms;
+    f.value = p.value;
+    f.min = f.max = f.sum = p.value;
+    f.count = 1;
+    out.push_back(std::move(f));
+  }
+  for (const auto& p : ring.gauge) {
+    FlatPoint f;
+    f.t_ms = ring.base_t_ms + p.dt_ms;
+    f.value = p.last;
+    f.min = p.min;
+    f.max = p.max;
+    f.sum = p.sum;
+    f.count = p.count;
+    out.push_back(std::move(f));
+  }
+  std::vector<uint64_t> cum = ring.hist_base;
+  for (const auto& p : ring.hist) {
+    FlatPoint f;
+    f.t_ms = ring.base_t_ms + p.dt_ms;
+    for (size_t i = 0; i < p.dbuckets.size() && i < cum.size(); ++i) {
+      cum[i] += p.dbuckets[i];
+    }
+    f.cum = cum;
+    f.hist_sum = p.sum;
+    f.value = f.cum.empty() ? 0 : static_cast<double>(f.cum.back());
+    f.count = 1;
+    out.push_back(std::move(f));
+  }
+  (void)series;
+  return out;
+}
+
+/// Counter increase across consecutive points with Prometheus-style reset
+/// handling: a decrease contributes the post-reset value.
+double Increase(const std::vector<const FlatPoint*>& pts) {
+  double total = 0;
+  for (size_t i = 1; i < pts.size(); ++i) {
+    double prev = pts[i - 1]->value;
+    double cur = pts[i]->value;
+    total += cur >= prev ? cur - prev : cur;
+  }
+  return total;
+}
+
+}  // namespace
+
+std::optional<WindowStats> MetricsHistory::Window(std::string_view name,
+                                                  const LabelSet& labels,
+                                                  uint64_t t0_ms,
+                                                  uint64_t t1_ms) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Series* series = FindLocked(name, labels);
+  if (series == nullptr) return std::nullopt;
+  uint64_t now_ms = ClockOrSystem(options_.clock).NowUnixMs();
+  size_t tier = TierForLocked(t0_ms, now_ms);
+  std::vector<FlatPoint> flat = Flatten(*series, series->tiers[tier]);
+  std::vector<const FlatPoint*> in_window;
+  for (const FlatPoint& p : flat) {
+    if (p.t_ms >= t0_ms && p.t_ms <= t1_ms) in_window.push_back(&p);
+  }
+  if (in_window.empty()) return std::nullopt;
+  WindowStats stats;
+  stats.points = in_window.size();
+  stats.first = in_window.front()->value;
+  stats.last = in_window.back()->value;
+  double sum = 0;
+  uint64_t count = 0;
+  stats.min = in_window.front()->min;
+  stats.max = in_window.front()->max;
+  for (const FlatPoint* p : in_window) {
+    stats.min = std::min(stats.min, p->min);
+    stats.max = std::max(stats.max, p->max);
+    sum += p->sum;
+    count += p->count;
+  }
+  stats.avg = count == 0 ? 0 : sum / static_cast<double>(count);
+  stats.increase = Increase(in_window);
+  return stats;
+}
+
+RangeResult MetricsHistory::Range(const RangeRequest& request) const {
+  RangeResult result;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (request.name.empty()) {
+    result.error = "name is required";
+    return result;
+  }
+  if (request.end_ms <= request.start_ms) {
+    result.error = "end_s must be greater than start_s";
+    return result;
+  }
+  uint64_t now_ms = ClockOrSystem(options_.clock).NowUnixMs();
+  size_t tier = TierForLocked(request.start_ms, now_ms);
+  uint64_t tier_interval_ms = MsFromSeconds(options_.tiers[tier].interval_s);
+  uint64_t step_ms = std::max(request.step_ms, tier_interval_ms);
+  if (step_ms == 0) step_ms = 1000;
+  if ((request.end_ms - request.start_ms) / step_ms > kMaxRangePoints) {
+    result.error = "range spans more than 10000 steps; raise step_s";
+    return result;
+  }
+  result.tier = tier;
+  result.tier_interval_s = options_.tiers[tier].interval_s;
+  result.step_ms = step_ms;
+
+  // Find every child of the family, honoring the label filter.
+  std::vector<const Series*> children;
+  for (auto it = series_.lower_bound(request.name); it != series_.end();
+       ++it) {
+    const Series* series = it->second.get();
+    if (series->name != request.name) {
+      if (it->first.compare(0, request.name.size(), request.name) != 0) break;
+      continue;
+    }
+    if (!request.label_key.empty()) {
+      bool matched = false;
+      for (const auto& [key, value] : series->labels) {
+        if (key == request.label_key && value == request.label_value) {
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) continue;
+    }
+    children.push_back(series);
+  }
+  if (children.empty()) {
+    // An unknown family is an empty answer, not an error: the series may
+    // simply not have been collected yet.
+    return result;
+  }
+  result.kind = children.front()->kind;
+
+  // Aggregation/kind compatibility.
+  auto invalid = [&](std::string_view why) {
+    result.error = std::string("agg=") + std::string(RangeAggName(request.agg)) +
+                   " is not valid for a " +
+                   std::string(SeriesKindName(result.kind)) + " series (" +
+                   std::string(why) + ")";
+    return result;
+  };
+  switch (result.kind) {
+    case SeriesKind::kCounter:
+      if (request.agg != RangeAgg::kRate && request.agg != RangeAgg::kLast) {
+        return invalid("counters support rate|last");
+      }
+      break;
+    case SeriesKind::kGauge:
+      if (request.agg == RangeAgg::kRate || request.agg == RangeAgg::kP50 ||
+          request.agg == RangeAgg::kP99) {
+        return invalid("gauges support avg|min|max|last");
+      }
+      break;
+    case SeriesKind::kHistogram:
+      if (request.agg != RangeAgg::kRate && request.agg != RangeAgg::kP50 &&
+          request.agg != RangeAgg::kP99) {
+        return invalid("histograms support rate|p50|p99");
+      }
+      break;
+  }
+
+  for (const Series* series : children) {
+    RangeSeries out;
+    out.labels = series->labels;
+    std::vector<FlatPoint> flat = Flatten(*series, series->tiers[tier]);
+    if (!flat.empty()) {
+      for (uint64_t t = request.start_ms; t < request.end_ms; t += step_ms) {
+        uint64_t bucket_end = std::min(t + step_ms, request.end_ms);
+        // Left edge: the last point at or before the bucket start (so
+        // rates and quantile deltas cover the full bucket). Right edge:
+        // the last point at or before the bucket end.
+        const FlatPoint* left = nullptr;
+        const FlatPoint* right = nullptr;
+        std::vector<const FlatPoint*> inside;
+        for (const FlatPoint& p : flat) {
+          if (p.t_ms <= t) left = &p;
+          if (p.t_ms <= bucket_end) right = &p;
+          if (p.t_ms > t && p.t_ms <= bucket_end) inside.push_back(&p);
+        }
+        switch (request.agg) {
+          case RangeAgg::kRate: {
+            if (left == nullptr) left = inside.empty() ? nullptr : inside[0];
+            if (left == nullptr || right == nullptr || right == left) break;
+            double span_s =
+                static_cast<double>(right->t_ms - left->t_ms) / 1000.0;
+            if (span_s <= 0) break;
+            // Counter increase between the edges, reset-aware; for
+            // histograms the +Inf cumulative count is the counter.
+            std::vector<const FlatPoint*> edges;
+            for (const FlatPoint& p : flat) {
+              if (p.t_ms >= left->t_ms && p.t_ms <= right->t_ms) {
+                edges.push_back(&p);
+              }
+            }
+            out.points.push_back({t, Increase(edges) / span_s});
+            break;
+          }
+          case RangeAgg::kAvg:
+          case RangeAgg::kMin:
+          case RangeAgg::kMax: {
+            if (inside.empty()) break;
+            double sum = 0;
+            uint64_t count = 0;
+            double mn = inside.front()->min;
+            double mx = inside.front()->max;
+            for (const FlatPoint* p : inside) {
+              sum += p->sum;
+              count += p->count;
+              mn = std::min(mn, p->min);
+              mx = std::max(mx, p->max);
+            }
+            double value = request.agg == RangeAgg::kMin   ? mn
+                           : request.agg == RangeAgg::kMax ? mx
+                           : (count == 0 ? 0
+                                         : sum / static_cast<double>(count));
+            out.points.push_back({t, value});
+            break;
+          }
+          case RangeAgg::kLast: {
+            if (inside.empty()) break;
+            out.points.push_back({t, inside.back()->value});
+            break;
+          }
+          case RangeAgg::kP50:
+          case RangeAgg::kP99: {
+            if (left == nullptr) left = inside.empty() ? nullptr : inside[0];
+            if (left == nullptr || right == nullptr || right == left) break;
+            if (left->cum.empty() || right->cum.empty()) break;
+            std::vector<uint64_t> deltas(series->bounds.size() + 1, 0);
+            for (size_t i = 0; i < deltas.size(); ++i) {
+              uint64_t lo = i < left->cum.size() ? left->cum[i] : 0;
+              uint64_t hi = i < right->cum.size() ? right->cum[i] : 0;
+              deltas[i] = hi >= lo ? hi - lo : 0;
+            }
+            // De-cumulate: per-bucket counts from cumulative deltas.
+            for (size_t i = deltas.size(); i-- > 1;) {
+              deltas[i] -= std::min(deltas[i], deltas[i - 1]);
+            }
+            uint64_t total = 0;
+            for (uint64_t d : deltas) total += d;
+            if (total == 0) break;
+            double q = request.agg == RangeAgg::kP50 ? 0.50 : 0.99;
+            out.points.push_back(
+                {t, QuantileFromDeltas(series->bounds, deltas, q)});
+            break;
+          }
+        }
+      }
+    }
+    result.series.push_back(std::move(out));
+  }
+  return result;
+}
+
+std::vector<SeriesWindow> MetricsHistory::WindowDump(std::string_view name,
+                                                     uint64_t t0_ms,
+                                                     uint64_t t1_ms) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SeriesWindow> out;
+  uint64_t now_ms = ClockOrSystem(options_.clock).NowUnixMs();
+  size_t tier = TierForLocked(t0_ms, now_ms);
+  for (auto it = series_.lower_bound(name); it != series_.end(); ++it) {
+    const Series* series = it->second.get();
+    if (series->name != name) {
+      if (it->first.compare(0, name.size(), name) != 0) break;
+      continue;
+    }
+    SeriesWindow window;
+    window.name = series->name;
+    window.labels = series->labels;
+    window.kind = series->kind;
+    for (const FlatPoint& p : Flatten(*series, series->tiers[tier])) {
+      if (p.t_ms < t0_ms || p.t_ms > t1_ms) continue;
+      window.points.push_back({p.t_ms, p.value});
+    }
+    out.push_back(std::move(window));
+  }
+  return out;
+}
+
+std::optional<SeriesKind> MetricsHistory::Kind(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = series_.lower_bound(name); it != series_.end(); ++it) {
+    if (it->second->name == name) return it->second->kind;
+    if (it->first.compare(0, name.size(), name) != 0) break;
+  }
+  return std::nullopt;
+}
+
+size_t MetricsHistory::SeriesCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+size_t MetricsHistory::ApproxBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t bytes = 0;
+  for (const auto& [key, series] : series_) bytes += series->ApproxBytes();
+  return bytes;
+}
+
+uint64_t MetricsHistory::Ticks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ticks_;
+}
+
+void MetricsHistory::PublishSelfMetricsLocked() {
+  size_t bytes = 0;
+  for (const auto& [key, series] : series_) bytes += series->ApproxBytes();
+  approx_bytes_ = bytes;
+  int64_t delta = static_cast<int64_t>(bytes) - charged_bytes_;
+  if (delta != 0) {
+    ResourceTracker::Default().Charge(Component::kHistory, delta);
+    charged_bytes_ += delta;
+  }
+  Registry& registry = Registry::Default();
+  registry
+      .GetGauge("raptor_history_series",
+                "Distinct metric series retained by the history store")
+      ->Set(static_cast<int64_t>(series_.size()));
+  registry
+      .GetGauge("raptor_history_bytes",
+                "Approximate bytes retained by the history store")
+      ->Set(static_cast<int64_t>(bytes));
+  registry
+      .GetGauge("raptor_history_dropped_series",
+                "Series rejected because max_series was reached")
+      ->Set(static_cast<int64_t>(dropped_series_));
+  static Counter* ticks = registry.GetCounter(
+      "raptor_history_samples_total",
+      "Collector ticks performed by the metrics history store");
+  ticks->Increment();
+}
+
+}  // namespace raptor::obs

@@ -1,0 +1,265 @@
+// Bounded in-process metrics time-series history (the substrate behind
+// GET /api/metrics/range, history-backed SLO burn rates, incident capture,
+// and the built-in dashboard).
+//
+// A background collector thread samples Registry::Default().Snapshot() at
+// a fixed interval (default 1 s) into per-series ring buffers with three
+// multi-resolution retention tiers:
+//
+//   tier 0 (raw)     1 s resolution x 15 min
+//   tier 1 (mid)    10 s resolution x  2 h
+//   tier 2 (coarse) 60 s resolution x 24 h
+//
+// A sample lands in tier 0; when it crosses a coarser tier's bucket
+// boundary, the completed bucket folds down with deterministic semantics
+// per metric kind:
+//
+//   counters    last cumulative value in the bucket (rates are deltas at
+//               query time, with counter-reset handling)
+//   gauges      avg / min / max over the bucket (all three retained)
+//   histograms  last cumulative bucket counts, so windowed rates and
+//               quantiles are answerable at any resolution via bucket
+//               deltas between the window's edges
+//
+// Rings are delta-encoded: timestamps are 32-bit offsets from a per-ring
+// base, and histogram points store per-bucket increments vs the previous
+// sample (cumulative counts are reconstructed by a front-to-back walk,
+// which every window query performs anyway). All retained bytes are
+// charged to obs::ResourceTracker (Component::kHistory) and self-reported
+// as raptor_history_* metrics.
+//
+// Beyond the collector, Append() lets other obs subsystems use the store
+// as their time-series substrate — the SLO engine records its per-SLO
+// good/bad tallies and burn rates here, which is what makes its windows
+// "history-backed" and incident capture able to freeze the offending
+// window.
+//
+// Time comes from an injectable obs::Clock (ManualClock in tests), so
+// tier boundaries, retention eviction, and range output are byte-for-byte
+// deterministic under a stepped clock.
+//
+// Dependency-free (standard library + obs only): raptor_common links
+// against raptor_obs, so this header must not reach outside src/obs.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+namespace raptor::obs {
+
+/// \brief What a series measures; fixes its downsampling and the range
+/// aggregations that apply to it.
+enum class SeriesKind { kCounter, kGauge, kHistogram };
+
+/// Canonical lower-case kind name ("counter", "gauge", "histogram").
+std::string_view SeriesKindName(SeriesKind kind);
+
+/// \brief One retention tier: sample resolution and how far back it keeps.
+struct HistoryTier {
+  double interval_s = 1;
+  double retention_s = 900;
+};
+
+/// \brief Knobs for the history store (ThreatRaptorOptions::history).
+struct HistoryOptions {
+  /// Install the store and let the API start the collector thread.
+  bool enabled = true;
+  /// Collector sampling interval. Appends between ticks are accepted at
+  /// any rate; the tiers bound memory regardless.
+  double sample_interval_s = 1.0;
+  /// Retention tiers, finest first. Intervals must be ascending; each
+  /// coarser tier folds completed buckets of the finer stream.
+  std::vector<HistoryTier> tiers = {{1, 900}, {10, 7200}, {60, 86400}};
+  /// Hard cap on distinct series; new series beyond it are dropped and
+  /// counted in raptor_history_series_dropped_total.
+  size_t max_series = 2048;
+  /// Injectable time source; null means wall time (SystemClock).
+  std::shared_ptr<Clock> clock;
+};
+
+/// \brief Range-query aggregation functions (the `agg=` parameter).
+enum class RangeAgg { kRate, kAvg, kMin, kMax, kLast, kP50, kP99 };
+
+/// Parses "rate|avg|min|max|last|p50|p99"; nullopt otherwise.
+std::optional<RangeAgg> ParseRangeAgg(std::string_view name);
+std::string_view RangeAggName(RangeAgg agg);
+
+/// \brief One range query (GET /api/metrics/range).
+struct RangeRequest {
+  std::string name;  ///< Metric family name (required).
+  /// Optional label filter: only series whose label set contains this
+  /// key=value pair match. Empty key means no filter.
+  std::string label_key;
+  std::string label_value;
+  uint64_t start_ms = 0;  ///< Window start (unix ms), inclusive.
+  uint64_t end_ms = 0;    ///< Window end (unix ms), inclusive.
+  uint64_t step_ms = 0;   ///< Output step; 0 = the serving tier's interval.
+  RangeAgg agg = RangeAgg::kAvg;
+};
+
+/// \brief One aggregated output point.
+struct RangePoint {
+  uint64_t t_ms = 0;  ///< Step-bucket start.
+  double value = 0;
+};
+
+/// \brief One matching series' aggregated points.
+struct RangeSeries {
+  LabelSet labels;
+  std::vector<RangePoint> points;
+};
+
+/// \brief A range query's answer. `error` is empty on success (the obs
+/// library has no Status type; the API maps it to a 400).
+struct RangeResult {
+  std::string error;
+  SeriesKind kind = SeriesKind::kGauge;
+  size_t tier = 0;  ///< Index of the tier that served the query.
+  double tier_interval_s = 0;
+  uint64_t step_ms = 0;  ///< Effective step after defaulting/clamping.
+  std::vector<RangeSeries> series;
+};
+
+/// \brief Summary of one series over a time window (the SLO engine's
+/// burn-rate substrate).
+struct WindowStats {
+  size_t points = 0;
+  double first = 0;
+  double last = 0;
+  double min = 0;
+  double max = 0;
+  double avg = 0;
+  /// Counter semantics: sum of non-negative consecutive deltas; a
+  /// decrease (counter reset) contributes the post-reset value.
+  double increase = 0;
+};
+
+/// \brief A raw window of one series, for incident capture: every retained
+/// point (histograms dump their cumulative count) between two timestamps.
+struct SeriesWindow {
+  std::string name;
+  LabelSet labels;
+  SeriesKind kind = SeriesKind::kGauge;
+  std::vector<RangePoint> points;
+};
+
+/// \brief The process-wide metrics history store.
+///
+/// Configure installs options and clears retained data (no thread); the
+/// API server calls Start when HistoryOptions::enabled to run the
+/// collector. CollectNow lets tests drive sampling deterministically
+/// against an injected ManualClock.
+class MetricsHistory {
+ public:
+  /// Implementation detail (per-series rings + accumulators); public only
+  /// so file-scope helpers in history.cc can name it.
+  struct Series;
+
+  MetricsHistory();
+  ~MetricsHistory();
+
+  MetricsHistory(const MetricsHistory&) = delete;
+  MetricsHistory& operator=(const MetricsHistory&) = delete;
+
+  /// The process-wide store behind /api/metrics/range and the SLO engine.
+  static MetricsHistory& Default();
+
+  /// Stops a running collector, drops every series, and installs the
+  /// options. The ThreatRaptor constructor calls this.
+  void Configure(const HistoryOptions& options);
+  HistoryOptions options() const;
+
+  void Start();
+  void Stop();
+  bool running() const;
+
+  /// One collector tick at the clock's current time: snapshots the
+  /// registry and appends every instrument to its series.
+  void CollectNow();
+
+  /// Current time on the injected clock (unix ms).
+  uint64_t NowUnixMs() const;
+
+  /// The registry snapshot taken by the most recent collector tick;
+  /// nullptr before the first tick. /api/watch reuses this instead of
+  /// re-snapshotting the registry per streamed frame.
+  std::shared_ptr<const std::vector<FamilySnapshot>> LatestSnapshot() const;
+
+  /// Appends one scalar sample to a series (created on first use; the
+  /// kind is fixed then). Out-of-order timestamps (<= the series' newest)
+  /// are dropped. This is the programmatic path the SLO engine uses.
+  void Append(std::string_view name, const LabelSet& labels, SeriesKind kind,
+              uint64_t t_ms, double value);
+
+  /// Drops one series from every tier (the SLO engine clears its series
+  /// on Configure).
+  void RemoveSeries(std::string_view name, const LabelSet& labels);
+
+  /// Summary of `[t0_ms, t1_ms]` (inclusive) for one scalar series, from
+  /// the finest tier whose retention covers t0. nullopt when the series
+  /// does not exist or has no points in the window.
+  std::optional<WindowStats> Window(std::string_view name,
+                                    const LabelSet& labels, uint64_t t0_ms,
+                                    uint64_t t1_ms) const;
+
+  /// Aggregated range query over every matching child series (the
+  /// /api/metrics/range handler).
+  RangeResult Range(const RangeRequest& request) const;
+
+  /// Every child series of `name` dumped raw over `[t0_ms, t1_ms]`
+  /// (incident capture freezes these).
+  std::vector<SeriesWindow> WindowDump(std::string_view name, uint64_t t0_ms,
+                                       uint64_t t1_ms) const;
+
+  /// The kind of `name`'s series, or nullopt when never seen.
+  std::optional<SeriesKind> Kind(std::string_view name) const;
+
+  size_t SeriesCount() const;
+  /// Approximate retained bytes (also charged to Component::kHistory and
+  /// published as raptor_history_bytes).
+  size_t ApproxBytes() const;
+
+  /// Collector ticks performed (raptor_history_samples_total mirror).
+  uint64_t Ticks() const;
+
+ private:
+  void CollectorLoop();
+  Series* FindOrCreateLocked(std::string_view name, const LabelSet& labels,
+                             SeriesKind kind,
+                             const std::vector<double>* bounds);
+  const Series* FindLocked(std::string_view name, const LabelSet& labels) const;
+  void AppendLocked(Series* series, uint64_t t_ms, double value,
+                    const std::vector<uint64_t>* cumulative, uint64_t count,
+                    double sum);
+  /// Picks the finest tier whose retention covers `t0` relative to `now`.
+  size_t TierForLocked(uint64_t t0_ms, uint64_t now_ms) const;
+  void PublishSelfMetricsLocked();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  HistoryOptions options_;
+  /// Keyed by name + rendered labels (the registry child convention).
+  std::map<std::string, std::unique_ptr<Series>, std::less<>> series_;
+  std::shared_ptr<const std::vector<FamilySnapshot>> latest_;
+  uint64_t ticks_ = 0;
+  uint64_t dropped_series_ = 0;
+  size_t approx_bytes_ = 0;
+  int64_t charged_bytes_ = 0;  ///< What ResourceTracker currently holds.
+  bool running_ = false;
+  std::thread collector_;
+};
+
+}  // namespace raptor::obs

@@ -1,0 +1,92 @@
+#include "obs/incident.h"
+
+#include "obs/metrics.h"
+
+namespace raptor::obs {
+
+IncidentJournal& IncidentJournal::Default() {
+  static IncidentJournal* journal = new IncidentJournal();  // leaked singleton
+  return *journal;
+}
+
+void IncidentJournal::Configure(const IncidentJournalOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  if (options_.max_incidents == 0) options_.max_incidents = 1;
+  incidents_.clear();
+}
+
+IncidentJournalOptions IncidentJournal::options() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_;
+}
+
+void IncidentJournal::SetBundleHook(BundleHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hook_ = std::move(hook);
+}
+
+std::string IncidentJournal::BuildBundle() const {
+  BundleHook hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hook = hook_;
+  }
+  return hook ? hook() : std::string();
+}
+
+uint64_t IncidentJournal::Record(Incident incident) {
+  uint64_t id;
+  std::string slo;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    incident.id = next_id_++;
+    id = incident.id;
+    slo = incident.slo;
+    incidents_.push_back(std::move(incident));
+    while (incidents_.size() > options_.max_incidents) {
+      incidents_.pop_front();
+    }
+  }
+  Registry::Default()
+      .GetCounter("raptor_incidents_total",
+                  "Incidents captured on SLO pending->firing transitions",
+                  {{"slo", slo}})
+      ->Increment();
+  return id;
+}
+
+void IncidentJournal::MarkResolved(std::string_view slo, uint64_t t_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = incidents_.rbegin(); it != incidents_.rend(); ++it) {
+    if (it->slo == slo && it->resolved_at_ms == 0) {
+      it->resolved_at_ms = t_ms;
+      return;
+    }
+  }
+}
+
+std::vector<Incident> IncidentJournal::Snapshot(size_t limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Incident> out;
+  size_t n = incidents_.size();
+  if (limit != 0 && limit < n) n = limit;
+  out.reserve(n);
+  for (auto it = incidents_.rbegin(); it != incidents_.rend() && out.size() < n;
+       ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+size_t IncidentJournal::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return incidents_.size();
+}
+
+void IncidentJournal::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  incidents_.clear();
+}
+
+}  // namespace raptor::obs

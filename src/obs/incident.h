@@ -1,0 +1,95 @@
+// Incident capture: a bounded journal of SLO firings with frozen context.
+//
+// When the SLO engine walks an alert pending→firing it records an Incident
+// here: the burn rates at the moment of firing, a frozen debug bundle
+// (built by a hook the API server installs — the obs library itself has no
+// JSON dependency), and the offending metric's history window dumped from
+// MetricsHistory. The journal is a ring (oldest incidents fall off) served
+// at GET /api/incidents and embedded in the debug bundle's "incidents"
+// section; firing→ok marks the incident resolved in place.
+//
+// Dependency-free (standard library + obs only), like the rest of src/obs.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/history.h"
+
+namespace raptor::obs {
+
+/// \brief One captured SLO firing, frozen at the moment of transition.
+struct Incident {
+  uint64_t id = 0;  ///< Monotonic, process-wide.
+  std::string slo;  ///< SloSpec::name.
+  uint64_t fired_at_ms = 0;
+  uint64_t resolved_at_ms = 0;  ///< 0 while still firing.
+  double short_burn = 0;
+  double long_burn = 0;
+  double burn_threshold = 0;
+  /// The metric family whose history was frozen (SloSpec::history_metric).
+  std::string metric;
+  /// The offending metric's retained points around the firing, dumped from
+  /// MetricsHistory at capture time.
+  std::vector<SeriesWindow> windows;
+  /// A frozen debug bundle (JSON text) built by the installed hook; empty
+  /// when no hook is installed.
+  std::string bundle_json;
+};
+
+/// \brief Knobs for the incident journal.
+struct IncidentJournalOptions {
+  size_t max_incidents = 16;  ///< Ring capacity; oldest evicted.
+  /// How much history to freeze before the firing (and a small tail after
+  /// is implicit: capture happens at firing time).
+  double window_s = 300;
+};
+
+/// \brief The process-wide incident ring. All methods are thread-safe.
+class IncidentJournal {
+ public:
+  /// Builds the frozen debug-bundle JSON for a new incident. Installed by
+  /// the API server (which owns JSON rendering); called WITHOUT any obs
+  /// lock held, so it may snapshot the registry, engine state, etc.
+  using BundleHook = std::function<std::string()>;
+
+  static IncidentJournal& Default();
+
+  /// Installs options and clears retained incidents (the ThreatRaptor
+  /// constructor path calls this via SloEngine::Configure).
+  void Configure(const IncidentJournalOptions& options);
+  IncidentJournalOptions options() const;
+
+  void SetBundleHook(BundleHook hook);
+  /// Runs the installed hook (or returns "" without one). Callers must not
+  /// hold locks the hook's snapshots need.
+  std::string BuildBundle() const;
+
+  /// Appends an incident (assigning its id) and bumps
+  /// raptor_incidents_total{slo}. Returns the assigned id.
+  uint64_t Record(Incident incident);
+
+  /// Marks the newest unresolved incident of `slo` resolved at `t_ms`.
+  void MarkResolved(std::string_view slo, uint64_t t_ms);
+
+  /// Newest-first copy; `limit` 0 means all retained.
+  std::vector<Incident> Snapshot(size_t limit = 0) const;
+
+  size_t size() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  IncidentJournalOptions options_;
+  BundleHook hook_;
+  std::deque<Incident> incidents_;  ///< Oldest first.
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace raptor::obs

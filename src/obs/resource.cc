@@ -16,6 +16,8 @@ std::string_view ComponentName(Component component) {
       return "engine";
     case Component::kStats:
       return "stats";
+    case Component::kHistory:
+      return "history";
   }
   return "unknown";
 }

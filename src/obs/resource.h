@@ -27,9 +27,10 @@ enum class Component : uint8_t {
   kIngest,          ///< Audit ingestion buffers (entities + events).
   kEngine,          ///< Query-engine intermediate result sets.
   kStats,           ///< Data-statistics sketches (NDV, heavy hitters, ...).
+  kHistory,         ///< Metrics time-series history (retention tiers).
 };
 
-inline constexpr size_t kNumComponents = 5;
+inline constexpr size_t kNumComponents = 6;
 
 /// Stable label value for a component ("relational", "graph", ...).
 std::string_view ComponentName(Component component);

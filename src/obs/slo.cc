@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "obs/history.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/resource.h"
@@ -14,12 +15,12 @@ namespace {
 
 constexpr size_t kMaxTransitions = 256;
 
-uint64_t UnixMillisNow() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::milliseconds>(
-          std::chrono::system_clock::now().time_since_epoch())
-          .count());
-}
+/// The history series one SLO writes per evaluation.
+constexpr std::string_view kGoodSeries = "raptor_slo_good";
+constexpr std::string_view kBadSeries = "raptor_slo_bad";
+constexpr std::string_view kRatioSeries = "raptor_slo_ratio";
+constexpr std::string_view kShortBurnSeries = "raptor_slo_short_burn";
+constexpr std::string_view kLongBurnSeries = "raptor_slo_long_burn";
 
 /// hunt_latency_p99 tallies: good = hunts whose latency landed in a bucket
 /// whose bound is within the target (the target snaps down to a bucket
@@ -93,57 +94,40 @@ std::string_view AlertStateName(AlertState state) {
   return "ok";
 }
 
-/// One installed SLO: its spec, the rolling sample ring, and the state
-/// machine's position.
+/// One installed SLO: its spec, history identity, and the state machine's
+/// position. The rolling samples themselves live in MetricsHistory under
+/// raptor_slo_*{slo=name}.
 struct SloEngine::Runtime {
   SloSpec spec;
-  struct Point {
-    std::chrono::steady_clock::time_point at;
-    SloSample sample;
-  };
-  std::deque<Point> points;
+  LabelSet labels;  ///< {{"slo", spec.name}} — the history series identity.
   AlertState state = AlertState::kOk;
-  std::chrono::steady_clock::time_point pending_since{};
+  uint64_t pending_since_ms = 0;
   uint64_t state_since_unix_ms = 0;
   double short_burn = 0;
   double long_burn = 0;
   double error_ratio = 0;
+  uint64_t window_points = 0;  ///< History points inside the long window.
   Gauge* gauge = nullptr;
 
-  /// Error ratio over the trailing window ending at `now`.
-  double WindowRatio(double window_s,
-                     std::chrono::steady_clock::time_point now) const {
-    auto cutoff = now - std::chrono::duration_cast<
-                            std::chrono::steady_clock::duration>(
-                            std::chrono::duration<double>(window_s));
+  /// Error ratio over the trailing window ending at `now_ms`, from the
+  /// history store's rolling series.
+  double WindowRatio(double window_s, uint64_t now_ms) const {
+    uint64_t window_ms = static_cast<uint64_t>(window_s * 1000.0);
+    uint64_t t0 = now_ms > window_ms ? now_ms - window_ms : 0;
+    MetricsHistory& history = MetricsHistory::Default();
     if (spec.kind == SloKind::kCumulative) {
-      // Delta between the oldest in-window point and the newest. A single
-      // point has no delta: the window saw no events yet.
-      const Point* first = nullptr;
-      for (const Point& p : points) {
-        if (p.at >= cutoff) {
-          first = &p;
-          break;
-        }
-      }
-      if (first == nullptr || first == &points.back()) return 0;
-      const Point& last = points.back();
-      double bad = last.sample.bad - first->sample.bad;
-      double good = last.sample.good - first->sample.good;
-      double total = bad + good;
+      // Counter increases over the window. A single point has no delta:
+      // the window saw no events yet.
+      auto bad = history.Window(kBadSeries, labels, t0, now_ms);
+      auto good = history.Window(kGoodSeries, labels, t0, now_ms);
+      if (!bad || !good || bad->points < 2) return 0;
+      double total = bad->increase + good->increase;
       if (total <= 0) return 0;
-      return std::max(0.0, bad) / total;
+      return std::max(0.0, bad->increase) / total;
     }
-    // kInstant: average of per-sample ratios.
-    double sum = 0;
-    size_t n = 0;
-    for (const Point& p : points) {
-      if (p.at < cutoff) continue;
-      double total = p.sample.bad + p.sample.good;
-      if (total > 0) sum += p.sample.bad / total;
-      ++n;
-    }
-    return n == 0 ? 0 : sum / static_cast<double>(n);
+    // kInstant: average of the recorded per-sample ratios.
+    auto ratio = history.Window(kRatioSeries, labels, t0, now_ms);
+    return ratio ? ratio->avg : 0;
   }
 };
 
@@ -155,15 +139,30 @@ SloEngine& SloEngine::Default() {
 void SloEngine::Configure(const SloOptions& options) {
   Stop();
   std::lock_guard<std::mutex> lock(mu_);
+  RemoveHistorySeriesLocked();
   options_ = options;
   slos_.clear();
   transitions_.clear();
+  last_eval_ms_ = 0;
+  IncidentJournal::Default().Configure(options_.incidents);
   if (options_.enabled) InstallDefaultCatalogLocked();
 }
 
 SloOptions SloEngine::options() const {
   std::lock_guard<std::mutex> lock(mu_);
   return options_;
+}
+
+void SloEngine::RemoveHistorySeriesLocked() {
+  // Drop the previous catalog's rolling series so a reconfigured engine
+  // (tests reuse slo names against a fresh ManualClock) starts clean.
+  MetricsHistory& history = MetricsHistory::Default();
+  for (const auto& slo : slos_) {
+    for (std::string_view series : {kGoodSeries, kBadSeries, kRatioSeries,
+                                    kShortBurnSeries, kLongBurnSeries}) {
+      history.RemoveSeries(series, slo->labels);
+    }
+  }
 }
 
 void SloEngine::InstallDefaultCatalogLocked() {
@@ -181,6 +180,7 @@ void SloEngine::InstallDefaultCatalogLocked() {
   hunt.description = "Hunts must finish within the p99 latency target";
   hunt.kind = SloKind::kCumulative;
   hunt.objective = o.hunt_latency_objective;
+  hunt.history_metric = "raptor_hunt_ms";
   double target_ms = o.hunt_p99_target_ms;
   hunt.sample = [target_ms] { return HuntLatencySample(target_ms); };
   tune(&hunt);
@@ -191,6 +191,7 @@ void SloEngine::InstallDefaultCatalogLocked() {
   http.description = "HTTP responses must not be errors (408/413/5xx)";
   http.kind = SloKind::kCumulative;
   http.objective = o.http_error_objective;
+  http.history_metric = "raptor_http_errors_total";
   http.sample = HttpErrorSample;
   tune(&http);
   AddSloLocked(http);
@@ -200,6 +201,7 @@ void SloEngine::InstallDefaultCatalogLocked() {
   degraded.description = "Hunts must complete without degraded fallbacks";
   degraded.kind = SloKind::kCumulative;
   degraded.objective = o.degraded_hunt_objective;
+  degraded.history_metric = "raptor_hunts_degraded_total";
   degraded.sample = DegradedHuntSample;
   tune(&degraded);
   AddSloLocked(degraded);
@@ -210,6 +212,7 @@ void SloEngine::InstallDefaultCatalogLocked() {
       "Component peak memory must stay within the budget's burn threshold";
   memory.kind = SloKind::kInstant;
   memory.objective = 0;  // burn == budget utilization
+  memory.history_metric = "raptor_mem_live_bytes";
   uint64_t budget = o.memory_budget_bytes;
   memory.sample = [budget] { return MemoryHeadroomSample(budget); };
   tune(&memory);
@@ -225,7 +228,8 @@ void SloEngine::AddSlo(const SloSpec& spec) {
 void SloEngine::AddSloLocked(const SloSpec& spec) {
   auto runtime = std::make_unique<Runtime>();
   runtime->spec = spec;
-  runtime->state_since_unix_ms = UnixMillisNow();
+  runtime->labels = {{"slo", spec.name}};
+  runtime->state_since_unix_ms = ClockOrSystem(options_.clock).NowUnixMs();
   runtime->gauge = Registry::Default().GetGauge(
       "raptor_alert_state",
       "SLO alert state machine position (0=ok, 1=pending, 2=firing)",
@@ -259,7 +263,17 @@ bool SloEngine::running() const {
 void SloEngine::EvaluatorLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (running_) {
-    EvaluateLocked();
+    uint64_t now_ms = ClockOrSystem(options_.clock).NowUnixMs();
+    std::vector<PendingIncident> fired;
+    if (now_ms > last_eval_ms_) {
+      last_eval_ms_ = now_ms;
+      EvaluateLocked(now_ms, &fired);
+    }
+    if (!fired.empty()) {
+      lock.unlock();
+      RecordIncidents(std::move(fired));
+      lock.lock();
+    }
     auto interval = std::chrono::duration<double, std::milli>(
         std::max(1.0, options_.eval_interval_ms));
     cv_.wait_for(lock, interval, [this] { return !running_; });
@@ -267,31 +281,62 @@ void SloEngine::EvaluatorLoop() {
 }
 
 void SloEngine::EvaluateNow() {
-  std::lock_guard<std::mutex> lock(mu_);
-  EvaluateLocked();
+  std::vector<PendingIncident> fired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t now_ms = ClockOrSystem(options_.clock).NowUnixMs();
+    // Idempotence: a timestamp already evaluated (a concurrent poll, or a
+    // poll racing the background evaluator) must not double-step the burn
+    // windows.
+    if (now_ms <= last_eval_ms_) return;
+    last_eval_ms_ = now_ms;
+    EvaluateLocked(now_ms, &fired);
+  }
+  RecordIncidents(std::move(fired));
 }
 
-void SloEngine::EvaluateLocked() {
-  auto now = std::chrono::steady_clock::now();
-  uint64_t unix_ms = UnixMillisNow();
+void SloEngine::EvaluateLocked(uint64_t now_ms,
+                               std::vector<PendingIncident>* fired) {
+  MetricsHistory& history = MetricsHistory::Default();
   for (const auto& slo : slos_) {
     if (!slo->spec.sample) continue;
-    slo->points.push_back({now, slo->spec.sample()});
-    // Prune beyond the long window, always keeping the newest point.
-    auto cutoff = now - std::chrono::duration_cast<
-                            std::chrono::steady_clock::duration>(
-                            std::chrono::duration<double>(
-                                slo->spec.long_window_s));
-    while (slo->points.size() > 1 && slo->points.front().at < cutoff) {
-      slo->points.pop_front();
+    SloSample sample = slo->spec.sample();
+
+    // Record the tallies into the rolling history; the window queries
+    // below read them back. Cumulative tallies are counters (windows use
+    // increases), instant tallies are gauges.
+    SeriesKind tally_kind = slo->spec.kind == SloKind::kCumulative
+                                ? SeriesKind::kCounter
+                                : SeriesKind::kGauge;
+    history.Append(kGoodSeries, slo->labels, tally_kind, now_ms, sample.good);
+    history.Append(kBadSeries, slo->labels, tally_kind, now_ms, sample.bad);
+    if (slo->spec.kind == SloKind::kInstant) {
+      double total = sample.good + sample.bad;
+      double ratio = total > 0 ? sample.bad / total : 0;
+      history.Append(kRatioSeries, slo->labels, SeriesKind::kGauge, now_ms,
+                     ratio);
     }
 
     double budget = std::max(1e-9, 1.0 - slo->spec.objective);
-    double short_ratio = slo->WindowRatio(slo->spec.short_window_s, now);
-    double long_ratio = slo->WindowRatio(slo->spec.long_window_s, now);
+    double short_ratio = slo->WindowRatio(slo->spec.short_window_s, now_ms);
+    double long_ratio = slo->WindowRatio(slo->spec.long_window_s, now_ms);
     slo->short_burn = short_ratio / budget;
     slo->long_burn = long_ratio / budget;
     slo->error_ratio = long_ratio;
+    history.Append(kShortBurnSeries, slo->labels, SeriesKind::kGauge, now_ms,
+                   slo->short_burn);
+    history.Append(kLongBurnSeries, slo->labels, SeriesKind::kGauge, now_ms,
+                   slo->long_burn);
+    {
+      uint64_t window_ms =
+          static_cast<uint64_t>(slo->spec.long_window_s * 1000.0);
+      uint64_t t0 = now_ms > window_ms ? now_ms - window_ms : 0;
+      auto stats =
+          history.Window(slo->spec.kind == SloKind::kCumulative ? kBadSeries
+                                                                : kRatioSeries,
+                         slo->labels, t0, now_ms);
+      slo->window_points = stats ? stats->points : 0;
+    }
     bool above = slo->short_burn > slo->spec.burn_threshold &&
                  slo->long_burn > slo->spec.burn_threshold;
 
@@ -300,14 +345,15 @@ void SloEngine::EvaluateLocked() {
       case AlertState::kOk:
         if (above) {
           next = AlertState::kPending;
-          slo->pending_since = now;
+          slo->pending_since_ms = now_ms;
         }
         break;
       case AlertState::kPending:
         if (!above) {
           next = AlertState::kOk;
-        } else if (std::chrono::duration<double>(now - slo->pending_since)
-                       .count() >= slo->spec.pending_for_s) {
+        } else if (static_cast<double>(now_ms - slo->pending_since_ms) /
+                       1000.0 >=
+                   slo->spec.pending_for_s) {
           next = AlertState::kFiring;
         }
         break;
@@ -321,7 +367,7 @@ void SloEngine::EvaluateLocked() {
       transition.slo = slo->spec.name;
       transition.from = slo->state;
       transition.to = next;
-      transition.unix_ms = unix_ms;
+      transition.unix_ms = now_ms;
       transition.short_burn = slo->short_burn;
       transition.long_burn = slo->long_burn;
       transitions_.push_back(transition);
@@ -340,12 +386,63 @@ void SloEngine::EvaluateLocked() {
           .Field("short_burn", slo->short_burn)
           .Field("long_burn", slo->long_burn);
 
+      if (next == AlertState::kFiring && fired != nullptr) {
+        PendingIncident incident;
+        incident.slo = slo->spec.name;
+        incident.metric = slo->spec.history_metric;
+        incident.fired_at_ms = now_ms;
+        incident.short_burn = slo->short_burn;
+        incident.long_burn = slo->long_burn;
+        incident.burn_threshold = slo->spec.burn_threshold;
+        fired->push_back(std::move(incident));
+      }
+      if (resolved) {
+        IncidentJournal::Default().MarkResolved(slo->spec.name, now_ms);
+      }
+
       slo->state = next;
-      slo->state_since_unix_ms = unix_ms;
+      slo->state_since_unix_ms = now_ms;
     }
     if (slo->gauge != nullptr) {
       slo->gauge->Set(static_cast<int64_t>(slo->state));
     }
+  }
+}
+
+void SloEngine::RecordIncidents(std::vector<PendingIncident> fired) {
+  if (fired.empty()) return;
+  IncidentJournal& journal = IncidentJournal::Default();
+  MetricsHistory& history = MetricsHistory::Default();
+  uint64_t window_ms =
+      static_cast<uint64_t>(journal.options().window_s * 1000.0);
+  for (PendingIncident& pending : fired) {
+    Incident incident;
+    incident.slo = pending.slo;
+    incident.metric = pending.metric;
+    incident.fired_at_ms = pending.fired_at_ms;
+    incident.short_burn = pending.short_burn;
+    incident.long_burn = pending.long_burn;
+    incident.burn_threshold = pending.burn_threshold;
+    uint64_t t0 = pending.fired_at_ms > window_ms
+                      ? pending.fired_at_ms - window_ms
+                      : 0;
+    if (!pending.metric.empty()) {
+      incident.windows =
+          history.WindowDump(pending.metric, t0, pending.fired_at_ms);
+    }
+    // Always freeze the SLO's own burn trajectory (its series only).
+    for (std::string_view series : {kShortBurnSeries, kLongBurnSeries}) {
+      for (SeriesWindow& window :
+           history.WindowDump(series, t0, pending.fired_at_ms)) {
+        bool ours = false;
+        for (const auto& [key, value] : window.labels) {
+          if (key == "slo" && value == pending.slo) ours = true;
+        }
+        if (ours) incident.windows.push_back(std::move(window));
+      }
+    }
+    incident.bundle_json = journal.BuildBundle();
+    journal.Record(std::move(incident));
   }
 }
 
@@ -366,7 +463,7 @@ std::vector<AlertStatus> SloEngine::Snapshot() const {
     status.long_burn = slo->long_burn;
     status.error_ratio = slo->error_ratio;
     status.state_since_unix_ms = slo->state_since_unix_ms;
-    status.samples = slo->points.size();
+    status.samples = slo->window_points;
     out.push_back(std::move(status));
   }
   return out;

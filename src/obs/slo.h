@@ -2,9 +2,11 @@
 //
 // An SloSpec declares an objective ("99% of hunts finish under the p99
 // target") plus a sampler closure that reads good/bad tallies — usually
-// registry counters or histogram buckets. The engine evaluates every spec
-// on a rolling ring of samples and computes the *burn rate* over two
-// windows (short for fast detection, long against flapping):
+// registry counters or histogram buckets. Every evaluation records the
+// tallies into MetricsHistory (raptor_slo_good/raptor_slo_bad{slo}, plus
+// raptor_slo_ratio for instant SLOs and the computed burn rates), and the
+// *burn rate* is computed from true rolling-window queries over that
+// history (short window for fast detection, long against flapping):
 //
 //   error_ratio = bad_delta / (good_delta + bad_delta)    over the window
 //   burn        = error_ratio / (1 - objective)
@@ -17,6 +19,15 @@
 //   pending -> ok      dropped below before confirming
 //   firing -> ok       dropped below (the transition log marks it resolved)
 //
+// Evaluation is idempotent per clock timestamp: concurrent /api/alerts
+// polls and the background evaluator cannot double-step a burn window —
+// a second evaluation within the same clock millisecond is a no-op.
+//
+// On pending→firing the engine captures an Incident (obs/incident.h): the
+// burn rates at that instant, a frozen debug bundle, and the offending
+// metric's history window (SloSpec::history_metric). firing→ok marks the
+// incident resolved.
+//
 // Every evaluation publishes the state to raptor_alert_state{slo} (0=ok,
 // 1=pending, 2=firing); every transition emits a structured log event
 // (subsystem "slo") and lands in a bounded transition ring. GET /api/alerts
@@ -24,7 +35,7 @@
 //
 // Two sample kinds:
 //   kCumulative  good/bad are monotonic totals (counters, histogram bucket
-//                counts); window ratios come from first/last deltas.
+//                counts); window ratios come from counter increases.
 //   kInstant     good/bad are instantaneous quantities (memory headroom);
 //                window ratios average the per-sample ratios.
 //
@@ -45,6 +56,9 @@
 #include <string_view>
 #include <thread>
 #include <vector>
+
+#include "obs/clock.h"
+#include "obs/incident.h"
 
 namespace raptor::obs {
 
@@ -81,6 +95,9 @@ struct SloSpec {
   double burn_threshold = 1.0;
   /// Seconds the burn must persist before pending escalates to firing.
   double pending_for_s = 30;
+  /// Metric family whose history window is frozen into the incident when
+  /// this SLO fires (empty = only the SLO's own burn series).
+  std::string history_metric;
   /// Reads the current tallies; called on every evaluation with the
   /// engine's lock held, so it must not call back into the engine.
   std::function<SloSample()> sample;
@@ -113,6 +130,14 @@ struct SloOptions {
   /// burn is utilization itself).
   uint64_t memory_budget_bytes = 4ull << 30;
   double memory_burn_threshold = 0.8;
+
+  /// Incident-ring tuning, installed into IncidentJournal::Default() by
+  /// Configure.
+  IncidentJournalOptions incidents;
+
+  /// Injectable time source shared with the history store; null = wall
+  /// time. ThreatRaptor propagates HistoryOptions::clock here when unset.
+  std::shared_ptr<Clock> clock;
 };
 
 /// \brief One state-machine transition, for /api/alerts and the bundle.
@@ -138,7 +163,7 @@ struct AlertStatus {
   double long_burn = 0;
   double error_ratio = 0;  ///< Long-window error ratio.
   uint64_t state_since_unix_ms = 0;
-  uint64_t samples = 0;  ///< Evaluations currently inside the long window.
+  uint64_t samples = 0;  ///< History points currently inside the long window.
 };
 
 /// \brief The process-wide SLO evaluator.
@@ -146,14 +171,17 @@ struct AlertStatus {
 /// Configure installs the default catalog (no thread); Start — called by
 /// RegisterThreatRaptorApi when SloOptions::enabled — runs the periodic
 /// evaluator. EvaluateNow lets the API and tests advance the state machine
-/// deterministically.
+/// deterministically (stepping the injected clock between calls; a call
+/// that lands on an already-evaluated timestamp is a no-op).
 class SloEngine {
  public:
   static SloEngine& Default();
 
-  /// Stops a running evaluator, drops all specs/history/transitions, and
-  /// installs the default catalog when `options.enabled` (gauges reset to
-  /// ok). The ThreatRaptor constructor calls this.
+  /// Stops a running evaluator, drops all specs/history/transitions
+  /// (including the specs' series in MetricsHistory), configures the
+  /// incident journal, and installs the default catalog when
+  /// `options.enabled` (gauges reset to ok). The ThreatRaptor constructor
+  /// calls this.
   void Configure(const SloOptions& options);
   SloOptions options() const;
 
@@ -164,7 +192,9 @@ class SloEngine {
   void Stop();
   bool running() const;
 
-  /// Samples every spec once and advances the state machines.
+  /// Samples every spec once at the clock's current time and advances the
+  /// state machines. No-op when the current timestamp was already
+  /// evaluated (idempotence against concurrent polls).
   void EvaluateNow();
 
   std::vector<AlertStatus> Snapshot() const;
@@ -173,10 +203,22 @@ class SloEngine {
 
  private:
   struct Runtime;
+  /// An incident detected under the lock, recorded after unlocking (the
+  /// bundle hook snapshots subsystems that take their own locks).
+  struct PendingIncident {
+    std::string slo;
+    std::string metric;
+    uint64_t fired_at_ms = 0;
+    double short_burn = 0;
+    double long_burn = 0;
+    double burn_threshold = 0;
+  };
 
   void InstallDefaultCatalogLocked();
   void AddSloLocked(const SloSpec& spec);
-  void EvaluateLocked();
+  void RemoveHistorySeriesLocked();
+  void EvaluateLocked(uint64_t now_ms, std::vector<PendingIncident>* fired);
+  void RecordIncidents(std::vector<PendingIncident> fired);
   void EvaluatorLoop();
 
   mutable std::mutex mu_;
@@ -184,6 +226,7 @@ class SloEngine {
   SloOptions options_;
   std::vector<std::unique_ptr<Runtime>> slos_;
   std::deque<AlertTransition> transitions_;
+  uint64_t last_eval_ms_ = 0;  ///< Idempotence: newest evaluated timestamp.
   bool running_ = false;
   std::thread evaluator_;
 };

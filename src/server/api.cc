@@ -11,6 +11,8 @@
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "engine/explain.h"
+#include "obs/history.h"
+#include "obs/incident.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/misestimate_journal.h"
@@ -145,6 +147,24 @@ Result<size_t> BoundedParam(const HttpRequest& req, std::string_view key,
                                    *raw + "'");
   }
   return std::min(static_cast<size_t>(value), cap);
+}
+
+/// Like BoundedParam but uncapped: unix-second timestamps (`start_s`,
+/// `end_s`) are legitimate large integers. Same 400 semantics for
+/// malformed values.
+Result<uint64_t> U64Param(const HttpRequest& req, std::string_view key,
+                          uint64_t fallback) {
+  std::optional<std::string> raw = QueryParam(req, key);
+  if (!raw) return fallback;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(raw->c_str(), &end, 10);
+  if (raw->empty() || end == nullptr || *end != '\0' || raw->front() == '-' ||
+      raw->front() == '+') {
+    return Status::InvalidArgument(std::string(key) +
+                                   " must be a non-negative integer, got '" +
+                                   *raw + "'");
+  }
+  return static_cast<uint64_t>(value);
 }
 
 /// Shared validation for the `?format=` parameter (/api/metrics,
@@ -297,6 +317,385 @@ return p, f</textarea><br>
 </body></html>
 )HTML";
 
+/// GET /api/dashboard: one self-contained page (no external assets) of
+/// sparkline stat tiles polling /api/metrics/range. Light/dark honor the
+/// OS setting with a manual override; every panel carries a crosshair
+/// tooltip and a table view so no value is hover- or color-gated.
+constexpr const char* kDashboardHtml = R"HTML(<!doctype html>
+<html><head><meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>ThreatRaptor dashboard</title>
+<style>
+:root {
+  color-scheme: light;
+  --page: #f9f9f7; --surface-1: #fcfcfb;
+  --text-primary: #0b0b0b; --text-secondary: #52514e; --text-muted: #898781;
+  --gridline: #e1e0d9; --baseline: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) {
+    color-scheme: dark;
+    --page: #0d0d0d; --surface-1: #1a1a19;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7; --text-muted: #898781;
+    --gridline: #2c2c2a; --baseline: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5;
+  }
+}
+:root[data-theme="dark"] {
+  color-scheme: dark;
+  --page: #0d0d0d; --surface-1: #1a1a19;
+  --text-primary: #ffffff; --text-secondary: #c3c2b7; --text-muted: #898781;
+  --gridline: #2c2c2a; --baseline: #383835;
+  --border: rgba(255,255,255,0.10);
+  --series-1: #3987e5;
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 1.5rem; background: var(--page);
+  color: var(--text-primary);
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+header { display: flex; align-items: baseline; gap: 1rem; margin: 0 0 1rem; }
+header h1 { font-size: 1.1rem; margin: 0; }
+header .sub { color: var(--text-secondary); font-size: .85rem; }
+header button {
+  margin-left: auto; font: inherit; font-size: .8rem;
+  color: var(--text-secondary); background: var(--surface-1);
+  border: 1px solid var(--border); border-radius: 6px; padding: .25rem .6rem;
+  cursor: pointer;
+}
+.filters { display: flex; gap: .4rem; margin: 0 0 1rem; }
+.filters button {
+  font: inherit; font-size: .8rem; color: var(--text-secondary);
+  background: transparent; border: 1px solid transparent; border-radius: 6px;
+  padding: .25rem .6rem; cursor: pointer;
+}
+.filters button:hover { background: var(--surface-1); }
+.filters button[aria-pressed="true"] {
+  background: var(--surface-1); border-color: var(--border);
+  color: var(--text-primary); font-weight: 600;
+}
+.grid {
+  display: grid; gap: 1rem;
+  grid-template-columns: repeat(auto-fill, minmax(17rem, 1fr));
+}
+.panel {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 10px; padding: .9rem .9rem .6rem; position: relative;
+}
+.panel .label { font-size: .8rem; color: var(--text-secondary); margin: 0; }
+.panel .value {
+  font-size: 1.5rem; font-weight: 650; margin: .1rem 0 .4rem;
+  color: var(--text-primary); min-height: 1.3em;
+}
+.panel .value .unit {
+  font-size: .8rem; font-weight: 400; color: var(--text-muted);
+  margin-left: .15rem;
+}
+.panel svg { display: block; width: 100%; height: 64px; touch-action: none; }
+.panel svg:focus { outline: 1px solid var(--series-1); outline-offset: 2px; }
+.panel.stale svg { opacity: .45; }
+.panel .err { font-size: .75rem; color: var(--text-muted); min-height: 1em; }
+.tooltip {
+  position: absolute; pointer-events: none; display: none; z-index: 2;
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 6px; padding: .3rem .5rem; font-size: .75rem;
+  box-shadow: 0 2px 8px rgba(0,0,0,.15); white-space: nowrap;
+}
+.tooltip .tv { font-weight: 650; color: var(--text-primary); }
+.tooltip .tt { color: var(--text-secondary); }
+details { margin-top: .3rem; }
+summary { font-size: .72rem; color: var(--text-muted); cursor: pointer; }
+table { border-collapse: collapse; font-size: .72rem; margin-top: .3rem;
+        width: 100%; }
+td, th { text-align: right; padding: .1rem .4rem;
+         font-variant-numeric: tabular-nums;
+         border-bottom: 1px solid var(--gridline); }
+th { color: var(--text-secondary); font-weight: 600; }
+</style></head>
+<body>
+<header>
+  <h1>ThreatRaptor</h1>
+  <span class="sub">live metrics &middot; refreshes every 5 s</span>
+  <button id="theme" aria-label="toggle color scheme">auto</button>
+</header>
+<nav class="filters" id="ranges" aria-label="time range"></nav>
+<main class="grid" id="grid"></main>
+<script>
+'use strict';
+const PANELS = [
+  {title: 'HTTP requests', metric: 'raptor_http_requests_total',
+   agg: 'rate', unit: '/s'},
+  {title: 'HTTP request p99', metric: 'raptor_http_request_ms',
+   agg: 'p99', unit: 'ms'},
+  {title: 'Hunt latency p99', metric: 'raptor_hunt_ms',
+   agg: 'p99', unit: 'ms'},
+  {title: 'Query latency p99', metric: 'raptor_query_ms',
+   agg: 'p99', unit: 'ms'},
+  {title: 'HTTP error burn (long)', metric: 'raptor_slo_long_burn',
+   label: 'slo=http_error_rate', agg: 'avg', unit: '×'},
+  {title: 'History memory', metric: 'raptor_history_bytes',
+   agg: 'avg', unit: 'B'},
+];
+const RANGES = [
+  {label: '5m', s: 300, step: 5}, {label: '15m', s: 900, step: 10},
+  {label: '1h', s: 3600, step: 60}, {label: '6h', s: 21600, step: 120},
+];
+let range = RANGES[0];
+const W = 280, H = 64, PAD = 6;
+const SVGNS = 'http://www.w3.org/2000/svg';
+
+function fmt(v, unit) {
+  if (!isFinite(v)) return '–';
+  if (unit === 'B') {
+    const steps = ['B', 'KiB', 'MiB', 'GiB'];
+    let i = 0;
+    while (Math.abs(v) >= 1024 && i < steps.length - 1) { v /= 1024; i++; }
+    return v.toFixed(v < 10 && i > 0 ? 1 : 0) + ' ' + steps[i];
+  }
+  const a = Math.abs(v);
+  if (a >= 1e6) return (v / 1e6).toFixed(1) + 'M';
+  if (a >= 1e4) return (v / 1e3).toFixed(1) + 'k';
+  if (a >= 100 || Number.isInteger(v)) return v.toFixed(0);
+  if (a >= 1) return v.toFixed(2);
+  return v.toPrecision(2);
+}
+function clock(tS) {
+  return new Date(tS * 1000).toLocaleTimeString([], {hour12: false});
+}
+function el(tag, cls) {
+  const node = document.createElement(tag);
+  if (cls) node.className = cls;
+  return node;
+}
+function svgEl(tag) { return document.createElementNS(SVGNS, tag); }
+
+function buildPanel(spec) {
+  const panel = el('section', 'panel');
+  const label = el('p', 'label');
+  label.textContent = spec.title;
+  const value = el('p', 'value');
+  const svg = svgEl('svg');
+  svg.setAttribute('viewBox', `0 0 ${W} ${H}`);
+  svg.setAttribute('preserveAspectRatio', 'none');
+  svg.setAttribute('tabindex', '0');
+  svg.setAttribute('role', 'img');
+  svg.setAttribute('aria-label', spec.title + ' sparkline');
+  const err = el('p', 'err');
+  const tooltip = el('div', 'tooltip');
+  const details = el('details');
+  const summary = el('summary');
+  summary.textContent = 'data table';
+  details.appendChild(summary);
+  const table = el('table');
+  details.appendChild(table);
+  panel.append(label, value, svg, err, tooltip, details);
+  const state = {spec, panel, value, svg, err, tooltip, table, points: []};
+  svg.addEventListener('pointermove', e => hover(state, e));
+  svg.addEventListener('pointerleave', () => hide(state));
+  svg.addEventListener('focus', () => hoverIndex(state, state.points.length - 1));
+  svg.addEventListener('blur', () => hide(state));
+  return state;
+}
+
+function scales(points, startS, endS) {
+  let lo = Infinity, hi = -Infinity;
+  for (const p of points) { lo = Math.min(lo, p[1]); hi = Math.max(hi, p[1]); }
+  if (!points.length) { lo = 0; hi = 1; }
+  if (hi === lo) { hi += 1; lo = Math.min(lo, 0); }
+  const x = t => PAD + (t - startS) / Math.max(1, endS - startS) * (W - 2 * PAD);
+  const y = v => H - PAD - (v - lo) / (hi - lo) * (H - 2 * PAD);
+  return {x, y};
+}
+
+function render(state, points, startS, endS) {
+  const {svg} = state;
+  while (svg.firstChild) svg.removeChild(svg.firstChild);
+  const sc = scales(points, startS, endS);
+  state.sc = sc; state.points = points;
+  state.startS = startS; state.endS = endS;
+  const base = svgEl('line');
+  base.setAttribute('x1', PAD); base.setAttribute('x2', W - PAD);
+  base.setAttribute('y1', H - PAD); base.setAttribute('y2', H - PAD);
+  base.setAttribute('stroke', 'var(--baseline)');
+  base.setAttribute('stroke-width', '1');
+  svg.appendChild(base);
+  if (!points.length) return;
+  let line = '', area = '';
+  points.forEach((p, i) => {
+    const px = sc.x(p[0]).toFixed(1), py = sc.y(p[1]).toFixed(1);
+    line += (i ? 'L' : 'M') + px + ' ' + py;
+    area += (i ? 'L' : `M${px} ${H - PAD}L`) + px + ' ' + py;
+  });
+  area += `L${sc.x(points[points.length - 1][0]).toFixed(1)} ${H - PAD}Z`;
+  const fill = svgEl('path');
+  fill.setAttribute('d', area);
+  fill.setAttribute('fill', 'var(--series-1)');
+  fill.setAttribute('opacity', '0.1');
+  svg.appendChild(fill);
+  const stroke = svgEl('path');
+  stroke.setAttribute('d', line);
+  stroke.setAttribute('fill', 'none');
+  stroke.setAttribute('stroke', 'var(--series-1)');
+  stroke.setAttribute('stroke-width', '2');
+  stroke.setAttribute('stroke-linejoin', 'round');
+  stroke.setAttribute('stroke-linecap', 'round');
+  svg.appendChild(stroke);
+  const last = points[points.length - 1];
+  const dot = svgEl('circle');
+  dot.setAttribute('cx', sc.x(last[0]));
+  dot.setAttribute('cy', sc.y(last[1]));
+  dot.setAttribute('r', '4');
+  dot.setAttribute('fill', 'var(--series-1)');
+  dot.setAttribute('stroke', 'var(--surface-1)');
+  dot.setAttribute('stroke-width', '2');
+  svg.appendChild(dot);
+  const cross = svgEl('line');
+  cross.setAttribute('stroke', 'var(--gridline)');
+  cross.setAttribute('stroke-width', '1');
+  cross.setAttribute('y1', PAD); cross.setAttribute('y2', H - PAD);
+  cross.style.display = 'none';
+  svg.appendChild(cross);
+  const mark = svgEl('circle');
+  mark.setAttribute('r', '3.5');
+  mark.setAttribute('fill', 'var(--series-1)');
+  mark.setAttribute('stroke', 'var(--surface-1)');
+  mark.setAttribute('stroke-width', '2');
+  mark.style.display = 'none';
+  svg.appendChild(mark);
+  state.cross = cross; state.mark = mark;
+}
+
+function hover(state, event) {
+  if (!state.points.length) return;
+  const rect = state.svg.getBoundingClientRect();
+  const tS = state.startS +
+      (event.clientX - rect.left) / rect.width * (state.endS - state.startS);
+  let best = 0, bestD = Infinity;
+  state.points.forEach((p, i) => {
+    const d = Math.abs(p[0] - tS);
+    if (d < bestD) { bestD = d; best = i; }
+  });
+  hoverIndex(state, best);
+}
+function hoverIndex(state, i) {
+  if (i < 0 || !state.points.length || !state.cross) return;
+  const p = state.points[i];
+  const px = state.sc.x(p[0]), py = state.sc.y(p[1]);
+  state.cross.setAttribute('x1', px); state.cross.setAttribute('x2', px);
+  state.cross.style.display = '';
+  state.mark.setAttribute('cx', px); state.mark.setAttribute('cy', py);
+  state.mark.style.display = '';
+  const tip = state.tooltip;
+  while (tip.firstChild) tip.removeChild(tip.firstChild);
+  const tv = el('span', 'tv');
+  tv.textContent = fmt(p[1], state.spec.unit) +
+      (state.spec.unit ? ' ' + state.spec.unit : '');
+  const tt = el('span', 'tt');
+  tt.textContent = ' · ' + clock(p[0]);
+  tip.append(tv, tt);
+  tip.style.display = 'block';
+  const rect = state.svg.getBoundingClientRect();
+  const frac = (px - PAD) / (W - 2 * PAD);
+  tip.style.left =
+      Math.max(0, Math.min(rect.width - 110, frac * rect.width - 40)) + 'px';
+  tip.style.top = (state.svg.offsetTop - 8) + 'px';
+}
+function hide(state) {
+  state.tooltip.style.display = 'none';
+  if (state.cross) state.cross.style.display = 'none';
+  if (state.mark) state.mark.style.display = 'none';
+}
+
+function renderTable(state) {
+  const table = state.table;
+  while (table.firstChild) table.removeChild(table.firstChild);
+  const head = el('tr');
+  for (const text of ['time', state.spec.unit || 'value']) {
+    const th = el('th');
+    th.textContent = text;
+    head.appendChild(th);
+  }
+  table.appendChild(head);
+  for (const p of state.points.slice(-12).reverse()) {
+    const row = el('tr');
+    const time = el('td');
+    time.textContent = clock(p[0]);
+    const val = el('td');
+    val.textContent = fmt(p[1], state.spec.unit);
+    row.append(time, val);
+    table.appendChild(row);
+  }
+}
+
+async function refresh(state) {
+  const spec = state.spec;
+  const endS = Math.floor(Date.now() / 1000);
+  const startS = endS - range.s;
+  const params = new URLSearchParams({
+    name: spec.metric, agg: spec.agg, start_s: startS, end_s: endS,
+    step_s: range.step,
+  });
+  if (spec.label) params.set('label', spec.label);
+  try {
+    const res = await fetch('/api/metrics/range?' + params);
+    const doc = await res.json();
+    if (!res.ok) throw new Error(doc.error || res.status);
+    const points = (doc.series[0] || {points: []}).points;
+    render(state, points, startS, endS);
+    renderTable(state);
+    const last = points[points.length - 1];
+    while (state.value.firstChild) state.value.removeChild(state.value.firstChild);
+    state.value.appendChild(document.createTextNode(
+        last ? fmt(last[1], spec.unit) : '–'));
+    const unit = el('span', 'unit');
+    unit.textContent = spec.unit;
+    state.value.appendChild(unit);
+    state.err.textContent = '';
+    state.panel.classList.remove('stale');
+  } catch (e) {
+    state.err.textContent = String(e.message || e);
+    state.panel.classList.add('stale');
+  }
+}
+
+const grid = document.getElementById('grid');
+const states = PANELS.map(spec => {
+  const state = buildPanel(spec);
+  grid.appendChild(state.panel);
+  return state;
+});
+const nav = document.getElementById('ranges');
+RANGES.forEach(r => {
+  const b = el('button');
+  b.textContent = r.label;
+  b.setAttribute('aria-pressed', String(r === range));
+  b.addEventListener('click', () => {
+    range = r;
+    nav.querySelectorAll('button').forEach(btn =>
+        btn.setAttribute('aria-pressed', String(btn === b)));
+    states.forEach(refresh);
+  });
+  nav.appendChild(b);
+});
+const themeBtn = document.getElementById('theme');
+const THEMES = ['auto', 'light', 'dark'];
+let theme = 0;
+themeBtn.addEventListener('click', () => {
+  theme = (theme + 1) % THEMES.length;
+  themeBtn.textContent = THEMES[theme];
+  if (theme === 0) delete document.documentElement.dataset.theme;
+  else document.documentElement.dataset.theme = THEMES[theme];
+});
+states.forEach(refresh);
+setInterval(() => states.forEach(refresh), 5000);
+</script>
+</body></html>
+)HTML";
+
 /// The closed set of reason labels the engine attaches to
 /// raptor_query_truncations_total.
 constexpr const char* kTruncationReasons[] = {"deadline", "max_graph_edges",
@@ -424,57 +823,63 @@ Json StatsJson(const ThreatRaptor* system,
   return Json(std::move(stats));
 }
 
+/// One metric family as structured JSON (shared by /api/metrics?format=json
+/// and the filtered /api/watch frames).
+Json FamilyToJson(const obs::FamilySnapshot& family) {
+  Json::Object f;
+  f["name"] = family.name;
+  f["type"] = family.type;
+  if (!family.help.empty()) f["help"] = family.help;
+  Json::Array samples;
+  for (const obs::MetricSample& sample : family.samples) {
+    Json::Object s;
+    if (!sample.labels.empty()) {
+      Json::Object labels;
+      for (const auto& [key, value] : sample.labels) labels[key] = value;
+      s["labels"] = Json(std::move(labels));
+    }
+    if (family.type == "histogram") {
+      Json::Array buckets;
+      for (const auto& [bound, cumulative] : sample.buckets) {
+        Json::Object bucket;
+        bucket["le"] = bound;
+        bucket["count"] = static_cast<double>(cumulative);
+        buckets.push_back(Json(std::move(bucket)));
+      }
+      Json::Object inf;
+      inf["le"] = std::string("+Inf");
+      inf["count"] = static_cast<double>(sample.count);
+      buckets.push_back(Json(std::move(inf)));
+      s["buckets"] = Json(std::move(buckets));
+      s["sum"] = sample.sum;
+      s["count"] = static_cast<double>(sample.count);
+    } else {
+      s["value"] = sample.value;
+    }
+    samples.push_back(Json(std::move(s)));
+  }
+  f["samples"] = Json(std::move(samples));
+  return Json(std::move(f));
+}
+
 /// JSON mirror of the Prometheus exposition (/api/metrics?format=json):
 /// same families, children, and values as RenderPrometheus, structured.
 Json MetricsJson() {
   Json::Array families;
-  for (const obs::FamilySnapshot& family : obs::Registry::Default().Snapshot()) {
-    Json::Object f;
-    f["name"] = family.name;
-    f["type"] = family.type;
-    if (!family.help.empty()) f["help"] = family.help;
-    Json::Array samples;
-    for (const obs::MetricSample& sample : family.samples) {
-      Json::Object s;
-      if (!sample.labels.empty()) {
-        Json::Object labels;
-        for (const auto& [key, value] : sample.labels) labels[key] = value;
-        s["labels"] = Json(std::move(labels));
-      }
-      if (family.type == "histogram") {
-        Json::Array buckets;
-        for (const auto& [bound, cumulative] : sample.buckets) {
-          Json::Object bucket;
-          bucket["le"] = bound;
-          bucket["count"] = static_cast<double>(cumulative);
-          buckets.push_back(Json(std::move(bucket)));
-        }
-        Json::Object inf;
-        inf["le"] = std::string("+Inf");
-        inf["count"] = static_cast<double>(sample.count);
-        buckets.push_back(Json(std::move(inf)));
-        s["buckets"] = Json(std::move(buckets));
-        s["sum"] = sample.sum;
-        s["count"] = static_cast<double>(sample.count);
-      } else {
-        s["value"] = sample.value;
-      }
-      samples.push_back(Json(std::move(s)));
-    }
-    f["samples"] = Json(std::move(samples));
-    families.push_back(Json(std::move(f)));
+  for (const obs::FamilySnapshot& family :
+       obs::Registry::Default().Snapshot()) {
+    families.push_back(FamilyToJson(family));
   }
   Json::Object out;
   out["families"] = Json(std::move(families));
   return Json(std::move(out));
 }
 
-/// The /api/alerts document; shared with the diagnostic bundle. Evaluates
-/// synchronously first so the answer (and tests driving the state machine)
-/// never waits on the background evaluator's tick.
-Json AlertsJson() {
+/// The alerts document from the engine's current standing, without
+/// evaluating (the incident bundle hook uses this so capture freezes the
+/// state that fired rather than advancing it).
+Json AlertsSnapshotJson() {
   obs::SloEngine& engine = obs::SloEngine::Default();
-  engine.EvaluateNow();
   Json::Object out;
   out["evaluator_running"] = engine.running();
   Json::Array alerts;
@@ -508,6 +913,120 @@ Json AlertsJson() {
     transitions.push_back(Json(std::move(transition)));
   }
   out["transitions"] = Json(std::move(transitions));
+  return Json(std::move(out));
+}
+
+/// The /api/alerts document; shared with the diagnostic bundle. Evaluates
+/// synchronously first (idempotent per clock timestamp) so the answer —
+/// and tests driving the state machine — never waits on the background
+/// evaluator's tick.
+Json AlertsJson() {
+  obs::SloEngine::Default().EvaluateNow();
+  return AlertsSnapshotJson();
+}
+
+/// One frozen history window (incident capture), points as [t_s, value].
+Json SeriesWindowJson(const obs::SeriesWindow& window) {
+  Json::Object out;
+  out["name"] = window.name;
+  if (!window.labels.empty()) {
+    Json::Object labels;
+    for (const auto& [key, value] : window.labels) labels[key] = value;
+    out["labels"] = Json(std::move(labels));
+  }
+  out["kind"] = std::string(obs::SeriesKindName(window.kind));
+  Json::Array points;
+  for (const obs::RangePoint& p : window.points) {
+    Json::Array point;
+    point.push_back(static_cast<double>(p.t_ms) / 1000.0);
+    point.push_back(p.value);
+    points.push_back(Json(std::move(point)));
+  }
+  out["points"] = Json(std::move(points));
+  return Json(std::move(out));
+}
+
+/// One captured incident. `include_bundle` embeds the frozen debug bundle
+/// (parsed back into structure); the bundle's own "incidents" section omits
+/// it to avoid quadratic nesting.
+Json IncidentToJson(const obs::Incident& incident, bool include_bundle) {
+  Json::Object out;
+  out["id"] = static_cast<double>(incident.id);
+  out["slo"] = incident.slo;
+  out["fired_at_unix_ms"] = static_cast<double>(incident.fired_at_ms);
+  out["resolved"] = incident.resolved_at_ms != 0;
+  if (incident.resolved_at_ms != 0) {
+    out["resolved_at_unix_ms"] = static_cast<double>(incident.resolved_at_ms);
+  }
+  out["short_burn"] = incident.short_burn;
+  out["long_burn"] = incident.long_burn;
+  out["burn_threshold"] = incident.burn_threshold;
+  if (!incident.metric.empty()) out["metric"] = incident.metric;
+  Json::Array windows;
+  for (const obs::SeriesWindow& window : incident.windows) {
+    windows.push_back(SeriesWindowJson(window));
+  }
+  out["history"] = Json(std::move(windows));
+  if (include_bundle && !incident.bundle_json.empty()) {
+    Result<Json> bundle = Json::Parse(incident.bundle_json);
+    // A hook is free to return anything; an unparsable bundle degrades to
+    // the raw text rather than dropping the capture.
+    if (bundle.ok()) {
+      out["bundle"] = *bundle;
+    } else {
+      out["bundle_text"] = incident.bundle_json;
+    }
+  }
+  return Json(std::move(out));
+}
+
+/// The /api/incidents document; shared with the diagnostic bundle (which
+/// passes include_bundles=false).
+Json IncidentsJson(size_t limit, bool include_bundles) {
+  obs::IncidentJournal& journal = obs::IncidentJournal::Default();
+  Json::Array incidents;
+  for (const obs::Incident& incident : journal.Snapshot(limit)) {
+    incidents.push_back(IncidentToJson(incident, include_bundles));
+  }
+  Json::Object out;
+  out["incidents"] = Json(std::move(incidents));
+  out["capacity"] = static_cast<double>(journal.options().max_incidents);
+  out["window_s"] = journal.options().window_s;
+  return Json(std::move(out));
+}
+
+/// The /api/metrics/range answer: per-series aggregated points plus the
+/// effective tier/step so clients can see which resolution served them.
+Json RangeResultJson(const obs::RangeRequest& request,
+                     const obs::RangeResult& result) {
+  Json::Object out;
+  out["name"] = request.name;
+  out["agg"] = std::string(obs::RangeAggName(request.agg));
+  out["kind"] = std::string(obs::SeriesKindName(result.kind));
+  out["start_s"] = static_cast<double>(request.start_ms) / 1000.0;
+  out["end_s"] = static_cast<double>(request.end_ms) / 1000.0;
+  out["step_s"] = static_cast<double>(result.step_ms) / 1000.0;
+  out["tier"] = static_cast<double>(result.tier);
+  out["tier_interval_s"] = result.tier_interval_s;
+  Json::Array series;
+  for (const obs::RangeSeries& s : result.series) {
+    Json::Object entry;
+    if (!s.labels.empty()) {
+      Json::Object labels;
+      for (const auto& [key, value] : s.labels) labels[key] = value;
+      entry["labels"] = Json(std::move(labels));
+    }
+    Json::Array points;
+    for (const obs::RangePoint& p : s.points) {
+      Json::Array point;
+      point.push_back(static_cast<double>(p.t_ms) / 1000.0);
+      point.push_back(p.value);
+      points.push_back(Json(std::move(point)));
+    }
+    entry["points"] = Json(std::move(points));
+    series.push_back(Json(std::move(entry)));
+  }
+  out["series"] = Json(std::move(series));
   return Json(std::move(out));
 }
 
@@ -733,6 +1252,19 @@ Json OptionsToJson(const ThreatRaptorOptions& options) {
   profiler["enabled"] = options.profiler.enabled;
   profiler["hz"] = options.profiler.hz;
 
+  Json::Object history;
+  history["enabled"] = options.history.enabled;
+  history["sample_interval_s"] = options.history.sample_interval_s;
+  history["max_series"] = static_cast<double>(options.history.max_series);
+  Json::Array tiers;
+  for (const obs::HistoryTier& tier : options.history.tiers) {
+    Json::Object entry;
+    entry["interval_s"] = tier.interval_s;
+    entry["retention_s"] = tier.retention_s;
+    tiers.push_back(Json(std::move(entry)));
+  }
+  history["tiers"] = Json(std::move(tiers));
+
   Json::Object slo;
   slo["enabled"] = options.slo.enabled;
   slo["eval_interval_ms"] = options.slo.eval_interval_ms;
@@ -754,6 +1286,7 @@ Json OptionsToJson(const ThreatRaptorOptions& options) {
   out["execution"] = Json(std::move(execution));
   out["hunt"] = Json(std::move(hunt));
   out["profiler"] = Json(std::move(profiler));
+  out["history"] = Json(std::move(history));
   out["slo"] = Json(std::move(slo));
   out["apply_cpr"] = options.apply_cpr;
   out["cpr_max_merge_gap_ns"] =
@@ -935,11 +1468,56 @@ void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
   // Warm the shared pool so the raptor_pool_* gauges (and the pool's worker
   // threads) exist from the first scrape, not from the first parallel query.
   ThreadPool::Shared();
-  // Start the periodic SLO evaluator: alerting belongs to the serving
-  // deployment, so the API (not the library constructor) owns the thread.
-  if (system->options().slo.enabled) obs::SloEngine::Default().Start();
+  // History self-metrics and the per-SLO incident tally, pre-registered so
+  // the catalog is visible from the first scrape.
+  registry.GetGauge("raptor_history_series",
+                    "Distinct metric series retained by the history store");
+  registry.GetGauge("raptor_history_bytes",
+                    "Approximate bytes retained by the history store");
+  registry.GetGauge("raptor_history_dropped_series",
+                    "Series rejected because max_series was reached");
+  registry.GetCounter("raptor_history_samples_total",
+                      "Collector ticks performed by the metrics history store");
+  if (system->options().slo.enabled) {
+    for (const char* slo_name :
+         {"hunt_latency_p99", "http_error_rate", "degraded_hunt_fraction",
+          "memory_headroom"}) {
+      registry.GetCounter(
+          "raptor_incidents_total",
+          "Incidents captured on SLO pending->firing transitions",
+          {{"slo", slo_name}});
+    }
+  }
   auto started = std::make_shared<const std::chrono::steady_clock::time_point>(
       std::chrono::steady_clock::now());
+  // When an SLO fires, the incident journal freezes a full debug bundle.
+  // The hook snapshots the other subsystems without evaluating the SLO
+  // engine again (AlertsSnapshotJson), so the capture records the standing
+  // that fired rather than advancing the state machine mid-capture.
+  obs::IncidentJournal::Default().SetBundleHook([system, started]() {
+    Json::Object bundle;
+    bundle["build"] = BuildInfoJson();
+    bundle["uptime_s"] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      *started)
+            .count();
+    bundle["options"] = OptionsToJson(system->options());
+    bundle["stats"] = StatsJson(system, *started);
+    bundle["alerts"] = AlertsSnapshotJson();
+    Json::Array logs;
+    for (const obs::LogRecord& record : obs::Logger::Default().Snapshot()) {
+      logs.push_back(LogRecordToJson(record));
+    }
+    bundle["logs"] = Json(std::move(logs));
+    return Json(std::move(bundle)).Dump();
+  });
+  // Start the background threads: the periodic SLO evaluator and the
+  // history collector. Serving-deployment concerns, so the API (not the
+  // library constructor) owns both.
+  if (system->options().slo.enabled) obs::SloEngine::Default().Start();
+  if (system->options().history.enabled) {
+    obs::MetricsHistory::Default().Start();
+  }
 
   server->Route("GET", "/", [](const HttpRequest&) {
     return HttpResponse{200, "text/html; charset=utf-8", kIndexHtml};
@@ -1020,6 +1598,10 @@ void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
     bundle["misestimates"] = Json(std::move(misestimates));
     bundle["datastats"] = DataStatsJson(system);
     bundle["alerts"] = AlertsJson();
+    // Captured incidents without their own frozen bundles (each of those
+    // is itself a bundle; nesting them would square the payload).
+    bundle["incidents"] =
+        IncidentsJson(/*limit=*/0, /*include_bundles=*/false);
     return JsonResponse(Json(std::move(bundle)));
   });
 
@@ -1038,6 +1620,76 @@ void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
     // SLO burn-rate alert standing: every SLO's state machine, burn
     // rates, and the recent transition history.
     return JsonResponse(AlertsJson());
+  });
+
+  server->Route("GET", "/api/metrics/range", [](const HttpRequest& req) {
+    // Time-series range query over the retained history:
+    //   ?name=<metric>        required
+    //   &label=key=value      optional child filter
+    //   &start_s= &end_s=     unix seconds; defaults: last 5 minutes
+    //   &step_s=              output step; default = serving tier interval
+    //   &agg=rate|avg|min|max|last|p50|p99   default by metric kind
+    obs::MetricsHistory& history = obs::MetricsHistory::Default();
+    std::optional<std::string> name = QueryParam(req, "name");
+    if (!name || name->empty()) {
+      return ErrorResponse(
+          Status::InvalidArgument("name is required (a metric family name)"));
+    }
+    obs::RangeRequest range;
+    range.name = *name;
+    if (auto label = QueryParam(req, "label")) {
+      size_t eq = label->find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return ErrorResponse(
+            Status::InvalidArgument("label must be key=value"));
+      }
+      range.label_key = label->substr(0, eq);
+      range.label_value = label->substr(eq + 1);
+    }
+    uint64_t now_s = history.NowUnixMs() / 1000;
+    Result<uint64_t> end_s = U64Param(req, "end_s", now_s);
+    if (!end_s.ok()) return ErrorResponse(end_s.status());
+    uint64_t default_start = *end_s > 300 ? *end_s - 300 : 0;
+    Result<uint64_t> start_s = U64Param(req, "start_s", default_start);
+    if (!start_s.ok()) return ErrorResponse(start_s.status());
+    Result<uint64_t> step_s = U64Param(req, "step_s", 0);
+    if (!step_s.ok()) return ErrorResponse(step_s.status());
+    range.start_ms = *start_s * 1000;
+    range.end_ms = *end_s * 1000;
+    range.step_ms = *step_s * 1000;
+    if (auto agg = QueryParam(req, "agg")) {
+      std::optional<obs::RangeAgg> parsed = obs::ParseRangeAgg(*agg);
+      if (!parsed) {
+        return ErrorResponse(Status::InvalidArgument(
+            "unknown agg '" + *agg + "' (rate|avg|min|max|last|p50|p99)"));
+      }
+      range.agg = *parsed;
+    } else {
+      // Default aggregation by what the series measures: counters and
+      // histograms answer rates, gauges answer averages.
+      std::optional<obs::SeriesKind> kind = history.Kind(range.name);
+      range.agg = (kind && *kind != obs::SeriesKind::kGauge)
+                      ? obs::RangeAgg::kRate
+                      : obs::RangeAgg::kAvg;
+    }
+    obs::RangeResult result = history.Range(range);
+    if (!result.error.empty()) {
+      return ErrorResponse(Status::InvalidArgument(result.error));
+    }
+    return JsonResponse(RangeResultJson(range, result));
+  });
+
+  server->Route("GET", "/api/incidents", [](const HttpRequest& req) {
+    // Captured incidents, newest first: each carries the offending
+    // metric's frozen history window and the debug bundle taken at the
+    // moment the SLO fired. "?limit=N" (default 0 = all retained).
+    Result<size_t> limit = BoundedParam(req, "limit", 0, kMaxListLimit);
+    if (!limit.ok()) return ErrorResponse(limit.status());
+    return JsonResponse(IncidentsJson(*limit, /*include_bundles=*/true));
+  });
+
+  server->Route("GET", "/api/dashboard", [](const HttpRequest&) {
+    return HttpResponse{200, "text/html; charset=utf-8", kDashboardHtml};
   });
 
   server->Route("GET", "/api/profile", [](const HttpRequest& req) {
@@ -1171,6 +1823,12 @@ void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
     // timeouts. SSE clients ignore comment lines by spec.
     Result<size_t> heartbeat = BoundedParam(req, "heartbeat_ms", 1000, 60000);
     if (!heartbeat.ok()) return ErrorResponse(heartbeat.status());
+    // "?metric=<prefix>" switches the stream from the /api/stats document
+    // to raw metric families whose name starts with the prefix. These
+    // frames reuse the history collector's most recent registry snapshot
+    // instead of re-snapshotting per stream — N concurrent watchers cost
+    // one snapshot per collector tick, not N.
+    std::optional<std::string> metric = QueryParam(req, "metric");
     struct WatchState {
       size_t remaining = 0;
       bool first = true;
@@ -1183,8 +1841,8 @@ void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
     HttpResponse response;
     response.status = 200;
     response.content_type = "text/event-stream; charset=utf-8";
-    response.body_stream = [system, started, state, interval_ms,
-                            heartbeat_ms]() -> std::optional<std::string> {
+    response.body_stream = [system, started, state, interval_ms, heartbeat_ms,
+                            metric]() -> std::optional<std::string> {
       if (state->remaining == 0) return std::nullopt;
       if (state->first) {
         state->first = false;
@@ -1201,6 +1859,30 @@ void RegisterThreatRaptorApi(HttpServer* server, ThreatRaptor* system) {
         if (state->sleep_left_ms > 0) return ": heartbeat\n\n";
       }
       --state->remaining;
+      if (metric) {
+        obs::MetricsHistory& history = obs::MetricsHistory::Default();
+        std::shared_ptr<const std::vector<obs::FamilySnapshot>> snapshot =
+            history.LatestSnapshot();
+        std::vector<obs::FamilySnapshot> direct;
+        if (!snapshot) {
+          // No collector tick yet (history disabled or not started):
+          // fall back to a direct registry snapshot.
+          direct = obs::Registry::Default().Snapshot();
+        }
+        const std::vector<obs::FamilySnapshot>& families =
+            snapshot ? *snapshot : direct;
+        Json::Array matched;
+        for (const obs::FamilySnapshot& family : families) {
+          if (family.name.rfind(*metric, 0) == 0) {
+            matched.push_back(FamilyToJson(family));
+          }
+        }
+        Json::Object frame;
+        frame["t_unix_ms"] = static_cast<double>(history.NowUnixMs());
+        frame["families"] = Json(std::move(matched));
+        return "event: metrics\ndata: " + Json(std::move(frame)).Dump() +
+               "\n\n";
+      }
       return "event: metrics\ndata: " + StatsJson(system, *started).Dump() +
              "\n\n";
     };

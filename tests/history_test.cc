@@ -1,0 +1,470 @@
+// Unit tests for the metrics time-series history store (src/obs/history.*):
+// multi-resolution tier fold-down, retention eviction, range-query
+// aggregation semantics, counter-reset handling, and determinism under
+// concurrent readers. Everything runs against a stepped ManualClock, so
+// tier boundaries and range output are exact.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/clock.h"
+#include "obs/history.h"
+#include "obs/metrics.h"
+#include "obs/resource.h"
+
+namespace raptor::obs {
+namespace {
+
+/// A base instant aligned to every tier interval (divisible by 60 s), so
+/// bucket arithmetic in expectations stays in round numbers.
+constexpr uint64_t kBaseMs = 1'700'000'040'000ull;
+
+/// A history store with the default three tiers (1s x 15min, 10s x 2h,
+/// 60s x 24h) on a ManualClock parked at kBaseMs.
+struct TieredFixture {
+  std::shared_ptr<ManualClock> clock = std::make_shared<ManualClock>();
+  MetricsHistory history;
+
+  TieredFixture() {
+    clock->Set(kBaseMs);
+    HistoryOptions options;
+    options.clock = clock;
+    history.Configure(options);
+  }
+
+  /// One gauge/counter sample per second: value = f(i) at kBaseMs + i s.
+  template <typename F>
+  void AppendPerSecond(std::string_view name, SeriesKind kind, int n, F f) {
+    for (int i = 0; i < n; ++i) {
+      history.Append(name, {}, kind, kBaseMs + static_cast<uint64_t>(i) * 1000,
+                     f(i));
+    }
+    clock->Set(kBaseMs + static_cast<uint64_t>(n - 1) * 1000);
+  }
+
+  RangeResult Query(std::string_view name, RangeAgg agg, uint64_t start_ms,
+                    uint64_t end_ms, uint64_t step_ms = 0) {
+    RangeRequest request;
+    request.name = std::string(name);
+    request.agg = agg;
+    request.start_ms = start_ms;
+    request.end_ms = end_ms;
+    request.step_ms = step_ms;
+    return history.Range(request);
+  }
+};
+
+// =====================================================================
+// Tier fold-down across all three resolutions.
+// =====================================================================
+
+TEST(HistoryTierTest, GaugeFoldsDeterministicallyAcrossAllThreeTiers) {
+  TieredFixture fx;
+  // 181 one-second samples, value == second offset: crosses eighteen 10 s
+  // boundaries and three 60 s boundaries.
+  fx.AppendPerSecond("g", SeriesKind::kGauge, 181,
+                     [](int i) { return static_cast<double>(i); });
+
+  // Raw tier (start is 180 s old, inside the 900 s retention): each 10 s
+  // step bucket averages the ten raw points inside it.
+  RangeResult raw = fx.Query("g", RangeAgg::kAvg, kBaseMs,
+                             kBaseMs + 180'000, 10'000);
+  ASSERT_TRUE(raw.error.empty()) << raw.error;
+  EXPECT_EQ(raw.tier, 0u);
+  EXPECT_EQ(raw.step_ms, 10'000u);
+  ASSERT_EQ(raw.series.size(), 1u);
+  ASSERT_EQ(raw.series[0].points.size(), 18u);
+  for (size_t k = 0; k < 18; ++k) {
+    const RangePoint& p = raw.series[0].points[k];
+    EXPECT_EQ(p.t_ms, kBaseMs + k * 10'000);
+    // Bucket (10k, 10k+10]: raw offsets 10k+1 .. 10k+10.
+    EXPECT_DOUBLE_EQ(p.value, 10.0 * static_cast<double>(k) + 5.5);
+  }
+
+  // Mid tier: age the window past the raw retention (900 s) without new
+  // samples; the same query is now served from the 10 s fold-downs, whose
+  // points carry the completed bucket's avg/min/max.
+  fx.clock->Set(kBaseMs + 1'000'000);
+  RangeResult mid = fx.Query("g", RangeAgg::kAvg, kBaseMs, kBaseMs + 180'000);
+  ASSERT_TRUE(mid.error.empty()) << mid.error;
+  EXPECT_EQ(mid.tier, 1u);
+  EXPECT_EQ(mid.step_ms, 10'000u);  // step 0 clamps up to the tier interval
+  ASSERT_EQ(mid.series.size(), 1u);
+  ASSERT_EQ(mid.series[0].points.size(), 18u);
+  for (size_t k = 0; k < 18; ++k) {
+    // Fold of offsets 10k .. 10k+9, flushed at the bucket's END.
+    EXPECT_DOUBLE_EQ(mid.series[0].points[k].value,
+                     10.0 * static_cast<double>(k) + 4.5);
+  }
+  RangeResult mid_min =
+      fx.Query("g", RangeAgg::kMin, kBaseMs, kBaseMs + 180'000);
+  RangeResult mid_max =
+      fx.Query("g", RangeAgg::kMax, kBaseMs, kBaseMs + 180'000);
+  ASSERT_EQ(mid_min.series[0].points.size(), 18u);
+  EXPECT_DOUBLE_EQ(mid_min.series[0].points[3].value, 30.0);
+  EXPECT_DOUBLE_EQ(mid_max.series[0].points[3].value, 39.0);
+
+  // Coarse tier: age past the mid retention (7200 s); the 60 s fold-downs
+  // answer (three completed minutes).
+  fx.clock->Set(kBaseMs + 8'000'000);
+  RangeResult coarse =
+      fx.Query("g", RangeAgg::kAvg, kBaseMs, kBaseMs + 180'000);
+  ASSERT_TRUE(coarse.error.empty()) << coarse.error;
+  EXPECT_EQ(coarse.tier, 2u);
+  EXPECT_EQ(coarse.step_ms, 60'000u);
+  ASSERT_EQ(coarse.series.size(), 1u);
+  ASSERT_EQ(coarse.series[0].points.size(), 3u);
+  EXPECT_DOUBLE_EQ(coarse.series[0].points[0].value, 29.5);
+  EXPECT_DOUBLE_EQ(coarse.series[0].points[1].value, 89.5);
+  EXPECT_DOUBLE_EQ(coarse.series[0].points[2].value, 149.5);
+}
+
+TEST(HistoryTierTest, CounterRateIsStableAcrossTierBoundaries) {
+  TieredFixture fx;
+  // A counter climbing 5/s.
+  fx.AppendPerSecond("c", SeriesKind::kCounter, 181,
+                     [](int i) { return 5.0 * i; });
+
+  RangeResult raw =
+      fx.Query("c", RangeAgg::kRate, kBaseMs, kBaseMs + 180'000, 10'000);
+  ASSERT_TRUE(raw.error.empty()) << raw.error;
+  ASSERT_EQ(raw.series.size(), 1u);
+  ASSERT_EQ(raw.series[0].points.size(), 18u);
+  for (const RangePoint& p : raw.series[0].points) {
+    EXPECT_DOUBLE_EQ(p.value, 5.0);
+  }
+
+  // The same query from the mid tier: coarser points, identical rate.
+  fx.clock->Set(kBaseMs + 1'000'000);
+  RangeResult mid =
+      fx.Query("c", RangeAgg::kRate, kBaseMs, kBaseMs + 180'000, 10'000);
+  ASSERT_TRUE(mid.error.empty()) << mid.error;
+  EXPECT_EQ(mid.tier, 1u);
+  ASSERT_EQ(mid.series.size(), 1u);
+  ASSERT_GE(mid.series[0].points.size(), 17u);
+  for (const RangePoint& p : mid.series[0].points) {
+    EXPECT_DOUBLE_EQ(p.value, 5.0);
+  }
+
+  // last: the newest cumulative value inside each bucket.
+  fx.clock->Set(kBaseMs + 180'000);
+  RangeResult last =
+      fx.Query("c", RangeAgg::kLast, kBaseMs, kBaseMs + 180'000, 10'000);
+  ASSERT_EQ(last.series[0].points.size(), 18u);
+  EXPECT_DOUBLE_EQ(last.series[0].points[0].value, 50.0);
+  EXPECT_DOUBLE_EQ(last.series[0].points[17].value, 900.0);
+}
+
+// =====================================================================
+// Retention eviction.
+// =====================================================================
+
+TEST(HistoryRetentionTest, TiersEvictBeyondRetentionKeepingNewest) {
+  auto clock = std::make_shared<ManualClock>();
+  clock->Set(kBaseMs);
+  MetricsHistory history;
+  HistoryOptions options;
+  options.clock = clock;
+  options.tiers = {{1, 30}, {10, 120}};  // tiny retentions for the test
+  history.Configure(options);
+
+  for (int i = 0; i < 200; ++i) {
+    history.Append("e", {}, SeriesKind::kGauge,
+                   kBaseMs + static_cast<uint64_t>(i) * 1000,
+                   static_cast<double>(i));
+  }
+  clock->Set(kBaseMs + 199'000);
+
+  // Raw tier holds only the trailing 30 s.
+  RangeRequest recent;
+  recent.name = "e";
+  recent.agg = RangeAgg::kLast;
+  recent.start_ms = kBaseMs + 170'000;
+  recent.end_ms = kBaseMs + 199'000;
+  recent.step_ms = 1000;
+  RangeResult raw = history.Range(recent);
+  ASSERT_TRUE(raw.error.empty()) << raw.error;
+  EXPECT_EQ(raw.tier, 0u);
+  EXPECT_EQ(raw.series[0].points.size(), 29u);
+
+  // A full-span ask falls to the coarsest tier, which itself evicted
+  // everything older than its 120 s retention: the first answered bucket
+  // starts at ~70 s, not 0.
+  RangeRequest full;
+  full.name = "e";
+  full.agg = RangeAgg::kAvg;
+  full.start_ms = kBaseMs;
+  full.end_ms = kBaseMs + 199'000;
+  RangeResult coarse = history.Range(full);
+  ASSERT_TRUE(coarse.error.empty()) << coarse.error;
+  EXPECT_EQ(coarse.tier, 1u);
+  ASSERT_FALSE(coarse.series[0].points.empty());
+  // Fold-downs flushed at 10..190 s; eviction (newest 190 s - 120 s
+  // retention) kept the 70..190 s flush points, which land in the step
+  // buckets starting at 60..180 s.
+  EXPECT_EQ(coarse.series[0].points.front().t_ms, kBaseMs + 60'000);
+  EXPECT_EQ(coarse.series[0].points.size(), 13u);
+
+  // The evicted early window is gone from every tier.
+  EXPECT_FALSE(
+      history.Window("e", {}, kBaseMs, kBaseMs + 50'000).has_value());
+
+  // Memory stays bounded: roughly the retained points, not the 200
+  // appended ones.
+  EXPECT_LT(history.ApproxBytes(), 8192u);
+}
+
+// =====================================================================
+// Range-query semantics: empty, partial, invalid.
+// =====================================================================
+
+TEST(HistoryRangeTest, EmptyAndPartialRangesAndValidation) {
+  TieredFixture fx;
+  fx.AppendPerSecond("p", SeriesKind::kGauge, 10,
+                     [](int i) { return static_cast<double>(i); });
+
+  // Unknown family: an empty answer, not an error.
+  RangeResult unknown =
+      fx.Query("no_such_metric", RangeAgg::kAvg, kBaseMs, kBaseMs + 60'000);
+  EXPECT_TRUE(unknown.error.empty());
+  EXPECT_TRUE(unknown.series.empty());
+
+  // Inverted window: an error.
+  RangeResult inverted =
+      fx.Query("p", RangeAgg::kAvg, kBaseMs + 60'000, kBaseMs);
+  EXPECT_FALSE(inverted.error.empty());
+
+  // Aggregation/kind mismatch: gauges cannot answer rate.
+  RangeResult mismatch =
+      fx.Query("p", RangeAgg::kRate, kBaseMs, kBaseMs + 60'000);
+  EXPECT_NE(mismatch.error.find("gauge"), std::string::npos);
+
+  // Too many output steps: an explicit error, not a truncated answer.
+  RangeResult wide = fx.Query("p", RangeAgg::kAvg, kBaseMs,
+                              kBaseMs + 20'000'000, 1000);
+  EXPECT_NE(wide.error.find("10000"), std::string::npos);
+
+  // Partial coverage: only buckets holding points are emitted (sparse
+  // output; empty buckets are skipped, not zero-filled).
+  RangeResult partial =
+      fx.Query("p", RangeAgg::kAvg, kBaseMs, kBaseMs + 60'000, 10'000);
+  ASSERT_TRUE(partial.error.empty()) << partial.error;
+  ASSERT_EQ(partial.series.size(), 1u);
+  ASSERT_EQ(partial.series[0].points.size(), 1u);
+  EXPECT_EQ(partial.series[0].points[0].t_ms, kBaseMs);
+  EXPECT_DOUBLE_EQ(partial.series[0].points[0].value, 5.0);
+}
+
+TEST(HistoryRangeTest, LabelFilterSelectsOneChild) {
+  TieredFixture fx;
+  fx.history.Append("lbl", {{"kind", "a"}}, SeriesKind::kGauge, kBaseMs + 1000,
+                    1.0);
+  fx.history.Append("lbl", {{"kind", "b"}}, SeriesKind::kGauge, kBaseMs + 1000,
+                    2.0);
+  RangeRequest request;
+  request.name = "lbl";
+  request.agg = RangeAgg::kLast;
+  request.label_key = "kind";
+  request.label_value = "b";
+  request.start_ms = kBaseMs;
+  request.end_ms = kBaseMs + 10'000;
+  RangeResult result = fx.history.Range(request);
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  ASSERT_EQ(result.series.size(), 1u);
+  ASSERT_EQ(result.series[0].points.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.series[0].points[0].value, 2.0);
+}
+
+// =====================================================================
+// Counter resets.
+// =====================================================================
+
+TEST(HistoryCounterTest, ResetContributesPostResetValue) {
+  TieredFixture fx;
+  const double values[] = {0, 10, 20, 5, 15};  // reset between 20 and 5
+  for (int i = 0; i < 5; ++i) {
+    fx.history.Append("r", {}, SeriesKind::kCounter,
+                      kBaseMs + static_cast<uint64_t>(i) * 1000, values[i]);
+  }
+  fx.clock->Set(kBaseMs + 4000);
+
+  // Prometheus-style increase: 10 + 10 + (reset: 5) + 10.
+  auto window = fx.history.Window("r", {}, kBaseMs, kBaseMs + 4000);
+  ASSERT_TRUE(window.has_value());
+  EXPECT_DOUBLE_EQ(window->increase, 35.0);
+
+  RangeResult rate =
+      fx.Query("r", RangeAgg::kRate, kBaseMs, kBaseMs + 4000, 4000);
+  ASSERT_TRUE(rate.error.empty()) << rate.error;
+  ASSERT_EQ(rate.series[0].points.size(), 1u);
+  EXPECT_DOUBLE_EQ(rate.series[0].points[0].value, 35.0 / 4.0);
+}
+
+// =====================================================================
+// Out-of-order samples, series cap, kind mismatch.
+// =====================================================================
+
+TEST(HistoryStoreTest, OutOfOrderAndDuplicateTimestampsAreDropped) {
+  TieredFixture fx;
+  fx.history.Append("o", {}, SeriesKind::kGauge, kBaseMs + 2000, 2.0);
+  fx.history.Append("o", {}, SeriesKind::kGauge, kBaseMs + 2000, 99.0);
+  fx.history.Append("o", {}, SeriesKind::kGauge, kBaseMs + 1000, 98.0);
+  fx.history.Append("o", {}, SeriesKind::kGauge, kBaseMs + 3000, 3.0);
+  fx.clock->Set(kBaseMs + 3000);
+  auto window = fx.history.Window("o", {}, kBaseMs, kBaseMs + 3000);
+  ASSERT_TRUE(window.has_value());
+  EXPECT_EQ(window->points, 2u);
+  EXPECT_DOUBLE_EQ(window->first, 2.0);
+  EXPECT_DOUBLE_EQ(window->last, 3.0);
+}
+
+TEST(HistoryStoreTest, MaxSeriesCapDropsNewSeries) {
+  auto clock = std::make_shared<ManualClock>();
+  clock->Set(kBaseMs);
+  MetricsHistory history;
+  HistoryOptions options;
+  options.clock = clock;
+  options.max_series = 2;
+  history.Configure(options);
+  history.Append("cap", {{"i", "1"}}, SeriesKind::kGauge, kBaseMs + 1000, 1);
+  history.Append("cap", {{"i", "2"}}, SeriesKind::kGauge, kBaseMs + 1000, 2);
+  history.Append("cap", {{"i", "3"}}, SeriesKind::kGauge, kBaseMs + 1000, 3);
+  EXPECT_EQ(history.SeriesCount(), 2u);
+}
+
+TEST(HistoryStoreTest, KindMismatchDropsSampleInsteadOfMixing) {
+  TieredFixture fx;
+  fx.history.Append("k", {}, SeriesKind::kGauge, kBaseMs + 1000, 1.0);
+  fx.history.Append("k", {}, SeriesKind::kCounter, kBaseMs + 2000, 2.0);
+  fx.clock->Set(kBaseMs + 2000);
+  ASSERT_TRUE(fx.history.Kind("k").has_value());
+  EXPECT_EQ(*fx.history.Kind("k"), SeriesKind::kGauge);
+  auto window = fx.history.Window("k", {}, kBaseMs, kBaseMs + 2000);
+  ASSERT_TRUE(window.has_value());
+  EXPECT_EQ(window->points, 1u);
+}
+
+// =====================================================================
+// Histograms end-to-end through CollectNow (the collector path).
+// =====================================================================
+
+TEST(HistoryHistogramTest, CollectNowCapturesQuantilesAndEventRates) {
+  auto clock = std::make_shared<ManualClock>();
+  clock->Set(kBaseMs);
+  MetricsHistory history;
+  HistoryOptions options;
+  options.clock = clock;
+  history.Configure(options);
+
+  Histogram* h = Registry::Default().GetHistogram(
+      "history_test_lat_ms", "test latency", {1, 2, 4, 8});
+  history.CollectNow();  // tick 1: count 0
+
+  clock->AdvanceSeconds(1);
+  for (int i = 0; i < 10; ++i) h->Observe(1.5);  // all land in (1, 2]
+  history.CollectNow();  // tick 2
+
+  clock->AdvanceSeconds(1);
+  for (int i = 0; i < 10; ++i) h->Observe(3.0);  // all land in (2, 4]
+  history.CollectNow();  // tick 3
+
+  EXPECT_EQ(history.Ticks(), 3u);
+  ASSERT_NE(history.LatestSnapshot(), nullptr);
+  ASSERT_TRUE(history.Kind("history_test_lat_ms").has_value());
+  EXPECT_EQ(*history.Kind("history_test_lat_ms"), SeriesKind::kHistogram);
+
+  RangeRequest request;
+  request.name = "history_test_lat_ms";
+  request.agg = RangeAgg::kP50;
+  request.start_ms = kBaseMs;
+  request.end_ms = kBaseMs + 2000;
+  request.step_ms = 1000;
+  RangeResult p50 = history.Range(request);
+  ASSERT_TRUE(p50.error.empty()) << p50.error;
+  ASSERT_EQ(p50.series.size(), 1u);
+  ASSERT_EQ(p50.series[0].points.size(), 2u);
+  // First second: ten observations in (1, 2] -> p50 interpolates to 1.5.
+  EXPECT_DOUBLE_EQ(p50.series[0].points[0].value, 1.5);
+  // Second second: ten in (2, 4] -> 3.0.
+  EXPECT_DOUBLE_EQ(p50.series[0].points[1].value, 3.0);
+
+  request.agg = RangeAgg::kP99;
+  RangeResult p99 = history.Range(request);
+  ASSERT_TRUE(p99.error.empty()) << p99.error;
+  EXPECT_DOUBLE_EQ(p99.series[0].points[0].value, 1.0 + 0.99);
+  EXPECT_DOUBLE_EQ(p99.series[0].points[1].value, 2.0 + 2.0 * 0.99);
+
+  request.agg = RangeAgg::kRate;
+  RangeResult rate = history.Range(request);
+  ASSERT_TRUE(rate.error.empty()) << rate.error;
+  ASSERT_EQ(rate.series[0].points.size(), 2u);
+  EXPECT_DOUBLE_EQ(rate.series[0].points[0].value, 10.0);
+  EXPECT_DOUBLE_EQ(rate.series[0].points[1].value, 10.0);
+
+  // Self-accounting: the retained bytes are charged to the tracker and
+  // mirrored in the self-metrics.
+  EXPECT_GT(history.ApproxBytes(), 0u);
+  EXPECT_EQ(
+      ResourceTracker::Default().LiveBytes(Component::kHistory),
+      static_cast<int64_t>(history.ApproxBytes()));
+  EXPECT_GT(
+      Registry::Default().GaugeValue("raptor_history_series"), 0);
+}
+
+// =====================================================================
+// Determinism: identical answers under concurrent readers.
+// =====================================================================
+
+/// Serializes a range answer so runs can be compared byte-for-byte.
+std::string Serialize(const RangeResult& result) {
+  std::ostringstream out;
+  out << result.error << '|' << static_cast<int>(result.kind) << '|'
+      << result.tier << '|' << result.step_ms;
+  for (const RangeSeries& s : result.series) {
+    out << "\ns";
+    for (const auto& [k, v] : s.labels) out << ' ' << k << '=' << v;
+    for (const RangePoint& p : s.points) {
+      out << '\n' << p.t_ms << ' ' << std::hexfloat << p.value;
+    }
+  }
+  return out.str();
+}
+
+TEST(HistoryDeterminismTest, ConcurrentReadersGetByteIdenticalAnswers) {
+  TieredFixture fx;
+  fx.AppendPerSecond("d", SeriesKind::kGauge, 181,
+                     [](int i) { return 0.25 * i * ((i % 7) + 1); });
+
+  RangeRequest request;
+  request.name = "d";
+  request.agg = RangeAgg::kAvg;
+  request.start_ms = kBaseMs;
+  request.end_ms = kBaseMs + 180'000;
+  request.step_ms = 10'000;
+  const std::string baseline = Serialize(fx.history.Range(request));
+  ASSERT_FALSE(baseline.empty());
+
+  for (size_t readers : {1u, 2u, 8u}) {
+    std::vector<std::string> answers(readers);
+    std::vector<std::thread> threads;
+    threads.reserve(readers);
+    for (size_t i = 0; i < readers; ++i) {
+      threads.emplace_back([&, i] {
+        answers[i] = Serialize(fx.history.Range(request));
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (const std::string& answer : answers) {
+      EXPECT_EQ(answer, baseline) << readers << " readers";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace raptor::obs

@@ -10,6 +10,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/clock.h"
+#include "obs/history.h"
+#include "obs/incident.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/profiler.h"
@@ -727,12 +730,28 @@ TEST(ProfilerTest, UnregisteredThreadsAreInvisible) {
 // SLO burn-rate engine.
 // =====================================================================
 
+/// Points the global history store and the SLO engine at one shared
+/// ManualClock so evaluations are clock-stepped and deterministic. The
+/// engine is history-backed: every burn window reads MetricsHistory.
+std::shared_ptr<ManualClock> InstallSloTestClock(SloOptions* options) {
+  auto clock = std::make_shared<ManualClock>();
+  HistoryOptions history;
+  history.clock = clock;
+  MetricsHistory::Default().Configure(history);
+  options->clock = clock;
+  return clock;
+}
+
 /// Drives a cumulative SLO through ok -> pending -> firing -> resolved by
-/// steering closure-owned good/bad tallies between evaluations.
+/// steering closure-owned good/bad tallies between evaluations. The clock
+/// advances between evaluations: the engine is idempotent per timestamp,
+/// so same-instant re-evaluation would be a no-op (see the idempotence
+/// test below).
 TEST(SloEngineTest, StateMachineWalksPendingFiringResolved) {
   SloEngine& engine = SloEngine::Default();
   SloOptions bare;
   bare.enabled = false;  // no default catalog, no evaluator thread
+  std::shared_ptr<ManualClock> clock = InstallSloTestClock(&bare);
   engine.Configure(bare);
 
   auto tallies = std::make_shared<SloSample>();
@@ -759,6 +778,7 @@ TEST(SloEngineTest, StateMachineWalksPendingFiringResolved) {
   EXPECT_EQ(state_of(), AlertState::kOk);
 
   // Eval 2: 10 new bad events, 0 good -> ratio 1.0, burn 10 -> pending.
+  clock->AdvanceSeconds(1);
   tallies->bad = 10;
   engine.EvaluateNow();
   EXPECT_EQ(state_of(), AlertState::kPending);
@@ -767,6 +787,7 @@ TEST(SloEngineTest, StateMachineWalksPendingFiringResolved) {
             1);
 
   // Eval 3: still burning and pending_for elapsed (0 s) -> firing.
+  clock->AdvanceSeconds(1);
   engine.EvaluateNow();
   EXPECT_EQ(state_of(), AlertState::kFiring);
   EXPECT_EQ(Registry::Default().GaugeValue("raptor_alert_state",
@@ -774,6 +795,7 @@ TEST(SloEngineTest, StateMachineWalksPendingFiringResolved) {
             2);
 
   // Eval 4: a flood of good events dilutes the window ratio -> resolved.
+  clock->AdvanceSeconds(1);
   tallies->good = 1000;
   engine.EvaluateNow();
   EXPECT_EQ(state_of(), AlertState::kOk);
@@ -798,6 +820,7 @@ TEST(SloEngineTest, InstantKindAveragesPerSampleRatios) {
   SloEngine& engine = SloEngine::Default();
   SloOptions bare;
   bare.enabled = false;
+  std::shared_ptr<ManualClock> clock = InstallSloTestClock(&bare);
   engine.Configure(bare);
 
   auto tallies = std::make_shared<SloSample>();
@@ -810,9 +833,14 @@ TEST(SloEngineTest, InstantKindAveragesPerSampleRatios) {
   spec.sample = [tallies] { return *tallies; };
   engine.AddSlo(spec);
 
+  auto step = [&] {
+    clock->AdvanceSeconds(1);
+    engine.EvaluateNow();
+  };
+
   tallies->bad = 10;   // 10% utilization
   tallies->good = 90;
-  engine.EvaluateNow();
+  step();
   std::vector<AlertStatus> all = engine.Snapshot();
   ASSERT_EQ(all.size(), 1u);
   EXPECT_NEAR(all[0].short_burn, 0.1, 1e-9);
@@ -820,13 +848,13 @@ TEST(SloEngineTest, InstantKindAveragesPerSampleRatios) {
 
   tallies->bad = 100;  // 100% utilization: each new instant sample is
   tallies->good = 0;   // averaged with the initial 0.1 point.
-  engine.EvaluateNow();  // mean of {0.1, 1.0} = 0.55
-  engine.EvaluateNow();  // mean of {0.1, 1.0 x2} = 0.7
-  engine.EvaluateNow();  // mean of {0.1, 1.0 x3} = 0.775 < 0.8
+  step();  // mean of {0.1, 1.0} = 0.55
+  step();  // mean of {0.1, 1.0 x2} = 0.7
+  step();  // mean of {0.1, 1.0 x3} = 0.775 < 0.8
   all = engine.Snapshot();
   ASSERT_EQ(all.size(), 1u);
   EXPECT_EQ(all[0].state, AlertState::kOk);
-  engine.EvaluateNow();  // mean of {0.1, 1.0 x4} = 0.82 > 0.8 -> pending
+  step();  // mean of {0.1, 1.0 x4} = 0.82 > 0.8 -> pending
   all = engine.Snapshot();
   ASSERT_EQ(all.size(), 1u);
   EXPECT_EQ(all[0].state, AlertState::kPending);
@@ -834,8 +862,126 @@ TEST(SloEngineTest, InstantKindAveragesPerSampleRatios) {
   engine.Configure(bare);
 }
 
+/// Regression: /api/alerts used to call EvaluateNow() per poll while the
+/// background evaluator was also stepping the windows, double-advancing
+/// rolling state. Evaluation is now idempotent per clock timestamp.
+TEST(SloEngineTest, EvaluationIsIdempotentPerTimestamp) {
+  SloEngine& engine = SloEngine::Default();
+  SloOptions bare;
+  bare.enabled = false;
+  std::shared_ptr<ManualClock> clock = InstallSloTestClock(&bare);
+  engine.Configure(bare);
+
+  auto tallies = std::make_shared<SloSample>();
+  SloSpec spec;
+  spec.name = "obs_test_idem";
+  spec.kind = SloKind::kInstant;
+  spec.objective = 0;
+  spec.burn_threshold = 100;  // never alerts; we only count points
+  spec.sample = [tallies] { return *tallies; };
+  engine.AddSlo(spec);
+
+  tallies->bad = 1;
+  tallies->good = 1;
+  clock->AdvanceSeconds(1);
+  engine.EvaluateNow();
+  engine.EvaluateNow();  // same timestamp: must not append a second point
+  engine.EvaluateNow();
+  std::vector<AlertStatus> all = engine.Snapshot();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].samples, 1u);
+
+  clock->AdvanceSeconds(1);
+  engine.EvaluateNow();
+  all = engine.Snapshot();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].samples, 2u);
+
+  engine.Configure(bare);
+}
+
+/// A pending -> firing transition freezes an incident: the offending
+/// metric's history window, the SLO's burn trajectory, and a debug bundle
+/// from the installed hook. Resolution stamps the incident.
+TEST(SloEngineTest, FiringCapturesIncidentWithHistoryWindows) {
+  SloEngine& engine = SloEngine::Default();
+  SloOptions bare;
+  bare.enabled = false;
+  std::shared_ptr<ManualClock> clock = InstallSloTestClock(&bare);
+  engine.Configure(bare);
+  IncidentJournal& journal = IncidentJournal::Default();
+  journal.SetBundleHook([] { return std::string("{\"frozen\":true}"); });
+
+  MetricsHistory& history = MetricsHistory::Default();
+  auto tallies = std::make_shared<SloSample>();
+  SloSpec spec;
+  spec.name = "obs_test_incident";
+  spec.kind = SloKind::kCumulative;
+  spec.objective = 0.9;
+  spec.short_window_s = 60;
+  spec.long_window_s = 300;
+  spec.burn_threshold = 1.0;
+  spec.pending_for_s = 0;
+  spec.history_metric = "obs_test_offender";
+  spec.sample = [tallies] { return *tallies; };
+  engine.AddSlo(spec);
+
+  auto step = [&] {
+    clock->AdvanceSeconds(1);
+    // The offending metric the incident should freeze a window of.
+    history.Append("obs_test_offender", {}, SeriesKind::kGauge,
+                   clock->NowUnixMs(), static_cast<double>(tallies->bad));
+    engine.EvaluateNow();
+  };
+
+  step();                // baseline point
+  tallies->bad = 10;
+  step();                // ok -> pending
+  step();                // pending -> firing: incident captured
+  ASSERT_EQ(journal.size(), 1u);
+  std::vector<Incident> incidents = journal.Snapshot();
+  ASSERT_EQ(incidents.size(), 1u);
+  const Incident& incident = incidents[0];
+  EXPECT_EQ(incident.slo, "obs_test_incident");
+  EXPECT_EQ(incident.metric, "obs_test_offender");
+  EXPECT_EQ(incident.resolved_at_ms, 0u);
+  EXPECT_GT(incident.short_burn, 1.0);
+  EXPECT_EQ(incident.bundle_json, "{\"frozen\":true}");
+  // Frozen windows: the offender plus the SLO's own burn series.
+  bool offender = false, short_burn = false, long_burn = false;
+  for (const SeriesWindow& window : incident.windows) {
+    if (window.name == "obs_test_offender") {
+      offender = true;
+      EXPECT_EQ(window.points.size(), 3u);
+      EXPECT_EQ(window.points.back().value, 10.0);
+    }
+    if (window.name == "raptor_slo_short_burn") short_burn = true;
+    if (window.name == "raptor_slo_long_burn") long_burn = true;
+  }
+  EXPECT_TRUE(offender);
+  EXPECT_TRUE(short_burn);
+  EXPECT_TRUE(long_burn);
+  EXPECT_EQ(Registry::Default().CounterValue("raptor_incidents_total",
+                                             {{"slo", "obs_test_incident"}}),
+            1u);
+
+  // A flood of good events resolves the alert and stamps the incident.
+  clock->AdvanceSeconds(1);
+  tallies->good = 1000;
+  engine.EvaluateNow();
+  incidents = journal.Snapshot();
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].resolved_at_ms, clock->NowUnixMs());
+
+  history.RemoveSeries("obs_test_offender", {});
+  journal.SetBundleHook(nullptr);
+  engine.Configure(bare);
+}
+
 TEST(SloEngineTest, DefaultCatalogInstallsFourSlosWithoutThread) {
   SloEngine& engine = SloEngine::Default();
+  // Wall-clock history (the serving default) after the stepped-clock tests.
+  MetricsHistory::Default().Configure(HistoryOptions{});
   SloOptions options;  // enabled by default
   engine.Configure(options);
   EXPECT_FALSE(engine.running());  // the API server starts the evaluator

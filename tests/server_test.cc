@@ -16,6 +16,9 @@
 #include "common/json.h"
 #include "core/threat_raptor.h"
 #include "fault_injection.h"
+#include "obs/clock.h"
+#include "obs/history.h"
+#include "obs/incident.h"
 #include "obs/log.h"
 #include "obs/misestimate_journal.h"
 #include "obs/profiler.h"
@@ -1278,18 +1281,23 @@ TEST(ServerTest, ProfileEndpointValidatesParameters) {
 /// evaluator tick long enough that the /api/alerts polls drive every
 /// state-machine step deterministically.
 struct SloFixture {
+  std::shared_ptr<obs::ManualClock> clock = std::make_shared<obs::ManualClock>();
   ThreatRaptor system;
   HttpServer server;
 
-  static ThreatRaptorOptions MakeOptions() {
+  static ThreatRaptorOptions MakeOptions(std::shared_ptr<obs::ManualClock> clock) {
     ThreatRaptorOptions options;
     options.slo.http_error_objective = 0.5;
     options.slo.pending_for_s = 0;
     options.slo.eval_interval_ms = 60000;
+    // Evaluation is idempotent per sample timestamp, so the fixture owns a
+    // manual clock and steps it between polls; the constructor propagates it
+    // to the SLO engine as well.
+    options.history.clock = clock;
     return options;
   }
 
-  SloFixture() : system(MakeOptions()) {
+  SloFixture() : system(MakeOptions(clock)) {
     audit::WorkloadGenerator gen;
     gen.GenerateBenign(3000, system.mutable_log());
     EXPECT_TRUE(system.FinalizeStorage().ok());
@@ -1299,9 +1307,11 @@ struct SloFixture {
 
   ~SloFixture() { obs::SloEngine::Default().Stop(); }
 
-  /// Polls /api/alerts (each poll evaluates synchronously) and returns the
-  /// parsed document.
+  /// Advances the clock one second and polls /api/alerts (each poll
+  /// evaluates synchronously at the new timestamp) and returns the parsed
+  /// document.
   Json Alerts() {
+    clock->AdvanceSeconds(1);
     std::string body = Body(Get(server.port(), "/api/alerts"));
     auto json = Json::Parse(body);
     EXPECT_TRUE(json.ok()) << body.substr(0, 400);
@@ -1432,6 +1442,301 @@ TEST(ServerTest, DebugBundleCarriesBuildAndDataStatsSections) {
   const Json& datastats = (*bundle)["datastats"];
   EXPECT_TRUE(datastats["storage_ready"].AsBool());
   EXPECT_EQ(datastats["tables"].AsArray().size(), 4u);
+}
+
+TEST(ServerTest, DebugBundleCarriesHistoryOptionsAndIncidentsSections) {
+  ServerFixture fx;
+  std::string body = Body(Get(fx.server.port(), "/api/debug/bundle"));
+  auto bundle = Json::Parse(body);
+  ASSERT_TRUE(bundle.ok()) << body.substr(0, 400);
+  const Json& history = (*bundle)["options"]["history"];
+  EXPECT_TRUE(history["enabled"].AsBool());
+  EXPECT_EQ(history["tiers"].AsArray().size(), 3u);
+  EXPECT_GT(history["sample_interval_s"].AsNumber(), 0.0);
+  const Json& incidents = (*bundle)["incidents"];
+  EXPECT_TRUE(incidents["incidents"].is_array());
+  EXPECT_GT(incidents["capacity"].AsNumber(), 0.0);
+}
+
+// --- Metrics history: range queries, incidents, dashboard. ---
+
+/// Fixture owning a manual clock shared by the history store and the SLO
+/// engine, with a helper to drive deterministic collector ticks.
+struct HistoryFixture {
+  std::shared_ptr<obs::ManualClock> clock =
+      std::make_shared<obs::ManualClock>();
+  ThreatRaptor system;
+  HttpServer server;
+
+  static ThreatRaptorOptions MakeOptions(
+      std::shared_ptr<obs::ManualClock> clock) {
+    ThreatRaptorOptions options;
+    options.history.clock = clock;
+    return options;
+  }
+
+  HistoryFixture() : system(MakeOptions(clock)) {
+    audit::WorkloadGenerator gen;
+    gen.GenerateBenign(3000, system.mutable_log());
+    EXPECT_TRUE(system.FinalizeStorage().ok());
+    RegisterThreatRaptorApi(&server, &system);
+    EXPECT_TRUE(server.Start(0).ok());
+  }
+
+  ~HistoryFixture() {
+    obs::SloEngine::Default().Stop();
+    obs::MetricsHistory::Default().Stop();
+  }
+
+  /// One deterministic collector tick at clock+1s. Background ticks reuse
+  /// the unchanged manual timestamp, so their appends are dropped as
+  /// duplicates and only these stepped ticks land in the store.
+  void Tick() {
+    clock->AdvanceSeconds(1);
+    obs::MetricsHistory::Default().CollectNow();
+  }
+};
+
+TEST(ServerTest, MetricsRangeServesCounterRatesUnderManualClock) {
+  HistoryFixture fx;
+  uint64_t base_s = fx.clock->NowUnixMs() / 1000;
+  // The connection counter registers lazily on the first connection; handle
+  // one before the baseline sample so every bucket below has a left edge.
+  Get(fx.server.port(), "/api/healthz");
+  obs::MetricsHistory::Default().CollectNow();  // Baseline edge sample.
+  for (int i = 0; i < 4; ++i) {
+    // Two connections per second: raptor_http_requests_total counts each.
+    Get(fx.server.port(), "/api/healthz");
+    Get(fx.server.port(), "/api/healthz");
+    fx.Tick();
+  }
+  std::string body = Body(Get(
+      fx.server.port(),
+      "/api/metrics/range?name=raptor_http_requests_total&agg=rate&start_s=" +
+          std::to_string(base_s) + "&end_s=" + std::to_string(base_s + 4) +
+          "&step_s=1"));
+  auto json = Json::Parse(body);
+  ASSERT_TRUE(json.ok()) << body.substr(0, 400);
+  EXPECT_EQ((*json)["kind"].AsString(), "counter");
+  EXPECT_EQ((*json)["agg"].AsString(), "rate");
+  EXPECT_EQ((*json)["step_s"].AsNumber(), 1.0);
+  EXPECT_EQ((*json)["tier"].AsNumber(), 0.0);
+  ASSERT_EQ((*json)["series"].AsArray().size(), 1u) << body;
+  const Json::Array& points = (*json)["series"][0]["points"].AsArray();
+  ASSERT_EQ(points.size(), 4u) << body;
+  for (size_t i = 0; i < points.size(); ++i) {
+    // Points are stamped at their bucket start.
+    EXPECT_EQ(points[i][0].AsNumber(), static_cast<double>(base_s + i));
+    EXPECT_EQ(points[i][1].AsNumber(), 2.0) << "bucket " << i;
+  }
+  // Omitting agg picks the kind's default: counters answer rates.
+  std::string defaulted = Body(Get(
+      fx.server.port(),
+      "/api/metrics/range?name=raptor_http_requests_total&start_s=" +
+          std::to_string(base_s) + "&end_s=" + std::to_string(base_s + 4) +
+          "&step_s=1"));
+  auto djson = Json::Parse(defaulted);
+  ASSERT_TRUE(djson.ok()) << defaulted.substr(0, 400);
+  EXPECT_EQ((*djson)["agg"].AsString(), "rate");
+}
+
+TEST(ServerTest, MetricsRangeValidatesParameters) {
+  ServerFixture fx;
+  struct Case {
+    const char* path;
+    const char* needle;
+  };
+  for (const Case& c : std::initializer_list<Case>{
+           {"/api/metrics/range", "name is required"},
+           {"/api/metrics/range?name=x&label=nokey", "key=value"},
+           {"/api/metrics/range?name=x&label==v", "key=value"},
+           {"/api/metrics/range?name=x&agg=bogus", "unknown agg"},
+           {"/api/metrics/range?name=x&start_s=abc", "start_s"},
+           {"/api/metrics/range?name=x&end_s=-1", "end_s"},
+           {"/api/metrics/range?name=x&start_s=10&end_s=5", ""}}) {
+    std::string response = Get(fx.server.port(), c.path);
+    EXPECT_NE(response.find("400"), std::string::npos) << c.path;
+    auto json = Json::Parse(Body(response));
+    ASSERT_TRUE(json.ok()) << c.path;
+    EXPECT_NE((*json)["error"].AsString().find(c.needle), std::string::npos)
+        << c.path << " -> " << (*json)["error"].AsString();
+  }
+  // An unknown-but-well-formed family is an empty answer, not an error.
+  std::string empty =
+      Body(Get(fx.server.port(), "/api/metrics/range?name=no_such_metric"));
+  auto json = Json::Parse(empty);
+  ASSERT_TRUE(json.ok()) << empty;
+  EXPECT_TRUE((*json)["series"].AsArray().empty());
+}
+
+TEST(ServerTest, IncidentsCaptureFiringSloWithBundleAndHistory) {
+  SloFixture fx;
+  fx.Alerts();  // Baseline sample: everything ok.
+  std::string before = Body(Get(fx.server.port(), "/api/incidents"));
+  auto none = Json::Parse(before);
+  ASSERT_TRUE(none.ok()) << before;
+  EXPECT_EQ((*none)["incidents"].AsArray().size(), 0u);
+
+  {
+    testing::ScriptedFaults faults;
+    faults.FailAt("server.handler",
+                  Status::Internal("injected server fault"),
+                  /*after=*/0, /*times=*/8);
+    for (int i = 0; i < 8; ++i) Get(fx.server.port(), "/api/healthz");
+  }
+  fx.Alerts();  // -> pending
+  fx.Alerts();  // -> firing: captures the incident
+
+  std::string body = Body(Get(fx.server.port(), "/api/incidents"));
+  auto json = Json::Parse(body);
+  ASSERT_TRUE(json.ok()) << body.substr(0, 400);
+  ASSERT_EQ((*json)["incidents"].AsArray().size(), 1u);
+  const Json& incident = (*json)["incidents"][0];
+  EXPECT_EQ(incident["slo"].AsString(), "http_error_rate");
+  EXPECT_FALSE(incident["resolved"].AsBool());
+  EXPECT_GT(incident["fired_at_unix_ms"].AsNumber(), 0.0);
+  EXPECT_GT(incident["short_burn"].AsNumber(), 1.0);
+  EXPECT_EQ(incident["metric"].AsString(), "raptor_http_errors_total");
+  // The frozen bundle is the full diagnostic document from the moment of
+  // firing: the alert inside it is still in the firing state even after
+  // later polls move on.
+  EXPECT_FALSE(incident["bundle"]["build"]["git_sha"].AsString().empty());
+  EXPECT_EQ(
+      SloFixture::StateOf(incident["bundle"]["alerts"], "http_error_rate"),
+      "firing");
+  // The frozen history carries the SLO's own burn trajectory.
+  bool saw_burn = false;
+  for (const Json& window : incident["history"].AsArray()) {
+    if (window["name"].AsString() != "raptor_slo_short_burn") continue;
+    saw_burn = true;
+    EXPECT_EQ(window["labels"]["slo"].AsString(), "http_error_rate");
+    EXPECT_FALSE(window["points"].AsArray().empty());
+  }
+  EXPECT_TRUE(saw_burn) << body.substr(0, 800);
+  // The journal is scrape-visible.
+  std::string metrics = Body(Get(fx.server.port(), "/api/metrics"));
+  EXPECT_NE(metrics.find("raptor_incidents_total{slo=\"http_error_rate\"} 1"),
+            std::string::npos);
+  // The diagnostic bundle carries the journal without nested bundles.
+  std::string bundle_body = Body(Get(fx.server.port(), "/api/debug/bundle"));
+  auto bundle = Json::Parse(bundle_body);
+  ASSERT_TRUE(bundle.ok()) << bundle_body.substr(0, 400);
+  ASSERT_EQ((*bundle)["incidents"]["incidents"].AsArray().size(), 1u);
+  EXPECT_TRUE((*bundle)["incidents"]["incidents"][0]["bundle"].is_null());
+
+  // Recovery resolves the captured incident in place.
+  for (int i = 0; i < 80; ++i) Get(fx.server.port(), "/api/healthz");
+  fx.Alerts();  // -> ok
+  std::string resolved = Body(Get(fx.server.port(), "/api/incidents"));
+  auto rjson = Json::Parse(resolved);
+  ASSERT_TRUE(rjson.ok()) << resolved.substr(0, 400);
+  EXPECT_TRUE((*rjson)["incidents"][0]["resolved"].AsBool());
+  EXPECT_GT((*rjson)["incidents"][0]["resolved_at_unix_ms"].AsNumber(), 0.0);
+}
+
+TEST(ServerTest, DashboardServesSelfContainedHtml) {
+  ServerFixture fx;
+  std::string response = Get(fx.server.port(), "/api/dashboard");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/html"), std::string::npos);
+  std::string body = Body(response);
+  EXPECT_NE(body.find("ThreatRaptor dashboard"), std::string::npos);
+  // The page polls the range API and ships every asset inline.
+  EXPECT_NE(body.find("/api/metrics/range"), std::string::npos);
+  EXPECT_NE(body.find("<style>"), std::string::npos);
+  EXPECT_NE(body.find("<script>"), std::string::npos);
+  // No external fetches: every src/href would have to leave the host.
+  EXPECT_EQ(body.find("src=\"http"), std::string::npos);
+  EXPECT_EQ(body.find("href=\"http"), std::string::npos);
+  EXPECT_EQ(body.find("@import"), std::string::npos);
+}
+
+TEST(ServerTest, WatchMetricFilterStreamsMatchingFamilies) {
+  ServerFixture fx;
+  // The raptor_history_* self-metrics are pre-registered before the
+  // collector starts, so the prefix matches regardless of which snapshot
+  // (collector tick or direct fallback) serves the frame.
+  std::string wire = Get(
+      fx.server.port(),
+      "/api/watch?count=2&interval_ms=10&metric=raptor_history");
+  EXPECT_NE(wire.find("200 OK"), std::string::npos);
+  EXPECT_NE(wire.find("text/event-stream"), std::string::npos);
+  size_t frames = 0;
+  for (size_t pos = wire.find("data: "); pos != std::string::npos;
+       pos = wire.find("data: ", pos + 1)) {
+    size_t end = wire.find('\n', pos);
+    std::string payload = wire.substr(pos + 6, end - pos - 6);
+    auto frame = Json::Parse(payload);
+    ASSERT_TRUE(frame.ok()) << payload.substr(0, 200);
+    EXPECT_GT((*frame)["t_unix_ms"].AsNumber(), 0.0);
+    const Json::Array& families = (*frame)["families"].AsArray();
+    EXPECT_FALSE(families.empty());
+    for (const Json& family : families) {
+      EXPECT_EQ(family["name"].AsString().rfind("raptor_history", 0), 0u)
+          << family["name"].AsString();
+    }
+    ++frames;
+  }
+  EXPECT_EQ(frames, 2u);
+  // A prefix matching nothing still streams well-formed (empty) frames.
+  std::string nothing = Get(
+      fx.server.port(), "/api/watch?count=1&interval_ms=10&metric=zzz_nope");
+  size_t pos = nothing.find("data: ");
+  ASSERT_NE(pos, std::string::npos);
+  size_t end = nothing.find('\n', pos);
+  auto frame = Json::Parse(nothing.substr(pos + 6, end - pos - 6));
+  ASSERT_TRUE(frame.ok());
+  EXPECT_TRUE((*frame)["families"].AsArray().empty());
+}
+
+TEST(ServerTest, MetricsRangeByteIdenticalAcrossQueryThreads) {
+  ThreatRaptorOptions options;
+  options.slo.enabled = false;
+  options.history.enabled = false;  // No background threads: ticks are ours.
+  ThreatRaptor system(options);
+  audit::WorkloadGenerator gen;
+  gen.GenerateBenign(3000, system.mutable_log());
+  gen.InjectDataLeakageAttack(system.mutable_log());
+  ASSERT_TRUE(system.FinalizeStorage().ok());
+  HttpServer server;
+  RegisterThreatRaptorApi(&server, &system);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  const std::string query = "proc p read file f";
+  // Warm the plan cache and any lazily-built access paths so every phase
+  // below runs the identical plan.
+  Post(server.port(), "/api/query?threads=1", query);
+
+  // Each phase restarts history at the same manual-clock base, runs the
+  // query at a different thread count, and asks for the one-second query
+  // rate. Execution counters are thread-invariant and the clock restarts
+  // identically, so the three HTTP bodies must match byte for byte.
+  auto phase = [&](int threads) {
+    auto clock = std::make_shared<obs::ManualClock>();
+    obs::HistoryOptions history;
+    history.clock = clock;
+    obs::MetricsHistory::Default().Configure(history);
+    obs::MetricsHistory::Default().CollectNow();  // Baseline edge sample.
+    Post(server.port(), "/api/query?threads=" + std::to_string(threads),
+         query);
+    clock->AdvanceSeconds(1);
+    obs::MetricsHistory::Default().CollectNow();
+    return Body(Get(
+        server.port(),
+        "/api/metrics/range?name=raptor_queries_total"
+        "&agg=rate&start_s=1700000000&end_s=1700000001&step_s=1"));
+  };
+
+  std::string one = phase(1);
+  auto json = Json::Parse(one);
+  ASSERT_TRUE(json.ok()) << one.substr(0, 400);
+  ASSERT_EQ((*json)["series"].AsArray().size(), 1u) << one;
+  const Json::Array& points = (*json)["series"][0]["points"].AsArray();
+  ASSERT_EQ(points.size(), 1u) << one;
+  // Exactly the one query executed inside the phase window.
+  EXPECT_EQ(points[0][1].AsNumber(), 1.0);
+  EXPECT_EQ(phase(2), one);
+  EXPECT_EQ(phase(8), one);
 }
 
 // --- Debug-bundle capture on suite failure (CI artifact). ---
